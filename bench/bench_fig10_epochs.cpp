@@ -1,0 +1,44 @@
+/// Figure 10: ablation in the number of local epochs {1, 5, 10, 20}
+/// (beta = 0.6, IF = 0.1) — momentum interacts with the local step count.
+#include "common.hpp"
+
+using namespace fedwcm;
+
+int main() {
+  const auto scale = core::bench_scale_from_env();
+  bench::print_banner("Figure 10 — local-epoch ablation",
+                      "Fig. 10 (local epochs in {1, 5, 10, 20})", scale);
+
+  const auto methods = fl::core_trio();
+  std::vector<std::size_t> epoch_grid{1, 5, 10, 20};
+  if (scale == core::BenchScale::kSmoke) epoch_grid = {1, 5};
+
+  std::vector<std::string> header{"local_epochs"};
+  for (const auto& m : methods) header.push_back(m.label);
+  core::TablePrinter table(std::move(header));
+  core::SeriesPrinter series;
+
+  const auto seeds = bench::seeds_for(scale);
+  for (std::size_t epochs : epoch_grid) {
+    std::vector<std::string> row{std::to_string(epochs)};
+    for (const auto& method : methods) {
+      bench::ExperimentSpec spec = bench::cifar10_spec(scale);
+      spec.imbalance = 0.1;
+      spec.beta = 0.6;
+      spec.config.local_epochs = epochs;
+      const double acc = bench::mean_accuracy(spec, method, seeds);
+      row.push_back(core::TablePrinter::fmt(acc));
+      series.add_point(method.label, double(epochs), acc);
+    }
+    table.add_row(std::move(row));
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\n";
+  table.print(std::cout);
+  std::cout << "\nSeries (CSV):\n";
+  series.print(std::cout);
+  std::cout << "\nShape check (paper): FedWCM leads across all epoch settings\n"
+               "and benefits from more local computation; FedCM is the most\n"
+               "variable of the three.\n";
+  return 0;
+}

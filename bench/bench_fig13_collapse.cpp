@@ -1,0 +1,64 @@
+/// Appendix B (Figs. 13-17): neuron-concentration trajectories for FedAvg,
+/// FedCM, and FedWCM under beta = 0.1 with IF = 1 (left) and IF = 0.1
+/// (right), plus the per-layer breakdown at the final round (Figs. 14-16).
+#include "fedwcm/analysis/concentration.hpp"
+#include "fedwcm/analysis/curves.hpp"
+
+#include "common.hpp"
+
+using namespace fedwcm;
+
+int main() {
+  const auto scale = core::bench_scale_from_env();
+  bench::print_banner("Appendix B — minority collapse observables",
+                      "Figs. 13-17 (neuron concentration across methods)", scale);
+
+  core::SeriesPrinter series;
+  core::TablePrinter per_layer({"IF", "method", "layer", "final_concentration"});
+  for (double imbalance : {1.0, 0.1}) {
+    for (const char* method : {"fedavg", "fedcm", "fedwcm"}) {
+      bench::ExperimentSpec spec = bench::cifar10_spec(scale);
+      spec.imbalance = imbalance;
+      spec.beta = 0.1;
+      spec.config.eval_every = std::max<std::size_t>(1, spec.config.rounds / 20);
+
+      const data::TrainTest tt = data::generate(spec.dataset, spec.data_seed);
+      const auto subset =
+          data::longtail_subsample(tt.train, imbalance, spec.data_seed);
+      const auto part = data::partition_equal_quantity(
+          tt.train, subset, spec.config.num_clients, spec.beta, spec.data_seed);
+      auto factory = nn::mlp_factory(spec.dataset.input_dim, {32, 32},
+                                     spec.dataset.num_classes);
+      fl::FlConfig cfg = spec.config;
+      cfg.seed = 1;
+      fl::Simulation sim(cfg, tt.train, tt.test, part, factory,
+                         fl::cross_entropy_loss_factory());
+      sim.set_probe([](nn::Sequential& model, const data::Dataset& test) {
+        return analysis::neuron_concentration(model, test, 32).mean;
+      });
+      auto alg = fl::make_algorithm(method);
+      const auto res = sim.run(*alg);
+      const std::string tag =
+          std::string(method) + "_if" + core::TablePrinter::fmt(imbalance, 1);
+      analysis::add_concentration_series(series, tag, res);
+
+      // Figs. 14-16: per-layer concentration at the final model.
+      nn::Sequential probe_model = factory();
+      probe_model.set_params(res.final_params);
+      const auto report = analysis::neuron_concentration(probe_model, tt.test, 32);
+      for (std::size_t l = 0; l < report.per_layer.size(); ++l)
+        per_layer.add_row({core::TablePrinter::fmt(imbalance, 1), method,
+                           report.layer_names[l],
+                           core::TablePrinter::fmt(report.per_layer[l])});
+    }
+  }
+
+  std::cout << "\nFig. 13 — mean concentration over rounds (CSV):\n";
+  series.print(std::cout);
+  std::cout << "\nFigs. 14-16 — per-layer concentration at the final round:\n";
+  per_layer.print(std::cout);
+  std::cout << "\nShape check (paper): FedWCM's concentration trajectory is the\n"
+               "smoothest under the long tail; FedCM shows the largest\n"
+               "concentration level/fluctuation, FedAvg sits between.\n";
+  return 0;
+}

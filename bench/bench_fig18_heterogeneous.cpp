@@ -1,0 +1,45 @@
+/// Appendix D (Figs. 18/19): FedCM vs nine heterogeneous-FL methods on the
+/// CIFAR-10 analog with beta = 0.1 and NO long tail (IF = 1) — train and
+/// test accuracy curves, the setting where momentum's benefits shine.
+#include "fedwcm/analysis/curves.hpp"
+
+#include "common.hpp"
+
+using namespace fedwcm;
+
+int main() {
+  const auto scale = core::bench_scale_from_env();
+  bench::print_banner("Appendix D — heterogeneous-FL baselines",
+                      "Figs. 18/19 (beta = 0.1, IF = 1, 10 methods)", scale);
+
+  const std::vector<std::string> methods{"fedavg",  "scaffold", "feddyn",
+                                         "fedprox", "fedsam",   "mofedsam",
+                                         "fedspeed", "fedsmoo", "fedlesam",
+                                         "fedcm"};
+  core::SeriesPrinter train_series, test_series;
+  core::TablePrinter summary({"method", "final_test_acc", "final_train_loss"});
+  for (const auto& name : methods) {
+    bench::ExperimentSpec spec = bench::cifar10_spec(scale);
+    spec.imbalance = 1.0;  // non-long-tailed
+    spec.beta = 0.1;
+    spec.config.eval_every = std::max<std::size_t>(1, spec.config.rounds / 15);
+    const fl::MethodSpec m{name, name, "ce", false};
+    const auto res = bench::run_method(spec, m, 1);
+    analysis::add_accuracy_series(test_series, name, res);
+    analysis::add_loss_series(train_series, name, res);
+    summary.add_row({name, core::TablePrinter::fmt(res.final_accuracy),
+                     core::TablePrinter::fmt(res.history.back().train_loss)});
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\nFig. 18 — train loss over rounds (CSV; the paper plots train\n"
+               "accuracy, our harness records the local training loss):\n";
+  train_series.print(std::cout);
+  std::cout << "\nFig. 19 — test accuracy over rounds (CSV):\n";
+  test_series.print(std::cout);
+  std::cout << "\nSummary:\n";
+  summary.print(std::cout);
+  std::cout << "\nShape check (paper): FedCM converges fastest and ends highest\n"
+               "in the heterogeneous non-long-tailed setting; SCAFFOLD/FedDyn/\n"
+               "FedProx improve on FedAvg; SAM-family methods start slower.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+/// Figure 2: client data partition under beta = 0.1, IF = 0.1 —
+/// the FedGraB-style pipeline (left panel: heavy quantity skew) vs ours
+/// (right panel: near-equal client sizes). Prints per-client class-count
+/// rows plus the summary statistics the paper's Appendix A narrates
+/// ("~10% of clients hold over 50% of the samples").
+#include "common.hpp"
+
+using namespace fedwcm;
+
+namespace {
+
+void print_partition(const std::string& label, const data::Dataset& train,
+                     const data::Partition& part) {
+  std::cout << "\n--- " << label << " ---\n";
+  core::TablePrinter table([&] {
+    std::vector<std::string> header{"client", "size"};
+    for (std::size_t c = 0; c < train.num_classes; ++c)
+      header.push_back("c" + std::to_string(c));
+    return header;
+  }());
+  const auto counts = part.count_matrix(train);
+  for (std::size_t k = 0; k < part.num_clients(); ++k) {
+    std::vector<std::string> row{std::to_string(k),
+                                 std::to_string(part.client_indices[k].size())};
+    for (std::size_t c = 0; c < train.num_classes; ++c)
+      row.push_back(std::to_string(counts[k * train.num_classes + c]));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  const auto stats = data::summarize(part, train);
+  std::cout << "client size: min=" << stats.min_client_size
+            << " max=" << stats.max_client_size
+            << " mean=" << core::TablePrinter::fmt(stats.mean_client_size, 1)
+            << " cv=" << core::TablePrinter::fmt(stats.quantity_cv, 3) << "\n"
+            << "top-decile sample share: "
+            << core::TablePrinter::fmt(stats.top_decile_share, 3) << "\n"
+            << "mean client-vs-global L1 skew: "
+            << core::TablePrinter::fmt(stats.mean_l1_skew, 3) << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const auto scale = core::bench_scale_from_env();
+  bench::print_banner("Figure 2 — client data partition pipelines",
+                      "Fig. 2 (beta = 0.1, IF = 0.1), Appendix A / Fig. 11", scale);
+
+  bench::ExperimentSpec spec = bench::cifar10_spec(scale);
+  spec.imbalance = 0.1;
+  spec.beta = 0.1;
+  const data::TrainTest tt = data::generate(spec.dataset, spec.data_seed);
+  const auto subset =
+      data::longtail_subsample(tt.train, spec.imbalance, spec.data_seed);
+
+  const data::Partition fedgrab = data::partition_fedgrab(
+      tt.train, subset, spec.config.num_clients, spec.beta, spec.data_seed);
+  const data::Partition ours = data::partition_equal_quantity(
+      tt.train, subset, spec.config.num_clients, spec.beta, spec.data_seed);
+
+  print_partition("FedGraB-style partition (Fig. 2 left)", tt.train, fedgrab);
+  print_partition("Equal-quantity partition, ours (Fig. 2 right)", tt.train, ours);
+
+  std::cout << "\nShape check (paper): the FedGraB pipeline shows heavy quantity\n"
+               "skew while ours keeps client sizes nearly equal with Dirichlet\n"
+               "class skew preserved.\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+/// Figure 3: test accuracy over communication rounds on the CIFAR-10 analog
+/// with beta = 0.1 and IF in {1, 0.1, 0.01} — the motivating comparison of
+/// FedAvg vs FedCM showing how long tails erode momentum's advantage.
+#include "fedwcm/analysis/curves.hpp"
+
+#include "common.hpp"
+
+using namespace fedwcm;
+
+int main() {
+  const auto scale = core::bench_scale_from_env();
+  bench::print_banner("Figure 3 — motivation: FedAvg vs FedCM across IF",
+                      "Fig. 3 (beta = 0.1, IF in {1, 0.1, 0.01})", scale);
+
+  core::SeriesPrinter series;
+  core::TablePrinter summary({"IF", "method", "final_acc", "tail_mean", "best"});
+  for (double imbalance : {1.0, 0.1, 0.01}) {
+    for (const char* method : {"fedavg", "fedcm"}) {
+      bench::ExperimentSpec spec = bench::cifar10_spec(scale);
+      spec.imbalance = imbalance;
+      spec.beta = 0.1;
+      const fl::MethodSpec m{method, method, "ce", false};
+      const auto res = bench::run_method(spec, m, 1);
+      const std::string label =
+          std::string(method) + "_if" + core::TablePrinter::fmt(imbalance, 2);
+      analysis::add_accuracy_series(series, label, res);
+      summary.add_row({core::TablePrinter::fmt(imbalance, 2), method,
+                       core::TablePrinter::fmt(res.final_accuracy),
+                       core::TablePrinter::fmt(res.tail_mean_accuracy),
+                       core::TablePrinter::fmt(res.best_accuracy)});
+    }
+  }
+  std::cout << "\nAccuracy-vs-round series (CSV):\n";
+  series.print(std::cout);
+  std::cout << "\nSummary:\n";
+  summary.print(std::cout);
+  std::cout << "\nShape check (paper): FedCM leads at IF = 1; its advantage\n"
+               "shrinks/disappears as IF drops (the paper's deep-ResNet runs\n"
+               "collapse outright — see EXPERIMENTS.md on substrate gating).\n";
+  return 0;
+}

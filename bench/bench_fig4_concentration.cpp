@@ -1,0 +1,53 @@
+/// Figure 4: FedCM's average neuron concentration (top) and test accuracy
+/// (bottom) across six imbalance-factor settings — the minority-collapse
+/// observable motivating FedWCM (§4).
+#include "fedwcm/analysis/concentration.hpp"
+#include "fedwcm/analysis/curves.hpp"
+
+#include "common.hpp"
+
+using namespace fedwcm;
+
+int main() {
+  const auto scale = core::bench_scale_from_env();
+  bench::print_banner("Figure 4 — FedCM neuron concentration across IF",
+                      "Fig. 4 (six IF settings, concentration + accuracy)", scale);
+
+  core::SeriesPrinter conc_series, acc_series;
+  for (double imbalance : {1.0, 0.5, 0.1, 0.06, 0.04, 0.01}) {
+    bench::ExperimentSpec spec = bench::cifar10_spec(scale);
+    spec.imbalance = imbalance;
+    spec.beta = 0.1;
+    spec.config.eval_every = std::max<std::size_t>(1, spec.config.rounds / 20);
+
+    const data::TrainTest tt = data::generate(spec.dataset, spec.data_seed);
+    const auto subset =
+        data::longtail_subsample(tt.train, imbalance, spec.data_seed);
+    const auto part = data::partition_equal_quantity(
+        tt.train, subset, spec.config.num_clients, spec.beta, spec.data_seed);
+    auto factory = nn::mlp_factory(spec.dataset.input_dim, {32, 32},
+                                   spec.dataset.num_classes);
+    fl::FlConfig cfg = spec.config;
+    cfg.seed = 1;
+    fl::Simulation sim(cfg, tt.train, tt.test, part, factory,
+                       fl::cross_entropy_loss_factory());
+    sim.set_probe([](nn::Sequential& model, const data::Dataset& test) {
+      return analysis::neuron_concentration(model, test, 32).mean;
+    });
+    auto alg = fl::make_algorithm("fedcm");
+    const auto res = sim.run(*alg);
+
+    const std::string tag = "if" + core::TablePrinter::fmt(imbalance, 2);
+    analysis::add_concentration_series(conc_series, "conc_" + tag, res);
+    analysis::add_accuracy_series(acc_series, "acc_" + tag, res);
+  }
+
+  std::cout << "\nTop panel — average neuron concentration (CSV):\n";
+  conc_series.print(std::cout);
+  std::cout << "\nBottom panel — test accuracy (CSV):\n";
+  acc_series.print(std::cout);
+  std::cout << "\nShape check (paper): balanced IF shows smooth concentration\n"
+               "growth; smaller IF raises the concentration level — the\n"
+               "majority classes annex representational space.\n";
+  return 0;
+}

@@ -1,0 +1,121 @@
+/// Microbenchmarks (google-benchmark) for the kernels that dominate the
+/// simulator's wall-clock: GEMM, MLP forward/backward, the FedCM/FedWCM
+/// momentum blend, Dirichlet partitioning, and RLWE encrypt/add/decrypt.
+#include <benchmark/benchmark.h>
+
+#include "fedwcm/core/param_vector.hpp"
+#include "fedwcm/core/rng.hpp"
+#include "fedwcm/core/tensor.hpp"
+#include "fedwcm/crypto/rlwe.hpp"
+#include "fedwcm/data/partition.hpp"
+#include "fedwcm/data/synthetic.hpp"
+#include "fedwcm/nn/loss.hpp"
+#include "fedwcm/nn/models.hpp"
+
+namespace {
+
+using namespace fedwcm;
+
+void BM_Matmul(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  core::Rng rng(1);
+  core::Matrix a(n, n), b(n, n), out;
+  for (float& v : a.span()) v = float(rng.normal());
+  for (float& v : b.span()) v = float(rng.normal());
+  for (auto _ : state) {
+    core::matmul(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MlpForwardBackward(benchmark::State& state) {
+  const std::size_t batch = std::size_t(state.range(0));
+  nn::Sequential model = nn::make_mlp(32, {64, 32}, 10);
+  core::Rng rng(2);
+  model.init_params(rng);
+  core::Matrix x(batch, 32), dlogits;
+  for (float& v : x.span()) v = float(rng.normal());
+  std::vector<std::size_t> y(batch);
+  for (auto& label : y) label = std::size_t(rng.uniform_index(10));
+  nn::CrossEntropyLoss loss;
+  for (auto _ : state) {
+    model.zero_grads();
+    const core::Matrix& logits = model.forward(x);
+    loss.compute(logits, y, dlogits);
+    model.backward(dlogits);
+    benchmark::DoNotOptimize(model.get_grads().data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(batch));
+}
+BENCHMARK(BM_MlpForwardBackward)->Arg(10)->Arg(50)->Arg(256);
+
+void BM_MomentumBlend(benchmark::State& state) {
+  const std::size_t dim = std::size_t(state.range(0));
+  core::ParamVector g(dim, 0.5f), m(dim, 0.1f);
+  for (auto _ : state) {
+    core::ParamVector v = core::pv::blend(0.1f, g, 0.9f, m);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * int64_t(dim * 4));
+}
+BENCHMARK(BM_MomentumBlend)->Arg(4717)->Arg(100000);
+
+void BM_DirichletPartition(benchmark::State& state) {
+  auto spec = data::synthetic_cifar10();
+  spec.train_per_class = 200;
+  const auto tt = data::generate(spec, 3);
+  std::vector<std::size_t> subset(tt.train.size());
+  for (std::size_t i = 0; i < subset.size(); ++i) subset[i] = i;
+  for (auto _ : state) {
+    auto part = data::partition_equal_quantity(tt.train, subset, 50, 0.1,
+                                               std::uint64_t(state.iterations()));
+    benchmark::DoNotOptimize(part.client_indices.data());
+  }
+}
+BENCHMARK(BM_DirichletPartition);
+
+void BM_RlweEncrypt(benchmark::State& state) {
+  const crypto::RlweContext ctx;
+  core::Rng rng(4);
+  const auto sk = ctx.generate_secret_key(rng);
+  const auto pk = ctx.generate_public_key(sk, rng);
+  const std::vector<std::uint64_t> counts(100, 321);
+  for (auto _ : state) {
+    auto ct = ctx.encrypt(pk, counts, rng);
+    benchmark::DoNotOptimize(ct.c0.data());
+  }
+}
+BENCHMARK(BM_RlweEncrypt);
+
+void BM_RlweAdd(benchmark::State& state) {
+  const crypto::RlweContext ctx;
+  core::Rng rng(5);
+  const auto sk = ctx.generate_secret_key(rng);
+  const auto pk = ctx.generate_public_key(sk, rng);
+  const auto a = ctx.encrypt(pk, std::vector<std::uint64_t>{1, 2, 3}, rng);
+  const auto b = ctx.encrypt(pk, std::vector<std::uint64_t>{4, 5, 6}, rng);
+  for (auto _ : state) {
+    auto sum = ctx.add(a, b);
+    benchmark::DoNotOptimize(sum.c0.data());
+  }
+}
+BENCHMARK(BM_RlweAdd);
+
+void BM_RlweDecrypt(benchmark::State& state) {
+  const crypto::RlweContext ctx;
+  core::Rng rng(6);
+  const auto sk = ctx.generate_secret_key(rng);
+  const auto pk = ctx.generate_public_key(sk, rng);
+  const auto ct = ctx.encrypt(pk, std::vector<std::uint64_t>(100, 7), rng);
+  for (auto _ : state) {
+    auto out = ctx.decrypt(sk, ct, 100);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_RlweDecrypt);
+
+}  // namespace
+
+BENCHMARK_MAIN();

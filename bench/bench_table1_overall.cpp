@@ -1,0 +1,51 @@
+/// Table 1: overall accuracy comparison — all five dataset analogs x
+/// IF in {1, 0.5, 0.1, 0.05, 0.01} x beta in {0.6, 0.1} x the seven methods
+/// (FedAvg, BalanceFL, FedCM, FedCM+Focal, FedCM+BalanceLoss,
+/// FedCM+BalanceSampler, FedWCM). At default scale the two many-class
+/// analogs run a reduced IF grid (printed rows say which).
+#include "common.hpp"
+
+using namespace fedwcm;
+
+int main() {
+  const auto scale = core::bench_scale_from_env();
+  bench::print_banner("Table 1 — overall accuracy evaluation",
+                      "Table 1 (5 datasets x 5 IF x 2 beta x 7 methods)", scale);
+
+  const auto methods = fl::table1_methods();
+  std::vector<std::string> header{"dataset", "beta", "IF"};
+  for (const auto& m : methods) header.push_back(m.label);
+  core::TablePrinter table(std::move(header));
+
+  const auto seeds = bench::seeds_for(scale);
+  for (const auto& dataset : data::all_paper_specs()) {
+    const bool many_classes = dataset.num_classes > 10;
+    std::vector<double> if_grid{1.0, 0.5, 0.1, 0.05, 0.01};
+    if (many_classes && scale != core::BenchScale::kPaper)
+      if_grid = {1.0, 0.1};  // reduced grid for the 50/64-class analogs
+    if (scale == core::BenchScale::kSmoke) if_grid = {1.0, 0.1};
+
+    for (double beta : {0.6, 0.1}) {
+      for (double imbalance : if_grid) {
+        std::vector<std::string> row{dataset.name, core::TablePrinter::fmt(beta, 1),
+                                     core::TablePrinter::fmt(imbalance, 2)};
+        for (const auto& method : methods) {
+          bench::ExperimentSpec spec = bench::default_spec(scale, dataset);
+          spec.imbalance = imbalance;
+          spec.beta = beta;
+          row.push_back(core::TablePrinter::fmt(
+              bench::mean_accuracy(spec, method, seeds)));
+        }
+        table.add_row(std::move(row));
+        // Stream rows as they finish so long runs show progress.
+        std::cout << "." << std::flush;
+      }
+    }
+  }
+  std::cout << "\n\n";
+  table.print(std::cout);
+  std::cout << "\nShape check (paper): FedWCM tops or matches every long-tailed\n"
+               "row; FedCM+rebalancing variants do not recover FedCM's gap at\n"
+               "low IF; BalanceFL sits between FedAvg and FedWCM.\n";
+  return 0;
+}

@@ -1,0 +1,36 @@
+/// Table 3: scalability in the client sampling rate — FedAvg / FedCM /
+/// FedWCM at participation in {5, 10, 20, 40, 80}% (beta = 0.6, IF = 0.1).
+#include "common.hpp"
+
+using namespace fedwcm;
+
+int main() {
+  const auto scale = core::bench_scale_from_env();
+  bench::print_banner("Table 3 — client sampling rate",
+                      "Table 3 (sampling rate in {5,10,20,40,80}%)", scale);
+
+  const auto methods = fl::core_trio();
+  std::vector<std::string> header{"sampling_rate"};
+  for (const auto& m : methods) header.push_back(m.label);
+  core::TablePrinter table(std::move(header));
+
+  const auto seeds = bench::seeds_for(scale);
+  for (double rate : {0.05, 0.10, 0.20, 0.40, 0.80}) {
+    std::vector<std::string> row{core::TablePrinter::fmt(rate * 100, 0) + "%"};
+    for (const auto& method : methods) {
+      bench::ExperimentSpec spec = bench::cifar10_spec(scale);
+      spec.imbalance = 0.1;
+      spec.beta = 0.6;
+      spec.config.participation = rate;
+      row.push_back(
+          core::TablePrinter::fmt(bench::mean_accuracy(spec, method, seeds)));
+    }
+    table.add_row(std::move(row));
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\n";
+  table.print(std::cout);
+  std::cout << "\nShape check (paper): FedWCM leads at every rate and degrades\n"
+               "most gently as participation changes.\n";
+  return 0;
+}

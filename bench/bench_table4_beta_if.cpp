@@ -1,0 +1,97 @@
+/// Table 4: FedAvg / FedCM / FedWCM across beta in {0.1, 0.6} and
+/// IF in {1, 0.4, 0.1, 0.06, 0.04, 0.01}, plus the DESIGN.md §5 ablations
+/// (fixed alpha, uniform weights, absolute-score mode) on the harshest cell.
+#include "fedwcm/fl/algorithms/fedwcm.hpp"
+
+#include "common.hpp"
+
+using namespace fedwcm;
+
+namespace {
+
+double run_fedwcm_variant(const bench::ExperimentSpec& spec,
+                          const fl::FedWcmOptions& options, std::uint64_t seed) {
+  const data::TrainTest tt = data::generate(spec.dataset, spec.data_seed);
+  const auto subset =
+      data::longtail_subsample(tt.train, spec.imbalance, spec.data_seed);
+  const auto part = data::partition_equal_quantity(
+      tt.train, subset, spec.config.num_clients, spec.beta, spec.data_seed);
+  fl::FlConfig cfg = spec.config;
+  cfg.seed = seed;
+  auto factory = nn::mlp_factory(
+      spec.dataset.input_dim,
+      {std::max<std::size_t>(32, spec.dataset.num_classes * 2), 32},
+      spec.dataset.num_classes);
+  fl::Simulation sim(cfg, tt.train, tt.test, part, factory,
+                     fl::cross_entropy_loss_factory());
+  fl::FedWCM alg(options);
+  return double(sim.run(alg).tail_mean_accuracy);
+}
+
+}  // namespace
+
+int main() {
+  const auto scale = core::bench_scale_from_env();
+  bench::print_banner("Table 4 — beta x IF grid + FedWCM ablations",
+                      "Table 4 (beta in {0.1, 0.6}, IF grid) + §5 ablations",
+                      scale);
+
+  const auto methods = fl::core_trio();
+  std::vector<double> if_grid{1.0, 0.4, 0.1, 0.06, 0.04, 0.01};
+  if (scale == core::BenchScale::kSmoke) if_grid = {1.0, 0.1};
+
+  std::vector<std::string> header{"beta", "IF"};
+  for (const auto& m : methods) header.push_back(m.label);
+  core::TablePrinter table(std::move(header));
+
+  const auto seeds = bench::seeds_for(scale);
+  for (double beta : {0.1, 0.6}) {
+    for (double imbalance : if_grid) {
+      std::vector<std::string> row{core::TablePrinter::fmt(beta, 1),
+                                   core::TablePrinter::fmt(imbalance, 2)};
+      for (const auto& method : methods) {
+        bench::ExperimentSpec spec = bench::cifar10_spec(scale);
+        spec.imbalance = imbalance;
+        spec.beta = beta;
+        row.push_back(
+            core::TablePrinter::fmt(bench::mean_accuracy(spec, method, seeds)));
+      }
+      table.add_row(std::move(row));
+      std::cout << "." << std::flush;
+    }
+  }
+  std::cout << "\n\n";
+  table.print(std::cout);
+
+  // Ablations at the harshest grid cell (beta = 0.1, smallest IF).
+  bench::ExperimentSpec harsh = bench::cifar10_spec(scale);
+  harsh.beta = 0.1;
+  harsh.imbalance = if_grid.back();
+  core::TablePrinter ablation({"FedWCM variant", "accuracy"});
+  {
+    fl::FedWcmOptions full;
+    ablation.add_row({"full (adaptive alpha + score weights)",
+                      core::TablePrinter::fmt(run_fedwcm_variant(harsh, full, 1))});
+    fl::FedWcmOptions fixed;
+    fixed.adaptive_alpha = false;
+    ablation.add_row({"fixed alpha = 0.1",
+                      core::TablePrinter::fmt(run_fedwcm_variant(harsh, fixed, 1))});
+    fl::FedWcmOptions uniform;
+    uniform.use_score_weights = false;
+    ablation.add_row(
+        {"uniform aggregation weights",
+         core::TablePrinter::fmt(run_fedwcm_variant(harsh, uniform, 1))});
+    fl::FedWcmOptions absolute;
+    absolute.score_mode = fl::ScoreMode::kAbsolute;
+    ablation.add_row(
+        {"literal |target-global| scores (Eq. 3 as printed)",
+         core::TablePrinter::fmt(run_fedwcm_variant(harsh, absolute, 1))});
+  }
+  std::cout << "\nDesign-choice ablations at beta = 0.1, IF = "
+            << core::TablePrinter::fmt(if_grid.back(), 2) << ":\n";
+  ablation.print(std::cout);
+  std::cout << "\nShape check (paper): FedWCM tops every cell; its margin grows\n"
+               "as IF shrinks; scarcity scoring beats the literal absolute\n"
+               "reading (see DESIGN.md on the Eq. 3 sign).\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+/// Appendix C (Table 6): homomorphic-encryption overhead of the §5.5
+/// distribution-gathering protocol — plaintext vs ciphertext sizes across
+/// class counts {10, 20, 50, 100}, plus per-client encryption time and the
+/// total upload for the paper's 100-client example.
+#include "fedwcm/crypto/protocol.hpp"
+
+#include "common.hpp"
+
+using namespace fedwcm;
+
+int main() {
+  const auto scale = core::bench_scale_from_env();
+  bench::print_banner("Table 6 — HE protocol overhead",
+                      "Table 6 + Appendix C (BFV-style RLWE, from scratch)",
+                      scale);
+
+  const crypto::RlweContext ctx;  // default: n = 1024, q = 2^50, t = 2^26
+  std::cout << "Ring: n = " << ctx.params().n << ", q = 2^50, t = 2^26, "
+            << "noise budget supports " << ctx.params().max_additions()
+            << " ciphertext additions\n\n";
+
+  core::TablePrinter table({"classes", "plaintext_bytes", "ciphertext_bytes",
+                            "encrypt_ms_per_client", "aggregate_ms",
+                            "decrypt_ms"});
+  const std::size_t clients = scale == core::BenchScale::kSmoke ? 10 : 100;
+  for (std::size_t classes : {10u, 20u, 50u, 100u}) {
+    std::vector<std::vector<std::uint64_t>> counts(
+        clients, std::vector<std::uint64_t>(classes));
+    core::Rng rng(classes);
+    for (auto& row : counts)
+      for (auto& v : row) v = rng.uniform_index(500);
+
+    crypto::ProtocolStats stats;
+    const auto global = crypto::gather_global_distribution(ctx, counts, 7, &stats);
+
+    // Verify correctness before reporting overhead numbers.
+    for (std::size_t c = 0; c < classes; ++c) {
+      std::uint64_t expect = 0;
+      for (const auto& row : counts) expect += row[c];
+      if (global[c] != expect) {
+        std::cerr << "protocol mismatch at class " << c << "\n";
+        return 1;
+      }
+    }
+
+    table.add_row({std::to_string(classes),
+                   std::to_string(stats.plaintext_bytes_per_client),
+                   std::to_string(stats.ciphertext_bytes_per_client),
+                   core::TablePrinter::fmt(stats.encrypt_seconds_per_client * 1e3, 3),
+                   core::TablePrinter::fmt(stats.aggregate_seconds * 1e3, 3),
+                   core::TablePrinter::fmt(stats.decrypt_seconds * 1e3, 3)});
+  }
+  table.print(std::cout);
+
+  // The paper's 100-client / 10-class worked example.
+  {
+    std::vector<std::vector<std::uint64_t>> counts(
+        100, std::vector<std::uint64_t>(10, 50));
+    crypto::ProtocolStats stats;
+    crypto::gather_global_distribution(ctx, counts, 9, &stats);
+    std::cout << "\n100 clients x 10 classes: total upload = "
+              << core::TablePrinter::fmt(double(stats.total_upload_bytes) / 1e6, 2)
+              << " MB, encryption = "
+              << core::TablePrinter::fmt(stats.encrypt_seconds_per_client * 1e3, 3)
+              << " ms/client (paper: 13.05 MB, 1.7 ms with TenSEAL/BFV)\n";
+  }
+  std::cout << "\nShape check (paper): plaintext grows linearly with the class\n"
+               "count while the ciphertext stays constant; overhead is\n"
+               "negligible next to model transmission.\n";
+  return 0;
+}

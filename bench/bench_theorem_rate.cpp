@@ -1,0 +1,85 @@
+/// §6 / Theorem 6.1: empirical convergence-rate check. The theorem bounds
+/// (1/R) sum_r ||grad f(x_r)||^2 <~ sqrt(L Delta sigma^2 / (N K R)) + L Delta / R,
+/// i.e. the running-mean squared gradient norm should decay like 1/sqrt(R)
+/// once R dominates. We run FedWCM (and FedCM for comparison) over a grid of
+/// horizons R, measure the LHS with the exact full-batch gradient, and fit
+/// c / sqrt(R) — the paper's rate equivalence claim is that FedWCM matches
+/// FedCM/FedAvg-M's rate.
+#include <cmath>
+
+#include "fedwcm/fl/diagnostics.hpp"
+
+#include "common.hpp"
+
+using namespace fedwcm;
+
+namespace {
+
+double mean_grad_norm(const bench::ExperimentSpec& base, const std::string& method,
+                      std::size_t rounds) {
+  bench::ExperimentSpec spec = base;
+  spec.config.rounds = rounds;
+  spec.config.eval_every = std::max<std::size_t>(1, rounds / 16);
+
+  const data::TrainTest tt = data::generate(spec.dataset, spec.data_seed);
+  const auto subset =
+      data::longtail_subsample(tt.train, spec.imbalance, spec.data_seed);
+  const auto part = data::partition_equal_quantity(
+      tt.train, subset, spec.config.num_clients, spec.beta, spec.data_seed);
+  auto factory = nn::mlp_factory(spec.dataset.input_dim, {32, 32},
+                                 spec.dataset.num_classes);
+  fl::FlConfig cfg = spec.config;
+  cfg.seed = 1;
+  fl::Simulation sim(cfg, tt.train, tt.test, part, factory,
+                     fl::cross_entropy_loss_factory());
+  sim.set_train_probe(
+      [&subset](nn::Sequential& model, const data::Dataset& train) {
+        return fl::global_grad_norm_sq(model, train, subset,
+                                       model.get_params());
+      });
+  auto alg = fl::make_algorithm(method);
+  const auto res = sim.run(*alg);
+  double mean = 0.0;
+  for (const auto& rec : res.history) mean += double(rec.train_metric);
+  return mean / double(res.history.size());
+}
+
+}  // namespace
+
+int main() {
+  const auto scale = core::bench_scale_from_env();
+  bench::print_banner("Theorem 6.1 — empirical convergence rate",
+                      "§6 (rate ~ sqrt(1/R) + 1/R, FedWCM == FedCM rate)", scale);
+
+  std::vector<std::size_t> horizons{15, 30, 60, 120};
+  if (scale == core::BenchScale::kSmoke) horizons = {10, 20};
+  if (scale == core::BenchScale::kPaper) horizons = {30, 60, 120, 240, 480};
+
+  bench::ExperimentSpec base = bench::cifar10_spec(scale);
+  base.imbalance = 0.1;
+  base.beta = 0.1;
+
+  for (const char* method : {"fedwcm", "fedcm"}) {
+    core::TablePrinter table({"R", "mean ||grad f||^2", "fit c/sqrt(R)"});
+    std::vector<double> rs, values;
+    for (std::size_t rounds : horizons) {
+      const double v = mean_grad_norm(base, method, rounds);
+      rs.push_back(double(rounds));
+      values.push_back(v);
+      std::cout << "." << std::flush;
+    }
+    const auto fit = fl::fit_inverse_sqrt(rs, values);
+    for (std::size_t i = 0; i < rs.size(); ++i)
+      table.add_row({std::to_string(std::size_t(rs[i])),
+                     core::TablePrinter::fmt(values[i], 5),
+                     core::TablePrinter::fmt(fit.c / std::sqrt(rs[i]), 5)});
+    std::cout << "\n\n" << method << " (fit c = "
+              << core::TablePrinter::fmt(fit.c, 4) << ", max relative residual "
+              << core::TablePrinter::fmt(fit.max_rel_residual, 3) << "):\n";
+    table.print(std::cout);
+  }
+  std::cout << "\nShape check (paper): both methods' mean squared gradient norm\n"
+               "decays with the horizon consistent with the sqrt(1/R) + 1/R\n"
+               "bound; FedWCM's adaptive alpha/weights do not degrade the rate.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+#pragma once
+/// \file common.hpp
+/// Shared experiment harness for the paper-reproduction benches.
+///
+/// Every bench binary regenerates one table or figure from the paper. The
+/// harness centralizes: the scaled-down "paper defaults" (§7.1) adapted to a
+/// single CPU core, dataset/partition construction, method dispatch (the
+/// paper's table columns = algorithm + loss/sampler plug-ins), and printing.
+/// All binaries honour FEDWCM_BENCH_SCALE (smoke | default | paper).
+
+#include <iostream>
+#include <string>
+
+#include "fedwcm/core/env.hpp"
+#include "fedwcm/core/table.hpp"
+#include "fedwcm/data/longtail.hpp"
+#include "fedwcm/data/partition.hpp"
+#include "fedwcm/data/synthetic.hpp"
+#include "fedwcm/fl/registry.hpp"
+#include "fedwcm/fl/simulation.hpp"
+
+namespace fedwcm::bench {
+
+using core::BenchScale;
+
+/// One experiment setting: dataset analog + imbalance + partition + FL knobs.
+struct ExperimentSpec {
+  data::SyntheticSpec dataset;
+  double imbalance = 0.1;  ///< IF.
+  double beta = 0.1;       ///< Dirichlet concentration.
+  bool fedgrab_partition = false;
+  fl::FlConfig config;
+  std::uint64_t data_seed = 42;
+};
+
+/// The scaled paper defaults (§7.1) for a given bench scale. Number of
+/// rounds/clients shrink at smoke scale and expand toward the paper's
+/// 100-client/500-round setup at paper scale.
+ExperimentSpec default_spec(BenchScale scale, const data::SyntheticSpec& dataset);
+
+/// Convenience: default CIFAR-10-analog spec (the paper's primary dataset).
+ExperimentSpec cifar10_spec(BenchScale scale);
+
+/// Runs one method (a paper table column) on a spec; deterministic in
+/// (spec, method, seed).
+fl::SimulationResult run_method(const ExperimentSpec& spec,
+                                const fl::MethodSpec& method, std::uint64_t seed);
+
+/// Mean tail accuracy over `seeds` runs (the paper averages 3 seeds).
+double mean_accuracy(const ExperimentSpec& spec, const fl::MethodSpec& method,
+                     const std::vector<std::uint64_t>& seeds);
+
+/// Seeds per scale: 1 at smoke/default, 3 at paper scale (§7.1 protocol).
+std::vector<std::uint64_t> seeds_for(BenchScale scale);
+
+/// Standard bench banner.
+void print_banner(const std::string& experiment, const std::string& paper_ref,
+                  BenchScale scale);
+
+}  // namespace fedwcm::bench

@@ -1,0 +1,76 @@
+/// Convolutional backbone example — the paper's ResNet path.
+///
+/// The paper trains ResNet-18/34 on image datasets; our conv substitute is
+/// `make_mini_convnet` (im2col Conv2d + a residual block + pooling). This
+/// example runs the image-shaped synthetic workload through both the conv
+/// net and an MLP under FedWCM and reports their accuracy/runtime trade-off,
+/// demonstrating that the federated layer is model-agnostic (any
+/// `nn::Sequential` works).
+#include <chrono>
+#include <iostream>
+
+#include "fedwcm/data/longtail.hpp"
+#include "fedwcm/data/partition.hpp"
+#include "fedwcm/data/synthetic.hpp"
+#include "fedwcm/fl/registry.hpp"
+#include "fedwcm/fl/simulation.hpp"
+
+using namespace fedwcm;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  // Image-shaped workload: 1x8x8 synthetic "images", 10 classes, IF = 0.1.
+  const data::SyntheticSpec spec = data::synthetic_tiny_images();
+  const data::TrainTest tt = data::generate(spec, 23);
+  const auto subset = data::longtail_subsample(tt.train, 0.1, 23);
+
+  fl::FlConfig cfg;
+  cfg.num_clients = 12;
+  cfg.participation = 0.25;
+  cfg.rounds = 40;
+  cfg.local_epochs = 4;
+  cfg.batch_size = 16;
+  cfg.seed = 2;
+  cfg.eval_every = 8;
+  const auto partition =
+      data::partition_equal_quantity(tt.train, subset, cfg.num_clients, 0.1, 23);
+
+  struct Backbone {
+    std::string label;
+    nn::ModelFactory factory;
+  };
+  const std::vector<Backbone> backbones{
+      {"mini_convnet(residual)",
+       nn::mini_convnet_factory(spec.channels, spec.height, spec.width,
+                                spec.num_classes, /*conv_width=*/6)},
+      {"mlp(64,32)", nn::mlp_factory(spec.input_dim, {64, 32}, spec.num_classes)},
+  };
+
+  std::cout << "FedWCM on " << spec.name << " (" << spec.channels << "x"
+            << spec.height << "x" << spec.width << " inputs, IF = 0.1)\n\n";
+  for (const auto& backbone : backbones) {
+    fl::Simulation sim(cfg, tt.train, tt.test, partition, backbone.factory,
+                       fl::cross_entropy_loss_factory());
+    auto alg = fl::make_algorithm("fedwcm");
+    const auto t0 = std::chrono::steady_clock::now();
+    const fl::SimulationResult res = sim.run(*alg);
+    const double elapsed = seconds_since(t0);
+    std::cout << backbone.label << ":\n"
+              << "  parameters:     " << backbone.factory().param_count() << "\n"
+              << "  final accuracy: " << res.final_accuracy << " (best "
+              << res.best_accuracy << ")\n"
+              << "  wall clock:     " << elapsed << " s for " << cfg.rounds
+              << " rounds\n\n";
+  }
+  std::cout << "Both backbones plug into the identical federated pipeline —\n"
+               "the algorithm layer only sees flat parameter vectors.\n";
+  return 0;
+}

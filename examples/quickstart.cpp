@@ -1,0 +1,66 @@
+/// Quickstart: the minimal end-to-end use of the public API.
+///
+///   1. Generate a synthetic long-tailed dataset (CIFAR-10 analog, IF = 0.1).
+///   2. Partition it across clients with Dirichlet(0.1) skew (§3.2).
+///   3. Run FedWCM for a few dozen rounds.
+///   4. Print the accuracy curve and save the global model.
+///
+/// Build & run:  ./examples/quickstart [rounds]
+#include <cstdlib>
+#include <iostream>
+
+#include "fedwcm/core/serialize.hpp"
+#include "fedwcm/data/longtail.hpp"
+#include "fedwcm/data/partition.hpp"
+#include "fedwcm/data/synthetic.hpp"
+#include "fedwcm/fl/registry.hpp"
+#include "fedwcm/fl/simulation.hpp"
+
+using namespace fedwcm;
+
+int main(int argc, char** argv) {
+  const std::size_t rounds = argc > 1 ? std::size_t(std::atoi(argv[1])) : 40;
+
+  // 1. Data: balanced pool -> long-tail subsample (imbalance factor 0.1).
+  data::SyntheticSpec spec = data::synthetic_cifar10();
+  spec.class_separation = 4.5f;
+  spec.noise = 0.9f;
+  const data::TrainTest tt = data::generate(spec, /*seed=*/42);
+  const auto subset = data::longtail_subsample(tt.train, /*IF=*/0.1, 42);
+  std::cout << "Training pool: " << subset.size() << " samples over "
+            << spec.num_classes << " classes (long-tailed), test: "
+            << tt.test.size() << " samples (balanced)\n";
+
+  // 2. Clients: 30 clients, Dirichlet(beta = 0.1) class skew, equal sizes.
+  fl::FlConfig cfg;
+  cfg.num_clients = 30;
+  cfg.participation = 0.1;
+  cfg.rounds = rounds;
+  cfg.local_epochs = 5;
+  cfg.batch_size = 10;
+  cfg.seed = 1;
+  cfg.eval_every = std::max<std::size_t>(1, rounds / 10);
+  const auto partition = data::partition_equal_quantity(tt.train, subset,
+                                                        cfg.num_clients, 0.1, 42);
+
+  // 3. Model + algorithm: a small MLP trained with FedWCM.
+  auto factory = nn::mlp_factory(spec.input_dim, {64, 32}, spec.num_classes);
+  fl::Simulation sim(cfg, tt.train, tt.test, partition, factory,
+                     fl::cross_entropy_loss_factory());
+  auto algorithm = fl::make_algorithm("fedwcm");
+  const fl::SimulationResult result = sim.run(*algorithm);
+
+  // 4. Report + checkpoint.
+  std::cout << "\nround  test_accuracy  alpha\n";
+  for (const auto& rec : result.history)
+    std::cout << rec.round << "\t" << rec.test_accuracy << "\t" << rec.alpha
+              << "\n";
+  std::cout << "\nfinal accuracy: " << result.final_accuracy
+            << " (best " << result.best_accuracy << ")\n";
+
+  const std::string ckpt = "fedwcm_quickstart_model.bin";
+  core::save_params(ckpt, result.final_params);
+  std::cout << "global model saved to " << ckpt << " ("
+            << result.final_params.size() << " parameters)\n";
+  return 0;
+}

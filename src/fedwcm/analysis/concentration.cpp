@@ -1,0 +1,84 @@
+#include "fedwcm/analysis/concentration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedwcm::analysis {
+
+ConcentrationReport neuron_concentration(nn::Sequential& model,
+                                         const data::Dataset& probe,
+                                         std::size_t max_per_class) {
+  ConcentrationReport report;
+  const std::size_t C = probe.num_classes;
+  FEDWCM_CHECK(C > 0 && probe.size() > 0, "neuron_concentration: empty probe");
+
+  // Balanced probe subset: up to max_per_class indices per class.
+  std::vector<std::size_t> indices;
+  std::vector<std::size_t> taken(C, 0);
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    const std::size_t c = probe.labels[i];
+    if (taken[c] < max_per_class) {
+      indices.push_back(i);
+      ++taken[c];
+    }
+  }
+
+  core::Matrix x;
+  std::vector<std::size_t> y;
+  data::gather_batch(probe, indices, x, y);
+  model.forward(x);
+  const auto& acts = model.activations();
+
+  // Identify activation layers by name; acts[i+1] is the output of layer i.
+  for (std::size_t li = 0; li < model.layer_count(); ++li) {
+    const std::string name = model.layer(li).name();
+    if (name != "ReLU" && name != "LeakyReLU" && name != "Tanh") continue;
+    const core::Matrix& a = acts[li + 1];
+    const std::size_t neurons = a.cols();
+
+    // Class-conditional mean |activation| per neuron.
+    core::Matrix mean_act(C, neurons, 0.0f);
+    std::vector<std::size_t> per_class(C, 0);
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      const std::size_t c = y[r];
+      ++per_class[c];
+      const float* row = a.data() + r * neurons;
+      float* dst = mean_act.data() + c * neurons;
+      for (std::size_t nidx = 0; nidx < neurons; ++nidx)
+        dst[nidx] += std::abs(row[nidx]);
+    }
+    for (std::size_t c = 0; c < C; ++c) {
+      if (per_class[c] == 0) continue;
+      const float inv = 1.0f / float(per_class[c]);
+      float* dst = mean_act.data() + c * neurons;
+      for (std::size_t nidx = 0; nidx < neurons; ++nidx) dst[nidx] *= inv;
+    }
+
+    double layer_conc = 0.0;
+    std::size_t active = 0;
+    for (std::size_t nidx = 0; nidx < neurons; ++nidx) {
+      float mx = 0.0f, sum = 0.0f;
+      for (std::size_t c = 0; c < C; ++c) {
+        const float v = mean_act(c, nidx);
+        mx = std::max(mx, v);
+        sum += v;
+      }
+      if (sum <= 1e-12f) continue;  // dead neuron: skip
+      layer_conc += double(mx / sum);
+      ++active;
+    }
+    const float conc =
+        active > 0 ? float(layer_conc / double(active)) : 1.0f / float(C);
+    report.per_layer.push_back(conc);
+    report.layer_names.push_back(name + "_" + std::to_string(li));
+  }
+
+  if (!report.per_layer.empty()) {
+    double m = 0.0;
+    for (float v : report.per_layer) m += double(v);
+    report.mean = float(m / double(report.per_layer.size()));
+  }
+  return report;
+}
+
+}  // namespace fedwcm::analysis

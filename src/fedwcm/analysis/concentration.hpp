@@ -1,0 +1,41 @@
+#pragma once
+/// \file concentration.hpp
+/// Neuron-concentration analysis (§4, Appendix B).
+///
+/// The paper tracks how strongly each neuron's activation concentrates on a
+/// single class — the observable of Minority Collapse (Fang et al.): under
+/// momentum-amplified majority gradients, head-class neurons annex the
+/// representational space and the per-neuron class-conditional activation
+/// profile sharpens abruptly.
+///
+/// Operationalization (documented here because the paper describes the metric
+/// only qualitatively): over a class-balanced probe set, compute for every
+/// post-activation neuron n the class-conditional mean activation
+/// m_{n,c} >= 0 (ReLU outputs). The neuron's concentration is
+///     conc_n = max_c m_{n,c} / (sum_c m_{n,c} + eps)  in [1/C, 1],
+/// a layer's concentration is the mean over its neurons, and the model's
+/// "average neuron concentration" (Figs. 4/13) is the mean over layers.
+
+#include <string>
+#include <vector>
+
+#include "fedwcm/data/dataset.hpp"
+#include "fedwcm/nn/sequential.hpp"
+
+namespace fedwcm::analysis {
+
+struct ConcentrationReport {
+  /// One entry per activation layer, in network order.
+  std::vector<float> per_layer;
+  std::vector<std::string> layer_names;
+  float mean = 0.0f;
+};
+
+/// Runs `probe` through `model` (which must already hold the parameters of
+/// interest) and measures activation concentration at every ReLU/LeakyReLU/
+/// Tanh output. `max_per_class` caps the probe subset per class for speed.
+ConcentrationReport neuron_concentration(nn::Sequential& model,
+                                         const data::Dataset& probe,
+                                         std::size_t max_per_class = 64);
+
+}  // namespace fedwcm::analysis

@@ -1,0 +1,35 @@
+#include "fedwcm/analysis/curves.hpp"
+
+namespace fedwcm::analysis {
+
+void add_accuracy_series(core::SeriesPrinter& out, const std::string& label,
+                         const fl::SimulationResult& result) {
+  for (const auto& rec : result.history)
+    out.add_point(label, double(rec.round), double(rec.test_accuracy));
+}
+
+void add_concentration_series(core::SeriesPrinter& out, const std::string& label,
+                              const fl::SimulationResult& result) {
+  for (const auto& rec : result.history)
+    out.add_point(label, double(rec.round), double(rec.concentration));
+}
+
+void add_loss_series(core::SeriesPrinter& out, const std::string& label,
+                     const fl::SimulationResult& result) {
+  for (const auto& rec : result.history)
+    out.add_point(label, double(rec.round), double(rec.train_loss));
+}
+
+void add_alpha_series(core::SeriesPrinter& out, const std::string& label,
+                      const fl::SimulationResult& result) {
+  for (const auto& rec : result.history)
+    out.add_point(label, double(rec.round), double(rec.alpha));
+}
+
+std::size_t rounds_to_accuracy(const fl::SimulationResult& result, float threshold) {
+  for (const auto& rec : result.history)
+    if (rec.test_accuracy >= threshold) return rec.round;
+  return SIZE_MAX;
+}
+
+}  // namespace fedwcm::analysis

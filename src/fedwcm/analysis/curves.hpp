@@ -1,0 +1,34 @@
+#pragma once
+/// \file curves.hpp
+/// Helpers that turn SimulationResult histories into the series / rows the
+/// paper's figures report.
+
+#include <string>
+
+#include "fedwcm/core/table.hpp"
+#include "fedwcm/fl/types.hpp"
+
+namespace fedwcm::analysis {
+
+/// Appends (round, test accuracy) points of `result` to `out` under `label`.
+void add_accuracy_series(core::SeriesPrinter& out, const std::string& label,
+                         const fl::SimulationResult& result);
+
+/// Appends (round, concentration) points (Appendix B figures).
+void add_concentration_series(core::SeriesPrinter& out, const std::string& label,
+                              const fl::SimulationResult& result);
+
+/// Appends (round, train loss) points.
+void add_loss_series(core::SeriesPrinter& out, const std::string& label,
+                     const fl::SimulationResult& result);
+
+/// Appends (round, alpha) points — the adaptive momentum trajectory.
+void add_alpha_series(core::SeriesPrinter& out, const std::string& label,
+                      const fl::SimulationResult& result);
+
+/// First evaluated round whose test accuracy reaches `threshold`; returns
+/// SIZE_MAX when never reached. Used for the "rounds to 60%" comparisons of
+/// §7.3.
+std::size_t rounds_to_accuracy(const fl::SimulationResult& result, float threshold);
+
+}  // namespace fedwcm::analysis

@@ -1,0 +1,52 @@
+#include "fedwcm/analysis/report.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace fedwcm::analysis {
+
+namespace {
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("report: cannot open " + path);
+  return os;
+}
+
+}  // namespace
+
+void write_history_csv(const std::string& path,
+                       const fl::SimulationResult& result) {
+  std::ofstream os = open_or_throw(path);
+  os << "round,test_accuracy,train_loss,alpha,momentum_norm,concentration\n";
+  for (const auto& rec : result.history)
+    os << rec.round << "," << rec.test_accuracy << "," << rec.train_loss << ","
+       << rec.alpha << "," << rec.momentum_norm << "," << rec.concentration
+       << "\n";
+  if (!os) throw std::runtime_error("report: write failed for " + path);
+}
+
+void write_history_jsonl(const std::string& path,
+                         const fl::SimulationResult& result) {
+  std::ofstream os = open_or_throw(path);
+  for (const auto& rec : result.history) {
+    os << "{\"algorithm\":\"" << result.algorithm << "\",\"round\":" << rec.round
+       << ",\"test_accuracy\":" << rec.test_accuracy
+       << ",\"train_loss\":" << rec.train_loss << ",\"alpha\":" << rec.alpha
+       << ",\"momentum_norm\":" << rec.momentum_norm
+       << ",\"concentration\":" << rec.concentration << "}\n";
+  }
+  os << "{\"algorithm\":\"" << result.algorithm
+     << "\",\"summary\":true,\"final_accuracy\":" << result.final_accuracy
+     << ",\"best_accuracy\":" << result.best_accuracy
+     << ",\"tail_mean_accuracy\":" << result.tail_mean_accuracy
+     << ",\"per_class_accuracy\":[";
+  for (std::size_t c = 0; c < result.per_class_accuracy.size(); ++c) {
+    if (c) os << ",";
+    os << result.per_class_accuracy[c];
+  }
+  os << "]}\n";
+  if (!os) throw std::runtime_error("report: write failed for " + path);
+}
+
+}  // namespace fedwcm::analysis

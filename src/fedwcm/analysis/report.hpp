@@ -1,0 +1,22 @@
+#pragma once
+/// \file report.hpp
+/// Experiment-artifact writers: persist SimulationResult histories as CSV or
+/// JSON-lines so external tooling (plots, notebooks) can consume bench runs.
+
+#include <string>
+
+#include "fedwcm/fl/types.hpp"
+
+namespace fedwcm::analysis {
+
+/// Writes one CSV row per evaluated round:
+/// round,test_accuracy,train_loss,alpha,momentum_norm,concentration.
+void write_history_csv(const std::string& path, const fl::SimulationResult& result);
+
+/// Writes one JSON object per line with the same fields plus the algorithm
+/// name; the final line carries the summary (final/best/tail accuracies and
+/// per-class accuracy vector).
+void write_history_jsonl(const std::string& path,
+                         const fl::SimulationResult& result);
+
+}  // namespace fedwcm::analysis

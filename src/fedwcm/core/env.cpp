@@ -1,0 +1,44 @@
+#include "fedwcm/core/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace fedwcm::core {
+
+BenchScale bench_scale_from_env() {
+  const char* raw = std::getenv("FEDWCM_BENCH_SCALE");
+  if (raw == nullptr) return BenchScale::kDefault;
+  std::string v(raw);
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return char(std::tolower(c)); });
+  if (v == "smoke") return BenchScale::kSmoke;
+  if (v == "paper") return BenchScale::kPaper;
+  return BenchScale::kDefault;
+}
+
+std::string to_string(BenchScale s) {
+  switch (s) {
+    case BenchScale::kSmoke:
+      return "smoke";
+    case BenchScale::kPaper:
+      return "paper";
+    case BenchScale::kDefault:
+      break;
+  }
+  return "default";
+}
+
+std::size_t scaled(BenchScale s, std::size_t n, std::size_t paper_multiplier) {
+  switch (s) {
+    case BenchScale::kSmoke:
+      return std::max<std::size_t>(1, n / 4);
+    case BenchScale::kPaper:
+      return n * paper_multiplier;
+    case BenchScale::kDefault:
+      break;
+  }
+  return n;
+}
+
+}  // namespace fedwcm::core

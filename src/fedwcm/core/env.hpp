@@ -1,0 +1,28 @@
+#pragma once
+/// \file env.hpp
+/// Experiment-scale selection.
+///
+/// Every bench binary honours the FEDWCM_BENCH_SCALE environment variable:
+///   smoke   — a few rounds / tiny models, CI-fast sanity pass
+///   default — the shipped scale, sized for a single CPU core (minutes total)
+///   paper   — the paper's round/client counts (hours; requires real compute)
+/// The scale multiplies rounds / clients / samples in each harness config.
+
+#include <cstddef>
+#include <string>
+
+namespace fedwcm::core {
+
+enum class BenchScale { kSmoke, kDefault, kPaper };
+
+/// Reads FEDWCM_BENCH_SCALE ("smoke" | "default" | "paper", case-insensitive);
+/// unknown or unset values map to kDefault.
+BenchScale bench_scale_from_env();
+
+std::string to_string(BenchScale s);
+
+/// Scales a baseline count by the bench scale: smoke -> max(1, n/4),
+/// default -> n, paper -> n * paper_multiplier.
+std::size_t scaled(BenchScale s, std::size_t n, std::size_t paper_multiplier = 8);
+
+}  // namespace fedwcm::core

@@ -1,0 +1,65 @@
+#include "fedwcm/core/param_vector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fedwcm/core/tensor.hpp"
+
+namespace fedwcm::core::pv {
+
+void axpy(float alpha, const ParamVector& x, ParamVector& y) {
+  FEDWCM_CHECK(x.size() == y.size(), "pv::axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(float alpha, ParamVector& x) {
+  for (float& v : x) v *= alpha;
+}
+
+ParamVector sub(const ParamVector& a, const ParamVector& b) {
+  FEDWCM_CHECK(a.size() == b.size(), "pv::sub: size mismatch");
+  ParamVector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+ParamVector add(const ParamVector& a, const ParamVector& b) {
+  FEDWCM_CHECK(a.size() == b.size(), "pv::add: size mismatch");
+  ParamVector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+ParamVector blend(float alpha, const ParamVector& a, float beta, const ParamVector& b) {
+  FEDWCM_CHECK(a.size() == b.size(), "pv::blend: size mismatch");
+  ParamVector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = alpha * a[i] + beta * b[i];
+  return out;
+}
+
+void zero(ParamVector& x) { std::fill(x.begin(), x.end(), 0.0f); }
+
+void accumulate(ParamVector& acc, float w, const ParamVector& x) {
+  if (acc.empty()) acc.assign(x.size(), 0.0f);
+  FEDWCM_CHECK(acc.size() == x.size(), "pv::accumulate: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) acc[i] += w * x[i];
+}
+
+float dot(const ParamVector& a, const ParamVector& b) {
+  return core::dot(std::span<const float>(a), std::span<const float>(b));
+}
+
+float l2_norm(const ParamVector& x) { return core::l2_norm(std::span<const float>(x)); }
+
+float l2_norm_sq(const ParamVector& x) {
+  return core::l2_norm_sq(std::span<const float>(x));
+}
+
+float cosine(const ParamVector& a, const ParamVector& b) {
+  const float na = l2_norm(a);
+  const float nb = l2_norm(b);
+  if (na < 1e-12f || nb < 1e-12f) return 0.0f;
+  return dot(a, b) / (na * nb);
+}
+
+}  // namespace fedwcm::core::pv

@@ -1,0 +1,45 @@
+#pragma once
+/// \file param_vector.hpp
+/// Flat parameter-space arithmetic.
+///
+/// Federated algorithms live in parameter space: client deltas Δ_k, global
+/// momentum Δ_r, control variates, perturbations. `ParamVector` is a thin
+/// owning wrapper over `std::vector<float>` with the handful of vector-space
+/// operations those algorithms need, written so the intent of an update rule
+/// reads directly off the code (`pv::axpy(-eta, delta, x)` etc.).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fedwcm::core {
+
+using ParamVector = std::vector<float>;
+
+namespace pv {
+
+/// y += alpha * x.
+void axpy(float alpha, const ParamVector& x, ParamVector& y);
+/// x *= alpha.
+void scale(float alpha, ParamVector& x);
+/// out = a - b.
+ParamVector sub(const ParamVector& a, const ParamVector& b);
+/// out = a + b.
+ParamVector add(const ParamVector& a, const ParamVector& b);
+/// out = alpha * a + beta * b  (the momentum blend of Eq. 2/6).
+ParamVector blend(float alpha, const ParamVector& a, float beta, const ParamVector& b);
+/// Sets every element to zero, preserving size.
+void zero(ParamVector& x);
+/// Weighted accumulation: acc += w * x, resizing acc (zero-filled) on first use.
+void accumulate(ParamVector& acc, float w, const ParamVector& x);
+
+float dot(const ParamVector& a, const ParamVector& b);
+float l2_norm(const ParamVector& x);
+float l2_norm_sq(const ParamVector& x);
+
+/// Cosine similarity; returns 0 when either vector is (numerically) zero.
+float cosine(const ParamVector& a, const ParamVector& b);
+
+}  // namespace pv
+
+}  // namespace fedwcm::core

@@ -1,0 +1,137 @@
+#include "fedwcm/core/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace fedwcm::core {
+
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t a, std::uint64_t b,
+                          std::uint64_t c) {
+  SplitMix64 sm(root);
+  std::uint64_t s = sm.next();
+  s ^= SplitMix64(a * 0x9E3779B97F4A7C15ULL + 1).next();
+  s = SplitMix64(s).next();
+  s ^= SplitMix64(b * 0xC2B2AE3D27D4EB4FULL + 2).next();
+  s = SplitMix64(s).next();
+  s ^= SplitMix64(c * 0x165667B19E3779F9ULL + 3).next();
+  return SplitMix64(s).next();
+}
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+static inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> [0, 1).
+  return double(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::uniform_index: n == 0");
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+  std::uint64_t x;
+  do {
+    x = next_u64();
+  } while (x >= limit);
+  return x % n;
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1, u2;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+double Rng::gamma(double shape) {
+  if (shape <= 0.0) throw std::invalid_argument("Rng::gamma: shape must be > 0");
+  if (shape < 1.0) {
+    // Boost to shape+1 and scale back (Marsaglia–Tsang trick).
+    const double u = uniform();
+    return gamma(shape + 1.0) * std::pow(u > 0 ? u : 1e-300, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+std::vector<double> Rng::dirichlet(double alpha, std::size_t dim) {
+  std::vector<double> a(dim, alpha);
+  return dirichlet(a);
+}
+
+std::vector<double> Rng::dirichlet(std::span<const double> alpha) {
+  std::vector<double> out(alpha.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    out[i] = gamma(alpha[i]);
+    sum += out[i];
+  }
+  if (sum <= 0.0) {
+    // Degenerate draw (all gammas underflowed); fall back to uniform.
+    const double u = 1.0 / double(alpha.size());
+    for (auto& v : out) v = u;
+    return out;
+  }
+  for (auto& v : out) v /= sum;
+  return out;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  if (k > n)
+    throw std::invalid_argument("Rng::sample_without_replacement: k > n");
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  // Partial Fisher–Yates: the first k slots are the sample.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + std::size_t(uniform_index(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace fedwcm::core

@@ -1,0 +1,74 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic random-number utilities.
+///
+/// Every stochastic component of the simulator (data synthesis, Dirichlet
+/// partitioning, client sampling, mini-batch shuffling, weight init) draws
+/// from an `Rng` seeded through `derive_seed`, so a run is a pure function of
+/// (seed, configuration) regardless of thread scheduling. This mirrors the
+/// reproducibility discipline of the paper's "3 trials on different random
+/// seeds" protocol.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fedwcm::core {
+
+/// SplitMix64 — used only for seed derivation / stream splitting.
+struct SplitMix64 {
+  std::uint64_t state;
+  explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+};
+
+/// Derives an independent stream seed from a root seed and up to three
+/// logical stream identifiers (e.g. {round, client, purpose}).
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t a, std::uint64_t b = 0,
+                          std::uint64_t c = 0);
+
+/// xoshiro256** PRNG with distribution helpers. Cheap to copy; one per
+/// logical stream.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n);
+  /// Standard normal via Box–Muller (cached second value).
+  double normal();
+  double normal(double mean, double stddev);
+  /// Gamma(shape, 1) via Marsaglia–Tsang, valid for any shape > 0.
+  double gamma(double shape);
+  /// Dirichlet(alpha,...,alpha) of dimension `dim`.
+  std::vector<double> dirichlet(double alpha, std::size_t dim);
+  /// Dirichlet with a per-component concentration vector.
+  std::vector<double> dirichlet(std::span<const double> alpha);
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = uniform_index(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+  /// Samples `k` distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace fedwcm::core

@@ -1,0 +1,107 @@
+#include "fedwcm/core/serialize.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace fedwcm::core {
+
+namespace {
+constexpr std::uint32_t kParamsMagic = 0x46574331;  // "FWC1"
+}
+
+void BinaryWriter::write_u32(std::uint32_t v) {
+  os_.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void BinaryWriter::write_u64(std::uint64_t v) {
+  os_.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void BinaryWriter::write_f32(float v) {
+  os_.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void BinaryWriter::write_string(const std::string& s) {
+  write_u64(s.size());
+  os_.write(s.data(), std::streamsize(s.size()));
+}
+
+void BinaryWriter::write_floats(const std::vector<float>& v) {
+  write_u64(v.size());
+  os_.write(reinterpret_cast<const char*>(v.data()),
+            std::streamsize(v.size() * sizeof(float)));
+}
+
+void BinaryWriter::write_matrix(const Matrix& m) {
+  write_u64(m.rows());
+  write_u64(m.cols());
+  os_.write(reinterpret_cast<const char*>(m.data()),
+            std::streamsize(m.size() * sizeof(float)));
+}
+
+void BinaryReader::read_raw(void* dst, std::size_t n) {
+  is_.read(reinterpret_cast<char*>(dst), std::streamsize(n));
+  if (!is_) throw std::runtime_error("BinaryReader: truncated stream");
+}
+
+std::uint32_t BinaryReader::read_u32() {
+  std::uint32_t v;
+  read_raw(&v, sizeof v);
+  return v;
+}
+
+std::uint64_t BinaryReader::read_u64() {
+  std::uint64_t v;
+  read_raw(&v, sizeof v);
+  return v;
+}
+
+float BinaryReader::read_f32() {
+  float v;
+  read_raw(&v, sizeof v);
+  return v;
+}
+
+std::string BinaryReader::read_string() {
+  const std::uint64_t n = read_u64();
+  std::string s(n, '\0');
+  if (n > 0) read_raw(s.data(), n);
+  return s;
+}
+
+std::vector<float> BinaryReader::read_floats() {
+  const std::uint64_t n = read_u64();
+  std::vector<float> v(n);
+  if (n > 0) read_raw(v.data(), n * sizeof(float));
+  return v;
+}
+
+Matrix BinaryReader::read_matrix() {
+  const std::uint64_t rows = read_u64();
+  const std::uint64_t cols = read_u64();
+  std::vector<float> data(rows * cols);
+  if (!data.empty()) read_raw(data.data(), data.size() * sizeof(float));
+  return Matrix(rows, cols, std::move(data));
+}
+
+void save_params(const std::string& path, const std::vector<float>& params) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_params: cannot open " + path);
+  BinaryWriter w(os);
+  w.write_u32(kParamsMagic);
+  w.write_floats(params);
+  if (!os) throw std::runtime_error("save_params: write failed for " + path);
+}
+
+std::vector<float> load_params(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_params: cannot open " + path);
+  BinaryReader r(is);
+  if (r.read_u32() != kParamsMagic)
+    throw std::runtime_error("load_params: bad magic in " + path);
+  return r.read_floats();
+}
+
+}  // namespace fedwcm::core

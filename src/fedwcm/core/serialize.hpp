@@ -1,0 +1,53 @@
+#pragma once
+/// \file serialize.hpp
+/// Minimal binary serialization for checkpoints and experiment artifacts.
+///
+/// Format: little-endian, length-prefixed primitives. Used by examples to
+/// save/restore global models and by the experiment harness to dump curves.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fedwcm/core/tensor.hpp"
+
+namespace fedwcm::core {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& os) : os_(os) {}
+
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_f32(float v);
+  void write_string(const std::string& s);
+  void write_floats(const std::vector<float>& v);
+  void write_matrix(const Matrix& m);
+
+ private:
+  std::ostream& os_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& is) : is_(is) {}
+
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  float read_f32();
+  std::string read_string();
+  std::vector<float> read_floats();
+  Matrix read_matrix();
+
+ private:
+  void read_raw(void* dst, std::size_t n);
+  std::istream& is_;
+};
+
+/// Saves a flat parameter vector with a magic header; throws on I/O failure.
+void save_params(const std::string& path, const std::vector<float>& params);
+/// Loads a flat parameter vector saved by `save_params`.
+std::vector<float> load_params(const std::string& path);
+
+}  // namespace fedwcm::core

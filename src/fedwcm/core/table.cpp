@@ -1,0 +1,81 @@
+#include "fedwcm/core/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fedwcm::core {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size())
+    throw std::invalid_argument("TablePrinter::add_row: column count mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::fmt(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << " " << std::left << std::setw(int(widths[c])) << row[c] << " |";
+    os << "\n";
+  };
+  auto print_rule = [&] {
+    os << "+";
+    for (std::size_t c = 0; c < widths.size(); ++c)
+      os << std::string(widths[c] + 2, '-') << "+";
+    os << "\n";
+  };
+
+  print_rule();
+  print_row(header_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+std::string TablePrinter::to_string() const {
+  std::ostringstream ss;
+  print(ss);
+  return ss.str();
+}
+
+void TablePrinter::write_csv(std::ostream& os) const {
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ",";
+      os << row[c];
+    }
+    os << "\n";
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+void SeriesPrinter::add_point(const std::string& series, double x, double y) {
+  points_.push_back({series, x, y});
+}
+
+void SeriesPrinter::print(std::ostream& os) const {
+  os << "series,x,y\n";
+  for (const auto& p : points_)
+    os << p.series << "," << p.x << "," << p.y << "\n";
+}
+
+}  // namespace fedwcm::core

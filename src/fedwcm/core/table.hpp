@@ -1,0 +1,48 @@
+#pragma once
+/// \file table.hpp
+/// Plain-text table and CSV emitters used by the experiment harness to print
+/// the same rows/series the paper's tables and figures report.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fedwcm::core {
+
+/// Accumulates string cells and prints an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Convenience: formats doubles with `precision` decimal places.
+  static std::string fmt(double v, int precision = 4);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+  /// Writes the table as CSV (no alignment padding).
+  void write_csv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Emits a named series as "name,x,y" CSV lines — the harness format for
+/// figure-style (curve) outputs.
+class SeriesPrinter {
+ public:
+  void add_point(const std::string& series, double x, double y);
+  void print(std::ostream& os) const;
+
+ private:
+  struct Point {
+    std::string series;
+    double x, y;
+  };
+  std::vector<Point> points_;
+};
+
+}  // namespace fedwcm::core

@@ -1,0 +1,180 @@
+#include "fedwcm/core/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace fedwcm::core {
+
+std::string Matrix::shape_str() const {
+  return "(" + std::to_string(rows_) + ", " + std::to_string(cols_) + ")";
+}
+
+void matmul(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate) {
+  FEDWCM_CHECK(a.cols() == b.rows(), "matmul: inner dims mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  if (out.rows() != m || out.cols() != n) out = Matrix(m, n);
+  if (!accumulate) out.zero();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* orow = out.data() + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0f) continue;
+      const float* brow = b.data() + kk * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+    }
+  }
+}
+
+void matmul_tn(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate) {
+  FEDWCM_CHECK(a.rows() == b.rows(), "matmul_tn: outer dims mismatch");
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  if (out.rows() != m || out.cols() != n) out = Matrix(m, n);
+  if (!accumulate) out.zero();
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = a.data() + kk * m;
+    const float* brow = b.data() + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* orow = out.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += aki * brow[j];
+    }
+  }
+}
+
+void matmul_nt(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate) {
+  FEDWCM_CHECK(a.cols() == b.cols(), "matmul_nt: inner dims mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  if (out.rows() != m || out.cols() != n) out = Matrix(m, n);
+  if (!accumulate) out.zero();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* orow = out.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b.data() + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      orow[j] += acc;
+    }
+  }
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  matmul(a, b, out);
+  return out;
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  FEDWCM_CHECK(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(float alpha, std::span<float> x) {
+  for (float& v : x) v *= alpha;
+}
+
+void add(const Matrix& a, const Matrix& b, Matrix& out) {
+  FEDWCM_CHECK(a.same_shape(b), "add: shape mismatch");
+  if (!out.same_shape(a)) out = Matrix(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) out.data()[i] = a.data()[i] + b.data()[i];
+}
+
+void sub(const Matrix& a, const Matrix& b, Matrix& out) {
+  FEDWCM_CHECK(a.same_shape(b), "sub: shape mismatch");
+  if (!out.same_shape(a)) out = Matrix(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) out.data()[i] = a.data()[i] - b.data()[i];
+}
+
+void hadamard(const Matrix& a, const Matrix& b, Matrix& out) {
+  FEDWCM_CHECK(a.same_shape(b), "hadamard: shape mismatch");
+  if (!out.same_shape(a)) out = Matrix(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) out.data()[i] = a.data()[i] * b.data()[i];
+}
+
+void add_row_broadcast(Matrix& m, std::span<const float> bias) {
+  FEDWCM_CHECK(bias.size() == m.cols(), "add_row_broadcast: width mismatch");
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    float* row = m.data() + r * m.cols();
+    for (std::size_t c = 0; c < m.cols(); ++c) row[c] += bias[c];
+  }
+}
+
+void sum_rows(const Matrix& m, std::span<float> out) {
+  FEDWCM_CHECK(out.size() == m.cols(), "sum_rows: width mismatch");
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.data() + r * m.cols();
+    for (std::size_t c = 0; c < m.cols(); ++c) out[c] += row[c];
+  }
+}
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  FEDWCM_CHECK(a.size() == b.size(), "dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += double(a[i]) * double(b[i]);
+  return float(acc);
+}
+
+float l2_norm_sq(std::span<const float> x) {
+  double acc = 0.0;
+  for (float v : x) acc += double(v) * double(v);
+  return float(acc);
+}
+
+float l2_norm(std::span<const float> x) { return std::sqrt(l2_norm_sq(x)); }
+
+float l1_norm(std::span<const float> x) {
+  double acc = 0.0;
+  for (float v : x) acc += std::abs(double(v));
+  return float(acc);
+}
+
+float max_abs(std::span<const float> x) {
+  float m = 0.0f;
+  for (float v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+void softmax_rows(Matrix& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    float* row = m.data() + r * m.cols();
+    float mx = row[0];
+    for (std::size_t c = 1; c < m.cols(); ++c) mx = std::max(mx, row[c]);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    const float inv = float(1.0 / sum);
+    for (std::size_t c = 0; c < m.cols(); ++c) row[c] *= inv;
+  }
+}
+
+void log_softmax_rows(Matrix& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    float* row = m.data() + r * m.cols();
+    float mx = row[0];
+    for (std::size_t c = 1; c < m.cols(); ++c) mx = std::max(mx, row[c]);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < m.cols(); ++c) sum += std::exp(double(row[c]) - mx);
+    const float lse = mx + float(std::log(sum));
+    for (std::size_t c = 0; c < m.cols(); ++c) row[c] -= lse;
+  }
+}
+
+std::vector<std::size_t> argmax_rows(const Matrix& m) {
+  std::vector<std::size_t> out(m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.data() + r * m.cols();
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < m.cols(); ++c)
+      if (row[c] > row[best]) best = c;
+    out[r] = best;
+  }
+  return out;
+}
+
+}  // namespace fedwcm::core

@@ -1,0 +1,134 @@
+#pragma once
+/// \file tensor.hpp
+/// Dense row-major matrix type and the small set of BLAS-like kernels the
+/// neural-network and federated-learning layers are built on.
+///
+/// Design notes (see DESIGN.md §2):
+///  * `Matrix` owns its storage in a contiguous `std::vector<float>`; all
+///    kernels take `const Matrix&` / `Matrix&` and never allocate behind the
+///    caller's back except for the value-returning convenience overloads.
+///  * Shapes are validated with `FEDWCM_CHECK`, which throws
+///    `std::invalid_argument` — simulation code treats shape errors as
+///    programming bugs, so they are loud rather than UB.
+///  * Kernels are written as simple cache-friendly loops (i-k-j gemm) so the
+///    compiler can vectorize; this is the hot path of the whole simulator.
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fedwcm::core {
+
+/// Throws std::invalid_argument with `msg` when `cond` is false.
+inline void check(bool cond, const char* msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+#define FEDWCM_CHECK(cond, msg) ::fedwcm::core::check((cond), (msg))
+
+/// Dense row-major float matrix. A row vector is a 1xN matrix; batched
+/// activations are stored as (batch, features).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  Matrix(std::size_t rows, std::size_t cols, std::vector<float> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    FEDWCM_CHECK(data_.size() == rows_ * cols_, "Matrix: data size mismatch");
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return {data_.data(), data_.size()}; }
+  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+
+  float& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::span<float> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const float> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Reshape in place; total element count must be preserved.
+  void reshape(std::size_t rows, std::size_t cols) {
+    FEDWCM_CHECK(rows * cols == data_.size(), "Matrix::reshape: size mismatch");
+    rows_ = rows;
+    cols_ = cols;
+  }
+
+  void fill(float v) { data_.assign(data_.size(), v); }
+  void zero() { fill(0.0f); }
+
+  bool same_shape(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+  std::string shape_str() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+// ---------------------------------------------------------------------------
+// GEMM family. `out` is overwritten unless `accumulate` is true.
+// ---------------------------------------------------------------------------
+
+/// out = a * b  (MxK times KxN).
+void matmul(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate = false);
+/// out = a^T * b (KxM^T times KxN -> MxN). Used for weight gradients.
+void matmul_tn(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate = false);
+/// out = a * b^T (MxK times NxK^T -> MxN). Used for input gradients.
+void matmul_nt(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate = false);
+
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+// ---------------------------------------------------------------------------
+// Elementwise / vector ops.
+// ---------------------------------------------------------------------------
+
+/// y += alpha * x over flat spans of equal length.
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+/// x *= alpha.
+void scale(float alpha, std::span<float> x);
+/// out = a + b (same shape).
+void add(const Matrix& a, const Matrix& b, Matrix& out);
+/// out = a - b (same shape).
+void sub(const Matrix& a, const Matrix& b, Matrix& out);
+/// out = a ⊙ b (Hadamard, same shape).
+void hadamard(const Matrix& a, const Matrix& b, Matrix& out);
+/// Adds row vector `bias` (1xN) to every row of `m` (MxN).
+void add_row_broadcast(Matrix& m, std::span<const float> bias);
+/// Sums the rows of `m` into `out` (length N).
+void sum_rows(const Matrix& m, std::span<float> out);
+
+float dot(std::span<const float> a, std::span<const float> b);
+float l2_norm(std::span<const float> x);
+float l2_norm_sq(std::span<const float> x);
+float l1_norm(std::span<const float> x);
+float max_abs(std::span<const float> x);
+
+// ---------------------------------------------------------------------------
+// Activations and row-wise softmax (kept here because they are pure kernels;
+// the layer objects in fedwcm::nn wrap them with backprop bookkeeping).
+// ---------------------------------------------------------------------------
+
+/// In-place numerically stable softmax over each row of `m`.
+void softmax_rows(Matrix& m);
+/// In-place log-softmax over each row of `m`.
+void log_softmax_rows(Matrix& m);
+
+/// Index of the maximum element of each row.
+std::vector<std::size_t> argmax_rows(const Matrix& m);
+
+}  // namespace fedwcm::core

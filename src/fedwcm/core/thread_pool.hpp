@@ -1,0 +1,67 @@
+#pragma once
+/// \file thread_pool.hpp
+/// Fixed-size thread pool plus a `parallel_for` helper.
+///
+/// The paper trains sampled clients on four GPUs in parallel; here the unit
+/// of parallelism is "one sampled client's local training" and the substrate
+/// is a pool of std::threads. Determinism is preserved because each client
+/// task derives its own RNG stream and writes to a pre-allocated result slot,
+/// so scheduling order never influences the outcome.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fedwcm::core {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; the returned future rethrows any task exception.
+  template <typename F>
+  std::future<std::invoke_result_t<F>> submit(F&& f) {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs `fn(i)` for i in [begin, end) across the pool and waits for all of
+/// them. Exceptions from any iteration are rethrown (first one wins).
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Serial fallback used when no pool is available.
+void serial_for(std::size_t begin, std::size_t end,
+                const std::function<void(std::size_t)>& fn);
+
+}  // namespace fedwcm::core

@@ -1,0 +1,66 @@
+#include "fedwcm/crypto/protocol.hpp"
+
+#include <chrono>
+
+#include "fedwcm/core/tensor.hpp"
+
+namespace fedwcm::crypto {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+}  // namespace
+
+std::vector<std::uint64_t> gather_global_distribution(
+    const RlweContext& ctx,
+    const std::vector<std::vector<std::uint64_t>>& client_counts, std::uint64_t seed,
+    ProtocolStats* stats) {
+  FEDWCM_CHECK(!client_counts.empty(), "protocol: no clients");
+  const std::size_t classes = client_counts.front().size();
+  for (const auto& counts : client_counts)
+    FEDWCM_CHECK(counts.size() == classes, "protocol: ragged count vectors");
+
+  // Step 1: the "randomly selected" key-generation client.
+  core::Rng key_rng(core::derive_seed(seed, 0x4E7, 1));
+  const SecretKey sk = ctx.generate_secret_key(key_rng);
+  const PublicKey pk = ctx.generate_public_key(sk, key_rng);
+
+  // Step 2: each client encrypts its local class distribution.
+  std::vector<Ciphertext> uploads;
+  uploads.reserve(client_counts.size());
+  double encrypt_total = 0.0;
+  for (std::size_t k = 0; k < client_counts.size(); ++k) {
+    core::Rng rng(core::derive_seed(seed, 0x4E7, 2 + k));
+    const auto t0 = std::chrono::steady_clock::now();
+    uploads.push_back(ctx.encrypt(pk, client_counts[k], rng));
+    encrypt_total += seconds_since(t0);
+  }
+
+  // Step 3: homomorphic aggregation at the (semi-honest) server.
+  const auto t_agg = std::chrono::steady_clock::now();
+  Ciphertext agg = uploads.front();
+  for (std::size_t k = 1; k < uploads.size(); ++k) agg = ctx.add(agg, uploads[k]);
+  const double agg_seconds = seconds_since(t_agg);
+
+  // Step 4: the key holder decrypts and reconstructs the global counts.
+  const auto t_dec = std::chrono::steady_clock::now();
+  auto global = ctx.decrypt(sk, agg, classes);
+  const double dec_seconds = seconds_since(t_dec);
+
+  if (stats != nullptr) {
+    stats->clients = client_counts.size();
+    stats->classes = classes;
+    stats->plaintext_bytes_per_client = classes * sizeof(std::uint64_t);
+    stats->ciphertext_bytes_per_client = uploads.front().byte_size();
+    stats->total_upload_bytes =
+        stats->ciphertext_bytes_per_client * client_counts.size();
+    stats->encrypt_seconds_per_client = encrypt_total / double(client_counts.size());
+    stats->aggregate_seconds = agg_seconds;
+    stats->decrypt_seconds = dec_seconds;
+  }
+  return global;
+}
+
+}  // namespace fedwcm::crypto

@@ -1,0 +1,40 @@
+#pragma once
+/// \file protocol.hpp
+/// §5.5's HE-protected global-distribution gathering protocol.
+///
+/// Four steps, mirroring BatchCrypt's cross-silo flow under a semi-honest
+/// server with no trusted third party:
+///  1. Key generation — a randomly selected client generates the key pair
+///     and distributes the public key.
+///  2. Encryption & upload — every client encrypts its local class-count
+///     vector and uploads the ciphertext.
+///  3. Aggregation — the server adds ciphertexts homomorphically, never
+///     seeing a plaintext distribution.
+///  4. Decryption & reconstruction — the key holder decrypts the aggregate
+///     and returns the global class distribution.
+
+#include <cstdint>
+
+#include "fedwcm/crypto/rlwe.hpp"
+
+namespace fedwcm::crypto {
+
+struct ProtocolStats {
+  std::size_t clients = 0;
+  std::size_t classes = 0;
+  std::size_t plaintext_bytes_per_client = 0;   ///< 8 bytes per class count.
+  std::size_t ciphertext_bytes_per_client = 0;  ///< Constant in #classes.
+  std::size_t total_upload_bytes = 0;
+  double encrypt_seconds_per_client = 0.0;
+  double aggregate_seconds = 0.0;
+  double decrypt_seconds = 0.0;
+};
+
+/// Runs the full protocol over `client_counts` (one count vector per client)
+/// and returns the aggregated global class counts. `stats`, when non-null,
+/// receives the Table 6 measurements.
+std::vector<std::uint64_t> gather_global_distribution(
+    const RlweContext& ctx, const std::vector<std::vector<std::uint64_t>>& client_counts,
+    std::uint64_t seed, ProtocolStats* stats = nullptr);
+
+}  // namespace fedwcm::crypto

@@ -1,0 +1,209 @@
+#include "fedwcm/crypto/rlwe.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "fedwcm/core/tensor.hpp"
+
+namespace fedwcm::crypto {
+
+namespace {
+
+inline std::uint64_t add_mod(std::uint64_t a, std::uint64_t b, std::uint64_t q) {
+  const std::uint64_t s = a + b;  // q < 2^63 so no overflow
+  return s >= q ? s - q : s;
+}
+
+inline std::uint64_t sub_mod(std::uint64_t a, std::uint64_t b, std::uint64_t q) {
+  return a >= b ? a - b : a + q - b;
+}
+
+inline std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b, std::uint64_t q) {
+  // GCC/Clang extension; required for 50-bit q products.
+  __extension__ using u128 = unsigned __int128;
+  return std::uint64_t(u128(a) * b % q);
+}
+
+/// Centered representative in (-q/2, q/2].
+inline std::int64_t centered(std::uint64_t v, std::uint64_t q) {
+  return v > q / 2 ? std::int64_t(v) - std::int64_t(q) : std::int64_t(v);
+}
+
+}  // namespace
+
+std::size_t RlweParams::max_additions() const {
+  // Fresh decryption noise is bounded by |e u + e2 s + e1| <=
+  // 2 n B + B with B = noise_bound (ternary u, s). Additions add noise
+  // linearly; decryption succeeds while total noise < delta / 2.
+  const std::uint64_t per_ct = 2 * std::uint64_t(n) * noise_bound + noise_bound;
+  return std::size_t((delta() / 2) / per_ct);
+}
+
+void RlweParams::validate() const {
+  FEDWCM_CHECK(n > 0 && (n & (n - 1)) == 0, "RlweParams: n must be a power of two");
+  FEDWCM_CHECK(q > t && t > 1, "RlweParams: need q > t > 1");
+  FEDWCM_CHECK(q < (1ULL << 62), "RlweParams: q too large for add_mod");
+  FEDWCM_CHECK(max_additions() >= 1, "RlweParams: noise budget too small");
+}
+
+RlweContext::RlweContext(RlweParams params) : params_(params) { params_.validate(); }
+
+Poly RlweContext::sample_ternary(core::Rng& rng) const {
+  Poly p(params_.n);
+  for (auto& c : p) {
+    const std::uint64_t r = rng.uniform_index(3);
+    c = r == 0 ? 0 : (r == 1 ? 1 : params_.q - 1);  // {0, 1, -1}
+  }
+  return p;
+}
+
+Poly RlweContext::sample_error(core::Rng& rng) const {
+  Poly p(params_.n);
+  const std::uint64_t span = 2 * params_.noise_bound + 1;
+  for (auto& c : p) {
+    const std::int64_t e =
+        std::int64_t(rng.uniform_index(span)) - std::int64_t(params_.noise_bound);
+    c = e >= 0 ? std::uint64_t(e) : params_.q - std::uint64_t(-e);
+  }
+  return p;
+}
+
+Poly RlweContext::sample_uniform(core::Rng& rng) const {
+  Poly p(params_.n);
+  for (auto& c : p) c = rng.next_u64() % params_.q;
+  return p;
+}
+
+Poly RlweContext::poly_add(const Poly& a, const Poly& b) const {
+  FEDWCM_CHECK(a.size() == b.size(), "poly_add: size mismatch");
+  Poly out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = add_mod(a[i], b[i], params_.q);
+  return out;
+}
+
+Poly RlweContext::poly_sub(const Poly& a, const Poly& b) const {
+  FEDWCM_CHECK(a.size() == b.size(), "poly_sub: size mismatch");
+  Poly out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = sub_mod(a[i], b[i], params_.q);
+  return out;
+}
+
+Poly RlweContext::poly_mul(const Poly& a, const Poly& b) const {
+  FEDWCM_CHECK(a.size() == b.size() && a.size() == params_.n,
+               "poly_mul: size mismatch");
+  const std::size_t n = params_.n;
+  const std::uint64_t q = params_.q;
+  Poly out(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] == 0) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (b[j] == 0) continue;
+      const std::uint64_t prod = mul_mod(a[i], b[j], q);
+      const std::size_t k = i + j;
+      if (k < n)
+        out[k] = add_mod(out[k], prod, q);
+      else  // x^n = -1 (negacyclic wraparound)
+        out[k - n] = sub_mod(out[k - n], prod, q);
+    }
+  }
+  return out;
+}
+
+SecretKey RlweContext::generate_secret_key(core::Rng& rng) const {
+  return SecretKey{sample_ternary(rng)};
+}
+
+PublicKey RlweContext::generate_public_key(const SecretKey& sk, core::Rng& rng) const {
+  PublicKey pk;
+  pk.a = sample_uniform(rng);
+  const Poly e = sample_error(rng);
+  // b = -(a s + e).
+  pk.b = poly_sub(Poly(params_.n, 0), poly_add(poly_mul(pk.a, sk.s), e));
+  return pk;
+}
+
+Ciphertext RlweContext::encrypt(const PublicKey& pk,
+                                std::span<const std::uint64_t> values,
+                                core::Rng& rng) const {
+  FEDWCM_CHECK(values.size() <= params_.n, "encrypt: too many values for ring degree");
+  Poly m(params_.n, 0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    FEDWCM_CHECK(values[i] < params_.t, "encrypt: value exceeds plaintext modulus");
+    m[i] = mul_mod(values[i], params_.delta(), params_.q);
+  }
+  const Poly u = sample_ternary(rng);
+  const Poly e1 = sample_error(rng);
+  const Poly e2 = sample_error(rng);
+  Ciphertext ct;
+  ct.c0 = poly_add(poly_add(poly_mul(pk.b, u), e1), m);
+  ct.c1 = poly_add(poly_mul(pk.a, u), e2);
+  ct.additions = 1;
+  return ct;
+}
+
+Ciphertext RlweContext::add(const Ciphertext& lhs, const Ciphertext& rhs) const {
+  Ciphertext out;
+  out.c0 = poly_add(lhs.c0, rhs.c0);
+  out.c1 = poly_add(lhs.c1, rhs.c1);
+  out.additions = lhs.additions + rhs.additions;
+  FEDWCM_CHECK(out.additions <= params_.max_additions(),
+               "Ciphertext::add: noise budget exhausted");
+  return out;
+}
+
+void RlweContext::serialize(const Ciphertext& ct, std::ostream& os) const {
+  FEDWCM_CHECK(ct.c0.size() == params_.n && ct.c1.size() == params_.n,
+               "serialize: ring degree mismatch");
+  const std::uint64_t n = params_.n;
+  const std::uint64_t additions = ct.additions;
+  os.write(reinterpret_cast<const char*>(&n), sizeof n);
+  os.write(reinterpret_cast<const char*>(&additions), sizeof additions);
+  os.write(reinterpret_cast<const char*>(ct.c0.data()),
+           std::streamsize(ct.c0.size() * sizeof(std::uint64_t)));
+  os.write(reinterpret_cast<const char*>(ct.c1.data()),
+           std::streamsize(ct.c1.size() * sizeof(std::uint64_t)));
+  if (!os) throw std::runtime_error("Ciphertext serialize: write failed");
+}
+
+Ciphertext RlweContext::deserialize(std::istream& is) const {
+  std::uint64_t n = 0, additions = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof n);
+  is.read(reinterpret_cast<char*>(&additions), sizeof additions);
+  if (!is || n != params_.n)
+    throw std::runtime_error("Ciphertext deserialize: bad header");
+  Ciphertext ct;
+  ct.additions = std::size_t(additions);
+  ct.c0.resize(params_.n);
+  ct.c1.resize(params_.n);
+  is.read(reinterpret_cast<char*>(ct.c0.data()),
+          std::streamsize(ct.c0.size() * sizeof(std::uint64_t)));
+  is.read(reinterpret_cast<char*>(ct.c1.data()),
+          std::streamsize(ct.c1.size() * sizeof(std::uint64_t)));
+  if (!is) throw std::runtime_error("Ciphertext deserialize: truncated");
+  for (std::uint64_t v : ct.c0)
+    FEDWCM_CHECK(v < params_.q, "deserialize: coefficient out of range");
+  for (std::uint64_t v : ct.c1)
+    FEDWCM_CHECK(v < params_.q, "deserialize: coefficient out of range");
+  return ct;
+}
+
+std::vector<std::uint64_t> RlweContext::decrypt(const SecretKey& sk,
+                                                const Ciphertext& ct,
+                                                std::size_t count) const {
+  FEDWCM_CHECK(count <= params_.n, "decrypt: count exceeds ring degree");
+  const Poly noisy = poly_add(ct.c0, poly_mul(ct.c1, sk.s));
+  std::vector<std::uint64_t> out(count);
+  const double delta = double(params_.delta());
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::int64_t v = centered(noisy[i], params_.q);
+    const double scaled = double(v) / delta;
+    std::int64_t rounded = std::int64_t(scaled + (scaled >= 0 ? 0.5 : -0.5));
+    rounded %= std::int64_t(params_.t);
+    if (rounded < 0) rounded += std::int64_t(params_.t);
+    out[i] = std::uint64_t(rounded);
+  }
+  return out;
+}
+
+}  // namespace fedwcm::crypto

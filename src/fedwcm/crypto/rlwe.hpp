@@ -1,0 +1,96 @@
+#pragma once
+/// \file rlwe.hpp
+/// Additively homomorphic encryption over the ring Z_q[x]/(x^n + 1).
+///
+/// BFV-flavoured scheme (Fan–Vercauteren) restricted to the operations the
+/// FedWCM privacy protocol (§5.5 / Appendix C) needs: key generation, public-
+/// key encryption of integer vectors, ciphertext addition, and decryption.
+/// The paper's implementation uses TenSEAL/BFV; this is a from-scratch
+/// substitute that preserves the protocol's structure and its headline
+/// communication property — ciphertext size is constant in the number of
+/// classes (Table 6) because counts are packed into polynomial coefficients.
+///
+/// Parameters default to n = 1024, q = 2^50, t = 2^26: plaintext space holds
+/// class counts up to 2^26 and the decryption noise bound comfortably covers
+/// hundreds of ciphertext additions (see `RlweParams::max_additions`).
+/// NOT hardened cryptography — a research artifact for protocol-shape
+/// fidelity, not production key material.
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "fedwcm/core/rng.hpp"
+
+namespace fedwcm::crypto {
+
+struct RlweParams {
+  std::size_t n = 1024;               ///< Ring degree (power of two).
+  std::uint64_t q = 1ULL << 50;       ///< Ciphertext modulus.
+  std::uint64_t t = 1ULL << 26;       ///< Plaintext modulus.
+  std::uint64_t noise_bound = 8;      ///< Uniform error in [-bound, bound].
+
+  std::uint64_t delta() const { return q / t; }
+  /// Conservative bound on how many ciphertexts can be summed before the
+  /// accumulated noise threatens correct decryption.
+  std::size_t max_additions() const;
+  void validate() const;
+};
+
+/// Polynomial in Z_q[x]/(x^n+1), coefficients in [0, q).
+using Poly = std::vector<std::uint64_t>;
+
+struct SecretKey {
+  Poly s;  ///< Ternary coefficients encoded mod q.
+};
+
+struct PublicKey {
+  Poly b;  ///< b = -(a s + e) mod q.
+  Poly a;
+};
+
+struct Ciphertext {
+  Poly c0, c1;
+  std::size_t additions = 1;  ///< Number of fresh ciphertexts folded in.
+
+  /// Serialized size in bytes (what travels client -> server).
+  std::size_t byte_size() const { return (c0.size() + c1.size()) * sizeof(std::uint64_t); }
+};
+
+class RlweContext {
+ public:
+  explicit RlweContext(RlweParams params = {});
+
+  const RlweParams& params() const { return params_; }
+
+  /// Key generation (one keygen client in the protocol).
+  SecretKey generate_secret_key(core::Rng& rng) const;
+  PublicKey generate_public_key(const SecretKey& sk, core::Rng& rng) const;
+
+  /// Encrypts up to n integers (each < t) into one ciphertext.
+  Ciphertext encrypt(const PublicKey& pk, std::span<const std::uint64_t> values,
+                     core::Rng& rng) const;
+  /// Homomorphic addition: component-wise in the ciphertext ring.
+  Ciphertext add(const Ciphertext& lhs, const Ciphertext& rhs) const;
+  /// Decrypts; returns `count` coefficients.
+  std::vector<std::uint64_t> decrypt(const SecretKey& sk, const Ciphertext& ct,
+                                     std::size_t count) const;
+
+  /// Wire format for a ciphertext "upload": validates ring degree on read.
+  void serialize(const Ciphertext& ct, std::ostream& os) const;
+  Ciphertext deserialize(std::istream& is) const;
+
+  /// Ring ops exposed for tests.
+  Poly poly_add(const Poly& a, const Poly& b) const;
+  Poly poly_sub(const Poly& a, const Poly& b) const;
+  Poly poly_mul(const Poly& a, const Poly& b) const;  ///< Negacyclic, O(n^2).
+
+ private:
+  Poly sample_ternary(core::Rng& rng) const;
+  Poly sample_error(core::Rng& rng) const;
+  Poly sample_uniform(core::Rng& rng) const;
+
+  RlweParams params_;
+};
+
+}  // namespace fedwcm::crypto

@@ -1,0 +1,50 @@
+#include "fedwcm/data/dataset.hpp"
+
+namespace fedwcm::data {
+
+std::vector<std::size_t> Dataset::class_counts() const {
+  std::vector<std::size_t> counts(num_classes, 0);
+  for (std::size_t y : labels) ++counts[y];
+  return counts;
+}
+
+std::vector<std::size_t> Dataset::class_counts(
+    std::span<const std::size_t> indices) const {
+  std::vector<std::size_t> counts(num_classes, 0);
+  for (std::size_t i : indices) ++counts[labels[i]];
+  return counts;
+}
+
+void Dataset::validate() const {
+  FEDWCM_CHECK(features.rows() == labels.size(), "Dataset: row/label mismatch");
+  for (std::size_t y : labels)
+    FEDWCM_CHECK(y < num_classes, "Dataset: label out of range");
+}
+
+void gather_batch(const Dataset& ds, std::span<const std::size_t> indices, Matrix& x,
+                  std::vector<std::size_t>& y) {
+  const std::size_t d = ds.dim();
+  if (x.rows() != indices.size() || x.cols() != d) x = Matrix(indices.size(), d);
+  y.resize(indices.size());
+  for (std::size_t r = 0; r < indices.size(); ++r) {
+    FEDWCM_CHECK(indices[r] < ds.size(), "gather_batch: index out of range");
+    const float* src = ds.features.data() + indices[r] * d;
+    std::copy(src, src + d, x.data() + r * d);
+    y[r] = ds.labels[indices[r]];
+  }
+}
+
+std::vector<double> normalize_counts(std::span<const std::size_t> counts) {
+  std::vector<double> out(counts.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t c : counts) total += double(c);
+  if (total <= 0.0) {
+    const double u = counts.empty() ? 0.0 : 1.0 / double(counts.size());
+    for (auto& v : out) v = u;
+    return out;
+  }
+  for (std::size_t i = 0; i < counts.size(); ++i) out[i] = double(counts[i]) / total;
+  return out;
+}
+
+}  // namespace fedwcm::data

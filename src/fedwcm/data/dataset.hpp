@@ -1,0 +1,40 @@
+#pragma once
+/// \file dataset.hpp
+/// In-memory labelled dataset and batch-gather utilities.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "fedwcm/core/tensor.hpp"
+
+namespace fedwcm::data {
+
+using core::Matrix;
+
+/// Feature matrix (n, d) plus integer labels in [0, num_classes).
+struct Dataset {
+  Matrix features;
+  std::vector<std::size_t> labels;
+  std::size_t num_classes = 0;
+
+  std::size_t size() const { return labels.size(); }
+  std::size_t dim() const { return features.cols(); }
+
+  /// Per-class sample counts over the whole dataset.
+  std::vector<std::size_t> class_counts() const;
+  /// Per-class counts restricted to a subset of indices.
+  std::vector<std::size_t> class_counts(std::span<const std::size_t> indices) const;
+  /// Validates internal consistency; throws on corruption.
+  void validate() const;
+};
+
+/// Copies the rows given by `indices` into a contiguous batch.
+void gather_batch(const Dataset& ds, std::span<const std::size_t> indices, Matrix& x,
+                  std::vector<std::size_t>& y);
+
+/// Normalized class distribution (sums to 1) from integer counts; returns a
+/// uniform distribution when all counts are zero.
+std::vector<double> normalize_counts(std::span<const std::size_t> counts);
+
+}  // namespace fedwcm::data

@@ -1,0 +1,65 @@
+#include "fedwcm/data/longtail.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fedwcm/core/rng.hpp"
+
+namespace fedwcm::data {
+
+std::vector<std::size_t> longtail_counts(std::size_t n_head, std::size_t num_classes,
+                                         double imbalance_factor) {
+  FEDWCM_CHECK(imbalance_factor > 0.0 && imbalance_factor <= 1.0,
+               "longtail_counts: IF must be in (0, 1]");
+  FEDWCM_CHECK(num_classes > 0, "longtail_counts: no classes");
+  std::vector<std::size_t> counts(num_classes);
+  if (num_classes == 1) {
+    counts[0] = n_head;
+    return counts;
+  }
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    const double frac = double(c) / double(num_classes - 1);
+    const double n = double(n_head) * std::pow(imbalance_factor, frac);
+    counts[c] = std::max<std::size_t>(1, std::size_t(std::llround(n)));
+  }
+  return counts;
+}
+
+double measured_if(std::span<const std::size_t> counts) {
+  std::size_t mn = SIZE_MAX, mx = 0;
+  for (std::size_t c : counts) {
+    mn = std::min(mn, c);
+    mx = std::max(mx, c);
+  }
+  if (mx == 0) return 1.0;
+  return double(mn) / double(mx);
+}
+
+std::vector<std::size_t> longtail_subsample(const Dataset& balanced_pool,
+                                            double imbalance_factor,
+                                            std::uint64_t seed) {
+  const auto pool_counts = balanced_pool.class_counts();
+  std::size_t head = 0;
+  for (std::size_t c : pool_counts) head = std::max(head, c);
+  const auto targets =
+      longtail_counts(head, balanced_pool.num_classes, imbalance_factor);
+
+  // Bucket pool indices by class.
+  std::vector<std::vector<std::size_t>> buckets(balanced_pool.num_classes);
+  for (std::size_t i = 0; i < balanced_pool.size(); ++i)
+    buckets[balanced_pool.labels[i]].push_back(i);
+
+  std::vector<std::size_t> selected;
+  core::Rng rng(core::derive_seed(seed, 0x1047, 4));
+  for (std::size_t c = 0; c < buckets.size(); ++c) {
+    auto& bucket = buckets[c];
+    rng.shuffle(bucket);
+    const std::size_t take = std::min(targets[c], bucket.size());
+    selected.insert(selected.end(), bucket.begin(),
+                    bucket.begin() + std::ptrdiff_t(take));
+  }
+  std::sort(selected.begin(), selected.end());
+  return selected;
+}
+
+}  // namespace fedwcm::data

@@ -1,0 +1,34 @@
+#pragma once
+/// \file longtail.hpp
+/// Long-tailed class profiles (§3.2).
+///
+/// The paper defines the imbalance factor IF = n_C / n_1 <= 1 (most- vs
+/// least-frequent class; the paper writes IF = n_1/n_C but reports values in
+/// (0, 1], i.e. the reciprocal convention — we follow the reported values:
+/// IF = 1 is balanced, IF = 0.01 is extreme imbalance). Counts follow the
+/// standard exponential profile n_c = n_1 * IF^{c / (C-1)}.
+
+#include <cstdint>
+#include <vector>
+
+#include "fedwcm/data/dataset.hpp"
+
+namespace fedwcm::data {
+
+/// Per-class target counts for an exponential long-tail profile.
+/// `n_head` is the count of the most frequent class; IF in (0, 1].
+std::vector<std::size_t> longtail_counts(std::size_t n_head, std::size_t num_classes,
+                                         double imbalance_factor);
+
+/// Measured imbalance factor of a count vector (min/max over non-empty
+/// profile); returns 1 for degenerate inputs.
+double measured_if(std::span<const std::size_t> counts);
+
+/// Subsamples a balanced pool down to a long-tailed global training set.
+/// Sample selection within a class is seed-deterministic. Head count is the
+/// per-class count of the balanced pool.
+std::vector<std::size_t> longtail_subsample(const Dataset& balanced_pool,
+                                            double imbalance_factor,
+                                            std::uint64_t seed);
+
+}  // namespace fedwcm::data

@@ -1,0 +1,209 @@
+#include "fedwcm/data/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "fedwcm/core/rng.hpp"
+
+namespace fedwcm::data {
+
+std::vector<std::size_t> Partition::count_matrix(const Dataset& ds) const {
+  std::vector<std::size_t> m(num_clients() * num_classes, 0);
+  for (std::size_t k = 0; k < num_clients(); ++k)
+    for (std::size_t i : client_indices[k]) ++m[k * num_classes + ds.labels[i]];
+  return m;
+}
+
+std::size_t Partition::total() const {
+  std::size_t n = 0;
+  for (const auto& v : client_indices) n += v.size();
+  return n;
+}
+
+namespace {
+
+/// Largest-remainder rounding of non-negative weights to integers summing to
+/// `total`.
+std::vector<std::size_t> round_to_total(const std::vector<double>& weights,
+                                        std::size_t total) {
+  const std::size_t n = weights.size();
+  double wsum = 0.0;
+  for (double w : weights) wsum += std::max(w, 0.0);
+  std::vector<std::size_t> out(n, 0);
+  if (wsum <= 0.0 || total == 0) {
+    // Spread uniformly.
+    for (std::size_t i = 0; i < total; ++i) ++out[i % std::max<std::size_t>(n, 1)];
+    return out;
+  }
+  std::vector<double> remainders(n);
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double exact = std::max(weights[i], 0.0) / wsum * double(total);
+    out[i] = std::size_t(exact);
+    remainders[i] = exact - double(out[i]);
+    assigned += out[i];
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return remainders[a] > remainders[b]; });
+  for (std::size_t i = 0; assigned < total; ++i, ++assigned) ++out[order[i % n]];
+  return out;
+}
+
+/// Buckets subset indices by class, shuffled deterministically.
+std::vector<std::vector<std::size_t>> class_buckets(
+    const Dataset& ds, std::span<const std::size_t> subset, core::Rng& rng) {
+  std::vector<std::vector<std::size_t>> buckets(ds.num_classes);
+  for (std::size_t i : subset) buckets[ds.labels[i]].push_back(i);
+  for (auto& b : buckets) rng.shuffle(b);
+  return buckets;
+}
+
+}  // namespace
+
+Partition partition_equal_quantity(const Dataset& ds,
+                                   std::span<const std::size_t> subset,
+                                   std::size_t num_clients, double beta,
+                                   std::uint64_t seed) {
+  FEDWCM_CHECK(num_clients > 0, "partition: no clients");
+  core::Rng rng(core::derive_seed(seed, 0xBA1A, num_clients));
+  const std::size_t C = ds.num_classes;
+  auto buckets = class_buckets(ds, subset, rng);
+  std::vector<double> class_avail(C);
+  double total = 0.0;
+  for (std::size_t c = 0; c < C; ++c) {
+    class_avail[c] = double(buckets[c].size());
+    total += class_avail[c];
+  }
+
+  // Step 1: raw Dirichlet(beta) mixture per client (p_{k,c} ~ Dir(beta)).
+  std::vector<std::vector<double>> w(num_clients);
+  for (auto& row : w) row = rng.dirichlet(beta, C);
+
+  // Step 2: Sinkhorn-style reconciliation — alternate scaling so columns
+  // match global class availability and rows match the equal client quota.
+  const double quota = total / double(num_clients);
+  std::vector<std::vector<double>> t(num_clients, std::vector<double>(C));
+  for (std::size_t k = 0; k < num_clients; ++k)
+    for (std::size_t c = 0; c < C; ++c) t[k][c] = w[k][c] * quota;
+  for (int iter = 0; iter < 30; ++iter) {
+    for (std::size_t c = 0; c < C; ++c) {
+      double col = 0.0;
+      for (std::size_t k = 0; k < num_clients; ++k) col += t[k][c];
+      if (col <= 1e-12) continue;
+      const double f = class_avail[c] / col;
+      for (std::size_t k = 0; k < num_clients; ++k) t[k][c] *= f;
+    }
+    for (std::size_t k = 0; k < num_clients; ++k) {
+      double row = 0.0;
+      for (std::size_t c = 0; c < C; ++c) row += t[k][c];
+      if (row <= 1e-12) continue;
+      const double f = quota / row;
+      for (std::size_t c = 0; c < C; ++c) t[k][c] *= f;
+    }
+  }
+
+  // Step 3: per class, integer-round client shares to the class availability
+  // and hand out the actual (pre-shuffled) sample indices.
+  Partition part;
+  part.num_classes = C;
+  part.client_indices.resize(num_clients);
+  for (std::size_t c = 0; c < C; ++c) {
+    std::vector<double> shares(num_clients);
+    for (std::size_t k = 0; k < num_clients; ++k) shares[k] = t[k][c];
+    const auto counts = round_to_total(shares, buckets[c].size());
+    std::size_t cursor = 0;
+    for (std::size_t k = 0; k < num_clients; ++k) {
+      for (std::size_t i = 0; i < counts[k]; ++i)
+        part.client_indices[k].push_back(buckets[c][cursor++]);
+    }
+  }
+  return part;
+}
+
+Partition partition_fedgrab(const Dataset& ds, std::span<const std::size_t> subset,
+                            std::size_t num_clients, double beta,
+                            std::uint64_t seed) {
+  FEDWCM_CHECK(num_clients > 0, "partition: no clients");
+  core::Rng rng(core::derive_seed(seed, 0xF06B, num_clients));
+  const std::size_t C = ds.num_classes;
+  auto buckets = class_buckets(ds, subset, rng);
+
+  Partition part;
+  part.num_classes = C;
+  part.client_indices.resize(num_clients);
+  for (std::size_t c = 0; c < C; ++c) {
+    const auto props = rng.dirichlet(beta, num_clients);
+    const auto counts = round_to_total(props, buckets[c].size());
+    std::size_t cursor = 0;
+    for (std::size_t k = 0; k < num_clients; ++k)
+      for (std::size_t i = 0; i < counts[k]; ++i)
+        part.client_indices[k].push_back(buckets[c][cursor++]);
+  }
+
+  // FedGraB guarantee: every client holds at least one sample — move one from
+  // the largest client to any empty one.
+  for (std::size_t k = 0; k < num_clients; ++k) {
+    if (!part.client_indices[k].empty()) continue;
+    std::size_t donor = 0;
+    for (std::size_t j = 1; j < num_clients; ++j)
+      if (part.client_indices[j].size() > part.client_indices[donor].size()) donor = j;
+    if (part.client_indices[donor].size() <= 1) continue;  // nothing to give
+    part.client_indices[k].push_back(part.client_indices[donor].back());
+    part.client_indices[donor].pop_back();
+  }
+  return part;
+}
+
+PartitionStats summarize(const Partition& p, const Dataset& ds) {
+  PartitionStats s;
+  const std::size_t K = p.num_clients();
+  if (K == 0) return s;
+  std::vector<std::size_t> sizes(K);
+  double total = 0.0;
+  s.min_client_size = SIZE_MAX;
+  for (std::size_t k = 0; k < K; ++k) {
+    sizes[k] = p.client_indices[k].size();
+    total += double(sizes[k]);
+    s.min_client_size = std::min(s.min_client_size, sizes[k]);
+    s.max_client_size = std::max(s.max_client_size, sizes[k]);
+  }
+  s.mean_client_size = total / double(K);
+  double var = 0.0;
+  for (std::size_t k = 0; k < K; ++k) {
+    const double d = double(sizes[k]) - s.mean_client_size;
+    var += d * d;
+  }
+  var /= double(K);
+  s.quantity_cv = s.mean_client_size > 0 ? std::sqrt(var) / s.mean_client_size : 0.0;
+
+  std::vector<std::size_t> sorted = sizes;
+  std::sort(sorted.rbegin(), sorted.rend());
+  const std::size_t decile = std::max<std::size_t>(1, K / 10);
+  double top = 0.0;
+  for (std::size_t k = 0; k < decile; ++k) top += double(sorted[k]);
+  s.top_decile_share = total > 0 ? top / total : 0.0;
+
+  // Global distribution over the union of client data.
+  std::vector<std::size_t> global_counts(ds.num_classes, 0);
+  for (const auto& ci : p.client_indices)
+    for (std::size_t i : ci) ++global_counts[ds.labels[i]];
+  const auto global_dist = normalize_counts(global_counts);
+  double skew = 0.0;
+  std::size_t nonempty = 0;
+  for (const auto& ci : p.client_indices) {
+    if (ci.empty()) continue;
+    const auto local = normalize_counts(ds.class_counts(ci));
+    double l1 = 0.0;
+    for (std::size_t c = 0; c < ds.num_classes; ++c)
+      l1 += std::abs(local[c] - global_dist[c]);
+    skew += l1;
+    ++nonempty;
+  }
+  s.mean_l1_skew = nonempty > 0 ? skew / double(nonempty) : 0.0;
+  return s;
+}
+
+}  // namespace fedwcm::data

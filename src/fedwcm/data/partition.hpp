@@ -1,0 +1,63 @@
+#pragma once
+/// \file partition.hpp
+/// Client data partitioning (§3.2 and Appendix A).
+///
+/// Two pipelines, matching the paper's Figure 2:
+///  * `partition_equal_quantity` — the paper's default ("ours", BalanceFL
+///    style, Fig. 2 right): every client holds ~n/K samples, class mixture
+///    per client drawn from Dirichlet(β), reconciled against the global
+///    (long-tailed) class availability via Sinkhorn-style alternating
+///    normalization + largest-remainder rounding.
+///  * `partition_fedgrab` — the FedGraB/CReFF-style pipeline (Fig. 2 left,
+///    Appendix A): for each class, a Dirichlet(β) draw over clients splits
+///    that class's samples, producing natural quantity skew; every client is
+///    guaranteed at least one sample.
+
+#include <cstdint>
+#include <vector>
+
+#include "fedwcm/data/dataset.hpp"
+
+namespace fedwcm::data {
+
+/// Result of a partition: per-client global-index lists over the (already
+/// long-tail-subsampled) training set.
+struct Partition {
+  std::vector<std::vector<std::size_t>> client_indices;
+  std::size_t num_classes = 0;
+
+  std::size_t num_clients() const { return client_indices.size(); }
+  /// KxC count matrix (flattened row-major) for analysis/printing.
+  std::vector<std::size_t> count_matrix(const Dataset& ds) const;
+  /// Total samples across clients.
+  std::size_t total() const;
+};
+
+/// Equal-quantity Dirichlet partition. `subset` are the indices of the
+/// long-tailed global training set within `ds`.
+Partition partition_equal_quantity(const Dataset& ds,
+                                   std::span<const std::size_t> subset,
+                                   std::size_t num_clients, double beta,
+                                   std::uint64_t seed);
+
+/// FedGraB-style per-class Dirichlet partition with quantity skew.
+Partition partition_fedgrab(const Dataset& ds, std::span<const std::size_t> subset,
+                            std::size_t num_clients, double beta,
+                            std::uint64_t seed);
+
+/// Summary statistics used by the Fig. 2 / Fig. 11 benches.
+struct PartitionStats {
+  std::size_t min_client_size = 0;
+  std::size_t max_client_size = 0;
+  double mean_client_size = 0.0;
+  double quantity_cv = 0.0;  // coefficient of variation of client sizes
+  /// Fraction of total samples held by the largest 10% of clients.
+  double top_decile_share = 0.0;
+  /// Mean over clients of L1 distance between client and global class
+  /// distribution (a heterogeneity measure).
+  double mean_l1_skew = 0.0;
+};
+
+PartitionStats summarize(const Partition& p, const Dataset& ds);
+
+}  // namespace fedwcm::data

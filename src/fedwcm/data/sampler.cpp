@@ -1,0 +1,56 @@
+#include "fedwcm/data/sampler.hpp"
+
+#include <algorithm>
+
+namespace fedwcm::data {
+
+ShufflingBatcher::ShufflingBatcher(std::vector<std::size_t> indices,
+                                   std::size_t batch_size, std::uint64_t seed)
+    : indices_(std::move(indices)),
+      batch_size_(std::max<std::size_t>(1, batch_size)),
+      rng_(seed) {
+  FEDWCM_CHECK(!indices_.empty(), "ShufflingBatcher: empty index set");
+  rng_.shuffle(indices_);
+}
+
+std::size_t ShufflingBatcher::batches_per_epoch() const {
+  return (indices_.size() + batch_size_ - 1) / batch_size_;
+}
+
+void ShufflingBatcher::next_batch(std::vector<std::size_t>& out) {
+  if (cursor_ >= indices_.size()) {
+    rng_.shuffle(indices_);
+    cursor_ = 0;
+  }
+  const std::size_t take = std::min(batch_size_, indices_.size() - cursor_);
+  out.assign(indices_.begin() + std::ptrdiff_t(cursor_),
+             indices_.begin() + std::ptrdiff_t(cursor_ + take));
+  cursor_ += take;
+}
+
+BalancedClassSampler::BalancedClassSampler(const Dataset& ds,
+                                           std::vector<std::size_t> indices,
+                                           std::size_t batch_size, std::uint64_t seed)
+    : batch_size_(std::max<std::size_t>(1, batch_size)),
+      n_total_(indices.size()),
+      rng_(seed) {
+  FEDWCM_CHECK(!indices.empty(), "BalancedClassSampler: empty index set");
+  std::vector<std::vector<std::size_t>> buckets(ds.num_classes);
+  for (std::size_t i : indices) buckets[ds.labels[i]].push_back(i);
+  for (auto& b : buckets)
+    if (!b.empty()) by_class_.push_back(std::move(b));
+}
+
+std::size_t BalancedClassSampler::batches_per_epoch() const {
+  return (n_total_ + batch_size_ - 1) / batch_size_;
+}
+
+void BalancedClassSampler::next_batch(std::vector<std::size_t>& out) {
+  out.resize(batch_size_);
+  for (std::size_t i = 0; i < batch_size_; ++i) {
+    const auto& bucket = by_class_[std::size_t(rng_.uniform_index(by_class_.size()))];
+    out[i] = bucket[std::size_t(rng_.uniform_index(bucket.size()))];
+  }
+}
+
+}  // namespace fedwcm::data

@@ -1,0 +1,61 @@
+#pragma once
+/// \file sampler.hpp
+/// Mini-batch samplers for local client training.
+///
+/// `ShufflingBatcher` is the standard epoch-shuffled batcher. `BalancedClassSampler`
+/// implements the paper's "Balance Sampler" baseline (uniform class sampling
+/// with replacement, so tail classes appear as often as head classes).
+
+#include <cstdint>
+#include <vector>
+
+#include "fedwcm/core/rng.hpp"
+#include "fedwcm/data/dataset.hpp"
+
+namespace fedwcm::data {
+
+class BatchSampler {
+ public:
+  virtual ~BatchSampler() = default;
+  /// Number of batches per epoch.
+  virtual std::size_t batches_per_epoch() const = 0;
+  /// Fills `out` with the global dataset indices of the next batch.
+  virtual void next_batch(std::vector<std::size_t>& out) = 0;
+};
+
+/// Epoch-shuffled sequential batching over a fixed index set. The final
+/// partial batch is kept (dropped only if empty).
+class ShufflingBatcher final : public BatchSampler {
+ public:
+  ShufflingBatcher(std::vector<std::size_t> indices, std::size_t batch_size,
+                   std::uint64_t seed);
+
+  std::size_t batches_per_epoch() const override;
+  void next_batch(std::vector<std::size_t>& out) override;
+
+ private:
+  std::vector<std::size_t> indices_;
+  std::size_t batch_size_;
+  std::size_t cursor_ = 0;
+  core::Rng rng_;
+};
+
+/// Class-balanced sampling with replacement: each draw picks a class
+/// uniformly among the classes this client owns, then a sample uniformly
+/// within that class.
+class BalancedClassSampler final : public BatchSampler {
+ public:
+  BalancedClassSampler(const Dataset& ds, std::vector<std::size_t> indices,
+                       std::size_t batch_size, std::uint64_t seed);
+
+  std::size_t batches_per_epoch() const override;
+  void next_batch(std::vector<std::size_t>& out) override;
+
+ private:
+  std::vector<std::vector<std::size_t>> by_class_;  // only non-empty classes
+  std::size_t batch_size_;
+  std::size_t n_total_;
+  core::Rng rng_;
+};
+
+}  // namespace fedwcm::data

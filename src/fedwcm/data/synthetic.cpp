@@ -1,0 +1,188 @@
+#include "fedwcm/data/synthetic.hpp"
+
+#include <cmath>
+
+#include "fedwcm/core/rng.hpp"
+
+namespace fedwcm::data {
+
+SyntheticSpec synthetic_fmnist() {
+  SyntheticSpec s;
+  s.name = "synthetic_fmnist";
+  s.num_classes = 10;
+  s.input_dim = 24;
+  s.subclusters = 2;
+  s.train_per_class = 300;
+  s.test_per_class = 60;
+  s.class_separation = 3.5f;
+  s.noise = 1.0f;
+  s.warp = 0.4f;
+  return s;
+}
+
+SyntheticSpec synthetic_svhn() {
+  SyntheticSpec s;
+  s.name = "synthetic_svhn";
+  s.num_classes = 10;
+  s.input_dim = 32;
+  s.subclusters = 3;
+  s.train_per_class = 300;
+  s.test_per_class = 60;
+  s.class_separation = 3.2f;
+  s.noise = 1.1f;
+  s.warp = 0.5f;
+  return s;
+}
+
+SyntheticSpec synthetic_cifar10() {
+  SyntheticSpec s;
+  s.name = "synthetic_cifar10";
+  s.num_classes = 10;
+  s.input_dim = 32;
+  s.subclusters = 3;
+  s.train_per_class = 300;
+  s.test_per_class = 60;
+  s.class_separation = 2.8f;
+  s.noise = 1.2f;
+  s.warp = 0.6f;
+  return s;
+}
+
+SyntheticSpec synthetic_cifar100() {
+  SyntheticSpec s;
+  s.name = "synthetic_cifar100";
+  s.num_classes = 50;  // scaled from 100 for single-core tractability
+  s.input_dim = 48;
+  s.subclusters = 2;
+  s.train_per_class = 80;
+  s.test_per_class = 20;
+  s.class_separation = 3.0f;
+  s.noise = 1.2f;
+  s.warp = 0.5f;
+  return s;
+}
+
+SyntheticSpec synthetic_imagenet() {
+  SyntheticSpec s;
+  s.name = "synthetic_imagenet";
+  s.num_classes = 64;  // scaled stand-in for the ImageNet subset
+  s.input_dim = 64;
+  s.subclusters = 2;
+  s.train_per_class = 60;
+  s.test_per_class = 15;
+  s.class_separation = 2.6f;
+  s.noise = 1.3f;
+  s.warp = 0.6f;
+  return s;
+}
+
+SyntheticSpec synthetic_tiny_images() {
+  SyntheticSpec s;
+  s.name = "synthetic_tiny_images";
+  s.num_classes = 10;
+  s.channels = 1;
+  s.height = 8;
+  s.width = 8;
+  s.input_dim = 64;
+  s.subclusters = 2;
+  s.train_per_class = 150;
+  s.test_per_class = 40;
+  s.class_separation = 5.0f;
+  s.noise = 0.8f;
+  s.warp = 0.3f;
+  return s;
+}
+
+std::vector<SyntheticSpec> all_paper_specs() {
+  return {synthetic_fmnist(), synthetic_svhn(), synthetic_cifar10(),
+          synthetic_cifar100(), synthetic_imagenet()};
+}
+
+namespace {
+
+/// Shared random nonlinearity: x <- x + warp * tanh(R x), with R a fixed
+/// random matrix. Keeps scale bounded while making class regions nonconvex.
+class Warp {
+ public:
+  Warp(std::size_t dim, float strength, core::Rng& rng)
+      : r_(dim, dim), strength_(strength) {
+    const float scale = 1.0f / std::sqrt(float(dim));
+    for (float& v : r_.span()) v = float(rng.normal(0.0, scale));
+  }
+
+  void apply(std::span<float> x) const {
+    const std::size_t d = x.size();
+    std::vector<float> h(d, 0.0f);
+    for (std::size_t i = 0; i < d; ++i) {
+      const float* row = r_.data() + i * d;
+      float acc = 0.0f;
+      for (std::size_t j = 0; j < d; ++j) acc += row[j] * x[j];
+      h[i] = std::tanh(acc);
+    }
+    for (std::size_t i = 0; i < d; ++i) x[i] += strength_ * h[i];
+  }
+
+ private:
+  Matrix r_;
+  float strength_;
+};
+
+}  // namespace
+
+TrainTest generate(const SyntheticSpec& spec, std::uint64_t seed) {
+  FEDWCM_CHECK(spec.num_classes > 0 && spec.input_dim > 0 && spec.subclusters > 0,
+               "generate: degenerate spec");
+  core::Rng struct_rng(core::derive_seed(seed, 0xDA7A, 1));
+  const std::size_t d = spec.input_dim;
+
+  // Sub-cluster means: direction uniform on the sphere, length = separation.
+  std::vector<std::vector<float>> means(spec.num_classes * spec.subclusters,
+                                        std::vector<float>(d));
+  for (auto& mu : means) {
+    double norm_sq = 0.0;
+    for (float& v : mu) {
+      v = float(struct_rng.normal());
+      norm_sq += double(v) * double(v);
+    }
+    const float inv = spec.class_separation / float(std::sqrt(norm_sq) + 1e-9);
+    for (float& v : mu) v *= inv;
+  }
+  const Warp warp(d, spec.warp, struct_rng);
+
+  auto make_split = [&](std::size_t per_class, std::uint64_t stream) {
+    Dataset ds;
+    ds.num_classes = spec.num_classes;
+    const std::size_t n = per_class * spec.num_classes;
+    ds.features = Matrix(n, d);
+    ds.labels.resize(n);
+    core::Rng rng(core::derive_seed(seed, 0x5A3D, stream));
+    std::size_t row = 0;
+    for (std::size_t c = 0; c < spec.num_classes; ++c) {
+      for (std::size_t s = 0; s < per_class; ++s) {
+        const std::size_t sub = std::size_t(rng.uniform_index(spec.subclusters));
+        const auto& mu = means[c * spec.subclusters + sub];
+        float* x = ds.features.data() + row * d;
+        for (std::size_t j = 0; j < d; ++j)
+          x[j] = mu[j] + spec.noise * float(rng.normal());
+        warp.apply({x, d});
+        ds.labels[row] = c;
+        ++row;
+      }
+    }
+    return ds;
+  };
+
+  TrainTest out;
+  out.train = make_split(spec.train_per_class, /*stream=*/2);
+  out.test = make_split(spec.test_per_class, /*stream=*/3);
+  if (spec.label_noise > 0.0f) {
+    core::Rng noise_rng(core::derive_seed(seed, 0x1ABE1, 5));
+    for (std::size_t i = 0; i < out.train.size(); ++i)
+      if (noise_rng.uniform() < double(spec.label_noise))
+        out.train.labels[i] =
+            std::size_t(noise_rng.uniform_index(spec.num_classes));
+  }
+  return out;
+}
+
+}  // namespace fedwcm::data

@@ -1,0 +1,62 @@
+#pragma once
+/// \file synthetic.hpp
+/// Synthetic class-conditional dataset generators.
+///
+/// Substitution rationale (DESIGN.md §1): the phenomena the paper studies —
+/// long-tail imbalance, Dirichlet client skew, momentum-induced minority
+/// collapse — are properties of the *label distribution* interacting with
+/// gradient dynamics, not of natural-image pixels. Each named generator
+/// mirrors one of the paper's datasets in class count and rough difficulty:
+/// classes are Gaussian sub-cluster mixtures in R^d pushed through a shared
+/// random nonlinearity, so the Bayes classifier is nonlinear and an MLP has
+/// real work to do.
+
+#include <cstdint>
+#include <string>
+
+#include "fedwcm/data/dataset.hpp"
+
+namespace fedwcm::data {
+
+struct SyntheticSpec {
+  std::string name;
+  std::size_t num_classes = 10;
+  std::size_t input_dim = 32;
+  std::size_t subclusters = 2;      // Gaussian modes per class
+  std::size_t train_per_class = 400; // balanced pool; long-tail subsamples this
+  std::size_t test_per_class = 100;  // test set stays balanced (paper protocol)
+  float class_separation = 3.0f;     // distance scale between class means
+  float noise = 1.0f;                // within-cluster stddev
+  float warp = 0.5f;                 // strength of the shared nonlinearity
+  /// Fraction of *training* labels flipped uniformly at random. Mirrors the
+  /// annotation noise of real sensor/IoT corpora and keeps local gradients
+  /// from vanishing (deep nets on natural images share this property); the
+  /// test split is never corrupted.
+  float label_noise = 0.0f;
+
+  /// Image-shaped variant metadata (used by the conv examples); zero means
+  /// "not image shaped".
+  std::size_t channels = 0, height = 0, width = 0;
+};
+
+/// Named analogs of the paper's five datasets (scaled for single-core runs).
+SyntheticSpec synthetic_fmnist();
+SyntheticSpec synthetic_svhn();
+SyntheticSpec synthetic_cifar10();
+SyntheticSpec synthetic_cifar100();
+SyntheticSpec synthetic_imagenet();
+/// Small image-shaped spec (1x8x8) for the conv-backbone tests/examples.
+SyntheticSpec synthetic_tiny_images();
+
+/// All five paper-analog specs in evaluation order.
+std::vector<SyntheticSpec> all_paper_specs();
+
+struct TrainTest {
+  Dataset train;  // balanced pool of spec.train_per_class per class
+  Dataset test;   // balanced, spec.test_per_class per class
+};
+
+/// Deterministically generates the balanced train pool + test set.
+TrainTest generate(const SyntheticSpec& spec, std::uint64_t seed);
+
+}  // namespace fedwcm::data

@@ -1,0 +1,53 @@
+#pragma once
+/// \file algorithm.hpp
+/// The federated `Algorithm` interface.
+///
+/// A `Simulation` drives an `Algorithm` through rounds:
+///   initialize(ctx) → for each round: begin_round → local_update (parallel,
+///   one call per sampled client) → aggregate.
+/// `local_update` must be thread-safe across *different* clients: per-client
+/// persistent state (control variates, FedDyn h_i, ...) may be written
+/// without locks because a client is sampled at most once per round; shared
+/// algorithm state may only be written in begin_round/aggregate.
+
+#include <span>
+#include <string>
+
+#include "fedwcm/fl/context.hpp"
+#include "fedwcm/fl/local.hpp"
+
+namespace fedwcm::fl {
+
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once before round 0. Default stores the context pointer;
+  /// overrides must call the base.
+  virtual void initialize(const FlContext& ctx) { ctx_ = &ctx; }
+
+  /// Server-side hook before the round's local training.
+  virtual void begin_round(std::size_t round, std::span<const std::size_t> sampled) {
+    (void)round;
+    (void)sampled;
+  }
+
+  /// Local training for one sampled client starting from `global`.
+  virtual LocalResult local_update(std::size_t client, const ParamVector& global,
+                                   std::size_t round, Worker& worker) = 0;
+
+  /// Folds this round's results into `global` (in place).
+  virtual void aggregate(std::span<const LocalResult> results, std::size_t round,
+                         ParamVector& global) = 0;
+
+  /// Diagnostics surfaced in RoundRecord (0 when not applicable).
+  virtual float current_alpha() const { return 0.0f; }
+  virtual float momentum_norm() const { return 0.0f; }
+
+ protected:
+  const FlContext* ctx_ = nullptr;
+};
+
+}  // namespace fedwcm::fl

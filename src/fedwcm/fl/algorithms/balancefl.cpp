@@ -1,0 +1,78 @@
+#include "fedwcm/fl/algorithms/balancefl.hpp"
+
+#include "fedwcm/core/rng.hpp"
+#include "fedwcm/nn/linear.hpp"
+
+namespace fedwcm::fl {
+
+HeadLayout find_head_layout(const nn::Sequential& model) {
+  HeadLayout head;
+  bool found = false;
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    const nn::Layer& layer = model.layer(i);
+    if (const auto* linear = dynamic_cast<const nn::Linear*>(&layer)) {
+      head.weight_offset = offset;
+      head.in_features = linear->in_features();
+      head.out_features = linear->out_features();
+      head.has_bias =
+          linear->param_count() > linear->in_features() * linear->out_features();
+      head.bias_offset = offset + head.in_features * head.out_features;
+      found = true;
+    }
+    offset += layer.param_count();
+  }
+  FEDWCM_CHECK(found, "find_head_layout: model has no Linear layer");
+  return head;
+}
+
+void mask_absent_class_gradients(core::ParamVector& grad, const HeadLayout& head,
+                                 std::span<const char> present) {
+  FEDWCM_CHECK(present.size() == head.out_features,
+               "mask_absent_class_gradients: class count mismatch");
+  for (std::size_t c = 0; c < head.out_features; ++c) {
+    if (present[c]) continue;
+    // W is (in, out) row-major: class c is a strided column.
+    for (std::size_t r = 0; r < head.in_features; ++r)
+      grad[head.weight_offset + r * head.out_features + c] = 0.0f;
+    if (head.has_bias) grad[head.bias_offset + c] = 0.0f;
+  }
+}
+
+void BalanceFL::initialize(const FlContext& ctx) {
+  FedAvg::initialize(ctx);
+  const nn::Sequential probe = ctx.model_factory();
+  head_ = find_head_layout(probe);
+  FEDWCM_CHECK(head_.out_features == ctx.num_classes(),
+               "BalanceFL: classifier width != class count");
+  present_.assign(ctx.num_clients(), std::vector<char>(ctx.num_classes(), 0));
+  for (std::size_t k = 0; k < ctx.num_clients(); ++k)
+    for (std::size_t c = 0; c < ctx.num_classes(); ++c)
+      present_[k][c] = ctx.client_class_counts[k][c] > 0 ? 1 : 0;
+}
+
+LocalResult BalanceFL::local_update(std::size_t client, const ParamVector& global,
+                                    std::size_t round, Worker& worker) {
+  // Prior-compensated loss on the local counts.
+  std::vector<float> counts(ctx_->num_classes());
+  for (std::size_t c = 0; c < counts.size(); ++c)
+    counts[c] = float(ctx_->client_class_counts[client][c]);
+  nn::BalancedSoftmaxLoss loss(std::move(counts));
+
+  // Class-balanced resampling regardless of the global sampler config.
+  data::BalancedClassSampler sampler(
+      *ctx_->train, ctx_->partition->client_indices[client],
+      ctx_->config->batch_size,
+      core::derive_seed(ctx_->config->seed, round + 1, client + 1, 0xBA1F));
+
+  const HeadLayout head = head_;
+  const std::vector<char>& present = present_[client];
+  return run_local_sgd(
+      *ctx_, worker, client, global, ctx_->config->local_lr, loss, sampler,
+      [head, &present](const ParamVector& g, const ParamVector&, ParamVector& v) {
+        v = g;
+        mask_absent_class_gradients(v, head, present);
+      });
+}
+
+}  // namespace fedwcm::fl

@@ -1,0 +1,53 @@
+#pragma once
+/// \file balancefl.hpp
+/// BalanceFL (Shuai et al.) — simplified reimplementation (DESIGN.md §1).
+///
+/// BalanceFL's "local update scheme" makes each client behave as if it were
+/// trained on a uniform distribution. Our reimplementation keeps its three
+/// operative ingredients:
+///  * class-balanced resampling of the local data (uniform class draws),
+///  * prior-compensated loss (balanced softmax on the local counts), and
+///  * knowledge inheritance for locally-absent classes: the classifier-head
+///    columns of classes the client does not own are frozen during local
+///    training (gradient-masked), so the global model's knowledge of those
+///    classes is not overwritten.
+/// Aggregation is FedAvg-style sample-weighted averaging.
+
+#include "fedwcm/fl/algorithm.hpp"
+#include "fedwcm/fl/algorithms/fedavg.hpp"
+
+namespace fedwcm::fl {
+
+/// Flat-parameter layout of the model's final Linear layer (the classifier
+/// head), discovered from the model factory at initialize time.
+struct HeadLayout {
+  std::size_t weight_offset = 0;  ///< Start of W (in x out, row-major).
+  std::size_t in_features = 0;
+  std::size_t out_features = 0;
+  std::size_t bias_offset = 0;  ///< Start of b; == weight end when present.
+  bool has_bias = false;
+};
+
+/// Inspects a model and returns the layout of its last Linear layer.
+/// Throws if the model has no Linear layer.
+HeadLayout find_head_layout(const nn::Sequential& model);
+
+/// Zeroes the classifier-head gradient entries of every class not present in
+/// `present` (non-zero = client owns samples of that class).
+void mask_absent_class_gradients(core::ParamVector& grad, const HeadLayout& head,
+                                 std::span<const char> present);
+
+class BalanceFL final : public FedAvg {
+ public:
+  std::string name() const override { return "balancefl"; }
+  void initialize(const FlContext& ctx) override;
+  LocalResult local_update(std::size_t client, const ParamVector& global,
+                           std::size_t round, Worker& worker) override;
+
+ private:
+  HeadLayout head_;
+  /// present_[k][c] != 0: client k owns samples of class c.
+  std::vector<std::vector<char>> present_;
+};
+
+}  // namespace fedwcm::fl

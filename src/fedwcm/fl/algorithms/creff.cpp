@@ -1,0 +1,110 @@
+#include "fedwcm/fl/algorithms/creff.hpp"
+
+#include "fedwcm/nn/linear.hpp"
+
+namespace fedwcm::fl {
+
+void CReFF::initialize(const FlContext& ctx) {
+  FedAvg::initialize(ctx);
+  probe_model_ = ctx.model_factory();
+  head_ = find_head_layout(probe_model_);
+  FEDWCM_CHECK(head_.out_features == ctx.num_classes(),
+               "CReFF: classifier width != class count");
+  // Locate the head layer's index so we can read its *input* activations.
+  head_layer_index_ = 0;
+  for (std::size_t i = 0; i < probe_model_.layer_count(); ++i)
+    if (dynamic_cast<const nn::Linear*>(&probe_model_.layer(i)) != nullptr)
+      head_layer_index_ = i;
+  prototypes_ = core::Matrix(ctx.num_classes(), head_.in_features);
+  prototype_weight_.assign(ctx.num_classes(), 0.0);
+}
+
+void CReFF::gather_prototypes(std::span<const LocalResult> results,
+                              const ParamVector& global) {
+  prototypes_.zero();
+  std::fill(prototype_weight_.begin(), prototype_weight_.end(), 0.0);
+  probe_model_.set_params(global);
+
+  core::Matrix x;
+  std::vector<std::size_t> y;
+  for (const auto& r : results) {
+    const auto& indices = ctx_->partition->client_indices[r.client];
+    if (indices.empty()) continue;
+    // One pass over the client's data in chunks; accumulate per-class sums of
+    // the head-input features.
+    const std::size_t chunk = ctx_->config->eval_batch;
+    std::size_t done = 0;
+    while (done < indices.size()) {
+      const std::size_t take = std::min(chunk, indices.size() - done);
+      std::vector<std::size_t> batch(indices.begin() + std::ptrdiff_t(done),
+                                     indices.begin() + std::ptrdiff_t(done + take));
+      data::gather_batch(*ctx_->train, batch, x, y);
+      probe_model_.forward(x);
+      const core::Matrix& feats = probe_model_.activations()[head_layer_index_];
+      for (std::size_t row = 0; row < feats.rows(); ++row) {
+        const std::size_t c = y[row];
+        float* dst = prototypes_.data() + c * head_.in_features;
+        const float* src = feats.data() + row * head_.in_features;
+        for (std::size_t j = 0; j < head_.in_features; ++j) dst[j] += src[j];
+        prototype_weight_[c] += 1.0;
+      }
+      done += take;
+    }
+  }
+  for (std::size_t c = 0; c < prototype_weight_.size(); ++c) {
+    if (prototype_weight_[c] <= 0.0) continue;
+    const float inv = float(1.0 / prototype_weight_[c]);
+    float* row = prototypes_.data() + c * head_.in_features;
+    for (std::size_t j = 0; j < head_.in_features; ++j) row[j] *= inv;
+  }
+}
+
+void CReFF::retrain_head(ParamVector& global) {
+  // Balanced CE on the prototype set: one prototype per observed class.
+  std::vector<std::size_t> observed;
+  for (std::size_t c = 0; c < prototype_weight_.size(); ++c)
+    if (prototype_weight_[c] > 0.0) observed.push_back(c);
+  if (observed.size() < 2) return;  // nothing balanced to fit
+
+  core::Matrix x(observed.size(), head_.in_features);
+  std::vector<std::size_t> y(observed.size());
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const float* src = prototypes_.data() + observed[i] * head_.in_features;
+    std::copy(src, src + head_.in_features, x.data() + i * head_.in_features);
+    y[i] = observed[i];
+  }
+
+  // A standalone head replica trained on the prototypes.
+  nn::Linear headline(head_.in_features, head_.out_features, head_.has_bias);
+  headline.set_params(std::span<const float>(global).subspan(
+      head_.weight_offset, headline.param_count()));
+  nn::CrossEntropyLoss ce;
+  core::Matrix logits, dlogits, grad_in;
+  std::vector<float> grads(headline.param_count());
+  std::vector<float> params(headline.param_count());
+  for (std::size_t step = 0; step < options_.retrain_steps; ++step) {
+    headline.zero_grads();
+    headline.forward(x, logits);
+    ce.compute(logits, y, dlogits);
+    headline.backward(dlogits, grad_in);
+    headline.copy_grads_to(grads);
+    headline.copy_params_to(params);
+    for (std::size_t i = 0; i < params.size(); ++i)
+      params[i] -= options_.retrain_lr * grads[i];
+    headline.set_params(params);
+  }
+  headline.copy_params_to(params);
+  std::copy(params.begin(), params.end(),
+            global.begin() + std::ptrdiff_t(head_.weight_offset));
+}
+
+void CReFF::aggregate(std::span<const LocalResult> results, std::size_t round,
+                      ParamVector& global) {
+  FedAvg::aggregate(results, round, global);
+  const bool last = round + 1 == ctx_->config->rounds;
+  if (!last && (round + 1) % options_.retrain_every != 0) return;
+  gather_prototypes(results, global);
+  retrain_head(global);
+}
+
+}  // namespace fedwcm::fl

@@ -1,0 +1,59 @@
+#pragma once
+/// \file creff.hpp
+/// CReFF (Shang et al.) — simplified reimplementation (DESIGN.md §1).
+///
+/// CReFF alleviates long-tail bias by *retraining the classifier head on
+/// federated features*: clients share class-conditional feature statistics
+/// instead of raw data, and the server re-fits a balanced classifier on
+/// them. Our faithful-simplified version:
+///  * backbone training is FedAvg;
+///  * every `retrain_every` rounds, the sampled clients compute per-class
+///    mean penultimate-layer features ("federated features" — prototypes),
+///    the server aggregates them count-weighted per class, and
+///  * the server retrains only the classifier head with balanced
+///    cross-entropy steps on the prototype set.
+/// The original additionally learns synthetic features by gradient matching;
+/// prototype means preserve the mechanism (balanced head, untouched
+/// backbone) at simulation scale.
+
+#include "fedwcm/fl/algorithms/balancefl.hpp"  // HeadLayout
+#include "fedwcm/fl/algorithms/fedavg.hpp"
+
+namespace fedwcm::fl {
+
+struct CreffOptions {
+  std::size_t retrain_every = 5;   ///< Head retraining cadence (rounds).
+  std::size_t retrain_steps = 20;  ///< SGD steps on the prototype set.
+  float retrain_lr = 0.1f;
+};
+
+class CReFF final : public FedAvg {
+ public:
+  explicit CReFF(CreffOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "creff"; }
+  void initialize(const FlContext& ctx) override;
+  void aggregate(std::span<const LocalResult> results, std::size_t round,
+                 ParamVector& global) override;
+
+  /// Class prototypes gathered on the most recent retraining round
+  /// (C x feature_dim, row-major); exposed for tests.
+  const core::Matrix& prototypes() const { return prototypes_; }
+
+ private:
+  /// Gathers count-weighted per-class mean features across all clients of
+  /// the round under the current global model.
+  void gather_prototypes(std::span<const LocalResult> results,
+                         const ParamVector& global);
+  /// Balanced head retraining on the prototypes (in place on `global`).
+  void retrain_head(ParamVector& global);
+
+  CreffOptions options_;
+  HeadLayout head_;
+  std::size_t head_layer_index_ = 0;  ///< Layer index of the classifier head.
+  nn::Sequential probe_model_;
+  core::Matrix prototypes_;
+  std::vector<double> prototype_weight_;
+};
+
+}  // namespace fedwcm::fl

@@ -1,0 +1,70 @@
+#include "fedwcm/fl/algorithms/fedavg.hpp"
+
+namespace fedwcm::fl {
+
+ParamVector sample_weighted_delta(std::span<const LocalResult> results) {
+  FEDWCM_CHECK(!results.empty(), "aggregate: no results");
+  double total = 0.0;
+  for (const auto& r : results) total += double(r.num_samples);
+  ParamVector agg;
+  for (const auto& r : results)
+    core::pv::accumulate(agg, float(double(r.num_samples) / total), r.delta);
+  return agg;
+}
+
+ParamVector uniform_delta(std::span<const LocalResult> results) {
+  FEDWCM_CHECK(!results.empty(), "aggregate: no results");
+  const float w = 1.0f / float(results.size());
+  ParamVector agg;
+  for (const auto& r : results) core::pv::accumulate(agg, w, r.delta);
+  return agg;
+}
+
+double mean_steps(std::span<const LocalResult> results) {
+  double steps = 0.0;
+  for (const auto& r : results) steps += double(r.num_steps);
+  return results.empty() ? 1.0 : std::max(1.0, steps / double(results.size()));
+}
+
+LocalResult FedAvg::local_update(std::size_t client, const ParamVector& global,
+                                 std::size_t round, Worker& worker) {
+  const auto loss = ctx_->loss_factory(client);
+  return run_local_sgd(*ctx_, worker, client, global, round, ctx_->config->local_lr,
+                       *loss,
+                       [](const ParamVector& g, const ParamVector&, ParamVector& v) {
+                         v = g;
+                       });
+}
+
+void FedAvg::aggregate(std::span<const LocalResult> results, std::size_t,
+                       ParamVector& global) {
+  const ParamVector agg = sample_weighted_delta(results);
+  core::pv::axpy(-ctx_->config->global_lr, agg, global);
+}
+
+LocalResult FedProx::local_update(std::size_t client, const ParamVector& global,
+                                  std::size_t round, Worker& worker) {
+  const auto loss = ctx_->loss_factory(client);
+  const float mu = mu_;
+  return run_local_sgd(
+      *ctx_, worker, client, global, round, ctx_->config->local_lr, *loss,
+      [&global, mu](const ParamVector& g, const ParamVector& x, ParamVector& v) {
+        v = g;
+        for (std::size_t i = 0; i < v.size(); ++i) v[i] += mu * (x[i] - global[i]);
+      });
+}
+
+void FedAvgM::initialize(const FlContext& ctx) {
+  Algorithm::initialize(ctx);
+  m_.assign(ctx.param_count, 0.0f);
+}
+
+void FedAvgM::aggregate(std::span<const LocalResult> results, std::size_t,
+                        ParamVector& global) {
+  const ParamVector agg = sample_weighted_delta(results);
+  core::pv::scale(beta_, m_);
+  core::pv::axpy(1.0f, agg, m_);
+  core::pv::axpy(-ctx_->config->global_lr, m_, global);
+}
+
+}  // namespace fedwcm::fl

@@ -1,0 +1,58 @@
+#pragma once
+/// \file fedavg.hpp
+/// FedAvg (McMahan et al.) and FedProx (Li et al.) baselines, plus FedAvgM
+/// (server-side momentum, SlowMo-style).
+
+#include "fedwcm/fl/algorithm.hpp"
+
+namespace fedwcm::fl {
+
+/// Plain FedAvg: local SGD, sample-count-weighted averaging of client deltas,
+/// server step x <- x - eta_g * agg.
+class FedAvg : public Algorithm {
+ public:
+  std::string name() const override { return "fedavg"; }
+  LocalResult local_update(std::size_t client, const ParamVector& global,
+                           std::size_t round, Worker& worker) override;
+  void aggregate(std::span<const LocalResult> results, std::size_t round,
+                 ParamVector& global) override;
+};
+
+/// FedProx: FedAvg with a proximal term mu/2 ||x - x_r||^2 in the local
+/// objective (direction v = g + mu (x - x_r)).
+class FedProx final : public FedAvg {
+ public:
+  explicit FedProx(float mu = 0.01f) : mu_(mu) {}
+  std::string name() const override { return "fedprox"; }
+  LocalResult local_update(std::size_t client, const ParamVector& global,
+                           std::size_t round, Worker& worker) override;
+
+ private:
+  float mu_;
+};
+
+/// FedAvgM: FedAvg local training with a server-side momentum buffer
+/// m <- beta m + agg, x <- x - eta_g m.
+class FedAvgM final : public FedAvg {
+ public:
+  explicit FedAvgM(float beta = 0.9f) : beta_(beta) {}
+  std::string name() const override { return "fedavgm"; }
+  void initialize(const FlContext& ctx) override;
+  void aggregate(std::span<const LocalResult> results, std::size_t round,
+                 ParamVector& global) override;
+  float momentum_norm() const override { return core::pv::l2_norm(m_); }
+
+ private:
+  float beta_;
+  ParamVector m_;
+};
+
+/// Shared helper: agg = sum_k weight_k * delta_k with weights proportional to
+/// client sample counts (FedAvg weighting).
+ParamVector sample_weighted_delta(std::span<const LocalResult> results);
+/// Uniform (1/|P|) aggregation used by the momentum family.
+ParamVector uniform_delta(std::span<const LocalResult> results);
+/// Mean local step count of the round (the B in Delta_{r+1} = agg/(eta_l B)).
+double mean_steps(std::span<const LocalResult> results);
+
+}  // namespace fedwcm::fl

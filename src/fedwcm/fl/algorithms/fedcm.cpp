@@ -1,0 +1,35 @@
+#include "fedwcm/fl/algorithms/fedcm.hpp"
+
+#include "fedwcm/fl/algorithms/fedavg.hpp"
+
+namespace fedwcm::fl {
+
+void FedCM::initialize(const FlContext& ctx) {
+  Algorithm::initialize(ctx);
+  momentum_.assign(ctx.param_count, 0.0f);
+}
+
+LocalResult FedCM::local_update(std::size_t client, const ParamVector& global,
+                                std::size_t round, Worker& worker) {
+  const auto loss = ctx_->loss_factory(client);
+  const float alpha = alpha_;
+  const ParamVector& momentum = momentum_;
+  return run_local_sgd(
+      *ctx_, worker, client, global, round, ctx_->config->local_lr, *loss,
+      [alpha, &momentum](const ParamVector& g, const ParamVector&, ParamVector& v) {
+        v = core::pv::blend(alpha, g, 1.0f - alpha, momentum);
+      });
+}
+
+void FedCM::aggregate(std::span<const LocalResult> results, std::size_t,
+                      ParamVector& global) {
+  const ParamVector agg = uniform_delta(results);
+  // Delta_{r+1} = agg / (eta_l * B): converts the displacement back to
+  // gradient units so clients can blend it with raw gradients next round.
+  momentum_ = agg;
+  core::pv::scale(1.0f / (ctx_->config->local_lr * float(mean_steps(results))),
+                  momentum_);
+  core::pv::axpy(-ctx_->config->global_lr, agg, global);
+}
+
+}  // namespace fedwcm::fl

@@ -1,0 +1,35 @@
+#pragma once
+/// \file fedcm.hpp
+/// FedCM (Xu et al.): client-level momentum.
+///
+/// Clients blend their mini-batch gradient with the global momentum
+/// Delta_r (Eq. 2/6): v = alpha * g + (1 - alpha) * Delta_r, with fixed
+/// alpha (0.1 in the paper). The server averages client deltas uniformly and
+/// refreshes Delta_{r+1} = agg / (eta_l * B) (Algorithm 1's normalization,
+/// with the sign convention of LocalResult::delta).
+
+#include "fedwcm/fl/algorithm.hpp"
+
+namespace fedwcm::fl {
+
+class FedCM : public Algorithm {
+ public:
+  explicit FedCM(float alpha = 0.1f) : alpha_(alpha) {}
+
+  std::string name() const override { return "fedcm"; }
+  void initialize(const FlContext& ctx) override;
+  LocalResult local_update(std::size_t client, const ParamVector& global,
+                           std::size_t round, Worker& worker) override;
+  void aggregate(std::span<const LocalResult> results, std::size_t round,
+                 ParamVector& global) override;
+
+  float current_alpha() const override { return alpha_; }
+  float momentum_norm() const override { return core::pv::l2_norm(momentum_); }
+  const ParamVector& momentum() const { return momentum_; }
+
+ protected:
+  float alpha_;
+  ParamVector momentum_;  ///< Delta_r, gradient-direction units.
+};
+
+}  // namespace fedwcm::fl

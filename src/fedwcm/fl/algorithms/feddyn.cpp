@@ -1,0 +1,44 @@
+#include "fedwcm/fl/algorithms/feddyn.hpp"
+
+namespace fedwcm::fl {
+
+void FedDyn::initialize(const FlContext& ctx) {
+  Algorithm::initialize(ctx);
+  h_.assign(ctx.param_count, 0.0f);
+  client_grad_.assign(ctx.num_clients(), ParamVector(ctx.param_count, 0.0f));
+}
+
+LocalResult FedDyn::local_update(std::size_t client, const ParamVector& global,
+                                 std::size_t round, Worker& worker) {
+  const auto loss = ctx_->loss_factory(client);
+  const ParamVector& gi = client_grad_[client];
+  const float mu = mu_;
+  LocalResult result = run_local_sgd(
+      *ctx_, worker, client, global, round, ctx_->config->local_lr, *loss,
+      [&gi, &global, mu](const ParamVector& g, const ParamVector& x, ParamVector& v) {
+        v = g;
+        for (std::size_t i = 0; i < v.size(); ++i)
+          v[i] += mu * (x[i] - global[i]) - gi[i];
+      });
+  // grad_i <- grad_i - mu (x_B - x_r) = grad_i + mu * delta.
+  core::pv::axpy(mu, result.delta, client_grad_[client]);
+  return result;
+}
+
+void FedDyn::aggregate(std::span<const LocalResult> results, std::size_t,
+                       ParamVector& global) {
+  FEDWCM_CHECK(!results.empty(), "FedDyn::aggregate: no results");
+  // mean displacement = -mean(delta); h <- h - mu (1/N) sum (x_B - x_r)
+  //                                     = h + mu (|P|/N) mean(delta).
+  ParamVector mean_delta;
+  const float w = 1.0f / float(results.size());
+  for (const auto& r : results) core::pv::accumulate(mean_delta, w, r.delta);
+  const float frac = float(results.size()) / float(ctx_->num_clients());
+  core::pv::axpy(mu_ * frac, mean_delta, h_);
+
+  // x_{r+1} = mean(x_B) - h / mu = x_r - mean(delta) - h / mu.
+  for (std::size_t i = 0; i < global.size(); ++i)
+    global[i] = global[i] - mean_delta[i] - h_[i] / mu_;
+}
+
+}  // namespace fedwcm::fl

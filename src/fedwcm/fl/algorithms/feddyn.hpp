@@ -1,0 +1,35 @@
+#pragma once
+/// \file feddyn.hpp
+/// FedDyn (Acar et al.): federated learning with dynamic regularization.
+///
+/// Each client k keeps a gradient-correction state grad_i and locally
+/// minimizes f_k(x) - <grad_i, x> + (mu/2) ||x - x_r||^2, i.e. the per-batch
+/// direction is v = g - grad_i + mu (x - x_r). After local training the state
+/// is refreshed: grad_i <- grad_i - mu (x_B - x_r). The server tracks
+/// h <- h - mu (1/N) sum_{k in P} (x_B,k - x_r) and sets
+/// x_{r+1} = mean_k x_B,k - h / mu.
+
+#include "fedwcm/fl/algorithm.hpp"
+
+namespace fedwcm::fl {
+
+class FedDyn final : public Algorithm {
+ public:
+  explicit FedDyn(float mu = 0.1f) : mu_(mu) {}
+
+  std::string name() const override { return "feddyn"; }
+  void initialize(const FlContext& ctx) override;
+  LocalResult local_update(std::size_t client, const ParamVector& global,
+                           std::size_t round, Worker& worker) override;
+  void aggregate(std::span<const LocalResult> results, std::size_t round,
+                 ParamVector& global) override;
+
+  float momentum_norm() const override { return core::pv::l2_norm(h_); }
+
+ private:
+  float mu_;
+  ParamVector h_;                          ///< Server state.
+  std::vector<ParamVector> client_grad_;   ///< Per-client corrections.
+};
+
+}  // namespace fedwcm::fl

@@ -1,0 +1,77 @@
+#include "fedwcm/fl/algorithms/fedgrab.hpp"
+
+#include <cmath>
+
+namespace fedwcm::fl {
+
+float ColumnScaledLoss::compute(const core::Matrix& logits,
+                                std::span<const std::size_t> labels,
+                                core::Matrix& dlogits) const {
+  FEDWCM_CHECK(logits.cols() == multipliers_.size(),
+               "ColumnScaledLoss: class count mismatch");
+  const float loss = base_->compute(logits, labels, dlogits);
+  for (std::size_t r = 0; r < dlogits.rows(); ++r) {
+    float* row = dlogits.data() + r * dlogits.cols();
+    for (std::size_t c = 0; c < dlogits.cols(); ++c) row[c] *= multipliers_[c];
+  }
+  return loss;
+}
+
+void FedGraB::initialize(const FlContext& ctx) {
+  FedAvg::initialize(ctx);
+  smoothed_loss_ = -1.0f;
+  refresh_multipliers();
+}
+
+void FedGraB::refresh_multipliers() {
+  const std::size_t C = ctx_->num_classes();
+  multipliers_.assign(C, 1.0f);
+  double mean_count = 0.0;
+  for (std::size_t c = 0; c < C; ++c)
+    mean_count += double(ctx_->global_class_counts[c]);
+  mean_count /= double(C);
+  double sum = 0.0;
+  for (std::size_t c = 0; c < C; ++c) {
+    const double n = std::max<double>(1.0, double(ctx_->global_class_counts[c]));
+    multipliers_[c] = float(std::pow(mean_count / n, double(gamma_)));
+    sum += multipliers_[c];
+  }
+  const float norm = float(double(C) / sum);
+  for (float& m : multipliers_) m *= norm;  // mean-1 normalization
+}
+
+void FedGraB::begin_round(std::size_t, std::span<const std::size_t>) {
+  refresh_multipliers();
+}
+
+LocalResult FedGraB::local_update(std::size_t client, const ParamVector& global,
+                                  std::size_t round, Worker& worker) {
+  ColumnScaledLoss loss(ctx_->loss_factory(client), multipliers_);
+  return run_local_sgd(*ctx_, worker, client, global, round, ctx_->config->local_lr,
+                       loss,
+                       [](const ParamVector& g, const ParamVector&, ParamVector& v) {
+                         v = g;
+                       });
+}
+
+void FedGraB::aggregate(std::span<const LocalResult> results, std::size_t round,
+                        ParamVector& global) {
+  FedAvg::aggregate(results, round, global);
+  // Self-adjusting feedback: if the round's mean loss is rising relative to
+  // the smoothed trend, the balancer is over-driving tail gradients — decay
+  // gamma; if training is stable, relax gamma back toward its initial value.
+  double loss = 0.0;
+  for (const auto& r : results) loss += double(r.mean_loss);
+  loss /= double(results.size());
+  if (smoothed_loss_ < 0.0f) {
+    smoothed_loss_ = float(loss);
+  } else {
+    if (loss > double(smoothed_loss_) * 1.05)
+      gamma_ = std::max(0.1f, gamma_ * 0.9f);
+    else
+      gamma_ = std::min(1.0f, gamma_ * 1.01f);
+    smoothed_loss_ = 0.9f * smoothed_loss_ + 0.1f * float(loss);
+  }
+}
+
+}  // namespace fedwcm::fl

@@ -1,0 +1,66 @@
+#pragma once
+/// \file fedgrab.hpp
+/// FedGraB (Xiao et al.) — simplified reimplementation (DESIGN.md §1).
+///
+/// The published system couples a "Direct Prior Analyzer" (estimating the
+/// global class prior under privacy constraints) with a "Self-adjusting
+/// Gradient Balancer" that rescales per-class logit gradients during local
+/// training. Our reimplementation keeps both mechanisms in simplified form:
+///  * Prior analyzer — the server computes the global class distribution
+///    (the same D_g FedWCM uses) and derives per-class gradient multipliers
+///    m_c = (mean_count / n_c)^gamma, normalized to mean 1.
+///  * Gradient balancer — clients train with a loss wrapper that scales
+///    class-c logit-gradient columns by m_c, boosting tail-class gradients;
+///    a self-adjusting feedback step nudges gamma toward equalizing the
+///    head/tail loss ratio across rounds.
+/// Aggregation is FedAvg-style (the original builds on FedAvg).
+
+#include "fedwcm/fl/algorithm.hpp"
+#include "fedwcm/fl/algorithms/fedavg.hpp"
+
+namespace fedwcm::fl {
+
+/// Loss decorator that rescales per-class columns of d(loss)/d(logits).
+class ColumnScaledLoss final : public nn::Loss {
+ public:
+  ColumnScaledLoss(std::unique_ptr<nn::Loss> base, std::vector<float> multipliers)
+      : base_(std::move(base)), multipliers_(std::move(multipliers)) {}
+
+  float compute(const core::Matrix& logits, std::span<const std::size_t> labels,
+                core::Matrix& dlogits) const override;
+  std::unique_ptr<nn::Loss> clone() const override {
+    return std::make_unique<ColumnScaledLoss>(base_->clone(), multipliers_);
+  }
+  std::string name() const override { return "column_scaled(" + base_->name() + ")"; }
+
+ private:
+  std::unique_ptr<nn::Loss> base_;
+  std::vector<float> multipliers_;
+};
+
+class FedGraB final : public FedAvg {
+ public:
+  explicit FedGraB(float gamma = 0.5f) : gamma_(gamma) {}
+
+  std::string name() const override { return "fedgrab"; }
+  void initialize(const FlContext& ctx) override;
+  void begin_round(std::size_t round, std::span<const std::size_t> sampled) override;
+  LocalResult local_update(std::size_t client, const ParamVector& global,
+                           std::size_t round, Worker& worker) override;
+  void aggregate(std::span<const LocalResult> results, std::size_t round,
+                 ParamVector& global) override;
+
+  const std::vector<float>& multipliers() const { return multipliers_; }
+  float gamma() const { return gamma_; }
+
+ private:
+  void refresh_multipliers();
+
+  float gamma_;
+  std::vector<float> multipliers_;
+  /// Self-adjustment feedback: smoothed mean local loss, used to damp gamma
+  /// when the balancer destabilizes training.
+  float smoothed_loss_ = -1.0f;
+};
+
+}  // namespace fedwcm::fl

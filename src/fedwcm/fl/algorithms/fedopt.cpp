@@ -1,0 +1,39 @@
+#include "fedwcm/fl/algorithms/fedopt.hpp"
+
+#include <cmath>
+
+namespace fedwcm::fl {
+
+void FedOptBase::initialize(const FlContext& ctx) {
+  FedAvg::initialize(ctx);
+  m_.assign(ctx.param_count, 0.0f);
+  // Reddi et al. initialize v to tau^2 so the very first step is bounded.
+  v_.assign(ctx.param_count, options_.tau * options_.tau);
+}
+
+void FedOptBase::aggregate(std::span<const LocalResult> results, std::size_t,
+                           ParamVector& global) {
+  const ParamVector delta = sample_weighted_delta(results);
+  for (std::size_t i = 0; i < m_.size(); ++i)
+    m_[i] = options_.beta1 * m_[i] + (1.0f - options_.beta1) * delta[i];
+  update_second_moment(delta);
+  const float eta = ctx_->config->global_lr;
+  for (std::size_t i = 0; i < global.size(); ++i)
+    global[i] -= eta * m_[i] / (std::sqrt(v_[i]) + options_.tau);
+}
+
+void FedAdam::update_second_moment(const ParamVector& delta) {
+  for (std::size_t i = 0; i < v_.size(); ++i)
+    v_[i] = options_.beta2 * v_[i] + (1.0f - options_.beta2) * delta[i] * delta[i];
+}
+
+void FedYogi::update_second_moment(const ParamVector& delta) {
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    const float d2 = delta[i] * delta[i];
+    const float sign = v_[i] > d2 ? 1.0f : (v_[i] < d2 ? -1.0f : 0.0f);
+    v_[i] = v_[i] - (1.0f - options_.beta2) * d2 * sign;
+    if (v_[i] < 0.0f) v_[i] = 0.0f;  // guard against numerical undershoot
+  }
+}
+
+}  // namespace fedwcm::fl

@@ -1,0 +1,64 @@
+#pragma once
+/// \file fedopt.hpp
+/// Server-side adaptive federated optimization (Reddi et al., the paper's
+/// reference [39] on server momentum): FedAdam and FedYogi.
+///
+/// Clients run plain local SGD; the server treats the sample-weighted mean
+/// client delta as a pseudo-gradient and applies an Adam/Yogi update:
+///   m <- beta1 m + (1 - beta1) d
+///   v <- beta2 v + (1 - beta2) d^2                   (Adam)
+///   v <- v - (1 - beta2) d^2 sign(v - d^2)           (Yogi)
+///   x <- x - eta_g m / (sqrt(v) + tau)
+/// These extend the momentum family the paper builds on and round out the
+/// library's server-optimizer axis next to FedAvgM.
+
+#include "fedwcm/fl/algorithms/fedavg.hpp"
+
+namespace fedwcm::fl {
+
+struct FedOptOptions {
+  float beta1 = 0.9f;
+  float beta2 = 0.99f;
+  float tau = 1e-3f;  ///< Adaptivity floor (Reddi et al. recommend 1e-3).
+};
+
+/// Common machinery for the adaptive server family.
+class FedOptBase : public FedAvg {
+ public:
+  explicit FedOptBase(FedOptOptions options) : options_(options) {}
+
+  void initialize(const FlContext& ctx) override;
+  void aggregate(std::span<const LocalResult> results, std::size_t round,
+                 ParamVector& global) override;
+  float momentum_norm() const override { return core::pv::l2_norm(m_); }
+
+  const ParamVector& first_moment() const { return m_; }
+  const ParamVector& second_moment() const { return v_; }
+
+ protected:
+  /// Second-moment update rule — the only difference between Adam and Yogi.
+  virtual void update_second_moment(const ParamVector& delta) = 0;
+
+  FedOptOptions options_;
+  ParamVector m_, v_;
+};
+
+class FedAdam final : public FedOptBase {
+ public:
+  explicit FedAdam(FedOptOptions options = {}) : FedOptBase(options) {}
+  std::string name() const override { return "fedadam"; }
+
+ protected:
+  void update_second_moment(const ParamVector& delta) override;
+};
+
+class FedYogi final : public FedOptBase {
+ public:
+  explicit FedYogi(FedOptOptions options = {}) : FedOptBase(options) {}
+  std::string name() const override { return "fedyogi"; }
+
+ protected:
+  void update_second_moment(const ParamVector& delta) override;
+};
+
+}  // namespace fedwcm::fl

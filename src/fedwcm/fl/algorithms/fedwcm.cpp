@@ -1,0 +1,168 @@
+#include "fedwcm/fl/algorithms/fedwcm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fedwcm/data/dataset.hpp"
+#include "fedwcm/fl/algorithms/fedavg.hpp"
+
+namespace fedwcm::fl {
+
+void FedWCM::initialize(const FlContext& ctx) {
+  Algorithm::initialize(ctx);
+  momentum_.assign(ctx.param_count, 0.0f);
+  alpha_ = options_.alpha0;
+
+  const std::size_t C = ctx.num_classes();
+  std::vector<double> target = options_.target_distribution;
+  if (target.empty()) target.assign(C, 1.0 / double(C));
+  FEDWCM_CHECK(target.size() == C, "FedWCM: target distribution size mismatch");
+
+  const std::vector<std::size_t>& global_counts =
+      options_.global_counts_override.empty() ? ctx.global_class_counts
+                                              : options_.global_counts_override;
+  FEDWCM_CHECK(global_counts.size() == C,
+               "FedWCM: global counts override size mismatch");
+  const auto global_dist = data::normalize_counts(global_counts);
+
+  // Eq. 3: s_k = sum_c dev_c * n_{k,c} / n_k, with dev_c per ScoreMode (see
+  // the FedWcmOptions doc for why scarcity is the default reading).
+  std::vector<double> dev(C);
+  for (std::size_t c = 0; c < C; ++c) {
+    const double diff = target[c] - global_dist[c];
+    dev[c] = options_.score_mode == ScoreMode::kAbsolute ? std::abs(diff)
+                                                         : std::max(diff, 0.0);
+  }
+  scores_.assign(ctx.num_clients(), 0.0);
+  double score_sum = 0.0;
+  std::size_t nonempty = 0;
+  for (std::size_t k = 0; k < ctx.num_clients(); ++k) {
+    const auto& counts = ctx.client_class_counts[k];
+    double num = 0.0, den = 0.0;
+    for (std::size_t c = 0; c < C; ++c) {
+      num += dev[c] * double(counts[c]);
+      den += double(counts[c]);
+    }
+    scores_[k] = den > 0.0 ? num / den : 0.0;
+    if (den > 0.0) {
+      score_sum += scores_[k];
+      ++nonempty;
+    }
+  }
+  mean_score_ = nonempty > 0 ? score_sum / double(nonempty) : 0.0;
+
+  // Temperature from the global-vs-target discrepancy (DESIGN.md §5):
+  // T = 1 / (C * disc + kappa).
+  double disc = 0.0;
+  for (std::size_t c = 0; c < C; ++c) disc += std::abs(target[c] - global_dist[c]);
+  temperature_ = 1.0 / (double(C) * disc + double(options_.temperature_kappa));
+}
+
+LocalResult FedWCM::local_update(std::size_t client, const ParamVector& global,
+                                 std::size_t round, Worker& worker) {
+  const auto loss = ctx_->loss_factory(client);
+  const float alpha = alpha_;
+  const ParamVector& momentum = momentum_;
+  return run_local_sgd(
+      *ctx_, worker, client, global, round, client_lr(client), *loss,
+      [alpha, &momentum](const ParamVector& g, const ParamVector&, ParamVector& v) {
+        v = core::pv::blend(alpha, g, 1.0f - alpha, momentum);
+      });
+}
+
+std::vector<float> FedWCM::aggregation_weights(
+    std::span<const LocalResult> results) const {
+  std::vector<float> w(results.size(), 1.0f / float(results.size()));
+  // Stabilized softmax over s_k / T (Eq. 4), optionally quantity-adjusted by
+  // the FedWCM-X override.
+  double max_arg = -1e300;
+  std::vector<double> args(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    args[i] = scores_[results[i].client] / std::max(temperature_, 1e-9);
+    max_arg = std::max(max_arg, args[i]);
+  }
+  std::vector<double> raw(results.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const double numerator =
+        options_.use_score_weights ? std::exp(args[i] - max_arg) : 1.0;
+    raw[i] = raw_weight(results[i], numerator);
+    sum += raw[i];
+  }
+  if (sum <= 0.0) return w;
+  for (std::size_t i = 0; i < results.size(); ++i) w[i] = float(raw[i] / sum);
+  return w;
+}
+
+double FedWCM::normalization_steps(std::span<const LocalResult> results) const {
+  return mean_steps(results);
+}
+
+void FedWCM::aggregate(std::span<const LocalResult> results, std::size_t,
+                       ParamVector& global) {
+  FEDWCM_CHECK(!results.empty(), "FedWCM::aggregate: no results");
+  // Eq. 4 weights.
+  const std::vector<float> w = aggregation_weights(results);
+  ParamVector agg;
+  for (std::size_t i = 0; i < results.size(); ++i)
+    core::pv::accumulate(agg, w[i], results[i].delta);
+
+  // Delta_{r+1} = agg / (eta_l * B).
+  momentum_ = agg;
+  core::pv::scale(
+      1.0f / (ctx_->config->local_lr * float(normalization_steps(results))),
+      momentum_);
+
+  // Eq. 5: alpha_{r+1} = base + range * (1 - e^{-T/K}) * q_r, clamped.
+  if (options_.adaptive_alpha) {
+    double sampled_score = 0.0;
+    for (const auto& r : results) sampled_score += scores_[r.client];
+    sampled_score /= double(results.size());
+    const double q_r = mean_score_ > 1e-12 ? sampled_score / mean_score_ : 1.0;
+    const double factor = 1.0 - std::exp(-temperature_ / double(results.size()));
+    const double a = double(options_.alpha_base) +
+                     double(options_.alpha_range) * factor * q_r;
+    alpha_ = float(std::clamp(a, double(options_.alpha_base),
+                              double(options_.alpha_max)));
+  }
+
+  core::pv::axpy(-ctx_->config->global_lr, agg, global);
+}
+
+// ---------------------------------------------------------------------------
+// FedWCM-X
+// ---------------------------------------------------------------------------
+
+void FedWcmX::initialize(const FlContext& ctx) {
+  FedWCM::initialize(ctx);
+  total_samples_ = 0;
+  for (std::size_t k = 0; k < ctx.num_clients(); ++k)
+    total_samples_ += ctx.client_size(k);
+  // B^: local iterations a client would run under an equal split.
+  const double per_client =
+      double(total_samples_) / double(std::max<std::size_t>(1, ctx.num_clients()));
+  const double batches =
+      std::max(1.0, std::ceil(per_client / double(ctx.config->batch_size)));
+  standard_steps_ = batches * double(ctx.config->local_epochs);
+}
+
+double FedWcmX::raw_weight(const LocalResult& r, double softmax_numerator) const {
+  // w'_k = w_k * n_k / sum_j n_j. The sum over all clients is a constant that
+  // cancels in the normalization, so n_k alone is sufficient here.
+  return softmax_numerator * double(r.num_samples);
+}
+
+float FedWcmX::client_lr(std::size_t client) const {
+  // eta'_l = eta_l * B^ / B_k.
+  const double per_epoch = std::max(
+      1.0, std::ceil(double(ctx_->client_size(client)) /
+                     double(ctx_->config->batch_size)));
+  const double b_k = per_epoch * double(ctx_->config->local_epochs);
+  return float(double(ctx_->config->local_lr) * standard_steps_ / b_k);
+}
+
+double FedWcmX::normalization_steps(std::span<const LocalResult>) const {
+  return standard_steps_;
+}
+
+}  // namespace fedwcm::fl

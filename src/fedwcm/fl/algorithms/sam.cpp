@@ -1,0 +1,145 @@
+#include "fedwcm/fl/algorithms/sam.hpp"
+
+#include <cmath>
+
+#include "fedwcm/fl/algorithms/fedavg.hpp"
+
+namespace fedwcm::fl {
+
+LocalResult run_local_sam(const FlContext& ctx, Worker& worker, std::size_t client,
+                          const ParamVector& start, std::size_t round, float lr,
+                          const nn::Loss& loss, const SamLocalSpec& spec) {
+  LocalResult result;
+  result.client = client;
+  result.num_samples = ctx.client_size(client);
+  FEDWCM_CHECK(result.num_samples > 0, "run_local_sam: client has no data");
+
+  auto sampler = make_sampler(ctx, client, round);
+  const std::size_t total_steps =
+      sampler->batches_per_epoch() * ctx.config->local_epochs;
+
+  ParamVector x = start;
+  ParamVector x_pert(x.size());
+  ParamVector v(x.size());
+  double loss_acc = 0.0;
+  for (std::size_t step = 0; step < total_steps; ++step) {
+    sampler->next_batch(worker.batch_indices);
+    data::gather_batch(*ctx.train, worker.batch_indices, worker.batch_x,
+                       worker.batch_y);
+
+    // First pass: gradient (and loss) at x.
+    worker.model.set_params(x);
+    worker.model.zero_grads();
+    loss_acc += loss.compute(worker.model.forward(worker.batch_x), worker.batch_y,
+                             worker.dlogits);
+    worker.model.backward(worker.dlogits);
+    const ParamVector g1 = worker.model.get_grads();
+
+    // Perturbation direction: the global estimate if provided and non-zero,
+    // otherwise the local gradient.
+    const ParamVector* dir = &g1;
+    if (spec.perturb_from != nullptr &&
+        core::pv::l2_norm(*spec.perturb_from) > 1e-8f)
+      dir = spec.perturb_from;
+    const float dnorm = core::pv::l2_norm(*dir);
+
+    const ParamVector* g2 = &g1;
+    ParamVector g2_storage;
+    if (dnorm > 1e-12f) {
+      x_pert = x;
+      core::pv::axpy(spec.rho / dnorm, *dir, x_pert);
+      worker.model.set_params(x_pert);
+      worker.model.zero_grads();
+      loss.compute(worker.model.forward(worker.batch_x), worker.batch_y,
+                   worker.dlogits);
+      worker.model.backward(worker.dlogits);
+      g2_storage = worker.model.get_grads();
+      g2 = &g2_storage;
+    }
+
+    // v = alpha g2 (+ (1-alpha) Delta) (+ mu (x - start)) (- correction).
+    if (spec.momentum != nullptr)
+      v = core::pv::blend(spec.alpha, *g2, 1.0f - spec.alpha, *spec.momentum);
+    else
+      v = *g2;
+    if (spec.prox_mu != 0.0f)
+      for (std::size_t i = 0; i < v.size(); ++i)
+        v[i] += spec.prox_mu * (x[i] - start[i]);
+    if (spec.correction != nullptr)
+      for (std::size_t i = 0; i < v.size(); ++i) v[i] -= (*spec.correction)[i];
+
+    core::pv::axpy(-lr, v, x);
+  }
+  result.num_steps = total_steps;
+  result.mean_loss = total_steps > 0 ? float(loss_acc / double(total_steps)) : 0.0f;
+  result.delta = core::pv::sub(start, x);
+  return result;
+}
+
+LocalResult FedSam::local_update(std::size_t client, const ParamVector& global,
+                                 std::size_t round, Worker& worker) {
+  const auto loss = ctx_->loss_factory(client);
+  SamLocalSpec spec;
+  spec.rho = rho_;
+  return run_local_sam(*ctx_, worker, client, global, round,
+                       ctx_->config->local_lr, *loss, spec);
+}
+
+void FedSam::aggregate(std::span<const LocalResult> results, std::size_t,
+                       ParamVector& global) {
+  const ParamVector agg = sample_weighted_delta(results);
+  core::pv::axpy(-ctx_->config->global_lr, agg, global);
+}
+
+LocalResult MoFedSam::local_update(std::size_t client, const ParamVector& global,
+                                   std::size_t round, Worker& worker) {
+  const auto loss = ctx_->loss_factory(client);
+  SamLocalSpec spec;
+  spec.rho = rho_;
+  spec.momentum = &momentum_;
+  spec.alpha = alpha_;
+  return run_local_sam(*ctx_, worker, client, global, round,
+                       ctx_->config->local_lr, *loss, spec);
+}
+
+LocalResult FedLesam::local_update(std::size_t client, const ParamVector& global,
+                                   std::size_t round, Worker& worker) {
+  const auto loss = ctx_->loss_factory(client);
+  SamLocalSpec spec;
+  spec.rho = rho_;
+  spec.perturb_from = &momentum_;  // locally estimated *global* perturbation
+  return run_local_sam(*ctx_, worker, client, global, round,
+                       ctx_->config->local_lr, *loss, spec);
+}
+
+void FedSmoo::initialize(const FlContext& ctx) {
+  FedSam::initialize(ctx);
+  client_grad_.assign(ctx.num_clients(), ParamVector(ctx.param_count, 0.0f));
+}
+
+LocalResult FedSmoo::local_update(std::size_t client, const ParamVector& global,
+                                  std::size_t round, Worker& worker) {
+  const auto loss = ctx_->loss_factory(client);
+  SamLocalSpec spec;
+  spec.rho = rho_;
+  spec.prox_mu = mu_;
+  spec.correction = &client_grad_[client];
+  LocalResult result = run_local_sam(*ctx_, worker, client, global, round,
+                                     ctx_->config->local_lr, *loss, spec);
+  // Dynamic-regularization state refresh (FedDyn-style):
+  // grad_i <- grad_i - mu (x_B - x_r) = grad_i + mu * delta.
+  core::pv::axpy(mu_, result.delta, client_grad_[client]);
+  return result;
+}
+
+LocalResult FedSpeed::local_update(std::size_t client, const ParamVector& global,
+                                   std::size_t round, Worker& worker) {
+  const auto loss = ctx_->loss_factory(client);
+  SamLocalSpec spec;
+  spec.rho = rho_;
+  spec.prox_mu = lambda_;
+  return run_local_sam(*ctx_, worker, client, global, round,
+                       ctx_->config->local_lr, *loss, spec);
+}
+
+}  // namespace fedwcm::fl

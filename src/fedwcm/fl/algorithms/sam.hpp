@@ -1,0 +1,106 @@
+#pragma once
+/// \file sam.hpp
+/// Sharpness-aware-minimization FL family (Appendix D baselines).
+///
+/// All variants share one local loop (two gradient evaluations per step):
+///   g1 = grad(x); eps = rho * d / ||d||; g2 = grad(x + eps); step with g2,
+/// differing in the perturbation source d, the momentum blend, and prox /
+/// correction terms:
+///  * FedSAM    — d = g1 (local perturbation), plain averaging.
+///  * MoFedSAM  — FedSAM local step blended with global momentum
+///                (v = alpha g2 + (1-alpha) Delta_r), FedCM-style server.
+///  * FedLESAM  — d = Delta_r: the *locally estimated global* perturbation
+///                (Fan et al.); falls back to g1 while Delta_r ~ 0.
+///  * FedSMOO   — SAM + FedDyn-style dynamic regularization (simplified:
+///                per-client correction state, prox to the global model).
+///  * FedSpeed  — SAM gradient + prox pull (simplified from the prox-
+///                correction + perturbation scheme of Sun et al.).
+/// Simplifications are intentional and documented in DESIGN.md §1: these
+/// methods appear only as accuracy baselines in Appendix D.
+
+#include "fedwcm/fl/algorithm.hpp"
+#include "fedwcm/fl/algorithms/fedcm.hpp"
+
+namespace fedwcm::fl {
+
+/// Parameters of the shared SAM local loop.
+struct SamLocalSpec {
+  float rho = 0.05f;                      ///< Perturbation radius.
+  const ParamVector* perturb_from = nullptr;  ///< nullptr = local gradient.
+  const ParamVector* momentum = nullptr;  ///< Blend target (nullptr = none).
+  float alpha = 1.0f;                     ///< Gradient weight in the blend.
+  float prox_mu = 0.0f;                   ///< Prox pull toward the start.
+  const ParamVector* correction = nullptr;  ///< FedDyn-style -grad_i term.
+};
+
+/// Runs the SAM local loop; same contract as run_local_sgd.
+LocalResult run_local_sam(const FlContext& ctx, Worker& worker, std::size_t client,
+                          const ParamVector& start, std::size_t round, float lr,
+                          const nn::Loss& loss, const SamLocalSpec& spec);
+
+class FedSam : public Algorithm {
+ public:
+  explicit FedSam(float rho = 0.05f) : rho_(rho) {}
+  std::string name() const override { return "fedsam"; }
+  LocalResult local_update(std::size_t client, const ParamVector& global,
+                           std::size_t round, Worker& worker) override;
+  void aggregate(std::span<const LocalResult> results, std::size_t round,
+                 ParamVector& global) override;
+
+ protected:
+  float rho_;
+};
+
+/// MoFedSAM: SAM local steps blended with FedCM momentum.
+class MoFedSam final : public FedCM {
+ public:
+  explicit MoFedSam(float alpha = 0.1f, float rho = 0.05f)
+      : FedCM(alpha), rho_(rho) {}
+  std::string name() const override { return "mofedsam"; }
+  LocalResult local_update(std::size_t client, const ParamVector& global,
+                           std::size_t round, Worker& worker) override;
+
+ private:
+  float rho_;
+};
+
+/// FedLESAM: perturb along the global update direction.
+class FedLesam final : public FedCM {
+ public:
+  explicit FedLesam(float rho = 0.05f) : FedCM(1.0f), rho_(rho) {}
+  std::string name() const override { return "fedlesam"; }
+  LocalResult local_update(std::size_t client, const ParamVector& global,
+                           std::size_t round, Worker& worker) override;
+
+ private:
+  float rho_;
+};
+
+/// FedSMOO (simplified): SAM + per-client dynamic correction + prox.
+class FedSmoo final : public FedSam {
+ public:
+  explicit FedSmoo(float rho = 0.05f, float mu = 0.1f) : FedSam(rho), mu_(mu) {}
+  std::string name() const override { return "fedsmoo"; }
+  void initialize(const FlContext& ctx) override;
+  LocalResult local_update(std::size_t client, const ParamVector& global,
+                           std::size_t round, Worker& worker) override;
+
+ private:
+  float mu_;
+  std::vector<ParamVector> client_grad_;
+};
+
+/// FedSpeed (simplified): SAM gradient + prox pull toward the global model.
+class FedSpeed final : public FedSam {
+ public:
+  explicit FedSpeed(float rho = 0.05f, float lambda = 0.1f)
+      : FedSam(rho), lambda_(lambda) {}
+  std::string name() const override { return "fedspeed"; }
+  LocalResult local_update(std::size_t client, const ParamVector& global,
+                           std::size_t round, Worker& worker) override;
+
+ private:
+  float lambda_;
+};
+
+}  // namespace fedwcm::fl

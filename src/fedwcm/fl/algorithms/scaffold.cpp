@@ -1,0 +1,51 @@
+#include "fedwcm/fl/algorithms/scaffold.hpp"
+
+#include "fedwcm/fl/algorithms/fedavg.hpp"
+
+namespace fedwcm::fl {
+
+void Scaffold::initialize(const FlContext& ctx) {
+  Algorithm::initialize(ctx);
+  c_.assign(ctx.param_count, 0.0f);
+  client_c_.assign(ctx.num_clients(), ParamVector(ctx.param_count, 0.0f));
+}
+
+LocalResult Scaffold::local_update(std::size_t client, const ParamVector& global,
+                                   std::size_t round, Worker& worker) {
+  const auto loss = ctx_->loss_factory(client);
+  const ParamVector& ci = client_c_[client];
+  const ParamVector& c = c_;
+  LocalResult result = run_local_sgd(
+      *ctx_, worker, client, global, round, ctx_->config->local_lr, *loss,
+      [&ci, &c](const ParamVector& g, const ParamVector&, ParamVector& v) {
+        v = g;
+        for (std::size_t i = 0; i < v.size(); ++i) v[i] += c[i] - ci[i];
+      });
+
+  // Option II refresh: c_i+ = c_i - c + delta / (B * eta_l), where
+  // delta = x_r - x_B is already in gradient direction.
+  const float inv = 1.0f / (float(result.num_steps) * ctx_->config->local_lr);
+  ParamVector ci_new(ctx_->param_count);
+  for (std::size_t i = 0; i < ci_new.size(); ++i)
+    ci_new[i] = ci[i] - c[i] + result.delta[i] * inv;
+  // aux carries (c_i+ - c_i) for the server update; the per-client slot is
+  // written here (safe: one task per client per round).
+  result.aux = core::pv::sub(ci_new, client_c_[client]);
+  client_c_[client] = std::move(ci_new);
+  return result;
+}
+
+void Scaffold::aggregate(std::span<const LocalResult> results, std::size_t,
+                         ParamVector& global) {
+  const ParamVector agg = uniform_delta(results);
+  core::pv::axpy(-ctx_->config->global_lr, agg, global);
+
+  // c <- c + (|P| / N) * mean(aux).
+  ParamVector mean_aux;
+  const float w = 1.0f / float(results.size());
+  for (const auto& r : results) core::pv::accumulate(mean_aux, w, r.aux);
+  const float scale = float(results.size()) / float(ctx_->num_clients());
+  core::pv::axpy(scale, mean_aux, c_);
+}
+
+}  // namespace fedwcm::fl

@@ -1,0 +1,31 @@
+#pragma once
+/// \file scaffold.hpp
+/// SCAFFOLD (Karimireddy et al.): stochastic controlled averaging.
+///
+/// Clients correct their gradients with control variates,
+/// v = g - c_i + c, and refresh their variate after local training using
+/// option II of the paper: c_i+ = c_i - c + (x_r - x_B) / (B * eta_l).
+/// The server maintains c <- c + (|P|/N) * mean(c_i+ - c_i).
+
+#include "fedwcm/fl/algorithm.hpp"
+
+namespace fedwcm::fl {
+
+class Scaffold final : public Algorithm {
+ public:
+  std::string name() const override { return "scaffold"; }
+  void initialize(const FlContext& ctx) override;
+  LocalResult local_update(std::size_t client, const ParamVector& global,
+                           std::size_t round, Worker& worker) override;
+  void aggregate(std::span<const LocalResult> results, std::size_t round,
+                 ParamVector& global) override;
+
+  float momentum_norm() const override { return core::pv::l2_norm(c_); }
+  const ParamVector& server_variate() const { return c_; }
+
+ private:
+  ParamVector c_;                         ///< Server control variate.
+  std::vector<ParamVector> client_c_;     ///< Per-client variates (lazy zero).
+};
+
+}  // namespace fedwcm::fl

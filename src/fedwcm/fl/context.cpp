@@ -1,0 +1,23 @@
+#include "fedwcm/fl/context.hpp"
+
+namespace fedwcm::fl {
+
+LossFactory cross_entropy_loss_factory() {
+  return [](std::size_t) { return std::make_unique<nn::CrossEntropyLoss>(); };
+}
+
+LossFactory focal_loss_factory(float gamma) {
+  return [gamma](std::size_t) { return std::make_unique<nn::FocalLoss>(gamma); };
+}
+
+LossFactory balance_loss_factory(const FlContext& ctx) {
+  // Capture the counts by value so the factory outlives context rebuilds.
+  auto counts = ctx.client_class_counts;
+  return [counts](std::size_t client) {
+    std::vector<float> c(counts[client].size());
+    for (std::size_t i = 0; i < c.size(); ++i) c[i] = float(counts[client][i]);
+    return std::make_unique<nn::BalancedSoftmaxLoss>(std::move(c));
+  };
+}
+
+}  // namespace fedwcm::fl

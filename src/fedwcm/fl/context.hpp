@@ -1,0 +1,52 @@
+#pragma once
+/// \file context.hpp
+/// Shared, read-only simulation context handed to algorithms.
+
+#include <functional>
+#include <memory>
+
+#include "fedwcm/data/dataset.hpp"
+#include "fedwcm/data/partition.hpp"
+#include "fedwcm/fl/types.hpp"
+#include "fedwcm/nn/loss.hpp"
+#include "fedwcm/nn/models.hpp"
+
+namespace fedwcm::fl {
+
+/// Builds the training loss for a given client (algorithm plug-ins like
+/// "+Balance Loss" need the client's local class counts, hence the id).
+using LossFactory = std::function<std::unique_ptr<nn::Loss>(std::size_t client)>;
+
+/// Default: plain cross-entropy for every client.
+LossFactory cross_entropy_loss_factory();
+/// Focal loss for every client (the paper's "+Focal Loss" variant).
+LossFactory focal_loss_factory(float gamma = 2.0f);
+
+/// Read-only view over everything a round needs. Owned by `Simulation`;
+/// algorithms receive a reference valid for the run's duration.
+struct FlContext {
+  const FlConfig* config = nullptr;
+  const data::Dataset* train = nullptr;
+  const data::Dataset* test = nullptr;
+  const data::Partition* partition = nullptr;
+  nn::ModelFactory model_factory;
+  LossFactory loss_factory;
+  std::size_t param_count = 0;
+
+  /// Per-client class counts (K x C, row-major), precomputed once.
+  std::vector<std::vector<std::size_t>> client_class_counts;
+  /// Global class counts over the union of client data (the long-tailed D_g).
+  std::vector<std::size_t> global_class_counts;
+
+  std::size_t num_clients() const { return partition->num_clients(); }
+  std::size_t num_classes() const { return train->num_classes; }
+  std::size_t client_size(std::size_t k) const {
+    return partition->client_indices[k].size();
+  }
+};
+
+/// "+Balance Loss": per-client BalancedSoftmax on the client's own counts.
+/// Needs the context, so it is created from one.
+LossFactory balance_loss_factory(const FlContext& ctx);
+
+}  // namespace fedwcm::fl

@@ -1,0 +1,57 @@
+#include "fedwcm/fl/diagnostics.hpp"
+
+#include <cmath>
+
+#include "fedwcm/core/param_vector.hpp"
+
+namespace fedwcm::fl {
+
+float global_grad_norm_sq(nn::Sequential& model, const data::Dataset& ds,
+                          std::span<const std::size_t> indices,
+                          const core::ParamVector& params,
+                          std::size_t batch_size) {
+  FEDWCM_CHECK(!indices.empty(), "global_grad_norm_sq: empty index set");
+  model.set_params(params);
+  nn::CrossEntropyLoss ce;
+  core::Matrix x, dlogits;
+  std::vector<std::size_t> y, batch;
+  core::ParamVector acc(params.size(), 0.0f);
+  std::size_t done = 0;
+  while (done < indices.size()) {
+    const std::size_t take = std::min(batch_size, indices.size() - done);
+    batch.assign(indices.begin() + std::ptrdiff_t(done),
+                 indices.begin() + std::ptrdiff_t(done + take));
+    data::gather_batch(ds, batch, x, y);
+    model.zero_grads();
+    ce.compute(model.forward(x), y, dlogits);
+    model.backward(dlogits);
+    core::pv::accumulate(acc, float(take) / float(indices.size()),
+                         model.get_grads());
+    done += take;
+  }
+  return core::pv::l2_norm_sq(acc);
+}
+
+RateFit fit_inverse_sqrt(std::span<const double> rounds,
+                         std::span<const double> values) {
+  FEDWCM_CHECK(rounds.size() == values.size() && !rounds.empty(),
+               "fit_inverse_sqrt: input mismatch");
+  // y = c * R^{-1/2}: least squares over basis b_i = 1/sqrt(R_i).
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    const double b = 1.0 / std::sqrt(rounds[i]);
+    num += b * values[i];
+    den += b * b;
+  }
+  RateFit fit;
+  fit.c = den > 0.0 ? num / den : 0.0;
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    const double predicted = fit.c / std::sqrt(rounds[i]);
+    const double denom = std::max(std::abs(values[i]), 1e-12);
+    fit.max_rel_residual =
+        std::max(fit.max_rel_residual, std::abs(predicted - values[i]) / denom);
+  }
+  return fit;
+}
+
+}  // namespace fedwcm::fl

@@ -1,0 +1,34 @@
+#pragma once
+/// \file diagnostics.hpp
+/// Convergence-analysis instrumentation (§6).
+///
+/// Theorem 6.1 bounds (1/R) sum_r E ||grad f(x_r)||^2 by
+/// sqrt(L Delta sigma^2 / (N K R)) + L Delta / R. These helpers measure the
+/// left-hand side empirically: the full-batch gradient norm of the global
+/// objective F(x) = sum_k (n_k/n) F_k(x) at the current global model, wired
+/// into the simulation through its train-probe hook.
+
+#include "fedwcm/data/dataset.hpp"
+#include "fedwcm/nn/loss.hpp"
+#include "fedwcm/nn/sequential.hpp"
+
+namespace fedwcm::fl {
+
+/// ||grad f(x)||^2 of the mean cross-entropy over `indices` of `ds`
+/// (the global long-tailed training objective), computed exactly in chunks.
+float global_grad_norm_sq(nn::Sequential& model, const data::Dataset& ds,
+                          std::span<const std::size_t> indices,
+                          const core::ParamVector& params,
+                          std::size_t batch_size = 256);
+
+/// Least-squares fit of y ~ c / sqrt(R) through measured (R, y) pairs;
+/// returns c and the max relative residual — used by the Theorem 6.1 bench
+/// to check the decay shape.
+struct RateFit {
+  double c = 0.0;
+  double max_rel_residual = 0.0;
+};
+RateFit fit_inverse_sqrt(std::span<const double> rounds,
+                         std::span<const double> values);
+
+}  // namespace fedwcm::fl

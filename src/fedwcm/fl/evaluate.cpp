@@ -1,0 +1,43 @@
+#include "fedwcm/fl/evaluate.hpp"
+
+namespace fedwcm::fl {
+
+EvalResult evaluate(nn::Sequential& model, const core::ParamVector& params,
+                    const data::Dataset& ds, std::size_t batch_size) {
+  EvalResult res;
+  res.per_class_accuracy.assign(ds.num_classes, 0.0f);
+  if (ds.size() == 0) return res;
+
+  model.set_params(params);
+  nn::CrossEntropyLoss ce;
+  core::Matrix x, dlogits;
+  std::vector<std::size_t> y, indices;
+  std::vector<std::size_t> correct(ds.num_classes, 0), total(ds.num_classes, 0);
+  double loss_acc = 0.0;
+  std::size_t done = 0, correct_all = 0;
+  while (done < ds.size()) {
+    const std::size_t take = std::min(batch_size, ds.size() - done);
+    indices.resize(take);
+    for (std::size_t i = 0; i < take; ++i) indices[i] = done + i;
+    data::gather_batch(ds, indices, x, y);
+    const core::Matrix& logits = model.forward(x);
+    loss_acc += double(ce.compute(logits, y, dlogits)) * double(take);
+    const auto preds = core::argmax_rows(logits);
+    for (std::size_t i = 0; i < take; ++i) {
+      ++total[y[i]];
+      if (preds[i] == y[i]) {
+        ++correct[y[i]];
+        ++correct_all;
+      }
+    }
+    done += take;
+  }
+  res.accuracy = float(double(correct_all) / double(ds.size()));
+  res.mean_loss = float(loss_acc / double(ds.size()));
+  for (std::size_t c = 0; c < ds.num_classes; ++c)
+    res.per_class_accuracy[c] =
+        total[c] > 0 ? float(double(correct[c]) / double(total[c])) : 0.0f;
+  return res;
+}
+
+}  // namespace fedwcm::fl

@@ -1,0 +1,23 @@
+#pragma once
+/// \file evaluate.hpp
+/// Model evaluation over a dataset: accuracy, mean loss, per-class accuracy.
+
+#include "fedwcm/data/dataset.hpp"
+#include "fedwcm/nn/loss.hpp"
+#include "fedwcm/nn/sequential.hpp"
+
+namespace fedwcm::fl {
+
+struct EvalResult {
+  float accuracy = 0.0f;
+  float mean_loss = 0.0f;
+  std::vector<float> per_class_accuracy;  ///< NaN-free: classes absent from
+                                          ///< the dataset report 0.
+};
+
+/// Evaluates `params` on `ds` (full pass, batched). Uses cross-entropy for
+/// the reported loss regardless of the training objective.
+EvalResult evaluate(nn::Sequential& model, const core::ParamVector& params,
+                    const data::Dataset& ds, std::size_t batch_size = 256);
+
+}  // namespace fedwcm::fl

@@ -1,0 +1,89 @@
+#include "fedwcm/fl/local.hpp"
+
+#include "fedwcm/core/rng.hpp"
+
+namespace fedwcm::fl {
+
+std::unique_ptr<data::BatchSampler> make_sampler(const FlContext& ctx,
+                                                 std::size_t client,
+                                                 std::size_t round) {
+  const auto& indices = ctx.partition->client_indices[client];
+  const std::uint64_t seed =
+      core::derive_seed(ctx.config->seed, round + 1, client + 1, 0xBA7C);
+  if (ctx.config->balanced_sampler)
+    return std::make_unique<data::BalancedClassSampler>(*ctx.train, indices,
+                                                        ctx.config->batch_size, seed);
+  return std::make_unique<data::ShufflingBatcher>(indices, ctx.config->batch_size,
+                                                  seed);
+}
+
+LocalResult run_local_sgd(const FlContext& ctx, Worker& worker, std::size_t client,
+                          const ParamVector& start, std::size_t round, float lr,
+                          const nn::Loss& loss, const DirectionFn& direction) {
+  auto sampler = make_sampler(ctx, client, round);
+  return run_local_sgd(ctx, worker, client, start, lr, loss, *sampler, direction);
+}
+
+LocalResult run_local_sgd(const FlContext& ctx, Worker& worker, std::size_t client,
+                          const ParamVector& start, float lr, const nn::Loss& loss,
+                          data::BatchSampler& sampler_ref,
+                          const DirectionFn& direction) {
+  LocalResult result;
+  result.client = client;
+  result.num_samples = ctx.client_size(client);
+  FEDWCM_CHECK(result.num_samples > 0, "run_local_sgd: client has no data");
+
+  data::BatchSampler* sampler = &sampler_ref;
+  const std::size_t steps_per_epoch = sampler->batches_per_epoch();
+  const std::size_t total_steps = steps_per_epoch * ctx.config->local_epochs;
+
+  ParamVector x = start;
+  ParamVector v(x.size());
+  double loss_acc = 0.0;
+  for (std::size_t step = 0; step < total_steps; ++step) {
+    sampler->next_batch(worker.batch_indices);
+    data::gather_batch(*ctx.train, worker.batch_indices, worker.batch_x,
+                       worker.batch_y);
+    worker.model.set_params(x);
+    worker.model.zero_grads();
+    const core::Matrix& logits = worker.model.forward(worker.batch_x);
+    loss_acc += loss.compute(logits, worker.batch_y, worker.dlogits);
+    worker.model.backward(worker.dlogits);
+    const ParamVector grad = worker.model.get_grads();
+    direction(grad, x, v);
+    core::pv::axpy(-lr, v, x);
+  }
+  result.num_steps = total_steps;
+  result.mean_loss = total_steps > 0 ? float(loss_acc / double(total_steps)) : 0.0f;
+  result.delta = core::pv::sub(start, x);  // x_r - x_B (gradient direction)
+  return result;
+}
+
+ParamVector client_full_gradient(const FlContext& ctx, Worker& worker,
+                                 std::size_t client, const ParamVector& params,
+                                 const nn::Loss& loss) {
+  const auto& indices = ctx.partition->client_indices[client];
+  FEDWCM_CHECK(!indices.empty(), "client_full_gradient: client has no data");
+  ParamVector acc(params.size(), 0.0f);
+  worker.model.set_params(params);
+  const std::size_t chunk = ctx.config->eval_batch;
+  std::size_t done = 0;
+  while (done < indices.size()) {
+    const std::size_t take = std::min(chunk, indices.size() - done);
+    worker.batch_indices.assign(indices.begin() + std::ptrdiff_t(done),
+                                indices.begin() + std::ptrdiff_t(done + take));
+    data::gather_batch(*ctx.train, worker.batch_indices, worker.batch_x,
+                       worker.batch_y);
+    worker.model.zero_grads();
+    const core::Matrix& logits = worker.model.forward(worker.batch_x);
+    loss.compute(logits, worker.batch_y, worker.dlogits);
+    worker.model.backward(worker.dlogits);
+    // Loss gradients are batch means; re-weight chunks to a dataset mean.
+    core::pv::accumulate(acc, float(take) / float(indices.size()),
+                         worker.model.get_grads());
+    done += take;
+  }
+  return acc;
+}
+
+}  // namespace fedwcm::fl

@@ -1,0 +1,79 @@
+#pragma once
+/// \file local.hpp
+/// Per-worker scratch state and the shared local-SGD loop.
+///
+/// Every worker thread owns a `Worker` (its own model instance plus batch
+/// buffers), so parallel client training never shares mutable NN state. The
+/// generic `run_local_sgd` executes the paper's local loop (Algorithm 1 inner
+/// loop) with a pluggable direction rule v = direction(g, x), which is where
+/// each algorithm's character lives:
+///   FedAvg:  v = g
+///   FedProx: v = g + mu (x - x_r)
+///   FedCM/FedWCM: v = alpha g + (1 - alpha) Delta_r
+///   SCAFFOLD: v = g - c_i + c      ... etc.
+
+#include <functional>
+#include <memory>
+
+#include "fedwcm/data/sampler.hpp"
+#include "fedwcm/fl/context.hpp"
+
+namespace fedwcm::fl {
+
+/// Thread-local training scratch.
+struct Worker {
+  nn::Sequential model;
+  core::Matrix batch_x;
+  core::Matrix dlogits;
+  std::vector<std::size_t> batch_y;
+  std::vector<std::size_t> batch_indices;
+
+  explicit Worker(const nn::ModelFactory& factory) : model(factory()) {}
+};
+
+/// Result of one client's local training.
+struct LocalResult {
+  std::size_t client = 0;
+  /// x_r - x_B: the client delta in *gradient direction* (positive multiples
+  /// of it decrease the loss), following FedCM's convention. Algorithm 1
+  /// writes Delta_k = x_B - x_r; we keep the negated form so the server-side
+  /// update x <- x - eta_g * agg reads with conventional signs.
+  ParamVector delta;
+  std::size_t num_samples = 0;
+  std::size_t num_steps = 0;  ///< B_k: local iterations actually executed.
+  float mean_loss = 0.0f;
+  /// Algorithm-specific payload (e.g. SCAFFOLD's control-variate delta).
+  ParamVector aux;
+};
+
+/// Direction rule: given the mini-batch gradient `grad` and current local
+/// params `x`, write the descent direction into `v` (may alias grad).
+using DirectionFn =
+    std::function<void(const ParamVector& grad, const ParamVector& x, ParamVector& v)>;
+
+/// Builds the client's batch sampler for this round, honouring the
+/// balanced-sampler plug-in.
+std::unique_ptr<data::BatchSampler> make_sampler(const FlContext& ctx,
+                                                 std::size_t client,
+                                                 std::size_t round);
+
+/// Runs `epochs` of local SGD from `start` with step size `lr` and the given
+/// direction rule; returns the standard LocalResult. `loss` is the client's
+/// training loss object.
+LocalResult run_local_sgd(const FlContext& ctx, Worker& worker, std::size_t client,
+                          const ParamVector& start, std::size_t round, float lr,
+                          const nn::Loss& loss, const DirectionFn& direction);
+
+/// Same loop with a caller-supplied batch sampler (used by algorithms like
+/// BalanceFL that mandate their own sampling scheme).
+LocalResult run_local_sgd(const FlContext& ctx, Worker& worker, std::size_t client,
+                          const ParamVector& start, float lr, const nn::Loss& loss,
+                          data::BatchSampler& sampler, const DirectionFn& direction);
+
+/// Computes the full-batch gradient of `loss` at `params` over the client's
+/// entire local dataset (used by SAM-style perturbation estimates and tests).
+ParamVector client_full_gradient(const FlContext& ctx, Worker& worker,
+                                 std::size_t client, const ParamVector& params,
+                                 const nn::Loss& loss);
+
+}  // namespace fedwcm::fl

@@ -1,0 +1,84 @@
+#include "fedwcm/fl/registry.hpp"
+
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+#include "fedwcm/fl/algorithms/balancefl.hpp"
+#include "fedwcm/fl/algorithms/creff.hpp"
+#include "fedwcm/fl/algorithms/fedavg.hpp"
+#include "fedwcm/fl/algorithms/fedcm.hpp"
+#include "fedwcm/fl/algorithms/feddyn.hpp"
+#include "fedwcm/fl/algorithms/fedopt.hpp"
+#include "fedwcm/fl/algorithms/fedgrab.hpp"
+#include "fedwcm/fl/algorithms/fedwcm.hpp"
+#include "fedwcm/fl/algorithms/sam.hpp"
+#include "fedwcm/fl/algorithms/scaffold.hpp"
+
+namespace fedwcm::fl {
+
+namespace {
+
+using Builder = std::function<std::unique_ptr<Algorithm>()>;
+
+const std::map<std::string, Builder>& builders() {
+  static const std::map<std::string, Builder> map = {
+      {"fedavg", [] { return std::make_unique<FedAvg>(); }},
+      {"fedprox", [] { return std::make_unique<FedProx>(); }},
+      {"fedavgm", [] { return std::make_unique<FedAvgM>(); }},
+      {"scaffold", [] { return std::make_unique<Scaffold>(); }},
+      {"feddyn", [] { return std::make_unique<FedDyn>(); }},
+      {"fedcm", [] { return std::make_unique<FedCM>(); }},
+      {"fedwcm", [] { return std::make_unique<FedWCM>(); }},
+      {"fedwcmx", [] { return std::make_unique<FedWcmX>(); }},
+      {"fedsam", [] { return std::make_unique<FedSam>(); }},
+      {"mofedsam", [] { return std::make_unique<MoFedSam>(); }},
+      {"fedlesam", [] { return std::make_unique<FedLesam>(); }},
+      {"fedsmoo", [] { return std::make_unique<FedSmoo>(); }},
+      {"fedspeed", [] { return std::make_unique<FedSpeed>(); }},
+      {"fedgrab", [] { return std::make_unique<FedGraB>(); }},
+      {"balancefl", [] { return std::make_unique<BalanceFL>(); }},
+      {"creff", [] { return std::make_unique<CReFF>(); }},
+      {"fedadam", [] { return std::make_unique<FedAdam>(); }},
+      {"fedyogi", [] { return std::make_unique<FedYogi>(); }},
+  };
+  return map;
+}
+
+}  // namespace
+
+std::unique_ptr<Algorithm> make_algorithm(const std::string& name) {
+  const auto it = builders().find(name);
+  if (it == builders().end())
+    throw std::invalid_argument("make_algorithm: unknown algorithm '" + name + "'");
+  return it->second();
+}
+
+std::vector<std::string> algorithm_names() {
+  std::vector<std::string> names;
+  names.reserve(builders().size());
+  for (const auto& [name, _] : builders()) names.push_back(name);
+  return names;
+}
+
+std::vector<MethodSpec> table1_methods() {
+  return {
+      {"FedAvg", "fedavg", "ce", false},
+      {"BalanceFL", "balancefl", "ce", false},
+      {"FedCM", "fedcm", "ce", false},
+      {"FedCM+Focal", "fedcm", "focal", false},
+      {"FedCM+BalLoss", "fedcm", "balance", false},
+      {"FedCM+BalSampler", "fedcm", "ce", true},
+      {"FedWCM", "fedwcm", "ce", false},
+  };
+}
+
+std::vector<MethodSpec> core_trio() {
+  return {
+      {"FedAvg", "fedavg", "ce", false},
+      {"FedCM", "fedcm", "ce", false},
+      {"FedWCM", "fedwcm", "ce", false},
+  };
+}
+
+}  // namespace fedwcm::fl

@@ -1,0 +1,39 @@
+#pragma once
+/// \file registry.hpp
+/// Name → algorithm factory, used by benches and examples so experiment
+/// configs can be expressed as method-name strings (matching the paper's
+/// table columns).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fedwcm/fl/algorithm.hpp"
+
+namespace fedwcm::fl {
+
+/// Builds an algorithm by canonical name:
+///   fedavg, fedprox, fedavgm, fedadam, fedyogi, scaffold, feddyn, fedcm,
+///   fedwcm, fedwcmx, fedsam, mofedsam, fedlesam, fedsmoo, fedspeed, fedgrab,
+///   balancefl, creff.
+/// Throws std::invalid_argument on unknown names.
+std::unique_ptr<Algorithm> make_algorithm(const std::string& name);
+
+/// All registered algorithm names.
+std::vector<std::string> algorithm_names();
+
+/// A named method variant: an algorithm plus loss/sampler plug-ins, the unit
+/// the paper's table columns are expressed in (e.g. "FedCM + Focal Loss").
+struct MethodSpec {
+  std::string label;       ///< Display label ("FedCM+Focal").
+  std::string algorithm;   ///< Registry name ("fedcm").
+  std::string loss;        ///< "ce" | "focal" | "balance".
+  bool balanced_sampler = false;
+};
+
+/// The seven methods of Table 1, in the paper's column order.
+std::vector<MethodSpec> table1_methods();
+/// FedAvg / FedCM / FedWCM — the trio used by Tables 3-4 and Figs. 9-10.
+std::vector<MethodSpec> core_trio();
+
+}  // namespace fedwcm::fl

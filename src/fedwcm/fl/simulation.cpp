@@ -1,0 +1,114 @@
+#include "fedwcm/fl/simulation.hpp"
+
+#include <algorithm>
+
+#include "fedwcm/core/rng.hpp"
+
+namespace fedwcm::fl {
+
+Simulation::Simulation(const FlConfig& config, const data::Dataset& train,
+                       const data::Dataset& test, const data::Partition& partition,
+                       nn::ModelFactory model_factory, LossFactory loss_factory)
+    : config_(config) {
+  FEDWCM_CHECK(partition.num_clients() == config.num_clients,
+               "Simulation: partition/client-count mismatch");
+  ctx_.config = &config_;
+  ctx_.train = &train;
+  ctx_.test = &test;
+  ctx_.partition = &partition;
+  ctx_.model_factory = std::move(model_factory);
+  ctx_.loss_factory = std::move(loss_factory);
+  ctx_.param_count = ctx_.model_factory().param_count();
+
+  ctx_.client_class_counts.resize(partition.num_clients());
+  ctx_.global_class_counts.assign(train.num_classes, 0);
+  for (std::size_t k = 0; k < partition.num_clients(); ++k) {
+    ctx_.client_class_counts[k] = train.class_counts(partition.client_indices[k]);
+    for (std::size_t c = 0; c < train.num_classes; ++c)
+      ctx_.global_class_counts[c] += ctx_.client_class_counts[k][c];
+    if (!partition.client_indices[k].empty()) eligible_.push_back(k);
+  }
+  FEDWCM_CHECK(!eligible_.empty(), "Simulation: every client is empty");
+}
+
+std::vector<std::size_t> Simulation::sample_clients(std::size_t round) const {
+  const std::size_t want = std::min(config_.sampled_per_round(), eligible_.size());
+  core::Rng rng(core::derive_seed(config_.seed, round + 1, 0x5A11));
+  auto picks = rng.sample_without_replacement(eligible_.size(), want);
+  std::vector<std::size_t> sampled(picks.size());
+  for (std::size_t i = 0; i < picks.size(); ++i) sampled[i] = eligible_[picks[i]];
+  std::sort(sampled.begin(), sampled.end());
+  return sampled;
+}
+
+SimulationResult Simulation::run(Algorithm& algorithm) {
+  SimulationResult result;
+  result.algorithm = algorithm.name();
+
+  // Seeded global init (identical across algorithms for a given seed, so
+  // convergence comparisons start from the same point — the paper's setup).
+  nn::Sequential init_model = ctx_.model_factory();
+  core::Rng init_rng(core::derive_seed(config_.seed, 0xD0D0));
+  init_model.init_params(init_rng);
+  ParamVector global = init_model.get_params();
+
+  algorithm.initialize(ctx_);
+
+  core::ThreadPool pool(config_.threads);
+  const std::size_t slots = config_.sampled_per_round();
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i)
+    workers.push_back(std::make_unique<Worker>(ctx_.model_factory));
+
+  nn::Sequential eval_model = ctx_.model_factory();
+
+  for (std::size_t round = 0; round < config_.rounds; ++round) {
+    const auto sampled = sample_clients(round);
+    algorithm.begin_round(round, sampled);
+
+    std::vector<LocalResult> results(sampled.size());
+    core::parallel_for(pool, 0, sampled.size(), [&](std::size_t i) {
+      results[i] = algorithm.local_update(sampled[i], global, round, *workers[i]);
+    });
+
+    algorithm.aggregate(results, round, global);
+
+    const bool last = round + 1 == config_.rounds;
+    if (round % config_.eval_every == 0 || last) {
+      RoundRecord rec;
+      rec.round = round;
+      const EvalResult ev = evaluate(eval_model, global, *ctx_.test, config_.eval_batch);
+      rec.test_accuracy = ev.accuracy;
+      double loss = 0.0;
+      for (const auto& r : results) loss += double(r.mean_loss);
+      rec.train_loss = results.empty() ? 0.0f : float(loss / double(results.size()));
+      rec.alpha = algorithm.current_alpha();
+      rec.momentum_norm = algorithm.momentum_norm();
+      if (probe_) {
+        eval_model.set_params(global);
+        rec.concentration = probe_(eval_model, *ctx_.test);
+      }
+      if (train_probe_) {
+        eval_model.set_params(global);
+        rec.train_metric = train_probe_(eval_model, *ctx_.train);
+      }
+      result.history.push_back(rec);
+      result.best_accuracy = std::max(result.best_accuracy, ev.accuracy);
+      if (last) result.per_class_accuracy = ev.per_class_accuracy;
+    }
+  }
+
+  result.final_params = std::move(global);
+  if (!result.history.empty()) {
+    result.final_accuracy = result.history.back().test_accuracy;
+    const std::size_t tail = std::min<std::size_t>(5, result.history.size());
+    double acc = 0.0;
+    for (std::size_t i = result.history.size() - tail; i < result.history.size(); ++i)
+      acc += double(result.history[i].test_accuracy);
+    result.tail_mean_accuracy = float(acc / double(tail));
+  }
+  return result;
+}
+
+}  // namespace fedwcm::fl

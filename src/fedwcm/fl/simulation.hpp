@@ -1,0 +1,53 @@
+#pragma once
+/// \file simulation.hpp
+/// The federated simulation engine: owns the context, samples clients each
+/// round, runs local training in parallel on a thread pool, and drives the
+/// algorithm's aggregate step — the in-process analog of the paper's
+/// server + 100-client testbed.
+
+#include <functional>
+
+#include "fedwcm/core/thread_pool.hpp"
+#include "fedwcm/fl/algorithm.hpp"
+#include "fedwcm/fl/evaluate.hpp"
+
+namespace fedwcm::fl {
+
+/// Optional per-evaluation probe (e.g. the neuron-concentration metric of
+/// Appendix B). Receives a model loaded with the current global params and
+/// the test set; its return value lands in RoundRecord::concentration.
+using RoundProbe =
+    std::function<float(nn::Sequential& model, const data::Dataset& test)>;
+
+/// Optional probe over the *training* objective (e.g. the full-batch
+/// gradient norm of Theorem 6.1, fl/diagnostics.hpp). Receives a model
+/// loaded with the current global params and the training set; the return
+/// value lands in RoundRecord::train_metric.
+using TrainProbe =
+    std::function<float(nn::Sequential& model, const data::Dataset& train)>;
+
+class Simulation {
+ public:
+  /// All references must outlive the Simulation.
+  Simulation(const FlConfig& config, const data::Dataset& train,
+             const data::Dataset& test, const data::Partition& partition,
+             nn::ModelFactory model_factory, LossFactory loss_factory);
+
+  /// Runs `algorithm` for config.rounds rounds from a fresh seeded init.
+  SimulationResult run(Algorithm& algorithm);
+
+  const FlContext& context() const { return ctx_; }
+  void set_probe(RoundProbe probe) { probe_ = std::move(probe); }
+  void set_train_probe(TrainProbe probe) { train_probe_ = std::move(probe); }
+
+ private:
+  std::vector<std::size_t> sample_clients(std::size_t round) const;
+
+  FlConfig config_;
+  FlContext ctx_;
+  RoundProbe probe_;
+  TrainProbe train_probe_;
+  std::vector<std::size_t> eligible_;  ///< Clients with at least one sample.
+};
+
+}  // namespace fedwcm::fl

@@ -1,0 +1,61 @@
+#pragma once
+/// \file types.hpp
+/// Configuration and result types for federated simulations.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fedwcm/core/param_vector.hpp"
+
+namespace fedwcm::fl {
+
+using core::ParamVector;
+
+/// Experiment configuration mirroring the paper's §7.1 setup knobs.
+struct FlConfig {
+  std::size_t num_clients = 20;
+  double participation = 0.5;   ///< Fraction of clients sampled per round.
+  std::size_t rounds = 50;
+  std::size_t local_epochs = 5;
+  std::size_t batch_size = 50;
+  float local_lr = 0.1f;        ///< eta_l.
+  float global_lr = 1.0f;       ///< eta_g.
+  std::uint64_t seed = 1;
+  bool balanced_sampler = false;  ///< "Balance Sampler" plug-in (He & Garcia).
+  std::size_t eval_every = 1;     ///< Evaluate test accuracy every N rounds.
+  std::size_t eval_batch = 256;
+  std::size_t threads = 0;        ///< 0 = hardware concurrency.
+  bool record_concentration = false;  ///< Neuron-concentration probe (App. B).
+
+  std::size_t sampled_per_round() const {
+    const auto k = std::size_t(double(num_clients) * participation + 0.5);
+    return k == 0 ? 1 : (k > num_clients ? num_clients : k);
+  }
+};
+
+/// One evaluated round of a simulation.
+struct RoundRecord {
+  std::size_t round = 0;
+  float test_accuracy = 0.0f;
+  float train_loss = 0.0f;      ///< Mean local training loss this round.
+  float alpha = 0.0f;           ///< Momentum value used (0 if N/A).
+  float momentum_norm = 0.0f;   ///< ||Delta_r|| (0 if N/A).
+  float concentration = 0.0f;   ///< Mean neuron concentration (if recorded).
+  float train_metric = 0.0f;    ///< Train-probe value (e.g. ||grad f||^2, §6).
+};
+
+struct SimulationResult {
+  std::string algorithm;
+  std::vector<RoundRecord> history;
+  ParamVector final_params;
+  float final_accuracy = 0.0f;
+  /// Mean accuracy over the last few evaluated rounds — the headline number
+  /// reported in the paper's tables (robust to last-round noise).
+  float tail_mean_accuracy = 0.0f;
+  float best_accuracy = 0.0f;
+  /// Per-class accuracy at the final round (Fig. 8).
+  std::vector<float> per_class_accuracy;
+};
+
+}  // namespace fedwcm::fl

@@ -1,0 +1,49 @@
+#pragma once
+/// \file activations.hpp
+/// Stateless elementwise activation layers (ReLU, LeakyReLU, Tanh).
+
+#include "fedwcm/nn/layer.hpp"
+
+namespace fedwcm::nn {
+
+class ReLU final : public Layer {
+ public:
+  void forward(const Matrix& in, Matrix& out) override;
+  void backward(const Matrix& grad_out, Matrix& grad_in) override;
+  std::string name() const override { return "ReLU"; }
+  std::unique_ptr<Layer> clone() const override { return std::make_unique<ReLU>(); }
+  std::size_t output_features(std::size_t f) const override { return f; }
+
+ private:
+  Matrix cached_in_;
+};
+
+class LeakyReLU final : public Layer {
+ public:
+  explicit LeakyReLU(float slope = 0.01f) : slope_(slope) {}
+  void forward(const Matrix& in, Matrix& out) override;
+  void backward(const Matrix& grad_out, Matrix& grad_in) override;
+  std::string name() const override { return "LeakyReLU"; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<LeakyReLU>(slope_);
+  }
+  std::size_t output_features(std::size_t f) const override { return f; }
+
+ private:
+  float slope_;
+  Matrix cached_in_;
+};
+
+class Tanh final : public Layer {
+ public:
+  void forward(const Matrix& in, Matrix& out) override;
+  void backward(const Matrix& grad_out, Matrix& grad_in) override;
+  std::string name() const override { return "Tanh"; }
+  std::unique_ptr<Layer> clone() const override { return std::make_unique<Tanh>(); }
+  std::size_t output_features(std::size_t f) const override { return f; }
+
+ private:
+  Matrix cached_out_;
+};
+
+}  // namespace fedwcm::nn

@@ -1,0 +1,254 @@
+#include "fedwcm/nn/conv.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace fedwcm::nn {
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t height, std::size_t width,
+               std::size_t out_channels, std::size_t kernel, std::size_t padding)
+    : in_c_(in_channels),
+      in_h_(height),
+      in_w_(width),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      pad_(padding),
+      out_h_(height + 2 * padding - kernel + 1),
+      out_w_(width + 2 * padding - kernel + 1),
+      w_(out_channels, in_channels * kernel * kernel),
+      b_(out_channels, 0.0f),
+      gw_(out_channels, in_channels * kernel * kernel),
+      gb_(out_channels, 0.0f) {
+  FEDWCM_CHECK(height + 2 * padding >= kernel && width + 2 * padding >= kernel,
+               "Conv2d: kernel larger than padded input");
+}
+
+void Conv2d::im2col(const float* img, Matrix& cols) const {
+  // cols: (in_c*k*k, out_h*out_w)
+  const std::size_t patch = in_c_ * kernel_ * kernel_;
+  if (cols.rows() != patch || cols.cols() != out_h_ * out_w_)
+    cols = Matrix(patch, out_h_ * out_w_);
+  for (std::size_t c = 0; c < in_c_; ++c) {
+    for (std::size_t ky = 0; ky < kernel_; ++ky) {
+      for (std::size_t kx = 0; kx < kernel_; ++kx) {
+        const std::size_t row = (c * kernel_ + ky) * kernel_ + kx;
+        float* dst = cols.data() + row * cols.cols();
+        for (std::size_t oy = 0; oy < out_h_; ++oy) {
+          const std::ptrdiff_t iy = std::ptrdiff_t(oy + ky) - std::ptrdiff_t(pad_);
+          for (std::size_t ox = 0; ox < out_w_; ++ox) {
+            const std::ptrdiff_t ix = std::ptrdiff_t(ox + kx) - std::ptrdiff_t(pad_);
+            float v = 0.0f;
+            if (iy >= 0 && iy < std::ptrdiff_t(in_h_) && ix >= 0 &&
+                ix < std::ptrdiff_t(in_w_))
+              v = img[(c * in_h_ + std::size_t(iy)) * in_w_ + std::size_t(ix)];
+            dst[oy * out_w_ + ox] = v;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::col2im(const Matrix& cols, float* img) const {
+  for (std::size_t c = 0; c < in_c_; ++c) {
+    for (std::size_t ky = 0; ky < kernel_; ++ky) {
+      for (std::size_t kx = 0; kx < kernel_; ++kx) {
+        const std::size_t row = (c * kernel_ + ky) * kernel_ + kx;
+        const float* src = cols.data() + row * cols.cols();
+        for (std::size_t oy = 0; oy < out_h_; ++oy) {
+          const std::ptrdiff_t iy = std::ptrdiff_t(oy + ky) - std::ptrdiff_t(pad_);
+          if (iy < 0 || iy >= std::ptrdiff_t(in_h_)) continue;
+          for (std::size_t ox = 0; ox < out_w_; ++ox) {
+            const std::ptrdiff_t ix = std::ptrdiff_t(ox + kx) - std::ptrdiff_t(pad_);
+            if (ix < 0 || ix >= std::ptrdiff_t(in_w_)) continue;
+            img[(c * in_h_ + std::size_t(iy)) * in_w_ + std::size_t(ix)] +=
+                src[oy * out_w_ + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::forward(const Matrix& in, Matrix& out) {
+  FEDWCM_CHECK(in.cols() == in_c_ * in_h_ * in_w_,
+               "Conv2d::forward: feature mismatch");
+  cached_in_ = in;
+  const std::size_t batch = in.rows();
+  const std::size_t out_feats = out_channels_ * out_h_ * out_w_;
+  if (out.rows() != batch || out.cols() != out_feats) out = Matrix(batch, out_feats);
+  Matrix cols, res;
+  for (std::size_t s = 0; s < batch; ++s) {
+    im2col(in.data() + s * in.cols(), cols);
+    core::matmul(w_, cols, res);  // (out_c, out_h*out_w)
+    float* orow = out.data() + s * out_feats;
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      const float* rrow = res.data() + oc * res.cols();
+      const float bias = b_[oc];
+      for (std::size_t p = 0; p < out_h_ * out_w_; ++p)
+        orow[oc * out_h_ * out_w_ + p] = rrow[p] + bias;
+    }
+  }
+}
+
+void Conv2d::backward(const Matrix& grad_out, Matrix& grad_in) {
+  const std::size_t batch = cached_in_.rows();
+  FEDWCM_CHECK(grad_out.rows() == batch, "Conv2d::backward: batch mismatch");
+  FEDWCM_CHECK(grad_out.cols() == out_channels_ * out_h_ * out_w_,
+               "Conv2d::backward: width mismatch");
+  if (!grad_in.same_shape(cached_in_))
+    grad_in = Matrix(cached_in_.rows(), cached_in_.cols());
+  grad_in.zero();
+  Matrix cols, gout(out_channels_, out_h_ * out_w_), gcols;
+  for (std::size_t s = 0; s < batch; ++s) {
+    im2col(cached_in_.data() + s * cached_in_.cols(), cols);
+    const float* grow = grad_out.data() + s * grad_out.cols();
+    std::copy(grow, grow + gout.size(), gout.data());
+    // gW += gout * cols^T ; gb += rowsum(gout)
+    core::matmul_nt(gout, cols, gw_, /*accumulate=*/true);
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      const float* r = gout.data() + oc * gout.cols();
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < gout.cols(); ++p) acc += r[p];
+      gb_[oc] += acc;
+    }
+    // gcols = W^T * gout ; grad_in sample = col2im(gcols)
+    core::matmul_tn(w_, gout, gcols);
+    col2im(gcols, grad_in.data() + s * grad_in.cols());
+  }
+}
+
+std::size_t Conv2d::param_count() const { return w_.size() + b_.size(); }
+
+void Conv2d::copy_params_to(std::span<float> dst) const {
+  FEDWCM_CHECK(dst.size() == param_count(), "Conv2d::copy_params_to: size mismatch");
+  std::copy(w_.span().begin(), w_.span().end(), dst.begin());
+  std::copy(b_.begin(), b_.end(), dst.begin() + std::ptrdiff_t(w_.size()));
+}
+
+void Conv2d::set_params(std::span<const float> src) {
+  FEDWCM_CHECK(src.size() == param_count(), "Conv2d::set_params: size mismatch");
+  std::copy(src.begin(), src.begin() + std::ptrdiff_t(w_.size()), w_.data());
+  std::copy(src.begin() + std::ptrdiff_t(w_.size()), src.end(), b_.begin());
+}
+
+void Conv2d::copy_grads_to(std::span<float> dst) const {
+  FEDWCM_CHECK(dst.size() == param_count(), "Conv2d::copy_grads_to: size mismatch");
+  std::copy(gw_.span().begin(), gw_.span().end(), dst.begin());
+  std::copy(gb_.begin(), gb_.end(), dst.begin() + std::ptrdiff_t(gw_.size()));
+}
+
+void Conv2d::zero_grads() {
+  gw_.zero();
+  std::fill(gb_.begin(), gb_.end(), 0.0f);
+}
+
+void Conv2d::init_params(core::Rng& rng) {
+  const float fan_in = float(in_c_ * kernel_ * kernel_);
+  const float limit = std::sqrt(6.0f / fan_in);
+  for (float& v : w_.span()) v = float(rng.uniform(-limit, limit));
+  std::fill(b_.begin(), b_.end(), 0.0f);
+}
+
+std::unique_ptr<Layer> Conv2d::clone() const {
+  auto copy =
+      std::make_unique<Conv2d>(in_c_, in_h_, in_w_, out_channels_, kernel_, pad_);
+  copy->w_ = w_;
+  copy->b_ = b_;
+  return copy;
+}
+
+// ---------------------------------------------------------------------------
+
+MaxPool2d::MaxPool2d(std::size_t channels, std::size_t height, std::size_t width)
+    : c_(channels), h_(height), w_(width) {
+  FEDWCM_CHECK(height % 2 == 0 && width % 2 == 0, "MaxPool2d: H and W must be even");
+}
+
+void MaxPool2d::forward(const Matrix& in, Matrix& out) {
+  FEDWCM_CHECK(in.cols() == c_ * h_ * w_, "MaxPool2d::forward: feature mismatch");
+  const std::size_t batch = in.rows();
+  const std::size_t oh = h_ / 2, ow = w_ / 2;
+  const std::size_t out_feats = c_ * oh * ow;
+  if (out.rows() != batch || out.cols() != out_feats) out = Matrix(batch, out_feats);
+  argmax_.assign(batch * out_feats, 0);
+  cached_batch_ = batch;
+  for (std::size_t s = 0; s < batch; ++s) {
+    const float* img = in.data() + s * in.cols();
+    float* orow = out.data() + s * out_feats;
+    for (std::size_t c = 0; c < c_; ++c) {
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t dy = 0; dy < 2; ++dy) {
+            for (std::size_t dx = 0; dx < 2; ++dx) {
+              const std::size_t idx = (c * h_ + oy * 2 + dy) * w_ + ox * 2 + dx;
+              if (img[idx] > best) {
+                best = img[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          const std::size_t oidx = (c * oh + oy) * ow + ox;
+          orow[oidx] = best;
+          argmax_[s * out_feats + oidx] = best_idx;
+        }
+      }
+    }
+  }
+}
+
+void MaxPool2d::backward(const Matrix& grad_out, Matrix& grad_in) {
+  const std::size_t oh = h_ / 2, ow = w_ / 2;
+  const std::size_t out_feats = c_ * oh * ow;
+  FEDWCM_CHECK(grad_out.rows() == cached_batch_ && grad_out.cols() == out_feats,
+               "MaxPool2d::backward: shape mismatch");
+  if (grad_in.rows() != cached_batch_ || grad_in.cols() != c_ * h_ * w_)
+    grad_in = Matrix(cached_batch_, c_ * h_ * w_);
+  grad_in.zero();
+  for (std::size_t s = 0; s < cached_batch_; ++s) {
+    const float* grow = grad_out.data() + s * out_feats;
+    float* irow = grad_in.data() + s * grad_in.cols();
+    for (std::size_t o = 0; o < out_feats; ++o)
+      irow[argmax_[s * out_feats + o]] += grow[o];
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+GlobalAvgPool::GlobalAvgPool(std::size_t channels, std::size_t height,
+                             std::size_t width)
+    : c_(channels), h_(height), w_(width) {}
+
+void GlobalAvgPool::forward(const Matrix& in, Matrix& out) {
+  FEDWCM_CHECK(in.cols() == c_ * h_ * w_, "GlobalAvgPool::forward: feature mismatch");
+  const std::size_t batch = in.rows();
+  if (out.rows() != batch || out.cols() != c_) out = Matrix(batch, c_);
+  const float inv = 1.0f / float(h_ * w_);
+  for (std::size_t s = 0; s < batch; ++s) {
+    const float* img = in.data() + s * in.cols();
+    float* orow = out.data() + s * c_;
+    for (std::size_t c = 0; c < c_; ++c) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < h_ * w_; ++p) acc += img[c * h_ * w_ + p];
+      orow[c] = acc * inv;
+    }
+  }
+}
+
+void GlobalAvgPool::backward(const Matrix& grad_out, Matrix& grad_in) {
+  FEDWCM_CHECK(grad_out.cols() == c_, "GlobalAvgPool::backward: width mismatch");
+  const std::size_t batch = grad_out.rows();
+  if (grad_in.rows() != batch || grad_in.cols() != c_ * h_ * w_)
+    grad_in = Matrix(batch, c_ * h_ * w_);
+  const float inv = 1.0f / float(h_ * w_);
+  for (std::size_t s = 0; s < batch; ++s) {
+    const float* grow = grad_out.data() + s * c_;
+    float* irow = grad_in.data() + s * grad_in.cols();
+    for (std::size_t c = 0; c < c_; ++c)
+      for (std::size_t p = 0; p < h_ * w_; ++p) irow[c * h_ * w_ + p] = grow[c] * inv;
+  }
+}
+
+}  // namespace fedwcm::nn

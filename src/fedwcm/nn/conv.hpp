@@ -1,0 +1,94 @@
+#pragma once
+/// \file conv.hpp
+/// Convolutional layers for the small image-like synthetic workloads.
+///
+/// Layout convention: a batch is a Matrix of shape (batch, C*H*W), each row a
+/// flattened CHW image. Layers carry their own spatial metadata, so the
+/// surrounding Sequential model remains a plain (batch, features) pipeline.
+
+#include "fedwcm/nn/layer.hpp"
+
+namespace fedwcm::nn {
+
+/// 2-D convolution implemented via im2col + GEMM, 'same'-style zero padding
+/// optional, stride 1.
+class Conv2d final : public Layer {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t height, std::size_t width,
+         std::size_t out_channels, std::size_t kernel, std::size_t padding = 1);
+
+  void forward(const Matrix& in, Matrix& out) override;
+  void backward(const Matrix& grad_out, Matrix& grad_in) override;
+
+  std::size_t param_count() const override;
+  void copy_params_to(std::span<float> dst) const override;
+  void set_params(std::span<const float> src) override;
+  void copy_grads_to(std::span<float> dst) const override;
+  void zero_grads() override;
+  void init_params(core::Rng& rng) override;
+
+  std::string name() const override { return "Conv2d"; }
+  std::unique_ptr<Layer> clone() const override;
+  std::size_t output_features(std::size_t) const override {
+    return out_channels_ * out_h_ * out_w_;
+  }
+
+  std::size_t out_height() const { return out_h_; }
+  std::size_t out_width() const { return out_w_; }
+  std::size_t out_channels() const { return out_channels_; }
+
+ private:
+  void im2col(const float* img, Matrix& cols) const;
+  void col2im(const Matrix& cols, float* img) const;
+
+  std::size_t in_c_, in_h_, in_w_;
+  std::size_t out_channels_, kernel_, pad_;
+  std::size_t out_h_, out_w_;
+  Matrix w_;              // (out_channels, in_c*k*k)
+  std::vector<float> b_;  // (out_channels)
+  Matrix gw_;
+  std::vector<float> gb_;
+  Matrix cached_in_;
+};
+
+/// 2x2 max pooling with stride 2 (input H and W must be even).
+class MaxPool2d final : public Layer {
+ public:
+  MaxPool2d(std::size_t channels, std::size_t height, std::size_t width);
+
+  void forward(const Matrix& in, Matrix& out) override;
+  void backward(const Matrix& grad_out, Matrix& grad_in) override;
+
+  std::string name() const override { return "MaxPool2d"; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<MaxPool2d>(c_, h_, w_);
+  }
+  std::size_t output_features(std::size_t) const override {
+    return c_ * (h_ / 2) * (w_ / 2);
+  }
+
+ private:
+  std::size_t c_, h_, w_;
+  std::vector<std::size_t> argmax_;  // per (sample, output element): input index
+  std::size_t cached_batch_ = 0;
+};
+
+/// Global average pooling over the spatial dims: (C,H,W) -> (C).
+class GlobalAvgPool final : public Layer {
+ public:
+  GlobalAvgPool(std::size_t channels, std::size_t height, std::size_t width);
+
+  void forward(const Matrix& in, Matrix& out) override;
+  void backward(const Matrix& grad_out, Matrix& grad_in) override;
+
+  std::string name() const override { return "GlobalAvgPool"; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<GlobalAvgPool>(c_, h_, w_);
+  }
+  std::size_t output_features(std::size_t) const override { return c_; }
+
+ private:
+  std::size_t c_, h_, w_;
+};
+
+}  // namespace fedwcm::nn

@@ -1,0 +1,48 @@
+#include "fedwcm/nn/grad_check.hpp"
+
+#include <cmath>
+
+namespace fedwcm::nn {
+
+GradCheckResult gradient_check(Sequential& model, const Loss& loss, const Matrix& x,
+                               std::span<const std::size_t> y, float epsilon,
+                               std::size_t probe_stride, float abs_tol,
+                               float rel_tol) {
+  GradCheckResult result;
+  Matrix dlogits;
+
+  model.zero_grads();
+  const Matrix& logits = model.forward(x);
+  loss.compute(logits, y, dlogits);
+  model.backward(dlogits);
+  const ParamVector analytic = model.get_grads();
+
+  ParamVector params = model.get_params();
+  for (std::size_t i = 0; i < params.size(); i += probe_stride) {
+    const float orig = params[i];
+
+    params[i] = orig + epsilon;
+    model.set_params(params);
+    const float loss_plus = loss.compute(model.forward(x), y, dlogits);
+
+    params[i] = orig - epsilon;
+    model.set_params(params);
+    const float loss_minus = loss.compute(model.forward(x), y, dlogits);
+
+    params[i] = orig;
+    const float numeric = (loss_plus - loss_minus) / (2.0f * epsilon);
+    const float err = std::abs(analytic[i] - numeric);
+    const float rel =
+        err / (std::abs(analytic[i]) + std::abs(numeric) + 1e-6f);
+    const float violation =
+        err / (abs_tol + rel_tol * (std::abs(analytic[i]) + std::abs(numeric)));
+    result.max_abs_error = std::max(result.max_abs_error, err);
+    result.max_rel_error = std::max(result.max_rel_error, rel);
+    result.max_violation = std::max(result.max_violation, violation);
+    ++result.checked;
+  }
+  model.set_params(params);
+  return result;
+}
+
+}  // namespace fedwcm::nn

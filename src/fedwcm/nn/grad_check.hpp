@@ -1,0 +1,34 @@
+#pragma once
+/// \file grad_check.hpp
+/// Central finite-difference gradient verification used by the test suite.
+
+#include <span>
+
+#include "fedwcm/nn/loss.hpp"
+#include "fedwcm/nn/sequential.hpp"
+
+namespace fedwcm::nn {
+
+struct GradCheckResult {
+  float max_abs_error = 0.0f;  // max |analytic - numeric|
+  float max_rel_error = 0.0f;  // max error / (|analytic| + |numeric| + eps)
+  /// max |a - n| / (abs_tol + rel_tol * (|a| + |n|)); <= 1 means every probed
+  /// coordinate is within the combined tolerance. This is the criterion tests
+  /// should assert — pure relative error explodes near zero gradients and
+  /// pure absolute error is meaningless for sharply-scaled losses (LDAM).
+  float max_violation = 0.0f;
+  std::size_t checked = 0;  // number of coordinates probed
+};
+
+/// Compares the analytic parameter gradient of `loss(model(x), y)` against a
+/// central finite difference. `probe_stride` subsamples coordinates so large
+/// models stay cheap to verify (stride 1 = every parameter). Note: float32
+/// central differences are inherently noisy and ReLU kinks within +-epsilon
+/// of a pre-activation produce genuinely wrong numeric estimates — use the
+/// combined `max_violation` criterion rather than raw max errors.
+GradCheckResult gradient_check(Sequential& model, const Loss& loss, const Matrix& x,
+                               std::span<const std::size_t> y,
+                               float epsilon = 1e-3f, std::size_t probe_stride = 1,
+                               float abs_tol = 0.05f, float rel_tol = 0.05f);
+
+}  // namespace fedwcm::nn

@@ -1,0 +1,1 @@
+#include "fedwcm/nn/layer.hpp"

@@ -1,0 +1,49 @@
+#pragma once
+/// \file layer.hpp
+/// Layer abstraction for the manual-backprop network stack.
+///
+/// Contract:
+///  * `forward(in, out)` caches whatever it needs for the matching
+///    `backward` call (single-slot cache: one forward, then one backward).
+///  * `backward(grad_out, grad_in)` accumulates parameter gradients into the
+///    layer's internal grad buffers (callers `zero_grads()` between batches)
+///    and writes the gradient w.r.t. the layer input into `grad_in`.
+///  * Parameters and gradients are exposed as flat spans so federated
+///    algorithms can treat the whole model as one vector.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "fedwcm/core/rng.hpp"
+#include "fedwcm/core/tensor.hpp"
+
+namespace fedwcm::nn {
+
+using core::Matrix;
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual void forward(const Matrix& in, Matrix& out) = 0;
+  virtual void backward(const Matrix& grad_out, Matrix& grad_in) = 0;
+
+  /// Number of trainable scalars (0 for activations/pooling).
+  virtual std::size_t param_count() const { return 0; }
+  virtual void copy_params_to(std::span<float> dst) const { (void)dst; }
+  virtual void set_params(std::span<const float> src) { (void)src; }
+  virtual void copy_grads_to(std::span<float> dst) const { (void)dst; }
+  virtual void zero_grads() {}
+  /// Re-draws the layer's initial parameters (no-op for stateless layers).
+  virtual void init_params(core::Rng& rng) { (void)rng; }
+
+  virtual std::string name() const = 0;
+  virtual std::unique_ptr<Layer> clone() const = 0;
+
+  /// Output feature count given the input feature count (flattened layout).
+  virtual std::size_t output_features(std::size_t input_features) const = 0;
+};
+
+}  // namespace fedwcm::nn

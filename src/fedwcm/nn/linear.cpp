@@ -1,0 +1,77 @@
+#include "fedwcm/nn/linear.hpp"
+
+#include <cmath>
+
+namespace fedwcm::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, bool bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias),
+      w_(in_features, out_features),
+      b_(bias ? out_features : 0, 0.0f),
+      gw_(in_features, out_features),
+      gb_(bias ? out_features : 0, 0.0f) {}
+
+void Linear::forward(const Matrix& in, Matrix& out) {
+  FEDWCM_CHECK(in.cols() == in_features_, "Linear::forward: feature mismatch");
+  cached_in_ = in;
+  core::matmul(in, w_, out);
+  if (has_bias_) core::add_row_broadcast(out, b_);
+}
+
+void Linear::backward(const Matrix& grad_out, Matrix& grad_in) {
+  FEDWCM_CHECK(grad_out.cols() == out_features_, "Linear::backward: width mismatch");
+  FEDWCM_CHECK(grad_out.rows() == cached_in_.rows(),
+               "Linear::backward: batch mismatch (missing forward?)");
+  core::matmul_tn(cached_in_, grad_out, gw_, /*accumulate=*/true);
+  if (has_bias_) {
+    std::vector<float> gb(out_features_);
+    core::sum_rows(grad_out, gb);
+    for (std::size_t i = 0; i < out_features_; ++i) gb_[i] += gb[i];
+  }
+  core::matmul_nt(grad_out, w_, grad_in);
+}
+
+std::size_t Linear::param_count() const {
+  return in_features_ * out_features_ + b_.size();
+}
+
+void Linear::copy_params_to(std::span<float> dst) const {
+  FEDWCM_CHECK(dst.size() == param_count(), "Linear::copy_params_to: size mismatch");
+  std::copy(w_.span().begin(), w_.span().end(), dst.begin());
+  std::copy(b_.begin(), b_.end(), dst.begin() + std::ptrdiff_t(w_.size()));
+}
+
+void Linear::set_params(std::span<const float> src) {
+  FEDWCM_CHECK(src.size() == param_count(), "Linear::set_params: size mismatch");
+  std::copy(src.begin(), src.begin() + std::ptrdiff_t(w_.size()), w_.data());
+  std::copy(src.begin() + std::ptrdiff_t(w_.size()), src.end(), b_.begin());
+}
+
+void Linear::copy_grads_to(std::span<float> dst) const {
+  FEDWCM_CHECK(dst.size() == param_count(), "Linear::copy_grads_to: size mismatch");
+  std::copy(gw_.span().begin(), gw_.span().end(), dst.begin());
+  std::copy(gb_.begin(), gb_.end(), dst.begin() + std::ptrdiff_t(gw_.size()));
+}
+
+void Linear::zero_grads() {
+  gw_.zero();
+  std::fill(gb_.begin(), gb_.end(), 0.0f);
+}
+
+void Linear::init_params(core::Rng& rng) {
+  // He-uniform: U(-limit, limit) with limit = sqrt(6 / fan_in).
+  const float limit = std::sqrt(6.0f / float(in_features_));
+  for (float& v : w_.span()) v = float(rng.uniform(-limit, limit));
+  std::fill(b_.begin(), b_.end(), 0.0f);
+}
+
+std::unique_ptr<Layer> Linear::clone() const {
+  auto copy = std::make_unique<Linear>(in_features_, out_features_, has_bias_);
+  copy->w_ = w_;
+  copy->b_ = b_;
+  return copy;
+}
+
+}  // namespace fedwcm::nn

@@ -1,0 +1,45 @@
+#pragma once
+/// \file linear.hpp
+/// Fully-connected layer: out = in * W + b, with exact backprop.
+
+#include "fedwcm/nn/layer.hpp"
+
+namespace fedwcm::nn {
+
+class Linear final : public Layer {
+ public:
+  /// Creates a layer with He-uniform initialized weights (seeded later via
+  /// `init_params`; until then parameters are zero).
+  Linear(std::size_t in_features, std::size_t out_features, bool bias = true);
+
+  void forward(const Matrix& in, Matrix& out) override;
+  void backward(const Matrix& grad_out, Matrix& grad_in) override;
+
+  std::size_t param_count() const override;
+  void copy_params_to(std::span<float> dst) const override;
+  void set_params(std::span<const float> src) override;
+  void copy_grads_to(std::span<float> dst) const override;
+  void zero_grads() override;
+  void init_params(core::Rng& rng) override;
+
+  std::string name() const override { return "Linear"; }
+  std::unique_ptr<Layer> clone() const override;
+  std::size_t output_features(std::size_t) const override { return out_features_; }
+
+  std::size_t in_features() const { return in_features_; }
+  std::size_t out_features() const { return out_features_; }
+  const Matrix& weights() const { return w_; }
+  std::span<const float> bias() const { return b_; }
+
+ private:
+  std::size_t in_features_;
+  std::size_t out_features_;
+  bool has_bias_;
+  Matrix w_;                   // (in, out)
+  std::vector<float> b_;       // (out)
+  Matrix gw_;
+  std::vector<float> gb_;
+  Matrix cached_in_;
+};
+
+}  // namespace fedwcm::nn

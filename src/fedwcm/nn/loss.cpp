@@ -1,0 +1,131 @@
+#include "fedwcm/nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedwcm::nn {
+
+namespace {
+
+/// Validates shapes and prepares `dlogits`.
+void prepare(const Matrix& logits, std::span<const std::size_t> labels,
+             Matrix& dlogits) {
+  FEDWCM_CHECK(logits.rows() == labels.size(), "loss: batch/label mismatch");
+  FEDWCM_CHECK(logits.rows() > 0, "loss: empty batch");
+  for (std::size_t s : labels)
+    FEDWCM_CHECK(s < logits.cols(), "loss: label out of range");
+  if (!dlogits.same_shape(logits)) dlogits = Matrix(logits.rows(), logits.cols());
+}
+
+/// Row-wise softmax into `probs` without mutating `logits`.
+Matrix softmax_copy(const Matrix& logits) {
+  Matrix probs = logits;
+  core::softmax_rows(probs);
+  return probs;
+}
+
+}  // namespace
+
+float CrossEntropyLoss::compute(const Matrix& logits,
+                                std::span<const std::size_t> labels,
+                                Matrix& dlogits) const {
+  prepare(logits, labels, dlogits);
+  const Matrix probs = softmax_copy(logits);
+  const std::size_t batch = logits.rows(), classes = logits.cols();
+  const float inv_b = 1.0f / float(batch);
+  double loss = 0.0;
+  for (std::size_t r = 0; r < batch; ++r) {
+    const float* p = probs.data() + r * classes;
+    float* d = dlogits.data() + r * classes;
+    const float pt = std::max(p[labels[r]], 1e-12f);
+    loss -= std::log(double(pt));
+    for (std::size_t c = 0; c < classes; ++c) d[c] = p[c] * inv_b;
+    d[labels[r]] -= inv_b;
+  }
+  return float(loss / double(batch));
+}
+
+float FocalLoss::compute(const Matrix& logits, std::span<const std::size_t> labels,
+                         Matrix& dlogits) const {
+  prepare(logits, labels, dlogits);
+  const Matrix probs = softmax_copy(logits);
+  const std::size_t batch = logits.rows(), classes = logits.cols();
+  const float inv_b = 1.0f / float(batch);
+  double loss = 0.0;
+  for (std::size_t r = 0; r < batch; ++r) {
+    const float* p = probs.data() + r * classes;
+    float* d = dlogits.data() + r * classes;
+    const std::size_t t = labels[r];
+    const float pt = std::clamp(p[t], 1e-7f, 1.0f - 1e-7f);
+    const float one_m = 1.0f - pt;
+    const float log_pt = std::log(pt);
+    loss -= double(std::pow(one_m, gamma_)) * double(log_pt);
+    // dL/dz_j = A * (delta_tj - p_j) with
+    // A = gamma * p_t * (1-p_t)^(gamma-1) * log p_t - (1-p_t)^gamma.
+    const float a =
+        gamma_ * pt * std::pow(one_m, gamma_ - 1.0f) * log_pt - std::pow(one_m, gamma_);
+    for (std::size_t c = 0; c < classes; ++c) {
+      const float delta = (c == t) ? 1.0f : 0.0f;
+      d[c] = a * (delta - p[c]) * inv_b;
+    }
+  }
+  return float(loss / double(batch));
+}
+
+BalancedSoftmaxLoss::BalancedSoftmaxLoss(std::vector<float> class_counts)
+    : log_prior_(class_counts.size()) {
+  double total = 0.0;
+  for (float c : class_counts) total += std::max(c, 0.0f);
+  if (total <= 0.0) total = 1.0;
+  for (std::size_t i = 0; i < class_counts.size(); ++i) {
+    // Smooth zero counts so absent classes keep a finite (strongly negative)
+    // prior instead of -inf.
+    const double prior = (double(std::max(class_counts[i], 0.0f)) + 0.5) /
+                         (total + 0.5 * double(class_counts.size()));
+    log_prior_[i] = float(std::log(prior));
+  }
+}
+
+float BalancedSoftmaxLoss::compute(const Matrix& logits,
+                                   std::span<const std::size_t> labels,
+                                   Matrix& dlogits) const {
+  prepare(logits, labels, dlogits);
+  FEDWCM_CHECK(logits.cols() == log_prior_.size(),
+               "BalancedSoftmaxLoss: class count mismatch");
+  Matrix adjusted = logits;
+  core::add_row_broadcast(adjusted, log_prior_);
+  // CE on adjusted logits; d(adjusted)/d(logits) = identity.
+  CrossEntropyLoss ce;
+  return ce.compute(adjusted, labels, dlogits);
+}
+
+LdamLoss::LdamLoss(std::vector<float> class_counts, float max_margin, float s)
+    : margins_(class_counts.size()), s_(s) {
+  // Delta_c = C / n_c^{1/4}, normalized so max margin equals `max_margin`.
+  float max_raw = 0.0f;
+  for (std::size_t i = 0; i < class_counts.size(); ++i) {
+    const float n = std::max(class_counts[i], 1.0f);
+    margins_[i] = 1.0f / std::pow(n, 0.25f);
+    max_raw = std::max(max_raw, margins_[i]);
+  }
+  if (max_raw > 0.0f)
+    for (float& m : margins_) m *= max_margin / max_raw;
+}
+
+float LdamLoss::compute(const Matrix& logits, std::span<const std::size_t> labels,
+                        Matrix& dlogits) const {
+  prepare(logits, labels, dlogits);
+  FEDWCM_CHECK(logits.cols() == margins_.size(), "LdamLoss: class count mismatch");
+  // z'_c = s * (z_c - Delta_c * [c == y]); CE on z'. Chain rule multiplies
+  // the CE gradient by s.
+  Matrix adjusted = logits;
+  for (std::size_t r = 0; r < logits.rows(); ++r)
+    adjusted(r, labels[r]) -= margins_[labels[r]];
+  for (float& v : adjusted.span()) v *= s_;
+  CrossEntropyLoss ce;
+  const float loss = ce.compute(adjusted, labels, dlogits);
+  for (float& v : dlogits.span()) v *= s_;
+  return loss;
+}
+
+}  // namespace fedwcm::nn

@@ -1,0 +1,92 @@
+#pragma once
+/// \file loss.hpp
+/// Classification losses with exact logit gradients (mean reduction).
+///
+/// These are the loss plug-ins the paper combines with FedCM:
+///  * `CrossEntropyLoss`   — the default objective.
+///  * `FocalLoss`          — "FedCM + Focal Loss" column (Lin et al.).
+///  * `BalancedSoftmaxLoss`— "FedCM + Balance Loss" column (PriorCELoss /
+///                           label-distribution disentangling: logits are
+///                           shifted by log class-prior before CE).
+///  * `LdamLoss`           — label-distribution-aware margin loss (Cao et
+///                           al.), available for extension experiments.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "fedwcm/core/tensor.hpp"
+
+namespace fedwcm::nn {
+
+using core::Matrix;
+
+class Loss {
+ public:
+  virtual ~Loss() = default;
+  /// Computes the scalar loss (mean over the batch) and writes
+  /// d(loss)/d(logits) into `dlogits` (same shape as `logits`).
+  virtual float compute(const Matrix& logits, std::span<const std::size_t> labels,
+                        Matrix& dlogits) const = 0;
+  virtual std::unique_ptr<Loss> clone() const = 0;
+  virtual std::string name() const = 0;
+};
+
+class CrossEntropyLoss final : public Loss {
+ public:
+  float compute(const Matrix& logits, std::span<const std::size_t> labels,
+                Matrix& dlogits) const override;
+  std::unique_ptr<Loss> clone() const override {
+    return std::make_unique<CrossEntropyLoss>();
+  }
+  std::string name() const override { return "cross_entropy"; }
+};
+
+class FocalLoss final : public Loss {
+ public:
+  explicit FocalLoss(float gamma = 2.0f) : gamma_(gamma) {}
+  float compute(const Matrix& logits, std::span<const std::size_t> labels,
+                Matrix& dlogits) const override;
+  std::unique_ptr<Loss> clone() const override {
+    return std::make_unique<FocalLoss>(gamma_);
+  }
+  std::string name() const override { return "focal"; }
+
+ private:
+  float gamma_;
+};
+
+/// CE on prior-adjusted logits z'_c = z_c + log(prior_c). `class_counts` is
+/// the *local* training distribution (clients compensate their own skew).
+class BalancedSoftmaxLoss final : public Loss {
+ public:
+  explicit BalancedSoftmaxLoss(std::vector<float> class_counts);
+  float compute(const Matrix& logits, std::span<const std::size_t> labels,
+                Matrix& dlogits) const override;
+  std::unique_ptr<Loss> clone() const override {
+    return std::make_unique<BalancedSoftmaxLoss>(*this);
+  }
+  std::string name() const override { return "balanced_softmax"; }
+
+ private:
+  std::vector<float> log_prior_;
+};
+
+/// LDAM: CE with a per-class margin Δ_c ∝ n_c^{-1/4} subtracted from the
+/// target logit, scaled by `s`.
+class LdamLoss final : public Loss {
+ public:
+  LdamLoss(std::vector<float> class_counts, float max_margin = 0.5f, float s = 10.0f);
+  float compute(const Matrix& logits, std::span<const std::size_t> labels,
+                Matrix& dlogits) const override;
+  std::unique_ptr<Loss> clone() const override {
+    return std::make_unique<LdamLoss>(*this);
+  }
+  std::string name() const override { return "ldam"; }
+
+ private:
+  std::vector<float> margins_;
+  float s_;
+};
+
+}  // namespace fedwcm::nn

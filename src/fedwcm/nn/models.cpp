@@ -1,0 +1,52 @@
+#include "fedwcm/nn/models.hpp"
+
+namespace fedwcm::nn {
+
+Sequential make_mlp(std::size_t input_dim, const std::vector<std::size_t>& hidden,
+                    std::size_t classes) {
+  Sequential model;
+  std::size_t prev = input_dim;
+  for (std::size_t h : hidden) {
+    model.add(std::make_unique<Linear>(prev, h));
+    model.add(std::make_unique<ReLU>());
+    prev = h;
+  }
+  model.add(std::make_unique<Linear>(prev, classes));
+  return model;
+}
+
+Sequential make_mini_convnet(std::size_t in_channels, std::size_t height,
+                             std::size_t width, std::size_t classes,
+                             std::size_t conv_width) {
+  Sequential model;
+  model.add(std::make_unique<Conv2d>(in_channels, height, width, conv_width,
+                                     /*kernel=*/3, /*padding=*/1));
+  model.add(std::make_unique<ReLU>());
+
+  Sequential res_body;
+  res_body.add(std::make_unique<Conv2d>(conv_width, height, width, conv_width, 3, 1));
+  res_body.add(std::make_unique<ReLU>());
+  res_body.add(std::make_unique<Conv2d>(conv_width, height, width, conv_width, 3, 1));
+  model.add(std::make_unique<Residual>(std::move(res_body)));
+  model.add(std::make_unique<ReLU>());
+
+  model.add(std::make_unique<MaxPool2d>(conv_width, height, width));
+  const std::size_t flat = conv_width * (height / 2) * (width / 2);
+  model.add(std::make_unique<Linear>(flat, classes));
+  return model;
+}
+
+ModelFactory mlp_factory(std::size_t input_dim, std::vector<std::size_t> hidden,
+                         std::size_t classes) {
+  return [=] { return make_mlp(input_dim, hidden, classes); };
+}
+
+ModelFactory mini_convnet_factory(std::size_t in_channels, std::size_t height,
+                                  std::size_t width, std::size_t classes,
+                                  std::size_t conv_width) {
+  return [=] {
+    return make_mini_convnet(in_channels, height, width, classes, conv_width);
+  };
+}
+
+}  // namespace fedwcm::nn

@@ -1,0 +1,43 @@
+#pragma once
+/// \file models.hpp
+/// Model factories for the reproduction's backbones.
+///
+/// Paper backbones → substitution (DESIGN.md §1): the 3-layer MLP used for
+/// Fashion-MNIST maps directly to `make_mlp`; ResNet-18/34 map to
+/// `make_mini_convnet`, an im2col conv stack with residual blocks sized for
+/// single-core simulation. Bench harnesses default to MLPs; the conv path is
+/// exercised by tests and examples.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "fedwcm/nn/activations.hpp"
+#include "fedwcm/nn/conv.hpp"
+#include "fedwcm/nn/linear.hpp"
+#include "fedwcm/nn/sequential.hpp"
+
+namespace fedwcm::nn {
+
+/// Produces a fresh (zero-initialized) model; callers init with their own RNG
+/// stream so every simulation is seed-deterministic.
+using ModelFactory = std::function<Sequential()>;
+
+/// MLP: input -> [hidden, ReLU]* -> classes.
+Sequential make_mlp(std::size_t input_dim, const std::vector<std::size_t>& hidden,
+                    std::size_t classes);
+
+/// Small residual conv net: Conv(k3) -> ReLU -> Residual[Conv->ReLU->Conv]
+/// -> ReLU -> MaxPool -> GlobalAvgPool-free flatten -> Linear head.
+Sequential make_mini_convnet(std::size_t in_channels, std::size_t height,
+                             std::size_t width, std::size_t classes,
+                             std::size_t conv_width = 8);
+
+/// Convenience factory builders.
+ModelFactory mlp_factory(std::size_t input_dim, std::vector<std::size_t> hidden,
+                         std::size_t classes);
+ModelFactory mini_convnet_factory(std::size_t in_channels, std::size_t height,
+                                  std::size_t width, std::size_t classes,
+                                  std::size_t conv_width = 8);
+
+}  // namespace fedwcm::nn

@@ -1,0 +1,145 @@
+#include "fedwcm/nn/regularization.hpp"
+
+#include <cmath>
+
+namespace fedwcm::nn {
+
+Dropout::Dropout(float rate, std::uint64_t seed)
+    : rate_(rate), seed_(seed), rng_(seed) {
+  FEDWCM_CHECK(rate >= 0.0f && rate < 1.0f, "Dropout: rate must be in [0, 1)");
+}
+
+void Dropout::forward(const Matrix& in, Matrix& out) {
+  if (!out.same_shape(in)) out = Matrix(in.rows(), in.cols());
+  if (!training_ || rate_ == 0.0f) {
+    std::copy(in.span().begin(), in.span().end(), out.data());
+    // Identity mask so a backward call after eval-mode forward stays exact.
+    if (!mask_.same_shape(in)) mask_ = Matrix(in.rows(), in.cols());
+    mask_.fill(1.0f);
+    return;
+  }
+  if (!mask_.same_shape(in)) mask_ = Matrix(in.rows(), in.cols());
+  const float keep_scale = 1.0f / (1.0f - rate_);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const bool keep = rng_.uniform() >= double(rate_);
+    mask_.data()[i] = keep ? keep_scale : 0.0f;
+    out.data()[i] = in.data()[i] * mask_.data()[i];
+  }
+}
+
+void Dropout::backward(const Matrix& grad_out, Matrix& grad_in) {
+  FEDWCM_CHECK(grad_out.same_shape(mask_), "Dropout::backward: shape mismatch");
+  if (!grad_in.same_shape(grad_out)) grad_in = Matrix(grad_out.rows(), grad_out.cols());
+  for (std::size_t i = 0; i < grad_out.size(); ++i)
+    grad_in.data()[i] = grad_out.data()[i] * mask_.data()[i];
+}
+
+std::unique_ptr<Layer> Dropout::clone() const {
+  auto copy = std::make_unique<Dropout>(rate_, seed_);
+  copy->training_ = training_;
+  return copy;
+}
+
+// ---------------------------------------------------------------------------
+
+LayerNorm::LayerNorm(std::size_t features, float eps)
+    : features_(features),
+      eps_(eps),
+      gamma_(features, 1.0f),
+      beta_(features, 0.0f),
+      ggamma_(features, 0.0f),
+      gbeta_(features, 0.0f) {
+  FEDWCM_CHECK(features > 0, "LayerNorm: zero features");
+}
+
+void LayerNorm::forward(const Matrix& in, Matrix& out) {
+  FEDWCM_CHECK(in.cols() == features_, "LayerNorm::forward: feature mismatch");
+  if (!out.same_shape(in)) out = Matrix(in.rows(), in.cols());
+  if (!cached_norm_.same_shape(in)) cached_norm_ = Matrix(in.rows(), in.cols());
+  inv_std_.resize(in.rows());
+  for (std::size_t r = 0; r < in.rows(); ++r) {
+    const float* x = in.data() + r * features_;
+    double mean = 0.0;
+    for (std::size_t j = 0; j < features_; ++j) mean += x[j];
+    mean /= double(features_);
+    double var = 0.0;
+    for (std::size_t j = 0; j < features_; ++j) {
+      const double d = double(x[j]) - mean;
+      var += d * d;
+    }
+    var /= double(features_);
+    const float inv = 1.0f / std::sqrt(float(var) + eps_);
+    inv_std_[r] = inv;
+    float* xn = cached_norm_.data() + r * features_;
+    float* y = out.data() + r * features_;
+    for (std::size_t j = 0; j < features_; ++j) {
+      xn[j] = (x[j] - float(mean)) * inv;
+      y[j] = gamma_[j] * xn[j] + beta_[j];
+    }
+  }
+}
+
+void LayerNorm::backward(const Matrix& grad_out, Matrix& grad_in) {
+  FEDWCM_CHECK(grad_out.same_shape(cached_norm_),
+               "LayerNorm::backward: shape mismatch (missing forward?)");
+  if (!grad_in.same_shape(grad_out)) grad_in = Matrix(grad_out.rows(), grad_out.cols());
+  const std::size_t n = features_;
+  for (std::size_t r = 0; r < grad_out.rows(); ++r) {
+    const float* gy = grad_out.data() + r * n;
+    const float* xn = cached_norm_.data() + r * n;
+    float* gx = grad_in.data() + r * n;
+    // Accumulate parameter gradients and the two row reductions that the
+    // normalization couples every coordinate through.
+    double sum_g = 0.0, sum_gx = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      ggamma_[j] += gy[j] * xn[j];
+      gbeta_[j] += gy[j];
+      const double gj = double(gy[j]) * double(gamma_[j]);
+      sum_g += gj;
+      sum_gx += gj * double(xn[j]);
+    }
+    const float inv = inv_std_[r];
+    for (std::size_t j = 0; j < n; ++j) {
+      const double gj = double(gy[j]) * double(gamma_[j]);
+      gx[j] = float(inv * (gj - sum_g / double(n) -
+                           double(xn[j]) * sum_gx / double(n)));
+    }
+  }
+}
+
+void LayerNorm::copy_params_to(std::span<float> dst) const {
+  FEDWCM_CHECK(dst.size() == param_count(), "LayerNorm::copy_params_to: size");
+  std::copy(gamma_.begin(), gamma_.end(), dst.begin());
+  std::copy(beta_.begin(), beta_.end(), dst.begin() + std::ptrdiff_t(features_));
+}
+
+void LayerNorm::set_params(std::span<const float> src) {
+  FEDWCM_CHECK(src.size() == param_count(), "LayerNorm::set_params: size");
+  std::copy(src.begin(), src.begin() + std::ptrdiff_t(features_), gamma_.begin());
+  std::copy(src.begin() + std::ptrdiff_t(features_), src.end(), beta_.begin());
+}
+
+void LayerNorm::copy_grads_to(std::span<float> dst) const {
+  FEDWCM_CHECK(dst.size() == param_count(), "LayerNorm::copy_grads_to: size");
+  std::copy(ggamma_.begin(), ggamma_.end(), dst.begin());
+  std::copy(gbeta_.begin(), gbeta_.end(), dst.begin() + std::ptrdiff_t(features_));
+}
+
+void LayerNorm::zero_grads() {
+  std::fill(ggamma_.begin(), ggamma_.end(), 0.0f);
+  std::fill(gbeta_.begin(), gbeta_.end(), 0.0f);
+}
+
+void LayerNorm::init_params(core::Rng&) {
+  std::fill(gamma_.begin(), gamma_.end(), 1.0f);
+  std::fill(beta_.begin(), beta_.end(), 0.0f);
+}
+
+std::unique_ptr<Layer> LayerNorm::clone() const {
+  auto copy = std::make_unique<LayerNorm>(features_, eps_);
+  copy->gamma_ = gamma_;
+  copy->beta_ = beta_;
+  return copy;
+}
+
+}  // namespace fedwcm::nn

@@ -1,0 +1,71 @@
+#pragma once
+/// \file regularization.hpp
+/// Regularization layers: seeded Dropout and LayerNorm.
+///
+/// Both are standard deep-learning components the larger paper backbones
+/// (ResNets) rely on in spirit; they extend the library's model space for
+/// downstream users. Dropout draws its masks from an internal deterministic
+/// RNG stream so federated runs stay reproducible; call `set_training(false)`
+/// (or use the identity pass-through of eval mode) for evaluation.
+
+#include "fedwcm/nn/layer.hpp"
+
+namespace fedwcm::nn {
+
+/// Inverted dropout: at train time each activation is zeroed with
+/// probability `rate` and survivors are scaled by 1/(1-rate); at eval time
+/// the layer is the identity. The mask stream is seeded at construction and
+/// advances per forward call, so a fixed seed yields a fixed run.
+class Dropout final : public Layer {
+ public:
+  explicit Dropout(float rate = 0.5f, std::uint64_t seed = 0x0D0F);
+
+  void forward(const Matrix& in, Matrix& out) override;
+  void backward(const Matrix& grad_out, Matrix& grad_in) override;
+
+  void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+  float rate() const { return rate_; }
+
+  std::string name() const override { return "Dropout"; }
+  std::unique_ptr<Layer> clone() const override;
+  std::size_t output_features(std::size_t f) const override { return f; }
+
+ private:
+  float rate_;
+  std::uint64_t seed_;
+  core::Rng rng_;
+  bool training_ = true;
+  Matrix mask_;  ///< Scaled keep-mask of the last forward.
+};
+
+/// Layer normalization over the feature dimension with learnable gain/bias:
+/// y = gamma * (x - mean) / sqrt(var + eps) + beta.
+class LayerNorm final : public Layer {
+ public:
+  explicit LayerNorm(std::size_t features, float eps = 1e-5f);
+
+  void forward(const Matrix& in, Matrix& out) override;
+  void backward(const Matrix& grad_out, Matrix& grad_in) override;
+
+  std::size_t param_count() const override { return 2 * features_; }
+  void copy_params_to(std::span<float> dst) const override;
+  void set_params(std::span<const float> src) override;
+  void copy_grads_to(std::span<float> dst) const override;
+  void zero_grads() override;
+  void init_params(core::Rng& rng) override;
+
+  std::string name() const override { return "LayerNorm"; }
+  std::unique_ptr<Layer> clone() const override;
+  std::size_t output_features(std::size_t) const override { return features_; }
+
+ private:
+  std::size_t features_;
+  float eps_;
+  std::vector<float> gamma_, beta_;
+  std::vector<float> ggamma_, gbeta_;
+  Matrix cached_norm_;          ///< x-hat of the last forward.
+  std::vector<float> inv_std_;  ///< Per-row 1/sqrt(var + eps).
+};
+
+}  // namespace fedwcm::nn

@@ -1,0 +1,121 @@
+#include "fedwcm/nn/sequential.hpp"
+
+namespace fedwcm::nn {
+
+Sequential::Sequential(const Sequential& other) {
+  layers_.reserve(other.layers_.size());
+  for (const auto& l : other.layers_) layers_.push_back(l->clone());
+}
+
+Sequential& Sequential::operator=(const Sequential& other) {
+  if (this == &other) return *this;
+  layers_.clear();
+  layers_.reserve(other.layers_.size());
+  for (const auto& l : other.layers_) layers_.push_back(l->clone());
+  acts_.clear();
+  grads_.clear();
+  return *this;
+}
+
+Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+const Matrix& Sequential::forward(const Matrix& in) {
+  acts_.resize(layers_.size() + 1);
+  acts_[0] = in;
+  for (std::size_t i = 0; i < layers_.size(); ++i)
+    layers_[i]->forward(acts_[i], acts_[i + 1]);
+  return acts_.back();
+}
+
+void Sequential::backward(const Matrix& grad_logits) {
+  FEDWCM_CHECK(acts_.size() == layers_.size() + 1,
+               "Sequential::backward: forward not run");
+  grads_.resize(layers_.size() + 1);
+  grads_.back() = grad_logits;
+  for (std::size_t i = layers_.size(); i-- > 0;)
+    layers_[i]->backward(grads_[i + 1], grads_[i]);
+}
+
+std::size_t Sequential::param_count() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) n += l->param_count();
+  return n;
+}
+
+ParamVector Sequential::get_params() const {
+  ParamVector out(param_count());
+  std::size_t off = 0;
+  for (const auto& l : layers_) {
+    const std::size_t n = l->param_count();
+    if (n > 0) l->copy_params_to({out.data() + off, n});
+    off += n;
+  }
+  return out;
+}
+
+void Sequential::set_params(std::span<const float> params) {
+  FEDWCM_CHECK(params.size() == param_count(), "Sequential::set_params: size mismatch");
+  std::size_t off = 0;
+  for (const auto& l : layers_) {
+    const std::size_t n = l->param_count();
+    if (n > 0) l->set_params(params.subspan(off, n));
+    off += n;
+  }
+}
+
+ParamVector Sequential::get_grads() const {
+  ParamVector out(param_count());
+  std::size_t off = 0;
+  for (const auto& l : layers_) {
+    const std::size_t n = l->param_count();
+    if (n > 0) l->copy_grads_to({out.data() + off, n});
+    off += n;
+  }
+  return out;
+}
+
+void Sequential::zero_grads() {
+  for (const auto& l : layers_) l->zero_grads();
+}
+
+void Sequential::init_params(core::Rng& rng) {
+  for (const auto& l : layers_) l->init_params(rng);
+}
+
+// ---------------------------------------------------------------------------
+
+void Residual::forward(const Matrix& in, Matrix& out) {
+  const Matrix& body_out = body_.forward(in);
+  FEDWCM_CHECK(body_out.same_shape(in), "Residual: body must preserve shape");
+  core::add(body_out, in, out);
+}
+
+void Residual::backward(const Matrix& grad_out, Matrix& grad_in) {
+  body_.backward(grad_out);
+  // grad_in = body grad w.r.t. input + identity path.
+  // The body's input gradient is not exposed directly by Sequential, so we
+  // re-run its internal chain: Sequential::backward stored per-layer grads;
+  // easiest correct formulation: grad_in = d(body)/d(in)^T g + g. We recover
+  // the body's input gradient from its first stored gradient slot.
+  grad_in = body_.input_gradient();
+  core::add(grad_in, grad_out, grad_in);
+}
+
+void Residual::copy_params_to(std::span<float> dst) const {
+  const ParamVector p = body_.get_params();
+  FEDWCM_CHECK(dst.size() == p.size(), "Residual::copy_params_to: size mismatch");
+  std::copy(p.begin(), p.end(), dst.begin());
+}
+
+void Residual::set_params(std::span<const float> src) { body_.set_params(src); }
+
+void Residual::copy_grads_to(std::span<float> dst) const {
+  const ParamVector g = body_.get_grads();
+  FEDWCM_CHECK(dst.size() == g.size(), "Residual::copy_grads_to: size mismatch");
+  std::copy(g.begin(), g.end(), dst.begin());
+}
+
+}  // namespace fedwcm::nn

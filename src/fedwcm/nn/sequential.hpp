@@ -1,0 +1,90 @@
+#pragma once
+/// \file sequential.hpp
+/// Sequential model container plus a residual-block layer.
+///
+/// `Sequential` is the model type the federated layer works with: a stack of
+/// layers exposing logits via `forward`, gradient accumulation via
+/// `backward`, and flat parameter/gradient vectors so FL algorithms can do
+/// parameter-space arithmetic (see fedwcm/core/param_vector.hpp).
+
+#include <memory>
+#include <vector>
+
+#include "fedwcm/core/param_vector.hpp"
+#include "fedwcm/nn/layer.hpp"
+
+namespace fedwcm::nn {
+
+using core::ParamVector;
+
+class Sequential {
+ public:
+  Sequential() = default;
+  Sequential(const Sequential& other);
+  Sequential& operator=(const Sequential& other);
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  /// Appends a layer; returns *this for chaining.
+  Sequential& add(std::unique_ptr<Layer> layer);
+
+  /// Runs the stack; the returned reference stays valid until next forward.
+  const Matrix& forward(const Matrix& in);
+  /// Backprop from d(loss)/d(logits); accumulates layer gradients.
+  void backward(const Matrix& grad_logits);
+
+  /// Gradient w.r.t. the model input, valid after `backward`. Needed by
+  /// composite layers (e.g. Residual) that embed a Sequential body.
+  const Matrix& input_gradient() const {
+    FEDWCM_CHECK(!grads_.empty(), "Sequential::input_gradient: backward not run");
+    return grads_.front();
+  }
+
+  std::size_t param_count() const;
+  ParamVector get_params() const;
+  void set_params(std::span<const float> params);
+  ParamVector get_grads() const;
+  void zero_grads();
+  void init_params(core::Rng& rng);
+
+  std::size_t layer_count() const { return layers_.size(); }
+  const Layer& layer(std::size_t i) const { return *layers_[i]; }
+
+  /// Activations recorded by the most recent forward pass; index 0 is the
+  /// input, index i the output of layer i-1. Used by the neuron-concentration
+  /// analysis (Appendix B).
+  const std::vector<Matrix>& activations() const { return acts_; }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<Matrix> acts_;   // acts_[0] = input, acts_[i+1] = layer i output
+  std::vector<Matrix> grads_;  // scratch for backward
+};
+
+/// Residual block: out = body(in) + in. The body must preserve the feature
+/// count. Gives the MiniConvNet its ResNet flavour.
+class Residual final : public Layer {
+ public:
+  explicit Residual(Sequential body) : body_(std::move(body)) {}
+
+  void forward(const Matrix& in, Matrix& out) override;
+  void backward(const Matrix& grad_out, Matrix& grad_in) override;
+
+  std::size_t param_count() const override { return body_.param_count(); }
+  void copy_params_to(std::span<float> dst) const override;
+  void set_params(std::span<const float> src) override;
+  void copy_grads_to(std::span<float> dst) const override;
+  void zero_grads() override { body_.zero_grads(); }
+  void init_params(core::Rng& rng) override { body_.init_params(rng); }
+
+  std::string name() const override { return "Residual"; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Residual>(body_);
+  }
+  std::size_t output_features(std::size_t f) const override { return f; }
+
+ private:
+  Sequential body_;
+};
+
+}  // namespace fedwcm::nn

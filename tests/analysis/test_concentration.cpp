@@ -1,0 +1,108 @@
+// Neuron-concentration metric: bounds, sensitivity to engineered models
+// (a class-dedicated-neuron model must score ~1, a class-agnostic one ~1/C).
+#include "fedwcm/analysis/concentration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fedwcm/nn/activations.hpp"
+#include "fedwcm/nn/linear.hpp"
+#include "fedwcm/nn/models.hpp"
+
+namespace fedwcm::analysis {
+namespace {
+
+// One-hot-feature dataset: feature c fires for class c.
+data::Dataset onehot_dataset(std::size_t classes, std::size_t per_class) {
+  data::Dataset ds;
+  ds.num_classes = classes;
+  ds.features = core::Matrix(classes * per_class, classes);
+  ds.labels.resize(classes * per_class);
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < classes; ++c)
+    for (std::size_t i = 0; i < per_class; ++i, ++row) {
+      ds.features(row, c) = 1.0f;
+      ds.labels[row] = c;
+    }
+  return ds;
+}
+
+TEST(Concentration, DedicatedNeuronsScoreNearOne) {
+  const std::size_t C = 4;
+  nn::Sequential model;
+  model.add(std::make_unique<nn::Linear>(C, C, /*bias=*/false));
+  model.add(std::make_unique<nn::ReLU>());
+  // Identity weights: neuron c fires only for class c.
+  core::ParamVector identity(C * C, 0.0f);
+  for (std::size_t i = 0; i < C; ++i) identity[i * C + i] = 1.0f;
+  model.set_params(identity);
+
+  const auto ds = onehot_dataset(C, 8);
+  const ConcentrationReport rep = neuron_concentration(model, ds);
+  ASSERT_EQ(rep.per_layer.size(), 1u);
+  EXPECT_NEAR(rep.per_layer[0], 1.0f, 1e-5f);
+  EXPECT_NEAR(rep.mean, 1.0f, 1e-5f);
+}
+
+TEST(Concentration, ClassAgnosticNeuronsScoreNearUniform) {
+  const std::size_t C = 4;
+  nn::Sequential model;
+  model.add(std::make_unique<nn::Linear>(C, 6, /*bias=*/false));
+  model.add(std::make_unique<nn::ReLU>());
+  // All-ones weights: every neuron responds identically to every class.
+  model.set_params(core::ParamVector(C * 6, 1.0f));
+  const auto ds = onehot_dataset(C, 8);
+  const ConcentrationReport rep = neuron_concentration(model, ds);
+  ASSERT_EQ(rep.per_layer.size(), 1u);
+  EXPECT_NEAR(rep.per_layer[0], 1.0f / float(C), 1e-5f);
+}
+
+TEST(Concentration, BoundsHoldForRandomModels) {
+  const std::size_t C = 5;
+  nn::Sequential model = nn::make_mlp(C, {12, 8}, C);
+  core::Rng rng(17);
+  model.init_params(rng);
+  const auto ds = onehot_dataset(C, 10);
+  const ConcentrationReport rep = neuron_concentration(model, ds);
+  EXPECT_EQ(rep.per_layer.size(), 2u);  // two ReLU layers
+  for (float v : rep.per_layer) {
+    EXPECT_GE(v, 1.0f / float(C) - 1e-5f);
+    EXPECT_LE(v, 1.0f + 1e-5f);
+  }
+  EXPECT_EQ(rep.layer_names.size(), rep.per_layer.size());
+}
+
+TEST(Concentration, DeadNeuronsAreSkipped) {
+  const std::size_t C = 3;
+  nn::Sequential model;
+  model.add(std::make_unique<nn::Linear>(C, 4, /*bias=*/false));
+  model.add(std::make_unique<nn::ReLU>());
+  // Negative weights everywhere: every neuron is dead after ReLU -> report
+  // falls back to 1/C rather than dividing by zero.
+  model.set_params(core::ParamVector(C * 4, -1.0f));
+  const auto ds = onehot_dataset(C, 4);
+  const ConcentrationReport rep = neuron_concentration(model, ds);
+  EXPECT_NEAR(rep.per_layer[0], 1.0f / float(C), 1e-5f);
+}
+
+TEST(Concentration, ProbeCapLimitsWork) {
+  const std::size_t C = 3;
+  nn::Sequential model = nn::make_mlp(C, {8}, C);
+  core::Rng rng(18);
+  model.init_params(rng);
+  const auto ds = onehot_dataset(C, 100);
+  // Capped probe must still produce a valid report.
+  const ConcentrationReport rep = neuron_concentration(model, ds, /*max_per_class=*/5);
+  EXPECT_FALSE(rep.per_layer.empty());
+}
+
+TEST(Concentration, EmptyProbeRejected) {
+  nn::Sequential model = nn::make_mlp(3, {4}, 3);
+  data::Dataset empty;
+  empty.num_classes = 3;
+  EXPECT_THROW(neuron_concentration(model, empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedwcm::analysis

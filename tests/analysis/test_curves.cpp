@@ -1,0 +1,60 @@
+// Curve helpers: series extraction and the rounds-to-threshold metric (§7.3).
+#include "fedwcm/analysis/curves.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fedwcm::analysis {
+namespace {
+
+fl::SimulationResult fake_result() {
+  fl::SimulationResult res;
+  res.algorithm = "fedwcm";
+  for (std::size_t r = 0; r < 5; ++r) {
+    fl::RoundRecord rec;
+    rec.round = r * 10;
+    rec.test_accuracy = 0.1f * float(r + 1);
+    rec.train_loss = 1.0f / float(r + 1);
+    rec.alpha = 0.1f + 0.05f * float(r);
+    rec.concentration = 0.2f + 0.01f * float(r);
+    res.history.push_back(rec);
+  }
+  return res;
+}
+
+std::string render(const core::SeriesPrinter& s) {
+  std::ostringstream ss;
+  s.print(ss);
+  return ss.str();
+}
+
+TEST(Curves, AccuracySeries) {
+  core::SeriesPrinter out;
+  add_accuracy_series(out, "fedwcm", fake_result());
+  const std::string s = render(out);
+  EXPECT_NE(s.find("fedwcm,0,0.1"), std::string::npos);
+  EXPECT_NE(s.find("fedwcm,40,0.5"), std::string::npos);
+}
+
+TEST(Curves, ConcentrationAndLossAndAlphaSeries) {
+  core::SeriesPrinter out;
+  add_concentration_series(out, "conc", fake_result());
+  add_loss_series(out, "loss", fake_result());
+  add_alpha_series(out, "alpha", fake_result());
+  const std::string s = render(out);
+  EXPECT_NE(s.find("conc,0,0.2"), std::string::npos);
+  EXPECT_NE(s.find("loss,0,1"), std::string::npos);
+  EXPECT_NE(s.find("alpha,0,0.1"), std::string::npos);
+}
+
+TEST(Curves, RoundsToAccuracy) {
+  const auto res = fake_result();
+  EXPECT_EQ(rounds_to_accuracy(res, 0.05f), 0u);
+  EXPECT_EQ(rounds_to_accuracy(res, 0.25f), 20u);
+  EXPECT_EQ(rounds_to_accuracy(res, 0.5f), 40u);
+  EXPECT_EQ(rounds_to_accuracy(res, 0.9f), SIZE_MAX);
+}
+
+}  // namespace
+}  // namespace fedwcm::analysis

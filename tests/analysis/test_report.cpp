@@ -1,0 +1,70 @@
+// Report writers: CSV / JSONL artifact round-trips.
+#include "fedwcm/analysis/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace fedwcm::analysis {
+namespace {
+
+fl::SimulationResult sample_result() {
+  fl::SimulationResult res;
+  res.algorithm = "fedwcm";
+  res.final_accuracy = 0.72f;
+  res.best_accuracy = 0.74f;
+  res.tail_mean_accuracy = 0.71f;
+  res.per_class_accuracy = {0.9f, 0.5f};
+  for (std::size_t r = 0; r < 3; ++r) {
+    fl::RoundRecord rec;
+    rec.round = r;
+    rec.test_accuracy = 0.2f * float(r + 1);
+    rec.train_loss = 1.0f - 0.1f * float(r);
+    rec.alpha = 0.1f;
+    res.history.push_back(rec);
+  }
+  return res;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+TEST(Report, CsvContainsHeaderAndRows) {
+  const std::string path = testing::TempDir() + "/fedwcm_hist.csv";
+  write_history_csv(path, sample_result());
+  const std::string content = slurp(path);
+  EXPECT_NE(content.find("round,test_accuracy"), std::string::npos);
+  EXPECT_NE(content.find("\n0,0.2"), std::string::npos);
+  EXPECT_NE(content.find("\n2,0.6"), std::string::npos);
+  // Header + 3 data rows.
+  EXPECT_EQ(std::count(content.begin(), content.end(), '\n'), 4);
+  std::remove(path.c_str());
+}
+
+TEST(Report, JsonlContainsRecordsAndSummary) {
+  const std::string path = testing::TempDir() + "/fedwcm_hist.jsonl";
+  write_history_jsonl(path, sample_result());
+  const std::string content = slurp(path);
+  EXPECT_NE(content.find("\"algorithm\":\"fedwcm\""), std::string::npos);
+  EXPECT_NE(content.find("\"round\":2"), std::string::npos);
+  EXPECT_NE(content.find("\"summary\":true"), std::string::npos);
+  EXPECT_NE(content.find("\"per_class_accuracy\":[0.9,0.5]"), std::string::npos);
+  EXPECT_EQ(std::count(content.begin(), content.end(), '\n'), 4);
+  std::remove(path.c_str());
+}
+
+TEST(Report, UnwritablePathThrows) {
+  EXPECT_THROW(write_history_csv("/nonexistent/dir/x.csv", sample_result()),
+               std::runtime_error);
+  EXPECT_THROW(write_history_jsonl("/nonexistent/dir/x.jsonl", sample_result()),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fedwcm::analysis

@@ -1,0 +1,60 @@
+// Bench-scale env parsing.
+#include "fedwcm/core/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace fedwcm::core {
+namespace {
+
+struct EnvGuard {
+  explicit EnvGuard(const char* value) {
+    if (value)
+      setenv("FEDWCM_BENCH_SCALE", value, 1);
+    else
+      unsetenv("FEDWCM_BENCH_SCALE");
+  }
+  ~EnvGuard() { unsetenv("FEDWCM_BENCH_SCALE"); }
+};
+
+TEST(BenchScale, DefaultsWhenUnset) {
+  EnvGuard g(nullptr);
+  EXPECT_EQ(bench_scale_from_env(), BenchScale::kDefault);
+}
+
+TEST(BenchScale, ParsesKnownValuesCaseInsensitive) {
+  {
+    EnvGuard g("smoke");
+    EXPECT_EQ(bench_scale_from_env(), BenchScale::kSmoke);
+  }
+  {
+    EnvGuard g("PAPER");
+    EXPECT_EQ(bench_scale_from_env(), BenchScale::kPaper);
+  }
+  {
+    EnvGuard g("Default");
+    EXPECT_EQ(bench_scale_from_env(), BenchScale::kDefault);
+  }
+}
+
+TEST(BenchScale, UnknownFallsBackToDefault) {
+  EnvGuard g("warpspeed");
+  EXPECT_EQ(bench_scale_from_env(), BenchScale::kDefault);
+}
+
+TEST(BenchScale, ScaledCounts) {
+  EXPECT_EQ(scaled(BenchScale::kDefault, 40), 40u);
+  EXPECT_EQ(scaled(BenchScale::kSmoke, 40), 10u);
+  EXPECT_EQ(scaled(BenchScale::kSmoke, 2), 1u);  // never zero
+  EXPECT_EQ(scaled(BenchScale::kPaper, 40, 8), 320u);
+}
+
+TEST(BenchScale, ToString) {
+  EXPECT_EQ(to_string(BenchScale::kSmoke), "smoke");
+  EXPECT_EQ(to_string(BenchScale::kDefault), "default");
+  EXPECT_EQ(to_string(BenchScale::kPaper), "paper");
+}
+
+}  // namespace
+}  // namespace fedwcm::core

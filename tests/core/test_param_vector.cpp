@@ -1,0 +1,66 @@
+// Parameter-vector arithmetic: the primitives every FL update rule is built
+// from must be exact and size-checked.
+#include "fedwcm/core/param_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace fedwcm::core::pv {
+namespace {
+
+TEST(ParamVector, Axpy) {
+  ParamVector x{1, 2, 3}, y{1, 1, 1};
+  axpy(0.5f, x, y);
+  EXPECT_FLOAT_EQ(y[0], 1.5f);
+  EXPECT_FLOAT_EQ(y[2], 2.5f);
+  ParamVector bad{1};
+  EXPECT_THROW(axpy(1.0f, bad, y), std::invalid_argument);
+}
+
+TEST(ParamVector, SubAddBlend) {
+  ParamVector a{4, 6}, b{1, 2};
+  EXPECT_EQ(sub(a, b), (ParamVector{3, 4}));
+  EXPECT_EQ(add(a, b), (ParamVector{5, 8}));
+  // blend(alpha, a, beta, b) = alpha a + beta b — the Eq. 2/6 momentum mix.
+  const ParamVector v = blend(0.1f, a, 0.9f, b);
+  EXPECT_FLOAT_EQ(v[0], 0.1f * 4 + 0.9f * 1);
+  EXPECT_FLOAT_EQ(v[1], 0.1f * 6 + 0.9f * 2);
+}
+
+TEST(ParamVector, AccumulateResizesOnFirstUse) {
+  ParamVector acc;
+  accumulate(acc, 0.5f, ParamVector{2, 4});
+  accumulate(acc, 0.5f, ParamVector{6, 8});
+  EXPECT_FLOAT_EQ(acc[0], 4.0f);
+  EXPECT_FLOAT_EQ(acc[1], 6.0f);
+  EXPECT_THROW(accumulate(acc, 1.0f, ParamVector{1}), std::invalid_argument);
+}
+
+TEST(ParamVector, ZeroAndScale) {
+  ParamVector x{3, -4};
+  scale(2.0f, x);
+  EXPECT_FLOAT_EQ(x[0], 6.0f);
+  zero(x);
+  EXPECT_FLOAT_EQ(x[0], 0.0f);
+  EXPECT_FLOAT_EQ(x[1], 0.0f);
+  EXPECT_EQ(x.size(), 2u);
+}
+
+TEST(ParamVector, NormsAndDot) {
+  ParamVector a{3, 4};
+  EXPECT_FLOAT_EQ(l2_norm(a), 5.0f);
+  EXPECT_FLOAT_EQ(l2_norm_sq(a), 25.0f);
+  EXPECT_FLOAT_EQ(dot(a, ParamVector{1, 1}), 7.0f);
+}
+
+TEST(ParamVector, Cosine) {
+  EXPECT_NEAR(cosine(ParamVector{1, 0}, ParamVector{1, 0}), 1.0f, 1e-6f);
+  EXPECT_NEAR(cosine(ParamVector{1, 0}, ParamVector{0, 1}), 0.0f, 1e-6f);
+  EXPECT_NEAR(cosine(ParamVector{1, 0}, ParamVector{-1, 0}), -1.0f, 1e-6f);
+  // Zero vector convention.
+  EXPECT_FLOAT_EQ(cosine(ParamVector{0, 0}, ParamVector{1, 0}), 0.0f);
+}
+
+}  // namespace
+}  // namespace fedwcm::core::pv

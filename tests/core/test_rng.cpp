@@ -1,0 +1,161 @@
+// RNG tests: determinism, distribution sanity (moment checks), Dirichlet
+// simplex properties across a parameter grid, and unbiased index sampling.
+#include "fedwcm/core/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace fedwcm::core {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(DeriveSeed, DistinctStreams) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t a = 0; a < 10; ++a)
+    for (std::uint64_t b = 0; b < 10; ++b) seen.insert(derive_seed(42, a, b));
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_NE(derive_seed(1, 2, 3), derive_seed(1, 3, 2));
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformIndexBoundsAndCoverage) {
+  Rng rng(6);
+  std::vector<int> hits(7, 0);
+  for (int i = 0; i < 7000; ++i) ++hits[rng.uniform_index(7)];
+  for (int h : hits) EXPECT_GT(h, 700);  // each bucket ~1000, allow slack
+  EXPECT_THROW(rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(7);
+  const int n = 20000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, NormalWithParams) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, GammaMeanMatchesShape) {
+  Rng rng(9);
+  for (double shape : {0.3, 1.0, 2.5, 10.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += rng.gamma(shape);
+    // Gamma(shape, 1) has mean = shape.
+    EXPECT_NEAR(sum / n, shape, shape * 0.1 + 0.02) << "shape " << shape;
+  }
+  EXPECT_THROW(rng.gamma(0.0), std::invalid_argument);
+}
+
+class DirichletTest : public ::testing::TestWithParam<std::tuple<double, std::size_t>> {};
+
+TEST_P(DirichletTest, SimplexProperty) {
+  const auto [alpha, dim] = GetParam();
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto p = rng.dirichlet(alpha, dim);
+    ASSERT_EQ(p.size(), dim);
+    double sum = 0.0;
+    for (double v : p) {
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST_P(DirichletTest, MeanIsUniform) {
+  const auto [alpha, dim] = GetParam();
+  Rng rng(12);
+  std::vector<double> mean(dim, 0.0);
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    const auto p = rng.dirichlet(alpha, dim);
+    for (std::size_t j = 0; j < dim; ++j) mean[j] += p[j];
+  }
+  for (double& m : mean) m /= n;
+  for (double m : mean) EXPECT_NEAR(m, 1.0 / double(dim), 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(BetaGrid, DirichletTest,
+                         ::testing::Combine(::testing::Values(0.05, 0.1, 0.6, 1.0,
+                                                              10.0),
+                                            ::testing::Values(std::size_t(2),
+                                                              std::size_t(10),
+                                                              std::size_t(50))));
+
+TEST(Rng, DirichletLowBetaIsSkewed) {
+  Rng rng(13);
+  // With beta = 0.05 the max component should usually dominate.
+  int dominated = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto p = rng.dirichlet(0.05, 10);
+    if (*std::max_element(p.begin(), p.end()) > 0.5) ++dominated;
+  }
+  EXPECT_GT(dominated, 150);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(14);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+  EXPECT_FALSE(std::is_sorted(v.begin(), v.end()));  // astronomically unlikely
+}
+
+TEST(Rng, SampleWithoutReplacement) {
+  Rng rng(15);
+  const auto s = rng.sample_without_replacement(20, 8);
+  EXPECT_EQ(s.size(), 8u);
+  std::set<std::size_t> unique(s.begin(), s.end());
+  EXPECT_EQ(unique.size(), 8u);
+  for (std::size_t i : s) EXPECT_LT(i, 20u);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::invalid_argument);
+  EXPECT_EQ(rng.sample_without_replacement(5, 5).size(), 5u);
+}
+
+}  // namespace
+}  // namespace fedwcm::core

@@ -1,0 +1,77 @@
+// Round-trip serialization tests, including corruption handling.
+#include "fedwcm/core/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace fedwcm::core {
+namespace {
+
+TEST(Serialize, PrimitivesRoundTrip) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_u32(0xDEADBEEF);
+  w.write_u64(1ULL << 60);
+  w.write_f32(3.25f);
+  w.write_string("hello fedwcm");
+  BinaryReader r(ss);
+  EXPECT_EQ(r.read_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.read_u64(), 1ULL << 60);
+  EXPECT_FLOAT_EQ(r.read_f32(), 3.25f);
+  EXPECT_EQ(r.read_string(), "hello fedwcm");
+}
+
+TEST(Serialize, FloatsAndMatrixRoundTrip) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  const std::vector<float> v{1.0f, -2.5f, 1e-8f};
+  w.write_floats(v);
+  Matrix m(2, 3);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = float(i) * 0.5f;
+  w.write_matrix(m);
+
+  BinaryReader r(ss);
+  EXPECT_EQ(r.read_floats(), v);
+  const Matrix m2 = r.read_matrix();
+  ASSERT_TRUE(m2.same_shape(m));
+  for (std::size_t i = 0; i < m.size(); ++i)
+    EXPECT_FLOAT_EQ(m2.data()[i], m.data()[i]);
+}
+
+TEST(Serialize, TruncatedStreamThrows) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_u32(7);
+  BinaryReader r(ss);
+  EXPECT_EQ(r.read_u32(), 7u);
+  EXPECT_THROW(r.read_u64(), std::runtime_error);
+}
+
+TEST(SaveLoadParams, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/fedwcm_params_test.bin";
+  const std::vector<float> params{0.1f, 0.2f, -0.3f, 4.0f};
+  save_params(path, params);
+  EXPECT_EQ(load_params(path), params);
+  std::remove(path.c_str());
+}
+
+TEST(SaveLoadParams, BadMagicThrows) {
+  const std::string path = testing::TempDir() + "/fedwcm_badmagic.bin";
+  {
+    std::ofstream os(path, std::ios::binary);
+    const char junk[16] = {1, 2, 3, 4, 5, 6, 7, 8};
+    os.write(junk, sizeof junk);
+  }
+  EXPECT_THROW(load_params(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(SaveLoadParams, MissingFileThrows) {
+  EXPECT_THROW(load_params("/nonexistent/dir/params.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fedwcm::core

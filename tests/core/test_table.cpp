@@ -1,0 +1,54 @@
+// Table / series emitter tests — the experiment harness's output layer.
+#include "fedwcm/core/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fedwcm::core {
+namespace {
+
+TEST(TablePrinter, AlignedOutputContainsAllCells) {
+  TablePrinter t({"method", "acc"});
+  t.add_row({"fedwcm", "0.7207"});
+  t.add_row({"fedavg", "0.6775"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("method"), std::string::npos);
+  EXPECT_NE(s.find("fedwcm"), std::string::npos);
+  EXPECT_NE(s.find("0.6775"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TablePrinter, ColumnCountMismatchThrows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, FmtPrecision) {
+  EXPECT_EQ(TablePrinter::fmt(0.123456, 4), "0.1235");
+  EXPECT_EQ(TablePrinter::fmt(2.0, 1), "2.0");
+}
+
+TEST(TablePrinter, CsvOutput) {
+  TablePrinter t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream ss;
+  t.write_csv(ss);
+  EXPECT_EQ(ss.str(), "x,y\n1,2\n");
+}
+
+TEST(SeriesPrinter, EmitsCsvSeries) {
+  SeriesPrinter s;
+  s.add_point("fedwcm", 0, 0.1);
+  s.add_point("fedwcm", 1, 0.4);
+  s.add_point("fedavg", 0, 0.1);
+  std::ostringstream ss;
+  s.print(ss);
+  const std::string out = ss.str();
+  EXPECT_EQ(out.substr(0, 12), "series,x,y\nf");
+  EXPECT_NE(out.find("fedwcm,1,0.4"), std::string::npos);
+  EXPECT_NE(out.find("fedavg,0,0.1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedwcm::core

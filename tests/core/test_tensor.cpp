@@ -1,0 +1,198 @@
+// Unit tests for the dense matrix kernels: every GEMM variant is checked
+// against a naive triple loop on random inputs, elementwise ops against
+// hand-computed values, and shape violations must throw.
+#include "fedwcm/core/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fedwcm/core/rng.hpp"
+
+namespace fedwcm::core {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (float& v : m.span()) v = float(rng.normal());
+  return m;
+}
+
+Matrix naive_matmul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += double(a(i, k)) * b(k, j);
+      out(i, j) = float(acc);
+    }
+  return out;
+}
+
+void expect_near(const Matrix& a, const Matrix& b, float tol = 1e-4f) {
+  ASSERT_TRUE(a.same_shape(b)) << a.shape_str() << " vs " << b.shape_str();
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_NEAR(a.data()[i], b.data()[i], tol) << "at flat index " << i;
+}
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_FLOAT_EQ(m(1, 2), 1.5f);
+  m(0, 1) = -2.0f;
+  EXPECT_FLOAT_EQ(m.row(0)[1], -2.0f);
+}
+
+TEST(Matrix, ReshapePreservesData) {
+  Matrix m(2, 3);
+  for (std::size_t i = 0; i < 6; ++i) m.data()[i] = float(i);
+  m.reshape(3, 2);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_FLOAT_EQ(m(2, 1), 5.0f);
+  EXPECT_THROW(m.reshape(4, 2), std::invalid_argument);
+}
+
+TEST(Matrix, DataSizeMismatchThrows) {
+  EXPECT_THROW(Matrix(2, 3, std::vector<float>(5)), std::invalid_argument);
+}
+
+TEST(Matmul, MatchesNaiveOnRandomShapes) {
+  Rng rng(7);
+  for (auto [m, k, n] : {std::tuple<int, int, int>{1, 1, 1},
+                         {3, 4, 5},
+                         {8, 2, 7},
+                         {16, 16, 16}}) {
+    const Matrix a = random_matrix(m, k, rng);
+    const Matrix b = random_matrix(k, n, rng);
+    expect_near(matmul(a, b), naive_matmul(a, b));
+  }
+}
+
+TEST(Matmul, AccumulateAddsToExisting) {
+  Rng rng(8);
+  const Matrix a = random_matrix(3, 4, rng);
+  const Matrix b = random_matrix(4, 2, rng);
+  Matrix out(3, 2, 1.0f);
+  matmul(a, b, out, /*accumulate=*/true);
+  const Matrix expected = naive_matmul(a, b);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_NEAR(out.data()[i], expected.data()[i] + 1.0f, 1e-4f);
+}
+
+TEST(Matmul, InnerDimMismatchThrows) {
+  Matrix a(2, 3), b(4, 2), out;
+  EXPECT_THROW(matmul(a, b, out), std::invalid_argument);
+}
+
+TEST(MatmulTN, MatchesTransposedNaive) {
+  Rng rng(9);
+  const Matrix a = random_matrix(6, 3, rng);  // a^T is 3x6
+  const Matrix b = random_matrix(6, 4, rng);
+  Matrix at(3, 6);
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 3; ++j) at(j, i) = a(i, j);
+  Matrix out;
+  matmul_tn(a, b, out);
+  expect_near(out, naive_matmul(at, b));
+}
+
+TEST(MatmulNT, MatchesTransposedNaive) {
+  Rng rng(10);
+  const Matrix a = random_matrix(5, 3, rng);
+  const Matrix b = random_matrix(4, 3, rng);  // b^T is 3x4
+  Matrix bt(3, 4);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 3; ++j) bt(j, i) = b(i, j);
+  Matrix out;
+  matmul_nt(a, b, out);
+  expect_near(out, naive_matmul(a, bt));
+}
+
+TEST(ElementwiseOps, AddSubHadamard) {
+  Matrix a(2, 2, std::vector<float>{1, 2, 3, 4});
+  Matrix b(2, 2, std::vector<float>{5, 6, 7, 8});
+  Matrix out;
+  add(a, b, out);
+  expect_near(out, Matrix(2, 2, std::vector<float>{6, 8, 10, 12}));
+  sub(a, b, out);
+  expect_near(out, Matrix(2, 2, std::vector<float>{-4, -4, -4, -4}));
+  hadamard(a, b, out);
+  expect_near(out, Matrix(2, 2, std::vector<float>{5, 12, 21, 32}));
+}
+
+TEST(ElementwiseOps, ShapeMismatchThrows) {
+  Matrix a(2, 2), b(2, 3), out;
+  EXPECT_THROW(add(a, b, out), std::invalid_argument);
+  EXPECT_THROW(sub(a, b, out), std::invalid_argument);
+  EXPECT_THROW(hadamard(a, b, out), std::invalid_argument);
+}
+
+TEST(VectorOps, AxpyAndScale) {
+  std::vector<float> x{1, 2, 3}, y{10, 20, 30};
+  axpy(2.0f, x, y);
+  EXPECT_FLOAT_EQ(y[0], 12.0f);
+  EXPECT_FLOAT_EQ(y[2], 36.0f);
+  scale(0.5f, y);
+  EXPECT_FLOAT_EQ(y[1], 12.0f);
+}
+
+TEST(VectorOps, DotAndNorms) {
+  std::vector<float> a{3, 4}, b{1, 2};
+  EXPECT_FLOAT_EQ(dot(a, b), 11.0f);
+  EXPECT_FLOAT_EQ(l2_norm(a), 5.0f);
+  EXPECT_FLOAT_EQ(l2_norm_sq(a), 25.0f);
+  EXPECT_FLOAT_EQ(l1_norm(a), 7.0f);
+  EXPECT_FLOAT_EQ(max_abs(std::vector<float>{-9, 2}), 9.0f);
+}
+
+TEST(RowOps, BroadcastAndSum) {
+  Matrix m(2, 3, std::vector<float>{1, 2, 3, 4, 5, 6});
+  std::vector<float> bias{10, 20, 30};
+  add_row_broadcast(m, bias);
+  EXPECT_FLOAT_EQ(m(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(m(1, 2), 36.0f);
+  std::vector<float> sums(3);
+  sum_rows(m, sums);
+  EXPECT_FLOAT_EQ(sums[0], 11.0f + 14.0f);
+  EXPECT_FLOAT_EQ(sums[2], 33.0f + 36.0f);
+}
+
+TEST(Softmax, RowsSumToOneAndOrderPreserved) {
+  Matrix m(2, 3, std::vector<float>{1, 2, 3, -1, -1, -1});
+  softmax_rows(m);
+  for (std::size_t r = 0; r < 2; ++r) {
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < 3; ++c) sum += m(r, c);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+  EXPECT_GT(m(0, 2), m(0, 1));
+  EXPECT_NEAR(m(1, 0), 1.0f / 3.0f, 1e-5f);
+}
+
+TEST(Softmax, StableUnderLargeLogits) {
+  Matrix m(1, 2, std::vector<float>{1000.0f, 999.0f});
+  softmax_rows(m);
+  EXPECT_TRUE(std::isfinite(m(0, 0)));
+  EXPECT_GT(m(0, 0), m(0, 1));
+}
+
+TEST(LogSoftmax, MatchesLogOfSoftmax) {
+  Matrix m(1, 4, std::vector<float>{0.5f, -1.0f, 2.0f, 0.0f});
+  Matrix p = m;
+  softmax_rows(p);
+  log_softmax_rows(m);
+  for (std::size_t c = 0; c < 4; ++c)
+    EXPECT_NEAR(m(0, c), std::log(p(0, c)), 1e-5f);
+}
+
+TEST(ArgmaxRows, PicksFirstMaximum) {
+  Matrix m(2, 3, std::vector<float>{1, 3, 2, 5, 5, 4});
+  const auto idx = argmax_rows(m);
+  EXPECT_EQ(idx[0], 1u);
+  EXPECT_EQ(idx[1], 0u);  // ties resolve to the first occurrence
+}
+
+}  // namespace
+}  // namespace fedwcm::core

@@ -1,0 +1,82 @@
+// Thread-pool tests: completion, result ordering independence, exception
+// propagation, and determinism of parallel_for writes into disjoint slots.
+#include "fedwcm/core/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace fedwcm::core {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i)
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for(pool, 0, 500, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 5, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, DisjointSlotWritesAreDeterministic) {
+  ThreadPool pool(4);
+  std::vector<double> out_a(100), out_b(100);
+  auto work = [](std::size_t i) { return double(i) * 1.5 + 1.0; };
+  parallel_for(pool, 0, 100, [&](std::size_t i) { out_a[i] = work(i); });
+  parallel_for(pool, 0, 100, [&](std::size_t i) { out_b[i] = work(i); });
+  EXPECT_EQ(out_a, out_b);
+}
+
+TEST(ParallelFor, RethrowsWorkerException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(parallel_for(pool, 0, 50,
+                            [&](std::size_t i) {
+                              if (i == 13) throw std::logic_error("unlucky");
+                            }),
+               std::logic_error);
+}
+
+TEST(SerialFor, MatchesParallelSemantics) {
+  std::vector<int> order;
+  serial_for(2, 6, [&](std::size_t i) { order.push_back(int(i)); });
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 4, 5}));
+}
+
+TEST(ThreadPool, SinglethreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::vector<int> out(10, 0);
+  parallel_for(pool, 0, 10, [&](std::size_t i) { out[i] = int(i) + 1; });
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 55);
+}
+
+}  // namespace
+}  // namespace fedwcm::core

@@ -1,0 +1,92 @@
+// The §5.5 HE distribution-gathering protocol: the server only ever adds
+// ciphertexts, yet the decrypted aggregate equals the plaintext sum.
+#include "fedwcm/crypto/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fedwcm::crypto {
+namespace {
+
+RlweContext test_ctx() {
+  RlweParams p;
+  p.n = 128;
+  p.q = 1ULL << 45;
+  p.t = 1ULL << 22;
+  p.noise_bound = 4;
+  return RlweContext(p);
+}
+
+TEST(Protocol, AggregateEqualsPlaintextSum) {
+  const RlweContext ctx = test_ctx();
+  const std::vector<std::vector<std::uint64_t>> clients{
+      {10, 0, 5, 3},
+      {0, 7, 5, 1},
+      {2, 2, 2, 2},
+  };
+  const auto global = gather_global_distribution(ctx, clients, /*seed=*/99);
+  EXPECT_EQ(global, (std::vector<std::uint64_t>{12, 9, 12, 6}));
+}
+
+TEST(Protocol, DeterministicForSeed) {
+  const RlweContext ctx = test_ctx();
+  const std::vector<std::vector<std::uint64_t>> clients{{1, 2}, {3, 4}};
+  EXPECT_EQ(gather_global_distribution(ctx, clients, 5),
+            gather_global_distribution(ctx, clients, 5));
+}
+
+TEST(Protocol, StatsReportTable6Quantities) {
+  const RlweContext ctx = test_ctx();
+  std::vector<std::vector<std::uint64_t>> clients(10,
+                                                  std::vector<std::uint64_t>(20, 3));
+  ProtocolStats stats;
+  const auto global = gather_global_distribution(ctx, clients, 7, &stats);
+  EXPECT_EQ(global.size(), 20u);
+  EXPECT_EQ(global[0], 30u);
+  EXPECT_EQ(stats.clients, 10u);
+  EXPECT_EQ(stats.classes, 20u);
+  EXPECT_EQ(stats.plaintext_bytes_per_client, 20u * 8u);
+  // Ciphertext = 2 polynomials of n u64 coefficients.
+  EXPECT_EQ(stats.ciphertext_bytes_per_client, 2u * 128u * 8u);
+  EXPECT_EQ(stats.total_upload_bytes, 10u * 2u * 128u * 8u);
+  EXPECT_GE(stats.encrypt_seconds_per_client, 0.0);
+}
+
+TEST(Protocol, CiphertextSizeIndependentOfClassCount) {
+  const RlweContext ctx = test_ctx();
+  ProtocolStats s10, s100;
+  gather_global_distribution(
+      ctx, std::vector<std::vector<std::uint64_t>>(3, std::vector<std::uint64_t>(10, 1)),
+      1, &s10);
+  gather_global_distribution(
+      ctx,
+      std::vector<std::vector<std::uint64_t>>(3, std::vector<std::uint64_t>(100, 1)),
+      1, &s100);
+  // The paper's Table 6 headline: plaintext grows linearly, ciphertext ~flat.
+  EXPECT_GT(s100.plaintext_bytes_per_client, s10.plaintext_bytes_per_client * 9);
+  EXPECT_EQ(s100.ciphertext_bytes_per_client, s10.ciphertext_bytes_per_client);
+}
+
+TEST(Protocol, ManyClientsAggregateCorrectly) {
+  const RlweContext ctx = test_ctx();
+  const std::size_t clients = 50;
+  std::vector<std::vector<std::uint64_t>> counts(clients);
+  std::vector<std::uint64_t> expect(8, 0);
+  for (std::size_t k = 0; k < clients; ++k) {
+    counts[k].resize(8);
+    for (std::size_t c = 0; c < 8; ++c) {
+      counts[k][c] = (k * 7 + c * 3) % 50;
+      expect[c] += counts[k][c];
+    }
+  }
+  EXPECT_EQ(gather_global_distribution(ctx, counts, 33), expect);
+}
+
+TEST(Protocol, RaggedInputRejected) {
+  const RlweContext ctx = test_ctx();
+  const std::vector<std::vector<std::uint64_t>> bad{{1, 2}, {1, 2, 3}};
+  EXPECT_THROW(gather_global_distribution(ctx, bad, 1), std::invalid_argument);
+  EXPECT_THROW(gather_global_distribution(ctx, {}, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedwcm::crypto

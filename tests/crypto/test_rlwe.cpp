@@ -1,0 +1,154 @@
+// RLWE additive HE: ring algebra, round-trip correctness, additive
+// homomorphism over random vectors, noise-budget enforcement.
+#include "fedwcm/crypto/rlwe.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fedwcm::crypto {
+namespace {
+
+RlweParams small_params() {
+  RlweParams p;
+  p.n = 64;
+  p.q = 1ULL << 40;
+  p.t = 1ULL << 16;
+  p.noise_bound = 4;
+  return p;
+}
+
+TEST(RlweParams, Validation) {
+  RlweParams bad = small_params();
+  bad.n = 60;  // not a power of two
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = small_params();
+  bad.t = bad.q;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(small_params().validate());
+  EXPECT_GT(RlweParams{}.max_additions(), 100u);  // default supports many clients
+}
+
+TEST(PolyAlgebra, AddSubInverse) {
+  RlweContext ctx(small_params());
+  core::Rng rng(1);
+  Poly a(64), b(64);
+  for (auto& v : a) v = rng.next_u64() % small_params().q;
+  for (auto& v : b) v = rng.next_u64() % small_params().q;
+  const Poly sum = ctx.poly_add(a, b);
+  const Poly back = ctx.poly_sub(sum, b);
+  EXPECT_EQ(back, a);
+}
+
+TEST(PolyAlgebra, NegacyclicWraparound) {
+  RlweContext ctx(small_params());
+  // x^{n-1} * x = x^n = -1.
+  Poly a(64, 0), b(64, 0);
+  a[63] = 1;
+  b[1] = 1;
+  const Poly prod = ctx.poly_mul(a, b);
+  EXPECT_EQ(prod[0], small_params().q - 1);  // -1 mod q
+  for (std::size_t i = 1; i < 64; ++i) EXPECT_EQ(prod[i], 0u);
+}
+
+TEST(PolyAlgebra, MulByOneIsIdentity) {
+  RlweContext ctx(small_params());
+  core::Rng rng(2);
+  Poly a(64), one(64, 0);
+  one[0] = 1;
+  for (auto& v : a) v = rng.next_u64() % small_params().q;
+  EXPECT_EQ(ctx.poly_mul(a, one), a);
+}
+
+TEST(Rlwe, EncryptDecryptRoundTrip) {
+  RlweContext ctx(small_params());
+  core::Rng rng(3);
+  const SecretKey sk = ctx.generate_secret_key(rng);
+  const PublicKey pk = ctx.generate_public_key(sk, rng);
+  const std::vector<std::uint64_t> msg{0, 1, 42, 1000, 65535};
+  const Ciphertext ct = ctx.encrypt(pk, msg, rng);
+  EXPECT_EQ(ctx.decrypt(sk, ct, msg.size()), msg);
+}
+
+TEST(Rlwe, AdditiveHomomorphismRandomProperty) {
+  RlweContext ctx(small_params());
+  core::Rng rng(4);
+  const SecretKey sk = ctx.generate_secret_key(rng);
+  const PublicKey pk = ctx.generate_public_key(sk, rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::uint64_t> a(16), b(16), expect(16);
+    for (std::size_t i = 0; i < 16; ++i) {
+      a[i] = rng.uniform_index(1000);
+      b[i] = rng.uniform_index(1000);
+      expect[i] = a[i] + b[i];
+    }
+    const Ciphertext sum = ctx.add(ctx.encrypt(pk, a, rng), ctx.encrypt(pk, b, rng));
+    EXPECT_EQ(ctx.decrypt(sk, sum, 16), expect) << "trial " << trial;
+  }
+}
+
+TEST(Rlwe, ManyAdditionsWithinBudget) {
+  RlweContext ctx(small_params());
+  core::Rng rng(5);
+  const SecretKey sk = ctx.generate_secret_key(rng);
+  const PublicKey pk = ctx.generate_public_key(sk, rng);
+  const std::size_t adds = std::min<std::size_t>(20, small_params().max_additions());
+  std::vector<std::uint64_t> ones{1, 2, 3};
+  Ciphertext acc = ctx.encrypt(pk, ones, rng);
+  for (std::size_t i = 1; i < adds; ++i) acc = ctx.add(acc, ctx.encrypt(pk, ones, rng));
+  const auto out = ctx.decrypt(sk, acc, 3);
+  EXPECT_EQ(out[0], adds * 1);
+  EXPECT_EQ(out[1], adds * 2);
+  EXPECT_EQ(out[2], adds * 3);
+}
+
+TEST(Rlwe, NoiseBudgetEnforced) {
+  RlweParams p = small_params();
+  p.t = 1ULL << 28;  // shrink delta so max_additions is tiny
+  RlweContext ctx(p);
+  core::Rng rng(6);
+  const SecretKey sk = ctx.generate_secret_key(rng);
+  const PublicKey pk = ctx.generate_public_key(sk, rng);
+  const std::vector<std::uint64_t> v{1};
+  Ciphertext acc = ctx.encrypt(pk, v, rng);
+  EXPECT_THROW(
+      {
+        for (std::size_t i = 0; i < p.max_additions() + 2; ++i)
+          acc = ctx.add(acc, ctx.encrypt(pk, v, rng));
+      },
+      std::invalid_argument);
+}
+
+TEST(Rlwe, RejectsOversizedInputs) {
+  RlweContext ctx(small_params());
+  core::Rng rng(7);
+  const SecretKey sk = ctx.generate_secret_key(rng);
+  const PublicKey pk = ctx.generate_public_key(sk, rng);
+  std::vector<std::uint64_t> too_many(65, 1);
+  EXPECT_THROW(ctx.encrypt(pk, too_many, rng), std::invalid_argument);
+  std::vector<std::uint64_t> too_big{1ULL << 20};  // >= t
+  EXPECT_THROW(ctx.encrypt(pk, too_big, rng), std::invalid_argument);
+}
+
+TEST(Rlwe, CiphertextSizeConstantInMessageLength) {
+  RlweContext ctx(small_params());
+  core::Rng rng(8);
+  const SecretKey sk = ctx.generate_secret_key(rng);
+  const PublicKey pk = ctx.generate_public_key(sk, rng);
+  const Ciphertext small = ctx.encrypt(pk, std::vector<std::uint64_t>{1}, rng);
+  const Ciphertext big =
+      ctx.encrypt(pk, std::vector<std::uint64_t>(60, 9), rng);
+  EXPECT_EQ(small.byte_size(), big.byte_size());  // the Table 6 property
+}
+
+TEST(Rlwe, WrongKeyFailsToDecrypt) {
+  RlweContext ctx(small_params());
+  core::Rng rng(9);
+  const SecretKey sk = ctx.generate_secret_key(rng);
+  const PublicKey pk = ctx.generate_public_key(sk, rng);
+  const SecretKey other = ctx.generate_secret_key(rng);
+  const std::vector<std::uint64_t> msg{1234, 5678};
+  const Ciphertext ct = ctx.encrypt(pk, msg, rng);
+  EXPECT_NE(ctx.decrypt(other, ct, 2), msg);
+}
+
+}  // namespace
+}  // namespace fedwcm::crypto

@@ -1,0 +1,98 @@
+// Ciphertext wire format: round trips, cross-scheme compatibility with the
+// protocol (serialize -> deserialize -> add -> decrypt), corruption checks.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fedwcm/crypto/rlwe.hpp"
+
+namespace fedwcm::crypto {
+namespace {
+
+RlweContext small_ctx() {
+  RlweParams p;
+  p.n = 64;
+  p.q = 1ULL << 40;
+  p.t = 1ULL << 16;
+  p.noise_bound = 4;
+  return RlweContext(p);
+}
+
+TEST(CiphertextWire, RoundTripPreservesDecryption) {
+  const RlweContext ctx = small_ctx();
+  core::Rng rng(1);
+  const SecretKey sk = ctx.generate_secret_key(rng);
+  const PublicKey pk = ctx.generate_public_key(sk, rng);
+  const std::vector<std::uint64_t> msg{7, 0, 65535, 42};
+  const Ciphertext ct = ctx.encrypt(pk, msg, rng);
+
+  std::stringstream wire;
+  ctx.serialize(ct, wire);
+  const Ciphertext restored = ctx.deserialize(wire);
+  EXPECT_EQ(restored.additions, ct.additions);
+  EXPECT_EQ(ctx.decrypt(sk, restored, msg.size()), msg);
+}
+
+TEST(CiphertextWire, UploadedCiphertextsStillAddHomomorphically) {
+  // The server-side view: receive serialized uploads, add, decrypt at the
+  // key holder — exactly the protocol's wire path.
+  const RlweContext ctx = small_ctx();
+  core::Rng rng(2);
+  const SecretKey sk = ctx.generate_secret_key(rng);
+  const PublicKey pk = ctx.generate_public_key(sk, rng);
+
+  std::stringstream wire_a, wire_b;
+  ctx.serialize(ctx.encrypt(pk, std::vector<std::uint64_t>{5, 10}, rng), wire_a);
+  ctx.serialize(ctx.encrypt(pk, std::vector<std::uint64_t>{3, 4}, rng), wire_b);
+
+  const Ciphertext sum =
+      ctx.add(ctx.deserialize(wire_a), ctx.deserialize(wire_b));
+  EXPECT_EQ(ctx.decrypt(sk, sum, 2), (std::vector<std::uint64_t>{8, 14}));
+}
+
+TEST(CiphertextWire, WrongRingDegreeRejected) {
+  const RlweContext small = small_ctx();
+  RlweParams big_params;
+  big_params.n = 128;
+  big_params.q = 1ULL << 40;
+  big_params.t = 1ULL << 16;
+  big_params.noise_bound = 4;
+  const RlweContext big(big_params);
+
+  core::Rng rng(3);
+  const SecretKey sk = small.generate_secret_key(rng);
+  const PublicKey pk = small.generate_public_key(sk, rng);
+  std::stringstream wire;
+  small.serialize(small.encrypt(pk, std::vector<std::uint64_t>{1}, rng), wire);
+  EXPECT_THROW(big.deserialize(wire), std::runtime_error);
+}
+
+TEST(CiphertextWire, TruncatedStreamRejected) {
+  const RlweContext ctx = small_ctx();
+  core::Rng rng(4);
+  const SecretKey sk = ctx.generate_secret_key(rng);
+  const PublicKey pk = ctx.generate_public_key(sk, rng);
+  std::stringstream wire;
+  ctx.serialize(ctx.encrypt(pk, std::vector<std::uint64_t>{1}, rng), wire);
+  std::string bytes = wire.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream truncated(bytes);
+  EXPECT_THROW(ctx.deserialize(truncated), std::runtime_error);
+}
+
+TEST(CiphertextWire, OutOfRangeCoefficientRejected) {
+  const RlweContext ctx = small_ctx();
+  core::Rng rng(5);
+  const SecretKey sk = ctx.generate_secret_key(rng);
+  const PublicKey pk = ctx.generate_public_key(sk, rng);
+  std::stringstream wire;
+  ctx.serialize(ctx.encrypt(pk, std::vector<std::uint64_t>{1}, rng), wire);
+  std::string bytes = wire.str();
+  // Corrupt the first coefficient (after the 16-byte header) to ~2^63 > q.
+  bytes[16 + 7] = char(0x80);
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(ctx.deserialize(corrupted), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedwcm::crypto

@@ -1,0 +1,77 @@
+// Dataset utilities: class counts, batch gathering, normalization.
+#include "fedwcm/data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fedwcm::data {
+namespace {
+
+Dataset tiny() {
+  Dataset ds;
+  ds.num_classes = 3;
+  ds.features = Matrix(4, 2, std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8});
+  ds.labels = {0, 1, 1, 2};
+  return ds;
+}
+
+TEST(Dataset, ClassCounts) {
+  const Dataset ds = tiny();
+  const auto counts = ds.class_counts();
+  EXPECT_EQ(counts, (std::vector<std::size_t>{1, 2, 1}));
+}
+
+TEST(Dataset, SubsetClassCounts) {
+  const Dataset ds = tiny();
+  const std::vector<std::size_t> subset{1, 2};
+  EXPECT_EQ(ds.class_counts(subset), (std::vector<std::size_t>{0, 2, 0}));
+}
+
+TEST(Dataset, ValidateCatchesBadLabels) {
+  Dataset ds = tiny();
+  ds.validate();  // fine
+  ds.labels[0] = 9;
+  EXPECT_THROW(ds.validate(), std::invalid_argument);
+  ds = tiny();
+  ds.labels.pop_back();
+  EXPECT_THROW(ds.validate(), std::invalid_argument);
+}
+
+TEST(GatherBatch, CopiesRowsAndLabels) {
+  const Dataset ds = tiny();
+  Matrix x;
+  std::vector<std::size_t> y;
+  const std::vector<std::size_t> idx{3, 0};
+  gather_batch(ds, idx, x, y);
+  ASSERT_EQ(x.rows(), 2u);
+  EXPECT_FLOAT_EQ(x(0, 0), 7.0f);
+  EXPECT_FLOAT_EQ(x(1, 1), 2.0f);
+  EXPECT_EQ(y, (std::vector<std::size_t>{2, 0}));
+}
+
+TEST(GatherBatch, OutOfRangeThrows) {
+  const Dataset ds = tiny();
+  Matrix x;
+  std::vector<std::size_t> y;
+  const std::vector<std::size_t> idx{10};
+  EXPECT_THROW(gather_batch(ds, idx, x, y), std::invalid_argument);
+}
+
+TEST(NormalizeCounts, SumsToOne) {
+  const std::vector<std::size_t> counts{3, 1, 0, 4};
+  const auto dist = normalize_counts(counts);
+  EXPECT_NEAR(dist[0], 3.0 / 8.0, 1e-12);
+  EXPECT_NEAR(dist[2], 0.0, 1e-12);
+  double sum = 0.0;
+  for (double v : dist) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(NormalizeCounts, AllZeroGivesUniform) {
+  const std::vector<std::size_t> counts{0, 0};
+  const auto dist = normalize_counts(counts);
+  EXPECT_NEAR(dist[0], 0.5, 1e-12);
+  EXPECT_NEAR(dist[1], 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace fedwcm::data

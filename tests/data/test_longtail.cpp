@@ -1,0 +1,92 @@
+// Long-tail profiles (§3.2): exponential counts, measured IF, subsampling.
+#include "fedwcm/data/longtail.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "fedwcm/data/synthetic.hpp"
+
+namespace fedwcm::data {
+namespace {
+
+TEST(LongtailCounts, BalancedWhenIfIsOne) {
+  const auto counts = longtail_counts(100, 10, 1.0);
+  for (std::size_t c : counts) EXPECT_EQ(c, 100u);
+}
+
+TEST(LongtailCounts, ExponentialProfile) {
+  const auto counts = longtail_counts(1000, 10, 0.1);
+  EXPECT_EQ(counts.front(), 1000u);
+  EXPECT_EQ(counts.back(), 100u);  // n_head * IF
+  // Monotone non-increasing.
+  for (std::size_t c = 1; c < counts.size(); ++c)
+    EXPECT_LE(counts[c], counts[c - 1]);
+  // Middle class roughly n_head * IF^{0.5}.
+  EXPECT_NEAR(double(counts[4]), 1000.0 * std::pow(0.1, 4.0 / 9.0), 30.0);
+}
+
+class LongtailGrid : public ::testing::TestWithParam<std::tuple<double, std::size_t>> {};
+
+TEST_P(LongtailGrid, MeasuredIfMatchesRequested) {
+  const auto [target_if, classes] = GetParam();
+  const auto counts = longtail_counts(2000, classes, target_if);
+  EXPECT_NEAR(measured_if(counts), target_if, target_if * 0.05 + 0.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(IfByClasses, LongtailGrid,
+                         ::testing::Combine(::testing::Values(1.0, 0.5, 0.1, 0.05,
+                                                              0.01),
+                                            ::testing::Values(std::size_t(10),
+                                                              std::size_t(50))));
+
+TEST(LongtailCounts, NeverZero) {
+  const auto counts = longtail_counts(10, 10, 0.01);
+  for (std::size_t c : counts) EXPECT_GE(c, 1u);
+}
+
+TEST(LongtailCounts, InvalidIfThrows) {
+  EXPECT_THROW(longtail_counts(10, 10, 0.0), std::invalid_argument);
+  EXPECT_THROW(longtail_counts(10, 10, 1.5), std::invalid_argument);
+}
+
+TEST(MeasuredIf, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(measured_if(std::vector<std::size_t>{0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(measured_if(std::vector<std::size_t>{5, 5}), 1.0);
+}
+
+TEST(Subsample, ProducesRequestedProfile) {
+  auto spec = synthetic_fmnist();
+  spec.train_per_class = 100;
+  const TrainTest tt = generate(spec, 13);
+  const auto subset = longtail_subsample(tt.train, 0.1, 13);
+  const auto counts = tt.train.class_counts(subset);
+  EXPECT_EQ(counts.front(), 100u);
+  EXPECT_EQ(counts.back(), 10u);
+  for (std::size_t c = 1; c < counts.size(); ++c) EXPECT_LE(counts[c], counts[c - 1]);
+}
+
+TEST(Subsample, DeterministicAndValidIndices) {
+  auto spec = synthetic_fmnist();
+  spec.train_per_class = 40;
+  const TrainTest tt = generate(spec, 21);
+  const auto a = longtail_subsample(tt.train, 0.05, 21);
+  const auto b = longtail_subsample(tt.train, 0.05, 21);
+  EXPECT_EQ(a, b);
+  for (std::size_t i : a) EXPECT_LT(i, tt.train.size());
+  // Indices unique.
+  auto sorted = a;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end());
+}
+
+TEST(Subsample, IfOneKeepsEverything) {
+  auto spec = synthetic_fmnist();
+  spec.train_per_class = 30;
+  const TrainTest tt = generate(spec, 5);
+  EXPECT_EQ(longtail_subsample(tt.train, 1.0, 5).size(), tt.train.size());
+}
+
+}  // namespace
+}  // namespace fedwcm::data

@@ -1,0 +1,150 @@
+// Partition invariants across a (beta, IF, clients) grid — both pipelines of
+// Figure 2 must conserve samples, respect their quantity contracts, and show
+// the documented skew characteristics.
+#include "fedwcm/data/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <set>
+
+#include "fedwcm/data/longtail.hpp"
+#include "fedwcm/data/synthetic.hpp"
+
+namespace fedwcm::data {
+namespace {
+
+struct Grid {
+  double beta;
+  double imbalance;
+  std::size_t clients;
+};
+
+class PartitionGrid : public ::testing::TestWithParam<Grid> {
+ protected:
+  static TrainTest make_data() {
+    auto spec = synthetic_fmnist();
+    spec.train_per_class = 60;
+    return generate(spec, 31);
+  }
+};
+
+TEST_P(PartitionGrid, EqualQuantityConservesAndBalances) {
+  const Grid g = GetParam();
+  const TrainTest tt = make_data();
+  const auto subset = longtail_subsample(tt.train, g.imbalance, 31);
+  const Partition p =
+      partition_equal_quantity(tt.train, subset, g.clients, g.beta, 31);
+
+  // Conservation: every subset index assigned exactly once.
+  std::set<std::size_t> seen;
+  for (const auto& ci : p.client_indices)
+    for (std::size_t i : ci) EXPECT_TRUE(seen.insert(i).second);
+  EXPECT_EQ(seen.size(), subset.size());
+
+  // Equal-quantity contract: client sizes within a tight band of the quota.
+  const auto stats = summarize(p, tt.train);
+  EXPECT_LT(stats.quantity_cv, 0.15) << "beta=" << g.beta << " IF=" << g.imbalance;
+  EXPECT_GE(stats.min_client_size,
+            std::size_t(stats.mean_client_size * 0.5));
+}
+
+TEST_P(PartitionGrid, FedGrabConservesAndGuaranteesNonEmpty) {
+  const Grid g = GetParam();
+  const TrainTest tt = make_data();
+  const auto subset = longtail_subsample(tt.train, g.imbalance, 31);
+  const Partition p = partition_fedgrab(tt.train, subset, g.clients, g.beta, 31);
+
+  std::set<std::size_t> seen;
+  for (const auto& ci : p.client_indices)
+    for (std::size_t i : ci) EXPECT_TRUE(seen.insert(i).second);
+  EXPECT_EQ(seen.size(), subset.size());
+
+  // FedGraB guarantee: no empty clients (subset is large enough here).
+  for (const auto& ci : p.client_indices) EXPECT_FALSE(ci.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BetaIfClients, PartitionGrid,
+    ::testing::Values(Grid{0.1, 1.0, 10}, Grid{0.1, 0.1, 10}, Grid{0.1, 0.01, 10},
+                      Grid{0.6, 0.1, 10}, Grid{0.6, 0.01, 20}, Grid{1.0, 0.5, 20},
+                      Grid{0.05, 0.1, 20}, Grid{0.6, 1.0, 30}),
+    [](const ::testing::TestParamInfo<Grid>& info) {
+      const auto& g = info.param;
+      return "beta" + std::to_string(int(g.beta * 100)) + "_if" +
+             std::to_string(int(g.imbalance * 100)) + "_k" +
+             std::to_string(g.clients);
+    });
+
+TEST(Partition, LowBetaProducesHigherSkew) {
+  auto spec = synthetic_fmnist();
+  spec.train_per_class = 80;
+  const TrainTest tt = generate(spec, 17);
+  const auto subset = longtail_subsample(tt.train, 0.5, 17);
+  const auto skew_of = [&](double beta) {
+    const Partition p = partition_equal_quantity(tt.train, subset, 20, beta, 17);
+    return summarize(p, tt.train).mean_l1_skew;
+  };
+  EXPECT_GT(skew_of(0.1), skew_of(10.0) + 0.1);
+}
+
+TEST(Partition, FedGrabHasQuantitySkewEqualQuantityDoesNot) {
+  auto spec = synthetic_fmnist();
+  spec.train_per_class = 80;
+  const TrainTest tt = generate(spec, 19);
+  const auto subset = longtail_subsample(tt.train, 0.1, 19);
+  const Partition eq = partition_equal_quantity(tt.train, subset, 20, 0.1, 19);
+  const Partition fg = partition_fedgrab(tt.train, subset, 20, 0.1, 19);
+  const auto eq_stats = summarize(eq, tt.train);
+  const auto fg_stats = summarize(fg, tt.train);
+  // Appendix A: the FedGraB pipeline produces heavy quantity imbalance while
+  // ours keeps client sizes nearly equal.
+  EXPECT_GT(fg_stats.quantity_cv, eq_stats.quantity_cv * 2.0);
+  EXPECT_GT(fg_stats.top_decile_share, eq_stats.top_decile_share);
+}
+
+TEST(Partition, DeterministicForSeed) {
+  auto spec = synthetic_fmnist();
+  spec.train_per_class = 30;
+  const TrainTest tt = generate(spec, 23);
+  const auto subset = longtail_subsample(tt.train, 0.1, 23);
+  const Partition a = partition_equal_quantity(tt.train, subset, 8, 0.1, 5);
+  const Partition b = partition_equal_quantity(tt.train, subset, 8, 0.1, 5);
+  EXPECT_EQ(a.client_indices, b.client_indices);
+  const Partition c = partition_equal_quantity(tt.train, subset, 8, 0.1, 6);
+  EXPECT_NE(a.client_indices, c.client_indices);
+}
+
+TEST(Partition, CountMatrixMatchesIndices) {
+  auto spec = synthetic_fmnist();
+  spec.train_per_class = 30;
+  const TrainTest tt = generate(spec, 29);
+  const auto subset = longtail_subsample(tt.train, 0.5, 29);
+  const Partition p = partition_fedgrab(tt.train, subset, 6, 0.5, 29);
+  const auto m = p.count_matrix(tt.train);
+  ASSERT_EQ(m.size(), 6u * tt.train.num_classes);
+  std::size_t total = 0;
+  for (std::size_t v : m) total += v;
+  EXPECT_EQ(total, p.total());
+  for (std::size_t k = 0; k < 6; ++k) {
+    std::size_t row = 0;
+    for (std::size_t c = 0; c < tt.train.num_classes; ++c)
+      row += m[k * tt.train.num_classes + c];
+    EXPECT_EQ(row, p.client_indices[k].size());
+  }
+}
+
+TEST(Partition, ZeroClientsRejected) {
+  auto spec = synthetic_fmnist();
+  spec.train_per_class = 5;
+  const TrainTest tt = generate(spec, 3);
+  const auto subset = longtail_subsample(tt.train, 1.0, 3);
+  EXPECT_THROW(partition_equal_quantity(tt.train, subset, 0, 0.1, 3),
+               std::invalid_argument);
+  EXPECT_THROW(partition_fedgrab(tt.train, subset, 0, 0.1, 3),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedwcm::data

@@ -1,0 +1,115 @@
+// Batch samplers: epoch coverage for the shuffling batcher, class-uniformity
+// for the balanced sampler (the paper's "Balance Sampler" baseline).
+#include "fedwcm/data/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "fedwcm/data/synthetic.hpp"
+
+namespace fedwcm::data {
+namespace {
+
+TEST(ShufflingBatcher, OneEpochCoversAllIndicesOnce) {
+  std::vector<std::size_t> indices{3, 7, 9, 12, 15, 20, 21};
+  ShufflingBatcher batcher(indices, 3, 42);
+  EXPECT_EQ(batcher.batches_per_epoch(), 3u);
+  std::multiset<std::size_t> seen;
+  std::vector<std::size_t> batch;
+  for (std::size_t b = 0; b < 3; ++b) {
+    batcher.next_batch(batch);
+    seen.insert(batch.begin(), batch.end());
+  }
+  EXPECT_EQ(seen.size(), indices.size());
+  for (std::size_t i : indices) EXPECT_EQ(seen.count(i), 1u);
+}
+
+TEST(ShufflingBatcher, LastPartialBatchKept) {
+  ShufflingBatcher batcher({1, 2, 3, 4, 5}, 2, 7);
+  std::vector<std::size_t> batch;
+  batcher.next_batch(batch);
+  EXPECT_EQ(batch.size(), 2u);
+  batcher.next_batch(batch);
+  EXPECT_EQ(batch.size(), 2u);
+  batcher.next_batch(batch);
+  EXPECT_EQ(batch.size(), 1u);
+}
+
+TEST(ShufflingBatcher, ReshufflesBetweenEpochs) {
+  std::vector<std::size_t> indices(64);
+  for (std::size_t i = 0; i < 64; ++i) indices[i] = i;
+  ShufflingBatcher batcher(indices, 64, 11);
+  std::vector<std::size_t> epoch1, epoch2;
+  batcher.next_batch(epoch1);
+  batcher.next_batch(epoch2);
+  EXPECT_NE(epoch1, epoch2);  // same set, different order (w.h.p.)
+  EXPECT_EQ(std::multiset<std::size_t>(epoch1.begin(), epoch1.end()),
+            std::multiset<std::size_t>(epoch2.begin(), epoch2.end()));
+}
+
+TEST(ShufflingBatcher, DeterministicPerSeed) {
+  std::vector<std::size_t> indices{1, 2, 3, 4, 5, 6};
+  ShufflingBatcher a(indices, 2, 9), b(indices, 2, 9);
+  std::vector<std::size_t> ba, bb;
+  for (int i = 0; i < 5; ++i) {
+    a.next_batch(ba);
+    b.next_batch(bb);
+    EXPECT_EQ(ba, bb);
+  }
+}
+
+TEST(ShufflingBatcher, EmptyIndexSetRejected) {
+  EXPECT_THROW(ShufflingBatcher({}, 4, 1), std::invalid_argument);
+}
+
+TEST(BalancedClassSampler, DrawsClassesUniformly) {
+  // Build a skewed local dataset: 90 samples of class 0, 10 of class 1.
+  Dataset ds;
+  ds.num_classes = 2;
+  ds.features = Matrix(100, 1);
+  ds.labels.assign(100, 0);
+  for (std::size_t i = 90; i < 100; ++i) ds.labels[i] = 1;
+  std::vector<std::size_t> indices(100);
+  for (std::size_t i = 0; i < 100; ++i) indices[i] = i;
+
+  BalancedClassSampler sampler(ds, indices, 50, 13);
+  std::map<std::size_t, int> class_hits;
+  std::vector<std::size_t> batch;
+  for (int b = 0; b < 40; ++b) {
+    sampler.next_batch(batch);
+    EXPECT_EQ(batch.size(), 50u);
+    for (std::size_t i : batch) ++class_hits[ds.labels[i]];
+  }
+  const double frac1 = double(class_hits[1]) / (40.0 * 50.0);
+  // Raw frequency would be 0.10; balanced sampling gives ~0.50.
+  EXPECT_NEAR(frac1, 0.5, 0.05);
+}
+
+TEST(BalancedClassSampler, OnlyUsesOwnedClasses) {
+  Dataset ds;
+  ds.num_classes = 5;
+  ds.features = Matrix(20, 1);
+  ds.labels.assign(20, 2);  // the client only owns class 2
+  std::vector<std::size_t> indices(20);
+  for (std::size_t i = 0; i < 20; ++i) indices[i] = i;
+  BalancedClassSampler sampler(ds, indices, 8, 3);
+  std::vector<std::size_t> batch;
+  sampler.next_batch(batch);
+  for (std::size_t i : batch) EXPECT_EQ(ds.labels[i], 2u);
+}
+
+TEST(BalancedClassSampler, BatchesPerEpochMatchesDataSize) {
+  Dataset ds;
+  ds.num_classes = 2;
+  ds.features = Matrix(10, 1);
+  ds.labels.assign(10, 0);
+  std::vector<std::size_t> indices(10);
+  for (std::size_t i = 0; i < 10; ++i) indices[i] = i;
+  BalancedClassSampler sampler(ds, indices, 4, 3);
+  EXPECT_EQ(sampler.batches_per_epoch(), 3u);  // ceil(10/4)
+}
+
+}  // namespace
+}  // namespace fedwcm::data

@@ -1,0 +1,119 @@
+// Synthetic generators: determinism, spec fidelity, class separability
+// (a linear probe must beat chance comfortably), and label noise semantics.
+#include "fedwcm/data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fedwcm::data {
+namespace {
+
+TEST(Synthetic, DeterministicForSeed) {
+  const auto spec = synthetic_fmnist();
+  const TrainTest a = generate(spec, 7);
+  const TrainTest b = generate(spec, 7);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (std::size_t i = 0; i < a.train.features.size(); ++i)
+    EXPECT_FLOAT_EQ(a.train.features.data()[i], b.train.features.data()[i]);
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  const auto spec = synthetic_fmnist();
+  const TrainTest a = generate(spec, 7);
+  const TrainTest b = generate(spec, 8);
+  EXPECT_NE(a.train.features.data()[0], b.train.features.data()[0]);
+}
+
+TEST(Synthetic, SpecCountsHonoured) {
+  auto spec = synthetic_cifar10();
+  spec.train_per_class = 20;
+  spec.test_per_class = 5;
+  const TrainTest tt = generate(spec, 1);
+  EXPECT_EQ(tt.train.size(), 20u * spec.num_classes);
+  EXPECT_EQ(tt.test.size(), 5u * spec.num_classes);
+  EXPECT_EQ(tt.train.dim(), spec.input_dim);
+  const auto counts = tt.train.class_counts();
+  for (std::size_t c : counts) EXPECT_EQ(c, 20u);
+  tt.train.validate();
+  tt.test.validate();
+}
+
+TEST(Synthetic, AllPaperSpecsGenerate) {
+  for (auto spec : all_paper_specs()) {
+    spec.train_per_class = 10;
+    spec.test_per_class = 4;
+    const TrainTest tt = generate(spec, 3);
+    EXPECT_EQ(tt.train.size(), 10u * spec.num_classes) << spec.name;
+    tt.train.validate();
+  }
+}
+
+// Nearest-class-mean probe: classes must be separable well above chance.
+TEST(Synthetic, ClassesAreLearnable) {
+  auto spec = synthetic_cifar10();
+  spec.train_per_class = 50;
+  spec.test_per_class = 20;
+  const TrainTest tt = generate(spec, 11);
+  const std::size_t C = spec.num_classes, d = spec.input_dim;
+  // Class means from train.
+  std::vector<std::vector<double>> mean(C, std::vector<double>(d, 0.0));
+  std::vector<std::size_t> n(C, 0);
+  for (std::size_t i = 0; i < tt.train.size(); ++i) {
+    const std::size_t c = tt.train.labels[i];
+    ++n[c];
+    for (std::size_t j = 0; j < d; ++j) mean[c][j] += tt.train.features(i, j);
+  }
+  for (std::size_t c = 0; c < C; ++c)
+    for (std::size_t j = 0; j < d; ++j) mean[c][j] /= double(n[c]);
+  // Classify test by nearest mean.
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < tt.test.size(); ++i) {
+    double best = 1e300;
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < C; ++c) {
+      double dist = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        const double diff = double(tt.test.features(i, j)) - mean[c][j];
+        dist += diff * diff;
+      }
+      if (dist < best) {
+        best = dist;
+        best_c = c;
+      }
+    }
+    correct += (best_c == tt.test.labels[i]);
+  }
+  const double acc = double(correct) / double(tt.test.size());
+  EXPECT_GT(acc, 3.0 / double(C)) << "nearest-mean accuracy " << acc;
+}
+
+TEST(Synthetic, LabelNoiseFlipsTrainOnly) {
+  auto spec = synthetic_fmnist();
+  spec.train_per_class = 50;
+  spec.test_per_class = 10;
+  auto clean_spec = spec;
+  spec.label_noise = 0.3f;
+  const TrainTest noisy = generate(spec, 5);
+  const TrainTest clean = generate(clean_spec, 5);
+  // Test labels identical; train labels differ for roughly 30% (flips to the
+  // same label keep it unchanged, so slightly less).
+  EXPECT_EQ(noisy.test.labels, clean.test.labels);
+  std::size_t flipped = 0;
+  for (std::size_t i = 0; i < clean.train.size(); ++i)
+    flipped += (noisy.train.labels[i] != clean.train.labels[i]);
+  const double rate = double(flipped) / double(clean.train.size());
+  EXPECT_GT(rate, 0.18);
+  EXPECT_LT(rate, 0.35);
+  noisy.train.validate();
+}
+
+TEST(Synthetic, DegenerateSpecRejected) {
+  SyntheticSpec spec;
+  spec.num_classes = 0;
+  EXPECT_THROW(generate(spec, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedwcm::data

@@ -1,0 +1,62 @@
+#pragma once
+// Shared scaffolding for federated-learning tests: a small deterministic
+// dataset + partition + simulation, cheap enough to run dozens of times.
+#include "fedwcm/data/longtail.hpp"
+#include "fedwcm/data/partition.hpp"
+#include "fedwcm/data/synthetic.hpp"
+#include "fedwcm/fl/simulation.hpp"
+
+namespace fedwcm::fl::testutil {
+
+struct TestWorld {
+  data::TrainTest data;
+  std::vector<std::size_t> subset;
+  data::Partition partition;
+  FlConfig config;
+
+  Simulation make_simulation(nn::ModelFactory factory, LossFactory loss) const {
+    return Simulation(config, data.train, data.test, partition, std::move(factory),
+                      std::move(loss));
+  }
+  Simulation make_simulation() const {
+    return make_simulation(default_factory(), cross_entropy_loss_factory());
+  }
+  nn::ModelFactory default_factory() const {
+    return nn::mlp_factory(data.train.dim(), {16}, data.train.num_classes);
+  }
+};
+
+/// Small world: 6 classes, 8 clients, a few hundred samples.
+inline TestWorld make_world(double imbalance = 0.1, double beta = 0.1,
+                            std::size_t clients = 8, std::uint64_t seed = 42,
+                            bool fedgrab_partition = false) {
+  TestWorld w;
+  data::SyntheticSpec spec;
+  spec.name = "test_world";
+  spec.num_classes = 6;
+  spec.input_dim = 12;
+  spec.subclusters = 2;
+  spec.train_per_class = 60;
+  spec.test_per_class = 20;
+  spec.class_separation = 4.0f;
+  spec.noise = 0.8f;
+  spec.warp = 0.3f;
+  w.data = data::generate(spec, seed);
+  w.subset = data::longtail_subsample(w.data.train, imbalance, seed);
+  w.partition =
+      fedgrab_partition
+          ? data::partition_fedgrab(w.data.train, w.subset, clients, beta, seed)
+          : data::partition_equal_quantity(w.data.train, w.subset, clients, beta,
+                                           seed);
+  w.config.num_clients = clients;
+  w.config.participation = 0.5;
+  w.config.rounds = 8;
+  w.config.local_epochs = 2;
+  w.config.batch_size = 16;
+  w.config.seed = seed;
+  w.config.eval_every = 2;
+  w.config.threads = 2;
+  return w;
+}
+
+}  // namespace fedwcm::fl::testutil

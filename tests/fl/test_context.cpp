@@ -1,0 +1,85 @@
+// FlContext construction invariants and the loss-factory plug-ins behind
+// the paper's "+Focal / +Balance Loss" method variants.
+#include <gtest/gtest.h>
+
+#include "fl_test_util.hpp"
+
+namespace fedwcm::fl {
+namespace {
+
+using testutil::make_world;
+
+TEST(FlContext, CountsAreConsistent) {
+  auto w = make_world(0.1);
+  Simulation sim = w.make_simulation();
+  const FlContext& ctx = sim.context();
+
+  // Per-client counts sum to the global counts.
+  std::vector<std::size_t> sum(ctx.num_classes(), 0);
+  for (std::size_t k = 0; k < ctx.num_clients(); ++k) {
+    std::size_t client_total = 0;
+    for (std::size_t c = 0; c < ctx.num_classes(); ++c) {
+      sum[c] += ctx.client_class_counts[k][c];
+      client_total += ctx.client_class_counts[k][c];
+    }
+    EXPECT_EQ(client_total, ctx.client_size(k));
+  }
+  EXPECT_EQ(sum, ctx.global_class_counts);
+
+  // Global counts reflect the long-tailed subset (head > tail).
+  EXPECT_GT(ctx.global_class_counts.front(), ctx.global_class_counts.back());
+  EXPECT_GT(ctx.param_count, 0u);
+}
+
+TEST(LossFactories, CrossEntropyForEveryClient) {
+  auto factory = cross_entropy_loss_factory();
+  EXPECT_EQ(factory(0)->name(), "cross_entropy");
+  EXPECT_EQ(factory(7)->name(), "cross_entropy");
+}
+
+TEST(LossFactories, FocalCarriesGamma) {
+  auto factory = focal_loss_factory(2.0f);
+  const auto loss = factory(3);
+  EXPECT_EQ(loss->name(), "focal");
+  // gamma = 2 must differ from CE on an easy example.
+  core::Matrix logits(1, 2, std::vector<float>{4.0f, 0.0f});
+  core::Matrix d1, d2;
+  const std::vector<std::size_t> y{0};
+  nn::CrossEntropyLoss ce;
+  EXPECT_LT(loss->compute(logits, y, d1), ce.compute(logits, y, d2));
+}
+
+TEST(LossFactories, BalanceLossUsesClientLocalCounts) {
+  auto w = make_world(0.05, 0.05);
+  Simulation sim = w.make_simulation();
+  const FlContext& ctx = sim.context();
+  auto factory = balance_loss_factory(ctx);
+
+  // Find two clients with different local distributions: their losses must
+  // assign different gradients on identical logits (different priors).
+  std::size_t a = SIZE_MAX, b = SIZE_MAX;
+  for (std::size_t k = 0; k < ctx.num_clients() && b == SIZE_MAX; ++k) {
+    if (ctx.client_size(k) == 0) continue;
+    if (a == SIZE_MAX) {
+      a = k;
+    } else if (ctx.client_class_counts[k] != ctx.client_class_counts[a]) {
+      b = k;
+    }
+  }
+  ASSERT_NE(b, SIZE_MAX);
+  const auto loss_a = factory(a);
+  const auto loss_b = factory(b);
+  EXPECT_EQ(loss_a->name(), "balanced_softmax");
+  core::Matrix logits(1, ctx.num_classes(), 0.0f);
+  core::Matrix da, db;
+  const std::vector<std::size_t> y{0};
+  loss_a->compute(logits, y, da);
+  loss_b->compute(logits, y, db);
+  bool differs = false;
+  for (std::size_t i = 0; i < da.size(); ++i)
+    differs |= std::abs(da.data()[i] - db.data()[i]) > 1e-7f;
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace fedwcm::fl

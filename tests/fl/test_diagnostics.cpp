@@ -1,0 +1,90 @@
+// Convergence diagnostics (§6): exact full-batch gradient norm, the
+// inverse-sqrt rate fit, and the simulation train-probe plumbing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fedwcm/fl/diagnostics.hpp"
+#include "fedwcm/fl/registry.hpp"
+#include "fl_test_util.hpp"
+
+namespace fedwcm::fl {
+namespace {
+
+using testutil::make_world;
+
+TEST(Diagnostics, GradNormMatchesClientGradientComposition) {
+  auto w = make_world();
+  Simulation sim = w.make_simulation();
+  const FlContext& ctx = sim.context();
+  nn::Sequential model = ctx.model_factory();
+  core::Rng rng(21);
+  model.init_params(rng);
+  const ParamVector params = model.get_params();
+
+  // Direct computation over the union of all client indices.
+  std::vector<std::size_t> all_indices;
+  for (const auto& ci : ctx.partition->client_indices)
+    all_indices.insert(all_indices.end(), ci.begin(), ci.end());
+  const float direct =
+      global_grad_norm_sq(model, *ctx.train, all_indices, params);
+
+  // Composition: n_k-weighted mean of per-client full gradients.
+  nn::CrossEntropyLoss ce;
+  Worker worker(ctx.model_factory);
+  ParamVector mean_grad(params.size(), 0.0f);
+  for (std::size_t k = 0; k < ctx.num_clients(); ++k) {
+    if (ctx.client_size(k) == 0) continue;
+    const ParamVector g = client_full_gradient(ctx, worker, k, params, ce);
+    core::pv::accumulate(mean_grad,
+                         float(ctx.client_size(k)) / float(all_indices.size()), g);
+  }
+  EXPECT_NEAR(direct, core::pv::l2_norm_sq(mean_grad),
+              std::max(1e-4f, direct * 0.01f));
+}
+
+TEST(Diagnostics, GradNormDecreasesWithTraining) {
+  auto w = make_world(1.0);
+  w.config.rounds = 12;
+  w.config.eval_every = 1;
+  Simulation sim = w.make_simulation();
+  sim.set_train_probe([&w](nn::Sequential& model, const data::Dataset& train) {
+    return global_grad_norm_sq(model, train, w.subset, model.get_params());
+  });
+  auto alg = make_algorithm("fedavg");
+  const SimulationResult res = sim.run(*alg);
+  ASSERT_GE(res.history.size(), 4u);
+  // The late-training gradient norm must be well below the initial one.
+  EXPECT_LT(res.history.back().train_metric,
+            res.history.front().train_metric * 0.8f);
+  for (const auto& rec : res.history) EXPECT_GE(rec.train_metric, 0.0f);
+}
+
+TEST(Diagnostics, FitInverseSqrtRecoversExactLaw) {
+  const std::vector<double> rounds{10, 40, 90, 160};
+  std::vector<double> values;
+  for (double r : rounds) values.push_back(3.0 / std::sqrt(r));
+  const RateFit fit = fit_inverse_sqrt(rounds, values);
+  EXPECT_NEAR(fit.c, 3.0, 1e-9);
+  EXPECT_NEAR(fit.max_rel_residual, 0.0, 1e-9);
+}
+
+TEST(Diagnostics, FitReportsResidualForNonConformingData) {
+  const std::vector<double> rounds{10, 40, 90, 160};
+  const std::vector<double> constant{1.0, 1.0, 1.0, 1.0};  // no decay at all
+  const RateFit fit = fit_inverse_sqrt(rounds, constant);
+  EXPECT_GT(fit.max_rel_residual, 0.3);
+}
+
+TEST(Diagnostics, InvalidInputsRejected) {
+  nn::Sequential model = nn::make_mlp(3, {}, 2);
+  data::Dataset ds;
+  ds.num_classes = 2;
+  const ParamVector params(model.param_count(), 0.0f);
+  EXPECT_THROW(global_grad_norm_sq(model, ds, {}, params), std::invalid_argument);
+  EXPECT_THROW(fit_inverse_sqrt(std::vector<double>{1.0}, std::vector<double>{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedwcm::fl

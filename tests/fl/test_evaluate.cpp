@@ -1,0 +1,93 @@
+// Evaluation: accuracy/loss on constructed models with known behaviour.
+#include "fedwcm/fl/evaluate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fedwcm/core/param_vector.hpp"
+#include "fedwcm/nn/linear.hpp"
+#include "fedwcm/nn/models.hpp"
+
+namespace fedwcm::fl {
+namespace {
+
+using core::ParamVector;
+
+// A dataset where feature[0] encodes the class directly.
+data::Dataset encoded_dataset(std::size_t n_per_class, std::size_t classes) {
+  data::Dataset ds;
+  ds.num_classes = classes;
+  ds.features = core::Matrix(n_per_class * classes, classes);
+  ds.labels.resize(n_per_class * classes);
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < classes; ++c)
+    for (std::size_t i = 0; i < n_per_class; ++i, ++row) {
+      ds.features(row, c) = 1.0f;  // one-hot features
+      ds.labels[row] = c;
+    }
+  return ds;
+}
+
+TEST(Evaluate, PerfectModelGetsFullAccuracy) {
+  const auto ds = encoded_dataset(5, 4);
+  nn::Sequential model;
+  model.add(std::make_unique<nn::Linear>(4, 4, /*bias=*/false));
+  // Identity weights: logits = one-hot features -> argmax = class.
+  ParamVector identity(16, 0.0f);
+  for (std::size_t i = 0; i < 4; ++i) identity[i * 4 + i] = 10.0f;
+  const EvalResult res = evaluate(model, identity, ds, 3);
+  EXPECT_FLOAT_EQ(res.accuracy, 1.0f);
+  for (float a : res.per_class_accuracy) EXPECT_FLOAT_EQ(a, 1.0f);
+  EXPECT_LT(res.mean_loss, 0.01f);
+}
+
+TEST(Evaluate, AntiModelGetsZero) {
+  const auto ds = encoded_dataset(5, 4);
+  nn::Sequential model;
+  model.add(std::make_unique<nn::Linear>(4, 4, /*bias=*/false));
+  // Shifted identity: predicts class (c+1) mod 4.
+  ParamVector shifted(16, 0.0f);
+  for (std::size_t i = 0; i < 4; ++i) shifted[i * 4 + ((i + 1) % 4)] = 10.0f;
+  const EvalResult res = evaluate(model, shifted, ds, 7);
+  EXPECT_FLOAT_EQ(res.accuracy, 0.0f);
+  EXPECT_GT(res.mean_loss, 1.0f);
+}
+
+TEST(Evaluate, PerClassAccuracyIsolatesClasses) {
+  const auto ds = encoded_dataset(4, 3);
+  nn::Sequential model;
+  model.add(std::make_unique<nn::Linear>(3, 3, /*bias=*/false));
+  // Correct on classes 0 and 1; class 2 maps to class 0.
+  ParamVector wconf(9, 0.0f);
+  wconf[0 * 3 + 0] = 10.0f;
+  wconf[1 * 3 + 1] = 10.0f;
+  wconf[2 * 3 + 0] = 10.0f;
+  const EvalResult res = evaluate(model, wconf, ds, 4);
+  EXPECT_NEAR(res.accuracy, 2.0f / 3.0f, 1e-6f);
+  EXPECT_FLOAT_EQ(res.per_class_accuracy[0], 1.0f);
+  EXPECT_FLOAT_EQ(res.per_class_accuracy[1], 1.0f);
+  EXPECT_FLOAT_EQ(res.per_class_accuracy[2], 0.0f);
+}
+
+TEST(Evaluate, BatchSizeDoesNotChangeResult) {
+  const auto ds = encoded_dataset(7, 5);
+  nn::Sequential model = nn::make_mlp(5, {8}, 5);
+  core::Rng rng(3);
+  model.init_params(rng);
+  const ParamVector p = model.get_params();
+  const EvalResult a = evaluate(model, p, ds, 1);
+  const EvalResult b = evaluate(model, p, ds, 64);
+  EXPECT_FLOAT_EQ(a.accuracy, b.accuracy);
+  EXPECT_NEAR(a.mean_loss, b.mean_loss, 1e-5f);
+}
+
+TEST(Evaluate, EmptyDatasetReturnsZeros) {
+  data::Dataset empty;
+  empty.num_classes = 3;
+  nn::Sequential model = nn::make_mlp(2, {}, 3);
+  const EvalResult res = evaluate(model, model.get_params(), empty);
+  EXPECT_FLOAT_EQ(res.accuracy, 0.0f);
+  EXPECT_EQ(res.per_class_accuracy.size(), 3u);
+}
+
+}  // namespace
+}  // namespace fedwcm::fl

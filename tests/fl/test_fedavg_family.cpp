@@ -1,0 +1,133 @@
+// FedAvg / FedProx / FedAvgM semantics: aggregation weighting, proximal pull,
+// server momentum accumulation.
+#include <gtest/gtest.h>
+
+#include "fedwcm/fl/algorithms/fedavg.hpp"
+#include "fl_test_util.hpp"
+
+namespace fedwcm::fl {
+namespace {
+
+using testutil::make_world;
+
+LocalResult fake_result(std::size_t client, std::size_t samples, float fill,
+                        std::size_t dim = 4) {
+  LocalResult r;
+  r.client = client;
+  r.num_samples = samples;
+  r.num_steps = 5;
+  r.delta.assign(dim, fill);
+  return r;
+}
+
+TEST(AggregationHelpers, SampleWeightedDelta) {
+  std::vector<LocalResult> results{fake_result(0, 30, 1.0f), fake_result(1, 10, 5.0f)};
+  const ParamVector agg = sample_weighted_delta(results);
+  // (30*1 + 10*5) / 40 = 2.
+  for (float v : agg) EXPECT_FLOAT_EQ(v, 2.0f);
+}
+
+TEST(AggregationHelpers, UniformDelta) {
+  std::vector<LocalResult> results{fake_result(0, 30, 1.0f), fake_result(1, 10, 5.0f)};
+  const ParamVector agg = uniform_delta(results);
+  for (float v : agg) EXPECT_FLOAT_EQ(v, 3.0f);
+}
+
+TEST(AggregationHelpers, MeanSteps) {
+  std::vector<LocalResult> results{fake_result(0, 1, 0.0f), fake_result(1, 1, 0.0f)};
+  results[0].num_steps = 10;
+  results[1].num_steps = 20;
+  EXPECT_DOUBLE_EQ(mean_steps(results), 15.0);
+}
+
+TEST(FedAvg, AggregateAppliesGlobalLr) {
+  auto w = make_world();
+  w.config.global_lr = 0.5f;
+  Simulation sim = w.make_simulation();
+  FedAvg alg;
+  alg.initialize(sim.context());
+  ParamVector global(sim.context().param_count, 1.0f);
+  std::vector<LocalResult> results{
+      fake_result(0, 10, 2.0f, sim.context().param_count)};
+  alg.aggregate(results, 0, global);
+  // global -= 0.5 * 2.0 -> 0.
+  for (float v : global) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(FedProx, ProximalTermPullsTowardGlobal) {
+  // With a strong (but lr-stable) mu the proximal pull damps the excursion;
+  // with mu = 0 it reduces to FedAvg. Note lr*mu must stay < 2 for stability.
+  auto w = make_world();
+  w.config.local_epochs = 1;
+  Simulation sim = w.make_simulation();
+  const FlContext& ctx = sim.context();
+
+  nn::Sequential init = ctx.model_factory();
+  core::Rng rng(4);
+  init.init_params(rng);
+  const ParamVector start = init.get_params();
+
+  Worker worker(ctx.model_factory);
+  FedProx strong(5.0f);
+  strong.initialize(ctx);
+  const LocalResult pulled = strong.local_update(0, start, 0, worker);
+
+  FedProx weak(0.0f);
+  weak.initialize(ctx);
+  const LocalResult free_run = weak.local_update(0, start, 0, worker);
+
+  EXPECT_LT(core::pv::l2_norm(pulled.delta), core::pv::l2_norm(free_run.delta));
+}
+
+TEST(FedProx, ZeroMuMatchesFedAvgExactly) {
+  auto w = make_world();
+  w.config.local_epochs = 1;
+  Simulation sim = w.make_simulation();
+  const FlContext& ctx = sim.context();
+  nn::Sequential init = ctx.model_factory();
+  core::Rng rng(5);
+  init.init_params(rng);
+  const ParamVector start = init.get_params();
+
+  Worker worker(ctx.model_factory);
+  FedAvg avg;
+  avg.initialize(ctx);
+  FedProx prox(0.0f);
+  prox.initialize(ctx);
+  const LocalResult a = avg.local_update(1, start, 0, worker);
+  const LocalResult b = prox.local_update(1, start, 0, worker);
+  ASSERT_EQ(a.delta.size(), b.delta.size());
+  for (std::size_t i = 0; i < a.delta.size(); ++i)
+    ASSERT_NEAR(a.delta[i], b.delta[i], 1e-6f);
+}
+
+TEST(FedAvgM, MomentumAccumulatesAcrossRounds) {
+  auto w = make_world();
+  w.config.global_lr = 1.0f;
+  Simulation sim = w.make_simulation();
+  FedAvgM alg(0.5f);
+  alg.initialize(sim.context());
+  const std::size_t dim = sim.context().param_count;
+  ParamVector global(dim, 0.0f);
+  std::vector<LocalResult> results{fake_result(0, 10, 1.0f, dim)};
+  alg.aggregate(results, 0, global);
+  // m = 1, step 1 -> global = -1.
+  EXPECT_FLOAT_EQ(global[0], -1.0f);
+  alg.aggregate(results, 1, global);
+  // m = 0.5*1 + 1 = 1.5 -> global = -2.5.
+  EXPECT_FLOAT_EQ(global[0], -2.5f);
+  EXPECT_GT(alg.momentum_norm(), 0.0f);
+}
+
+TEST(FedAvg, FullRunLearnsAboveChance) {
+  auto w = make_world(/*imbalance=*/1.0);
+  w.config.rounds = 12;
+  Simulation sim = w.make_simulation();
+  FedAvg alg;
+  const SimulationResult res = sim.run(alg);
+  EXPECT_GT(res.final_accuracy, 1.5f / 6.0f);  // well above 1/6 chance
+  EXPECT_EQ(res.algorithm, "fedavg");
+}
+
+}  // namespace
+}  // namespace fedwcm::fl

@@ -1,0 +1,102 @@
+// FedAdam / FedYogi server optimizers: moment updates, adaptivity floor,
+// Yogi's sign-damped second moment, end-to-end learning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fedwcm/fl/algorithms/fedopt.hpp"
+#include "fedwcm/fl/registry.hpp"
+#include "fl_test_util.hpp"
+
+namespace fedwcm::fl {
+namespace {
+
+using testutil::make_world;
+
+LocalResult stub(std::size_t dim, float fill) {
+  LocalResult r;
+  r.client = 0;
+  r.num_samples = 10;
+  r.num_steps = 5;
+  r.delta.assign(dim, fill);
+  return r;
+}
+
+TEST(FedAdam, FirstStepMatchesHandComputation) {
+  auto w = make_world();
+  w.config.global_lr = 1.0f;
+  Simulation sim = w.make_simulation();
+  FedOptOptions opt;
+  opt.beta1 = 0.5f;
+  opt.beta2 = 0.5f;
+  opt.tau = 0.1f;
+  FedAdam alg(opt);
+  alg.initialize(sim.context());
+  const std::size_t dim = sim.context().param_count;
+  ParamVector global(dim, 0.0f);
+  std::vector<LocalResult> results{stub(dim, 2.0f)};
+  alg.aggregate(results, 0, global);
+  // m = 0.5*0 + 0.5*2 = 1; v = 0.5*tau^2 + 0.5*4 = 2.005;
+  // x = -1 / (sqrt(2.005) + 0.1).
+  const float expected = -1.0f / (std::sqrt(0.5f * 0.01f + 0.5f * 4.0f) + 0.1f);
+  EXPECT_NEAR(global[0], expected, 1e-5f);
+  EXPECT_NEAR(alg.first_moment()[0], 1.0f, 1e-6f);
+}
+
+TEST(FedYogi, SecondMomentMovesTowardSquaredDelta) {
+  auto w = make_world();
+  Simulation sim = w.make_simulation();
+  FedOptOptions opt;
+  opt.beta2 = 0.9f;
+  opt.tau = 0.01f;
+  FedYogi alg(opt);
+  alg.initialize(sim.context());
+  const std::size_t dim = sim.context().param_count;
+  ParamVector global(dim, 0.0f);
+  // d^2 = 4 > v0 = tau^2: Yogi adds (1-beta2) d^2.
+  std::vector<LocalResult> up{stub(dim, 2.0f)};
+  alg.aggregate(up, 0, global);
+  EXPECT_NEAR(alg.second_moment()[0], 0.0001f + 0.1f * 4.0f, 1e-5f);
+  // A subsequent tiny delta (d^2 < v): Yogi *subtracts*, unlike Adam's decay
+  // toward d^2 — the damping property.
+  const float v_before = alg.second_moment()[0];
+  std::vector<LocalResult> down{stub(dim, 0.01f)};
+  alg.aggregate(down, 1, global);
+  EXPECT_LT(alg.second_moment()[0], v_before);
+  EXPECT_GE(alg.second_moment()[0], 0.0f);
+}
+
+TEST(FedAdamYogi, AdaptivityFloorPreventsBlowup) {
+  auto w = make_world();
+  w.config.global_lr = 1.0f;
+  Simulation sim = w.make_simulation();
+  FedOptOptions opt;
+  FedAdam alg(opt);
+  alg.initialize(sim.context());
+  const std::size_t dim = sim.context().param_count;
+  ParamVector global(dim, 0.0f);
+  // Zero delta: the update must be exactly zero (no division blowup).
+  std::vector<LocalResult> zero{stub(dim, 0.0f)};
+  alg.aggregate(zero, 0, global);
+  for (float v : global) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+class FedOptLearns : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FedOptLearns, AboveChanceOnBalancedData) {
+  auto w = make_world(1.0);
+  w.config.rounds = 12;
+  // Adaptive server optimizers need a smaller server LR than eta_g = 1.
+  w.config.global_lr = 0.03f;
+  Simulation sim = w.make_simulation();
+  auto alg = make_algorithm(GetParam());
+  const SimulationResult res = sim.run(*alg);
+  EXPECT_GT(res.final_accuracy, 1.3f / 6.0f) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, FedOptLearns,
+                         ::testing::Values("fedadam", "fedyogi"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace fedwcm::fl

@@ -1,0 +1,252 @@
+// FedWCM: Eq. 3 scores, Eq. 4 softmax weights (simplex + minority-favouring),
+// Eq. 5 adaptive alpha (range + monotonicity), temperature behaviour, the
+// FedWCM-X quantity extensions, and ablation toggles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <numeric>
+
+#include "fedwcm/fl/algorithms/fedwcm.hpp"
+#include "fl_test_util.hpp"
+
+namespace fedwcm::fl {
+namespace {
+
+using testutil::make_world;
+
+FedWCM initialized_fedwcm(const FlContext& ctx, FedWcmOptions opt = {}) {
+  FedWCM alg(std::move(opt));
+  alg.initialize(ctx);
+  return alg;
+}
+
+TEST(FedWcmScores, BalancedDataGivesNearZeroScores) {
+  auto w = make_world(/*imbalance=*/1.0);
+  Simulation sim = w.make_simulation();
+  FedWCM alg = initialized_fedwcm(sim.context());
+  for (double s : alg.scores()) EXPECT_LT(s, 0.05);
+}
+
+TEST(FedWcmScores, TailHoldersScoreHigher) {
+  auto w = make_world(/*imbalance=*/0.05);
+  Simulation sim = w.make_simulation();
+  const FlContext& ctx = sim.context();
+  FedWCM alg = initialized_fedwcm(ctx);
+
+  // Find the client with the largest share of tail-half classes and the one
+  // with the largest share of head class 0; their scores must be ordered.
+  const std::size_t C = ctx.num_classes();
+  double best_tail_share = -1, best_head_share = -1;
+  std::size_t tail_client = 0, head_client = 0;
+  for (std::size_t k = 0; k < ctx.num_clients(); ++k) {
+    const auto& counts = ctx.client_class_counts[k];
+    const double n = double(ctx.client_size(k));
+    if (n == 0) continue;
+    double tail = 0;
+    for (std::size_t c = C / 2; c < C; ++c) tail += double(counts[c]);
+    if (tail / n > best_tail_share) {
+      best_tail_share = tail / n;
+      tail_client = k;
+    }
+    if (double(counts[0]) / n > best_head_share) {
+      best_head_share = double(counts[0]) / n;
+      head_client = k;
+    }
+  }
+  EXPECT_GT(alg.scores()[tail_client], alg.scores()[head_client]);
+}
+
+TEST(FedWcmTemperature, DecreasesWithImbalance) {
+  auto balanced = make_world(1.0);
+  auto longtail = make_world(0.05);
+  Simulation sb = balanced.make_simulation();
+  Simulation sl = longtail.make_simulation();
+  FedWCM ab = initialized_fedwcm(sb.context());
+  FedWCM al = initialized_fedwcm(sl.context());
+  EXPECT_GT(ab.temperature(), al.temperature());
+}
+
+LocalResult stub_result(std::size_t client, std::size_t samples, std::size_t dim) {
+  LocalResult r;
+  r.client = client;
+  r.num_samples = samples;
+  r.num_steps = 4;
+  r.delta.assign(dim, 0.1f);
+  return r;
+}
+
+TEST(FedWcmWeights, FormSimplexAndFavourHighScores) {
+  auto w = make_world(0.05);
+  Simulation sim = w.make_simulation();
+  const FlContext& ctx = sim.context();
+  FedWCM alg = initialized_fedwcm(ctx);
+
+  std::vector<LocalResult> results;
+  for (std::size_t k = 0; k < ctx.num_clients(); ++k)
+    results.push_back(stub_result(k, ctx.client_size(k), ctx.param_count));
+  const auto weights = alg.aggregation_weights(results);
+  double sum = 0.0;
+  for (float v : weights) {
+    EXPECT_GE(v, 0.0f);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+  // Weight ordering must follow score ordering.
+  for (std::size_t i = 0; i < results.size(); ++i)
+    for (std::size_t j = 0; j < results.size(); ++j)
+      if (alg.scores()[i] > alg.scores()[j] + 1e-9)
+        EXPECT_GE(weights[i], weights[j] - 1e-6f);
+}
+
+TEST(FedWcmWeights, UniformWhenAblationDisablesScores) {
+  auto w = make_world(0.05);
+  Simulation sim = w.make_simulation();
+  FedWcmOptions opt;
+  opt.use_score_weights = false;
+  FedWCM alg = initialized_fedwcm(sim.context(), opt);
+  std::vector<LocalResult> results;
+  for (std::size_t k = 0; k < 4; ++k)
+    results.push_back(stub_result(k, 10, sim.context().param_count));
+  for (float v : alg.aggregation_weights(results)) EXPECT_NEAR(v, 0.25f, 1e-6f);
+}
+
+TEST(FedWcmAlpha, StaysInPaperRange) {
+  // Across imbalance settings and many rounds, alpha in [0.1, 1) (§6).
+  for (double imb : {1.0, 0.1, 0.01}) {
+    auto w = make_world(imb);
+    w.config.rounds = 6;
+    Simulation sim = w.make_simulation();
+    FedWCM alg;
+    const SimulationResult res = sim.run(alg);
+    for (const auto& rec : res.history) {
+      EXPECT_GE(rec.alpha, 0.1f) << "IF " << imb;
+      EXPECT_LT(rec.alpha, 1.0f) << "IF " << imb;
+    }
+  }
+}
+
+TEST(FedWcmAlpha, IncreasesWithSampledMinorityRepresentation) {
+  auto w = make_world(0.05);
+  Simulation sim = w.make_simulation();
+  const FlContext& ctx = sim.context();
+  const std::size_t dim = ctx.param_count;
+
+  // Round sampling only high-score clients vs only low-score clients.
+  FedWCM alg = initialized_fedwcm(ctx);
+  std::vector<std::size_t> order(ctx.num_clients());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return alg.scores()[a] > alg.scores()[b];
+  });
+
+  FedWCM high = initialized_fedwcm(ctx);
+  std::vector<LocalResult> top{stub_result(order.front(), 10, dim)};
+  ParamVector g1(dim, 0.0f);
+  high.aggregate(top, 0, g1);
+
+  FedWCM low = initialized_fedwcm(ctx);
+  std::vector<LocalResult> bottom{stub_result(order.back(), 10, dim)};
+  ParamVector g2(dim, 0.0f);
+  low.aggregate(bottom, 0, g2);
+
+  EXPECT_GE(high.current_alpha(), low.current_alpha());
+}
+
+TEST(FedWcmAlpha, FixedWhenAblationDisablesAdaptivity) {
+  auto w = make_world(0.05);
+  w.config.rounds = 5;
+  Simulation sim = w.make_simulation();
+  FedWcmOptions opt;
+  opt.adaptive_alpha = false;
+  opt.alpha0 = 0.1f;
+  FedWCM alg(opt);
+  const SimulationResult res = sim.run(alg);
+  for (const auto& rec : res.history) EXPECT_FLOAT_EQ(rec.alpha, 0.1f);
+}
+
+TEST(FedWcmScoreMode, AbsoluteModeChangesScores) {
+  auto w = make_world(0.05);
+  Simulation sim = w.make_simulation();
+  FedWcmOptions abs_opt;
+  abs_opt.score_mode = ScoreMode::kAbsolute;
+  FedWCM scarcity = initialized_fedwcm(sim.context());
+  FedWCM absolute = initialized_fedwcm(sim.context(), abs_opt);
+  // Under a long tail the two readings must disagree for head-heavy clients.
+  bool any_diff = false;
+  for (std::size_t k = 0; k < scarcity.scores().size(); ++k)
+    any_diff |= std::abs(scarcity.scores()[k] - absolute.scores()[k]) > 1e-9;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FedWcmTarget, CustomTargetDistributionIsHonoured) {
+  auto w = make_world(0.05);
+  Simulation sim = w.make_simulation();
+  const std::size_t C = sim.context().num_classes();
+  FedWcmOptions opt;
+  // Target = the actual global distribution -> zero deviation everywhere.
+  opt.target_distribution = data::normalize_counts(
+      sim.context().global_class_counts);
+  FedWCM alg = initialized_fedwcm(sim.context(), opt);
+  for (double s : alg.scores()) EXPECT_NEAR(s, 0.0, 1e-9);
+  // Wrong-sized target must throw.
+  FedWcmOptions bad;
+  bad.target_distribution.assign(C + 1, 1.0 / double(C + 1));
+  FedWCM broken(bad);
+  EXPECT_THROW(broken.initialize(sim.context()), std::invalid_argument);
+}
+
+TEST(FedWcmOverride, GlobalCountsOverrideDrivesScores) {
+  auto w = make_world(0.05);
+  Simulation sim = w.make_simulation();
+  const FlContext& ctx = sim.context();
+  // Override equal to the true counts -> identical scores/temperature.
+  FedWcmOptions same;
+  same.global_counts_override = ctx.global_class_counts;
+  FedWCM a = initialized_fedwcm(ctx);
+  FedWCM b = initialized_fedwcm(ctx, same);
+  EXPECT_EQ(a.scores(), b.scores());
+  EXPECT_DOUBLE_EQ(a.temperature(), b.temperature());
+  // A balanced override on long-tailed data flattens the deviations.
+  FedWcmOptions flat;
+  const std::size_t total = std::accumulate(ctx.global_class_counts.begin(),
+                                            ctx.global_class_counts.end(),
+                                            std::size_t(0));
+  flat.global_counts_override.assign(ctx.num_classes(),
+                                     total / ctx.num_classes());
+  FedWCM c = initialized_fedwcm(ctx, flat);
+  for (double s : c.scores()) EXPECT_LT(s, 0.05);
+  // Wrong size rejected.
+  FedWcmOptions bad;
+  bad.global_counts_override.assign(ctx.num_classes() + 1, 1);
+  FedWCM broken(bad);
+  EXPECT_THROW(broken.initialize(ctx), std::invalid_argument);
+}
+
+TEST(FedWcmX, QuantityWeightingMultipliesSampleCounts) {
+  auto w = make_world(0.1, 0.1, 8, 42, /*fedgrab_partition=*/true);
+  Simulation sim = w.make_simulation();
+  const FlContext& ctx = sim.context();
+  FedWcmX alg;
+  alg.initialize(ctx);
+  // Two synthetic clients with identical scores but different sizes: the
+  // larger must receive the larger weight.
+  std::vector<LocalResult> results{stub_result(0, 5, ctx.param_count),
+                                   stub_result(0, 50, ctx.param_count)};
+  const auto weights = alg.aggregation_weights(results);
+  EXPECT_GT(weights[1], weights[0] * 5.0f);
+  EXPECT_NEAR(weights[0] + weights[1], 1.0f, 1e-5f);
+}
+
+TEST(FedWcmX, LearningRateNormalizationRunsAndConverges) {
+  auto w = make_world(0.1, 0.1, 8, 42, /*fedgrab_partition=*/true);
+  w.config.rounds = 10;
+  Simulation sim = w.make_simulation();
+  FedWcmX alg;
+  const SimulationResult res = sim.run(alg);
+  EXPECT_EQ(res.algorithm, "fedwcmx");
+  EXPECT_GT(res.final_accuracy, 1.2f / 6.0f);
+}
+
+}  // namespace
+}  // namespace fedwcm::fl

@@ -1,0 +1,139 @@
+// FedGraB and BalanceFL (simplified reimplementations): gradient balancer
+// semantics, head-layout discovery, absent-class gradient masking.
+#include <gtest/gtest.h>
+
+#include "fedwcm/fl/algorithms/balancefl.hpp"
+#include "fedwcm/fl/algorithms/fedgrab.hpp"
+#include "fedwcm/nn/models.hpp"
+#include "fl_test_util.hpp"
+
+namespace fedwcm::fl {
+namespace {
+
+using testutil::make_world;
+
+TEST(ColumnScaledLoss, ScalesGradientColumns) {
+  ColumnScaledLoss loss(std::make_unique<nn::CrossEntropyLoss>(), {2.0f, 0.5f});
+  core::Matrix logits(1, 2, std::vector<float>{0.0f, 0.0f});
+  core::Matrix d;
+  const std::vector<std::size_t> y{0};
+  loss.compute(logits, y, d);
+  // Plain CE gradient would be [-0.5, 0.5]; scaled: [-1.0, 0.25].
+  EXPECT_NEAR(d(0, 0), -1.0f, 1e-5f);
+  EXPECT_NEAR(d(0, 1), 0.25f, 1e-5f);
+}
+
+TEST(FedGraB, MultipliersBoostTailClasses) {
+  auto w = make_world(/*imbalance=*/0.05);
+  Simulation sim = w.make_simulation();
+  FedGraB alg(0.5f);
+  alg.initialize(sim.context());
+  const auto& m = alg.multipliers();
+  ASSERT_EQ(m.size(), sim.context().num_classes());
+  // Tail multiplier exceeds head multiplier; normalized to mean 1.
+  EXPECT_GT(m.back(), m.front());
+  float mean = 0.0f;
+  for (float v : m) mean += v;
+  EXPECT_NEAR(mean / float(m.size()), 1.0f, 1e-4f);
+}
+
+TEST(FedGraB, BalancedDataGivesUniformMultipliers) {
+  auto w = make_world(1.0);
+  Simulation sim = w.make_simulation();
+  FedGraB alg;
+  alg.initialize(sim.context());
+  for (float v : alg.multipliers()) EXPECT_NEAR(v, 1.0f, 0.15f);
+}
+
+TEST(FedGraB, SelfAdjustmentKeepsGammaBounded) {
+  auto w = make_world(0.05);
+  w.config.rounds = 8;
+  Simulation sim = w.make_simulation();
+  FedGraB alg(0.5f);
+  const SimulationResult res = sim.run(alg);
+  EXPECT_GE(alg.gamma(), 0.1f);
+  EXPECT_LE(alg.gamma(), 1.0f);
+  EXPECT_GT(res.final_accuracy, 1.0f / 6.0f);
+}
+
+TEST(HeadLayout, FindsLastLinearLayer) {
+  const nn::Sequential model = nn::make_mlp(12, {16, 8}, 6);
+  const HeadLayout head = find_head_layout(model);
+  EXPECT_EQ(head.in_features, 8u);
+  EXPECT_EQ(head.out_features, 6u);
+  EXPECT_TRUE(head.has_bias);
+  // Head occupies the tail of the flat vector.
+  EXPECT_EQ(head.weight_offset + 8 * 6 + 6, model.param_count());
+  EXPECT_EQ(head.bias_offset, head.weight_offset + 8 * 6);
+}
+
+TEST(HeadLayout, ThrowsWithoutLinear) {
+  nn::Sequential model;
+  model.add(std::make_unique<nn::ReLU>());
+  EXPECT_THROW(find_head_layout(model), std::invalid_argument);
+}
+
+TEST(MaskAbsentClasses, ZeroesOnlyMissingColumns) {
+  const nn::Sequential model = nn::make_mlp(4, {3}, 3);
+  const HeadLayout head = find_head_layout(model);
+  core::ParamVector grad(model.param_count(), 1.0f);
+  const std::vector<char> present{1, 0, 1};
+  mask_absent_class_gradients(grad, head, present);
+  // Column 1 of the head weight and bias[1] must be zero; others untouched.
+  for (std::size_t r = 0; r < head.in_features; ++r) {
+    EXPECT_FLOAT_EQ(grad[head.weight_offset + r * 3 + 0], 1.0f);
+    EXPECT_FLOAT_EQ(grad[head.weight_offset + r * 3 + 1], 0.0f);
+    EXPECT_FLOAT_EQ(grad[head.weight_offset + r * 3 + 2], 1.0f);
+  }
+  EXPECT_FLOAT_EQ(grad[head.bias_offset + 1], 0.0f);
+  EXPECT_FLOAT_EQ(grad[head.bias_offset + 0], 1.0f);
+  // Pre-head parameters untouched.
+  for (std::size_t i = 0; i < head.weight_offset; ++i)
+    EXPECT_FLOAT_EQ(grad[i], 1.0f);
+}
+
+TEST(BalanceFL, AbsentClassHeadColumnsFrozenDuringLocalTraining) {
+  auto w = make_world(/*imbalance=*/0.05, /*beta=*/0.05);
+  Simulation sim = w.make_simulation();
+  const FlContext& ctx = sim.context();
+
+  // Find a client missing at least one class.
+  std::size_t client = SIZE_MAX, missing = SIZE_MAX;
+  for (std::size_t k = 0; k < ctx.num_clients() && client == SIZE_MAX; ++k)
+    for (std::size_t c = 0; c < ctx.num_classes(); ++c)
+      if (ctx.client_size(k) > 0 && ctx.client_class_counts[k][c] == 0) {
+        client = k;
+        missing = c;
+        break;
+      }
+  ASSERT_NE(client, SIZE_MAX) << "test world should have class-missing clients";
+
+  BalanceFL alg;
+  alg.initialize(ctx);
+  nn::Sequential init = ctx.model_factory();
+  core::Rng rng(15);
+  init.init_params(rng);
+  const ParamVector start = init.get_params();
+  Worker worker(ctx.model_factory);
+  const LocalResult res = alg.local_update(client, start, 0, worker);
+
+  const HeadLayout head = find_head_layout(init);
+  for (std::size_t r = 0; r < head.in_features; ++r)
+    EXPECT_FLOAT_EQ(
+        res.delta[head.weight_offset + r * head.out_features + missing], 0.0f);
+  EXPECT_FLOAT_EQ(res.delta[head.bias_offset + missing], 0.0f);
+  // Some other parameters must have moved.
+  EXPECT_GT(core::pv::l2_norm(res.delta), 0.0f);
+}
+
+TEST(BalanceFL, FullRunLearns) {
+  auto w = make_world(0.1);
+  w.config.rounds = 10;
+  Simulation sim = w.make_simulation();
+  BalanceFL alg;
+  const SimulationResult res = sim.run(alg);
+  EXPECT_GT(res.final_accuracy, 1.3f / 6.0f);
+}
+
+}  // namespace
+}  // namespace fedwcm::fl

@@ -1,0 +1,56 @@
+// Registry: every advertised algorithm constructs and reports its own name;
+// the method-spec lists match the paper's table columns.
+#include "fedwcm/fl/registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fedwcm::fl {
+namespace {
+
+TEST(Registry, AllNamesConstructAndSelfIdentify) {
+  for (const std::string& name : algorithm_names()) {
+    const auto alg = make_algorithm(name);
+    ASSERT_NE(alg, nullptr) << name;
+    EXPECT_EQ(alg->name(), name);
+  }
+}
+
+TEST(Registry, ExpectedAlgorithmsPresent) {
+  const auto names = algorithm_names();
+  for (const char* expected :
+       {"fedavg", "fedprox", "fedavgm", "scaffold", "feddyn", "fedcm", "fedwcm",
+        "fedwcmx", "fedsam", "mofedsam", "fedlesam", "fedsmoo", "fedspeed",
+        "fedgrab", "balancefl", "creff", "fedadam", "fedyogi"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  EXPECT_EQ(names.size(), 18u);
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(make_algorithm("fedmystery"), std::invalid_argument);
+}
+
+TEST(Registry, Table1MethodsMatchPaperColumns) {
+  const auto methods = table1_methods();
+  ASSERT_EQ(methods.size(), 7u);
+  EXPECT_EQ(methods[0].label, "FedAvg");
+  EXPECT_EQ(methods[1].algorithm, "balancefl");
+  EXPECT_EQ(methods[3].loss, "focal");
+  EXPECT_EQ(methods[4].loss, "balance");
+  EXPECT_TRUE(methods[5].balanced_sampler);
+  EXPECT_EQ(methods[6].algorithm, "fedwcm");
+  // Every referenced algorithm must exist in the registry.
+  for (const auto& m : methods) EXPECT_NO_THROW(make_algorithm(m.algorithm));
+}
+
+TEST(Registry, CoreTrioIsFedAvgFedCmFedWcm) {
+  const auto trio = core_trio();
+  ASSERT_EQ(trio.size(), 3u);
+  EXPECT_EQ(trio[0].algorithm, "fedavg");
+  EXPECT_EQ(trio[1].algorithm, "fedcm");
+  EXPECT_EQ(trio[2].algorithm, "fedwcm");
+}
+
+}  // namespace
+}  // namespace fedwcm::fl

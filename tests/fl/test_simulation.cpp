@@ -1,0 +1,125 @@
+// Simulation engine: seeded determinism (including across thread counts),
+// client sampling contracts, eval cadence, probes, and config validation.
+#include <gtest/gtest.h>
+
+#include "fedwcm/fl/registry.hpp"
+#include "fl_test_util.hpp"
+
+namespace fedwcm::fl {
+namespace {
+
+using testutil::make_world;
+
+TEST(Simulation, DeterministicForSeed) {
+  auto w = make_world();
+  Simulation sim1 = w.make_simulation();
+  Simulation sim2 = w.make_simulation();
+  auto a1 = make_algorithm("fedwcm");
+  auto a2 = make_algorithm("fedwcm");
+  const SimulationResult r1 = sim1.run(*a1);
+  const SimulationResult r2 = sim2.run(*a2);
+  ASSERT_EQ(r1.final_params.size(), r2.final_params.size());
+  for (std::size_t i = 0; i < r1.final_params.size(); ++i)
+    ASSERT_FLOAT_EQ(r1.final_params[i], r2.final_params[i]) << i;
+  EXPECT_FLOAT_EQ(r1.final_accuracy, r2.final_accuracy);
+}
+
+TEST(Simulation, ThreadCountDoesNotChangeResult) {
+  auto w1 = make_world();
+  auto w4 = make_world();
+  w1.config.threads = 1;
+  w4.config.threads = 4;
+  Simulation s1 = w1.make_simulation();
+  Simulation s4 = w4.make_simulation();
+  auto a1 = make_algorithm("fedcm");
+  auto a4 = make_algorithm("fedcm");
+  const SimulationResult r1 = s1.run(*a1);
+  const SimulationResult r4 = s4.run(*a4);
+  for (std::size_t i = 0; i < r1.final_params.size(); ++i)
+    ASSERT_FLOAT_EQ(r1.final_params[i], r4.final_params[i]) << i;
+}
+
+TEST(Simulation, DifferentSeedsDiffer) {
+  auto wa = make_world();
+  auto wb = make_world();
+  wb.config.seed = 777;
+  Simulation sa = wa.make_simulation();
+  Simulation sb = wb.make_simulation();
+  auto a = make_algorithm("fedavg");
+  auto b = make_algorithm("fedavg");
+  EXPECT_NE(sa.run(*a).final_params, sb.run(*b).final_params);
+}
+
+TEST(Simulation, SampledPerRoundContract) {
+  FlConfig cfg;
+  cfg.num_clients = 100;
+  cfg.participation = 0.1;
+  EXPECT_EQ(cfg.sampled_per_round(), 10u);
+  cfg.participation = 0.0;
+  EXPECT_EQ(cfg.sampled_per_round(), 1u);  // never zero
+  cfg.participation = 2.0;
+  EXPECT_EQ(cfg.sampled_per_round(), 100u);  // capped
+}
+
+TEST(Simulation, EvalCadenceRespected) {
+  auto w = make_world();
+  w.config.rounds = 9;
+  w.config.eval_every = 3;
+  Simulation sim = w.make_simulation();
+  auto alg = make_algorithm("fedavg");
+  const SimulationResult res = sim.run(*alg);
+  // Rounds 0, 3, 6 and the forced last round 8.
+  ASSERT_EQ(res.history.size(), 4u);
+  EXPECT_EQ(res.history[0].round, 0u);
+  EXPECT_EQ(res.history[1].round, 3u);
+  EXPECT_EQ(res.history.back().round, 8u);
+  EXPECT_FALSE(res.per_class_accuracy.empty());
+}
+
+TEST(Simulation, ProbeIsInvokedAndRecorded) {
+  auto w = make_world();
+  w.config.rounds = 4;
+  w.config.eval_every = 1;
+  Simulation sim = w.make_simulation();
+  int calls = 0;
+  sim.set_probe([&calls](nn::Sequential&, const data::Dataset&) {
+    ++calls;
+    return 0.75f;
+  });
+  auto alg = make_algorithm("fedavg");
+  const SimulationResult res = sim.run(*alg);
+  EXPECT_EQ(calls, int(res.history.size()));
+  for (const auto& rec : res.history) EXPECT_FLOAT_EQ(rec.concentration, 0.75f);
+}
+
+TEST(Simulation, PartitionMismatchRejected) {
+  auto w = make_world(1.0, 0.1, /*clients=*/8);
+  w.config.num_clients = 9;  // partition has 8
+  EXPECT_THROW(w.make_simulation(), std::invalid_argument);
+}
+
+TEST(Simulation, TailMeanAndBestTracked) {
+  auto w = make_world(1.0);
+  w.config.rounds = 10;
+  Simulation sim = w.make_simulation();
+  auto alg = make_algorithm("fedavg");
+  const SimulationResult res = sim.run(*alg);
+  EXPECT_GE(res.best_accuracy, res.final_accuracy - 1e-6f);
+  EXPECT_GT(res.tail_mean_accuracy, 0.0f);
+  float best = 0.0f;
+  for (const auto& rec : res.history) best = std::max(best, rec.test_accuracy);
+  EXPECT_FLOAT_EQ(res.best_accuracy, best);
+}
+
+TEST(Simulation, AllAlgorithmsRunOneRoundWithoutError) {
+  for (const std::string& name : algorithm_names()) {
+    auto w = make_world();
+    w.config.rounds = 1;
+    Simulation sim = w.make_simulation();
+    auto alg = make_algorithm(name);
+    EXPECT_NO_THROW(sim.run(*alg)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace fedwcm::fl

@@ -1,0 +1,124 @@
+// SCAFFOLD and FedDyn: control-variate and dynamic-regularization state
+// machines, plus end-to-end learning.
+#include <gtest/gtest.h>
+
+#include "fedwcm/fl/algorithms/feddyn.hpp"
+#include "fedwcm/fl/algorithms/scaffold.hpp"
+#include "fl_test_util.hpp"
+
+namespace fedwcm::fl {
+namespace {
+
+using testutil::make_world;
+
+TEST(Scaffold, VariatesStartAtZeroAndUpdate) {
+  auto w = make_world();
+  w.config.local_epochs = 1;
+  Simulation sim = w.make_simulation();
+  const FlContext& ctx = sim.context();
+  Scaffold alg;
+  alg.initialize(ctx);
+  EXPECT_FLOAT_EQ(core::pv::l2_norm(alg.server_variate()), 0.0f);
+
+  nn::Sequential init = ctx.model_factory();
+  core::Rng rng(9);
+  init.init_params(rng);
+  const ParamVector start = init.get_params();
+  Worker worker(ctx.model_factory);
+  LocalResult res = alg.local_update(0, start, 0, worker);
+  // aux = c_i+ - c_i must be the step-normalized delta on round 0 (c = c_i = 0).
+  ASSERT_EQ(res.aux.size(), ctx.param_count);
+  const float inv = 1.0f / (float(res.num_steps) * ctx.config->local_lr);
+  for (std::size_t i = 0; i < res.aux.size(); ++i)
+    ASSERT_NEAR(res.aux[i], res.delta[i] * inv, 1e-5f);
+
+  ParamVector global = start;
+  std::vector<LocalResult> results{std::move(res)};
+  alg.aggregate(results, 0, global);
+  // Server variate moved by |P|/N * mean(aux) != 0.
+  EXPECT_GT(core::pv::l2_norm(alg.server_variate()), 0.0f);
+}
+
+TEST(Scaffold, FirstRoundLocalStepMatchesPlainSgd) {
+  // With all variates zero, v = g: identical to FedAvg's local pass.
+  auto w = make_world();
+  w.config.local_epochs = 1;
+  Simulation sim = w.make_simulation();
+  const FlContext& ctx = sim.context();
+  nn::Sequential init = ctx.model_factory();
+  core::Rng rng(10);
+  init.init_params(rng);
+  const ParamVector start = init.get_params();
+
+  Scaffold alg;
+  alg.initialize(ctx);
+  Worker worker(ctx.model_factory);
+  const LocalResult a = alg.local_update(1, start, 0, worker);
+
+  nn::CrossEntropyLoss loss;
+  const LocalResult b = run_local_sgd(
+      ctx, worker, 1, start, 0, ctx.config->local_lr, loss,
+      [](const ParamVector& g, const ParamVector&, ParamVector& v) { v = g; });
+  for (std::size_t i = 0; i < a.delta.size(); ++i)
+    ASSERT_NEAR(a.delta[i], b.delta[i], 1e-6f);
+}
+
+TEST(Scaffold, LearnsAboveChance) {
+  auto w = make_world(1.0);
+  w.config.rounds = 12;
+  Simulation sim = w.make_simulation();
+  Scaffold alg;
+  const SimulationResult res = sim.run(alg);
+  EXPECT_GT(res.final_accuracy, 1.5f / 6.0f);
+}
+
+TEST(FedDyn, CorrectionStateEvolves) {
+  auto w = make_world();
+  w.config.local_epochs = 1;
+  Simulation sim = w.make_simulation();
+  const FlContext& ctx = sim.context();
+  FedDyn alg(0.1f);
+  alg.initialize(ctx);
+  EXPECT_FLOAT_EQ(alg.momentum_norm(), 0.0f);  // h starts at zero
+
+  nn::Sequential init = ctx.model_factory();
+  core::Rng rng(11);
+  init.init_params(rng);
+  ParamVector global = init.get_params();
+  Worker worker(ctx.model_factory);
+  std::vector<LocalResult> results{alg.local_update(0, global, 0, worker)};
+  alg.aggregate(results, 0, global);
+  EXPECT_GT(alg.momentum_norm(), 0.0f);  // h updated
+}
+
+TEST(FedDyn, ServerStepIncludesStateTerm) {
+  auto w = make_world();
+  Simulation sim = w.make_simulation();
+  const FlContext& ctx = sim.context();
+  const float mu = 0.5f;
+  FedDyn alg(mu);
+  alg.initialize(ctx);
+  const std::size_t dim = ctx.param_count;
+  LocalResult r;
+  r.client = 0;
+  r.num_samples = 10;
+  r.num_steps = 2;
+  r.delta.assign(dim, 1.0f);  // x_B - x_r = -1 everywhere
+  ParamVector global(dim, 0.0f);
+  std::vector<LocalResult> results{r};
+  alg.aggregate(results, 0, global);
+  // h = mu*(1/8)*1 = 0.0625; x = 0 - 1 - h/mu = -1.125.
+  EXPECT_NEAR(global[0], -1.0f - (mu * (1.0f / 8.0f)) / mu, 1e-5f);
+}
+
+TEST(FedDyn, LearnsAboveChance) {
+  auto w = make_world(1.0);
+  w.config.rounds = 12;
+  Simulation sim = w.make_simulation();
+  FedDyn alg(0.05f);
+  const SimulationResult res = sim.run(alg);
+  EXPECT_GT(res.final_accuracy, 1.5f / 6.0f);
+}
+
+}  // namespace
+}  // namespace fedwcm::fl

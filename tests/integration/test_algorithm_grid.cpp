@@ -1,0 +1,95 @@
+// Property sweep across the full algorithm zoo x data regimes: every
+// algorithm must run to completion, produce finite metrics, keep learning
+// above chance on the easy regime, and remain deterministic. This is the
+// broad safety net behind the per-algorithm unit tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fedwcm/fl/registry.hpp"
+#include "../fl/fl_test_util.hpp"
+
+namespace fedwcm::fl {
+namespace {
+
+using testutil::make_world;
+
+struct GridCase {
+  std::string algorithm;
+  double imbalance;
+  bool fedgrab_partition;
+};
+
+std::string case_name(const ::testing::TestParamInfo<GridCase>& info) {
+  std::string n = info.param.algorithm + "_if" +
+                  std::to_string(int(info.param.imbalance * 100)) +
+                  (info.param.fedgrab_partition ? "_skewed" : "_equal");
+  return n;
+}
+
+class AlgorithmGrid : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(AlgorithmGrid, RunsFiniteAndLearns) {
+  const GridCase& tc = GetParam();
+  auto w = make_world(tc.imbalance, 0.1, 8, 42, tc.fedgrab_partition);
+  w.config.rounds = 8;
+  w.config.local_epochs = 2;
+  // Adaptive server optimizers need a small server step (see fedopt tests).
+  if (tc.algorithm == "fedadam" || tc.algorithm == "fedyogi")
+    w.config.global_lr = 0.03f;
+  Simulation sim = w.make_simulation();
+  auto alg = make_algorithm(tc.algorithm);
+  const SimulationResult res = sim.run(*alg);
+
+  // Finite metrics everywhere.
+  for (const auto& rec : res.history) {
+    EXPECT_TRUE(std::isfinite(rec.test_accuracy));
+    EXPECT_TRUE(std::isfinite(rec.train_loss));
+    EXPECT_TRUE(std::isfinite(rec.momentum_norm));
+    EXPECT_GE(rec.test_accuracy, 0.0f);
+    EXPECT_LE(rec.test_accuracy, 1.0f);
+  }
+  for (float v : res.final_params) ASSERT_TRUE(std::isfinite(v));
+
+  // Above-chance learning (6 classes -> chance 1/6); the extreme-imbalance
+  // regimes only need to avoid degenerate collapse.
+  const float floor =
+      tc.imbalance >= 0.5 ? 1.5f / 6.0f : 1.05f / 6.0f;
+  EXPECT_GT(res.best_accuracy, floor) << tc.algorithm;
+}
+
+TEST_P(AlgorithmGrid, DeterministicAcrossRuns) {
+  const GridCase& tc = GetParam();
+  if (tc.imbalance < 0.5) GTEST_SKIP() << "determinism covered on easy grid";
+  auto w = make_world(tc.imbalance, 0.1, 8, 42, tc.fedgrab_partition);
+  w.config.rounds = 3;
+  Simulation s1 = w.make_simulation();
+  Simulation s2 = w.make_simulation();
+  auto a1 = make_algorithm(tc.algorithm);
+  auto a2 = make_algorithm(tc.algorithm);
+  const SimulationResult r1 = s1.run(*a1);
+  const SimulationResult r2 = s2.run(*a2);
+  ASSERT_EQ(r1.final_params.size(), r2.final_params.size());
+  for (std::size_t i = 0; i < r1.final_params.size(); ++i)
+    ASSERT_FLOAT_EQ(r1.final_params[i], r2.final_params[i])
+        << tc.algorithm << " param " << i;
+}
+
+std::vector<GridCase> grid_cases() {
+  std::vector<GridCase> cases;
+  for (const std::string& alg : algorithm_names()) {
+    cases.push_back({alg, 1.0, false});
+    cases.push_back({alg, 0.05, false});
+  }
+  // The quantity-skewed pipeline on the methods designed for / sensitive
+  // to it.
+  for (const char* alg : {"fedavg", "fedcm", "fedwcm", "fedwcmx", "balancefl"})
+    cases.push_back({alg, 0.1, true});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(ZooTimesRegimes, AlgorithmGrid,
+                         ::testing::ValuesIn(grid_cases()), case_name);
+
+}  // namespace
+}  // namespace fedwcm::fl

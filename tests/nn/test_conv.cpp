@@ -1,0 +1,117 @@
+// Convolution / pooling: forward against hand-computed stencils and backward
+// against finite differences through a one-layer net.
+#include "fedwcm/nn/conv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fedwcm/nn/grad_check.hpp"
+#include "fedwcm/nn/loss.hpp"
+#include "fedwcm/nn/sequential.hpp"
+
+namespace fedwcm::nn {
+namespace {
+
+TEST(Conv2d, IdentityKernelReproducesInput) {
+  // 1x3x3 input, 1 output channel, 3x3 kernel = delta at center, pad 1.
+  Conv2d conv(1, 3, 3, 1, 3, 1);
+  std::vector<float> params(conv.param_count(), 0.0f);
+  params[4] = 1.0f;  // center of the 3x3 kernel
+  conv.set_params(params);
+  Matrix in(1, 9, std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Matrix out;
+  conv.forward(in, out);
+  ASSERT_EQ(out.cols(), 9u);
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_FLOAT_EQ(out.data()[i], in.data()[i]);
+}
+
+TEST(Conv2d, SumKernelComputesNeighborhoodSums) {
+  Conv2d conv(1, 3, 3, 1, 3, 1);
+  std::vector<float> params(conv.param_count(), 0.0f);
+  for (int i = 0; i < 9; ++i) params[i] = 1.0f;  // all-ones kernel, zero bias
+  conv.set_params(params);
+  Matrix in(1, 9, std::vector<float>(9, 1.0f));
+  Matrix out;
+  conv.forward(in, out);
+  // Corner sees 4 ones, edge 6, center 9.
+  EXPECT_FLOAT_EQ(out.data()[0], 4.0f);
+  EXPECT_FLOAT_EQ(out.data()[1], 6.0f);
+  EXPECT_FLOAT_EQ(out.data()[4], 9.0f);
+}
+
+TEST(Conv2d, BiasIsAddedPerChannel) {
+  Conv2d conv(1, 2, 2, 2, 3, 1);
+  std::vector<float> params(conv.param_count(), 0.0f);
+  params[conv.param_count() - 2] = 1.5f;  // bias of channel 0
+  params[conv.param_count() - 1] = -2.0f;
+  conv.set_params(params);
+  Matrix in(1, 4, std::vector<float>{1, 1, 1, 1});
+  Matrix out;
+  conv.forward(in, out);
+  EXPECT_FLOAT_EQ(out.data()[0], 1.5f);
+  EXPECT_FLOAT_EQ(out.data()[4], -2.0f);
+}
+
+TEST(Conv2d, OutputShape) {
+  Conv2d same(3, 8, 8, 5, 3, 1);
+  EXPECT_EQ(same.output_features(0), 5u * 8u * 8u);
+  Conv2d valid(1, 8, 8, 2, 3, 0);
+  EXPECT_EQ(valid.out_height(), 6u);
+  EXPECT_EQ(valid.out_width(), 6u);
+}
+
+TEST(Conv2d, GradientMatchesFiniteDifference) {
+  Sequential model;
+  model.add(std::make_unique<Conv2d>(1, 4, 4, 2, 3, 1));
+  core::Rng rng(5);
+  model.init_params(rng);
+  Matrix x(3, 16);
+  for (float& v : x.span()) v = float(rng.normal());
+  const std::vector<std::size_t> y{0, 1, 0};
+  // Conv output is 2*4*4=32 wide; use CE over 32 pseudo-classes.
+  CrossEntropyLoss loss;
+  const auto res = gradient_check(model, loss, x, y, 1e-3f, 3);
+  EXPECT_LE(res.max_violation, 1.0f) << "abs " << res.max_abs_error;
+}
+
+TEST(MaxPool2d, ForwardPicksMaxAndBackwardRoutes) {
+  MaxPool2d pool(1, 4, 4);
+  Matrix in(1, 16, 0.0f);
+  in.data()[5] = 7.0f;   // inside pooling window (1,1) -> output (0,0)... window row0-1 col2-3 etc.
+  in.data()[10] = 3.0f;
+  Matrix out;
+  pool.forward(in, out);
+  ASSERT_EQ(out.cols(), 4u);
+  EXPECT_FLOAT_EQ(out(0, 0), 7.0f);
+  EXPECT_FLOAT_EQ(out(0, 3), 3.0f);
+  Matrix grad_out(1, 4, std::vector<float>{1, 2, 3, 4});
+  Matrix grad_in;
+  pool.backward(grad_out, grad_in);
+  EXPECT_FLOAT_EQ(grad_in.data()[5], 1.0f);
+  EXPECT_FLOAT_EQ(grad_in.data()[10], 4.0f);
+  // All other positions get zero except the argmaxes of the other windows.
+  float total = 0.0f;
+  for (float v : grad_in.span()) total += v;
+  EXPECT_FLOAT_EQ(total, 1.0f + 2.0f + 3.0f + 4.0f);
+}
+
+TEST(MaxPool2d, OddSizesRejected) {
+  EXPECT_THROW(MaxPool2d(1, 3, 4), std::invalid_argument);
+}
+
+TEST(GlobalAvgPool, ForwardAveragesAndBackwardSpreads) {
+  GlobalAvgPool gap(2, 2, 2);
+  Matrix in(1, 8, std::vector<float>{1, 2, 3, 4, 10, 10, 10, 10});
+  Matrix out;
+  gap.forward(in, out);
+  ASSERT_EQ(out.cols(), 2u);
+  EXPECT_FLOAT_EQ(out(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(out(0, 1), 10.0f);
+  Matrix grad_out(1, 2, std::vector<float>{4, 8});
+  Matrix grad_in;
+  gap.backward(grad_out, grad_in);
+  EXPECT_FLOAT_EQ(grad_in.data()[0], 1.0f);
+  EXPECT_FLOAT_EQ(grad_in.data()[7], 2.0f);
+}
+
+}  // namespace
+}  // namespace fedwcm::nn

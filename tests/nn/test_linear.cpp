@@ -1,0 +1,127 @@
+// Linear layer: forward against hand computation, backward against finite
+// differences, parameter flattening round-trips.
+#include "fedwcm/nn/linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fedwcm::nn {
+namespace {
+
+TEST(Linear, ForwardMatchesHandComputation) {
+  Linear layer(2, 3);
+  // W = [[1,2,3],[4,5,6]], b = [0.5, -0.5, 0].
+  layer.set_params(std::vector<float>{1, 2, 3, 4, 5, 6, 0.5f, -0.5f, 0});
+  Matrix in(1, 2, std::vector<float>{1, 2});
+  Matrix out;
+  layer.forward(in, out);
+  EXPECT_FLOAT_EQ(out(0, 0), 1 * 1 + 2 * 4 + 0.5f);
+  EXPECT_FLOAT_EQ(out(0, 1), 1 * 2 + 2 * 5 - 0.5f);
+  EXPECT_FLOAT_EQ(out(0, 2), 1 * 3 + 2 * 6);
+}
+
+TEST(Linear, BackwardComputesExactGradients) {
+  Linear layer(2, 2);
+  layer.set_params(std::vector<float>{1, 2, 3, 4, 0, 0});  // W=[[1,2],[3,4]]
+  Matrix in(2, 2, std::vector<float>{1, 0, 0, 1});         // identity batch
+  Matrix out, grad_in;
+  layer.forward(in, out);
+  Matrix grad_out(2, 2, std::vector<float>{1, 0, 0, 1});
+  layer.zero_grads();
+  layer.backward(grad_out, grad_in);
+  // gW = in^T grad_out = identity; gb = column sums = [1, 1].
+  std::vector<float> grads(layer.param_count());
+  layer.copy_grads_to(grads);
+  EXPECT_FLOAT_EQ(grads[0], 1.0f);  // gW(0,0)
+  EXPECT_FLOAT_EQ(grads[1], 0.0f);
+  EXPECT_FLOAT_EQ(grads[3], 1.0f);  // gW(1,1)
+  EXPECT_FLOAT_EQ(grads[4], 1.0f);  // gb[0]
+  // grad_in = grad_out W^T.
+  EXPECT_FLOAT_EQ(grad_in(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(grad_in(0, 1), 3.0f);
+  EXPECT_FLOAT_EQ(grad_in(1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(grad_in(1, 1), 4.0f);
+}
+
+TEST(Linear, GradsAccumulateUntilZeroed) {
+  Linear layer(1, 1);
+  layer.set_params(std::vector<float>{2, 0});
+  Matrix in(1, 1, std::vector<float>{1});
+  Matrix out, grad_in;
+  Matrix grad_out(1, 1, std::vector<float>{1});
+  layer.zero_grads();
+  layer.forward(in, out);
+  layer.backward(grad_out, grad_in);
+  layer.forward(in, out);
+  layer.backward(grad_out, grad_in);
+  std::vector<float> grads(layer.param_count());
+  layer.copy_grads_to(grads);
+  EXPECT_FLOAT_EQ(grads[0], 2.0f);  // accumulated twice
+  layer.zero_grads();
+  layer.copy_grads_to(grads);
+  EXPECT_FLOAT_EQ(grads[0], 0.0f);
+}
+
+TEST(Linear, ParamRoundTrip) {
+  Linear layer(3, 4);
+  EXPECT_EQ(layer.param_count(), 3u * 4u + 4u);
+  core::Rng rng(3);
+  layer.init_params(rng);
+  std::vector<float> p(layer.param_count());
+  layer.copy_params_to(p);
+  Linear other(3, 4);
+  other.set_params(p);
+  std::vector<float> q(other.param_count());
+  other.copy_params_to(q);
+  EXPECT_EQ(p, q);
+}
+
+TEST(Linear, NoBiasVariant) {
+  Linear layer(2, 2, /*bias=*/false);
+  EXPECT_EQ(layer.param_count(), 4u);
+  layer.set_params(std::vector<float>{1, 0, 0, 1});
+  Matrix in(1, 2, std::vector<float>{5, 7});
+  Matrix out;
+  layer.forward(in, out);
+  EXPECT_FLOAT_EQ(out(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(out(0, 1), 7.0f);
+}
+
+TEST(Linear, CloneIsIndependentCopy) {
+  Linear layer(2, 2);
+  core::Rng rng(4);
+  layer.init_params(rng);
+  auto copy = layer.clone();
+  std::vector<float> p1(layer.param_count()), p2(copy->param_count());
+  layer.copy_params_to(p1);
+  copy->copy_params_to(p2);
+  EXPECT_EQ(p1, p2);
+  copy->set_params(std::vector<float>{9, 9, 9, 9, 9, 9});
+  layer.copy_params_to(p1);
+  EXPECT_NE(p1[0], 9.0f);
+}
+
+TEST(Linear, InitIsSeedDeterministicAndBounded) {
+  Linear a(10, 10), b(10, 10);
+  core::Rng r1(77), r2(77);
+  a.init_params(r1);
+  b.init_params(r2);
+  std::vector<float> pa(a.param_count()), pb(b.param_count());
+  a.copy_params_to(pa);
+  b.copy_params_to(pb);
+  EXPECT_EQ(pa, pb);
+  const float limit = std::sqrt(6.0f / 10.0f) + 1e-6f;
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_LE(std::abs(pa[i]), limit);
+  for (std::size_t i = 100; i < 110; ++i) EXPECT_FLOAT_EQ(pa[i], 0.0f);  // bias
+}
+
+TEST(Linear, ShapeMismatchThrows) {
+  Linear layer(2, 3);
+  Matrix in(1, 5), out;
+  EXPECT_THROW(layer.forward(in, out), std::invalid_argument);
+  EXPECT_THROW(layer.set_params(std::vector<float>(3)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedwcm::nn

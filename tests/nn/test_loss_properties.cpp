@@ -1,0 +1,116 @@
+// Property sweep over all losses x random logit batches: invariants that
+// must hold for any classification loss in this library —
+//  * non-negativity (all four are CE variants on valid distributions),
+//  * gradient rows sum to ~0 for pure-softmax losses (shift invariance),
+//  * the loss decreases along its own negative gradient (descent property),
+//  * determinism of compute().
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fedwcm/core/rng.hpp"
+#include "fedwcm/nn/loss.hpp"
+
+namespace fedwcm::nn {
+namespace {
+
+struct LossCase {
+  std::string name;
+  std::size_t classes;
+  std::uint64_t seed;
+};
+
+std::unique_ptr<Loss> build(const std::string& kind, std::size_t classes) {
+  if (kind == "ce") return std::make_unique<CrossEntropyLoss>();
+  if (kind == "focal") return std::make_unique<FocalLoss>(2.0f);
+  std::vector<float> counts(classes);
+  for (std::size_t c = 0; c < classes; ++c)
+    counts[c] = 100.0f / float(c + 1);  // long-tailed prior
+  if (kind == "balanced")
+    return std::make_unique<BalancedSoftmaxLoss>(std::move(counts));
+  return std::make_unique<LdamLoss>(std::move(counts), 0.5f, 3.0f);
+}
+
+class LossProperties : public ::testing::TestWithParam<LossCase> {
+ protected:
+  void make_batch(core::Matrix& logits, std::vector<std::size_t>& labels) {
+    const LossCase& tc = GetParam();
+    core::Rng rng(tc.seed);
+    logits = core::Matrix(6, tc.classes);
+    for (float& v : logits.span()) v = float(rng.normal(0.0, 2.0));
+    labels.resize(6);
+    for (auto& y : labels) y = std::size_t(rng.uniform_index(tc.classes));
+  }
+};
+
+TEST_P(LossProperties, NonNegativeAndFinite) {
+  core::Matrix logits, d;
+  std::vector<std::size_t> y;
+  make_batch(logits, y);
+  const auto loss = build(GetParam().name, GetParam().classes);
+  const float value = loss->compute(logits, y, d);
+  EXPECT_GE(value, 0.0f);
+  EXPECT_TRUE(std::isfinite(value));
+  for (float v : d.span()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST_P(LossProperties, GradientRowsSumToZero) {
+  // Softmax-family losses are invariant to per-row logit shifts, so each
+  // gradient row must sum to zero (exact for CE/balanced/LDAM; focal's
+  // gradient has the same (delta - p) structure scaled per row).
+  core::Matrix logits, d;
+  std::vector<std::size_t> y;
+  make_batch(logits, y);
+  const auto loss = build(GetParam().name, GetParam().classes);
+  loss->compute(logits, y, d);
+  for (std::size_t r = 0; r < d.rows(); ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < d.cols(); ++c) sum += double(d(r, c));
+    EXPECT_NEAR(sum, 0.0, 1e-5) << "row " << r;
+  }
+}
+
+TEST_P(LossProperties, DescentAlongNegativeGradient) {
+  core::Matrix logits, d, scratch;
+  std::vector<std::size_t> y;
+  make_batch(logits, y);
+  const auto loss = build(GetParam().name, GetParam().classes);
+  const float before = loss->compute(logits, y, d);
+  core::Matrix stepped = logits;
+  const float eta = 0.1f;
+  for (std::size_t i = 0; i < stepped.size(); ++i)
+    stepped.data()[i] -= eta * d.data()[i];
+  const float after = loss->compute(stepped, y, scratch);
+  EXPECT_LT(after, before + 1e-6f) << GetParam().name;
+}
+
+TEST_P(LossProperties, ComputeIsDeterministic) {
+  core::Matrix logits, d1, d2;
+  std::vector<std::size_t> y;
+  make_batch(logits, y);
+  const auto loss = build(GetParam().name, GetParam().classes);
+  const float a = loss->compute(logits, y, d1);
+  const float b = loss->compute(logits, y, d2);
+  EXPECT_FLOAT_EQ(a, b);
+  for (std::size_t i = 0; i < d1.size(); ++i)
+    EXPECT_FLOAT_EQ(d1.data()[i], d2.data()[i]);
+}
+
+std::vector<LossCase> loss_cases() {
+  std::vector<LossCase> cases;
+  std::uint64_t seed = 100;
+  for (const char* name : {"ce", "focal", "balanced", "ldam"})
+    for (std::size_t classes : {2u, 10u, 50u})
+      cases.push_back({name, classes, seed++});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLossesAllWidths, LossProperties,
+                         ::testing::ValuesIn(loss_cases()),
+                         [](const ::testing::TestParamInfo<LossCase>& info) {
+                           return info.param.name + "_c" +
+                                  std::to_string(info.param.classes);
+                         });
+
+}  // namespace
+}  // namespace fedwcm::nn

@@ -1,0 +1,81 @@
+// Parameterized property sweep: exact gradients for every (architecture,
+// loss) combination the simulator uses. This is the single most important
+// invariant in the stack — every FL algorithm builds on these gradients.
+#include <gtest/gtest.h>
+
+#include "fedwcm/nn/grad_check.hpp"
+#include "fedwcm/nn/loss.hpp"
+#include "fedwcm/nn/models.hpp"
+
+namespace fedwcm::nn {
+namespace {
+
+struct GradCase {
+  std::string name;
+  std::size_t input_dim;
+  std::vector<std::size_t> hidden;
+  std::size_t classes;
+  std::string loss;
+};
+
+std::unique_ptr<Loss> make_loss(const std::string& kind, std::size_t classes) {
+  if (kind == "ce") return std::make_unique<CrossEntropyLoss>();
+  if (kind == "focal") return std::make_unique<FocalLoss>(2.0f);
+  if (kind == "balanced") {
+    std::vector<float> counts(classes);
+    for (std::size_t c = 0; c < classes; ++c) counts[c] = float(100 >> c) + 1.0f;
+    return std::make_unique<BalancedSoftmaxLoss>(std::move(counts));
+  }
+  std::vector<float> counts(classes);
+  for (std::size_t c = 0; c < classes; ++c) counts[c] = float(classes - c) * 10.0f;
+  return std::make_unique<LdamLoss>(std::move(counts), 0.5f, /*s=*/3.0f);
+}
+
+class MlpGradCheck : public ::testing::TestWithParam<GradCase> {};
+
+TEST_P(MlpGradCheck, AnalyticMatchesNumeric) {
+  const GradCase& tc = GetParam();
+  Sequential model = make_mlp(tc.input_dim, tc.hidden, tc.classes);
+  core::Rng rng(1234);
+  model.init_params(rng);
+  Matrix x(5, tc.input_dim);
+  for (float& v : x.span()) v = float(rng.normal());
+  std::vector<std::size_t> y(5);
+  for (auto& label : y) label = std::size_t(rng.uniform_index(tc.classes));
+  const auto loss = make_loss(tc.loss, tc.classes);
+  // Probe every 3rd parameter to keep runtime sane across the sweep.
+  const auto res = gradient_check(model, *loss, x, y, 1e-3f, 3);
+  EXPECT_LE(res.max_violation, 1.0f)
+      << tc.name << ": abs error " << res.max_abs_error;
+  EXPECT_GT(res.checked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArchitectureLossGrid, MlpGradCheck,
+    ::testing::Values(
+        GradCase{"tiny_ce", 4, {}, 3, "ce"},
+        GradCase{"tiny_focal", 4, {}, 3, "focal"},
+        GradCase{"one_hidden_ce", 6, {8}, 4, "ce"},
+        GradCase{"one_hidden_balanced", 6, {8}, 4, "balanced"},
+        GradCase{"two_hidden_ce", 8, {10, 6}, 5, "ce"},
+        GradCase{"two_hidden_focal", 8, {10, 6}, 5, "focal"},
+        GradCase{"two_hidden_ldam", 8, {10, 6}, 5, "ldam"},
+        GradCase{"wide_ce", 12, {24}, 10, "ce"},
+        GradCase{"deep_ce", 6, {8, 8, 8}, 3, "ce"},
+        GradCase{"deep_balanced", 6, {8, 8, 8}, 3, "balanced"}),
+    [](const ::testing::TestParamInfo<GradCase>& info) { return info.param.name; });
+
+TEST(ConvGradCheck, MiniConvNetWithCrossEntropy) {
+  Sequential model = make_mini_convnet(1, 4, 4, 3, 2);
+  core::Rng rng(99);
+  model.init_params(rng);
+  Matrix x(3, 16);
+  for (float& v : x.span()) v = float(rng.normal());
+  const std::vector<std::size_t> y{0, 2, 1};
+  CrossEntropyLoss loss;
+  const auto res = gradient_check(model, loss, x, y, 1e-3f, 5);
+  EXPECT_LE(res.max_violation, 1.0f) << "abs " << res.max_abs_error;
+}
+
+}  // namespace
+}  // namespace fedwcm::nn

@@ -1,0 +1,137 @@
+// Dropout and LayerNorm: mask semantics, normalization algebra, exact
+// gradients through the coupled row reductions.
+#include "fedwcm/nn/regularization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fedwcm/nn/grad_check.hpp"
+#include "fedwcm/nn/linear.hpp"
+#include "fedwcm/nn/loss.hpp"
+#include "fedwcm/nn/sequential.hpp"
+
+namespace fedwcm::nn {
+namespace {
+
+TEST(Dropout, EvalModeIsIdentity) {
+  Dropout drop(0.5f, 7);
+  drop.set_training(false);
+  Matrix in(2, 4, 3.0f);
+  Matrix out;
+  drop.forward(in, out);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    EXPECT_FLOAT_EQ(out.data()[i], 3.0f);
+}
+
+TEST(Dropout, TrainModeZeroesAboutRateAndRescales) {
+  Dropout drop(0.25f, 11);
+  Matrix in(64, 64, 1.0f);
+  Matrix out;
+  drop.forward(in, out);
+  std::size_t zeros = 0;
+  const float keep_scale = 1.0f / 0.75f;
+  for (float v : out.span()) {
+    if (v == 0.0f)
+      ++zeros;
+    else
+      EXPECT_FLOAT_EQ(v, keep_scale);
+  }
+  const double rate = double(zeros) / double(in.size());
+  EXPECT_NEAR(rate, 0.25, 0.03);
+  // Inverted scaling keeps the expectation ~1.
+  double mean = 0.0;
+  for (float v : out.span()) mean += v;
+  EXPECT_NEAR(mean / double(out.size()), 1.0, 0.05);
+}
+
+TEST(Dropout, BackwardRoutesThroughSameMask) {
+  Dropout drop(0.5f, 13);
+  Matrix in(1, 32, 2.0f);
+  Matrix out, grad_in;
+  drop.forward(in, out);
+  Matrix grad_out(1, 32, 1.0f);
+  drop.backward(grad_out, grad_in);
+  for (std::size_t i = 0; i < 32; ++i) {
+    if (out.data()[i] == 0.0f)
+      EXPECT_FLOAT_EQ(grad_in.data()[i], 0.0f);
+    else
+      EXPECT_FLOAT_EQ(grad_in.data()[i], 2.0f);  // 1/(1-0.5)
+  }
+}
+
+TEST(Dropout, InvalidRateRejected) {
+  EXPECT_THROW(Dropout(1.0f), std::invalid_argument);
+  EXPECT_THROW(Dropout(-0.1f), std::invalid_argument);
+}
+
+TEST(LayerNorm, NormalizesRowsToZeroMeanUnitVar) {
+  LayerNorm ln(4);
+  Matrix in(2, 4, std::vector<float>{1, 2, 3, 4, 10, 10, 30, 30});
+  Matrix out;
+  ln.forward(in, out);
+  for (std::size_t r = 0; r < 2; ++r) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t j = 0; j < 4; ++j) mean += out(r, j);
+    mean /= 4.0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const double d = out(r, j) - mean;
+      var += d * d;
+    }
+    var /= 4.0;
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(LayerNorm, GammaBetaApplied) {
+  LayerNorm ln(2);
+  // gamma = [2, 2], beta = [1, -1].
+  ln.set_params(std::vector<float>{2, 2, 1, -1});
+  Matrix in(1, 2, std::vector<float>{0, 10});
+  Matrix out;
+  ln.forward(in, out);
+  // Normalized row is [-1, 1] (two symmetric values).
+  EXPECT_NEAR(out(0, 0), 2.0f * -1.0f + 1.0f, 1e-3f);
+  EXPECT_NEAR(out(0, 1), 2.0f * 1.0f - 1.0f, 1e-3f);
+}
+
+TEST(LayerNorm, ParamRoundTripAndInit) {
+  LayerNorm ln(3);
+  EXPECT_EQ(ln.param_count(), 6u);
+  ln.set_params(std::vector<float>{5, 6, 7, 8, 9, 10});
+  std::vector<float> p(6);
+  ln.copy_params_to(p);
+  EXPECT_EQ(p, (std::vector<float>{5, 6, 7, 8, 9, 10}));
+  core::Rng rng(1);
+  ln.init_params(rng);
+  ln.copy_params_to(p);
+  EXPECT_EQ(p, (std::vector<float>{1, 1, 1, 0, 0, 0}));
+}
+
+TEST(LayerNorm, GradCheckThroughFullModel) {
+  Sequential model;
+  model.add(std::make_unique<Linear>(5, 6));
+  model.add(std::make_unique<LayerNorm>(6));
+  model.add(std::make_unique<Linear>(6, 3));
+  core::Rng rng(17);
+  model.init_params(rng);
+  Matrix x(4, 5);
+  for (float& v : x.span()) v = float(rng.normal());
+  const std::vector<std::size_t> y{0, 2, 1, 1};
+  CrossEntropyLoss loss;
+  const auto res = gradient_check(model, loss, x, y, 1e-3f, 1);
+  EXPECT_LE(res.max_violation, 1.0f) << "abs " << res.max_abs_error;
+}
+
+TEST(LayerNorm, CloneCopiesParams) {
+  LayerNorm ln(2);
+  ln.set_params(std::vector<float>{3, 4, 5, 6});
+  auto copy = ln.clone();
+  std::vector<float> p(4);
+  copy->copy_params_to(p);
+  EXPECT_EQ(p, (std::vector<float>{3, 4, 5, 6}));
+}
+
+}  // namespace
+}  // namespace fedwcm::nn

@@ -1,0 +1,159 @@
+// Sequential container: parameter flattening, forward/backward plumbing,
+// deep copies, activation recording, and the Residual block.
+#include "fedwcm/nn/sequential.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fedwcm/nn/activations.hpp"
+#include "fedwcm/nn/grad_check.hpp"
+#include "fedwcm/nn/linear.hpp"
+#include "fedwcm/nn/loss.hpp"
+#include "fedwcm/nn/models.hpp"
+
+namespace fedwcm::nn {
+namespace {
+
+Sequential two_layer() {
+  Sequential m;
+  m.add(std::make_unique<Linear>(3, 4));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<Linear>(4, 2));
+  return m;
+}
+
+TEST(Sequential, ParamCountSumsLayers) {
+  Sequential m = two_layer();
+  EXPECT_EQ(m.param_count(), (3u * 4 + 4) + (4u * 2 + 2));
+  EXPECT_EQ(m.layer_count(), 3u);
+}
+
+TEST(Sequential, ParamsRoundTrip) {
+  Sequential m = two_layer();
+  core::Rng rng(1);
+  m.init_params(rng);
+  const ParamVector p = m.get_params();
+  Sequential n = two_layer();
+  n.set_params(p);
+  EXPECT_EQ(n.get_params(), p);
+  EXPECT_THROW(n.set_params(std::vector<float>(3)), std::invalid_argument);
+}
+
+TEST(Sequential, ForwardShapeAndActivationsRecorded) {
+  Sequential m = two_layer();
+  core::Rng rng(2);
+  m.init_params(rng);
+  Matrix x(5, 3, 0.5f);
+  const Matrix& logits = m.forward(x);
+  EXPECT_EQ(logits.rows(), 5u);
+  EXPECT_EQ(logits.cols(), 2u);
+  const auto& acts = m.activations();
+  ASSERT_EQ(acts.size(), 4u);  // input + 3 layer outputs
+  EXPECT_EQ(acts[0].cols(), 3u);
+  EXPECT_EQ(acts[1].cols(), 4u);
+  EXPECT_EQ(acts[2].cols(), 4u);
+  EXPECT_EQ(acts[3].cols(), 2u);
+}
+
+TEST(Sequential, CopyIsDeep) {
+  Sequential m = two_layer();
+  core::Rng rng(3);
+  m.init_params(rng);
+  Sequential copy = m;  // copy ctor clones layers
+  ParamVector p = m.get_params();
+  ParamVector zeros(p.size(), 0.0f);
+  copy.set_params(zeros);
+  EXPECT_EQ(m.get_params(), p);
+  EXPECT_EQ(copy.get_params(), zeros);
+}
+
+TEST(Sequential, GradCheckEndToEnd) {
+  Sequential m = two_layer();
+  core::Rng rng(4);
+  m.init_params(rng);
+  Matrix x(6, 3);
+  for (float& v : x.span()) v = float(rng.normal());
+  std::vector<std::size_t> y{0, 1, 1, 0, 1, 0};
+  CrossEntropyLoss loss;
+  const auto res = gradient_check(m, loss, x, y, 1e-3f, 1);
+  EXPECT_LE(res.max_violation, 1.0f);
+  EXPECT_EQ(res.checked, m.param_count());
+}
+
+TEST(Sequential, InputGradientRequiresBackward) {
+  Sequential m = two_layer();
+  EXPECT_THROW(m.input_gradient(), std::invalid_argument);
+}
+
+TEST(Residual, ForwardAddsIdentity) {
+  Sequential body;
+  body.add(std::make_unique<Linear>(3, 3, /*bias=*/false));
+  Sequential m;
+  m.add(std::make_unique<Residual>(std::move(body)));
+  ParamVector zeros(m.param_count(), 0.0f);
+  m.set_params(zeros);  // body(x) = 0 -> residual output = x
+  Matrix x(2, 3, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Matrix& out = m.forward(x);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_FLOAT_EQ(out.data()[i], x.data()[i]);
+}
+
+TEST(Residual, GradCheck) {
+  Sequential body;
+  body.add(std::make_unique<Linear>(4, 4));
+  body.add(std::make_unique<ReLU>());
+  body.add(std::make_unique<Linear>(4, 4));
+  Sequential m;
+  m.add(std::make_unique<Residual>(std::move(body)));
+  m.add(std::make_unique<Linear>(4, 3));
+  core::Rng rng(5);
+  m.init_params(rng);
+  Matrix x(4, 4);
+  for (float& v : x.span()) v = float(rng.normal());
+  std::vector<std::size_t> y{0, 1, 2, 1};
+  CrossEntropyLoss loss;
+  const auto res = gradient_check(m, loss, x, y, 1e-3f, 1);
+  EXPECT_LE(res.max_violation, 1.0f);
+}
+
+TEST(ModelFactories, MlpShapes) {
+  Sequential mlp = make_mlp(10, {16, 8}, 4);
+  core::Rng rng(6);
+  mlp.init_params(rng);
+  Matrix x(3, 10, 0.1f);
+  const Matrix& out = mlp.forward(x);
+  EXPECT_EQ(out.cols(), 4u);
+  EXPECT_EQ(mlp.param_count(), (10u * 16 + 16) + (16u * 8 + 8) + (8u * 4 + 4));
+}
+
+TEST(ModelFactories, MiniConvNetRunsForwardBackward) {
+  Sequential net = make_mini_convnet(1, 8, 8, 5, 4);
+  core::Rng rng(7);
+  net.init_params(rng);
+  Matrix x(2, 64);
+  for (float& v : x.span()) v = float(rng.normal());
+  const Matrix& out = net.forward(x);
+  EXPECT_EQ(out.cols(), 5u);
+  CrossEntropyLoss loss;
+  Matrix dlogits;
+  std::vector<std::size_t> y{1, 3};
+  loss.compute(out, y, dlogits);
+  net.zero_grads();
+  net.backward(dlogits);
+  const ParamVector g = net.get_grads();
+  float norm = 0.0f;
+  for (float v : g) norm += v * v;
+  EXPECT_GT(norm, 0.0f);
+}
+
+TEST(ModelFactories, FactoryProducesFreshInstances) {
+  auto factory = mlp_factory(4, {8}, 2);
+  Sequential a = factory();
+  Sequential b = factory();
+  core::Rng rng(8);
+  a.init_params(rng);
+  // b stays zero-initialized: factories must not share state.
+  EXPECT_NE(a.get_params(), b.get_params());
+}
+
+}  // namespace
+}  // namespace fedwcm::nn
