@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_epochs.dir/bench_fig10_epochs.cpp.o"
+  "CMakeFiles/bench_fig10_epochs.dir/bench_fig10_epochs.cpp.o.d"
+  "bench_fig10_epochs"
+  "bench_fig10_epochs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_epochs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_collapse.dir/bench_fig13_collapse.cpp.o"
+  "CMakeFiles/bench_fig13_collapse.dir/bench_fig13_collapse.cpp.o.d"
+  "bench_fig13_collapse"
+  "bench_fig13_collapse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_collapse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

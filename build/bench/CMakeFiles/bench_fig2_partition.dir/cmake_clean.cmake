@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_partition.dir/bench_fig2_partition.cpp.o"
+  "CMakeFiles/bench_fig2_partition.dir/bench_fig2_partition.cpp.o.d"
+  "bench_fig2_partition"
+  "bench_fig2_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_motivation.dir/bench_fig3_motivation.cpp.o"
+  "CMakeFiles/bench_fig3_motivation.dir/bench_fig3_motivation.cpp.o.d"
+  "bench_fig3_motivation"
+  "bench_fig3_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

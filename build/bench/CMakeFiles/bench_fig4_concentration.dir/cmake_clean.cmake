@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_concentration.dir/bench_fig4_concentration.cpp.o"
+  "CMakeFiles/bench_fig4_concentration.dir/bench_fig4_concentration.cpp.o.d"
+  "bench_fig4_concentration"
+  "bench_fig4_concentration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_concentration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

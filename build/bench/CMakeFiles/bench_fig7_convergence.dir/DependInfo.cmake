@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_convergence.cpp" "bench/CMakeFiles/bench_fig7_convergence.dir/bench_fig7_convergence.cpp.o" "gcc" "bench/CMakeFiles/bench_fig7_convergence.dir/bench_fig7_convergence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/fedwcm_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedwcm/crypto/CMakeFiles/fedwcm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedwcm/analysis/CMakeFiles/fedwcm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedwcm/nn/CMakeFiles/fedwcm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedwcm/data/CMakeFiles/fedwcm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedwcm/core/CMakeFiles/fedwcm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_perlabel.dir/bench_fig8_perlabel.cpp.o"
+  "CMakeFiles/bench_fig8_perlabel.dir/bench_fig8_perlabel.cpp.o.d"
+  "bench_fig8_perlabel"
+  "bench_fig8_perlabel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_perlabel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

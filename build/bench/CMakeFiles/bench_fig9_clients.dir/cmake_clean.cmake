@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_clients.dir/bench_fig9_clients.cpp.o"
+  "CMakeFiles/bench_fig9_clients.dir/bench_fig9_clients.cpp.o.d"
+  "bench_fig9_clients"
+  "bench_fig9_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

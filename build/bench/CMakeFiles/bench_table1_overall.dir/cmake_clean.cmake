@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_overall.dir/bench_table1_overall.cpp.o"
+  "CMakeFiles/bench_table1_overall.dir/bench_table1_overall.cpp.o.d"
+  "bench_table1_overall"
+  "bench_table1_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

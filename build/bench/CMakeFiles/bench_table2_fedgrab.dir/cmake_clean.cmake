@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_fedgrab.dir/bench_table2_fedgrab.cpp.o"
+  "CMakeFiles/bench_table2_fedgrab.dir/bench_table2_fedgrab.cpp.o.d"
+  "bench_table2_fedgrab"
+  "bench_table2_fedgrab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_fedgrab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

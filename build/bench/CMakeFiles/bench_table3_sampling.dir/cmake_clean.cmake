@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_sampling.dir/bench_table3_sampling.cpp.o"
+  "CMakeFiles/bench_table3_sampling.dir/bench_table3_sampling.cpp.o.d"
+  "bench_table3_sampling"
+  "bench_table3_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_beta_if.dir/bench_table4_beta_if.cpp.o"
+  "CMakeFiles/bench_table4_beta_if.dir/bench_table4_beta_if.cpp.o.d"
+  "bench_table4_beta_if"
+  "bench_table4_beta_if.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_beta_if.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_fedwcmx.dir/bench_table5_fedwcmx.cpp.o"
+  "CMakeFiles/bench_table5_fedwcmx.dir/bench_table5_fedwcmx.cpp.o.d"
+  "bench_table5_fedwcmx"
+  "bench_table5_fedwcmx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_fedwcmx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

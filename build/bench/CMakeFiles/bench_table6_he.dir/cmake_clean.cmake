@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_he.dir/bench_table6_he.cpp.o"
+  "CMakeFiles/bench_table6_he.dir/bench_table6_he.cpp.o.d"
+  "bench_table6_he"
+  "bench_table6_he.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_he.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem_rate.dir/bench_theorem_rate.cpp.o"
+  "CMakeFiles/bench_theorem_rate.dir/bench_theorem_rate.cpp.o.d"
+  "bench_theorem_rate"
+  "bench_theorem_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_theorem_rate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libfedwcm_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_backbone.dir/conv_backbone.cpp.o"
+  "CMakeFiles/conv_backbone.dir/conv_backbone.cpp.o.d"
+  "conv_backbone"
+  "conv_backbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

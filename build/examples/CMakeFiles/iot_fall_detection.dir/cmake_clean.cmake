@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_fall_detection.dir/iot_fall_detection.cpp.o"
+  "CMakeFiles/iot_fall_detection.dir/iot_fall_detection.cpp.o.d"
+  "iot_fall_detection"
+  "iot_fall_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_fall_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for iot_fall_detection.
+# This may be replaced when dependencies are built.

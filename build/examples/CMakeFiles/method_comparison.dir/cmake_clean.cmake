@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/method_comparison.dir/method_comparison.cpp.o"
+  "CMakeFiles/method_comparison.dir/method_comparison.cpp.o.d"
+  "method_comparison"
+  "method_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/method_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

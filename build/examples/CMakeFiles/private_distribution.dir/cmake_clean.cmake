@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_distribution.dir/private_distribution.cpp.o"
+  "CMakeFiles/private_distribution.dir/private_distribution.cpp.o.d"
+  "private_distribution"
+  "private_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

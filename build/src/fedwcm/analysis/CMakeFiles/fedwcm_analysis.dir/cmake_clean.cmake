@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedwcm_analysis.dir/concentration.cpp.o"
+  "CMakeFiles/fedwcm_analysis.dir/concentration.cpp.o.d"
+  "CMakeFiles/fedwcm_analysis.dir/curves.cpp.o"
+  "CMakeFiles/fedwcm_analysis.dir/curves.cpp.o.d"
+  "CMakeFiles/fedwcm_analysis.dir/report.cpp.o"
+  "CMakeFiles/fedwcm_analysis.dir/report.cpp.o.d"
+  "libfedwcm_analysis.a"
+  "libfedwcm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedwcm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fedwcm/core/env.cpp" "src/fedwcm/core/CMakeFiles/fedwcm_core.dir/env.cpp.o" "gcc" "src/fedwcm/core/CMakeFiles/fedwcm_core.dir/env.cpp.o.d"
+  "/root/repo/src/fedwcm/core/param_vector.cpp" "src/fedwcm/core/CMakeFiles/fedwcm_core.dir/param_vector.cpp.o" "gcc" "src/fedwcm/core/CMakeFiles/fedwcm_core.dir/param_vector.cpp.o.d"
+  "/root/repo/src/fedwcm/core/rng.cpp" "src/fedwcm/core/CMakeFiles/fedwcm_core.dir/rng.cpp.o" "gcc" "src/fedwcm/core/CMakeFiles/fedwcm_core.dir/rng.cpp.o.d"
+  "/root/repo/src/fedwcm/core/serialize.cpp" "src/fedwcm/core/CMakeFiles/fedwcm_core.dir/serialize.cpp.o" "gcc" "src/fedwcm/core/CMakeFiles/fedwcm_core.dir/serialize.cpp.o.d"
+  "/root/repo/src/fedwcm/core/table.cpp" "src/fedwcm/core/CMakeFiles/fedwcm_core.dir/table.cpp.o" "gcc" "src/fedwcm/core/CMakeFiles/fedwcm_core.dir/table.cpp.o.d"
+  "/root/repo/src/fedwcm/core/tensor.cpp" "src/fedwcm/core/CMakeFiles/fedwcm_core.dir/tensor.cpp.o" "gcc" "src/fedwcm/core/CMakeFiles/fedwcm_core.dir/tensor.cpp.o.d"
+  "/root/repo/src/fedwcm/core/thread_pool.cpp" "src/fedwcm/core/CMakeFiles/fedwcm_core.dir/thread_pool.cpp.o" "gcc" "src/fedwcm/core/CMakeFiles/fedwcm_core.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedwcm_core.dir/env.cpp.o"
+  "CMakeFiles/fedwcm_core.dir/env.cpp.o.d"
+  "CMakeFiles/fedwcm_core.dir/param_vector.cpp.o"
+  "CMakeFiles/fedwcm_core.dir/param_vector.cpp.o.d"
+  "CMakeFiles/fedwcm_core.dir/rng.cpp.o"
+  "CMakeFiles/fedwcm_core.dir/rng.cpp.o.d"
+  "CMakeFiles/fedwcm_core.dir/serialize.cpp.o"
+  "CMakeFiles/fedwcm_core.dir/serialize.cpp.o.d"
+  "CMakeFiles/fedwcm_core.dir/table.cpp.o"
+  "CMakeFiles/fedwcm_core.dir/table.cpp.o.d"
+  "CMakeFiles/fedwcm_core.dir/tensor.cpp.o"
+  "CMakeFiles/fedwcm_core.dir/tensor.cpp.o.d"
+  "CMakeFiles/fedwcm_core.dir/thread_pool.cpp.o"
+  "CMakeFiles/fedwcm_core.dir/thread_pool.cpp.o.d"
+  "libfedwcm_core.a"
+  "libfedwcm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedwcm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

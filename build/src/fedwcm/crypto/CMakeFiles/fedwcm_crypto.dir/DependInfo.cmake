@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fedwcm/crypto/protocol.cpp" "src/fedwcm/crypto/CMakeFiles/fedwcm_crypto.dir/protocol.cpp.o" "gcc" "src/fedwcm/crypto/CMakeFiles/fedwcm_crypto.dir/protocol.cpp.o.d"
+  "/root/repo/src/fedwcm/crypto/rlwe.cpp" "src/fedwcm/crypto/CMakeFiles/fedwcm_crypto.dir/rlwe.cpp.o" "gcc" "src/fedwcm/crypto/CMakeFiles/fedwcm_crypto.dir/rlwe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fedwcm/core/CMakeFiles/fedwcm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

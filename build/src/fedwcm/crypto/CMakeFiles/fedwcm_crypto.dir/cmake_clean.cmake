@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedwcm_crypto.dir/protocol.cpp.o"
+  "CMakeFiles/fedwcm_crypto.dir/protocol.cpp.o.d"
+  "CMakeFiles/fedwcm_crypto.dir/rlwe.cpp.o"
+  "CMakeFiles/fedwcm_crypto.dir/rlwe.cpp.o.d"
+  "libfedwcm_crypto.a"
+  "libfedwcm_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedwcm_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fedwcm/data/dataset.cpp" "src/fedwcm/data/CMakeFiles/fedwcm_data.dir/dataset.cpp.o" "gcc" "src/fedwcm/data/CMakeFiles/fedwcm_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/fedwcm/data/longtail.cpp" "src/fedwcm/data/CMakeFiles/fedwcm_data.dir/longtail.cpp.o" "gcc" "src/fedwcm/data/CMakeFiles/fedwcm_data.dir/longtail.cpp.o.d"
+  "/root/repo/src/fedwcm/data/partition.cpp" "src/fedwcm/data/CMakeFiles/fedwcm_data.dir/partition.cpp.o" "gcc" "src/fedwcm/data/CMakeFiles/fedwcm_data.dir/partition.cpp.o.d"
+  "/root/repo/src/fedwcm/data/sampler.cpp" "src/fedwcm/data/CMakeFiles/fedwcm_data.dir/sampler.cpp.o" "gcc" "src/fedwcm/data/CMakeFiles/fedwcm_data.dir/sampler.cpp.o.d"
+  "/root/repo/src/fedwcm/data/synthetic.cpp" "src/fedwcm/data/CMakeFiles/fedwcm_data.dir/synthetic.cpp.o" "gcc" "src/fedwcm/data/CMakeFiles/fedwcm_data.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fedwcm/core/CMakeFiles/fedwcm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedwcm_data.dir/dataset.cpp.o"
+  "CMakeFiles/fedwcm_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/fedwcm_data.dir/longtail.cpp.o"
+  "CMakeFiles/fedwcm_data.dir/longtail.cpp.o.d"
+  "CMakeFiles/fedwcm_data.dir/partition.cpp.o"
+  "CMakeFiles/fedwcm_data.dir/partition.cpp.o.d"
+  "CMakeFiles/fedwcm_data.dir/sampler.cpp.o"
+  "CMakeFiles/fedwcm_data.dir/sampler.cpp.o.d"
+  "CMakeFiles/fedwcm_data.dir/synthetic.cpp.o"
+  "CMakeFiles/fedwcm_data.dir/synthetic.cpp.o.d"
+  "libfedwcm_data.a"
+  "libfedwcm_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedwcm_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fedwcm/fl/algorithms/balancefl.cpp" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/algorithms/balancefl.cpp.o" "gcc" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/algorithms/balancefl.cpp.o.d"
+  "/root/repo/src/fedwcm/fl/algorithms/creff.cpp" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/algorithms/creff.cpp.o" "gcc" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/algorithms/creff.cpp.o.d"
+  "/root/repo/src/fedwcm/fl/algorithms/fedavg.cpp" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/algorithms/fedavg.cpp.o" "gcc" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/algorithms/fedavg.cpp.o.d"
+  "/root/repo/src/fedwcm/fl/algorithms/fedcm.cpp" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/algorithms/fedcm.cpp.o" "gcc" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/algorithms/fedcm.cpp.o.d"
+  "/root/repo/src/fedwcm/fl/algorithms/feddyn.cpp" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/algorithms/feddyn.cpp.o" "gcc" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/algorithms/feddyn.cpp.o.d"
+  "/root/repo/src/fedwcm/fl/algorithms/fedgrab.cpp" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/algorithms/fedgrab.cpp.o" "gcc" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/algorithms/fedgrab.cpp.o.d"
+  "/root/repo/src/fedwcm/fl/algorithms/fedopt.cpp" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/algorithms/fedopt.cpp.o" "gcc" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/algorithms/fedopt.cpp.o.d"
+  "/root/repo/src/fedwcm/fl/algorithms/fedwcm.cpp" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/algorithms/fedwcm.cpp.o" "gcc" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/algorithms/fedwcm.cpp.o.d"
+  "/root/repo/src/fedwcm/fl/algorithms/sam.cpp" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/algorithms/sam.cpp.o" "gcc" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/algorithms/sam.cpp.o.d"
+  "/root/repo/src/fedwcm/fl/algorithms/scaffold.cpp" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/algorithms/scaffold.cpp.o" "gcc" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/algorithms/scaffold.cpp.o.d"
+  "/root/repo/src/fedwcm/fl/context.cpp" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/context.cpp.o" "gcc" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/context.cpp.o.d"
+  "/root/repo/src/fedwcm/fl/diagnostics.cpp" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/diagnostics.cpp.o" "gcc" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/fedwcm/fl/evaluate.cpp" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/evaluate.cpp.o" "gcc" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/evaluate.cpp.o.d"
+  "/root/repo/src/fedwcm/fl/local.cpp" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/local.cpp.o" "gcc" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/local.cpp.o.d"
+  "/root/repo/src/fedwcm/fl/registry.cpp" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/registry.cpp.o" "gcc" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/registry.cpp.o.d"
+  "/root/repo/src/fedwcm/fl/simulation.cpp" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/simulation.cpp.o" "gcc" "src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fedwcm/core/CMakeFiles/fedwcm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedwcm/nn/CMakeFiles/fedwcm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedwcm/data/CMakeFiles/fedwcm_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

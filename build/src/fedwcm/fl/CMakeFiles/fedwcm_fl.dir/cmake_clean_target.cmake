@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfedwcm_fl.a"
+)

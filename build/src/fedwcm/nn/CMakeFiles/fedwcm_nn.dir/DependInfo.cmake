@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fedwcm/nn/activations.cpp" "src/fedwcm/nn/CMakeFiles/fedwcm_nn.dir/activations.cpp.o" "gcc" "src/fedwcm/nn/CMakeFiles/fedwcm_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/fedwcm/nn/conv.cpp" "src/fedwcm/nn/CMakeFiles/fedwcm_nn.dir/conv.cpp.o" "gcc" "src/fedwcm/nn/CMakeFiles/fedwcm_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/fedwcm/nn/grad_check.cpp" "src/fedwcm/nn/CMakeFiles/fedwcm_nn.dir/grad_check.cpp.o" "gcc" "src/fedwcm/nn/CMakeFiles/fedwcm_nn.dir/grad_check.cpp.o.d"
+  "/root/repo/src/fedwcm/nn/layer.cpp" "src/fedwcm/nn/CMakeFiles/fedwcm_nn.dir/layer.cpp.o" "gcc" "src/fedwcm/nn/CMakeFiles/fedwcm_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/fedwcm/nn/linear.cpp" "src/fedwcm/nn/CMakeFiles/fedwcm_nn.dir/linear.cpp.o" "gcc" "src/fedwcm/nn/CMakeFiles/fedwcm_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/fedwcm/nn/loss.cpp" "src/fedwcm/nn/CMakeFiles/fedwcm_nn.dir/loss.cpp.o" "gcc" "src/fedwcm/nn/CMakeFiles/fedwcm_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/fedwcm/nn/models.cpp" "src/fedwcm/nn/CMakeFiles/fedwcm_nn.dir/models.cpp.o" "gcc" "src/fedwcm/nn/CMakeFiles/fedwcm_nn.dir/models.cpp.o.d"
+  "/root/repo/src/fedwcm/nn/regularization.cpp" "src/fedwcm/nn/CMakeFiles/fedwcm_nn.dir/regularization.cpp.o" "gcc" "src/fedwcm/nn/CMakeFiles/fedwcm_nn.dir/regularization.cpp.o.d"
+  "/root/repo/src/fedwcm/nn/sequential.cpp" "src/fedwcm/nn/CMakeFiles/fedwcm_nn.dir/sequential.cpp.o" "gcc" "src/fedwcm/nn/CMakeFiles/fedwcm_nn.dir/sequential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fedwcm/core/CMakeFiles/fedwcm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedwcm_nn.dir/activations.cpp.o"
+  "CMakeFiles/fedwcm_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/fedwcm_nn.dir/conv.cpp.o"
+  "CMakeFiles/fedwcm_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/fedwcm_nn.dir/grad_check.cpp.o"
+  "CMakeFiles/fedwcm_nn.dir/grad_check.cpp.o.d"
+  "CMakeFiles/fedwcm_nn.dir/layer.cpp.o"
+  "CMakeFiles/fedwcm_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/fedwcm_nn.dir/linear.cpp.o"
+  "CMakeFiles/fedwcm_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/fedwcm_nn.dir/loss.cpp.o"
+  "CMakeFiles/fedwcm_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/fedwcm_nn.dir/models.cpp.o"
+  "CMakeFiles/fedwcm_nn.dir/models.cpp.o.d"
+  "CMakeFiles/fedwcm_nn.dir/regularization.cpp.o"
+  "CMakeFiles/fedwcm_nn.dir/regularization.cpp.o.d"
+  "CMakeFiles/fedwcm_nn.dir/sequential.cpp.o"
+  "CMakeFiles/fedwcm_nn.dir/sequential.cpp.o.d"
+  "libfedwcm_nn.a"
+  "libfedwcm_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedwcm_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/test_concentration.cpp" "tests/CMakeFiles/fedwcm_tests.dir/analysis/test_concentration.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/analysis/test_concentration.cpp.o.d"
+  "/root/repo/tests/analysis/test_curves.cpp" "tests/CMakeFiles/fedwcm_tests.dir/analysis/test_curves.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/analysis/test_curves.cpp.o.d"
+  "/root/repo/tests/analysis/test_report.cpp" "tests/CMakeFiles/fedwcm_tests.dir/analysis/test_report.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/analysis/test_report.cpp.o.d"
+  "/root/repo/tests/core/test_env.cpp" "tests/CMakeFiles/fedwcm_tests.dir/core/test_env.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/core/test_env.cpp.o.d"
+  "/root/repo/tests/core/test_param_vector.cpp" "tests/CMakeFiles/fedwcm_tests.dir/core/test_param_vector.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/core/test_param_vector.cpp.o.d"
+  "/root/repo/tests/core/test_rng.cpp" "tests/CMakeFiles/fedwcm_tests.dir/core/test_rng.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/core/test_rng.cpp.o.d"
+  "/root/repo/tests/core/test_serialize.cpp" "tests/CMakeFiles/fedwcm_tests.dir/core/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/core/test_serialize.cpp.o.d"
+  "/root/repo/tests/core/test_table.cpp" "tests/CMakeFiles/fedwcm_tests.dir/core/test_table.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/core/test_table.cpp.o.d"
+  "/root/repo/tests/core/test_tensor.cpp" "tests/CMakeFiles/fedwcm_tests.dir/core/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/core/test_tensor.cpp.o.d"
+  "/root/repo/tests/core/test_thread_pool.cpp" "tests/CMakeFiles/fedwcm_tests.dir/core/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/core/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/crypto/test_protocol.cpp" "tests/CMakeFiles/fedwcm_tests.dir/crypto/test_protocol.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/crypto/test_protocol.cpp.o.d"
+  "/root/repo/tests/crypto/test_rlwe.cpp" "tests/CMakeFiles/fedwcm_tests.dir/crypto/test_rlwe.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/crypto/test_rlwe.cpp.o.d"
+  "/root/repo/tests/crypto/test_serialization.cpp" "tests/CMakeFiles/fedwcm_tests.dir/crypto/test_serialization.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/crypto/test_serialization.cpp.o.d"
+  "/root/repo/tests/data/test_dataset.cpp" "tests/CMakeFiles/fedwcm_tests.dir/data/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/data/test_dataset.cpp.o.d"
+  "/root/repo/tests/data/test_longtail.cpp" "tests/CMakeFiles/fedwcm_tests.dir/data/test_longtail.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/data/test_longtail.cpp.o.d"
+  "/root/repo/tests/data/test_partition.cpp" "tests/CMakeFiles/fedwcm_tests.dir/data/test_partition.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/data/test_partition.cpp.o.d"
+  "/root/repo/tests/data/test_sampler.cpp" "tests/CMakeFiles/fedwcm_tests.dir/data/test_sampler.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/data/test_sampler.cpp.o.d"
+  "/root/repo/tests/data/test_synthetic.cpp" "tests/CMakeFiles/fedwcm_tests.dir/data/test_synthetic.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/data/test_synthetic.cpp.o.d"
+  "/root/repo/tests/fl/test_context.cpp" "tests/CMakeFiles/fedwcm_tests.dir/fl/test_context.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/fl/test_context.cpp.o.d"
+  "/root/repo/tests/fl/test_creff.cpp" "tests/CMakeFiles/fedwcm_tests.dir/fl/test_creff.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/fl/test_creff.cpp.o.d"
+  "/root/repo/tests/fl/test_diagnostics.cpp" "tests/CMakeFiles/fedwcm_tests.dir/fl/test_diagnostics.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/fl/test_diagnostics.cpp.o.d"
+  "/root/repo/tests/fl/test_evaluate.cpp" "tests/CMakeFiles/fedwcm_tests.dir/fl/test_evaluate.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/fl/test_evaluate.cpp.o.d"
+  "/root/repo/tests/fl/test_fedavg_family.cpp" "tests/CMakeFiles/fedwcm_tests.dir/fl/test_fedavg_family.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/fl/test_fedavg_family.cpp.o.d"
+  "/root/repo/tests/fl/test_fedcm.cpp" "tests/CMakeFiles/fedwcm_tests.dir/fl/test_fedcm.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/fl/test_fedcm.cpp.o.d"
+  "/root/repo/tests/fl/test_fedopt.cpp" "tests/CMakeFiles/fedwcm_tests.dir/fl/test_fedopt.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/fl/test_fedopt.cpp.o.d"
+  "/root/repo/tests/fl/test_fedwcm.cpp" "tests/CMakeFiles/fedwcm_tests.dir/fl/test_fedwcm.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/fl/test_fedwcm.cpp.o.d"
+  "/root/repo/tests/fl/test_local.cpp" "tests/CMakeFiles/fedwcm_tests.dir/fl/test_local.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/fl/test_local.cpp.o.d"
+  "/root/repo/tests/fl/test_longtail_baselines.cpp" "tests/CMakeFiles/fedwcm_tests.dir/fl/test_longtail_baselines.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/fl/test_longtail_baselines.cpp.o.d"
+  "/root/repo/tests/fl/test_registry.cpp" "tests/CMakeFiles/fedwcm_tests.dir/fl/test_registry.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/fl/test_registry.cpp.o.d"
+  "/root/repo/tests/fl/test_sam_family.cpp" "tests/CMakeFiles/fedwcm_tests.dir/fl/test_sam_family.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/fl/test_sam_family.cpp.o.d"
+  "/root/repo/tests/fl/test_simulation.cpp" "tests/CMakeFiles/fedwcm_tests.dir/fl/test_simulation.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/fl/test_simulation.cpp.o.d"
+  "/root/repo/tests/fl/test_variance_reduction.cpp" "tests/CMakeFiles/fedwcm_tests.dir/fl/test_variance_reduction.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/fl/test_variance_reduction.cpp.o.d"
+  "/root/repo/tests/integration/test_algorithm_grid.cpp" "tests/CMakeFiles/fedwcm_tests.dir/integration/test_algorithm_grid.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/integration/test_algorithm_grid.cpp.o.d"
+  "/root/repo/tests/integration/test_end_to_end.cpp" "tests/CMakeFiles/fedwcm_tests.dir/integration/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/integration/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/nn/test_activations.cpp" "tests/CMakeFiles/fedwcm_tests.dir/nn/test_activations.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/nn/test_activations.cpp.o.d"
+  "/root/repo/tests/nn/test_conv.cpp" "tests/CMakeFiles/fedwcm_tests.dir/nn/test_conv.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/nn/test_conv.cpp.o.d"
+  "/root/repo/tests/nn/test_linear.cpp" "tests/CMakeFiles/fedwcm_tests.dir/nn/test_linear.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/nn/test_linear.cpp.o.d"
+  "/root/repo/tests/nn/test_loss.cpp" "tests/CMakeFiles/fedwcm_tests.dir/nn/test_loss.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/nn/test_loss.cpp.o.d"
+  "/root/repo/tests/nn/test_loss_properties.cpp" "tests/CMakeFiles/fedwcm_tests.dir/nn/test_loss_properties.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/nn/test_loss_properties.cpp.o.d"
+  "/root/repo/tests/nn/test_models_gradcheck.cpp" "tests/CMakeFiles/fedwcm_tests.dir/nn/test_models_gradcheck.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/nn/test_models_gradcheck.cpp.o.d"
+  "/root/repo/tests/nn/test_regularization.cpp" "tests/CMakeFiles/fedwcm_tests.dir/nn/test_regularization.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/nn/test_regularization.cpp.o.d"
+  "/root/repo/tests/nn/test_sequential.cpp" "tests/CMakeFiles/fedwcm_tests.dir/nn/test_sequential.cpp.o" "gcc" "tests/CMakeFiles/fedwcm_tests.dir/nn/test_sequential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fedwcm/core/CMakeFiles/fedwcm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedwcm/nn/CMakeFiles/fedwcm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedwcm/data/CMakeFiles/fedwcm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedwcm/fl/CMakeFiles/fedwcm_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedwcm/crypto/CMakeFiles/fedwcm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedwcm/analysis/CMakeFiles/fedwcm_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

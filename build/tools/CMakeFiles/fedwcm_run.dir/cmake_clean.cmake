@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedwcm_run.dir/fedwcm_run.cpp.o"
+  "CMakeFiles/fedwcm_run.dir/fedwcm_run.cpp.o.d"
+  "fedwcm_run"
+  "fedwcm_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedwcm_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
