@@ -1,6 +1,7 @@
 #include "common.hpp"
 
 #include "fedwcm/fl/algorithms/fedwcm.hpp"
+#include "fedwcm/obs/runtime.hpp"
 
 namespace fedwcm::bench {
 
@@ -112,6 +113,15 @@ std::vector<std::uint64_t> seeds_for(BenchScale scale) {
 
 void print_banner(const std::string& experiment, const std::string& paper_ref,
                   BenchScale scale) {
+  // Every bench goes through the banner, so FEDWCM_TRACE / FEDWCM_METRICS_OUT
+  // light up tracing/metrics (with an atexit flush) without per-bench code.
+  if (obs::auto_init_from_env()) {
+    const obs::ObsOptions options = obs::options_from_env();
+    if (!options.trace_path.empty())
+      std::cout << "obs: tracing -> " << options.trace_path << "\n";
+    if (!options.metrics_path.empty())
+      std::cout << "obs: metrics -> " << options.metrics_path << "\n";
+  }
   std::cout << "==================================================================\n"
             << "FedWCM reproduction — " << experiment << "\n"
             << "Paper reference: " << paper_ref << "\n"

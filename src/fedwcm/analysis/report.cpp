@@ -18,11 +18,13 @@ std::ofstream open_or_throw(const std::string& path) {
 void write_history_csv(const std::string& path,
                        const fl::SimulationResult& result) {
   std::ofstream os = open_or_throw(path);
-  os << "round,test_accuracy,train_loss,alpha,momentum_norm,concentration\n";
+  os << "round,test_accuracy,train_loss,alpha,momentum_norm,concentration,"
+        "round_wall_ms,bytes_up,bytes_down\n";
   for (const auto& rec : result.history)
     os << rec.round << "," << rec.test_accuracy << "," << rec.train_loss << ","
        << rec.alpha << "," << rec.momentum_norm << "," << rec.concentration
-       << "\n";
+       << "," << rec.round_wall_ms << "," << rec.bytes_up << ","
+       << rec.bytes_down << "\n";
   if (!os) throw std::runtime_error("report: write failed for " + path);
 }
 
@@ -34,7 +36,10 @@ void write_history_jsonl(const std::string& path,
        << ",\"test_accuracy\":" << rec.test_accuracy
        << ",\"train_loss\":" << rec.train_loss << ",\"alpha\":" << rec.alpha
        << ",\"momentum_norm\":" << rec.momentum_norm
-       << ",\"concentration\":" << rec.concentration << "}\n";
+       << ",\"concentration\":" << rec.concentration
+       << ",\"round_wall_ms\":" << rec.round_wall_ms
+       << ",\"bytes_up\":" << rec.bytes_up
+       << ",\"bytes_down\":" << rec.bytes_down << "}\n";
   }
   os << "{\"algorithm\":\"" << result.algorithm
      << "\",\"summary\":true,\"final_accuracy\":" << result.final_accuracy

@@ -34,9 +34,25 @@ void ThreadPool::worker_loop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      ++tasks_executed_;
     }
     task();
   }
+}
+
+std::size_t ThreadPool::peak_queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_queue_depth_;
+}
+
+std::uint64_t ThreadPool::tasks_executed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_executed_;
+}
+
+void ThreadPool::reset_peak_queue_depth() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  peak_queue_depth_ = 0;
 }
 
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,

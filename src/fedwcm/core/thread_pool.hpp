@@ -8,8 +8,10 @@
 /// task derives its own RNG stream and writes to a pre-allocated result slot,
 /// so scheduling order never influences the outcome.
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -40,19 +42,28 @@ class ThreadPool {
       std::lock_guard<std::mutex> lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
       queue_.emplace_back([task] { (*task)(); });
+      peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
     }
     cv_.notify_one();
     return fut;
   }
+
+  /// Introspection for the observability layer: high-water mark of the task
+  /// queue since construction / the last reset, and tasks dequeued so far.
+  std::size_t peak_queue_depth() const;
+  std::uint64_t tasks_executed() const;
+  void reset_peak_queue_depth();
 
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  std::size_t peak_queue_depth_ = 0;
+  std::uint64_t tasks_executed_ = 0;
 };
 
 /// Runs `fn(i)` for i in [begin, end) across the pool and waits for all of

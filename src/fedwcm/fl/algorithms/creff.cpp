@@ -1,5 +1,7 @@
 #include "fedwcm/fl/algorithms/creff.hpp"
 
+#include "fedwcm/obs/trace.hpp"
+
 #include "fedwcm/nn/linear.hpp"
 
 namespace fedwcm::fl {
@@ -100,6 +102,7 @@ void CReFF::retrain_head(ParamVector& global) {
 
 void CReFF::aggregate(std::span<const LocalResult> results, std::size_t round,
                       ParamVector& global) {
+  FEDWCM_SPAN("aggregate.creff");
   FedAvg::aggregate(results, round, global);
   const bool last = round + 1 == ctx_->config->rounds;
   if (!last && (round + 1) % options_.retrain_every != 0) return;

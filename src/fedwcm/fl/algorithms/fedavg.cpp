@@ -1,5 +1,7 @@
 #include "fedwcm/fl/algorithms/fedavg.hpp"
 
+#include "fedwcm/obs/trace.hpp"
+
 namespace fedwcm::fl {
 
 ParamVector sample_weighted_delta(std::span<const LocalResult> results) {
@@ -38,6 +40,7 @@ LocalResult FedAvg::local_update(std::size_t client, const ParamVector& global,
 
 void FedAvg::aggregate(std::span<const LocalResult> results, std::size_t,
                        ParamVector& global) {
+  FEDWCM_SPAN("aggregate.fedavg");
   const ParamVector agg = sample_weighted_delta(results);
   core::pv::axpy(-ctx_->config->global_lr, agg, global);
 }
@@ -61,6 +64,7 @@ void FedAvgM::initialize(const FlContext& ctx) {
 
 void FedAvgM::aggregate(std::span<const LocalResult> results, std::size_t,
                         ParamVector& global) {
+  FEDWCM_SPAN("aggregate.fedavgm");
   const ParamVector agg = sample_weighted_delta(results);
   core::pv::scale(beta_, m_);
   core::pv::axpy(1.0f, agg, m_);

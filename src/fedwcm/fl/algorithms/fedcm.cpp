@@ -1,5 +1,7 @@
 #include "fedwcm/fl/algorithms/fedcm.hpp"
 
+#include "fedwcm/obs/trace.hpp"
+
 #include "fedwcm/fl/algorithms/fedavg.hpp"
 
 namespace fedwcm::fl {
@@ -23,6 +25,7 @@ LocalResult FedCM::local_update(std::size_t client, const ParamVector& global,
 
 void FedCM::aggregate(std::span<const LocalResult> results, std::size_t,
                       ParamVector& global) {
+  FEDWCM_SPAN("aggregate.fedcm");
   const ParamVector agg = uniform_delta(results);
   // Delta_{r+1} = agg / (eta_l * B): converts the displacement back to
   // gradient units so clients can blend it with raw gradients next round.

@@ -1,5 +1,7 @@
 #include "fedwcm/fl/algorithms/feddyn.hpp"
 
+#include "fedwcm/obs/trace.hpp"
+
 namespace fedwcm::fl {
 
 void FedDyn::initialize(const FlContext& ctx) {
@@ -27,6 +29,7 @@ LocalResult FedDyn::local_update(std::size_t client, const ParamVector& global,
 
 void FedDyn::aggregate(std::span<const LocalResult> results, std::size_t,
                        ParamVector& global) {
+  FEDWCM_SPAN("aggregate.feddyn");
   FEDWCM_CHECK(!results.empty(), "FedDyn::aggregate: no results");
   // mean displacement = -mean(delta); h <- h - mu (1/N) sum (x_B - x_r)
   //                                     = h + mu (|P|/N) mean(delta).

@@ -1,5 +1,7 @@
 #include "fedwcm/fl/algorithms/fedgrab.hpp"
 
+#include "fedwcm/obs/trace.hpp"
+
 #include <cmath>
 
 namespace fedwcm::fl {
@@ -56,6 +58,7 @@ LocalResult FedGraB::local_update(std::size_t client, const ParamVector& global,
 
 void FedGraB::aggregate(std::span<const LocalResult> results, std::size_t round,
                         ParamVector& global) {
+  FEDWCM_SPAN("aggregate.fedgrab");
   FedAvg::aggregate(results, round, global);
   // Self-adjusting feedback: if the round's mean loss is rising relative to
   // the smoothed trend, the balancer is over-driving tail gradients — decay

@@ -1,5 +1,7 @@
 #include "fedwcm/fl/algorithms/fedopt.hpp"
 
+#include "fedwcm/obs/trace.hpp"
+
 #include <cmath>
 
 namespace fedwcm::fl {
@@ -13,6 +15,7 @@ void FedOptBase::initialize(const FlContext& ctx) {
 
 void FedOptBase::aggregate(std::span<const LocalResult> results, std::size_t,
                            ParamVector& global) {
+  FEDWCM_SPAN("aggregate.fedopt");
   const ParamVector delta = sample_weighted_delta(results);
   for (std::size_t i = 0; i < m_.size(); ++i)
     m_[i] = options_.beta1 * m_[i] + (1.0f - options_.beta1) * delta[i];

@@ -1,5 +1,7 @@
 #include "fedwcm/fl/algorithms/fedwcm.hpp"
 
+#include "fedwcm/obs/trace.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -100,6 +102,7 @@ double FedWCM::normalization_steps(std::span<const LocalResult> results) const {
 
 void FedWCM::aggregate(std::span<const LocalResult> results, std::size_t,
                        ParamVector& global) {
+  FEDWCM_SPAN("aggregate.fedwcm");
   FEDWCM_CHECK(!results.empty(), "FedWCM::aggregate: no results");
   // Eq. 4 weights.
   const std::vector<float> w = aggregation_weights(results);

@@ -1,5 +1,7 @@
 #include "fedwcm/fl/algorithms/sam.hpp"
 
+#include "fedwcm/obs/trace.hpp"
+
 #include <cmath>
 
 #include "fedwcm/fl/algorithms/fedavg.hpp"
@@ -87,6 +89,7 @@ LocalResult FedSam::local_update(std::size_t client, const ParamVector& global,
 
 void FedSam::aggregate(std::span<const LocalResult> results, std::size_t,
                        ParamVector& global) {
+  FEDWCM_SPAN("aggregate.fedsam");
   const ParamVector agg = sample_weighted_delta(results);
   core::pv::axpy(-ctx_->config->global_lr, agg, global);
 }

@@ -1,5 +1,7 @@
 #include "fedwcm/fl/algorithms/scaffold.hpp"
 
+#include "fedwcm/obs/trace.hpp"
+
 #include "fedwcm/fl/algorithms/fedavg.hpp"
 
 namespace fedwcm::fl {
@@ -37,6 +39,7 @@ LocalResult Scaffold::local_update(std::size_t client, const ParamVector& global
 
 void Scaffold::aggregate(std::span<const LocalResult> results, std::size_t,
                          ParamVector& global) {
+  FEDWCM_SPAN("aggregate.scaffold");
   const ParamVector agg = uniform_delta(results);
   core::pv::axpy(-ctx_->config->global_lr, agg, global);
 

@@ -1,6 +1,7 @@
 #include "fedwcm/fl/local.hpp"
 
 #include "fedwcm/core/rng.hpp"
+#include "fedwcm/obs/trace.hpp"
 
 namespace fedwcm::fl {
 
@@ -36,6 +37,7 @@ LocalResult run_local_sgd(const FlContext& ctx, Worker& worker, std::size_t clie
   data::BatchSampler* sampler = &sampler_ref;
   const std::size_t steps_per_epoch = sampler->batches_per_epoch();
   const std::size_t total_steps = steps_per_epoch * ctx.config->local_epochs;
+  obs::Span sgd_span("local_sgd", "steps", std::int64_t(total_steps));
 
   ParamVector x = start;
   ParamVector v(x.size());

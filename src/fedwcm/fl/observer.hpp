@@ -1,0 +1,81 @@
+#pragma once
+/// \file observer.hpp
+/// Round-level progress/profiling hooks on the simulation engine.
+///
+/// A `RoundObserver` registered on a `Simulation` sees the run unfold:
+/// run begin, each round's sampled cohort, an enrichment hook on evaluated
+/// rounds, every round's finished `RoundRecord` (carrying wall-clock and
+/// communication-volume fields even on non-evaluated rounds), and the final
+/// result. This supersedes the older ad-hoc probe pair
+/// (`Simulation::set_probe` / `set_train_probe`), which remains as a
+/// compatible shim layered on `on_evaluate`.
+///
+/// Hooks run on the simulation's driver thread, never inside the worker
+/// pool, so observers need no internal locking.
+
+#include <ostream>
+#include <span>
+#include <string>
+
+#include "fedwcm/fl/context.hpp"
+
+namespace fedwcm::fl {
+
+class RoundObserver {
+ public:
+  virtual ~RoundObserver() = default;
+
+  /// Before round 0. `ctx` outlives the run.
+  virtual void on_run_begin(const FlContext& ctx, const std::string& algorithm) {
+    (void)ctx;
+    (void)algorithm;
+  }
+
+  /// After client sampling, before local training.
+  virtual void on_round_begin(std::size_t round,
+                              std::span<const std::size_t> sampled) {
+    (void)round;
+    (void)sampled;
+  }
+
+  /// Evaluated rounds only. `model` is loaded with the round's global
+  /// parameters; observers may enrich `rec` (the probe shims write
+  /// `rec.concentration` / `rec.train_metric` from here).
+  virtual void on_evaluate(nn::Sequential& model, const FlContext& ctx,
+                           RoundRecord& rec) {
+    (void)model;
+    (void)ctx;
+    (void)rec;
+  }
+
+  /// Every round, after aggregation (and evaluation when scheduled).
+  /// Timing/comm fields are always populated; accuracy/probe fields are
+  /// meaningful only when `rec.evaluated`.
+  virtual void on_round_end(const RoundRecord& rec) { (void)rec; }
+
+  /// After the last round, once the summary fields are final.
+  virtual void on_run_end(const SimulationResult& result) { (void)result; }
+};
+
+/// Stock observer: one progress line per evaluated round plus a run footer,
+/// for long CLI runs. Not registered by default.
+class LoggingObserver final : public RoundObserver {
+ public:
+  explicit LoggingObserver(std::ostream& os) : os_(os) {}
+
+  void on_round_end(const RoundRecord& rec) override {
+    if (!rec.evaluated) return;
+    os_ << "round " << rec.round << ": acc=" << rec.test_accuracy
+        << " loss=" << rec.train_loss << " wall=" << rec.round_wall_ms
+        << "ms up=" << rec.bytes_up << "B down=" << rec.bytes_down << "B\n";
+  }
+  void on_run_end(const SimulationResult& result) override {
+    os_ << result.algorithm << " finished: final=" << result.final_accuracy
+        << " best=" << result.best_accuracy << "\n";
+  }
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace fedwcm::fl

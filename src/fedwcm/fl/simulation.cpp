@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "fedwcm/core/rng.hpp"
+#include "fedwcm/obs/clock.hpp"
+#include "fedwcm/obs/metrics.hpp"
+#include "fedwcm/obs/trace.hpp"
 
 namespace fedwcm::fl {
 
@@ -31,6 +34,34 @@ Simulation::Simulation(const FlConfig& config, const data::Dataset& train,
   FEDWCM_CHECK(!eligible_.empty(), "Simulation: every client is empty");
 }
 
+Simulation::Simulation(Simulation&& other) noexcept
+    : config_(std::move(other.config_)),
+      ctx_(std::move(other.ctx_)),
+      probe_(std::move(other.probe_)),
+      train_probe_(std::move(other.train_probe_)),
+      observers_(std::move(other.observers_)),
+      eligible_(std::move(other.eligible_)) {
+  ctx_.config = &config_;  // Never point into the moved-from object.
+}
+
+Simulation& Simulation::operator=(Simulation&& other) noexcept {
+  if (this != &other) {
+    config_ = std::move(other.config_);
+    ctx_ = std::move(other.ctx_);
+    probe_ = std::move(other.probe_);
+    train_probe_ = std::move(other.train_probe_);
+    observers_ = std::move(other.observers_);
+    eligible_ = std::move(other.eligible_);
+    ctx_.config = &config_;
+  }
+  return *this;
+}
+
+void Simulation::add_observer(std::shared_ptr<RoundObserver> observer) {
+  FEDWCM_CHECK(observer != nullptr, "Simulation::add_observer: null observer");
+  observers_.push_back(std::move(observer));
+}
+
 std::vector<std::size_t> Simulation::sample_clients(std::size_t round) const {
   const std::size_t want = std::min(config_.sampled_per_round(), eligible_.size());
   core::Rng rng(core::derive_seed(config_.seed, round + 1, 0x5A11));
@@ -42,6 +73,21 @@ std::vector<std::size_t> Simulation::sample_clients(std::size_t round) const {
 }
 
 SimulationResult Simulation::run(Algorithm& algorithm) {
+  // Metric handles are resolved once per run; recording through them is a
+  // single branch when observability is disabled.
+  obs::Registry& registry = obs::metrics();
+  obs::Histogram round_ms_hist =
+      registry.histogram("round.wall_ms", obs::time_buckets_ms());
+  obs::Histogram client_ms_hist =
+      registry.histogram("client.local_train_ms", obs::time_buckets_ms());
+  obs::Histogram eval_ms_hist =
+      registry.histogram("round.evaluate_ms", obs::time_buckets_ms());
+  obs::Counter bytes_up_counter = registry.counter("comm.bytes_up");
+  obs::Counter bytes_down_counter = registry.counter("comm.bytes_down");
+  obs::Counter rounds_counter = registry.counter("round.count");
+  obs::Counter updates_counter = registry.counter("client.updates");
+  obs::Gauge queue_depth_gauge = registry.gauge("threadpool.queue_depth");
+
   SimulationResult result;
   result.algorithm = algorithm.name();
 
@@ -53,6 +99,8 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
   ParamVector global = init_model.get_params();
 
   algorithm.initialize(ctx_);
+  for (const auto& observer : observers_)
+    observer->on_run_begin(ctx_, result.algorithm);
 
   core::ThreadPool pool(config_.threads);
   const std::size_t slots = config_.sampled_per_round();
@@ -63,40 +111,89 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
 
   nn::Sequential eval_model = ctx_.model_factory();
 
+  obs::Span run_span("simulation.run");
   for (std::size_t round = 0; round < config_.rounds; ++round) {
-    const auto sampled = sample_clients(round);
-    algorithm.begin_round(round, sampled);
+    const std::uint64_t round_start_us = obs::now_us();
+    RoundRecord rec;
+    rec.round = round;
 
-    std::vector<LocalResult> results(sampled.size());
-    core::parallel_for(pool, 0, sampled.size(), [&](std::size_t i) {
-      results[i] = algorithm.local_update(sampled[i], global, round, *workers[i]);
-    });
+    std::vector<LocalResult> results;
+    {
+      obs::Span round_span("round", "round", std::int64_t(round));
 
-    algorithm.aggregate(results, round, global);
+      std::vector<std::size_t> sampled;
+      {
+        obs::Span sample_span("sample_clients");
+        sampled = sample_clients(round);
+      }
+      algorithm.begin_round(round, sampled);
+      for (const auto& observer : observers_)
+        observer->on_round_begin(round, sampled);
 
-    const bool last = round + 1 == config_.rounds;
-    if (round % config_.eval_every == 0 || last) {
-      RoundRecord rec;
-      rec.round = round;
-      const EvalResult ev = evaluate(eval_model, global, *ctx_.test, config_.eval_batch);
-      rec.test_accuracy = ev.accuracy;
-      double loss = 0.0;
-      for (const auto& r : results) loss += double(r.mean_loss);
-      rec.train_loss = results.empty() ? 0.0f : float(loss / double(results.size()));
+      results.resize(sampled.size());
+      pool.reset_peak_queue_depth();
+      {
+        obs::Span train_span("local_train", "clients",
+                             std::int64_t(sampled.size()));
+        core::parallel_for(pool, 0, sampled.size(), [&](std::size_t i) {
+          obs::Span client_span("client.local_train", "client",
+                                std::int64_t(sampled[i]));
+          const std::uint64_t t0 = obs::now_us();
+          results[i] = algorithm.local_update(sampled[i], global, round, *workers[i]);
+          client_ms_hist.observe(obs::elapsed_ms(t0, obs::now_us()));
+        });
+      }
+      queue_depth_gauge.set(double(pool.peak_queue_depth()));
+
+      {
+        obs::Span aggregate_span("aggregate");
+        algorithm.aggregate(results, round, global);
+      }
+
+      // Communication estimate from ParamVector sizes: downlink is the global
+      // broadcast, uplink each client's delta plus algorithm payload.
+      rec.bytes_down = std::uint64_t(sampled.size()) * ctx_.param_count * sizeof(float);
+      for (const auto& r : results)
+        rec.bytes_up += std::uint64_t(r.delta.size() + r.aux.size()) * sizeof(float);
+      bytes_up_counter.add(rec.bytes_up);
+      bytes_down_counter.add(rec.bytes_down);
+      rounds_counter.add();
+      updates_counter.add(results.size());
+
       rec.alpha = algorithm.current_alpha();
       rec.momentum_norm = algorithm.momentum_norm();
-      if (probe_) {
+
+      const bool last = round + 1 == config_.rounds;
+      if (round % config_.eval_every == 0 || last) {
+        obs::Span eval_span("evaluate");
+        const std::uint64_t eval_start_us = obs::now_us();
+        rec.evaluated = true;
+        const EvalResult ev = evaluate(eval_model, global, *ctx_.test, config_.eval_batch);
+        rec.test_accuracy = ev.accuracy;
+        double loss = 0.0;
+        for (const auto& r : results) loss += double(r.mean_loss);
+        rec.train_loss = results.empty() ? 0.0f : float(loss / double(results.size()));
         eval_model.set_params(global);
-        rec.concentration = probe_(eval_model, *ctx_.test);
+        for (const auto& observer : observers_)
+          observer->on_evaluate(eval_model, ctx_, rec);
+        if (probe_) {
+          eval_model.set_params(global);
+          rec.concentration = probe_(eval_model, *ctx_.test);
+        }
+        if (train_probe_) {
+          eval_model.set_params(global);
+          rec.train_metric = train_probe_(eval_model, *ctx_.train);
+        }
+        result.best_accuracy = std::max(result.best_accuracy, ev.accuracy);
+        if (last) result.per_class_accuracy = ev.per_class_accuracy;
+        eval_ms_hist.observe(obs::elapsed_ms(eval_start_us, obs::now_us()));
       }
-      if (train_probe_) {
-        eval_model.set_params(global);
-        rec.train_metric = train_probe_(eval_model, *ctx_.train);
-      }
-      result.history.push_back(rec);
-      result.best_accuracy = std::max(result.best_accuracy, ev.accuracy);
-      if (last) result.per_class_accuracy = ev.per_class_accuracy;
-    }
+    }  // round span closes here so its duration matches round_wall_ms.
+
+    rec.round_wall_ms = obs::elapsed_ms(round_start_us, obs::now_us());
+    round_ms_hist.observe(rec.round_wall_ms);
+    if (rec.evaluated) result.history.push_back(rec);
+    for (const auto& observer : observers_) observer->on_round_end(rec);
   }
 
   result.final_params = std::move(global);
@@ -108,6 +205,7 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
       acc += double(result.history[i].test_accuracy);
     result.tail_mean_accuracy = float(acc / double(tail));
   }
+  for (const auto& observer : observers_) observer->on_run_end(result);
   return result;
 }
 

@@ -4,25 +4,36 @@
 /// round, runs local training in parallel on a thread pool, and drives the
 /// algorithm's aggregate step — the in-process analog of the paper's
 /// server + 100-client testbed.
+///
+/// The engine is instrumented for the `fedwcm::obs` layer: every round emits
+/// trace spans (round → client.local_train / aggregate / evaluate) and
+/// metrics (`round.wall_ms`, `client.local_train_ms`, `comm.bytes_up/down`,
+/// `threadpool.queue_depth`) when tracing/metrics are enabled, and
+/// `RoundRecord` timing/comm fields are populated unconditionally (two clock
+/// reads per round — free). Progress/profiling consumers register a
+/// `RoundObserver`.
 
 #include <functional>
+#include <memory>
 
 #include "fedwcm/core/thread_pool.hpp"
 #include "fedwcm/fl/algorithm.hpp"
 #include "fedwcm/fl/evaluate.hpp"
+#include "fedwcm/fl/observer.hpp"
 
 namespace fedwcm::fl {
 
 /// Optional per-evaluation probe (e.g. the neuron-concentration metric of
 /// Appendix B). Receives a model loaded with the current global params and
 /// the test set; its return value lands in RoundRecord::concentration.
+/// Kept as a compatible shim over RoundObserver::on_evaluate.
 using RoundProbe =
     std::function<float(nn::Sequential& model, const data::Dataset& test)>;
 
 /// Optional probe over the *training* objective (e.g. the full-batch
 /// gradient norm of Theorem 6.1, fl/diagnostics.hpp). Receives a model
 /// loaded with the current global params and the training set; the return
-/// value lands in RoundRecord::train_metric.
+/// value lands in RoundRecord::train_metric. Shim over on_evaluate.
 using TrainProbe =
     std::function<float(nn::Sequential& model, const data::Dataset& train)>;
 
@@ -33,10 +44,20 @@ class Simulation {
              const data::Dataset& test, const data::Partition& partition,
              nn::ModelFactory model_factory, LossFactory loss_factory);
 
+  /// Moves re-point the context at the moved-to config so a Simulation can
+  /// be rebuilt-and-assigned (the tool runner does this for loss rewiring).
+  Simulation(Simulation&& other) noexcept;
+  Simulation& operator=(Simulation&& other) noexcept;
+
   /// Runs `algorithm` for config.rounds rounds from a fresh seeded init.
   SimulationResult run(Algorithm& algorithm);
 
   const FlContext& context() const { return ctx_; }
+
+  /// Registers a progress/profiling observer (kept for the whole run; called
+  /// from the driver thread only).
+  void add_observer(std::shared_ptr<RoundObserver> observer);
+
   void set_probe(RoundProbe probe) { probe_ = std::move(probe); }
   void set_train_probe(TrainProbe probe) { train_probe_ = std::move(probe); }
 
@@ -47,6 +68,7 @@ class Simulation {
   FlContext ctx_;
   RoundProbe probe_;
   TrainProbe train_probe_;
+  std::vector<std::shared_ptr<RoundObserver>> observers_;
   std::vector<std::size_t> eligible_;  ///< Clients with at least one sample.
 };
 

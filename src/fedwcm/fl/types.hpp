@@ -34,7 +34,10 @@ struct FlConfig {
   }
 };
 
-/// One evaluated round of a simulation.
+/// One round of a simulation. Records stored in SimulationResult::history
+/// are always evaluated rounds; RoundObserver hooks additionally see
+/// non-evaluated rounds, where only the round/timing/comm fields are
+/// meaningful.
 struct RoundRecord {
   std::size_t round = 0;
   float test_accuracy = 0.0f;
@@ -43,6 +46,13 @@ struct RoundRecord {
   float momentum_norm = 0.0f;   ///< ||Delta_r|| (0 if N/A).
   float concentration = 0.0f;   ///< Mean neuron concentration (if recorded).
   float train_metric = 0.0f;    ///< Train-probe value (e.g. ||grad f||^2, §6).
+  bool evaluated = false;       ///< Whether accuracy/probe fields were filled.
+  double round_wall_ms = 0.0;   ///< Wall-clock for the whole round.
+  /// Estimated communication volume this round, from ParamVector sizes:
+  /// uplink counts each client's delta + algorithm payload, downlink the
+  /// global model broadcast to each sampled client.
+  std::uint64_t bytes_up = 0;
+  std::uint64_t bytes_down = 0;
 };
 
 struct SimulationResult {

@@ -1,0 +1,28 @@
+#pragma once
+/// \file clock.hpp
+/// Monotonic time for the observability layer.
+///
+/// All spans and round timings share one process-wide epoch (the first call
+/// to now_us), so timestamps from different threads line up on a common axis
+/// in a trace viewer and stay small enough for exact double representation.
+
+#include <chrono>
+#include <cstdint>
+
+namespace fedwcm::obs {
+
+/// Microseconds since the process-wide monotonic epoch.
+inline std::uint64_t now_us() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                           clock::now() - epoch)
+                           .count());
+}
+
+/// Convenience: elapsed milliseconds between two now_us() stamps.
+inline double elapsed_ms(std::uint64_t t0_us, std::uint64_t t1_us) {
+  return double(t1_us - t0_us) / 1000.0;
+}
+
+}  // namespace fedwcm::obs

@@ -1,0 +1,70 @@
+#pragma once
+/// \file json.hpp
+/// Minimal dependency-free JSON reader.
+///
+/// Exists so the observability layer can *validate its own output* (trace
+/// files, metrics JSONL) in tests and the `obs_selfcheck` CTest target
+/// without pulling in an external JSON library. It is a strict recursive-
+/// descent parser over the full JSON grammar — not limited to the subset we
+/// emit — but tuned for small documents, not performance.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fedwcm::obs::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+/// A parsed JSON value. Numbers are kept as double (adequate for our
+/// microsecond timestamps, which stay below 2^53).
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  explicit Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit Value(double d) : kind_(Kind::kNumber), number_(d) {}
+  explicit Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  explicit Value(Array a) : kind_(Kind::kArray), array_(std::move(a)) {}
+  explicit Value(Object o) : kind_(Kind::kObject), object_(std::move(o)) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const Array& as_array() const { return array_; }
+  const Object& as_object() const { return object_; }
+
+  /// Object lookup; returns nullptr when absent or not an object.
+  const Value* find(const std::string& key) const {
+    if (kind_ != Kind::kObject) return nullptr;
+    auto it = object_.find(key);
+    return it == object_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses one JSON document. On failure returns false and sets `error` to a
+/// message with the byte offset; `out` is unspecified.
+bool parse(const std::string& text, Value& out, std::string& error);
+
+}  // namespace fedwcm::obs::json

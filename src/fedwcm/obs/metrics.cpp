@@ -1,0 +1,160 @@
+#include "fedwcm/obs/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "fedwcm/core/table.hpp"
+
+namespace fedwcm::obs {
+
+namespace detail {
+
+namespace {
+
+/// acc <- op(acc, v) via CAS (std::atomic<double>::fetch_add is C++20 but
+/// min/max still need the loop; use it uniformly for clarity).
+template <typename Op>
+void atomic_update(std::atomic<double>& acc, double v, Op op) {
+  double cur = acc.load(std::memory_order_relaxed);
+  while (!acc.compare_exchange_weak(cur, op(cur, v), std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void HistogramCell::observe(double v) {
+  const std::size_t b = std::size_t(
+      std::lower_bound(bounds.begin(), bounds.end(), v) - bounds.begin());
+  buckets[b].fetch_add(1, std::memory_order_relaxed);
+  count.fetch_add(1, std::memory_order_relaxed);
+  atomic_update(sum, v, [](double a, double x) { return a + x; });
+  atomic_update(min, v, [](double a, double x) { return x < a ? x : a; });
+  atomic_update(max, v, [](double a, double x) { return x > a ? x : a; });
+}
+
+double HistogramCell::quantile(double q) const {
+  const std::uint64_t total = count.load(std::memory_order_relaxed);
+  if (total == 0) return 0.0;
+  const double target = q * double(total);
+  double cum = 0.0;
+  for (std::size_t b = 0; b <= bounds.size(); ++b) {
+    const double in_bucket = double(buckets[b].load(std::memory_order_relaxed));
+    if (cum + in_bucket >= target && in_bucket > 0.0) {
+      const double lo = b == 0 ? 0.0 : bounds[b - 1];
+      const double hi = b == bounds.size()
+                            ? max.load(std::memory_order_relaxed)
+                            : bounds[b];
+      const double frac = (target - cum) / in_bucket;
+      return lo + (std::max(hi, lo) - lo) * frac;
+    }
+    cum += in_bucket;
+  }
+  return max.load(std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+std::vector<double> time_buckets_ms() {
+  return {0.05, 0.1, 0.25, 0.5, 1,   2.5,  5,    10,   25,
+          50,   100, 250,  500, 1e3, 2.5e3, 5e3, 1e4, 6e4};
+}
+
+std::vector<double> size_buckets_bytes() {
+  std::vector<double> b;
+  for (double v = 64; v <= 1 << 30; v *= 4) b.push_back(v);
+  return b;
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& c : counters_)
+    if (c->name == name) return Counter(c.get(), &enabled_);
+  counters_.push_back(std::make_unique<detail::CounterCell>());
+  counters_.back()->name = name;
+  return Counter(counters_.back().get(), &enabled_);
+}
+
+Gauge Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& g : gauges_)
+    if (g->name == name) return Gauge(g.get(), &enabled_);
+  gauges_.push_back(std::make_unique<detail::GaugeCell>());
+  gauges_.back()->name = name;
+  return Gauge(gauges_.back().get(), &enabled_);
+}
+
+Histogram Registry::histogram(const std::string& name, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& h : histograms_)
+    if (h->name == name) return Histogram(h.get(), &enabled_);
+  auto cell = std::make_unique<detail::HistogramCell>();
+  cell->name = name;
+  std::sort(bounds.begin(), bounds.end());
+  cell->bounds = std::move(bounds);
+  cell->buckets =
+      std::make_unique<std::atomic<std::uint64_t>[]>(cell->bounds.size() + 1);
+  for (std::size_t b = 0; b <= cell->bounds.size(); ++b) cell->buckets[b] = 0;
+  histograms_.push_back(std::move(cell));
+  return Histogram(histograms_.back().get(), &enabled_);
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+void Registry::write_jsonl(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& c : counters_)
+    os << "{\"metric\":\"" << c->name << "\",\"type\":\"counter\",\"value\":"
+       << c->value.load(std::memory_order_relaxed) << "}\n";
+  for (const auto& g : gauges_)
+    os << "{\"metric\":\"" << g->name << "\",\"type\":\"gauge\",\"value\":"
+       << g->value.load(std::memory_order_relaxed) << "}\n";
+  for (const auto& h : histograms_) {
+    const std::uint64_t n = h->count.load(std::memory_order_relaxed);
+    const double sum = h->sum.load(std::memory_order_relaxed);
+    os << "{\"metric\":\"" << h->name << "\",\"type\":\"histogram\",\"count\":"
+       << n << ",\"sum\":" << sum << ",\"mean\":" << (n ? sum / double(n) : 0.0)
+       << ",\"min\":" << (n ? h->min.load(std::memory_order_relaxed) : 0.0)
+       << ",\"max\":" << (n ? h->max.load(std::memory_order_relaxed) : 0.0)
+       << ",\"p50\":" << h->quantile(0.5) << ",\"p90\":" << h->quantile(0.9)
+       << ",\"p99\":" << h->quantile(0.99) << "}\n";
+  }
+}
+
+std::string Registry::to_table() const {
+  core::TablePrinter table({"metric", "type", "count", "value/mean", "p50",
+                            "p90", "max"});
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& c : counters_)
+    table.add_row({c->name, "counter", "-",
+                   std::to_string(c->value.load(std::memory_order_relaxed)), "-",
+                   "-", "-"});
+  for (const auto& g : gauges_)
+    table.add_row({g->name, "gauge", "-",
+                   core::TablePrinter::fmt(g->value.load(std::memory_order_relaxed)),
+                   "-", "-", "-"});
+  for (const auto& h : histograms_) {
+    const std::uint64_t n = h->count.load(std::memory_order_relaxed);
+    const double sum = h->sum.load(std::memory_order_relaxed);
+    table.add_row({h->name, "histogram", std::to_string(n),
+                   core::TablePrinter::fmt(n ? sum / double(n) : 0.0),
+                   core::TablePrinter::fmt(h->quantile(0.5)),
+                   core::TablePrinter::fmt(h->quantile(0.9)),
+                   core::TablePrinter::fmt(
+                       n ? h->max.load(std::memory_order_relaxed) : 0.0)});
+  }
+  return table.to_string();
+}
+
+}  // namespace fedwcm::obs

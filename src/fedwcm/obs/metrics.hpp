@@ -1,0 +1,174 @@
+#pragma once
+/// \file metrics.hpp
+/// Lock-cheap metrics: counters, gauges, and fixed-bucket histograms.
+///
+/// Instruments acquire *handles* from a `Registry` once (typically at the top
+/// of a run) and then record through them on the hot path. A handle is two
+/// pointers; recording is one relaxed atomic load (the enabled flag) plus, when
+/// enabled, a handful of relaxed atomic updates — and exactly one predictable
+/// branch when disabled, so instrumentation can stay compiled into release
+/// binaries at zero measurable cost.
+///
+/// The registry is disabled by default; `fedwcm_run --metrics-out`, the
+/// FEDWCM_METRICS_OUT environment variable (see runtime.hpp), or an explicit
+/// `Registry::set_enabled(true)` switch it on. Export goes to JSONL (one
+/// metric per line, machine-readable) or an aligned human table built on
+/// `core::TablePrinter`.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fedwcm::obs {
+
+namespace detail {
+
+struct CounterCell {
+  std::string name;
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct GaugeCell {
+  std::string name;
+  std::atomic<double> value{0.0};
+};
+
+/// Fixed upper-bound buckets plus sum/min/max, all updated with relaxed
+/// atomics (per-metric exactness matters, cross-metric ordering does not).
+struct HistogramCell {
+  std::string name;
+  std::vector<double> bounds;  ///< Ascending upper bounds; +inf is implicit.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;  ///< bounds.size()+1.
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<double> sum{0.0};
+  // +/-inf sentinels make concurrent min/max updates seed-free; exporters
+  // report 0 when count == 0.
+  std::atomic<double> min{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+
+  void observe(double v);
+  /// Linear-interpolated quantile estimate from the bucket counts.
+  double quantile(double q) const;
+};
+
+}  // namespace detail
+
+/// Monotonically increasing integer metric (events, bytes).
+class Counter {
+ public:
+  Counter() = default;
+  void add(std::uint64_t n = 1) {
+    if (enabled_ && enabled_->load(std::memory_order_relaxed))
+      cell_->value.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Current value regardless of the enabled flag (reads are always allowed).
+  std::uint64_t value() const {
+    return cell_ ? cell_->value.load(std::memory_order_relaxed) : 0;
+  }
+
+ private:
+  friend class Registry;
+  Counter(detail::CounterCell* cell, const std::atomic<bool>* enabled)
+      : cell_(cell), enabled_(enabled) {}
+  detail::CounterCell* cell_ = nullptr;
+  const std::atomic<bool>* enabled_ = nullptr;
+};
+
+/// Last-write-wins floating-point level (queue depth, alpha, ...).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v) {
+    if (enabled_ && enabled_->load(std::memory_order_relaxed))
+      cell_->value.store(v, std::memory_order_relaxed);
+  }
+  double value() const {
+    return cell_ ? cell_->value.load(std::memory_order_relaxed) : 0.0;
+  }
+
+ private:
+  friend class Registry;
+  Gauge(detail::GaugeCell* cell, const std::atomic<bool>* enabled)
+      : cell_(cell), enabled_(enabled) {}
+  detail::GaugeCell* cell_ = nullptr;
+  const std::atomic<bool>* enabled_ = nullptr;
+};
+
+/// Fixed-bucket distribution (latencies, sizes).
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double v) {
+    if (enabled_ && enabled_->load(std::memory_order_relaxed)) cell_->observe(v);
+  }
+  std::uint64_t count() const {
+    return cell_ ? cell_->count.load(std::memory_order_relaxed) : 0;
+  }
+  double sum() const {
+    return cell_ ? cell_->sum.load(std::memory_order_relaxed) : 0.0;
+  }
+  double quantile(double q) const { return cell_ ? cell_->quantile(q) : 0.0; }
+
+ private:
+  friend class Registry;
+  Histogram(detail::HistogramCell* cell, const std::atomic<bool>* enabled)
+      : cell_(cell), enabled_(enabled) {}
+  detail::HistogramCell* cell_ = nullptr;
+  const std::atomic<bool>* enabled_ = nullptr;
+};
+
+/// Default exponential-ish bucket bounds for millisecond latencies.
+std::vector<double> time_buckets_ms();
+/// Default power-of-two-ish bucket bounds for byte sizes.
+std::vector<double> size_buckets_bytes();
+
+/// Named metric store. Handle acquisition takes a mutex (do it once, outside
+/// the hot path); recording through handles is lock-free. Re-requesting a
+/// name returns a handle to the same cell, so instrument sites in different
+/// translation units can share a metric.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry used by the built-in instrumentation.
+  static Registry& global();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  /// `bounds` must be ascending; only the first registration's bounds stick.
+  Histogram histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Drops all recorded values and registered metrics (handles acquired
+  /// before the reset dangle — re-acquire them). Intended for tests.
+  void reset();
+
+  /// One JSON object per line, e.g.
+  ///   {"metric":"comm.bytes_up","type":"counter","value":1234}
+  ///   {"metric":"round.wall_ms","type":"histogram","count":60,"sum":...,
+  ///    "mean":...,"min":...,"max":...,"p50":...,"p90":...,"p99":...}
+  void write_jsonl(std::ostream& os) const;
+  /// Aligned human-readable summary table.
+  std::string to_table() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<detail::CounterCell>> counters_;
+  std::vector<std::unique_ptr<detail::GaugeCell>> gauges_;
+  std::vector<std::unique_ptr<detail::HistogramCell>> histograms_;
+};
+
+/// Shorthand for Registry::global().
+inline Registry& metrics() { return Registry::global(); }
+
+}  // namespace fedwcm::obs

@@ -1,0 +1,73 @@
+#include "fedwcm/obs/runtime.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "fedwcm/obs/metrics.hpp"
+#include "fedwcm/obs/trace.hpp"
+
+namespace fedwcm::obs {
+
+namespace {
+
+std::string env_or_empty(const char* name) {
+  const char* v = std::getenv(name);
+  return v ? std::string(v) : std::string();
+}
+
+/// Options captured by auto_init_from_env for the atexit flush.
+ObsOptions g_atexit_options;
+
+void atexit_flush() { flush(g_atexit_options); }
+
+}  // namespace
+
+ObsOptions options_from_env() {
+  ObsOptions options;
+  options.trace_path = env_or_empty("FEDWCM_TRACE");
+  options.metrics_path = env_or_empty("FEDWCM_METRICS_OUT");
+  return options;
+}
+
+void enable(const ObsOptions& options) {
+  if (!options.trace_path.empty()) Tracer::global().set_enabled(true);
+  if (!options.metrics_path.empty()) Registry::global().set_enabled(true);
+}
+
+bool flush(const ObsOptions& options) {
+  bool ok = true;
+  if (!options.trace_path.empty()) {
+    if (!Tracer::global().write_file(options.trace_path)) {
+      std::cerr << "obs: failed to write trace file " << options.trace_path
+                << "\n";
+      ok = false;
+    }
+  }
+  if (!options.metrics_path.empty()) {
+    std::ofstream os(options.metrics_path);
+    if (os) Registry::global().write_jsonl(os);
+    if (!os) {
+      std::cerr << "obs: failed to write metrics file " << options.metrics_path
+                << "\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+bool auto_init_from_env() {
+  static bool initialised = false;
+  static bool enabled_anything = false;
+  if (initialised) return enabled_anything;
+  initialised = true;
+  const ObsOptions options = options_from_env();
+  if (!options.any()) return false;
+  enable(options);
+  g_atexit_options = options;
+  std::atexit(atexit_flush);
+  enabled_anything = true;
+  return true;
+}
+
+}  // namespace fedwcm::obs

@@ -1,0 +1,43 @@
+#pragma once
+/// \file runtime.hpp
+/// Process-level on/off switches and artifact export for observability.
+///
+/// Two equivalent entry points:
+///  * environment variables — FEDWCM_TRACE=<path> and
+///    FEDWCM_METRICS_OUT=<path> — picked up by `auto_init_from_env()`, which
+///    the bench harness calls from its banner so *every* existing bench
+///    gains tracing/metrics with zero per-bench changes;
+///  * explicit flags (`fedwcm_run --trace <path> --metrics-out <path>`)
+///    mapped onto an `ObsOptions` by the tool.
+/// Either way, enabling tracing turns the global `Tracer` on, enabling
+/// metrics turns the global `Registry` on, and `flush()` writes the files.
+
+#include <string>
+
+namespace fedwcm::obs {
+
+struct ObsOptions {
+  std::string trace_path;    ///< Chrome trace-event JSON; empty = tracing off.
+  std::string metrics_path;  ///< Metrics JSONL; empty = metrics off.
+
+  bool any() const { return !trace_path.empty() || !metrics_path.empty(); }
+};
+
+/// Reads FEDWCM_TRACE / FEDWCM_METRICS_OUT (empty strings when unset).
+ObsOptions options_from_env();
+
+/// Enables the global tracer/registry according to which paths are set.
+void enable(const ObsOptions& options);
+
+/// Writes the requested artifacts. Returns false (after attempting both) if
+/// any write failed; failures are also reported on stderr so batch runs
+/// leave a trail.
+bool flush(const ObsOptions& options);
+
+/// Environment-driven setup with an atexit-registered flush: enables
+/// whatever the env requests and guarantees the files are written even for
+/// binaries that never heard of observability. Idempotent; returns true if
+/// anything was enabled.
+bool auto_init_from_env();
+
+}  // namespace fedwcm::obs

@@ -1,0 +1,99 @@
+#include "fedwcm/obs/trace.hpp"
+
+#include <fstream>
+#include <ostream>
+
+namespace fedwcm::obs {
+
+namespace {
+
+/// Per-thread current nesting depth (spans on one thread strictly nest
+/// because Span is scope-bound).
+thread_local std::uint32_t t_span_depth = 0;
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer instance;
+  return instance;
+}
+
+std::uint32_t trace_thread_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void Tracer::record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    if (i) os << ",";
+    os << "\n{\"name\":\"" << e.name << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+       << e.tid << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us
+       << ",\"args\":{\"depth\":" << e.depth;
+    if (e.has_arg) os << ",\"" << e.arg_name << "\":" << e.arg_value;
+    os << "}}";
+  }
+  os << "\n]}\n";
+}
+
+bool Tracer::write_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(os);
+  return bool(os);
+}
+
+Span::Span(const char* name, const char* arg_name, std::int64_t arg_value) {
+  if (!Tracer::global().enabled()) return;
+  name_ = name;
+  arg_name_ = arg_name;
+  arg_value_ = arg_value;
+  depth_ = t_span_depth++;
+  start_us_ = now_us();
+  active_ = true;
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const std::uint64_t end = now_us();
+  --t_span_depth;
+  TraceEvent e;
+  e.name = name_;
+  e.ts_us = start_us_;
+  // Perfetto drops 0-duration complete events from the track view; clamp to
+  // 1us so every span stays visible.
+  e.dur_us = end > start_us_ ? end - start_us_ : 1;
+  e.tid = trace_thread_id();
+  e.depth = depth_;
+  if (arg_name_) {
+    e.arg_name = arg_name_;
+    e.arg_value = arg_value_;
+    e.has_arg = true;
+  }
+  Tracer::global().record(std::move(e));
+}
+
+}  // namespace fedwcm::obs

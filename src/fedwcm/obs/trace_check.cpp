@@ -1,0 +1,106 @@
+#include "fedwcm/obs/trace_check.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "fedwcm/obs/json.hpp"
+
+namespace fedwcm::obs {
+
+namespace {
+
+struct Interval {
+  double ts, end;
+  std::string name;
+};
+
+TraceCheck failure(std::string message) {
+  TraceCheck check;
+  check.error = std::move(message);
+  return check;
+}
+
+}  // namespace
+
+std::size_t TraceCheck::count_named(const std::string& name) const {
+  for (const auto& [n, c] : name_counts)
+    if (n == name) return c;
+  return 0;
+}
+
+TraceCheck validate_chrome_trace(const std::string& text) {
+  json::Value doc;
+  std::string parse_error;
+  if (!json::parse(text, doc, parse_error))
+    return failure("invalid JSON: " + parse_error);
+  if (!doc.is_object()) return failure("document is not a JSON object");
+  const json::Value* events = doc.find("traceEvents");
+  if (!events || !events->is_array())
+    return failure("missing traceEvents array");
+
+  TraceCheck check;
+  std::map<double, std::vector<Interval>> per_tid;
+  std::map<std::string, std::size_t> names;
+  for (const json::Value& ev : events->as_array()) {
+    if (!ev.is_object()) return failure("event is not an object");
+    const json::Value* name = ev.find("name");
+    const json::Value* ph = ev.find("ph");
+    const json::Value* ts = ev.find("ts");
+    const json::Value* dur = ev.find("dur");
+    const json::Value* tid = ev.find("tid");
+    const json::Value* pid = ev.find("pid");
+    if (!name || !name->is_string()) return failure("event missing name");
+    if (!ph || !ph->is_string() || ph->as_string() != "X")
+      return failure("event '" + (name ? name->as_string() : "?") +
+                     "' is not a complete (ph=X) event");
+    if (!ts || !ts->is_number() || !dur || !dur->is_number())
+      return failure("event '" + name->as_string() + "' missing ts/dur");
+    if (!tid || !tid->is_number() || !pid || !pid->is_number())
+      return failure("event '" + name->as_string() + "' missing tid/pid");
+    if (ts->as_number() < 0 || dur->as_number() <= 0)
+      return failure("event '" + name->as_string() + "' has non-positive dur");
+    per_tid[tid->as_number()].push_back(
+        {ts->as_number(), ts->as_number() + dur->as_number(),
+         name->as_string()});
+    ++names[name->as_string()];
+    ++check.num_events;
+  }
+
+  // Per thread, spans must strictly nest: sorted by (start asc, end desc),
+  // each span either starts after the enclosing one ends or lies inside it.
+  for (auto& [tid, spans] : per_tid) {
+    std::sort(spans.begin(), spans.end(), [](const Interval& a, const Interval& b) {
+      return a.ts != b.ts ? a.ts < b.ts : a.end > b.end;
+    });
+    std::vector<const Interval*> stack;
+    for (const Interval& span : spans) {
+      while (!stack.empty() && stack.back()->end <= span.ts) stack.pop_back();
+      if (!stack.empty() && span.end > stack.back()->end) {
+        std::ostringstream msg;
+        msg << "tid " << tid << ": span '" << span.name << "' ["
+            << span.ts << ", " << span.end << ") partially overlaps '"
+            << stack.back()->name << "' ending at " << stack.back()->end;
+        return failure(msg.str());
+      }
+      stack.push_back(&span);
+    }
+  }
+
+  check.ok = true;
+  check.num_threads = per_tid.size();
+  check.name_counts.assign(names.begin(), names.end());
+  return check;
+}
+
+TraceCheck validate_chrome_trace_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return failure("cannot open " + path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return validate_chrome_trace(ss.str());
+}
+
+}  // namespace fedwcm::obs

@@ -1,0 +1,37 @@
+#pragma once
+/// \file trace_check.hpp
+/// Self-validation for emitted trace files.
+///
+/// Backs the `obs_selfcheck` CTest target and the tracing unit tests: proves
+/// — without any external tooling — that a trace file is well-formed JSON in
+/// the Chrome trace-event schema and that spans nest properly per thread.
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fedwcm::obs {
+
+/// Result of validating a trace document.
+struct TraceCheck {
+  bool ok = false;
+  std::string error;       ///< First problem found (empty when ok).
+  std::size_t num_events = 0;
+  std::size_t num_threads = 0;
+  /// Events named `name` (e.g. count "round" spans).
+  std::size_t count_named(const std::string& name) const;
+
+  std::vector<std::pair<std::string, std::size_t>> name_counts;
+};
+
+/// Parses `text` as a Chrome trace-event document and checks:
+///  * it is a JSON object with a `traceEvents` array,
+///  * every event has string `name`, `"ph":"X"`, numeric ts/dur/tid/pid,
+///  * on each tid, spans strictly nest (no partial overlap between any pair).
+TraceCheck validate_chrome_trace(const std::string& text);
+
+/// Convenience: reads and validates a file (I/O errors -> !ok).
+TraceCheck validate_chrome_trace_file(const std::string& path);
+
+}  // namespace fedwcm::obs

@@ -23,6 +23,10 @@ fl::SimulationResult sample_result() {
     rec.test_accuracy = 0.2f * float(r + 1);
     rec.train_loss = 1.0f - 0.1f * float(r);
     rec.alpha = 0.1f;
+    rec.evaluated = true;
+    rec.round_wall_ms = 12.5 + double(r);
+    rec.bytes_up = 1000 * (r + 1);
+    rec.bytes_down = 500 * (r + 1);
     res.history.push_back(rec);
   }
   return res;
@@ -40,8 +44,10 @@ TEST(Report, CsvContainsHeaderAndRows) {
   write_history_csv(path, sample_result());
   const std::string content = slurp(path);
   EXPECT_NE(content.find("round,test_accuracy"), std::string::npos);
+  EXPECT_NE(content.find("round_wall_ms,bytes_up,bytes_down"), std::string::npos);
   EXPECT_NE(content.find("\n0,0.2"), std::string::npos);
   EXPECT_NE(content.find("\n2,0.6"), std::string::npos);
+  EXPECT_NE(content.find("12.5,1000,500"), std::string::npos);
   // Header + 3 data rows.
   EXPECT_EQ(std::count(content.begin(), content.end(), '\n'), 4);
   std::remove(path.c_str());
@@ -55,6 +61,9 @@ TEST(Report, JsonlContainsRecordsAndSummary) {
   EXPECT_NE(content.find("\"round\":2"), std::string::npos);
   EXPECT_NE(content.find("\"summary\":true"), std::string::npos);
   EXPECT_NE(content.find("\"per_class_accuracy\":[0.9,0.5]"), std::string::npos);
+  EXPECT_NE(content.find("\"round_wall_ms\":12.5"), std::string::npos);
+  EXPECT_NE(content.find("\"bytes_up\":1000"), std::string::npos);
+  EXPECT_NE(content.find("\"bytes_down\":500"), std::string::npos);
   EXPECT_EQ(std::count(content.begin(), content.end(), '\n'), 4);
   std::remove(path.c_str());
 }

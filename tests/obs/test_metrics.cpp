@@ -1,0 +1,168 @@
+// Metrics registry: counter/gauge/histogram semantics, disabled-mode no-ops,
+// shared handles across acquisition sites, and concurrency under the pool.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fedwcm/core/thread_pool.hpp"
+#include "fedwcm/obs/json.hpp"
+#include "fedwcm/obs/metrics.hpp"
+
+namespace fedwcm::obs {
+namespace {
+
+// Each test uses its own registry; the global one stays untouched.
+
+TEST(Metrics, CounterCountsWhenEnabled) {
+  Registry reg;
+  reg.set_enabled(true);
+  Counter c = reg.counter("test.count");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, DisabledHandlesAreNoOps) {
+  Registry reg;
+  Counter c = reg.counter("test.count");
+  Gauge g = reg.gauge("test.gauge");
+  Histogram h = reg.histogram("test.hist", {1.0, 10.0});
+  c.add(5);
+  g.set(3.0);
+  h.observe(0.5);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+
+  // Re-enabling makes the *same* handles live (the switch is per-registry,
+  // not baked into the handle).
+  reg.set_enabled(true);
+  c.add(5);
+  EXPECT_EQ(c.value(), 5u);
+}
+
+TEST(Metrics, DefaultConstructedHandlesAreSafe) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  c.add();
+  g.set(1.0);
+  h.observe(1.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Metrics, SameNameSharesACell) {
+  Registry reg;
+  reg.set_enabled(true);
+  Counter a = reg.counter("shared");
+  Counter b = reg.counter("shared");
+  a.add(2);
+  b.add(3);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(b.value(), 5u);
+}
+
+TEST(Metrics, GaugeIsLastWriteWins) {
+  Registry reg;
+  reg.set_enabled(true);
+  Gauge g = reg.gauge("depth");
+  g.set(4.0);
+  g.set(2.5);
+  EXPECT_EQ(g.value(), 2.5);
+}
+
+TEST(Metrics, HistogramStatsAndQuantiles) {
+  Registry reg;
+  reg.set_enabled(true);
+  Histogram h = reg.histogram("lat", {1.0, 2.0, 4.0, 8.0});
+  for (double v : {0.5, 1.5, 1.5, 3.0, 7.0, 20.0}) h.observe(v);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 33.5);
+  // p50 lands in the (1, 2] bucket, p99 in the overflow bucket.
+  EXPECT_GT(h.quantile(0.5), 1.0);
+  EXPECT_LE(h.quantile(0.5), 2.0);
+  EXPECT_GT(h.quantile(0.99), 8.0);
+  // Quantiles are monotone in q.
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+  EXPECT_LE(h.quantile(0.9), h.quantile(0.99));
+}
+
+TEST(Metrics, ConcurrentIncrementsFromThreadPool) {
+  Registry reg;
+  reg.set_enabled(true);
+  Counter c = reg.counter("concurrent.count");
+  Histogram h = reg.histogram("concurrent.hist", time_buckets_ms());
+  core::ThreadPool pool(4);
+  constexpr std::size_t kTasks = 64;
+  constexpr std::size_t kPerTask = 1000;
+  core::parallel_for(pool, 0, kTasks, [&](std::size_t i) {
+    for (std::size_t k = 0; k < kPerTask; ++k) {
+      c.add();
+      h.observe(double(i % 7));
+    }
+  });
+  EXPECT_EQ(c.value(), kTasks * kPerTask);
+  EXPECT_EQ(h.count(), kTasks * kPerTask);
+}
+
+TEST(Metrics, JsonlExportParsesAndCarriesSummaries) {
+  Registry reg;
+  reg.set_enabled(true);
+  Counter c = reg.counter("comm.bytes_up");
+  c.add(1234);
+  Histogram h = reg.histogram("round.wall_ms", time_buckets_ms());
+  h.observe(3.0);
+  h.observe(5.0);
+  std::ostringstream os;
+  reg.write_jsonl(os);
+  std::istringstream is(os.str());
+  std::string line;
+  bool saw_counter = false, saw_hist = false;
+  while (std::getline(is, line)) {
+    json::Value v;
+    std::string error;
+    ASSERT_TRUE(json::parse(line, v, error)) << error << ": " << line;
+    const std::string& name = v.find("metric")->as_string();
+    if (name == "comm.bytes_up") {
+      saw_counter = true;
+      EXPECT_EQ(v.find("value")->as_number(), 1234.0);
+    } else if (name == "round.wall_ms") {
+      saw_hist = true;
+      EXPECT_EQ(v.find("count")->as_number(), 2.0);
+      EXPECT_DOUBLE_EQ(v.find("sum")->as_number(), 8.0);
+      EXPECT_DOUBLE_EQ(v.find("mean")->as_number(), 4.0);
+      EXPECT_DOUBLE_EQ(v.find("min")->as_number(), 3.0);
+      EXPECT_DOUBLE_EQ(v.find("max")->as_number(), 5.0);
+      ASSERT_NE(v.find("p50"), nullptr);
+      ASSERT_NE(v.find("p99"), nullptr);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_hist);
+}
+
+TEST(Metrics, TableListsEveryMetric) {
+  Registry reg;
+  reg.set_enabled(true);
+  reg.counter("a.count").add(7);
+  reg.gauge("b.gauge").set(1.5);
+  reg.histogram("c.hist", {1.0}).observe(0.5);
+  const std::string table = reg.to_table();
+  EXPECT_NE(table.find("a.count"), std::string::npos);
+  EXPECT_NE(table.find("b.gauge"), std::string::npos);
+  EXPECT_NE(table.find("c.hist"), std::string::npos);
+}
+
+TEST(Metrics, ResetDropsMetrics) {
+  Registry reg;
+  reg.set_enabled(true);
+  reg.counter("gone").add(1);
+  reg.reset();
+  std::ostringstream os;
+  reg.write_jsonl(os);
+  EXPECT_EQ(os.str(), "");
+}
+
+}  // namespace
+}  // namespace fedwcm::obs

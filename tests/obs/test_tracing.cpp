@@ -1,0 +1,147 @@
+// Span tracer: disabled-mode silence, span nesting/depth, thread ids, and
+// Chrome trace-event JSON validity (via the self-contained JSON parser).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "fedwcm/obs/json.hpp"
+#include "fedwcm/obs/trace.hpp"
+#include "fedwcm/obs/trace_check.hpp"
+
+namespace fedwcm::obs {
+namespace {
+
+// The Span RAII type records through Tracer::global(); serialize access and
+// restore the disabled/empty state after each test (ctest runs each test in
+// its own process, so cross-test leakage is impossible anyway).
+class Tracing : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::global().clear();
+    Tracer::global().set_enabled(true);
+  }
+  void TearDown() override {
+    Tracer::global().set_enabled(false);
+    Tracer::global().clear();
+  }
+};
+
+TEST_F(Tracing, DisabledModeEmitsNothing) {
+  Tracer::global().set_enabled(false);
+  {
+    Span outer("outer");
+    Span inner("inner");
+  }
+  EXPECT_EQ(Tracer::global().event_count(), 0u);
+  std::ostringstream os;
+  Tracer::global().write_chrome_trace(os);
+  json::Value doc;
+  std::string error;
+  ASSERT_TRUE(json::parse(os.str(), doc, error)) << error;
+  EXPECT_TRUE(doc.find("traceEvents")->as_array().empty());
+}
+
+TEST_F(Tracing, SpansNestWithDepthAndContainment) {
+  {
+    Span outer("outer");
+    {
+      Span inner("inner", "round", 3);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  const auto events = Tracer::global().events();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans complete innermost-first.
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.depth, 0u);
+  EXPECT_EQ(inner.depth, 1u);
+  EXPECT_EQ(inner.tid, outer.tid);
+  // Containment: inner starts no earlier and ends no later than outer.
+  EXPECT_GE(inner.ts_us, outer.ts_us);
+  EXPECT_LE(inner.ts_us + inner.dur_us, outer.ts_us + outer.dur_us);
+  EXPECT_TRUE(inner.has_arg);
+  EXPECT_EQ(inner.arg_name, "round");
+  EXPECT_EQ(inner.arg_value, 3);
+}
+
+TEST_F(Tracing, ThreadsGetDistinctIds) {
+  std::uint32_t main_tid = trace_thread_id();
+  std::uint32_t worker_tid = 0;
+  std::thread worker([&] {
+    Span span("on_worker");
+    worker_tid = trace_thread_id();
+  });
+  worker.join();
+  EXPECT_NE(main_tid, worker_tid);
+  const auto events = Tracer::global().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].tid, worker_tid);
+}
+
+TEST_F(Tracing, ChromeTraceJsonIsValidAndWellFormed) {
+  {
+    Span round("round", "round", 0);
+    Span train("local_train");
+  }
+  {
+    Span round("round", "round", 1);
+  }
+  std::ostringstream os;
+  Tracer::global().write_chrome_trace(os);
+  const TraceCheck check = validate_chrome_trace(os.str());
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.num_events, 3u);
+  EXPECT_EQ(check.count_named("round"), 2u);
+  EXPECT_EQ(check.count_named("local_train"), 1u);
+
+  // And the raw document has the fields Perfetto keys on.
+  json::Value doc;
+  std::string error;
+  ASSERT_TRUE(json::parse(os.str(), doc, error)) << error;
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  for (const json::Value& ev : events->as_array()) {
+    EXPECT_EQ(ev.find("ph")->as_string(), "X");
+    EXPECT_GT(ev.find("dur")->as_number(), 0.0);
+    ASSERT_NE(ev.find("args"), nullptr);
+  }
+}
+
+TEST_F(Tracing, ValidatorRejectsPartialOverlap) {
+  // Hand-craft two same-thread spans that overlap without nesting.
+  const std::string bad =
+      "{\"traceEvents\":["
+      "{\"name\":\"a\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0,\"dur\":10},"
+      "{\"name\":\"b\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":5,\"dur\":10}"
+      "]}";
+  const TraceCheck check = validate_chrome_trace(bad);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.error.find("partially overlaps"), std::string::npos);
+}
+
+TEST_F(Tracing, ValidatorRejectsMalformedJson) {
+  EXPECT_FALSE(validate_chrome_trace("{\"traceEvents\":[").ok);
+  EXPECT_FALSE(validate_chrome_trace("[]").ok);
+  EXPECT_FALSE(validate_chrome_trace("{\"noEvents\":1}").ok);
+}
+
+TEST_F(Tracing, EnablingMidRunOnlyRecordsNewSpans) {
+  Tracer::global().set_enabled(false);
+  {
+    Span before("before");
+  }
+  Tracer::global().set_enabled(true);
+  {
+    Span after("after");
+  }
+  const auto events = Tracer::global().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "after");
+}
+
+}  // namespace
+}  // namespace fedwcm::obs

@@ -26,9 +26,13 @@
 ///   --loss NAME           ce|focal|balance                   [ce]
 ///   --probe-concentration record the Appendix-B metric       [off]
 ///   --out PATH            artifact basename (PATH.csv/.jsonl) [none]
+///   --trace PATH          Chrome trace-event JSON (Perfetto)  [$FEDWCM_TRACE]
+///   --metrics-out PATH    metrics JSONL                  [$FEDWCM_METRICS_OUT]
+///   --progress            per-round progress lines            [off]
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "fedwcm/analysis/concentration.hpp"
@@ -38,6 +42,7 @@
 #include "fedwcm/data/synthetic.hpp"
 #include "fedwcm/fl/registry.hpp"
 #include "fedwcm/fl/simulation.hpp"
+#include "fedwcm/obs/runtime.hpp"
 
 using namespace fedwcm;
 
@@ -61,11 +66,39 @@ struct Args {
   std::string loss = "ce";
   bool probe_concentration = false;
   std::string out;
+  std::string trace;
+  std::string metrics_out;
+  bool progress = false;
 };
 
+const char kUsage[] =
+    "usage: fedwcm_run [flags]\n"
+    "  --alg NAME            algorithm registry name            [fedwcm]\n"
+    "  --dataset NAME        fmnist|svhn|cifar10|cifar100|imagenet [cifar10]\n"
+    "  --if F                imbalance factor in (0,1]          [0.1]\n"
+    "  --beta F              Dirichlet concentration            [0.1]\n"
+    "  --clients N           total clients                      [30]\n"
+    "  --participation F     sampled fraction per round         [0.1]\n"
+    "  --rounds N            communication rounds               [60]\n"
+    "  --epochs N            local epochs                       [5]\n"
+    "  --batch N             local batch size                   [10]\n"
+    "  --lr F                local learning rate eta_l          [0.1]\n"
+    "  --global-lr F         server learning rate eta_g         [1.0]\n"
+    "  --seed N              run seed                           [1]\n"
+    "  --fedgrab-partition   use the quantity-skewed pipeline   [off]\n"
+    "  --balanced-sampler    class-balanced local sampling      [off]\n"
+    "  --loss NAME           ce|focal|balance                   [ce]\n"
+    "  --probe-concentration record the Appendix-B metric       [off]\n"
+    "  --out PATH            artifact basename (PATH.csv/.jsonl) [none]\n"
+    "  --trace PATH          Chrome trace-event JSON (open in Perfetto)\n"
+    "                        [$FEDWCM_TRACE]\n"
+    "  --metrics-out PATH    metrics JSONL (see docs/OBSERVABILITY.md)\n"
+    "                        [$FEDWCM_METRICS_OUT]\n"
+    "  --progress            per-round progress lines           [off]\n"
+    "  --help, -h            print this message and exit\n";
+
 [[noreturn]] void usage_error(const std::string& message) {
-  std::cerr << "fedwcm_run: " << message << "\n(see the header comment in "
-            << "tools/fedwcm_run.cpp for flag documentation)\n";
+  std::cerr << "fedwcm_run: " << message << "\n" << kUsage;
   std::exit(2);
 }
 
@@ -94,8 +127,15 @@ Args parse(int argc, char** argv) {
     else if (flag == "--loss") args.loss = need_value(i);
     else if (flag == "--probe-concentration") args.probe_concentration = true;
     else if (flag == "--out") args.out = need_value(i);
-    else if (flag == "--help" || flag == "-h") usage_error("usage requested");
-    else usage_error("unknown flag " + flag);
+    else if (flag == "--trace") args.trace = need_value(i);
+    else if (flag == "--metrics-out") args.metrics_out = need_value(i);
+    else if (flag == "--progress") args.progress = true;
+    else if (flag == "--help" || flag == "-h") {
+      std::cout << kUsage;
+      std::exit(0);
+    } else {
+      usage_error("unknown flag " + flag);
+    }
   }
   return args;
 }
@@ -114,6 +154,13 @@ data::SyntheticSpec dataset_by_name(const std::string& name) {
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
+
+  // Flags win over FEDWCM_TRACE / FEDWCM_METRICS_OUT; either enables the
+  // corresponding global instrument before the run starts.
+  obs::ObsOptions obs_options = obs::options_from_env();
+  if (!args.trace.empty()) obs_options.trace_path = args.trace;
+  if (!args.metrics_out.empty()) obs_options.metrics_path = args.metrics_out;
+  obs::enable(obs_options);
 
   data::SyntheticSpec spec = dataset_by_name(args.dataset);
   spec.class_separation = 4.5f;
@@ -160,6 +207,8 @@ int main(int argc, char** argv) {
     sim.set_probe([](nn::Sequential& model, const data::Dataset& test) {
       return analysis::neuron_concentration(model, test, 32).mean;
     });
+  if (args.progress)
+    sim.add_observer(std::make_shared<fl::LoggingObserver>(std::cout));
 
   std::unique_ptr<fl::Algorithm> algorithm;
   try {
@@ -184,6 +233,14 @@ int main(int argc, char** argv) {
     analysis::write_history_csv(args.out + ".csv", result);
     analysis::write_history_jsonl(args.out + ".jsonl", result);
     std::cout << "artifacts: " << args.out << ".csv, " << args.out << ".jsonl\n";
+  }
+  if (obs_options.any()) {
+    if (!obs::flush(obs_options)) return 1;
+    if (!obs_options.trace_path.empty())
+      std::cout << "trace:   " << obs_options.trace_path
+                << " (open in Perfetto / about://tracing)\n";
+    if (!obs_options.metrics_path.empty())
+      std::cout << "metrics: " << obs_options.metrics_path << "\n";
   }
   return 0;
 }

@@ -1,0 +1,142 @@
+/// obs_selfcheck — CTest-registered end-to-end check of the observability
+/// layer, with no external tooling (no Python, no JSON library).
+///
+/// Runs a tiny 3-round federated simulation with tracing + metrics enabled,
+/// writes the trace to a file, reads it back, and asserts:
+///   * the file is valid JSON in the Chrome trace-event schema,
+///   * spans nest correctly on every thread,
+///   * there is exactly one "round" span per round, with client/aggregate/
+///     evaluate spans present,
+///   * the metrics JSONL parses line-by-line and carries the headline
+///     metrics (round.wall_ms, client.local_train_ms, comm.bytes_up).
+/// Exits 0 on success, 1 with a diagnostic on the first failure.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "fedwcm/data/longtail.hpp"
+#include "fedwcm/data/partition.hpp"
+#include "fedwcm/data/synthetic.hpp"
+#include "fedwcm/fl/registry.hpp"
+#include "fedwcm/fl/simulation.hpp"
+#include "fedwcm/obs/json.hpp"
+#include "fedwcm/obs/metrics.hpp"
+#include "fedwcm/obs/runtime.hpp"
+#include "fedwcm/obs/trace.hpp"
+#include "fedwcm/obs/trace_check.hpp"
+
+using namespace fedwcm;
+
+namespace {
+
+int fail(const std::string& message) {
+  std::cerr << "obs_selfcheck: FAIL: " << message << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : ".";
+  const std::string trace_path = dir + "/obs_selfcheck.trace.json";
+  const std::string metrics_path = dir + "/obs_selfcheck.metrics.jsonl";
+  constexpr std::size_t kRounds = 3;
+
+  obs::Tracer::global().set_enabled(true);
+  obs::Registry::global().set_enabled(true);
+
+  // Tiny deterministic world: 6 classes, 8 clients, 3 rounds.
+  data::SyntheticSpec spec;
+  spec.name = "obs_selfcheck";
+  spec.num_classes = 6;
+  spec.input_dim = 12;
+  spec.subclusters = 2;
+  spec.train_per_class = 60;
+  spec.test_per_class = 20;
+  spec.class_separation = 4.0f;
+  spec.noise = 0.8f;
+  const data::TrainTest tt = data::generate(spec, 42);
+  const auto subset = data::longtail_subsample(tt.train, 0.1, 42);
+  fl::FlConfig cfg;
+  cfg.num_clients = 8;
+  cfg.participation = 0.5;
+  cfg.rounds = kRounds;
+  cfg.local_epochs = 2;
+  cfg.batch_size = 16;
+  cfg.threads = 2;
+  const auto partition =
+      data::partition_equal_quantity(tt.train, subset, cfg.num_clients, 0.1, 42);
+  auto factory = nn::mlp_factory(tt.train.dim(), {16}, tt.train.num_classes);
+  fl::Simulation sim(cfg, tt.train, tt.test, partition, factory,
+                     fl::cross_entropy_loss_factory());
+  auto algorithm = fl::make_algorithm("fedwcm");
+  const fl::SimulationResult result = sim.run(*algorithm);
+  if (result.history.empty()) return fail("simulation produced no history");
+
+  obs::ObsOptions options;
+  options.trace_path = trace_path;
+  options.metrics_path = metrics_path;
+  if (!obs::flush(options)) return fail("artifact flush failed");
+
+  // --- Trace file: JSON validity, schema, nesting, expected span counts. ---
+  const obs::TraceCheck check = obs::validate_chrome_trace_file(trace_path);
+  if (!check.ok) return fail("trace validation: " + check.error);
+  if (check.count_named("round") != kRounds)
+    return fail("expected " + std::to_string(kRounds) + " round spans, got " +
+                std::to_string(check.count_named("round")));
+  for (const char* required :
+       {"client.local_train", "local_sgd", "aggregate", "evaluate",
+        "sample_clients", "simulation.run"})
+    if (check.count_named(required) == 0)
+      return fail(std::string("no '") + required + "' spans in trace");
+  if (check.count_named("client.local_train") < kRounds)
+    return fail("fewer client spans than rounds");
+
+  // --- Metrics JSONL: every line parses; headline metrics present. ---
+  std::ifstream metrics_file(metrics_path);
+  if (!metrics_file) return fail("cannot reopen " + metrics_path);
+  std::string line;
+  std::size_t lines = 0;
+  bool saw_round_ms = false, saw_client_ms = false, saw_bytes_up = false;
+  while (std::getline(metrics_file, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    obs::json::Value value;
+    std::string error;
+    if (!obs::json::parse(line, value, error))
+      return fail("metrics line " + std::to_string(lines) + ": " + error);
+    const obs::json::Value* metric = value.find("metric");
+    if (!metric || !metric->is_string())
+      return fail("metrics line " + std::to_string(lines) + ": no metric name");
+    const std::string& name = metric->as_string();
+    if (name == "round.wall_ms") {
+      const obs::json::Value* count = value.find("count");
+      saw_round_ms = count && count->is_number() &&
+                     count->as_number() == double(kRounds);
+    } else if (name == "client.local_train_ms") {
+      const obs::json::Value* count = value.find("count");
+      saw_client_ms = count && count->is_number() && count->as_number() > 0;
+    } else if (name == "comm.bytes_up") {
+      const obs::json::Value* v = value.find("value");
+      saw_bytes_up = v && v->is_number() && v->as_number() > 0;
+    }
+  }
+  if (!saw_round_ms) return fail("round.wall_ms missing or wrong count");
+  if (!saw_client_ms) return fail("client.local_train_ms missing or empty");
+  if (!saw_bytes_up) return fail("comm.bytes_up missing or zero");
+
+  // --- RoundRecord plumbing: timing/comm surfaced to consumers. ---
+  for (const auto& rec : result.history) {
+    if (rec.round_wall_ms <= 0.0) return fail("round_wall_ms not populated");
+    if (rec.bytes_up == 0 || rec.bytes_down == 0)
+      return fail("comm bytes not populated");
+  }
+
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+  std::cout << "obs_selfcheck: OK (" << check.num_events << " events, "
+            << check.num_threads << " threads)\n";
+  return 0;
+}
