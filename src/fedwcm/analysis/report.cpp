@@ -19,12 +19,13 @@ void write_history_csv(const std::string& path,
                        const fl::SimulationResult& result) {
   std::ofstream os = open_or_throw(path);
   os << "round,test_accuracy,train_loss,alpha,momentum_norm,concentration,"
-        "round_wall_ms,bytes_up,bytes_down\n";
+        "round_wall_ms,bytes_up,bytes_down,dropped,rejected,straggled\n";
   for (const auto& rec : result.history)
     os << rec.round << "," << rec.test_accuracy << "," << rec.train_loss << ","
        << rec.alpha << "," << rec.momentum_norm << "," << rec.concentration
        << "," << rec.round_wall_ms << "," << rec.bytes_up << ","
-       << rec.bytes_down << "\n";
+       << rec.bytes_down << "," << rec.dropped << "," << rec.rejected << ","
+       << rec.straggled << "\n";
   if (!os) throw std::runtime_error("report: write failed for " + path);
 }
 
@@ -39,12 +40,17 @@ void write_history_jsonl(const std::string& path,
        << ",\"concentration\":" << rec.concentration
        << ",\"round_wall_ms\":" << rec.round_wall_ms
        << ",\"bytes_up\":" << rec.bytes_up
-       << ",\"bytes_down\":" << rec.bytes_down << "}\n";
+       << ",\"bytes_down\":" << rec.bytes_down
+       << ",\"dropped\":" << rec.dropped << ",\"rejected\":" << rec.rejected
+       << ",\"straggled\":" << rec.straggled << "}\n";
   }
   os << "{\"algorithm\":\"" << result.algorithm
      << "\",\"summary\":true,\"final_accuracy\":" << result.final_accuracy
      << ",\"best_accuracy\":" << result.best_accuracy
      << ",\"tail_mean_accuracy\":" << result.tail_mean_accuracy
+     << ",\"faults_dropped\":" << result.faults_dropped
+     << ",\"faults_rejected\":" << result.faults_rejected
+     << ",\"faults_straggled\":" << result.faults_straggled
      << ",\"per_class_accuracy\":[";
   for (std::size_t c = 0; c < result.per_class_accuracy.size(); ++c) {
     if (c) os << ",";

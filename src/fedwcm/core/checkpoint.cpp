@@ -1,0 +1,74 @@
+#include "fedwcm/core/checkpoint.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace fedwcm::core {
+
+CheckpointWriter::CheckpointWriter(std::string path, const std::string& fingerprint)
+    : path_(std::move(path)),
+      tmp_path_(path_ + ".tmp"),
+      os_(tmp_path_, std::ios::binary | std::ios::trunc),
+      writer_(os_) {
+  if (!os_)
+    throw std::runtime_error("CheckpointWriter: cannot open " + tmp_path_);
+  writer_.write_u32(kCheckpointMagic);
+  writer_.write_u32(kCheckpointVersion);
+  writer_.write_string(fingerprint);
+  if (!os_)
+    throw std::runtime_error("CheckpointWriter: header write failed for " +
+                             tmp_path_);
+}
+
+CheckpointWriter::~CheckpointWriter() {
+  if (!committed_) {
+    os_.close();
+    std::remove(tmp_path_.c_str());
+  }
+}
+
+void CheckpointWriter::commit() {
+  os_.flush();
+  if (!os_)
+    throw std::runtime_error("CheckpointWriter: write failed for " + tmp_path_);
+  os_.close();
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path_.c_str());
+    throw std::runtime_error("CheckpointWriter: cannot rename " + tmp_path_ +
+                             " to " + path_);
+  }
+  committed_ = true;
+}
+
+CheckpointReader::CheckpointReader(const std::string& path,
+                                   const std::string& fingerprint)
+    : path_(path), is_(path, std::ios::binary), reader_(is_) {
+  if (!is_) throw std::runtime_error("CheckpointReader: cannot open " + path_);
+  if (reader_.read_u32() != kCheckpointMagic)
+    throw std::runtime_error("CheckpointReader: bad magic in " + path_ +
+                             " (not a fedwcm checkpoint)");
+  const std::uint32_t version = reader_.read_u32();
+  if (version != kCheckpointVersion)
+    throw std::runtime_error("CheckpointReader: unsupported version " +
+                             std::to_string(version) + " in " + path_ +
+                             " (expected " + std::to_string(kCheckpointVersion) +
+                             ")");
+  const std::string found = reader_.read_string();
+  if (found != fingerprint)
+    throw std::runtime_error(
+        "CheckpointReader: configuration fingerprint mismatch in " + path_ +
+        "\n  checkpoint: " + found + "\n  current:    " + fingerprint);
+}
+
+void CheckpointReader::finish() {
+  if (!reader_.at_end())
+    throw std::runtime_error("CheckpointReader: trailing garbage after payload in " +
+                             path_);
+}
+
+bool checkpoint_exists(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return bool(is);
+}
+
+}  // namespace fedwcm::core

@@ -1,0 +1,75 @@
+#pragma once
+/// \file checkpoint.hpp
+/// Crash-safe checkpoint container: atomic writes, versioned header,
+/// fingerprint-validated reads.
+///
+/// A checkpoint file is
+///     magic (u32) | format version (u32) | fingerprint (string) | body...
+/// where the body is caller-defined (the fl layer stores round index, global
+/// parameters, history, and algorithm state; see fl/checkpoint.hpp). The
+/// fingerprint is an opaque caller string — typically an RNG-free rendering
+/// of the run configuration — and a mismatch on load refuses to resume, so a
+/// checkpoint can never silently continue a *different* experiment.
+///
+/// Durability: `CheckpointWriter` writes to `<path>.tmp` and renames onto
+/// `path` only in `commit()`, so a crash mid-write leaves the previous
+/// checkpoint intact; an abandoned writer removes its temporary file.
+
+#include <fstream>
+#include <string>
+
+#include "fedwcm/core/serialize.hpp"
+
+namespace fedwcm::core {
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x4657434B;  // "FWCK"
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+class CheckpointWriter {
+ public:
+  /// Opens `<path>.tmp` and writes the header. Throws on I/O failure.
+  CheckpointWriter(std::string path, const std::string& fingerprint);
+  /// Removes the temporary file when the writer was never committed.
+  ~CheckpointWriter();
+
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  /// Serializer for the caller's body payload.
+  BinaryWriter& body() { return writer_; }
+
+  /// Flushes and atomically renames the temporary onto `path`. Throws if any
+  /// write failed; the target file is untouched in that case.
+  void commit();
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  std::ofstream os_;
+  BinaryWriter writer_;
+  bool committed_ = false;
+};
+
+class CheckpointReader {
+ public:
+  /// Opens `path` and validates magic, version, and fingerprint; throws
+  /// std::runtime_error naming the first mismatch.
+  CheckpointReader(const std::string& path, const std::string& fingerprint);
+
+  /// Deserializer positioned at the start of the body payload.
+  BinaryReader& body() { return reader_; }
+
+  /// Call after consuming the body: throws if bytes remain (a corrupt or
+  /// mismatched payload must not pass silently).
+  void finish();
+
+ private:
+  std::string path_;
+  std::ifstream is_;
+  BinaryReader reader_;
+};
+
+/// True when `path` exists and is a readable file.
+bool checkpoint_exists(const std::string& path);
+
+}  // namespace fedwcm::core

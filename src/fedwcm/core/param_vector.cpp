@@ -55,6 +55,12 @@ float l2_norm_sq(const ParamVector& x) {
   return core::l2_norm_sq(std::span<const float>(x));
 }
 
+bool all_finite(const ParamVector& x) {
+  for (float v : x)
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
 float cosine(const ParamVector& a, const ParamVector& b) {
   const float na = l2_norm(a);
   const float nb = l2_norm(b);

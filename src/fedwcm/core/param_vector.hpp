@@ -40,6 +40,10 @@ float l2_norm_sq(const ParamVector& x);
 /// Cosine similarity; returns 0 when either vector is (numerically) zero.
 float cosine(const ParamVector& a, const ParamVector& b);
 
+/// True when every element is finite (no NaN/inf) — the aggregation-side
+/// guard against corrupted or diverged client updates.
+bool all_finite(const ParamVector& x);
+
 }  // namespace pv
 
 }  // namespace fedwcm::core

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <stdexcept>
 
@@ -23,6 +24,10 @@ void BinaryWriter::write_f32(float v) {
   os_.write(reinterpret_cast<const char*>(&v), sizeof v);
 }
 
+void BinaryWriter::write_f64(double v) {
+  os_.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
 void BinaryWriter::write_string(const std::string& s) {
   write_u64(s.size());
   os_.write(s.data(), std::streamsize(s.size()));
@@ -30,20 +35,50 @@ void BinaryWriter::write_string(const std::string& s) {
 
 void BinaryWriter::write_floats(const std::vector<float>& v) {
   write_u64(v.size());
-  os_.write(reinterpret_cast<const char*>(v.data()),
-            std::streamsize(v.size() * sizeof(float)));
+  if (!v.empty())
+    os_.write(reinterpret_cast<const char*>(v.data()),
+              std::streamsize(v.size() * sizeof(float)));
 }
 
 void BinaryWriter::write_matrix(const Matrix& m) {
   write_u64(m.rows());
   write_u64(m.cols());
-  os_.write(reinterpret_cast<const char*>(m.data()),
-            std::streamsize(m.size() * sizeof(float)));
+  if (m.size() > 0)
+    os_.write(reinterpret_cast<const char*>(m.data()),
+              std::streamsize(m.size() * sizeof(float)));
 }
 
 void BinaryReader::read_raw(void* dst, std::size_t n) {
   is_.read(reinterpret_cast<char*>(dst), std::streamsize(n));
   if (!is_) throw std::runtime_error("BinaryReader: truncated stream");
+}
+
+std::uint64_t BinaryReader::remaining_bytes() {
+  const std::istream::pos_type cur = is_.tellg();
+  if (cur == std::istream::pos_type(-1))
+    throw std::runtime_error("BinaryReader: stream is not seekable");
+  is_.seekg(0, std::ios::end);
+  const std::istream::pos_type end = is_.tellg();
+  is_.seekg(cur);
+  if (!is_ || end == std::istream::pos_type(-1) || end < cur)
+    throw std::runtime_error("BinaryReader: cannot determine stream size");
+  return std::uint64_t(end - cur);
+}
+
+bool BinaryReader::at_end() { return remaining_bytes() == 0; }
+
+void BinaryReader::check_length(std::uint64_t count, std::size_t elem_size,
+                                const char* what) {
+  // Both checks matter: `count * elem_size` may overflow on a hostile prefix,
+  // and even a non-overflowing product can exceed what the stream holds.
+  const std::uint64_t max_count =
+      std::numeric_limits<std::uint64_t>::max() / elem_size;
+  if (count > max_count)
+    throw std::runtime_error(std::string("BinaryReader: ") + what +
+                             " length prefix overflows size_t");
+  if (count * elem_size > remaining_bytes())
+    throw std::runtime_error(std::string("BinaryReader: ") + what +
+                             " length prefix exceeds remaining stream bytes");
 }
 
 std::uint32_t BinaryReader::read_u32() {
@@ -64,8 +99,15 @@ float BinaryReader::read_f32() {
   return v;
 }
 
+double BinaryReader::read_f64() {
+  double v;
+  read_raw(&v, sizeof v);
+  return v;
+}
+
 std::string BinaryReader::read_string() {
   const std::uint64_t n = read_u64();
+  check_length(n, 1, "string");
   std::string s(n, '\0');
   if (n > 0) read_raw(s.data(), n);
   return s;
@@ -73,6 +115,7 @@ std::string BinaryReader::read_string() {
 
 std::vector<float> BinaryReader::read_floats() {
   const std::uint64_t n = read_u64();
+  check_length(n, sizeof(float), "float vector");
   std::vector<float> v(n);
   if (n > 0) read_raw(v.data(), n * sizeof(float));
   return v;
@@ -81,7 +124,11 @@ std::vector<float> BinaryReader::read_floats() {
 Matrix BinaryReader::read_matrix() {
   const std::uint64_t rows = read_u64();
   const std::uint64_t cols = read_u64();
-  std::vector<float> data(rows * cols);
+  if (cols != 0 && rows > std::numeric_limits<std::uint64_t>::max() / cols)
+    throw std::runtime_error("BinaryReader: matrix shape overflows size_t");
+  const std::uint64_t n = rows * cols;
+  check_length(n, sizeof(float), "matrix");
+  std::vector<float> data(n);
   if (!data.empty()) read_raw(data.data(), data.size() * sizeof(float));
   return Matrix(rows, cols, std::move(data));
 }
@@ -101,7 +148,11 @@ std::vector<float> load_params(const std::string& path) {
   BinaryReader r(is);
   if (r.read_u32() != kParamsMagic)
     throw std::runtime_error("load_params: bad magic in " + path);
-  return r.read_floats();
+  std::vector<float> params = r.read_floats();
+  if (!r.at_end())
+    throw std::runtime_error("load_params: trailing garbage after payload in " +
+                             path);
+  return params;
 }
 
 }  // namespace fedwcm::core

@@ -1,9 +1,16 @@
 #pragma once
 /// \file serialize.hpp
-/// Minimal binary serialization for checkpoints and experiment artifacts.
+/// Minimal binary serialization for experiment artifacts and algorithm state.
 ///
 /// Format: little-endian, length-prefixed primitives. Used by examples to
-/// save/restore global models and by the experiment harness to dump curves.
+/// save/restore global models, by the experiment harness to dump curves, and
+/// by the checkpoint container (core/checkpoint.hpp) that persists simulation
+/// state for crash-safe resume.
+///
+/// `BinaryReader` treats the stream as untrusted: every length prefix is
+/// validated against the bytes actually remaining, so a truncated or corrupt
+/// file throws instead of attempting a huge allocation or silently returning
+/// a short read.
 
 #include <cstdint>
 #include <iosfwd>
@@ -21,6 +28,7 @@ class BinaryWriter {
   void write_u32(std::uint32_t v);
   void write_u64(std::uint64_t v);
   void write_f32(float v);
+  void write_f64(double v);
   void write_string(const std::string& s);
   void write_floats(const std::vector<float>& v);
   void write_matrix(const Matrix& m);
@@ -36,18 +44,27 @@ class BinaryReader {
   std::uint32_t read_u32();
   std::uint64_t read_u64();
   float read_f32();
+  double read_f64();
   std::string read_string();
   std::vector<float> read_floats();
   Matrix read_matrix();
 
+  /// Bytes left between the read position and end-of-stream.
+  std::uint64_t remaining_bytes();
+  /// True when the read position is exactly at end-of-stream.
+  bool at_end();
+
  private:
   void read_raw(void* dst, std::size_t n);
+  /// Throws unless `count * elem_size` bytes are actually available.
+  void check_length(std::uint64_t count, std::size_t elem_size, const char* what);
   std::istream& is_;
 };
 
 /// Saves a flat parameter vector with a magic header; throws on I/O failure.
 void save_params(const std::string& path, const std::vector<float>& params);
-/// Loads a flat parameter vector saved by `save_params`.
+/// Loads a flat parameter vector saved by `save_params`; rejects files with
+/// a bad magic, a truncated payload, or trailing garbage after the payload.
 std::vector<float> load_params(const std::string& path);
 
 }  // namespace fedwcm::core

@@ -16,6 +16,11 @@
 #include "fedwcm/fl/context.hpp"
 #include "fedwcm/fl/local.hpp"
 
+namespace fedwcm::core {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace fedwcm::core
+
 namespace fedwcm::fl {
 
 class Algorithm {
@@ -45,6 +50,24 @@ class Algorithm {
   /// Diagnostics surfaced in RoundRecord (0 when not applicable).
   virtual float current_alpha() const { return 0.0f; }
   virtual float momentum_norm() const { return 0.0f; }
+
+  /// Floats the server sends each sampled client per round. The default is
+  /// the global model; momentum-broadcasting algorithms (FedCM/FedWCM and
+  /// kin send (x_r, Delta_r), SCAFFOLD sends (x_r, c)) override with twice
+  /// that, so communication accounting matches the paper's §2 cost model.
+  virtual std::size_t broadcast_floats() const {
+    return ctx_ != nullptr ? ctx_->param_count : 0;
+  }
+
+  /// Serializes every piece of cross-round state (momentum vectors, adaptive
+  /// alpha, control variates, server moments, per-client corrections) so a
+  /// run restored via load_state continues bitwise-identically. State that
+  /// initialize() rebuilds deterministically from the context (scores,
+  /// temperature, head layouts, ...) is not written. Stateless algorithms
+  /// inherit the empty default. Call order on restore: initialize(ctx) first
+  /// — it sizes the buffers and stores the context — then load_state.
+  virtual void save_state(core::BinaryWriter& writer) const { (void)writer; }
+  virtual void load_state(core::BinaryReader& reader) { (void)reader; }
 
  protected:
   const FlContext* ctx_ = nullptr;

@@ -2,6 +2,8 @@
 
 #include "fedwcm/obs/trace.hpp"
 
+#include "fedwcm/fl/checkpoint.hpp"
+
 namespace fedwcm::fl {
 
 ParamVector sample_weighted_delta(std::span<const LocalResult> results) {
@@ -60,6 +62,14 @@ LocalResult FedProx::local_update(std::size_t client, const ParamVector& global,
 void FedAvgM::initialize(const FlContext& ctx) {
   Algorithm::initialize(ctx);
   m_.assign(ctx.param_count, 0.0f);
+}
+
+void FedAvgM::save_state(core::BinaryWriter& writer) const {
+  writer.write_floats(m_);
+}
+
+void FedAvgM::load_state(core::BinaryReader& reader) {
+  m_ = read_sized_floats(reader, ctx_->param_count, "FedAvgM momentum");
 }
 
 void FedAvgM::aggregate(std::span<const LocalResult> results, std::size_t,

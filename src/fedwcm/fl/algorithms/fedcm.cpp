@@ -3,12 +3,21 @@
 #include "fedwcm/obs/trace.hpp"
 
 #include "fedwcm/fl/algorithms/fedavg.hpp"
+#include "fedwcm/fl/checkpoint.hpp"
 
 namespace fedwcm::fl {
 
 void FedCM::initialize(const FlContext& ctx) {
   Algorithm::initialize(ctx);
   momentum_.assign(ctx.param_count, 0.0f);
+}
+
+void FedCM::save_state(core::BinaryWriter& writer) const {
+  writer.write_floats(momentum_);
+}
+
+void FedCM::load_state(core::BinaryReader& reader) {
+  momentum_ = read_sized_floats(reader, ctx_->param_count, "FedCM momentum");
 }
 
 LocalResult FedCM::local_update(std::size_t client, const ParamVector& global,

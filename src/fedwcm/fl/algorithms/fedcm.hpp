@@ -27,6 +27,13 @@ class FedCM : public Algorithm {
   float momentum_norm() const override { return core::pv::l2_norm(momentum_); }
   const ParamVector& momentum() const { return momentum_; }
 
+  /// Downlink is (x_r, Delta_r) — twice the model (§2 comm-cost discussion).
+  std::size_t broadcast_floats() const override {
+    return 2 * Algorithm::broadcast_floats();
+  }
+  void save_state(core::BinaryWriter& writer) const override;
+  void load_state(core::BinaryReader& reader) override;
+
  protected:
   float alpha_;
   ParamVector momentum_;  ///< Delta_r, gradient-direction units.

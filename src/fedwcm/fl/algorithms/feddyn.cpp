@@ -2,12 +2,29 @@
 
 #include "fedwcm/obs/trace.hpp"
 
+#include "fedwcm/fl/checkpoint.hpp"
+
 namespace fedwcm::fl {
 
 void FedDyn::initialize(const FlContext& ctx) {
   Algorithm::initialize(ctx);
   h_.assign(ctx.param_count, 0.0f);
   client_grad_.assign(ctx.num_clients(), ParamVector(ctx.param_count, 0.0f));
+}
+
+void FedDyn::save_state(core::BinaryWriter& writer) const {
+  writer.write_floats(h_);
+  write_param_vectors(writer, client_grad_);
+}
+
+void FedDyn::load_state(core::BinaryReader& reader) {
+  h_ = read_sized_floats(reader, ctx_->param_count, "FedDyn h");
+  client_grad_ = read_param_vectors(reader);
+  FEDWCM_CHECK(client_grad_.size() == ctx_->num_clients(),
+               "FedDyn load_state: client correction count mismatch");
+  for (const ParamVector& gi : client_grad_)
+    FEDWCM_CHECK(gi.size() == ctx_->param_count,
+                 "FedDyn load_state: client correction size mismatch");
 }
 
 LocalResult FedDyn::local_update(std::size_t client, const ParamVector& global,

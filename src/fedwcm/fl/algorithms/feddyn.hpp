@@ -25,6 +25,8 @@ class FedDyn final : public Algorithm {
                  ParamVector& global) override;
 
   float momentum_norm() const override { return core::pv::l2_norm(h_); }
+  void save_state(core::BinaryWriter& writer) const override;
+  void load_state(core::BinaryReader& reader) override;
 
  private:
   float mu_;

@@ -4,6 +4,8 @@
 
 #include <cmath>
 
+#include "fedwcm/fl/checkpoint.hpp"
+
 namespace fedwcm::fl {
 
 float ColumnScaledLoss::compute(const core::Matrix& logits,
@@ -22,6 +24,17 @@ float ColumnScaledLoss::compute(const core::Matrix& logits,
 void FedGraB::initialize(const FlContext& ctx) {
   FedAvg::initialize(ctx);
   smoothed_loss_ = -1.0f;
+  refresh_multipliers();
+}
+
+void FedGraB::save_state(core::BinaryWriter& writer) const {
+  writer.write_f32(gamma_);
+  writer.write_f32(smoothed_loss_);
+}
+
+void FedGraB::load_state(core::BinaryReader& reader) {
+  gamma_ = reader.read_f32();
+  smoothed_loss_ = reader.read_f32();
   refresh_multipliers();
 }
 

@@ -53,6 +53,11 @@ class FedGraB final : public FedAvg {
   const std::vector<float>& multipliers() const { return multipliers_; }
   float gamma() const { return gamma_; }
 
+  /// Persists the self-adjusting feedback state (gamma, smoothed loss); the
+  /// multipliers are recomputed from it in begin_round.
+  void save_state(core::BinaryWriter& writer) const override;
+  void load_state(core::BinaryReader& reader) override;
+
  private:
   void refresh_multipliers();
 

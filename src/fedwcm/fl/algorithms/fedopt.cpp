@@ -4,6 +4,8 @@
 
 #include <cmath>
 
+#include "fedwcm/fl/checkpoint.hpp"
+
 namespace fedwcm::fl {
 
 void FedOptBase::initialize(const FlContext& ctx) {
@@ -11,6 +13,16 @@ void FedOptBase::initialize(const FlContext& ctx) {
   m_.assign(ctx.param_count, 0.0f);
   // Reddi et al. initialize v to tau^2 so the very first step is bounded.
   v_.assign(ctx.param_count, options_.tau * options_.tau);
+}
+
+void FedOptBase::save_state(core::BinaryWriter& writer) const {
+  writer.write_floats(m_);
+  writer.write_floats(v_);
+}
+
+void FedOptBase::load_state(core::BinaryReader& reader) {
+  m_ = read_sized_floats(reader, ctx_->param_count, "FedOpt first moment");
+  v_ = read_sized_floats(reader, ctx_->param_count, "FedOpt second moment");
 }
 
 void FedOptBase::aggregate(std::span<const LocalResult> results, std::size_t,

@@ -35,6 +35,9 @@ class FedOptBase : public FedAvg {
   const ParamVector& first_moment() const { return m_; }
   const ParamVector& second_moment() const { return v_; }
 
+  void save_state(core::BinaryWriter& writer) const override;
+  void load_state(core::BinaryReader& reader) override;
+
  protected:
   /// Second-moment update rule — the only difference between Adam and Yogi.
   virtual void update_second_moment(const ParamVector& delta) = 0;

@@ -7,6 +7,7 @@
 
 #include "fedwcm/data/dataset.hpp"
 #include "fedwcm/fl/algorithms/fedavg.hpp"
+#include "fedwcm/fl/checkpoint.hpp"
 
 namespace fedwcm::fl {
 
@@ -58,6 +59,16 @@ void FedWCM::initialize(const FlContext& ctx) {
   double disc = 0.0;
   for (std::size_t c = 0; c < C; ++c) disc += std::abs(target[c] - global_dist[c]);
   temperature_ = 1.0 / (double(C) * disc + double(options_.temperature_kappa));
+}
+
+void FedWCM::save_state(core::BinaryWriter& writer) const {
+  writer.write_f32(alpha_);
+  writer.write_floats(momentum_);
+}
+
+void FedWCM::load_state(core::BinaryReader& reader) {
+  alpha_ = reader.read_f32();
+  momentum_ = read_sized_floats(reader, ctx_->param_count, "FedWCM momentum");
 }
 
 LocalResult FedWCM::local_update(std::size_t client, const ParamVector& global,

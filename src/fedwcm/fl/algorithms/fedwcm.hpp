@@ -77,6 +77,15 @@ class FedWCM : public Algorithm {
   float current_alpha() const override { return alpha_; }
   float momentum_norm() const override { return core::pv::l2_norm(momentum_); }
 
+  /// Downlink is (x_r, Delta_r) — twice the model (§2 comm-cost discussion).
+  std::size_t broadcast_floats() const override {
+    return 2 * Algorithm::broadcast_floats();
+  }
+  /// Persists (Delta_r, alpha_r); the Eq. 3 scores, mean score, and
+  /// temperature are recomputed deterministically by initialize().
+  void save_state(core::BinaryWriter& writer) const override;
+  void load_state(core::BinaryReader& reader) override;
+
   /// Introspection for tests / analysis.
   const std::vector<double>& scores() const { return scores_; }
   double temperature() const { return temperature_; }

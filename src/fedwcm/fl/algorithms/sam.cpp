@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "fedwcm/fl/algorithms/fedavg.hpp"
+#include "fedwcm/fl/checkpoint.hpp"
 
 namespace fedwcm::fl {
 
@@ -17,8 +18,9 @@ LocalResult run_local_sam(const FlContext& ctx, Worker& worker, std::size_t clie
   FEDWCM_CHECK(result.num_samples > 0, "run_local_sam: client has no data");
 
   auto sampler = make_sampler(ctx, client, round);
-  const std::size_t total_steps =
-      sampler->batches_per_epoch() * ctx.config->local_epochs;
+  const std::size_t total_steps = truncate_steps(
+      sampler->batches_per_epoch() * ctx.config->local_epochs,
+      worker.step_fraction);
 
   ParamVector x = start;
   ParamVector x_pert(x.size());
@@ -118,6 +120,19 @@ LocalResult FedLesam::local_update(std::size_t client, const ParamVector& global
 void FedSmoo::initialize(const FlContext& ctx) {
   FedSam::initialize(ctx);
   client_grad_.assign(ctx.num_clients(), ParamVector(ctx.param_count, 0.0f));
+}
+
+void FedSmoo::save_state(core::BinaryWriter& writer) const {
+  write_param_vectors(writer, client_grad_);
+}
+
+void FedSmoo::load_state(core::BinaryReader& reader) {
+  client_grad_ = read_param_vectors(reader);
+  FEDWCM_CHECK(client_grad_.size() == ctx_->num_clients(),
+               "FedSMOO load_state: client correction count mismatch");
+  for (const ParamVector& gi : client_grad_)
+    FEDWCM_CHECK(gi.size() == ctx_->param_count,
+                 "FedSMOO load_state: client correction size mismatch");
 }
 
 LocalResult FedSmoo::local_update(std::size_t client, const ParamVector& global,

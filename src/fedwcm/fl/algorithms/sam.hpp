@@ -84,6 +84,8 @@ class FedSmoo final : public FedSam {
   void initialize(const FlContext& ctx) override;
   LocalResult local_update(std::size_t client, const ParamVector& global,
                            std::size_t round, Worker& worker) override;
+  void save_state(core::BinaryWriter& writer) const override;
+  void load_state(core::BinaryReader& reader) override;
 
  private:
   float mu_;

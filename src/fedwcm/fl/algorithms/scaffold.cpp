@@ -3,6 +3,7 @@
 #include "fedwcm/obs/trace.hpp"
 
 #include "fedwcm/fl/algorithms/fedavg.hpp"
+#include "fedwcm/fl/checkpoint.hpp"
 
 namespace fedwcm::fl {
 
@@ -10,6 +11,21 @@ void Scaffold::initialize(const FlContext& ctx) {
   Algorithm::initialize(ctx);
   c_.assign(ctx.param_count, 0.0f);
   client_c_.assign(ctx.num_clients(), ParamVector(ctx.param_count, 0.0f));
+}
+
+void Scaffold::save_state(core::BinaryWriter& writer) const {
+  writer.write_floats(c_);
+  write_param_vectors(writer, client_c_);
+}
+
+void Scaffold::load_state(core::BinaryReader& reader) {
+  c_ = read_sized_floats(reader, ctx_->param_count, "SCAFFOLD server variate");
+  client_c_ = read_param_vectors(reader);
+  FEDWCM_CHECK(client_c_.size() == ctx_->num_clients(),
+               "SCAFFOLD load_state: client variate count mismatch");
+  for (const ParamVector& ci : client_c_)
+    FEDWCM_CHECK(ci.size() == ctx_->param_count,
+                 "SCAFFOLD load_state: client variate size mismatch");
 }
 
 LocalResult Scaffold::local_update(std::size_t client, const ParamVector& global,

@@ -23,6 +23,13 @@ class Scaffold final : public Algorithm {
   float momentum_norm() const override { return core::pv::l2_norm(c_); }
   const ParamVector& server_variate() const { return c_; }
 
+  /// Downlink is (x_r, c) — the server variate rides along with the model.
+  std::size_t broadcast_floats() const override {
+    return 2 * Algorithm::broadcast_floats();
+  }
+  void save_state(core::BinaryWriter& writer) const override;
+  void load_state(core::BinaryReader& reader) override;
+
  private:
   ParamVector c_;                         ///< Server control variate.
   std::vector<ParamVector> client_c_;     ///< Per-client variates (lazy zero).

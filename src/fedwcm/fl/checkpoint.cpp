@@ -1,0 +1,148 @@
+#include "fedwcm/fl/checkpoint.hpp"
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "fedwcm/core/checkpoint.hpp"
+
+namespace fedwcm::fl {
+
+std::string config_fingerprint(const FlConfig& config, std::size_t param_count,
+                               const std::string& algorithm) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "v1"
+     << "|alg=" << algorithm << "|params=" << param_count
+     << "|clients=" << config.num_clients << "|part=" << config.participation
+     << "|rounds=" << config.rounds << "|epochs=" << config.local_epochs
+     << "|batch=" << config.batch_size << "|llr=" << config.local_lr
+     << "|glr=" << config.global_lr << "|seed=" << config.seed
+     << "|balsamp=" << (config.balanced_sampler ? 1 : 0)
+     << "|eval=" << config.eval_every << "|evalbatch=" << config.eval_batch
+     << "|drop=" << config.faults.drop_prob
+     << "|strag=" << config.faults.straggler_prob
+     << "|stragf=" << config.faults.straggler_factor
+     << "|corrupt=" << config.faults.corrupt_prob
+     << "|fseed=" << config.faults.seed;
+  return os.str();
+}
+
+namespace {
+
+void write_record(core::BinaryWriter& w, const RoundRecord& rec) {
+  w.write_u64(rec.round);
+  w.write_f32(rec.test_accuracy);
+  w.write_f32(rec.train_loss);
+  w.write_f32(rec.alpha);
+  w.write_f32(rec.momentum_norm);
+  w.write_f32(rec.concentration);
+  w.write_f32(rec.train_metric);
+  w.write_u32(rec.evaluated ? 1 : 0);
+  w.write_f64(rec.round_wall_ms);
+  w.write_u64(rec.bytes_up);
+  w.write_u64(rec.bytes_down);
+  w.write_u32(rec.dropped);
+  w.write_u32(rec.rejected);
+  w.write_u32(rec.straggled);
+}
+
+RoundRecord read_record(core::BinaryReader& r) {
+  RoundRecord rec;
+  rec.round = r.read_u64();
+  rec.test_accuracy = r.read_f32();
+  rec.train_loss = r.read_f32();
+  rec.alpha = r.read_f32();
+  rec.momentum_norm = r.read_f32();
+  rec.concentration = r.read_f32();
+  rec.train_metric = r.read_f32();
+  rec.evaluated = r.read_u32() != 0;
+  rec.round_wall_ms = r.read_f64();
+  rec.bytes_up = r.read_u64();
+  rec.bytes_down = r.read_u64();
+  rec.dropped = r.read_u32();
+  rec.rejected = r.read_u32();
+  rec.straggled = r.read_u32();
+  return rec;
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path, const FlConfig& config,
+                     std::size_t param_count, const Algorithm& algorithm,
+                     const ResumeState& state) {
+  core::CheckpointWriter ckpt(
+      path, config_fingerprint(config, param_count, algorithm.name()));
+  core::BinaryWriter& w = ckpt.body();
+  w.write_u64(state.next_round);
+  w.write_floats(state.global);
+  w.write_f32(state.best_accuracy);
+  w.write_u64(state.faults_dropped);
+  w.write_u64(state.faults_rejected);
+  w.write_u64(state.faults_straggled);
+  w.write_u64(state.history.size());
+  for (const RoundRecord& rec : state.history) write_record(w, rec);
+  algorithm.save_state(w);
+  ckpt.commit();
+}
+
+ResumeState load_checkpoint(const std::string& path, const FlConfig& config,
+                            std::size_t param_count, Algorithm& algorithm) {
+  core::CheckpointReader ckpt(
+      path, config_fingerprint(config, param_count, algorithm.name()));
+  core::BinaryReader& r = ckpt.body();
+  ResumeState state;
+  state.next_round = r.read_u64();
+  if (state.next_round > config.rounds)
+    throw std::runtime_error("load_checkpoint: checkpoint is " +
+                             std::to_string(state.next_round) +
+                             " rounds in, beyond the configured " +
+                             std::to_string(config.rounds));
+  state.global = read_sized_floats(r, param_count, "global parameters");
+  state.best_accuracy = r.read_f32();
+  state.faults_dropped = r.read_u64();
+  state.faults_rejected = r.read_u64();
+  state.faults_straggled = r.read_u64();
+  const std::uint64_t n_records = r.read_u64();
+  // A serialized RoundRecord is 72 fixed bytes; reject corrupt counts before
+  // reserving.
+  if (n_records > r.remaining_bytes() / 72)
+    throw std::runtime_error("load_checkpoint: history count exceeds stream size");
+  state.history.reserve(n_records);
+  for (std::uint64_t i = 0; i < n_records; ++i)
+    state.history.push_back(read_record(r));
+  algorithm.load_state(r);
+  ckpt.finish();
+  return state;
+}
+
+void write_param_vectors(core::BinaryWriter& writer,
+                         const std::vector<ParamVector>& vectors) {
+  writer.write_u64(vectors.size());
+  for (const ParamVector& v : vectors) writer.write_floats(v);
+}
+
+std::vector<ParamVector> read_param_vectors(core::BinaryReader& reader) {
+  const std::uint64_t n = reader.read_u64();
+  // Each stored vector costs at least its 8-byte length prefix, so a count
+  // beyond remaining/8 is corrupt — refuse before reserving.
+  if (n > reader.remaining_bytes() / 8)
+    throw std::runtime_error(
+        "checkpoint: per-client state count exceeds stream size");
+  std::vector<ParamVector> vectors;
+  vectors.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) vectors.push_back(reader.read_floats());
+  return vectors;
+}
+
+ParamVector read_sized_floats(core::BinaryReader& reader, std::size_t expected,
+                              const char* what) {
+  ParamVector v = reader.read_floats();
+  if (v.size() != expected)
+    throw std::runtime_error(std::string("checkpoint: ") + what + " holds " +
+                             std::to_string(v.size()) + " floats, expected " +
+                             std::to_string(expected));
+  return v;
+}
+
+}  // namespace fedwcm::fl

@@ -1,0 +1,67 @@
+#pragma once
+/// \file checkpoint.hpp
+/// Simulation-level checkpoint/resume glue over the core container
+/// (core/checkpoint.hpp).
+///
+/// A simulation checkpoint captures everything the engine needs to continue
+/// a run bitwise-identically after a crash: the next round index, the global
+/// parameter vector, the evaluated-round history and summary accumulators,
+/// run-level fault totals, and the owning algorithm's cross-round state
+/// (Algorithm::save_state). Because every stochastic choice in the engine is
+/// derived from (seed, round, client) via core::derive_seed, no RNG state
+/// needs saving — the header's *configuration fingerprint* (an RNG-free
+/// rendering of every FlConfig field that shapes the trajectory, plus the
+/// parameter count and algorithm name) is sufficient to guarantee the
+/// resumed trajectory matches the uninterrupted one. Thread count and
+/// observability knobs are deliberately excluded: a run may resume on a
+/// different machine shape.
+
+#include <string>
+#include <vector>
+
+#include "fedwcm/core/serialize.hpp"
+#include "fedwcm/fl/algorithm.hpp"
+#include "fedwcm/fl/types.hpp"
+
+namespace fedwcm::fl {
+
+/// The resumable portion of a run, as stored in / restored from a checkpoint.
+struct ResumeState {
+  std::size_t next_round = 0;  ///< First round the resumed run executes.
+  ParamVector global;          ///< Global model after `next_round` rounds.
+  std::vector<RoundRecord> history;  ///< Evaluated rounds so far.
+  float best_accuracy = 0.0f;
+  std::uint64_t faults_dropped = 0;
+  std::uint64_t faults_rejected = 0;
+  std::uint64_t faults_straggled = 0;
+};
+
+/// RNG-free rendering of the trajectory-shaping configuration. Two runs with
+/// equal fingerprints (and equal algorithm state) evolve identically.
+std::string config_fingerprint(const FlConfig& config, std::size_t param_count,
+                               const std::string& algorithm);
+
+/// Atomically writes a checkpoint (tmp-file + rename). `algorithm` must be
+/// the run's algorithm, already initialized.
+void save_checkpoint(const std::string& path, const FlConfig& config,
+                     std::size_t param_count, const Algorithm& algorithm,
+                     const ResumeState& state);
+
+/// Loads a checkpoint, refusing on magic/version/fingerprint mismatch,
+/// truncation, or trailing garbage. `algorithm` must already be initialized
+/// (load_state fills its buffers). Throws std::runtime_error on any mismatch.
+ResumeState load_checkpoint(const std::string& path, const FlConfig& config,
+                            std::size_t param_count, Algorithm& algorithm);
+
+/// Serialization helpers for algorithms with per-client state tables
+/// (SCAFFOLD control variates, FedDyn/FedSMOO corrections).
+void write_param_vectors(core::BinaryWriter& writer,
+                         const std::vector<ParamVector>& vectors);
+std::vector<ParamVector> read_param_vectors(core::BinaryReader& reader);
+
+/// read_floats with a size contract; throws when the stored vector does not
+/// hold exactly `expected` floats (a wrong-model checkpoint, not a crash).
+ParamVector read_sized_floats(core::BinaryReader& reader, std::size_t expected,
+                              const char* what);
+
+}  // namespace fedwcm::fl

@@ -1,0 +1,20 @@
+#include "fedwcm/fl/fault.hpp"
+
+#include "fedwcm/core/rng.hpp"
+
+namespace fedwcm::fl {
+
+FaultKind decide_fault(const FaultPlan& plan, std::uint64_t run_seed,
+                       std::size_t round, std::size_t client) {
+  if (!plan.any()) return FaultKind::kNone;
+  core::Rng rng(core::derive_seed(run_seed ^ plan.seed, round + 1, client + 1,
+                                  0xFA17));
+  const double u = rng.uniform();
+  if (u < plan.drop_prob) return FaultKind::kDrop;
+  if (u < plan.drop_prob + plan.straggler_prob) return FaultKind::kStraggle;
+  if (u < plan.drop_prob + plan.straggler_prob + plan.corrupt_prob)
+    return FaultKind::kCorrupt;
+  return FaultKind::kNone;
+}
+
+}  // namespace fedwcm::fl

@@ -1,0 +1,47 @@
+#pragma once
+/// \file fault.hpp
+/// Seeded fault injection for federated rounds.
+///
+/// Production federated training is defined by partial failure: clients drop
+/// out mid-round, straggle and return fewer local steps, or send corrupted
+/// updates. A `FaultPlan` describes those failure rates; the simulation
+/// engine draws one deterministic fault decision per (round, client) from
+/// the run seed, so fault-injected runs stay a pure function of
+/// (seed, configuration) — resumable, thread-count-invariant, and exactly
+/// reproducible.
+///
+/// Degradation semantics (see Simulation::run):
+///  * dropped clients are skipped entirely — no local training, no upload —
+///    and aggregation weights renormalize over the survivors;
+///  * stragglers execute only `straggler_factor` of their planned local
+///    steps (they still upload a valid delta);
+///  * corrupted clients upload a non-finite delta, which the server rejects
+///    before aggregation instead of letting NaNs poison the global model.
+/// Genuine numerical divergence (a client producing NaN/inf without
+/// injection) is caught by the same rejection guard.
+
+#include <cstdint>
+
+namespace fedwcm::fl {
+
+struct FaultPlan {
+  double drop_prob = 0.0;        ///< P(client drops out of the round).
+  double straggler_prob = 0.0;   ///< P(client straggles).
+  double straggler_factor = 0.5; ///< Fraction of local steps a straggler runs.
+  double corrupt_prob = 0.0;     ///< P(client uploads a NaN-poisoned delta).
+  std::uint64_t seed = 0;        ///< Extra fault-stream seed (mixed with run seed).
+
+  bool any() const {
+    return drop_prob > 0.0 || straggler_prob > 0.0 || corrupt_prob > 0.0;
+  }
+};
+
+enum class FaultKind : std::uint8_t { kNone, kDrop, kStraggle, kCorrupt };
+
+/// The (deterministic) fate of one client in one round. Drop, straggle, and
+/// corrupt are mutually exclusive, drawn from one uniform variate in that
+/// priority order.
+FaultKind decide_fault(const FaultPlan& plan, std::uint64_t run_seed,
+                       std::size_t round, std::size_t client);
+
+}  // namespace fedwcm::fl

@@ -5,6 +5,12 @@
 
 namespace fedwcm::fl {
 
+std::size_t truncate_steps(std::size_t total, float fraction) {
+  if (fraction >= 1.0f || total == 0) return total;
+  const auto kept = std::size_t(double(total) * double(fraction));
+  return kept == 0 ? 1 : kept;
+}
+
 std::unique_ptr<data::BatchSampler> make_sampler(const FlContext& ctx,
                                                  std::size_t client,
                                                  std::size_t round) {
@@ -36,7 +42,8 @@ LocalResult run_local_sgd(const FlContext& ctx, Worker& worker, std::size_t clie
 
   data::BatchSampler* sampler = &sampler_ref;
   const std::size_t steps_per_epoch = sampler->batches_per_epoch();
-  const std::size_t total_steps = steps_per_epoch * ctx.config->local_epochs;
+  std::size_t total_steps = steps_per_epoch * ctx.config->local_epochs;
+  total_steps = truncate_steps(total_steps, worker.step_fraction);
   obs::Span sgd_span("local_sgd", "steps", std::int64_t(total_steps));
 
   ParamVector x = start;

@@ -27,6 +27,11 @@ struct Worker {
   core::Matrix dlogits;
   std::vector<std::size_t> batch_y;
   std::vector<std::size_t> batch_indices;
+  /// Fault injection: fraction of the planned local steps actually executed
+  /// (straggler truncation, fl/fault.hpp). The simulation sets this before
+  /// every local_update; the local loops run
+  /// max(1, floor(total_steps * step_fraction)) steps when it is < 1.
+  float step_fraction = 1.0f;
 
   explicit Worker(const nn::ModelFactory& factory) : model(factory()) {}
 };
@@ -44,12 +49,20 @@ struct LocalResult {
   float mean_loss = 0.0f;
   /// Algorithm-specific payload (e.g. SCAFFOLD's control-variate delta).
   ParamVector aux;
+  /// Fault injection: the client dropped out of the round — no local
+  /// training ran and every other field is meaningless. Dropped results are
+  /// filtered out before aggregation (weights renormalize over survivors).
+  bool dropped = false;
 };
 
 /// Direction rule: given the mini-batch gradient `grad` and current local
 /// params `x`, write the descent direction into `v` (may alias grad).
 using DirectionFn =
     std::function<void(const ParamVector& grad, const ParamVector& x, ParamVector& v)>;
+
+/// Applies straggler truncation: max(1, floor(total * fraction)) when
+/// fraction < 1, `total` unchanged otherwise.
+std::size_t truncate_steps(std::size_t total, float fraction);
 
 /// Builds the client's batch sampler for this round, honouring the
 /// balanced-sampler plug-in.

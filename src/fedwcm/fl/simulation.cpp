@@ -1,8 +1,11 @@
 #include "fedwcm/fl/simulation.hpp"
 
 #include <algorithm>
+#include <limits>
 
+#include "fedwcm/core/checkpoint.hpp"
 #include "fedwcm/core/rng.hpp"
+#include "fedwcm/fl/checkpoint.hpp"
 #include "fedwcm/obs/clock.hpp"
 #include "fedwcm/obs/metrics.hpp"
 #include "fedwcm/obs/trace.hpp"
@@ -40,7 +43,8 @@ Simulation::Simulation(Simulation&& other) noexcept
       probe_(std::move(other.probe_)),
       train_probe_(std::move(other.train_probe_)),
       observers_(std::move(other.observers_)),
-      eligible_(std::move(other.eligible_)) {
+      eligible_(std::move(other.eligible_)),
+      checkpoint_(std::move(other.checkpoint_)) {
   ctx_.config = &config_;  // Never point into the moved-from object.
 }
 
@@ -52,6 +56,7 @@ Simulation& Simulation::operator=(Simulation&& other) noexcept {
     train_probe_ = std::move(other.train_probe_);
     observers_ = std::move(other.observers_);
     eligible_ = std::move(other.eligible_);
+    checkpoint_ = std::move(other.checkpoint_);
     ctx_.config = &config_;
   }
   return *this;
@@ -86,6 +91,9 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
   obs::Counter bytes_down_counter = registry.counter("comm.bytes_down");
   obs::Counter rounds_counter = registry.counter("round.count");
   obs::Counter updates_counter = registry.counter("client.updates");
+  obs::Counter dropped_counter = registry.counter("faults.dropped");
+  obs::Counter rejected_counter = registry.counter("faults.rejected");
+  obs::Counter straggled_counter = registry.counter("faults.straggled");
   obs::Gauge queue_depth_gauge = registry.gauge("threadpool.queue_depth");
 
   SimulationResult result;
@@ -99,6 +107,24 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
   ParamVector global = init_model.get_params();
 
   algorithm.initialize(ctx_);
+
+  // Resume: restore the global model, history, accumulators, and algorithm
+  // state from the checkpoint. Because all randomness derives from
+  // (seed, round, client), continuing from `next_round` reproduces the
+  // uninterrupted trajectory bitwise.
+  std::size_t start_round = 0;
+  if (checkpoint_.resume && core::checkpoint_exists(checkpoint_.path)) {
+    ResumeState state =
+        load_checkpoint(checkpoint_.path, config_, ctx_.param_count, algorithm);
+    start_round = state.next_round;
+    global = std::move(state.global);
+    result.history = std::move(state.history);
+    result.best_accuracy = state.best_accuracy;
+    result.faults_dropped = state.faults_dropped;
+    result.faults_rejected = state.faults_rejected;
+    result.faults_straggled = state.faults_straggled;
+  }
+
   for (const auto& observer : observers_)
     observer->on_run_begin(ctx_, result.algorithm);
 
@@ -112,12 +138,13 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
   nn::Sequential eval_model = ctx_.model_factory();
 
   obs::Span run_span("simulation.run");
-  for (std::size_t round = 0; round < config_.rounds; ++round) {
+  for (std::size_t round = start_round; round < config_.rounds; ++round) {
     const std::uint64_t round_start_us = obs::now_us();
     RoundRecord rec;
     rec.round = round;
 
     std::vector<LocalResult> results;
+    std::vector<LocalResult> accepted;
     {
       obs::Span round_span("round", "round", std::int64_t(round));
 
@@ -130,35 +157,87 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
       for (const auto& observer : observers_)
         observer->on_round_begin(round, sampled);
 
+      // Fault decisions are drawn on the driver thread from
+      // (seed, round, client) only, so they are identical regardless of
+      // thread count or resume point.
+      std::vector<FaultKind> kinds(sampled.size(), FaultKind::kNone);
+      if (config_.faults.any())
+        for (std::size_t i = 0; i < sampled.size(); ++i)
+          kinds[i] = decide_fault(config_.faults, config_.seed, round, sampled[i]);
+
       results.resize(sampled.size());
       pool.reset_peak_queue_depth();
       {
         obs::Span train_span("local_train", "clients",
                              std::int64_t(sampled.size()));
         core::parallel_for(pool, 0, sampled.size(), [&](std::size_t i) {
+          if (kinds[i] == FaultKind::kDrop) {
+            // Dropped clients never receive the broadcast nor train.
+            results[i].client = sampled[i];
+            results[i].dropped = true;
+            return;
+          }
           obs::Span client_span("client.local_train", "client",
                                 std::int64_t(sampled[i]));
           const std::uint64_t t0 = obs::now_us();
+          workers[i]->step_fraction =
+              kinds[i] == FaultKind::kStraggle
+                  ? float(config_.faults.straggler_factor)
+                  : 1.0f;
           results[i] = algorithm.local_update(sampled[i], global, round, *workers[i]);
+          workers[i]->step_fraction = 1.0f;
+          if (kinds[i] == FaultKind::kCorrupt)
+            // Models garbage in transit: the client trained normally but its
+            // uploaded delta arrives NaN-poisoned.
+            std::fill(results[i].delta.begin(), results[i].delta.end(),
+                      std::numeric_limits<float>::quiet_NaN());
           client_ms_hist.observe(obs::elapsed_ms(t0, obs::now_us()));
         });
       }
       queue_depth_gauge.set(double(pool.peak_queue_depth()));
 
-      {
-        obs::Span aggregate_span("aggregate");
-        algorithm.aggregate(results, round, global);
+      // Graceful degradation: skip dropped clients, reject non-finite
+      // uploads (injected corruption or genuine divergence). Aggregation
+      // weights renormalize over the survivors because every aggregator
+      // normalizes over the span it receives.
+      accepted.reserve(results.size());
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        LocalResult& r = results[i];
+        if (r.dropped) {
+          ++rec.dropped;
+          continue;
+        }
+        if (kinds[i] == FaultKind::kStraggle) ++rec.straggled;
+        // Rejected clients still spent uplink bytes — the garbage was sent.
+        rec.bytes_up += std::uint64_t(r.delta.size() + r.aux.size()) * sizeof(float);
+        if (!core::pv::all_finite(r.delta) || !core::pv::all_finite(r.aux)) {
+          ++rec.rejected;
+          continue;
+        }
+        accepted.push_back(std::move(r));
       }
 
-      // Communication estimate from ParamVector sizes: downlink is the global
-      // broadcast, uplink each client's delta plus algorithm payload.
-      rec.bytes_down = std::uint64_t(sampled.size()) * ctx_.param_count * sizeof(float);
-      for (const auto& r : results)
-        rec.bytes_up += std::uint64_t(r.delta.size() + r.aux.size()) * sizeof(float);
+      {
+        obs::Span aggregate_span("aggregate");
+        if (!accepted.empty()) algorithm.aggregate(accepted, round, global);
+      }
+
+      // Communication estimate from ParamVector sizes: downlink is the
+      // algorithm's per-client broadcast (2x params for momentum algorithms,
+      // which send (x_r, Delta_r)), uplink each surviving client's delta plus
+      // algorithm payload. Dropped clients never received the broadcast.
+      rec.bytes_down = std::uint64_t(sampled.size() - rec.dropped) *
+                       algorithm.broadcast_floats() * sizeof(float);
       bytes_up_counter.add(rec.bytes_up);
       bytes_down_counter.add(rec.bytes_down);
       rounds_counter.add();
-      updates_counter.add(results.size());
+      updates_counter.add(sampled.size() - rec.dropped);
+      dropped_counter.add(rec.dropped);
+      rejected_counter.add(rec.rejected);
+      straggled_counter.add(rec.straggled);
+      result.faults_dropped += rec.dropped;
+      result.faults_rejected += rec.rejected;
+      result.faults_straggled += rec.straggled;
 
       rec.alpha = algorithm.current_alpha();
       rec.momentum_norm = algorithm.momentum_norm();
@@ -170,9 +249,11 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
         rec.evaluated = true;
         const EvalResult ev = evaluate(eval_model, global, *ctx_.test, config_.eval_batch);
         rec.test_accuracy = ev.accuracy;
+        // Mean train loss over clients whose update survived (dropped clients
+        // never trained; rejected uploads carry no trustworthy loss).
         double loss = 0.0;
-        for (const auto& r : results) loss += double(r.mean_loss);
-        rec.train_loss = results.empty() ? 0.0f : float(loss / double(results.size()));
+        for (const auto& r : accepted) loss += double(r.mean_loss);
+        rec.train_loss = accepted.empty() ? 0.0f : float(loss / double(accepted.size()));
         eval_model.set_params(global);
         for (const auto& observer : observers_)
           observer->on_evaluate(eval_model, ctx_, rec);
@@ -194,6 +275,23 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
     round_ms_hist.observe(rec.round_wall_ms);
     if (rec.evaluated) result.history.push_back(rec);
     for (const auto& observer : observers_) observer->on_round_end(rec);
+
+    // Crash safety: persist the completed-round state atomically. A process
+    // killed at any instant leaves either the previous checkpoint or this one
+    // — never a torn file (core/checkpoint.hpp writes tmp + rename).
+    if (checkpoint_.enabled() && checkpoint_.every > 0 &&
+        (round + 1) % checkpoint_.every == 0) {
+      ResumeState state;
+      state.next_round = round + 1;
+      state.global = global;
+      state.history = result.history;
+      state.best_accuracy = result.best_accuracy;
+      state.faults_dropped = result.faults_dropped;
+      state.faults_rejected = result.faults_rejected;
+      state.faults_straggled = result.faults_straggled;
+      save_checkpoint(checkpoint_.path, config_, ctx_.param_count, algorithm,
+                      state);
+    }
   }
 
   result.final_params = std::move(global);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "fedwcm/core/param_vector.hpp"
+#include "fedwcm/fl/fault.hpp"
 
 namespace fedwcm::fl {
 
@@ -27,6 +28,7 @@ struct FlConfig {
   std::size_t eval_batch = 256;
   std::size_t threads = 0;        ///< 0 = hardware concurrency.
   bool record_concentration = false;  ///< Neuron-concentration probe (App. B).
+  FaultPlan faults;               ///< Seeded fault injection (off by default).
 
   std::size_t sampled_per_round() const {
     const auto k = std::size_t(double(num_clients) * participation + 0.5);
@@ -53,6 +55,12 @@ struct RoundRecord {
   /// global model broadcast to each sampled client.
   std::uint64_t bytes_up = 0;
   std::uint64_t bytes_down = 0;
+  /// Fault-tolerance counters for the round: clients that dropped out,
+  /// uploads rejected for non-finite values, and clients that straggled
+  /// (ran truncated local training but still contributed).
+  std::uint32_t dropped = 0;
+  std::uint32_t rejected = 0;
+  std::uint32_t straggled = 0;
 };
 
 struct SimulationResult {
@@ -66,6 +74,11 @@ struct SimulationResult {
   float best_accuracy = 0.0f;
   /// Per-class accuracy at the final round (Fig. 8).
   std::vector<float> per_class_accuracy;
+  /// Run-level fault totals (sums of the per-round counters, including
+  /// non-evaluated rounds).
+  std::uint64_t faults_dropped = 0;
+  std::uint64_t faults_rejected = 0;
+  std::uint64_t faults_straggled = 0;
 };
 
 }  // namespace fedwcm::fl

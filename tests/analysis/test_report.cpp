@@ -27,6 +27,9 @@ fl::SimulationResult sample_result() {
     rec.round_wall_ms = 12.5 + double(r);
     rec.bytes_up = 1000 * (r + 1);
     rec.bytes_down = 500 * (r + 1);
+    rec.dropped = std::uint32_t(r);
+    rec.rejected = 1;
+    rec.straggled = 2;
     res.history.push_back(rec);
   }
   return res;
@@ -44,10 +47,12 @@ TEST(Report, CsvContainsHeaderAndRows) {
   write_history_csv(path, sample_result());
   const std::string content = slurp(path);
   EXPECT_NE(content.find("round,test_accuracy"), std::string::npos);
-  EXPECT_NE(content.find("round_wall_ms,bytes_up,bytes_down"), std::string::npos);
+  EXPECT_NE(
+      content.find("round_wall_ms,bytes_up,bytes_down,dropped,rejected,straggled"),
+      std::string::npos);
   EXPECT_NE(content.find("\n0,0.2"), std::string::npos);
   EXPECT_NE(content.find("\n2,0.6"), std::string::npos);
-  EXPECT_NE(content.find("12.5,1000,500"), std::string::npos);
+  EXPECT_NE(content.find("12.5,1000,500,0,1,2"), std::string::npos);
   // Header + 3 data rows.
   EXPECT_EQ(std::count(content.begin(), content.end(), '\n'), 4);
   std::remove(path.c_str());
@@ -64,6 +69,9 @@ TEST(Report, JsonlContainsRecordsAndSummary) {
   EXPECT_NE(content.find("\"round_wall_ms\":12.5"), std::string::npos);
   EXPECT_NE(content.find("\"bytes_up\":1000"), std::string::npos);
   EXPECT_NE(content.find("\"bytes_down\":500"), std::string::npos);
+  EXPECT_NE(content.find("\"rejected\":1"), std::string::npos);
+  EXPECT_NE(content.find("\"straggled\":2"), std::string::npos);
+  EXPECT_NE(content.find("\"faults_dropped\":0"), std::string::npos);
   EXPECT_EQ(std::count(content.begin(), content.end(), '\n'), 4);
   std::remove(path.c_str());
 }

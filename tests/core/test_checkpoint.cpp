@@ -1,0 +1,146 @@
+// Checkpoint container: atomic commit semantics, header validation
+// (magic/version/fingerprint), truncation and trailing-garbage rejection.
+#include "fedwcm/core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace fedwcm::core {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+void write_simple(const std::string& path, const std::string& fingerprint,
+                  std::uint64_t payload) {
+  CheckpointWriter w(path, fingerprint);
+  w.body().write_u64(payload);
+  w.commit();
+}
+
+TEST(Checkpoint, RoundTrip) {
+  const std::string path = temp_path("ckpt_roundtrip.bin");
+  write_simple(path, "fp-a", 42);
+  CheckpointReader r(path, "fp-a");
+  EXPECT_EQ(r.body().read_u64(), 42u);
+  r.finish();
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ExistsOnlyAfterCommit) {
+  const std::string path = temp_path("ckpt_exists.bin");
+  std::remove(path.c_str());
+  EXPECT_FALSE(checkpoint_exists(path));
+  {
+    CheckpointWriter w(path, "fp");
+    w.body().write_u32(1);
+    // Never committed: the temporary must be cleaned up and the target
+    // never appear.
+  }
+  EXPECT_FALSE(checkpoint_exists(path));
+  EXPECT_FALSE(checkpoint_exists(path + ".tmp"));
+  write_simple(path, "fp", 7);
+  EXPECT_TRUE(checkpoint_exists(path));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, AbandonedWriterLeavesPreviousCheckpointIntact) {
+  const std::string path = temp_path("ckpt_crash.bin");
+  write_simple(path, "fp", 1);
+  {
+    // Simulated crash mid-write: a writer that dies before commit must not
+    // disturb the committed file.
+    CheckpointWriter w(path, "fp");
+    w.body().write_u64(99);
+  }
+  CheckpointReader r(path, "fp");
+  EXPECT_EQ(r.body().read_u64(), 1u);
+  r.finish();
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, FingerprintMismatchRejected) {
+  const std::string path = temp_path("ckpt_fp.bin");
+  write_simple(path, "run-config-a", 3);
+  EXPECT_THROW(CheckpointReader(path, "run-config-b"), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, BadMagicRejected) {
+  const std::string path = temp_path("ckpt_magic.bin");
+  {
+    std::ofstream os(path, std::ios::binary);
+    BinaryWriter w(os);
+    w.write_u32(0x12345678);  // not kCheckpointMagic
+    w.write_u32(kCheckpointVersion);
+    w.write_string("fp");
+  }
+  EXPECT_THROW(CheckpointReader(path, "fp"), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, WrongVersionRejected) {
+  const std::string path = temp_path("ckpt_version.bin");
+  {
+    std::ofstream os(path, std::ios::binary);
+    BinaryWriter w(os);
+    w.write_u32(kCheckpointMagic);
+    w.write_u32(kCheckpointVersion + 1);
+    w.write_string("fp");
+  }
+  EXPECT_THROW(CheckpointReader(path, "fp"), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileRejected) {
+  EXPECT_THROW(CheckpointReader("/nonexistent/dir/ckpt.bin", "fp"),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, TruncatedBodyRejected) {
+  const std::string path = temp_path("ckpt_trunc.bin");
+  write_simple(path, "fp", 42);
+  std::string bytes;
+  {
+    std::ifstream is(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(is), {});
+  }
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), std::streamsize(bytes.size() - 4));
+  }
+  CheckpointReader r(path, "fp");
+  EXPECT_THROW(r.body().read_u64(), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TrailingGarbageRejectedByFinish) {
+  const std::string path = temp_path("ckpt_trail.bin");
+  write_simple(path, "fp", 42);
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::app);
+    os.put('z');
+  }
+  CheckpointReader r(path, "fp");
+  EXPECT_EQ(r.body().read_u64(), 42u);
+  EXPECT_THROW(r.finish(), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, CommitReplacesPreviousAtomically) {
+  const std::string path = temp_path("ckpt_replace.bin");
+  write_simple(path, "fp", 1);
+  write_simple(path, "fp", 2);
+  CheckpointReader r(path, "fp");
+  EXPECT_EQ(r.body().read_u64(), 2u);
+  r.finish();
+  EXPECT_FALSE(checkpoint_exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fedwcm::core

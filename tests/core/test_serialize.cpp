@@ -5,6 +5,8 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
+#include <limits>
 #include <sstream>
 
 namespace fedwcm::core {
@@ -50,6 +52,70 @@ TEST(Serialize, TruncatedStreamThrows) {
   EXPECT_THROW(r.read_u64(), std::runtime_error);
 }
 
+TEST(Serialize, EmptyContainersRoundTrip) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_floats({});
+  w.write_string("");
+  BinaryReader r(ss);
+  EXPECT_TRUE(r.read_floats().empty());
+  EXPECT_TRUE(r.read_string().empty());
+  EXPECT_TRUE(r.at_end());
+}
+
+// A length prefix is untrusted input: a corrupt count larger than the stream
+// must throw up front, not attempt a multi-gigabyte allocation and then fail
+// on a short read.
+TEST(Serialize, FloatCountBeyondStreamThrows) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_u64(1ULL << 40);  // claims ~4 TiB of floats...
+  w.write_f32(1.0f);        // ...backed by 4 bytes
+  BinaryReader r(ss);
+  EXPECT_THROW(r.read_floats(), std::runtime_error);
+}
+
+TEST(Serialize, StringLengthBeyondStreamThrows) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_u64(1000);
+  w.write_u32(0x41414141);
+  BinaryReader r(ss);
+  EXPECT_THROW(r.read_string(), std::runtime_error);
+}
+
+TEST(Serialize, FloatCountOverflowingSizeThrows) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  // count * sizeof(float) wraps around u64 — must be caught as overflow, not
+  // slip past the remaining-bytes comparison.
+  w.write_u64(std::numeric_limits<std::uint64_t>::max() / 2);
+  BinaryReader r(ss);
+  EXPECT_THROW(r.read_floats(), std::runtime_error);
+}
+
+TEST(Serialize, MatrixDimensionOverflowThrows) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_u64(1ULL << 40);  // rows
+  w.write_u64(1ULL << 40);  // cols: rows*cols overflows
+  BinaryReader r(ss);
+  EXPECT_THROW(r.read_matrix(), std::runtime_error);
+}
+
+TEST(Serialize, RemainingBytesTracksReads) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_u32(1);
+  w.write_u32(2);
+  BinaryReader r(ss);
+  EXPECT_EQ(r.remaining_bytes(), 8u);
+  r.read_u32();
+  EXPECT_EQ(r.remaining_bytes(), 4u);
+  r.read_u32();
+  EXPECT_TRUE(r.at_end());
+}
+
 TEST(SaveLoadParams, FileRoundTrip) {
   const std::string path = testing::TempDir() + "/fedwcm_params_test.bin";
   const std::vector<float> params{0.1f, 0.2f, -0.3f, 4.0f};
@@ -71,6 +137,33 @@ TEST(SaveLoadParams, BadMagicThrows) {
 
 TEST(SaveLoadParams, MissingFileThrows) {
   EXPECT_THROW(load_params("/nonexistent/dir/params.bin"), std::runtime_error);
+}
+
+TEST(SaveLoadParams, TrailingGarbageRejected) {
+  const std::string path = testing::TempDir() + "/fedwcm_trailing.bin";
+  save_params(path, {1.0f, 2.0f});
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::app);
+    os.put('x');
+  }
+  EXPECT_THROW(load_params(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(SaveLoadParams, TruncatedPayloadRejected) {
+  const std::string path = testing::TempDir() + "/fedwcm_truncated.bin";
+  save_params(path, {1.0f, 2.0f, 3.0f, 4.0f});
+  std::string bytes;
+  {
+    std::ifstream is(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(is), {});
+  }
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), std::streamsize(bytes.size() - 6));
+  }
+  EXPECT_THROW(load_params(path), std::runtime_error);
+  std::remove(path.c_str());
 }
 
 }  // namespace

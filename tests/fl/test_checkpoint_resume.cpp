@@ -1,0 +1,261 @@
+// Checkpoint/resume: per-algorithm state round-trips, bitwise-identical
+// resume after a simulated crash, and rejection of mismatched / truncated /
+// corrupted checkpoints.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <sstream>
+
+#include "fedwcm/core/checkpoint.hpp"
+#include "fedwcm/fl/checkpoint.hpp"
+#include "fedwcm/fl/registry.hpp"
+#include "fl_test_util.hpp"
+
+namespace fedwcm::fl {
+namespace {
+
+using testutil::make_world;
+
+// Every registered algorithm must serialize its cross-round state such that
+// save -> fresh instance -> initialize -> load -> save reproduces the exact
+// byte stream (initialize-then-load is the documented restore order).
+TEST(CheckpointState, RoundTripForEveryRegisteredAlgorithm) {
+  for (const std::string& name : algorithm_names()) {
+    auto w = make_world();
+    w.config.rounds = 3;
+    Simulation sim = w.make_simulation();
+    auto alg = make_algorithm(name);
+    sim.run(*alg);
+
+    std::stringstream first;
+    {
+      core::BinaryWriter bw(first);
+      alg->save_state(bw);
+    }
+
+    auto fresh = make_algorithm(name);
+    fresh->initialize(sim.context());
+    {
+      core::BinaryReader br(first);
+      fresh->load_state(br);
+      EXPECT_TRUE(br.at_end()) << name << ": load_state left trailing bytes";
+    }
+
+    std::stringstream second;
+    {
+      core::BinaryWriter bw(second);
+      fresh->save_state(bw);
+    }
+    EXPECT_EQ(first.str(), second.str()) << name;
+  }
+}
+
+struct CrashAtRound final : RoundObserver {
+  std::size_t crash_round;
+  explicit CrashAtRound(std::size_t r) : crash_round(r) {}
+  void on_round_end(const RoundRecord& rec) override {
+    if (rec.round == crash_round) throw std::runtime_error("injected crash");
+  }
+};
+
+void expect_same_run(const SimulationResult& resumed,
+                     const SimulationResult& expected, const std::string& tag) {
+  // Everything except wall-clock must match bitwise.
+  EXPECT_EQ(resumed.final_params, expected.final_params) << tag;
+  EXPECT_EQ(resumed.final_accuracy, expected.final_accuracy) << tag;
+  EXPECT_EQ(resumed.best_accuracy, expected.best_accuracy) << tag;
+  EXPECT_EQ(resumed.tail_mean_accuracy, expected.tail_mean_accuracy) << tag;
+  EXPECT_EQ(resumed.per_class_accuracy, expected.per_class_accuracy) << tag;
+  EXPECT_EQ(resumed.faults_dropped, expected.faults_dropped) << tag;
+  EXPECT_EQ(resumed.faults_rejected, expected.faults_rejected) << tag;
+  EXPECT_EQ(resumed.faults_straggled, expected.faults_straggled) << tag;
+  ASSERT_EQ(resumed.history.size(), expected.history.size()) << tag;
+  for (std::size_t i = 0; i < resumed.history.size(); ++i) {
+    const RoundRecord& a = resumed.history[i];
+    const RoundRecord& b = expected.history[i];
+    EXPECT_EQ(a.round, b.round) << tag;
+    EXPECT_EQ(a.test_accuracy, b.test_accuracy) << tag << " round " << b.round;
+    EXPECT_EQ(a.train_loss, b.train_loss) << tag << " round " << b.round;
+    EXPECT_EQ(a.alpha, b.alpha) << tag << " round " << b.round;
+    EXPECT_EQ(a.momentum_norm, b.momentum_norm) << tag << " round " << b.round;
+    EXPECT_EQ(a.bytes_up, b.bytes_up) << tag << " round " << b.round;
+    EXPECT_EQ(a.bytes_down, b.bytes_down) << tag << " round " << b.round;
+    EXPECT_EQ(a.dropped, b.dropped) << tag;
+    EXPECT_EQ(a.rejected, b.rejected) << tag;
+    EXPECT_EQ(a.straggled, b.straggled) << tag;
+  }
+}
+
+SimulationResult run_crash_then_resume(const testutil::TestWorld& w,
+                                       const std::string& alg_name,
+                                       const std::string& path) {
+  std::remove(path.c_str());
+  {
+    // "Crash" two rounds past the last checkpoint write.
+    Simulation sim = w.make_simulation();
+    sim.set_checkpointing({path, 5, false});
+    sim.add_observer(std::make_shared<CrashAtRound>(6));
+    auto alg = make_algorithm(alg_name);
+    EXPECT_THROW(sim.run(*alg), std::runtime_error);
+  }
+  EXPECT_TRUE(core::checkpoint_exists(path));
+
+  Simulation sim = w.make_simulation();
+  sim.set_checkpointing({path, 5, true});
+  auto alg = make_algorithm(alg_name);
+  const SimulationResult resumed = sim.run(*alg);
+  std::remove(path.c_str());
+  return resumed;
+}
+
+// The headline guarantee: a run interrupted mid-way and resumed from its
+// checkpoint is bitwise identical to the uninterrupted run, because every
+// stochastic choice derives from (seed, round, client).
+TEST(CheckpointResume, ResumeEqualsUninterrupted) {
+  for (const char* name : {"fedavg", "fedcm", "fedwcm"}) {
+    auto w = make_world();
+    Simulation base = w.make_simulation();
+    auto base_alg = make_algorithm(name);
+    const SimulationResult expected = base.run(*base_alg);
+
+    const std::string path =
+        testing::TempDir() + "/fedwcm_resume_" + name + ".ckpt";
+    const SimulationResult resumed = run_crash_then_resume(w, name, path);
+    expect_same_run(resumed, expected, name);
+  }
+}
+
+TEST(CheckpointResume, ResumeEqualsUninterruptedUnderFaults) {
+  auto w = make_world();
+  w.config.faults.drop_prob = 0.25;
+  w.config.faults.straggler_prob = 0.25;
+  Simulation base = w.make_simulation();
+  auto base_alg = make_algorithm("fedcm");
+  const SimulationResult expected = base.run(*base_alg);
+
+  const std::string path = testing::TempDir() + "/fedwcm_resume_faults.ckpt";
+  const SimulationResult resumed = run_crash_then_resume(w, "fedcm", path);
+  expect_same_run(resumed, expected, "fedcm+faults");
+}
+
+// Leaves a committed checkpoint (next_round == 6) at `path`.
+std::string make_checkpoint(const testutil::TestWorld& w,
+                            const std::string& alg_name,
+                            const std::string& file_name) {
+  const std::string path = testing::TempDir() + "/" + file_name;
+  std::remove(path.c_str());
+  Simulation sim = w.make_simulation();
+  sim.set_checkpointing({path, 3, false});
+  auto alg = make_algorithm(alg_name);
+  sim.run(*alg);
+  return path;
+}
+
+TEST(CheckpointResume, CheckpointWrittenAtCadenceAndLoadable) {
+  auto w = make_world();  // rounds=8: writes at next_round 3 and 6
+  const std::string path = make_checkpoint(w, "fedwcm", "fedwcm_cadence.ckpt");
+  ASSERT_TRUE(core::checkpoint_exists(path));
+
+  Simulation sim = w.make_simulation();
+  auto alg = make_algorithm("fedwcm");
+  alg->initialize(sim.context());
+  const ResumeState state =
+      load_checkpoint(path, w.config, sim.context().param_count, *alg);
+  EXPECT_EQ(state.next_round, 6u);
+  EXPECT_EQ(state.global.size(), sim.context().param_count);
+  for (const RoundRecord& rec : state.history) EXPECT_LT(rec.round, 6u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, MismatchedSeedRejected) {
+  auto w = make_world();
+  const std::string path = make_checkpoint(w, "fedavg", "fedwcm_seed.ckpt");
+
+  auto other = make_world();
+  other.config.seed = 777;  // different trajectory — refuse to resume
+  Simulation sim = other.make_simulation();
+  sim.set_checkpointing({path, 3, true});
+  auto alg = make_algorithm("fedavg");
+  EXPECT_THROW(sim.run(*alg), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, MismatchedAlgorithmRejected) {
+  auto w = make_world();
+  const std::string path = make_checkpoint(w, "fedcm", "fedwcm_alg.ckpt");
+  Simulation sim = w.make_simulation();
+  sim.set_checkpointing({path, 3, true});
+  auto alg = make_algorithm("fedavg");
+  EXPECT_THROW(sim.run(*alg), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, TruncatedCheckpointRejected) {
+  auto w = make_world();
+  const std::string path = make_checkpoint(w, "fedcm", "fedwcm_trunc.ckpt");
+  std::string bytes;
+  {
+    std::ifstream is(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(is), {});
+  }
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), std::streamsize(bytes.size() / 2));
+  }
+  Simulation sim = w.make_simulation();
+  sim.set_checkpointing({path, 3, true});
+  auto alg = make_algorithm("fedcm");
+  EXPECT_THROW(sim.run(*alg), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, TrailingGarbageRejected) {
+  auto w = make_world();
+  const std::string path = make_checkpoint(w, "fedavg", "fedwcm_trail.ckpt");
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::app);
+    os.write("junk", 4);
+  }
+  Simulation sim = w.make_simulation();
+  sim.set_checkpointing({path, 3, true});
+  auto alg = make_algorithm("fedavg");
+  EXPECT_THROW(sim.run(*alg), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, MissingFileWithResumeStartsFresh) {
+  // resume=true with no file present is a cold start, not an error (first
+  // launch of a checkpointed job).
+  auto w = make_world();
+  w.config.rounds = 2;
+  const std::string path = testing::TempDir() + "/fedwcm_cold.ckpt";
+  std::remove(path.c_str());
+  Simulation sim = w.make_simulation();
+  sim.set_checkpointing({path, 1, true});
+  auto alg = make_algorithm("fedavg");
+  EXPECT_NO_THROW(sim.run(*alg));
+  EXPECT_TRUE(core::checkpoint_exists(path));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, FingerprintCoversTrajectoryShapingFields) {
+  auto w = make_world();
+  const std::string base =
+      config_fingerprint(w.config, 100, "fedwcm");
+  auto w2 = make_world();
+  w2.config.faults.drop_prob = 0.5;
+  EXPECT_NE(config_fingerprint(w2.config, 100, "fedwcm"), base);
+  EXPECT_NE(config_fingerprint(w.config, 101, "fedwcm"), base);
+  EXPECT_NE(config_fingerprint(w.config, 100, "fedcm"), base);
+  // Thread count is a machine-shape knob, not a trajectory knob: a run may
+  // resume on a different machine.
+  auto w3 = make_world();
+  w3.config.threads = 16;
+  EXPECT_EQ(config_fingerprint(w3.config, 100, "fedwcm"), base);
+}
+
+}  // namespace
+}  // namespace fedwcm::fl

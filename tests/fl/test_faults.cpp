@@ -1,0 +1,164 @@
+// Fault injection: seeded drop/straggle/corrupt decisions, graceful
+// aggregation degradation, counter consistency, and determinism of
+// fault-injected runs.
+#include <gtest/gtest.h>
+
+#include "fedwcm/fl/fault.hpp"
+#include "fedwcm/fl/local.hpp"
+#include "fedwcm/fl/registry.hpp"
+#include "fl_test_util.hpp"
+
+namespace fedwcm::fl {
+namespace {
+
+using testutil::make_world;
+
+TEST(FaultPlan, DecisionsAreDeterministicAndSeeded) {
+  FaultPlan plan;
+  plan.drop_prob = 0.3;
+  plan.straggler_prob = 0.3;
+  plan.corrupt_prob = 0.3;
+  for (std::size_t round = 0; round < 4; ++round)
+    for (std::size_t client = 0; client < 8; ++client)
+      EXPECT_EQ(decide_fault(plan, 42, round, client),
+                decide_fault(plan, 42, round, client));
+
+  // A different fault seed reshuffles fates without touching the run seed.
+  plan.seed = 9;
+  std::size_t differs = 0;
+  FaultPlan base = plan;
+  base.seed = 0;
+  for (std::size_t round = 0; round < 16; ++round)
+    for (std::size_t client = 0; client < 8; ++client)
+      differs += decide_fault(plan, 42, round, client) !=
+                 decide_fault(base, 42, round, client);
+  EXPECT_GT(differs, 0u);
+}
+
+TEST(FaultPlan, ProbabilitiesPartitionTheUnitInterval) {
+  FaultPlan plan;
+  plan.drop_prob = 0.2;
+  plan.straggler_prob = 0.2;
+  plan.corrupt_prob = 0.2;
+  std::size_t counts[4] = {0, 0, 0, 0};
+  for (std::size_t round = 0; round < 200; ++round)
+    for (std::size_t client = 0; client < 10; ++client)
+      ++counts[std::size_t(decide_fault(plan, 1, round, client))];
+  // 2000 draws at 20% each: every kind (incl. none at 40%) must appear, and
+  // empirical rates should be within a loose band of the configured ones.
+  for (std::size_t k = 0; k < 4; ++k) EXPECT_GT(counts[k], 0u) << k;
+  EXPECT_NEAR(double(counts[std::size_t(FaultKind::kDrop)]) / 2000.0, 0.2, 0.05);
+  EXPECT_NEAR(double(counts[std::size_t(FaultKind::kCorrupt)]) / 2000.0, 0.2, 0.05);
+}
+
+TEST(FaultPlan, NoFaultsWhenDisabled) {
+  FaultPlan plan;  // all probabilities zero
+  EXPECT_FALSE(plan.any());
+  for (std::size_t round = 0; round < 8; ++round)
+    for (std::size_t client = 0; client < 8; ++client)
+      EXPECT_EQ(decide_fault(plan, 42, round, client), FaultKind::kNone);
+}
+
+TEST(Faults, DroppedClientsAreCountedAndRunStillConverges) {
+  auto w = make_world();
+  w.config.faults.drop_prob = 0.2;
+  Simulation sim = w.make_simulation();
+  auto alg = make_algorithm("fedavg");
+  const SimulationResult res = sim.run(*alg);
+
+  EXPECT_GT(res.faults_dropped, 0u);
+  EXPECT_EQ(res.faults_rejected, 0u);
+  EXPECT_TRUE(core::pv::all_finite(res.final_params));
+  // 20% drop-out degrades but must not destroy learning: clearly better than
+  // the 1/6 chance level of the test world.
+  EXPECT_GT(res.best_accuracy, 0.3f);
+  // Per-round counters in the history sum consistently with the run totals.
+  std::uint64_t history_dropped = 0;
+  for (const auto& rec : res.history) history_dropped += rec.dropped;
+  EXPECT_LE(history_dropped, res.faults_dropped);
+}
+
+TEST(Faults, CorruptedUpdatesAreRejectedNotAggregated) {
+  auto w = make_world();
+  w.config.faults.corrupt_prob = 0.5;
+  Simulation sim = w.make_simulation();
+  auto alg = make_algorithm("fedcm");
+  const SimulationResult res = sim.run(*alg);
+
+  EXPECT_GT(res.faults_rejected, 0u);
+  // The whole point of the rejection guard: NaN uploads never reach the
+  // global model.
+  EXPECT_TRUE(core::pv::all_finite(res.final_params));
+  for (const auto& rec : res.history) EXPECT_EQ(rec.dropped, 0u);
+}
+
+TEST(Faults, StragglersRunTruncatedStepsAndAreCounted) {
+  auto w = make_world();
+  w.config.faults.straggler_prob = 0.6;
+  w.config.faults.straggler_factor = 0.5;
+  Simulation sim = w.make_simulation();
+  auto alg = make_algorithm("fedwcm");
+  const SimulationResult res = sim.run(*alg);
+  EXPECT_GT(res.faults_straggled, 0u);
+  EXPECT_EQ(res.faults_dropped, 0u);
+  EXPECT_EQ(res.faults_rejected, 0u);
+  EXPECT_TRUE(core::pv::all_finite(res.final_params));
+}
+
+TEST(Faults, FaultInjectedRunsAreDeterministic) {
+  auto make = [] {
+    auto w = make_world();
+    w.config.faults.drop_prob = 0.2;
+    w.config.faults.straggler_prob = 0.2;
+    w.config.faults.corrupt_prob = 0.1;
+    return w;
+  };
+  auto wa = make();
+  auto wb = make();
+  wb.config.threads = 4;  // thread count must not change fault fates either
+  Simulation sa = wa.make_simulation();
+  Simulation sb = wb.make_simulation();
+  auto a = make_algorithm("fedcm");
+  auto b = make_algorithm("fedcm");
+  const SimulationResult ra = sa.run(*a);
+  const SimulationResult rb = sb.run(*b);
+  EXPECT_EQ(ra.final_params, rb.final_params);
+  EXPECT_EQ(ra.faults_dropped, rb.faults_dropped);
+  EXPECT_EQ(ra.faults_rejected, rb.faults_rejected);
+  EXPECT_EQ(ra.faults_straggled, rb.faults_straggled);
+}
+
+TEST(Faults, AllClientsDroppedLeavesGlobalAtInit) {
+  // With every client dropped every round, no aggregation ever happens and
+  // the global model stays at the seeded init — which is identical across
+  // algorithms, so two different algorithms must land on the same params.
+  auto w = make_world();
+  w.config.rounds = 3;
+  w.config.faults.drop_prob = 1.0;
+  Simulation s1 = w.make_simulation();
+  Simulation s2 = w.make_simulation();
+  auto a1 = make_algorithm("fedavg");
+  auto a2 = make_algorithm("fedcm");
+  const SimulationResult r1 = s1.run(*a1);
+  const SimulationResult r2 = s2.run(*a2);
+  EXPECT_EQ(r1.final_params, r2.final_params);
+  EXPECT_EQ(r1.faults_dropped,
+            std::uint64_t(w.config.rounds) * w.config.sampled_per_round());
+  // Nobody received the broadcast, nobody uploaded.
+  for (const auto& rec : r1.history) {
+    EXPECT_EQ(rec.bytes_down, 0u);
+    EXPECT_EQ(rec.bytes_up, 0u);
+    EXPECT_EQ(rec.train_loss, 0.0f);
+  }
+}
+
+TEST(Faults, StepTruncationHelperContract) {
+  EXPECT_EQ(truncate_steps(10, 1.0f), 10u);
+  EXPECT_EQ(truncate_steps(10, 0.5f), 5u);
+  EXPECT_EQ(truncate_steps(10, 0.05f), 1u);  // never zero steps
+  EXPECT_EQ(truncate_steps(0, 0.5f), 0u);
+  EXPECT_EQ(truncate_steps(7, 2.0f), 7u);
+}
+
+}  // namespace
+}  // namespace fedwcm::fl

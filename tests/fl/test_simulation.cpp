@@ -134,11 +134,31 @@ TEST(Simulation, RecordsTimingAndCommVolume) {
   for (const auto& rec : res.history) {
     EXPECT_TRUE(rec.evaluated);
     EXPECT_GT(rec.round_wall_ms, 0.0);
-    // Downlink: global params broadcast to each sampled client; uplink at
-    // least one delta of the same size per client.
+    // Downlink: FedAvg broadcasts only the global params to each sampled
+    // client (broadcast_floats == param_count); uplink at least one delta of
+    // the same size per client.
     const std::uint64_t sampled = w.config.sampled_per_round();
     EXPECT_EQ(rec.bytes_down, sampled * param_count * sizeof(float));
     EXPECT_GE(rec.bytes_up, sampled * param_count * sizeof(float));
+  }
+}
+
+TEST(Simulation, MomentumBroadcastDoublesDownlink) {
+  // FedCM-family servers broadcast (x_r, Delta_r) — §2's 2x downlink cost —
+  // which the accounting must reflect via Algorithm::broadcast_floats.
+  for (const char* name : {"fedcm", "fedwcm", "fedwcmx"}) {
+    auto w = make_world();
+    w.config.rounds = 2;
+    w.config.eval_every = 1;
+    Simulation sim = w.make_simulation();
+    auto alg = make_algorithm(name);
+    const SimulationResult res = sim.run(*alg);
+    const std::size_t param_count = sim.context().param_count;
+    EXPECT_EQ(alg->broadcast_floats(), 2 * param_count) << name;
+    const std::uint64_t sampled = w.config.sampled_per_round();
+    for (const auto& rec : res.history)
+      EXPECT_EQ(rec.bytes_down, sampled * 2 * param_count * sizeof(float))
+          << name;
   }
 }
 

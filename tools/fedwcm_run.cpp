@@ -26,11 +26,26 @@
 ///   --loss NAME           ce|focal|balance                   [ce]
 ///   --probe-concentration record the Appendix-B metric       [off]
 ///   --out PATH            artifact basename (PATH.csv/.jsonl) [none]
+///   --checkpoint PATH     crash-safe checkpoint file          [none]
+///   --checkpoint-every N  write checkpoint every N rounds     [10]
+///   --resume              resume from --checkpoint if present [off]
+///   --drop-prob F         P(client drops out of a round)      [0]
+///   --straggler-prob F    P(client straggles)                 [0]
+///   --straggler-factor F  straggler local-step fraction       [0.5]
+///   --corrupt-prob F      P(client uploads a corrupted delta) [0]
+///   --fault-seed N        extra fault-stream seed             [0]
 ///   --trace PATH          Chrome trace-event JSON (Perfetto)  [$FEDWCM_TRACE]
 ///   --metrics-out PATH    metrics JSONL                  [$FEDWCM_METRICS_OUT]
 ///   --progress            per-round progress lines            [off]
+///
+/// Numeric flags are parsed strictly: a non-numeric, partially numeric,
+/// out-of-range, or non-finite value exits with status 2 and an error naming
+/// the offending flag (no silent atoi-style zero fallback).
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -66,6 +81,10 @@ struct Args {
   std::string loss = "ce";
   bool probe_concentration = false;
   std::string out;
+  std::string checkpoint;
+  std::size_t checkpoint_every = 10;
+  bool resume = false;
+  fl::FaultPlan faults;
   std::string trace;
   std::string metrics_out;
   bool progress = false;
@@ -90,6 +109,14 @@ const char kUsage[] =
     "  --loss NAME           ce|focal|balance                   [ce]\n"
     "  --probe-concentration record the Appendix-B metric       [off]\n"
     "  --out PATH            artifact basename (PATH.csv/.jsonl) [none]\n"
+    "  --checkpoint PATH     crash-safe checkpoint file         [none]\n"
+    "  --checkpoint-every N  write checkpoint every N rounds    [10]\n"
+    "  --resume              resume from --checkpoint if present [off]\n"
+    "  --drop-prob F         P(client drops out of a round)     [0]\n"
+    "  --straggler-prob F    P(client straggles)                [0]\n"
+    "  --straggler-factor F  straggler local-step fraction      [0.5]\n"
+    "  --corrupt-prob F      P(client uploads a corrupted delta) [0]\n"
+    "  --fault-seed N        extra fault-stream seed            [0]\n"
     "  --trace PATH          Chrome trace-event JSON (open in Perfetto)\n"
     "                        [$FEDWCM_TRACE]\n"
     "  --metrics-out PATH    metrics JSONL (see docs/OBSERVABILITY.md)\n"
@@ -102,6 +129,45 @@ const char kUsage[] =
   std::exit(2);
 }
 
+/// Strict numeric parsing: the whole token must parse, in range, finite.
+/// atoi/atof silently turn typos ("1O0", "0.1x", "") into 0 — here they exit
+/// with status 2 naming the offending flag instead.
+std::uint64_t parse_u64(const std::string& flag, const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || end != text.c_str() + text.size() ||
+      text.find('-') != std::string::npos || errno == ERANGE)
+    usage_error("invalid value '" + text + "' for " + flag +
+                " (expected a non-negative integer)");
+  return std::uint64_t(v);
+}
+
+std::size_t parse_size(const std::string& flag, const std::string& text) {
+  const std::uint64_t v = parse_u64(flag, text);
+  if (v > std::numeric_limits<std::size_t>::max())
+    usage_error("value '" + text + "' for " + flag + " is out of range");
+  return std::size_t(v);
+}
+
+double parse_f64(const std::string& flag, const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE ||
+      !std::isfinite(v))
+    usage_error("invalid value '" + text + "' for " + flag +
+                " (expected a finite number)");
+  return v;
+}
+
+double parse_prob(const std::string& flag, const std::string& text) {
+  const double v = parse_f64(flag, text);
+  if (v < 0.0 || v > 1.0)
+    usage_error("value '" + text + "' for " + flag + " must be in [0, 1]");
+  return v;
+}
+
 Args parse(int argc, char** argv) {
   Args args;
   auto need_value = [&](int& i) -> std::string {
@@ -112,16 +178,28 @@ Args parse(int argc, char** argv) {
     const std::string flag = argv[i];
     if (flag == "--alg") args.alg = need_value(i);
     else if (flag == "--dataset") args.dataset = need_value(i);
-    else if (flag == "--if") args.imbalance = std::atof(need_value(i).c_str());
-    else if (flag == "--beta") args.beta = std::atof(need_value(i).c_str());
-    else if (flag == "--clients") args.clients = std::size_t(std::atoi(need_value(i).c_str()));
-    else if (flag == "--participation") args.participation = std::atof(need_value(i).c_str());
-    else if (flag == "--rounds") args.rounds = std::size_t(std::atoi(need_value(i).c_str()));
-    else if (flag == "--epochs") args.epochs = std::size_t(std::atoi(need_value(i).c_str()));
-    else if (flag == "--batch") args.batch = std::size_t(std::atoi(need_value(i).c_str()));
-    else if (flag == "--lr") args.lr = float(std::atof(need_value(i).c_str()));
-    else if (flag == "--global-lr") args.global_lr = float(std::atof(need_value(i).c_str()));
-    else if (flag == "--seed") args.seed = std::uint64_t(std::atoll(need_value(i).c_str()));
+    else if (flag == "--if") args.imbalance = parse_f64(flag, need_value(i));
+    else if (flag == "--beta") args.beta = parse_f64(flag, need_value(i));
+    else if (flag == "--clients") args.clients = parse_size(flag, need_value(i));
+    else if (flag == "--participation") args.participation = parse_prob(flag, need_value(i));
+    else if (flag == "--rounds") args.rounds = parse_size(flag, need_value(i));
+    else if (flag == "--epochs") args.epochs = parse_size(flag, need_value(i));
+    else if (flag == "--batch") args.batch = parse_size(flag, need_value(i));
+    else if (flag == "--lr") args.lr = float(parse_f64(flag, need_value(i)));
+    else if (flag == "--global-lr") args.global_lr = float(parse_f64(flag, need_value(i)));
+    else if (flag == "--seed") args.seed = parse_u64(flag, need_value(i));
+    else if (flag == "--checkpoint") args.checkpoint = need_value(i);
+    else if (flag == "--checkpoint-every") args.checkpoint_every = parse_size(flag, need_value(i));
+    else if (flag == "--resume") args.resume = true;
+    else if (flag == "--drop-prob") args.faults.drop_prob = parse_prob(flag, need_value(i));
+    else if (flag == "--straggler-prob") args.faults.straggler_prob = parse_prob(flag, need_value(i));
+    else if (flag == "--straggler-factor") {
+      args.faults.straggler_factor = parse_prob(flag, need_value(i));
+      if (args.faults.straggler_factor <= 0.0)
+        usage_error("--straggler-factor must be in (0, 1]");
+    }
+    else if (flag == "--corrupt-prob") args.faults.corrupt_prob = parse_prob(flag, need_value(i));
+    else if (flag == "--fault-seed") args.faults.seed = parse_u64(flag, need_value(i));
     else if (flag == "--fedgrab-partition") args.fedgrab_partition = true;
     else if (flag == "--balanced-sampler") args.balanced_sampler = true;
     else if (flag == "--loss") args.loss = need_value(i);
@@ -181,6 +259,9 @@ int main(int argc, char** argv) {
   cfg.seed = args.seed;
   cfg.balanced_sampler = args.balanced_sampler;
   cfg.eval_every = std::max<std::size_t>(1, args.rounds / 20);
+  cfg.faults = args.faults;
+  if (args.resume && args.checkpoint.empty())
+    usage_error("--resume requires --checkpoint");
 
   const auto partition =
       args.fedgrab_partition
@@ -209,6 +290,9 @@ int main(int argc, char** argv) {
     });
   if (args.progress)
     sim.add_observer(std::make_shared<fl::LoggingObserver>(std::cout));
+  if (!args.checkpoint.empty())
+    sim.set_checkpointing(
+        {args.checkpoint, args.checkpoint_every, args.resume});
 
   std::unique_ptr<fl::Algorithm> algorithm;
   try {
@@ -220,7 +304,15 @@ int main(int argc, char** argv) {
   std::cout << "running " << args.alg << " on " << spec.name
             << " (IF=" << args.imbalance << ", beta=" << args.beta << ", "
             << args.clients << " clients, " << args.rounds << " rounds)\n";
-  const fl::SimulationResult result = sim.run(*algorithm);
+  fl::SimulationResult result;
+  try {
+    result = sim.run(*algorithm);
+  } catch (const std::exception& e) {
+    // Most commonly a rejected checkpoint (fingerprint/version mismatch,
+    // truncation) — report it instead of aborting on an escaped exception.
+    std::cerr << "fedwcm_run: " << e.what() << "\n";
+    return 1;
+  }
 
   std::cout << "final accuracy:      " << result.final_accuracy << "\n"
             << "tail-mean accuracy:  " << result.tail_mean_accuracy << "\n"
@@ -228,6 +320,13 @@ int main(int argc, char** argv) {
             << "per-class accuracy: ";
   for (float a : result.per_class_accuracy) std::cout << " " << a;
   std::cout << "\n";
+  if (args.faults.any() || result.faults_dropped > 0 || result.faults_rejected > 0)
+    std::cout << "faults: dropped=" << result.faults_dropped
+              << " rejected=" << result.faults_rejected
+              << " straggled=" << result.faults_straggled << "\n";
+  if (!args.checkpoint.empty())
+    std::cout << "checkpoint: " << args.checkpoint << " (every "
+              << args.checkpoint_every << " rounds)\n";
 
   if (!args.out.empty()) {
     analysis::write_history_csv(args.out + ".csv", result);
