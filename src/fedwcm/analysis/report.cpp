@@ -13,19 +13,49 @@ std::ofstream open_or_throw(const std::string& path) {
   return os;
 }
 
+void write_per_class_csv(std::ofstream& os, const std::vector<float>& accs) {
+  // Semicolon-joined inside one cell, so the column count is independent of
+  // the class count and the header stays stable.
+  for (std::size_t c = 0; c < accs.size(); ++c) {
+    if (c) os << ";";
+    os << accs[c];
+  }
+}
+
+void write_per_class_json(std::ofstream& os, const std::vector<float>& accs) {
+  os << "[";
+  for (std::size_t c = 0; c < accs.size(); ++c) {
+    if (c) os << ",";
+    os << accs[c];
+  }
+  os << "]";
+}
+
 }  // namespace
+
+const char* history_csv_header() {
+  return "round,test_accuracy,train_loss,alpha,momentum_norm,concentration,"
+         "round_wall_ms,bytes_up,bytes_down,dropped,rejected,straggled,"
+         "diagnostics,momentum_alignment,alignment_min,update_norm_mean,"
+         "update_norm_cv,drift_norm,per_class_accuracy";
+}
 
 void write_history_csv(const std::string& path,
                        const fl::SimulationResult& result) {
   std::ofstream os = open_or_throw(path);
-  os << "round,test_accuracy,train_loss,alpha,momentum_norm,concentration,"
-        "round_wall_ms,bytes_up,bytes_down,dropped,rejected,straggled\n";
-  for (const auto& rec : result.history)
+  os << history_csv_header() << "\n";
+  for (const auto& rec : result.history) {
     os << rec.round << "," << rec.test_accuracy << "," << rec.train_loss << ","
        << rec.alpha << "," << rec.momentum_norm << "," << rec.concentration
        << "," << rec.round_wall_ms << "," << rec.bytes_up << ","
        << rec.bytes_down << "," << rec.dropped << "," << rec.rejected << ","
-       << rec.straggled << "\n";
+       << rec.straggled << "," << (rec.diagnostics ? 1 : 0) << ","
+       << rec.momentum_alignment << "," << rec.alignment_min << ","
+       << rec.update_norm_mean << "," << rec.update_norm_cv << ","
+       << rec.drift_norm << ",";
+    write_per_class_csv(os, rec.per_class_accuracy);
+    os << "\n";
+  }
   if (!os) throw std::runtime_error("report: write failed for " + path);
 }
 
@@ -42,7 +72,15 @@ void write_history_jsonl(const std::string& path,
        << ",\"bytes_up\":" << rec.bytes_up
        << ",\"bytes_down\":" << rec.bytes_down
        << ",\"dropped\":" << rec.dropped << ",\"rejected\":" << rec.rejected
-       << ",\"straggled\":" << rec.straggled << "}\n";
+       << ",\"straggled\":" << rec.straggled
+       << ",\"diagnostics\":" << (rec.diagnostics ? "true" : "false")
+       << ",\"momentum_alignment\":" << rec.momentum_alignment
+       << ",\"alignment_min\":" << rec.alignment_min
+       << ",\"update_norm_mean\":" << rec.update_norm_mean
+       << ",\"update_norm_cv\":" << rec.update_norm_cv
+       << ",\"drift_norm\":" << rec.drift_norm << ",\"per_class_accuracy\":";
+    write_per_class_json(os, rec.per_class_accuracy);
+    os << "}\n";
   }
   os << "{\"algorithm\":\"" << result.algorithm
      << "\",\"summary\":true,\"final_accuracy\":" << result.final_accuracy
@@ -51,12 +89,9 @@ void write_history_jsonl(const std::string& path,
      << ",\"faults_dropped\":" << result.faults_dropped
      << ",\"faults_rejected\":" << result.faults_rejected
      << ",\"faults_straggled\":" << result.faults_straggled
-     << ",\"per_class_accuracy\":[";
-  for (std::size_t c = 0; c < result.per_class_accuracy.size(); ++c) {
-    if (c) os << ",";
-    os << result.per_class_accuracy[c];
-  }
-  os << "]}\n";
+     << ",\"per_class_accuracy\":";
+  write_per_class_json(os, result.per_class_accuracy);
+  os << "}\n";
   if (!os) throw std::runtime_error("report: write failed for " + path);
 }
 

@@ -9,13 +9,20 @@
 
 namespace fedwcm::analysis {
 
-/// Writes one CSV row per evaluated round:
-/// round,test_accuracy,train_loss,alpha,momentum_norm,concentration.
+/// The stable CSV column ordering (docs/OBSERVABILITY.md documents each
+/// column). New columns are only ever appended, never reordered, so existing
+/// downstream parsers keep working.
+const char* history_csv_header();
+
+/// Writes one CSV row per evaluated round using `history_csv_header()`
+/// ordering. The per-class accuracy vector is one semicolon-joined cell so
+/// the column count is independent of the class count.
 void write_history_csv(const std::string& path, const fl::SimulationResult& result);
 
 /// Writes one JSON object per line with the same fields plus the algorithm
-/// name; the final line carries the summary (final/best/tail accuracies and
-/// per-class accuracy vector).
+/// name; the final line carries the summary (final/best/tail accuracies,
+/// fault totals, and the final per-class accuracy vector). Every line parses
+/// with `obs::json::parse` (round-trip ctest-enforced).
 void write_history_jsonl(const std::string& path,
                          const fl::SimulationResult& result);
 

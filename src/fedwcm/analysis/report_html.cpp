@@ -1,0 +1,574 @@
+#include "fedwcm/analysis/report_html.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace fedwcm::analysis {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Formatting / escaping
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '<') {
+      out += "\\u003c";  // "</script>" inside the blob must not end the block
+    } else if (c == '>') {
+      out += "\\u003e";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      std::ostringstream os;
+      os << "\\u" << std::hex << std::setw(4) << std::setfill('0') << int(c);
+      out += os.str();
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Tick/label formatting: default stream formatting (≤6 significant digits,
+/// trailing zeros trimmed).
+std::string fmt_num(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+/// JSON series values: 9 significant digits round-trips every float exactly.
+std::string fmt_json(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  os.precision(9);
+  os << v;
+  return os.str();
+}
+
+std::string fmt_pct(double v) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << v * 100.0 << "%";
+  return os.str();
+}
+
+std::string fmt_bytes(double b) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int u = 0;
+  while (b >= 1024.0 && u < 4) {
+    b /= 1024.0;
+    ++u;
+  }
+  std::ostringstream os;
+  if (u == 0)
+    os << std::uint64_t(b) << " B";
+  else
+    os << std::fixed << std::setprecision(1) << b << " " << units[u];
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Axis scaffolding
+
+struct Ticks {
+  std::vector<double> values;
+  double lo = 0.0, hi = 1.0;
+};
+
+/// Round-number ticks covering [lo, hi] (expanded to tick boundaries).
+Ticks nice_ticks(double lo, double hi) {
+  if (!std::isfinite(lo) || !std::isfinite(hi)) {
+    lo = 0.0;
+    hi = 1.0;
+  }
+  if (!(hi > lo)) {
+    const double pad = std::max(0.5, std::abs(hi) * 0.5);
+    lo -= pad;
+    hi += pad;
+  }
+  const double raw = (hi - lo) / 4.0;
+  const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+  double step = 10.0 * mag;
+  for (double m : {1.0, 2.0, 2.5, 5.0}) {
+    if (raw <= m * mag) {
+      step = m * mag;
+      break;
+    }
+  }
+  Ticks t;
+  t.lo = std::floor(lo / step) * step;
+  t.hi = std::ceil(hi / step) * step;
+  for (double v = t.lo; v <= t.hi + step * 0.5; v += step)
+    t.values.push_back(std::abs(v) < step * 1e-9 ? 0.0 : v);
+  return t;
+}
+
+// Chart geometry (viewBox units; CSS scales the card to the grid column).
+constexpr double kW = 560, kH = 230;
+constexpr double kML = 56, kMR = 14, kMT = 12, kMB = 30;
+constexpr double kPlotW = kW - kML - kMR;
+constexpr double kPlotH = kH - kMT - kMB;
+
+struct LineSeries {
+  std::string name;
+  int slot = 1;  ///< Categorical palette slot (1-based, ≤ 4 per chart).
+  std::vector<double> y;
+};
+
+struct ChartOpts {
+  bool include_zero = true;
+  double force_min = std::numeric_limits<double>::quiet_NaN();
+  double force_max = std::numeric_limits<double>::quiet_NaN();
+  bool bytes_ticks = false;  ///< Format y ticks as data sizes.
+};
+
+/// One card with a title, a legend (≥ 2 series), and an inline-SVG line
+/// chart: hairline gridlines, 2px series lines, surface-ringed end markers,
+/// and a native-tooltip hover target on every point.
+void render_line_card(std::ostream& os, const std::string& title,
+                      const std::vector<double>& x,
+                      const std::vector<LineSeries>& series,
+                      const ChartOpts& opts = {}) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series)
+    for (double v : s.y)
+      if (std::isfinite(v)) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+  if (!std::isfinite(lo)) {
+    lo = 0.0;
+    hi = 1.0;
+  }
+  if (opts.include_zero) {
+    lo = std::min(lo, 0.0);
+    hi = std::max(hi, 0.0);
+  }
+  if (std::isfinite(opts.force_min)) lo = opts.force_min;
+  if (std::isfinite(opts.force_max)) hi = std::max(opts.force_max, hi);
+  const Ticks ticks = nice_ticks(lo, hi);
+
+  const double x_lo = x.empty() ? 0.0 : x.front();
+  const double x_hi = x.empty() ? 1.0 : x.back();
+  const double x_den = std::max(1.0, x_hi - x_lo);
+  auto px = [&](double v) { return kML + (v - x_lo) / x_den * kPlotW; };
+  auto py = [&](double v) {
+    return kMT + (ticks.hi - v) / std::max(1e-12, ticks.hi - ticks.lo) * kPlotH;
+  };
+
+  os << "<figure class=\"card\"><figcaption><h3>" << html_escape(title)
+     << "</h3>";
+  if (series.size() >= 2) {
+    os << "<span class=\"legend\">";
+    for (const auto& s : series)
+      os << "<span class=\"chip\"><i class=\"sw s" << s.slot << "\"></i>"
+         << html_escape(s.name) << "</span>";
+    os << "</span>";
+  }
+  os << "</figcaption>\n<svg viewBox=\"0 0 " << kW << " " << kH
+     << "\" role=\"img\" aria-label=\"" << html_escape(title) << "\">\n";
+
+  // Gridlines + y tick labels.
+  for (double t : ticks.values) {
+    const double y = py(t);
+    os << "<line class=\"grid\" x1=\"" << kML << "\" y1=\"" << y << "\" x2=\""
+       << kW - kMR << "\" y2=\"" << y << "\"/>"
+       << "<text class=\"tick\" x=\"" << kML - 6 << "\" y=\"" << y + 3.5
+       << "\" text-anchor=\"end\">"
+       << (opts.bytes_ticks ? fmt_bytes(t) : fmt_num(t)) << "</text>\n";
+  }
+  // X ticks: at most 7 round labels.
+  if (!x.empty()) {
+    const std::size_t stride = std::max<std::size_t>(1, (x.size() - 1) / 6 + 1);
+    for (std::size_t i = 0; i < x.size(); i += stride)
+      os << "<text class=\"tick\" x=\"" << px(x[i]) << "\" y=\"" << kH - 10
+         << "\" text-anchor=\"middle\">" << fmt_num(x[i]) << "</text>\n";
+    os << "<text class=\"tick\" x=\"" << kW - kMR << "\" y=\"" << kH - 10
+       << "\" text-anchor=\"end\">round</text>\n";
+  }
+  // Baseline.
+  os << "<line class=\"axis\" x1=\"" << kML << "\" y1=\"" << kMT + kPlotH
+     << "\" x2=\"" << kW - kMR << "\" y2=\"" << kMT + kPlotH << "\"/>\n";
+
+  for (const auto& s : series) {
+    if (s.y.empty()) continue;
+    os << "<polyline class=\"line s" << s.slot << "\" points=\"";
+    for (std::size_t i = 0; i < s.y.size() && i < x.size(); ++i)
+      os << px(x[i]) << "," << py(s.y[i]) << " ";
+    os << "\"/>\n";
+    // End marker: ≥8px dot with a 2px surface ring.
+    const std::size_t n = std::min(s.y.size(), x.size());
+    os << "<circle class=\"dot s" << s.slot << "\" cx=\"" << px(x[n - 1])
+       << "\" cy=\"" << py(s.y[n - 1]) << "\" r=\"4\"/>\n";
+    // Hover targets (bigger than the mark) with native tooltips.
+    for (std::size_t i = 0; i < n; ++i)
+      os << "<circle class=\"hov\" cx=\"" << px(x[i]) << "\" cy=\""
+         << py(s.y[i]) << "\" r=\"8\"><title>" << html_escape(s.name)
+         << " · round " << fmt_num(x[i]) << ": "
+         << (opts.bytes_ticks ? fmt_bytes(s.y[i]) : fmt_num(s.y[i]))
+         << "</title></circle>\n";
+  }
+  os << "</svg></figure>\n";
+}
+
+/// Per-class recall heatmap: one row per class (head at the top), one column
+/// per evaluated round, 13-step sequential fill, surface-gap cell spacing.
+void render_heatmap_card(std::ostream& os, const std::vector<double>& rounds,
+                         const std::vector<std::vector<float>>& recall,
+                         std::size_t num_classes) {
+  const std::size_t cols = recall.size();
+  const double cell_h = num_classes > 24 ? 10.0 : 16.0;
+  const double h = kMT + double(num_classes) * cell_h + kMB;
+  const double cell_w = kPlotW / double(std::max<std::size_t>(1, cols));
+
+  os << "<figure class=\"card wide\"><figcaption><h3>Per-class recall over "
+        "rounds</h3><span class=\"legend\"><span class=\"chip\">low</span>";
+  for (int i = 0; i <= 12; i += 2)
+    os << "<i class=\"sw h" << i << "\"></i>";
+  os << "<span class=\"chip\">high</span></span></figcaption>\n"
+     << "<svg viewBox=\"0 0 " << kW << " " << h
+     << "\" role=\"img\" aria-label=\"Per-class recall heatmap\">\n";
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    const double y = kMT + double(c) * cell_h;
+    os << "<text class=\"tick\" x=\"" << kML - 6 << "\" y=\""
+       << y + cell_h * 0.5 + 3.5 << "\" text-anchor=\"end\">c" << c
+       << "</text>\n";
+    for (std::size_t r = 0; r < cols; ++r) {
+      const float v = c < recall[r].size() ? recall[r][c] : 0.0f;
+      const int step =
+          std::clamp(int(std::lround(double(v) * 12.0)), 0, 12);
+      os << "<rect class=\"h" << step << "\" x=\""
+         << kML + double(r) * cell_w + 1 << "\" y=\"" << y + 1 << "\" width=\""
+         << std::max(0.5, cell_w - 2) << "\" height=\"" << cell_h - 2
+         << "\" rx=\"2\"><title>round " << fmt_num(rounds[r]) << " · class "
+         << c << ": " << fmt_num(double(v)) << "</title></rect>\n";
+    }
+  }
+  const std::size_t stride = cols == 0 ? 1 : std::max<std::size_t>(1, (cols - 1) / 6 + 1);
+  for (std::size_t r = 0; r < cols; r += stride)
+    os << "<text class=\"tick\" x=\"" << kML + (double(r) + 0.5) * cell_w
+       << "\" y=\"" << h - 10 << "\" text-anchor=\"middle\">"
+       << fmt_num(rounds[r]) << "</text>\n";
+  os << "</svg></figure>\n";
+}
+
+void render_tile(std::ostream& os, const std::string& label,
+                 const std::string& value) {
+  os << "<div class=\"tile\"><span class=\"tlabel\">" << html_escape(label)
+     << "</span><span class=\"tvalue\">" << html_escape(value)
+     << "</span></div>\n";
+}
+
+/// The stylesheet: palette slots as CSS custom properties, light values on
+/// the root with a prefers-color-scheme dark override, so the one file reads
+/// correctly in both modes. Series colors are the validated default
+/// categorical order (blue, orange, aqua, yellow); the heatmap ramp is the
+/// sequential blue scale, reversed in dark mode so "more distinct from the
+/// surface" always means "higher recall".
+const char kStyle[] = R"css(
+:root{color-scheme:light dark;
+ --page:#f9f9f7;--surface:#fcfcfb;--ink:#0b0b0b;--ink2:#52514e;--muted:#898781;
+ --grid:#e1e0d9;--axis:#c3c2b7;--border:rgba(11,11,11,0.10);
+ --series-1:#2a78d6;--series-2:#eb6834;--series-3:#1baf7a;--series-4:#eda100;
+ --heat-0:#cde2fb;--heat-1:#b7d3f6;--heat-2:#9ec5f4;--heat-3:#86b6ef;
+ --heat-4:#6da7ec;--heat-5:#5598e7;--heat-6:#3987e5;--heat-7:#2a78d6;
+ --heat-8:#256abf;--heat-9:#1c5cab;--heat-10:#184f95;--heat-11:#104281;
+ --heat-12:#0d366b;}
+@media (prefers-color-scheme:dark){:root{
+ --page:#0d0d0d;--surface:#1a1a19;--ink:#ffffff;--ink2:#c3c2b7;--muted:#898781;
+ --grid:#2c2c2a;--axis:#383835;--border:rgba(255,255,255,0.10);
+ --series-1:#3987e5;--series-2:#d95926;--series-3:#199e70;--series-4:#c98500;
+ --heat-0:#0d366b;--heat-1:#104281;--heat-2:#184f95;--heat-3:#1c5cab;
+ --heat-4:#256abf;--heat-5:#2a78d6;--heat-6:#3987e5;--heat-7:#5598e7;
+ --heat-8:#6da7ec;--heat-9:#86b6ef;--heat-10:#9ec5f4;--heat-11:#b7d3f6;
+ --heat-12:#cde2fb;}}
+*{box-sizing:border-box}
+body{margin:0;padding:24px;background:var(--page);color:var(--ink);
+ font:14px/1.45 system-ui,-apple-system,"Segoe UI",sans-serif}
+header h1{font-size:20px;margin:0 0 2px}
+header p{margin:0;color:var(--ink2)}
+.chips{margin:10px 0 0;display:flex;flex-wrap:wrap;gap:6px}
+.chips span{background:var(--surface);border:1px solid var(--border);
+ border-radius:999px;padding:2px 10px;font-size:12px;color:var(--ink2)}
+.chips b{color:var(--ink);font-weight:600}
+.tiles{display:grid;grid-template-columns:repeat(auto-fit,minmax(150px,1fr));
+ gap:12px;margin:18px 0}
+.tile{background:var(--surface);border:1px solid var(--border);
+ border-radius:12px;padding:12px 14px;display:flex;flex-direction:column}
+.tlabel{font-size:12px;color:var(--ink2)}
+.tvalue{font-size:24px;font-weight:600;margin-top:2px}
+.grid-cards{display:grid;grid-template-columns:repeat(auto-fit,minmax(420px,1fr));
+ gap:14px}
+.card{background:var(--surface);border:1px solid var(--border);
+ border-radius:12px;padding:12px 14px;margin:0}
+.card.wide{grid-column:1/-1}
+.card figcaption{display:flex;align-items:baseline;justify-content:space-between;
+ gap:10px;flex-wrap:wrap}
+.card h3{font-size:13px;font-weight:600;margin:0 0 6px}
+.legend{display:flex;align-items:center;gap:10px;font-size:12px;color:var(--ink2)}
+.chip{display:inline-flex;align-items:center;gap:4px}
+.sw{display:inline-block;width:10px;height:10px;border-radius:3px}
+svg{width:100%;height:auto;display:block}
+.grid{stroke:var(--grid);stroke-width:1}
+.axis{stroke:var(--axis);stroke-width:1}
+.tick{fill:var(--muted);font-size:11px;font-variant-numeric:tabular-nums}
+.line{fill:none;stroke-width:2;stroke-linejoin:round;stroke-linecap:round}
+.dot{stroke:var(--surface);stroke-width:2}
+.hov{fill:#000;fill-opacity:0;pointer-events:all}
+.s1{stroke:var(--series-1)}.s2{stroke:var(--series-2)}
+.s3{stroke:var(--series-3)}.s4{stroke:var(--series-4)}
+i.s1{background:var(--series-1)}i.s2{background:var(--series-2)}
+i.s3{background:var(--series-3)}i.s4{background:var(--series-4)}
+circle.s1{fill:var(--series-1)}circle.s2{fill:var(--series-2)}
+circle.s3{fill:var(--series-3)}circle.s4{fill:var(--series-4)}
+.h0{fill:var(--heat-0)}.h1{fill:var(--heat-1)}.h2{fill:var(--heat-2)}
+.h3{fill:var(--heat-3)}.h4{fill:var(--heat-4)}.h5{fill:var(--heat-5)}
+.h6{fill:var(--heat-6)}.h7{fill:var(--heat-7)}.h8{fill:var(--heat-8)}
+.h9{fill:var(--heat-9)}.h10{fill:var(--heat-10)}.h11{fill:var(--heat-11)}
+.h12{fill:var(--heat-12)}
+i.h0{background:var(--heat-0)}i.h2{background:var(--heat-2)}
+i.h4{background:var(--heat-4)}i.h6{background:var(--heat-6)}
+i.h8{background:var(--heat-8)}i.h10{background:var(--heat-10)}
+i.h12{background:var(--heat-12)}
+details{margin:18px 0}
+summary{cursor:pointer;color:var(--ink2)}
+table{border-collapse:collapse;width:100%;margin-top:8px;font-size:12px;
+ background:var(--surface);border:1px solid var(--border);border-radius:12px}
+th,td{padding:4px 8px;text-align:right;border-bottom:1px solid var(--grid);
+ font-variant-numeric:tabular-nums}
+th{color:var(--ink2);font-weight:600}
+footer{margin-top:18px;color:var(--muted);font-size:12px}
+)css";
+
+void append_series_json(std::ostream& os, const char* name,
+                        const std::vector<double>& v, bool first) {
+  if (!first) os << ",";
+  os << "\"" << name << "\":[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ",";
+    os << fmt_json(v[i]);
+  }
+  os << "]";
+}
+
+}  // namespace
+
+std::string render_html_report(const fl::SimulationResult& result,
+                               const HtmlReportMeta& meta) {
+  const auto& hist = result.history;
+
+  // Column-major series extraction from the evaluated-round history.
+  std::vector<double> rounds, acc, loss, alpha, mom_norm, align, align_min,
+      norm_mean, norm_cv, drift, bytes_up, bytes_down, dropped, rejected,
+      straggled, head_recall, tail_recall;
+  std::vector<std::vector<float>> recall;
+  bool any_diag = false;
+  std::size_t num_classes = 0;
+  std::uint64_t total_up = 0, total_down = 0;
+  for (const auto& rec : hist) {
+    rounds.push_back(double(rec.round));
+    acc.push_back(double(rec.test_accuracy));
+    loss.push_back(double(rec.train_loss));
+    alpha.push_back(double(rec.alpha));
+    mom_norm.push_back(double(rec.momentum_norm));
+    align.push_back(double(rec.momentum_alignment));
+    align_min.push_back(double(rec.alignment_min));
+    norm_mean.push_back(double(rec.update_norm_mean));
+    norm_cv.push_back(double(rec.update_norm_cv));
+    drift.push_back(double(rec.drift_norm));
+    bytes_up.push_back(double(rec.bytes_up));
+    bytes_down.push_back(double(rec.bytes_down));
+    dropped.push_back(double(rec.dropped));
+    rejected.push_back(double(rec.rejected));
+    straggled.push_back(double(rec.straggled));
+    any_diag = any_diag || rec.diagnostics;
+    total_up += rec.bytes_up;
+    total_down += rec.bytes_down;
+    recall.push_back(rec.per_class_accuracy);
+    num_classes = std::max(num_classes, rec.per_class_accuracy.size());
+    // Head = first half of the class index range, tail = second half (class
+    // frequency decreases with index under the long-tail subsampler).
+    const std::size_t C = rec.per_class_accuracy.size();
+    double h = 0.0, t = 0.0;
+    if (C > 0) {
+      for (std::size_t c = 0; c < C / 2; ++c) h += rec.per_class_accuracy[c];
+      for (std::size_t c = C / 2; c < C; ++c) t += rec.per_class_accuracy[c];
+      h /= double(std::max<std::size_t>(1, C / 2));
+      t /= double(std::max<std::size_t>(1, C - C / 2));
+    }
+    head_recall.push_back(h);
+    tail_recall.push_back(t);
+  }
+  const std::uint64_t total_faults =
+      result.faults_dropped + result.faults_rejected + result.faults_straggled;
+
+  std::ostringstream os;
+  const std::string title =
+      meta.title.empty() ? result.algorithm : meta.title;
+  os << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n"
+     << "<meta name=\"viewport\" content=\"width=device-width,initial-scale=1\">\n"
+     << "<title>" << html_escape(title) << " · fedwcm run report</title>\n"
+     << "<style>" << kStyle << "</style>\n</head>\n<body>\n";
+
+  os << "<header><h1>" << html_escape(title) << "</h1>";
+  if (!meta.subtitle.empty())
+    os << "<p>" << html_escape(meta.subtitle) << "</p>";
+  if (!meta.config.empty()) {
+    os << "<div class=\"chips\">";
+    for (const auto& [k, v] : meta.config)
+      os << "<span>" << html_escape(k) << " <b>" << html_escape(v)
+         << "</b></span>";
+    os << "</div>";
+  }
+  os << "</header>\n";
+
+  os << "<section class=\"tiles\">\n";
+  render_tile(os, "Final accuracy", fmt_pct(double(result.final_accuracy)));
+  render_tile(os, "Best accuracy", fmt_pct(double(result.best_accuracy)));
+  render_tile(os, "Tail-mean accuracy",
+              fmt_pct(double(result.tail_mean_accuracy)));
+  render_tile(os, "Evaluated rounds", std::to_string(hist.size()));
+  render_tile(os, "Comm (up + down)", fmt_bytes(double(total_up + total_down)));
+  render_tile(os, "Fault events", std::to_string(total_faults));
+  os << "</section>\n";
+
+  os << "<section class=\"grid-cards\">\n";
+  if (!hist.empty()) {
+    render_line_card(os, "Test accuracy", rounds, {{"accuracy", 1, acc}},
+                     {.force_min = 0.0, .force_max = 1.0});
+    render_line_card(os, "Train loss", rounds, {{"loss", 1, loss}});
+    render_line_card(os, "Momentum value α", rounds, {{"alpha", 1, alpha}},
+                     {.force_min = 0.0, .force_max = 1.0});
+    render_line_card(os, "Momentum norm ‖Δr‖", rounds,
+                     {{"‖Δr‖", 1, mom_norm}});
+    if (any_diag) {
+      render_line_card(
+          os, "Momentum alignment q (cosine)", rounds,
+          {{"weighted mean", 1, align}, {"worst client", 2, align_min}});
+      render_line_card(
+          os, "Client update norms", rounds,
+          {{"mean ‖Δk‖", 1, norm_mean}, {"drift around mean", 2, drift}});
+      render_line_card(os, "Update-norm dispersion (CV)", rounds,
+                       {{"cv", 1, norm_cv}});
+    }
+    if (num_classes > 0)
+      render_line_card(
+          os, "Head vs tail recall", rounds,
+          {{"head classes", 1, head_recall}, {"tail classes", 2, tail_recall}},
+          {.force_min = 0.0, .force_max = 1.0});
+    render_line_card(os, "Communication per round", rounds,
+                     {{"uplink", 1, bytes_up}, {"downlink", 2, bytes_down}},
+                     {.bytes_ticks = true});
+    if (total_faults > 0)
+      render_line_card(os, "Fault events per round", rounds,
+                       {{"dropped", 1, dropped},
+                        {"rejected", 2, rejected},
+                        {"straggled", 3, straggled}});
+    if (num_classes > 0) render_heatmap_card(os, rounds, recall, num_classes);
+  } else {
+    os << "<p>No evaluated rounds recorded.</p>\n";
+  }
+  os << "</section>\n";
+
+  // Accessibility / machine fallback: the full history as a table.
+  os << "<details><summary>History table (" << hist.size()
+     << " evaluated rounds)</summary><table>\n<tr><th>round</th>"
+     << "<th>accuracy</th><th>loss</th><th>alpha</th><th>‖Δr‖</th>"
+     << "<th>q</th><th>q min</th><th>‖Δk‖ mean</th><th>cv</th><th>drift</th>"
+     << "<th>up</th><th>down</th><th>faults</th></tr>\n";
+  for (const auto& rec : hist)
+    os << "<tr><td>" << rec.round << "</td><td>"
+       << fmt_num(double(rec.test_accuracy)) << "</td><td>"
+       << fmt_num(double(rec.train_loss)) << "</td><td>"
+       << fmt_num(double(rec.alpha)) << "</td><td>"
+       << fmt_num(double(rec.momentum_norm)) << "</td><td>"
+       << fmt_num(double(rec.momentum_alignment)) << "</td><td>"
+       << fmt_num(double(rec.alignment_min)) << "</td><td>"
+       << fmt_num(double(rec.update_norm_mean)) << "</td><td>"
+       << fmt_num(double(rec.update_norm_cv)) << "</td><td>"
+       << fmt_num(double(rec.drift_norm)) << "</td><td>"
+       << fmt_bytes(double(rec.bytes_up)) << "</td><td>"
+       << fmt_bytes(double(rec.bytes_down)) << "</td><td>"
+       << rec.dropped + rec.rejected + rec.straggled << "</td></tr>\n";
+  os << "</table></details>\n";
+
+  // Machine-readable embed: what report_selfcheck validates.
+  os << "<script id=\"report-data\" type=\"application/json\">{"
+     << "\"algorithm\":\"" << json_escape(result.algorithm) << "\""
+     << ",\"final_accuracy\":" << fmt_json(double(result.final_accuracy))
+     << ",\"best_accuracy\":" << fmt_json(double(result.best_accuracy))
+     << ",\"tail_mean_accuracy\":"
+     << fmt_json(double(result.tail_mean_accuracy))
+     << ",\"diagnostics\":" << (any_diag ? "true" : "false")
+     << ",\"faults\":{\"dropped\":" << result.faults_dropped
+     << ",\"rejected\":" << result.faults_rejected
+     << ",\"straggled\":" << result.faults_straggled << "}";
+  append_series_json(os, "rounds", rounds, false);
+  os << ",\"series\":{";
+  append_series_json(os, "test_accuracy", acc, true);
+  append_series_json(os, "train_loss", loss, false);
+  append_series_json(os, "alpha", alpha, false);
+  append_series_json(os, "momentum_norm", mom_norm, false);
+  append_series_json(os, "momentum_alignment", align, false);
+  append_series_json(os, "alignment_min", align_min, false);
+  append_series_json(os, "update_norm_mean", norm_mean, false);
+  append_series_json(os, "update_norm_cv", norm_cv, false);
+  append_series_json(os, "drift_norm", drift, false);
+  append_series_json(os, "bytes_up", bytes_up, false);
+  append_series_json(os, "bytes_down", bytes_down, false);
+  append_series_json(os, "head_recall", head_recall, false);
+  append_series_json(os, "tail_recall", tail_recall, false);
+  os << "},\"per_class_recall\":[";
+  for (std::size_t r = 0; r < recall.size(); ++r) {
+    if (r) os << ",";
+    os << "[";
+    for (std::size_t c = 0; c < recall[r].size(); ++c) {
+      if (c) os << ",";
+      os << fmt_json(double(recall[r][c]));
+    }
+    os << "]";
+  }
+  os << "]}</script>\n";
+
+  os << "<footer>Generated by fedwcm · self-contained report (no external "
+        "assets); data embedded in <code>#report-data</code>.</footer>\n"
+     << "</body>\n</html>\n";
+  return os.str();
+}
+
+void write_html_report(const std::string& path,
+                       const fl::SimulationResult& result,
+                       const HtmlReportMeta& meta) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("report_html: cannot open " + path);
+  os << render_html_report(result, meta);
+  if (!os) throw std::runtime_error("report_html: write failed for " + path);
+}
+
+}  // namespace fedwcm::analysis

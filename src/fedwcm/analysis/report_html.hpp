@@ -1,0 +1,43 @@
+#pragma once
+/// \file report_html.hpp
+/// Self-contained single-file HTML dashboard for a simulation run.
+///
+/// `render_html_report` turns a `fl::SimulationResult` into one HTML string
+/// with zero external assets — inline CSS, inline SVG line charts (accuracy,
+/// loss, alpha, momentum norm/alignment, update dispersion, communication,
+/// faults), a per-class recall heatmap over evaluated rounds, stat tiles,
+/// and a collapsible history table. Styling follows a light/dark
+/// `prefers-color-scheme` pair; charts use a fixed categorical palette and
+/// native SVG `<title>` tooltips, so the file opens in any browser offline.
+///
+/// The full series data is additionally embedded machine-readably in a
+/// `<script id="report-data" type="application/json">` block, which is what
+/// the `report_selfcheck` ctest parses (with `obs::json`) to verify the
+/// dashboard embeds exactly the run it was generated from.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fedwcm/fl/types.hpp"
+
+namespace fedwcm::analysis {
+
+/// Optional header context rendered above the charts.
+struct HtmlReportMeta {
+  std::string title;     ///< Page heading; defaults to the algorithm name.
+  std::string subtitle;  ///< e.g. dataset / imbalance description.
+  /// Config chips rendered as "label value" pairs (seed, clients, ...).
+  std::vector<std::pair<std::string, std::string>> config;
+};
+
+/// Renders the dashboard; pure function of its inputs.
+std::string render_html_report(const fl::SimulationResult& result,
+                               const HtmlReportMeta& meta = {});
+
+/// Renders and writes to `path`; throws std::runtime_error on I/O failure.
+void write_html_report(const std::string& path,
+                       const fl::SimulationResult& result,
+                       const HtmlReportMeta& meta = {});
+
+}  // namespace fedwcm::analysis

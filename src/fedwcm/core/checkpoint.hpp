@@ -23,7 +23,8 @@
 namespace fedwcm::core {
 
 inline constexpr std::uint32_t kCheckpointMagic = 0x4657434B;  // "FWCK"
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+// v2: RoundRecord gained diagnostics fields + per-round per-class accuracy.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 class CheckpointWriter {
  public:

@@ -51,6 +51,13 @@ class Algorithm {
   virtual float current_alpha() const { return 0.0f; }
   virtual float momentum_norm() const { return 0.0f; }
 
+  /// The global momentum/direction buffer the algorithm blends into client
+  /// updates (FedCM/FedWCM's Delta_r, FedAvgM's server buffer), or nullptr
+  /// when the algorithm keeps none. Read-only diagnostics (the momentum-
+  /// alignment q_r of fl/diagnostics.hpp) consume it; callers must not
+  /// mutate or retain the pointer across rounds.
+  virtual const ParamVector* momentum_vector() const { return nullptr; }
+
   /// Floats the server sends each sampled client per round. The default is
   /// the global model; momentum-broadcasting algorithms (FedCM/FedWCM and
   /// kin send (x_r, Delta_r), SCAFFOLD sends (x_r, c)) override with twice

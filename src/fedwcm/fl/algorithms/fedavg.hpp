@@ -41,6 +41,7 @@ class FedAvgM final : public FedAvg {
   void aggregate(std::span<const LocalResult> results, std::size_t round,
                  ParamVector& global) override;
   float momentum_norm() const override { return core::pv::l2_norm(m_); }
+  const ParamVector* momentum_vector() const override { return &m_; }
   void save_state(core::BinaryWriter& writer) const override;
   void load_state(core::BinaryReader& reader) override;
 

@@ -25,6 +25,7 @@ class FedCM : public Algorithm {
 
   float current_alpha() const override { return alpha_; }
   float momentum_norm() const override { return core::pv::l2_norm(momentum_); }
+  const ParamVector* momentum_vector() const override { return &momentum_; }
   const ParamVector& momentum() const { return momentum_; }
 
   /// Downlink is (x_r, Delta_r) — twice the model (§2 comm-cost discussion).

@@ -76,6 +76,7 @@ class FedWCM : public Algorithm {
 
   float current_alpha() const override { return alpha_; }
   float momentum_norm() const override { return core::pv::l2_norm(momentum_); }
+  const ParamVector* momentum_vector() const override { return &momentum_; }
 
   /// Downlink is (x_r, Delta_r) — twice the model (§2 comm-cost discussion).
   std::size_t broadcast_floats() const override {

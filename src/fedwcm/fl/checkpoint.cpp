@@ -45,6 +45,13 @@ void write_record(core::BinaryWriter& w, const RoundRecord& rec) {
   w.write_u32(rec.dropped);
   w.write_u32(rec.rejected);
   w.write_u32(rec.straggled);
+  w.write_u32(rec.diagnostics ? 1 : 0);
+  w.write_f32(rec.momentum_alignment);
+  w.write_f32(rec.alignment_min);
+  w.write_f32(rec.update_norm_mean);
+  w.write_f32(rec.update_norm_cv);
+  w.write_f32(rec.drift_norm);
+  w.write_floats(rec.per_class_accuracy);
 }
 
 RoundRecord read_record(core::BinaryReader& r) {
@@ -63,6 +70,13 @@ RoundRecord read_record(core::BinaryReader& r) {
   rec.dropped = r.read_u32();
   rec.rejected = r.read_u32();
   rec.straggled = r.read_u32();
+  rec.diagnostics = r.read_u32() != 0;
+  rec.momentum_alignment = r.read_f32();
+  rec.alignment_min = r.read_f32();
+  rec.update_norm_mean = r.read_f32();
+  rec.update_norm_cv = r.read_f32();
+  rec.drift_norm = r.read_f32();
+  rec.per_class_accuracy = r.read_floats();
   return rec;
 }
 
@@ -104,9 +118,9 @@ ResumeState load_checkpoint(const std::string& path, const FlConfig& config,
   state.faults_rejected = r.read_u64();
   state.faults_straggled = r.read_u64();
   const std::uint64_t n_records = r.read_u64();
-  // A serialized RoundRecord is 72 fixed bytes; reject corrupt counts before
-  // reserving.
-  if (n_records > r.remaining_bytes() / 72)
+  // A serialized RoundRecord is at least 104 bytes (96 fixed + the per-class
+  // vector's 8-byte length prefix); reject corrupt counts before reserving.
+  if (n_records > r.remaining_bytes() / 104)
     throw std::runtime_error("load_checkpoint: history count exceeds stream size");
   state.history.reserve(n_records);
   for (std::uint64_t i = 0; i < n_records; ++i)

@@ -1,8 +1,11 @@
 #include "fedwcm/fl/diagnostics.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "fedwcm/core/param_vector.hpp"
+#include "fedwcm/fl/algorithm.hpp"
 
 namespace fedwcm::fl {
 
@@ -52,6 +55,102 @@ RateFit fit_inverse_sqrt(std::span<const double> rounds,
         std::max(fit.max_rel_residual, std::abs(predicted - values[i]) / denom);
   }
   return fit;
+}
+
+RoundDiagnostics compute_round_diagnostics(std::span<const LocalResult> accepted,
+                                           const ParamVector* momentum) {
+  RoundDiagnostics d;
+  if (accepted.empty()) return d;
+
+  // Sample-count weights (uniform when every count is 0, e.g. synthetic
+  // LocalResults in tests), matching FedAvg's aggregation weighting.
+  double total = 0.0;
+  for (const LocalResult& r : accepted) total += double(r.num_samples);
+  const bool uniform = total <= 0.0;
+  if (uniform) total = double(accepted.size());
+  auto weight = [&](const LocalResult& r) {
+    return (uniform ? 1.0 : double(r.num_samples)) / total;
+  };
+
+  const bool with_momentum =
+      momentum != nullptr && core::pv::l2_norm(*momentum) > 0.0f;
+
+  // Single pass: norms, alignment, and the weighted mean update Delta_bar.
+  ParamVector mean;
+  double norm_mean = 0.0, norm_sq_mean = 0.0;
+  double align_mean = 0.0, align_min = std::numeric_limits<double>::infinity();
+  for (const LocalResult& r : accepted) {
+    const double w = weight(r);
+    const double n = double(core::pv::l2_norm(r.delta));
+    norm_mean += w * n;
+    norm_sq_mean += w * n * n;
+    if (with_momentum) {
+      const double c = double(core::pv::cosine(r.delta, *momentum));
+      align_mean += w * c;
+      align_min = std::min(align_min, c);
+    }
+    core::pv::accumulate(mean, float(w), r.delta);
+  }
+
+  // Drift around the mean without a second delta pass:
+  // ||Delta_k - bar||^2 = ||Delta_k||^2 - 2 <Delta_k, bar> + ||bar||^2.
+  const double bar_sq = double(core::pv::l2_norm_sq(mean));
+  double drift_sq = 0.0;
+  for (const LocalResult& r : accepted) {
+    const double n_sq = double(core::pv::l2_norm_sq(r.delta));
+    const double cross = double(core::pv::dot(r.delta, mean));
+    drift_sq += weight(r) * (n_sq - 2.0 * cross + bar_sq);
+  }
+
+  d.update_norm_mean = float(norm_mean);
+  const double var = std::max(0.0, norm_sq_mean - norm_mean * norm_mean);
+  d.update_norm_cv = norm_mean > 0.0 ? float(std::sqrt(var) / norm_mean) : 0.0f;
+  d.drift_norm = float(std::sqrt(std::max(0.0, drift_sq)));
+  if (with_momentum) {
+    d.momentum_alignment = float(align_mean);
+    d.alignment_min = float(align_min);
+  }
+  return d;
+}
+
+void DiagnosticsObserver::on_run_begin(const FlContext& ctx,
+                                       const std::string& algorithm) {
+  (void)ctx;
+  (void)algorithm;
+  obs::Registry& registry = obs::metrics();
+  alignment_gauge_ = registry.gauge("diag.momentum_alignment");
+  drift_gauge_ = registry.gauge("diag.drift_norm");
+  dispersion_gauge_ = registry.gauge("diag.update_norm_cv");
+  // Cosine buckets spanning [-1, 1]; drift uses the latency-style spread
+  // (norms are O(0.01..100) for our models).
+  alignment_hist_ = registry.histogram(
+      "diag.momentum_alignment_hist",
+      {-1.0, -0.75, -0.5, -0.25, 0.0, 0.25, 0.5, 0.75, 1.0});
+  drift_hist_ = registry.histogram(
+      "diag.drift_norm_hist",
+      {0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100});
+}
+
+void DiagnosticsObserver::on_aggregate(std::size_t round,
+                                       const Algorithm& algorithm,
+                                       std::span<const LocalResult> accepted,
+                                       const ParamVector& global,
+                                       RoundRecord& rec) {
+  (void)round;
+  (void)global;
+  const RoundDiagnostics d =
+      compute_round_diagnostics(accepted, algorithm.momentum_vector());
+  rec.diagnostics = true;
+  rec.momentum_alignment = d.momentum_alignment;
+  rec.alignment_min = d.alignment_min;
+  rec.update_norm_mean = d.update_norm_mean;
+  rec.update_norm_cv = d.update_norm_cv;
+  rec.drift_norm = d.drift_norm;
+  alignment_gauge_.set(double(d.momentum_alignment));
+  drift_gauge_.set(double(d.drift_norm));
+  dispersion_gauge_.set(double(d.update_norm_cv));
+  alignment_hist_.observe(double(d.momentum_alignment));
+  drift_hist_.observe(double(d.drift_norm));
 }
 
 }  // namespace fedwcm::fl

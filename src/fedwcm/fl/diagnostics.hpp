@@ -1,16 +1,37 @@
 #pragma once
 /// \file diagnostics.hpp
-/// Convergence-analysis instrumentation (§6).
+/// Learning-dynamics diagnostics: convergence instrumentation (§6) and the
+/// per-round momentum-alignment / dispersion telemetry behind the paper's
+/// Fig. 6–8 analysis.
 ///
-/// Theorem 6.1 bounds (1/R) sum_r E ||grad f(x_r)||^2 by
-/// sqrt(L Delta sigma^2 / (N K R)) + L Delta / R. These helpers measure the
-/// left-hand side empirically: the full-batch gradient norm of the global
-/// objective F(x) = sum_k (n_k/n) F_k(x) at the current global model, wired
-/// into the simulation through its train-probe hook.
+/// Two layers live here:
+///
+///  1. Convergence-analysis helpers. Theorem 6.1 bounds
+///     (1/R) sum_r E ||grad f(x_r)||^2 by sqrt(L Delta sigma^2 / (N K R)) +
+///     L Delta / R; `global_grad_norm_sq` measures the left-hand side
+///     empirically through the simulation's train-probe hook, and
+///     `fit_inverse_sqrt` checks the decay shape.
+///
+///  2. Per-round dynamics telemetry. The paper's entire argument is about
+///     global momentum becoming *misaligned* with client updates under
+///     long-tail skew. `compute_round_diagnostics` measures that directly
+///     from the already-collected client deltas and the momentum vector —
+///     the weighted cosine alignment (the consistency degree q_r), the
+///     dispersion of client-update norms, and the client-drift norm around
+///     the mean update. `DiagnosticsObserver` computes them on every round
+///     through the RoundObserver::on_aggregate hook, annotates the
+///     RoundRecord, and feeds the metrics registry. The observer is strictly
+///     read-only: a run with it attached is bitwise identical to one without
+///     (ctest-enforced).
+
+#include <memory>
+#include <span>
 
 #include "fedwcm/data/dataset.hpp"
+#include "fedwcm/fl/observer.hpp"
 #include "fedwcm/nn/loss.hpp"
 #include "fedwcm/nn/sequential.hpp"
+#include "fedwcm/obs/metrics.hpp"
 
 namespace fedwcm::fl {
 
@@ -30,5 +51,55 @@ struct RateFit {
 };
 RateFit fit_inverse_sqrt(std::span<const double> rounds,
                          std::span<const double> values);
+
+/// One round's learning-dynamics summary, computed from the surviving client
+/// deltas and the (pre-aggregation) global momentum. All statistics are
+/// sample-count-weighted, matching the aggregation weighting.
+struct RoundDiagnostics {
+  /// Weighted mean cos(Delta_k, Delta_r) over surviving clients — the
+  /// paper's consistency degree q_r / gamma_r. Positive when local updates
+  /// agree with the momentum direction; drops toward (and below) zero when
+  /// long-tail skew turns the momentum misleading. 0 when no momentum.
+  float momentum_alignment = 0.0f;
+  /// cos(Delta_k, Delta_r) of the most-misaligned surviving client.
+  float alignment_min = 0.0f;
+  /// Weighted mean of ||Delta_k||.
+  float update_norm_mean = 0.0f;
+  /// Coefficient of variation (weighted std / mean) of ||Delta_k|| — the
+  /// dispersion of client-update magnitudes.
+  float update_norm_cv = 0.0f;
+  /// sqrt(weighted mean ||Delta_k - Delta_bar||^2): the client-drift norm
+  /// around the mean update, the SCAFFOLD-style heterogeneity measure.
+  float drift_norm = 0.0f;
+};
+
+/// Computes the round diagnostics. `momentum` may be nullptr (or a zero
+/// vector), in which case the alignment fields stay 0. Strictly read-only;
+/// allocates one ParamVector (the weighted mean update) and is otherwise
+/// dot-products over the deltas already in memory.
+RoundDiagnostics compute_round_diagnostics(std::span<const LocalResult> accepted,
+                                           const ParamVector* momentum);
+
+/// RoundObserver that computes RoundDiagnostics each round (on_aggregate),
+/// annotates the RoundRecord's diagnostics fields, and mirrors them into the
+/// metrics registry (`diag.*` gauges + histograms; no-ops while the registry
+/// is disabled). Attach with `sim.add_observer(...)`; `fedwcm_run --diag`
+/// does exactly that.
+class DiagnosticsObserver final : public RoundObserver {
+ public:
+  DiagnosticsObserver() = default;
+
+  void on_run_begin(const FlContext& ctx, const std::string& algorithm) override;
+  void on_aggregate(std::size_t round, const Algorithm& algorithm,
+                    std::span<const LocalResult> accepted,
+                    const ParamVector& global, RoundRecord& rec) override;
+
+ private:
+  obs::Gauge alignment_gauge_;
+  obs::Gauge drift_gauge_;
+  obs::Gauge dispersion_gauge_;
+  obs::Histogram alignment_hist_;
+  obs::Histogram drift_hist_;
+};
 
 }  // namespace fedwcm::fl

@@ -18,8 +18,11 @@
 #include <string>
 
 #include "fedwcm/fl/context.hpp"
+#include "fedwcm/fl/local.hpp"
 
 namespace fedwcm::fl {
+
+class Algorithm;
 
 class RoundObserver {
  public:
@@ -36,6 +39,24 @@ class RoundObserver {
                               std::span<const std::size_t> sampled) {
     (void)round;
     (void)sampled;
+  }
+
+  /// Every round, after surviving uploads are collected and before the
+  /// server folds them into the global model. `accepted` holds the clients
+  /// whose update survived fault filtering; `global` is the pre-aggregation
+  /// model x_r and `algorithm.momentum_vector()` the momentum Delta_r that
+  /// was blended into this round's local training. Observers may enrich
+  /// `rec` (the diagnostics fields) but must treat every other argument as
+  /// strictly read-only — the run must be bitwise identical with or without
+  /// observers attached.
+  virtual void on_aggregate(std::size_t round, const Algorithm& algorithm,
+                            std::span<const LocalResult> accepted,
+                            const ParamVector& global, RoundRecord& rec) {
+    (void)round;
+    (void)algorithm;
+    (void)accepted;
+    (void)global;
+    (void)rec;
   }
 
   /// Evaluated rounds only. `model` is loaded with the round's global

@@ -217,6 +217,12 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
         accepted.push_back(std::move(r));
       }
 
+      // Diagnostics observers see the surviving uploads against the momentum
+      // Delta_r that was blended into this round's local training — i.e.
+      // before aggregate() refreshes it to Delta_{r+1}.
+      for (const auto& observer : observers_)
+        observer->on_aggregate(round, algorithm, accepted, global, rec);
+
       {
         obs::Span aggregate_span("aggregate");
         if (!accepted.empty()) algorithm.aggregate(accepted, round, global);
@@ -247,8 +253,12 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
         obs::Span eval_span("evaluate");
         const std::uint64_t eval_start_us = obs::now_us();
         rec.evaluated = true;
-        const EvalResult ev = evaluate(eval_model, global, *ctx_.test, config_.eval_batch);
+        EvalResult ev = evaluate(eval_model, global, *ctx_.test, config_.eval_batch);
         rec.test_accuracy = ev.accuracy;
+        // Per-class recall every evaluated round (evaluate() computes it
+        // anyway), so head-vs-tail curves exist over time, not just at the
+        // final round.
+        rec.per_class_accuracy = std::move(ev.per_class_accuracy);
         // Mean train loss over clients whose update survived (dropped clients
         // never trained; rejected uploads carry no trustworthy loss).
         double loss = 0.0;
@@ -266,7 +276,6 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
           rec.train_metric = train_probe_(eval_model, *ctx_.train);
         }
         result.best_accuracy = std::max(result.best_accuracy, ev.accuracy);
-        if (last) result.per_class_accuracy = ev.per_class_accuracy;
         eval_ms_hist.observe(obs::elapsed_ms(eval_start_us, obs::now_us()));
       }
     }  // round span closes here so its duration matches round_wall_ms.
@@ -297,6 +306,8 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
   result.final_params = std::move(global);
   if (!result.history.empty()) {
     result.final_accuracy = result.history.back().test_accuracy;
+    // The summary field stays a view of the last evaluated round's entry.
+    result.per_class_accuracy = result.history.back().per_class_accuracy;
     const std::size_t tail = std::min<std::size_t>(5, result.history.size());
     double acc = 0.0;
     for (std::size_t i = result.history.size() - tail; i < result.history.size(); ++i)

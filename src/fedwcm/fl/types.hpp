@@ -61,6 +61,21 @@ struct RoundRecord {
   std::uint32_t dropped = 0;
   std::uint32_t rejected = 0;
   std::uint32_t straggled = 0;
+  /// Learning-dynamics diagnostics (fl/diagnostics.hpp), filled by a
+  /// DiagnosticsObserver when one is attached (`fedwcm_run --diag`). They are
+  /// observer annotations: the training trajectory is bitwise identical with
+  /// or without them (the observer is strictly read-only).
+  bool diagnostics = false;      ///< Whether the fields below were computed.
+  float momentum_alignment = 0.0f;  ///< Weighted mean cos(Delta_k, Delta_r) — the
+                                    ///< paper's consistency degree q_r (0 if N/A).
+  float alignment_min = 0.0f;       ///< Most-misaligned surviving client.
+  float update_norm_mean = 0.0f;    ///< Weighted mean ||Delta_k||.
+  float update_norm_cv = 0.0f;      ///< Dispersion: std/mean of ||Delta_k||.
+  float drift_norm = 0.0f;          ///< sqrt(weighted mean ||Delta_k - mean||^2).
+  /// Per-class test accuracy (= per-class recall) on evaluated rounds, so
+  /// head-vs-tail recall curves exist over time (the paper's Fig. 8 quantity
+  /// per round, not just at the end). Empty on non-evaluated rounds.
+  std::vector<float> per_class_accuracy;
 };
 
 struct SimulationResult {
@@ -72,7 +87,8 @@ struct SimulationResult {
   /// reported in the paper's tables (robust to last-round noise).
   float tail_mean_accuracy = 0.0f;
   float best_accuracy = 0.0f;
-  /// Per-class accuracy at the final round (Fig. 8).
+  /// Per-class accuracy at the final round (Fig. 8) — a view of the last
+  /// history entry's `per_class_accuracy` (every evaluated round records it).
   std::vector<float> per_class_accuracy;
   /// Run-level fault totals (sums of the per-round counters, including
   /// non-evaluated rounds).

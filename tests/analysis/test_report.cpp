@@ -7,6 +7,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "fedwcm/obs/json.hpp"
+
 namespace fedwcm::analysis {
 namespace {
 
@@ -30,6 +32,13 @@ fl::SimulationResult sample_result() {
     rec.dropped = std::uint32_t(r);
     rec.rejected = 1;
     rec.straggled = 2;
+    rec.diagnostics = true;
+    rec.momentum_alignment = 0.5f - 0.125f * float(r);
+    rec.alignment_min = -0.25f;
+    rec.update_norm_mean = 1.5f;
+    rec.update_norm_cv = 0.25f;
+    rec.drift_norm = 0.75f;
+    rec.per_class_accuracy = {0.8f, 0.2f * float(r + 1)};
     res.history.push_back(rec);
   }
   return res;
@@ -73,6 +82,91 @@ TEST(Report, JsonlContainsRecordsAndSummary) {
   EXPECT_NE(content.find("\"straggled\":2"), std::string::npos);
   EXPECT_NE(content.find("\"faults_dropped\":0"), std::string::npos);
   EXPECT_EQ(std::count(content.begin(), content.end(), '\n'), 4);
+  std::remove(path.c_str());
+}
+
+// The column ordering is a stable contract (docs/OBSERVABILITY.md): existing
+// columns never move, new ones are only ever appended.
+TEST(Report, CsvHeaderIsStableAndAppendOnly) {
+  const std::string header = history_csv_header();
+  EXPECT_EQ(header.find("round,test_accuracy,train_loss,alpha,momentum_norm,"
+                        "concentration,round_wall_ms,bytes_up,bytes_down,"
+                        "dropped,rejected,straggled"),
+            0u);
+  EXPECT_NE(header.find(",diagnostics,momentum_alignment,alignment_min,"
+                        "update_norm_mean,update_norm_cv,drift_norm,"
+                        "per_class_accuracy"),
+            std::string::npos);
+
+  const std::string path = testing::TempDir() + "/fedwcm_hdr.csv";
+  write_history_csv(path, sample_result());
+  const std::string content = slurp(path);
+  EXPECT_EQ(content.find(header + "\n"), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Report, CsvEmitsDiagnosticsAndPerClassCells) {
+  const std::string path = testing::TempDir() + "/fedwcm_diag.csv";
+  write_history_csv(path, sample_result());
+  const std::string content = slurp(path);
+  // diagnostics flag, alignment, min, mean-norm, cv, drift, per-class cell.
+  EXPECT_NE(content.find("1,0.5,-0.25,1.5,0.25,0.75,0.8;0.2"),
+            std::string::npos);
+  // The per-class vector is one semicolon-joined cell, not extra columns:
+  // every row has the same comma count as the header.
+  std::istringstream lines(content);
+  std::string line, header;
+  std::getline(lines, header);
+  const auto commas = std::count(header.begin(), header.end(), ',');
+  while (std::getline(lines, line))
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), commas) << line;
+  std::remove(path.c_str());
+}
+
+// Every JSONL line must parse with the strict obs::json parser and carry the
+// record's fields back verbatim (float-exact via default stream precision on
+// these representable values).
+TEST(Report, JsonlRoundTripsThroughObsJson) {
+  const fl::SimulationResult res = sample_result();
+  const std::string path = testing::TempDir() + "/fedwcm_rt.jsonl";
+  write_history_jsonl(path, res);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::size_t record = 0;
+  bool saw_summary = false;
+  while (std::getline(in, line)) {
+    obs::json::Value value;
+    std::string error;
+    ASSERT_TRUE(obs::json::parse(line, value, error)) << error << ": " << line;
+    ASSERT_TRUE(value.is_object());
+    EXPECT_EQ(value.find("algorithm")->as_string(), "fedwcm");
+    if (value.find("summary")) {
+      saw_summary = true;
+      EXPECT_EQ(float(value.find("final_accuracy")->as_number()),
+                res.final_accuracy);
+      EXPECT_EQ(value.find("per_class_accuracy")->as_array().size(), 2u);
+      continue;
+    }
+    ASSERT_LT(record, res.history.size());
+    const fl::RoundRecord& rec = res.history[record];
+    EXPECT_EQ(value.find("round")->as_number(), double(rec.round));
+    EXPECT_EQ(float(value.find("test_accuracy")->as_number()),
+              rec.test_accuracy);
+    EXPECT_EQ(value.find("diagnostics")->as_bool(), rec.diagnostics);
+    EXPECT_EQ(float(value.find("momentum_alignment")->as_number()),
+              rec.momentum_alignment);
+    EXPECT_EQ(float(value.find("alignment_min")->as_number()),
+              rec.alignment_min);
+    EXPECT_EQ(float(value.find("drift_norm")->as_number()), rec.drift_norm);
+    const auto& per_class = value.find("per_class_accuracy")->as_array();
+    ASSERT_EQ(per_class.size(), rec.per_class_accuracy.size());
+    for (std::size_t c = 0; c < per_class.size(); ++c)
+      EXPECT_EQ(float(per_class[c].as_number()), rec.per_class_accuracy[c]);
+    ++record;
+  }
+  EXPECT_EQ(record, res.history.size());
+  EXPECT_TRUE(saw_summary);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,171 @@
+// HTML dashboard renderer: structure, self-containment, escaping, and the
+// embedded report-data JSON blob (the report_selfcheck ctest additionally
+// validates it against a real simulation run end to end).
+#include "fedwcm/analysis/report_html.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "fedwcm/obs/json.hpp"
+
+namespace fedwcm::analysis {
+namespace {
+
+fl::SimulationResult sample_result(bool with_diag = true) {
+  fl::SimulationResult res;
+  res.algorithm = "fedwcm";
+  res.final_accuracy = 0.625f;
+  res.best_accuracy = 0.6875f;
+  res.tail_mean_accuracy = 0.5f;
+  res.faults_dropped = 1;
+  for (std::size_t r = 0; r < 4; ++r) {
+    fl::RoundRecord rec;
+    rec.round = 2 * r;
+    rec.test_accuracy = 0.125f * float(r + 1);
+    rec.train_loss = 2.0f - 0.25f * float(r);
+    rec.alpha = 0.0625f * float(r);
+    rec.momentum_norm = 0.5f + 0.125f * float(r);
+    rec.evaluated = true;
+    rec.bytes_up = 4096 * (r + 1);
+    rec.bytes_down = 2048 * (r + 1);
+    if (with_diag) {
+      rec.diagnostics = true;
+      rec.momentum_alignment = 0.75f - 0.25f * float(r);
+      rec.alignment_min = -0.125f;
+      rec.update_norm_mean = 1.25f;
+      rec.update_norm_cv = 0.375f;
+      rec.drift_norm = 0.875f;
+    }
+    rec.per_class_accuracy = {0.9375f, 0.75f, 0.25f * float(r)};
+    res.history.push_back(rec);
+  }
+  res.per_class_accuracy = res.history.back().per_class_accuracy;
+  return res;
+}
+
+obs::json::Value extract_data(const std::string& html) {
+  const std::string open =
+      "<script id=\"report-data\" type=\"application/json\">";
+  const std::size_t begin = html.find(open);
+  EXPECT_NE(begin, std::string::npos);
+  const std::size_t start = begin + open.size();
+  const std::size_t end = html.find("</script>", start);
+  EXPECT_NE(end, std::string::npos);
+  obs::json::Value value;
+  std::string error;
+  EXPECT_TRUE(obs::json::parse(html.substr(start, end - start), value, error))
+      << error;
+  return value;
+}
+
+TEST(ReportHtml, ContainsAllChartSections) {
+  const std::string html = render_html_report(sample_result());
+  for (const char* expected :
+       {"<!DOCTYPE html>", "Test accuracy", "Train loss", "Momentum value",
+        "Momentum alignment", "Client update norms", "Head vs tail recall",
+        "Per-class recall over rounds", "Communication per round",
+        "History table", "Final accuracy", "Tail-mean accuracy"})
+    EXPECT_NE(html.find(expected), std::string::npos) << expected;
+  // Charts are real inline SVG with the 2px line mark spec.
+  EXPECT_NE(html.find("<svg viewBox="), std::string::npos);
+  EXPECT_NE(html.find("polyline"), std::string::npos);
+}
+
+TEST(ReportHtml, DiagnosticsChartsOnlyWhenRecorded) {
+  const std::string html = render_html_report(sample_result(false));
+  EXPECT_EQ(html.find("Momentum alignment"), std::string::npos);
+  EXPECT_EQ(html.find("Client update norms"), std::string::npos);
+  // The recall charts don't depend on --diag.
+  EXPECT_NE(html.find("Per-class recall over rounds"), std::string::npos);
+}
+
+TEST(ReportHtml, SelfContainedNoExternalReferences) {
+  const std::string html = render_html_report(sample_result());
+  for (const char* banned : {"http://", "https://", "src=", "url(", "@import",
+                             "<link", "<img", "<iframe"})
+    EXPECT_EQ(html.find(banned), std::string::npos) << banned;
+}
+
+TEST(ReportHtml, DataBlobRoundTripsFloatExactly) {
+  const fl::SimulationResult res = sample_result();
+  const obs::json::Value data = extract_data(render_html_report(res));
+  EXPECT_EQ(data.find("algorithm")->as_string(), "fedwcm");
+  EXPECT_TRUE(data.find("diagnostics")->as_bool());
+  EXPECT_EQ(float(data.find("final_accuracy")->as_number()),
+            res.final_accuracy);
+
+  const obs::json::Value* rounds = data.find("rounds");
+  ASSERT_TRUE(rounds && rounds->is_array());
+  ASSERT_EQ(rounds->as_array().size(), res.history.size());
+  const obs::json::Value* series = data.find("series");
+  ASSERT_TRUE(series && series->is_object());
+  for (const char* name :
+       {"test_accuracy", "train_loss", "alpha", "momentum_norm",
+        "momentum_alignment", "alignment_min", "update_norm_mean",
+        "update_norm_cv", "drift_norm", "bytes_up", "bytes_down"}) {
+    const obs::json::Value* s = series->find(name);
+    ASSERT_TRUE(s && s->is_array()) << name;
+    EXPECT_EQ(s->as_array().size(), res.history.size()) << name;
+  }
+  for (std::size_t i = 0; i < res.history.size(); ++i) {
+    EXPECT_EQ(rounds->as_array()[i].as_number(), double(res.history[i].round));
+    EXPECT_EQ(float(series->find("test_accuracy")->as_array()[i].as_number()),
+              res.history[i].test_accuracy);
+    EXPECT_EQ(
+        float(series->find("momentum_alignment")->as_array()[i].as_number()),
+        res.history[i].momentum_alignment);
+  }
+  const obs::json::Value* recall = data.find("per_class_recall");
+  ASSERT_TRUE(recall && recall->is_array());
+  ASSERT_EQ(recall->as_array().size(), res.history.size());
+  for (std::size_t r = 0; r < res.history.size(); ++r) {
+    const auto& row = recall->as_array()[r].as_array();
+    ASSERT_EQ(row.size(), res.history[r].per_class_accuracy.size());
+    for (std::size_t c = 0; c < row.size(); ++c)
+      EXPECT_EQ(float(row[c].as_number()),
+                res.history[r].per_class_accuracy[c]);
+  }
+}
+
+TEST(ReportHtml, EscapesMetaAndAlgorithmStrings) {
+  fl::SimulationResult res = sample_result();
+  res.algorithm = "fed<script>&\"wcm";
+  HtmlReportMeta meta;
+  meta.title = "a <b> & \"c\"";
+  meta.config = {{"k<", "v>"}};
+  const std::string html = render_html_report(res, meta);
+  EXPECT_NE(html.find("a &lt;b&gt; &amp; &quot;c&quot;"), std::string::npos);
+  EXPECT_EQ(html.find("<script>"), std::string::npos);
+  // The JSON blob escapes the quote rather than truncating the string.
+  const obs::json::Value data = extract_data(html);
+  EXPECT_EQ(data.find("algorithm")->as_string(), res.algorithm);
+}
+
+TEST(ReportHtml, EmptyHistoryRendersWithoutCharts) {
+  fl::SimulationResult res;
+  res.algorithm = "fedavg";
+  const std::string html = render_html_report(res);
+  EXPECT_NE(html.find("No evaluated rounds"), std::string::npos);
+  EXPECT_EQ(html.find("polyline"), std::string::npos);
+  const obs::json::Value data = extract_data(html);
+  EXPECT_TRUE(data.find("rounds")->as_array().empty());
+}
+
+TEST(ReportHtml, WriteCreatesFileAndThrowsOnBadPath) {
+  const std::string path = testing::TempDir() + "/fedwcm_report.html";
+  write_html_report(path, sample_result());
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("</html>"), std::string::npos);
+  std::remove(path.c_str());
+  EXPECT_THROW(write_html_report("/nonexistent/dir/x.html", sample_result()),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fedwcm::analysis

@@ -86,6 +86,13 @@ void expect_same_run(const SimulationResult& resumed,
     EXPECT_EQ(a.dropped, b.dropped) << tag;
     EXPECT_EQ(a.rejected, b.rejected) << tag;
     EXPECT_EQ(a.straggled, b.straggled) << tag;
+    EXPECT_EQ(a.diagnostics, b.diagnostics) << tag;
+    EXPECT_EQ(a.momentum_alignment, b.momentum_alignment) << tag;
+    EXPECT_EQ(a.alignment_min, b.alignment_min) << tag;
+    EXPECT_EQ(a.update_norm_mean, b.update_norm_mean) << tag;
+    EXPECT_EQ(a.update_norm_cv, b.update_norm_cv) << tag;
+    EXPECT_EQ(a.drift_norm, b.drift_norm) << tag;
+    EXPECT_EQ(a.per_class_accuracy, b.per_class_accuracy) << tag;
   }
 }
 

@@ -1,8 +1,10 @@
 // Convergence diagnostics (§6): exact full-batch gradient norm, the
-// inverse-sqrt rate fit, and the simulation train-probe plumbing.
+// inverse-sqrt rate fit, the simulation train-probe plumbing, and the
+// per-round dynamics telemetry (momentum alignment / dispersion / drift).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "fedwcm/fl/diagnostics.hpp"
 #include "fedwcm/fl/registry.hpp"
@@ -12,6 +14,13 @@ namespace fedwcm::fl {
 namespace {
 
 using testutil::make_world;
+
+LocalResult make_local(std::vector<float> delta, std::size_t samples) {
+  LocalResult r;
+  r.delta = std::move(delta);
+  r.num_samples = samples;
+  return r;
+}
 
 TEST(Diagnostics, GradNormMatchesClientGradientComposition) {
   auto w = make_world();
@@ -84,6 +93,155 @@ TEST(Diagnostics, InvalidInputsRejected) {
   EXPECT_THROW(global_grad_norm_sq(model, ds, {}, params), std::invalid_argument);
   EXPECT_THROW(fit_inverse_sqrt(std::vector<double>{1.0}, std::vector<double>{}),
                std::invalid_argument);
+}
+
+TEST(RoundDiagnostics, KnownGeometryUniformWeights) {
+  // Momentum along e1; one aligned client (cos = 1), one orthogonal (cos = 0),
+  // equal (uniform) weights.
+  const ParamVector momentum{1.0f, 0.0f};
+  std::vector<LocalResult> accepted;
+  accepted.push_back(make_local({2.0f, 0.0f}, 0));
+  accepted.push_back(make_local({0.0f, 3.0f}, 0));
+  const RoundDiagnostics d = compute_round_diagnostics(accepted, &momentum);
+
+  EXPECT_NEAR(d.momentum_alignment, 0.5f, 1e-6f);
+  EXPECT_NEAR(d.alignment_min, 0.0f, 1e-6f);
+  EXPECT_NEAR(d.update_norm_mean, 2.5f, 1e-6f);
+  // Norms {2, 3}: std = 0.5 -> cv = 0.2.
+  EXPECT_NEAR(d.update_norm_cv, 0.2f, 1e-6f);
+  // Mean update (1, 1.5); both clients sit sqrt(3.25) away from it.
+  EXPECT_NEAR(d.drift_norm, std::sqrt(3.25f), 1e-5f);
+}
+
+TEST(RoundDiagnostics, SampleCountWeighting) {
+  const ParamVector momentum{1.0f, 0.0f};
+  std::vector<LocalResult> accepted;
+  accepted.push_back(make_local({1.0f, 0.0f}, 3));   // cos = 1, weight 0.75
+  accepted.push_back(make_local({0.0f, 1.0f}, 1));   // cos = 0, weight 0.25
+  const RoundDiagnostics d = compute_round_diagnostics(accepted, &momentum);
+  EXPECT_NEAR(d.momentum_alignment, 0.75f, 1e-6f);
+  EXPECT_NEAR(d.alignment_min, 0.0f, 1e-6f);
+  EXPECT_NEAR(d.update_norm_mean, 1.0f, 1e-6f);
+  EXPECT_NEAR(d.update_norm_cv, 0.0f, 1e-6f);
+}
+
+TEST(RoundDiagnostics, OpposedClientGoesNegative) {
+  const ParamVector momentum{1.0f, 0.0f};
+  std::vector<LocalResult> accepted;
+  accepted.push_back(make_local({-1.0f, 0.0f}, 0));
+  const RoundDiagnostics d = compute_round_diagnostics(accepted, &momentum);
+  EXPECT_NEAR(d.momentum_alignment, -1.0f, 1e-6f);
+  EXPECT_NEAR(d.alignment_min, -1.0f, 1e-6f);
+  EXPECT_NEAR(d.drift_norm, 0.0f, 1e-6f);  // single client = its own mean
+}
+
+TEST(RoundDiagnostics, NoMomentumLeavesAlignmentZero) {
+  std::vector<LocalResult> accepted;
+  accepted.push_back(make_local({1.0f, 1.0f}, 0));
+  const ParamVector zero{0.0f, 0.0f};
+  for (const ParamVector* m : {static_cast<const ParamVector*>(nullptr), &zero}) {
+    const RoundDiagnostics d = compute_round_diagnostics(accepted, m);
+    EXPECT_EQ(d.momentum_alignment, 0.0f);
+    EXPECT_EQ(d.alignment_min, 0.0f);
+    EXPECT_GT(d.update_norm_mean, 0.0f);
+  }
+}
+
+TEST(RoundDiagnostics, EmptyRoundIsAllZero) {
+  const ParamVector momentum{1.0f};
+  const RoundDiagnostics d = compute_round_diagnostics({}, &momentum);
+  EXPECT_EQ(d.momentum_alignment, 0.0f);
+  EXPECT_EQ(d.update_norm_mean, 0.0f);
+  EXPECT_EQ(d.update_norm_cv, 0.0f);
+  EXPECT_EQ(d.drift_norm, 0.0f);
+}
+
+TEST(DiagnosticsObserver, AnnotatesEveryEvaluatedRound) {
+  auto w = make_world();
+  Simulation sim = w.make_simulation();
+  sim.add_observer(std::make_shared<DiagnosticsObserver>());
+  auto alg = make_algorithm("fedwcm");
+  const SimulationResult res = sim.run(*alg);
+  ASSERT_FALSE(res.history.empty());
+  for (const auto& rec : res.history) {
+    EXPECT_TRUE(rec.diagnostics);
+    EXPECT_GE(rec.momentum_alignment, -1.0f);
+    EXPECT_LE(rec.momentum_alignment, 1.0f);
+    EXPECT_LE(rec.alignment_min, rec.momentum_alignment + 1e-6f);
+    EXPECT_GT(rec.update_norm_mean, 0.0f);
+    EXPECT_GE(rec.update_norm_cv, 0.0f);
+    EXPECT_GE(rec.drift_norm, 0.0f);
+  }
+}
+
+TEST(DiagnosticsObserver, MomentumAlgorithmsReportAlignment) {
+  // After the first round FedCM/FedWCM carry nonzero momentum, so the
+  // alignment fields must actually move off zero for some evaluated round.
+  for (const char* name : {"fedcm", "fedwcm"}) {
+    auto w = make_world();
+    Simulation sim = w.make_simulation();
+    sim.add_observer(std::make_shared<DiagnosticsObserver>());
+    auto alg = make_algorithm(name);
+    const SimulationResult res = sim.run(*alg);
+    bool any_nonzero = false;
+    for (const auto& rec : res.history)
+      any_nonzero = any_nonzero || rec.momentum_alignment != 0.0f;
+    EXPECT_TRUE(any_nonzero) << name;
+  }
+}
+
+// The observer must be strictly read-only: attaching it cannot change a
+// single bit of the training trajectory, for any algorithm family.
+TEST(DiagnosticsObserver, TrajectoryBitwiseIdenticalWithAndWithoutDiag) {
+  for (const char* name : {"fedavg", "fedcm", "fedwcm"}) {
+    auto w = make_world();
+    Simulation plain_sim = w.make_simulation();
+    auto plain_alg = make_algorithm(name);
+    const SimulationResult plain = plain_sim.run(*plain_alg);
+
+    Simulation diag_sim = w.make_simulation();
+    diag_sim.add_observer(std::make_shared<DiagnosticsObserver>());
+    auto diag_alg = make_algorithm(name);
+    const SimulationResult diag = diag_sim.run(*diag_alg);
+
+    ASSERT_EQ(plain.final_params.size(), diag.final_params.size()) << name;
+    for (std::size_t i = 0; i < plain.final_params.size(); ++i)
+      ASSERT_EQ(plain.final_params[i], diag.final_params[i])
+          << name << " param " << i;
+    ASSERT_EQ(plain.history.size(), diag.history.size()) << name;
+    for (std::size_t i = 0; i < plain.history.size(); ++i) {
+      const RoundRecord& a = plain.history[i];
+      const RoundRecord& b = diag.history[i];
+      EXPECT_EQ(a.round, b.round) << name;
+      EXPECT_EQ(a.test_accuracy, b.test_accuracy) << name << " round " << i;
+      EXPECT_EQ(a.train_loss, b.train_loss) << name << " round " << i;
+      EXPECT_EQ(a.alpha, b.alpha) << name << " round " << i;
+      EXPECT_EQ(a.momentum_norm, b.momentum_norm) << name << " round " << i;
+      EXPECT_EQ(a.bytes_up, b.bytes_up) << name;
+      EXPECT_EQ(a.bytes_down, b.bytes_down) << name;
+      EXPECT_EQ(a.per_class_accuracy, b.per_class_accuracy) << name;
+      // The only permitted difference is the annotation itself.
+      EXPECT_FALSE(a.diagnostics) << name;
+      EXPECT_TRUE(b.diagnostics) << name;
+    }
+  }
+}
+
+TEST(Simulation, PerClassAccuracyOnEveryEvaluatedRound) {
+  auto w = make_world();
+  Simulation sim = w.make_simulation();
+  auto alg = make_algorithm("fedavg");
+  const SimulationResult res = sim.run(*alg);
+  ASSERT_FALSE(res.history.empty());
+  for (const auto& rec : res.history) {
+    ASSERT_EQ(rec.per_class_accuracy.size(), w.data.train.num_classes);
+    for (float a : rec.per_class_accuracy) {
+      EXPECT_GE(a, 0.0f);
+      EXPECT_LE(a, 1.0f);
+    }
+  }
+  // The run-level field is a view of the last evaluated round.
+  EXPECT_EQ(res.per_class_accuracy, res.history.back().per_class_accuracy);
 }
 
 }  // namespace

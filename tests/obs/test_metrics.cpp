@@ -88,6 +88,54 @@ TEST(Metrics, HistogramStatsAndQuantiles) {
   EXPECT_LE(h.quantile(0.9), h.quantile(0.99));
 }
 
+TEST(Metrics, QuantileOfEmptyHistogramIsZero) {
+  Registry reg;
+  reg.set_enabled(true);
+  Histogram h = reg.histogram("empty", {1.0, 2.0, 4.0});
+  for (double q : {0.0, 0.5, 0.99, 1.0}) EXPECT_EQ(h.quantile(q), 0.0);
+}
+
+TEST(Metrics, QuantileOfSingleSampleStaysInItsBucket) {
+  Registry reg;
+  reg.set_enabled(true);
+  Histogram h = reg.histogram("single", {1.0, 2.0, 4.0});
+  h.observe(1.5);  // lands in (1, 2]
+  for (double q : {0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_GE(h.quantile(q), 1.0) << q;
+    EXPECT_LE(h.quantile(q), 2.0) << q;
+  }
+  // Linear interpolation inside the bucket: the midpoint quantile is exact.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.5);
+  EXPECT_LE(h.quantile(0.1), h.quantile(0.5));
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+}
+
+TEST(Metrics, QuantileOfAllEqualSamplesStaysInTheirBucket) {
+  Registry reg;
+  reg.set_enabled(true);
+  Histogram h = reg.histogram("equal", {1.0, 2.0, 4.0});
+  for (int i = 0; i < 5; ++i) h.observe(3.0);  // all in (2, 4]
+  for (double q : {0.01, 0.5, 0.99}) {
+    EXPECT_GT(h.quantile(q), 2.0) << q;
+    EXPECT_LE(h.quantile(q), 4.0) << q;
+  }
+}
+
+TEST(Metrics, QuantileOverflowBucketIsBoundedByObservedMax) {
+  Registry reg;
+  reg.set_enabled(true);
+  Histogram h = reg.histogram("overflow", {1.0, 2.0, 4.0});
+  h.observe(100.0);
+  h.observe(100.0);
+  // Everything landed past the last bound: the overflow bucket interpolates
+  // between that bound and the observed max, never past it.
+  for (double q : {0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_GE(h.quantile(q), 4.0) << q;
+    EXPECT_LE(h.quantile(q), 100.0) << q;
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
 TEST(Metrics, ConcurrentIncrementsFromThreadPool) {
   Registry reg;
   reg.set_enabled(true);

@@ -36,6 +36,8 @@
 ///   --fault-seed N        extra fault-stream seed             [0]
 ///   --trace PATH          Chrome trace-event JSON (Perfetto)  [$FEDWCM_TRACE]
 ///   --metrics-out PATH    metrics JSONL                  [$FEDWCM_METRICS_OUT]
+///   --diag                per-round learning-dynamics diagnostics [off]
+///   --report-html PATH    self-contained HTML dashboard       [none]
 ///   --progress            per-round progress lines            [off]
 ///
 /// Numeric flags are parsed strictly: a non-numeric, partially numeric,
@@ -52,6 +54,8 @@
 
 #include "fedwcm/analysis/concentration.hpp"
 #include "fedwcm/analysis/report.hpp"
+#include "fedwcm/analysis/report_html.hpp"
+#include "fedwcm/fl/diagnostics.hpp"
 #include "fedwcm/data/longtail.hpp"
 #include "fedwcm/data/partition.hpp"
 #include "fedwcm/data/synthetic.hpp"
@@ -87,6 +91,8 @@ struct Args {
   fl::FaultPlan faults;
   std::string trace;
   std::string metrics_out;
+  bool diag = false;
+  std::string report_html;
   bool progress = false;
 };
 
@@ -121,6 +127,10 @@ const char kUsage[] =
     "                        [$FEDWCM_TRACE]\n"
     "  --metrics-out PATH    metrics JSONL (see docs/OBSERVABILITY.md)\n"
     "                        [$FEDWCM_METRICS_OUT]\n"
+    "  --diag                record momentum-alignment / drift / dispersion\n"
+    "                        diagnostics each round (read-only; the training\n"
+    "                        trajectory is bitwise identical)       [off]\n"
+    "  --report-html PATH    write a self-contained HTML dashboard  [none]\n"
     "  --progress            per-round progress lines           [off]\n"
     "  --help, -h            print this message and exit\n";
 
@@ -207,6 +217,8 @@ Args parse(int argc, char** argv) {
     else if (flag == "--out") args.out = need_value(i);
     else if (flag == "--trace") args.trace = need_value(i);
     else if (flag == "--metrics-out") args.metrics_out = need_value(i);
+    else if (flag == "--diag") args.diag = true;
+    else if (flag == "--report-html") args.report_html = need_value(i);
     else if (flag == "--progress") args.progress = true;
     else if (flag == "--help" || flag == "-h") {
       std::cout << kUsage;
@@ -290,6 +302,8 @@ int main(int argc, char** argv) {
     });
   if (args.progress)
     sim.add_observer(std::make_shared<fl::LoggingObserver>(std::cout));
+  if (args.diag)
+    sim.add_observer(std::make_shared<fl::DiagnosticsObserver>());
   if (!args.checkpoint.empty())
     sim.set_checkpointing(
         {args.checkpoint, args.checkpoint_every, args.resume});
@@ -332,6 +346,19 @@ int main(int argc, char** argv) {
     analysis::write_history_csv(args.out + ".csv", result);
     analysis::write_history_jsonl(args.out + ".jsonl", result);
     std::cout << "artifacts: " << args.out << ".csv, " << args.out << ".jsonl\n";
+  }
+  if (!args.report_html.empty()) {
+    analysis::HtmlReportMeta meta;
+    meta.title = args.alg + " on " + spec.name;
+    meta.subtitle = "fedwcm_run experiment report";
+    meta.config = {{"IF", std::to_string(args.imbalance)},
+                   {"beta", std::to_string(args.beta)},
+                   {"clients", std::to_string(args.clients)},
+                   {"rounds", std::to_string(args.rounds)},
+                   {"seed", std::to_string(args.seed)},
+                   {"loss", args.loss}};
+    analysis::write_html_report(args.report_html, result, meta);
+    std::cout << "report:  " << args.report_html << "\n";
   }
   if (obs_options.any()) {
     if (!obs::flush(obs_options)) return 1;

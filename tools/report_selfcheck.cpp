@@ -1,0 +1,257 @@
+/// report_selfcheck — CTest-registered end-to-end check of the HTML
+/// dashboard, with no external tooling (no browser, no Python).
+///
+/// Runs a tiny diagnostics-instrumented simulation, renders the dashboard,
+/// writes it to disk, reads it back, and asserts:
+///   * the file is self-contained: no external references of any kind
+///     (http(s), src=, url(, @import, <link>, <img>, <iframe>),
+///   * the expected chart sections are present (accuracy, alpha, momentum
+///     alignment, per-class recall heatmap),
+///   * the embedded `<script id="report-data">` JSON parses with obs::json
+///     and its series round-trip float-exactly to the SimulationResult it
+///     was rendered from (rounds, accuracy, alpha, alignment, per-class).
+///
+/// Extra arguments are paths to already-generated reports (e.g. the
+/// fedwcm_run smoke artifact); those are validated structurally — the data
+/// blob parses and the file is self-contained.
+///
+/// Exits 0 on success, 1 with a diagnostic on the first failure.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fedwcm/analysis/report_html.hpp"
+#include "fedwcm/data/longtail.hpp"
+#include "fedwcm/data/partition.hpp"
+#include "fedwcm/data/synthetic.hpp"
+#include "fedwcm/fl/diagnostics.hpp"
+#include "fedwcm/fl/registry.hpp"
+#include "fedwcm/fl/simulation.hpp"
+#include "fedwcm/obs/json.hpp"
+
+using namespace fedwcm;
+
+namespace {
+
+int failures = 0;
+
+bool fail(const std::string& message) {
+  std::cerr << "report_selfcheck: FAIL: " << message << "\n";
+  ++failures;
+  return false;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// No external references: the one file must render offline, from anywhere.
+bool check_self_contained(const std::string& html, const std::string& what) {
+  for (const char* banned :
+       {"http://", "https://", "src=", "url(", "@import", "<link", "<img",
+        "<iframe", "fetch(", "XMLHttpRequest"})
+    if (html.find(banned) != std::string::npos)
+      return fail(what + ": external reference marker '" + banned + "' found");
+  return true;
+}
+
+/// Extracts and parses the machine-readable report-data blob.
+bool extract_data(const std::string& html, const std::string& what,
+                  obs::json::Value& out) {
+  const std::string open = "<script id=\"report-data\" type=\"application/json\">";
+  const std::size_t begin = html.find(open);
+  if (begin == std::string::npos)
+    return fail(what + ": no report-data script block");
+  const std::size_t start = begin + open.size();
+  const std::size_t end = html.find("</script>", start);
+  if (end == std::string::npos)
+    return fail(what + ": unterminated report-data block");
+  std::string error;
+  if (!obs::json::parse(html.substr(start, end - start), out, error))
+    return fail(what + ": report-data does not parse: " + error);
+  return true;
+}
+
+const obs::json::Value* series(const obs::json::Value& data, const char* name) {
+  const obs::json::Value* s = data.find("series");
+  return s ? s->find(name) : nullptr;
+}
+
+/// The blob prints with 9 significant digits, so every float round-trips
+/// exactly: float(parsed double) must equal the original bit-for-bit.
+bool check_float_series(const obs::json::Value& data, const char* name,
+                        const std::vector<float>& expected,
+                        const std::string& what) {
+  const obs::json::Value* s = series(data, name);
+  if (!s || !s->is_array())
+    return fail(what + ": series '" + std::string(name) + "' missing");
+  const auto& arr = s->as_array();
+  if (arr.size() != expected.size())
+    return fail(what + ": series '" + std::string(name) + "' has " +
+                std::to_string(arr.size()) + " points, expected " +
+                std::to_string(expected.size()));
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    if (!arr[i].is_number())
+      return fail(what + ": series '" + std::string(name) + "' non-numeric");
+    if (float(arr[i].as_number()) != expected[i])
+      return fail(what + ": series '" + std::string(name) + "' point " +
+                  std::to_string(i) + " = " +
+                  std::to_string(arr[i].as_number()) + ", expected " +
+                  std::to_string(expected[i]));
+  }
+  return true;
+}
+
+void check_generated_report(const std::string& dir) {
+  // Tiny deterministic world, diagnostics attached: 6 classes, 8 clients.
+  data::SyntheticSpec spec;
+  spec.name = "report_selfcheck";
+  spec.num_classes = 6;
+  spec.input_dim = 12;
+  spec.subclusters = 2;
+  spec.train_per_class = 60;
+  spec.test_per_class = 20;
+  spec.class_separation = 4.0f;
+  spec.noise = 0.8f;
+  const data::TrainTest tt = data::generate(spec, 42);
+  const auto subset = data::longtail_subsample(tt.train, 0.1, 42);
+  fl::FlConfig cfg;
+  cfg.num_clients = 8;
+  cfg.participation = 0.5;
+  cfg.rounds = 6;
+  cfg.local_epochs = 2;
+  cfg.batch_size = 16;
+  cfg.eval_every = 2;
+  cfg.threads = 2;
+  const auto partition =
+      data::partition_equal_quantity(tt.train, subset, cfg.num_clients, 0.1, 42);
+  auto factory = nn::mlp_factory(tt.train.dim(), {16}, tt.train.num_classes);
+  fl::Simulation sim(cfg, tt.train, tt.test, partition, factory,
+                     fl::cross_entropy_loss_factory());
+  sim.add_observer(std::make_shared<fl::DiagnosticsObserver>());
+  auto algorithm = fl::make_algorithm("fedwcm");
+  const fl::SimulationResult result = sim.run(*algorithm);
+  if (result.history.empty()) {
+    fail("simulation produced no history");
+    return;
+  }
+
+  analysis::HtmlReportMeta meta;
+  meta.title = "report_selfcheck";
+  meta.config = {{"clients", "8"}, {"rounds", "6"}};
+  const std::string path = dir + "/report_selfcheck.html";
+  analysis::write_html_report(path, result, meta);
+  const std::string html = slurp(path);
+  if (html.empty()) {
+    fail("cannot reopen " + path);
+    return;
+  }
+
+  check_self_contained(html, "generated report");
+  // The human-facing sections exist.
+  for (const char* expected :
+       {"Test accuracy", "Momentum value", "Momentum alignment",
+        "Per-class recall over rounds", "History table", "report-data"})
+    if (html.find(expected) == std::string::npos)
+      fail(std::string("generated report: section '") + expected + "' missing");
+
+  obs::json::Value data;
+  if (!extract_data(html, "generated report", data)) return;
+
+  const obs::json::Value* alg = data.find("algorithm");
+  if (!alg || !alg->is_string() || alg->as_string() != result.algorithm)
+    fail("generated report: algorithm mismatch");
+  const obs::json::Value* diag = data.find("diagnostics");
+  if (!diag || !diag->is_bool() || !diag->as_bool())
+    fail("generated report: diagnostics flag not set despite --diag run");
+
+  // Rounds axis matches the evaluated-round history.
+  const obs::json::Value* rounds = data.find("rounds");
+  if (!rounds || !rounds->is_array() ||
+      rounds->as_array().size() != result.history.size()) {
+    fail("generated report: rounds axis size mismatch");
+  } else {
+    for (std::size_t i = 0; i < result.history.size(); ++i)
+      if (rounds->as_array()[i].as_number() != double(result.history[i].round))
+        fail("generated report: rounds axis value mismatch at " +
+             std::to_string(i));
+  }
+
+  // Float-exact series round-trips against the in-memory result.
+  std::vector<float> acc, alpha, align, align_min, drift;
+  for (const auto& rec : result.history) {
+    acc.push_back(rec.test_accuracy);
+    alpha.push_back(rec.alpha);
+    align.push_back(rec.momentum_alignment);
+    align_min.push_back(rec.alignment_min);
+    drift.push_back(rec.drift_norm);
+  }
+  check_float_series(data, "test_accuracy", acc, "generated report");
+  check_float_series(data, "alpha", alpha, "generated report");
+  check_float_series(data, "momentum_alignment", align, "generated report");
+  check_float_series(data, "alignment_min", align_min, "generated report");
+  check_float_series(data, "drift_norm", drift, "generated report");
+
+  // Per-class recall matrix: one row per evaluated round, C columns.
+  const obs::json::Value* recall = data.find("per_class_recall");
+  if (!recall || !recall->is_array() ||
+      recall->as_array().size() != result.history.size()) {
+    fail("generated report: per_class_recall row count mismatch");
+  } else {
+    for (std::size_t r = 0; r < result.history.size(); ++r) {
+      const auto& row = recall->as_array()[r];
+      const auto& expected = result.history[r].per_class_accuracy;
+      if (!row.is_array() || row.as_array().size() != expected.size()) {
+        fail("generated report: per_class_recall row " + std::to_string(r) +
+             " shape mismatch");
+        continue;
+      }
+      for (std::size_t c = 0; c < expected.size(); ++c)
+        if (float(row.as_array()[c].as_number()) != expected[c])
+          fail("generated report: per_class_recall[" + std::to_string(r) +
+               "][" + std::to_string(c) + "] mismatch");
+    }
+  }
+
+  if (failures == 0) std::remove(path.c_str());
+}
+
+void check_external_report(const std::string& path) {
+  const std::string html = slurp(path);
+  if (html.empty()) {
+    fail("cannot read " + path);
+    return;
+  }
+  check_self_contained(html, path);
+  obs::json::Value data;
+  if (!extract_data(html, path, data)) return;
+  const obs::json::Value* rounds = data.find("rounds");
+  if (!rounds || !rounds->is_array() || rounds->as_array().empty())
+    fail(path + ": empty rounds axis");
+  const obs::json::Value* s = series(data, "test_accuracy");
+  if (!s || !s->is_array() || s->as_array().empty())
+    fail(path + ": empty test_accuracy series");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // usage: report_selfcheck <workdir>|--check-only [report.html ...]
+  const std::string dir = argc > 1 ? argv[1] : ".";
+  if (dir != "--check-only") check_generated_report(dir);
+  for (int i = 2; i < argc; ++i) check_external_report(argv[i]);
+  if (failures > 0) {
+    std::cerr << "report_selfcheck: " << failures << " failure(s)\n";
+    return 1;
+  }
+  std::cout << "report_selfcheck: OK\n";
+  return 0;
+}
