@@ -1,0 +1,75 @@
+/// \file bench_kernels.cpp
+/// CLI around the kernel A/B measurement suite (see kernel_bench.hpp).
+///
+/// Usage: bench_kernels [--quick] [--skip-e2e] [--json PATH]
+///
+/// Prints a human-readable table to stdout; `--json PATH` additionally writes
+/// the machine-readable BENCH_kernels.json document. For the pass/fail
+/// regression gate used by CI, see tools/perf_gate.
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "kernel_bench.hpp"
+
+int main(int argc, char** argv) {
+  fedwcm::bench::KernelBenchOptions options;
+  options.verbose = true;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--quick") {
+      options.quick = true;
+    } else if (flag == "--skip-e2e") {
+      options.skip_e2e = true;
+    } else if (flag == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_kernels [--quick] [--skip-e2e] "
+                   "[--json PATH]\n";
+      return 2;
+    }
+  }
+
+  const fedwcm::bench::KernelBenchReport report =
+      fedwcm::bench::run_kernel_bench(options);
+
+  std::cout << std::fixed << std::setprecision(2);
+  std::cout << "GEMM (GFLOP/s)\n";
+  for (const auto& g : report.gemm)
+    std::cout << "  " << std::left << std::setw(10) << g.op << std::right
+              << std::setw(5) << g.m << " x" << std::setw(5) << g.n << " x"
+              << std::setw(5) << g.k << "   blocked " << std::setw(7)
+              << g.blocked_gflops << "   naive " << std::setw(7)
+              << g.naive_gflops << "   speedup " << std::setw(6) << g.speedup()
+              << "x\n";
+  std::cout << "Fused ParamVector kernels (ns/element)\n";
+  for (const auto& f : report.fused)
+    std::cout << "  " << std::left << std::setw(14) << f.op << std::right
+              << " n=" << f.n << "   blocked " << std::setw(7)
+              << f.blocked_ns_per_elem << "   naive " << std::setw(7)
+              << f.naive_ns_per_elem << "   speedup " << std::setw(6)
+              << f.speedup() << "x\n";
+  if (report.e2e.rounds != 0) {
+    const auto& e = report.e2e;
+    std::cout << "End-to-end (" << e.config << ")\n"
+              << "  blocked " << e.blocked_ms_per_round << " ms/round, naive "
+              << e.naive_ms_per_round << " ms/round, speedup " << e.speedup()
+              << "x\n"
+              << std::setprecision(6) << "  accuracy blocked "
+              << e.blocked_accuracy << ", naive " << e.naive_accuracy << "\n";
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "bench_kernels: cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << fedwcm::bench::to_json(report);
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}

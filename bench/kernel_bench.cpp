@@ -1,0 +1,333 @@
+#include "kernel_bench.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "fedwcm/core/param_vector.hpp"
+#include "fedwcm/core/rng.hpp"
+#include "fedwcm/core/tensor.hpp"
+#include "fedwcm/data/longtail.hpp"
+#include "fedwcm/data/partition.hpp"
+#include "fedwcm/data/synthetic.hpp"
+#include "fedwcm/fl/registry.hpp"
+#include "fedwcm/fl/simulation.hpp"
+#include "fedwcm/nn/models.hpp"
+
+namespace fedwcm::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Sink that keeps dead-code elimination away from benchmark loops without
+/// perturbing them (one volatile store per timed batch, not per call).
+volatile double g_sink = 0.0;
+
+/// Median-of-3 timing with auto-calibrated iteration counts: grows the
+/// iteration count until one batch takes at least `min_time` seconds, then
+/// reports seconds per call over the best-of-three batches (best-of filters
+/// scheduler noise; all kernels here are deterministic).
+template <typename Fn>
+double time_per_call(Fn&& fn, double min_time) {
+  fn();  // Warm up caches and one-time allocations.
+  std::size_t iters = 1;
+  for (;;) {
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < iters; ++i) fn();
+    const double dt = seconds_since(t0);
+    if (dt >= min_time) {
+      double best = dt;
+      for (int rep = 0; rep < 2; ++rep) {
+        const auto t1 = Clock::now();
+        for (std::size_t i = 0; i < iters; ++i) fn();
+        best = std::min(best, seconds_since(t1));
+      }
+      return best / double(iters);
+    }
+    const double grow =
+        dt <= 1e-9 ? 16.0 : std::max(2.0, 1.2 * min_time / dt);
+    iters = std::max(iters + 1, std::size_t(double(iters) * grow));
+  }
+}
+
+core::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                           std::uint64_t seed) {
+  core::Matrix m(rows, cols);
+  core::Rng rng(seed);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = float(rng.uniform(-1.0, 1.0));
+  return m;
+}
+
+core::ParamVector random_pv(std::size_t n, std::uint64_t seed) {
+  core::ParamVector v(n);
+  core::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) v[i] = float(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+using MatmulFn = void (*)(const core::Matrix&, const core::Matrix&,
+                          core::Matrix&, bool);
+
+struct GemmCase {
+  std::string op;
+  MatmulFn fn;
+  std::size_t m, n, k;
+};
+
+/// Measures one (op, shape) pair under `mode` and returns GFLOP/s.
+double gemm_gflops(const GemmCase& c, core::KernelMode mode, double min_time) {
+  core::set_kernel_mode(mode);
+  // Operand layouts per variant: matmul A(m,k)·B(k,n); matmul_tn takes
+  // A(k,m) (transposed in place); matmul_nt takes B(n,k).
+  core::Matrix a, b;
+  if (c.op == "matmul_tn") {
+    a = random_matrix(c.k, c.m, 11);
+    b = random_matrix(c.k, c.n, 13);
+  } else if (c.op == "matmul_nt") {
+    a = random_matrix(c.m, c.k, 11);
+    b = random_matrix(c.n, c.k, 13);
+  } else {
+    a = random_matrix(c.m, c.k, 11);
+    b = random_matrix(c.k, c.n, 13);
+  }
+  core::Matrix out;
+  const double sec = time_per_call(
+      [&] {
+        c.fn(a, b, out, /*accumulate=*/false);
+        g_sink = g_sink + double(out.size() ? out.data()[0] : 0.0f);
+      },
+      min_time);
+  const double flops = 2.0 * double(c.m) * double(c.n) * double(c.k);
+  return flops / sec * 1e-9;
+}
+
+E2eResult run_e2e(bool quick, bool verbose) {
+  E2eResult r;
+  // Mirror tools/fedwcm_run.cpp defaults exactly: synthetic CIFAR-10,
+  // IF=0.1 long-tail subsample, equal-quantity Dirichlet(beta=0.1) partition
+  // over 30 clients, MLP [input -> 32 -> 32 -> 10], FedWCM at lr 0.1.
+  data::SyntheticSpec spec = data::synthetic_cifar10();
+  spec.class_separation = 4.5f;
+  spec.noise = 0.9f;
+  const data::TrainTest tt = data::generate(spec, 42);
+  const auto subset = data::longtail_subsample(tt.train, 0.1, 42);
+
+  fl::FlConfig cfg;
+  cfg.num_clients = 30;
+  cfg.participation = 0.1;
+  cfg.rounds = quick ? 8 : 60;
+  cfg.local_epochs = 5;
+  cfg.batch_size = 10;
+  cfg.local_lr = 0.1f;
+  cfg.global_lr = 1.0f;
+  cfg.seed = 1;
+  cfg.eval_every = std::max<std::size_t>(1, cfg.rounds / 20);
+
+  const auto partition =
+      data::partition_equal_quantity(tt.train, subset, cfg.num_clients,
+                                     /*beta=*/0.1, 42);
+  auto factory = nn::mlp_factory(
+      spec.input_dim, {std::max<std::size_t>(32, spec.num_classes * 2), 32},
+      spec.num_classes);
+  fl::LossFactory loss_factory = fl::cross_entropy_loss_factory();
+
+  r.rounds = cfg.rounds;
+  {
+    std::ostringstream cf;
+    cf << "fedwcm cifar10 if=0.1 beta=0.1 clients=30 participation=0.1 "
+          "epochs=5 batch=10 lr=0.1 rounds="
+       << cfg.rounds;
+    r.config = cf.str();
+  }
+
+  auto run_mode = [&](core::KernelMode mode, double& ms_per_round,
+                      double& accuracy) {
+    core::set_kernel_mode(mode);
+    fl::Simulation sim(cfg, tt.train, tt.test, partition, factory,
+                       loss_factory);
+    auto algorithm = fl::make_algorithm("fedwcm");
+    const auto t0 = Clock::now();
+    const fl::SimulationResult result = sim.run(*algorithm);
+    ms_per_round = seconds_since(t0) * 1e3 / double(cfg.rounds);
+    accuracy = double(result.final_accuracy);
+  };
+
+  if (verbose) std::cerr << "e2e: blocked (" << cfg.rounds << " rounds)\n";
+  run_mode(core::KernelMode::kBlocked, r.blocked_ms_per_round,
+           r.blocked_accuracy);
+  if (verbose) std::cerr << "e2e: naive (" << cfg.rounds << " rounds)\n";
+  run_mode(core::KernelMode::kNaive, r.naive_ms_per_round, r.naive_accuracy);
+  return r;
+}
+
+void append_json_common(std::ostringstream& os, const char* key, double value) {
+  os << "\"" << key << "\": ";
+  if (std::isfinite(value))
+    os << value;
+  else
+    os << "null";
+}
+
+}  // namespace
+
+const GemmShapeResult* KernelBenchReport::headline_gemm() const {
+  for (const GemmShapeResult& g : gemm)
+    if (g.op == "matmul" && g.m == 256 && g.n == 256 && g.k == 256) return &g;
+  return nullptr;
+}
+
+KernelBenchReport run_kernel_bench(const KernelBenchOptions& options) {
+  const core::KernelMode previous = core::kernel_mode();
+  KernelBenchReport report;
+  report.quick = options.quick;
+  const double min_time = options.quick ? 0.05 : 0.25;
+
+  // GEMM shapes: the 256^3 CI headline plus the shapes the default MLP
+  // training loop actually issues (batch 10 forward/backward, eval batch 256).
+  const std::vector<GemmCase> cases = {
+      {"matmul", core::matmul, 256, 256, 256},
+      {"matmul", core::matmul, 10, 32, 32},   // hidden-layer forward, batch 10
+      {"matmul", core::matmul, 10, 10, 32},   // output-layer forward
+      {"matmul", core::matmul, 256, 32, 32},  // evaluation forward, batch 256
+      {"matmul_tn", core::matmul_tn, 256, 256, 256},
+      {"matmul_tn", core::matmul_tn, 32, 32, 10},  // hidden weight grad
+      {"matmul_tn", core::matmul_tn, 32, 10, 10},  // output weight grad
+      {"matmul_nt", core::matmul_nt, 256, 256, 256},
+      {"matmul_nt", core::matmul_nt, 10, 32, 10},  // output backward
+      {"matmul_nt", core::matmul_nt, 10, 32, 32},  // hidden backward
+  };
+  for (const GemmCase& c : cases) {
+    GemmShapeResult g;
+    g.op = c.op;
+    g.m = c.m;
+    g.n = c.n;
+    g.k = c.k;
+    if (options.verbose)
+      std::cerr << "gemm: " << c.op << " " << c.m << "x" << c.n << "x" << c.k
+                << "\n";
+    g.blocked_gflops = gemm_gflops(c, core::KernelMode::kBlocked, min_time);
+    g.naive_gflops = gemm_gflops(c, core::KernelMode::kNaive, min_time);
+    report.gemm.push_back(g);
+  }
+
+  // Fused ParamVector kernels at a model-sized vector length (the default
+  // MLP has ~100k parameters).
+  const std::size_t n = 1 << 17;
+  core::ParamVector x = random_pv(n, 21);
+  core::ParamVector y = random_pv(n, 22);
+  core::ParamVector out(n, 0.0f);
+  const std::size_t n_inputs = 8;
+  std::vector<core::ParamVector> inputs;
+  for (std::size_t i = 0; i < n_inputs; ++i)
+    inputs.push_back(random_pv(n, 100 + i));
+  std::vector<const core::ParamVector*> xs;
+  for (const auto& v : inputs) xs.push_back(&v);
+  const std::vector<float> w(n_inputs, 1.0f / float(n_inputs));
+
+  struct FusedCase {
+    std::string op;
+    std::function<void()> body;
+    std::size_t elems;
+  };
+  const std::vector<FusedCase> fused_cases = {
+      // y <- 0.5 x + 0.5 y keeps magnitudes bounded across iterations.
+      {"scale_add", [&] { core::pv::scale_add(0.5f, x, 0.5f, y); }, n},
+      {"blend_into", [&] { core::pv::blend_into(0.9f, x, 0.1f, y, out); }, n},
+      {"weighted_sum", [&] { core::pv::weighted_sum(w, xs, out); },
+       n * n_inputs},
+      {"dot_norms",
+       [&] {
+         const core::pv::DotNorms dn = core::pv::dot_norms(x, y);
+         g_sink = g_sink + double(dn.dot);
+       },
+       n},
+  };
+  for (const FusedCase& c : fused_cases) {
+    FusedOpResult f;
+    f.op = c.op;
+    f.n = n;
+    if (options.verbose) std::cerr << "fused: " << c.op << "\n";
+    core::set_kernel_mode(core::KernelMode::kBlocked);
+    f.blocked_ns_per_elem =
+        time_per_call(c.body, min_time) * 1e9 / double(c.elems);
+    core::set_kernel_mode(core::KernelMode::kNaive);
+    f.naive_ns_per_elem =
+        time_per_call(c.body, min_time) * 1e9 / double(c.elems);
+    report.fused.push_back(f);
+  }
+
+  if (!options.skip_e2e)
+    report.e2e = run_e2e(options.quick, options.verbose);
+
+  core::set_kernel_mode(previous);
+  return report;
+}
+
+std::string to_json(const KernelBenchReport& report) {
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\n";
+  os << "  \"schema\": \"fedwcm.bench_kernels.v1\",\n";
+  os << "  \"quick\": " << (report.quick ? "true" : "false") << ",\n";
+  os << "  \"gemm\": [\n";
+  for (std::size_t i = 0; i < report.gemm.size(); ++i) {
+    const GemmShapeResult& g = report.gemm[i];
+    os << "    {\"op\": \"" << g.op << "\", \"m\": " << g.m
+       << ", \"n\": " << g.n << ", \"k\": " << g.k << ", ";
+    append_json_common(os, "blocked_gflops", g.blocked_gflops);
+    os << ", ";
+    append_json_common(os, "naive_gflops", g.naive_gflops);
+    os << ", ";
+    append_json_common(os, "speedup", g.speedup());
+    os << "}" << (i + 1 < report.gemm.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"fused\": [\n";
+  for (std::size_t i = 0; i < report.fused.size(); ++i) {
+    const FusedOpResult& f = report.fused[i];
+    os << "    {\"op\": \"" << f.op << "\", \"n\": " << f.n << ", ";
+    append_json_common(os, "blocked_ns_per_elem", f.blocked_ns_per_elem);
+    os << ", ";
+    append_json_common(os, "naive_ns_per_elem", f.naive_ns_per_elem);
+    os << ", ";
+    append_json_common(os, "speedup", f.speedup());
+    os << "}" << (i + 1 < report.fused.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  if (report.e2e.rounds == 0) {
+    os << "  \"e2e\": null\n";
+  } else {
+    const E2eResult& e = report.e2e;
+    os << "  \"e2e\": {\n";
+    os << "    \"config\": \"" << e.config << "\",\n";
+    os << "    \"rounds\": " << e.rounds << ",\n    ";
+    append_json_common(os, "blocked_ms_per_round", e.blocked_ms_per_round);
+    os << ",\n    ";
+    append_json_common(os, "naive_ms_per_round", e.naive_ms_per_round);
+    os << ",\n    ";
+    append_json_common(os, "speedup", e.speedup());
+    os << ",\n    ";
+    os.precision(9);
+    append_json_common(os, "blocked_accuracy", e.blocked_accuracy);
+    os << ",\n    ";
+    append_json_common(os, "naive_accuracy", e.naive_accuracy);
+    os << ",\n    ";
+    append_json_common(os, "accuracy_abs_diff", e.accuracy_abs_diff());
+    os.precision(6);
+    os << "\n  }\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace fedwcm::bench

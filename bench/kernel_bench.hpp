@@ -1,0 +1,97 @@
+#pragma once
+/// \file kernel_bench.hpp
+/// Measurement library behind `bench_kernels` and `tools/perf_gate`.
+///
+/// Three layers of the compute core are benchmarked A/B between the blocked
+/// kernels (`core::KernelMode::kBlocked`, the default) and the seed-faithful
+/// naive reference (`kNaive`, also reachable at runtime via
+/// `FEDWCM_KERNELS=naive`):
+///
+///  1. GEMM GFLOP/s across paper-relevant shapes for all three matmul
+///     variants (N·N, Tᵀ·N, N·Tᵀ).
+///  2. ns/element for the fused ParamVector span kernels used by the
+///     momentum-based aggregators (scale_add, blend_into, weighted_sum,
+///     dot_norms).
+///  3. End-to-end ms/round for the default `fedwcm_run` configuration
+///     (synthetic CIFAR-10, IF=0.1, Dirichlet beta=0.1, 30 clients, FedWCM),
+///     with the final test accuracy of both modes recorded so the perf gate
+///     can assert they agree.
+///
+/// All timings use steady_clock with auto-calibrated iteration counts; the
+/// report serialises to the committed `BENCH_kernels.json` schema.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fedwcm::bench {
+
+/// One GEMM shape measured under both kernel modes.
+struct GemmShapeResult {
+  std::string op;  ///< "matmul" | "matmul_tn" | "matmul_nt".
+  std::size_t m = 0, n = 0, k = 0;
+  double blocked_gflops = 0.0;
+  double naive_gflops = 0.0;
+  double speedup() const {
+    return naive_gflops > 0.0 ? blocked_gflops / naive_gflops : 0.0;
+  }
+};
+
+/// One fused ParamVector kernel measured under both kernel modes.
+struct FusedOpResult {
+  std::string op;
+  std::size_t n = 0;  ///< Elements touched per call (per input vector).
+  double blocked_ns_per_elem = 0.0;
+  double naive_ns_per_elem = 0.0;
+  double speedup() const {
+    return blocked_ns_per_elem > 0.0 ? naive_ns_per_elem / blocked_ns_per_elem
+                                     : 0.0;
+  }
+};
+
+/// End-to-end FedWCM training run (default fedwcm_run config) A/B.
+struct E2eResult {
+  std::string config;
+  std::size_t rounds = 0;
+  double blocked_ms_per_round = 0.0;
+  double naive_ms_per_round = 0.0;
+  double blocked_accuracy = 0.0;
+  double naive_accuracy = 0.0;
+  double speedup() const {
+    return blocked_ms_per_round > 0.0
+               ? naive_ms_per_round / blocked_ms_per_round
+               : 0.0;
+  }
+  double accuracy_abs_diff() const {
+    const double d = blocked_accuracy - naive_accuracy;
+    return d < 0.0 ? -d : d;
+  }
+};
+
+struct KernelBenchReport {
+  bool quick = false;
+  std::vector<GemmShapeResult> gemm;
+  std::vector<FusedOpResult> fused;
+  E2eResult e2e;
+
+  /// The CI-gated headline shape; null if it was not measured.
+  const GemmShapeResult* headline_gemm() const;
+};
+
+struct KernelBenchOptions {
+  /// Quick mode: shorter minimum timing windows and a shorter e2e run.
+  /// Intended for CI; the committed baseline uses quick = false.
+  bool quick = false;
+  /// Skip the (comparatively slow) end-to-end federated run.
+  bool skip_e2e = false;
+  /// Progress notes on stderr.
+  bool verbose = false;
+};
+
+/// Runs the full suite. Restores the process-wide kernel mode on exit.
+KernelBenchReport run_kernel_bench(const KernelBenchOptions& options);
+
+/// Serialises a report to the BENCH_kernels.json schema (pretty-printed).
+std::string to_json(const KernelBenchReport& report);
+
+}  // namespace fedwcm::bench

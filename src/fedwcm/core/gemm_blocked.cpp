@@ -1,0 +1,165 @@
+#include "fedwcm/core/gemm_blocked.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+// Cache-blocked, register-tiled GEMM (GotoBLAS structure). This TU may be
+// compiled with -march=native (see core/CMakeLists.txt); it is always
+// compiled with -ffp-contract=off so the per-element FP chain matches the
+// naive reference loops exactly — SIMD width changes throughput, never the
+// rounding of an individual multiply-then-add.
+
+namespace fedwcm::core::detail {
+namespace {
+
+// Blocking parameters. The MR x NR accumulator tile lives in registers (4
+// vector rows at 16 floats each), MC x kc packed-A blocks target L2, and NC
+// bounds the packed-B panel. kKC (header) is large enough that every GEMM in
+// the paper's workloads runs as a single k-block.
+constexpr std::size_t MR = 4;
+constexpr std::size_t NR = 16;
+constexpr std::size_t MC = 64;
+constexpr std::size_t NC = 2048;
+
+struct PackBuffers {
+  std::vector<float> a;
+  std::vector<float> b;
+};
+
+/// Per-thread packing workspace: grows to the high-water mark once, then
+/// every later GEMM on this thread packs into the same storage (the training
+/// hot path performs zero heap allocations in steady state).
+PackBuffers& pack_buffers() {
+  thread_local PackBuffers buffers;
+  return buffers;
+}
+
+/// Packs the (mc x kc) block A[ic.., pc..] into row-panels of height MR,
+/// k-major within a panel: dst[panel][k][i]. `rs`/`cs` are the element
+/// strides of the logical (possibly transposed) A operand.
+void pack_a(const float* a, std::size_t rs, std::size_t cs, std::size_t mc,
+            std::size_t kc, float* dst) {
+  for (std::size_t p = 0; p < mc; p += MR) {
+    const std::size_t mr = std::min(MR, mc - p);
+    for (std::size_t k = 0; k < kc; ++k) {
+      for (std::size_t i = 0; i < mr; ++i) dst[k * MR + i] = a[(p + i) * rs + k * cs];
+      for (std::size_t i = mr; i < MR; ++i) dst[k * MR + i] = 0.0f;
+    }
+    dst += kc * MR;
+  }
+}
+
+/// Packs the (kc x nc) panel B[pc.., jc..] into column-panels of width NR,
+/// k-major within a panel: dst[panel][k][j].
+void pack_b(const float* b, std::size_t rs, std::size_t cs, std::size_t kc,
+            std::size_t nc, float* dst) {
+  for (std::size_t q = 0; q < nc; q += NR) {
+    const std::size_t nr = std::min(NR, nc - q);
+    if (cs == 1 && nr == NR) {
+      for (std::size_t k = 0; k < kc; ++k)
+        std::memcpy(dst + k * NR, b + k * rs + q, NR * sizeof(float));
+    } else {
+      for (std::size_t k = 0; k < kc; ++k) {
+        for (std::size_t j = 0; j < nr; ++j) dst[k * NR + j] = b[k * rs + (q + j) * cs];
+        for (std::size_t j = nr; j < NR; ++j) dst[k * NR + j] = 0.0f;
+      }
+    }
+    dst += kc * NR;
+  }
+}
+
+#if defined(__GNUC__) && !defined(FEDWCM_NO_VECTOR_EXT)
+// One full NR-wide accumulator row. `aligned(4)` permits unaligned loads
+// (the compiler emits movups), `may_alias` lets us view packed/C storage
+// through the vector type. Element-wise vector mul and add round exactly
+// like their scalar counterparts, so this changes throughput only.
+typedef float vf16 __attribute__((vector_size(NR * sizeof(float)), aligned(4),
+                                  may_alias));
+#define FEDWCM_GEMM_VEC 1
+#endif
+
+/// MR x NR register tile: acc[i][j] accumulates over k in order, then adds
+/// into C (C is pre-zeroed by the caller, so the add is exact on the first —
+/// and for K <= kKC only — k-block). Edge tiles touch only the valid mr x nr
+/// region; pack_a zero-pads short rows, so the vector path only needs the
+/// full NR width, not the full MR height.
+void micro_kernel(std::size_t kc, const float* ap, const float* bp, float* c,
+                  std::size_t ldc, std::size_t mr, std::size_t nr) {
+#ifdef FEDWCM_GEMM_VEC
+  static_assert(MR == 4, "vector micro-kernel is written for MR == 4");
+  // pack_b zero-pads short panels to the full NR width, so the k-loop always
+  // runs full-width regardless of nr; lanes >= nr accumulate zero products.
+  vf16 acc0 = {}, acc1 = {}, acc2 = {}, acc3 = {};
+  for (std::size_t k = 0; k < kc; ++k) {
+    const vf16 b = *reinterpret_cast<const vf16*>(bp + k * NR);
+    const float* a = ap + k * MR;
+    acc0 += a[0] * b;
+    acc1 += a[1] * b;
+    acc2 += a[2] * b;
+    acc3 += a[3] * b;
+  }
+  if (nr == NR) {
+    const vf16 acc[MR] = {acc0, acc1, acc2, acc3};
+    for (std::size_t i = 0; i < mr; ++i)
+      *reinterpret_cast<vf16*>(c + i * ldc) += acc[i];
+  } else {
+    // Edge columns: only the C update narrows to nr; per-lane sums are
+    // unchanged, so edge tiles round identically to full ones.
+    float acc[MR][NR];
+    __builtin_memcpy(acc[0], &acc0, sizeof(vf16));
+    __builtin_memcpy(acc[1], &acc1, sizeof(vf16));
+    __builtin_memcpy(acc[2], &acc2, sizeof(vf16));
+    __builtin_memcpy(acc[3], &acc3, sizeof(vf16));
+    for (std::size_t i = 0; i < mr; ++i)
+      for (std::size_t j = 0; j < nr; ++j) c[i * ldc + j] += acc[i][j];
+  }
+#else
+  float acc[MR][NR] = {};
+  for (std::size_t k = 0; k < kc; ++k) {
+    const float* b = bp + k * NR;
+    const float* a = ap + k * MR;
+    for (std::size_t i = 0; i < MR; ++i) {
+      const float ai = a[i];
+      for (std::size_t j = 0; j < NR; ++j) acc[i][j] += ai * b[j];
+    }
+  }
+  for (std::size_t i = 0; i < mr; ++i)
+    for (std::size_t j = 0; j < nr; ++j) c[i * ldc + j] += acc[i][j];
+#endif
+}
+
+}  // namespace
+
+void gemm_blocked(std::size_t m_total, std::size_t n_total, std::size_t k_total,
+                  const float* a, std::size_t a_rs, std::size_t a_cs,
+                  const float* b, std::size_t b_rs, std::size_t b_cs, float* c,
+                  std::size_t ldc) {
+  if (m_total == 0 || n_total == 0 || k_total == 0) return;
+  PackBuffers& bufs = pack_buffers();
+  for (std::size_t jc = 0; jc < n_total; jc += NC) {
+    const std::size_t nc = std::min(NC, n_total - jc);
+    const std::size_t n_panels = (nc + NR - 1) / NR;
+    for (std::size_t pc = 0; pc < k_total; pc += kKC) {
+      const std::size_t kc = std::min(kKC, k_total - pc);
+      if (bufs.b.size() < n_panels * kc * NR) bufs.b.resize(n_panels * kc * NR);
+      pack_b(b + pc * b_rs + jc * b_cs, b_rs, b_cs, kc, nc, bufs.b.data());
+      for (std::size_t ic = 0; ic < m_total; ic += MC) {
+        const std::size_t mc = std::min(MC, m_total - ic);
+        const std::size_t m_panels = (mc + MR - 1) / MR;
+        if (bufs.a.size() < m_panels * kc * MR) bufs.a.resize(m_panels * kc * MR);
+        pack_a(a + ic * a_rs + pc * a_cs, a_rs, a_cs, mc, kc, bufs.a.data());
+        for (std::size_t p = 0; p < mc; p += MR) {
+          const float* ap = bufs.a.data() + (p / MR) * kc * MR;
+          float* crow = c + (ic + p) * ldc + jc;
+          const std::size_t mr = std::min(MR, mc - p);
+          for (std::size_t q = 0; q < nc; q += NR)
+            micro_kernel(kc, ap, bufs.b.data() + (q / NR) * kc * NR, crow + q,
+                         ldc, mr, std::min(NR, nc - q));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace fedwcm::core::detail

@@ -1,0 +1,36 @@
+#pragma once
+/// \file gemm_blocked.hpp
+/// Internal: the cache-blocked GEMM core behind `matmul`/`matmul_tn`/
+/// `matmul_nt` (see tensor.hpp for the public API and the `FEDWCM_KERNELS`
+/// escape hatch).
+///
+/// This lives in its own translation unit so the build can compile just the
+/// hot kernel for the build machine's ISA (`-march=native`, see
+/// core/CMakeLists.txt) while the rest of the library — including the naive
+/// reference loops — stays at the portable baseline. The kernel TU is always
+/// built with `-ffp-contract=off`: no FMA contraction means each C element
+/// sees the exact same multiply-then-add chain as the naive loops, keeping
+/// the two paths bitwise-identical for K <= kKC regardless of vector width.
+
+#include <cstddef>
+
+namespace fedwcm::core::detail {
+
+/// Largest K handled as a single k-block. All GEMMs issued by the paper's
+/// workloads (input_dim <= 3072, batch <= eval_batch 256) fit one block, so
+/// blocked == naive bitwise when C starts from zeros; larger K falls back to
+/// kKC-sized partial sums (still deterministic, but a differently associated
+/// sum than naive), and accumulating onto nonzero C likewise differs only in
+/// association (naive chains per-k through memory, blocked adds one total).
+inline constexpr std::size_t kKC = 4096;
+
+/// Strided GEMM core: C(M,N) += A(M,K) * B(K,N), where A and B are described
+/// by arbitrary (row, col) element strides so the same packed kernel serves
+/// N*N, Tᵀ*N and N*Tᵀ without materializing transposes. C must be zeroed (or
+/// hold the values to accumulate onto) and have leading dimension `ldc`.
+void gemm_blocked(std::size_t m_total, std::size_t n_total, std::size_t k_total,
+                  const float* a, std::size_t a_rs, std::size_t a_cs,
+                  const float* b, std::size_t b_rs, std::size_t b_cs, float* c,
+                  std::size_t ldc);
+
+}  // namespace fedwcm::core::detail

@@ -1,5 +1,6 @@
 #include "fedwcm/core/param_vector.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -45,6 +46,93 @@ void accumulate(ParamVector& acc, float w, const ParamVector& x) {
   for (std::size_t i = 0; i < x.size(); ++i) acc[i] += w * x[i];
 }
 
+void scale_add(float alpha, const ParamVector& x, float beta, ParamVector& y) {
+  FEDWCM_CHECK(x.size() == y.size(), "pv::scale_add: size mismatch");
+  if (kernel_mode() == KernelMode::kNaive) {
+    // Reference composition: two passes. Per element this computes
+    // round(alpha*x) + round(beta*y), exactly what the fused loop does.
+    scale(beta, y);
+    axpy(alpha, x, y);
+    return;
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = alpha * x[i] + beta * y[i];
+}
+
+void scale_into(float alpha, const ParamVector& x, ParamVector& out) {
+  if (kernel_mode() == KernelMode::kNaive) {
+    out = x;  // reference path: copy, then scale in place
+    scale(alpha, out);
+    return;
+  }
+  out.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = alpha * x[i];
+}
+
+void blend_into(float alpha, const ParamVector& a, float beta, const ParamVector& b,
+                ParamVector& out) {
+  FEDWCM_CHECK(a.size() == b.size(), "pv::blend_into: size mismatch");
+  if (kernel_mode() == KernelMode::kNaive) {
+    out = blend(alpha, a, beta, b);  // reference path: fresh allocation + copy
+    return;
+  }
+  out.resize(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = alpha * a[i] + beta * b[i];
+}
+
+void weighted_sum(std::span<const float> w, std::span<const ParamVector* const> xs,
+                  ParamVector& out) {
+  FEDWCM_CHECK(w.size() == xs.size(), "pv::weighted_sum: weight/vector mismatch");
+  if (xs.empty()) {
+    out.clear();
+    return;
+  }
+  const std::size_t n = xs.front()->size();
+  for (const ParamVector* x : xs)
+    FEDWCM_CHECK(x != nullptr && x->size() == n, "pv::weighted_sum: size mismatch");
+  if (kernel_mode() == KernelMode::kNaive) {
+    out.clear();  // reference path: repeated accumulate with first-use resize
+    for (std::size_t i = 0; i < xs.size(); ++i) accumulate(out, w[i], *xs[i]);
+    return;
+  }
+  out.resize(n);
+  std::fill(out.begin(), out.end(), 0.0f);
+  // Column chunks sized so the output slice stays L1-resident while each
+  // input streams through once. The per-element add order (input 0, 1, ...)
+  // matches the repeated-accumulate reference exactly.
+  constexpr std::size_t kChunk = 4096;
+  for (std::size_t c0 = 0; c0 < n; c0 += kChunk) {
+    const std::size_t c1 = std::min(n, c0 + kChunk);
+    float* o = out.data();
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const float wi = w[i];
+      const float* x = xs[i]->data();
+      for (std::size_t c = c0; c < c1; ++c) o[c] += wi * x[c];
+    }
+  }
+}
+
+DotNorms dot_norms(const ParamVector& a, const ParamVector& b) {
+  FEDWCM_CHECK(a.size() == b.size(), "pv::dot_norms: size mismatch");
+  DotNorms r;
+  if (kernel_mode() == KernelMode::kNaive) {
+    r.dot = dot(a, b);
+    r.a_norm_sq = l2_norm_sq(a);
+    r.b_norm_sq = l2_norm_sq(b);
+    return r;
+  }
+  double d = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double ai = double(a[i]), bi = double(b[i]);
+    d += ai * bi;
+    na += ai * ai;
+    nb += bi * bi;
+  }
+  r.dot = float(d);
+  r.a_norm_sq = float(na);
+  r.b_norm_sq = float(nb);
+  return r;
+}
+
 float dot(const ParamVector& a, const ParamVector& b) {
   return core::dot(std::span<const float>(a), std::span<const float>(b));
 }
@@ -62,10 +150,11 @@ bool all_finite(const ParamVector& x) {
 }
 
 float cosine(const ParamVector& a, const ParamVector& b) {
-  const float na = l2_norm(a);
-  const float nb = l2_norm(b);
+  const DotNorms dn = dot_norms(a, b);
+  const float na = std::sqrt(dn.a_norm_sq);
+  const float nb = std::sqrt(dn.b_norm_sq);
   if (na < 1e-12f || nb < 1e-12f) return 0.0f;
-  return dot(a, b) / (na * nb);
+  return dn.dot / (na * nb);
 }
 
 }  // namespace fedwcm::core::pv

@@ -7,6 +7,14 @@
 /// owning wrapper over `std::vector<float>` with the handful of vector-space
 /// operations those algorithms need, written so the intent of an update rule
 /// reads directly off the code (`pv::axpy(-eta, delta, x)` etc.).
+///
+/// The fused entry points (`scale_add`, `blend_into`, `weighted_sum`,
+/// `dot_norms`) traverse their operands once and write into caller-owned
+/// storage — they are the parameter-space half of the zero-allocation
+/// training hot path. Under `FEDWCM_KERNELS=naive` (core/tensor.hpp) they
+/// fall back to the original multi-pass / allocating compositions, which are
+/// numerically identical element for element (same FP operations in the same
+/// order), so the two modes are A/B-comparable end to end.
 
 #include <cstddef>
 #include <span>
@@ -32,6 +40,39 @@ ParamVector blend(float alpha, const ParamVector& a, float beta, const ParamVect
 void zero(ParamVector& x);
 /// Weighted accumulation: acc += w * x, resizing acc (zero-filled) on first use.
 void accumulate(ParamVector& acc, float w, const ParamVector& x);
+
+// -- Fused single-pass kernels ----------------------------------------------
+
+/// y = alpha * x + beta * y in one pass (fused scale + axpy).
+void scale_add(float alpha, const ParamVector& x, float beta, ParamVector& y);
+
+/// out = alpha * x written into caller-owned storage (resized; steady-state
+/// reuse is allocation-free). The momentum rescale `Delta = agg / (eta_l B)`
+/// without the copy-then-scale round trip.
+void scale_into(float alpha, const ParamVector& x, ParamVector& out);
+
+/// out = alpha * a + beta * b written into caller-owned storage (resized to
+/// match; steady-state reuse is allocation-free). `out` may alias `a` or `b`.
+void blend_into(float alpha, const ParamVector& a, float beta, const ParamVector& b,
+                ParamVector& out);
+
+/// out = sum_i w[i] * *xs[i], the aggregation kernel: one weighted pass per
+/// input vector over cache-sized column chunks, accumulating directly into
+/// `out` (resized and zeroed first). Per element this performs the exact
+/// in-order add chain of repeated `accumulate` calls.
+void weighted_sum(std::span<const float> w, std::span<const ParamVector* const> xs,
+                  ParamVector& out);
+
+/// dot(a, b), ||a||^2 and ||b||^2 from a single traversal (double
+/// accumulators, like the scalar kernels they fuse).
+struct DotNorms {
+  float dot = 0.0f;
+  float a_norm_sq = 0.0f;
+  float b_norm_sq = 0.0f;
+};
+DotNorms dot_norms(const ParamVector& a, const ParamVector& b);
+
+// ---------------------------------------------------------------------------
 
 float dot(const ParamVector& a, const ParamVector& b);
 float l2_norm(const ParamVector& x);

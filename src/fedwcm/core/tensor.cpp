@@ -1,7 +1,12 @@
 #include "fedwcm/core/tensor.hpp"
 
+#include "fedwcm/core/gemm_blocked.hpp"
+
 #include <algorithm>
+#include <atomic>
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 
 namespace fedwcm::core {
@@ -10,11 +15,78 @@ std::string Matrix::shape_str() const {
   return "(" + std::to_string(rows_) + ", " + std::to_string(cols_) + ")";
 }
 
-void matmul(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate) {
+// ---------------------------------------------------------------------------
+// Kernel-mode switch.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+KernelMode mode_from_env() {
+  const char* env = std::getenv("FEDWCM_KERNELS");
+  if (env != nullptr) {
+    std::string v(env);
+    for (char& c : v) c = char(std::tolower(static_cast<unsigned char>(c)));
+    if (v == "naive") return KernelMode::kNaive;
+  }
+  return KernelMode::kBlocked;
+}
+
+std::atomic<KernelMode>& mode_slot() {
+  static std::atomic<KernelMode> mode{mode_from_env()};
+  return mode;
+}
+
+}  // namespace
+
+KernelMode kernel_mode() { return mode_slot().load(std::memory_order_relaxed); }
+
+void set_kernel_mode(KernelMode mode) {
+  mode_slot().store(mode, std::memory_order_relaxed);
+}
+
+bool spans_overlap(const float* a, std::size_t an, const float* b, std::size_t bn) {
+  if (an == 0 || bn == 0) return false;
+  const std::less<const float*> lt;
+  return lt(a, b + bn) && lt(b, a + an);
+}
+
+// ---------------------------------------------------------------------------
+// GEMM. Shared checks + output preparation, then either the cache-blocked
+// path (gemm_blocked.cpp: pack A/B panels, MRxNR register-tiled micro-kernel)
+// or the original naive loops. Both accumulate each C element over k in
+// increasing order, so for K <= detail::kKC the two paths execute the
+// identical FP-operation chain per element when C starts from zeros (the
+// non-accumulate case, and the training path's accumulate-onto-zeroed-grads
+// case); larger K splits the chain into kKC-sized partial sums. Accumulating
+// onto *nonzero* C differs by association only: naive matmul/matmul_tn chain
+// each k-term through memory while blocked adds one register total.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Validates that `out` does not alias either input, then shapes it. A GEMM
+/// into one of its own operands would read half-overwritten data — loudly
+/// reject it instead (the check is three pointer comparisons).
+void prepare_out(const Matrix& a, const Matrix& b, Matrix& out, std::size_t m,
+                 std::size_t n, bool accumulate, const char* who) {
+  FEDWCM_CHECK(!spans_overlap(out.data(), out.size(), a.data(), a.size()) &&
+                   !spans_overlap(out.data(), out.size(), b.data(), b.size()),
+               "matmul: out must not alias an input");
+  (void)who;
+  if (out.rows() != m || out.cols() != n) {
+    out.resize(m, n);
+    out.zero();  // Freshly shaped scratch: both modes start from zeros.
+  } else if (!accumulate) {
+    out.zero();
+  }
+}
+
+}  // namespace
+
+void naive_matmul(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate) {
   FEDWCM_CHECK(a.cols() == b.rows(), "matmul: inner dims mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  if (out.rows() != m || out.cols() != n) out = Matrix(m, n);
-  if (!accumulate) out.zero();
+  prepare_out(a, b, out, m, n, accumulate, "matmul");
   for (std::size_t i = 0; i < m; ++i) {
     const float* arow = a.data() + i * k;
     float* orow = out.data() + i * n;
@@ -27,11 +99,10 @@ void matmul(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate) {
   }
 }
 
-void matmul_tn(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate) {
+void naive_matmul_tn(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate) {
   FEDWCM_CHECK(a.rows() == b.rows(), "matmul_tn: outer dims mismatch");
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-  if (out.rows() != m || out.cols() != n) out = Matrix(m, n);
-  if (!accumulate) out.zero();
+  prepare_out(a, b, out, m, n, accumulate, "matmul_tn");
   for (std::size_t kk = 0; kk < k; ++kk) {
     const float* arow = a.data() + kk * m;
     const float* brow = b.data() + kk * n;
@@ -44,11 +115,10 @@ void matmul_tn(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate) {
   }
 }
 
-void matmul_nt(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate) {
+void naive_matmul_nt(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate) {
   FEDWCM_CHECK(a.cols() == b.cols(), "matmul_nt: inner dims mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  if (out.rows() != m || out.cols() != n) out = Matrix(m, n);
-  if (!accumulate) out.zero();
+  prepare_out(a, b, out, m, n, accumulate, "matmul_nt");
   for (std::size_t i = 0; i < m; ++i) {
     const float* arow = a.data() + i * k;
     float* orow = out.data() + i * n;
@@ -59,6 +129,41 @@ void matmul_nt(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate) {
       orow[j] += acc;
     }
   }
+}
+
+void matmul(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate) {
+  if (kernel_mode() == KernelMode::kNaive) {
+    naive_matmul(a, b, out, accumulate);
+    return;
+  }
+  FEDWCM_CHECK(a.cols() == b.rows(), "matmul: inner dims mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  prepare_out(a, b, out, m, n, accumulate, "matmul");
+  detail::gemm_blocked(m, n, k, a.data(), k, 1, b.data(), n, 1, out.data(), n);
+}
+
+void matmul_tn(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate) {
+  if (kernel_mode() == KernelMode::kNaive) {
+    naive_matmul_tn(a, b, out, accumulate);
+    return;
+  }
+  FEDWCM_CHECK(a.rows() == b.rows(), "matmul_tn: outer dims mismatch");
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  prepare_out(a, b, out, m, n, accumulate, "matmul_tn");
+  // Logical A is aᵀ: element (i, kk) lives at a[kk * m + i].
+  detail::gemm_blocked(m, n, k, a.data(), 1, m, b.data(), n, 1, out.data(), n);
+}
+
+void matmul_nt(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate) {
+  if (kernel_mode() == KernelMode::kNaive) {
+    naive_matmul_nt(a, b, out, accumulate);
+    return;
+  }
+  FEDWCM_CHECK(a.cols() == b.cols(), "matmul_nt: inner dims mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  prepare_out(a, b, out, m, n, accumulate, "matmul_nt");
+  // Logical B is bᵀ: element (kk, j) lives at b[j * k + kk].
+  detail::gemm_blocked(m, n, k, a.data(), k, 1, b.data(), 1, k, out.data(), n);
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
@@ -78,19 +183,19 @@ void scale(float alpha, std::span<float> x) {
 
 void add(const Matrix& a, const Matrix& b, Matrix& out) {
   FEDWCM_CHECK(a.same_shape(b), "add: shape mismatch");
-  if (!out.same_shape(a)) out = Matrix(a.rows(), a.cols());
+  if (!out.same_shape(a)) out.resize(a.rows(), a.cols());
   for (std::size_t i = 0; i < a.size(); ++i) out.data()[i] = a.data()[i] + b.data()[i];
 }
 
 void sub(const Matrix& a, const Matrix& b, Matrix& out) {
   FEDWCM_CHECK(a.same_shape(b), "sub: shape mismatch");
-  if (!out.same_shape(a)) out = Matrix(a.rows(), a.cols());
+  if (!out.same_shape(a)) out.resize(a.rows(), a.cols());
   for (std::size_t i = 0; i < a.size(); ++i) out.data()[i] = a.data()[i] - b.data()[i];
 }
 
 void hadamard(const Matrix& a, const Matrix& b, Matrix& out) {
   FEDWCM_CHECK(a.same_shape(b), "hadamard: shape mismatch");
-  if (!out.same_shape(a)) out = Matrix(a.rows(), a.cols());
+  if (!out.same_shape(a)) out.resize(a.rows(), a.cols());
   for (std::size_t i = 0; i < a.size(); ++i) out.data()[i] = a.data()[i] * b.data()[i];
 }
 

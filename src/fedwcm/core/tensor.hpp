@@ -3,17 +3,23 @@
 /// Dense row-major matrix type and the small set of BLAS-like kernels the
 /// neural-network and federated-learning layers are built on.
 ///
-/// Design notes (see DESIGN.md §2):
+/// Design notes (see DESIGN.md §2 and docs/PERFORMANCE.md):
 ///  * `Matrix` owns its storage in a contiguous `std::vector<float>`; all
 ///    kernels take `const Matrix&` / `Matrix&` and never allocate behind the
 ///    caller's back except for the value-returning convenience overloads.
+///    `resize` reuses capacity, so steady-state reshaping is allocation-free.
 ///  * Shapes are validated with `FEDWCM_CHECK`, which throws
 ///    `std::invalid_argument` — simulation code treats shape errors as
-///    programming bugs, so they are loud rather than UB.
-///  * Kernels are written as simple cache-friendly loops (i-k-j gemm) so the
-///    compiler can vectorize; this is the hot path of the whole simulator.
+///    programming bugs, so they are loud rather than UB. The GEMM family also
+///    rejects `out` aliasing an input (the kernels write `out` incrementally,
+///    so aliasing would silently produce garbage).
+///  * Two GEMM implementations ship side by side: a cache-blocked,
+///    register-tiled path (default) and the original naive loops, kept as a
+///    numerical/perf reference. `FEDWCM_KERNELS=naive` (or `set_kernel_mode`)
+///    selects the reference path process-wide for A/B testing.
 
 #include <cstddef>
+#include <functional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -27,6 +33,20 @@ inline void check(bool cond, const char* msg) {
 }
 
 #define FEDWCM_CHECK(cond, msg) ::fedwcm::core::check((cond), (msg))
+
+/// Compute-kernel selection: the tuned blocked/fused path (default) or the
+/// naive reference loops the repo started with. One process-wide switch so an
+/// entire run is A/B-comparable end to end.
+enum class KernelMode { kBlocked, kNaive };
+
+/// Current mode. First call reads FEDWCM_KERNELS ("naive" selects the
+/// reference path; anything else, including unset, selects blocked).
+KernelMode kernel_mode();
+/// Overrides the mode (tests and the kernel benchmark flip this at runtime).
+void set_kernel_mode(KernelMode mode);
+
+/// True when the half-open float ranges [a, a+an) and [b, b+bn) overlap.
+bool spans_overlap(const float* a, std::size_t an, const float* b, std::size_t bn);
 
 /// Dense row-major float matrix. A row vector is a 1xN matrix; batched
 /// activations are stored as (batch, features).
@@ -65,6 +85,15 @@ class Matrix {
     cols_ = cols;
   }
 
+  /// Re-shapes to (rows, cols), reusing the existing capacity. Contents are
+  /// unspecified after a growing resize — this is the scratch-buffer resize
+  /// the zero-allocation hot path is built on, not a value-preserving one.
+  void resize(std::size_t rows, std::size_t cols) {
+    data_.resize(rows * cols);
+    rows_ = rows;
+    cols_ = cols;
+  }
+
   void fill(float v) { data_.assign(data_.size(), v); }
   void zero() { fill(0.0f); }
 
@@ -81,7 +110,8 @@ class Matrix {
 };
 
 // ---------------------------------------------------------------------------
-// GEMM family. `out` is overwritten unless `accumulate` is true.
+// GEMM family. `out` is overwritten unless `accumulate` is true, and must not
+// alias `a` or `b` (FEDWCM_CHECK-enforced). Dispatches on kernel_mode().
 // ---------------------------------------------------------------------------
 
 /// out = a * b  (MxK times KxN).
@@ -92,6 +122,15 @@ void matmul_tn(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate = 
 void matmul_nt(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate = false);
 
 Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// The original triple-loop kernels, kept verbatim as the numerical and
+/// performance reference (`FEDWCM_KERNELS=naive` routes matmul* here).
+void naive_matmul(const Matrix& a, const Matrix& b, Matrix& out,
+                  bool accumulate = false);
+void naive_matmul_tn(const Matrix& a, const Matrix& b, Matrix& out,
+                     bool accumulate = false);
+void naive_matmul_nt(const Matrix& a, const Matrix& b, Matrix& out,
+                     bool accumulate = false);
 
 // ---------------------------------------------------------------------------
 // Elementwise / vector ops.

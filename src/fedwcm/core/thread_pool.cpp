@@ -63,19 +63,28 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
     serial_for(begin, end, fn);
     return;
   }
+  // Grain size: carve the range into ~4x num_threads chunks so each atomic
+  // claim hands a worker a block of iterations instead of a single index.
+  // This keeps load balancing (4 claims per worker on average) while the
+  // number of queued tasks — and therefore the peak-queue-depth metric —
+  // stays bounded by the pool size, not the iteration count.
+  const std::size_t target_chunks = 4 * pool.size();
+  const std::size_t chunk = std::max<std::size_t>(1, (n + target_chunks - 1) / target_chunks);
   std::atomic<std::size_t> next{begin};
   std::exception_ptr first_error;
   std::mutex error_mutex;
-  const std::size_t n_tasks = std::min(pool.size(), n);
+  const std::size_t n_chunks = (n + chunk - 1) / chunk;
+  const std::size_t n_tasks = std::min(pool.size(), n_chunks);
   std::vector<std::future<void>> futures;
   futures.reserve(n_tasks);
   for (std::size_t t = 0; t < n_tasks; ++t) {
     futures.push_back(pool.submit([&] {
       for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= end) return;
+        const std::size_t i0 = next.fetch_add(chunk, std::memory_order_relaxed);
+        if (i0 >= end) return;
+        const std::size_t i1 = std::min(end, i0 + chunk);
         try {
-          fn(i);
+          for (std::size_t i = i0; i < i1; ++i) fn(i);
         } catch (...) {
           std::lock_guard<std::mutex> lock(error_mutex);
           if (!first_error) first_error = std::current_exception();

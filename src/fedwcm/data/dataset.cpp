@@ -24,7 +24,10 @@ void Dataset::validate() const {
 void gather_batch(const Dataset& ds, std::span<const std::size_t> indices, Matrix& x,
                   std::vector<std::size_t>& y) {
   const std::size_t d = ds.dim();
-  if (x.rows() != indices.size() || x.cols() != d) x = Matrix(indices.size(), d);
+  // Every row is overwritten below, so re-shape with a capacity-reusing
+  // resize: partial batches (end-of-epoch) shrink and grow back without
+  // touching the heap.
+  x.resize(indices.size(), d);
   y.resize(indices.size());
   for (std::size_t r = 0; r < indices.size(); ++r) {
     FEDWCM_CHECK(indices[r] < ds.size(), "gather_batch: index out of range");

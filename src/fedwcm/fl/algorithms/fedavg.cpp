@@ -10,17 +10,27 @@ ParamVector sample_weighted_delta(std::span<const LocalResult> results) {
   FEDWCM_CHECK(!results.empty(), "aggregate: no results");
   double total = 0.0;
   for (const auto& r : results) total += double(r.num_samples);
+  std::vector<float> w;
+  std::vector<const ParamVector*> xs;
+  w.reserve(results.size());
+  xs.reserve(results.size());
+  for (const auto& r : results) {
+    w.push_back(float(double(r.num_samples) / total));
+    xs.push_back(&r.delta);
+  }
   ParamVector agg;
-  for (const auto& r : results)
-    core::pv::accumulate(agg, float(double(r.num_samples) / total), r.delta);
+  core::pv::weighted_sum(w, xs, agg);
   return agg;
 }
 
 ParamVector uniform_delta(std::span<const LocalResult> results) {
   FEDWCM_CHECK(!results.empty(), "aggregate: no results");
-  const float w = 1.0f / float(results.size());
+  const std::vector<float> w(results.size(), 1.0f / float(results.size()));
+  std::vector<const ParamVector*> xs;
+  xs.reserve(results.size());
+  for (const auto& r : results) xs.push_back(&r.delta);
   ParamVector agg;
-  for (const auto& r : results) core::pv::accumulate(agg, w, r.delta);
+  core::pv::weighted_sum(w, xs, agg);
   return agg;
 }
 
@@ -76,8 +86,7 @@ void FedAvgM::aggregate(std::span<const LocalResult> results, std::size_t,
                         ParamVector& global) {
   FEDWCM_SPAN("aggregate.fedavgm");
   const ParamVector agg = sample_weighted_delta(results);
-  core::pv::scale(beta_, m_);
-  core::pv::axpy(1.0f, agg, m_);
+  core::pv::scale_add(1.0f, agg, beta_, m_);  // m = agg + beta * m, one pass
   core::pv::axpy(-ctx_->config->global_lr, m_, global);
 }
 

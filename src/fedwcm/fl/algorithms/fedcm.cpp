@@ -28,7 +28,7 @@ LocalResult FedCM::local_update(std::size_t client, const ParamVector& global,
   return run_local_sgd(
       *ctx_, worker, client, global, round, ctx_->config->local_lr, *loss,
       [alpha, &momentum](const ParamVector& g, const ParamVector&, ParamVector& v) {
-        v = core::pv::blend(alpha, g, 1.0f - alpha, momentum);
+        core::pv::blend_into(alpha, g, 1.0f - alpha, momentum, v);
       });
 }
 
@@ -38,9 +38,9 @@ void FedCM::aggregate(std::span<const LocalResult> results, std::size_t,
   const ParamVector agg = uniform_delta(results);
   // Delta_{r+1} = agg / (eta_l * B): converts the displacement back to
   // gradient units so clients can blend it with raw gradients next round.
-  momentum_ = agg;
-  core::pv::scale(1.0f / (ctx_->config->local_lr * float(mean_steps(results))),
-                  momentum_);
+  core::pv::scale_into(
+      1.0f / (ctx_->config->local_lr * float(mean_steps(results))), agg,
+      momentum_);
   core::pv::axpy(-ctx_->config->global_lr, agg, global);
 }
 

@@ -50,9 +50,12 @@ void FedDyn::aggregate(std::span<const LocalResult> results, std::size_t,
   FEDWCM_CHECK(!results.empty(), "FedDyn::aggregate: no results");
   // mean displacement = -mean(delta); h <- h - mu (1/N) sum (x_B - x_r)
   //                                     = h + mu (|P|/N) mean(delta).
+  const std::vector<float> w(results.size(), 1.0f / float(results.size()));
+  std::vector<const ParamVector*> xs;
+  xs.reserve(results.size());
+  for (const auto& r : results) xs.push_back(&r.delta);
   ParamVector mean_delta;
-  const float w = 1.0f / float(results.size());
-  for (const auto& r : results) core::pv::accumulate(mean_delta, w, r.delta);
+  core::pv::weighted_sum(w, xs, mean_delta);
   const float frac = float(results.size()) / float(ctx_->num_clients());
   core::pv::axpy(mu_ * frac, mean_delta, h_);
 

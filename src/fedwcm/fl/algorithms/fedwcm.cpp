@@ -79,7 +79,7 @@ LocalResult FedWCM::local_update(std::size_t client, const ParamVector& global,
   return run_local_sgd(
       *ctx_, worker, client, global, round, client_lr(client), *loss,
       [alpha, &momentum](const ParamVector& g, const ParamVector&, ParamVector& v) {
-        v = core::pv::blend(alpha, g, 1.0f - alpha, momentum);
+        core::pv::blend_into(alpha, g, 1.0f - alpha, momentum, v);
       });
 }
 
@@ -117,14 +117,15 @@ void FedWCM::aggregate(std::span<const LocalResult> results, std::size_t,
   FEDWCM_CHECK(!results.empty(), "FedWCM::aggregate: no results");
   // Eq. 4 weights.
   const std::vector<float> w = aggregation_weights(results);
+  std::vector<const ParamVector*> xs;
+  xs.reserve(results.size());
+  for (const auto& r : results) xs.push_back(&r.delta);
   ParamVector agg;
-  for (std::size_t i = 0; i < results.size(); ++i)
-    core::pv::accumulate(agg, w[i], results[i].delta);
+  core::pv::weighted_sum(w, xs, agg);
 
   // Delta_{r+1} = agg / (eta_l * B).
-  momentum_ = agg;
-  core::pv::scale(
-      1.0f / (ctx_->config->local_lr * float(normalization_steps(results))),
+  core::pv::scale_into(
+      1.0f / (ctx_->config->local_lr * float(normalization_steps(results))), agg,
       momentum_);
 
   // Eq. 5: alpha_{r+1} = base + range * (1 - e^{-T/K}) * q_r, clamped.

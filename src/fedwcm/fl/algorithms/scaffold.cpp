@@ -60,9 +60,12 @@ void Scaffold::aggregate(std::span<const LocalResult> results, std::size_t,
   core::pv::axpy(-ctx_->config->global_lr, agg, global);
 
   // c <- c + (|P| / N) * mean(aux).
+  const std::vector<float> w(results.size(), 1.0f / float(results.size()));
+  std::vector<const ParamVector*> xs;
+  xs.reserve(results.size());
+  for (const auto& r : results) xs.push_back(&r.aux);
   ParamVector mean_aux;
-  const float w = 1.0f / float(results.size());
-  for (const auto& r : results) core::pv::accumulate(mean_aux, w, r.aux);
+  core::pv::weighted_sum(w, xs, mean_aux);
   const float scale = float(results.size()) / float(ctx_->num_clients());
   core::pv::axpy(scale, mean_aux, c_);
 }

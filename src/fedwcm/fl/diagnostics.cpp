@@ -76,30 +76,40 @@ RoundDiagnostics compute_round_diagnostics(std::span<const LocalResult> accepted
       momentum != nullptr && core::pv::l2_norm(*momentum) > 0.0f;
 
   // Single pass: norms, alignment, and the weighted mean update Delta_bar.
+  // `dot_norms` fuses <delta, momentum>, ||delta||^2 and ||momentum||^2 into
+  // one traversal, so each delta is read once here instead of three times.
   ParamVector mean;
   double norm_mean = 0.0, norm_sq_mean = 0.0;
   double align_mean = 0.0, align_min = std::numeric_limits<double>::infinity();
   for (const LocalResult& r : accepted) {
     const double w = weight(r);
-    const double n = double(core::pv::l2_norm(r.delta));
-    norm_mean += w * n;
-    norm_sq_mean += w * n * n;
+    double n;
     if (with_momentum) {
-      const double c = double(core::pv::cosine(r.delta, *momentum));
+      const core::pv::DotNorms dn = core::pv::dot_norms(r.delta, *momentum);
+      const float na = std::sqrt(dn.a_norm_sq);
+      const float nb = std::sqrt(dn.b_norm_sq);
+      n = double(na);
+      const double c =
+          (na < 1e-12f || nb < 1e-12f) ? 0.0 : double(dn.dot / (na * nb));
       align_mean += w * c;
       align_min = std::min(align_min, c);
+    } else {
+      n = double(core::pv::l2_norm(r.delta));
     }
+    norm_mean += w * n;
+    norm_sq_mean += w * n * n;
     core::pv::accumulate(mean, float(w), r.delta);
   }
 
   // Drift around the mean without a second delta pass:
-  // ||Delta_k - bar||^2 = ||Delta_k||^2 - 2 <Delta_k, bar> + ||bar||^2.
+  // ||Delta_k - bar||^2 = ||Delta_k||^2 - 2 <Delta_k, bar> + ||bar||^2,
+  // with ||Delta_k||^2 and <Delta_k, bar> from one fused traversal.
   const double bar_sq = double(core::pv::l2_norm_sq(mean));
   double drift_sq = 0.0;
   for (const LocalResult& r : accepted) {
-    const double n_sq = double(core::pv::l2_norm_sq(r.delta));
-    const double cross = double(core::pv::dot(r.delta, mean));
-    drift_sq += weight(r) * (n_sq - 2.0 * cross + bar_sq);
+    const core::pv::DotNorms dn = core::pv::dot_norms(r.delta, mean);
+    drift_sq += weight(r) *
+                (double(dn.a_norm_sq) - 2.0 * double(dn.dot) + bar_sq);
   }
 
   d.update_norm_mean = float(norm_mean);

@@ -48,6 +48,7 @@ LocalResult run_local_sgd(const FlContext& ctx, Worker& worker, std::size_t clie
 
   ParamVector x = start;
   ParamVector v(x.size());
+  const bool naive = core::kernel_mode() == core::KernelMode::kNaive;
   double loss_acc = 0.0;
   for (std::size_t step = 0; step < total_steps; ++step) {
     sampler->next_batch(worker.batch_indices);
@@ -58,8 +59,14 @@ LocalResult run_local_sgd(const FlContext& ctx, Worker& worker, std::size_t clie
     const core::Matrix& logits = worker.model.forward(worker.batch_x);
     loss_acc += loss.compute(logits, worker.batch_y, worker.dlogits);
     worker.model.backward(worker.dlogits);
-    const ParamVector grad = worker.model.get_grads();
-    direction(grad, x, v);
+    if (naive) {
+      // Seed-faithful reference path: fresh gradient vector every step.
+      const ParamVector grad = worker.model.get_grads();
+      direction(grad, x, v);
+    } else {
+      worker.model.get_grads(worker.grad);
+      direction(worker.grad, x, v);
+    }
     core::pv::axpy(-lr, v, x);
   }
   result.num_steps = total_steps;
@@ -88,8 +95,8 @@ ParamVector client_full_gradient(const FlContext& ctx, Worker& worker,
     loss.compute(logits, worker.batch_y, worker.dlogits);
     worker.model.backward(worker.dlogits);
     // Loss gradients are batch means; re-weight chunks to a dataset mean.
-    core::pv::accumulate(acc, float(take) / float(indices.size()),
-                         worker.model.get_grads());
+    worker.model.get_grads(worker.grad);
+    core::pv::accumulate(acc, float(take) / float(indices.size()), worker.grad);
     done += take;
   }
   return acc;

@@ -27,13 +27,23 @@ struct Worker {
   core::Matrix dlogits;
   std::vector<std::size_t> batch_y;
   std::vector<std::size_t> batch_indices;
+  /// Persistent staging for the minibatch gradient (filled by
+  /// `Sequential::get_grads(grad)` each step; steady-state reuse is
+  /// allocation-free).
+  ParamVector grad;
+  /// Layer scratch arena shared by every layer of `model` (see
+  /// nn/workspace.hpp). Held behind a unique_ptr so the layers' workspace
+  /// pointers survive Worker moves.
+  std::unique_ptr<nn::Workspace> ws = std::make_unique<nn::Workspace>();
   /// Fault injection: fraction of the planned local steps actually executed
   /// (straggler truncation, fl/fault.hpp). The simulation sets this before
   /// every local_update; the local loops run
   /// max(1, floor(total_steps * step_fraction)) steps when it is < 1.
   float step_fraction = 1.0f;
 
-  explicit Worker(const nn::ModelFactory& factory) : model(factory()) {}
+  explicit Worker(const nn::ModelFactory& factory) : model(factory()) {
+    model.set_workspace(ws.get());
+  }
 };
 
 /// Result of one client's local training.

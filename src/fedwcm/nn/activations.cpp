@@ -6,21 +6,21 @@ namespace fedwcm::nn {
 
 void ReLU::forward(const Matrix& in, Matrix& out) {
   cached_in_ = in;
-  if (!out.same_shape(in)) out = Matrix(in.rows(), in.cols());
+  out.resize(in.rows(), in.cols());
   for (std::size_t i = 0; i < in.size(); ++i)
     out.data()[i] = in.data()[i] > 0.0f ? in.data()[i] : 0.0f;
 }
 
 void ReLU::backward(const Matrix& grad_out, Matrix& grad_in) {
   FEDWCM_CHECK(grad_out.same_shape(cached_in_), "ReLU::backward: shape mismatch");
-  if (!grad_in.same_shape(grad_out)) grad_in = Matrix(grad_out.rows(), grad_out.cols());
+  grad_in.resize(grad_out.rows(), grad_out.cols());
   for (std::size_t i = 0; i < grad_out.size(); ++i)
     grad_in.data()[i] = cached_in_.data()[i] > 0.0f ? grad_out.data()[i] : 0.0f;
 }
 
 void LeakyReLU::forward(const Matrix& in, Matrix& out) {
   cached_in_ = in;
-  if (!out.same_shape(in)) out = Matrix(in.rows(), in.cols());
+  out.resize(in.rows(), in.cols());
   for (std::size_t i = 0; i < in.size(); ++i) {
     const float v = in.data()[i];
     out.data()[i] = v > 0.0f ? v : slope_ * v;
@@ -29,21 +29,21 @@ void LeakyReLU::forward(const Matrix& in, Matrix& out) {
 
 void LeakyReLU::backward(const Matrix& grad_out, Matrix& grad_in) {
   FEDWCM_CHECK(grad_out.same_shape(cached_in_), "LeakyReLU::backward: shape mismatch");
-  if (!grad_in.same_shape(grad_out)) grad_in = Matrix(grad_out.rows(), grad_out.cols());
+  grad_in.resize(grad_out.rows(), grad_out.cols());
   for (std::size_t i = 0; i < grad_out.size(); ++i)
     grad_in.data()[i] =
         cached_in_.data()[i] > 0.0f ? grad_out.data()[i] : slope_ * grad_out.data()[i];
 }
 
 void Tanh::forward(const Matrix& in, Matrix& out) {
-  if (!out.same_shape(in)) out = Matrix(in.rows(), in.cols());
+  out.resize(in.rows(), in.cols());
   for (std::size_t i = 0; i < in.size(); ++i) out.data()[i] = std::tanh(in.data()[i]);
   cached_out_ = out;
 }
 
 void Tanh::backward(const Matrix& grad_out, Matrix& grad_in) {
   FEDWCM_CHECK(grad_out.same_shape(cached_out_), "Tanh::backward: shape mismatch");
-  if (!grad_in.same_shape(grad_out)) grad_in = Matrix(grad_out.rows(), grad_out.cols());
+  grad_in.resize(grad_out.rows(), grad_out.cols());
   for (std::size_t i = 0; i < grad_out.size(); ++i) {
     const float y = cached_out_.data()[i];
     grad_in.data()[i] = grad_out.data()[i] * (1.0f - y * y);

@@ -24,10 +24,10 @@ Conv2d::Conv2d(std::size_t in_channels, std::size_t height, std::size_t width,
 }
 
 void Conv2d::im2col(const float* img, Matrix& cols) const {
-  // cols: (in_c*k*k, out_h*out_w)
+  // cols: (in_c*k*k, out_h*out_w); every element is written below, so a
+  // capacity-reusing resize is enough.
   const std::size_t patch = in_c_ * kernel_ * kernel_;
-  if (cols.rows() != patch || cols.cols() != out_h_ * out_w_)
-    cols = Matrix(patch, out_h_ * out_w_);
+  cols.resize(patch, out_h_ * out_w_);
   for (std::size_t c = 0; c < in_c_; ++c) {
     for (std::size_t ky = 0; ky < kernel_; ++ky) {
       for (std::size_t kx = 0; kx < kernel_; ++kx) {
@@ -76,8 +76,12 @@ void Conv2d::forward(const Matrix& in, Matrix& out) {
   cached_in_ = in;
   const std::size_t batch = in.rows();
   const std::size_t out_feats = out_channels_ * out_h_ * out_w_;
-  if (out.rows() != batch || out.cols() != out_feats) out = Matrix(batch, out_feats);
-  Matrix cols, res;
+  const std::size_t opix = out_h_ * out_w_;
+  out.resize(batch, out_feats);
+  // Persistent im2col / GEMM-result scratch: allocated once per worker, then
+  // reused every minibatch (the conv hot path's zero-allocation guarantee).
+  Matrix& cols = scratch(0, in_c_ * kernel_ * kernel_, opix);
+  Matrix& res = scratch(1, out_channels_, opix);
   for (std::size_t s = 0; s < batch; ++s) {
     im2col(in.data() + s * in.cols(), cols);
     core::matmul(w_, cols, res);  // (out_c, out_h*out_w)
@@ -96,10 +100,12 @@ void Conv2d::backward(const Matrix& grad_out, Matrix& grad_in) {
   FEDWCM_CHECK(grad_out.rows() == batch, "Conv2d::backward: batch mismatch");
   FEDWCM_CHECK(grad_out.cols() == out_channels_ * out_h_ * out_w_,
                "Conv2d::backward: width mismatch");
-  if (!grad_in.same_shape(cached_in_))
-    grad_in = Matrix(cached_in_.rows(), cached_in_.cols());
+  grad_in.resize(cached_in_.rows(), cached_in_.cols());
   grad_in.zero();
-  Matrix cols, gout(out_channels_, out_h_ * out_w_), gcols;
+  const std::size_t opix = out_h_ * out_w_;
+  Matrix& cols = scratch(2, in_c_ * kernel_ * kernel_, opix);
+  Matrix& gout = scratch(3, out_channels_, opix);
+  Matrix& gcols = scratch(4, in_c_ * kernel_ * kernel_, opix);
   for (std::size_t s = 0; s < batch; ++s) {
     im2col(cached_in_.data() + s * cached_in_.cols(), cols);
     const float* grow = grad_out.data() + s * grad_out.cols();
@@ -170,7 +176,7 @@ void MaxPool2d::forward(const Matrix& in, Matrix& out) {
   const std::size_t batch = in.rows();
   const std::size_t oh = h_ / 2, ow = w_ / 2;
   const std::size_t out_feats = c_ * oh * ow;
-  if (out.rows() != batch || out.cols() != out_feats) out = Matrix(batch, out_feats);
+  out.resize(batch, out_feats);
   argmax_.assign(batch * out_feats, 0);
   cached_batch_ = batch;
   for (std::size_t s = 0; s < batch; ++s) {
@@ -204,8 +210,7 @@ void MaxPool2d::backward(const Matrix& grad_out, Matrix& grad_in) {
   const std::size_t out_feats = c_ * oh * ow;
   FEDWCM_CHECK(grad_out.rows() == cached_batch_ && grad_out.cols() == out_feats,
                "MaxPool2d::backward: shape mismatch");
-  if (grad_in.rows() != cached_batch_ || grad_in.cols() != c_ * h_ * w_)
-    grad_in = Matrix(cached_batch_, c_ * h_ * w_);
+  grad_in.resize(cached_batch_, c_ * h_ * w_);
   grad_in.zero();
   for (std::size_t s = 0; s < cached_batch_; ++s) {
     const float* grow = grad_out.data() + s * out_feats;
@@ -224,7 +229,7 @@ GlobalAvgPool::GlobalAvgPool(std::size_t channels, std::size_t height,
 void GlobalAvgPool::forward(const Matrix& in, Matrix& out) {
   FEDWCM_CHECK(in.cols() == c_ * h_ * w_, "GlobalAvgPool::forward: feature mismatch");
   const std::size_t batch = in.rows();
-  if (out.rows() != batch || out.cols() != c_) out = Matrix(batch, c_);
+  out.resize(batch, c_);
   const float inv = 1.0f / float(h_ * w_);
   for (std::size_t s = 0; s < batch; ++s) {
     const float* img = in.data() + s * in.cols();
@@ -240,8 +245,7 @@ void GlobalAvgPool::forward(const Matrix& in, Matrix& out) {
 void GlobalAvgPool::backward(const Matrix& grad_out, Matrix& grad_in) {
   FEDWCM_CHECK(grad_out.cols() == c_, "GlobalAvgPool::backward: width mismatch");
   const std::size_t batch = grad_out.rows();
-  if (grad_in.rows() != batch || grad_in.cols() != c_ * h_ * w_)
-    grad_in = Matrix(batch, c_ * h_ * w_);
+  grad_in.resize(batch, c_ * h_ * w_);
   const float inv = 1.0f / float(h_ * w_);
   for (std::size_t s = 0; s < batch; ++s) {
     const float* grow = grad_out.data() + s * c_;

@@ -18,6 +18,7 @@
 
 #include "fedwcm/core/rng.hpp"
 #include "fedwcm/core/tensor.hpp"
+#include "fedwcm/nn/workspace.hpp"
 
 namespace fedwcm::nn {
 
@@ -29,6 +30,11 @@ class Layer {
 
   virtual void forward(const Matrix& in, Matrix& out) = 0;
   virtual void backward(const Matrix& grad_out, Matrix& grad_in) = 0;
+
+  /// Points the layer's scratch buffers at an externally-owned Workspace
+  /// (see workspace.hpp). Not owned; pass nullptr to revert to the layer's
+  /// private fallback arena. Clones always start detached (nullptr).
+  virtual void set_workspace(Workspace* ws) { ws_ = ws; }
 
   /// Number of trainable scalars (0 for activations/pooling).
   virtual std::size_t param_count() const { return 0; }
@@ -44,6 +50,29 @@ class Layer {
 
   /// Output feature count given the input feature count (flattened layout).
   virtual std::size_t output_features(std::size_t input_features) const = 0;
+
+ protected:
+  /// Scratch Matrix for this layer keyed by `slot`; shaped (rows, cols) with
+  /// unspecified contents. Backed by the shared Workspace when one is set,
+  /// otherwise by a lazily-created private arena (standalone layers in tests
+  /// keep working without any wiring).
+  Matrix& scratch(int slot, std::size_t rows, std::size_t cols) {
+    return arena().get(this, slot, rows, cols);
+  }
+  /// Flat float scratch, same lifecycle as `scratch`.
+  std::vector<float>& scratch_vec(int slot, std::size_t n) {
+    return arena().get_vec(this, slot, n);
+  }
+
+ private:
+  Workspace& arena() {
+    if (ws_) return *ws_;
+    if (!fallback_ws_) fallback_ws_ = std::make_unique<Workspace>();
+    return *fallback_ws_;
+  }
+
+  Workspace* ws_ = nullptr;
+  std::unique_ptr<Workspace> fallback_ws_;
 };
 
 }  // namespace fedwcm::nn

@@ -26,7 +26,7 @@ void Linear::backward(const Matrix& grad_out, Matrix& grad_in) {
                "Linear::backward: batch mismatch (missing forward?)");
   core::matmul_tn(cached_in_, grad_out, gw_, /*accumulate=*/true);
   if (has_bias_) {
-    std::vector<float> gb(out_features_);
+    std::vector<float>& gb = scratch_vec(0, out_features_);
     core::sum_rows(grad_out, gb);
     for (std::size_t i = 0; i < out_features_; ++i) gb_[i] += gb[i];
   }

@@ -7,19 +7,31 @@ namespace fedwcm::nn {
 
 namespace {
 
-/// Validates shapes and prepares `dlogits`.
+bool naive_mode() { return core::kernel_mode() == core::KernelMode::kNaive; }
+
+/// Validates shapes and prepares `dlogits`. Every element of `dlogits` is
+/// written by the loss loops below, so the blocked path uses a
+/// capacity-reusing resize; the naive path keeps the original fresh-Matrix
+/// behavior for seed-faithful A/B runs.
 void prepare(const Matrix& logits, std::span<const std::size_t> labels,
              Matrix& dlogits) {
   FEDWCM_CHECK(logits.rows() == labels.size(), "loss: batch/label mismatch");
   FEDWCM_CHECK(logits.rows() > 0, "loss: empty batch");
   for (std::size_t s : labels)
     FEDWCM_CHECK(s < logits.cols(), "loss: label out of range");
-  if (!dlogits.same_shape(logits)) dlogits = Matrix(logits.rows(), logits.cols());
+  if (naive_mode()) {
+    if (!dlogits.same_shape(logits)) dlogits = Matrix(logits.rows(), logits.cols());
+  } else {
+    dlogits.resize(logits.rows(), logits.cols());
+  }
 }
 
-/// Row-wise softmax into `probs` without mutating `logits`.
-Matrix softmax_copy(const Matrix& logits) {
-  Matrix probs = logits;
+/// Row-wise softmax without mutating `logits`. Blocked mode writes into the
+/// caller's persistent `scratch`; naive mode allocates a fresh copy like the
+/// seed implementation did.
+const Matrix& softmax_copy(const Matrix& logits, Matrix& scratch, Matrix& local) {
+  Matrix& probs = naive_mode() ? local : scratch;
+  probs = logits;
   core::softmax_rows(probs);
   return probs;
 }
@@ -30,7 +42,8 @@ float CrossEntropyLoss::compute(const Matrix& logits,
                                 std::span<const std::size_t> labels,
                                 Matrix& dlogits) const {
   prepare(logits, labels, dlogits);
-  const Matrix probs = softmax_copy(logits);
+  Matrix local;
+  const Matrix& probs = softmax_copy(logits, probs_, local);
   const std::size_t batch = logits.rows(), classes = logits.cols();
   const float inv_b = 1.0f / float(batch);
   double loss = 0.0;
@@ -48,7 +61,8 @@ float CrossEntropyLoss::compute(const Matrix& logits,
 float FocalLoss::compute(const Matrix& logits, std::span<const std::size_t> labels,
                          Matrix& dlogits) const {
   prepare(logits, labels, dlogits);
-  const Matrix probs = softmax_copy(logits);
+  Matrix local;
+  const Matrix& probs = softmax_copy(logits, probs_, local);
   const std::size_t batch = logits.rows(), classes = logits.cols();
   const float inv_b = 1.0f / float(batch);
   double loss = 0.0;
@@ -92,11 +106,12 @@ float BalancedSoftmaxLoss::compute(const Matrix& logits,
   prepare(logits, labels, dlogits);
   FEDWCM_CHECK(logits.cols() == log_prior_.size(),
                "BalancedSoftmaxLoss: class count mismatch");
-  Matrix adjusted = logits;
+  Matrix local;
+  Matrix& adjusted = naive_mode() ? local : adjusted_;
+  adjusted = logits;
   core::add_row_broadcast(adjusted, log_prior_);
   // CE on adjusted logits; d(adjusted)/d(logits) = identity.
-  CrossEntropyLoss ce;
-  return ce.compute(adjusted, labels, dlogits);
+  return ce_.compute(adjusted, labels, dlogits);
 }
 
 LdamLoss::LdamLoss(std::vector<float> class_counts, float max_margin, float s)
@@ -118,12 +133,13 @@ float LdamLoss::compute(const Matrix& logits, std::span<const std::size_t> label
   FEDWCM_CHECK(logits.cols() == margins_.size(), "LdamLoss: class count mismatch");
   // z'_c = s * (z_c - Delta_c * [c == y]); CE on z'. Chain rule multiplies
   // the CE gradient by s.
-  Matrix adjusted = logits;
+  Matrix local;
+  Matrix& adjusted = naive_mode() ? local : adjusted_;
+  adjusted = logits;
   for (std::size_t r = 0; r < logits.rows(); ++r)
     adjusted(r, labels[r]) -= margins_[labels[r]];
   for (float& v : adjusted.span()) v *= s_;
-  CrossEntropyLoss ce;
-  const float loss = ce.compute(adjusted, labels, dlogits);
+  const float loss = ce_.compute(adjusted, labels, dlogits);
   for (float& v : dlogits.span()) v *= s_;
   return loss;
 }

@@ -40,6 +40,9 @@ class CrossEntropyLoss final : public Loss {
     return std::make_unique<CrossEntropyLoss>();
   }
   std::string name() const override { return "cross_entropy"; }
+
+ private:
+  mutable Matrix probs_;  // softmax scratch, reused across minibatches
 };
 
 class FocalLoss final : public Loss {
@@ -54,6 +57,7 @@ class FocalLoss final : public Loss {
 
  private:
   float gamma_;
+  mutable Matrix probs_;
 };
 
 /// CE on prior-adjusted logits z'_c = z_c + log(prior_c). `class_counts` is
@@ -70,6 +74,8 @@ class BalancedSoftmaxLoss final : public Loss {
 
  private:
   std::vector<float> log_prior_;
+  CrossEntropyLoss ce_;
+  mutable Matrix adjusted_;  // prior-shifted logits scratch
 };
 
 /// LDAM: CE with a per-class margin Δ_c ∝ n_c^{-1/4} subtracted from the
@@ -87,6 +93,8 @@ class LdamLoss final : public Loss {
  private:
   std::vector<float> margins_;
   float s_;
+  CrossEntropyLoss ce_;
+  mutable Matrix adjusted_;  // margin-shifted logits scratch
 };
 
 }  // namespace fedwcm::nn

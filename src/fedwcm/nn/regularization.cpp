@@ -10,15 +10,15 @@ Dropout::Dropout(float rate, std::uint64_t seed)
 }
 
 void Dropout::forward(const Matrix& in, Matrix& out) {
-  if (!out.same_shape(in)) out = Matrix(in.rows(), in.cols());
+  out.resize(in.rows(), in.cols());
   if (!training_ || rate_ == 0.0f) {
     std::copy(in.span().begin(), in.span().end(), out.data());
     // Identity mask so a backward call after eval-mode forward stays exact.
-    if (!mask_.same_shape(in)) mask_ = Matrix(in.rows(), in.cols());
+    mask_.resize(in.rows(), in.cols());
     mask_.fill(1.0f);
     return;
   }
-  if (!mask_.same_shape(in)) mask_ = Matrix(in.rows(), in.cols());
+  mask_.resize(in.rows(), in.cols());
   const float keep_scale = 1.0f / (1.0f - rate_);
   for (std::size_t i = 0; i < in.size(); ++i) {
     const bool keep = rng_.uniform() >= double(rate_);
@@ -29,7 +29,7 @@ void Dropout::forward(const Matrix& in, Matrix& out) {
 
 void Dropout::backward(const Matrix& grad_out, Matrix& grad_in) {
   FEDWCM_CHECK(grad_out.same_shape(mask_), "Dropout::backward: shape mismatch");
-  if (!grad_in.same_shape(grad_out)) grad_in = Matrix(grad_out.rows(), grad_out.cols());
+  grad_in.resize(grad_out.rows(), grad_out.cols());
   for (std::size_t i = 0; i < grad_out.size(); ++i)
     grad_in.data()[i] = grad_out.data()[i] * mask_.data()[i];
 }
@@ -54,8 +54,8 @@ LayerNorm::LayerNorm(std::size_t features, float eps)
 
 void LayerNorm::forward(const Matrix& in, Matrix& out) {
   FEDWCM_CHECK(in.cols() == features_, "LayerNorm::forward: feature mismatch");
-  if (!out.same_shape(in)) out = Matrix(in.rows(), in.cols());
-  if (!cached_norm_.same_shape(in)) cached_norm_ = Matrix(in.rows(), in.cols());
+  out.resize(in.rows(), in.cols());
+  cached_norm_.resize(in.rows(), in.cols());
   inv_std_.resize(in.rows());
   for (std::size_t r = 0; r < in.rows(); ++r) {
     const float* x = in.data() + r * features_;
@@ -82,7 +82,7 @@ void LayerNorm::forward(const Matrix& in, Matrix& out) {
 void LayerNorm::backward(const Matrix& grad_out, Matrix& grad_in) {
   FEDWCM_CHECK(grad_out.same_shape(cached_norm_),
                "LayerNorm::backward: shape mismatch (missing forward?)");
-  if (!grad_in.same_shape(grad_out)) grad_in = Matrix(grad_out.rows(), grad_out.cols());
+  grad_in.resize(grad_out.rows(), grad_out.cols());
   const std::size_t n = features_;
   for (std::size_t r = 0; r < grad_out.rows(); ++r) {
     const float* gy = grad_out.data() + r * n;

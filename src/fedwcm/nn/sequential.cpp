@@ -14,12 +14,30 @@ Sequential& Sequential::operator=(const Sequential& other) {
   for (const auto& l : other.layers_) layers_.push_back(l->clone());
   acts_.clear();
   grads_.clear();
+  // Clones start detached: the source's workspace belongs to the source's
+  // worker and must not be shared across threads. Re-apply ours, if any.
+  for (const auto& l : layers_) l->set_workspace(ws_);
+  return *this;
+}
+
+Sequential& Sequential::operator=(Sequential&& other) noexcept {
+  if (this == &other) return *this;
+  layers_ = std::move(other.layers_);
+  acts_ = std::move(other.acts_);
+  grads_ = std::move(other.grads_);
+  for (const auto& l : layers_) l->set_workspace(ws_);
   return *this;
 }
 
 Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
+  layer->set_workspace(ws_);
   layers_.push_back(std::move(layer));
   return *this;
+}
+
+void Sequential::set_workspace(Workspace* ws) {
+  ws_ = ws;
+  for (const auto& l : layers_) l->set_workspace(ws);
 }
 
 const Matrix& Sequential::forward(const Matrix& in) {
@@ -46,14 +64,19 @@ std::size_t Sequential::param_count() const {
 }
 
 ParamVector Sequential::get_params() const {
-  ParamVector out(param_count());
+  ParamVector out;
+  get_params(out);
+  return out;
+}
+
+void Sequential::get_params(ParamVector& out) const {
+  out.resize(param_count());
   std::size_t off = 0;
   for (const auto& l : layers_) {
     const std::size_t n = l->param_count();
     if (n > 0) l->copy_params_to({out.data() + off, n});
     off += n;
   }
-  return out;
 }
 
 void Sequential::set_params(std::span<const float> params) {
@@ -67,14 +90,19 @@ void Sequential::set_params(std::span<const float> params) {
 }
 
 ParamVector Sequential::get_grads() const {
-  ParamVector out(param_count());
+  ParamVector out;
+  get_grads(out);
+  return out;
+}
+
+void Sequential::get_grads(ParamVector& out) const {
+  out.resize(param_count());
   std::size_t off = 0;
   for (const auto& l : layers_) {
     const std::size_t n = l->param_count();
     if (n > 0) l->copy_grads_to({out.data() + off, n});
     off += n;
   }
-  return out;
 }
 
 void Sequential::zero_grads() {
@@ -105,17 +133,19 @@ void Residual::backward(const Matrix& grad_out, Matrix& grad_in) {
 }
 
 void Residual::copy_params_to(std::span<float> dst) const {
-  const ParamVector p = body_.get_params();
-  FEDWCM_CHECK(dst.size() == p.size(), "Residual::copy_params_to: size mismatch");
-  std::copy(p.begin(), p.end(), dst.begin());
+  body_.get_params(scratch_);
+  FEDWCM_CHECK(dst.size() == scratch_.size(),
+               "Residual::copy_params_to: size mismatch");
+  std::copy(scratch_.begin(), scratch_.end(), dst.begin());
 }
 
 void Residual::set_params(std::span<const float> src) { body_.set_params(src); }
 
 void Residual::copy_grads_to(std::span<float> dst) const {
-  const ParamVector g = body_.get_grads();
-  FEDWCM_CHECK(dst.size() == g.size(), "Residual::copy_grads_to: size mismatch");
-  std::copy(g.begin(), g.end(), dst.begin());
+  body_.get_grads(scratch_);
+  FEDWCM_CHECK(dst.size() == scratch_.size(),
+               "Residual::copy_grads_to: size mismatch");
+  std::copy(scratch_.begin(), scratch_.end(), dst.begin());
 }
 
 }  // namespace fedwcm::nn

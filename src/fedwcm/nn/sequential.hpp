@@ -23,7 +23,9 @@ class Sequential {
   Sequential(const Sequential& other);
   Sequential& operator=(const Sequential& other);
   Sequential(Sequential&&) = default;
-  Sequential& operator=(Sequential&&) = default;
+  /// Keeps the target's workspace and re-wires the moved-in layers to it, so
+  /// `worker.model = make_model()` cannot silently drop the shared arena.
+  Sequential& operator=(Sequential&& other) noexcept;
 
   /// Appends a layer; returns *this for chaining.
   Sequential& add(std::unique_ptr<Layer> layer);
@@ -42,10 +44,21 @@ class Sequential {
 
   std::size_t param_count() const;
   ParamVector get_params() const;
+  /// Non-allocating variant: writes into `out` (resized; steady-state reuse
+  /// is allocation-free).
+  void get_params(ParamVector& out) const;
   void set_params(std::span<const float> params);
   ParamVector get_grads() const;
+  /// Non-allocating variant of `get_grads`.
+  void get_grads(ParamVector& out) const;
   void zero_grads();
   void init_params(core::Rng& rng);
+
+  /// Points every layer's scratch buffers at `ws` (see workspace.hpp). The
+  /// model does not own `ws`; it must outlive the model or be replaced.
+  /// Layers added later inherit the workspace automatically; copies and
+  /// copy-assignments start detached.
+  void set_workspace(Workspace* ws);
 
   std::size_t layer_count() const { return layers_.size(); }
   const Layer& layer(std::size_t i) const { return *layers_[i]; }
@@ -59,6 +72,7 @@ class Sequential {
   std::vector<std::unique_ptr<Layer>> layers_;
   std::vector<Matrix> acts_;   // acts_[0] = input, acts_[i+1] = layer i output
   std::vector<Matrix> grads_;  // scratch for backward
+  Workspace* ws_ = nullptr;    // not owned; re-applied to layers added later
 };
 
 /// Residual block: out = body(in) + in. The body must preserve the feature
@@ -76,6 +90,10 @@ class Residual final : public Layer {
   void copy_grads_to(std::span<float> dst) const override;
   void zero_grads() override { body_.zero_grads(); }
   void init_params(core::Rng& rng) override { body_.init_params(rng); }
+  void set_workspace(Workspace* ws) override {
+    Layer::set_workspace(ws);
+    body_.set_workspace(ws);
+  }
 
   std::string name() const override { return "Residual"; }
   std::unique_ptr<Layer> clone() const override {
@@ -85,6 +103,7 @@ class Residual final : public Layer {
 
  private:
   Sequential body_;
+  mutable ParamVector scratch_;  // staging for copy_{params,grads}_to
 };
 
 }  // namespace fedwcm::nn

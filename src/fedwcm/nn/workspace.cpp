@@ -1,0 +1,24 @@
+#include "fedwcm/nn/workspace.hpp"
+
+namespace fedwcm::nn {
+
+core::Matrix& Workspace::get(const void* owner, int slot, std::size_t rows,
+                             std::size_t cols) {
+  core::Matrix& m = mats_[Key{owner, slot}];
+  m.resize(rows, cols);
+  return m;
+}
+
+std::vector<float>& Workspace::get_vec(const void* owner, int slot,
+                                       std::size_t n) {
+  std::vector<float>& v = vecs_[Key{owner, slot}];
+  v.resize(n);
+  return v;
+}
+
+void Workspace::clear() {
+  mats_.clear();
+  vecs_.clear();
+}
+
+}  // namespace fedwcm::nn

@@ -1,0 +1,53 @@
+#pragma once
+/// \file workspace.hpp
+/// Reusable scratch-buffer arena for the training hot path.
+///
+/// Layers need per-call scratch (im2col columns, GEMM results, bias-gradient
+/// rows). Allocating that scratch inside `forward`/`backward` costs a heap
+/// round-trip per minibatch, which dominates the step time for the small
+/// models this repo trains. A `Workspace` owns those buffers instead: each
+/// (owner, slot) pair maps to one persistently-sized `Matrix` (or flat float
+/// vector), and `get` re-shapes it via `Matrix::resize` — which reuses
+/// capacity — so steady-state training performs zero allocations per
+/// minibatch (enforced by tests/fl/test_zero_alloc.cpp).
+///
+/// Ownership model: one Workspace per training worker, shared by every layer
+/// of that worker's model via `Sequential::set_workspace`. Layers key their
+/// buffers by their own `this` pointer plus a small slot index, so two layers
+/// (or forward/backward of one layer) never collide. A Workspace is NOT
+/// thread-safe; parallel workers each hold their own.
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "fedwcm/core/tensor.hpp"
+
+namespace fedwcm::nn {
+
+class Workspace {
+ public:
+  /// Returns the buffer for (owner, slot) shaped (rows, cols). Contents are
+  /// unspecified (previous call's data or garbage) — callers must fully
+  /// overwrite or explicitly zero. First use per key allocates; later uses
+  /// only reallocate when the element count grows past capacity.
+  core::Matrix& get(const void* owner, int slot, std::size_t rows,
+                    std::size_t cols);
+
+  /// Flat float scratch, same lifecycle as `get`.
+  std::vector<float>& get_vec(const void* owner, int slot, std::size_t n);
+
+  /// Number of distinct buffers currently held (both kinds).
+  std::size_t buffer_count() const { return mats_.size() + vecs_.size(); }
+
+  /// Drops every buffer (releases memory; next `get` re-allocates).
+  void clear();
+
+ private:
+  using Key = std::pair<const void*, int>;
+  std::map<Key, core::Matrix> mats_;
+  std::map<Key, std::vector<float>> vecs_;
+};
+
+}  // namespace fedwcm::nn

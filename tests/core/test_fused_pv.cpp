@@ -1,0 +1,132 @@
+// Fused ParamVector kernels vs their unfused references: the fused span ops
+// powering aggregation and momentum updates must produce bitwise-identical
+// results in both kernel modes (they perform the same per-element FP chain,
+// fused just traverses memory once).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "fedwcm/core/param_vector.hpp"
+#include "fedwcm/core/rng.hpp"
+#include "fedwcm/core/tensor.hpp"
+
+namespace fedwcm::core {
+namespace {
+
+struct ModeGuard {
+  KernelMode saved = kernel_mode();
+  ~ModeGuard() { set_kernel_mode(saved); }
+};
+
+ParamVector random_pv(std::size_t n, Rng& rng) {
+  ParamVector v(n);
+  for (float& x : v) x = float(rng.normal());
+  return v;
+}
+
+void expect_bitwise_equal(const ParamVector& a, const ParamVector& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint32_t ba, bb;
+    std::memcpy(&ba, &a[i], 4);
+    std::memcpy(&bb, &b[i], 4);
+    ASSERT_EQ(ba, bb) << "index " << i << ": " << a[i] << " vs " << b[i];
+  }
+}
+
+// Odd length exercises any vector-width tail handling.
+constexpr std::size_t kN = 1031;
+
+TEST(FusedPv, ScaleAddMatchesReference) {
+  ModeGuard guard;
+  Rng rng(3);
+  const ParamVector x = random_pv(kN, rng);
+  const ParamVector y0 = random_pv(kN, rng);
+  ParamVector fused = y0, reference = y0;
+  set_kernel_mode(KernelMode::kBlocked);
+  pv::scale_add(0.7f, x, -1.3f, fused);
+  set_kernel_mode(KernelMode::kNaive);
+  pv::scale_add(0.7f, x, -1.3f, reference);
+  expect_bitwise_equal(fused, reference);
+}
+
+TEST(FusedPv, ScaleIntoMatchesReference) {
+  ModeGuard guard;
+  Rng rng(5);
+  const ParamVector x = random_pv(kN, rng);
+  ParamVector fused, reference;
+  set_kernel_mode(KernelMode::kBlocked);
+  pv::scale_into(-0.25f, x, fused);
+  set_kernel_mode(KernelMode::kNaive);
+  pv::scale_into(-0.25f, x, reference);
+  expect_bitwise_equal(fused, reference);
+}
+
+TEST(FusedPv, BlendIntoMatchesReferenceIncludingAliasing) {
+  ModeGuard guard;
+  Rng rng(7);
+  const ParamVector a = random_pv(kN, rng);
+  const ParamVector b = random_pv(kN, rng);
+  ParamVector fused, reference;
+  set_kernel_mode(KernelMode::kBlocked);
+  pv::blend_into(0.1f, a, 0.9f, b, fused);
+  set_kernel_mode(KernelMode::kNaive);
+  pv::blend_into(0.1f, a, 0.9f, b, reference);
+  expect_bitwise_equal(fused, reference);
+
+  // FedCM/FedWCM write the blend back into one of its inputs (v aliases g):
+  // both modes must support out == a.
+  ParamVector fused_alias = a, reference_alias = a;
+  set_kernel_mode(KernelMode::kBlocked);
+  pv::blend_into(0.1f, fused_alias, 0.9f, b, fused_alias);
+  set_kernel_mode(KernelMode::kNaive);
+  pv::blend_into(0.1f, reference_alias, 0.9f, b, reference_alias);
+  expect_bitwise_equal(fused_alias, reference_alias);
+  expect_bitwise_equal(fused_alias, fused);
+}
+
+TEST(FusedPv, WeightedSumMatchesReference) {
+  ModeGuard guard;
+  Rng rng(11);
+  std::vector<ParamVector> inputs;
+  for (int i = 0; i < 5; ++i) inputs.push_back(random_pv(kN, rng));
+  std::vector<const ParamVector*> xs;
+  for (const auto& v : inputs) xs.push_back(&v);
+  const std::vector<float> w = {0.4f, 0.1f, 0.25f, 0.05f, 0.2f};
+  ParamVector fused, reference;
+  set_kernel_mode(KernelMode::kBlocked);
+  pv::weighted_sum(w, xs, fused);
+  set_kernel_mode(KernelMode::kNaive);
+  pv::weighted_sum(w, xs, reference);
+  expect_bitwise_equal(fused, reference);
+}
+
+TEST(FusedPv, DotNormsMatchesSeparateKernels) {
+  ModeGuard guard;
+  Rng rng(13);
+  const ParamVector a = random_pv(kN, rng);
+  const ParamVector b = random_pv(kN, rng);
+  for (const KernelMode mode : {KernelMode::kBlocked, KernelMode::kNaive}) {
+    set_kernel_mode(mode);
+    const pv::DotNorms dn = pv::dot_norms(a, b);
+    EXPECT_EQ(dn.dot, pv::dot(a, b));
+    EXPECT_EQ(dn.a_norm_sq, pv::l2_norm_sq(a));
+    EXPECT_EQ(dn.b_norm_sq, pv::l2_norm_sq(b));
+  }
+}
+
+TEST(FusedPv, CosineConsistentAcrossModes) {
+  ModeGuard guard;
+  Rng rng(17);
+  const ParamVector a = random_pv(kN, rng);
+  const ParamVector b = random_pv(kN, rng);
+  set_kernel_mode(KernelMode::kBlocked);
+  const float fused = pv::cosine(a, b);
+  set_kernel_mode(KernelMode::kNaive);
+  const float reference = pv::cosine(a, b);
+  EXPECT_EQ(fused, reference);
+}
+
+}  // namespace
+}  // namespace fedwcm::core

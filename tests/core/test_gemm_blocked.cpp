@@ -1,0 +1,177 @@
+// Property tests for the cache-blocked GEMM against the naive reference:
+// across odd and edge shapes, both kernel modes must produce bitwise-equal
+// results when the output starts from zeros (for K <= detail::kKC they then
+// execute the identical per-element FP chain), accumulation onto nonzero
+// contents must agree within tight tolerance, two blocked runs must be
+// bitwise deterministic, and the aliasing guard must reject GEMMs into their
+// own operands.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "fedwcm/core/gemm_blocked.hpp"
+#include "fedwcm/core/rng.hpp"
+#include "fedwcm/core/tensor.hpp"
+
+namespace fedwcm::core {
+namespace {
+
+/// Restores the process-wide kernel mode on scope exit (tests share one
+/// process, so leaking kNaive would silently change later tests).
+struct ModeGuard {
+  KernelMode saved = kernel_mode();
+  ~ModeGuard() { set_kernel_mode(saved); }
+};
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (float& v : m.span()) v = float(rng.normal());
+  return m;
+}
+
+void expect_bitwise_equal(const Matrix& a, const Matrix& b, const char* what) {
+  ASSERT_TRUE(a.same_shape(b)) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Compare representations: bitwise equality is the contract, not just
+    // value equality (0.0f == -0.0f would pass a float compare).
+    std::uint32_t ba, bb;
+    std::memcpy(&ba, a.data() + i, 4);
+    std::memcpy(&bb, b.data() + i, 4);
+    ASSERT_EQ(ba, bb) << what << " differs at flat index " << i << ": "
+                      << a.data()[i] << " vs " << b.data()[i];
+  }
+}
+
+struct Shape {
+  std::size_t m, n, k;
+};
+
+// 1xN / Nx1 degenerate shapes, sizes around the MR=4 / NR=16 tile edges,
+// sizes crossing the MC=64 row-block boundary, and empty extents.
+const Shape kShapes[] = {
+    {1, 1, 1},  {1, 17, 4},  {5, 1, 9},   {1, 1, 33},  {5, 17, 33},
+    {4, 16, 8}, {8, 32, 16}, {3, 15, 2},  {13, 19, 7}, {70, 40, 20},
+    {65, 33, 5}, {2, 130, 3}, {0, 4, 4},  {4, 0, 4},   {4, 4, 0},
+};
+
+using GemmFn = void (*)(const Matrix&, const Matrix&, Matrix&, bool);
+
+struct Variant {
+  const char* name;
+  GemmFn fn;
+  GemmFn naive;
+  bool a_transposed;  // operand A passed as (k x m)
+  bool b_transposed;  // operand B passed as (n x k)
+};
+
+const Variant kVariants[] = {
+    {"matmul", matmul, naive_matmul, false, false},
+    {"matmul_tn", matmul_tn, naive_matmul_tn, true, false},
+    {"matmul_nt", matmul_nt, naive_matmul_nt, false, true},
+};
+
+TEST(GemmBlocked, BitwiseMatchesNaiveAcrossEdgeShapes) {
+  ModeGuard guard;
+  Rng rng(7);
+  for (const Variant& v : kVariants) {
+    for (const Shape& s : kShapes) {
+      const Matrix a = v.a_transposed ? random_matrix(s.k, s.m, rng)
+                                      : random_matrix(s.m, s.k, rng);
+      const Matrix b = v.b_transposed ? random_matrix(s.n, s.k, rng)
+                                      : random_matrix(s.k, s.n, rng);
+      for (const bool accumulate : {false, true}) {
+        // Bitwise parity holds when the output starts from zeros — the case
+        // the training path actually exercises (gradients accumulate onto
+        // zero_grads-zeroed buffers). Accumulating onto *nonzero* contents
+        // associates differently: naive matmul/matmul_tn chain each k-term
+        // through memory (((c+t1)+t2)+...) while blocked adds one register
+        // total (c+(t1+...+tk)), so that case is covered by the tolerance
+        // check below, not by bit equality.
+        Matrix seed(s.m, s.n);
+        Matrix blocked = seed, naive = seed;
+        set_kernel_mode(KernelMode::kBlocked);
+        v.fn(a, b, blocked, accumulate);
+        set_kernel_mode(KernelMode::kNaive);
+        v.fn(a, b, naive, accumulate);
+        SCOPED_TRACE(::testing::Message()
+                     << v.name << " " << s.m << "x" << s.n << "x" << s.k
+                     << (accumulate ? " accumulate" : ""));
+        expect_bitwise_equal(blocked, naive, v.name);
+        // The explicit naive_* entry points must agree with kNaive dispatch.
+        Matrix direct = seed;
+        v.naive(a, b, direct, accumulate);
+        expect_bitwise_equal(naive, direct, "naive dispatch");
+      }
+      {
+        // Accumulating onto nonzero contents: tight tolerance (see above).
+        Matrix seed = random_matrix(s.m, s.n, rng);
+        Matrix blocked = seed, naive = seed;
+        set_kernel_mode(KernelMode::kBlocked);
+        v.fn(a, b, blocked, /*accumulate=*/true);
+        set_kernel_mode(KernelMode::kNaive);
+        v.fn(a, b, naive, /*accumulate=*/true);
+        SCOPED_TRACE(::testing::Message()
+                     << v.name << " " << s.m << "x" << s.n << "x" << s.k
+                     << " accumulate onto nonzero");
+        for (std::size_t i = 0; i < blocked.size(); ++i)
+          ASSERT_NEAR(blocked.data()[i], naive.data()[i], 1e-4f)
+              << "flat index " << i;
+      }
+    }
+  }
+}
+
+TEST(GemmBlocked, LargeKSplitsStayWithinTolerance) {
+  // K > detail::kKC runs as multiple k-blocks: a differently associated (but
+  // still deterministic) sum, so compare with a tolerance instead of bits.
+  ModeGuard guard;
+  Rng rng(11);
+  const std::size_t k = detail::kKC + 37;
+  const Matrix a = random_matrix(3, k, rng);
+  const Matrix b = random_matrix(k, 5, rng);
+  Matrix blocked, naive;
+  set_kernel_mode(KernelMode::kBlocked);
+  matmul(a, b, blocked);
+  set_kernel_mode(KernelMode::kNaive);
+  matmul(a, b, naive);
+  for (std::size_t i = 0; i < blocked.size(); ++i)
+    ASSERT_NEAR(blocked.data()[i], naive.data()[i], 2e-2f) << "index " << i;
+}
+
+TEST(GemmBlocked, RepeatedRunsAreBitwiseDeterministic) {
+  ModeGuard guard;
+  set_kernel_mode(KernelMode::kBlocked);
+  Rng rng(13);
+  const Matrix a = random_matrix(37, 29, rng);
+  const Matrix b = random_matrix(29, 41, rng);
+  Matrix first, second;
+  matmul(a, b, first);
+  matmul(a, b, second);
+  expect_bitwise_equal(first, second, "repeated blocked matmul");
+}
+
+TEST(GemmBlocked, AliasedOutputThrows) {
+  ModeGuard guard;
+  Rng rng(17);
+  Matrix a = random_matrix(4, 4, rng);
+  Matrix b = random_matrix(4, 4, rng);
+  for (const KernelMode mode : {KernelMode::kBlocked, KernelMode::kNaive}) {
+    set_kernel_mode(mode);
+    EXPECT_THROW(matmul(a, b, a), std::invalid_argument);
+    EXPECT_THROW(matmul(a, b, b), std::invalid_argument);
+    EXPECT_THROW(matmul_tn(a, b, a), std::invalid_argument);
+    EXPECT_THROW(matmul_nt(a, b, b), std::invalid_argument);
+  }
+}
+
+TEST(GemmBlocked, KernelModeRoundTrips) {
+  ModeGuard guard;
+  set_kernel_mode(KernelMode::kNaive);
+  EXPECT_EQ(kernel_mode(), KernelMode::kNaive);
+  set_kernel_mode(KernelMode::kBlocked);
+  EXPECT_EQ(kernel_mode(), KernelMode::kBlocked);
+}
+
+}  // namespace
+}  // namespace fedwcm::core

@@ -65,6 +65,27 @@ TEST(ParallelFor, RethrowsWorkerException) {
                std::logic_error);
 }
 
+TEST(ParallelFor, ChunkedRangesCoverOddSizesExactlyOnce) {
+  // The grain-size fix hands out ~4x-num-threads chunks instead of one index
+  // per task; coverage must stay exact for sizes that do not divide evenly
+  // into chunks, including sizes smaller than the thread count.
+  ThreadPool pool(4);
+  for (const std::size_t n : {1u, 3u, 4u, 5u, 17u, 1000u, 10007u}) {
+    std::vector<std::atomic<int>> hits(n);
+    parallel_for(pool, 0, n, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "n=" << n << " index " << i;
+  }
+}
+
+TEST(ParallelFor, OffsetRangeIsChunkedCorrectly) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 250, 1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < 1000; ++i)
+    ASSERT_EQ(hits[i].load(), i >= 250 ? 1 : 0) << "index " << i;
+}
+
 TEST(SerialFor, MatchesParallelSemantics) {
   std::vector<int> order;
   serial_for(2, 6, [&](std::size_t i) { order.push_back(int(i)); });

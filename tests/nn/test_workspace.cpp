@@ -1,0 +1,161 @@
+// The per-worker scratch arena: buffers are keyed by (owner, slot) and
+// reused across calls, Sequential wires its layers to an external workspace
+// (surviving copy/move re-assignment), and a warmed-up forward/backward pass
+// performs zero heap allocations — the property the training hot path relies
+// on. The naive kernel mode intentionally allocates (seed-faithful baseline),
+// which doubles as a sanity check that the allocation counter counts.
+#include "fedwcm/nn/workspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/alloc_counter.hpp"
+#include "fedwcm/core/rng.hpp"
+#include "fedwcm/core/tensor.hpp"
+#include "fedwcm/nn/loss.hpp"
+#include "fedwcm/nn/models.hpp"
+#include "fedwcm/nn/sequential.hpp"
+
+namespace fedwcm::nn {
+namespace {
+
+struct ModeGuard {
+  core::KernelMode saved = core::kernel_mode();
+  ~ModeGuard() { core::set_kernel_mode(saved); }
+};
+
+TEST(Workspace, BuffersAreKeyedByOwnerAndSlot) {
+  Workspace ws;
+  const int owner_a = 0, owner_b = 0;
+  core::Matrix& m1 = ws.get(&owner_a, 0, 3, 4);
+  EXPECT_EQ(m1.rows(), 3u);
+  EXPECT_EQ(m1.cols(), 4u);
+  m1(0, 0) = 42.0f;
+  // Same key: same buffer (same storage), reshaped on demand.
+  core::Matrix& m2 = ws.get(&owner_a, 0, 3, 4);
+  EXPECT_EQ(&m1, &m2);
+  EXPECT_FLOAT_EQ(m2(0, 0), 42.0f);
+  // Different slot or owner: distinct buffers.
+  EXPECT_NE(&ws.get(&owner_a, 1, 3, 4), &m1);
+  EXPECT_NE(&ws.get(&owner_b, 0, 3, 4), &m1);
+  EXPECT_NE(&owner_a, &owner_b);  // distinct automatic objects
+  std::vector<float>& v = ws.get_vec(&owner_a, 0, 7);
+  EXPECT_EQ(v.size(), 7u);
+  EXPECT_EQ(ws.buffer_count(), 4u);
+  ws.clear();
+  EXPECT_EQ(ws.buffer_count(), 0u);
+}
+
+TEST(Workspace, SteadyStateLookupsDoNotAllocate) {
+  Workspace ws;
+  const int owner = 0;
+  ws.get(&owner, 0, 8, 8);
+  ws.get_vec(&owner, 1, 64);
+  const std::uint64_t before = testing::allocation_count();
+  for (int i = 0; i < 10; ++i) {
+    ws.get(&owner, 0, 8, 8);
+    ws.get_vec(&owner, 1, 64);
+  }
+  EXPECT_EQ(testing::allocation_count() - before, 0u);
+}
+
+/// One full training step (forward + loss + backward) on `model`.
+float step(Sequential& model, const core::Matrix& x,
+           const std::vector<std::size_t>& y, const Loss& loss,
+           core::Matrix& dlogits) {
+  model.zero_grads();
+  const core::Matrix& logits = model.forward(x);
+  const float l = loss.compute(logits, y, dlogits);
+  model.backward(dlogits);
+  return l;
+}
+
+TEST(Workspace, WarmMlpStepPerformsZeroAllocations) {
+  ModeGuard guard;
+  core::set_kernel_mode(core::KernelMode::kBlocked);
+  Workspace ws;
+  Sequential model = mlp_factory(12, {16, 8}, 5)();
+  model.set_workspace(&ws);
+  core::Rng rng(1);
+  model.init_params(rng);
+  core::Matrix x(6, 12);
+  for (float& v : x.span()) v = float(rng.normal());
+  const std::vector<std::size_t> y = {0, 1, 2, 3, 4, 0};
+  CrossEntropyLoss loss;
+  core::Matrix dlogits;
+
+  step(model, x, y, loss, dlogits);  // warm up arenas and caches
+  const std::uint64_t before = testing::allocation_count();
+  for (int i = 0; i < 5; ++i) step(model, x, y, loss, dlogits);
+  EXPECT_EQ(testing::allocation_count() - before, 0u)
+      << "steady-state MLP training step must not touch the heap";
+}
+
+TEST(Workspace, WarmConvStepPerformsZeroAllocations) {
+  ModeGuard guard;
+  core::set_kernel_mode(core::KernelMode::kBlocked);
+  Workspace ws;
+  Sequential model = mini_convnet_factory(1, 8, 8, 4)();
+  model.set_workspace(&ws);
+  core::Rng rng(2);
+  model.init_params(rng);
+  core::Matrix x(3, 64);
+  for (float& v : x.span()) v = float(rng.normal());
+  const std::vector<std::size_t> y = {0, 1, 2};
+  CrossEntropyLoss loss;
+  core::Matrix dlogits;
+
+  step(model, x, y, loss, dlogits);
+  const std::uint64_t before = testing::allocation_count();
+  for (int i = 0; i < 5; ++i) step(model, x, y, loss, dlogits);
+  EXPECT_EQ(testing::allocation_count() - before, 0u)
+      << "steady-state conv training step (persistent im2col) must not "
+         "touch the heap";
+}
+
+TEST(Workspace, NaiveModeAllocatesProvingTheCounterCounts) {
+  ModeGuard guard;
+  core::set_kernel_mode(core::KernelMode::kNaive);
+  Sequential model = mlp_factory(12, {16}, 5)();
+  core::Rng rng(3);
+  model.init_params(rng);
+  core::Matrix x(6, 12);
+  for (float& v : x.span()) v = float(rng.normal());
+  const std::vector<std::size_t> y = {0, 1, 2, 3, 4, 0};
+  CrossEntropyLoss loss;
+  core::Matrix dlogits;
+  step(model, x, y, loss, dlogits);
+  const std::uint64_t before = testing::allocation_count();
+  step(model, x, y, loss, dlogits);
+  EXPECT_GT(testing::allocation_count() - before, 0u)
+      << "the seed-faithful naive path allocates per step by design";
+}
+
+TEST(Workspace, SequentialMoveAssignKeepsTargetWorkspace) {
+  ModeGuard guard;
+  core::set_kernel_mode(core::KernelMode::kBlocked);
+  Workspace ws;
+  auto factory = mlp_factory(6, {8}, 3);
+  Sequential model = factory();
+  model.set_workspace(&ws);
+  core::Rng rng(4);
+  model.init_params(rng);
+  core::Matrix x(2, 6);
+  for (float& v : x.span()) v = float(rng.normal());
+  const std::vector<std::size_t> y = {0, 1};
+  CrossEntropyLoss loss;
+  core::Matrix dlogits;
+  step(model, x, y, loss, dlogits);
+  const std::size_t count_before = ws.buffer_count();
+  EXPECT_GT(count_before, 0u);
+
+  // Worker::model is re-assigned from a factory clone in places; the target's
+  // workspace wiring must survive the move so scratch keeps landing in `ws`.
+  model = factory();
+  model.init_params(rng);
+  step(model, x, y, loss, dlogits);
+  EXPECT_GT(ws.buffer_count(), count_before)
+      << "moved-in layers must be rewired onto the target's workspace";
+}
+
+}  // namespace
+}  // namespace fedwcm::nn

@@ -1,0 +1,19 @@
+#pragma once
+// Allocation-counting hook for the zero-allocation hot-path tests.
+//
+// Linking alloc_counter.cpp into a binary replaces the global operator
+// new/delete family with malloc-backed versions that bump a process-wide
+// counter on every successful allocation. Tests read the counter before and
+// after a region to assert how many heap allocations it performed; behaviour
+// is otherwise unchanged, so the hook is safe to link into the whole test
+// binary.
+
+#include <cstdint>
+
+namespace fedwcm::testing {
+
+/// Total number of successful global `operator new` (all variants) calls in
+/// this process so far. Monotonic; diff two readings to count a region.
+std::uint64_t allocation_count();
+
+}  // namespace fedwcm::testing

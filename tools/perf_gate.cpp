@@ -1,0 +1,90 @@
+/// \file perf_gate.cpp
+/// Benchmark regression gate for the compute core.
+///
+/// Runs the kernel A/B suite (bench/kernel_bench.hpp), writes
+/// BENCH_kernels.json, and exits non-zero when the blocked kernels have
+/// regressed:
+///
+///   * blocked GEMM must not be slower than the naive reference on the
+///     256x256x256 headline shape, and
+///   * the end-to-end FedWCM run must reach the same final accuracy in both
+///     kernel modes within 1e-4 (test accuracy quantises at 1/600 samples,
+///     so in practice this means exactly equal).
+///
+/// CI runs `perf_gate --quick` on every push; the committed repo-root
+/// BENCH_kernels.json is a full (non-quick) run.
+///
+/// Usage: perf_gate [--quick] [--skip-e2e] [--out PATH]
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "kernel_bench.hpp"
+
+int main(int argc, char** argv) {
+  fedwcm::bench::KernelBenchOptions options;
+  options.verbose = true;
+  std::string out_path = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--quick") {
+      options.quick = true;
+    } else if (flag == "--skip-e2e") {
+      options.skip_e2e = true;
+    } else if (flag == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: perf_gate [--quick] [--skip-e2e] [--out PATH]\n";
+      return 2;
+    }
+  }
+
+  const fedwcm::bench::KernelBenchReport report =
+      fedwcm::bench::run_kernel_bench(options);
+
+  {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "perf_gate: cannot write " << out_path << "\n";
+      return 1;
+    }
+    out << fedwcm::bench::to_json(report);
+    std::cout << "perf_gate: wrote " << out_path << "\n";
+  }
+
+  bool ok = true;
+  const fedwcm::bench::GemmShapeResult* headline = report.headline_gemm();
+  if (headline == nullptr) {
+    std::cerr << "perf_gate: FAIL — 256x256x256 matmul was not measured\n";
+    ok = false;
+  } else {
+    std::cout << "perf_gate: matmul 256x256x256 blocked "
+              << headline->blocked_gflops << " GFLOP/s vs naive "
+              << headline->naive_gflops << " GFLOP/s (speedup "
+              << headline->speedup() << "x)\n";
+    if (headline->blocked_gflops < headline->naive_gflops) {
+      std::cerr << "perf_gate: FAIL — blocked GEMM slower than naive on the "
+                   "headline shape\n";
+      ok = false;
+    }
+  }
+
+  if (report.e2e.rounds != 0) {
+    const auto& e = report.e2e;
+    std::cout << "perf_gate: e2e blocked " << e.blocked_ms_per_round
+              << " ms/round vs naive " << e.naive_ms_per_round
+              << " ms/round (speedup " << e.speedup() << "x), accuracy "
+              << e.blocked_accuracy << " vs " << e.naive_accuracy << "\n";
+    if (e.accuracy_abs_diff() > 1e-4) {
+      std::cerr << "perf_gate: FAIL — kernel modes disagree on final "
+                   "accuracy (|diff| = "
+                << e.accuracy_abs_diff() << " > 1e-4)\n";
+      ok = false;
+    }
+  }
+
+  if (!ok) return 1;
+  std::cout << "perf_gate: PASS\n";
+  return 0;
+}
