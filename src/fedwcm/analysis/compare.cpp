@@ -1,0 +1,162 @@
+#include "fedwcm/analysis/compare.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "fedwcm/obs/json.hpp"
+
+namespace fedwcm::analysis {
+
+namespace {
+
+/// Numeric field access tolerating the writer's null-for-non-finite rule.
+double number_or(const obs::json::Value& line, const std::string& key,
+                 double fallback) {
+  const obs::json::Value* v = line.find(key);
+  if (!v || !v->is_number()) return fallback;
+  return v->as_number();
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+bool load_run_summary(const std::string& path, RunSummary& out,
+                      std::string& error) {
+  std::ifstream is(path);
+  if (!is) {
+    error = "cannot open " + path;
+    return false;
+  }
+  out = RunSummary{};
+  bool saw_summary = false;
+  double wall_ms_total = 0.0;
+  std::size_t wall_ms_lines = 0;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    obs::json::Value v;
+    std::string parse_error;
+    if (!obs::json::parse(line, v, parse_error)) {
+      error = path + ":" + std::to_string(line_no) + ": " + parse_error;
+      return false;
+    }
+    if (!v.is_object()) {
+      error = path + ":" + std::to_string(line_no) + ": not a JSON object";
+      return false;
+    }
+    const obs::json::Value* summary = v.find("summary");
+    if (summary && summary->is_bool() && summary->as_bool()) {
+      saw_summary = true;
+      if (const obs::json::Value* a = v.find("algorithm"); a && a->is_string())
+        out.algorithm = a->as_string();
+      out.final_accuracy = number_or(v, "final_accuracy", 0.0);
+      out.best_accuracy = number_or(v, "best_accuracy", 0.0);
+      out.tail_mean_accuracy = number_or(v, "tail_mean_accuracy", 0.0);
+      out.faults_dropped = std::uint64_t(number_or(v, "faults_dropped", 0.0));
+      out.faults_rejected = std::uint64_t(number_or(v, "faults_rejected", 0.0));
+      out.faults_straggled =
+          std::uint64_t(number_or(v, "faults_straggled", 0.0));
+      if (const obs::json::Value* a = v.find("aborted"); a && a->is_bool())
+        out.aborted = a->as_bool();
+      if (const obs::json::Value* pca = v.find("per_class_accuracy");
+          pca && pca->is_array() && !pca->as_array().empty()) {
+        double lo = 1.0;
+        bool any = false;
+        for (const auto& r : pca->as_array())
+          if (r.is_number()) {
+            lo = std::min(lo, r.as_number());
+            any = true;
+          }
+        if (any) out.min_class_recall = lo;
+      }
+    } else {
+      ++out.rounds;
+      const double wall = number_or(v, "round_wall_ms", -1.0);
+      if (wall >= 0.0) {
+        wall_ms_total += wall;
+        ++wall_ms_lines;
+      }
+    }
+  }
+  if (!saw_summary) {
+    error = path + ": no summary line (is this a history JSONL artifact?)";
+    return false;
+  }
+  if (wall_ms_lines > 0)
+    out.mean_round_wall_ms = wall_ms_total / double(wall_ms_lines);
+  return true;
+}
+
+CompareReport compare_runs(const RunSummary& baseline,
+                           const RunSummary& candidate,
+                           const CompareThresholds& thresholds) {
+  CompareReport report;
+  const auto check_drop = [&](const char* what, double base, double cand,
+                              double allowed) {
+    const double drop = base - cand;
+    std::ostringstream os;
+    os << what << ": baseline " << fmt(base) << " candidate " << fmt(cand)
+       << " (drop " << fmt(drop) << ", allowed " << fmt(allowed) << ")";
+    if (drop > allowed)
+      report.failures.push_back(os.str());
+    else
+      report.notes.push_back(os.str());
+  };
+  check_drop("final_accuracy", baseline.final_accuracy,
+             candidate.final_accuracy, thresholds.accuracy_drop);
+  check_drop("best_accuracy", baseline.best_accuracy, candidate.best_accuracy,
+             thresholds.accuracy_drop);
+  check_drop("tail_mean_accuracy", baseline.tail_mean_accuracy,
+             candidate.tail_mean_accuracy, thresholds.accuracy_drop);
+  if (baseline.min_class_recall >= 0.0 && candidate.min_class_recall >= 0.0)
+    check_drop("min_class_recall", baseline.min_class_recall,
+               candidate.min_class_recall, thresholds.recall_drop);
+
+  if (candidate.aborted && !baseline.aborted)
+    report.failures.push_back(
+        "candidate run aborted (watchdog) while the baseline completed");
+
+  if (thresholds.time_factor > 0.0 && baseline.mean_round_wall_ms > 0.0 &&
+      candidate.mean_round_wall_ms > 0.0) {
+    const double ratio =
+        candidate.mean_round_wall_ms / baseline.mean_round_wall_ms;
+    std::ostringstream os;
+    os << "mean_round_wall_ms: baseline " << fmt(baseline.mean_round_wall_ms)
+       << " candidate " << fmt(candidate.mean_round_wall_ms) << " (ratio "
+       << fmt(ratio) << ", allowed " << fmt(thresholds.time_factor) << "x)";
+    if (ratio > thresholds.time_factor)
+      report.failures.push_back(os.str());
+    else
+      report.notes.push_back(os.str());
+  }
+
+  if (baseline.algorithm != candidate.algorithm)
+    report.notes.push_back("algorithms differ: baseline " +
+                           baseline.algorithm + " vs candidate " +
+                           candidate.algorithm);
+  return report;
+}
+
+std::string format_report(const RunSummary& baseline,
+                          const RunSummary& candidate,
+                          const CompareReport& report) {
+  std::ostringstream os;
+  os << "baseline:  " << baseline.algorithm << ", " << baseline.rounds
+     << " evaluated rounds" << (baseline.aborted ? " (aborted)" : "") << "\n"
+     << "candidate: " << candidate.algorithm << ", " << candidate.rounds
+     << " evaluated rounds" << (candidate.aborted ? " (aborted)" : "") << "\n";
+  for (const auto& note : report.notes) os << "  ok   " << note << "\n";
+  for (const auto& failure : report.failures) os << "  FAIL " << failure << "\n";
+  os << (report.ok() ? "PASS" : "FAIL") << "\n";
+  return os.str();
+}
+
+}  // namespace fedwcm::analysis

@@ -1,0 +1,72 @@
+#pragma once
+/// \file compare.hpp
+/// Run-to-run regression comparison over history JSONL artifacts.
+///
+/// `fedwcm_run --jsonl` leaves behind one line per evaluated round plus a
+/// summary line. `load_run_summary` reads such a file back (tolerating
+/// `null` where a diverged run serialized a non-finite value), and
+/// `compare_runs` diffs a candidate run against a baseline under explicit
+/// thresholds:
+///
+///  * final / best / tail-mean accuracy must not regress by more than
+///    `accuracy_drop` (absolute),
+///  * minimum per-class recall at the final round — the long-tail quantity
+///    FedWCM is about — must not drop by more than `recall_drop`,
+///  * the candidate must not have aborted (watchdog) unless the baseline did,
+///  * optional round-time budget: mean wall ms per round must not exceed
+///    `time_factor` x the baseline's.
+///
+/// The CLI wrapper (`tools/fedwcm_compare`) prints a report and exits 0 when
+/// the candidate passes, 1 when any threshold is exceeded — CI gates on it.
+
+#include <string>
+#include <vector>
+
+namespace fedwcm::analysis {
+
+/// What compare needs from one run artifact.
+struct RunSummary {
+  std::string algorithm;
+  double final_accuracy = 0.0;
+  double best_accuracy = 0.0;
+  double tail_mean_accuracy = 0.0;
+  double min_class_recall = -1.0;  ///< Final round; <0 when not recorded.
+  double mean_round_wall_ms = -1.0;  ///< Over history lines; <0 when none.
+  std::uint64_t faults_dropped = 0;
+  std::uint64_t faults_rejected = 0;
+  std::uint64_t faults_straggled = 0;
+  std::size_t rounds = 0;  ///< Evaluated-round lines seen.
+  bool aborted = false;
+};
+
+/// Parses a history JSONL file. Returns false with a message in `error`
+/// when the file is unreadable, a line is not valid JSON, or no summary
+/// line is present.
+bool load_run_summary(const std::string& path, RunSummary& out,
+                      std::string& error);
+
+struct CompareThresholds {
+  double accuracy_drop = 0.01;  ///< Max absolute drop in final/best/tail acc.
+  double recall_drop = 0.05;    ///< Max absolute drop in min class recall.
+  double time_factor = 0.0;     ///< Max candidate/baseline mean-round-time
+                                ///< ratio; <=0 disables the time check.
+};
+
+struct CompareReport {
+  std::vector<std::string> failures;  ///< One line per exceeded threshold.
+  std::vector<std::string> notes;     ///< Informational diffs.
+  bool ok() const { return failures.empty(); }
+};
+
+/// Diffs `candidate` against `baseline` under `thresholds`.
+CompareReport compare_runs(const RunSummary& baseline,
+                           const RunSummary& candidate,
+                           const CompareThresholds& thresholds);
+
+/// Human-readable report (stable format, one line per entry) with a
+/// PASS/FAIL verdict.
+std::string format_report(const RunSummary& baseline,
+                          const RunSummary& candidate,
+                          const CompareReport& report);
+
+}  // namespace fedwcm::analysis

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "fedwcm/obs/json.hpp"
+
 namespace fedwcm::analysis {
 
 namespace {
@@ -22,11 +24,16 @@ void write_per_class_csv(std::ofstream& os, const std::vector<float>& accs) {
   }
 }
 
+/// JSON number token for a float field; a diverged run's NaN loss must not
+/// break the JSONL contract (non-finite serializes as null).
+std::string num(double v) { return obs::json::number_to_string(v); }
+std::string num(float v) { return obs::json::number_to_string(v); }
+
 void write_per_class_json(std::ofstream& os, const std::vector<float>& accs) {
   os << "[";
   for (std::size_t c = 0; c < accs.size(); ++c) {
     if (c) os << ",";
-    os << accs[c];
+    os << num(accs[c]);
   }
   os << "]";
 }
@@ -63,32 +70,36 @@ void write_history_jsonl(const std::string& path,
                          const fl::SimulationResult& result) {
   std::ofstream os = open_or_throw(path);
   for (const auto& rec : result.history) {
-    os << "{\"algorithm\":\"" << result.algorithm << "\",\"round\":" << rec.round
-       << ",\"test_accuracy\":" << rec.test_accuracy
-       << ",\"train_loss\":" << rec.train_loss << ",\"alpha\":" << rec.alpha
-       << ",\"momentum_norm\":" << rec.momentum_norm
-       << ",\"concentration\":" << rec.concentration
-       << ",\"round_wall_ms\":" << rec.round_wall_ms
+    os << "{\"algorithm\":" << obs::json::escape(result.algorithm)
+       << ",\"round\":" << rec.round
+       << ",\"test_accuracy\":" << num(rec.test_accuracy)
+       << ",\"train_loss\":" << num(rec.train_loss)
+       << ",\"alpha\":" << num(rec.alpha)
+       << ",\"momentum_norm\":" << num(rec.momentum_norm)
+       << ",\"concentration\":" << num(rec.concentration)
+       << ",\"round_wall_ms\":" << num(rec.round_wall_ms)
        << ",\"bytes_up\":" << rec.bytes_up
        << ",\"bytes_down\":" << rec.bytes_down
        << ",\"dropped\":" << rec.dropped << ",\"rejected\":" << rec.rejected
        << ",\"straggled\":" << rec.straggled
        << ",\"diagnostics\":" << (rec.diagnostics ? "true" : "false")
-       << ",\"momentum_alignment\":" << rec.momentum_alignment
-       << ",\"alignment_min\":" << rec.alignment_min
-       << ",\"update_norm_mean\":" << rec.update_norm_mean
-       << ",\"update_norm_cv\":" << rec.update_norm_cv
-       << ",\"drift_norm\":" << rec.drift_norm << ",\"per_class_accuracy\":";
+       << ",\"momentum_alignment\":" << num(rec.momentum_alignment)
+       << ",\"alignment_min\":" << num(rec.alignment_min)
+       << ",\"update_norm_mean\":" << num(rec.update_norm_mean)
+       << ",\"update_norm_cv\":" << num(rec.update_norm_cv)
+       << ",\"drift_norm\":" << num(rec.drift_norm)
+       << ",\"per_class_accuracy\":";
     write_per_class_json(os, rec.per_class_accuracy);
     os << "}\n";
   }
-  os << "{\"algorithm\":\"" << result.algorithm
-     << "\",\"summary\":true,\"final_accuracy\":" << result.final_accuracy
-     << ",\"best_accuracy\":" << result.best_accuracy
-     << ",\"tail_mean_accuracy\":" << result.tail_mean_accuracy
+  os << "{\"algorithm\":" << obs::json::escape(result.algorithm)
+     << ",\"summary\":true,\"final_accuracy\":" << num(result.final_accuracy)
+     << ",\"best_accuracy\":" << num(result.best_accuracy)
+     << ",\"tail_mean_accuracy\":" << num(result.tail_mean_accuracy)
      << ",\"faults_dropped\":" << result.faults_dropped
      << ",\"faults_rejected\":" << result.faults_rejected
      << ",\"faults_straggled\":" << result.faults_straggled
+     << ",\"aborted\":" << (result.aborted ? "true" : "false")
      << ",\"per_class_accuracy\":";
   write_per_class_json(os, result.per_class_accuracy);
   os << "}\n";

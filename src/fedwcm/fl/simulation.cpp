@@ -7,10 +7,26 @@
 #include "fedwcm/core/rng.hpp"
 #include "fedwcm/fl/checkpoint.hpp"
 #include "fedwcm/obs/clock.hpp"
+#include "fedwcm/obs/event.hpp"
 #include "fedwcm/obs/metrics.hpp"
 #include "fedwcm/obs/trace.hpp"
 
 namespace fedwcm::fl {
+
+namespace {
+
+/// Event-bus detail string for an injected fault.
+const char* fault_detail(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kStraggle: return "straggle";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kNone: break;
+  }
+  return "none";
+}
+
+}  // namespace
 
 Simulation::Simulation(const FlConfig& config, const data::Dataset& train,
                        const data::Dataset& test, const data::Partition& partition,
@@ -44,7 +60,8 @@ Simulation::Simulation(Simulation&& other) noexcept
       train_probe_(std::move(other.train_probe_)),
       observers_(std::move(other.observers_)),
       eligible_(std::move(other.eligible_)),
-      checkpoint_(std::move(other.checkpoint_)) {
+      checkpoint_(std::move(other.checkpoint_)),
+      stop_flag_(std::move(other.stop_flag_)) {
   ctx_.config = &config_;  // Never point into the moved-from object.
 }
 
@@ -57,6 +74,7 @@ Simulation& Simulation::operator=(Simulation&& other) noexcept {
     observers_ = std::move(other.observers_);
     eligible_ = std::move(other.eligible_);
     checkpoint_ = std::move(other.checkpoint_);
+    stop_flag_ = std::move(other.stop_flag_);
     ctx_.config = &config_;
   }
   return *this;
@@ -95,6 +113,28 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
   obs::Counter rejected_counter = registry.counter("faults.rejected");
   obs::Counter straggled_counter = registry.counter("faults.straggled");
   obs::Gauge queue_depth_gauge = registry.gauge("threadpool.queue_depth");
+  // Live gauges: the /metrics endpoint's view of run progress. Dead weight
+  // (one relaxed store each) unless metrics are enabled.
+  obs::Gauge live_round_gauge = registry.gauge("live.round");
+  obs::Gauge live_accuracy_gauge = registry.gauge("live.test_accuracy");
+  obs::Gauge live_loss_gauge = registry.gauge("live.train_loss");
+  obs::Gauge live_recall_min_gauge = registry.gauge("live.recall_min");
+  obs::Gauge live_qr_gauge = registry.gauge("live.qr");
+  obs::EventBus& bus = obs::events();
+  // One-liner event publish; the enabled() guard skips the Event construction
+  // (and its string copy) entirely when nobody is listening.
+  const auto publish = [&bus](obs::EventKind kind, std::int64_t round,
+                              std::int64_t client, double value,
+                              std::string detail = {}) {
+    if (!bus.enabled()) return;
+    obs::Event e;
+    e.kind = kind;
+    e.round = round;
+    e.client = client;
+    e.value = value;
+    e.detail = std::move(detail);
+    bus.publish(std::move(e));
+  };
 
   SimulationResult result;
   result.algorithm = algorithm.name();
@@ -127,6 +167,8 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
 
   for (const auto& observer : observers_)
     observer->on_run_begin(ctx_, result.algorithm);
+  publish(obs::EventKind::kRunBegin, std::int64_t(start_round), -1,
+          double(config_.rounds), result.algorithm);
 
   core::ThreadPool pool(config_.threads);
   const std::size_t slots = config_.sampled_per_round();
@@ -156,14 +198,20 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
       algorithm.begin_round(round, sampled);
       for (const auto& observer : observers_)
         observer->on_round_begin(round, sampled);
+      publish(obs::EventKind::kRoundBegin, std::int64_t(round), -1,
+              double(sampled.size()));
 
       // Fault decisions are drawn on the driver thread from
       // (seed, round, client) only, so they are identical regardless of
       // thread count or resume point.
       std::vector<FaultKind> kinds(sampled.size(), FaultKind::kNone);
       if (config_.faults.any())
-        for (std::size_t i = 0; i < sampled.size(); ++i)
+        for (std::size_t i = 0; i < sampled.size(); ++i) {
           kinds[i] = decide_fault(config_.faults, config_.seed, round, sampled[i]);
+          if (kinds[i] != FaultKind::kNone)
+            publish(obs::EventKind::kFaultInjected, std::int64_t(round),
+                    std::int64_t(sampled[i]), 0.0, fault_detail(kinds[i]));
+        }
 
       results.resize(sampled.size());
       pool.reset_peak_queue_depth();
@@ -209,8 +257,15 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
         }
         if (kinds[i] == FaultKind::kStraggle) ++rec.straggled;
         // Rejected clients still spent uplink bytes — the garbage was sent.
-        rec.bytes_up += std::uint64_t(r.delta.size() + r.aux.size()) * sizeof(float);
-        if (!core::pv::all_finite(r.delta) || !core::pv::all_finite(r.aux)) {
+        const std::uint64_t upload_bytes =
+            std::uint64_t(r.delta.size() + r.aux.size()) * sizeof(float);
+        rec.bytes_up += upload_bytes;
+        const bool finite =
+            core::pv::all_finite(r.delta) && core::pv::all_finite(r.aux);
+        publish(obs::EventKind::kClientUpload, std::int64_t(round),
+                std::int64_t(r.client), double(upload_bytes),
+                finite ? "accepted" : "rejected");
+        if (!finite) {
           ++rec.rejected;
           continue;
         }
@@ -276,20 +331,30 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
           rec.train_metric = train_probe_(eval_model, *ctx_.train);
         }
         result.best_accuracy = std::max(result.best_accuracy, ev.accuracy);
+        live_accuracy_gauge.set(double(rec.test_accuracy));
+        live_loss_gauge.set(double(rec.train_loss));
+        if (!rec.per_class_accuracy.empty())
+          live_recall_min_gauge.set(double(*std::min_element(
+              rec.per_class_accuracy.begin(), rec.per_class_accuracy.end())));
+        publish(obs::EventKind::kEvaluate, std::int64_t(round), -1,
+                double(rec.test_accuracy));
         eval_ms_hist.observe(obs::elapsed_ms(eval_start_us, obs::now_us()));
       }
     }  // round span closes here so its duration matches round_wall_ms.
 
     rec.round_wall_ms = obs::elapsed_ms(round_start_us, obs::now_us());
     round_ms_hist.observe(rec.round_wall_ms);
+    live_round_gauge.set(double(round));
+    if (rec.diagnostics) live_qr_gauge.set(double(rec.momentum_alignment));
     if (rec.evaluated) result.history.push_back(rec);
     for (const auto& observer : observers_) observer->on_round_end(rec);
+    publish(obs::EventKind::kRoundEnd, std::int64_t(round), -1,
+            rec.round_wall_ms);
 
     // Crash safety: persist the completed-round state atomically. A process
     // killed at any instant leaves either the previous checkpoint or this one
     // — never a torn file (core/checkpoint.hpp writes tmp + rename).
-    if (checkpoint_.enabled() && checkpoint_.every > 0 &&
-        (round + 1) % checkpoint_.every == 0) {
+    const auto save_now = [&] {
       ResumeState state;
       state.next_round = round + 1;
       state.global = global;
@@ -300,6 +365,21 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
       state.faults_straggled = result.faults_straggled;
       save_checkpoint(checkpoint_.path, config_, ctx_.param_count, algorithm,
                       state);
+      publish(obs::EventKind::kCheckpoint, std::int64_t(round), -1, 0.0,
+              checkpoint_.path);
+    };
+    const bool periodic_save = checkpoint_.enabled() && checkpoint_.every > 0 &&
+                               (round + 1) % checkpoint_.every == 0;
+    if (periodic_save) save_now();
+
+    // Abort-with-checkpoint: the stop flag is checked after observers ran,
+    // so a watchdog that trips inside on_round_end stops *this* round. The
+    // final state is persisted (unless the periodic save just did) and the
+    // result is marked aborted rather than thrown away.
+    if (stop_flag_ && stop_flag_->load(std::memory_order_acquire)) {
+      if (checkpoint_.enabled() && !periodic_save) save_now();
+      result.aborted = true;
+      break;
     }
   }
 
@@ -315,6 +395,8 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
     result.tail_mean_accuracy = float(acc / double(tail));
   }
   for (const auto& observer : observers_) observer->on_run_end(result);
+  publish(obs::EventKind::kRunEnd, -1, -1, double(result.final_accuracy),
+          result.algorithm);
   return result;
 }
 

@@ -22,6 +22,7 @@
 /// reads per round — free). Progress/profiling consumers register a
 /// `RoundObserver`.
 
+#include <atomic>
 #include <functional>
 #include <memory>
 
@@ -88,6 +89,14 @@ class Simulation {
     checkpoint_ = std::move(checkpoint);
   }
 
+  /// Cooperative abort-with-checkpoint. The flag is checked once per round
+  /// after all observers ran; when set (e.g. by a tripped watchdog), `run`
+  /// writes a final checkpoint (when checkpointing is enabled), marks the
+  /// result `aborted`, and returns what it has so far.
+  void set_stop_flag(std::shared_ptr<const std::atomic<bool>> stop) {
+    stop_flag_ = std::move(stop);
+  }
+
  private:
   std::vector<std::size_t> sample_clients(std::size_t round) const;
 
@@ -98,6 +107,7 @@ class Simulation {
   std::vector<std::shared_ptr<RoundObserver>> observers_;
   std::vector<std::size_t> eligible_;  ///< Clients with at least one sample.
   CheckpointConfig checkpoint_;
+  std::shared_ptr<const std::atomic<bool>> stop_flag_;
 };
 
 }  // namespace fedwcm::fl

@@ -1,0 +1,57 @@
+#include "fedwcm/fl/telemetry.hpp"
+
+#include "fedwcm/core/param_vector.hpp"
+
+namespace fedwcm::fl {
+
+WatchdogObserver::WatchdogObserver(obs::WatchdogConfig config)
+    : watchdog_(config) {}
+
+void WatchdogObserver::on_aggregate(std::size_t round,
+                                    const Algorithm& algorithm,
+                                    std::span<const LocalResult> accepted,
+                                    const ParamVector& global,
+                                    RoundRecord& rec) {
+  (void)round;
+  (void)algorithm;
+  (void)accepted;
+  (void)rec;
+  // `global` here is x_r, the model the clients just trained against —
+  // non-finite values produced by round r's aggregation surface at round
+  // r+1's hook. One round of latency for an O(params) scan only when the
+  // rule is armed.
+  if (watchdog_.config().check_non_finite)
+    params_finite_ = core::pv::all_finite(global);
+}
+
+void WatchdogObserver::on_round_end(const RoundRecord& rec) {
+  obs::RoundSample sample;
+  sample.round = std::int64_t(rec.round);
+  sample.train_loss = double(rec.train_loss);
+  sample.has_train_loss = rec.evaluated;  // Loss is computed on eval rounds.
+  sample.params_finite = params_finite_;
+  if (rec.diagnostics) sample.qr = double(rec.momentum_alignment);
+  if (rec.evaluated && !rec.per_class_accuracy.empty()) {
+    float lo = rec.per_class_accuracy.front();
+    for (const float r : rec.per_class_accuracy) lo = r < lo ? r : lo;
+    sample.min_class_recall = double(lo);
+  }
+  sample.round_wall_ms = rec.round_wall_ms;
+
+  const std::optional<obs::Alarm> alarm = watchdog_.observe(sample);
+  if (!alarm) return;
+
+  obs::Event event;
+  event.kind = obs::EventKind::kWatchdogAlarm;
+  event.round = alarm->round;
+  event.value = alarm->value;
+  event.detail = alarm->rule + ": " + alarm->message;
+  obs::events().publish(std::move(event));
+
+  // Dump *after* the alarm event published, so flight.json contains it.
+  if (flight_) flight_->dump("watchdog: " + alarm->rule);
+  if (on_trip_) on_trip_(*alarm);
+  if (abort_on_trip_) stop_->store(true, std::memory_order_release);
+}
+
+}  // namespace fedwcm::fl

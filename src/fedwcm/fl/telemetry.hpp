@@ -1,0 +1,69 @@
+#pragma once
+/// \file telemetry.hpp
+/// The bridge between the simulation engine and the live-telemetry layer:
+/// a RoundObserver that feeds each finished round into an `obs::Watchdog`
+/// and reacts when a rule trips.
+///
+/// On a trip the observer (in order):
+///  1. publishes a `watchdog_alarm` event onto the bus (so /events and the
+///     flight record show the alarm in sequence with the rounds around it),
+///  2. dumps the flight recorder to `flight.json` (when one is attached) —
+///     reason = "watchdog: <rule>",
+///  3. invokes the `on_trip` callback (fedwcm_run uses it to flip the HTTP
+///     /healthz endpoint to 503),
+///  4. raises the stop flag when `abort_on_trip` is set — the Simulation
+///     checks it right after on_round_end, writes a final checkpoint, and
+///     returns with `result.aborted = true`.
+///
+/// Like every observer, it is strictly read-only on the training state: a
+/// run with a (non-aborting) watchdog attached is bitwise identical to one
+/// without.
+
+#include <atomic>
+#include <functional>
+#include <memory>
+
+#include "fedwcm/fl/observer.hpp"
+#include "fedwcm/obs/event.hpp"
+#include "fedwcm/obs/flight.hpp"
+#include "fedwcm/obs/watchdog.hpp"
+
+namespace fedwcm::fl {
+
+class WatchdogObserver final : public RoundObserver {
+ public:
+  explicit WatchdogObserver(obs::WatchdogConfig config = {});
+
+  /// The stop flag to hand to `Simulation::set_stop_flag`. It is raised only
+  /// when `set_abort_on_trip(true)` was called.
+  std::shared_ptr<const std::atomic<bool>> stop_flag() const { return stop_; }
+  void set_abort_on_trip(bool abort) { abort_on_trip_ = abort; }
+
+  /// Attach a flight recorder to dump on the first trip. Must outlive the
+  /// observer.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    flight_ = recorder;
+  }
+
+  /// Called (driver thread) on every trip, after the alarm event published.
+  using TripCallback = std::function<void(const obs::Alarm&)>;
+  void set_on_trip(TripCallback callback) { on_trip_ = std::move(callback); }
+
+  const obs::Watchdog& watchdog() const { return watchdog_; }
+
+  void on_aggregate(std::size_t round, const Algorithm& algorithm,
+                    std::span<const LocalResult> accepted,
+                    const ParamVector& global, RoundRecord& rec) override;
+  void on_round_end(const RoundRecord& rec) override;
+
+ private:
+  obs::Watchdog watchdog_;
+  bool abort_on_trip_ = false;
+  bool params_finite_ = true;  ///< Latest round's aggregate-input check.
+  obs::FlightRecorder* flight_ = nullptr;
+  TripCallback on_trip_;
+  std::shared_ptr<std::atomic<bool>> stop_ =
+      std::make_shared<std::atomic<bool>>(false);
+};
+
+}  // namespace fedwcm::fl

@@ -95,6 +95,10 @@ struct SimulationResult {
   std::uint64_t faults_dropped = 0;
   std::uint64_t faults_rejected = 0;
   std::uint64_t faults_straggled = 0;
+  /// True when the run ended early because the stop flag was raised (e.g. a
+  /// watchdog tripped with abort-on-trip). Summary fields reflect the rounds
+  /// that actually ran.
+  bool aborted = false;
 };
 
 }  // namespace fedwcm::fl

@@ -1,0 +1,114 @@
+#include "fedwcm/obs/event.hpp"
+
+#include <sstream>
+
+#include "fedwcm/obs/clock.hpp"
+#include "fedwcm/obs/json.hpp"
+
+namespace fedwcm::obs {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kRunBegin: return "run_begin";
+    case EventKind::kRoundBegin: return "round_begin";
+    case EventKind::kClientUpload: return "client_upload";
+    case EventKind::kFaultInjected: return "fault_injected";
+    case EventKind::kEvaluate: return "evaluate";
+    case EventKind::kCheckpoint: return "checkpoint";
+    case EventKind::kRoundEnd: return "round_end";
+    case EventKind::kWatchdogAlarm: return "watchdog_alarm";
+    case EventKind::kRunEnd: return "run_end";
+  }
+  return "unknown";
+}
+
+std::string to_json(const Event& event) {
+  std::ostringstream os;
+  os << "{\"kind\":\"" << to_string(event.kind) << "\",\"seq\":" << event.seq
+     << ",\"ts_us\":" << event.ts_us;
+  if (event.round >= 0) os << ",\"round\":" << event.round;
+  if (event.client >= 0) os << ",\"client\":" << event.client;
+  os << ",\"value\":" << json::number_to_string(event.value);
+  if (!event.detail.empty()) os << ",\"detail\":" << json::escape(event.detail);
+  os << "}";
+  return os.str();
+}
+
+EventBus::EventBus(std::size_t capacity, Registry* registry)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+  if (registry != nullptr) {
+    published_counter_ = registry->counter("events.published");
+    dropped_counter_ = registry->counter("events.dropped");
+  }
+}
+
+EventBus& EventBus::global() {
+  static EventBus instance;
+  return instance;
+}
+
+std::uint64_t EventBus::publish(Event event) {
+  if (!enabled_.load(std::memory_order_relaxed)) return 0;
+  event.ts_us = now_us();
+  std::uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    seq = published_.fetch_add(1, std::memory_order_relaxed) + 1;
+    event.seq = seq;
+    if (size_ == capacity_) {
+      // Overflow policy: evict the oldest event and count the eviction —
+      // a saturated bus is itself a signal worth seeing on /metrics.
+      head_ = (head_ + 1) % capacity_;
+      --size_;
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      dropped_counter_.add();
+    }
+    ring_[(head_ + size_) % capacity_] = event;
+    ++size_;
+  }
+  published_counter_.add();
+  std::vector<Sink> sinks;
+  {
+    std::lock_guard<std::mutex> lock(sink_mutex_);
+    sinks = sinks_;
+  }
+  for (const Sink& sink : sinks) sink(event);
+  return seq;
+}
+
+std::vector<Event> EventBus::snapshot(std::size_t last_n) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t n = last_n < size_ ? last_n : size_;
+  std::vector<Event> out;
+  out.reserve(n);
+  for (std::size_t i = size_ - n; i < size_; ++i)
+    out.push_back(ring_[(head_ + i) % capacity_]);
+  return out;
+}
+
+bool EventBus::try_snapshot(std::vector<Event>& out, std::size_t last_n) const {
+  std::unique_lock<std::mutex> lock(mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) return false;
+  const std::size_t n = last_n < size_ ? last_n : size_;
+  out.clear();
+  out.reserve(n);
+  for (std::size_t i = size_ - n; i < size_; ++i)
+    out.push_back(ring_[(head_ + i) % capacity_]);
+  return true;
+}
+
+void EventBus::add_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  sinks_.push_back(std::move(sink));
+}
+
+void EventBus::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  head_ = 0;
+  size_ = 0;
+  published_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace fedwcm::obs

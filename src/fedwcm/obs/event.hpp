@@ -1,0 +1,135 @@
+#pragma once
+/// \file event.hpp
+/// Structured event bus: the live-telemetry backbone.
+///
+/// The simulation engine, fault injector, checkpoint path, and watchdogs
+/// publish small typed events (round started, client upload accepted, fault
+/// injected, checkpoint written, watchdog alarm, ...) onto a bounded
+/// multi-producer ring buffer. Consumers are decoupled from producers:
+///
+///  * the HTTP exporter serves the last K events as JSON (`/events?n=K`),
+///  * the flight recorder dumps the ring to `flight.json` on a watchdog trip
+///    or fatal signal,
+///  * arbitrary sinks (callbacks) can stream events elsewhere.
+///
+/// Like the rest of `fedwcm::obs`, the bus is disabled by default and a
+/// publish on a disabled bus costs one relaxed atomic load and a branch.
+/// When enabled, a publish takes a short mutex hold (copying a small struct
+/// into the ring) — events are per-round granularity, a few dozen per
+/// second at most, far off the numeric hot path. The ring is bounded:
+/// when full, the oldest event is dropped and the drop is counted in the
+/// `events.dropped` metric (the overflow policy is itself observable).
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fedwcm/obs/metrics.hpp"
+
+namespace fedwcm::obs {
+
+enum class EventKind : std::uint8_t {
+  kRunBegin,      ///< detail = algorithm name.
+  kRoundBegin,    ///< value = sampled-client count.
+  kClientUpload,  ///< client set; value = uplink bytes; detail = "accepted"/"rejected".
+  kFaultInjected, ///< client set; detail = "drop"/"straggle"/"corrupt".
+  kEvaluate,      ///< value = test accuracy.
+  kCheckpoint,    ///< detail = checkpoint path.
+  kRoundEnd,      ///< value = round wall-clock ms.
+  kWatchdogAlarm, ///< detail = "rule: message"; value = offending measurement.
+  kRunEnd,        ///< value = final accuracy; detail = algorithm name.
+};
+
+/// Stable lowercase name used in JSON output ("round_begin", ...).
+const char* to_string(EventKind kind);
+
+/// One bus event. Fixed scalar slots plus one short detail string keep the
+/// struct cheap to copy into the ring; kind-specific meaning is documented
+/// on EventKind.
+struct Event {
+  EventKind kind = EventKind::kRoundBegin;
+  std::uint64_t seq = 0;    ///< Assigned by the bus, strictly increasing.
+  std::uint64_t ts_us = 0;  ///< Assigned by the bus (obs::now_us epoch).
+  std::int64_t round = -1;  ///< Federated round, -1 when not applicable.
+  std::int64_t client = -1; ///< Client id, -1 when not applicable.
+  double value = 0.0;       ///< Kind-dependent scalar (may be non-finite).
+  std::string detail;       ///< Kind-dependent short text.
+};
+
+/// One compact JSON object (non-finite `value` serializes as null —
+/// watchdog events routinely carry NaN losses).
+std::string to_json(const Event& event);
+
+class EventBus {
+ public:
+  /// `capacity` bounds the ring; `registry` receives the bus's own
+  /// `events.published` / `events.dropped` counters (pass a test registry to
+  /// keep the global one clean).
+  explicit EventBus(std::size_t capacity = kDefaultCapacity,
+                    Registry* registry = &Registry::global());
+  EventBus(const EventBus&) = delete;
+  EventBus& operator=(const EventBus&) = delete;
+
+  /// The process-wide bus used by the built-in instrumentation.
+  static EventBus& global();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Publishes an event (any thread). Stamps seq/ts, appends to the ring
+  /// (dropping the oldest event when full), then invokes sinks outside the
+  /// ring lock. No-op returning 0 while the bus is disabled.
+  std::uint64_t publish(Event event);
+
+  /// Copies out the newest `last_n` events, oldest first.
+  std::vector<Event> snapshot(std::size_t last_n = SIZE_MAX) const;
+
+  /// Lock-free-ish snapshot for fatal-signal paths: try_lock instead of
+  /// lock, so a handler firing mid-publish degrades to "no events" instead
+  /// of deadlocking. Returns false when the lock was unavailable.
+  bool try_snapshot(std::vector<Event>& out,
+                    std::size_t last_n = SIZE_MAX) const;
+
+  std::uint64_t published() const {
+    return published_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Registers a callback invoked synchronously after each publish (outside
+  /// the ring lock, possibly concurrently from different publishing
+  /// threads). Sinks must be fast and must not publish back into the bus.
+  using Sink = std::function<void(const Event&)>;
+  void add_sink(Sink sink);
+
+  /// Drops buffered events and counters (not sinks). Intended for tests.
+  void clear();
+
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+ private:
+  const std::size_t capacity_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  Counter published_counter_;
+  Counter dropped_counter_;
+
+  mutable std::mutex mutex_;       ///< Guards ring_/head_/size_.
+  std::vector<Event> ring_;        ///< Fixed-capacity circular buffer.
+  std::size_t head_ = 0;           ///< Index of the oldest event.
+  std::size_t size_ = 0;
+
+  mutable std::mutex sink_mutex_;  ///< Guards sinks_ (adds are rare).
+  std::vector<Sink> sinks_;
+};
+
+/// Shorthand for EventBus::global().
+inline EventBus& events() { return EventBus::global(); }
+
+}  // namespace fedwcm::obs

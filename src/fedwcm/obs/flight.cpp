@@ -1,0 +1,95 @@
+#include "fedwcm/obs/flight.hpp"
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "fedwcm/obs/clock.hpp"
+#include "fedwcm/obs/json.hpp"
+
+namespace fedwcm::obs {
+
+namespace {
+
+/// The recorder targeted by the signal handlers. Plain pointer behind an
+/// atomic: handlers only read it, and (de)registration happens on ordinary
+/// threads.
+std::atomic<FlightRecorder*> g_signal_recorder{nullptr};
+
+constexpr int kFatalSignals[] = {SIGABRT, SIGSEGV, SIGBUS, SIGFPE, SIGTERM};
+
+const char* signal_name(int signum) {
+  switch (signum) {
+    case SIGABRT: return "SIGABRT";
+    case SIGSEGV: return "SIGSEGV";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGTERM: return "SIGTERM";
+    default: return "signal";
+  }
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(EventBus& bus, std::string path,
+                               std::size_t last_n)
+    : bus_(bus), path_(std::move(path)), last_n_(last_n) {}
+
+FlightRecorder::~FlightRecorder() {
+  FlightRecorder* self = this;
+  g_signal_recorder.compare_exchange_strong(self, nullptr);
+}
+
+bool FlightRecorder::dump(const std::string& reason) {
+  return write_dump(reason, /*from_signal=*/false);
+}
+
+bool FlightRecorder::write_dump(const std::string& reason, bool from_signal) {
+  std::vector<Event> events;
+  if (from_signal) {
+    // try_lock: if the signal interrupted a publisher holding the ring lock,
+    // record an empty list instead of deadlocking the dying process.
+    bus_.try_snapshot(events, last_n_);
+  } else {
+    events = bus_.snapshot(last_n_);
+  }
+  std::ostringstream body;
+  body << "{\"reason\":" << json::escape(reason)
+       << ",\"dumped_at_us\":" << now_us()
+       << ",\"published\":" << bus_.published()
+       << ",\"dropped\":" << bus_.dropped() << ",\"events\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i) body << ",";
+    body << to_json(events[i]);
+  }
+  body << "]}\n";
+
+  // stdio instead of ofstream on the signal path: fopen/fwrite keep the
+  // handler's footprint smaller than iostream's locale machinery.
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (!f) return false;
+  const std::string text = body.str();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok;
+}
+
+void FlightRecorder::signal_handler(int signum) {
+  if (FlightRecorder* recorder =
+          g_signal_recorder.load(std::memory_order_acquire))
+    recorder->write_dump(std::string("signal ") + signal_name(signum),
+                         /*from_signal=*/true);
+  // Restore the default disposition and re-raise so the exit status / core
+  // dump behave as if we were never here.
+  std::signal(signum, SIG_DFL);
+  std::raise(signum);
+}
+
+void FlightRecorder::install_signal_handlers() {
+  g_signal_recorder.store(this, std::memory_order_release);
+  for (const int signum : kFatalSignals)
+    std::signal(signum, &FlightRecorder::signal_handler);
+}
+
+}  // namespace fedwcm::obs

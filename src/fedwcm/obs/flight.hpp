@@ -1,0 +1,61 @@
+#pragma once
+/// \file flight.hpp
+/// Crash flight recorder: the last N bus events, written out on failure.
+///
+/// Long training runs die in ways the metrics JSONL written at exit never
+/// captures — a watchdog abort, an assert, a SIGSEGV deep in a kernel. The
+/// flight recorder keeps no state of its own; it snapshots the event bus
+/// ring (which already holds the newest events) and serializes it to a JSON
+/// file when asked:
+///
+///  * explicitly, via `dump(reason)` — the watchdog observer calls this when
+///    a rule trips, so `flight.json` contains the alarm event *and* the
+///    rounds leading up to it;
+///  * implicitly, via `install_signal_handlers()` — fatal signals (SIGABRT,
+///    SIGSEGV, SIGBUS, SIGFPE, SIGTERM) dump before the process dies, then
+///    re-raise so the default disposition (core dump, exit code) is kept.
+///
+/// The signal path uses `EventBus::try_snapshot` — if the signal lands while
+/// a publisher holds the ring lock, the dump degrades to an empty event list
+/// rather than deadlocking inside the handler. String building in a handler
+/// is not strictly async-signal-safe; this is a best-effort record on an
+/// already-dying process, which is the usual trade for flight recorders.
+
+#include <cstddef>
+#include <string>
+
+#include "fedwcm/obs/event.hpp"
+
+namespace fedwcm::obs {
+
+class FlightRecorder {
+ public:
+  /// Dumps the newest `last_n` events from `bus` to `path` on request.
+  /// The bus must outlive the recorder.
+  FlightRecorder(EventBus& bus, std::string path, std::size_t last_n = 256);
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Writes `path` now: {"reason", "dumped_at_us", "published", "dropped",
+  /// "events": [...]}. Returns false when the file cannot be written.
+  /// Safe to call repeatedly; the last call wins.
+  bool dump(const std::string& reason);
+
+  /// Installs fatal-signal handlers that dump (reason = "signal <name>")
+  /// and re-raise. Only one recorder can be the signal target; the newest
+  /// call wins, and the destructor deregisters itself.
+  void install_signal_handlers();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  bool write_dump(const std::string& reason, bool from_signal);
+  static void signal_handler(int signum);
+
+  EventBus& bus_;
+  std::string path_;
+  std::size_t last_n_;
+};
+
+}  // namespace fedwcm::obs

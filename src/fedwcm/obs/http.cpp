@@ -1,0 +1,216 @@
+#include "fedwcm/obs/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+namespace fedwcm::obs {
+
+namespace {
+
+/// One fully-formed HTTP/1.1 response with Content-Length and close.
+std::string make_response(int status, const char* reason,
+                          const std::string& content_type,
+                          const std::string& body) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << status << " " << reason << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << body;
+  return os.str();
+}
+
+/// The `n` query parameter of /events?n=K (clamped to [1, 4096]); `fallback`
+/// when absent or malformed.
+std::size_t parse_events_n(const std::string& target, std::size_t fallback) {
+  const std::size_t q = target.find('?');
+  if (q == std::string::npos) return fallback;
+  std::string query = target.substr(q + 1);
+  std::istringstream qs(query);
+  std::string pair;
+  while (std::getline(qs, pair, '&')) {
+    if (pair.rfind("n=", 0) != 0) continue;
+    const std::string digits = pair.substr(2);
+    if (digits.empty()) return fallback;
+    std::size_t n = 0;
+    for (const char c : digits) {
+      if (c < '0' || c > '9') return fallback;
+      n = n * 10 + std::size_t(c - '0');
+      if (n > 4096) return 4096;
+    }
+    return n == 0 ? fallback : n;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+HttpExporter::HttpExporter(Registry& registry, EventBus& bus,
+                           HttpExporterOptions options)
+    : registry_(registry), bus_(bus), options_(std::move(options)) {}
+
+HttpExporter::~HttpExporter() { stop(); }
+
+bool HttpExporter::start(std::string& error) {
+  if (running_.load(std::memory_order_acquire)) {
+    error = "already running";
+    return false;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    error = "invalid bind address " + options_.bind_address;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 8) < 0) {
+    error = std::string("bind/listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+    port_ = ntohs(bound.sin_port);
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void HttpExporter::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void HttpExporter::set_unhealthy(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    health_reason_ = reason;
+  }
+  healthy_.store(false, std::memory_order_relaxed);
+}
+
+void HttpExporter::set_healthy() {
+  {
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    health_reason_.clear();
+  }
+  healthy_.store(true, std::memory_order_relaxed);
+}
+
+void HttpExporter::serve_loop() {
+  // Polling with a short timeout keeps shutdown prompt without relying on
+  // close() waking a blocked accept().
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpExporter::handle_connection(int fd) {
+  // A stuck client must not wedge the exporter: bound both directions.
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  std::string request;
+  char buf[2048];
+  while (request.size() < 16 * 1024 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, std::size_t(n));
+  }
+  const std::size_t eol = request.find("\r\n");
+  if (eol == std::string::npos) return;
+
+  const std::string response = respond(request.substr(0, eol));
+  std::size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t n =
+        ::send(fd, response.data() + sent, response.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += std::size_t(n);
+  }
+}
+
+std::string HttpExporter::respond(const std::string& request_line) const {
+  std::istringstream rl(request_line);
+  std::string method, target;
+  rl >> method >> target;
+  if (method != "GET" && method != "HEAD")
+    return make_response(405, "Method Not Allowed", "text/plain",
+                         "only GET is supported\n");
+  const std::string path = target.substr(0, target.find('?'));
+
+  if (path == "/metrics") {
+    std::ostringstream body;
+    registry_.write_prometheus(body);
+    return make_response(200, "OK",
+                         "text/plain; version=0.0.4; charset=utf-8",
+                         body.str());
+  }
+  if (path == "/healthz") {
+    if (healthy_.load(std::memory_order_relaxed))
+      return make_response(200, "OK", "text/plain", "ok\n");
+    std::string reason;
+    {
+      std::lock_guard<std::mutex> lock(health_mutex_);
+      reason = health_reason_;
+    }
+    return make_response(503, "Service Unavailable", "text/plain",
+                         "unhealthy: " + reason + "\n");
+  }
+  if (path == "/events") {
+    const std::size_t n = parse_events_n(target, 64);
+    std::ostringstream body;
+    body << "{\"published\":" << bus_.published()
+         << ",\"dropped\":" << bus_.dropped() << ",\"events\":[";
+    const std::vector<Event> events = bus_.snapshot(n);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (i) body << ",";
+      body << to_json(events[i]);
+    }
+    body << "]}";
+    return make_response(200, "OK", "application/json", body.str());
+  }
+  if (path == "/")
+    return make_response(
+        200, "OK", "text/plain",
+        "fedwcm live telemetry\n  /metrics  Prometheus exposition\n"
+        "  /healthz  health (503 after a watchdog trip)\n"
+        "  /events?n=K  newest K bus events as JSON\n");
+  return make_response(404, "Not Found", "text/plain", "not found\n");
+}
+
+}  // namespace fedwcm::obs

@@ -1,0 +1,86 @@
+#pragma once
+/// \file http.hpp
+/// In-process HTTP exporter for live telemetry.
+///
+/// A deliberately small blocking-socket HTTP/1.1 server (one dedicated
+/// thread, one connection at a time, `Connection: close`) that makes a
+/// running simulation observable from the outside with nothing but curl or a
+/// Prometheus scraper:
+///
+///   GET /metrics     Prometheus text exposition of the metrics registry
+///                    (live gauges included: current round, last accuracy,
+///                    min per-class recall, q_r, fault counters, ...)
+///   GET /healthz     200 "ok" — or 503 once a watchdog has tripped
+///   GET /events?n=K  the newest K bus events as JSON (default 64)
+///
+/// Sequential request handling is a feature, not a limitation: the endpoint
+/// exists for one scraper plus the occasional human, and a single thread
+/// keeps the server trivially free of connection-state races. Serving reads
+/// only atomics and mutex-guarded snapshots, so a scrape never perturbs the
+/// training trajectory.
+///
+/// Enabled with `fedwcm_run --serve <port>` or FEDWCM_SERVE=<port>; port 0
+/// binds an ephemeral port (reported by `port()`), which is what the tests
+/// use to avoid collisions.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "fedwcm/obs/event.hpp"
+#include "fedwcm/obs/metrics.hpp"
+
+namespace fedwcm::obs {
+
+struct HttpExporterOptions {
+  std::uint16_t port = 0;                   ///< 0 = ephemeral.
+  std::string bind_address = "127.0.0.1";   ///< Loopback by default.
+};
+
+class HttpExporter {
+ public:
+  /// The registry and bus must outlive the exporter.
+  HttpExporter(Registry& registry, EventBus& bus,
+               HttpExporterOptions options = {});
+  ~HttpExporter();
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Binds, listens, and spawns the serving thread. Returns false with a
+  /// message in `error` when the socket setup fails (port in use, ...).
+  bool start(std::string& error);
+  /// Stops the serving thread and closes the socket. Idempotent; also called
+  /// by the destructor.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (meaningful after a successful start; resolves port 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Health state served by /healthz. Watchdogs flip this to unhealthy with
+  /// a reason; the endpoint then returns 503 with the reason in the body.
+  void set_unhealthy(const std::string& reason);
+  void set_healthy();
+  bool healthy() const { return healthy_.load(std::memory_order_relaxed); }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+  std::string respond(const std::string& request_line) const;
+
+  Registry& registry_;
+  EventBus& bus_;
+  HttpExporterOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> healthy_{true};
+  mutable std::mutex health_mutex_;  ///< Guards health_reason_.
+  std::string health_reason_;
+};
+
+}  // namespace fedwcm::obs

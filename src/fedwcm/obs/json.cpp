@@ -1,7 +1,11 @@
 #include "fedwcm/obs/json.hpp"
 
 #include <cctype>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <ostream>
+#include <sstream>
 
 namespace fedwcm::obs::json {
 
@@ -220,6 +224,110 @@ class Parser {
 
 bool parse(const std::string& text, Value& out, std::string& error) {
   return Parser(text, error).run(out);
+}
+
+std::string number_to_string(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Integers (the common case: counts, rounds, bytes) print without an
+  // exponent or trailing fraction; everything else uses %.17g, the shortest
+  // form guaranteed to round-trip a double exactly.
+  if (v == std::nearbyint(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Trim to the shortest representation that still parses back exactly.
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+    if (std::strtod(shorter, nullptr) == v) return shorter;
+  }
+  return buf;
+}
+
+std::string number_to_string(float v) {
+  if (!std::isfinite(v)) return "null";
+  if (double(v) == std::nearbyint(double(v)) && std::fabs(v) < 1e15f) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", double(v));
+    return buf;
+  }
+  // Round-trip through float: 9 significant digits always suffice.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", double(v));
+  for (int prec = 1; prec < 9; ++prec) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, double(v));
+    if (std::strtof(shorter, nullptr) == v) return shorter;
+  }
+  return buf;
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", unsigned(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void dump(const Value& v, std::ostream& os) {
+  switch (v.kind()) {
+    case Value::Kind::kNull: os << "null"; break;
+    case Value::Kind::kBool: os << (v.as_bool() ? "true" : "false"); break;
+    case Value::Kind::kNumber: os << number_to_string(v.as_number()); break;
+    case Value::Kind::kString: os << escape(v.as_string()); break;
+    case Value::Kind::kArray: {
+      os << '[';
+      bool first = true;
+      for (const Value& e : v.as_array()) {
+        if (!first) os << ',';
+        first = false;
+        dump(e, os);
+      }
+      os << ']';
+      break;
+    }
+    case Value::Kind::kObject: {
+      os << '{';
+      bool first = true;
+      for (const auto& [key, val] : v.as_object()) {
+        if (!first) os << ',';
+        first = false;
+        os << escape(key) << ':';
+        dump(val, os);
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+
+std::string dump(const Value& v) {
+  std::ostringstream os;
+  dump(v, os);
+  return os.str();
 }
 
 }  // namespace fedwcm::obs::json

@@ -1,17 +1,25 @@
 #pragma once
 /// \file json.hpp
-/// Minimal dependency-free JSON reader.
+/// Minimal dependency-free JSON reader and writing helpers.
 ///
 /// Exists so the observability layer can *validate its own output* (trace
 /// files, metrics JSONL) in tests and the `obs_selfcheck` CTest target
 /// without pulling in an external JSON library. It is a strict recursive-
 /// descent parser over the full JSON grammar — not limited to the subset we
 /// emit — but tuned for small documents, not performance.
+///
+/// The writing side (`number_to_string`, `escape`, `dump`) is the single
+/// place where the repo turns doubles into JSON tokens. JSON has no NaN or
+/// Infinity literal, and a diverged run is exactly when those values show up
+/// (watchdog alarms carry non-finite losses), so non-finite doubles serialize
+/// as `null` — every emitted line stays parseable by the strict reader.
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace fedwcm::obs::json {
@@ -66,5 +74,23 @@ class Value {
 /// Parses one JSON document. On failure returns false and sets `error` to a
 /// message with the byte offset; `out` is unspecified.
 bool parse(const std::string& text, Value& out, std::string& error);
+
+/// A double as a JSON number token: shortest round-trippable decimal form
+/// for finite values, `null` for NaN/±Inf (JSON has no non-finite literals —
+/// `os << nan` would emit the invalid token `nan`/`inf`).
+std::string number_to_string(double v);
+
+/// The float overload round-trips through `float`, not `double`: a stored
+/// 0.9f prints as "0.9", not the 17-digit decimal of its double promotion.
+std::string number_to_string(float v);
+
+/// The string-literal form of `s` including the surrounding quotes, with
+/// `"`, `\`, and control characters escaped.
+std::string escape(std::string_view s);
+
+/// Serializes a Value as one compact JSON document (object keys in map
+/// order). `dump(parse(dump(v)))` is an identity for everything we emit.
+std::string dump(const Value& v);
+void dump(const Value& v, std::ostream& os);
 
 }  // namespace fedwcm::obs::json

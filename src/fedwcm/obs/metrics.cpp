@@ -1,11 +1,14 @@
 #include "fedwcm/obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <ostream>
 #include <sstream>
 
 #include "fedwcm/core/table.hpp"
+#include "fedwcm/obs/json.hpp"
+#include "fedwcm/obs/promtext.hpp"
 
 namespace fedwcm::obs {
 
@@ -113,22 +116,74 @@ void Registry::reset() {
 }
 
 void Registry::write_jsonl(std::ostream& os) const {
+  // Doubles go through json::number_to_string: a gauge that captured a
+  // diverged value (NaN loss, inf norm) must still produce a parseable line.
+  const auto num = [](double v) { return json::number_to_string(v); };
   std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& c : counters_)
-    os << "{\"metric\":\"" << c->name << "\",\"type\":\"counter\",\"value\":"
+    os << "{\"metric\":" << json::escape(c->name)
+       << ",\"type\":\"counter\",\"value\":"
        << c->value.load(std::memory_order_relaxed) << "}\n";
   for (const auto& g : gauges_)
-    os << "{\"metric\":\"" << g->name << "\",\"type\":\"gauge\",\"value\":"
-       << g->value.load(std::memory_order_relaxed) << "}\n";
+    os << "{\"metric\":" << json::escape(g->name)
+       << ",\"type\":\"gauge\",\"value\":"
+       << num(g->value.load(std::memory_order_relaxed)) << "}\n";
   for (const auto& h : histograms_) {
     const std::uint64_t n = h->count.load(std::memory_order_relaxed);
     const double sum = h->sum.load(std::memory_order_relaxed);
-    os << "{\"metric\":\"" << h->name << "\",\"type\":\"histogram\",\"count\":"
-       << n << ",\"sum\":" << sum << ",\"mean\":" << (n ? sum / double(n) : 0.0)
-       << ",\"min\":" << (n ? h->min.load(std::memory_order_relaxed) : 0.0)
-       << ",\"max\":" << (n ? h->max.load(std::memory_order_relaxed) : 0.0)
-       << ",\"p50\":" << h->quantile(0.5) << ",\"p90\":" << h->quantile(0.9)
-       << ",\"p99\":" << h->quantile(0.99) << "}\n";
+    os << "{\"metric\":" << json::escape(h->name)
+       << ",\"type\":\"histogram\",\"count\":" << n << ",\"sum\":" << num(sum)
+       << ",\"mean\":" << num(n ? sum / double(n) : 0.0)
+       << ",\"min\":" << num(n ? h->min.load(std::memory_order_relaxed) : 0.0)
+       << ",\"max\":" << num(n ? h->max.load(std::memory_order_relaxed) : 0.0)
+       << ",\"p50\":" << num(h->quantile(0.5))
+       << ",\"p90\":" << num(h->quantile(0.9))
+       << ",\"p99\":" << num(h->quantile(0.99)) << "}\n";
+  }
+}
+
+namespace {
+
+/// A Prometheus sample value. Unlike JSON, the text format *does* have
+/// non-finite spellings, so diverged gauges surface as NaN rather than null.
+std::string prom_number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return json::number_to_string(v);
+}
+
+}  // namespace
+
+void Registry::write_prometheus(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& c : counters_) {
+    const std::string name = prometheus_name(c->name);
+    os << "# TYPE " << name << " counter\n"
+       << name << " " << c->value.load(std::memory_order_relaxed) << "\n";
+  }
+  for (const auto& g : gauges_) {
+    const std::string name = prometheus_name(g->name);
+    os << "# TYPE " << name << " gauge\n"
+       << name << " " << prom_number(g->value.load(std::memory_order_relaxed))
+       << "\n";
+  }
+  for (const auto& h : histograms_) {
+    const std::string name = prometheus_name(h->name);
+    os << "# TYPE " << name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h->bounds.size(); ++b) {
+      cumulative += h->buckets[b].load(std::memory_order_relaxed);
+      os << name << "_bucket{le=\"" << prom_number(h->bounds[b]) << "\"} "
+         << cumulative << "\n";
+    }
+    cumulative += h->buckets[h->bounds.size()].load(std::memory_order_relaxed);
+    // _count repeats the +Inf bucket rather than reading the separate count
+    // atomic: a scrape racing observe() must still satisfy the format's
+    // count == +Inf-bucket invariant.
+    os << name << "_bucket{le=\"+Inf\"} " << cumulative << "\n"
+       << name << "_sum " << prom_number(h->sum.load(std::memory_order_relaxed))
+       << "\n"
+       << name << "_count " << cumulative << "\n";
   }
 }
 

@@ -157,6 +157,12 @@ class Registry {
   ///   {"metric":"round.wall_ms","type":"histogram","count":60,"sum":...,
   ///    "mean":...,"min":...,"max":...,"p50":...,"p90":...,"p99":...}
   void write_jsonl(std::ostream& os) const;
+  /// Prometheus text exposition format (version 0.0.4), the payload behind
+  /// the HTTP exporter's /metrics. Metric names are prefixed with `fedwcm_`
+  /// and sanitized (dots become underscores); histograms expose cumulative
+  /// `_bucket{le="..."}` series plus `_sum`/`_count`. Validated by
+  /// `obs::validate_prometheus_text` (promtext.hpp) in tests and CI.
+  void write_prometheus(std::ostream& os) const;
   /// Aligned human-readable summary table.
   std::string to_table() const;
 

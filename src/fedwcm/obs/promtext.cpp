@@ -1,0 +1,262 @@
+#include "fedwcm/obs/promtext.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace fedwcm::obs {
+
+namespace {
+
+bool is_name_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool is_name_char(char c) {
+  return is_name_start(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty() || !is_name_start(name[0])) return false;
+  for (const char c : name)
+    if (!is_name_char(c)) return false;
+  return true;
+}
+
+/// A sample value: ordinary float syntax plus the format's NaN/+Inf/-Inf
+/// spellings (strtod accepts all of them case-insensitively).
+bool parse_value(const std::string& token, double& out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size();
+}
+
+struct Sample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+};
+
+/// Parses `name{key="value",...} value [timestamp]`.
+bool parse_sample(const std::string& line, Sample& out, std::string& error) {
+  std::size_t pos = 0;
+  while (pos < line.size() && is_name_char(line[pos])) ++pos;
+  out.name = line.substr(0, pos);
+  if (!valid_metric_name(out.name)) {
+    error = "invalid metric name";
+    return false;
+  }
+  out.labels.clear();
+  if (pos < line.size() && line[pos] == '{') {
+    ++pos;
+    while (true) {
+      if (pos < line.size() && line[pos] == '}') {
+        ++pos;
+        break;
+      }
+      std::size_t key_start = pos;
+      while (pos < line.size() && is_name_char(line[pos])) ++pos;
+      const std::string key = line.substr(key_start, pos - key_start);
+      if (key.empty() || pos >= line.size() || line[pos] != '=') {
+        error = "malformed label";
+        return false;
+      }
+      ++pos;
+      if (pos >= line.size() || line[pos] != '"') {
+        error = "label value must be quoted";
+        return false;
+      }
+      ++pos;
+      std::string value;
+      while (pos < line.size() && line[pos] != '"') {
+        if (line[pos] == '\\') {
+          if (pos + 1 >= line.size()) {
+            error = "truncated label escape";
+            return false;
+          }
+          const char esc = line[pos + 1];
+          if (esc == '\\') value.push_back('\\');
+          else if (esc == '"') value.push_back('"');
+          else if (esc == 'n') value.push_back('\n');
+          else {
+            error = "unknown label escape";
+            return false;
+          }
+          pos += 2;
+          continue;
+        }
+        value.push_back(line[pos++]);
+      }
+      if (pos >= line.size()) {
+        error = "unterminated label value";
+        return false;
+      }
+      ++pos;  // closing quote
+      out.labels[key] = value;
+      if (pos < line.size() && line[pos] == ',') {
+        ++pos;
+        continue;
+      }
+    }
+  }
+  if (pos >= line.size() || line[pos] != ' ') {
+    error = "expected space before value";
+    return false;
+  }
+  ++pos;
+  std::size_t value_end = line.find(' ', pos);
+  const std::string value_token =
+      line.substr(pos, value_end == std::string::npos ? std::string::npos
+                                                      : value_end - pos);
+  if (!parse_value(value_token, out.value)) {
+    error = "unparseable sample value";
+    return false;
+  }
+  if (value_end != std::string::npos) {
+    // Optional timestamp: a single integer token.
+    const std::string ts = line.substr(value_end + 1);
+    if (ts.empty()) {
+      error = "trailing space after value";
+      return false;
+    }
+    for (std::size_t i = ts[0] == '-' ? 1 : 0; i < ts.size(); ++i)
+      if (!std::isdigit(static_cast<unsigned char>(ts[i]))) {
+        error = "malformed timestamp";
+        return false;
+      }
+  }
+  return true;
+}
+
+struct HistogramSeries {
+  std::vector<std::pair<double, double>> buckets;  ///< (le, cumulative count).
+  bool has_count = false;
+  double count = 0.0;
+  bool has_sum = false;
+};
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "fedwcm_";
+  if (!name.empty() && std::isdigit(static_cast<unsigned char>(name[0])))
+    out.push_back('_');
+  for (const char c : name) out.push_back(is_name_char(c) ? c : '_');
+  return out;
+}
+
+bool validate_prometheus_text(const std::string& text, std::string& error) {
+  if (text.empty()) {
+    error = "empty exposition";
+    return false;
+  }
+  if (text.back() != '\n') {
+    error = "exposition must end with a newline";
+    return false;
+  }
+  std::map<std::string, std::string> types;      ///< metric -> declared type.
+  std::map<std::string, bool> sampled;           ///< metric family -> samples seen.
+  std::map<std::string, HistogramSeries> hists;  ///< histogram base -> series.
+
+  /// The TYPE-declared family a sample belongs to: exact match, or the
+  /// base name for histogram `_bucket`/`_sum`/`_count` children.
+  const auto family_of = [&](const std::string& name) -> std::string {
+    if (types.count(name)) return name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s = suffix;
+      if (name.size() > s.size() &&
+          name.compare(name.size() - s.size(), s.size(), s) == 0) {
+        const std::string base = name.substr(0, name.size() - s.size());
+        auto it = types.find(base);
+        if (it != types.end() && it->second == "histogram") return base;
+      }
+    }
+    return name;
+  };
+
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto fail = [&](const std::string& message) {
+      error = message + " (line " + std::to_string(line_no) + ": " + line + ")";
+      return false;
+    };
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, keyword, name;
+      ls >> hash >> keyword;
+      if (keyword == "HELP" || keyword == "TYPE") {
+        if (!(ls >> name) || !valid_metric_name(name))
+          return fail("malformed " + keyword + " comment");
+        if (keyword == "TYPE") {
+          std::string type;
+          if (!(ls >> type) ||
+              (type != "counter" && type != "gauge" && type != "histogram" &&
+               type != "summary" && type != "untyped"))
+            return fail("unknown metric type");
+          if (types.count(name)) return fail("duplicate TYPE for " + name);
+          if (sampled.count(name))
+            return fail("TYPE after samples for " + name);
+          types[name] = type;
+        }
+      }
+      continue;  // Other comments are legal and ignored.
+    }
+    Sample s;
+    std::string parse_error;
+    if (!parse_sample(line, s, parse_error)) return fail(parse_error);
+    const std::string family = family_of(s.name);
+    sampled[family] = true;
+    if (types.count(family) && types[family] == "histogram") {
+      HistogramSeries& h = hists[family];
+      if (s.name == family + "_bucket") {
+        auto le = s.labels.find("le");
+        if (le == s.labels.end()) return fail("bucket without le label");
+        double bound;
+        if (le->second == "+Inf")
+          bound = std::numeric_limits<double>::infinity();
+        else if (!parse_value(le->second, bound) || !(bound == bound))
+          return fail("unparseable le bound");
+        h.buckets.emplace_back(bound, s.value);
+      } else if (s.name == family + "_count") {
+        h.has_count = true;
+        h.count = s.value;
+      } else if (s.name == family + "_sum") {
+        h.has_sum = true;
+      } else if (s.name != family) {
+        return fail("unexpected sample in histogram family");
+      }
+    }
+  }
+
+  for (const auto& [name, h] : hists) {
+    const auto fail = [&](const std::string& message) {
+      error = message + " (histogram " + name + ")";
+      return false;
+    };
+    if (h.buckets.empty()) return fail("no buckets");
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) {
+        if (!(h.buckets[i - 1].first < h.buckets[i].first))
+          return fail("le bounds not ascending");
+        if (h.buckets[i].second < h.buckets[i - 1].second)
+          return fail("cumulative bucket counts decreased");
+      }
+    }
+    if (h.buckets.back().first != std::numeric_limits<double>::infinity())
+      return fail("missing le=\"+Inf\" bucket");
+    if (!h.has_count || !h.has_sum) return fail("missing _sum or _count");
+    if (h.count != h.buckets.back().second)
+      return fail("_count disagrees with the +Inf bucket");
+  }
+  return true;
+}
+
+}  // namespace fedwcm::obs

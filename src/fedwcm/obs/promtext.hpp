@@ -1,0 +1,33 @@
+#pragma once
+/// \file promtext.hpp
+/// Prometheus text exposition format helpers.
+///
+/// The HTTP exporter serves `/metrics` in the Prometheus text format
+/// (version 0.0.4). Staying dependency-free means we also carry our own
+/// strict well-formedness checker, so tests and CI can assert that what we
+/// serve would actually be scrapeable — the same philosophy as the in-tree
+/// JSON parser validating the trace/JSONL writers.
+
+#include <string>
+
+namespace fedwcm::obs {
+
+/// Maps an internal metric name ("round.wall_ms") onto a valid Prometheus
+/// metric name ("fedwcm_round_wall_ms"): prefixes `fedwcm_`, replaces every
+/// character outside [a-zA-Z0-9_:] with '_', and prepends '_' if the first
+/// mapped character is a digit.
+std::string prometheus_name(const std::string& name);
+
+/// Strict line-level validation of a text exposition payload:
+///  * every line is a `# HELP`/`# TYPE` comment or a `name[{labels}] value`
+///    sample with a parseable value (NaN/+Inf/-Inf allowed, per the format);
+///  * at most one TYPE per metric, declared before its first sample;
+///  * histogram metrics expose `_bucket{le="..."}` series with ascending
+///    `le` values and non-decreasing cumulative counts, a final
+///    `le="+Inf"` bucket, and `_sum`/`_count` samples with
+///    `_count` == the `+Inf` bucket;
+///  * the payload ends with a newline.
+/// Returns false and fills `error` (with the offending line) on violation.
+bool validate_prometheus_text(const std::string& text, std::string& error);
+
+}  // namespace fedwcm::obs

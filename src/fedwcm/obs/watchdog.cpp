@@ -1,0 +1,113 @@
+#include "fedwcm/obs/watchdog.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace fedwcm::obs {
+
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+Watchdog::Watchdog(WatchdogConfig config) : config_(config) {}
+
+std::optional<Alarm> Watchdog::raise(const RoundSample& s, std::string rule,
+                                     std::string message, double value) {
+  tripped_ = true;
+  Alarm alarm{std::move(rule), std::move(message), s.round, value};
+  alarms_.push_back(alarm);
+  return alarm;
+}
+
+std::optional<Alarm> Watchdog::observe(const RoundSample& sample) {
+  // Non-finite values are checked first: once the model diverges, the other
+  // rules' signals (q_r, recall) are meaningless anyway.
+  if (auto a = check_non_finite(sample)) return a;
+  if (auto a = check_qr(sample)) return a;
+  if (auto a = check_recall(sample)) return a;
+  if (auto a = check_stall(sample)) return a;
+  return std::nullopt;
+}
+
+std::optional<Alarm> Watchdog::check_non_finite(const RoundSample& s) {
+  if (!config_.check_non_finite) return std::nullopt;
+  if (s.has_train_loss && !std::isfinite(s.train_loss))
+    return raise(s, "non_finite",
+                 "train loss is non-finite at round " + std::to_string(s.round),
+                 s.train_loss);
+  if (!s.params_finite)
+    return raise(
+        s, "non_finite",
+        "aggregated parameters contain NaN/Inf at round " +
+            std::to_string(s.round),
+        std::nan(""));
+  return std::nullopt;
+}
+
+std::optional<Alarm> Watchdog::check_qr(const RoundSample& s) {
+  if (config_.qr_threshold < 0.0 || config_.qr_window <= 0)
+    return std::nullopt;
+  if (s.qr < 0.0) return std::nullopt;  // Not diagnosed this round.
+  if (s.qr < config_.qr_threshold) {
+    if (++qr_below_streak_ >= config_.qr_window)
+      return raise(s, "qr_collapse",
+                   "momentum alignment q_r < " + fmt(config_.qr_threshold) +
+                       " for " + std::to_string(qr_below_streak_) +
+                       " consecutive rounds (q_r=" + fmt(s.qr) + ")",
+                   s.qr);
+  } else {
+    qr_below_streak_ = 0;
+  }
+  return std::nullopt;
+}
+
+std::optional<Alarm> Watchdog::check_recall(const RoundSample& s) {
+  if (config_.recall_floor < 0.0 || config_.recall_window <= 0)
+    return std::nullopt;
+  if (s.min_class_recall < 0.0) return std::nullopt;  // No eval this round.
+  if (s.round < config_.recall_warmup) return std::nullopt;
+  if (s.min_class_recall < config_.recall_floor) {
+    if (++recall_below_streak_ >= config_.recall_window)
+      return raise(s, "recall_collapse",
+                   "minimum per-class recall < " + fmt(config_.recall_floor) +
+                       " for " + std::to_string(recall_below_streak_) +
+                       " consecutive evaluations (recall=" +
+                       fmt(s.min_class_recall) + ")",
+                   s.min_class_recall);
+  } else {
+    recall_below_streak_ = 0;
+  }
+  return std::nullopt;
+}
+
+std::optional<Alarm> Watchdog::check_stall(const RoundSample& s) {
+  if (config_.stall_factor <= 0.0 || config_.stall_min_rounds <= 0)
+    return std::nullopt;
+  if (s.round_wall_ms < 0.0) return std::nullopt;
+  std::optional<Alarm> alarm;
+  if (int(round_times_ms_.size()) >= config_.stall_min_rounds) {
+    std::vector<double> sorted = round_times_ms_;
+    std::nth_element(sorted.begin(), sorted.begin() + long(sorted.size() / 2),
+                     sorted.end());
+    const double median = sorted[sorted.size() / 2];
+    if (median > 0.0 && s.round_wall_ms > config_.stall_factor * median)
+      alarm = raise(s, "round_stall",
+                    "round took " + fmt(s.round_wall_ms) + " ms, over " +
+                        fmt(config_.stall_factor) + "x the trailing median " +
+                        fmt(median) + " ms",
+                    s.round_wall_ms);
+  }
+  // A stalled round still joins the history: a permanently slower regime
+  // should stop alarming once the median catches up.
+  round_times_ms_.push_back(s.round_wall_ms);
+  return alarm;
+}
+
+}  // namespace fedwcm::obs

@@ -1,0 +1,101 @@
+#pragma once
+/// \file watchdog.hpp
+/// Online anomaly watchdog for training runs.
+///
+/// A small rules engine that inspects one `RoundSample` per federated round
+/// and raises an `Alarm` when the run looks unhealthy:
+///
+///  * non-finite training loss or aggregated parameters — divergence, the
+///    failure mode FedWCM exists to prevent (momentum distortion under
+///    long-tail skew blows up the global update);
+///  * momentum-alignment q_r below a threshold for W consecutive rounds —
+///    the paper's consistency degree collapsing means client updates are
+///    fighting the server momentum;
+///  * minimum per-class recall stuck below a floor after warmup — the
+///    classic long-tail pathology where minority classes silently die while
+///    overall accuracy still looks plausible;
+///  * a round stalling (wall time far above the trailing median) — lost
+///    workers or a wedged collective.
+///
+/// The watchdog deliberately knows nothing about `fl::Simulation` — it sees
+/// only plain samples — so it lives in the dependency-free obs layer and is
+/// unit-testable with synthetic sequences. `fl::WatchdogObserver` adapts the
+/// simulation's observer hooks into samples and wires alarms to the event
+/// bus, the /healthz endpoint, the flight recorder, and (optionally) an
+/// abort-with-checkpoint stop flag.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fedwcm::obs {
+
+/// Tunable thresholds. A disabled rule is one whose threshold is unset
+/// (e.g. qr_threshold < 0 disables the q_r rule).
+struct WatchdogConfig {
+  bool check_non_finite = true;  ///< Alarm on NaN/Inf loss or parameters.
+
+  double qr_threshold = -1.0;  ///< Alarm when q_r < threshold for qr_window
+  int qr_window = 3;           ///< consecutive diagnosed rounds; <0 disables.
+
+  double recall_floor = -1.0;  ///< Alarm when min class recall < floor for
+  int recall_window = 3;       ///< recall_window consecutive evaluations
+  int recall_warmup = 5;       ///< after `recall_warmup` rounds; <0 disables.
+
+  double stall_factor = 10.0;  ///< Alarm when a round takes stall_factor x the
+  int stall_min_rounds = 8;    ///< trailing median of >= stall_min_rounds
+                               ///< rounds; <=0 disables.
+};
+
+/// Per-round measurements fed to the watchdog. Fields without data that
+/// round stay at their "unknown" defaults and the corresponding rules skip.
+struct RoundSample {
+  std::int64_t round = -1;
+  double train_loss = 0.0;       ///< Mean accepted-client loss.
+  bool has_train_loss = false;
+  bool params_finite = true;     ///< All-finite aggregated parameters.
+  double qr = -1.0;              ///< Momentum alignment q_r; <0 = not diagnosed.
+  double min_class_recall = -1.0;  ///< <0 = no evaluation this round.
+  double round_wall_ms = -1.0;   ///< <0 = not timed.
+};
+
+/// One tripped rule.
+struct Alarm {
+  std::string rule;     ///< "non_finite" | "qr_collapse" | "recall_collapse"
+                        ///< | "round_stall".
+  std::string message;  ///< Human-readable, threshold and value included.
+  std::int64_t round = -1;
+  double value = 0.0;   ///< The offending measurement (may be non-finite).
+};
+
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogConfig config = {});
+
+  /// Feeds one round's sample. Returns the first alarm the sample trips, or
+  /// nullopt. Subsequent rounds keep being observed after a trip (alarms
+  /// keep accumulating); `tripped()` stays true once any rule fired.
+  std::optional<Alarm> observe(const RoundSample& sample);
+
+  bool tripped() const { return tripped_; }
+  const std::vector<Alarm>& alarms() const { return alarms_; }
+  const WatchdogConfig& config() const { return config_; }
+
+ private:
+  std::optional<Alarm> check_non_finite(const RoundSample& s);
+  std::optional<Alarm> check_qr(const RoundSample& s);
+  std::optional<Alarm> check_recall(const RoundSample& s);
+  std::optional<Alarm> check_stall(const RoundSample& s);
+  std::optional<Alarm> raise(const RoundSample& s, std::string rule,
+                             std::string message, double value);
+
+  WatchdogConfig config_;
+  bool tripped_ = false;
+  std::vector<Alarm> alarms_;
+  int qr_below_streak_ = 0;
+  int recall_below_streak_ = 0;
+  std::vector<double> round_times_ms_;  ///< History for the stall median.
+};
+
+}  // namespace fedwcm::obs

@@ -1,0 +1,152 @@
+// Run-to-run comparison: JSONL loading, thresholds, and verdicts.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "fedwcm/analysis/compare.hpp"
+
+namespace fedwcm::analysis {
+namespace {
+
+std::string write_temp(const std::string& name, const std::string& content) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::ofstream os(path);
+  os << content;
+  return path;
+}
+
+/// A minimal two-round artifact in the write_history_jsonl format.
+std::string artifact(double final_acc, double recall0, bool aborted,
+                     double wall_ms) {
+  std::string text;
+  for (int round : {0, 2}) {
+    text += "{\"algorithm\":\"fedwcm\",\"round\":" + std::to_string(round) +
+            ",\"test_accuracy\":0.5,\"round_wall_ms\":" +
+            std::to_string(wall_ms) + ",\"per_class_accuracy\":[0.9,0.8]}\n";
+  }
+  text += "{\"algorithm\":\"fedwcm\",\"summary\":true,\"final_accuracy\":" +
+          std::to_string(final_acc) +
+          ",\"best_accuracy\":" + std::to_string(final_acc) +
+          ",\"tail_mean_accuracy\":" + std::to_string(final_acc) +
+          ",\"faults_dropped\":3,\"faults_rejected\":1,\"faults_straggled\":0" +
+          ",\"aborted\":" + (aborted ? "true" : "false") +
+          ",\"per_class_accuracy\":[" + std::to_string(recall0) + ",0.8]}\n";
+  return text;
+}
+
+TEST(Compare, LoadsSummaryAndHistory) {
+  const std::string path =
+      write_temp("compare_load.jsonl", artifact(0.71, 0.42, false, 12.5));
+  RunSummary summary;
+  std::string error;
+  ASSERT_TRUE(load_run_summary(path, summary, error)) << error;
+  EXPECT_EQ(summary.algorithm, "fedwcm");
+  EXPECT_NEAR(summary.final_accuracy, 0.71, 1e-9);
+  EXPECT_NEAR(summary.min_class_recall, 0.42, 1e-9);
+  EXPECT_NEAR(summary.mean_round_wall_ms, 12.5, 1e-9);
+  EXPECT_EQ(summary.rounds, 2u);
+  EXPECT_EQ(summary.faults_dropped, 3u);
+  EXPECT_FALSE(summary.aborted);
+}
+
+TEST(Compare, LoadToleratesNullNumbers) {
+  // A diverged run serializes NaN as null; the loader must not choke.
+  const std::string path = write_temp(
+      "compare_null.jsonl",
+      "{\"algorithm\":\"x\",\"round\":0,\"train_loss\":null,"
+      "\"round_wall_ms\":null}\n"
+      "{\"algorithm\":\"x\",\"summary\":true,\"final_accuracy\":null,"
+      "\"best_accuracy\":0.2,\"aborted\":true,\"per_class_accuracy\":[null]}\n");
+  RunSummary summary;
+  std::string error;
+  ASSERT_TRUE(load_run_summary(path, summary, error)) << error;
+  EXPECT_EQ(summary.final_accuracy, 0.0);  // null -> fallback.
+  EXPECT_NEAR(summary.best_accuracy, 0.2, 1e-9);
+  EXPECT_TRUE(summary.aborted);
+  EXPECT_LT(summary.min_class_recall, 0.0);  // All-null recalls: unknown.
+}
+
+TEST(Compare, LoadFailuresAreReported) {
+  RunSummary summary;
+  std::string error;
+  EXPECT_FALSE(load_run_summary("/no/such/file.jsonl", summary, error));
+  const std::string no_summary = write_temp(
+      "compare_nosummary.jsonl", "{\"algorithm\":\"x\",\"round\":0}\n");
+  EXPECT_FALSE(load_run_summary(no_summary, summary, error));
+  EXPECT_NE(error.find("no summary line"), std::string::npos);
+  const std::string bad_json =
+      write_temp("compare_badjson.jsonl", "{not json\n");
+  EXPECT_FALSE(load_run_summary(bad_json, summary, error));
+}
+
+TEST(Compare, IdenticalRunsPassWithZeroSlack) {
+  RunSummary run;
+  run.final_accuracy = run.best_accuracy = run.tail_mean_accuracy = 0.7;
+  run.min_class_recall = 0.4;
+  run.mean_round_wall_ms = 10.0;
+  CompareThresholds zero;
+  zero.accuracy_drop = 0.0;
+  zero.recall_drop = 0.0;
+  zero.time_factor = 1.0;
+  const CompareReport report = compare_runs(run, run, zero);
+  EXPECT_TRUE(report.ok()) << format_report(run, run, report);
+}
+
+TEST(Compare, AccuracyRegressionFails) {
+  RunSummary baseline, candidate;
+  baseline.final_accuracy = baseline.best_accuracy =
+      baseline.tail_mean_accuracy = 0.70;
+  candidate = baseline;
+  candidate.final_accuracy = 0.66;  // Drop 0.04 > 0.01 default.
+  const CompareReport report = compare_runs(baseline, candidate, {});
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_NE(report.failures[0].find("final_accuracy"), std::string::npos);
+  // Improvements never fail.
+  candidate.final_accuracy = 0.75;
+  EXPECT_TRUE(compare_runs(baseline, candidate, {}).ok());
+}
+
+TEST(Compare, RecallCollapseFails) {
+  RunSummary baseline, candidate;
+  baseline.min_class_recall = 0.40;
+  candidate.min_class_recall = 0.10;  // Drop 0.30 > 0.05 default.
+  const CompareReport report = compare_runs(baseline, candidate, {});
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.failures[0].find("min_class_recall"), std::string::npos);
+}
+
+TEST(Compare, CandidateAbortFailsUnlessBaselineAborted) {
+  RunSummary baseline, candidate;
+  candidate.aborted = true;
+  EXPECT_FALSE(compare_runs(baseline, candidate, {}).ok());
+  baseline.aborted = true;
+  EXPECT_TRUE(compare_runs(baseline, candidate, {}).ok());
+}
+
+TEST(Compare, TimeFactorGatesOnlyWhenEnabled) {
+  RunSummary baseline, candidate;
+  baseline.mean_round_wall_ms = 10.0;
+  candidate.mean_round_wall_ms = 100.0;
+  EXPECT_TRUE(compare_runs(baseline, candidate, {}).ok());  // Off by default.
+  CompareThresholds timed;
+  timed.time_factor = 2.0;
+  EXPECT_FALSE(compare_runs(baseline, candidate, timed).ok());
+  candidate.mean_round_wall_ms = 15.0;
+  EXPECT_TRUE(compare_runs(baseline, candidate, timed).ok());
+}
+
+TEST(Compare, FormatReportCarriesVerdict) {
+  RunSummary run;
+  run.algorithm = "fedwcm";
+  const CompareReport pass = compare_runs(run, run, {});
+  EXPECT_NE(format_report(run, run, pass).find("PASS"), std::string::npos);
+  RunSummary worse = run;
+  worse.final_accuracy = -1.0;
+  const CompareReport fail = compare_runs(run, worse, {});
+  EXPECT_NE(format_report(run, worse, fail).find("FAIL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedwcm::analysis

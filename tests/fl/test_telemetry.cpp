@@ -1,0 +1,198 @@
+// WatchdogObserver + Simulation integration: trips, abort-with-checkpoint,
+// flight dumps, event publication, and read-only guarantees.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "fedwcm/core/checkpoint.hpp"
+#include "fedwcm/fl/diagnostics.hpp"
+#include "fedwcm/fl/registry.hpp"
+#include "fedwcm/fl/telemetry.hpp"
+#include "fedwcm/obs/event.hpp"
+#include "fedwcm/obs/json.hpp"
+#include "fl_test_util.hpp"
+
+namespace fedwcm::fl {
+namespace {
+
+using testutil::make_world;
+
+/// The global bus enabled for one test, restored on exit (tests share the
+/// process-wide bus the Simulation publishes to).
+struct ScopedGlobalBus {
+  ScopedGlobalBus() {
+    obs::events().clear();
+    obs::events().set_enabled(true);
+  }
+  ~ScopedGlobalBus() {
+    obs::events().set_enabled(false);
+    obs::events().clear();
+  }
+};
+
+/// A watchdog armed to trip on the first evaluated round: no model reaches
+/// perfect recall on every class this early.
+obs::WatchdogConfig trip_early_config() {
+  obs::WatchdogConfig config;
+  config.recall_floor = 1.0;
+  config.recall_window = 1;
+  config.recall_warmup = 0;
+  return config;
+}
+
+TEST(WatchdogObserver, TripsAndRaisesStopFlagWhenAborting) {
+  auto w = make_world();
+  Simulation sim = w.make_simulation();
+  auto watchdog = std::make_shared<WatchdogObserver>(trip_early_config());
+  watchdog->set_abort_on_trip(true);
+  std::vector<obs::Alarm> alarms;
+  watchdog->set_on_trip([&](const obs::Alarm& a) { alarms.push_back(a); });
+  sim.add_observer(watchdog);
+  sim.set_stop_flag(watchdog->stop_flag());
+
+  auto algorithm = make_algorithm("fedwcm");
+  const SimulationResult result = sim.run(*algorithm);
+
+  EXPECT_TRUE(result.aborted);
+  EXPECT_TRUE(watchdog->watchdog().tripped());
+  ASSERT_EQ(alarms.size(), 1u);  // The abort stops further observations.
+  EXPECT_EQ(alarms[0].rule, "recall_collapse");
+  // Aborted on the first evaluated round (round 0, eval_every=2): only that
+  // round is in the history.
+  ASSERT_EQ(result.history.size(), 1u);
+  EXPECT_EQ(result.history[0].round, 0u);
+}
+
+TEST(WatchdogObserver, NonAbortingWatchdogKeepsTheRunGoingAndIsReadOnly) {
+  auto w = make_world();
+  Simulation plain = w.make_simulation();
+  auto a1 = make_algorithm("fedwcm");
+  const SimulationResult baseline = plain.run(*a1);
+
+  Simulation watched = w.make_simulation();
+  auto watchdog = std::make_shared<WatchdogObserver>(trip_early_config());
+  watched.add_observer(std::make_shared<DiagnosticsObserver>());
+  watched.add_observer(watchdog);
+  watched.set_stop_flag(watchdog->stop_flag());  // Never raised: no abort.
+  auto a2 = make_algorithm("fedwcm");
+  const SimulationResult result = watched.run(*a2);
+
+  EXPECT_FALSE(result.aborted);
+  EXPECT_TRUE(watchdog->watchdog().tripped());
+  EXPECT_GT(watchdog->watchdog().alarms().size(), 1u);
+  // Bitwise identical trajectory: the watchdog observed, never steered.
+  ASSERT_EQ(result.final_params.size(), baseline.final_params.size());
+  for (std::size_t i = 0; i < result.final_params.size(); ++i)
+    ASSERT_EQ(result.final_params[i], baseline.final_params[i]) << i;
+}
+
+TEST(WatchdogObserver, AbortWritesAFinalCheckpoint) {
+  const std::string path = testing::TempDir() + "/watchdog_abort.ckpt";
+  std::remove(path.c_str());
+  auto w = make_world();
+  Simulation sim = w.make_simulation();
+  // every=1000: the periodic path never fires; only the abort writes.
+  sim.set_checkpointing({path, 1000, false});
+  auto watchdog = std::make_shared<WatchdogObserver>(trip_early_config());
+  watchdog->set_abort_on_trip(true);
+  sim.add_observer(watchdog);
+  sim.set_stop_flag(watchdog->stop_flag());
+  auto algorithm = make_algorithm("fedavg");
+  const SimulationResult result = sim.run(*algorithm);
+  EXPECT_TRUE(result.aborted);
+  EXPECT_TRUE(core::checkpoint_exists(path));
+}
+
+TEST(WatchdogObserver, TripPublishesAlarmEventAndDumpsFlight) {
+  ScopedGlobalBus bus_guard;
+  const std::string flight_path = testing::TempDir() + "/watchdog_flight.json";
+  std::remove(flight_path.c_str());
+
+  auto w = make_world();
+  Simulation sim = w.make_simulation();
+  obs::FlightRecorder flight(obs::events(), flight_path);
+  auto watchdog = std::make_shared<WatchdogObserver>(trip_early_config());
+  watchdog->set_abort_on_trip(true);
+  watchdog->set_flight_recorder(&flight);
+  sim.add_observer(watchdog);
+  sim.set_stop_flag(watchdog->stop_flag());
+  auto algorithm = make_algorithm("fedwcm");
+  const SimulationResult result = sim.run(*algorithm);
+  ASSERT_TRUE(result.aborted);
+
+  // The bus saw the run unfold and the alarm itself.
+  bool saw_alarm = false, saw_round_begin = false, saw_upload = false;
+  for (const obs::Event& e : obs::events().snapshot()) {
+    saw_alarm |= e.kind == obs::EventKind::kWatchdogAlarm;
+    saw_round_begin |= e.kind == obs::EventKind::kRoundBegin;
+    saw_upload |= e.kind == obs::EventKind::kClientUpload;
+  }
+  EXPECT_TRUE(saw_alarm);
+  EXPECT_TRUE(saw_round_begin);
+  EXPECT_TRUE(saw_upload);
+
+  // flight.json exists and contains the triggering alarm event.
+  std::ifstream is(flight_path);
+  ASSERT_TRUE(is.good());
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  obs::json::Value doc;
+  std::string error;
+  ASSERT_TRUE(obs::json::parse(buffer.str(), doc, error)) << error;
+  EXPECT_EQ(doc.find("reason")->as_string(), "watchdog: recall_collapse");
+  bool dumped_alarm = false;
+  for (const auto& e : doc.find("events")->as_array())
+    if (e.find("kind")->as_string() == "watchdog_alarm") dumped_alarm = true;
+  EXPECT_TRUE(dumped_alarm);
+}
+
+TEST(Simulation, PublishesLifecycleEvents) {
+  ScopedGlobalBus bus_guard;
+  auto w = make_world();
+  w.config.rounds = 4;
+  Simulation sim = w.make_simulation();
+  auto algorithm = make_algorithm("fedavg");
+  sim.run(*algorithm);
+
+  const std::vector<obs::Event> events = obs::events().snapshot();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.front().kind, obs::EventKind::kRunBegin);
+  EXPECT_EQ(events.front().detail, "fedavg");
+  EXPECT_EQ(events.back().kind, obs::EventKind::kRunEnd);
+  std::size_t round_begins = 0, round_ends = 0, evaluates = 0;
+  for (const obs::Event& e : events) {
+    round_begins += e.kind == obs::EventKind::kRoundBegin;
+    round_ends += e.kind == obs::EventKind::kRoundEnd;
+    evaluates += e.kind == obs::EventKind::kEvaluate;
+  }
+  EXPECT_EQ(round_begins, 4u);
+  EXPECT_EQ(round_ends, 4u);
+  EXPECT_EQ(evaluates, 3u);  // Rounds 0 and 2 (eval_every=2) + final round 3.
+}
+
+TEST(Simulation, PublishesFaultEvents) {
+  ScopedGlobalBus bus_guard;
+  auto w = make_world();
+  w.config.rounds = 6;
+  w.config.faults.drop_prob = 0.5;
+  w.config.faults.corrupt_prob = 0.3;
+  Simulation sim = w.make_simulation();
+  auto algorithm = make_algorithm("fedavg");
+  const SimulationResult result = sim.run(*algorithm);
+  ASSERT_GT(result.faults_dropped + result.faults_rejected, 0u);
+
+  std::size_t fault_events = 0, rejected_uploads = 0;
+  for (const obs::Event& e : obs::events().snapshot()) {
+    fault_events += e.kind == obs::EventKind::kFaultInjected;
+    rejected_uploads += e.kind == obs::EventKind::kClientUpload &&
+                        e.detail == "rejected";
+  }
+  EXPECT_EQ(fault_events, result.faults_dropped + result.faults_rejected +
+                              result.faults_straggled);
+  EXPECT_EQ(rejected_uploads, result.faults_rejected);
+}
+
+}  // namespace
+}  // namespace fedwcm::fl

@@ -1,0 +1,204 @@
+// EventBus semantics: disabled no-op, ordering, bounded-ring overflow with a
+// metrics-counted drop policy, sinks, JSON serialization, and MPSC publishing
+// from the thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <set>
+
+#include "fedwcm/core/thread_pool.hpp"
+#include "fedwcm/obs/event.hpp"
+#include "fedwcm/obs/json.hpp"
+
+namespace fedwcm::obs {
+namespace {
+
+Event round_begin(std::int64_t round) {
+  Event e;
+  e.kind = EventKind::kRoundBegin;
+  e.round = round;
+  return e;
+}
+
+TEST(EventBus, DisabledPublishIsANoOp) {
+  Registry reg;
+  EventBus bus(8, &reg);
+  EXPECT_EQ(bus.publish(round_begin(0)), 0u);
+  EXPECT_EQ(bus.published(), 0u);
+  EXPECT_TRUE(bus.snapshot().empty());
+}
+
+TEST(EventBus, PublishStampsSequenceAndTimestampInOrder) {
+  Registry reg;
+  EventBus bus(8, &reg);
+  bus.set_enabled(true);
+  EXPECT_EQ(bus.publish(round_begin(0)), 1u);
+  EXPECT_EQ(bus.publish(round_begin(1)), 2u);
+  const auto events = bus.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 1u);
+  EXPECT_EQ(events[1].seq, 2u);
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+  EXPECT_EQ(events[0].round, 0);
+  EXPECT_EQ(events[1].round, 1);
+}
+
+TEST(EventBus, OverflowDropsOldestAndCountsTheDropAsAMetric) {
+  Registry reg;
+  reg.set_enabled(true);
+  EventBus bus(4, &reg);
+  bus.set_enabled(true);
+  for (std::int64_t r = 0; r < 10; ++r) bus.publish(round_begin(r));
+  EXPECT_EQ(bus.published(), 10u);
+  EXPECT_EQ(bus.dropped(), 6u);
+  const auto events = bus.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // The survivors are the newest four, still oldest-first.
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(events[i].round, std::int64_t(6 + i));
+  // The overflow policy is itself observable: events.dropped is a counter.
+  EXPECT_EQ(reg.counter("events.dropped").value(), 6u);
+  EXPECT_EQ(reg.counter("events.published").value(), 10u);
+}
+
+TEST(EventBus, SnapshotLastNReturnsTheNewest) {
+  Registry reg;
+  EventBus bus(16, &reg);
+  bus.set_enabled(true);
+  for (std::int64_t r = 0; r < 6; ++r) bus.publish(round_begin(r));
+  const auto last2 = bus.snapshot(2);
+  ASSERT_EQ(last2.size(), 2u);
+  EXPECT_EQ(last2[0].round, 4);
+  EXPECT_EQ(last2[1].round, 5);
+}
+
+TEST(EventBus, TrySnapshotMatchesSnapshot) {
+  Registry reg;
+  EventBus bus(16, &reg);
+  bus.set_enabled(true);
+  for (std::int64_t r = 0; r < 3; ++r) bus.publish(round_begin(r));
+  std::vector<Event> out;
+  ASSERT_TRUE(bus.try_snapshot(out));
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(EventBus, SinksSeeEveryPublishedEvent) {
+  Registry reg;
+  EventBus bus(8, &reg);
+  bus.set_enabled(true);
+  std::vector<std::uint64_t> seen;
+  bus.add_sink([&](const Event& e) { seen.push_back(e.seq); });
+  bus.publish(round_begin(0));
+  bus.publish(round_begin(1));
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(EventBus, ClearDropsEventsAndCounters) {
+  Registry reg;
+  EventBus bus(8, &reg);
+  bus.set_enabled(true);
+  bus.publish(round_begin(0));
+  bus.clear();
+  EXPECT_EQ(bus.published(), 0u);
+  EXPECT_TRUE(bus.snapshot().empty());
+  EXPECT_EQ(bus.publish(round_begin(1)), 1u);
+}
+
+TEST(EventBus, EventJsonParsesAndCarriesFields) {
+  Event e;
+  e.kind = EventKind::kWatchdogAlarm;
+  e.seq = 7;
+  e.ts_us = 1234;
+  e.round = 12;
+  e.client = 3;
+  e.value = 0.25;
+  e.detail = "q_r below threshold";
+  json::Value v;
+  std::string error;
+  ASSERT_TRUE(json::parse(to_json(e), v, error)) << error;
+  EXPECT_EQ(v.find("kind")->as_string(), "watchdog_alarm");
+  EXPECT_EQ(v.find("seq")->as_number(), 7.0);
+  EXPECT_EQ(v.find("round")->as_number(), 12.0);
+  EXPECT_EQ(v.find("client")->as_number(), 3.0);
+  EXPECT_EQ(v.find("value")->as_number(), 0.25);
+  EXPECT_EQ(v.find("detail")->as_string(), "q_r below threshold");
+}
+
+TEST(EventBus, EventJsonSerializesNonFiniteValueAsNull) {
+  // The exact watchdog case: a diverged loss must not corrupt /events or
+  // flight.json output.
+  Event e;
+  e.kind = EventKind::kWatchdogAlarm;
+  e.value = std::numeric_limits<double>::quiet_NaN();
+  e.detail = "non-finite train loss";
+  json::Value v;
+  std::string error;
+  ASSERT_TRUE(json::parse(to_json(e), v, error)) << error;
+  EXPECT_TRUE(v.find("value")->is_null());
+}
+
+TEST(EventBus, OmitsNegativeRoundAndClient) {
+  Event e;
+  e.kind = EventKind::kRunBegin;
+  e.detail = "fedwcm";
+  json::Value v;
+  std::string error;
+  ASSERT_TRUE(json::parse(to_json(e), v, error)) << error;
+  EXPECT_EQ(v.find("round"), nullptr);
+  EXPECT_EQ(v.find("client"), nullptr);
+}
+
+TEST(EventBus, ConcurrentPublishersNeverLoseOrDuplicateSequences) {
+  Registry reg;
+  reg.set_enabled(true);
+  constexpr std::size_t kTasks = 16;
+  constexpr std::size_t kPerTask = 250;
+  EventBus bus(kTasks * kPerTask, &reg);  // Large enough: no drops expected.
+  bus.set_enabled(true);
+  std::atomic<std::uint64_t> sink_calls{0};
+  bus.add_sink([&](const Event&) {
+    sink_calls.fetch_add(1, std::memory_order_relaxed);
+  });
+  core::ThreadPool pool(4);
+  core::parallel_for(pool, 0, kTasks, [&](std::size_t t) {
+    for (std::size_t i = 0; i < kPerTask; ++i) {
+      Event e = round_begin(std::int64_t(t));
+      e.client = std::int64_t(i);
+      bus.publish(std::move(e));
+    }
+  });
+  EXPECT_EQ(bus.published(), kTasks * kPerTask);
+  EXPECT_EQ(bus.dropped(), 0u);
+  EXPECT_EQ(sink_calls.load(), kTasks * kPerTask);
+  const auto events = bus.snapshot();
+  ASSERT_EQ(events.size(), kTasks * kPerTask);
+  std::set<std::uint64_t> seqs;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i) EXPECT_LT(events[i - 1].seq, events[i].seq);
+    seqs.insert(events[i].seq);
+  }
+  EXPECT_EQ(seqs.size(), kTasks * kPerTask);
+  EXPECT_EQ(*seqs.rbegin(), kTasks * kPerTask);
+}
+
+TEST(EventBus, ConcurrentPublishersWithOverflowKeepAccounting) {
+  Registry reg;
+  reg.set_enabled(true);
+  EventBus bus(32, &reg);
+  bus.set_enabled(true);
+  constexpr std::size_t kTasks = 8;
+  constexpr std::size_t kPerTask = 500;
+  core::ThreadPool pool(4);
+  core::parallel_for(pool, 0, kTasks, [&](std::size_t t) {
+    for (std::size_t i = 0; i < kPerTask; ++i)
+      bus.publish(round_begin(std::int64_t(t)));
+  });
+  EXPECT_EQ(bus.published(), kTasks * kPerTask);
+  EXPECT_EQ(bus.dropped(), kTasks * kPerTask - 32);
+  EXPECT_EQ(bus.snapshot().size(), 32u);
+  EXPECT_EQ(reg.counter("events.dropped").value(), kTasks * kPerTask - 32);
+}
+
+}  // namespace
+}  // namespace fedwcm::obs

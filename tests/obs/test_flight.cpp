@@ -1,0 +1,120 @@
+// FlightRecorder: explicit dumps and the fatal-signal path (forked child).
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fedwcm/obs/event.hpp"
+#include "fedwcm/obs/flight.hpp"
+#include "fedwcm/obs/json.hpp"
+#include "fedwcm/obs/metrics.hpp"
+
+namespace fedwcm::obs {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+void publish_round(EventBus& bus, int round, EventKind kind,
+                   const std::string& detail = {}) {
+  Event e;
+  e.kind = kind;
+  e.round = round;
+  e.detail = detail;
+  bus.publish(std::move(e));
+}
+
+TEST(FlightRecorder, DumpWritesReasonAndNewestEvents) {
+  Registry registry;
+  EventBus bus(8, &registry);
+  bus.set_enabled(true);
+  for (int r = 0; r < 12; ++r) publish_round(bus, r, EventKind::kRoundEnd);
+  publish_round(bus, 11, EventKind::kWatchdogAlarm, "qr_collapse: q_r=0.1");
+
+  const std::string path =
+      testing::TempDir() + "/flight_dump_test.json";
+  FlightRecorder recorder(bus, path, /*last_n=*/4);
+  ASSERT_TRUE(recorder.dump("watchdog: qr_collapse"));
+
+  json::Value doc;
+  std::string error;
+  ASSERT_TRUE(json::parse(slurp(path), doc, error)) << error;
+  EXPECT_EQ(doc.find("reason")->as_string(), "watchdog: qr_collapse");
+  EXPECT_EQ(doc.find("published")->as_number(), 13.0);
+  EXPECT_EQ(doc.find("dropped")->as_number(), 5.0);  // Ring capacity 8.
+  const auto& events = doc.find("events")->as_array();
+  ASSERT_EQ(events.size(), 4u);
+  // The triggering alarm event is the newest entry in the dump.
+  EXPECT_EQ(events.back().find("kind")->as_string(), "watchdog_alarm");
+  EXPECT_EQ(events.back().find("detail")->as_string(), "qr_collapse: q_r=0.1");
+  EXPECT_EQ(events.front().find("round")->as_number(), 9.0);
+}
+
+TEST(FlightRecorder, RepeatedDumpsLastOneWins) {
+  Registry registry;
+  EventBus bus(8, &registry);
+  bus.set_enabled(true);
+  publish_round(bus, 0, EventKind::kRoundEnd);
+  const std::string path = testing::TempDir() + "/flight_repeat_test.json";
+  FlightRecorder recorder(bus, path);
+  ASSERT_TRUE(recorder.dump("first"));
+  publish_round(bus, 1, EventKind::kRoundEnd);
+  ASSERT_TRUE(recorder.dump("second"));
+
+  json::Value doc;
+  std::string error;
+  ASSERT_TRUE(json::parse(slurp(path), doc, error)) << error;
+  EXPECT_EQ(doc.find("reason")->as_string(), "second");
+  EXPECT_EQ(doc.find("events")->as_array().size(), 2u);
+}
+
+TEST(FlightRecorder, DumpToUnwritablePathReportsFailure) {
+  Registry registry;
+  EventBus bus(8, &registry);
+  FlightRecorder recorder(bus, "/nonexistent-dir/flight.json");
+  EXPECT_FALSE(recorder.dump("whatever"));
+}
+
+TEST(FlightRecorder, FatalSignalDumpsBeforeDeath) {
+  const std::string path =
+      testing::TempDir() + "/flight_signal_test.json";
+  std::remove(path.c_str());
+
+  // The child raises SIGABRT with handlers installed; the parent then reads
+  // the flight file the dying child left behind. SIGABRT (not SIGSEGV) keeps
+  // this friendly to sanitizer builds, which intercept SEGV themselves.
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    Registry registry;
+    EventBus bus(16, &registry);
+    bus.set_enabled(true);
+    for (int r = 0; r < 3; ++r) publish_round(bus, r, EventKind::kRoundEnd);
+    FlightRecorder recorder(bus, path);
+    recorder.install_signal_handlers();
+    std::raise(SIGABRT);
+    _exit(0);  // Unreachable: the handler re-raises with SIG_DFL.
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGABRT);
+
+  json::Value doc;
+  std::string error;
+  ASSERT_TRUE(json::parse(slurp(path), doc, error)) << error;
+  EXPECT_EQ(doc.find("reason")->as_string(), "signal SIGABRT");
+  EXPECT_EQ(doc.find("events")->as_array().size(), 3u);
+}
+
+}  // namespace
+}  // namespace fedwcm::obs

@@ -1,0 +1,189 @@
+// HttpExporter: bind an ephemeral port, make real loopback requests, and
+// assert each route's status and payload shape.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "fedwcm/obs/event.hpp"
+#include "fedwcm/obs/http.hpp"
+#include "fedwcm/obs/json.hpp"
+#include "fedwcm/obs/metrics.hpp"
+#include "fedwcm/obs/promtext.hpp"
+
+namespace fedwcm::obs {
+namespace {
+
+struct Response {
+  int status = 0;
+  std::string headers;
+  std::string body;
+};
+
+/// A blocking one-shot HTTP GET over loopback; the server closes per request.
+Response http_get(std::uint16_t port, const std::string& target) {
+  Response r;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return r;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return r;
+  }
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  ::send(fd, request.data(), request.size(), 0);
+  std::string raw;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) raw.append(buf, std::size_t(n));
+  ::close(fd);
+  if (raw.rfind("HTTP/1.1 ", 0) == 0) r.status = std::atoi(raw.c_str() + 9);
+  const std::size_t split = raw.find("\r\n\r\n");
+  if (split != std::string::npos) {
+    r.headers = raw.substr(0, split);
+    r.body = raw.substr(split + 4);
+  }
+  return r;
+}
+
+class HttpExporterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry_.set_enabled(true);
+    bus_.set_enabled(true);
+    exporter_ = std::make_unique<HttpExporter>(registry_, bus_);
+    std::string error;
+    ASSERT_TRUE(exporter_->start(error)) << error;
+    ASSERT_NE(exporter_->port(), 0);
+  }
+
+  Registry registry_;
+  EventBus bus_{64, &registry_};
+  std::unique_ptr<HttpExporter> exporter_;
+};
+
+TEST_F(HttpExporterTest, MetricsEndpointServesValidExposition) {
+  registry_.counter("rounds.total").add(7);
+  registry_.gauge("live.qr").set(0.42);
+  registry_.histogram("round.wall_ms", time_buckets_ms()).observe(12.5);
+  const Response r = http_get(exporter_->port(), "/metrics");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.headers.find("text/plain; version=0.0.4"), std::string::npos);
+  std::string error;
+  EXPECT_TRUE(validate_prometheus_text(r.body, error)) << error;
+  EXPECT_NE(r.body.find("fedwcm_rounds_total 7"), std::string::npos);
+  EXPECT_NE(r.body.find("fedwcm_live_qr 0.42"), std::string::npos);
+}
+
+TEST_F(HttpExporterTest, HealthzFlipsTo503AndBack) {
+  Response r = http_get(exporter_->port(), "/healthz");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "ok\n");
+
+  exporter_->set_unhealthy("qr below threshold for 3 rounds");
+  r = http_get(exporter_->port(), "/healthz");
+  EXPECT_EQ(r.status, 503);
+  EXPECT_EQ(r.body, "unhealthy: qr below threshold for 3 rounds\n");
+
+  exporter_->set_healthy();
+  r = http_get(exporter_->port(), "/healthz");
+  EXPECT_EQ(r.status, 200);
+}
+
+TEST_F(HttpExporterTest, EventsEndpointReturnsNewestAsJson) {
+  for (int i = 0; i < 10; ++i) {
+    Event e;
+    e.kind = EventKind::kRoundEnd;
+    e.round = i;
+    e.value = double(i) * 0.1;
+    bus_.publish(e);
+  }
+  const Response r = http_get(exporter_->port(), "/events?n=3");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.headers.find("application/json"), std::string::npos);
+  json::Value v;
+  std::string error;
+  ASSERT_TRUE(json::parse(r.body, v, error)) << error;
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("published")->as_number(), 10.0);
+  EXPECT_EQ(v.find("dropped")->as_number(), 0.0);
+  const json::Value* events = v.find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->as_array().size(), 3u);
+  // Newest three, oldest-first within the slice.
+  EXPECT_EQ(events->as_array()[0].find("round")->as_number(), 7.0);
+  EXPECT_EQ(events->as_array()[2].find("round")->as_number(), 9.0);
+  EXPECT_EQ(events->as_array()[2].find("kind")->as_string(), "round_end");
+}
+
+TEST_F(HttpExporterTest, EventsEndpointDefaultsWhenQueryMalformed) {
+  Event e;
+  e.kind = EventKind::kRunBegin;
+  bus_.publish(e);
+  for (const char* target : {"/events", "/events?n=abc", "/events?n="}) {
+    const Response r = http_get(exporter_->port(), target);
+    EXPECT_EQ(r.status, 200) << target;
+    json::Value v;
+    std::string error;
+    ASSERT_TRUE(json::parse(r.body, v, error)) << target << ": " << error;
+    EXPECT_EQ(v.find("events")->as_array().size(), 1u) << target;
+  }
+}
+
+TEST_F(HttpExporterTest, IndexNotFoundAndMethodNotAllowed) {
+  EXPECT_EQ(http_get(exporter_->port(), "/").status, 200);
+  EXPECT_EQ(http_get(exporter_->port(), "/nope").status, 404);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(exporter_->port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string request = "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  ::send(fd, request.data(), request.size(), 0);
+  std::string raw;
+  char buf[1024];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) raw.append(buf, std::size_t(n));
+  ::close(fd);
+  EXPECT_EQ(raw.rfind("HTTP/1.1 405", 0), 0u) << raw;
+}
+
+TEST_F(HttpExporterTest, StopIsIdempotentAndReleasesThePort) {
+  const std::uint16_t port = exporter_->port();
+  exporter_->stop();
+  exporter_->stop();
+  EXPECT_FALSE(exporter_->running());
+  // The port is released: a fresh exporter can bind it again.
+  HttpExporter again(registry_, bus_, {.port = port});
+  std::string error;
+  ASSERT_TRUE(again.start(error)) << error;
+  EXPECT_EQ(again.port(), port);
+  EXPECT_EQ(http_get(port, "/healthz").status, 200);
+}
+
+TEST(HttpExporter, StartFailsOnOccupiedPort) {
+  Registry registry;
+  EventBus bus(8, &registry);
+  HttpExporter first(registry, bus);
+  std::string error;
+  ASSERT_TRUE(first.start(error)) << error;
+  HttpExporter second(registry, bus, {.port = first.port()});
+  EXPECT_FALSE(second.start(error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace fedwcm::obs

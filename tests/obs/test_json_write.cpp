@@ -1,0 +1,132 @@
+// JSON writing helpers: non-finite doubles must serialize as null (JSON has
+// no NaN/Inf literal), strings must escape, and dump(parse(dump(v))) must be
+// an identity for everything the repo emits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "fedwcm/obs/json.hpp"
+#include "fedwcm/obs/metrics.hpp"
+
+namespace fedwcm::obs::json {
+namespace {
+
+TEST(JsonWrite, FiniteNumbersRoundTripExactly) {
+  for (double v : {0.0, 1.0, -1.0, 0.5, 1.0 / 3.0, 1e-30, 1e30, 123456789.0,
+                   -0.8066666722297668, 3.141592653589793}) {
+    const std::string text = number_to_string(v);
+    Value parsed;
+    std::string error;
+    ASSERT_TRUE(parse(text, parsed, error)) << text << ": " << error;
+    ASSERT_TRUE(parsed.is_number()) << text;
+    EXPECT_EQ(parsed.as_number(), v) << text;
+  }
+}
+
+TEST(JsonWrite, IntegersPrintWithoutExponent) {
+  EXPECT_EQ(number_to_string(42.0), "42");
+  EXPECT_EQ(number_to_string(-7.0), "-7");
+  EXPECT_EQ(number_to_string(0.0), "0");
+}
+
+TEST(JsonWrite, NonFiniteBecomesNull) {
+  EXPECT_EQ(number_to_string(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(number_to_string(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(number_to_string(-std::numeric_limits<double>::infinity()), "null");
+  // And the resulting token parses as JSON null, so a consumer sees a typed
+  // "missing value" instead of a parse error.
+  Value parsed;
+  std::string error;
+  ASSERT_TRUE(parse(number_to_string(NAN), parsed, error)) << error;
+  EXPECT_TRUE(parsed.is_null());
+}
+
+TEST(JsonWrite, FloatOverloadRoundTripsThroughFloat) {
+  // A stored float must print as its own shortest decimal, not the 17-digit
+  // expansion of its double promotion (0.9f is not 0.9 as a double).
+  EXPECT_EQ(number_to_string(0.9f), "0.9");
+  EXPECT_EQ(number_to_string(0.5f), "0.5");
+  EXPECT_EQ(number_to_string(42.0f), "42");
+  EXPECT_EQ(number_to_string(std::numeric_limits<float>::quiet_NaN()), "null");
+  EXPECT_EQ(number_to_string(std::numeric_limits<float>::infinity()), "null");
+  for (float v : {0.1f, 1.0f / 3.0f, 1e-30f, 1e30f, 0.2f * 3}) {
+    const std::string text = number_to_string(v);
+    EXPECT_EQ(std::strtof(text.c_str(), nullptr), v) << text;
+  }
+}
+
+TEST(JsonWrite, EscapeCoversQuotesBackslashesAndControls) {
+  EXPECT_EQ(escape("plain"), "\"plain\"");
+  EXPECT_EQ(escape("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(escape("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(escape("a\nb\tc"), "\"a\\nb\\tc\"");
+  EXPECT_EQ(escape(std::string("a\x01z", 3)), "\"a\\u0001z\"");
+  // Every escaped form parses back to the original bytes.
+  for (const std::string s : {"plain", "a\"b\\c", "tab\tnl\n", "\x01\x02"}) {
+    Value parsed;
+    std::string error;
+    ASSERT_TRUE(parse(escape(s), parsed, error)) << error;
+    EXPECT_EQ(parsed.as_string(), s);
+  }
+}
+
+TEST(JsonWrite, DumpParseIsAnIdentity) {
+  Object inner;
+  inner.emplace("pi", Value(3.25));
+  inner.emplace("name", Value(std::string("q_r \"collapse\"\n")));
+  Array arr;
+  arr.push_back(Value(true));
+  arr.push_back(Value());
+  arr.push_back(Value(std::move(inner)));
+  Object root;
+  root.emplace("list", Value(std::move(arr)));
+  root.emplace("count", Value(3.0));
+  const Value doc{Value(std::move(root))};
+
+  const std::string once = dump(doc);
+  Value reparsed;
+  std::string error;
+  ASSERT_TRUE(parse(once, reparsed, error)) << error << ": " << once;
+  EXPECT_EQ(dump(reparsed), once);
+}
+
+TEST(JsonWrite, DumpSerializesNonFiniteNumbersAsNull) {
+  Array arr;
+  arr.push_back(Value(std::numeric_limits<double>::quiet_NaN()));
+  arr.push_back(Value(1.5));
+  const std::string text = dump(Value(std::move(arr)));
+  EXPECT_EQ(text, "[null,1.5]");
+  Value reparsed;
+  std::string error;
+  ASSERT_TRUE(parse(text, reparsed, error)) << error;
+  EXPECT_TRUE(reparsed.as_array()[0].is_null());
+}
+
+// The watchdog use case end to end: a gauge that captured a non-finite loss
+// must still export parseable metrics JSONL.
+TEST(JsonWrite, MetricsJsonlWithNonFiniteGaugeStaysParseable) {
+  Registry reg;
+  reg.set_enabled(true);
+  reg.gauge("live.train_loss").set(std::numeric_limits<double>::quiet_NaN());
+  reg.gauge("live.norm").set(std::numeric_limits<double>::infinity());
+  std::ostringstream os;
+  reg.write_jsonl(os);
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    ++lines;
+    Value v;
+    std::string error;
+    ASSERT_TRUE(parse(line, v, error)) << error << ": " << line;
+    ASSERT_NE(v.find("value"), nullptr);
+    EXPECT_TRUE(v.find("value")->is_null()) << line;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+}  // namespace
+}  // namespace fedwcm::obs::json

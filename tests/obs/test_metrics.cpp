@@ -7,6 +7,7 @@
 #include "fedwcm/core/thread_pool.hpp"
 #include "fedwcm/obs/json.hpp"
 #include "fedwcm/obs/metrics.hpp"
+#include "fedwcm/obs/promtext.hpp"
 
 namespace fedwcm::obs {
 namespace {
@@ -152,6 +153,57 @@ TEST(Metrics, ConcurrentIncrementsFromThreadPool) {
   });
   EXPECT_EQ(c.value(), kTasks * kPerTask);
   EXPECT_EQ(h.count(), kTasks * kPerTask);
+}
+
+TEST(Metrics, ConcurrentRegistrationSharesCells) {
+  // Many threads race to register the same names; every handle must land on
+  // the same cell (lookups are mutex-guarded) and no update may be lost.
+  Registry reg;
+  reg.set_enabled(true);
+  core::ThreadPool pool(4);
+  constexpr std::size_t kTasks = 32;
+  core::parallel_for(pool, 0, kTasks, [&](std::size_t i) {
+    Counter c = reg.counter("race.count." + std::to_string(i % 4));
+    Gauge g = reg.gauge("race.gauge");
+    Histogram h = reg.histogram("race.hist", {1.0, 10.0});
+    for (int k = 0; k < 100; ++k) {
+      c.add();
+      g.set(double(i));
+      h.observe(double(k % 12));
+    }
+  });
+  std::uint64_t total = 0;
+  for (std::size_t n = 0; n < 4; ++n)
+    total += reg.counter("race.count." + std::to_string(n)).value();
+  EXPECT_EQ(total, kTasks * 100);
+  EXPECT_EQ(reg.histogram("race.hist", {}).count(), kTasks * 100);
+}
+
+TEST(Metrics, ConcurrentScrapeSeesConsistentExposition) {
+  // A /metrics scrape racing live observation must always produce a payload
+  // the strict validator accepts (cumulative buckets, _count == +Inf).
+  Registry reg;
+  reg.set_enabled(true);
+  Counter c = reg.counter("scrape.count");
+  Histogram h = reg.histogram("scrape.hist", time_buckets_ms());
+  core::ThreadPool pool(4);
+  constexpr std::size_t kTasks = 8;
+  core::parallel_for(pool, 0, kTasks, [&](std::size_t i) {
+    if (i == 0) {
+      for (int scrape = 0; scrape < 50; ++scrape) {
+        std::ostringstream os;
+        reg.write_prometheus(os);
+        std::string error;
+        ASSERT_TRUE(validate_prometheus_text(os.str(), error)) << error;
+      }
+    } else {
+      for (int k = 0; k < 5000; ++k) {
+        c.add();
+        h.observe(double(k % 97));
+      }
+    }
+  });
+  EXPECT_EQ(c.value(), (kTasks - 1) * 5000);
 }
 
 TEST(Metrics, JsonlExportParsesAndCarriesSummaries) {

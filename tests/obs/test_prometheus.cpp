@@ -1,0 +1,126 @@
+// Prometheus text exposition: writer output must satisfy the in-tree strict
+// validator, and the validator must actually reject malformed payloads.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "fedwcm/obs/metrics.hpp"
+#include "fedwcm/obs/promtext.hpp"
+
+namespace fedwcm::obs {
+namespace {
+
+TEST(Prometheus, NameSanitization) {
+  EXPECT_EQ(prometheus_name("round.wall_ms"), "fedwcm_round_wall_ms");
+  EXPECT_EQ(prometheus_name("comm.bytes_up"), "fedwcm_comm_bytes_up");
+  EXPECT_EQ(prometheus_name("weird name!"), "fedwcm_weird_name_");
+  EXPECT_EQ(prometheus_name("9lives"), "fedwcm__9lives");
+}
+
+TEST(Prometheus, WriterOutputValidates) {
+  Registry reg;
+  reg.set_enabled(true);
+  reg.counter("round.count").add(12);
+  reg.gauge("live.round").set(11.0);
+  Histogram h = reg.histogram("round.wall_ms", time_buckets_ms());
+  for (double v : {0.2, 3.0, 3.0, 40.0, 900.0}) h.observe(v);
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string text = os.str();
+  std::string error;
+  EXPECT_TRUE(validate_prometheus_text(text, error)) << error;
+  EXPECT_NE(text.find("# TYPE fedwcm_round_count counter"), std::string::npos);
+  EXPECT_NE(text.find("fedwcm_round_count 12"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE fedwcm_round_wall_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("fedwcm_round_wall_ms_bucket{le=\"+Inf\"} 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("fedwcm_round_wall_ms_count 5"), std::string::npos);
+}
+
+TEST(Prometheus, NonFiniteGaugeIsLegalExposition) {
+  // Prometheus, unlike JSON, spells non-finite values out — a diverged gauge
+  // must scrape as NaN, not break the payload.
+  Registry reg;
+  reg.set_enabled(true);
+  reg.gauge("live.train_loss").set(std::numeric_limits<double>::quiet_NaN());
+  reg.gauge("live.norm").set(std::numeric_limits<double>::infinity());
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  std::string error;
+  EXPECT_TRUE(validate_prometheus_text(os.str(), error)) << error;
+  EXPECT_NE(os.str().find("fedwcm_live_train_loss NaN"), std::string::npos);
+  EXPECT_NE(os.str().find("fedwcm_live_norm +Inf"), std::string::npos);
+}
+
+TEST(Prometheus, EmptyRegistryProducesNothingButValidatorWantsNewline) {
+  Registry reg;
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  EXPECT_TRUE(os.str().empty());
+  std::string error;
+  EXPECT_FALSE(validate_prometheus_text(os.str(), error));
+}
+
+TEST(Prometheus, ValidatorAcceptsLabelsAndTimestamps) {
+  std::string error;
+  EXPECT_TRUE(validate_prometheus_text(
+      "# HELP m helper text\n# TYPE m gauge\nm{a=\"x\",b=\"y \\\"z\\\"\"} "
+      "1.5 1712345678\n",
+      error))
+      << error;
+}
+
+TEST(Prometheus, ValidatorRejectsMalformedPayloads) {
+  std::string error;
+  // Missing trailing newline.
+  EXPECT_FALSE(validate_prometheus_text("# TYPE m gauge\nm 1", error));
+  // Bad metric name.
+  EXPECT_FALSE(validate_prometheus_text("3m 1\n", error));
+  // Unparseable value.
+  EXPECT_FALSE(validate_prometheus_text("m abc\n", error));
+  // Unknown type.
+  EXPECT_FALSE(validate_prometheus_text("# TYPE m sparkline\nm 1\n", error));
+  // Duplicate TYPE.
+  EXPECT_FALSE(validate_prometheus_text(
+      "# TYPE m gauge\n# TYPE m gauge\nm 1\n", error));
+  // TYPE after samples.
+  EXPECT_FALSE(validate_prometheus_text("m 1\n# TYPE m gauge\n", error));
+  // Unterminated label value.
+  EXPECT_FALSE(validate_prometheus_text("m{a=\"x} 1\n", error));
+}
+
+TEST(Prometheus, ValidatorEnforcesHistogramInvariants) {
+  std::string error;
+  // Decreasing cumulative counts.
+  EXPECT_FALSE(validate_prometheus_text(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n"
+      "h_sum 10\nh_count 5\n",
+      error));
+  // Missing +Inf bucket.
+  EXPECT_FALSE(validate_prometheus_text(
+      "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 10\nh_count 5\n",
+      error));
+  // _count disagreeing with the +Inf bucket.
+  EXPECT_FALSE(validate_prometheus_text(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 5\nh_sum 10\nh_count 4\n",
+      error));
+  // Non-ascending le bounds.
+  EXPECT_FALSE(validate_prometheus_text(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\n"
+      "h_sum 1\nh_count 2\n",
+      error));
+  // And the well-formed version passes.
+  EXPECT_TRUE(validate_prometheus_text(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 5\nh_sum 10\nh_count 5\n",
+      error))
+      << error;
+}
+
+}  // namespace
+}  // namespace fedwcm::obs

@@ -1,0 +1,159 @@
+// Watchdog rules engine over synthetic round-sample sequences.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "fedwcm/obs/watchdog.hpp"
+
+namespace fedwcm::obs {
+namespace {
+
+RoundSample sample(std::int64_t round) {
+  RoundSample s;
+  s.round = round;
+  return s;
+}
+
+TEST(Watchdog, QuietRunNeverTrips) {
+  Watchdog dog;  // Defaults: only the non-finite and stall rules are armed.
+  for (int r = 0; r < 50; ++r) {
+    RoundSample s = sample(r);
+    s.train_loss = 1.0 / (1.0 + r);
+    s.has_train_loss = true;
+    s.qr = 0.9;
+    s.min_class_recall = 0.5;
+    s.round_wall_ms = 10.0 + (r % 3);
+    EXPECT_FALSE(dog.observe(s).has_value()) << "round " << r;
+  }
+  EXPECT_FALSE(dog.tripped());
+  EXPECT_TRUE(dog.alarms().empty());
+}
+
+TEST(Watchdog, NonFiniteLossTripsImmediately) {
+  Watchdog dog;
+  RoundSample s = sample(4);
+  s.train_loss = std::numeric_limits<double>::quiet_NaN();
+  s.has_train_loss = true;
+  const auto alarm = dog.observe(s);
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(alarm->rule, "non_finite");
+  EXPECT_EQ(alarm->round, 4);
+  EXPECT_TRUE(std::isnan(alarm->value));
+  EXPECT_TRUE(dog.tripped());
+}
+
+TEST(Watchdog, NonFiniteParamsTrip) {
+  Watchdog dog;
+  RoundSample s = sample(2);
+  s.params_finite = false;
+  const auto alarm = dog.observe(s);
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(alarm->rule, "non_finite");
+}
+
+TEST(Watchdog, NonFiniteRuleCanBeDisarmed) {
+  WatchdogConfig config;
+  config.check_non_finite = false;
+  Watchdog dog(config);
+  RoundSample s = sample(0);
+  s.params_finite = false;
+  s.train_loss = std::numeric_limits<double>::infinity();
+  s.has_train_loss = true;
+  EXPECT_FALSE(dog.observe(s).has_value());
+}
+
+TEST(Watchdog, QrCollapseNeedsTheFullWindow) {
+  WatchdogConfig config;
+  config.qr_threshold = 0.3;
+  config.qr_window = 3;
+  Watchdog dog(config);
+
+  // Two bad rounds, one good one: the streak resets.
+  for (int r = 0; r < 2; ++r) {
+    RoundSample s = sample(r);
+    s.qr = 0.1;
+    EXPECT_FALSE(dog.observe(s).has_value());
+  }
+  RoundSample good = sample(2);
+  good.qr = 0.8;
+  EXPECT_FALSE(dog.observe(good).has_value());
+
+  // Undiagnosed rounds neither count nor reset.
+  for (int r = 3; r < 5; ++r) {
+    RoundSample s = sample(r);
+    s.qr = 0.1;
+    EXPECT_FALSE(dog.observe(s).has_value());
+  }
+  EXPECT_FALSE(dog.observe(sample(5)).has_value());  // qr unset.
+  RoundSample third = sample(6);
+  third.qr = 0.2;
+  const auto alarm = dog.observe(third);
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(alarm->rule, "qr_collapse");
+  EXPECT_EQ(alarm->round, 6);
+  EXPECT_DOUBLE_EQ(alarm->value, 0.2);
+}
+
+TEST(Watchdog, RecallCollapseRespectsWarmup) {
+  WatchdogConfig config;
+  config.recall_floor = 0.1;
+  config.recall_window = 2;
+  config.recall_warmup = 5;
+  Watchdog dog(config);
+
+  // Rounds before warmup never count, however bad.
+  for (int r = 0; r < 5; ++r) {
+    RoundSample s = sample(r);
+    s.min_class_recall = 0.0;
+    EXPECT_FALSE(dog.observe(s).has_value()) << "round " << r;
+  }
+  RoundSample r5 = sample(5);
+  r5.min_class_recall = 0.0;
+  EXPECT_FALSE(dog.observe(r5).has_value());
+  RoundSample r6 = sample(6);
+  r6.min_class_recall = 0.05;
+  const auto alarm = dog.observe(r6);
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(alarm->rule, "recall_collapse");
+}
+
+TEST(Watchdog, RoundStallAgainstTrailingMedian) {
+  WatchdogConfig config;
+  config.stall_factor = 5.0;
+  config.stall_min_rounds = 4;
+  Watchdog dog(config);
+
+  for (int r = 0; r < 4; ++r) {
+    RoundSample s = sample(r);
+    s.round_wall_ms = 10.0;
+    EXPECT_FALSE(dog.observe(s).has_value());
+  }
+  // 4x the median: under the factor, no alarm — and it joins the history.
+  RoundSample fast = sample(4);
+  fast.round_wall_ms = 40.0;
+  EXPECT_FALSE(dog.observe(fast).has_value());
+  RoundSample stalled = sample(5);
+  stalled.round_wall_ms = 200.0;  // 20x the 10ms median.
+  const auto alarm = dog.observe(stalled);
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(alarm->rule, "round_stall");
+  EXPECT_DOUBLE_EQ(alarm->value, 200.0);
+}
+
+TEST(Watchdog, KeepsObservingAfterATrip) {
+  WatchdogConfig config;
+  config.qr_threshold = 0.5;
+  config.qr_window = 1;
+  Watchdog dog(config);
+  RoundSample bad = sample(0);
+  bad.qr = 0.1;
+  EXPECT_TRUE(dog.observe(bad).has_value());
+  bad.round = 1;
+  EXPECT_TRUE(dog.observe(bad).has_value());
+  EXPECT_EQ(dog.alarms().size(), 2u);
+  EXPECT_TRUE(dog.tripped());
+}
+
+}  // namespace
+}  // namespace fedwcm::obs

@@ -1,0 +1,89 @@
+/// \file fedwcm_compare.cpp
+/// Run-to-run regression diff over history JSONL artifacts.
+///
+/// Compares a candidate run (e.g. from a PR branch) against a baseline run
+/// (e.g. from main) and exits 0 when the candidate is within thresholds,
+/// 1 when any threshold is exceeded, 2 on usage or I/O errors — so CI can
+/// gate directly on the exit code.
+///
+/// Usage: fedwcm_compare BASELINE.jsonl CANDIDATE.jsonl
+///          [--accuracy-drop X]   max absolute final/best/tail-acc drop (0.01)
+///          [--recall-drop X]     max absolute min-class-recall drop (0.05)
+///          [--time-factor X]     max candidate/baseline mean-round-time
+///                                ratio (off by default; wall time is noisy
+///                                across machines)
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "fedwcm/analysis/compare.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: fedwcm_compare BASELINE.jsonl CANDIDATE.jsonl\n"
+    "         [--accuracy-drop X] [--recall-drop X] [--time-factor X]\n";
+
+bool parse_f64(const char* text, double& out) {
+  char* end = nullptr;
+  out = std::strtod(text, &end);
+  return end != text && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path, candidate_path;
+  fedwcm::analysis::CompareThresholds thresholds;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto take_f64 = [&](double& out) {
+      if (i + 1 >= argc || !parse_f64(argv[++i], out)) {
+        std::cerr << "fedwcm_compare: " << flag << " needs a number\n"
+                  << kUsage;
+        std::exit(2);
+      }
+    };
+    if (flag == "--accuracy-drop") {
+      take_f64(thresholds.accuracy_drop);
+    } else if (flag == "--recall-drop") {
+      take_f64(thresholds.recall_drop);
+    } else if (flag == "--time-factor") {
+      take_f64(thresholds.time_factor);
+    } else if (flag == "--help" || flag == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else if (!flag.empty() && flag[0] == '-') {
+      std::cerr << "fedwcm_compare: unknown flag " << flag << "\n" << kUsage;
+      return 2;
+    } else if (baseline_path.empty()) {
+      baseline_path = flag;
+    } else if (candidate_path.empty()) {
+      candidate_path = flag;
+    } else {
+      std::cerr << "fedwcm_compare: too many positional arguments\n" << kUsage;
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || candidate_path.empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  fedwcm::analysis::RunSummary baseline, candidate;
+  std::string error;
+  if (!fedwcm::analysis::load_run_summary(baseline_path, baseline, error)) {
+    std::cerr << "fedwcm_compare: baseline: " << error << "\n";
+    return 2;
+  }
+  if (!fedwcm::analysis::load_run_summary(candidate_path, candidate, error)) {
+    std::cerr << "fedwcm_compare: candidate: " << error << "\n";
+    return 2;
+  }
+
+  const fedwcm::analysis::CompareReport report =
+      fedwcm::analysis::compare_runs(baseline, candidate, thresholds);
+  std::cout << fedwcm::analysis::format_report(baseline, candidate, report);
+  return report.ok() ? 0 : 1;
+}

@@ -39,10 +39,23 @@
 ///   --diag                per-round learning-dynamics diagnostics [off]
 ///   --report-html PATH    self-contained HTML dashboard       [none]
 ///   --progress            per-round progress lines            [off]
+///   --serve PORT          live HTTP telemetry (/metrics, /healthz,
+///                         /events) on 127.0.0.1:PORT     [$FEDWCM_SERVE]
+///   --watchdog            online anomaly watchdog             [off]
+///   --watchdog-abort      abort-with-checkpoint on a trip     [off]
+///   --qr-threshold F      q_r collapse floor (enables rule)   [off]
+///   --qr-window N         consecutive rounds below threshold  [3]
+///   --recall-floor F      min-class-recall floor (enables rule) [off]
+///   --recall-window N     consecutive evals below floor       [3]
+///   --stall-factor F      round-stall multiple of median      [10]
+///   --flight PATH         flight-recorder dump file  [flight.json w/ --watchdog]
 ///
 /// Numeric flags are parsed strictly: a non-numeric, partially numeric,
 /// out-of-range, or non-finite value exits with status 2 and an error naming
 /// the offending flag (no silent atoi-style zero fallback).
+///
+/// Exit status: 0 success, 1 runtime error, 2 usage error, 3 run aborted by
+/// the watchdog (artifacts are still written).
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
@@ -61,7 +74,12 @@
 #include "fedwcm/data/synthetic.hpp"
 #include "fedwcm/fl/registry.hpp"
 #include "fedwcm/fl/simulation.hpp"
+#include "fedwcm/fl/telemetry.hpp"
+#include "fedwcm/obs/event.hpp"
+#include "fedwcm/obs/flight.hpp"
+#include "fedwcm/obs/http.hpp"
 #include "fedwcm/obs/runtime.hpp"
+#include "fedwcm/obs/watchdog.hpp"
 
 using namespace fedwcm;
 
@@ -94,6 +112,11 @@ struct Args {
   bool diag = false;
   std::string report_html;
   bool progress = false;
+  int serve_port = -1;  ///< -1 = off; 0 = ephemeral.
+  bool watchdog = false;
+  bool watchdog_abort = false;
+  obs::WatchdogConfig watchdog_config;
+  std::string flight;
 };
 
 const char kUsage[] =
@@ -132,6 +155,25 @@ const char kUsage[] =
     "                        trajectory is bitwise identical)       [off]\n"
     "  --report-html PATH    write a self-contained HTML dashboard  [none]\n"
     "  --progress            per-round progress lines           [off]\n"
+    "  --serve PORT          serve live telemetry on 127.0.0.1:PORT —\n"
+    "                        /metrics (Prometheus), /healthz, /events?n=K\n"
+    "                        (port 0 picks a free port)       [$FEDWCM_SERVE]\n"
+    "  --watchdog            online anomaly watchdog: non-finite loss/params,\n"
+    "                        q_r collapse, minority-recall collapse, round\n"
+    "                        stalls (see docs/OBSERVABILITY.md)   [off]\n"
+    "  --watchdog-abort      on a trip, checkpoint (if enabled) and stop the\n"
+    "                        run with an 'aborted' result        [off]\n"
+    "  --qr-threshold F      arm the q_r rule: alarm when the momentum\n"
+    "                        alignment stays below F (needs --diag) [off]\n"
+    "  --qr-window N         ... for N consecutive diagnosed rounds [3]\n"
+    "  --recall-floor F      arm the recall rule: alarm when min per-class\n"
+    "                        recall stays below F                [off]\n"
+    "  --recall-window N     ... for N consecutive evaluations   [3]\n"
+    "  --stall-factor F      alarm when a round takes F x the trailing\n"
+    "                        median round time                   [10]\n"
+    "  --flight PATH         flight-recorder dump (last events as JSON,\n"
+    "                        written on a trip or fatal signal)\n"
+    "                        [flight.json when --watchdog is on]\n"
     "  --help, -h            print this message and exit\n";
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -220,6 +262,28 @@ Args parse(int argc, char** argv) {
     else if (flag == "--diag") args.diag = true;
     else if (flag == "--report-html") args.report_html = need_value(i);
     else if (flag == "--progress") args.progress = true;
+    else if (flag == "--serve") {
+      const std::uint64_t port = parse_u64(flag, need_value(i));
+      if (port > 65535) usage_error("--serve port must be in [0, 65535]");
+      args.serve_port = int(port);
+    }
+    else if (flag == "--watchdog") args.watchdog = true;
+    else if (flag == "--watchdog-abort") { args.watchdog = true; args.watchdog_abort = true; }
+    else if (flag == "--qr-threshold") {
+      args.watchdog = true;
+      args.watchdog_config.qr_threshold = parse_prob(flag, need_value(i));
+    }
+    else if (flag == "--qr-window")
+      args.watchdog_config.qr_window = int(parse_u64(flag, need_value(i)));
+    else if (flag == "--recall-floor") {
+      args.watchdog = true;
+      args.watchdog_config.recall_floor = parse_prob(flag, need_value(i));
+    }
+    else if (flag == "--recall-window")
+      args.watchdog_config.recall_window = int(parse_u64(flag, need_value(i)));
+    else if (flag == "--stall-factor")
+      args.watchdog_config.stall_factor = parse_f64(flag, need_value(i));
+    else if (flag == "--flight") args.flight = need_value(i);
     else if (flag == "--help" || flag == "-h") {
       std::cout << kUsage;
       std::exit(0);
@@ -227,6 +291,13 @@ Args parse(int argc, char** argv) {
       usage_error("unknown flag " + flag);
     }
   }
+  // Env fallback: FEDWCM_SERVE=<port> behaves like --serve (flag wins).
+  if (args.serve_port < 0)
+    if (const char* env = std::getenv("FEDWCM_SERVE"); env && *env) {
+      const std::uint64_t port = parse_u64("FEDWCM_SERVE", env);
+      if (port > 65535) usage_error("FEDWCM_SERVE port must be in [0, 65535]");
+      args.serve_port = int(port);
+    }
   return args;
 }
 
@@ -251,6 +322,25 @@ int main(int argc, char** argv) {
   if (!args.trace.empty()) obs_options.trace_path = args.trace;
   if (!args.metrics_out.empty()) obs_options.metrics_path = args.metrics_out;
   obs::enable(obs_options);
+
+  // Live telemetry: Prometheus /metrics + /healthz + /events over loopback.
+  // Started before the run so a scraper sees the whole trajectory.
+  std::unique_ptr<obs::HttpExporter> exporter;
+  if (args.serve_port >= 0) {
+    obs::metrics().set_enabled(true);
+    obs::events().set_enabled(true);
+    obs::HttpExporterOptions http_options;
+    http_options.port = std::uint16_t(args.serve_port);
+    exporter = std::make_unique<obs::HttpExporter>(obs::metrics(),
+                                                   obs::events(), http_options);
+    std::string error;
+    if (!exporter->start(error)) {
+      std::cerr << "fedwcm_run: --serve: " << error << "\n";
+      return 1;
+    }
+    std::cout << "serving: http://127.0.0.1:" << exporter->port()
+              << " (/metrics /healthz /events)\n";
+  }
 
   data::SyntheticSpec spec = dataset_by_name(args.dataset);
   spec.class_separation = 4.5f;
@@ -308,6 +398,29 @@ int main(int argc, char** argv) {
     sim.set_checkpointing(
         {args.checkpoint, args.checkpoint_every, args.resume});
 
+  // Watchdog + flight recorder. Added after the diagnostics observer so a
+  // q_r rule sees the momentum-alignment fields it needs (--qr-threshold
+  // without --diag simply never fires — q_r is never diagnosed).
+  std::unique_ptr<obs::FlightRecorder> flight;
+  if (args.watchdog) {
+    obs::events().set_enabled(true);
+    flight = std::make_unique<obs::FlightRecorder>(
+        obs::events(), args.flight.empty() ? "flight.json" : args.flight);
+    flight->install_signal_handlers();
+    auto watchdog = std::make_shared<fl::WatchdogObserver>(args.watchdog_config);
+    watchdog->set_flight_recorder(flight.get());
+    watchdog->set_abort_on_trip(args.watchdog_abort);
+    obs::HttpExporter* exporter_ptr = exporter.get();
+    watchdog->set_on_trip([exporter_ptr](const obs::Alarm& alarm) {
+      std::cerr << "watchdog ALARM [" << alarm.rule << "] round " << alarm.round
+                << ": " << alarm.message << "\n";
+      if (exporter_ptr)
+        exporter_ptr->set_unhealthy(alarm.rule + ": " + alarm.message);
+    });
+    sim.add_observer(watchdog);
+    sim.set_stop_flag(watchdog->stop_flag());
+  }
+
   std::unique_ptr<fl::Algorithm> algorithm;
   try {
     algorithm = fl::make_algorithm(args.alg);
@@ -328,6 +441,13 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (result.aborted)
+    std::cout << "run ABORTED by the watchdog (checkpoint "
+              << (args.checkpoint.empty() ? std::string("disabled")
+                                          : args.checkpoint)
+              << ", flight "
+              << (args.flight.empty() ? std::string("flight.json") : args.flight)
+              << ")\n";
   std::cout << "final accuracy:      " << result.final_accuracy << "\n"
             << "tail-mean accuracy:  " << result.tail_mean_accuracy << "\n"
             << "best accuracy:       " << result.best_accuracy << "\n"
@@ -368,5 +488,7 @@ int main(int argc, char** argv) {
     if (!obs_options.metrics_path.empty())
       std::cout << "metrics: " << obs_options.metrics_path << "\n";
   }
-  return 0;
+  // Exit 3 distinguishes a watchdog abort (artifacts were still written)
+  // from success (0) and hard errors (1) / usage errors (2).
+  return result.aborted ? 3 : 0;
 }

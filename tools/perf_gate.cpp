@@ -6,26 +6,80 @@
 /// regressed:
 ///
 ///   * blocked GEMM must not be slower than the naive reference on the
-///     256x256x256 headline shape, and
+///     256x256x256 headline shape,
 ///   * the end-to-end FedWCM run must reach the same final accuracy in both
 ///     kernel modes within 1e-4 (test accuracy quantises at 1/600 samples,
-///     so in practice this means exactly equal).
+///     so in practice this means exactly equal), and
+///   * with `--baseline PATH`, the headline blocked-vs-naive *speedup* must
+///     stay above half the baseline's. Speedups are machine-relative, so the
+///     committed repo-root BENCH_kernels.json works as a baseline on any
+///     hardware (absolute GFLOP/s would not).
+///
+/// A missing baseline file is an error unless `--allow-missing-baseline` is
+/// given, in which case the comparison is skipped with a warning and the
+/// remaining checks still gate — first CI run on a fresh branch must not go
+/// red just because the artifact cache is cold.
 ///
 /// CI runs `perf_gate --quick` on every push; the committed repo-root
 /// BENCH_kernels.json is a full (non-quick) run.
 ///
 /// Usage: perf_gate [--quick] [--skip-e2e] [--out PATH]
+///                  [--baseline PATH] [--allow-missing-baseline]
 
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
+#include "fedwcm/obs/json.hpp"
 #include "kernel_bench.hpp"
+
+namespace {
+
+/// The headline (256^3 matmul) speedup recorded in a baseline
+/// BENCH_kernels.json. Returns false with a message when the file doesn't
+/// parse or lacks the headline entry.
+bool load_baseline_speedup(const std::string& path, double& out,
+                           std::string& error) {
+  std::ifstream is(path);
+  if (!is) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  fedwcm::obs::json::Value doc;
+  if (!fedwcm::obs::json::parse(buffer.str(), doc, error)) return false;
+  const fedwcm::obs::json::Value* gemm = doc.find("gemm");
+  if (!gemm || !gemm->is_array()) {
+    error = "no gemm array in " + path;
+    return false;
+  }
+  for (const auto& entry : gemm->as_array()) {
+    const auto* op = entry.find("op");
+    const auto* m = entry.find("m");
+    const auto* n = entry.find("n");
+    const auto* k = entry.find("k");
+    const auto* speedup = entry.find("speedup");
+    if (op && op->is_string() && op->as_string() == "matmul" && m && n && k &&
+        m->is_number() && m->as_number() == 256 && n->as_number() == 256 &&
+        k->as_number() == 256 && speedup && speedup->is_number()) {
+      out = speedup->as_number();
+      return true;
+    }
+  }
+  error = "no matmul 256x256x256 entry in " + path;
+  return false;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   fedwcm::bench::KernelBenchOptions options;
   options.verbose = true;
   std::string out_path = "BENCH_kernels.json";
+  std::string baseline_path;
+  bool allow_missing_baseline = false;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--quick") {
@@ -34,8 +88,14 @@ int main(int argc, char** argv) {
       options.skip_e2e = true;
     } else if (flag == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (flag == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (flag == "--allow-missing-baseline") {
+      allow_missing_baseline = true;
     } else {
-      std::cerr << "usage: perf_gate [--quick] [--skip-e2e] [--out PATH]\n";
+      std::cerr << "usage: perf_gate [--quick] [--skip-e2e] [--out PATH]\n"
+                   "                 [--baseline PATH] "
+                   "[--allow-missing-baseline]\n";
       return 2;
     }
   }
@@ -67,6 +127,36 @@ int main(int argc, char** argv) {
       std::cerr << "perf_gate: FAIL — blocked GEMM slower than naive on the "
                    "headline shape\n";
       ok = false;
+    }
+  }
+
+  if (!baseline_path.empty()) {
+    double baseline_speedup = 0.0;
+    std::string error;
+    std::ifstream probe(baseline_path);
+    if (!probe) {
+      if (allow_missing_baseline) {
+        std::cerr << "perf_gate: WARNING — baseline " << baseline_path
+                  << " not found; skipping the speedup comparison\n";
+      } else {
+        std::cerr << "perf_gate: FAIL — baseline " << baseline_path
+                  << " not found (pass --allow-missing-baseline to make this "
+                     "a warning)\n";
+        ok = false;
+      }
+    } else if (!load_baseline_speedup(baseline_path, baseline_speedup, error)) {
+      std::cerr << "perf_gate: FAIL — bad baseline: " << error << "\n";
+      ok = false;
+    } else if (headline != nullptr) {
+      std::cout << "perf_gate: headline speedup " << headline->speedup()
+                << "x vs baseline " << baseline_speedup << "x\n";
+      if (headline->speedup() < 0.5 * baseline_speedup) {
+        std::cerr << "perf_gate: FAIL — headline speedup fell below half the "
+                     "baseline's ("
+                  << headline->speedup() << "x < 0.5 * " << baseline_speedup
+                  << "x)\n";
+        ok = false;
+      }
     }
   }
 

@@ -1,0 +1,40 @@
+/// \file prom_check.cpp
+/// Validates a Prometheus text-exposition payload (as served by
+/// `fedwcm_run --serve`'s /metrics endpoint) against the in-tree strict
+/// parser. CI curls /metrics to a file and gates on this tool's exit code.
+///
+/// Usage: prom_check FILE   (use - for stdin)
+/// Exit: 0 well-formed, 1 malformed, 2 usage/IO error.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "fedwcm/obs/promtext.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: prom_check FILE\n";
+    return 2;
+  }
+  std::stringstream buffer;
+  const std::string path = argv[1];
+  if (path == "-") {
+    buffer << std::cin.rdbuf();
+  } else {
+    std::ifstream is(path);
+    if (!is) {
+      std::cerr << "prom_check: cannot open " << path << "\n";
+      return 2;
+    }
+    buffer << is.rdbuf();
+  }
+  std::string error;
+  if (!fedwcm::obs::validate_prometheus_text(buffer.str(), error)) {
+    std::cerr << "prom_check: INVALID — " << error << "\n";
+    return 1;
+  }
+  std::cout << "prom_check: ok\n";
+  return 0;
+}
