@@ -18,6 +18,7 @@
 #include "fedwcm/fl/registry.hpp"
 #include "fedwcm/fl/simulation.hpp"
 #include "fedwcm/nn/models.hpp"
+#include "fedwcm/obs/resource.hpp"
 
 namespace fedwcm::bench {
 namespace {
@@ -270,6 +271,7 @@ KernelBenchReport run_kernel_bench(const KernelBenchOptions& options) {
     report.e2e = run_e2e(options.quick, options.verbose);
 
   core::set_kernel_mode(previous);
+  report.peak_rss_kb = double(obs::peak_rss_kb());
   return report;
 }
 
@@ -279,6 +281,9 @@ std::string to_json(const KernelBenchReport& report) {
   os << "{\n";
   os << "  \"schema\": \"fedwcm.bench_kernels.v1\",\n";
   os << "  \"quick\": " << (report.quick ? "true" : "false") << ",\n";
+  os << "  ";
+  append_json_common(os, "peak_rss_kb", report.peak_rss_kb);
+  os << ",\n";
   os << "  \"gemm\": [\n";
   for (std::size_t i = 0; i < report.gemm.size(); ++i) {
     const GemmShapeResult& g = report.gemm[i];

@@ -70,6 +70,10 @@ struct E2eResult {
 
 struct KernelBenchReport {
   bool quick = false;
+  /// Process peak RSS (VmHWM, kB) sampled at the end of the suite, so the
+  /// committed baseline also tracks the memory high-water mark of the
+  /// benchmark workload alongside its throughput.
+  double peak_rss_kb = 0.0;
   std::vector<GemmShapeResult> gemm;
   std::vector<FusedOpResult> fused;
   E2eResult e2e;

@@ -1,0 +1,173 @@
+#include "fedwcm/analysis/flame.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <sstream>
+
+namespace fedwcm::analysis {
+
+bool parse_folded(const std::string& text, std::vector<FoldedStack>& out,
+                  std::string& error) {
+  out.clear();
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0 || space + 1 >= line.size()) {
+      error = "folded: line " + std::to_string(lineno) +
+              ": expected 'stack count'";
+      return false;
+    }
+    FoldedStack stack;
+    const std::string digits = line.substr(space + 1);
+    for (const char c : digits) {
+      if (c < '0' || c > '9') {
+        error = "folded: line " + std::to_string(lineno) +
+                ": non-numeric count '" + digits + "'";
+        return false;
+      }
+      stack.count = stack.count * 10 + std::uint64_t(c - '0');
+    }
+    std::istringstream frames(line.substr(0, space));
+    std::string frame;
+    while (std::getline(frames, frame, ';'))
+      if (!frame.empty()) stack.frames.push_back(frame);
+    if (stack.frames.empty()) {
+      error = "folded: line " + std::to_string(lineno) + ": empty stack";
+      return false;
+    }
+    out.push_back(std::move(stack));
+  }
+  return true;
+}
+
+namespace {
+
+/// Merged-stack trie node. Children keep deterministic (name) order so the
+/// same profile always renders the same SVG byte-for-byte.
+struct Node {
+  std::uint64_t count = 0;  ///< Inclusive samples.
+  std::map<std::string, std::unique_ptr<Node>> children;
+};
+
+std::size_t tree_depth(const Node& node) {
+  std::size_t deepest = 0;
+  for (const auto& [name, child] : node.children)
+    deepest = std::max(deepest, tree_depth(*child));
+  return deepest + 1;
+}
+
+std::string xml_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Deterministic warm color per frame name (FNV-1a hash into a flame
+/// palette), so a function keeps its color across runs and machines.
+std::string frame_color(const std::string& name) {
+  std::uint32_t h = 2166136261u;
+  for (const char c : name) {
+    h ^= std::uint32_t(static_cast<unsigned char>(c));
+    h *= 16777619u;
+  }
+  const int r = 205 + int(h % 50);
+  const int g = 40 + int((h >> 8) % 160);
+  const int b = int((h >> 16) % 40);
+  std::ostringstream os;
+  os << "rgb(" << r << "," << g << "," << b << ")";
+  return os.str();
+}
+
+std::string fmt2(double v) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << v;
+  return os.str();
+}
+
+void render_node(std::ostringstream& svg, const Node& node,
+                 const std::string& name, std::uint64_t total, double x_px,
+                 double width_px, int depth, int svg_height,
+                 const FlamegraphOptions& options) {
+  const int y = svg_height - (depth + 1) * options.frame_height - 4;
+  const double percent = 100.0 * double(node.count) / double(total);
+  svg << "<g><title>" << xml_escape(name) << " (" << node.count
+      << " samples, " << fmt2(percent) << "%)</title>"
+      << "<rect x=\"" << fmt2(x_px) << "\" y=\"" << y << "\" width=\""
+      << fmt2(width_px) << "\" height=\"" << options.frame_height - 1
+      << "\" fill=\"" << frame_color(name) << "\" rx=\"1\"/>";
+  // Label only when it has room; ~7 px per character of 12px monospace.
+  const std::size_t fit = std::size_t(std::max(0.0, width_px - 4.0) / 7.0);
+  if (fit >= 3) {
+    std::string label = name;
+    if (label.size() > fit) label = label.substr(0, fit - 2) + "..";
+    svg << "<text x=\"" << fmt2(x_px + 2.0) << "\" y=\""
+        << y + options.frame_height - 5 << "\">" << xml_escape(label)
+        << "</text>";
+  }
+  svg << "</g>\n";
+
+  double child_x = x_px;
+  const double px_per_sample = width_px / double(node.count);
+  for (const auto& [child_name, child] : node.children) {
+    const double child_width = px_per_sample * double(child->count);
+    if (double(child->count) / double(total) >= options.min_fraction)
+      render_node(svg, *child, child_name, total, child_x, child_width,
+                  depth + 1, svg_height, options);
+    child_x += child_width;
+  }
+}
+
+}  // namespace
+
+std::string render_flamegraph(const std::vector<FoldedStack>& stacks,
+                              const FlamegraphOptions& options) {
+  Node root;
+  for (const FoldedStack& stack : stacks) {
+    root.count += stack.count;
+    Node* node = &root;
+    for (const std::string& frame : stack.frames) {
+      std::unique_ptr<Node>& child = node->children[frame];
+      if (!child) child = std::make_unique<Node>();
+      child->count += stack.count;
+      node = child.get();
+    }
+  }
+
+  const int levels = int(root.count > 0 ? tree_depth(root) : 1);
+  const int header = 28;
+  const int height = header + levels * options.frame_height + 8;
+
+  std::ostringstream svg;
+  svg << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.width
+      << "\" height=\"" << height << "\" viewBox=\"0 0 " << options.width
+      << " " << height << "\">\n"
+      << "<style>text{font:12px monospace;fill:#111;pointer-events:none}"
+      << ".t{font:14px monospace;font-weight:bold}</style>\n"
+      << "<rect width=\"100%\" height=\"100%\" fill=\"#fdf6ec\"/>\n"
+      << "<text class=\"t\" x=\"8\" y=\"19\">" << xml_escape(options.title)
+      << " &#8212; " << root.count << " samples</text>\n";
+  if (root.count > 0)
+    render_node(svg, root, "all", root.count, 4.0,
+                double(options.width) - 8.0, 0, height, options);
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+}  // namespace fedwcm::analysis

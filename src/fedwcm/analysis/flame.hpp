@@ -1,0 +1,51 @@
+#pragma once
+/// \file flame.hpp
+/// Collapsed-stack parsing and self-contained SVG flamegraph rendering.
+///
+/// Input is the standard folded format the StackSampler (obs/sampler.hpp)
+/// emits and every flamegraph toolchain understands — one stack per line,
+/// root-first frames joined by ';', a space, and a sample count:
+///
+///     main;fedwcm::fl::Simulation::run;fedwcm::nn::Sequential::forward 42
+///
+/// `render_flamegraph` lays the merged stack trie out as a single static
+/// SVG document: frame width ∝ inclusive sample share, depth stacked
+/// upward, warm-palette fill chosen by a deterministic hash of the frame
+/// name (same function ⇒ same color across runs and machines), with the
+/// full name + count + percentage in a hover `<title>`. No JavaScript and
+/// no external assets, in the spirit of the run dashboard
+/// (report_html.hpp): the artifact stays viewable offline forever.
+///
+/// `tools/fedwcm_flame` is the CLI wrapper: `fedwcm_flame in.folded out.svg`.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fedwcm::analysis {
+
+/// One folded line: the frame path (root first) and its sample count.
+struct FoldedStack {
+  std::vector<std::string> frames;
+  std::uint64_t count = 0;
+};
+
+/// Parses folded text. Returns false with a message naming the offending
+/// line on malformed input (missing count, empty stack); blank lines are
+/// skipped. An empty (but valid) input yields an empty vector.
+bool parse_folded(const std::string& text, std::vector<FoldedStack>& out,
+                  std::string& error);
+
+struct FlamegraphOptions {
+  std::string title = "fedwcm profile";
+  int width = 1200;       ///< SVG pixel width.
+  int frame_height = 17;  ///< Pixels per stack level.
+  double min_fraction = 0.0005;  ///< Hide frames narrower than this share.
+};
+
+/// Renders the stacks as one self-contained SVG document (returned as a
+/// string; valid even for empty input, where it shows only the title bar).
+std::string render_flamegraph(const std::vector<FoldedStack>& stacks,
+                              const FlamegraphOptions& options = {});
+
+}  // namespace fedwcm::analysis

@@ -63,6 +63,9 @@ class Matrix {
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
   std::size_t size() const { return data_.size(); }
+  /// Elements the backing store can hold without reallocating — what a
+  /// scratch buffer actually pins in memory (profiling reads this).
+  std::size_t capacity() const { return data_.capacity(); }
   bool empty() const { return data_.empty(); }
 
   float* data() { return data_.data(); }

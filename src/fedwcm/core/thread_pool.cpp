@@ -6,7 +6,8 @@
 
 namespace fedwcm::core {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, std::string name)
+    : name_(name.empty() ? std::string("default") : std::move(name)) {
   if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)

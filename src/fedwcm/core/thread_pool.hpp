@@ -16,6 +16,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -24,13 +25,16 @@ namespace fedwcm::core {
 class ThreadPool {
  public:
   /// `threads == 0` selects std::thread::hardware_concurrency() (min 1).
-  explicit ThreadPool(std::size_t threads = 0);
+  /// `name` labels this pool in exported metrics ("simulation",
+  /// "evaluation", ...); unnamed pools report as "default".
+  explicit ThreadPool(std::size_t threads = 0, std::string name = {});
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t size() const { return workers_.size(); }
+  const std::string& name() const { return name_; }
 
   /// Enqueues a task; the returned future rethrows any task exception.
   template <typename F>
@@ -57,6 +61,7 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  std::string name_;
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
   mutable std::mutex mutex_;

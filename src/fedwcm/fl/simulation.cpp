@@ -9,6 +9,8 @@
 #include "fedwcm/obs/clock.hpp"
 #include "fedwcm/obs/event.hpp"
 #include "fedwcm/obs/metrics.hpp"
+#include "fedwcm/obs/poolstats.hpp"
+#include "fedwcm/obs/prof.hpp"
 #include "fedwcm/obs/trace.hpp"
 
 namespace fedwcm::fl {
@@ -113,6 +115,7 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
   obs::Counter rejected_counter = registry.counter("faults.rejected");
   obs::Counter straggled_counter = registry.counter("faults.straggled");
   obs::Gauge queue_depth_gauge = registry.gauge("threadpool.queue_depth");
+  obs::Gauge workspace_bytes_gauge = registry.gauge("workspace.capacity_bytes");
   // Live gauges: the /metrics endpoint's view of run progress. Dead weight
   // (one relaxed store each) unless metrics are enabled.
   obs::Gauge live_round_gauge = registry.gauge("live.round");
@@ -170,7 +173,7 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
   publish(obs::EventKind::kRunBegin, std::int64_t(start_round), -1,
           double(config_.rounds), result.algorithm);
 
-  core::ThreadPool pool(config_.threads);
+  core::ThreadPool pool(config_.threads, "simulation");
   const std::size_t slots = config_.sampled_per_round();
   std::vector<std::unique_ptr<Worker>> workers;
   workers.reserve(slots);
@@ -193,6 +196,7 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
       std::vector<std::size_t> sampled;
       {
         obs::Span sample_span("sample_clients");
+        obs::prof::PhaseScope sample_phase(obs::prof::Phase::kSample);
         sampled = sample_clients(round);
       }
       algorithm.begin_round(round, sampled);
@@ -218,6 +222,7 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
       {
         obs::Span train_span("local_train", "clients",
                              std::int64_t(sampled.size()));
+        obs::prof::PhaseScope train_phase(obs::prof::Phase::kLocalTrain);
         core::parallel_for(pool, 0, sampled.size(), [&](std::size_t i) {
           if (kinds[i] == FaultKind::kDrop) {
             // Dropped clients never receive the broadcast nor train.
@@ -243,33 +248,45 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
         });
       }
       queue_depth_gauge.set(double(pool.peak_queue_depth()));
+      obs::publish_pool_stats(pool);
+      if (registry.enabled()) {
+        // Scratch memory pinned across workers: the O(participants) arena
+        // figure the lazy-materialization roadmap item will be gated on.
+        std::size_t ws_bytes = 0;
+        for (const auto& w : workers)
+          if (w->ws) ws_bytes += w->ws->capacity_bytes();
+        workspace_bytes_gauge.set(double(ws_bytes));
+      }
 
       // Graceful degradation: skip dropped clients, reject non-finite
       // uploads (injected corruption or genuine divergence). Aggregation
       // weights renormalize over the survivors because every aggregator
       // normalizes over the span it receives.
-      accepted.reserve(results.size());
-      for (std::size_t i = 0; i < results.size(); ++i) {
-        LocalResult& r = results[i];
-        if (r.dropped) {
-          ++rec.dropped;
-          continue;
+      {
+        obs::prof::PhaseScope upload_phase(obs::prof::Phase::kUpload);
+        accepted.reserve(results.size());
+        for (std::size_t i = 0; i < results.size(); ++i) {
+          LocalResult& r = results[i];
+          if (r.dropped) {
+            ++rec.dropped;
+            continue;
+          }
+          if (kinds[i] == FaultKind::kStraggle) ++rec.straggled;
+          // Rejected clients still spent uplink bytes — the garbage was sent.
+          const std::uint64_t upload_bytes =
+              std::uint64_t(r.delta.size() + r.aux.size()) * sizeof(float);
+          rec.bytes_up += upload_bytes;
+          const bool finite =
+              core::pv::all_finite(r.delta) && core::pv::all_finite(r.aux);
+          publish(obs::EventKind::kClientUpload, std::int64_t(round),
+                  std::int64_t(r.client), double(upload_bytes),
+                  finite ? "accepted" : "rejected");
+          if (!finite) {
+            ++rec.rejected;
+            continue;
+          }
+          accepted.push_back(std::move(r));
         }
-        if (kinds[i] == FaultKind::kStraggle) ++rec.straggled;
-        // Rejected clients still spent uplink bytes — the garbage was sent.
-        const std::uint64_t upload_bytes =
-            std::uint64_t(r.delta.size() + r.aux.size()) * sizeof(float);
-        rec.bytes_up += upload_bytes;
-        const bool finite =
-            core::pv::all_finite(r.delta) && core::pv::all_finite(r.aux);
-        publish(obs::EventKind::kClientUpload, std::int64_t(round),
-                std::int64_t(r.client), double(upload_bytes),
-                finite ? "accepted" : "rejected");
-        if (!finite) {
-          ++rec.rejected;
-          continue;
-        }
-        accepted.push_back(std::move(r));
       }
 
       // Diagnostics observers see the surviving uploads against the momentum
@@ -280,6 +297,7 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
 
       {
         obs::Span aggregate_span("aggregate");
+        obs::prof::PhaseScope aggregate_phase(obs::prof::Phase::kAggregate);
         if (!accepted.empty()) algorithm.aggregate(accepted, round, global);
       }
 
@@ -306,8 +324,13 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
       const bool last = round + 1 == config_.rounds;
       if (round % config_.eval_every == 0 || last) {
         obs::Span eval_span("evaluate");
+        obs::prof::PhaseScope eval_phase(obs::prof::Phase::kEvaluate);
         const std::uint64_t eval_start_us = obs::now_us();
         rec.evaluated = true;
+        // Begin/end bracket on the bus so /events explains the wall-clock
+        // spike an evaluated round shows over its neighbours.
+        publish(obs::EventKind::kEvalBegin, std::int64_t(round), -1,
+                double(ctx_.test->size()));
         EvalResult ev = evaluate(eval_model, global, *ctx_.test, config_.eval_batch);
         rec.test_accuracy = ev.accuracy;
         // Per-class recall every evaluated round (evaluate() computes it
@@ -338,7 +361,9 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
               rec.per_class_accuracy.begin(), rec.per_class_accuracy.end())));
         publish(obs::EventKind::kEvaluate, std::int64_t(round), -1,
                 double(rec.test_accuracy));
-        eval_ms_hist.observe(obs::elapsed_ms(eval_start_us, obs::now_us()));
+        const double eval_ms = obs::elapsed_ms(eval_start_us, obs::now_us());
+        publish(obs::EventKind::kEvalEnd, std::int64_t(round), -1, eval_ms);
+        eval_ms_hist.observe(eval_ms);
       }
     }  // round span closes here so its duration matches round_wall_ms.
 
@@ -355,6 +380,7 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
     // killed at any instant leaves either the previous checkpoint or this one
     // — never a torn file (core/checkpoint.hpp writes tmp + rename).
     const auto save_now = [&] {
+      obs::prof::PhaseScope checkpoint_phase(obs::prof::Phase::kCheckpoint);
       ResumeState state;
       state.next_round = round + 1;
       state.global = global;

@@ -16,6 +16,13 @@ std::vector<float>& Workspace::get_vec(const void* owner, int slot,
   return v;
 }
 
+std::size_t Workspace::capacity_bytes() const {
+  std::size_t elems = 0;
+  for (const auto& [key, m] : mats_) elems += m.capacity();
+  for (const auto& [key, v] : vecs_) elems += v.capacity();
+  return elems * sizeof(float);
+}
+
 void Workspace::clear() {
   mats_.clear();
   vecs_.clear();

@@ -41,6 +41,11 @@ class Workspace {
   /// Number of distinct buffers currently held (both kinds).
   std::size_t buffer_count() const { return mats_.size() + vecs_.size(); }
 
+  /// Bytes of float storage pinned across all held buffers (capacities, not
+  /// current sizes — a shrinking resize keeps its memory). This is the
+  /// per-worker figure the resource profiler attributes to scratch arenas.
+  std::size_t capacity_bytes() const;
+
   /// Drops every buffer (releases memory; next `get` re-allocates).
   void clear();
 

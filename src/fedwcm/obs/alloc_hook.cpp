@@ -1,0 +1,114 @@
+// Counting global allocator: the allocation-attribution hook behind
+// obs::alloc_counters() and the zero-allocation hot-path tests.
+//
+// This TU replaces the global operator new/delete family with malloc-backed
+// versions that bump process-wide call/byte counters on every successful
+// allocation, and registers a reader with obs/resource.cpp from a pre-main
+// static initializer. Behaviour is otherwise identical to the default
+// allocator, so the hook is safe to link into release binaries — fedwcm_run
+// links it so the profiling ledger can attribute allocations per phase, the
+// test binary links it for tests/fl/test_zero_alloc.cpp.
+//
+// Built as a CMake OBJECT library (fedwcm_alloc_hook): object files are
+// always linked wholesale, so the operator replacements take effect even
+// though nothing references this TU by symbol.
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "fedwcm/obs/resource.hpp"
+
+// Every variant funnels through counted_alloc/counted_alloc_aligned so the
+// counters see array, nothrow, and over-aligned forms alike.
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<std::uint64_t> g_allocated_bytes{0};
+
+void count(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_allocated_bytes.fetch_add(size, std::memory_order_relaxed);
+}
+
+void* counted_alloc(std::size_t size) {
+  // operator new must return a unique pointer even for size 0.
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p != nullptr) count(size);
+  return p;
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  if (align < alignof(void*)) align = alignof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size == 0 ? align : size) != 0) return nullptr;
+  count(size);
+  return p;
+}
+
+fedwcm::obs::AllocCounters read_counters() {
+  return {g_allocations.load(std::memory_order_relaxed),
+          g_allocated_bytes.load(std::memory_order_relaxed)};
+}
+
+/// Pre-main registration with the resource layer. g_alloc_source over there
+/// is constant-initialized, so ordering against this dynamic initializer is
+/// well-defined.
+struct RegisterHook {
+  RegisterHook() { fedwcm::obs::set_alloc_source(&read_counters); }
+};
+RegisterHook g_register_hook;
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = counted_alloc_aligned(size, std::size_t(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_alloc_aligned(size, std::size_t(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_alloc_aligned(size, std::size_t(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

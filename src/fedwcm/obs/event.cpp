@@ -13,6 +13,8 @@ const char* to_string(EventKind kind) {
     case EventKind::kRoundBegin: return "round_begin";
     case EventKind::kClientUpload: return "client_upload";
     case EventKind::kFaultInjected: return "fault_injected";
+    case EventKind::kEvalBegin: return "eval_begin";
+    case EventKind::kEvalEnd: return "eval_end";
     case EventKind::kEvaluate: return "evaluate";
     case EventKind::kCheckpoint: return "checkpoint";
     case EventKind::kRoundEnd: return "round_end";

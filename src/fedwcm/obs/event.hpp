@@ -36,6 +36,8 @@ enum class EventKind : std::uint8_t {
   kRoundBegin,    ///< value = sampled-client count.
   kClientUpload,  ///< client set; value = uplink bytes; detail = "accepted"/"rejected".
   kFaultInjected, ///< client set; detail = "drop"/"straggle"/"corrupt".
+  kEvalBegin,     ///< value = test-example count; explains round-time spikes.
+  kEvalEnd,       ///< value = evaluation wall-clock ms.
   kEvaluate,      ///< value = test accuracy.
   kCheckpoint,    ///< detail = checkpoint path.
   kRoundEnd,      ///< value = round wall-clock ms.

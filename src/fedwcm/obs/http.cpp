@@ -122,6 +122,11 @@ void HttpExporter::set_healthy() {
   healthy_.store(true, std::memory_order_relaxed);
 }
 
+void HttpExporter::set_profile_provider(ProfileProvider provider) {
+  std::lock_guard<std::mutex> lock(profile_mutex_);
+  profile_provider_ = std::move(provider);
+}
+
 void HttpExporter::serve_loop() {
   // Polling with a short timeout keeps shutdown prompt without relying on
   // close() waking a blocked accept().
@@ -204,12 +209,25 @@ std::string HttpExporter::respond(const std::string& request_line) const {
     body << "]}";
     return make_response(200, "OK", "application/json", body.str());
   }
+  if (path == "/profile") {
+    ProfileProvider provider;
+    {
+      std::lock_guard<std::mutex> lock(profile_mutex_);
+      provider = profile_provider_;
+    }
+    if (!provider)
+      return make_response(503, "Service Unavailable", "text/plain",
+                           "profiling not enabled (run with --profile or "
+                           "--ledger)\n");
+    return make_response(200, "OK", "application/json", provider());
+  }
   if (path == "/")
     return make_response(
         200, "OK", "text/plain",
         "fedwcm live telemetry\n  /metrics  Prometheus exposition\n"
         "  /healthz  health (503 after a watchdog trip)\n"
-        "  /events?n=K  newest K bus events as JSON\n");
+        "  /events?n=K  newest K bus events as JSON\n"
+        "  /profile  live resource ledger JSON (when profiling)\n");
   return make_response(404, "Not Found", "text/plain", "not found\n");
 }
 

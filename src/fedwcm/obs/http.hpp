@@ -12,6 +12,8 @@
 ///                    min per-class recall, q_r, fault counters, ...)
 ///   GET /healthz     200 "ok" — or 503 once a watchdog has tripped
 ///   GET /events?n=K  the newest K bus events as JSON (default 64)
+///   GET /profile     live resource ledger JSON (when a provider is set;
+///                    503 otherwise — see set_profile_provider)
 ///
 /// Sequential request handling is a feature, not a limitation: the endpoint
 /// exists for one scraper plus the occasional human, and a single thread
@@ -25,6 +27,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -65,6 +68,14 @@ class HttpExporter {
   void set_healthy();
   bool healthy() const { return healthy_.load(std::memory_order_relaxed); }
 
+  /// Installs the /profile payload builder (typically a closure calling
+  /// obs::prof::collect_ledger + to_json). Called from the serving thread on
+  /// each request, so it must be thread-safe; the profiling collectors are
+  /// read-only atomics/procfs reads, which qualifies. Pass an empty function
+  /// to turn /profile back into a 503.
+  using ProfileProvider = std::function<std::string()>;
+  void set_profile_provider(ProfileProvider provider);
+
  private:
   void serve_loop();
   void handle_connection(int fd);
@@ -81,6 +92,8 @@ class HttpExporter {
   std::atomic<bool> healthy_{true};
   mutable std::mutex health_mutex_;  ///< Guards health_reason_.
   std::string health_reason_;
+  mutable std::mutex profile_mutex_;  ///< Guards profile_provider_.
+  ProfileProvider profile_provider_;
 };
 
 }  // namespace fedwcm::obs

@@ -1,0 +1,250 @@
+#include "fedwcm/obs/ledger.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "fedwcm/core/table.hpp"
+#include "fedwcm/obs/json.hpp"
+#include "fedwcm/obs/resource.hpp"
+
+namespace fedwcm::obs::prof {
+
+Ledger collect_ledger(const LedgerMeta& meta) {
+  Ledger ledger;
+  ledger.meta = meta;
+  ledger.cpu_ms = double(process_cpu_us()) / 1000.0;
+  ledger.peak_rss_kb = peak_rss_kb();
+  ledger.end_rss_kb = current_rss_kb();
+  const AllocCounters allocs = alloc_counters();
+  ledger.allocs = allocs.count;
+  ledger.alloc_bytes = allocs.bytes;
+  ledger.alloc_hook = alloc_hook_linked();
+  for (std::size_t p = 0; p < kPhaseCount; ++p)
+    ledger.phases[p] = accountant().totals(Phase(p));
+  return ledger;
+}
+
+namespace {
+
+std::string u64(std::uint64_t v) { return std::to_string(v); }
+
+/// Ledger numbers must stay parseable even if a reader produced a non-finite
+/// value; json::number_to_string maps those to null, which the strict
+/// validator then rejects — so clamp to 0 instead (a missing measurement).
+std::string num(double v) {
+  if (!std::isfinite(v)) return "0";
+  return json::number_to_string(v);
+}
+
+}  // namespace
+
+std::string to_json(const Ledger& ledger) {
+  std::ostringstream os;
+  os << "{\"schema\":" << json::escape(ledger.schema)
+     << ",\"algorithm\":" << json::escape(ledger.meta.algorithm)
+     << ",\"rounds\":" << u64(ledger.meta.rounds)
+     << ",\"aborted\":" << (ledger.meta.aborted ? "true" : "false")
+     << ",\"wall_ms\":" << num(ledger.meta.wall_ms)
+     << ",\"cpu_ms\":" << num(ledger.cpu_ms)
+     << ",\"peak_rss_kb\":" << num(ledger.peak_rss_kb)
+     << ",\"end_rss_kb\":" << num(ledger.end_rss_kb)
+     << ",\"bytes_up\":" << u64(ledger.meta.bytes_up)
+     << ",\"bytes_down\":" << u64(ledger.meta.bytes_down)
+     << ",\"allocs\":" << u64(ledger.allocs)
+     << ",\"alloc_bytes\":" << u64(ledger.alloc_bytes)
+     << ",\"alloc_hook\":" << (ledger.alloc_hook ? "true" : "false")
+     << ",\"profile_samples\":" << u64(ledger.meta.profile_samples)
+     << ",\"profile_dropped\":" << u64(ledger.meta.profile_dropped)
+     << ",\"phases\":{";
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    const PhaseTotals& t = ledger.phases[p];
+    if (p != 0) os << ',';
+    os << json::escape(to_string(Phase(p))) << ":{\"count\":" << u64(t.count)
+       << ",\"wall_ms\":" << num(t.wall_ms) << ",\"cpu_ms\":" << num(t.cpu_ms)
+       << ",\"allocs\":" << u64(t.allocs)
+       << ",\"alloc_bytes\":" << u64(t.alloc_bytes)
+       << ",\"rss_delta_kb\":" << num(t.rss_delta_kb)
+       << ",\"rss_peak_kb\":" << num(t.rss_peak_kb) << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+namespace {
+
+bool require_number(const json::Value& obj, const char* key, double& out,
+                    std::string& error) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) {
+    error = std::string("ledger: missing or non-numeric key \"") + key + "\"";
+    return false;
+  }
+  out = v->as_number();
+  return true;
+}
+
+bool require_u64(const json::Value& obj, const char* key, std::uint64_t& out,
+                 std::string& error) {
+  double d = 0.0;
+  if (!require_number(obj, key, d, error)) return false;
+  if (d < 0.0) {
+    error = std::string("ledger: negative value for \"") + key + "\"";
+    return false;
+  }
+  out = std::uint64_t(d);
+  return true;
+}
+
+bool require_bool(const json::Value& obj, const char* key, bool& out,
+                  std::string& error) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr || !v->is_bool()) {
+    error = std::string("ledger: missing or non-boolean key \"") + key + "\"";
+    return false;
+  }
+  out = v->as_bool();
+  return true;
+}
+
+bool parse_phase(const json::Value& obj, PhaseTotals& out, std::string& error) {
+  return require_u64(obj, "count", out.count, error) &&
+         require_number(obj, "wall_ms", out.wall_ms, error) &&
+         require_number(obj, "cpu_ms", out.cpu_ms, error) &&
+         require_u64(obj, "allocs", out.allocs, error) &&
+         require_u64(obj, "alloc_bytes", out.alloc_bytes, error) &&
+         require_number(obj, "rss_delta_kb", out.rss_delta_kb, error) &&
+         require_number(obj, "rss_peak_kb", out.rss_peak_kb, error);
+}
+
+}  // namespace
+
+bool ledger_from_json(const std::string& text, Ledger& out,
+                      std::string& error) {
+  json::Value root;
+  if (!json::parse(text, root, error)) return false;
+  if (!root.is_object()) {
+    error = "ledger: top level is not an object";
+    return false;
+  }
+  const json::Value* schema = root.find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    error = "ledger: missing \"schema\" string";
+    return false;
+  }
+  if (schema->as_string() != "fedwcm.ledger/1") {
+    error = "ledger: unknown schema \"" + schema->as_string() + "\"";
+    return false;
+  }
+  out = Ledger{};
+  out.schema = schema->as_string();
+  const json::Value* algorithm = root.find("algorithm");
+  if (algorithm == nullptr || !algorithm->is_string()) {
+    error = "ledger: missing \"algorithm\" string";
+    return false;
+  }
+  out.meta.algorithm = algorithm->as_string();
+  if (!require_u64(root, "rounds", out.meta.rounds, error) ||
+      !require_bool(root, "aborted", out.meta.aborted, error) ||
+      !require_number(root, "wall_ms", out.meta.wall_ms, error) ||
+      !require_number(root, "cpu_ms", out.cpu_ms, error) ||
+      !require_number(root, "peak_rss_kb", out.peak_rss_kb, error) ||
+      !require_number(root, "end_rss_kb", out.end_rss_kb, error) ||
+      !require_u64(root, "bytes_up", out.meta.bytes_up, error) ||
+      !require_u64(root, "bytes_down", out.meta.bytes_down, error) ||
+      !require_u64(root, "allocs", out.allocs, error) ||
+      !require_u64(root, "alloc_bytes", out.alloc_bytes, error) ||
+      !require_bool(root, "alloc_hook", out.alloc_hook, error) ||
+      !require_u64(root, "profile_samples", out.meta.profile_samples, error) ||
+      !require_u64(root, "profile_dropped", out.meta.profile_dropped, error))
+    return false;
+  const json::Value* phases = root.find("phases");
+  if (phases == nullptr || !phases->is_object()) {
+    error = "ledger: missing \"phases\" object";
+    return false;
+  }
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    const json::Value* phase = phases->find(to_string(Phase(p)));
+    if (phase == nullptr || !phase->is_object()) {
+      error = std::string("ledger: missing phase \"") + to_string(Phase(p)) +
+              "\"";
+      return false;
+    }
+    if (!parse_phase(*phase, out.phases[p], error)) return false;
+  }
+  return true;
+}
+
+bool load_ledger_file(const std::string& path, Ledger& out,
+                      std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "ledger: cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ledger_from_json(buf.str(), out, error);
+}
+
+namespace {
+
+std::string factor_line(const char* what, double base, double cand,
+                        double factor, bool failed) {
+  std::ostringstream os;
+  os << (failed ? "FAIL " : "ok   ") << what << ": baseline "
+     << json::number_to_string(base) << ", candidate "
+     << json::number_to_string(cand) << " (limit "
+     << json::number_to_string(factor) << "x";
+  if (base > 0.0)
+    os << ", ratio " << json::number_to_string(cand / base) << "x";
+  os << ")\n";
+  return os.str();
+}
+
+}  // namespace
+
+bool compare_ledgers(const Ledger& baseline, const Ledger& candidate,
+                     const LedgerThresholds& thresholds, std::string& report) {
+  bool pass = true;
+  if (thresholds.rss_factor > 0.0) {
+    const bool failed =
+        baseline.peak_rss_kb > 0.0 &&
+        candidate.peak_rss_kb > baseline.peak_rss_kb * thresholds.rss_factor;
+    if (failed) pass = false;
+    report += factor_line("peak_rss_kb", baseline.peak_rss_kb,
+                          candidate.peak_rss_kb, thresholds.rss_factor, failed);
+  }
+  if (thresholds.cpu_factor > 0.0) {
+    const bool failed = baseline.cpu_ms > 0.0 &&
+                        candidate.cpu_ms > baseline.cpu_ms * thresholds.cpu_factor;
+    if (failed) pass = false;
+    report += factor_line("cpu_ms", baseline.cpu_ms, candidate.cpu_ms,
+                          thresholds.cpu_factor, failed);
+  }
+  return pass;
+}
+
+std::string format_ledger_report(const Ledger& ledger) {
+  std::ostringstream os;
+  os << "ledger: algorithm=" << ledger.meta.algorithm
+     << " rounds=" << ledger.meta.rounds
+     << (ledger.meta.aborted ? " (aborted)" : "")
+     << " wall_ms=" << json::number_to_string(ledger.meta.wall_ms)
+     << " cpu_ms=" << json::number_to_string(ledger.cpu_ms)
+     << " peak_rss_kb=" << json::number_to_string(ledger.peak_rss_kb) << "\n";
+  core::TablePrinter table({"phase", "count", "wall_ms", "cpu_ms", "allocs",
+                            "alloc_mb", "rss_peak_kb"});
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    const PhaseTotals& t = ledger.phases[p];
+    table.add_row({to_string(Phase(p)), std::to_string(t.count),
+                   core::TablePrinter::fmt(t.wall_ms),
+                   core::TablePrinter::fmt(t.cpu_ms), std::to_string(t.allocs),
+                   core::TablePrinter::fmt(double(t.alloc_bytes) / 1048576.0),
+                   core::TablePrinter::fmt(t.rss_peak_kb)});
+  }
+  os << table.to_string();
+  return os.str();
+}
+
+}  // namespace fedwcm::obs::prof

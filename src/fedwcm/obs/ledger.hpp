@@ -1,0 +1,91 @@
+#pragma once
+/// \file ledger.hpp
+/// Schema-versioned end-of-run resource ledger: the gateable artifact of the
+/// profiling layer.
+///
+/// A ledger is one JSON object (`"schema": "fedwcm.ledger/1"`) recording
+/// where a run's wall time, CPU time, resident set, traffic, and heap
+/// allocations went, per phase and in total. `fedwcm_run --ledger PATH`
+/// writes it at run end (and the watchdog writes a partial one on trip, so
+/// a hung run still leaves a resource post-mortem); the HTTP exporter
+/// serves it live at `/profile`; `fedwcm_compare --ledger A B` diffs two of
+/// them with RSS/CPU regression thresholds for CI gating.
+///
+/// Schema (all keys always present; stable key order in the output):
+///
+///     {"schema": "fedwcm.ledger/1",
+///      "algorithm": "fedwcm", "rounds": 40, "aborted": false,
+///      "wall_ms": ..., "cpu_ms": ...,
+///      "peak_rss_kb": ..., "end_rss_kb": ...,
+///      "bytes_up": ..., "bytes_down": ...,
+///      "allocs": ..., "alloc_bytes": ..., "alloc_hook": true,
+///      "profile_samples": 0, "profile_dropped": 0,
+///      "phases": {"sample": {"count": ..., "wall_ms": ..., "cpu_ms": ...,
+///                            "allocs": ..., "alloc_bytes": ...,
+///                            "rss_delta_kb": ..., "rss_peak_kb": ...},
+///                 "local_train": {...}, ...}}
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "fedwcm/obs/prof.hpp"
+
+namespace fedwcm::obs::prof {
+
+/// Run-level context the collector cannot read from the accountant.
+struct LedgerMeta {
+  std::string algorithm;        ///< e.g. "fedwcm", "fedavg".
+  std::uint64_t rounds = 0;     ///< Rounds completed.
+  bool aborted = false;         ///< True for watchdog-trip partial ledgers.
+  double wall_ms = 0.0;         ///< Whole-run wall time.
+  std::uint64_t bytes_up = 0;   ///< comm.bytes_up counter.
+  std::uint64_t bytes_down = 0; ///< comm.bytes_down counter.
+  std::uint64_t profile_samples = 0;  ///< StackSampler ticks captured.
+  std::uint64_t profile_dropped = 0;  ///< Ticks past ring capacity.
+};
+
+struct Ledger {
+  std::string schema = "fedwcm.ledger/1";
+  LedgerMeta meta;
+  double cpu_ms = 0.0;          ///< Whole-process CPU at collection time.
+  double peak_rss_kb = 0.0;
+  double end_rss_kb = 0.0;
+  std::uint64_t allocs = 0;     ///< Cumulative operator-new calls.
+  std::uint64_t alloc_bytes = 0;
+  bool alloc_hook = false;      ///< False ⇒ alloc figures mean "unmeasured".
+  PhaseTotals phases[kPhaseCount];
+};
+
+/// Snapshots the global accountant, resource readers, and alloc counters
+/// into a Ledger. Read-only; callable at any point in a run (the /profile
+/// endpoint calls it per request).
+Ledger collect_ledger(const LedgerMeta& meta);
+
+/// Serializes with stable key order (see schema in the file comment).
+std::string to_json(const Ledger& ledger);
+
+/// Strict parse + schema validation. Returns false and sets `error` on any
+/// missing/mistyped key or unknown schema string.
+bool ledger_from_json(const std::string& text, Ledger& out, std::string& error);
+
+/// Reads and validates a ledger file.
+bool load_ledger_file(const std::string& path, Ledger& out, std::string& error);
+
+/// Regression thresholds for compare_ledgers. A factor <= 0 disables that
+/// check. Defaults gate memory only: CPU time is noisy across machines,
+/// peak RSS is stable for a deterministic workload.
+struct LedgerThresholds {
+  double rss_factor = 1.5;  ///< Fail if candidate peak RSS > base × factor.
+  double cpu_factor = 0.0;  ///< Fail if candidate CPU ms > base × factor.
+};
+
+/// Compares candidate against baseline; appends human-readable verdict lines
+/// to `report`. Returns true when the candidate passes.
+bool compare_ledgers(const Ledger& baseline, const Ledger& candidate,
+                     const LedgerThresholds& thresholds, std::string& report);
+
+/// Aligned human-readable per-phase table for terminals and reports.
+std::string format_ledger_report(const Ledger& ledger);
+
+}  // namespace fedwcm::obs::prof

@@ -1,6 +1,7 @@
 #include "fedwcm/obs/metrics.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <limits>
 #include <ostream>
@@ -76,20 +77,30 @@ Registry& Registry::global() {
 }
 
 Counter Registry::counter(const std::string& name) {
+  return counter(name, Labels{});
+}
+
+Gauge Registry::gauge(const std::string& name) { return gauge(name, Labels{}); }
+
+Counter Registry::counter(const std::string& name, Labels labels) {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& c : counters_)
-    if (c->name == name) return Counter(c.get(), &enabled_);
+    if (c->name == name && c->labels == labels)
+      return Counter(c.get(), &enabled_);
   counters_.push_back(std::make_unique<detail::CounterCell>());
   counters_.back()->name = name;
+  counters_.back()->labels = std::move(labels);
   return Counter(counters_.back().get(), &enabled_);
 }
 
-Gauge Registry::gauge(const std::string& name) {
+Gauge Registry::gauge(const std::string& name, Labels labels) {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& g : gauges_)
-    if (g->name == name) return Gauge(g.get(), &enabled_);
+    if (g->name == name && g->labels == labels)
+      return Gauge(g.get(), &enabled_);
   gauges_.push_back(std::make_unique<detail::GaugeCell>());
   gauges_.back()->name = name;
+  gauges_.back()->labels = std::move(labels);
   return Gauge(gauges_.back().get(), &enabled_);
 }
 
@@ -115,6 +126,26 @@ void Registry::reset() {
   histograms_.clear();
 }
 
+namespace {
+
+/// `,"labels":{"pool":"simulation"}` or empty.
+std::string jsonl_labels(const Labels& labels) {
+  if (labels.empty()) return {};
+  std::string out = ",\"labels\":{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += json::escape(k);
+    out += ':';
+    out += json::escape(v);
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
 void Registry::write_jsonl(std::ostream& os) const {
   // Doubles go through json::number_to_string: a gauge that captured a
   // diverged value (NaN loss, inf norm) must still produce a parseable line.
@@ -122,11 +153,11 @@ void Registry::write_jsonl(std::ostream& os) const {
   std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& c : counters_)
     os << "{\"metric\":" << json::escape(c->name)
-       << ",\"type\":\"counter\",\"value\":"
+       << ",\"type\":\"counter\"" << jsonl_labels(c->labels) << ",\"value\":"
        << c->value.load(std::memory_order_relaxed) << "}\n";
   for (const auto& g : gauges_)
     os << "{\"metric\":" << json::escape(g->name)
-       << ",\"type\":\"gauge\",\"value\":"
+       << ",\"type\":\"gauge\"" << jsonl_labels(g->labels) << ",\"value\":"
        << num(g->value.load(std::memory_order_relaxed)) << "}\n";
   for (const auto& h : histograms_) {
     const std::uint64_t n = h->count.load(std::memory_order_relaxed);
@@ -152,21 +183,69 @@ std::string prom_number(double v) {
   return json::number_to_string(v);
 }
 
+/// `{pool="simulation"}` or empty. Label names get the same character
+/// restrictions as metric names; values escape `\`, `"`, and newlines per
+/// the exposition format.
+std::string prom_labels(const Labels& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    for (char c : k)
+      out += (std::isalnum(static_cast<unsigned char>(c)) || c == '_') ? c : '_';
+    out += "=\"";
+    for (char c : v) {
+      if (c == '\\' || c == '"') out += '\\';
+      if (c == '\n') { out += "\\n"; continue; }
+      out += c;
+    }
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+/// Emits one family (single TYPE line, then every series sharing `name`),
+/// for the cell sequence written by `write_one`. Families keep first-seen
+/// order; the validator rejects duplicate or late TYPE lines, so grouping
+/// here is what makes labeled series legal.
+template <typename Cells, typename WriteOne>
+void write_families(std::ostream& os, const Cells& cells, const char* type,
+                    const WriteOne& write_one) {
+  std::vector<const std::string*> done;
+  for (const auto& cell : cells) {
+    bool seen = false;
+    for (const std::string* name : done)
+      if (*name == cell->name) { seen = true; break; }
+    if (seen) continue;
+    done.push_back(&cell->name);
+    const std::string name = prometheus_name(cell->name);
+    os << "# TYPE " << name << " " << type << "\n";
+    for (const auto& sibling : cells)
+      if (sibling->name == cell->name)
+        write_one(os, name, *sibling);
+  }
+}
+
 }  // namespace
 
 void Registry::write_prometheus(std::ostream& os) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  for (const auto& c : counters_) {
-    const std::string name = prometheus_name(c->name);
-    os << "# TYPE " << name << " counter\n"
-       << name << " " << c->value.load(std::memory_order_relaxed) << "\n";
-  }
-  for (const auto& g : gauges_) {
-    const std::string name = prometheus_name(g->name);
-    os << "# TYPE " << name << " gauge\n"
-       << name << " " << prom_number(g->value.load(std::memory_order_relaxed))
-       << "\n";
-  }
+  write_families(os, counters_, "counter",
+                 [](std::ostream& o, const std::string& name,
+                    const detail::CounterCell& c) {
+                   o << name << prom_labels(c.labels) << " "
+                     << c.value.load(std::memory_order_relaxed) << "\n";
+                 });
+  write_families(os, gauges_, "gauge",
+                 [](std::ostream& o, const std::string& name,
+                    const detail::GaugeCell& g) {
+                   o << name << prom_labels(g.labels) << " "
+                     << prom_number(g.value.load(std::memory_order_relaxed))
+                     << "\n";
+                 });
   for (const auto& h : histograms_) {
     const std::string name = prometheus_name(h->name);
     os << "# TYPE " << name << " histogram\n";
@@ -190,13 +269,23 @@ void Registry::write_prometheus(std::ostream& os) const {
 std::string Registry::to_table() const {
   core::TablePrinter table({"metric", "type", "count", "value/mean", "p50",
                             "p90", "max"});
+  // Human form of a labeled series: "name{pool=simulation}".
+  const auto display = [](const std::string& name, const Labels& labels) {
+    if (labels.empty()) return name;
+    std::string out = name + "{";
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (i != 0) out += ',';
+      out += labels[i].first + "=" + labels[i].second;
+    }
+    return out + "}";
+  };
   std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& c : counters_)
-    table.add_row({c->name, "counter", "-",
+    table.add_row({display(c->name, c->labels), "counter", "-",
                    std::to_string(c->value.load(std::memory_order_relaxed)), "-",
                    "-", "-"});
   for (const auto& g : gauges_)
-    table.add_row({g->name, "gauge", "-",
+    table.add_row({display(g->name, g->labels), "gauge", "-",
                    core::TablePrinter::fmt(g->value.load(std::memory_order_relaxed)),
                    "-", "-", "-"});
   for (const auto& h : histograms_) {

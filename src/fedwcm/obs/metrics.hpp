@@ -26,15 +26,23 @@
 
 namespace fedwcm::obs {
 
+/// Metric dimensions, e.g. {{"pool","simulation"}}. Series identity is
+/// (name, labels); several series under one name form a Prometheus family
+/// sharing a single TYPE line. Order matters for identity — instrument
+/// sites should pass labels in one canonical order.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
 namespace detail {
 
 struct CounterCell {
   std::string name;
+  Labels labels;
   std::atomic<std::uint64_t> value{0};
 };
 
 struct GaugeCell {
   std::string name;
+  Labels labels;
   std::atomic<double> value{0.0};
 };
 
@@ -65,6 +73,13 @@ class Counter {
   void add(std::uint64_t n = 1) {
     if (enabled_ && enabled_->load(std::memory_order_relaxed))
       cell_->value.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Overwrites the value. For mirroring a monotonic count maintained
+  /// elsewhere (e.g. a ThreadPool's tasks-executed tally) into the registry;
+  /// callers are responsible for keeping successive values non-decreasing.
+  void set(std::uint64_t v) {
+    if (enabled_ && enabled_->load(std::memory_order_relaxed))
+      cell_->value.store(v, std::memory_order_relaxed);
   }
   /// Current value regardless of the enabled flag (reads are always allowed).
   std::uint64_t value() const {
@@ -145,6 +160,10 @@ class Registry {
 
   Counter counter(const std::string& name);
   Gauge gauge(const std::string& name);
+  /// Labeled series: identity is (name, labels); all series under one name
+  /// are exported as a single Prometheus family with one TYPE line.
+  Counter counter(const std::string& name, Labels labels);
+  Gauge gauge(const std::string& name, Labels labels);
   /// `bounds` must be ascending; only the first registration's bounds stick.
   Histogram histogram(const std::string& name, std::vector<double> bounds);
 

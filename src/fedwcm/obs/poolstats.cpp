@@ -1,0 +1,18 @@
+#include "fedwcm/obs/poolstats.hpp"
+
+#include "fedwcm/obs/metrics.hpp"
+
+namespace fedwcm::obs {
+
+void publish_pool_stats(const core::ThreadPool& pool) {
+  const Labels labels{{"pool", pool.name()}};
+  // Handle acquisition is idempotent (same (name, labels) → same cell), so
+  // looking up per call keeps the helper stateless; the per-round cadence
+  // makes the registry mutex hold irrelevant.
+  Gauge depth = metrics().gauge("threadpool.peak_queue_depth", labels);
+  Counter executed = metrics().counter("threadpool.tasks_executed", labels);
+  depth.set(double(pool.peak_queue_depth()));
+  executed.set(pool.tasks_executed());
+}
+
+}  // namespace fedwcm::obs

@@ -1,0 +1,27 @@
+#pragma once
+/// \file poolstats.hpp
+/// Mirrors per-ThreadPool counters into labeled registry series.
+///
+/// ThreadPool (core) keeps its own peak-queue-depth / tasks-executed tallies
+/// per instance but cannot depend on the metrics registry (obs layers on
+/// core, not the reverse). This helper closes the loop from the obs side:
+/// callers with a pool in hand publish its stats as
+///
+///     threadpool.peak_queue_depth{pool="<name>"}   (gauge)
+///     threadpool.tasks_executed{pool="<name>"}     (counter, mirrored)
+///
+/// so simulation vs. evaluation pools stay distinguishable on /metrics.
+/// The simulation engine calls this once per round; it is cheap (two
+/// registry lookups under a mutex plus two atomic stores) and well off the
+/// numeric hot path.
+
+#include "fedwcm/core/thread_pool.hpp"
+
+namespace fedwcm::obs {
+
+/// Publishes `pool`'s current peak queue depth and cumulative tasks-executed
+/// count under its pool label. No-op cost-wise when the registry is
+/// disabled (stores are gated by the enabled flag).
+void publish_pool_stats(const core::ThreadPool& pool);
+
+}  // namespace fedwcm::obs

@@ -1,0 +1,126 @@
+#include "fedwcm/obs/prof.hpp"
+
+#include <string>
+
+namespace fedwcm::obs::prof {
+
+namespace {
+
+/// acc <- acc + v via CAS (same idiom as metrics.cpp; fetch_add on
+/// atomic<double> is not universally available pre-C++20 libstdc++).
+void atomic_add(std::atomic<double>& acc, double v) {
+  double cur = acc.load(std::memory_order_relaxed);
+  while (!acc.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& acc, double v) {
+  double cur = acc.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !acc.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+const char* to_string(Phase phase) {
+  switch (phase) {
+    case Phase::kSample: return "sample";
+    case Phase::kLocalTrain: return "local_train";
+    case Phase::kUpload: return "upload";
+    case Phase::kAggregate: return "aggregate";
+    case Phase::kEvaluate: return "evaluate";
+    case Phase::kCheckpoint: return "checkpoint";
+  }
+  return "unknown";
+}
+
+PhaseAccountant& PhaseAccountant::global() {
+  static PhaseAccountant instance;
+  return instance;
+}
+
+void PhaseAccountant::set_enabled(bool on) {
+  if (on) {
+    // Acquire the histogram handles before publishing the flag so a racing
+    // record() that observes enabled_ == true always sees valid handles.
+    for (std::size_t p = 0; p < kPhaseCount; ++p) {
+      const std::string name =
+          std::string("prof.") + to_string(Phase(p)) + ".wall_ms";
+      cells_[p].wall_hist = metrics().histogram(name, time_buckets_ms());
+    }
+    enabled_.store(true, std::memory_order_release);
+  } else {
+    enabled_.store(false, std::memory_order_release);
+  }
+}
+
+void PhaseAccountant::record(Phase phase, const PhaseSample& sample) {
+  Cell& cell = cells_[std::size_t(phase)];
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(cell.wall_ms, sample.wall_ms);
+  atomic_add(cell.cpu_ms, sample.cpu_ms);
+  atomic_add(cell.rss_delta_kb, sample.rss_delta_kb);
+  atomic_max(cell.rss_peak_kb, sample.rss_end_kb);
+  cell.allocs.fetch_add(sample.allocs, std::memory_order_relaxed);
+  cell.alloc_bytes.fetch_add(sample.alloc_bytes, std::memory_order_relaxed);
+  cell.wall_hist.observe(sample.wall_ms);
+}
+
+PhaseTotals PhaseAccountant::totals(Phase phase) const {
+  const Cell& cell = cells_[std::size_t(phase)];
+  PhaseTotals t;
+  t.count = cell.count.load(std::memory_order_relaxed);
+  t.wall_ms = cell.wall_ms.load(std::memory_order_relaxed);
+  t.cpu_ms = cell.cpu_ms.load(std::memory_order_relaxed);
+  t.rss_delta_kb = cell.rss_delta_kb.load(std::memory_order_relaxed);
+  t.rss_peak_kb = cell.rss_peak_kb.load(std::memory_order_relaxed);
+  t.allocs = cell.allocs.load(std::memory_order_relaxed);
+  t.alloc_bytes = cell.alloc_bytes.load(std::memory_order_relaxed);
+  return t;
+}
+
+void PhaseAccountant::reset() {
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    Cell& cell = cells_[p];
+    cell.count.store(0, std::memory_order_relaxed);
+    cell.wall_ms.store(0.0, std::memory_order_relaxed);
+    cell.cpu_ms.store(0.0, std::memory_order_relaxed);
+    cell.rss_delta_kb.store(0.0, std::memory_order_relaxed);
+    cell.rss_peak_kb.store(0.0, std::memory_order_relaxed);
+    cell.allocs.store(0, std::memory_order_relaxed);
+    cell.alloc_bytes.store(0, std::memory_order_relaxed);
+  }
+}
+
+PhaseScope::PhaseScope(Phase phase) : phase_(phase) {
+  PhaseAccountant& acc = PhaseAccountant::global();
+  if (!acc.enabled()) return;
+  active_ = true;
+  // Cheapest-to-read first, allocation counters dead last, so the scope's
+  // own /proc reads and clock calls never pollute the phase's alloc delta.
+  wall0_us = clock_monotonic_us();
+  cpu0_us = process_cpu_us();
+  rss0_kb = current_rss_kb();
+  alloc0_ = alloc_counters();
+}
+
+PhaseScope::~PhaseScope() {
+  if (!active_) return;
+  // Mirror-image order of the ctor: alloc counters first.
+  const AllocCounters alloc1 = alloc_counters();
+  const double rss1_kb = current_rss_kb();
+  const std::uint64_t cpu1_us = process_cpu_us();
+  const std::uint64_t wall1_us = clock_monotonic_us();
+
+  PhaseSample sample;
+  sample.wall_ms = double(wall1_us - wall0_us) / 1000.0;
+  sample.cpu_ms = double(cpu1_us - cpu0_us) / 1000.0;
+  sample.rss_delta_kb = rss1_kb - rss0_kb;
+  sample.rss_end_kb = rss1_kb;
+  sample.allocs = alloc1.count - alloc0_.count;
+  sample.alloc_bytes = alloc1.bytes - alloc0_.bytes;
+  PhaseAccountant::global().record(phase_, sample);
+}
+
+}  // namespace fedwcm::obs::prof

@@ -1,0 +1,136 @@
+#pragma once
+/// \file prof.hpp
+/// Per-phase resource accounting for federated rounds.
+///
+/// The simulation engine brackets each round phase (client sampling, local
+/// training, upload filtering, aggregation, evaluation, checkpointing) with a
+/// `PhaseScope`. When the process-wide `PhaseAccountant` is enabled, the
+/// scope captures wall time, process CPU time (CLOCK_PROCESS_CPUTIME_ID —
+/// all worker threads, so a phase wrapping a parallel region is attributed
+/// correctly), resident-set delta/peak (/proc/self/statm), and allocation
+/// count/bytes (obs/resource.hpp counting hook), and folds the deltas into
+/// per-phase atomic totals plus `prof.<phase>.wall_ms` histograms in the
+/// metrics registry.
+///
+/// Like the rest of `fedwcm::obs`, the accountant is disabled by default and
+/// a disabled PhaseScope costs exactly one relaxed atomic load and a branch.
+/// Every measurement is a read (clocks, /proc, counters) — a profiled run's
+/// training trajectory is bitwise identical to an unprofiled one, and
+/// tests/fl/test_prof_readonly.cpp enforces that.
+///
+/// The accumulated totals feed the run ledger (obs/ledger.hpp) and the live
+/// `/profile` HTTP endpoint.
+
+#include <atomic>
+#include <cstdint>
+
+#include "fedwcm/obs/metrics.hpp"
+#include "fedwcm/obs/resource.hpp"
+
+namespace fedwcm::obs::prof {
+
+/// Round phases, in pipeline order. kSample covers cohort selection (the
+/// broadcast itself happens inside each client's local update and is
+/// accounted to kLocalTrain); kUpload covers survivor filtering and
+/// upload-byte accounting.
+enum class Phase : std::uint8_t {
+  kSample,
+  kLocalTrain,
+  kUpload,
+  kAggregate,
+  kEvaluate,
+  kCheckpoint,
+};
+inline constexpr std::size_t kPhaseCount = 6;
+
+/// Stable lowercase name used in metrics, the ledger, and /profile
+/// ("sample", "local_train", ...).
+const char* to_string(Phase phase);
+
+/// One finished phase occurrence, as captured by a PhaseScope.
+struct PhaseSample {
+  double wall_ms = 0.0;
+  double cpu_ms = 0.0;          ///< Process CPU (all threads).
+  double rss_delta_kb = 0.0;    ///< End RSS minus start RSS (may be negative).
+  double rss_end_kb = 0.0;      ///< RSS when the phase closed.
+  std::uint64_t allocs = 0;     ///< operator-new calls inside the phase.
+  std::uint64_t alloc_bytes = 0;
+};
+
+/// Cumulative per-phase totals (snapshot semantics; each field is read with
+/// a relaxed load, adequate because per-field exactness is what matters).
+struct PhaseTotals {
+  std::uint64_t count = 0;
+  double wall_ms = 0.0;
+  double cpu_ms = 0.0;
+  double rss_delta_kb = 0.0;  ///< Net RSS growth attributed to the phase.
+  double rss_peak_kb = 0.0;   ///< Highest end-of-phase RSS observed.
+  std::uint64_t allocs = 0;
+  std::uint64_t alloc_bytes = 0;
+};
+
+class PhaseAccountant {
+ public:
+  PhaseAccountant() = default;
+  PhaseAccountant(const PhaseAccountant&) = delete;
+  PhaseAccountant& operator=(const PhaseAccountant&) = delete;
+
+  /// The process-wide accountant used by the built-in instrumentation.
+  static PhaseAccountant& global();
+
+  /// Enabling (re-)acquires the `prof.<phase>.wall_ms` histogram handles
+  /// from the global metrics registry, then publishes the flag with release
+  /// ordering so concurrent record() calls never see half-initialized
+  /// handles. Do not call concurrently with itself.
+  void set_enabled(bool on);
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  /// Folds one finished phase occurrence into the totals (any thread).
+  void record(Phase phase, const PhaseSample& sample);
+
+  /// Snapshot of a phase's cumulative totals (readable while writers run).
+  PhaseTotals totals(Phase phase) const;
+
+  /// Drops all recorded totals (not the enabled flag). Intended for tests.
+  void reset();
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> wall_ms{0.0};
+    std::atomic<double> cpu_ms{0.0};
+    std::atomic<double> rss_delta_kb{0.0};
+    std::atomic<double> rss_peak_kb{0.0};
+    std::atomic<std::uint64_t> allocs{0};
+    std::atomic<std::uint64_t> alloc_bytes{0};
+    Histogram wall_hist;  ///< prof.<phase>.wall_ms; set by set_enabled.
+  };
+
+  std::atomic<bool> enabled_{false};
+  Cell cells_[kPhaseCount];
+};
+
+/// RAII phase bracket over the global accountant. Costs one relaxed load and
+/// a branch when the accountant is disabled.
+class PhaseScope {
+ public:
+  explicit PhaseScope(Phase phase);
+  ~PhaseScope();
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Phase phase_ = Phase::kSample;
+  bool active_ = false;
+  std::uint64_t wall0_us = 0;
+  std::uint64_t cpu0_us = 0;
+  double rss0_kb = 0.0;
+  AllocCounters alloc0_;  ///< Captured last in the ctor, read first in the
+                          ///< dtor, so the scope's own /proc reads are
+                          ///< excluded from the phase's allocation delta.
+};
+
+/// Shorthand for PhaseAccountant::global().
+inline PhaseAccountant& accountant() { return PhaseAccountant::global(); }
+
+}  // namespace fedwcm::obs::prof

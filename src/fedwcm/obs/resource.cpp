@@ -1,0 +1,95 @@
+#include "fedwcm/obs/resource.hpp"
+
+#include <fcntl.h>
+#include <sys/resource.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+
+namespace fedwcm::obs {
+
+namespace {
+
+std::uint64_t clock_us(clockid_t id) {
+  timespec ts{};
+  if (clock_gettime(id, &ts) != 0) return 0;
+  return std::uint64_t(ts.tv_sec) * 1000000ull + std::uint64_t(ts.tv_nsec) / 1000ull;
+}
+
+/// Reads a whole small /proc file into `buf` with raw syscalls (no heap).
+/// Returns the byte count, 0 on failure; the buffer is NUL-terminated.
+std::size_t read_proc(const char* path, char* buf, std::size_t cap) {
+  const int fd = ::open(path, O_RDONLY);
+  if (fd < 0) {
+    buf[0] = '\0';
+    return 0;
+  }
+  std::size_t total = 0;
+  while (total + 1 < cap) {
+    const ssize_t n = ::read(fd, buf + total, cap - 1 - total);
+    if (n <= 0) break;
+    total += std::size_t(n);
+  }
+  ::close(fd);
+  buf[total] = '\0';
+  return total;
+}
+
+/// Parses the decimal integer starting at `p` (skipping leading spaces).
+std::uint64_t parse_u64(const char* p) {
+  while (*p == ' ' || *p == '\t') ++p;
+  std::uint64_t v = 0;
+  while (*p >= '0' && *p <= '9') v = v * 10 + std::uint64_t(*p++ - '0');
+  return v;
+}
+
+std::atomic<AllocSource> g_alloc_source{nullptr};
+
+}  // namespace
+
+std::uint64_t clock_monotonic_us() { return clock_us(CLOCK_MONOTONIC); }
+
+std::uint64_t process_cpu_us() { return clock_us(CLOCK_PROCESS_CPUTIME_ID); }
+
+std::uint64_t thread_cpu_us() { return clock_us(CLOCK_THREAD_CPUTIME_ID); }
+
+double current_rss_kb() {
+  // /proc/self/statm: "size resident shared text lib data dt" in pages.
+  char buf[256];
+  if (read_proc("/proc/self/statm", buf, sizeof(buf)) == 0) return 0.0;
+  const char* p = buf;
+  while (*p >= '0' && *p <= '9') ++p;  // skip the size field
+  const std::uint64_t resident_pages = parse_u64(p);
+  static const long page_kb = ::sysconf(_SC_PAGESIZE) / 1024;
+  return double(resident_pages) * double(page_kb > 0 ? page_kb : 4);
+}
+
+double peak_rss_kb() {
+  // VmHWM is the kernel's high-water mark for the resident set; ru_maxrss
+  // reports the same quantity (KiB on Linux) when /proc is unavailable.
+  char buf[4096];
+  if (read_proc("/proc/self/status", buf, sizeof(buf)) > 0) {
+    const char* line = std::strstr(buf, "VmHWM:");
+    if (line != nullptr) return double(parse_u64(line + 6));
+  }
+  rusage usage{};
+  if (::getrusage(RUSAGE_SELF, &usage) == 0) return double(usage.ru_maxrss);
+  return 0.0;
+}
+
+void set_alloc_source(AllocSource source) {
+  g_alloc_source.store(source, std::memory_order_release);
+}
+
+AllocCounters alloc_counters() {
+  const AllocSource source = g_alloc_source.load(std::memory_order_acquire);
+  return source != nullptr ? source() : AllocCounters{};
+}
+
+bool alloc_hook_linked() {
+  return g_alloc_source.load(std::memory_order_acquire) != nullptr;
+}
+
+}  // namespace fedwcm::obs

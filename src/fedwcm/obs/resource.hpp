@@ -1,0 +1,68 @@
+#pragma once
+/// \file resource.hpp
+/// Raw process-resource readings for the profiling layer (obs/prof.hpp).
+///
+/// Three families of measurement, all read-only and allocation-free so the
+/// profiler can sample them from inside a phase without perturbing the very
+/// quantities it measures:
+///
+///  * CPU time — `process_cpu_us()` via CLOCK_PROCESS_CPUTIME_ID (all
+///    threads, which is what a phase wrapping a parallel region wants) and
+///    `thread_cpu_us()` via CLOCK_THREAD_CPUTIME_ID for single-thread
+///    attribution;
+///  * resident set — `current_rss_kb()` parses /proc/self/statm with a raw
+///    read(2) into a stack buffer (no iostream, no heap), `peak_rss_kb()`
+///    reads VmHWM from /proc/self/status with a getrusage(RUSAGE_SELF)
+///    ru_maxrss fallback;
+///  * heap allocations — `alloc_counters()` reports the cumulative
+///    operator-new call/byte counters maintained by the optional counting
+///    allocator (obs/alloc_hook.cpp, the same hook the zero-alloc tests
+///    use). Binaries that do not link the hook read zeros and
+///    `alloc_hook_linked()` reports false, so ledger consumers can tell
+///    "zero allocations" from "not measured".
+///
+/// On non-Linux platforms the /proc readers return 0; everything else is
+/// POSIX.
+
+#include <cstdint>
+
+namespace fedwcm::obs {
+
+/// Monotonic wall clock, microseconds (CLOCK_MONOTONIC).
+std::uint64_t clock_monotonic_us();
+
+/// CPU time consumed by the whole process (all threads), microseconds.
+std::uint64_t process_cpu_us();
+
+/// CPU time consumed by the calling thread, microseconds.
+std::uint64_t thread_cpu_us();
+
+/// Current resident set size in KiB (0 when /proc is unavailable).
+/// Allocation-free: raw syscalls plus stack parsing.
+double current_rss_kb();
+
+/// Peak resident set size (high-water mark) in KiB. Prefers VmHWM from
+/// /proc/self/status, falls back to getrusage ru_maxrss.
+double peak_rss_kb();
+
+/// Cumulative global operator-new statistics from the counting allocator.
+/// Monotonic; diff two snapshots to attribute a region.
+struct AllocCounters {
+  std::uint64_t count = 0;  ///< Successful allocations so far.
+  std::uint64_t bytes = 0;  ///< Sum of requested sizes so far.
+};
+
+/// Reader installed by the counting-allocator TU's static initializer.
+using AllocSource = AllocCounters (*)();
+
+/// Registers the allocation-counter reader (called once, pre-main, by
+/// obs/alloc_hook.cpp when that object is linked into the binary).
+void set_alloc_source(AllocSource source);
+
+/// Current cumulative allocation counters; zeros when no hook is linked.
+AllocCounters alloc_counters();
+
+/// True when a counting allocator registered itself in this process.
+bool alloc_hook_linked();
+
+}  // namespace fedwcm::obs

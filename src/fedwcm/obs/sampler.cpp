@@ -1,0 +1,218 @@
+#include "fedwcm/obs/sampler.hpp"
+
+#include <signal.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define FEDWCM_HAVE_BACKTRACE 1
+#endif
+#if __has_include(<dlfcn.h>)
+#include <dlfcn.h>
+#define FEDWCM_HAVE_DLADDR 1
+#endif
+#if __has_include(<cxxabi.h>)
+#include <cxxabi.h>
+#define FEDWCM_HAVE_DEMANGLE 1
+#endif
+#endif
+
+namespace fedwcm::obs::prof {
+
+namespace {
+
+/// The running sampler, read by the signal handler. Plain atomic pointer:
+/// handlers cannot take locks.
+std::atomic<StackSampler*> g_active{nullptr};
+
+struct sigaction g_previous_action;  ///< Restored by stop().
+
+}  // namespace
+
+StackSampler& StackSampler::global() {
+  static StackSampler instance;
+  return instance;
+}
+
+StackSampler::~StackSampler() {
+  if (running()) stop();
+}
+
+bool StackSampler::start(const Options& options) {
+  if (running_.load(std::memory_order_acquire)) return false;
+  if (g_active.load(std::memory_order_acquire) != nullptr) return false;
+  options_ = options;
+  if (options_.hz <= 0) options_.hz = 97;
+  if (options_.max_depth == 0) options_.max_depth = 48;
+  if (options_.max_samples == 0) options_.max_samples = 1u << 15;
+
+  frames_.assign(options_.max_samples * options_.max_depth, nullptr);
+  depths_.assign(options_.max_samples, 0);
+  next_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+
+#if FEDWCM_HAVE_BACKTRACE
+  // backtrace() may allocate (libgcc unwinder state) on first use; warm it
+  // up here, outside the handler, where malloc is legal.
+  void* warmup[4];
+  (void)backtrace(warmup, 4);
+#endif
+
+  g_active.store(this, std::memory_order_release);
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = &StackSampler::handle_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  if (sigaction(SIGPROF, &action, &g_previous_action) != 0) {
+    g_active.store(nullptr, std::memory_order_release);
+    return false;
+  }
+
+  itimerval timer;
+  const long interval_us = 1000000l / options_.hz;
+  timer.it_interval.tv_sec = interval_us / 1000000l;
+  timer.it_interval.tv_usec = interval_us % 1000000l;
+  timer.it_value = timer.it_interval;
+  if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    sigaction(SIGPROF, &g_previous_action, nullptr);
+    g_active.store(nullptr, std::memory_order_release);
+    return false;
+  }
+
+  running_.store(true, std::memory_order_release);
+  return true;
+}
+
+void StackSampler::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  itimerval off;
+  std::memset(&off, 0, sizeof(off));
+  setitimer(ITIMER_PROF, &off, nullptr);
+  sigaction(SIGPROF, &g_previous_action, nullptr);
+  // Unpublish after disarming: a straggler signal already in flight still
+  // finds a valid sampler, then no further ticks arrive.
+  g_active.store(nullptr, std::memory_order_release);
+  running_.store(false, std::memory_order_release);
+}
+
+void StackSampler::handle_signal(int /*signo*/) {
+  StackSampler* sampler = g_active.load(std::memory_order_acquire);
+  if (sampler != nullptr) sampler->capture();
+}
+
+void StackSampler::capture() {
+  // Async-signal-safe: one fetch_add to claim a slot, then writes into
+  // preallocated storage. No locks, no allocation, no library calls beyond
+  // backtrace() (safe after the start() warm-up).
+  const std::uint32_t slot = next_.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= options_.max_samples) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+#if FEDWCM_HAVE_BACKTRACE
+  void** dst = frames_.data() + std::size_t(slot) * options_.max_depth;
+  const int depth = backtrace(dst, int(options_.max_depth));
+  depths_[slot] = std::uint16_t(depth > 0 ? depth : 0);
+#else
+  depths_[slot] = 0;
+#endif
+}
+
+std::size_t StackSampler::sample_count() const {
+  const std::uint32_t claimed = next_.load(std::memory_order_acquire);
+  return std::min<std::size_t>(claimed, options_.max_samples);
+}
+
+std::uint64_t StackSampler::dropped() const {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Best-effort symbol name for one return address.
+std::string symbolize(void* addr) {
+#if FEDWCM_HAVE_DLADDR
+  Dl_info info;
+  if (dladdr(addr, &info) != 0 && info.dli_sname != nullptr) {
+#if FEDWCM_HAVE_DEMANGLE
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    if (status == 0 && demangled != nullptr) {
+      std::string out(demangled);
+      std::free(demangled);
+      // Drop template/arg noise so frames merge well: keep up to the first
+      // '(' (call operator parens would not appear in a frame name anyway).
+      const std::size_t paren = out.find('(');
+      if (paren != std::string::npos) out.resize(paren);
+      return out;
+    }
+#endif
+    return info.dli_sname;
+  }
+#endif
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%zx", std::size_t(addr));
+  return buf;
+}
+
+/// Folded-format frame names must not contain the separators.
+std::string sanitize_frame(std::string name) {
+  for (char& c : name)
+    if (c == ';' || c == '\n' || c == ' ') c = '_';
+  return name.empty() ? std::string("?") : name;
+}
+
+}  // namespace
+
+std::map<std::string, std::uint64_t> StackSampler::fold() const {
+  std::map<std::string, std::uint64_t> folded;
+  const std::size_t n = sample_count();
+  // dladdr is not cheap; memoize per distinct address.
+  std::map<void*, std::string> names;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t depth = depths_[i];
+    if (depth == 0) {
+      ++folded["[no_backtrace]"];
+      continue;
+    }
+    const void* const* frames = frames_.data() + i * options_.max_depth;
+    std::string stack;
+    // backtrace() is innermost-first; folded format wants root-first. Skip
+    // the innermost two frames (the handler and capture() itself).
+    const std::size_t skip = depth > 2 ? 2 : 0;
+    for (std::size_t f = depth; f > skip; --f) {
+      void* addr = const_cast<void*>(frames[f - 1]);
+      auto it = names.find(addr);
+      if (it == names.end())
+        it = names.emplace(addr, sanitize_frame(symbolize(addr))).first;
+      if (!stack.empty()) stack += ';';
+      stack += it->second;
+    }
+    ++folded[stack];
+  }
+  return folded;
+}
+
+std::string StackSampler::write_folded() const {
+  std::ostringstream os;
+  for (const auto& [stack, count] : fold()) os << stack << ' ' << count << '\n';
+  return os.str();
+}
+
+void StackSampler::clear() {
+  next_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  std::fill(depths_.begin(), depths_.end(), std::uint16_t(0));
+}
+
+}  // namespace fedwcm::obs::prof

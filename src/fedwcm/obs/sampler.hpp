@@ -1,0 +1,91 @@
+#pragma once
+/// \file sampler.hpp
+/// SIGPROF-driven sampling wall-clock profiler with collapsed-stack export.
+///
+/// `StackSampler` arms an ITIMER_PROF interval timer; the kernel delivers
+/// SIGPROF to whichever thread is consuming CPU, and the (async-signal-safe)
+/// handler appends a raw `backtrace()` to a preallocated lock-free ring —
+/// no locks, no allocation, no I/O in the handler. After `stop()`, `fold()`
+/// symbolizes the captured frames with `dladdr`/`__cxa_demangle` and merges
+/// identical stacks into the standard collapsed ("folded") format consumed
+/// by flamegraph tooling:
+///
+///     fedwcm::fl::Simulation::run;fedwcm::nn::Mlp::forward 42
+///
+/// `fedwcm_run --profile out.folded` drives this end to end and
+/// `tools/fedwcm_flame` renders the result as a self-contained SVG.
+///
+/// The sampler observes but never steers: it writes only to its own ring, so
+/// a profiled run's training trajectory is bitwise identical to an
+/// unprofiled one (ctest-enforced alongside the PhaseAccountant guarantee).
+/// Frame capture needs `backtrace()` (execinfo.h) and meaningful symbol
+/// names need the binary linked with -rdynamic (ENABLE_EXPORTS in CMake);
+/// without execinfo the sampler still counts ticks but folds to a single
+/// "[no_backtrace]" frame.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fedwcm::obs::prof {
+
+class StackSampler {
+ public:
+  struct Options {
+    int hz = 97;                     ///< Sampling rate (prime dodges beats).
+    std::size_t max_samples = 1u << 15;  ///< Ring capacity; extras drop.
+    std::size_t max_depth = 48;      ///< Frames kept per sample.
+  };
+
+  StackSampler() = default;
+  ~StackSampler();
+  StackSampler(const StackSampler&) = delete;
+  StackSampler& operator=(const StackSampler&) = delete;
+
+  /// The process-wide sampler (SIGPROF has process-wide disposition, so
+  /// only one sampler can run at a time anyway).
+  static StackSampler& global();
+
+  /// Preallocates the ring, installs the SIGPROF handler, and arms the
+  /// timer. Returns false if a sampler is already running or the timer
+  /// could not be armed. Idempotent-safe to call from the driver thread.
+  bool start(const Options& options);
+  bool start() { return start(Options{}); }
+
+  /// Disarms the timer and restores the previous SIGPROF disposition.
+  /// Samples remain available for fold()/write_folded() until clear().
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Samples captured (clamped to ring capacity).
+  std::size_t sample_count() const;
+  /// Ticks that arrived after the ring filled (attributed, not lost silently).
+  std::uint64_t dropped() const;
+
+  /// Symbolizes and merges the captured stacks: map from
+  /// "outer;inner;leaf" to occurrence count. Deterministically ordered.
+  std::map<std::string, std::uint64_t> fold() const;
+
+  /// fold() in collapsed-stack text form ("stack count\n", sorted).
+  std::string write_folded() const;
+
+  /// Forgets all captured samples (keeps the sampler stopped).
+  void clear();
+
+ private:
+  static void handle_signal(int signo);
+  void capture();
+
+  Options options_;
+  std::atomic<bool> running_{false};
+  /// Ring storage: sample i occupies frames_[i*max_depth .. +depths_[i]).
+  std::vector<void*> frames_;
+  std::vector<std::uint16_t> depths_;
+  std::atomic<std::uint32_t> next_{0};     ///< Claims ring slots.
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace fedwcm::obs::prof

@@ -1,0 +1,95 @@
+// Folded-stack parsing and SVG flamegraph rendering: format strictness,
+// well-formedness of the emitted document, and byte determinism.
+#include "fedwcm/analysis/flame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace fedwcm::analysis {
+namespace {
+
+TEST(Flamegraph, ParsesWellFormedFolded) {
+  std::vector<FoldedStack> stacks;
+  std::string error;
+  ASSERT_TRUE(parse_folded("main;run;train 40\nmain;run;eval 2\n\nmain 1\n",
+                           stacks, error))
+      << error;
+  ASSERT_EQ(stacks.size(), 3u);
+  EXPECT_EQ(stacks[0].frames,
+            (std::vector<std::string>{"main", "run", "train"}));
+  EXPECT_EQ(stacks[0].count, 40u);
+  EXPECT_EQ(stacks[2].frames, (std::vector<std::string>{"main"}));
+  EXPECT_EQ(stacks[2].count, 1u);
+}
+
+TEST(Flamegraph, EmptyInputIsValidAndYieldsNoStacks) {
+  std::vector<FoldedStack> stacks;
+  std::string error;
+  EXPECT_TRUE(parse_folded("", stacks, error));
+  EXPECT_TRUE(stacks.empty());
+}
+
+TEST(Flamegraph, RejectsMalformedFoldedLines) {
+  std::vector<FoldedStack> stacks;
+  std::string error;
+  // No count.
+  EXPECT_FALSE(parse_folded("main;run\n", stacks, error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  // Non-numeric count.
+  EXPECT_FALSE(parse_folded("main;run many\n", stacks, error));
+  // Count but no frames.
+  EXPECT_FALSE(parse_folded("ok 1\n; 5\n", stacks, error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
+TEST(Flamegraph, RendersWellFormedDeterministicSvg) {
+  std::vector<FoldedStack> stacks;
+  std::string error;
+  ASSERT_TRUE(parse_folded(
+      "main;fl::run;nn::forward 60\nmain;fl::run;nn::backward 30\n"
+      "main;io 10\n",
+      stacks, error))
+      << error;
+  FlamegraphOptions options;
+  options.title = "unit test";
+  const std::string svg = render_flamegraph(stacks, options);
+  EXPECT_EQ(svg.rfind("<?xml", 0), 0u);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("unit test"), std::string::npos);
+  EXPECT_NE(svg.find("100 samples"), std::string::npos);
+  EXPECT_NE(svg.find("nn::forward"), std::string::npos);
+  // Every opened frame group closes.
+  std::size_t opens = 0, closes = 0, pos = 0;
+  while ((pos = svg.find("<g>", pos)) != std::string::npos) ++opens, pos += 3;
+  pos = 0;
+  while ((pos = svg.find("</g>", pos)) != std::string::npos) ++closes, pos += 4;
+  EXPECT_EQ(opens, closes);
+  EXPECT_GT(opens, 0u);
+  // Same input, same bytes: CI artifacts diff cleanly.
+  EXPECT_EQ(render_flamegraph(stacks, options), svg);
+}
+
+TEST(Flamegraph, EscapesMarkupInFrameNamesAndTitle) {
+  std::vector<FoldedStack> stacks;
+  std::string error;
+  ASSERT_TRUE(parse_folded("a<b>&\"c\";leaf 5\n", stacks, error)) << error;
+  FlamegraphOptions options;
+  options.title = "<script>\"x\"&</script>";
+  const std::string svg = render_flamegraph(stacks, options);
+  EXPECT_EQ(svg.find("<script>"), std::string::npos);
+  EXPECT_EQ(svg.find("a<b>"), std::string::npos);
+  EXPECT_NE(svg.find("a&lt;b&gt;&amp;&quot;c&quot;"), std::string::npos);
+}
+
+TEST(Flamegraph, EmptyProfileStillRendersADocument) {
+  const std::string svg = render_flamegraph({}, FlamegraphOptions{});
+  EXPECT_EQ(svg.rfind("<?xml", 0), 0u);
+  EXPECT_NE(svg.find("0 samples"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedwcm::analysis

@@ -92,6 +92,16 @@ TEST(SerialFor, MatchesParallelSemantics) {
   EXPECT_EQ(order, (std::vector<int>{2, 3, 4, 5}));
 }
 
+TEST(ThreadPool, CarriesItsNameForLabeledStats) {
+  ThreadPool unnamed(1);
+  EXPECT_EQ(unnamed.name(), "default");
+  ThreadPool eval(2, "eval");
+  EXPECT_EQ(eval.name(), "eval");
+  auto f = eval.submit([] { return 1; });
+  EXPECT_EQ(f.get(), 1);
+  EXPECT_GT(eval.tasks_executed(), 0u);
+}
+
 TEST(ThreadPool, SinglethreadPoolStillWorks) {
   ThreadPool pool(1);
   std::vector<int> out(10, 0);

@@ -1,0 +1,57 @@
+// The profiling layer observes, never steers: a run with the phase
+// accountant, metrics registry, and SIGPROF sampler all enabled must produce
+// a bitwise-identical training trajectory to a bare run. (Named without the
+// "Prof" prefix on purpose — the TSan CI subset selects on that token, and
+// signal-driven sampling does not run under TSan.)
+#include <gtest/gtest.h>
+
+#include "fedwcm/fl/registry.hpp"
+#include "fedwcm/obs/metrics.hpp"
+#include "fedwcm/obs/prof.hpp"
+#include "fedwcm/obs/sampler.hpp"
+#include "fl_test_util.hpp"
+
+namespace fedwcm::fl {
+namespace {
+
+using testutil::make_world;
+
+TEST(Simulation, AccountingAndSamplingAreReadOnly) {
+  auto w = make_world();
+  w.config.rounds = 4;
+
+  Simulation bare = w.make_simulation();
+  auto a1 = make_algorithm("fedwcm");
+  const SimulationResult baseline = bare.run(*a1);
+
+  // Second run: everything the --profile/--ledger path turns on.
+  obs::metrics().set_enabled(true);
+  obs::prof::accountant().reset();
+  obs::prof::accountant().set_enabled(true);
+  obs::prof::StackSampler sampler;
+  obs::prof::StackSampler::Options options;
+  options.hz = 199;
+  const bool sampling = sampler.start(options);
+  Simulation profiled = w.make_simulation();
+  auto a2 = make_algorithm("fedwcm");
+  const SimulationResult result = profiled.run(*a2);
+  if (sampling) sampler.stop();
+  obs::prof::accountant().set_enabled(false);
+  obs::metrics().set_enabled(false);
+
+  // The accountant saw the run...
+  EXPECT_GT(
+      obs::prof::accountant().totals(obs::prof::Phase::kLocalTrain).count, 0u);
+  EXPECT_GT(
+      obs::prof::accountant().totals(obs::prof::Phase::kAggregate).count, 0u);
+  obs::prof::accountant().reset();
+
+  // ...and the trajectory never noticed. Bitwise, not approximately.
+  EXPECT_EQ(result.history.size(), baseline.history.size());
+  ASSERT_EQ(result.final_params.size(), baseline.final_params.size());
+  for (std::size_t i = 0; i < result.final_params.size(); ++i)
+    ASSERT_EQ(result.final_params[i], baseline.final_params[i]) << i;
+}
+
+}  // namespace
+}  // namespace fedwcm::fl

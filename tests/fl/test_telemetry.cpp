@@ -162,14 +162,23 @@ TEST(Simulation, PublishesLifecycleEvents) {
   EXPECT_EQ(events.front().detail, "fedavg");
   EXPECT_EQ(events.back().kind, obs::EventKind::kRunEnd);
   std::size_t round_begins = 0, round_ends = 0, evaluates = 0;
+  std::size_t eval_begins = 0, eval_ends = 0;
   for (const obs::Event& e : events) {
     round_begins += e.kind == obs::EventKind::kRoundBegin;
     round_ends += e.kind == obs::EventKind::kRoundEnd;
     evaluates += e.kind == obs::EventKind::kEvaluate;
+    eval_begins += e.kind == obs::EventKind::kEvalBegin;
+    if (e.kind == obs::EventKind::kEvalEnd) {
+      ++eval_ends;
+      EXPECT_GE(e.value, 0.0);  // Eval wall time in ms.
+    }
   }
   EXPECT_EQ(round_begins, 4u);
   EXPECT_EQ(round_ends, 4u);
   EXPECT_EQ(evaluates, 3u);  // Rounds 0 and 2 (eval_every=2) + final round 3.
+  // Every evaluation is bracketed by an eval_begin / eval_end pair.
+  EXPECT_EQ(eval_begins, evaluates);
+  EXPECT_EQ(eval_ends, evaluates);
 }
 
 TEST(Simulation, PublishesFaultEvents) {

@@ -140,6 +140,22 @@ TEST_F(HttpExporterTest, EventsEndpointDefaultsWhenQueryMalformed) {
   }
 }
 
+TEST_F(HttpExporterTest, ProfileEndpointIs503UntilAProviderIsInstalled) {
+  Response r = http_get(exporter_->port(), "/profile");
+  EXPECT_EQ(r.status, 503);
+  EXPECT_NE(r.body.find("profiling not enabled"), std::string::npos);
+
+  exporter_->set_profile_provider(
+      [] { return std::string("{\"schema\": \"fedwcm.ledger/1\"}"); });
+  r = http_get(exporter_->port(), "/profile");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.headers.find("application/json"), std::string::npos);
+  json::Value v;
+  std::string error;
+  ASSERT_TRUE(json::parse(r.body, v, error)) << error;
+  EXPECT_EQ(v.find("schema")->as_string(), "fedwcm.ledger/1");
+}
+
 TEST_F(HttpExporterTest, IndexNotFoundAndMethodNotAllowed) {
   EXPECT_EQ(http_get(exporter_->port(), "/").status, 200);
   EXPECT_EQ(http_get(exporter_->port(), "/nope").status, 404);

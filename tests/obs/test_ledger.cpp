@@ -1,0 +1,147 @@
+// Run ledger: collection, schema-strict JSON round-trips, threshold
+// comparison semantics, and the human-readable report.
+#include "fedwcm/obs/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fedwcm/obs/metrics.hpp"
+
+namespace fedwcm::obs::prof {
+namespace {
+
+Ledger sample_ledger() {
+  Ledger ledger;
+  ledger.meta.algorithm = "fedwcm";
+  ledger.meta.rounds = 12;
+  ledger.meta.wall_ms = 345.5;
+  ledger.meta.bytes_up = 1000;
+  ledger.meta.bytes_down = 2000;
+  ledger.meta.profile_samples = 42;
+  ledger.cpu_ms = 250.25;
+  ledger.peak_rss_kb = 50000.0;
+  ledger.end_rss_kb = 48000.0;
+  ledger.allocs = 12345;
+  ledger.alloc_bytes = 678900;
+  ledger.alloc_hook = true;
+  ledger.phases[std::size_t(Phase::kLocalTrain)].count = 12;
+  ledger.phases[std::size_t(Phase::kLocalTrain)].wall_ms = 200.0;
+  ledger.phases[std::size_t(Phase::kLocalTrain)].allocs = 99;
+  return ledger;
+}
+
+TEST(Ledger, JsonRoundTripPreservesEveryField) {
+  const Ledger in = sample_ledger();
+  Ledger out;
+  std::string error;
+  ASSERT_TRUE(ledger_from_json(to_json(in), out, error)) << error;
+  EXPECT_EQ(out.schema, "fedwcm.ledger/1");
+  EXPECT_EQ(out.meta.algorithm, "fedwcm");
+  EXPECT_EQ(out.meta.rounds, 12u);
+  EXPECT_FALSE(out.meta.aborted);
+  EXPECT_DOUBLE_EQ(out.meta.wall_ms, 345.5);
+  EXPECT_EQ(out.meta.bytes_up, 1000u);
+  EXPECT_EQ(out.meta.bytes_down, 2000u);
+  EXPECT_EQ(out.meta.profile_samples, 42u);
+  EXPECT_DOUBLE_EQ(out.cpu_ms, 250.25);
+  EXPECT_DOUBLE_EQ(out.peak_rss_kb, 50000.0);
+  EXPECT_DOUBLE_EQ(out.end_rss_kb, 48000.0);
+  EXPECT_EQ(out.allocs, 12345u);
+  EXPECT_EQ(out.alloc_bytes, 678900u);
+  EXPECT_TRUE(out.alloc_hook);
+  const PhaseTotals& train = out.phases[std::size_t(Phase::kLocalTrain)];
+  EXPECT_EQ(train.count, 12u);
+  EXPECT_DOUBLE_EQ(train.wall_ms, 200.0);
+  EXPECT_EQ(train.allocs, 99u);
+  EXPECT_EQ(out.phases[std::size_t(Phase::kCheckpoint)].count, 0u);
+}
+
+TEST(Ledger, CollectReadsLiveProcessState) {
+  LedgerMeta meta;
+  meta.algorithm = "fedavg";
+  meta.rounds = 3;
+  const Ledger ledger = collect_ledger(meta);
+  EXPECT_EQ(ledger.meta.algorithm, "fedavg");
+  EXPECT_GT(ledger.peak_rss_kb, 0.0);
+  EXPECT_GT(ledger.end_rss_kb, 0.0);
+  EXPECT_GT(ledger.cpu_ms, 0.0);
+  // The test binary links the counting hook, so allocs are measured.
+  EXPECT_TRUE(ledger.alloc_hook);
+  EXPECT_GT(ledger.allocs, 0u);
+  // And the collected ledger is itself schema-valid.
+  Ledger reparsed;
+  std::string error;
+  EXPECT_TRUE(ledger_from_json(to_json(ledger), reparsed, error)) << error;
+}
+
+TEST(Ledger, RejectsMalformedDocuments) {
+  Ledger out;
+  std::string error;
+  EXPECT_FALSE(ledger_from_json("not json", out, error));
+  EXPECT_FALSE(ledger_from_json("[]", out, error));
+  // Wrong schema string.
+  std::string text = to_json(sample_ledger());
+  std::string wrong = text;
+  wrong.replace(wrong.find("fedwcm.ledger/1"), 15, "fedwcm.ledger/9");
+  EXPECT_FALSE(ledger_from_json(wrong, out, error));
+  EXPECT_NE(error.find("schema"), std::string::npos) << error;
+  // A missing required key.
+  std::string missing = text;
+  const std::size_t pos = missing.find("\"cpu_ms\"");
+  ASSERT_NE(pos, std::string::npos);
+  missing.replace(pos, 8, "\"cpu_mz\"");
+  EXPECT_FALSE(ledger_from_json(missing, out, error));
+  // A mistyped value (string where a number belongs).
+  std::string mistyped = text;
+  const std::size_t rounds = mistyped.find("\"rounds\":12");
+  ASSERT_NE(rounds, std::string::npos);
+  mistyped.replace(rounds, 11, "\"rounds\":\"x\"");
+  EXPECT_FALSE(ledger_from_json(mistyped, out, error));
+}
+
+TEST(Ledger, CompareIdenticalLedgersPasses) {
+  const Ledger ledger = sample_ledger();
+  std::string report;
+  EXPECT_TRUE(compare_ledgers(ledger, ledger, LedgerThresholds{}, report));
+  EXPECT_NE(report.find("peak_rss_kb"), std::string::npos);
+}
+
+TEST(Ledger, CompareFlagsRssRegression) {
+  const Ledger baseline = sample_ledger();
+  Ledger fat = baseline;
+  fat.peak_rss_kb = baseline.peak_rss_kb * 10.0;
+  std::string report;
+  EXPECT_FALSE(compare_ledgers(baseline, fat, LedgerThresholds{}, report));
+  EXPECT_NE(report.find("FAIL"), std::string::npos) << report;
+  // Within the default 1.5x headroom it passes.
+  Ledger slight = baseline;
+  slight.peak_rss_kb = baseline.peak_rss_kb * 1.4;
+  report.clear();
+  EXPECT_TRUE(compare_ledgers(baseline, slight, LedgerThresholds{}, report));
+}
+
+TEST(Ledger, CpuGateIsOffByDefaultAndOptInWorks) {
+  const Ledger baseline = sample_ledger();
+  Ledger slow = baseline;
+  slow.cpu_ms = baseline.cpu_ms * 100.0;
+  std::string report;
+  // cpu_factor <= 0 disables the CPU check entirely.
+  EXPECT_TRUE(compare_ledgers(baseline, slow, LedgerThresholds{}, report));
+  LedgerThresholds strict;
+  strict.cpu_factor = 2.0;
+  report.clear();
+  EXPECT_FALSE(compare_ledgers(baseline, slow, strict, report));
+  EXPECT_NE(report.find("cpu_ms"), std::string::npos) << report;
+}
+
+TEST(Ledger, FormatReportNamesEveryPhase) {
+  const std::string report = format_ledger_report(sample_ledger());
+  for (const char* phase : {"sample", "local_train", "upload", "aggregate",
+                            "evaluate", "checkpoint"})
+    EXPECT_NE(report.find(phase), std::string::npos) << phase;
+  EXPECT_NE(report.find("fedwcm"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedwcm::obs::prof

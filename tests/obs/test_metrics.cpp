@@ -206,6 +206,95 @@ TEST(Metrics, ConcurrentScrapeSeesConsistentExposition) {
   EXPECT_EQ(c.value(), (kTasks - 1) * 5000);
 }
 
+TEST(Metrics, LabeledSeriesAreDistinctFromEachOtherAndTheBareName) {
+  Registry reg;
+  reg.set_enabled(true);
+  Counter plain = reg.counter("pool.tasks");
+  Counter sim = reg.counter("pool.tasks", {{"pool", "simulation"}});
+  Counter eval = reg.counter("pool.tasks", {{"pool", "eval"}});
+  plain.add(1);
+  sim.add(10);
+  eval.add(100);
+  EXPECT_EQ(plain.value(), 1u);
+  EXPECT_EQ(sim.value(), 10u);
+  EXPECT_EQ(eval.value(), 100u);
+  // Identical (name, labels) lands on the same cell.
+  Counter sim2 = reg.counter("pool.tasks", {{"pool", "simulation"}});
+  sim2.add(5);
+  EXPECT_EQ(sim.value(), 15u);
+}
+
+TEST(Metrics, CounterSetMirrorsExternalMonotonicCounts) {
+  Registry reg;
+  reg.set_enabled(true);
+  Counter c = reg.counter("mirror.count", {{"pool", "p"}});
+  c.set(10);
+  EXPECT_EQ(c.value(), 10u);
+  c.set(42);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, JsonlCarriesLabels) {
+  Registry reg;
+  reg.set_enabled(true);
+  reg.counter("pool.tasks", {{"pool", "simulation"}}).add(3);
+  reg.gauge("pool.depth", {{"pool", "simulation"}}).set(2.0);
+  std::ostringstream os;
+  reg.write_jsonl(os);
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t labeled = 0;
+  while (std::getline(is, line)) {
+    json::Value v;
+    std::string error;
+    ASSERT_TRUE(json::parse(line, v, error)) << error << ": " << line;
+    const json::Value* labels = v.find("labels");
+    ASSERT_NE(labels, nullptr) << line;
+    ASSERT_TRUE(labels->is_object());
+    EXPECT_EQ(labels->find("pool")->as_string(), "simulation");
+    ++labeled;
+  }
+  EXPECT_EQ(labeled, 2u);
+}
+
+TEST(Metrics, SnapshotStaysConsistentUnderConcurrentLabeledWriters) {
+  // Writers hammer labeled series while a reader repeatedly snapshots the
+  // whole registry; every snapshot must parse, and no update may be lost.
+  Registry reg;
+  reg.set_enabled(true);
+  core::ThreadPool pool(4);
+  constexpr std::size_t kTasks = 8;
+  constexpr std::size_t kPerTask = 2000;
+  core::parallel_for(pool, 0, kTasks, [&](std::size_t i) {
+    if (i == 0) {
+      for (int snap = 0; snap < 40; ++snap) {
+        std::ostringstream os;
+        reg.write_jsonl(os);
+        std::istringstream is(os.str());
+        std::string line;
+        while (std::getline(is, line)) {
+          json::Value v;
+          std::string error;
+          ASSERT_TRUE(json::parse(line, v, error)) << error << ": " << line;
+        }
+      }
+    } else {
+      Counter c =
+          reg.counter("snap.count", {{"pool", "p" + std::to_string(i % 2)}});
+      Histogram h = reg.histogram("snap.hist", {1.0, 10.0});
+      for (std::size_t k = 0; k < kPerTask; ++k) {
+        c.add();
+        h.observe(double(k % 13));
+      }
+    }
+  });
+  std::uint64_t total = 0;
+  for (const char* p : {"p0", "p1"})
+    total += reg.counter("snap.count", {{"pool", p}}).value();
+  EXPECT_EQ(total, (kTasks - 1) * kPerTask);
+  EXPECT_EQ(reg.histogram("snap.hist", {}).count(), (kTasks - 1) * kPerTask);
+}
+
 TEST(Metrics, JsonlExportParsesAndCarriesSummaries) {
   Registry reg;
   reg.set_enabled(true);

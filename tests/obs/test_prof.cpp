@@ -1,0 +1,178 @@
+// PhaseAccountant: per-phase totals, RAII scopes, disabled-mode no-ops, and
+// exact accounting under concurrent recorders (TSan covers this file).
+#include "fedwcm/obs/prof.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "fedwcm/obs/metrics.hpp"
+#include "fedwcm/obs/poolstats.hpp"
+#include "fedwcm/obs/resource.hpp"
+
+namespace fedwcm::obs::prof {
+namespace {
+
+/// Enables the global accountant (and the metrics registry its histograms
+/// live in) for one test, restoring both on exit.
+struct ScopedAccountant {
+  ScopedAccountant() {
+    metrics().set_enabled(true);
+    accountant().reset();
+    accountant().set_enabled(true);
+  }
+  ~ScopedAccountant() {
+    accountant().set_enabled(false);
+    accountant().reset();
+    metrics().set_enabled(false);
+  }
+};
+
+TEST(Prof, PhaseNamesAreStable) {
+  EXPECT_STREQ(to_string(Phase::kSample), "sample");
+  EXPECT_STREQ(to_string(Phase::kLocalTrain), "local_train");
+  EXPECT_STREQ(to_string(Phase::kUpload), "upload");
+  EXPECT_STREQ(to_string(Phase::kAggregate), "aggregate");
+  EXPECT_STREQ(to_string(Phase::kEvaluate), "evaluate");
+  EXPECT_STREQ(to_string(Phase::kCheckpoint), "checkpoint");
+}
+
+TEST(Prof, DisabledScopeRecordsNothing) {
+  accountant().set_enabled(false);
+  accountant().reset();
+  {
+    PhaseScope scope(Phase::kAggregate);
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = sink + i;
+  }
+  EXPECT_EQ(accountant().totals(Phase::kAggregate).count, 0u);
+}
+
+TEST(Prof, ScopeRecordsOneOccurrencePerBracket) {
+  ScopedAccountant guard;
+  for (int i = 0; i < 3; ++i) {
+    PhaseScope scope(Phase::kEvaluate);
+    // Touch the heap so the allocation delta has something to see when the
+    // counting hook is linked (it is, in this binary).
+    std::vector<int> v(256, i);
+    ASSERT_EQ(v.size(), 256u);
+  }
+  const PhaseTotals t = accountant().totals(Phase::kEvaluate);
+  EXPECT_EQ(t.count, 3u);
+  EXPECT_GE(t.wall_ms, 0.0);
+  EXPECT_GE(t.rss_peak_kb, 0.0);
+  if (alloc_hook_linked()) EXPECT_GT(t.allocs, 0u);
+  // Other phases stayed untouched.
+  EXPECT_EQ(accountant().totals(Phase::kUpload).count, 0u);
+}
+
+TEST(Prof, RecordFoldsExactTotals) {
+  ScopedAccountant guard;
+  PhaseSample sample;
+  sample.wall_ms = 2.0;
+  sample.cpu_ms = 1.0;
+  sample.rss_delta_kb = -4.0;
+  sample.rss_end_kb = 100.0;
+  sample.allocs = 7;
+  sample.alloc_bytes = 512;
+  accountant().record(Phase::kSample, sample);
+  sample.rss_end_kb = 250.0;
+  accountant().record(Phase::kSample, sample);
+  const PhaseTotals t = accountant().totals(Phase::kSample);
+  EXPECT_EQ(t.count, 2u);
+  EXPECT_DOUBLE_EQ(t.wall_ms, 4.0);
+  EXPECT_DOUBLE_EQ(t.cpu_ms, 2.0);
+  EXPECT_DOUBLE_EQ(t.rss_delta_kb, -8.0);
+  EXPECT_DOUBLE_EQ(t.rss_peak_kb, 250.0);  // max, not sum.
+  EXPECT_EQ(t.allocs, 14u);
+  EXPECT_EQ(t.alloc_bytes, 1024u);
+}
+
+TEST(Prof, ConcurrentRecordersLoseNothing) {
+  ScopedAccountant guard;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&go] {
+      while (!go.load(std::memory_order_acquire)) {}
+      PhaseSample s;
+      s.wall_ms = 0.5;
+      s.allocs = 2;
+      for (int i = 0; i < kPerThread; ++i)
+        accountant().record(Phase::kLocalTrain, s);
+    });
+  }
+  // A racing reader: snapshots must always be internally sane (count and
+  // sums only ever grow; the per-field relaxed loads never tear a uint64).
+  std::thread reader([&go] {
+    while (!go.load(std::memory_order_acquire)) {}
+    std::uint64_t last = 0;
+    for (int i = 0; i < 500; ++i) {
+      const PhaseTotals t = accountant().totals(Phase::kLocalTrain);
+      ASSERT_GE(t.count, last);
+      last = t.count;
+    }
+  });
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  reader.join();
+  const PhaseTotals t = accountant().totals(Phase::kLocalTrain);
+  EXPECT_EQ(t.count, std::uint64_t(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(t.wall_ms, 0.5 * kThreads * kPerThread);
+  EXPECT_EQ(t.allocs, 2u * kThreads * kPerThread);
+}
+
+TEST(Prof, WallHistogramMergesConcurrentObservations) {
+  ScopedAccountant guard;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      PhaseSample s;
+      for (int i = 0; i < kPerThread; ++i) {
+        s.wall_ms = double(t + 1);
+        accountant().record(Phase::kAggregate, s);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // The registry histogram the accountant feeds merged every observation.
+  Histogram h = metrics().histogram("prof.aggregate.wall_ms", {});
+  EXPECT_EQ(h.count(), std::uint64_t(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(h.sum(), (1.0 + 2.0 + 3.0 + 4.0) * kPerThread);
+}
+
+TEST(Prof, PublishPoolStatsCreatesLabeledSeries) {
+  metrics().set_enabled(true);
+  core::ThreadPool pool(2, "prof_test_pool");
+  EXPECT_EQ(pool.name(), "prof_test_pool");
+  std::atomic<int> done{0};
+  core::parallel_for(pool, 0, 16, [&](std::size_t) { done.fetch_add(1); });
+  ASSERT_EQ(done.load(), 16);
+  publish_pool_stats(pool);
+  const Labels labels{{"pool", "prof_test_pool"}};
+  EXPECT_EQ(metrics().counter("threadpool.tasks_executed", labels).value(),
+            pool.tasks_executed());
+  EXPECT_GT(pool.tasks_executed(), 0u);
+  metrics().set_enabled(false);
+}
+
+TEST(Prof, ResourceReadersReportPlausibleValues) {
+  const double rss = current_rss_kb();
+  const double peak = peak_rss_kb();
+  EXPECT_GT(rss, 0.0);
+  EXPECT_GE(peak, rss * 0.5);  // VmHWM can lag statm slightly, never hugely.
+  const std::uint64_t cpu0 = process_cpu_us();
+  volatile double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink = sink + double(i) * 1e-9;
+  EXPECT_GE(process_cpu_us(), cpu0);
+  EXPECT_GT(clock_monotonic_us(), 0u);
+}
+
+}  // namespace
+}  // namespace fedwcm::obs::prof

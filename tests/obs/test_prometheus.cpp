@@ -39,6 +39,47 @@ TEST(Prometheus, WriterOutputValidates) {
   EXPECT_NE(text.find("fedwcm_round_wall_ms_count 5"), std::string::npos);
 }
 
+TEST(Prometheus, LabeledSeriesGroupIntoOneFamilyAndValidate) {
+  Registry reg;
+  reg.set_enabled(true);
+  reg.counter("threadpool.tasks", {{"pool", "simulation"}}).add(7);
+  reg.counter("threadpool.tasks", {{"pool", "eval"}}).add(3);
+  reg.gauge("threadpool.depth", {{"pool", "simulation"}}).set(2.0);
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string text = os.str();
+  std::string error;
+  EXPECT_TRUE(validate_prometheus_text(text, error)) << error;
+  EXPECT_NE(text.find("fedwcm_threadpool_tasks{pool=\"simulation\"} 7"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("fedwcm_threadpool_tasks{pool=\"eval\"} 3"),
+            std::string::npos);
+  // One TYPE line per family, no matter how many labeled series share it
+  // (a duplicate would fail the strict validator above, but assert the
+  // grouping explicitly too).
+  std::size_t type_lines = 0, pos = 0;
+  const std::string needle = "# TYPE fedwcm_threadpool_tasks counter";
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    ++type_lines;
+    pos += needle.size();
+  }
+  EXPECT_EQ(type_lines, 1u);
+}
+
+TEST(Prometheus, LabelValuesAreEscaped) {
+  Registry reg;
+  reg.set_enabled(true);
+  reg.gauge("g", {{"path", "a\"b\\c\nd"}}).set(1.0);
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  std::string error;
+  EXPECT_TRUE(validate_prometheus_text(os.str(), error))
+      << error << "\n" << os.str();
+  EXPECT_NE(os.str().find("path=\"a\\\"b\\\\c\\nd\""), std::string::npos)
+      << os.str();
+}
+
 TEST(Prometheus, NonFiniteGaugeIsLegalExposition) {
   // Prometheus, unlike JSON, spells non-finite values out — a diverged gauge
   // must scrape as NaN, not break the payload.

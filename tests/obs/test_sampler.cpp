@@ -1,0 +1,82 @@
+// StackSampler: SIGPROF capture smoke, folded-output shape, and lifecycle.
+// Not part of the TSan test subset — signal-driven sampling and TSan's
+// signal interception do not mix; the sampler's read-only guarantee is
+// enforced separately by the fl read-only trajectory test.
+#include "fedwcm/obs/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "fedwcm/analysis/flame.hpp"
+
+namespace fedwcm::obs::prof {
+namespace {
+
+/// Burns CPU until the sampler has ticks or the deadline passes. ITIMER_PROF
+/// only advances with CPU consumption, so sleeping would capture nothing.
+void spin_until_sampled(const StackSampler& sampler, double max_seconds) {
+  const auto t0 = std::chrono::steady_clock::now();
+  volatile double sink = 0.0;
+  while (sampler.sample_count() == 0 &&
+         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                 .count() < max_seconds) {
+    for (int i = 0; i < 100000; ++i) sink = sink + double(i) * 1e-9;
+  }
+}
+
+TEST(StackSampler, CapturesAndFoldsBusyLoopSamples) {
+  StackSampler sampler;
+  StackSampler::Options options;
+  options.hz = 997;  // Fast ticks keep the test short.
+  ASSERT_TRUE(sampler.start(options));
+  EXPECT_TRUE(sampler.running());
+  spin_until_sampled(sampler, 10.0);
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  ASSERT_GT(sampler.sample_count(), 0u);
+
+  // Folded output: total counts equal captured ticks, frames are
+  // separator-clean, and the analysis-side parser accepts it verbatim.
+  std::uint64_t total = 0;
+  for (const auto& [stack, count] : sampler.fold()) {
+    EXPECT_FALSE(stack.empty());
+    EXPECT_EQ(stack.find(' '), std::string::npos) << stack;
+    EXPECT_GT(count, 0u);
+    total += count;
+  }
+  EXPECT_EQ(total, sampler.sample_count());
+  std::vector<analysis::FoldedStack> stacks;
+  std::string error;
+  EXPECT_TRUE(analysis::parse_folded(sampler.write_folded(), stacks, error))
+      << error;
+  EXPECT_FALSE(stacks.empty());
+
+  // clear() forgets the capture but leaves the sampler restartable.
+  sampler.clear();
+  EXPECT_EQ(sampler.sample_count(), 0u);
+  EXPECT_EQ(sampler.write_folded(), "");
+}
+
+TEST(StackSampler, SecondConcurrentStartIsRefused) {
+  StackSampler first;
+  ASSERT_TRUE(first.start());
+  StackSampler second;
+  EXPECT_FALSE(second.start());  // SIGPROF disposition is process-wide.
+  first.stop();
+  // Once the first stops, a fresh start succeeds again.
+  EXPECT_TRUE(second.start());
+  second.stop();
+}
+
+TEST(StackSampler, StopWithoutStartIsHarmless) {
+  StackSampler sampler;
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  EXPECT_EQ(sampler.sample_count(), 0u);
+  EXPECT_EQ(sampler.dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace fedwcm::obs::prof

@@ -1,89 +1,14 @@
 #include "alloc_counter.hpp"
 
-#include <atomic>
-#include <cstdlib>
-#include <new>
+#include "fedwcm/obs/resource.hpp"
 
-// Counting replacements for the global allocation functions. Every variant
-// funnels through counted_alloc/counted_free so the counter sees array,
-// nothrow and over-aligned forms alike.
-
-namespace {
-
-std::atomic<std::uint64_t> g_allocations{0};
-
-void* counted_alloc(std::size_t size) {
-  // operator new must return a unique pointer even for size 0.
-  void* p = std::malloc(size == 0 ? 1 : size);
-  if (p != nullptr) g_allocations.fetch_add(1, std::memory_order_relaxed);
-  return p;
-}
-
-void* counted_alloc_aligned(std::size_t size, std::size_t align) {
-  if (align < alignof(void*)) align = alignof(void*);
-  void* p = nullptr;
-  if (posix_memalign(&p, align, size == 0 ? align : size) != 0) return nullptr;
-  g_allocations.fetch_add(1, std::memory_order_relaxed);
-  return p;
-}
-
-}  // namespace
+// The actual operator new/delete replacements live in obs/alloc_hook.cpp
+// (linked into the test binary as the fedwcm_alloc_hook object library), so
+// the test suite and `fedwcm_run --ledger` count allocations with one hook.
+// This translation unit only keeps the historical test-facing API alive.
 
 namespace fedwcm::testing {
 
-std::uint64_t allocation_count() {
-  return g_allocations.load(std::memory_order_relaxed);
-}
+std::uint64_t allocation_count() { return obs::alloc_counters().count; }
 
 }  // namespace fedwcm::testing
-
-void* operator new(std::size_t size) {
-  void* p = counted_alloc(size);
-  if (p == nullptr) throw std::bad_alloc();
-  return p;
-}
-
-void* operator new[](std::size_t size) { return ::operator new(size); }
-
-void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  return counted_alloc(size);
-}
-
-void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
-  return counted_alloc(size);
-}
-
-void* operator new(std::size_t size, std::align_val_t align) {
-  void* p = counted_alloc_aligned(size, std::size_t(align));
-  if (p == nullptr) throw std::bad_alloc();
-  return p;
-}
-
-void* operator new[](std::size_t size, std::align_val_t align) {
-  return ::operator new(size, align);
-}
-
-void* operator new(std::size_t size, std::align_val_t align,
-                   const std::nothrow_t&) noexcept {
-  return counted_alloc_aligned(size, std::size_t(align));
-}
-
-void* operator new[](std::size_t size, std::align_val_t align,
-                     const std::nothrow_t&) noexcept {
-  return counted_alloc_aligned(size, std::size_t(align));
-}
-
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
-void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
-}
-void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
-}

@@ -1,9 +1,9 @@
 #pragma once
-// Allocation-counting hook for the zero-allocation hot-path tests.
+// Allocation-counting API for the zero-allocation hot-path tests.
 //
-// Linking alloc_counter.cpp into a binary replaces the global operator
-// new/delete family with malloc-backed versions that bump a process-wide
-// counter on every successful allocation. Tests read the counter before and
+// The counting operator new/delete replacements live in obs/alloc_hook.cpp
+// (the fedwcm_alloc_hook object library); this header forwards their counter
+// under the historical test-facing name. Tests read the counter before and
 // after a region to assert how many heap allocations it performed; behaviour
 // is otherwise unchanged, so the hook is safe to link into the whole test
 // binary.

@@ -12,18 +12,54 @@
 ///          [--time-factor X]     max candidate/baseline mean-round-time
 ///                                ratio (off by default; wall time is noisy
 ///                                across machines)
+///
+/// Resource-ledger mode (`--ledger`): the positionals are ledger.json files
+/// (schema fedwcm.ledger/1, from `fedwcm_run --ledger`) and the gates are
+/// resource regressions instead of accuracy:
+///
+///        fedwcm_compare --ledger BASELINE.json CANDIDATE.json
+///          [--rss-factor X]      max candidate/baseline peak-RSS ratio (1.5)
+///          [--cpu-factor X]      max candidate/baseline CPU-time ratio
+///                                (off by default; CPU time is noisy across
+///                                machines — peak RSS is the stable gate)
 
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "fedwcm/analysis/compare.hpp"
+#include "fedwcm/obs/ledger.hpp"
 
 namespace {
 
 constexpr const char* kUsage =
     "usage: fedwcm_compare BASELINE.jsonl CANDIDATE.jsonl\n"
-    "         [--accuracy-drop X] [--recall-drop X] [--time-factor X]\n";
+    "         [--accuracy-drop X] [--recall-drop X] [--time-factor X]\n"
+    "       fedwcm_compare --ledger BASELINE.json CANDIDATE.json\n"
+    "         [--rss-factor X] [--cpu-factor X]\n";
+
+/// --ledger mode: diff two resource ledgers with regression thresholds.
+int run_ledger_compare(const std::string& baseline_path,
+                       const std::string& candidate_path,
+                       const fedwcm::obs::prof::LedgerThresholds& thresholds) {
+  namespace prof = fedwcm::obs::prof;
+  prof::Ledger baseline, candidate;
+  std::string error;
+  if (!prof::load_ledger_file(baseline_path, baseline, error)) {
+    std::cerr << "fedwcm_compare: baseline: " << error << "\n";
+    return 2;
+  }
+  if (!prof::load_ledger_file(candidate_path, candidate, error)) {
+    std::cerr << "fedwcm_compare: candidate: " << error << "\n";
+    return 2;
+  }
+  std::string report;
+  const bool pass = prof::compare_ledgers(baseline, candidate, thresholds, report);
+  std::cout << "baseline:  " << prof::format_ledger_report(baseline)
+            << "candidate: " << prof::format_ledger_report(candidate) << report
+            << (pass ? "PASS\n" : "FAIL\n");
+  return pass ? 0 : 1;
+}
 
 bool parse_f64(const char* text, double& out) {
   char* end = nullptr;
@@ -36,6 +72,8 @@ bool parse_f64(const char* text, double& out) {
 int main(int argc, char** argv) {
   std::string baseline_path, candidate_path;
   fedwcm::analysis::CompareThresholds thresholds;
+  fedwcm::obs::prof::LedgerThresholds ledger_thresholds;
+  bool ledger_mode = false;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     const auto take_f64 = [&](double& out) {
@@ -45,7 +83,13 @@ int main(int argc, char** argv) {
         std::exit(2);
       }
     };
-    if (flag == "--accuracy-drop") {
+    if (flag == "--ledger") {
+      ledger_mode = true;
+    } else if (flag == "--rss-factor") {
+      take_f64(ledger_thresholds.rss_factor);
+    } else if (flag == "--cpu-factor") {
+      take_f64(ledger_thresholds.cpu_factor);
+    } else if (flag == "--accuracy-drop") {
       take_f64(thresholds.accuracy_drop);
     } else if (flag == "--recall-drop") {
       take_f64(thresholds.recall_drop);
@@ -70,6 +114,8 @@ int main(int argc, char** argv) {
     std::cerr << kUsage;
     return 2;
   }
+  if (ledger_mode)
+    return run_ledger_compare(baseline_path, candidate_path, ledger_thresholds);
 
   fedwcm::analysis::RunSummary baseline, candidate;
   std::string error;

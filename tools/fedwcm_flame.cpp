@@ -1,0 +1,104 @@
+/// \file fedwcm_flame.cpp
+/// Renders collapsed stacks (from `fedwcm_run --profile`) as a
+/// self-contained SVG flamegraph.
+///
+/// Usage: fedwcm_flame IN.folded OUT.svg [--title T] [--width W]
+///
+/// The input is the standard folded format ("frame;frame;frame count" per
+/// line), so profiles from any flamegraph-compatible tool render too. The
+/// output is one static SVG — no scripts, no external assets — in the same
+/// offline-forever spirit as the run dashboard.
+///
+/// Exit status: 0 success, 1 malformed folded input, 2 usage/IO errors.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fedwcm/analysis/flame.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: fedwcm_flame IN.folded OUT.svg [--title T] [--width W]\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string in_path, out_path;
+  fedwcm::analysis::FlamegraphOptions options;
+  options.title = "fedwcm profile";
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else if (flag == "--title") {
+      if (i + 1 >= argc) {
+        std::cerr << "fedwcm_flame: --title needs a value\n" << kUsage;
+        return 2;
+      }
+      options.title = argv[++i];
+    } else if (flag == "--width") {
+      if (i + 1 >= argc) {
+        std::cerr << "fedwcm_flame: --width needs a value\n" << kUsage;
+        return 2;
+      }
+      char* end = nullptr;
+      const long w = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || w < 200 || w > 20000) {
+        std::cerr << "fedwcm_flame: --width must be in [200, 20000]\n";
+        return 2;
+      }
+      options.width = int(w);
+    } else if (!flag.empty() && flag[0] == '-') {
+      std::cerr << "fedwcm_flame: unknown flag " << flag << "\n" << kUsage;
+      return 2;
+    } else if (in_path.empty()) {
+      in_path = flag;
+    } else if (out_path.empty()) {
+      out_path = flag;
+    } else {
+      std::cerr << "fedwcm_flame: too many positional arguments\n" << kUsage;
+      return 2;
+    }
+  }
+  if (in_path.empty() || out_path.empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  std::ifstream in(in_path, std::ios::binary);
+  if (!in) {
+    std::cerr << "fedwcm_flame: cannot open " << in_path << "\n";
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  std::vector<fedwcm::analysis::FoldedStack> stacks;
+  std::string error;
+  if (!fedwcm::analysis::parse_folded(buf.str(), stacks, error)) {
+    std::cerr << "fedwcm_flame: " << error << "\n";
+    return 1;
+  }
+
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::cerr << "fedwcm_flame: cannot write " << out_path << "\n";
+    return 2;
+  }
+  out << fedwcm::analysis::render_flamegraph(stacks, options);
+  if (!out) {
+    std::cerr << "fedwcm_flame: write failed for " << out_path << "\n";
+    return 2;
+  }
+  std::uint64_t total = 0;
+  for (const auto& s : stacks) total += s.count;
+  std::cout << "flamegraph: " << out_path << " (" << stacks.size()
+            << " stacks, " << total << " samples)\n";
+  return 0;
+}

@@ -40,7 +40,10 @@
 ///   --report-html PATH    self-contained HTML dashboard       [none]
 ///   --progress            per-round progress lines            [off]
 ///   --serve PORT          live HTTP telemetry (/metrics, /healthz,
-///                         /events) on 127.0.0.1:PORT     [$FEDWCM_SERVE]
+///                         /events, /profile) on 127.0.0.1:PORT [$FEDWCM_SERVE]
+///   --profile PATH        sampling profiler: folded stacks to PATH [off]
+///   --profile-hz N        sampling rate in Hz                 [97]
+///   --ledger PATH         end-of-run resource ledger JSON      [off]
 ///   --watchdog            online anomaly watchdog             [off]
 ///   --watchdog-abort      abort-with-checkpoint on a trip     [off]
 ///   --qr-threshold F      q_r collapse floor (enables rule)   [off]
@@ -75,11 +78,17 @@
 #include "fedwcm/fl/registry.hpp"
 #include "fedwcm/fl/simulation.hpp"
 #include "fedwcm/fl/telemetry.hpp"
+#include "fedwcm/obs/clock.hpp"
 #include "fedwcm/obs/event.hpp"
 #include "fedwcm/obs/flight.hpp"
 #include "fedwcm/obs/http.hpp"
+#include "fedwcm/obs/ledger.hpp"
+#include "fedwcm/obs/prof.hpp"
 #include "fedwcm/obs/runtime.hpp"
+#include "fedwcm/obs/sampler.hpp"
 #include "fedwcm/obs/watchdog.hpp"
+
+#include <fstream>
 
 using namespace fedwcm;
 
@@ -113,6 +122,9 @@ struct Args {
   std::string report_html;
   bool progress = false;
   int serve_port = -1;  ///< -1 = off; 0 = ephemeral.
+  std::string profile;  ///< Folded-stack output path; empty = sampler off.
+  int profile_hz = 97;
+  std::string ledger;   ///< ledger.json output path; empty = off.
   bool watchdog = false;
   bool watchdog_abort = false;
   obs::WatchdogConfig watchdog_config;
@@ -156,8 +168,17 @@ const char kUsage[] =
     "  --report-html PATH    write a self-contained HTML dashboard  [none]\n"
     "  --progress            per-round progress lines           [off]\n"
     "  --serve PORT          serve live telemetry on 127.0.0.1:PORT —\n"
-    "                        /metrics (Prometheus), /healthz, /events?n=K\n"
+    "                        /metrics (Prometheus), /healthz, /events?n=K,\n"
+    "                        /profile (live resource ledger)\n"
     "                        (port 0 picks a free port)       [$FEDWCM_SERVE]\n"
+    "  --profile PATH        SIGPROF sampling profiler; writes collapsed\n"
+    "                        stacks to PATH for flamegraph tooling\n"
+    "                        (render with fedwcm_flame)          [off]\n"
+    "  --profile-hz N        sampling rate in Hz (1-10000)      [97]\n"
+    "  --ledger PATH         write the end-of-run resource ledger JSON\n"
+    "                        (schema fedwcm.ledger/1; per-phase CPU/RSS/alloc\n"
+    "                        attribution; diff with fedwcm_compare --ledger)\n"
+    "                        [off]\n"
     "  --watchdog            online anomaly watchdog: non-finite loss/params,\n"
     "                        q_r collapse, minority-recall collapse, round\n"
     "                        stalls (see docs/OBSERVABILITY.md)   [off]\n"
@@ -267,6 +288,14 @@ Args parse(int argc, char** argv) {
       if (port > 65535) usage_error("--serve port must be in [0, 65535]");
       args.serve_port = int(port);
     }
+    else if (flag == "--profile") args.profile = need_value(i);
+    else if (flag == "--profile-hz") {
+      const std::uint64_t hz = parse_u64(flag, need_value(i));
+      if (hz == 0 || hz > 10000)
+        usage_error("--profile-hz must be in [1, 10000]");
+      args.profile_hz = int(hz);
+    }
+    else if (flag == "--ledger") args.ledger = need_value(i);
     else if (flag == "--watchdog") args.watchdog = true;
     else if (flag == "--watchdog-abort") { args.watchdog = true; args.watchdog_abort = true; }
     else if (flag == "--qr-threshold") {
@@ -323,6 +352,59 @@ int main(int argc, char** argv) {
   if (!args.metrics_out.empty()) obs_options.metrics_path = args.metrics_out;
   obs::enable(obs_options);
 
+  // Resource profiling: the phase accountant (and the metrics registry its
+  // histograms live in) turns on with either --profile or --ledger. Both
+  // are pure observers — the training trajectory stays bitwise identical
+  // (ctest-enforced by ProfilingIsReadOnly).
+  const bool profiling = !args.profile.empty() || !args.ledger.empty();
+  obs::prof::StackSampler& sampler = obs::prof::StackSampler::global();
+  if (profiling) {
+    obs::metrics().set_enabled(true);
+    obs::prof::accountant().set_enabled(true);
+  }
+  if (!args.profile.empty()) {
+    obs::prof::StackSampler::Options sampler_options;
+    sampler_options.hz = args.profile_hz;
+    if (!sampler.start(sampler_options))
+      std::cerr << "fedwcm_run: --profile: sampler failed to start "
+                   "(continuing unprofiled)\n";
+  }
+  // Ledger context assembled from always-readable counter handles so the
+  // /profile endpoint and the watchdog trip path can snapshot it from any
+  // thread at any time. Everything is captured by value — the closure must
+  // not dangle if a scrape races process teardown.
+  const std::uint64_t run_start_us = obs::now_us();
+  const std::string alg_name = args.alg;
+  const obs::Counter rounds_counter = obs::metrics().counter("round.count");
+  const obs::Counter bytes_up_counter = obs::metrics().counter("comm.bytes_up");
+  const obs::Counter bytes_down_counter =
+      obs::metrics().counter("comm.bytes_down");
+  const auto make_meta = [alg_name, run_start_us, rounds_counter,
+                          bytes_up_counter, bytes_down_counter](bool aborted) {
+    obs::prof::LedgerMeta meta;
+    meta.algorithm = alg_name;
+    meta.rounds = rounds_counter.value();
+    meta.aborted = aborted;
+    meta.wall_ms = obs::elapsed_ms(run_start_us, obs::now_us());
+    meta.bytes_up = bytes_up_counter.value();
+    meta.bytes_down = bytes_down_counter.value();
+    const obs::prof::StackSampler& s = obs::prof::StackSampler::global();
+    meta.profile_samples = s.sample_count();
+    meta.profile_dropped = s.dropped();
+    return meta;
+  };
+  const auto write_ledger_file = [make_meta](const std::string& path,
+                                             bool aborted) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::cerr << "fedwcm_run: cannot write ledger " << path << "\n";
+      return false;
+    }
+    out << obs::prof::to_json(obs::prof::collect_ledger(make_meta(aborted)))
+        << "\n";
+    return bool(out);
+  };
+
   // Live telemetry: Prometheus /metrics + /healthz + /events over loopback.
   // Started before the run so a scraper sees the whole trajectory.
   std::unique_ptr<obs::HttpExporter> exporter;
@@ -338,8 +420,13 @@ int main(int argc, char** argv) {
       std::cerr << "fedwcm_run: --serve: " << error << "\n";
       return 1;
     }
+    if (profiling)
+      exporter->set_profile_provider([make_meta] {
+        return obs::prof::to_json(obs::prof::collect_ledger(make_meta(false)));
+      });
     std::cout << "serving: http://127.0.0.1:" << exporter->port()
-              << " (/metrics /healthz /events)\n";
+              << " (/metrics /healthz /events"
+              << (profiling ? " /profile" : "") << ")\n";
   }
 
   data::SyntheticSpec spec = dataset_by_name(args.dataset);
@@ -411,11 +498,16 @@ int main(int argc, char** argv) {
     watchdog->set_flight_recorder(flight.get());
     watchdog->set_abort_on_trip(args.watchdog_abort);
     obs::HttpExporter* exporter_ptr = exporter.get();
-    watchdog->set_on_trip([exporter_ptr](const obs::Alarm& alarm) {
+    const std::string ledger_path = args.ledger;
+    watchdog->set_on_trip([exporter_ptr, ledger_path,
+                           write_ledger_file](const obs::Alarm& alarm) {
       std::cerr << "watchdog ALARM [" << alarm.rule << "] round " << alarm.round
                 << ": " << alarm.message << "\n";
       if (exporter_ptr)
         exporter_ptr->set_unhealthy(alarm.rule + ": " + alarm.message);
+      // A hung/diverged run still leaves a resource post-mortem: the partial
+      // ledger (aborted=true) mirrors the flight recorder's role for events.
+      if (!ledger_path.empty()) write_ledger_file(ledger_path, true);
     });
     sim.add_observer(watchdog);
     sim.set_stop_flag(watchdog->stop_flag());
@@ -434,6 +526,9 @@ int main(int argc, char** argv) {
   fl::SimulationResult result;
   try {
     result = sim.run(*algorithm);
+    // Stop sampling the moment training ends so artifact writing below does
+    // not pollute the profile.
+    if (sampler.running()) sampler.stop();
   } catch (const std::exception& e) {
     // Most commonly a rejected checkpoint (fingerprint/version mismatch,
     // truncation) — report it instead of aborting on an escaped exception.
@@ -479,6 +574,23 @@ int main(int argc, char** argv) {
                    {"loss", args.loss}};
     analysis::write_html_report(args.report_html, result, meta);
     std::cout << "report:  " << args.report_html << "\n";
+  }
+  if (!args.profile.empty()) {
+    std::ofstream folded(args.profile, std::ios::binary);
+    if (!folded) {
+      std::cerr << "fedwcm_run: cannot write profile " << args.profile << "\n";
+      return 1;
+    }
+    folded << sampler.write_folded();
+    std::cout << "profile: " << args.profile << " ("
+              << sampler.sample_count() << " samples";
+    if (sampler.dropped() > 0)
+      std::cout << ", " << sampler.dropped() << " dropped";
+    std::cout << "; render with fedwcm_flame)\n";
+  }
+  if (!args.ledger.empty()) {
+    if (!write_ledger_file(args.ledger, result.aborted)) return 1;
+    std::cout << "ledger:  " << args.ledger << " (fedwcm.ledger/1)\n";
   }
   if (obs_options.any()) {
     if (!obs::flush(obs_options)) return 1;

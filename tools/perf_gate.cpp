@@ -112,6 +112,7 @@ int main(int argc, char** argv) {
     out << fedwcm::bench::to_json(report);
     std::cout << "perf_gate: wrote " << out_path << "\n";
   }
+  std::cout << "perf_gate: peak RSS " << report.peak_rss_kb << " kB\n";
 
   bool ok = true;
   const fedwcm::bench::GemmShapeResult* headline = report.headline_gemm();
