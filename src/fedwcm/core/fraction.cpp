@@ -1,0 +1,24 @@
+#include "fedwcm/core/fraction.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+namespace fedwcm::core {
+
+std::size_t scaled_count(std::size_t n, double p) {
+  if (!std::isfinite(p) || !(p > 0.0) || n == 0) return 0;
+  if (p >= 1.0) return n;
+  // p = frac * 2^e with frac in [0.5, 1), so frac * 2^53 is an exact 53-bit
+  // integer m and p = m / 2^(53 - e). For p < 1, shift = 53 - e > 0.
+  int e = 0;
+  const double frac = std::frexp(p, &e);
+  const auto m = std::uint64_t(std::ldexp(frac, 53));
+  const int shift = 53 - e;
+  using u128 = unsigned __int128;
+  const u128 prod = u128(n) * u128(m);
+  if (shift >= 128) return 0;  // subnormal p: n * p < 2^-64, rounds to 0
+  const u128 half = u128(1) << (shift - 1);
+  return std::size_t((prod + half) >> shift);
+}
+
+}  // namespace fedwcm::core

@@ -1,0 +1,21 @@
+#pragma once
+/// \file fraction.hpp
+/// Exact integer arithmetic on (count × probability) products.
+///
+/// `size_t(double(n) * p + 0.5)` loses exactness once `n * p` exceeds 2^53:
+/// the product rounds to the nearest representable double *before* the +0.5,
+/// so counts drift at representable boundaries. scaled_count() instead
+/// treats the double `p` as the exact rational m / 2^shift it is (every
+/// finite double is one) and computes round(n * m / 2^shift) in 128-bit
+/// integer arithmetic — exact for every n that fits in size_t.
+
+#include <cstddef>
+
+namespace fedwcm::core {
+
+/// round(n * p) computed exactly, with ties rounding up (half-up, matching
+/// the intent of the old `+ 0.5` formula). Non-finite or non-positive `p`
+/// yields 0; `p >= 1` yields n.
+std::size_t scaled_count(std::size_t n, double p);
+
+}  // namespace fedwcm::core

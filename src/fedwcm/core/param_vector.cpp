@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "fedwcm/core/tensor.hpp"
 
@@ -89,25 +90,39 @@ void weighted_sum(std::span<const float> w, std::span<const ParamVector* const> 
   const std::size_t n = xs.front()->size();
   for (const ParamVector* x : xs)
     FEDWCM_CHECK(x != nullptr && x->size() == n, "pv::weighted_sum: size mismatch");
+  // Both paths accumulate in double and round once at the end: with float
+  // accumulation the error of an N-way sum grows with N, which visibly
+  // drifts the survivor-renormalized mean at 10^5-client cohorts. The
+  // per-element chain (w[i]*x double product, adds in input order 0, 1, ...)
+  // is identical in both modes, so fused stays bitwise-equal to naive.
   if (kernel_mode() == KernelMode::kNaive) {
-    out.clear();  // reference path: repeated accumulate with first-use resize
-    for (std::size_t i = 0; i < xs.size(); ++i) accumulate(out, w[i], *xs[i]);
+    // Reference path: one full-length double buffer.
+    std::vector<double> acc(n, 0.0);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double wi = double(w[i]);
+      const float* x = xs[i]->data();
+      for (std::size_t c = 0; c < n; ++c) acc[c] += wi * double(x[c]);
+    }
+    out.resize(n);
+    for (std::size_t c = 0; c < n; ++c) out[c] = float(acc[c]);
     return;
   }
   out.resize(n);
-  std::fill(out.begin(), out.end(), 0.0f);
-  // Column chunks sized so the output slice stays L1-resident while each
-  // input streams through once. The per-element add order (input 0, 1, ...)
-  // matches the repeated-accumulate reference exactly.
+  // Column chunks sized so the accumulator slice stays L1-resident while
+  // each input streams through once; the stack buffer keeps this path
+  // heap-allocation-free for the zero-alloc hot-path guarantee.
   constexpr std::size_t kChunk = 4096;
+  double acc[kChunk];
   for (std::size_t c0 = 0; c0 < n; c0 += kChunk) {
-    const std::size_t c1 = std::min(n, c0 + kChunk);
-    float* o = out.data();
+    const std::size_t len = std::min(n - c0, kChunk);
+    std::fill(acc, acc + len, 0.0);
     for (std::size_t i = 0; i < xs.size(); ++i) {
-      const float wi = w[i];
-      const float* x = xs[i]->data();
-      for (std::size_t c = c0; c < c1; ++c) o[c] += wi * x[c];
+      const double wi = double(w[i]);
+      const float* x = xs[i]->data() + c0;
+      for (std::size_t c = 0; c < len; ++c) acc[c] += wi * double(x[c]);
     }
+    float* o = out.data() + c0;
+    for (std::size_t c = 0; c < len; ++c) o[c] = float(acc[c]);
   }
 }
 

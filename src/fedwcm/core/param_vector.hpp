@@ -57,9 +57,9 @@ void blend_into(float alpha, const ParamVector& a, float beta, const ParamVector
                 ParamVector& out);
 
 /// out = sum_i w[i] * *xs[i], the aggregation kernel: one weighted pass per
-/// input vector over cache-sized column chunks, accumulating directly into
-/// `out` (resized and zeroed first). Per element this performs the exact
-/// in-order add chain of repeated `accumulate` calls.
+/// input vector over cache-sized column chunks. Both kernel modes accumulate
+/// in double (adds in input order 0, 1, ...) and round to float once at the
+/// end, so large-cohort sums do not drift; fused and naive are bitwise-equal.
 void weighted_sum(std::span<const float> w, std::span<const ParamVector* const> xs,
                   ParamVector& out);
 

@@ -1,0 +1,83 @@
+#include "fedwcm/data/lazy.hpp"
+
+#include <algorithm>
+
+#include "fedwcm/core/rng.hpp"
+#include "fedwcm/core/tensor.hpp"
+
+namespace fedwcm::data {
+
+namespace {
+/// Stream tag for per-client materialization (arbitrary, fixed forever:
+/// changing it would re-deal every lazy client's data).
+constexpr std::uint64_t kLazyClientTag = 0x1A2C;
+}  // namespace
+
+LazyPartition::LazyPartition(const Dataset& ds,
+                             std::span<const std::size_t> subset, LazySpec spec)
+    : spec_(spec), num_classes_(ds.num_classes) {
+  FEDWCM_CHECK(spec_.num_clients > 0, "lazy partition: no clients");
+  FEDWCM_CHECK(!subset.empty(), "lazy partition: empty subset");
+  buckets_.assign(num_classes_, {});
+  for (std::size_t i : subset) {
+    FEDWCM_CHECK(ds.labels[i] < num_classes_, "lazy partition: label out of range");
+    buckets_[ds.labels[i]].push_back(i);
+  }
+  global_counts_.assign(num_classes_, 0);
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    global_counts_[c] = buckets_[c].size();
+    if (!buckets_[c].empty()) nonzero_.push_back(c);
+  }
+  // Dir(beta * C * prior_c) over the classes that exist in the subset
+  // (Rng::gamma requires shape > 0, and a client can never hold a class
+  // with no samples anyway).
+  alpha_.reserve(nonzero_.size());
+  for (std::size_t c : nonzero_)
+    alpha_.push_back(spec_.beta * double(num_classes_) * double(buckets_[c].size()) /
+                     double(subset.size()));
+  quota_ = spec_.samples_per_client != 0
+               ? spec_.samples_per_client
+               : std::max<std::size_t>(1, subset.size() / spec_.num_clients);
+}
+
+std::vector<std::size_t> LazyPartition::draw_counts(core::Rng& rng) const {
+  const std::vector<double> q = rng.dirichlet(std::span<const double>(alpha_));
+  return round_to_total(q, quota_);
+}
+
+std::vector<std::size_t> LazyPartition::client_class_counts(
+    std::size_t client) const {
+  FEDWCM_CHECK(client < spec_.num_clients, "lazy partition: client out of range");
+  core::Rng rng(core::derive_seed(spec_.seed, kLazyClientTag, client + 1));
+  const std::vector<std::size_t> nz = draw_counts(rng);
+  std::vector<std::size_t> counts(num_classes_, 0);
+  for (std::size_t j = 0; j < nonzero_.size(); ++j) counts[nonzero_[j]] = nz[j];
+  return counts;
+}
+
+std::vector<std::size_t> LazyPartition::client_indices(std::size_t client) const {
+  FEDWCM_CHECK(client < spec_.num_clients, "lazy partition: client out of range");
+  core::Rng rng(core::derive_seed(spec_.seed, kLazyClientTag, client + 1));
+  // Same stream prefix as client_class_counts, so the index draws that
+  // follow are consistent with the counts by construction.
+  const std::vector<std::size_t> nz = draw_counts(rng);
+  std::vector<std::size_t> out;
+  out.reserve(quota_);
+  for (std::size_t j = 0; j < nonzero_.size(); ++j) {
+    const std::vector<std::size_t>& bucket = buckets_[nonzero_[j]];
+    for (std::size_t i = 0; i < nz[j]; ++i)
+      out.push_back(bucket[rng.uniform_index(bucket.size())]);
+  }
+  return out;
+}
+
+Partition LazyPartition::materialize() const {
+  Partition p;
+  p.num_classes = num_classes_;
+  p.client_indices.resize(spec_.num_clients);
+  for (std::size_t k = 0; k < spec_.num_clients; ++k)
+    p.client_indices[k] = client_indices(k);
+  return p;
+}
+
+}  // namespace fedwcm::data

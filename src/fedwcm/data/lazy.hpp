@@ -1,0 +1,89 @@
+#pragma once
+/// \file lazy.hpp
+/// Lazy client materialization for million-client populations.
+///
+/// The eager pipeline (`partition.hpp`) builds every client's index list up
+/// front, so memory is O(total clients x samples-per-client). At production
+/// population sizes (>= 10^6 registered clients) that table dominates RSS
+/// even though a round only ever touches the sampled cohort. LazyPartition
+/// instead makes client k's dataset a *pure function* of
+/// `(seed, spec, client_id)`: a per-client RNG stream seeded via
+/// `core::derive_seed(seed, kLazyClientTag, k + 1)` draws the client's
+/// Dirichlet class mixture and then samples its indices (with replacement)
+/// from per-class buckets. Nothing per-client is stored; materializing a
+/// client is O(samples-per-client) and can be repeated bit-identically at
+/// any time — which is what makes checkpoint resume work without any
+/// materialized state.
+///
+/// The class mixture follows the Hsu et al. prior-matched parameterization
+/// the eager equal-quantity partitioner uses: q_k ~ Dir(beta * C * prior),
+/// where `prior` is the (long-tailed) global class distribution, so smaller
+/// beta means more skew. Counts are reconciled to the fixed per-client
+/// quota by largest-remainder rounding (`round_to_total`), so
+/// `client_size(k)` is a constant known without materializing anything.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fedwcm/core/rng.hpp"
+#include "fedwcm/data/dataset.hpp"
+#include "fedwcm/data/partition.hpp"
+
+namespace fedwcm::data {
+
+/// Parameters of a lazy Dirichlet partition. Everything a client's dataset
+/// depends on; two LazyPartitions built from equal specs (over the same
+/// dataset/subset) materialize bitwise-identical clients.
+struct LazySpec {
+  std::size_t num_clients = 0;
+  double beta = 0.5;         ///< Dirichlet concentration scale (skew knob).
+  std::uint64_t seed = 0;    ///< Root seed for all per-client streams.
+  /// Samples per client, drawn with replacement from the class buckets.
+  /// 0 = auto: max(1, subset_size / num_clients).
+  std::size_t samples_per_client = 0;
+};
+
+class LazyPartition {
+ public:
+  /// `subset` are the indices of the (already long-tail-subsampled) training
+  /// set within `ds`, exactly as the eager partitioners take it. The ctor
+  /// stores only the per-class buckets — O(subset), independent of K.
+  LazyPartition(const Dataset& ds, std::span<const std::size_t> subset,
+                LazySpec spec);
+
+  std::size_t num_clients() const { return spec_.num_clients; }
+  std::size_t num_classes() const { return num_classes_; }
+  /// Every client holds exactly the quota (round_to_total reconciles the
+  /// Dirichlet mixture to it), so size queries never materialize.
+  std::size_t client_size(std::size_t) const { return quota_; }
+  std::size_t samples_per_client() const { return quota_; }
+  /// Class counts of the global training subset (the long-tailed D_g).
+  const std::vector<std::size_t>& global_class_counts() const {
+    return global_counts_;
+  }
+
+  /// Client k's per-class counts (C-length), without drawing its indices.
+  std::vector<std::size_t> client_class_counts(std::size_t client) const;
+  /// Client k's dataset as global indices into `ds`. Deterministic: the
+  /// same client always materializes the same list.
+  std::vector<std::size_t> client_indices(std::size_t client) const;
+
+  /// Materializes every client into an eager Partition (for the bitwise
+  /// eager-vs-lazy equivalence gate at small K; defeats the purpose at
+  /// large K).
+  Partition materialize() const;
+
+ private:
+  std::vector<std::size_t> draw_counts(core::Rng& rng) const;
+
+  LazySpec spec_;
+  std::size_t num_classes_ = 0;
+  std::size_t quota_ = 0;
+  std::vector<std::vector<std::size_t>> buckets_;  ///< Per-class indices.
+  std::vector<std::size_t> nonzero_;               ///< Classes with samples.
+  std::vector<double> alpha_;                      ///< Dir conc. per nonzero class.
+  std::vector<std::size_t> global_counts_;
+};
+
+}  // namespace fedwcm::data

@@ -21,10 +21,6 @@ std::size_t Partition::total() const {
   return n;
 }
 
-namespace {
-
-/// Largest-remainder rounding of non-negative weights to integers summing to
-/// `total`.
 std::vector<std::size_t> round_to_total(const std::vector<double>& weights,
                                         std::size_t total) {
   const std::size_t n = weights.size();
@@ -51,6 +47,8 @@ std::vector<std::size_t> round_to_total(const std::vector<double>& weights,
   for (std::size_t i = 0; assigned < total; ++i, ++assigned) ++out[order[i % n]];
   return out;
 }
+
+namespace {
 
 /// Buckets subset indices by class, shuffled deterministically.
 std::vector<std::vector<std::size_t>> class_buckets(

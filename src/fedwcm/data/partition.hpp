@@ -45,6 +45,12 @@ Partition partition_fedgrab(const Dataset& ds, std::span<const std::size_t> subs
                             std::size_t num_clients, double beta,
                             std::uint64_t seed);
 
+/// Largest-remainder rounding of non-negative weights to integers summing to
+/// `total`. Shared by the eager partitioners and the lazy per-client
+/// materializer (data/lazy.hpp).
+std::vector<std::size_t> round_to_total(const std::vector<double>& weights,
+                                        std::size_t total);
+
 /// Summary statistics used by the Fig. 2 / Fig. 11 benches.
 struct PartitionStats {
   std::size_t min_client_size = 0;

@@ -47,6 +47,27 @@ class Algorithm {
   virtual void aggregate(std::span<const LocalResult> results, std::size_t round,
                          ParamVector& global) = 0;
 
+  /// Streaming aggregation (fl/stream.hpp). When an algorithm opts in, the
+  /// driver may replace the buffered `aggregate` with the sequence
+  ///   stream_begin(round, sampled)
+  ///   stream_fold(r)            — once per accepted upload, in acceptance
+  ///                               order, on the driver thread
+  ///   stream_end(round, global) — only if at least one upload was folded
+  /// so each client's delta is discarded right after its fold and peak delta
+  /// memory is O(in-flight workers) instead of O(cohort). The fold must
+  /// realize the same survivor-renormalized weighting as `aggregate`
+  /// (algebraically; bitwise equality is not required — see stream.hpp).
+  virtual bool supports_streaming() const { return false; }
+  virtual void stream_begin(std::size_t round, std::span<const std::size_t> sampled) {
+    (void)round;
+    (void)sampled;
+  }
+  virtual void stream_fold(const LocalResult& r) { (void)r; }
+  virtual void stream_end(std::size_t round, ParamVector& global) {
+    (void)round;
+    (void)global;
+  }
+
   /// Diagnostics surfaced in RoundRecord (0 when not applicable).
   virtual float current_alpha() const { return 0.0f; }
   virtual float momentum_norm() const { return 0.0f; }

@@ -46,23 +46,25 @@ void BalanceFL::initialize(const FlContext& ctx) {
   FEDWCM_CHECK(head_.out_features == ctx.num_classes(),
                "BalanceFL: classifier width != class count");
   present_.assign(ctx.num_clients(), std::vector<char>(ctx.num_classes(), 0));
-  for (std::size_t k = 0; k < ctx.num_clients(); ++k)
+  for (std::size_t k = 0; k < ctx.num_clients(); ++k) {
+    const std::vector<std::size_t> counts = ctx.client_counts(k);
     for (std::size_t c = 0; c < ctx.num_classes(); ++c)
-      present_[k][c] = ctx.client_class_counts[k][c] > 0 ? 1 : 0;
+      present_[k][c] = counts[c] > 0 ? 1 : 0;
+  }
 }
 
 LocalResult BalanceFL::local_update(std::size_t client, const ParamVector& global,
                                     std::size_t round, Worker& worker) {
   // Prior-compensated loss on the local counts.
+  const std::vector<std::size_t> local_counts = ctx_->client_counts(client);
   std::vector<float> counts(ctx_->num_classes());
   for (std::size_t c = 0; c < counts.size(); ++c)
-    counts[c] = float(ctx_->client_class_counts[client][c]);
+    counts[c] = float(local_counts[c]);
   nn::BalancedSoftmaxLoss loss(std::move(counts));
 
   // Class-balanced resampling regardless of the global sampler config.
   data::BalancedClassSampler sampler(
-      *ctx_->train, ctx_->partition->client_indices[client],
-      ctx_->config->batch_size,
+      *ctx_->train, ctx_->client_indices_copy(client), ctx_->config->batch_size,
       core::derive_seed(ctx_->config->seed, round + 1, client + 1, 0xBA1F));
 
   const HeadLayout head = head_;

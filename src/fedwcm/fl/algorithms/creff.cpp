@@ -30,7 +30,7 @@ void CReFF::gather_prototypes(std::span<const LocalResult> results,
   core::Matrix x;
   std::vector<std::size_t> y;
   for (const auto& r : results) {
-    const auto& indices = ctx_->partition->client_indices[r.client];
+    const std::vector<std::size_t> indices = ctx_->client_indices_copy(r.client);
     if (indices.empty()) continue;
     // One pass over the client's data in chunks; accumulate per-class sums of
     // the head-input features.

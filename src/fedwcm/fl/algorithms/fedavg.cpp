@@ -57,6 +57,21 @@ void FedAvg::aggregate(std::span<const LocalResult> results, std::size_t,
   core::pv::axpy(-ctx_->config->global_lr, agg, global);
 }
 
+void FedAvg::stream_begin(std::size_t, std::span<const std::size_t>) {
+  accum_.reset(ctx_->param_count);
+}
+
+void FedAvg::stream_fold(const LocalResult& r) {
+  accum_.fold(double(r.num_samples), r.delta, r.num_steps);
+}
+
+void FedAvg::stream_end(std::size_t, ParamVector& global) {
+  FEDWCM_SPAN("aggregate.fedavg");
+  ParamVector agg;
+  accum_.finalize(agg);
+  core::pv::axpy(-ctx_->config->global_lr, agg, global);
+}
+
 LocalResult FedProx::local_update(std::size_t client, const ParamVector& global,
                                   std::size_t round, Worker& worker) {
   const auto loss = ctx_->loss_factory(client);
@@ -87,6 +102,14 @@ void FedAvgM::aggregate(std::span<const LocalResult> results, std::size_t,
   FEDWCM_SPAN("aggregate.fedavgm");
   const ParamVector agg = sample_weighted_delta(results);
   core::pv::scale_add(1.0f, agg, beta_, m_);  // m = agg + beta * m, one pass
+  core::pv::axpy(-ctx_->config->global_lr, m_, global);
+}
+
+void FedAvgM::stream_end(std::size_t, ParamVector& global) {
+  FEDWCM_SPAN("aggregate.fedavgm");
+  ParamVector agg;
+  accum_.finalize(agg);
+  core::pv::scale_add(1.0f, agg, beta_, m_);
   core::pv::axpy(-ctx_->config->global_lr, m_, global);
 }
 

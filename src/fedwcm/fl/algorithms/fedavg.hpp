@@ -4,6 +4,7 @@
 /// (server-side momentum, SlowMo-style).
 
 #include "fedwcm/fl/algorithm.hpp"
+#include "fedwcm/fl/stream.hpp"
 
 namespace fedwcm::fl {
 
@@ -16,6 +17,16 @@ class FedAvg : public Algorithm {
                            std::size_t round, Worker& worker) override;
   void aggregate(std::span<const LocalResult> results, std::size_t round,
                  ParamVector& global) override;
+
+  /// Streaming fold: u_k = n_k reproduces the sample-count weighting.
+  bool supports_streaming() const override { return true; }
+  void stream_begin(std::size_t round,
+                    std::span<const std::size_t> sampled) override;
+  void stream_fold(const LocalResult& r) override;
+  void stream_end(std::size_t round, ParamVector& global) override;
+
+ protected:
+  StreamAccum accum_;
 };
 
 /// FedProx: FedAvg with a proximal term mu/2 ||x - x_r||^2 in the local
@@ -40,6 +51,7 @@ class FedAvgM final : public FedAvg {
   void initialize(const FlContext& ctx) override;
   void aggregate(std::span<const LocalResult> results, std::size_t round,
                  ParamVector& global) override;
+  void stream_end(std::size_t round, ParamVector& global) override;
   float momentum_norm() const override { return core::pv::l2_norm(m_); }
   const ParamVector* momentum_vector() const override { return &m_; }
   void save_state(core::BinaryWriter& writer) const override;

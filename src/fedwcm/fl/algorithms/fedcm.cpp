@@ -44,4 +44,22 @@ void FedCM::aggregate(std::span<const LocalResult> results, std::size_t,
   core::pv::axpy(-ctx_->config->global_lr, agg, global);
 }
 
+void FedCM::stream_begin(std::size_t, std::span<const std::size_t>) {
+  accum_.reset(ctx_->param_count);
+}
+
+void FedCM::stream_fold(const LocalResult& r) {
+  accum_.fold(1.0, r.delta, r.num_steps);
+}
+
+void FedCM::stream_end(std::size_t, ParamVector& global) {
+  FEDWCM_SPAN("aggregate.fedcm");
+  ParamVector agg;
+  accum_.finalize(agg);
+  core::pv::scale_into(
+      1.0f / (ctx_->config->local_lr * float(accum_.mean_steps())), agg,
+      momentum_);
+  core::pv::axpy(-ctx_->config->global_lr, agg, global);
+}
+
 }  // namespace fedwcm::fl

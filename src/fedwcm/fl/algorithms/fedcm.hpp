@@ -9,6 +9,7 @@
 /// with the sign convention of LocalResult::delta).
 
 #include "fedwcm/fl/algorithm.hpp"
+#include "fedwcm/fl/stream.hpp"
 
 namespace fedwcm::fl {
 
@@ -22,6 +23,13 @@ class FedCM : public Algorithm {
                            std::size_t round, Worker& worker) override;
   void aggregate(std::span<const LocalResult> results, std::size_t round,
                  ParamVector& global) override;
+
+  /// Streaming fold: u_k = 1 reproduces the uniform mean.
+  bool supports_streaming() const override { return true; }
+  void stream_begin(std::size_t round,
+                    std::span<const std::size_t> sampled) override;
+  void stream_fold(const LocalResult& r) override;
+  void stream_end(std::size_t round, ParamVector& global) override;
 
   float current_alpha() const override { return alpha_; }
   float momentum_norm() const override { return core::pv::l2_norm(momentum_); }
@@ -38,6 +46,7 @@ class FedCM : public Algorithm {
  protected:
   float alpha_;
   ParamVector momentum_;  ///< Delta_r, gradient-direction units.
+  StreamAccum accum_;
 };
 
 }  // namespace fedwcm::fl

@@ -40,7 +40,9 @@ void FedWCM::initialize(const FlContext& ctx) {
   double score_sum = 0.0;
   std::size_t nonempty = 0;
   for (std::size_t k = 0; k < ctx.num_clients(); ++k) {
-    const auto& counts = ctx.client_class_counts[k];
+    // Mode-independent: in lazy mode this derives client k's counts on
+    // demand instead of indexing the (absent) K x C table.
+    const std::vector<std::size_t> counts = ctx.client_counts(k);
     double num = 0.0, den = 0.0;
     for (std::size_t c = 0; c < C; ++c) {
       num += dev[c] * double(counts[c]);
@@ -135,6 +137,55 @@ void FedWCM::aggregate(std::span<const LocalResult> results, std::size_t,
     sampled_score /= double(results.size());
     const double q_r = mean_score_ > 1e-12 ? sampled_score / mean_score_ : 1.0;
     const double factor = 1.0 - std::exp(-temperature_ / double(results.size()));
+    const double a = double(options_.alpha_base) +
+                     double(options_.alpha_range) * factor * q_r;
+    alpha_ = float(std::clamp(a, double(options_.alpha_base),
+                              double(options_.alpha_max)));
+  }
+
+  core::pv::axpy(-ctx_->config->global_lr, agg, global);
+}
+
+void FedWCM::stream_begin(std::size_t, std::span<const std::size_t> sampled) {
+  accum_.reset(ctx_->param_count);
+  stream_score_sum_ = 0.0;
+  // Scores are fixed for the run, so the Eq. 4 softmax stabilizer can be
+  // taken over the sampled cohort before any training happens. The max over
+  // a superset of the survivors stabilizes just as well (numerators merely
+  // shrink by a common factor, which the normalization cancels).
+  stream_max_arg_ = -1e300;
+  for (std::size_t k : sampled)
+    stream_max_arg_ =
+        std::max(stream_max_arg_, scores_[k] / std::max(temperature_, 1e-9));
+}
+
+void FedWCM::stream_fold(const LocalResult& r) {
+  const double arg = scores_[r.client] / std::max(temperature_, 1e-9);
+  const double numerator =
+      options_.use_score_weights ? std::exp(arg - stream_max_arg_) : 1.0;
+  // Guard against full underflow (e.g. the stabilizing client dropped out
+  // and every survivor sits 700+ score units below it): a floor keeps the
+  // fold's weight sum positive so finalize() stays well-defined.
+  const double raw = std::max(raw_weight(r, numerator), 1e-300);
+  stream_score_sum_ += scores_[r.client];
+  accum_.fold(raw, r.delta, r.num_steps);
+}
+
+void FedWCM::stream_end(std::size_t, ParamVector& global) {
+  FEDWCM_SPAN("aggregate.fedwcm");
+  ParamVector agg;
+  accum_.finalize(agg);  // = sum raw_k delta_k / sum raw_k — Eq. 4 normalized
+
+  core::pv::scale_into(
+      1.0f / (ctx_->config->local_lr *
+              float(stream_normalization_steps(accum_.mean_steps()))),
+      agg, momentum_);
+
+  if (options_.adaptive_alpha) {
+    const double n = double(accum_.count());
+    const double sampled_score = stream_score_sum_ / n;
+    const double q_r = mean_score_ > 1e-12 ? sampled_score / mean_score_ : 1.0;
+    const double factor = 1.0 - std::exp(-temperature_ / n);
     const double a = double(options_.alpha_base) +
                      double(options_.alpha_range) * factor * q_r;
     alpha_ = float(std::clamp(a, double(options_.alpha_base),

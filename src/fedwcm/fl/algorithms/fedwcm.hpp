@@ -31,6 +31,7 @@
 /// step x <- x - eta_g * agg both read with conventional descent signs.
 
 #include "fedwcm/fl/algorithm.hpp"
+#include "fedwcm/fl/stream.hpp"
 
 namespace fedwcm::fl {
 
@@ -74,6 +75,15 @@ class FedWCM : public Algorithm {
   void aggregate(std::span<const LocalResult> results, std::size_t round,
                  ParamVector& global) override;
 
+  /// Streaming fold: u_k = raw_weight(exp((s_k - s_max)/T)) with the softmax
+  /// stabilizer taken over the *sampled* cohort (known before training), so
+  /// the normalized weights match Eq. 4 over the survivors.
+  bool supports_streaming() const override { return true; }
+  void stream_begin(std::size_t round,
+                    std::span<const std::size_t> sampled) override;
+  void stream_fold(const LocalResult& r) override;
+  void stream_end(std::size_t round, ParamVector& global) override;
+
   float current_alpha() const override { return alpha_; }
   float momentum_norm() const override { return core::pv::l2_norm(momentum_); }
   const ParamVector* momentum_vector() const override { return &momentum_; }
@@ -109,6 +119,11 @@ class FedWCM : public Algorithm {
   /// Normalization step count for Delta_{r+1}; FedWCM-X uses B^ (standard
   /// iterations), FedWCM the round's mean step count.
   virtual double normalization_steps(std::span<const LocalResult> results) const;
+  /// Streaming counterpart: the fold tracks the mean folded step count and
+  /// hands it here; FedWCM-X overrides with B^ exactly like above.
+  virtual double stream_normalization_steps(double mean_folded_steps) const {
+    return mean_folded_steps;
+  }
 
   FedWcmOptions options_;
   float alpha_ = 0.1f;
@@ -116,6 +131,9 @@ class FedWCM : public Algorithm {
   std::vector<double> scores_;  ///< s_k for every client (Eq. 3).
   double mean_score_ = 0.0;     ///< s-bar over all clients.
   double temperature_ = 1.0;    ///< T.
+  StreamAccum accum_;
+  double stream_max_arg_ = 0.0;    ///< Softmax stabilizer over the cohort.
+  double stream_score_sum_ = 0.0;  ///< Sum of folded clients' scores (Eq. 5).
 };
 
 /// FedWCM-X (Algorithm 3): adds quantity-proportional weighting
@@ -132,6 +150,9 @@ class FedWcmX final : public FedWCM {
   double raw_weight(const LocalResult& r, double softmax_numerator) const override;
   float client_lr(std::size_t client) const override;
   double normalization_steps(std::span<const LocalResult> results) const override;
+  double stream_normalization_steps(double) const override {
+    return standard_steps_;
+  }
 
  private:
   double standard_steps_ = 1.0;  ///< B^: steps under an equal data split.

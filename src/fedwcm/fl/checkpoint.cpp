@@ -12,7 +12,7 @@ std::string config_fingerprint(const FlConfig& config, std::size_t param_count,
                                const std::string& algorithm) {
   std::ostringstream os;
   os.precision(std::numeric_limits<double>::max_digits10);
-  os << "v1"
+  os << "v2"
      << "|alg=" << algorithm << "|params=" << param_count
      << "|clients=" << config.num_clients << "|part=" << config.participation
      << "|rounds=" << config.rounds << "|epochs=" << config.local_epochs
@@ -24,7 +24,9 @@ std::string config_fingerprint(const FlConfig& config, std::size_t param_count,
      << "|strag=" << config.faults.straggler_prob
      << "|stragf=" << config.faults.straggler_factor
      << "|corrupt=" << config.faults.corrupt_prob
-     << "|fseed=" << config.faults.seed;
+     << "|fseed=" << config.faults.seed
+     << "|stream=" << (config.stream_aggregation ? 1 : 0)
+     << "|avail=" << config.availability;
   return os.str();
 }
 

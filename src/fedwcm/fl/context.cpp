@@ -11,6 +11,17 @@ LossFactory focal_loss_factory(float gamma) {
 }
 
 LossFactory balance_loss_factory(const FlContext& ctx) {
+  if (ctx.lazy_mode()) {
+    // No K x C table exists; derive the row on demand. The LazyPartition is
+    // owned by the caller and outlives any context rebuild.
+    const data::LazyPartition* lazy = ctx.lazy;
+    return [lazy](std::size_t client) {
+      const std::vector<std::size_t> counts = lazy->client_class_counts(client);
+      std::vector<float> c(counts.size());
+      for (std::size_t i = 0; i < c.size(); ++i) c[i] = float(counts[i]);
+      return std::make_unique<nn::BalancedSoftmaxLoss>(std::move(c));
+    };
+  }
   // Capture the counts by value so the factory outlives context rebuilds.
   auto counts = ctx.client_class_counts;
   return [counts](std::size_t client) {

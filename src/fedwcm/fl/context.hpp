@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "fedwcm/data/dataset.hpp"
+#include "fedwcm/data/lazy.hpp"
 #include "fedwcm/data/partition.hpp"
 #include "fedwcm/fl/types.hpp"
 #include "fedwcm/nn/loss.hpp"
@@ -28,20 +29,39 @@ struct FlContext {
   const FlConfig* config = nullptr;
   const data::Dataset* train = nullptr;
   const data::Dataset* test = nullptr;
+  /// Exactly one of `partition` (eager) and `lazy` is set. In lazy mode no
+  /// per-client table exists: indices and counts are re-derived on demand
+  /// through the accessors below, which every algorithm must use instead of
+  /// dereferencing `partition` directly.
   const data::Partition* partition = nullptr;
+  const data::LazyPartition* lazy = nullptr;
   nn::ModelFactory model_factory;
   LossFactory loss_factory;
   std::size_t param_count = 0;
 
   /// Per-client class counts (K x C, row-major), precomputed once.
+  /// Empty in lazy mode — use client_counts(k).
   std::vector<std::vector<std::size_t>> client_class_counts;
   /// Global class counts over the union of client data (the long-tailed D_g).
   std::vector<std::size_t> global_class_counts;
 
-  std::size_t num_clients() const { return partition->num_clients(); }
+  bool lazy_mode() const { return lazy != nullptr; }
+  std::size_t num_clients() const {
+    return lazy ? lazy->num_clients() : partition->num_clients();
+  }
   std::size_t num_classes() const { return train->num_classes; }
   std::size_t client_size(std::size_t k) const {
-    return partition->client_indices[k].size();
+    return lazy ? lazy->client_size(k) : partition->client_indices[k].size();
+  }
+  /// Client k's per-class counts, mode-independent. Returns by value: the
+  /// lazy path derives the row on demand.
+  std::vector<std::size_t> client_counts(std::size_t k) const {
+    return lazy ? lazy->client_class_counts(k) : client_class_counts[k];
+  }
+  /// Client k's dataset as a fresh index vector, mode-independent. The
+  /// samplers take indices by value, so callers move this straight in.
+  std::vector<std::size_t> client_indices_copy(std::size_t k) const {
+    return lazy ? lazy->client_indices(k) : partition->client_indices[k];
   }
 };
 

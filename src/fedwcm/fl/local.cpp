@@ -14,14 +14,17 @@ std::size_t truncate_steps(std::size_t total, float fraction) {
 std::unique_ptr<data::BatchSampler> make_sampler(const FlContext& ctx,
                                                  std::size_t client,
                                                  std::size_t round) {
-  const auto& indices = ctx.partition->client_indices[client];
+  // Mode-independent materialization; the samplers take indices by value,
+  // so the copy moves straight in (the eager path copied inside the sampler
+  // ctor before, allocation parity holds).
+  std::vector<std::size_t> indices = ctx.client_indices_copy(client);
   const std::uint64_t seed =
       core::derive_seed(ctx.config->seed, round + 1, client + 1, 0xBA7C);
   if (ctx.config->balanced_sampler)
-    return std::make_unique<data::BalancedClassSampler>(*ctx.train, indices,
-                                                        ctx.config->batch_size, seed);
-  return std::make_unique<data::ShufflingBatcher>(indices, ctx.config->batch_size,
-                                                  seed);
+    return std::make_unique<data::BalancedClassSampler>(
+        *ctx.train, std::move(indices), ctx.config->batch_size, seed);
+  return std::make_unique<data::ShufflingBatcher>(std::move(indices),
+                                                  ctx.config->batch_size, seed);
 }
 
 LocalResult run_local_sgd(const FlContext& ctx, Worker& worker, std::size_t client,
@@ -78,7 +81,7 @@ LocalResult run_local_sgd(const FlContext& ctx, Worker& worker, std::size_t clie
 ParamVector client_full_gradient(const FlContext& ctx, Worker& worker,
                                  std::size_t client, const ParamVector& params,
                                  const nn::Loss& loss) {
-  const auto& indices = ctx.partition->client_indices[client];
+  const std::vector<std::size_t> indices = ctx.client_indices_copy(client);
   FEDWCM_CHECK(!indices.empty(), "client_full_gradient: client has no data");
   ParamVector acc(params.size(), 0.0f);
   worker.model.set_params(params);

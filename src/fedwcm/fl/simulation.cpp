@@ -30,19 +30,23 @@ const char* fault_detail(FaultKind kind) {
 
 }  // namespace
 
+void Simulation::init_common() {
+  ctx_.config = &config_;
+  ctx_.param_count = ctx_.model_factory().param_count();
+}
+
 Simulation::Simulation(const FlConfig& config, const data::Dataset& train,
                        const data::Dataset& test, const data::Partition& partition,
                        nn::ModelFactory model_factory, LossFactory loss_factory)
     : config_(config) {
   FEDWCM_CHECK(partition.num_clients() == config.num_clients,
                "Simulation: partition/client-count mismatch");
-  ctx_.config = &config_;
   ctx_.train = &train;
   ctx_.test = &test;
   ctx_.partition = &partition;
   ctx_.model_factory = std::move(model_factory);
   ctx_.loss_factory = std::move(loss_factory);
-  ctx_.param_count = ctx_.model_factory().param_count();
+  init_common();
 
   ctx_.client_class_counts.resize(partition.num_clients());
   ctx_.global_class_counts.assign(train.num_classes, 0);
@@ -53,6 +57,32 @@ Simulation::Simulation(const FlConfig& config, const data::Dataset& train,
     if (!partition.client_indices[k].empty()) eligible_.push_back(k);
   }
   FEDWCM_CHECK(!eligible_.empty(), "Simulation: every client is empty");
+}
+
+Simulation::Simulation(const FlConfig& config, const data::Dataset& train,
+                       const data::Dataset& test, const data::LazyPartition& lazy,
+                       nn::ModelFactory model_factory, LossFactory loss_factory)
+    : config_(config) {
+  FEDWCM_CHECK(lazy.num_clients() == config.num_clients,
+               "Simulation: lazy partition/client-count mismatch");
+  ctx_.train = &train;
+  ctx_.test = &test;
+  ctx_.lazy = &lazy;
+  ctx_.model_factory = std::move(model_factory);
+  ctx_.loss_factory = std::move(loss_factory);
+  init_common();
+  // No K x C table and no eligibility scan: every lazy client holds exactly
+  // the per-client quota, so the whole population is eligible by
+  // construction and nothing O(num_clients) is *stored* here. The realized
+  // global distribution keeps the eager contract (sum of per-client counts —
+  // with-replacement draws make that distinct from the subset histogram), so
+  // this one pass is O(num_clients) time but only O(num_classes) memory.
+  ctx_.global_class_counts.assign(train.num_classes, 0);
+  for (std::size_t k = 0; k < lazy.num_clients(); ++k) {
+    const std::vector<std::size_t> counts = lazy.client_class_counts(k);
+    for (std::size_t c = 0; c < train.num_classes; ++c)
+      ctx_.global_class_counts[c] += counts[c];
+  }
 }
 
 Simulation::Simulation(Simulation&& other) noexcept
@@ -88,11 +118,33 @@ void Simulation::add_observer(std::shared_ptr<RoundObserver> observer) {
 }
 
 std::vector<std::size_t> Simulation::sample_clients(std::size_t round) const {
-  const std::size_t want = std::min(config_.sampled_per_round(), eligible_.size());
+  // In lazy mode every client holds the quota, so the universe is the whole
+  // population; eager mode samples over the clients that own data.
+  const bool lazy = ctx_.lazy_mode();
+  const std::size_t universe = lazy ? config_.num_clients : eligible_.size();
   core::Rng rng(core::derive_seed(config_.seed, round + 1, 0x5A11));
-  auto picks = rng.sample_without_replacement(eligible_.size(), want);
-  std::vector<std::size_t> sampled(picks.size());
-  for (std::size_t i = 0; i < picks.size(); ++i) sampled[i] = eligible_[picks[i]];
+  std::vector<std::size_t> sampled;
+  if (config_.availability < 1.0) {
+    // Availability model: each (round, client) pair flips its own seeded
+    // coin, so the pool is identical regardless of thread count or resume
+    // point, and the cohort is drawn from the clients that showed up.
+    std::vector<std::size_t> pool;
+    for (std::size_t i = 0; i < universe; ++i) {
+      const std::size_t k = lazy ? i : eligible_[i];
+      core::Rng coin(core::derive_seed(config_.seed, round + 1, k + 1, 0xA7A1));
+      if (coin.uniform() < config_.availability) pool.push_back(k);
+    }
+    const std::size_t want = std::min(config_.sampled_per_round(), pool.size());
+    const auto picks = rng.sample_without_replacement(pool.size(), want);
+    sampled.resize(picks.size());
+    for (std::size_t i = 0; i < picks.size(); ++i) sampled[i] = pool[picks[i]];
+  } else {
+    const std::size_t want = std::min(config_.sampled_per_round(), universe);
+    const auto picks = rng.sample_without_replacement(universe, want);
+    sampled.resize(picks.size());
+    for (std::size_t i = 0; i < picks.size(); ++i)
+      sampled[i] = lazy ? picks[i] : eligible_[picks[i]];
+  }
   std::sort(sampled.begin(), sampled.end());
   return sampled;
 }
@@ -174,7 +226,16 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
           double(config_.rounds), result.algorithm);
 
   core::ThreadPool pool(config_.threads, "simulation");
-  const std::size_t slots = config_.sampled_per_round();
+  // Streaming rounds train the cohort in worker-sized chunks and drain each
+  // chunk into the running fold before the next starts, so only as many
+  // workers (model + workspace + delta) as can actually run concurrently are
+  // ever materialized — peak round memory is O(threads), not O(cohort).
+  const bool fold_mode =
+      config_.stream_aggregation && algorithm.supports_streaming();
+  const std::size_t cohort = config_.sampled_per_round();
+  const std::size_t slots =
+      fold_mode ? std::min(cohort, std::max<std::size_t>(1, pool.size()))
+                : cohort;
   std::vector<std::unique_ptr<Worker>> workers;
   workers.reserve(slots);
   for (std::size_t i = 0; i < slots; ++i)
@@ -217,35 +278,102 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
                     std::int64_t(sampled[i]), 0.0, fault_detail(kinds[i]));
         }
 
-      results.resize(sampled.size());
+      // Local training for one cohort slot `s` into `out`, on worker
+      // `worker`. Used verbatim by both the buffered and the streaming path.
+      const auto train_one = [&](std::size_t s, Worker& worker,
+                                 LocalResult& out) {
+        if (kinds[s] == FaultKind::kDrop) {
+          // Dropped clients never receive the broadcast nor train.
+          out.client = sampled[s];
+          out.dropped = true;
+          return;
+        }
+        obs::Span client_span("client.local_train", "client",
+                              std::int64_t(sampled[s]));
+        const std::uint64_t t0 = obs::now_us();
+        worker.step_fraction = kinds[s] == FaultKind::kStraggle
+                                   ? float(config_.faults.straggler_factor)
+                                   : 1.0f;
+        out = algorithm.local_update(sampled[s], global, round, worker);
+        worker.step_fraction = 1.0f;
+        if (kinds[s] == FaultKind::kCorrupt)
+          // Models garbage in transit: the client trained normally but its
+          // uploaded delta arrives NaN-poisoned.
+          std::fill(out.delta.begin(), out.delta.end(),
+                    std::numeric_limits<float>::quiet_NaN());
+        client_ms_hist.observe(obs::elapsed_ms(t0, obs::now_us()));
+      };
+
+      // Graceful degradation: skip dropped clients, reject non-finite
+      // uploads (injected corruption or genuine divergence). Aggregation
+      // weights renormalize over the survivors because every aggregator
+      // normalizes over the span (or fold sequence) it receives. Returns
+      // whether the upload survived; the accounting is shared by both paths.
+      const auto accept = [&](std::size_t s, LocalResult& r) -> bool {
+        if (r.dropped) {
+          ++rec.dropped;
+          return false;
+        }
+        if (kinds[s] == FaultKind::kStraggle) ++rec.straggled;
+        // Rejected clients still spent uplink bytes — the garbage was sent.
+        const std::uint64_t upload_bytes =
+            std::uint64_t(r.delta.size() + r.aux.size()) * sizeof(float);
+        rec.bytes_up += upload_bytes;
+        const bool finite =
+            core::pv::all_finite(r.delta) && core::pv::all_finite(r.aux);
+        publish(obs::EventKind::kClientUpload, std::int64_t(round),
+                std::int64_t(r.client), double(upload_bytes),
+                finite ? "accepted" : "rejected");
+        if (!finite) {
+          ++rec.rejected;
+          return false;
+        }
+        return true;
+      };
+
       pool.reset_peak_queue_depth();
-      {
-        obs::Span train_span("local_train", "clients",
-                             std::int64_t(sampled.size()));
-        obs::prof::PhaseScope train_phase(obs::prof::Phase::kLocalTrain);
-        core::parallel_for(pool, 0, sampled.size(), [&](std::size_t i) {
-          if (kinds[i] == FaultKind::kDrop) {
-            // Dropped clients never receive the broadcast nor train.
-            results[i].client = sampled[i];
-            results[i].dropped = true;
-            return;
+      double fold_loss = 0.0;
+      std::size_t fold_count = 0;
+      if (fold_mode) {
+        algorithm.stream_begin(round, sampled);
+        std::vector<LocalResult> chunk(slots);
+        for (std::size_t base = 0; base < sampled.size(); base += slots) {
+          const std::size_t len = std::min(slots, sampled.size() - base);
+          {
+            obs::Span train_span("local_train", "clients", std::int64_t(len));
+            obs::prof::PhaseScope train_phase(obs::prof::Phase::kLocalTrain);
+            core::parallel_for(pool, 0, len, [&](std::size_t i) {
+              train_one(base + i, *workers[i], chunk[i]);
+            });
           }
-          obs::Span client_span("client.local_train", "client",
-                                std::int64_t(sampled[i]));
-          const std::uint64_t t0 = obs::now_us();
-          workers[i]->step_fraction =
-              kinds[i] == FaultKind::kStraggle
-                  ? float(config_.faults.straggler_factor)
-                  : 1.0f;
-          results[i] = algorithm.local_update(sampled[i], global, round, *workers[i]);
-          workers[i]->step_fraction = 1.0f;
-          if (kinds[i] == FaultKind::kCorrupt)
-            // Models garbage in transit: the client trained normally but its
-            // uploaded delta arrives NaN-poisoned.
-            std::fill(results[i].delta.begin(), results[i].delta.end(),
-                      std::numeric_limits<float>::quiet_NaN());
-          client_ms_hist.observe(obs::elapsed_ms(t0, obs::now_us()));
-        });
+          // Drain serially, in cohort order, on the driver thread: the fold
+          // sequence equals the buffered acceptance order, and each delta is
+          // freed before the next chunk trains.
+          obs::prof::PhaseScope upload_phase(obs::prof::Phase::kUpload);
+          for (std::size_t i = 0; i < len; ++i) {
+            LocalResult& r = chunk[i];
+            if (accept(base + i, r)) {
+              algorithm.stream_fold(r);
+              fold_loss += double(r.mean_loss);
+              ++fold_count;
+            }
+            r = LocalResult{};
+          }
+        }
+      } else {
+        results.resize(sampled.size());
+        {
+          obs::Span train_span("local_train", "clients",
+                               std::int64_t(sampled.size()));
+          obs::prof::PhaseScope train_phase(obs::prof::Phase::kLocalTrain);
+          core::parallel_for(pool, 0, sampled.size(), [&](std::size_t i) {
+            train_one(i, *workers[i], results[i]);
+          });
+        }
+        obs::prof::PhaseScope upload_phase(obs::prof::Phase::kUpload);
+        accepted.reserve(results.size());
+        for (std::size_t i = 0; i < results.size(); ++i)
+          if (accept(i, results[i])) accepted.push_back(std::move(results[i]));
       }
       queue_depth_gauge.set(double(pool.peak_queue_depth()));
       obs::publish_pool_stats(pool);
@@ -258,47 +386,22 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
         workspace_bytes_gauge.set(double(ws_bytes));
       }
 
-      // Graceful degradation: skip dropped clients, reject non-finite
-      // uploads (injected corruption or genuine divergence). Aggregation
-      // weights renormalize over the survivors because every aggregator
-      // normalizes over the span it receives.
-      {
-        obs::prof::PhaseScope upload_phase(obs::prof::Phase::kUpload);
-        accepted.reserve(results.size());
-        for (std::size_t i = 0; i < results.size(); ++i) {
-          LocalResult& r = results[i];
-          if (r.dropped) {
-            ++rec.dropped;
-            continue;
-          }
-          if (kinds[i] == FaultKind::kStraggle) ++rec.straggled;
-          // Rejected clients still spent uplink bytes — the garbage was sent.
-          const std::uint64_t upload_bytes =
-              std::uint64_t(r.delta.size() + r.aux.size()) * sizeof(float);
-          rec.bytes_up += upload_bytes;
-          const bool finite =
-              core::pv::all_finite(r.delta) && core::pv::all_finite(r.aux);
-          publish(obs::EventKind::kClientUpload, std::int64_t(round),
-                  std::int64_t(r.client), double(upload_bytes),
-                  finite ? "accepted" : "rejected");
-          if (!finite) {
-            ++rec.rejected;
-            continue;
-          }
-          accepted.push_back(std::move(r));
-        }
-      }
-
       // Diagnostics observers see the surviving uploads against the momentum
       // Delta_r that was blended into this round's local training — i.e.
-      // before aggregate() refreshes it to Delta_{r+1}.
+      // before aggregate() refreshes it to Delta_{r+1}. Streaming rounds
+      // hand them an empty span (the uploads are already folded and freed);
+      // observers treat that as "nothing to diagnose".
       for (const auto& observer : observers_)
         observer->on_aggregate(round, algorithm, accepted, global, rec);
 
       {
         obs::Span aggregate_span("aggregate");
         obs::prof::PhaseScope aggregate_phase(obs::prof::Phase::kAggregate);
-        if (!accepted.empty()) algorithm.aggregate(accepted, round, global);
+        if (fold_mode) {
+          if (fold_count > 0) algorithm.stream_end(round, global);
+        } else if (!accepted.empty()) {
+          algorithm.aggregate(accepted, round, global);
+        }
       }
 
       // Communication estimate from ParamVector sizes: downlink is the
@@ -338,10 +441,17 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
         // final round.
         rec.per_class_accuracy = std::move(ev.per_class_accuracy);
         // Mean train loss over clients whose update survived (dropped clients
-        // never trained; rejected uploads carry no trustworthy loss).
-        double loss = 0.0;
-        for (const auto& r : accepted) loss += double(r.mean_loss);
-        rec.train_loss = accepted.empty() ? 0.0f : float(loss / double(accepted.size()));
+        // never trained; rejected uploads carry no trustworthy loss). The
+        // streaming path accumulated the identical sum during the folds.
+        if (fold_mode) {
+          rec.train_loss =
+              fold_count > 0 ? float(fold_loss / double(fold_count)) : 0.0f;
+        } else {
+          double loss = 0.0;
+          for (const auto& r : accepted) loss += double(r.mean_loss);
+          rec.train_loss =
+              accepted.empty() ? 0.0f : float(loss / double(accepted.size()));
+        }
         eval_model.set_params(global);
         for (const auto& observer : observers_)
           observer->on_evaluate(eval_model, ctx_, rec);

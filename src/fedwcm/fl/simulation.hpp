@@ -63,6 +63,15 @@ class Simulation {
              const data::Dataset& test, const data::Partition& partition,
              nn::ModelFactory model_factory, LossFactory loss_factory);
 
+  /// Lazy-materialization mode (docs/SCALING.md): clients are derived on
+  /// demand from `(seed, spec, client_id)` and no per-client table is ever
+  /// built, so construction and steady-state memory are independent of
+  /// `config.num_clients`. Combine with `FlConfig::stream_aggregation` for
+  /// O(participants-per-round) rounds at million-client populations.
+  Simulation(const FlConfig& config, const data::Dataset& train,
+             const data::Dataset& test, const data::LazyPartition& lazy,
+             nn::ModelFactory model_factory, LossFactory loss_factory);
+
   /// Moves re-point the context at the moved-to config so a Simulation can
   /// be rebuilt-and-assigned (the tool runner does this for loss rewiring).
   Simulation(Simulation&& other) noexcept;
@@ -99,6 +108,7 @@ class Simulation {
 
  private:
   std::vector<std::size_t> sample_clients(std::size_t round) const;
+  void init_common();
 
   FlConfig config_;
   FlContext ctx_;

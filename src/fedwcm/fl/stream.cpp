@@ -1,0 +1,39 @@
+#include "fedwcm/fl/stream.hpp"
+
+#include <algorithm>
+
+#include "fedwcm/core/tensor.hpp"
+
+namespace fedwcm::fl {
+
+void StreamAccum::reset(std::size_t params) {
+  sum_.assign(params, 0.0);
+  weight_ = 0.0;
+  steps_ = 0.0;
+  count_ = 0;
+}
+
+void StreamAccum::fold(double u, const core::ParamVector& delta,
+                       std::size_t steps) {
+  FEDWCM_CHECK(delta.size() == sum_.size(), "StreamAccum::fold: size mismatch");
+  FEDWCM_CHECK(u > 0.0, "StreamAccum::fold: non-positive weight");
+  for (std::size_t j = 0; j < sum_.size(); ++j) sum_[j] += u * double(delta[j]);
+  weight_ += u;
+  steps_ += double(steps);
+  ++count_;
+}
+
+double StreamAccum::mean_steps() const {
+  if (count_ == 0) return 1.0;
+  return std::max(1.0, steps_ / double(count_));
+}
+
+void StreamAccum::finalize(core::ParamVector& out) const {
+  FEDWCM_CHECK(count_ > 0 && weight_ > 0.0,
+               "StreamAccum::finalize: nothing folded");
+  out.resize(sum_.size());
+  for (std::size_t j = 0; j < sum_.size(); ++j)
+    out[j] = float(sum_[j] / weight_);
+}
+
+}  // namespace fedwcm::fl

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "fedwcm/core/fraction.hpp"
 #include "fedwcm/core/param_vector.hpp"
 #include "fedwcm/fl/fault.hpp"
 
@@ -29,9 +30,21 @@ struct FlConfig {
   std::size_t threads = 0;        ///< 0 = hardware concurrency.
   bool record_concentration = false;  ///< Neuron-concentration probe (App. B).
   FaultPlan faults;               ///< Seeded fault injection (off by default).
+  /// Fold each accepted upload into a running double-precision weighted sum
+  /// as it arrives instead of buffering every delta for the round. Peak
+  /// delta memory drops from O(cohort) to O(threads); the survivor weight
+  /// renormalization is algebraically identical but not bitwise-identical
+  /// to the buffered path, so this is a config (fingerprinted) knob.
+  bool stream_aggregation = false;
+  /// Per-round client availability in (0, 1]: each (round, client) pair
+  /// flips a seeded coin and only available clients enter the sampling
+  /// pool. 1.0 (default) skips the coin entirely — the legacy code path.
+  double availability = 1.0;
 
   std::size_t sampled_per_round() const {
-    const auto k = std::size_t(double(num_clients) * participation + 0.5);
+    // Exact round(num_clients * participation); the old double formula
+    // drifted once the product crossed 2^53.
+    const std::size_t k = core::scaled_count(num_clients, participation);
     return k == 0 ? 1 : (k > num_clients ? num_clients : k);
   }
 };

@@ -1,0 +1,72 @@
+// scaled_count: exact round(n * p) where the old double formula
+// `size_t(double(n) * p + 0.5)` drifts past 2^53 or collapses tiny products.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "fedwcm/core/fraction.hpp"
+
+namespace fedwcm::core {
+namespace {
+
+TEST(ScaledCount, SmallExactCases) {
+  EXPECT_EQ(scaled_count(30, 0.1), 3u);
+  EXPECT_EQ(scaled_count(20, 0.5), 10u);
+  EXPECT_EQ(scaled_count(100, 0.25), 25u);
+  EXPECT_EQ(scaled_count(7, 1.0 / 7.0), 1u);
+  EXPECT_EQ(scaled_count(3, 1.0 / 3.0), 1u);
+}
+
+TEST(ScaledCount, HalfRoundsUp) {
+  EXPECT_EQ(scaled_count(10, 0.25), 3u);  // 2.5 -> 3 (matches old +0.5 intent)
+  EXPECT_EQ(scaled_count(2, 0.25), 1u);   // 0.5 -> 1
+  EXPECT_EQ(scaled_count(6, 0.25), 2u);   // 1.5 -> 2 (half-up, not banker's)
+}
+
+TEST(ScaledCount, DegenerateInputs) {
+  EXPECT_EQ(scaled_count(0, 0.5), 0u);
+  EXPECT_EQ(scaled_count(100, 0.0), 0u);
+  EXPECT_EQ(scaled_count(100, -0.5), 0u);
+  EXPECT_EQ(scaled_count(100, 1.0), 100u);
+  EXPECT_EQ(scaled_count(100, 1.5), 100u);  // clamped, not scaled past n
+  // Non-finite p is a config bug, not a fraction: documented as 0.
+  EXPECT_EQ(scaled_count(100, std::numeric_limits<double>::quiet_NaN()), 0u);
+  EXPECT_EQ(scaled_count(100, std::numeric_limits<double>::infinity()), 0u);
+}
+
+TEST(ScaledCount, ExactPastDoubleMantissa) {
+  // n * p crosses 2^53: double arithmetic rounds the product before the
+  // +0.5 and lands on an even neighbor; exact arithmetic does not.
+  const std::size_t n = (std::size_t(1) << 53) + 1;  // odd, not a double
+  EXPECT_EQ(scaled_count(n, 0.5), (std::size_t(1) << 52) + 1);
+  const std::size_t big = std::numeric_limits<std::size_t>::max();
+  // max * 0.5 = (2^64 - 1) / 2 = 2^63 - 0.5 -> 2^63 (half-up).
+  EXPECT_EQ(scaled_count(big, 0.5), std::size_t(1) << 63);
+}
+
+TEST(ScaledCount, LargePopulationBoundaries) {
+  const std::size_t n = std::size_t(1) << 32;  // 4.29e9 clients
+  EXPECT_EQ(scaled_count(n, 1.0), n);
+  EXPECT_EQ(scaled_count(n, 0.5), n / 2);
+  // participation = 1/n: exactly one client.
+  EXPECT_EQ(scaled_count(n, 1.0 / double(n)), 1u);
+  // p = 2^-70 * n = 2^-38 of a client: rounds to zero, no wrap-around.
+  EXPECT_EQ(scaled_count(n, std::ldexp(1.0, -70)), 0u);
+}
+
+TEST(ScaledCount, MatchesOldFormulaInSafeRange) {
+  // Below 2^53 the old formula was correct; the rewrite must agree there so
+  // historical trajectories (cohort sizes) are preserved bit for bit.
+  const double parts[] = {0.1, 0.25, 1.0 / 3.0, 0.5, 0.9, 1.0 / 7.0};
+  for (std::size_t n : {1u, 8u, 20u, 30u, 100u, 1000u, 99999u}) {
+    for (double p : parts) {
+      const auto old_formula = std::size_t(double(n) * p + 0.5);
+      EXPECT_EQ(scaled_count(n, p), old_formula) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fedwcm::core

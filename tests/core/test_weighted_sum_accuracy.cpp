@@ -1,0 +1,88 @@
+// weighted_sum accumulation accuracy at large cohort counts: a float running
+// sum drifts by hundreds of ulps over 10^5 inputs; the double accumulator
+// must land within 1 ulp of the exact mean, in both kernel modes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fedwcm/core/param_vector.hpp"
+#include "fedwcm/core/tensor.hpp"
+
+namespace fedwcm::core {
+namespace {
+
+float ulp_distance(float a, float b) {
+  if (a == b) return 0.0f;
+  const float scale = std::max(std::abs(a), std::abs(b));
+  return std::abs(a - b) / (scale * std::numeric_limits<float>::epsilon());
+}
+
+// 10^5-client uniform cohort, every delta identical: the survivor-weighted
+// mean must be exactly that delta (within 1 ulp), not drift with N.
+void check_uniform_cohort(KernelMode mode) {
+  const KernelMode prev = kernel_mode();
+  set_kernel_mode(mode);
+  const std::size_t clients = 100000;
+  const std::size_t dim = 64;
+  ParamVector delta(dim);
+  for (std::size_t j = 0; j < dim; ++j)
+    delta[j] = 0.1f + 0.01f * float(j % 7);  // inexact in binary on purpose
+
+  std::vector<float> w(clients, 1.0f / float(clients));
+  std::vector<const ParamVector*> xs(clients, &delta);
+  ParamVector out;
+  pv::weighted_sum(w, xs, out);
+  set_kernel_mode(prev);
+
+  ASSERT_EQ(out.size(), dim);
+  // Total weight is N float-rounded copies of 1/N, so the exact result is
+  // delta * (N * float(1/N)); with double accumulation that product is
+  // computed exactly and the only rounding is the final float cast.
+  const double wsum = double(clients) * double(1.0f / float(clients));
+  for (std::size_t j = 0; j < dim; ++j) {
+    const float exact = float(double(delta[j]) * wsum);
+    EXPECT_LE(ulp_distance(out[j], exact), 1.0f) << "dim " << j;
+  }
+}
+
+TEST(WeightedSumAccuracy, UniformCohortExactMeanBlocked) {
+  check_uniform_cohort(KernelMode::kBlocked);
+}
+
+TEST(WeightedSumAccuracy, UniformCohortExactMeanNaive) {
+  check_uniform_cohort(KernelMode::kNaive);
+}
+
+TEST(WeightedSumAccuracy, ModesBitwiseEqualOnMixedInputs) {
+  // The A/B contract: blocked and naive must agree bit for bit, including
+  // on a large ragged-weight cohort exercising the chunked path.
+  const std::size_t clients = 1000;
+  const std::size_t dim = 5000;  // > one 4096-wide chunk
+  std::vector<ParamVector> deltas(clients, ParamVector(dim));
+  std::vector<float> w(clients);
+  std::vector<const ParamVector*> xs(clients);
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state]() {
+    state ^= state >> 12; state ^= state << 25; state ^= state >> 27;
+    return float(double(state * 0x2545f4914f6cdd1dull >> 11) /
+                 double(1ull << 53)) - 0.5f;
+  };
+  for (std::size_t i = 0; i < clients; ++i) {
+    for (auto& v : deltas[i]) v = next();
+    w[i] = 0.5f + 0.5f * std::abs(next());
+    xs[i] = &deltas[i];
+  }
+
+  const KernelMode prev = kernel_mode();
+  ParamVector blocked, naive;
+  set_kernel_mode(KernelMode::kBlocked);
+  pv::weighted_sum(w, xs, blocked);
+  set_kernel_mode(KernelMode::kNaive);
+  pv::weighted_sum(w, xs, naive);
+  set_kernel_mode(prev);
+  EXPECT_EQ(blocked, naive);
+}
+
+}  // namespace
+}  // namespace fedwcm::core

@@ -1,0 +1,136 @@
+// LazyPartition: per-client datasets are pure functions of (seed, spec, id) —
+// deterministic, consistent between the counts and indices views, quota-exact,
+// and equal to their own eager materialization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "fedwcm/data/lazy.hpp"
+#include "fedwcm/data/longtail.hpp"
+#include "fedwcm/data/synthetic.hpp"
+
+namespace fedwcm::data {
+namespace {
+
+struct LazyWorld {
+  TrainTest data;
+  std::vector<std::size_t> subset;
+};
+
+LazyWorld make_lazy_world() {
+  SyntheticSpec spec;
+  spec.name = "lazy_world";
+  spec.num_classes = 6;
+  spec.input_dim = 12;
+  spec.subclusters = 2;
+  spec.train_per_class = 60;
+  spec.test_per_class = 10;
+  LazyWorld w;
+  w.data = generate(spec, 42);
+  w.subset = longtail_subsample(w.data.train, 0.1, 42);
+  return w;
+}
+
+LazySpec make_spec(std::size_t clients, std::uint64_t seed = 7,
+                   std::size_t per_client = 0) {
+  LazySpec s;
+  s.num_clients = clients;
+  s.beta = 0.1;
+  s.seed = seed;
+  s.samples_per_client = per_client;
+  return s;
+}
+
+TEST(LazyPartition, DeterministicAcrossInstancesAndCalls) {
+  const auto w = make_lazy_world();
+  LazyPartition a(w.data.train, w.subset, make_spec(50));
+  LazyPartition b(w.data.train, w.subset, make_spec(50));
+  for (std::size_t k : {std::size_t(0), std::size_t(7), std::size_t(49)}) {
+    EXPECT_EQ(a.client_indices(k), b.client_indices(k)) << k;
+    EXPECT_EQ(a.client_indices(k), a.client_indices(k)) << k;  // re-entrant
+    EXPECT_EQ(a.client_class_counts(k), b.client_class_counts(k)) << k;
+  }
+  // A different seed re-deals the data.
+  LazyPartition c(w.data.train, w.subset, make_spec(50, 8));
+  EXPECT_NE(a.client_indices(0), c.client_indices(0));
+}
+
+TEST(LazyPartition, CountsConsistentWithIndices) {
+  const auto w = make_lazy_world();
+  LazyPartition p(w.data.train, w.subset, make_spec(20));
+  for (std::size_t k = 0; k < 20; ++k) {
+    const auto counts = p.client_class_counts(k);
+    const auto indices = p.client_indices(k);
+    std::vector<std::size_t> observed(p.num_classes(), 0);
+    for (std::size_t i : indices) ++observed[w.data.train.labels[i]];
+    EXPECT_EQ(observed, counts) << "client " << k;
+    EXPECT_EQ(indices.size(), p.client_size(k)) << "client " << k;
+  }
+}
+
+TEST(LazyPartition, QuotaExactAndOverridable) {
+  const auto w = make_lazy_world();
+  LazyPartition auto_quota(w.data.train, w.subset, make_spec(20));
+  EXPECT_EQ(auto_quota.samples_per_client(),
+            std::max<std::size_t>(1, w.subset.size() / 20));
+  LazyPartition fixed(w.data.train, w.subset, make_spec(20, 7, 17));
+  EXPECT_EQ(fixed.samples_per_client(), 17u);
+  for (std::size_t k = 0; k < 20; ++k)
+    EXPECT_EQ(fixed.client_indices(k).size(), 17u);
+  // More clients than samples: quota floors at 1, never 0.
+  LazyPartition tiny(w.data.train, w.subset,
+                     make_spec(10 * w.subset.size()));
+  EXPECT_EQ(tiny.samples_per_client(), 1u);
+}
+
+TEST(LazyPartition, IndicesDrawnFromSubsetOnly) {
+  const auto w = make_lazy_world();
+  const std::set<std::size_t> allowed(w.subset.begin(), w.subset.end());
+  LazyPartition p(w.data.train, w.subset, make_spec(30));
+  for (std::size_t k = 0; k < 30; ++k)
+    for (std::size_t i : p.client_indices(k))
+      EXPECT_TRUE(allowed.count(i)) << "client " << k << " index " << i;
+}
+
+TEST(LazyPartition, GlobalCountsMatchSubsetHistogram) {
+  const auto w = make_lazy_world();
+  LazyPartition p(w.data.train, w.subset, make_spec(10));
+  std::vector<std::size_t> hist(p.num_classes(), 0);
+  for (std::size_t i : w.subset) ++hist[w.data.train.labels[i]];
+  EXPECT_EQ(p.global_class_counts(), hist);
+}
+
+TEST(LazyPartition, MaterializeMatchesPerClientViews) {
+  const auto w = make_lazy_world();
+  LazyPartition p(w.data.train, w.subset, make_spec(25));
+  const Partition eager = p.materialize();
+  ASSERT_EQ(eager.num_clients(), 25u);
+  EXPECT_EQ(eager.num_classes, p.num_classes());
+  for (std::size_t k = 0; k < 25; ++k)
+    EXPECT_EQ(eager.client_indices[k], p.client_indices(k)) << k;
+}
+
+TEST(LazyPartition, BetaControlsSkew) {
+  // Smaller beta -> more concentrated per-client class mixtures. Compare the
+  // mean number of distinct classes per client at beta 0.05 vs 100.
+  const auto w = make_lazy_world();
+  auto mean_distinct = [&](double beta) {
+    LazySpec s = make_spec(40, 7, 30);
+    s.beta = beta;
+    LazyPartition p(w.data.train, w.subset, s);
+    double total = 0.0;
+    for (std::size_t k = 0; k < 40; ++k) {
+      const auto counts = p.client_class_counts(k);
+      total += double(std::count_if(counts.begin(), counts.end(),
+                                    [](std::size_t c) { return c > 0; }));
+    }
+    return total / 40.0;
+  };
+  EXPECT_LT(mean_distinct(0.05), mean_distinct(100.0));
+}
+
+}  // namespace
+}  // namespace fedwcm::data

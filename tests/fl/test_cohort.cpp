@@ -1,0 +1,63 @@
+// FlConfig::sampled_per_round boundary behavior: at least one client, never
+// more than the population, exact at huge populations.
+#include <gtest/gtest.h>
+
+#include "fedwcm/fl/types.hpp"
+
+namespace fedwcm::fl {
+namespace {
+
+FlConfig cfg(std::size_t clients, double participation) {
+  FlConfig c;
+  c.num_clients = clients;
+  c.participation = participation;
+  return c;
+}
+
+TEST(CohortSize, ZeroParticipationStillSamplesOne) {
+  EXPECT_EQ(cfg(30, 0.0).sampled_per_round(), 1u);
+  EXPECT_EQ(cfg(1u << 20, 0.0).sampled_per_round(), 1u);
+}
+
+TEST(CohortSize, OneOverNSamplesExactlyOne) {
+  for (std::size_t n : {std::size_t(3), std::size_t(1000),
+                        std::size_t(1) << 20, std::size_t(1) << 32}) {
+    EXPECT_EQ(cfg(n, 1.0 / double(n)).sampled_per_round(), 1u) << n;
+  }
+}
+
+TEST(CohortSize, FullParticipationSamplesAll) {
+  for (std::size_t n : {std::size_t(1), std::size_t(30),
+                        std::size_t(1) << 32}) {
+    EXPECT_EQ(cfg(n, 1.0).sampled_per_round(), n) << n;
+  }
+}
+
+TEST(CohortSize, NeverExceedsPopulation) {
+  // Even p slightly above 1 (a config bug) clamps to n.
+  EXPECT_EQ(cfg(30, 1.0000001).sampled_per_round(), 30u);
+}
+
+TEST(CohortSize, MillionClientFractions) {
+  EXPECT_EQ(cfg(1000000, 0.0002).sampled_per_round(), 200u);
+  EXPECT_EQ(cfg(1000000, 0.001).sampled_per_round(), 1000u);
+  // 2^32 clients at 1e-9 participation: ~4.29 clients -> 4 exactly.
+  EXPECT_EQ(cfg(std::size_t(1) << 32, 1e-9).sampled_per_round(), 4u);
+}
+
+TEST(CohortSize, MatchesLegacyFormulaForTestConfigs) {
+  // The configs historical tests run with — the rewrite must not shift any
+  // cohort size, or every determinism test would see a new trajectory.
+  for (std::size_t n : {8u, 20u, 30u, 100u}) {
+    for (double p : {0.1, 0.25, 0.5, 1.0}) {
+      const auto legacy = std::size_t(double(n) * p + 0.5);
+      const auto expected =
+          legacy == 0 ? 1u : (legacy > n ? n : legacy);
+      EXPECT_EQ(cfg(n, p).sampled_per_round(), expected)
+          << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fedwcm::fl

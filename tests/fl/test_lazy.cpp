@@ -1,0 +1,235 @@
+// Lazy-materialization engine gates: a lazy simulation is bitwise identical
+// to an eager simulation over the materialized partition (the correctness
+// contract of docs/SCALING.md), checkpoint resume works without any
+// materialized clients, streaming aggregation matches the buffered path to
+// float tolerance, and availability thinning is deterministic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <optional>
+
+#include "fedwcm/core/checkpoint.hpp"
+#include "fedwcm/data/lazy.hpp"
+#include "fedwcm/data/longtail.hpp"
+#include "fedwcm/data/synthetic.hpp"
+#include "fedwcm/fl/checkpoint.hpp"
+#include "fedwcm/fl/registry.hpp"
+#include "fl_test_util.hpp"
+
+namespace fedwcm::fl {
+namespace {
+
+/// 100-client lazy world (the issue's correctness gate size): small data,
+/// fixed per-client quota so local steps are non-trivial but fast.
+struct LazyWorld {
+  data::TrainTest data;
+  std::vector<std::size_t> subset;
+  std::optional<data::LazyPartition> lazy;
+  FlConfig config;
+
+  nn::ModelFactory factory() const {
+    return nn::mlp_factory(data.train.dim(), {16}, data.train.num_classes);
+  }
+  Simulation make_lazy_sim() const {
+    return Simulation(config, data.train, data.test, *lazy, factory(),
+                      cross_entropy_loss_factory());
+  }
+  Simulation make_eager_sim(const data::Partition& partition) const {
+    return Simulation(config, data.train, data.test, partition, factory(),
+                      cross_entropy_loss_factory());
+  }
+};
+
+LazyWorld make_lazy_world(std::size_t clients = 100) {
+  LazyWorld w;
+  data::SyntheticSpec spec;
+  spec.name = "lazy_world";
+  spec.num_classes = 6;
+  spec.input_dim = 12;
+  spec.subclusters = 2;
+  spec.train_per_class = 60;
+  spec.test_per_class = 20;
+  spec.class_separation = 4.0f;
+  spec.noise = 0.8f;
+  w.data = data::generate(spec, 42);
+  w.subset = data::longtail_subsample(w.data.train, 0.1, 42);
+  data::LazySpec lspec;
+  lspec.num_clients = clients;
+  lspec.beta = 0.1;
+  lspec.seed = 42;
+  lspec.samples_per_client = 8;
+  w.lazy.emplace(w.data.train, w.subset, lspec);
+  w.config.num_clients = clients;
+  w.config.participation = 0.2;
+  w.config.rounds = 8;
+  w.config.local_epochs = 2;
+  w.config.batch_size = 16;
+  w.config.seed = 42;
+  w.config.eval_every = 2;
+  w.config.threads = 2;
+  return w;
+}
+
+void expect_same_run(const SimulationResult& a, const SimulationResult& b,
+                     const std::string& tag) {
+  EXPECT_EQ(a.final_params, b.final_params) << tag;
+  EXPECT_EQ(a.final_accuracy, b.final_accuracy) << tag;
+  EXPECT_EQ(a.best_accuracy, b.best_accuracy) << tag;
+  EXPECT_EQ(a.per_class_accuracy, b.per_class_accuracy) << tag;
+  EXPECT_EQ(a.faults_dropped, b.faults_dropped) << tag;
+  EXPECT_EQ(a.faults_straggled, b.faults_straggled) << tag;
+  ASSERT_EQ(a.history.size(), b.history.size()) << tag;
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].test_accuracy, b.history[i].test_accuracy)
+        << tag << " round " << a.history[i].round;
+    EXPECT_EQ(a.history[i].train_loss, b.history[i].train_loss)
+        << tag << " round " << a.history[i].round;
+    EXPECT_EQ(a.history[i].alpha, b.history[i].alpha) << tag;
+    EXPECT_EQ(a.history[i].momentum_norm, b.history[i].momentum_norm) << tag;
+    EXPECT_EQ(a.history[i].bytes_up, b.history[i].bytes_up) << tag;
+  }
+}
+
+// The tentpole correctness gate: a lazy run must be bitwise identical (final
+// params AND every recorded artifact) to an eager run over the exact same
+// clients — materialize() hands the eager path the lazy deal.
+TEST(LazySimulation, BitwiseEqualsEagerOverMaterializedPartition) {
+  for (const char* name : {"fedavg", "fedcm", "fedwcm"}) {
+    auto w = make_lazy_world();
+    const data::Partition eager_partition = w.lazy->materialize();
+
+    Simulation lazy_sim = w.make_lazy_sim();
+    auto lazy_alg = make_algorithm(name);
+    const SimulationResult lazy_result = lazy_sim.run(*lazy_alg);
+
+    Simulation eager_sim = w.make_eager_sim(eager_partition);
+    auto eager_alg = make_algorithm(name);
+    const SimulationResult eager_result = eager_sim.run(*eager_alg);
+
+    expect_same_run(lazy_result, eager_result, name);
+  }
+}
+
+struct CrashAtRound final : RoundObserver {
+  std::size_t crash_round;
+  explicit CrashAtRound(std::size_t r) : crash_round(r) {}
+  void on_round_end(const RoundRecord& rec) override {
+    if (rec.round == crash_round) throw std::runtime_error("injected crash");
+  }
+};
+
+SimulationResult lazy_crash_then_resume(const LazyWorld& w,
+                                        const std::string& alg_name,
+                                        const std::string& path) {
+  std::remove(path.c_str());
+  {
+    Simulation sim = w.make_lazy_sim();
+    sim.set_checkpointing({path, 5, false});
+    sim.add_observer(std::make_shared<CrashAtRound>(6));
+    auto alg = make_algorithm(alg_name);
+    EXPECT_THROW(sim.run(*alg), std::runtime_error);
+  }
+  EXPECT_TRUE(core::checkpoint_exists(path));
+
+  Simulation sim = w.make_lazy_sim();
+  sim.set_checkpointing({path, 5, true});
+  auto alg = make_algorithm(alg_name);
+  const SimulationResult resumed = sim.run(*alg);
+  std::remove(path.c_str());
+  return resumed;
+}
+
+// Resume needs no materialized clients: the checkpoint stores only round +
+// params + algorithm state, and every lazy client re-derives identically.
+TEST(LazySimulation, ResumeEqualsUninterrupted) {
+  for (const char* name : {"fedavg", "fedcm", "fedwcm"}) {
+    auto w = make_lazy_world();
+    Simulation base = w.make_lazy_sim();
+    auto base_alg = make_algorithm(name);
+    const SimulationResult expected = base.run(*base_alg);
+
+    const std::string path =
+        testing::TempDir() + "/fedwcm_lazy_resume_" + name + ".ckpt";
+    const SimulationResult resumed = lazy_crash_then_resume(w, name, path);
+    expect_same_run(resumed, expected, std::string("lazy+") + name);
+  }
+}
+
+TEST(LazySimulation, ResumeEqualsUninterruptedUnderFaults) {
+  auto w = make_lazy_world();
+  w.config.faults.drop_prob = 0.25;
+  w.config.faults.straggler_prob = 0.25;
+  Simulation base = w.make_lazy_sim();
+  auto base_alg = make_algorithm("fedcm");
+  const SimulationResult expected = base.run(*base_alg);
+
+  const std::string path = testing::TempDir() + "/fedwcm_lazy_faults.ckpt";
+  const SimulationResult resumed = lazy_crash_then_resume(w, "fedcm", path);
+  expect_same_run(resumed, expected, "lazy+fedcm+faults");
+}
+
+// Streaming is algebraically the same survivor-renormalized mean, so a
+// single round must agree with the buffered path to float rounding noise;
+// and the streaming path must be deterministic in its own right.
+TEST(LazySimulation, StreamingMatchesBufferedWithinTolerance) {
+  for (const char* name : {"fedavg", "fedcm", "fedwcm"}) {
+    auto w = make_lazy_world();
+    w.config.rounds = 1;
+    w.config.eval_every = 1;
+    Simulation buffered_sim = w.make_lazy_sim();
+    auto buffered_alg = make_algorithm(name);
+    const SimulationResult buffered = buffered_sim.run(*buffered_alg);
+
+    w.config.stream_aggregation = true;
+    Simulation stream_sim = w.make_lazy_sim();
+    auto stream_alg = make_algorithm(name);
+    const SimulationResult streamed = stream_sim.run(*stream_alg);
+
+    Simulation again_sim = w.make_lazy_sim();
+    auto again_alg = make_algorithm(name);
+    const SimulationResult again = again_sim.run(*again_alg);
+    expect_same_run(streamed, again, std::string("stream determinism ") + name);
+
+    ASSERT_EQ(streamed.final_params.size(), buffered.final_params.size());
+    for (std::size_t j = 0; j < buffered.final_params.size(); ++j)
+      EXPECT_NEAR(streamed.final_params[j], buffered.final_params[j], 1e-5f)
+          << name << " param " << j;
+  }
+}
+
+TEST(LazySimulation, AvailabilityThinningIsDeterministic) {
+  auto w = make_lazy_world();
+  w.config.availability = 0.6;
+  Simulation a_sim = w.make_lazy_sim();
+  auto a_alg = make_algorithm("fedavg");
+  const SimulationResult a = a_sim.run(*a_alg);
+  Simulation b_sim = w.make_lazy_sim();
+  auto b_alg = make_algorithm("fedavg");
+  const SimulationResult b = b_sim.run(*b_alg);
+  expect_same_run(a, b, "availability determinism");
+
+  // Thinning changes which clients are drawable, so the trajectory departs
+  // from the full-availability one.
+  w.config.availability = 1.0;
+  Simulation full_sim = w.make_lazy_sim();
+  auto full_alg = make_algorithm("fedavg");
+  const SimulationResult full = full_sim.run(*full_alg);
+  EXPECT_NE(a.final_params, full.final_params);
+}
+
+// Both knobs shape the trajectory, so both must invalidate checkpoints.
+TEST(LazySimulation, StreamAndAvailabilityCoveredByFingerprint) {
+  auto w = make_lazy_world();
+  const std::string base = config_fingerprint(w.config, 100, "fedwcm");
+  auto w2 = make_lazy_world();
+  w2.config.stream_aggregation = true;
+  EXPECT_NE(config_fingerprint(w2.config, 100, "fedwcm"), base);
+  auto w3 = make_lazy_world();
+  w3.config.availability = 0.5;
+  EXPECT_NE(config_fingerprint(w3.config, 100, "fedwcm"), base);
+}
+
+}  // namespace
+}  // namespace fedwcm::fl

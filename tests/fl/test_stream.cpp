@@ -1,0 +1,94 @@
+// StreamAccum: the streaming survivor-renormalized mean must match the
+// buffered normalize-then-weighted_sum result to float precision, stay
+// within 1 ulp of the exact mean over 10^5 folds, and track fold metadata.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "fedwcm/core/param_vector.hpp"
+#include "fedwcm/fl/stream.hpp"
+
+namespace fedwcm::fl {
+namespace {
+
+using core::ParamVector;
+
+float ulp_distance(float a, float b) {
+  if (a == b) return 0.0f;
+  const float scale = std::max(std::abs(a), std::abs(b));
+  return std::abs(a - b) / (scale * std::numeric_limits<float>::epsilon());
+}
+
+TEST(StreamAccum, UniformHundredThousandFoldsWithinOneUlp) {
+  const std::size_t clients = 100000;
+  const std::size_t dim = 32;
+  ParamVector delta(dim);
+  for (std::size_t j = 0; j < dim; ++j) delta[j] = 0.3f + 0.001f * float(j);
+
+  StreamAccum acc;
+  acc.reset(dim);
+  for (std::size_t i = 0; i < clients; ++i) acc.fold(1.0, delta, 10);
+  ParamVector out;
+  acc.finalize(out);
+
+  ASSERT_EQ(out.size(), dim);
+  // Identical deltas with identical weights: mean == delta exactly up to
+  // the final double->float rounding.
+  for (std::size_t j = 0; j < dim; ++j)
+    EXPECT_LE(ulp_distance(out[j], delta[j]), 1.0f) << "dim " << j;
+  EXPECT_EQ(acc.count(), clients);
+  EXPECT_DOUBLE_EQ(acc.mean_steps(), 10.0);
+}
+
+TEST(StreamAccum, MatchesBufferedWeightedMean) {
+  const std::size_t n = 257;
+  const std::size_t dim = 48;
+  std::vector<ParamVector> deltas(n, ParamVector(dim));
+  std::vector<double> u(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    u[i] = 0.25 + double((i * 37) % 11);
+    for (std::size_t j = 0; j < dim; ++j)
+      deltas[i][j] = float(std::sin(double(i * dim + j)));
+  }
+
+  StreamAccum acc;
+  acc.reset(dim);
+  for (std::size_t i = 0; i < n; ++i) acc.fold(u[i], deltas[i], 4);
+  ParamVector streamed;
+  acc.finalize(streamed);
+
+  // Exact reference in double.
+  double usum = 0.0;
+  for (double v : u) usum += v;
+  for (std::size_t j = 0; j < dim; ++j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) s += u[i] * double(deltas[i][j]);
+    EXPECT_LE(ulp_distance(streamed[j], float(s / usum)), 1.0f) << j;
+  }
+}
+
+TEST(StreamAccum, ResetClearsState) {
+  StreamAccum acc;
+  acc.reset(4);
+  acc.fold(2.0, ParamVector{1.f, 2.f, 3.f, 4.f}, 8);
+  acc.reset(4);
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.weight(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.mean_steps(), 1.0);  // empty -> the >= 1 floor
+  acc.fold(1.0, ParamVector{8.f, 8.f, 8.f, 8.f}, 2);
+  ParamVector out;
+  acc.finalize(out);
+  EXPECT_EQ(out, (ParamVector{8.f, 8.f, 8.f, 8.f}));
+}
+
+TEST(StreamAccum, MeanStepsHasFloorOfOne) {
+  StreamAccum acc;
+  acc.reset(1);
+  acc.fold(1.0, ParamVector{0.f}, 0);  // a fully-truncated straggler
+  EXPECT_DOUBLE_EQ(acc.mean_steps(), 1.0);
+}
+
+}  // namespace
+}  // namespace fedwcm::fl

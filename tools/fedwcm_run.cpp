@@ -15,6 +15,12 @@
 ///   --beta F              Dirichlet concentration            [0.1]
 ///   --clients N           total clients                      [30]
 ///   --participation F     sampled fraction per round         [0.1]
+///   --lazy                lazy client materialization (docs/SCALING.md);
+///                         clients derive on demand from the seed  [off]
+///   --samples-per-client N  lazy-mode per-client quota (0 = auto) [0]
+///   --stream              streaming aggregation: fold uploads as they
+///                         arrive, O(threads) round memory      [off]
+///   --availability F      per-round client availability in (0,1] [1]
 ///   --rounds N            communication rounds               [60]
 ///   --epochs N            local epochs                       [5]
 ///   --batch N             local batch size                   [10]
@@ -66,12 +72,14 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "fedwcm/analysis/concentration.hpp"
 #include "fedwcm/analysis/report.hpp"
 #include "fedwcm/analysis/report_html.hpp"
 #include "fedwcm/fl/diagnostics.hpp"
+#include "fedwcm/data/lazy.hpp"
 #include "fedwcm/data/longtail.hpp"
 #include "fedwcm/data/partition.hpp"
 #include "fedwcm/data/synthetic.hpp"
@@ -101,6 +109,10 @@ struct Args {
   double beta = 0.1;
   std::size_t clients = 30;
   double participation = 0.1;
+  bool lazy = false;
+  std::size_t samples_per_client = 0;
+  bool stream = false;
+  double availability = 1.0;
   std::size_t rounds = 60;
   std::size_t epochs = 5;
   std::size_t batch = 10;
@@ -139,6 +151,16 @@ const char kUsage[] =
     "  --beta F              Dirichlet concentration            [0.1]\n"
     "  --clients N           total clients                      [30]\n"
     "  --participation F     sampled fraction per round         [0.1]\n"
+    "  --lazy                lazy client materialization: clients derive on\n"
+    "                        demand from (seed, client id), memory stays\n"
+    "                        independent of --clients (docs/SCALING.md) [off]\n"
+    "  --samples-per-client N  lazy-mode per-client quota\n"
+    "                        (0 = subset size / clients)        [0]\n"
+    "  --stream              streaming aggregation: fold each accepted\n"
+    "                        upload immediately, O(threads) round memory\n"
+    "                        instead of O(cohort)               [off]\n"
+    "  --availability F      per-round client availability in (0, 1]; each\n"
+    "                        (round, client) flips a seeded coin  [1]\n"
     "  --rounds N            communication rounds               [60]\n"
     "  --epochs N            local epochs                       [5]\n"
     "  --batch N             local batch size                   [10]\n"
@@ -223,6 +245,18 @@ std::size_t parse_size(const std::string& flag, const std::string& text) {
   return std::size_t(v);
 }
 
+/// Bounded variant for flags whose destination is narrower than uint64
+/// (e.g. the `int` watchdog windows): out-of-range values exit 2 naming the
+/// flag instead of silently truncating through the cast.
+std::uint64_t parse_u64_in(const std::string& flag, const std::string& text,
+                           std::uint64_t lo, std::uint64_t hi) {
+  const std::uint64_t v = parse_u64(flag, text);
+  if (v < lo || v > hi)
+    usage_error("value '" + text + "' for " + flag + " must be in [" +
+                std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  return v;
+}
+
 double parse_f64(const std::string& flag, const std::string& text) {
   errno = 0;
   char* end = nullptr;
@@ -255,6 +289,15 @@ Args parse(int argc, char** argv) {
     else if (flag == "--beta") args.beta = parse_f64(flag, need_value(i));
     else if (flag == "--clients") args.clients = parse_size(flag, need_value(i));
     else if (flag == "--participation") args.participation = parse_prob(flag, need_value(i));
+    else if (flag == "--lazy") args.lazy = true;
+    else if (flag == "--samples-per-client")
+      args.samples_per_client = parse_size(flag, need_value(i));
+    else if (flag == "--stream") args.stream = true;
+    else if (flag == "--availability") {
+      args.availability = parse_prob(flag, need_value(i));
+      if (args.availability <= 0.0)
+        usage_error("--availability must be in (0, 1]");
+    }
     else if (flag == "--rounds") args.rounds = parse_size(flag, need_value(i));
     else if (flag == "--epochs") args.epochs = parse_size(flag, need_value(i));
     else if (flag == "--batch") args.batch = parse_size(flag, need_value(i));
@@ -303,13 +346,15 @@ Args parse(int argc, char** argv) {
       args.watchdog_config.qr_threshold = parse_prob(flag, need_value(i));
     }
     else if (flag == "--qr-window")
-      args.watchdog_config.qr_window = int(parse_u64(flag, need_value(i)));
+      args.watchdog_config.qr_window = int(parse_u64_in(
+          flag, need_value(i), 1, std::numeric_limits<int>::max()));
     else if (flag == "--recall-floor") {
       args.watchdog = true;
       args.watchdog_config.recall_floor = parse_prob(flag, need_value(i));
     }
     else if (flag == "--recall-window")
-      args.watchdog_config.recall_window = int(parse_u64(flag, need_value(i)));
+      args.watchdog_config.recall_window = int(parse_u64_in(
+          flag, need_value(i), 1, std::numeric_limits<int>::max()));
     else if (flag == "--stall-factor")
       args.watchdog_config.stall_factor = parse_f64(flag, need_value(i));
     else if (flag == "--flight") args.flight = need_value(i);
@@ -449,14 +494,34 @@ int main(int argc, char** argv) {
   cfg.balanced_sampler = args.balanced_sampler;
   cfg.eval_every = std::max<std::size_t>(1, args.rounds / 20);
   cfg.faults = args.faults;
+  cfg.stream_aggregation = args.stream;
+  cfg.availability = args.availability;
   if (args.resume && args.checkpoint.empty())
     usage_error("--resume requires --checkpoint");
+  if (args.lazy && args.fedgrab_partition)
+    usage_error("--lazy and --fedgrab-partition are mutually exclusive");
+  if (!args.lazy && args.samples_per_client != 0)
+    usage_error("--samples-per-client requires --lazy");
 
-  const auto partition =
-      args.fedgrab_partition
-          ? data::partition_fedgrab(tt.train, subset, cfg.num_clients, args.beta, 42)
-          : data::partition_equal_quantity(tt.train, subset, cfg.num_clients,
-                                           args.beta, 42);
+  // Lazy mode never builds a per-client index table; the eager path keeps
+  // its historical partitioners (same seed, bitwise-identical trajectories).
+  std::optional<data::LazyPartition> lazy;
+  data::Partition partition;
+  if (args.lazy) {
+    data::LazySpec lspec;
+    lspec.num_clients = cfg.num_clients;
+    lspec.beta = args.beta;
+    lspec.seed = 42;
+    lspec.samples_per_client = args.samples_per_client;
+    lazy.emplace(tt.train, subset, lspec);
+  } else {
+    partition =
+        args.fedgrab_partition
+            ? data::partition_fedgrab(tt.train, subset, cfg.num_clients,
+                                      args.beta, 42)
+            : data::partition_equal_quantity(tt.train, subset, cfg.num_clients,
+                                             args.beta, 42);
+  }
 
   auto factory = nn::mlp_factory(
       spec.input_dim, {std::max<std::size_t>(32, spec.num_classes * 2), 32},
@@ -464,11 +529,15 @@ int main(int argc, char** argv) {
 
   fl::LossFactory loss_factory = fl::cross_entropy_loss_factory();
   if (args.loss == "focal") loss_factory = fl::focal_loss_factory();
-  fl::Simulation sim(cfg, tt.train, tt.test, partition, factory, loss_factory);
+  auto make_sim = [&](fl::LossFactory lf) {
+    return lazy ? fl::Simulation(cfg, tt.train, tt.test, *lazy, factory,
+                                 std::move(lf))
+                : fl::Simulation(cfg, tt.train, tt.test, partition, factory,
+                                 std::move(lf));
+  };
+  fl::Simulation sim = make_sim(loss_factory);
   if (args.loss == "balance") {
-    fl::Simulation rebuilt(cfg, tt.train, tt.test, partition, factory,
-                           fl::balance_loss_factory(sim.context()));
-    sim = std::move(rebuilt);
+    sim = make_sim(fl::balance_loss_factory(sim.context()));
   } else if (args.loss != "ce" && args.loss != "focal") {
     usage_error("unknown loss '" + args.loss + "' (ce|focal|balance)");
   }
