@@ -44,7 +44,8 @@ const char* history_csv_header() {
   return "round,test_accuracy,train_loss,alpha,momentum_norm,concentration,"
          "round_wall_ms,bytes_up,bytes_down,dropped,rejected,straggled,"
          "diagnostics,momentum_alignment,alignment_min,update_norm_mean,"
-         "update_norm_cv,drift_norm,per_class_accuracy";
+         "update_norm_cv,drift_norm,per_class_accuracy,population,norm_p5,"
+         "norm_p50,norm_p95";
 }
 
 void write_history_csv(const std::string& path,
@@ -61,7 +62,8 @@ void write_history_csv(const std::string& path,
        << rec.update_norm_mean << "," << rec.update_norm_cv << ","
        << rec.drift_norm << ",";
     write_per_class_csv(os, rec.per_class_accuracy);
-    os << "\n";
+    os << "," << (rec.population ? 1 : 0) << "," << rec.norm_p5 << ","
+       << rec.norm_p50 << "," << rec.norm_p95 << "\n";
   }
   if (!os) throw std::runtime_error("report: write failed for " + path);
 }
@@ -88,6 +90,10 @@ void write_history_jsonl(const std::string& path,
        << ",\"update_norm_mean\":" << num(rec.update_norm_mean)
        << ",\"update_norm_cv\":" << num(rec.update_norm_cv)
        << ",\"drift_norm\":" << num(rec.drift_norm)
+       << ",\"population\":" << (rec.population ? "true" : "false")
+       << ",\"norm_p5\":" << num(rec.norm_p5)
+       << ",\"norm_p50\":" << num(rec.norm_p50)
+       << ",\"norm_p95\":" << num(rec.norm_p95)
        << ",\"per_class_accuracy\":";
     write_per_class_json(os, rec.per_class_accuracy);
     os << "}\n";

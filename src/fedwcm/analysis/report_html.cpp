@@ -237,6 +237,84 @@ void render_line_card(std::ostream& os, const std::string& title,
   os << "</svg></figure>\n";
 }
 
+/// Population quantile band: the p5–p95 region of the per-round client
+/// update-norm distribution as a shaded polygon, with the median polyline
+/// drawn on top. Rendered only for rounds where population telemetry
+/// recorded at least one accepted upload.
+void render_band_card(std::ostream& os, const std::string& title,
+                      const std::vector<double>& x,
+                      const std::vector<double>& p5,
+                      const std::vector<double>& p50,
+                      const std::vector<double>& p95) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto* s : {&p5, &p50, &p95})
+    for (double v : *s)
+      if (std::isfinite(v)) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+  if (!std::isfinite(lo)) {
+    lo = 0.0;
+    hi = 1.0;
+  }
+  lo = std::min(lo, 0.0);
+  const Ticks ticks = nice_ticks(lo, hi);
+
+  const double x_lo = x.empty() ? 0.0 : x.front();
+  const double x_hi = x.empty() ? 1.0 : x.back();
+  const double x_den = std::max(1.0, x_hi - x_lo);
+  auto px = [&](double v) { return kML + (v - x_lo) / x_den * kPlotW; };
+  auto py = [&](double v) {
+    return kMT + (ticks.hi - v) / std::max(1e-12, ticks.hi - ticks.lo) * kPlotH;
+  };
+
+  os << "<figure class=\"card\"><figcaption><h3>" << html_escape(title)
+     << "</h3><span class=\"legend\"><span class=\"chip\"><i class=\"sw "
+        "bandsw\"></i>p5–p95</span><span class=\"chip\"><i class=\"sw "
+        "s1\"></i>p50</span></span></figcaption>\n<svg viewBox=\"0 0 " << kW
+     << " " << kH << "\" role=\"img\" aria-label=\"" << html_escape(title)
+     << "\">\n";
+  for (double t : ticks.values) {
+    const double y = py(t);
+    os << "<line class=\"grid\" x1=\"" << kML << "\" y1=\"" << y << "\" x2=\""
+       << kW - kMR << "\" y2=\"" << y << "\"/>"
+       << "<text class=\"tick\" x=\"" << kML - 6 << "\" y=\"" << y + 3.5
+       << "\" text-anchor=\"end\">" << fmt_num(t) << "</text>\n";
+  }
+  if (!x.empty()) {
+    const std::size_t stride = std::max<std::size_t>(1, (x.size() - 1) / 6 + 1);
+    for (std::size_t i = 0; i < x.size(); i += stride)
+      os << "<text class=\"tick\" x=\"" << px(x[i]) << "\" y=\"" << kH - 10
+         << "\" text-anchor=\"middle\">" << fmt_num(x[i]) << "</text>\n";
+    os << "<text class=\"tick\" x=\"" << kW - kMR << "\" y=\"" << kH - 10
+       << "\" text-anchor=\"end\">round</text>\n";
+  }
+  os << "<line class=\"axis\" x1=\"" << kML << "\" y1=\"" << kMT + kPlotH
+     << "\" x2=\"" << kW - kMR << "\" y2=\"" << kMT + kPlotH << "\"/>\n";
+
+  const std::size_t n = std::min({x.size(), p5.size(), p50.size(), p95.size()});
+  if (n > 0) {
+    // Band polygon: p95 left-to-right, then p5 right-to-left to close it.
+    os << "<polygon class=\"band\" points=\"";
+    for (std::size_t i = 0; i < n; ++i)
+      os << px(x[i]) << "," << py(p95[i]) << " ";
+    for (std::size_t i = n; i-- > 0;)
+      os << px(x[i]) << "," << py(p5[i]) << " ";
+    os << "\"/>\n<polyline class=\"line s1\" points=\"";
+    for (std::size_t i = 0; i < n; ++i)
+      os << px(x[i]) << "," << py(p50[i]) << " ";
+    os << "\"/>\n<circle class=\"dot s1\" cx=\"" << px(x[n - 1]) << "\" cy=\""
+       << py(p50[n - 1]) << "\" r=\"4\"/>\n";
+    for (std::size_t i = 0; i < n; ++i)
+      os << "<circle class=\"hov\" cx=\"" << px(x[i]) << "\" cy=\""
+         << py(p50[i]) << "\" r=\"8\"><title>round " << fmt_num(x[i])
+         << ": p5 " << fmt_num(p5[i]) << " · p50 " << fmt_num(p50[i])
+         << " · p95 " << fmt_num(p95[i]) << "</title></circle>\n";
+  }
+  os << "</svg></figure>\n";
+}
+
 /// Per-class recall heatmap: one row per class (head at the top), one column
 /// per evaluated round, 13-step sequential fill, surface-gap cell spacing.
 void render_heatmap_card(std::ostream& os, const std::vector<double>& rounds,
@@ -347,6 +425,8 @@ i.s1{background:var(--series-1)}i.s2{background:var(--series-2)}
 i.s3{background:var(--series-3)}i.s4{background:var(--series-4)}
 circle.s1{fill:var(--series-1)}circle.s2{fill:var(--series-2)}
 circle.s3{fill:var(--series-3)}circle.s4{fill:var(--series-4)}
+.band{fill:var(--series-1);fill-opacity:0.18;stroke:none}
+i.bandsw{background:var(--series-1);opacity:0.35}
 .h0{fill:var(--heat-0)}.h1{fill:var(--heat-1)}.h2{fill:var(--heat-2)}
 .h3{fill:var(--heat-3)}.h4{fill:var(--heat-4)}.h5{fill:var(--heat-5)}
 .h6{fill:var(--heat-6)}.h7{fill:var(--heat-7)}.h8{fill:var(--heat-8)}
@@ -386,9 +466,11 @@ std::string render_html_report(const fl::SimulationResult& result,
   // Column-major series extraction from the evaluated-round history.
   std::vector<double> rounds, acc, loss, alpha, mom_norm, align, align_min,
       norm_mean, norm_cv, drift, bytes_up, bytes_down, dropped, rejected,
-      straggled, head_recall, tail_recall;
+      straggled, head_recall, tail_recall, norm_p5, norm_p50, norm_p95;
+  std::vector<double> pop_rounds, pop_p5, pop_p50, pop_p95;
   std::vector<std::vector<float>> recall;
   bool any_diag = false;
+  bool any_pop = false;
   std::size_t num_classes = 0;
   std::uint64_t total_up = 0, total_down = 0;
   for (const auto& rec : hist) {
@@ -408,6 +490,16 @@ std::string render_html_report(const fl::SimulationResult& result,
     rejected.push_back(double(rec.rejected));
     straggled.push_back(double(rec.straggled));
     any_diag = any_diag || rec.diagnostics;
+    norm_p5.push_back(double(rec.norm_p5));
+    norm_p50.push_back(double(rec.norm_p50));
+    norm_p95.push_back(double(rec.norm_p95));
+    if (rec.population) {
+      any_pop = true;
+      pop_rounds.push_back(double(rec.round));
+      pop_p5.push_back(double(rec.norm_p5));
+      pop_p50.push_back(double(rec.norm_p50));
+      pop_p95.push_back(double(rec.norm_p95));
+    }
     total_up += rec.bytes_up;
     total_down += rec.bytes_down;
     recall.push_back(rec.per_class_accuracy);
@@ -477,6 +569,9 @@ std::string render_html_report(const fl::SimulationResult& result,
       render_line_card(os, "Update-norm dispersion (CV)", rounds,
                        {{"cv", 1, norm_cv}});
     }
+    if (any_pop)
+      render_band_card(os, "Client update-norm quantiles ‖Δk‖", pop_rounds,
+                       pop_p5, pop_p50, pop_p95);
     if (num_classes > 0)
       render_line_card(
           os, "Head vs tail recall", rounds,
@@ -526,6 +621,7 @@ std::string render_html_report(const fl::SimulationResult& result,
      << ",\"tail_mean_accuracy\":"
      << fmt_json(double(result.tail_mean_accuracy))
      << ",\"diagnostics\":" << (any_diag ? "true" : "false")
+     << ",\"population\":" << (any_pop ? "true" : "false")
      << ",\"faults\":{\"dropped\":" << result.faults_dropped
      << ",\"rejected\":" << result.faults_rejected
      << ",\"straggled\":" << result.faults_straggled << "}";
@@ -542,6 +638,9 @@ std::string render_html_report(const fl::SimulationResult& result,
   append_series_json(os, "drift_norm", drift, false);
   append_series_json(os, "bytes_up", bytes_up, false);
   append_series_json(os, "bytes_down", bytes_down, false);
+  append_series_json(os, "norm_p5", norm_p5, false);
+  append_series_json(os, "norm_p50", norm_p50, false);
+  append_series_json(os, "norm_p95", norm_p95, false);
   append_series_json(os, "head_recall", head_recall, false);
   append_series_json(os, "tail_recall", tail_recall, false);
   os << "},\"per_class_recall\":[";

@@ -12,7 +12,7 @@ std::string config_fingerprint(const FlConfig& config, std::size_t param_count,
                                const std::string& algorithm) {
   std::ostringstream os;
   os.precision(std::numeric_limits<double>::max_digits10);
-  os << "v2"
+  os << "v3"
      << "|alg=" << algorithm << "|params=" << param_count
      << "|clients=" << config.num_clients << "|part=" << config.participation
      << "|rounds=" << config.rounds << "|epochs=" << config.local_epochs
@@ -54,6 +54,10 @@ void write_record(core::BinaryWriter& w, const RoundRecord& rec) {
   w.write_f32(rec.update_norm_cv);
   w.write_f32(rec.drift_norm);
   w.write_floats(rec.per_class_accuracy);
+  w.write_u32(rec.population ? 1 : 0);
+  w.write_f32(rec.norm_p5);
+  w.write_f32(rec.norm_p50);
+  w.write_f32(rec.norm_p95);
 }
 
 RoundRecord read_record(core::BinaryReader& r) {
@@ -79,6 +83,10 @@ RoundRecord read_record(core::BinaryReader& r) {
   rec.update_norm_cv = r.read_f32();
   rec.drift_norm = r.read_f32();
   rec.per_class_accuracy = r.read_floats();
+  rec.population = r.read_u32() != 0;
+  rec.norm_p5 = r.read_f32();
+  rec.norm_p50 = r.read_f32();
+  rec.norm_p95 = r.read_f32();
   return rec;
 }
 
@@ -120,9 +128,9 @@ ResumeState load_checkpoint(const std::string& path, const FlConfig& config,
   state.faults_rejected = r.read_u64();
   state.faults_straggled = r.read_u64();
   const std::uint64_t n_records = r.read_u64();
-  // A serialized RoundRecord is at least 104 bytes (96 fixed + the per-class
+  // A serialized RoundRecord is at least 120 bytes (112 fixed + the per-class
   // vector's 8-byte length prefix); reject corrupt counts before reserving.
-  if (n_records > r.remaining_bytes() / 104)
+  if (n_records > r.remaining_bytes() / 120)
     throw std::runtime_error("load_checkpoint: history count exceeds stream size");
   state.history.reserve(n_records);
   for (std::uint64_t i = 0; i < n_records; ++i)

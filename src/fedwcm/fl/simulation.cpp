@@ -11,6 +11,7 @@
 #include "fedwcm/obs/metrics.hpp"
 #include "fedwcm/obs/poolstats.hpp"
 #include "fedwcm/obs/prof.hpp"
+#include "fedwcm/obs/sketch.hpp"
 #include "fedwcm/obs/trace.hpp"
 
 namespace fedwcm::fl {
@@ -175,6 +176,24 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
   obs::Gauge live_loss_gauge = registry.gauge("live.train_loss");
   obs::Gauge live_recall_min_gauge = registry.gauge("live.recall_min");
   obs::Gauge live_qr_gauge = registry.gauge("live.qr");
+  // Population telemetry (FlConfig::population_telemetry): cumulative
+  // mergeable sketches over every accepted upload, plus a per-round norm
+  // sketch for the history quantile columns. Handles stay default-constructed
+  // (recording is a no-op) when the knob is off, so runs without it don't
+  // grow pop.* families on /metrics.
+  const bool pop_on = config_.population_telemetry;
+  obs::Sketch pop_norm_sketch, pop_loss_sketch, pop_samples_sketch,
+      pop_wall_sketch;
+  obs::Gauge live_spread_gauge;
+  if (pop_on) {
+    pop_norm_sketch = registry.sketch("pop.update_norm");
+    pop_loss_sketch = registry.sketch("pop.local_loss");
+    pop_samples_sketch = registry.sketch("pop.samples");
+    pop_wall_sketch = registry.sketch("pop.client_wall_ms");
+    live_spread_gauge = registry.gauge("live.norm_spread");
+  }
+  obs::PopulationStore& pop_store = obs::population();
+  obs::QuantileSketch round_norms;
   obs::EventBus& bus = obs::events();
   // One-liner event publish; the enabled() guard skips the Event construction
   // (and its string copy) entirely when nobody is listening.
@@ -248,6 +267,7 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
     const std::uint64_t round_start_us = obs::now_us();
     RoundRecord rec;
     rec.round = round;
+    round_norms.reset();
 
     std::vector<LocalResult> results;
     std::vector<LocalResult> accepted;
@@ -301,7 +321,12 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
           // uploaded delta arrives NaN-poisoned.
           std::fill(out.delta.begin(), out.delta.end(),
                     std::numeric_limits<float>::quiet_NaN());
-        client_ms_hist.observe(obs::elapsed_ms(t0, obs::now_us()));
+        const double train_ms = obs::elapsed_ms(t0, obs::now_us());
+        client_ms_hist.observe(train_ms);
+        // Worker threads feed the cumulative wall-time sketch concurrently;
+        // the cell mutex serializes them and bucket counts are
+        // order-insensitive, so the sketch state is schedule-independent.
+        pop_wall_sketch.observe(train_ms);
       };
 
       // Graceful degradation: skip dropped clients, reject non-finite
@@ -312,9 +337,13 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
       const auto accept = [&](std::size_t s, LocalResult& r) -> bool {
         if (r.dropped) {
           ++rec.dropped;
+          if (pop_on) pop_store.topk_offer("pop.dropped_clients", r.client);
           return false;
         }
-        if (kinds[s] == FaultKind::kStraggle) ++rec.straggled;
+        if (kinds[s] == FaultKind::kStraggle) {
+          ++rec.straggled;
+          if (pop_on) pop_store.topk_offer("pop.straggled_clients", r.client);
+        }
         // Rejected clients still spent uplink bytes — the garbage was sent.
         const std::uint64_t upload_bytes =
             std::uint64_t(r.delta.size() + r.aux.size()) * sizeof(float);
@@ -326,7 +355,23 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
                 finite ? "accepted" : "rejected");
         if (!finite) {
           ++rec.rejected;
+          if (pop_on) pop_store.topk_offer("pop.rejected_clients", r.client);
           return false;
+        }
+        if (pop_on) {
+          // The one window where a streamed upload still exists: capture its
+          // population observations here, before stream_fold frees the delta.
+          const double norm = double(core::pv::l2_norm(r.delta));
+          round_norms.observe(norm);
+          pop_norm_sketch.observe(norm);
+          pop_loss_sketch.observe(double(r.mean_loss));
+          pop_samples_sketch.observe(double(r.num_samples));
+          pop_store.topk_offer("pop.norm_mass", r.client, norm);
+          pop_store.reservoir_offer(
+              "pop.norm_sample",
+              std::uint64_t(round) * std::uint64_t(config_.num_clients) +
+                  r.client,
+              norm);
         }
         return true;
       };
@@ -481,6 +526,16 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
     round_ms_hist.observe(rec.round_wall_ms);
     live_round_gauge.set(double(round));
     if (rec.diagnostics) live_qr_gauge.set(double(rec.momentum_alignment));
+    if (pop_on && round_norms.count() > 0) {
+      // Per-round norm quantiles for the history artifacts and the watchdog's
+      // spread rule; rounds where no upload survived report population=false.
+      rec.population = true;
+      rec.norm_p5 = float(round_norms.quantile(0.05));
+      rec.norm_p50 = float(round_norms.quantile(0.5));
+      rec.norm_p95 = float(round_norms.quantile(0.95));
+      if (rec.norm_p50 > 0.0f)
+        live_spread_gauge.set(double(rec.norm_p95) / double(rec.norm_p50));
+    }
     if (rec.evaluated) result.history.push_back(rec);
     for (const auto& observer : observers_) observer->on_round_end(rec);
     publish(obs::EventKind::kRoundEnd, std::int64_t(round), -1,

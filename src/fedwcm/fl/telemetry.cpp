@@ -37,6 +37,8 @@ void WatchdogObserver::on_round_end(const RoundRecord& rec) {
     sample.min_class_recall = double(lo);
   }
   sample.round_wall_ms = rec.round_wall_ms;
+  if (rec.population && rec.norm_p50 > 0.0f)
+    sample.norm_spread = double(rec.norm_p95) / double(rec.norm_p50);
 
   const std::optional<obs::Alarm> alarm = watchdog_.observe(sample);
   if (!alarm) return;

@@ -40,6 +40,13 @@ struct FlConfig {
   /// flips a seeded coin and only available clients enter the sampling
   /// pool. 1.0 (default) skips the coin entirely — the legacy code path.
   double availability = 1.0;
+  /// Feed per-upload observations (delta norm, local loss, samples, wall ms,
+  /// fault outcomes) into the mergeable population sketches (obs/sketch.hpp)
+  /// and record per-round norm quantiles in the history. Strictly read-only
+  /// telemetry: the training trajectory is bitwise identical with it on or
+  /// off, so — unlike stream_aggregation — it is NOT part of the checkpoint
+  /// config fingerprint.
+  bool population_telemetry = false;
 
   std::size_t sampled_per_round() const {
     // Exact round(num_clients * participation); the old double formula
@@ -89,6 +96,14 @@ struct RoundRecord {
   /// head-vs-tail recall curves exist over time (the paper's Fig. 8 quantity
   /// per round, not just at the end). Empty on non-evaluated rounds.
   std::vector<float> per_class_accuracy;
+  /// Population-telemetry annotations (FlConfig::population_telemetry):
+  /// quantiles of the accepted clients' update norms this round, from the
+  /// per-round mergeable sketch. Like the diagnostics fields, strictly
+  /// read-only — zero and `population == false` when telemetry is off.
+  bool population = false;
+  float norm_p5 = 0.0f;
+  float norm_p50 = 0.0f;
+  float norm_p95 = 0.0f;
 };
 
 struct SimulationResult {

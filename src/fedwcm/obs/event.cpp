@@ -40,8 +40,8 @@ EventBus::EventBus(std::size_t capacity, Registry* registry)
     : capacity_(capacity == 0 ? 1 : capacity) {
   ring_.resize(capacity_);
   if (registry != nullptr) {
-    published_counter_ = registry->counter("events.published");
-    dropped_counter_ = registry->counter("events.dropped");
+    published_counter_ = registry->counter("events.published_total");
+    dropped_counter_ = registry->counter("events.dropped_total");
   }
 }
 
@@ -63,13 +63,15 @@ std::uint64_t EventBus::publish(Event event) {
       // a saturated bus is itself a signal worth seeing on /metrics.
       head_ = (head_ + 1) % capacity_;
       --size_;
-      dropped_.fetch_add(1, std::memory_order_relaxed);
-      dropped_counter_.add();
+      dropped_counter_.set(dropped_.fetch_add(1, std::memory_order_relaxed) + 1);
     }
     ring_[(head_ + size_) % capacity_] = event;
     ++size_;
+    // Mirror the authoritative tallies into the registry while still holding
+    // the lock, so a /metrics scrape never sees the mirrors out of step with
+    // each other (published < dropped, say) or running backwards.
+    published_counter_.set(seq);
   }
-  published_counter_.add();
   std::vector<Sink> sinks;
   {
     std::lock_guard<std::mutex> lock(sink_mutex_);

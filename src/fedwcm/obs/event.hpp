@@ -18,7 +18,7 @@
 /// into the ring) — events are per-round granularity, a few dozen per
 /// second at most, far off the numeric hot path. The ring is bounded:
 /// when full, the oldest event is dropped and the drop is counted in the
-/// `events.dropped` metric (the overflow policy is itself observable).
+/// `events.dropped_total` metric (the overflow policy is itself observable).
 
 #include <atomic>
 #include <cstdint>
@@ -68,7 +68,7 @@ std::string to_json(const Event& event);
 class EventBus {
  public:
   /// `capacity` bounds the ring; `registry` receives the bus's own
-  /// `events.published` / `events.dropped` counters (pass a test registry to
+  /// `events.published_total` / `events.dropped_total` counters (pass a test registry to
   /// keep the global one clean).
   explicit EventBus(std::size_t capacity = kDefaultCapacity,
                     Registry* registry = &Registry::global());

@@ -1,5 +1,7 @@
 #include "fedwcm/obs/http.hpp"
 
+#include "fedwcm/obs/sketch.hpp"
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <poll.h>
@@ -181,6 +183,9 @@ std::string HttpExporter::respond(const std::string& request_line) const {
   if (path == "/metrics") {
     std::ostringstream body;
     registry_.write_prometheus(body);
+    // Population heavy-hitter / reservoir tables ride the same scrape; the
+    // store writes nothing when population telemetry is off.
+    population().write_prometheus(body);
     return make_response(200, "OK",
                          "text/plain; version=0.0.4; charset=utf-8",
                          body.str());

@@ -6,7 +6,9 @@
 
 #include "fedwcm/core/table.hpp"
 #include "fedwcm/obs/json.hpp"
+#include "fedwcm/obs/metrics.hpp"
 #include "fedwcm/obs/resource.hpp"
+#include "fedwcm/obs/sketch.hpp"
 
 namespace fedwcm::obs::prof {
 
@@ -22,6 +24,31 @@ Ledger collect_ledger(const LedgerMeta& meta) {
   ledger.alloc_hook = alloc_hook_linked();
   for (std::size_t p = 0; p < kPhaseCount; ++p)
     ledger.phases[p] = accountant().totals(Phase(p));
+  for (const auto& snap : Registry::global().sketch_snapshots()) {
+    PopulationQuantiles q;
+    q.name = snap.name;
+    q.count = snap.sketch.count();
+    q.sum = snap.sketch.sum();
+    if (q.count > 0) {
+      q.min = snap.sketch.min();
+      q.max = snap.sketch.max();
+      q.p5 = snap.sketch.quantile(0.05);
+      q.p50 = snap.sketch.quantile(0.5);
+      q.p95 = snap.sketch.quantile(0.95);
+      q.p99 = snap.sketch.quantile(0.99);
+    }
+    ledger.population.push_back(std::move(q));
+  }
+  for (const auto& table : population().top_tables()) {
+    PopulationTop top;
+    top.name = table.name;
+    top.offered = table.offered;
+    top.saturated = table.saturated;
+    for (const auto& entry : table.entries)
+      top.rows.push_back(
+          PopulationTop::Row{entry.key, entry.weight, entry.error});
+    ledger.population_top.push_back(std::move(top));
+  }
   return ledger;
 }
 
@@ -67,7 +94,37 @@ std::string to_json(const Ledger& ledger) {
        << ",\"rss_delta_kb\":" << num(t.rss_delta_kb)
        << ",\"rss_peak_kb\":" << num(t.rss_peak_kb) << "}";
   }
-  os << "}}";
+  os << "}";
+  if (!ledger.population.empty() || !ledger.population_top.empty()) {
+    os << ",\"population\":{\"quantiles\":[";
+    for (std::size_t i = 0; i < ledger.population.size(); ++i) {
+      const PopulationQuantiles& q = ledger.population[i];
+      if (i != 0) os << ',';
+      os << "{\"name\":" << json::escape(q.name) << ",\"count\":" << u64(q.count)
+         << ",\"sum\":" << num(q.sum) << ",\"min\":" << num(q.min)
+         << ",\"max\":" << num(q.max) << ",\"p5\":" << num(q.p5)
+         << ",\"p50\":" << num(q.p50) << ",\"p95\":" << num(q.p95)
+         << ",\"p99\":" << num(q.p99) << "}";
+    }
+    os << "],\"top\":[";
+    for (std::size_t i = 0; i < ledger.population_top.size(); ++i) {
+      const PopulationTop& t = ledger.population_top[i];
+      if (i != 0) os << ',';
+      os << "{\"name\":" << json::escape(t.name)
+         << ",\"offered\":" << u64(t.offered)
+         << ",\"saturated\":" << (t.saturated ? "true" : "false")
+         << ",\"rows\":[";
+      for (std::size_t r = 0; r < t.rows.size(); ++r) {
+        if (r != 0) os << ',';
+        os << "{\"key\":" << u64(t.rows[r].key)
+           << ",\"weight\":" << num(t.rows[r].weight)
+           << ",\"error\":" << num(t.rows[r].error) << "}";
+      }
+      os << "]}";
+    }
+    os << "]}";
+  }
+  os << "}";
   return os.str();
 }
 
@@ -172,6 +229,67 @@ bool ledger_from_json(const std::string& text, Ledger& out,
     }
     if (!parse_phase(*phase, out.phases[p], error)) return false;
   }
+  // Optional population block (absent from pre-population ledgers and runs
+  // without --population); strict about its internals when present.
+  const json::Value* pop = root.find("population");
+  if (pop != nullptr) {
+    if (!pop->is_object()) {
+      error = "ledger: \"population\" is not an object";
+      return false;
+    }
+    const json::Value* quantiles = pop->find("quantiles");
+    const json::Value* top = pop->find("top");
+    if (quantiles == nullptr || !quantiles->is_array() || top == nullptr ||
+        !top->is_array()) {
+      error = "ledger: population block missing quantiles/top arrays";
+      return false;
+    }
+    for (const json::Value& entry : quantiles->as_array()) {
+      const json::Value* name = entry.find("name");
+      if (name == nullptr || !name->is_string()) {
+        error = "ledger: population quantile entry missing \"name\"";
+        return false;
+      }
+      PopulationQuantiles q;
+      q.name = name->as_string();
+      if (!require_u64(entry, "count", q.count, error) ||
+          !require_number(entry, "sum", q.sum, error) ||
+          !require_number(entry, "min", q.min, error) ||
+          !require_number(entry, "max", q.max, error) ||
+          !require_number(entry, "p5", q.p5, error) ||
+          !require_number(entry, "p50", q.p50, error) ||
+          !require_number(entry, "p95", q.p95, error) ||
+          !require_number(entry, "p99", q.p99, error))
+        return false;
+      out.population.push_back(std::move(q));
+    }
+    for (const json::Value& entry : top->as_array()) {
+      const json::Value* name = entry.find("name");
+      if (name == nullptr || !name->is_string()) {
+        error = "ledger: population top entry missing \"name\"";
+        return false;
+      }
+      PopulationTop t;
+      t.name = name->as_string();
+      if (!require_u64(entry, "offered", t.offered, error) ||
+          !require_bool(entry, "saturated", t.saturated, error))
+        return false;
+      const json::Value* rows = entry.find("rows");
+      if (rows == nullptr || !rows->is_array()) {
+        error = "ledger: population top entry missing \"rows\" array";
+        return false;
+      }
+      for (const json::Value& row : rows->as_array()) {
+        PopulationTop::Row r;
+        if (!require_u64(row, "key", r.key, error) ||
+            !require_number(row, "weight", r.weight, error) ||
+            !require_number(row, "error", r.error, error))
+          return false;
+        t.rows.push_back(r);
+      }
+      out.population_top.push_back(std::move(t));
+    }
+  }
   return true;
 }
 
@@ -221,6 +339,25 @@ bool compare_ledgers(const Ledger& baseline, const Ledger& candidate,
     if (failed) pass = false;
     report += factor_line("cpu_ms", baseline.cpu_ms, candidate.cpu_ms,
                           thresholds.cpu_factor, failed);
+  }
+  if (thresholds.quantile_factor > 0.0) {
+    // Gate p50/p95 of every sketch that carries data in both ledgers; a
+    // sketch missing from either side is not a regression (telemetry may be
+    // off in one of the runs).
+    for (const PopulationQuantiles& base : baseline.population) {
+      if (base.count == 0) continue;
+      for (const PopulationQuantiles& cand : candidate.population) {
+        if (cand.name != base.name || cand.count == 0) continue;
+        const auto gate = [&](const char* which, double b, double c) {
+          const bool failed = b > 0.0 && c > b * thresholds.quantile_factor;
+          if (failed) pass = false;
+          report += factor_line((base.name + " " + which).c_str(), b, c,
+                                thresholds.quantile_factor, failed);
+        };
+        gate("p50", base.p50, cand.p50);
+        gate("p95", base.p95, cand.p95);
+      }
+    }
   }
   return pass;
 }

@@ -23,11 +23,21 @@
 ///      "phases": {"sample": {"count": ..., "wall_ms": ..., "cpu_ms": ...,
 ///                            "allocs": ..., "alloc_bytes": ...,
 ///                            "rss_delta_kb": ..., "rss_peak_kb": ...},
-///                 "local_train": {...}, ...}}
+///                 "local_train": {...}, ...},
+///      "population": {"quantiles": [...], "top": [...]}}
+///
+/// The `population` block is *optional* (runs without `--population` omit it,
+/// and pre-PR-8 ledgers never carry it — both still validate): per-metric
+/// quantile summaries of the run's population sketches (`pop.update_norm`
+/// etc., see sketch.hpp) plus the top-k heavy-hitter tables (which clients
+/// were dropped / straggled / rejected most). `fedwcm_compare --ledger`
+/// gates candidate quantiles against the baseline when `--quantile-factor`
+/// is set.
 
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "fedwcm/obs/prof.hpp"
 
@@ -45,6 +55,34 @@ struct LedgerMeta {
   std::uint64_t profile_dropped = 0;  ///< Ticks past ring capacity.
 };
 
+/// Quantile summary of one population sketch (metrics Registry `Sketch`
+/// cell). `count == 0` marks an empty sketch; its quantile fields are
+/// meaningless (serialized as 0 by the non-finite clamp).
+struct PopulationQuantiles {
+  std::string name;           ///< e.g. "pop.update_norm".
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p5 = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// One top-k heavy-hitter table (PopulationStore TopKSketch snapshot).
+struct PopulationTop {
+  std::string name;           ///< e.g. "pop.dropped_clients".
+  std::uint64_t offered = 0;  ///< Total offers folded into the sketch.
+  bool saturated = false;     ///< True once weights became upper bounds.
+  struct Row {
+    std::uint64_t key = 0;    ///< Client id.
+    double weight = 0.0;
+    double error = 0.0;
+  };
+  std::vector<Row> rows;      ///< Weight-descending.
+};
+
 struct Ledger {
   std::string schema = "fedwcm.ledger/1";
   LedgerMeta meta;
@@ -55,6 +93,9 @@ struct Ledger {
   std::uint64_t alloc_bytes = 0;
   bool alloc_hook = false;      ///< False ⇒ alloc figures mean "unmeasured".
   PhaseTotals phases[kPhaseCount];
+  /// Population telemetry; empty when the run had `--population` off.
+  std::vector<PopulationQuantiles> population;
+  std::vector<PopulationTop> population_top;
 };
 
 /// Snapshots the global accountant, resource readers, and alloc counters
@@ -78,6 +119,10 @@ bool load_ledger_file(const std::string& path, Ledger& out, std::string& error);
 struct LedgerThresholds {
   double rss_factor = 1.5;  ///< Fail if candidate peak RSS > base × factor.
   double cpu_factor = 0.0;  ///< Fail if candidate CPU ms > base × factor.
+  /// Fail if a candidate population quantile (p50/p95, per sketch present in
+  /// both ledgers with data) exceeds base × factor. Off by default: which
+  /// sketches are meaningful to gate is workload-specific.
+  double quantile_factor = 0.0;
 };
 
 /// Compares candidate against baseline; appends human-readable verdict lines

@@ -40,7 +40,12 @@ void HistogramCell::observe(double v) {
 
 double HistogramCell::quantile(double q) const {
   const std::uint64_t total = count.load(std::memory_order_relaxed);
-  if (total == 0) return 0.0;
+  // No data, or every observation beyond the last bound: interpolating would
+  // manufacture a value out of nothing (or out of a racy max), so report NaN
+  // and let the JSON path serialize it as null.
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (buckets[bounds.size()].load(std::memory_order_relaxed) >= total)
+    return std::numeric_limits<double>::quiet_NaN();
   const double target = q * double(total);
   double cum = 0.0;
   for (std::size_t b = 0; b <= bounds.size(); ++b) {
@@ -119,11 +124,34 @@ Histogram Registry::histogram(const std::string& name, std::vector<double> bound
   return Histogram(histograms_.back().get(), &enabled_);
 }
 
+Sketch Registry::sketch(const std::string& name, double relative_error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& s : sketches_)
+    if (s->name == name) return Sketch(s.get(), &enabled_);
+  auto cell = std::make_unique<detail::SketchCell>();
+  cell->name = name;
+  cell->sketch = QuantileSketch(relative_error);
+  sketches_.push_back(std::move(cell));
+  return Sketch(sketches_.back().get(), &enabled_);
+}
+
+std::vector<Registry::SketchSnapshot> Registry::sketch_snapshots() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SketchSnapshot> out;
+  out.reserve(sketches_.size());
+  for (const auto& s : sketches_) {
+    std::lock_guard<std::mutex> cell_lock(s->mutex);
+    out.push_back(SketchSnapshot{s->name, s->sketch});
+  }
+  return out;
+}
+
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  sketches_.clear();
 }
 
 namespace {
@@ -170,6 +198,19 @@ void Registry::write_jsonl(std::ostream& os) const {
        << ",\"p50\":" << num(h->quantile(0.5))
        << ",\"p90\":" << num(h->quantile(0.9))
        << ",\"p99\":" << num(h->quantile(0.99)) << "}\n";
+  }
+  for (const auto& s : sketches_) {
+    std::lock_guard<std::mutex> cell_lock(s->mutex);
+    const QuantileSketch& sk = s->sketch;
+    const std::uint64_t n = sk.count();
+    os << "{\"metric\":" << json::escape(s->name)
+       << ",\"type\":\"sketch\",\"count\":" << n << ",\"sum\":" << num(sk.sum())
+       << ",\"mean\":" << num(n ? sk.sum() / double(n) : 0.0)
+       << ",\"min\":" << num(sk.min()) << ",\"max\":" << num(sk.max())
+       << ",\"p5\":" << num(sk.quantile(0.05))
+       << ",\"p50\":" << num(sk.quantile(0.5))
+       << ",\"p95\":" << num(sk.quantile(0.95))
+       << ",\"p99\":" << num(sk.quantile(0.99)) << "}\n";
   }
 }
 
@@ -264,6 +305,20 @@ void Registry::write_prometheus(std::ostream& os) const {
        << "\n"
        << name << "_count " << cumulative << "\n";
   }
+  for (const auto& s : sketches_) {
+    std::lock_guard<std::mutex> cell_lock(s->mutex);
+    const QuantileSketch& sk = s->sketch;
+    const std::string name = prometheus_name(s->name);
+    // Prometheus summary: phi-quantile series plus _sum/_count. An empty
+    // sketch legitimately exposes NaN quantiles (the format's own idiom for
+    // "no observations yet").
+    os << "# TYPE " << name << " summary\n";
+    for (double q : {0.05, 0.5, 0.95, 0.99})
+      os << name << "{quantile=\"" << prom_number(q) << "\"} "
+         << prom_number(sk.quantile(q)) << "\n";
+    os << name << "_sum " << prom_number(sk.sum()) << "\n"
+       << name << "_count " << sk.count() << "\n";
+  }
 }
 
 std::string Registry::to_table() const {
@@ -297,6 +352,16 @@ std::string Registry::to_table() const {
                    core::TablePrinter::fmt(h->quantile(0.9)),
                    core::TablePrinter::fmt(
                        n ? h->max.load(std::memory_order_relaxed) : 0.0)});
+  }
+  for (const auto& s : sketches_) {
+    std::lock_guard<std::mutex> cell_lock(s->mutex);
+    const QuantileSketch& sk = s->sketch;
+    const std::uint64_t n = sk.count();
+    table.add_row({s->name, "sketch", std::to_string(n),
+                   core::TablePrinter::fmt(n ? sk.sum() / double(n) : 0.0),
+                   core::TablePrinter::fmt(sk.quantile(0.5)),
+                   core::TablePrinter::fmt(sk.quantile(0.9)),
+                   core::TablePrinter::fmt(n ? sk.max() : 0.0)});
   }
   return table.to_string();
 }

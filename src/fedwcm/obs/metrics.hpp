@@ -24,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "fedwcm/obs/sketch.hpp"
+
 namespace fedwcm::obs {
 
 /// Metric dimensions, e.g. {{"pool","simulation"}}. Series identity is
@@ -60,8 +62,21 @@ struct HistogramCell {
   std::atomic<double> max{-std::numeric_limits<double>::infinity()};
 
   void observe(double v);
-  /// Linear-interpolated quantile estimate from the bucket counts.
+  /// Linear-interpolated quantile estimate from the bucket counts. NaN when
+  /// the histogram is empty or every observation landed in the overflow
+  /// bucket (there is no upper bound to interpolate against) — the JSONL
+  /// exporter serializes that as `null` via the non-finite→null path.
   double quantile(double q) const;
+};
+
+/// Mergeable quantile sketch cell (population telemetry). Unlike the atomic
+/// cells above, updates lock the cell mutex — a sketch insert is a map
+/// update, not an atomic add. Still cheap and uncontended: observations
+/// arrive once per client upload, not from any inner loop.
+struct SketchCell {
+  std::string name;
+  mutable std::mutex mutex;
+  QuantileSketch sketch;
 };
 
 }  // namespace detail
@@ -127,13 +142,61 @@ class Histogram {
   double sum() const {
     return cell_ ? cell_->sum.load(std::memory_order_relaxed) : 0.0;
   }
-  double quantile(double q) const { return cell_ ? cell_->quantile(q) : 0.0; }
+  /// NaN for a default-constructed handle, an empty histogram, or an
+  /// all-overflow histogram (see detail::HistogramCell::quantile).
+  double quantile(double q) const {
+    return cell_ ? cell_->quantile(q)
+                 : std::numeric_limits<double>::quiet_NaN();
+  }
 
  private:
   friend class Registry;
   Histogram(detail::HistogramCell* cell, const std::atomic<bool>* enabled)
       : cell_(cell), enabled_(enabled) {}
   detail::HistogramCell* cell_ = nullptr;
+  const std::atomic<bool>* enabled_ = nullptr;
+};
+
+/// Mergeable quantile-sketch metric (client update norms, local losses, ...).
+/// Exported as a Prometheus `summary` (quantile-labeled series + _sum/_count)
+/// and as a `population` block in the run ledger. `snapshot()` hands out a
+/// copy of the underlying QuantileSketch for merging/serialization.
+class Sketch {
+ public:
+  Sketch() = default;
+  void observe(double v) {
+    if (enabled_ && enabled_->load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lock(cell_->mutex);
+      cell_->sketch.observe(v);
+    }
+  }
+  std::uint64_t count() const {
+    if (!cell_) return 0;
+    std::lock_guard<std::mutex> lock(cell_->mutex);
+    return cell_->sketch.count();
+  }
+  double sum() const {
+    if (!cell_) return 0.0;
+    std::lock_guard<std::mutex> lock(cell_->mutex);
+    return cell_->sketch.sum();
+  }
+  /// NaN for a default-constructed handle or an empty sketch.
+  double quantile(double q) const {
+    if (!cell_) return std::numeric_limits<double>::quiet_NaN();
+    std::lock_guard<std::mutex> lock(cell_->mutex);
+    return cell_->sketch.quantile(q);
+  }
+  QuantileSketch snapshot() const {
+    if (!cell_) return QuantileSketch{};
+    std::lock_guard<std::mutex> lock(cell_->mutex);
+    return cell_->sketch;
+  }
+
+ private:
+  friend class Registry;
+  Sketch(detail::SketchCell* cell, const std::atomic<bool>* enabled)
+      : cell_(cell), enabled_(enabled) {}
+  detail::SketchCell* cell_ = nullptr;
   const std::atomic<bool>* enabled_ = nullptr;
 };
 
@@ -166,6 +229,9 @@ class Registry {
   Gauge gauge(const std::string& name, Labels labels);
   /// `bounds` must be ascending; only the first registration's bounds stick.
   Histogram histogram(const std::string& name, std::vector<double> bounds);
+  /// Mergeable quantile sketch; only the first registration's relative
+  /// error sticks (like histogram bounds).
+  Sketch sketch(const std::string& name, double relative_error = 0.01);
 
   /// Drops all recorded values and registered metrics (handles acquired
   /// before the reset dangle — re-acquire them). Intended for tests.
@@ -185,12 +251,21 @@ class Registry {
   /// Aligned human-readable summary table.
   std::string to_table() const;
 
+  /// Copies of every registered sketch (registration order) for ledger
+  /// export / server-side merging.
+  struct SketchSnapshot {
+    std::string name;
+    QuantileSketch sketch;
+  };
+  std::vector<SketchSnapshot> sketch_snapshots() const;
+
  private:
   std::atomic<bool> enabled_{false};
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<detail::CounterCell>> counters_;
   std::vector<std::unique_ptr<detail::GaugeCell>> gauges_;
   std::vector<std::unique_ptr<detail::HistogramCell>> histograms_;
+  std::vector<std::unique_ptr<detail::SketchCell>> sketches_;
 };
 
 /// Shorthand for Registry::global().

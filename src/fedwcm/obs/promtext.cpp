@@ -139,6 +139,12 @@ struct HistogramSeries {
   bool has_sum = false;
 };
 
+struct SummarySeries {
+  std::vector<double> quantiles;  ///< phi values, in exposition order.
+  bool has_count = false;
+  bool has_sum = false;
+};
+
 }  // namespace
 
 std::string prometheus_name(const std::string& name) {
@@ -161,9 +167,11 @@ bool validate_prometheus_text(const std::string& text, std::string& error) {
   std::map<std::string, std::string> types;      ///< metric -> declared type.
   std::map<std::string, bool> sampled;           ///< metric family -> samples seen.
   std::map<std::string, HistogramSeries> hists;  ///< histogram base -> series.
+  std::map<std::string, SummarySeries> summaries;  ///< summary base -> series.
 
   /// The TYPE-declared family a sample belongs to: exact match, or the
-  /// base name for histogram `_bucket`/`_sum`/`_count` children.
+  /// base name for histogram `_bucket`/`_sum`/`_count` (resp. summary
+  /// `_sum`/`_count`) children.
   const auto family_of = [&](const std::string& name) -> std::string {
     if (types.count(name)) return name;
     for (const char* suffix : {"_bucket", "_sum", "_count"}) {
@@ -172,7 +180,9 @@ bool validate_prometheus_text(const std::string& text, std::string& error) {
           name.compare(name.size() - s.size(), s.size(), s) == 0) {
         const std::string base = name.substr(0, name.size() - s.size());
         auto it = types.find(base);
-        if (it != types.end() && it->second == "histogram") return base;
+        if (it == types.end()) continue;
+        if (it->second == "histogram") return base;
+        if (it->second == "summary" && s != "_bucket") return base;
       }
     }
     return name;
@@ -234,6 +244,24 @@ bool validate_prometheus_text(const std::string& text, std::string& error) {
         return fail("unexpected sample in histogram family");
       }
     }
+    if (types.count(family) && types[family] == "summary") {
+      SummarySeries& sm = summaries[family];
+      if (s.name == family + "_count") {
+        sm.has_count = true;
+      } else if (s.name == family + "_sum") {
+        sm.has_sum = true;
+      } else if (s.name == family) {
+        auto q = s.labels.find("quantile");
+        if (q == s.labels.end())
+          return fail("summary sample without quantile label");
+        double phi;
+        if (!parse_value(q->second, phi) || !(phi >= 0.0 && phi <= 1.0))
+          return fail("quantile label not in [0,1]");
+        sm.quantiles.push_back(phi);
+      } else {
+        return fail("unexpected sample in summary family");
+      }
+    }
   }
 
   for (const auto& [name, h] : hists) {
@@ -255,6 +283,17 @@ bool validate_prometheus_text(const std::string& text, std::string& error) {
     if (!h.has_count || !h.has_sum) return fail("missing _sum or _count");
     if (h.count != h.buckets.back().second)
       return fail("_count disagrees with the +Inf bucket");
+  }
+  for (const auto& [name, sm] : summaries) {
+    const auto fail = [&](const std::string& message) {
+      error = message + " (summary " + name + ")";
+      return false;
+    };
+    if (sm.quantiles.empty()) return fail("no quantile samples");
+    for (std::size_t i = 1; i < sm.quantiles.size(); ++i)
+      if (!(sm.quantiles[i - 1] < sm.quantiles[i]))
+        return fail("quantile labels not ascending");
+    if (!sm.has_count || !sm.has_sum) return fail("missing _sum or _count");
   }
   return true;
 }

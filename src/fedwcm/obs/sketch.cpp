@@ -1,0 +1,504 @@
+#include "fedwcm/obs/sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+#include "fedwcm/core/rng.hpp"
+#include "fedwcm/obs/json.hpp"
+#include "fedwcm/obs/promtext.hpp"
+
+namespace fedwcm::obs {
+
+namespace {
+
+constexpr std::uint32_t kQuantileMagic = 0x51534B46;   // "FKSQ"
+constexpr std::uint32_t kTopKMagic = 0x54534B46;       // "FKST"
+constexpr std::uint32_t kReservoirMagic = 0x52534B46;  // "FKSR"
+constexpr std::uint32_t kSketchVersion = 1;
+
+[[noreturn]] void bad(const char* what) {
+  throw std::runtime_error(std::string("sketch deserialize: ") + what);
+}
+
+void expect_header(core::BinaryReader& r, std::uint32_t magic) {
+  if (r.read_u32() != magic) bad("bad magic");
+  if (r.read_u32() != kSketchVersion) bad("unsupported version");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// QuantileSketch
+
+QuantileSketch::QuantileSketch(double relative_error)
+    : relative_error_(relative_error) {
+  FEDWCM_CHECK(relative_error > 0.0 && relative_error < 0.5,
+               "QuantileSketch relative_error must be in (0, 0.5)");
+  gamma_ = (1.0 + relative_error) / (1.0 - relative_error);
+  log_gamma_ = std::log(gamma_);
+  inv_log_gamma_ = 1.0 / log_gamma_;
+}
+
+std::int32_t QuantileSketch::index_of(double magnitude) const {
+  const double raw = std::ceil(std::log(magnitude) * inv_log_gamma_);
+  if (raw <= double(-kIndexLimit)) return -kIndexLimit;
+  if (raw >= double(kIndexLimit)) return kIndexLimit;
+  return std::int32_t(raw);
+}
+
+double QuantileSketch::bucket_value(std::int32_t index) const {
+  // Midpoint-style estimate 2*gamma^i/(1+gamma): within relative_error_ of
+  // every value in bucket i = (gamma^{i-1}, gamma^i].
+  return 2.0 / (1.0 + gamma_) * std::exp(double(index) * log_gamma_);
+}
+
+void QuantileSketch::observe(double v) {
+  if (!std::isfinite(v)) return;
+  if (v > 0.0) {
+    ++pos_[index_of(v)];
+  } else if (v < 0.0) {
+    ++neg_[index_of(-v)];
+  } else {
+    ++zero_count_;
+  }
+  if (count_ == 0 || v < min_) min_ = v;
+  if (count_ == 0 || v > max_) max_ = v;
+  ++count_;
+  sum_ += v;
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  FEDWCM_CHECK(relative_error_ == other.relative_error_,
+               "QuantileSketch merge: relative_error mismatch");
+  if (other.count_ == 0) return;
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  zero_count_ += other.zero_count_;
+  for (const auto& [idx, c] : other.pos_) pos_[idx] += c;
+  for (const auto& [idx, c] : other.neg_) neg_[idx] += c;
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::min(1.0, std::max(0.0, q));
+  // Endpoints come from the exact extremes, interior quantiles from the
+  // bucket walk (estimates additionally clamped into [min, max]).
+  if (q == 0.0) return min_;
+  if (q == 1.0) return max_;
+  // 0-based rank of the requested order statistic.
+  const double rank = q * double(count_ - 1);
+  const auto clamped = [this](double v) {
+    return std::min(max_, std::max(min_, v));
+  };
+  std::uint64_t cum = 0;
+  // Negatives first, largest magnitude (most negative value) first.
+  for (auto it = neg_.rbegin(); it != neg_.rend(); ++it) {
+    cum += it->second;
+    if (double(cum) > rank) return clamped(-bucket_value(it->first));
+  }
+  cum += zero_count_;
+  if (double(cum) > rank) return clamped(0.0);
+  for (const auto& [idx, c] : pos_) {
+    cum += c;
+    if (double(cum) > rank) return clamped(bucket_value(idx));
+  }
+  return max_;
+}
+
+double QuantileSketch::min() const {
+  return count_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+double QuantileSketch::max() const {
+  return count_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+void QuantileSketch::reset() {
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  zero_count_ = 0;
+  pos_.clear();
+  neg_.clear();
+}
+
+void QuantileSketch::serialize(core::BinaryWriter& w) const {
+  w.write_u32(kQuantileMagic);
+  w.write_u32(kSketchVersion);
+  w.write_f64(relative_error_);
+  w.write_u64(count_);
+  w.write_f64(sum_);
+  w.write_f64(min_);
+  w.write_f64(max_);
+  w.write_u64(zero_count_);
+  const auto write_map = [&w](const std::map<std::int32_t, std::uint64_t>& m) {
+    w.write_u64(m.size());
+    for (const auto& [idx, c] : m) {
+      w.write_u32(std::uint32_t(idx));
+      w.write_u64(c);
+    }
+  };
+  write_map(pos_);
+  write_map(neg_);
+}
+
+QuantileSketch QuantileSketch::deserialize(core::BinaryReader& r) {
+  expect_header(r, kQuantileMagic);
+  const double relative_error = r.read_f64();
+  if (!(relative_error > 0.0 && relative_error < 0.5))
+    bad("relative_error out of range");
+  QuantileSketch s(relative_error);
+  s.count_ = r.read_u64();
+  s.sum_ = r.read_f64();
+  s.min_ = r.read_f64();
+  s.max_ = r.read_f64();
+  s.zero_count_ = r.read_u64();
+  std::uint64_t bucket_total = s.zero_count_;
+  const auto read_map = [&r, &bucket_total](
+                            std::map<std::int32_t, std::uint64_t>& m) {
+    const std::uint64_t n = r.read_u64();
+    if (n > std::uint64_t(2 * kIndexLimit + 1)) bad("bucket count implausible");
+    bool have_prev = false;
+    std::int32_t prev = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::int32_t idx = std::int32_t(r.read_u32());
+      if (idx < -kIndexLimit || idx > kIndexLimit) bad("bucket index range");
+      if (have_prev && idx <= prev) bad("bucket order not canonical");
+      have_prev = true;
+      prev = idx;
+      const std::uint64_t c = r.read_u64();
+      if (c == 0) bad("empty bucket stored");
+      m.emplace(idx, c);
+      bucket_total += c;
+    }
+  };
+  read_map(s.pos_);
+  read_map(s.neg_);
+  if (bucket_total != s.count_) bad("bucket counts disagree with count");
+  if (s.count_ > 0 && !(s.min_ <= s.max_)) bad("min/max inverted");
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// TopKSketch
+
+TopKSketch::TopKSketch(std::size_t capacity) : capacity_(capacity) {
+  FEDWCM_CHECK(capacity > 0, "TopKSketch capacity must be positive");
+}
+
+std::pair<double, std::uint64_t> TopKSketch::min_entry() const {
+  std::pair<double, std::uint64_t> best{0.0, 0};
+  bool have = false;
+  for (const auto& [key, cell] : entries_) {
+    if (!have || cell.weight < best.first ||
+        (cell.weight == best.first && key < best.second)) {
+      best = {cell.weight, key};
+      have = true;
+    }
+  }
+  return best;
+}
+
+void TopKSketch::offer(std::uint64_t key, double weight) {
+  if (!std::isfinite(weight) || weight <= 0.0) return;
+  ++offered_;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.weight += weight;
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    entries_.emplace(key, Cell{weight, 0.0});
+    return;
+  }
+  // SpaceSaving eviction: the new key inherits the cheapest entry's weight
+  // as its overestimate error.
+  const auto [min_weight, min_key] = min_entry();
+  entries_.erase(min_key);
+  entries_.emplace(key, Cell{min_weight + weight, min_weight});
+  evicted_ = true;
+}
+
+void TopKSketch::merge(const TopKSketch& other) {
+  FEDWCM_CHECK(capacity_ == other.capacity_,
+               "TopKSketch merge: capacity mismatch");
+  // Mergeable-summaries rule: a key absent from a sketch that has evicted
+  // may have accumulated up to that sketch's minimum weight there — add that
+  // floor to both weight and error. A sketch that never evicted has seen
+  // every one of its keys exactly, so its floor is 0 (this is what keeps the
+  // merge exact, and bitwise-reproducible, in the non-saturated regime).
+  const double floor_this =
+      evicted_ && !entries_.empty() ? min_entry().first : 0.0;
+  const double floor_other =
+      other.evicted_ && !other.entries_.empty() ? other.min_entry().first : 0.0;
+  std::map<std::uint64_t, Cell> merged;
+  for (const auto& [key, cell] : entries_) {
+    Cell c = cell;
+    auto it = other.entries_.find(key);
+    if (it != other.entries_.end()) {
+      c.weight += it->second.weight;
+      c.error += it->second.error;
+    } else {
+      c.weight += floor_other;
+      c.error += floor_other;
+    }
+    merged.emplace(key, c);
+  }
+  for (const auto& [key, cell] : other.entries_) {
+    if (merged.count(key)) continue;
+    merged.emplace(key, Cell{cell.weight + floor_this, cell.error + floor_this});
+  }
+  evicted_ = evicted_ || other.evicted_;
+  if (merged.size() > capacity_) {
+    // Keep the heaviest `capacity_` keys (weight desc, key asc on ties).
+    std::vector<std::pair<std::uint64_t, Cell>> order(merged.begin(),
+                                                      merged.end());
+    std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+      if (a.second.weight != b.second.weight)
+        return a.second.weight > b.second.weight;
+      return a.first < b.first;
+    });
+    order.resize(capacity_);
+    merged = std::map<std::uint64_t, Cell>(order.begin(), order.end());
+    evicted_ = true;
+  }
+  entries_ = std::move(merged);
+  offered_ += other.offered_;
+}
+
+std::vector<TopKSketch::Entry> TopKSketch::top() const {
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, cell] : entries_)
+    out.push_back(Entry{key, cell.weight, cell.error});
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.key < b.key;
+  });
+  return out;
+}
+
+void TopKSketch::reset() {
+  evicted_ = false;
+  offered_ = 0;
+  entries_.clear();
+}
+
+void TopKSketch::serialize(core::BinaryWriter& w) const {
+  w.write_u32(kTopKMagic);
+  w.write_u32(kSketchVersion);
+  w.write_u64(capacity_);
+  w.write_u32(evicted_ ? 1 : 0);
+  w.write_u64(offered_);
+  w.write_u64(entries_.size());
+  for (const auto& [key, cell] : entries_) {
+    w.write_u64(key);
+    w.write_f64(cell.weight);
+    w.write_f64(cell.error);
+  }
+}
+
+TopKSketch TopKSketch::deserialize(core::BinaryReader& r) {
+  expect_header(r, kTopKMagic);
+  const std::uint64_t capacity = r.read_u64();
+  if (capacity == 0 || capacity > (1u << 20)) bad("top-k capacity implausible");
+  TopKSketch s{std::size_t(capacity)};
+  const std::uint32_t evicted = r.read_u32();
+  if (evicted > 1) bad("evicted flag not boolean");
+  s.evicted_ = evicted != 0;
+  s.offered_ = r.read_u64();
+  const std::uint64_t n = r.read_u64();
+  if (n > capacity) bad("top-k size exceeds capacity");
+  bool have_prev = false;
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t key = r.read_u64();
+    if (have_prev && key <= prev) bad("top-k key order not canonical");
+    have_prev = true;
+    prev = key;
+    const double weight = r.read_f64();
+    const double error = r.read_f64();
+    if (!std::isfinite(weight) || weight <= 0.0) bad("top-k weight invalid");
+    if (!std::isfinite(error) || error < 0.0 || error > weight)
+      bad("top-k error invalid");
+    s.entries_.emplace(key, Cell{weight, error});
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// ReservoirSketch
+
+ReservoirSketch::ReservoirSketch(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), seed_(seed) {
+  FEDWCM_CHECK(capacity > 0, "ReservoirSketch capacity must be positive");
+}
+
+std::uint64_t ReservoirSketch::priority(std::uint64_t seed, std::uint64_t id) {
+  core::SplitMix64 h{seed ^ (id * 0xD6E8FEB86659FD93ULL)};
+  return h.next();
+}
+
+void ReservoirSketch::offer(std::uint64_t id, double value) {
+  ++seen_;
+  const std::pair<std::uint64_t, std::uint64_t> key{priority(seed_, id), id};
+  if (items_.size() == capacity_ && key >= items_.rbegin()->first) {
+    // Cheapest rejection path: not in the bottom-k and not a duplicate of a
+    // kept id (duplicates of kept ids fall through to the min-merge below).
+    if (items_.find(key) == items_.end()) return;
+  }
+  auto [it, inserted] = items_.try_emplace(key, value);
+  if (!inserted) {
+    // Same id offered twice: keep the smaller value — order-insensitive.
+    it->second = std::min(it->second, value);
+    return;
+  }
+  if (items_.size() > capacity_) items_.erase(std::prev(items_.end()));
+}
+
+void ReservoirSketch::merge(const ReservoirSketch& other) {
+  FEDWCM_CHECK(capacity_ == other.capacity_,
+               "ReservoirSketch merge: capacity mismatch");
+  FEDWCM_CHECK(seed_ == other.seed_, "ReservoirSketch merge: seed mismatch");
+  seen_ += other.seen_;
+  for (const auto& [key, value] : other.items_) {
+    auto [it, inserted] = items_.try_emplace(key, value);
+    if (!inserted) it->second = std::min(it->second, value);
+  }
+  while (items_.size() > capacity_) items_.erase(std::prev(items_.end()));
+}
+
+std::vector<ReservoirSketch::Item> ReservoirSketch::sample() const {
+  std::vector<Item> out;
+  out.reserve(items_.size());
+  for (const auto& [key, value] : items_)
+    out.push_back(Item{key.first, key.second, value});
+  return out;
+}
+
+void ReservoirSketch::reset() {
+  seen_ = 0;
+  items_.clear();
+}
+
+void ReservoirSketch::serialize(core::BinaryWriter& w) const {
+  w.write_u32(kReservoirMagic);
+  w.write_u32(kSketchVersion);
+  w.write_u64(capacity_);
+  w.write_u64(seed_);
+  w.write_u64(seen_);
+  w.write_u64(items_.size());
+  for (const auto& [key, value] : items_) {
+    w.write_u64(key.first);
+    w.write_u64(key.second);
+    w.write_f64(value);
+  }
+}
+
+ReservoirSketch ReservoirSketch::deserialize(core::BinaryReader& r) {
+  expect_header(r, kReservoirMagic);
+  const std::uint64_t capacity = r.read_u64();
+  if (capacity == 0 || capacity > (1u << 20))
+    bad("reservoir capacity implausible");
+  const std::uint64_t seed = r.read_u64();
+  ReservoirSketch s{std::size_t(capacity), seed};
+  s.seen_ = r.read_u64();
+  const std::uint64_t n = r.read_u64();
+  if (n > capacity) bad("reservoir size exceeds capacity");
+  if (n > s.seen_) bad("reservoir size exceeds seen");
+  std::pair<std::uint64_t, std::uint64_t> prev{0, 0};
+  bool have_prev = false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t prio = r.read_u64();
+    const std::uint64_t id = r.read_u64();
+    const double value = r.read_f64();
+    if (prio != priority(seed, id)) bad("reservoir priority forged");
+    const std::pair<std::uint64_t, std::uint64_t> key{prio, id};
+    if (have_prev && key <= prev) bad("reservoir order not canonical");
+    have_prev = true;
+    prev = key;
+    s.items_.emplace(key, value);
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// PopulationStore
+
+PopulationStore& PopulationStore::global() {
+  static PopulationStore instance;
+  return instance;
+}
+
+void PopulationStore::set_seed(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  seed_ = seed;
+}
+
+void PopulationStore::topk_offer(const std::string& name, std::uint64_t key,
+                                 double weight) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = top_.find(name);
+  if (it == top_.end())
+    it = top_.emplace(name, TopKSketch{kTopCapacity}).first;
+  it->second.offer(key, weight);
+}
+
+void PopulationStore::reservoir_offer(const std::string& name,
+                                      std::uint64_t id, double value) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = reservoirs_.find(name);
+  if (it == reservoirs_.end())
+    it = reservoirs_
+             .emplace(name, ReservoirSketch{kReservoirCapacity, seed_})
+             .first;
+  it->second.offer(id, value);
+}
+
+std::vector<PopulationStore::TopTable> PopulationStore::top_tables() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TopTable> out;
+  out.reserve(top_.size());
+  for (const auto& [name, sketch] : top_)
+    out.push_back(
+        TopTable{name, sketch.offered(), sketch.saturated(), sketch.top()});
+  return out;
+}
+
+std::vector<PopulationStore::SampleTable> PopulationStore::sample_tables()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SampleTable> out;
+  out.reserve(reservoirs_.size());
+  for (const auto& [name, sketch] : reservoirs_)
+    out.push_back(SampleTable{name, sketch.seen(), sketch.sample()});
+  return out;
+}
+
+void PopulationStore::write_prometheus(std::ostream& os) const {
+  const auto tables = top_tables();
+  for (const auto& table : tables) {
+    if (table.entries.empty()) continue;
+    const std::string name = prometheus_name(table.name);
+    os << "# TYPE " << name << " gauge\n";
+    for (const auto& entry : table.entries)
+      os << name << "{client=\"" << entry.key << "\"} "
+         << json::number_to_string(entry.weight) << "\n";
+  }
+}
+
+void PopulationStore::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  top_.clear();
+  reservoirs_.clear();
+}
+
+}  // namespace fedwcm::obs

@@ -1,0 +1,284 @@
+#pragma once
+/// \file sketch.hpp
+/// Fixed-memory, mergeable streaming summaries for population telemetry.
+///
+/// A million-client streamed round (fl::StreamAccum) frees each upload the
+/// moment it is folded, so any per-client statistic has to be captured as the
+/// upload flies by — in O(1) memory, not O(K). This header provides the three
+/// summaries the observability layer needs for that:
+///
+///  - `QuantileSketch`: a log-bucketed quantile sketch (DDSketch-style) with a
+///    configurable relative-error guarantee. The issue brief suggests t-digest
+///    or KLL; we deliberately use log-bucketing instead because its state is
+///    *canonical* — bucket counts keyed by index — so merging shards is a
+///    pointwise count addition and `merge()` of any shard split serializes
+///    bitwise-identically to single-stream ingest. t-digest centroids and KLL
+///    compactions are order-sensitive, which would make the ctest
+///    merge-of-shards gate (tests/obs/test_sketch.cpp) impossible to state
+///    exactly.
+///  - `TopKSketch`: a SpaceSaving heavy-hitter tracker over (client id,
+///    weight) pairs — which clients are dropped / straggling / corrupted /
+///    carrying the most update-norm mass. Exact (and exactly mergeable)
+///    while the number of distinct keys fits the capacity; beyond that it
+///    keeps the classic SpaceSaving overestimate-with-error-bound guarantee.
+///  - `ReservoirSketch`: a seeded bottom-k priority sample ("reservoir") of
+///    (id, value) observations. Priorities are a pure hash of (seed, id), so
+///    the kept set is a deterministic function of the observed ids — merging
+///    shards yields exactly the sample a single stream would have kept.
+///
+/// All three serialize on the existing versioned binary wire format
+/// (core::BinaryWriter / BinaryReader, magic + version header, hardened
+/// deserialization), which is what lets a future network `fedwcm_server`
+/// (ROADMAP item 2) combine worker-process sketches server-side.
+///
+/// `PopulationStore` is the process-wide named home for the top-k tables and
+/// reservoirs (quantile sketches live in the metrics Registry as `Sketch`
+/// cells — see metrics.hpp); the HTTP exporter appends its Prometheus
+/// exposition to `/metrics` and the run ledger embeds its tables.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fedwcm/core/serialize.hpp"
+
+namespace fedwcm::obs {
+
+/// Log-bucketed quantile sketch with a relative-error guarantee.
+///
+/// Positive values map to bucket `ceil(log(v)/log(gamma))` with
+/// `gamma = (1+a)/(1-a)` for relative accuracy `a`; negatives mirror into a
+/// second bucket map; exact zeros get their own counter. A bucket's reported
+/// value is `2*gamma^i/(1+gamma)`, which is within a relative factor `a` of
+/// every value in the bucket. Indices clamp to ±`kIndexLimit`, so memory is
+/// bounded by a constant independent of the number of observations (and in
+/// practice by the dynamic range actually observed — a few hundred buckets).
+///
+/// Exact count/sum/min/max ride along; `quantile()` results are additionally
+/// clamped to [min, max], so q=0 / q=1 are exact.
+///
+/// Mergeability: `merge()` adds bucket counts pointwise, which is commutative
+/// and associative — any shard split of a stream merges to the same state as
+/// single-stream ingest (bitwise, for the integer state; `sum` is a double
+/// accumulation and is only reproducible up to floating-point associativity,
+/// exact when the inputs' sums are exactly representable).
+class QuantileSketch {
+ public:
+  /// `relative_error` must lie in (0, 0.5); default 1%.
+  explicit QuantileSketch(double relative_error = 0.01);
+
+  /// Folds one observation in. Non-finite values are ignored (upstream
+  /// rejects non-finite uploads separately; the sketch tracks the population
+  /// of accepted, finite observations).
+  void observe(double v);
+
+  /// Pointwise-adds `other`'s buckets into this sketch. Both sketches must
+  /// have been built with the same relative error.
+  void merge(const QuantileSketch& other);
+
+  /// Quantile estimate for q in [0,1] (clamped). NaN when empty.
+  double quantile(double q) const;
+
+  std::uint64_t count() const { return count_; }
+  /// Exact running sum (NaN-free; empty sketch reports 0).
+  double sum() const { return sum_; }
+  /// Exact extremes; NaN when empty.
+  double min() const;
+  double max() const;
+  double relative_error() const { return relative_error_; }
+  /// Occupied buckets (memory diagnostics / O(1) assertions in tests).
+  std::size_t bucket_count() const {
+    return pos_.size() + neg_.size() + (zero_count_ ? 1 : 0);
+  }
+
+  void reset();
+
+  /// Versioned binary form (magic + version header, canonical bucket order).
+  void serialize(core::BinaryWriter& w) const;
+  /// Throws std::runtime_error on bad magic/version or inconsistent state.
+  static QuantileSketch deserialize(core::BinaryReader& r);
+
+ private:
+  static constexpr std::int32_t kIndexLimit = 4096;
+
+  std::int32_t index_of(double magnitude) const;
+  double bucket_value(std::int32_t index) const;
+
+  double relative_error_;
+  double gamma_;
+  double inv_log_gamma_;
+  double log_gamma_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;  ///< Valid only when count_ > 0.
+  double max_ = 0.0;  ///< Valid only when count_ > 0.
+  std::uint64_t zero_count_ = 0;
+  std::map<std::int32_t, std::uint64_t> pos_;  ///< index -> count, v > 0.
+  std::map<std::int32_t, std::uint64_t> neg_;  ///< index of |v| -> count, v < 0.
+};
+
+/// SpaceSaving top-k heavy hitters over weighted keys.
+///
+/// Exact while the number of distinct keys offered stays within `capacity`
+/// (no eviction ever happens — the regime the per-round fault tables live
+/// in, since at most a handful of clients misbehave); in that regime
+/// merge-of-shards equals single-stream ingest exactly. Once keys overflow,
+/// entries carry the classic SpaceSaving `error` upper bound, and `merge()`
+/// applies the standard mergeable-summaries rule: keys absent from a sketch
+/// that has evicted contribute that sketch's minimum weight (their maximum
+/// possible weight there) to both weight and error.
+class TopKSketch {
+ public:
+  explicit TopKSketch(std::size_t capacity = 16);
+
+  /// Adds `weight` to `key`. Non-finite or non-positive weights are ignored.
+  void offer(std::uint64_t key, double weight = 1.0);
+
+  /// Merges `other` (same capacity required) into this sketch.
+  void merge(const TopKSketch& other);
+
+  struct Entry {
+    std::uint64_t key = 0;
+    double weight = 0.0;
+    double error = 0.0;  ///< Overestimate bound: true weight >= weight - error.
+  };
+
+  /// Entries sorted by weight descending, key ascending on ties.
+  std::vector<Entry> top() const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t offered() const { return offered_; }
+  /// True once any key has been evicted (weights are upper bounds from then
+  /// on; before that the sketch is exact).
+  bool saturated() const { return evicted_; }
+
+  void reset();
+
+  void serialize(core::BinaryWriter& w) const;
+  static TopKSketch deserialize(core::BinaryReader& r);
+
+ private:
+  struct Cell {
+    double weight = 0.0;
+    double error = 0.0;
+  };
+  /// (weight, key) of the cheapest entry — the eviction victim.
+  std::pair<double, std::uint64_t> min_entry() const;
+
+  std::size_t capacity_;
+  bool evicted_ = false;
+  std::uint64_t offered_ = 0;
+  std::map<std::uint64_t, Cell> entries_;  ///< Canonical: keyed by client id.
+};
+
+/// Seeded bottom-k priority sample of (id, value) observations.
+///
+/// Each id hashes (with the sketch seed) to a priority; the sketch keeps the
+/// `capacity` items with the smallest priorities. Because the kept set is a
+/// pure function of the observed id set, ingest order is irrelevant and
+/// merging shards reproduces the single-stream sample exactly. Offering the
+/// same id twice keeps the smaller value (deterministic, order-free).
+class ReservoirSketch {
+ public:
+  ReservoirSketch(std::size_t capacity, std::uint64_t seed);
+
+  void offer(std::uint64_t id, double value);
+
+  /// Merges `other` (same capacity and seed required).
+  void merge(const ReservoirSketch& other);
+
+  struct Item {
+    std::uint64_t priority = 0;
+    std::uint64_t id = 0;
+    double value = 0.0;
+  };
+
+  /// Kept items, priority ascending (the deterministic sample order).
+  std::vector<Item> sample() const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t seed() const { return seed_; }
+  /// Total observations offered (kept or not).
+  std::uint64_t seen() const { return seen_; }
+
+  void reset();
+
+  void serialize(core::BinaryWriter& w) const;
+  static ReservoirSketch deserialize(core::BinaryReader& r);
+
+  /// The priority hash (exposed so deserialization can re-validate items).
+  static std::uint64_t priority(std::uint64_t seed, std::uint64_t id);
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t seed_;
+  std::uint64_t seen_ = 0;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, double> items_;
+};
+
+/// Process-wide named store for top-k tables and reservoirs (the quantile
+/// side of population telemetry lives in the metrics Registry as `Sketch`
+/// cells). Disabled by default, like the Registry: offers are a single
+/// relaxed atomic load when off. All mutation takes the store mutex — offers
+/// happen once per upload on the driver thread, not in any inner loop.
+class PopulationStore {
+ public:
+  PopulationStore() = default;
+  PopulationStore(const PopulationStore&) = delete;
+  PopulationStore& operator=(const PopulationStore&) = delete;
+
+  static PopulationStore& global();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  /// Seed for reservoirs created after the call (set before the run starts).
+  void set_seed(std::uint64_t seed);
+
+  void topk_offer(const std::string& name, std::uint64_t key,
+                  double weight = 1.0);
+  void reservoir_offer(const std::string& name, std::uint64_t id, double value);
+
+  struct TopTable {
+    std::string name;
+    std::uint64_t offered = 0;
+    bool saturated = false;
+    std::vector<TopKSketch::Entry> entries;
+  };
+  struct SampleTable {
+    std::string name;
+    std::uint64_t seen = 0;
+    std::vector<ReservoirSketch::Item> items;
+  };
+
+  /// Snapshots, name-sorted (stable artifact order).
+  std::vector<TopTable> top_tables() const;
+  std::vector<SampleTable> sample_tables() const;
+
+  /// Prometheus gauge families for the top-k tables, one series per tracked
+  /// client: `fedwcm_pop_dropped_clients{client="42"} 3`. Appended to the
+  /// Registry exposition by the HTTP exporter's /metrics handler.
+  void write_prometheus(std::ostream& os) const;
+
+  /// Drops all tables (tests).
+  void reset();
+
+ private:
+  static constexpr std::size_t kTopCapacity = 16;
+  static constexpr std::size_t kReservoirCapacity = 64;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::uint64_t seed_ = 0;
+  std::map<std::string, TopKSketch> top_;
+  std::map<std::string, ReservoirSketch> reservoirs_;
+};
+
+/// Shorthand for PopulationStore::global().
+inline PopulationStore& population() { return PopulationStore::global(); }
+
+}  // namespace fedwcm::obs

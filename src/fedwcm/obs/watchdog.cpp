@@ -32,6 +32,7 @@ std::optional<Alarm> Watchdog::observe(const RoundSample& sample) {
   if (auto a = check_non_finite(sample)) return a;
   if (auto a = check_qr(sample)) return a;
   if (auto a = check_recall(sample)) return a;
+  if (auto a = check_spread(sample)) return a;
   if (auto a = check_stall(sample)) return a;
   return std::nullopt;
 }
@@ -83,6 +84,25 @@ std::optional<Alarm> Watchdog::check_recall(const RoundSample& s) {
                    s.min_class_recall);
   } else {
     recall_below_streak_ = 0;
+  }
+  return std::nullopt;
+}
+
+std::optional<Alarm> Watchdog::check_spread(const RoundSample& s) {
+  if (config_.spread_floor < 0.0 || config_.spread_window <= 0)
+    return std::nullopt;
+  if (s.norm_spread < 0.0) return std::nullopt;  // Not measured this round.
+  if (s.norm_spread < config_.spread_floor) {
+    if (++spread_below_streak_ >= config_.spread_window)
+      return raise(s, "spread_collapse",
+                   "client update-norm spread p95/p50 < " +
+                       fmt(config_.spread_floor) + " for " +
+                       std::to_string(spread_below_streak_) +
+                       " consecutive rounds (spread=" + fmt(s.norm_spread) +
+                       ")",
+                   s.norm_spread);
+  } else {
+    spread_below_streak_ = 0;
   }
   return std::nullopt;
 }

@@ -46,6 +46,15 @@ struct WatchdogConfig {
   double stall_factor = 10.0;  ///< Alarm when a round takes stall_factor x the
   int stall_min_rounds = 8;    ///< trailing median of >= stall_min_rounds
                                ///< rounds; <=0 disables.
+
+  double spread_floor = -1.0;  ///< Alarm when the p95/p50 client update-norm
+  int spread_window = 3;       ///< ratio < floor for spread_window consecutive
+                               ///< populated rounds; <0 disables. A collapsing
+                               ///< spread means client updates have gone
+                               ///< near-identical — the observable signature
+                               ///< of momentum distortion flattening the
+                               ///< population (what FedWCM's weighting
+                               ///< corrects).
 };
 
 /// Per-round measurements fed to the watchdog. Fields without data that
@@ -58,12 +67,15 @@ struct RoundSample {
   double qr = -1.0;              ///< Momentum alignment q_r; <0 = not diagnosed.
   double min_class_recall = -1.0;  ///< <0 = no evaluation this round.
   double round_wall_ms = -1.0;   ///< <0 = not timed.
+  double norm_spread = -1.0;     ///< p95/p50 of client update norms this
+                                 ///< round; <0 = not measured (population
+                                 ///< telemetry off or too few uploads).
 };
 
 /// One tripped rule.
 struct Alarm {
   std::string rule;     ///< "non_finite" | "qr_collapse" | "recall_collapse"
-                        ///< | "round_stall".
+                        ///< | "round_stall" | "spread_collapse".
   std::string message;  ///< Human-readable, threshold and value included.
   std::int64_t round = -1;
   double value = 0.0;   ///< The offending measurement (may be non-finite).
@@ -87,6 +99,7 @@ class Watchdog {
   std::optional<Alarm> check_qr(const RoundSample& s);
   std::optional<Alarm> check_recall(const RoundSample& s);
   std::optional<Alarm> check_stall(const RoundSample& s);
+  std::optional<Alarm> check_spread(const RoundSample& s);
   std::optional<Alarm> raise(const RoundSample& s, std::string rule,
                              std::string message, double value);
 
@@ -95,6 +108,7 @@ class Watchdog {
   std::vector<Alarm> alarms_;
   int qr_below_streak_ = 0;
   int recall_below_streak_ = 0;
+  int spread_below_streak_ = 0;
   std::vector<double> round_times_ms_;  ///< History for the stall median.
 };
 

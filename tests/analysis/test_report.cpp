@@ -39,6 +39,10 @@ fl::SimulationResult sample_result() {
     rec.update_norm_cv = 0.25f;
     rec.drift_norm = 0.75f;
     rec.per_class_accuracy = {0.8f, 0.2f * float(r + 1)};
+    rec.population = true;
+    rec.norm_p5 = 0.5f;
+    rec.norm_p50 = 1.0f + 0.25f * float(r);
+    rec.norm_p95 = 2.0f;
     res.history.push_back(rec);
   }
   return res;
@@ -97,6 +101,14 @@ TEST(Report, CsvHeaderIsStableAndAppendOnly) {
                         "update_norm_mean,update_norm_cv,drift_norm,"
                         "per_class_accuracy"),
             std::string::npos);
+  // The population quantile columns ride at the tail, after everything that
+  // predates them.
+  const std::string pop_tail = ",population,norm_p5,norm_p50,norm_p95";
+  ASSERT_GE(header.size(), pop_tail.size());
+  EXPECT_EQ(header.compare(header.size() - pop_tail.size(), pop_tail.size(),
+                           pop_tail),
+            0)
+      << header;
 
   const std::string path = testing::TempDir() + "/fedwcm_hdr.csv";
   write_history_csv(path, sample_result());
@@ -159,6 +171,10 @@ TEST(Report, JsonlRoundTripsThroughObsJson) {
     EXPECT_EQ(float(value.find("alignment_min")->as_number()),
               rec.alignment_min);
     EXPECT_EQ(float(value.find("drift_norm")->as_number()), rec.drift_norm);
+    ASSERT_NE(value.find("population"), nullptr);
+    EXPECT_TRUE(value.find("population")->as_bool());
+    EXPECT_EQ(float(value.find("norm_p50")->as_number()), rec.norm_p50);
+    EXPECT_EQ(float(value.find("norm_p95")->as_number()), rec.norm_p95);
     const auto& per_class = value.find("per_class_accuracy")->as_array();
     ASSERT_EQ(per_class.size(), rec.per_class_accuracy.size());
     for (std::size_t c = 0; c < per_class.size(); ++c)

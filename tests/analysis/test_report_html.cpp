@@ -38,6 +38,10 @@ fl::SimulationResult sample_result(bool with_diag = true) {
       rec.update_norm_mean = 1.25f;
       rec.update_norm_cv = 0.375f;
       rec.drift_norm = 0.875f;
+      rec.population = true;
+      rec.norm_p5 = 0.5f;
+      rec.norm_p50 = 1.0f;
+      rec.norm_p95 = 2.0f + 0.5f * float(r);
     }
     rec.per_class_accuracy = {0.9375f, 0.75f, 0.25f * float(r)};
     res.history.push_back(rec);
@@ -65,7 +69,8 @@ TEST(ReportHtml, ContainsAllChartSections) {
   const std::string html = render_html_report(sample_result());
   for (const char* expected :
        {"<!DOCTYPE html>", "Test accuracy", "Train loss", "Momentum value",
-        "Momentum alignment", "Client update norms", "Head vs tail recall",
+        "Momentum alignment", "Client update norms",
+        "Client update-norm quantiles", "Head vs tail recall",
         "Per-class recall over rounds", "Communication per round",
         "History table", "Final accuracy", "Tail-mean accuracy"})
     EXPECT_NE(html.find(expected), std::string::npos) << expected;
@@ -78,6 +83,8 @@ TEST(ReportHtml, DiagnosticsChartsOnlyWhenRecorded) {
   const std::string html = render_html_report(sample_result(false));
   EXPECT_EQ(html.find("Momentum alignment"), std::string::npos);
   EXPECT_EQ(html.find("Client update norms"), std::string::npos);
+  // The quantile band card needs population telemetry, absent here too.
+  EXPECT_EQ(html.find("Client update-norm quantiles"), std::string::npos);
   // The recall charts don't depend on --diag.
   EXPECT_NE(html.find("Per-class recall over rounds"), std::string::npos);
 }
@@ -105,7 +112,8 @@ TEST(ReportHtml, DataBlobRoundTripsFloatExactly) {
   for (const char* name :
        {"test_accuracy", "train_loss", "alpha", "momentum_norm",
         "momentum_alignment", "alignment_min", "update_norm_mean",
-        "update_norm_cv", "drift_norm", "bytes_up", "bytes_down"}) {
+        "update_norm_cv", "drift_norm", "bytes_up", "bytes_down", "norm_p5",
+        "norm_p50", "norm_p95"}) {
     const obs::json::Value* s = series->find(name);
     ASSERT_TRUE(s && s->is_array()) << name;
     EXPECT_EQ(s->as_array().size(), res.history.size()) << name;

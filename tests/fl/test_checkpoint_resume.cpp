@@ -93,6 +93,10 @@ void expect_same_run(const SimulationResult& resumed,
     EXPECT_EQ(a.update_norm_cv, b.update_norm_cv) << tag;
     EXPECT_EQ(a.drift_norm, b.drift_norm) << tag;
     EXPECT_EQ(a.per_class_accuracy, b.per_class_accuracy) << tag;
+    EXPECT_EQ(a.population, b.population) << tag;
+    EXPECT_EQ(a.norm_p5, b.norm_p5) << tag << " round " << b.round;
+    EXPECT_EQ(a.norm_p50, b.norm_p50) << tag << " round " << b.round;
+    EXPECT_EQ(a.norm_p95, b.norm_p95) << tag << " round " << b.round;
   }
 }
 
@@ -133,6 +137,22 @@ TEST(CheckpointResume, ResumeEqualsUninterrupted) {
     const SimulationResult resumed = run_crash_then_resume(w, name, path);
     expect_same_run(resumed, expected, name);
   }
+}
+
+TEST(CheckpointResume, ResumeEqualsUninterruptedWithPopulationTelemetry) {
+  // Population quantiles are serialized with each history record, so a
+  // resumed run replays them bitwise instead of losing the pre-crash rounds.
+  auto w = make_world();
+  w.config.population_telemetry = true;
+  Simulation base = w.make_simulation();
+  auto base_alg = make_algorithm("fedwcm");
+  const SimulationResult expected = base.run(*base_alg);
+  ASSERT_FALSE(expected.history.empty());
+  EXPECT_TRUE(expected.history.front().population);
+
+  const std::string path = testing::TempDir() + "/fedwcm_resume_pop.ckpt";
+  const SimulationResult resumed = run_crash_then_resume(w, "fedwcm", path);
+  expect_same_run(resumed, expected, "fedwcm+population");
 }
 
 TEST(CheckpointResume, ResumeEqualsUninterruptedUnderFaults) {

@@ -241,5 +241,66 @@ TEST(Simulation, ProbeShimStillLandsInRecordAfterMove) {
   for (const auto& rec : res.history) EXPECT_FLOAT_EQ(rec.concentration, 0.5f);
 }
 
+TEST(Simulation, PopulationTelemetryFillsRoundQuantiles) {
+  auto w = make_world();
+  w.config.population_telemetry = true;
+  Simulation sim = w.make_simulation();
+  auto alg = make_algorithm("fedwcm");
+  const SimulationResult res = sim.run(*alg);
+  ASSERT_FALSE(res.history.empty());
+  for (const auto& rec : res.history) {
+    // Every round accepted at least one upload in this fault-free world.
+    ASSERT_TRUE(rec.population) << rec.round;
+    EXPECT_GT(rec.norm_p5, 0.0f) << rec.round;
+    EXPECT_LE(rec.norm_p5, rec.norm_p50) << rec.round;
+    EXPECT_LE(rec.norm_p50, rec.norm_p95) << rec.round;
+  }
+}
+
+TEST(Simulation, PopulationOffLeavesQuantilesUnset) {
+  auto w = make_world();
+  Simulation sim = w.make_simulation();
+  auto alg = make_algorithm("fedavg");
+  const SimulationResult res = sim.run(*alg);
+  ASSERT_FALSE(res.history.empty());
+  for (const auto& rec : res.history) {
+    EXPECT_FALSE(rec.population);
+    EXPECT_EQ(rec.norm_p50, 0.0f);
+  }
+}
+
+// Population telemetry is strictly read-only: turning it on cannot change a
+// single bit of the training trajectory (same contract as diagnostics).
+TEST(Simulation, TrajectoryBitwiseIdenticalWithAndWithoutPopulation) {
+  for (const char* name : {"fedavg", "fedwcm"}) {
+    auto w = make_world();
+    Simulation plain_sim = w.make_simulation();
+    auto plain_alg = make_algorithm(name);
+    const SimulationResult plain = plain_sim.run(*plain_alg);
+
+    auto wp = make_world();
+    wp.config.population_telemetry = true;
+    Simulation pop_sim = wp.make_simulation();
+    auto pop_alg = make_algorithm(name);
+    const SimulationResult pop = pop_sim.run(*pop_alg);
+
+    ASSERT_EQ(plain.final_params.size(), pop.final_params.size()) << name;
+    for (std::size_t i = 0; i < plain.final_params.size(); ++i)
+      ASSERT_EQ(plain.final_params[i], pop.final_params[i])
+          << name << " param " << i;
+    ASSERT_EQ(plain.history.size(), pop.history.size()) << name;
+    for (std::size_t i = 0; i < plain.history.size(); ++i) {
+      const RoundRecord& a = plain.history[i];
+      const RoundRecord& b = pop.history[i];
+      EXPECT_EQ(a.test_accuracy, b.test_accuracy) << name << " round " << i;
+      EXPECT_EQ(a.train_loss, b.train_loss) << name << " round " << i;
+      EXPECT_EQ(a.momentum_norm, b.momentum_norm) << name << " round " << i;
+      // The only permitted difference is the annotation itself.
+      EXPECT_FALSE(a.population) << name;
+      EXPECT_TRUE(b.population) << name;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fedwcm::fl

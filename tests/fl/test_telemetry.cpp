@@ -105,6 +105,34 @@ TEST(WatchdogObserver, AbortWritesAFinalCheckpoint) {
   EXPECT_TRUE(core::checkpoint_exists(path));
 }
 
+TEST(WatchdogObserver, SpreadRuleSeesPopulationQuantiles) {
+  // An absurd floor (every real ratio p95/p50 >= 1 is "collapsed") trips on
+  // the first populated round — but only when population telemetry feeds the
+  // watchdog a measured spread.
+  obs::WatchdogConfig config;
+  config.spread_floor = 1000.0;
+  config.spread_window = 1;
+
+  auto w = make_world();
+  w.config.population_telemetry = true;
+  Simulation sim = w.make_simulation();
+  auto watchdog = std::make_shared<WatchdogObserver>(config);
+  sim.add_observer(watchdog);
+  auto alg = make_algorithm("fedwcm");
+  sim.run(*alg);
+  ASSERT_TRUE(watchdog->watchdog().tripped());
+  EXPECT_EQ(watchdog->watchdog().alarms().front().rule, "spread_collapse");
+
+  // Telemetry off: norm_spread stays unmeasured and the rule never fires.
+  auto w_off = make_world();
+  Simulation off_sim = w_off.make_simulation();
+  auto off_watchdog = std::make_shared<WatchdogObserver>(config);
+  off_sim.add_observer(off_watchdog);
+  auto off_alg = make_algorithm("fedwcm");
+  off_sim.run(*off_alg);
+  EXPECT_FALSE(off_watchdog->watchdog().tripped());
+}
+
 TEST(WatchdogObserver, TripPublishesAlarmEventAndDumpsFlight) {
   ScopedGlobalBus bus_guard;
   const std::string flight_path = testing::TempDir() + "/watchdog_flight.json";

@@ -6,10 +6,12 @@
 #include <atomic>
 #include <limits>
 #include <set>
+#include <sstream>
 
 #include "fedwcm/core/thread_pool.hpp"
 #include "fedwcm/obs/event.hpp"
 #include "fedwcm/obs/json.hpp"
+#include "fedwcm/obs/promtext.hpp"
 
 namespace fedwcm::obs {
 namespace {
@@ -57,9 +59,10 @@ TEST(EventBus, OverflowDropsOldestAndCountsTheDropAsAMetric) {
   // The survivors are the newest four, still oldest-first.
   for (std::size_t i = 0; i < 4; ++i)
     EXPECT_EQ(events[i].round, std::int64_t(6 + i));
-  // The overflow policy is itself observable: events.dropped is a counter.
-  EXPECT_EQ(reg.counter("events.dropped").value(), 6u);
-  EXPECT_EQ(reg.counter("events.published").value(), 10u);
+  // The overflow policy is itself observable: events.dropped_total is a
+  // counter (exported as fedwcm_events_dropped_total on /metrics).
+  EXPECT_EQ(reg.counter("events.dropped_total").value(), 6u);
+  EXPECT_EQ(reg.counter("events.published_total").value(), 10u);
 }
 
 TEST(EventBus, SnapshotLastNReturnsTheNewest) {
@@ -197,7 +200,24 @@ TEST(EventBus, ConcurrentPublishersWithOverflowKeepAccounting) {
   EXPECT_EQ(bus.published(), kTasks * kPerTask);
   EXPECT_EQ(bus.dropped(), kTasks * kPerTask - 32);
   EXPECT_EQ(bus.snapshot().size(), 32u);
-  EXPECT_EQ(reg.counter("events.dropped").value(), kTasks * kPerTask - 32);
+  EXPECT_EQ(reg.counter("events.dropped_total").value(), kTasks * kPerTask - 32);
+}
+
+TEST(EventBus, CountersAppearInPrometheusExposition) {
+  Registry reg;
+  reg.set_enabled(true);
+  EventBus bus(4, &reg);
+  bus.set_enabled(true);
+  for (std::int64_t r = 0; r < 10; ++r) bus.publish(round_begin(r));
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("fedwcm_events_published_total 10"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("fedwcm_events_dropped_total 6"), std::string::npos)
+      << text;
+  std::string error;
+  EXPECT_TRUE(validate_prometheus_text(text, error)) << error;
 }
 
 }  // namespace

@@ -135,6 +135,99 @@ TEST(Ledger, CpuGateIsOffByDefaultAndOptInWorks) {
   EXPECT_NE(report.find("cpu_ms"), std::string::npos) << report;
 }
 
+Ledger populated_ledger() {
+  Ledger ledger = sample_ledger();
+  PopulationQuantiles q;
+  q.name = "pop.update_norm";
+  q.count = 100;
+  q.sum = 250.0;
+  q.min = 0.5;
+  q.max = 9.0;
+  q.p5 = 1.0;
+  q.p50 = 2.5;
+  q.p95 = 7.0;
+  q.p99 = 8.5;
+  ledger.population.push_back(q);
+  PopulationTop top;
+  top.name = "pop.dropped_clients";
+  top.offered = 40;
+  top.saturated = true;
+  top.rows.push_back(PopulationTop::Row{7, 12.0, 1.0});
+  top.rows.push_back(PopulationTop::Row{3, 8.0, 0.0});
+  ledger.population_top.push_back(top);
+  return ledger;
+}
+
+TEST(Ledger, PopulationBlockRoundTrips) {
+  const Ledger in = populated_ledger();
+  Ledger out;
+  std::string error;
+  ASSERT_TRUE(ledger_from_json(to_json(in), out, error)) << error;
+  ASSERT_EQ(out.population.size(), 1u);
+  EXPECT_EQ(out.population[0].name, "pop.update_norm");
+  EXPECT_EQ(out.population[0].count, 100u);
+  EXPECT_DOUBLE_EQ(out.population[0].p5, 1.0);
+  EXPECT_DOUBLE_EQ(out.population[0].p50, 2.5);
+  EXPECT_DOUBLE_EQ(out.population[0].p95, 7.0);
+  ASSERT_EQ(out.population_top.size(), 1u);
+  EXPECT_EQ(out.population_top[0].name, "pop.dropped_clients");
+  EXPECT_EQ(out.population_top[0].offered, 40u);
+  EXPECT_TRUE(out.population_top[0].saturated);
+  ASSERT_EQ(out.population_top[0].rows.size(), 2u);
+  EXPECT_EQ(out.population_top[0].rows[0].key, 7u);
+  EXPECT_DOUBLE_EQ(out.population_top[0].rows[0].weight, 12.0);
+  EXPECT_DOUBLE_EQ(out.population_top[0].rows[1].error, 0.0);
+}
+
+TEST(Ledger, LedgerWithoutPopulationBlockStillParses) {
+  // Pre-population ledgers (and runs with --population off) omit the block
+  // entirely; both directions of a ledger compare must keep accepting them.
+  const std::string text = to_json(sample_ledger());
+  EXPECT_EQ(text.find("\"population\""), std::string::npos);
+  Ledger out;
+  std::string error;
+  ASSERT_TRUE(ledger_from_json(text, out, error)) << error;
+  EXPECT_TRUE(out.population.empty());
+  EXPECT_TRUE(out.population_top.empty());
+}
+
+TEST(Ledger, QuantileGateIsOffByDefaultAndOptInWorks) {
+  const Ledger baseline = populated_ledger();
+  Ledger wide = baseline;
+  wide.population[0].p95 = baseline.population[0].p95 * 10.0;
+  std::string report;
+  // quantile_factor <= 0 disables the gate even with a 10x spread blow-up.
+  EXPECT_TRUE(compare_ledgers(baseline, wide, LedgerThresholds{}, report));
+  LedgerThresholds strict;
+  strict.quantile_factor = 2.0;
+  report.clear();
+  EXPECT_FALSE(compare_ledgers(baseline, wide, strict, report));
+  EXPECT_NE(report.find("pop.update_norm p95"), std::string::npos) << report;
+  EXPECT_NE(report.find("FAIL"), std::string::npos) << report;
+  // Within the factor it passes (p50 unchanged, p95 below 2x).
+  Ledger slight = baseline;
+  slight.population[0].p95 = baseline.population[0].p95 * 1.5;
+  report.clear();
+  EXPECT_TRUE(compare_ledgers(baseline, slight, strict, report)) << report;
+}
+
+TEST(Ledger, QuantileGateSkipsSketchesMissingFromEitherSide) {
+  // Telemetry off in one run must not read as a regression.
+  const Ledger baseline = populated_ledger();
+  const Ledger bare = sample_ledger();
+  LedgerThresholds strict;
+  strict.quantile_factor = 1.1;
+  std::string report;
+  EXPECT_TRUE(compare_ledgers(baseline, bare, strict, report)) << report;
+  EXPECT_TRUE(compare_ledgers(bare, baseline, strict, report)) << report;
+  // Empty sketches (count == 0) are skipped too.
+  Ledger empty_sketch = baseline;
+  empty_sketch.population[0].count = 0;
+  empty_sketch.population[0].p95 = 1e9;
+  EXPECT_TRUE(compare_ledgers(baseline, empty_sketch, strict, report))
+      << report;
+}
+
 TEST(Ledger, FormatReportNamesEveryPhase) {
   const std::string report = format_ledger_report(sample_ledger());
   for (const char* phase : {"sample", "local_train", "upload", "aggregate",

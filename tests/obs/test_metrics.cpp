@@ -2,6 +2,7 @@
 // shared handles across acquisition sites, and concurrency under the pool.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "fedwcm/core/thread_pool.hpp"
@@ -46,11 +47,15 @@ TEST(Metrics, DefaultConstructedHandlesAreSafe) {
   Counter c;
   Gauge g;
   Histogram h;
+  Sketch s;
   c.add();
   g.set(1.0);
   h.observe(1.0);
+  s.observe(1.0);
   EXPECT_EQ(c.value(), 0u);
-  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_TRUE(std::isnan(s.quantile(0.5)));
 }
 
 TEST(Metrics, SameNameSharesACell) {
@@ -89,11 +94,13 @@ TEST(Metrics, HistogramStatsAndQuantiles) {
   EXPECT_LE(h.quantile(0.9), h.quantile(0.99));
 }
 
-TEST(Metrics, QuantileOfEmptyHistogramIsZero) {
+TEST(Metrics, QuantileOfEmptyHistogramIsNaN) {
+  // NaN, not 0: "no data" must be distinguishable from "all observations
+  // were 0" (it serializes as null through the JSON non-finite path).
   Registry reg;
   reg.set_enabled(true);
   Histogram h = reg.histogram("empty", {1.0, 2.0, 4.0});
-  for (double q : {0.0, 0.5, 0.99, 1.0}) EXPECT_EQ(h.quantile(q), 0.0);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) EXPECT_TRUE(std::isnan(h.quantile(q)));
 }
 
 TEST(Metrics, QuantileOfSingleSampleStaysInItsBucket) {
@@ -122,15 +129,28 @@ TEST(Metrics, QuantileOfAllEqualSamplesStaysInTheirBucket) {
   }
 }
 
-TEST(Metrics, QuantileOverflowBucketIsBoundedByObservedMax) {
+TEST(Metrics, QuantileOfAllOverflowHistogramIsNaN) {
+  // Every observation past the last bound means the buckets say nothing
+  // about the distribution shape — any interpolated number would be an
+  // invention, so the quantile reports NaN (null in JSON) instead.
   Registry reg;
   reg.set_enabled(true);
   Histogram h = reg.histogram("overflow", {1.0, 2.0, 4.0});
   h.observe(100.0);
   h.observe(100.0);
-  // Everything landed past the last bound: the overflow bucket interpolates
-  // between that bound and the observed max, never past it.
-  for (double q : {0.25, 0.5, 0.99, 1.0}) {
+  for (double q : {0.25, 0.5, 0.99, 1.0})
+    EXPECT_TRUE(std::isnan(h.quantile(q))) << q;
+}
+
+TEST(Metrics, QuantilePartialOverflowInterpolatesUpToObservedMax) {
+  Registry reg;
+  reg.set_enabled(true);
+  Histogram h = reg.histogram("overflow.partial", {1.0, 2.0, 4.0});
+  h.observe(0.5);
+  h.observe(100.0);
+  // With in-range mass present, the overflow bucket interpolates between
+  // the last bound and the observed max, never past it.
+  for (double q : {0.75, 0.99, 1.0}) {
     EXPECT_GE(h.quantile(q), 4.0) << q;
     EXPECT_LE(h.quantile(q), 100.0) << q;
   }
@@ -331,16 +351,99 @@ TEST(Metrics, JsonlExportParsesAndCarriesSummaries) {
   EXPECT_TRUE(saw_hist);
 }
 
+TEST(Metrics, SketchCellObservesAndSharesByName) {
+  Registry reg;
+  reg.set_enabled(true);
+  Sketch a = reg.sketch("client.norm");
+  Sketch b = reg.sketch("client.norm");
+  for (double v : {1.0, 2.0, 4.0}) a.observe(v);
+  b.observe(8.0);
+  // Same name lands on the same cell, like counters/gauges/histograms.
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(b.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(a.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(a.quantile(1.0), 8.0);
+}
+
+TEST(Metrics, SketchDisabledObserveIsANoOp) {
+  Registry reg;
+  Sketch s = reg.sketch("off.norm");
+  s.observe(3.0);
+  EXPECT_EQ(s.count(), 0u);
+  reg.set_enabled(true);
+  s.observe(3.0);
+  EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(Metrics, SketchSnapshotsCopyStateForMerging) {
+  Registry reg;
+  reg.set_enabled(true);
+  Sketch s = reg.sketch("snapshot.norm");
+  s.observe(2.0);
+  auto snaps = reg.sketch_snapshots();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].name, "snapshot.norm");
+  EXPECT_EQ(snaps[0].sketch.count(), 1u);
+  // The snapshot is a copy: further observes don't retro-change it.
+  s.observe(4.0);
+  EXPECT_EQ(snaps[0].sketch.count(), 1u);
+}
+
+TEST(Metrics, JsonlCarriesSketchQuantiles) {
+  Registry reg;
+  reg.set_enabled(true);
+  Sketch s = reg.sketch("jsonl.norm");
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.observe(v);
+  std::ostringstream os;
+  reg.write_jsonl(os);
+  std::istringstream is(os.str());
+  std::string line;
+  bool saw_sketch = false;
+  while (std::getline(is, line)) {
+    json::Value v;
+    std::string error;
+    ASSERT_TRUE(json::parse(line, v, error)) << error << ": " << line;
+    if (v.find("metric")->as_string() != "jsonl.norm") continue;
+    saw_sketch = true;
+    EXPECT_EQ(v.find("type")->as_string(), "sketch");
+    EXPECT_EQ(v.find("count")->as_number(), 4.0);
+    EXPECT_DOUBLE_EQ(v.find("sum")->as_number(), 10.0);
+    EXPECT_DOUBLE_EQ(v.find("min")->as_number(), 1.0);
+    EXPECT_DOUBLE_EQ(v.find("max")->as_number(), 4.0);
+    ASSERT_NE(v.find("p5"), nullptr);
+    ASSERT_NE(v.find("p50"), nullptr);
+    ASSERT_NE(v.find("p95"), nullptr);
+  }
+  EXPECT_TRUE(saw_sketch);
+}
+
+TEST(Metrics, ConcurrentSketchObservesLoseNothing) {
+  Registry reg;
+  reg.set_enabled(true);
+  Sketch s = reg.sketch("concurrent.norm");
+  core::ThreadPool pool(4);
+  constexpr std::size_t kTasks = 16;
+  constexpr std::size_t kPerTask = 1000;
+  core::parallel_for(pool, 0, kTasks, [&](std::size_t i) {
+    for (std::size_t k = 0; k < kPerTask; ++k)
+      s.observe(double(1 + (i + k) % 7));
+  });
+  EXPECT_EQ(s.count(), kTasks * kPerTask);
+}
+
 TEST(Metrics, TableListsEveryMetric) {
   Registry reg;
   reg.set_enabled(true);
   reg.counter("a.count").add(7);
   reg.gauge("b.gauge").set(1.5);
   reg.histogram("c.hist", {1.0}).observe(0.5);
+  reg.sketch("d.sketch").observe(0.5);
   const std::string table = reg.to_table();
   EXPECT_NE(table.find("a.count"), std::string::npos);
   EXPECT_NE(table.find("b.gauge"), std::string::npos);
   EXPECT_NE(table.find("c.hist"), std::string::npos);
+  EXPECT_NE(table.find("d.sketch"), std::string::npos);
 }
 
 TEST(Metrics, ResetDropsMetrics) {

@@ -163,5 +163,62 @@ TEST(Prometheus, ValidatorEnforcesHistogramInvariants) {
       << error;
 }
 
+TEST(Prometheus, SketchWritesValidSummaryFamily) {
+  Registry reg;
+  reg.set_enabled(true);
+  Sketch s = reg.sketch("client.update_norm");
+  for (double v : {0.5, 1.0, 2.0, 4.0, 8.0}) s.observe(v);
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string text = os.str();
+  std::string error;
+  EXPECT_TRUE(validate_prometheus_text(text, error)) << error << "\n" << text;
+  EXPECT_NE(text.find("# TYPE fedwcm_client_update_norm summary"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("fedwcm_client_update_norm{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("fedwcm_client_update_norm_count 5"), std::string::npos);
+}
+
+TEST(Prometheus, EmptySketchScrapesAsNaNQuantilesAndStillValidates) {
+  // NaN quantiles are the exposition format's own idiom for "no observations
+  // yet" — the payload must stay scrape-able before the first round.
+  Registry reg;
+  reg.set_enabled(true);
+  reg.sketch("client.local_loss");
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  std::string error;
+  EXPECT_TRUE(validate_prometheus_text(os.str(), error)) << error;
+  EXPECT_NE(os.str().find("fedwcm_client_local_loss{quantile=\"0.05\"} NaN"),
+            std::string::npos)
+      << os.str();
+}
+
+TEST(Prometheus, ValidatorEnforcesSummaryInvariants) {
+  std::string error;
+  // Quantile label outside [0,1].
+  EXPECT_FALSE(validate_prometheus_text(
+      "# TYPE s summary\ns{quantile=\"1.5\"} 2\ns_sum 2\ns_count 1\n", error));
+  // Non-ascending quantile labels.
+  EXPECT_FALSE(validate_prometheus_text(
+      "# TYPE s summary\n"
+      "s{quantile=\"0.9\"} 2\ns{quantile=\"0.5\"} 1\ns_sum 3\ns_count 2\n",
+      error));
+  // Sample without the quantile label.
+  EXPECT_FALSE(validate_prometheus_text(
+      "# TYPE s summary\ns 2\ns_sum 2\ns_count 1\n", error));
+  // Missing _sum / _count.
+  EXPECT_FALSE(validate_prometheus_text(
+      "# TYPE s summary\ns{quantile=\"0.5\"} 2\n", error));
+  // The well-formed version passes.
+  EXPECT_TRUE(validate_prometheus_text(
+      "# TYPE s summary\n"
+      "s{quantile=\"0.5\"} 1\ns{quantile=\"0.9\"} 2\ns_sum 3\ns_count 2\n",
+      error))
+      << error;
+}
+
 }  // namespace
 }  // namespace fedwcm::obs

@@ -1,0 +1,400 @@
+// Population sketches (obs/sketch.hpp): the merge-of-shards == single-stream
+// gate the whole design exists for, quantile accuracy against exact sorts,
+// SpaceSaving exactness and error bounds, reservoir determinism, wire-format
+// round-trips with hardened rejection, and the PopulationStore tables.
+//
+// The bitwise gates serialize both sketches and compare the byte strings.
+// Counts and buckets are integers, so they merge exactly by construction; the
+// running `sum` is a double accumulation, so the gates feed dyadic values
+// (multiples of 1/32 with small magnitude) whose partial sums are all exactly
+// representable — addition order then provably cannot change the bits.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "fedwcm/core/rng.hpp"
+#include "fedwcm/core/serialize.hpp"
+#include "fedwcm/obs/sketch.hpp"
+
+namespace {
+
+using fedwcm::core::BinaryReader;
+using fedwcm::core::BinaryWriter;
+using fedwcm::obs::PopulationStore;
+using fedwcm::obs::QuantileSketch;
+using fedwcm::obs::ReservoirSketch;
+using fedwcm::obs::TopKSketch;
+
+template <typename Sketch>
+std::string bytes_of(const Sketch& s) {
+  std::ostringstream os;
+  BinaryWriter w(os);
+  s.serialize(w);
+  return os.str();
+}
+
+template <typename Sketch>
+Sketch reload(const Sketch& s) {
+  std::istringstream is(bytes_of(s));
+  BinaryReader r(is);
+  return Sketch::deserialize(r);
+}
+
+/// Deterministic dyadic test stream: multiples of 1/32 in [-100/32, 100/32],
+/// mixing negatives, zeros, and positives.
+double dyadic_value(std::size_t i) {
+  return double(int((i * 37) % 201) - 100) / 32.0;
+}
+
+// ---------------------------------------------------------------------------
+// QuantileSketch
+
+TEST(QuantileSketch, EmptyReportsNaN) {
+  QuantileSketch s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.sum(), 0.0);
+  EXPECT_TRUE(std::isnan(s.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+}
+
+TEST(QuantileSketch, IgnoresNonFinite) {
+  QuantileSketch s;
+  s.observe(std::nan(""));
+  s.observe(std::numeric_limits<double>::infinity());
+  s.observe(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(s.count(), 0u);
+  s.observe(1.0);
+  EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(QuantileSketch, ExtremesAreExact) {
+  QuantileSketch s;
+  for (std::size_t i = 0; i < 500; ++i) s.observe(dyadic_value(i));
+  std::vector<double> exact;
+  for (std::size_t i = 0; i < 500; ++i) exact.push_back(dyadic_value(i));
+  std::sort(exact.begin(), exact.end());
+  EXPECT_EQ(s.quantile(0.0), exact.front());
+  EXPECT_EQ(s.quantile(1.0), exact.back());
+  EXPECT_EQ(s.min(), exact.front());
+  EXPECT_EQ(s.max(), exact.back());
+}
+
+TEST(QuantileSketch, QuantilesWithinRelativeErrorOfExactSort) {
+  const double a = 0.01;
+  QuantileSketch s(a);
+  std::vector<double> exact;
+  fedwcm::core::SplitMix64 rng{2024};
+  for (int i = 0; i < 4000; ++i) {
+    const double v = 1.0 + double(rng.next() % 100000) / 100.0;
+    s.observe(v);
+    exact.push_back(v);
+  }
+  std::sort(exact.begin(), exact.end());
+  for (double q : {0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    const double rank = q * double(exact.size() - 1);
+    const double truth = exact[std::size_t(rank)];
+    // Bucket-boundary rounding can shift one bucket; 2a covers it.
+    EXPECT_NEAR(s.quantile(q), truth, 2.0 * a * truth) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, SignedAndZeroValuesWalkInOrder) {
+  QuantileSketch s;
+  // 3 negatives, 2 zeros, 3 positives: the quantile walk must traverse
+  // negatives (most negative first), then zeros, then positives.
+  for (double v : {-8.0, -2.0, -0.5, 0.0, 0.0, 0.5, 2.0, 8.0}) s.observe(v);
+  EXPECT_EQ(s.quantile(0.0), -8.0);  // Endpoints are exact extremes.
+  EXPECT_EQ(s.quantile(1.0), 8.0);
+  EXPECT_NEAR(s.quantile(0.125), -8.0, 0.2);  // rank 0.875 -> the -8 bucket.
+  EXPECT_EQ(s.quantile(0.5), 0.0);            // rank 3.5 -> the zero run.
+  EXPECT_NEAR(s.quantile(0.875), 2.0, 0.1);   // rank 6.125 -> the 2 bucket.
+}
+
+TEST(QuantileSketch, MergeOfShardsIsBitwiseEqualToSingleStream) {
+  const std::size_t kN = 1000;
+  QuantileSketch single;
+  for (std::size_t i = 0; i < kN; ++i) single.observe(dyadic_value(i));
+  const std::string expected = bytes_of(single);
+  for (std::size_t shards : {1u, 2u, 3u, 5u, 8u}) {
+    std::vector<QuantileSketch> parts(shards);
+    for (std::size_t i = 0; i < kN; ++i)
+      parts[i % shards].observe(dyadic_value(i));
+    // Merge in reverse shard order too: associativity/commutativity must not
+    // matter for the serialized state.
+    QuantileSketch merged;
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it) merged.merge(*it);
+    EXPECT_EQ(bytes_of(merged), expected) << shards << " shards";
+  }
+}
+
+TEST(QuantileSketch, MemoryStaysBoundedUnderMillionsOfObservations) {
+  QuantileSketch s;
+  fedwcm::core::SplitMix64 rng{7};
+  for (int i = 0; i < 200000; ++i)
+    s.observe(1e-3 + double(rng.next() % 1000000) / 1000.0);
+  // Log-bucketing: bucket count tracks the observed dynamic range, not the
+  // observation count.
+  EXPECT_LT(s.bucket_count(), 2200u);
+  EXPECT_EQ(s.count(), 200000u);
+}
+
+TEST(QuantileSketch, SerializeRoundTrips) {
+  QuantileSketch s(0.02);
+  for (std::size_t i = 0; i < 300; ++i) s.observe(dyadic_value(i));
+  const QuantileSketch back = reload(s);
+  EXPECT_EQ(bytes_of(back), bytes_of(s));
+  EXPECT_EQ(back.count(), s.count());
+  EXPECT_EQ(back.quantile(0.5), s.quantile(0.5));
+}
+
+TEST(QuantileSketch, DeserializeRejectsGarbage) {
+  QuantileSketch s;
+  s.observe(1.0);
+  std::string good = bytes_of(s);
+  {  // Bad magic.
+    std::string tampered = good;
+    tampered[0] = 'X';
+    std::istringstream is(tampered);
+    BinaryReader r(is);
+    EXPECT_THROW(QuantileSketch::deserialize(r), std::runtime_error);
+  }
+  {  // Truncated.
+    std::istringstream is(good.substr(0, good.size() / 2));
+    BinaryReader r(is);
+    EXPECT_THROW(QuantileSketch::deserialize(r), std::runtime_error);
+  }
+  {  // Bucket totals disagreeing with count: count_ is the u64 after
+     // magic(4) + version(4) + relative_error(8); flip its low byte.
+    std::string tampered = good;
+    tampered[16] = char(0x7F);
+    std::istringstream is(tampered);
+    BinaryReader r(is);
+    EXPECT_THROW(QuantileSketch::deserialize(r), std::runtime_error);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TopKSketch
+
+TEST(TopKSketch, ExactWithinCapacity) {
+  TopKSketch s(4);
+  s.offer(10, 2.0);
+  s.offer(20, 5.0);
+  s.offer(10, 1.0);
+  s.offer(30, 4.0);
+  EXPECT_FALSE(s.saturated());
+  EXPECT_EQ(s.offered(), 4u);
+  const auto top = s.top();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, 20u);
+  EXPECT_EQ(top[0].weight, 5.0);
+  EXPECT_EQ(top[0].error, 0.0);
+  EXPECT_EQ(top[1].key, 30u);
+  EXPECT_EQ(top[2].key, 10u);
+  EXPECT_EQ(top[2].weight, 3.0);
+}
+
+TEST(TopKSketch, IgnoresInvalidWeights) {
+  TopKSketch s(4);
+  s.offer(1, 0.0);
+  s.offer(1, -2.0);
+  s.offer(1, std::nan(""));
+  EXPECT_EQ(s.offered(), 0u);
+  EXPECT_EQ(s.top().size(), 0u);
+}
+
+TEST(TopKSketch, SaturationKeepsHeavyHittersWithErrorBound) {
+  TopKSketch s(3);
+  // True heavy hitters 1, 2, 3; noise keys 100..149 with weight 1 each.
+  std::vector<double> truth(200, 0.0);
+  auto offer = [&](std::uint64_t k, double w) {
+    s.offer(k, w);
+    truth[k] += w;
+  };
+  for (int rep = 0; rep < 20; ++rep) {
+    offer(1, 10.0);
+    offer(2, 8.0);
+    offer(3, 6.0);
+  }
+  for (std::uint64_t k = 100; k < 150; ++k) offer(k, 1.0);
+  EXPECT_TRUE(s.saturated());
+  const auto top = s.top();
+  ASSERT_EQ(top.size(), 3u);
+  for (const auto& e : top) {
+    // SpaceSaving invariant: weight is an overestimate, within error.
+    EXPECT_GE(e.weight, truth[e.key]);
+    EXPECT_LE(e.weight - e.error, truth[e.key] + 1e-12);
+  }
+  // The dominant key must survive the noise.
+  EXPECT_EQ(top[0].key, 1u);
+}
+
+TEST(TopKSketch, MergeOfShardsIsBitwiseEqualWhileExact) {
+  // 12 distinct keys, capacity 16: no shard and no merge ever evicts, so the
+  // merge must reproduce single-stream state bitwise.
+  const std::size_t kN = 600;
+  auto key_of = [](std::size_t i) { return std::uint64_t(i % 12); };
+  auto weight_of = [](std::size_t i) { return double((i % 7) + 1) / 4.0; };
+  TopKSketch single(16);
+  for (std::size_t i = 0; i < kN; ++i) single.offer(key_of(i), weight_of(i));
+  const std::string expected = bytes_of(single);
+  for (std::size_t shards : {2u, 3u, 5u}) {
+    std::vector<TopKSketch> parts(shards, TopKSketch(16));
+    for (std::size_t i = 0; i < kN; ++i)
+      parts[i % shards].offer(key_of(i), weight_of(i));
+    TopKSketch merged(16);
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it) merged.merge(*it);
+    EXPECT_EQ(bytes_of(merged), expected) << shards << " shards";
+  }
+}
+
+TEST(TopKSketch, MergeAfterSaturationKeepsOverestimateInvariant) {
+  std::vector<double> truth(400, 0.0);
+  TopKSketch a(4), b(4);
+  fedwcm::core::SplitMix64 rng{99};
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t k = rng.next() % 40;
+    const double w = double(rng.next() % 8 + 1);
+    (i % 2 ? a : b).offer(k, w);
+    truth[k] += w;
+  }
+  a.merge(b);
+  EXPECT_TRUE(a.saturated());
+  for (const auto& e : a.top()) {
+    EXPECT_GE(e.weight + 1e-9, truth[e.key]);
+    EXPECT_LE(e.weight - e.error, truth[e.key] + 1e-9);
+  }
+}
+
+TEST(TopKSketch, SerializeRoundTripsAndRejectsGarbage) {
+  TopKSketch s(3);
+  for (std::uint64_t k = 0; k < 9; ++k) s.offer(k, double(k + 1));
+  const TopKSketch back = reload(s);
+  EXPECT_EQ(bytes_of(back), bytes_of(s));
+  EXPECT_EQ(back.saturated(), s.saturated());
+  EXPECT_EQ(back.offered(), s.offered());
+
+  std::string tampered = bytes_of(s);
+  tampered[0] = 'X';
+  std::istringstream is(tampered);
+  BinaryReader r(is);
+  EXPECT_THROW(TopKSketch::deserialize(r), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// ReservoirSketch
+
+TEST(ReservoirSketch, KeptSetIsOrderInsensitive) {
+  ReservoirSketch fwd(8, 42), rev(8, 42);
+  for (std::uint64_t id = 0; id < 100; ++id) fwd.offer(id, double(id));
+  for (std::uint64_t id = 100; id-- > 0;) rev.offer(id, double(id));
+  EXPECT_EQ(bytes_of(fwd), bytes_of(rev));
+  EXPECT_EQ(fwd.sample().size(), 8u);
+  EXPECT_EQ(fwd.seen(), 100u);
+}
+
+TEST(ReservoirSketch, SeedChangesTheSample) {
+  ReservoirSketch a(8, 1), b(8, 2);
+  for (std::uint64_t id = 0; id < 100; ++id) {
+    a.offer(id, 0.0);
+    b.offer(id, 0.0);
+  }
+  std::vector<std::uint64_t> ids_a, ids_b;
+  for (const auto& item : a.sample()) ids_a.push_back(item.id);
+  for (const auto& item : b.sample()) ids_b.push_back(item.id);
+  EXPECT_NE(ids_a, ids_b);
+}
+
+TEST(ReservoirSketch, DuplicateIdKeepsMinValue) {
+  ReservoirSketch s(4, 7);
+  s.offer(3, 5.0);
+  s.offer(3, 2.0);
+  s.offer(3, 9.0);
+  ASSERT_EQ(s.sample().size(), 1u);
+  EXPECT_EQ(s.sample()[0].value, 2.0);
+  EXPECT_EQ(s.seen(), 3u);
+}
+
+TEST(ReservoirSketch, MergeOfShardsIsBitwiseEqualToSingleStream) {
+  const std::size_t kN = 500;
+  ReservoirSketch single(16, 123);
+  for (std::size_t i = 0; i < kN; ++i)
+    single.offer(i % 300, dyadic_value(i));
+  const std::string expected = bytes_of(single);
+  for (std::size_t shards : {2u, 4u, 7u}) {
+    std::vector<ReservoirSketch> parts(shards, ReservoirSketch(16, 123));
+    for (std::size_t i = 0; i < kN; ++i)
+      parts[i % shards].offer(i % 300, dyadic_value(i));
+    ReservoirSketch merged(16, 123);
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it) merged.merge(*it);
+    EXPECT_EQ(bytes_of(merged), expected) << shards << " shards";
+  }
+}
+
+TEST(ReservoirSketch, DeserializeRejectsForgedPriorities) {
+  ReservoirSketch s(4, 11);
+  for (std::uint64_t id = 0; id < 20; ++id) s.offer(id, 1.0);
+  std::string good = bytes_of(s);
+  // Items start after magic(4)+version(4)+capacity(8)+seed(8)+seen(8)+n(8);
+  // corrupt the first item's priority.
+  std::string tampered = good;
+  tampered[40] = char(tampered[40] ^ 0x5A);
+  std::istringstream is(tampered);
+  BinaryReader r(is);
+  EXPECT_THROW(ReservoirSketch::deserialize(r), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// PopulationStore
+
+TEST(PopulationStore, DisabledOffersAreIgnored) {
+  PopulationStore& store = fedwcm::obs::population();
+  store.reset();
+  store.set_enabled(false);
+  store.topk_offer("pop.test_ignored", 1, 1.0);
+  store.reservoir_offer("pop.test_ignored_sample", 1, 1.0);
+  EXPECT_TRUE(store.top_tables().empty());
+  EXPECT_TRUE(store.sample_tables().empty());
+}
+
+TEST(PopulationStore, TablesAndPrometheusExposition) {
+  PopulationStore& store = fedwcm::obs::population();
+  store.reset();
+  store.set_enabled(true);
+  store.set_seed(5);
+  store.topk_offer("pop.test_faulty", 42, 3.0);
+  store.topk_offer("pop.test_faulty", 42, 1.0);
+  store.topk_offer("pop.test_faulty", 7);
+  store.reservoir_offer("pop.test_norms", 9, 0.5);
+
+  const auto tops = store.top_tables();
+  ASSERT_EQ(tops.size(), 1u);
+  EXPECT_EQ(tops[0].name, "pop.test_faulty");
+  EXPECT_EQ(tops[0].offered, 3u);
+  ASSERT_EQ(tops[0].entries.size(), 2u);
+  EXPECT_EQ(tops[0].entries[0].key, 42u);
+  EXPECT_EQ(tops[0].entries[0].weight, 4.0);
+
+  const auto samples = store.sample_tables();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].items.size(), 1u);
+  EXPECT_EQ(samples[0].items[0].id, 9u);
+
+  std::ostringstream os;
+  store.write_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE fedwcm_pop_test_faulty gauge"), std::string::npos);
+  EXPECT_NE(text.find("fedwcm_pop_test_faulty{client=\"42\"} 4"),
+            std::string::npos);
+
+  store.reset();
+  store.set_enabled(false);
+  EXPECT_TRUE(store.top_tables().empty());
+}
+
+}  // namespace

@@ -141,6 +141,49 @@ TEST(Watchdog, RoundStallAgainstTrailingMedian) {
   EXPECT_DOUBLE_EQ(alarm->value, 200.0);
 }
 
+TEST(Watchdog, SpreadCollapseNeedsTheFullWindow) {
+  WatchdogConfig config;
+  config.spread_floor = 1.2;
+  config.spread_window = 3;
+  Watchdog dog(config);
+
+  // Two collapsed rounds, then a healthy one: the streak resets.
+  for (int r = 0; r < 2; ++r) {
+    RoundSample s = sample(r);
+    s.norm_spread = 1.05;
+    EXPECT_FALSE(dog.observe(s).has_value()) << "round " << r;
+  }
+  RoundSample healthy = sample(2);
+  healthy.norm_spread = 2.0;
+  EXPECT_FALSE(dog.observe(healthy).has_value());
+
+  // Unmeasured rounds (population telemetry off / no uploads) neither count
+  // nor reset the streak.
+  for (int r = 3; r < 5; ++r) {
+    RoundSample s = sample(r);
+    s.norm_spread = 1.1;
+    EXPECT_FALSE(dog.observe(s).has_value()) << "round " << r;
+  }
+  EXPECT_FALSE(dog.observe(sample(5)).has_value());  // norm_spread unset.
+  RoundSample third = sample(6);
+  third.norm_spread = 1.0;
+  const auto alarm = dog.observe(third);
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(alarm->rule, "spread_collapse");
+  EXPECT_EQ(alarm->round, 6);
+  EXPECT_DOUBLE_EQ(alarm->value, 1.0);
+}
+
+TEST(Watchdog, SpreadRuleIsOffByDefault) {
+  Watchdog dog;  // spread_floor defaults to -1: disabled.
+  for (int r = 0; r < 10; ++r) {
+    RoundSample s = sample(r);
+    s.norm_spread = 1.0;  // Fully collapsed spread every round.
+    EXPECT_FALSE(dog.observe(s).has_value()) << "round " << r;
+  }
+  EXPECT_FALSE(dog.tripped());
+}
+
 TEST(Watchdog, KeepsObservingAfterATrip) {
   WatchdogConfig config;
   config.qr_threshold = 0.5;

@@ -22,6 +22,10 @@
 ///          [--cpu-factor X]      max candidate/baseline CPU-time ratio
 ///                                (off by default; CPU time is noisy across
 ///                                machines — peak RSS is the stable gate)
+///          [--quantile-factor X] max candidate/baseline ratio for the p50 and
+///                                p95 of every population sketch present with
+///                                data in both ledgers (off by default; see
+///                                the "population" ledger block)
 
 #include <cstdlib>
 #include <iostream>
@@ -36,7 +40,7 @@ constexpr const char* kUsage =
     "usage: fedwcm_compare BASELINE.jsonl CANDIDATE.jsonl\n"
     "         [--accuracy-drop X] [--recall-drop X] [--time-factor X]\n"
     "       fedwcm_compare --ledger BASELINE.json CANDIDATE.json\n"
-    "         [--rss-factor X] [--cpu-factor X]\n";
+    "         [--rss-factor X] [--cpu-factor X] [--quantile-factor X]\n";
 
 /// --ledger mode: diff two resource ledgers with regression thresholds.
 int run_ledger_compare(const std::string& baseline_path,
@@ -89,6 +93,8 @@ int main(int argc, char** argv) {
       take_f64(ledger_thresholds.rss_factor);
     } else if (flag == "--cpu-factor") {
       take_f64(ledger_thresholds.cpu_factor);
+    } else if (flag == "--quantile-factor") {
+      take_f64(ledger_thresholds.quantile_factor);
     } else if (flag == "--accuracy-drop") {
       take_f64(thresholds.accuracy_drop);
     } else if (flag == "--recall-drop") {

@@ -43,6 +43,9 @@
 ///   --trace PATH          Chrome trace-event JSON (Perfetto)  [$FEDWCM_TRACE]
 ///   --metrics-out PATH    metrics JSONL                  [$FEDWCM_METRICS_OUT]
 ///   --diag                per-round learning-dynamics diagnostics [off]
+///   --population          per-client population sketches: update-norm /
+///                         loss / wall-ms quantiles, top-k heavy hitters,
+///                         seeded reservoir sample (read-only)  [off]
 ///   --report-html PATH    self-contained HTML dashboard       [none]
 ///   --progress            per-round progress lines            [off]
 ///   --serve PORT          live HTTP telemetry (/metrics, /healthz,
@@ -57,7 +60,11 @@
 ///   --recall-floor F      min-class-recall floor (enables rule) [off]
 ///   --recall-window N     consecutive evals below floor       [3]
 ///   --stall-factor F      round-stall multiple of median      [10]
-///   --flight PATH         flight-recorder dump file  [flight.json w/ --watchdog]
+///   --spread-floor F      update-norm p95/p50 collapse floor (enables
+///                         rule; needs --population)           [off]
+///   --spread-window N     consecutive populated rounds below  [3]
+///   --flight PATH         flight-recorder dump file  [flight.<pid>.json
+///                         w/ --watchdog]
 ///
 /// Numeric flags are parsed strictly: a non-numeric, partially numeric,
 /// out-of-range, or non-finite value exits with status 2 and an error naming
@@ -94,9 +101,11 @@
 #include "fedwcm/obs/prof.hpp"
 #include "fedwcm/obs/runtime.hpp"
 #include "fedwcm/obs/sampler.hpp"
+#include "fedwcm/obs/sketch.hpp"
 #include "fedwcm/obs/watchdog.hpp"
 
 #include <fstream>
+#include <unistd.h>
 
 using namespace fedwcm;
 
@@ -131,6 +140,7 @@ struct Args {
   std::string trace;
   std::string metrics_out;
   bool diag = false;
+  bool population = false;
   std::string report_html;
   bool progress = false;
   int serve_port = -1;  ///< -1 = off; 0 = ephemeral.
@@ -187,6 +197,12 @@ const char kUsage[] =
     "  --diag                record momentum-alignment / drift / dispersion\n"
     "                        diagnostics each round (read-only; the training\n"
     "                        trajectory is bitwise identical)       [off]\n"
+    "  --population          per-client population telemetry: mergeable\n"
+    "                        quantile sketches over update norms / losses /\n"
+    "                        wall times, top-k heavy hitters, and a seeded\n"
+    "                        reservoir sample; exported on /metrics, in the\n"
+    "                        ledger, and as per-round norm quantiles in the\n"
+    "                        artifacts (read-only; bitwise identical) [off]\n"
     "  --report-html PATH    write a self-contained HTML dashboard  [none]\n"
     "  --progress            per-round progress lines           [off]\n"
     "  --serve PORT          serve live telemetry on 127.0.0.1:PORT —\n"
@@ -214,9 +230,13 @@ const char kUsage[] =
     "  --recall-window N     ... for N consecutive evaluations   [3]\n"
     "  --stall-factor F      alarm when a round takes F x the trailing\n"
     "                        median round time                   [10]\n"
+    "  --spread-floor F      arm the spread rule: alarm when the update-norm\n"
+    "                        p95/p50 ratio stays below F (needs\n"
+    "                        --population)                       [off]\n"
+    "  --spread-window N     ... for N consecutive populated rounds [3]\n"
     "  --flight PATH         flight-recorder dump (last events as JSON,\n"
     "                        written on a trip or fatal signal)\n"
-    "                        [flight.json when --watchdog is on]\n"
+    "                        [flight.<pid>.json when --watchdog is on]\n"
     "  --help, -h            print this message and exit\n";
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -324,6 +344,7 @@ Args parse(int argc, char** argv) {
     else if (flag == "--trace") args.trace = need_value(i);
     else if (flag == "--metrics-out") args.metrics_out = need_value(i);
     else if (flag == "--diag") args.diag = true;
+    else if (flag == "--population") args.population = true;
     else if (flag == "--report-html") args.report_html = need_value(i);
     else if (flag == "--progress") args.progress = true;
     else if (flag == "--serve") {
@@ -357,6 +378,15 @@ Args parse(int argc, char** argv) {
           flag, need_value(i), 1, std::numeric_limits<int>::max()));
     else if (flag == "--stall-factor")
       args.watchdog_config.stall_factor = parse_f64(flag, need_value(i));
+    else if (flag == "--spread-floor") {
+      args.watchdog = true;
+      args.watchdog_config.spread_floor = parse_f64(flag, need_value(i));
+      if (args.watchdog_config.spread_floor < 0.0)
+        usage_error("--spread-floor must be non-negative");
+    }
+    else if (flag == "--spread-window")
+      args.watchdog_config.spread_window = int(parse_u64_in(
+          flag, need_value(i), 1, std::numeric_limits<int>::max()));
     else if (flag == "--flight") args.flight = need_value(i);
     else if (flag == "--help" || flag == "-h") {
       std::cout << kUsage;
@@ -496,6 +526,14 @@ int main(int argc, char** argv) {
   cfg.faults = args.faults;
   cfg.stream_aggregation = args.stream;
   cfg.availability = args.availability;
+  cfg.population_telemetry = args.population;
+  if (args.population) {
+    // The sketch cells live in the metrics registry; the heavy-hitter and
+    // reservoir tables in the population store, seeded for reproducibility.
+    obs::metrics().set_enabled(true);
+    obs::population().set_enabled(true);
+    obs::population().set_seed(args.seed);
+  }
   if (args.resume && args.checkpoint.empty())
     usage_error("--resume requires --checkpoint");
   if (args.lazy && args.fedgrab_partition)
@@ -558,10 +596,14 @@ int main(int argc, char** argv) {
   // q_r rule sees the momentum-alignment fields it needs (--qr-threshold
   // without --diag simply never fires — q_r is never diagnosed).
   std::unique_ptr<obs::FlightRecorder> flight;
+  // PID-suffixed default so concurrent runs in one directory (CI matrix
+  // jobs, parallel ctest) don't clobber each other's post-mortems.
+  const std::string flight_path =
+      args.flight.empty() ? "flight." + std::to_string(getpid()) + ".json"
+                          : args.flight;
   if (args.watchdog) {
     obs::events().set_enabled(true);
-    flight = std::make_unique<obs::FlightRecorder>(
-        obs::events(), args.flight.empty() ? "flight.json" : args.flight);
+    flight = std::make_unique<obs::FlightRecorder>(obs::events(), flight_path);
     flight->install_signal_handlers();
     auto watchdog = std::make_shared<fl::WatchdogObserver>(args.watchdog_config);
     watchdog->set_flight_recorder(flight.get());
@@ -609,9 +651,7 @@ int main(int argc, char** argv) {
     std::cout << "run ABORTED by the watchdog (checkpoint "
               << (args.checkpoint.empty() ? std::string("disabled")
                                           : args.checkpoint)
-              << ", flight "
-              << (args.flight.empty() ? std::string("flight.json") : args.flight)
-              << ")\n";
+              << ", flight " << flight_path << ")\n";
   std::cout << "final accuracy:      " << result.final_accuracy << "\n"
             << "tail-mean accuracy:  " << result.tail_mean_accuracy << "\n"
             << "best accuracy:       " << result.best_accuracy << "\n"
@@ -622,6 +662,14 @@ int main(int argc, char** argv) {
     std::cout << "faults: dropped=" << result.faults_dropped
               << " rejected=" << result.faults_rejected
               << " straggled=" << result.faults_straggled << "\n";
+  if (args.population)
+    for (auto it = result.history.rbegin(); it != result.history.rend(); ++it)
+      if (it->population) {
+        std::cout << "population: round " << it->round << " update-norm p5="
+                  << it->norm_p5 << " p50=" << it->norm_p50
+                  << " p95=" << it->norm_p95 << "\n";
+        break;
+      }
   if (!args.checkpoint.empty())
     std::cout << "checkpoint: " << args.checkpoint << " (every "
               << args.checkpoint_every << " rounds)\n";

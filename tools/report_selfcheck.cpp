@@ -131,6 +131,7 @@ void check_generated_report(const std::string& dir) {
   cfg.batch_size = 16;
   cfg.eval_every = 2;
   cfg.threads = 2;
+  cfg.population_telemetry = true;  // Exercise the quantile band card.
   const auto partition =
       data::partition_equal_quantity(tt.train, subset, cfg.num_clients, 0.1, 42);
   auto factory = nn::mlp_factory(tt.train.dim(), {16}, tt.train.num_classes);
@@ -159,7 +160,8 @@ void check_generated_report(const std::string& dir) {
   // The human-facing sections exist.
   for (const char* expected :
        {"Test accuracy", "Momentum value", "Momentum alignment",
-        "Per-class recall over rounds", "History table", "report-data"})
+        "Client update-norm quantiles", "Per-class recall over rounds",
+        "History table", "report-data"})
     if (html.find(expected) == std::string::npos)
       fail(std::string("generated report: section '") + expected + "' missing");
 
@@ -172,6 +174,9 @@ void check_generated_report(const std::string& dir) {
   const obs::json::Value* diag = data.find("diagnostics");
   if (!diag || !diag->is_bool() || !diag->as_bool())
     fail("generated report: diagnostics flag not set despite --diag run");
+  const obs::json::Value* pop = data.find("population");
+  if (!pop || !pop->is_bool() || !pop->as_bool())
+    fail("generated report: population flag not set despite telemetry run");
 
   // Rounds axis matches the evaluated-round history.
   const obs::json::Value* rounds = data.find("rounds");
@@ -186,19 +191,25 @@ void check_generated_report(const std::string& dir) {
   }
 
   // Float-exact series round-trips against the in-memory result.
-  std::vector<float> acc, alpha, align, align_min, drift;
+  std::vector<float> acc, alpha, align, align_min, drift, p5, p50, p95;
   for (const auto& rec : result.history) {
     acc.push_back(rec.test_accuracy);
     alpha.push_back(rec.alpha);
     align.push_back(rec.momentum_alignment);
     align_min.push_back(rec.alignment_min);
     drift.push_back(rec.drift_norm);
+    p5.push_back(rec.norm_p5);
+    p50.push_back(rec.norm_p50);
+    p95.push_back(rec.norm_p95);
   }
   check_float_series(data, "test_accuracy", acc, "generated report");
   check_float_series(data, "alpha", alpha, "generated report");
   check_float_series(data, "momentum_alignment", align, "generated report");
   check_float_series(data, "alignment_min", align_min, "generated report");
   check_float_series(data, "drift_norm", drift, "generated report");
+  check_float_series(data, "norm_p5", p5, "generated report");
+  check_float_series(data, "norm_p50", p50, "generated report");
+  check_float_series(data, "norm_p95", p95, "generated report");
 
   // Per-class recall matrix: one row per evaluated round, C columns.
   const obs::json::Value* recall = data.find("per_class_recall");
