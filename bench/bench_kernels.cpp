@@ -43,23 +43,36 @@ int main(int argc, char** argv) {
               << std::setw(5) << g.m << " x" << std::setw(5) << g.n << " x"
               << std::setw(5) << g.k << "   blocked " << std::setw(7)
               << g.blocked_gflops << "   naive " << std::setw(7)
-              << g.naive_gflops << "   speedup " << std::setw(6) << g.speedup()
-              << "x\n";
+              << g.naive_gflops << "   fp16 " << std::setw(7) << g.fp16_gflops
+              << "   speedup " << std::setw(6) << g.speedup() << "x\n";
   std::cout << "Fused ParamVector kernels (ns/element)\n";
   for (const auto& f : report.fused)
     std::cout << "  " << std::left << std::setw(14) << f.op << std::right
               << " n=" << f.n << "   blocked " << std::setw(7)
               << f.blocked_ns_per_elem << "   naive " << std::setw(7)
-              << f.naive_ns_per_elem << "   speedup " << std::setw(6)
+              << f.naive_ns_per_elem << "   fp16 " << std::setw(7)
+              << f.fp16_ns_per_elem << "   speedup " << std::setw(6)
               << f.speedup() << "x\n";
+  std::cout << "Uplink codecs (ns/element)\n";
+  for (const auto& c : report.codec)
+    std::cout << "  " << std::left << std::setw(6) << c.codec << std::right
+              << " n=" << c.n << "   encode " << std::setw(7)
+              << c.encode_ns_per_elem << "   decode " << std::setw(7)
+              << c.decode_ns_per_elem << "   wire shrink " << std::setw(5)
+              << c.shrink << "x\n";
   if (report.e2e.rounds != 0) {
     const auto& e = report.e2e;
     std::cout << "End-to-end (" << e.config << ")\n"
               << "  blocked " << e.blocked_ms_per_round << " ms/round, naive "
-              << e.naive_ms_per_round << " ms/round, speedup " << e.speedup()
-              << "x\n"
+              << e.naive_ms_per_round << " ms/round (speedup " << e.speedup()
+              << "x), fp16 " << e.fp16_ms_per_round << " ms/round\n"
               << std::setprecision(6) << "  accuracy blocked "
-              << e.blocked_accuracy << ", naive " << e.naive_accuracy << "\n";
+              << e.blocked_accuracy << ", naive " << e.naive_accuracy
+              << ", fp16 " << e.fp16_accuracy << "\n"
+              << std::setprecision(2) << "  int8 uplink: accuracy "
+              << std::setprecision(6) << e.int8_uplink_accuracy
+              << std::setprecision(2) << ", bytes_up shrink "
+              << e.uplink_shrink() << "x\n";
   }
 
   if (!json_path.empty()) {

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "fedwcm/core/param_vector.hpp"
+#include "fedwcm/core/quant.hpp"
 #include "fedwcm/core/rng.hpp"
 #include "fedwcm/core/tensor.hpp"
 #include "fedwcm/data/longtail.hpp"
@@ -151,23 +152,40 @@ E2eResult run_e2e(bool quick, bool verbose) {
     r.config = cf.str();
   }
 
-  auto run_mode = [&](core::KernelMode mode, double& ms_per_round,
-                      double& accuracy) {
+  auto run_mode = [&](core::KernelMode mode, core::Codec uplink,
+                      double& ms_per_round, double& accuracy,
+                      double* bytes_up) {
     core::set_kernel_mode(mode);
-    fl::Simulation sim(cfg, tt.train, tt.test, partition, factory,
+    fl::FlConfig run_cfg = cfg;
+    run_cfg.uplink = uplink;
+    fl::Simulation sim(run_cfg, tt.train, tt.test, partition, factory,
                        loss_factory);
     auto algorithm = fl::make_algorithm("fedwcm");
     const auto t0 = Clock::now();
     const fl::SimulationResult result = sim.run(*algorithm);
     ms_per_round = seconds_since(t0) * 1e3 / double(cfg.rounds);
     accuracy = double(result.final_accuracy);
+    if (bytes_up != nullptr) {
+      std::uint64_t total = 0;
+      for (const auto& rec : result.history) total += rec.bytes_up;
+      *bytes_up = double(total);
+    }
   };
 
   if (verbose) std::cerr << "e2e: blocked (" << cfg.rounds << " rounds)\n";
-  run_mode(core::KernelMode::kBlocked, r.blocked_ms_per_round,
-           r.blocked_accuracy);
+  run_mode(core::KernelMode::kBlocked, core::Codec::kFp32,
+           r.blocked_ms_per_round, r.blocked_accuracy, &r.bytes_up_fp32);
   if (verbose) std::cerr << "e2e: naive (" << cfg.rounds << " rounds)\n";
-  run_mode(core::KernelMode::kNaive, r.naive_ms_per_round, r.naive_accuracy);
+  run_mode(core::KernelMode::kNaive, core::Codec::kFp32, r.naive_ms_per_round,
+           r.naive_accuracy, nullptr);
+  if (verbose) std::cerr << "e2e: fp16 (" << cfg.rounds << " rounds)\n";
+  run_mode(core::KernelMode::kFp16, core::Codec::kFp32, r.fp16_ms_per_round,
+           r.fp16_accuracy, nullptr);
+  if (verbose)
+    std::cerr << "e2e: int8 uplink (" << cfg.rounds << " rounds)\n";
+  run_mode(core::KernelMode::kBlocked, core::Codec::kInt8,
+           r.int8_uplink_ms_per_round, r.int8_uplink_accuracy,
+           &r.bytes_up_int8);
   return r;
 }
 
@@ -218,6 +236,7 @@ KernelBenchReport run_kernel_bench(const KernelBenchOptions& options) {
                 << "\n";
     g.blocked_gflops = gemm_gflops(c, core::KernelMode::kBlocked, min_time);
     g.naive_gflops = gemm_gflops(c, core::KernelMode::kNaive, min_time);
+    g.fp16_gflops = gemm_gflops(c, core::KernelMode::kFp16, min_time);
     report.gemm.push_back(g);
   }
 
@@ -264,7 +283,37 @@ KernelBenchReport run_kernel_bench(const KernelBenchOptions& options) {
     core::set_kernel_mode(core::KernelMode::kNaive);
     f.naive_ns_per_elem =
         time_per_call(c.body, min_time) * 1e9 / double(c.elems);
+    core::set_kernel_mode(core::KernelMode::kFp16);
+    f.fp16_ns_per_elem =
+        time_per_call(c.body, min_time) * 1e9 / double(c.elems);
     report.fused.push_back(f);
+  }
+  core::set_kernel_mode(core::KernelMode::kBlocked);
+
+  // Uplink codecs: quantize/dequantize throughput at the same model-sized
+  // vector, plus the framed wire shrink the gate enforces.
+  for (const core::Codec codec : {core::Codec::kFp16, core::Codec::kInt8}) {
+    CodecResult c;
+    c.codec = core::to_string(codec);
+    c.n = n;
+    if (options.verbose) std::cerr << "codec: " << c.codec << "\n";
+    core::QuantizedVector q;
+    core::quantize(codec, x, q);  // Pre-size the reused buffers.
+    core::ParamVector decoded;
+    c.encode_ns_per_elem =
+        time_per_call([&] { core::quantize(codec, x, q); }, min_time) * 1e9 /
+        double(n);
+    c.decode_ns_per_elem =
+        time_per_call(
+            [&] {
+              core::dequantize(q, decoded);
+              g_sink = g_sink + double(decoded[0]);
+            },
+            min_time) *
+        1e9 / double(n);
+    c.shrink = double(core::wire_bytes(core::Codec::kFp32, n)) /
+               double(core::wire_bytes(codec, n));
+    report.codec.push_back(c);
   }
 
   if (!options.skip_e2e)
@@ -279,7 +328,7 @@ std::string to_json(const KernelBenchReport& report) {
   std::ostringstream os;
   os.precision(6);
   os << "{\n";
-  os << "  \"schema\": \"fedwcm.bench_kernels.v1\",\n";
+  os << "  \"schema\": \"fedwcm.bench_kernels.v2\",\n";
   os << "  \"quick\": " << (report.quick ? "true" : "false") << ",\n";
   os << "  ";
   append_json_common(os, "peak_rss_kb", report.peak_rss_kb);
@@ -293,6 +342,8 @@ std::string to_json(const KernelBenchReport& report) {
     os << ", ";
     append_json_common(os, "naive_gflops", g.naive_gflops);
     os << ", ";
+    append_json_common(os, "fp16_gflops", g.fp16_gflops);
+    os << ", ";
     append_json_common(os, "speedup", g.speedup());
     os << "}" << (i + 1 < report.gemm.size() ? "," : "") << "\n";
   }
@@ -305,8 +356,22 @@ std::string to_json(const KernelBenchReport& report) {
     os << ", ";
     append_json_common(os, "naive_ns_per_elem", f.naive_ns_per_elem);
     os << ", ";
+    append_json_common(os, "fp16_ns_per_elem", f.fp16_ns_per_elem);
+    os << ", ";
     append_json_common(os, "speedup", f.speedup());
     os << "}" << (i + 1 < report.fused.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"codec\": [\n";
+  for (std::size_t i = 0; i < report.codec.size(); ++i) {
+    const CodecResult& c = report.codec[i];
+    os << "    {\"codec\": \"" << c.codec << "\", \"n\": " << c.n << ", ";
+    append_json_common(os, "encode_ns_per_elem", c.encode_ns_per_elem);
+    os << ", ";
+    append_json_common(os, "decode_ns_per_elem", c.decode_ns_per_elem);
+    os << ", ";
+    append_json_common(os, "shrink", c.shrink);
+    os << "}" << (i + 1 < report.codec.size() ? "," : "") << "\n";
   }
   os << "  ],\n";
   if (report.e2e.rounds == 0) {
@@ -320,6 +385,11 @@ std::string to_json(const KernelBenchReport& report) {
     os << ",\n    ";
     append_json_common(os, "naive_ms_per_round", e.naive_ms_per_round);
     os << ",\n    ";
+    append_json_common(os, "fp16_ms_per_round", e.fp16_ms_per_round);
+    os << ",\n    ";
+    append_json_common(os, "int8_uplink_ms_per_round",
+                       e.int8_uplink_ms_per_round);
+    os << ",\n    ";
     append_json_common(os, "speedup", e.speedup());
     os << ",\n    ";
     os.precision(9);
@@ -327,7 +397,23 @@ std::string to_json(const KernelBenchReport& report) {
     os << ",\n    ";
     append_json_common(os, "naive_accuracy", e.naive_accuracy);
     os << ",\n    ";
+    append_json_common(os, "fp16_accuracy", e.fp16_accuracy);
+    os << ",\n    ";
+    append_json_common(os, "int8_uplink_accuracy", e.int8_uplink_accuracy);
+    os << ",\n    ";
     append_json_common(os, "accuracy_abs_diff", e.accuracy_abs_diff());
+    os << ",\n    ";
+    append_json_common(os, "fp16_accuracy_abs_diff",
+                       e.fp16_accuracy_abs_diff());
+    os << ",\n    ";
+    append_json_common(os, "int8_uplink_accuracy_abs_diff",
+                       e.int8_uplink_accuracy_abs_diff());
+    os << ",\n    ";
+    append_json_common(os, "bytes_up_fp32", e.bytes_up_fp32);
+    os << ",\n    ";
+    append_json_common(os, "bytes_up_int8", e.bytes_up_int8);
+    os << ",\n    ";
+    append_json_common(os, "uplink_shrink", e.uplink_shrink());
     os.precision(6);
     os << "\n  }\n";
   }

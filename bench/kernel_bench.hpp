@@ -2,23 +2,30 @@
 /// \file kernel_bench.hpp
 /// Measurement library behind `bench_kernels` and `tools/perf_gate`.
 ///
-/// Three layers of the compute core are benchmarked A/B between the blocked
-/// kernels (`core::KernelMode::kBlocked`, the default) and the seed-faithful
-/// naive reference (`kNaive`, also reachable at runtime via
-/// `FEDWCM_KERNELS=naive`):
+/// Four layers of the compute core are benchmarked across the kernel modes —
+/// the blocked kernels (`core::KernelMode::kBlocked`, the default), the
+/// seed-faithful naive reference (`kNaive`), and the low-precision
+/// fp16-accumulate variants (`kFp16`), all reachable at runtime via
+/// `FEDWCM_KERNELS`:
 ///
 ///  1. GEMM GFLOP/s across paper-relevant shapes for all three matmul
-///     variants (N·N, Tᵀ·N, N·Tᵀ).
+///     variants (N·N, Tᵀ·N, N·Tᵀ) under all three modes.
 ///  2. ns/element for the fused ParamVector span kernels used by the
 ///     momentum-based aggregators (scale_add, blend_into, weighted_sum,
-///     dot_norms).
-///  3. End-to-end ms/round for the default `fedwcm_run` configuration
-///     (synthetic CIFAR-10, IF=0.1, Dirichlet beta=0.1, 30 clients, FedWCM),
-///     with the final test accuracy of both modes recorded so the perf gate
-///     can assert they agree.
+///     dot_norms) under all three modes.
+///  3. Uplink codec throughput (core/quant.hpp): encode/decode ns/element for
+///     the fp16 and int8 codecs at a model-sized vector, plus the wire-size
+///     shrink factor perf_gate tracks.
+///  4. End-to-end ms/round for the default `fedwcm_run` configuration
+///     (synthetic CIFAR-10, IF=0.1, Dirichlet beta=0.1, 30 clients, FedWCM):
+///     blocked vs naive vs fp16 compute, plus an int8+error-feedback uplink
+///     run on blocked kernels — final accuracies and uplink byte totals are
+///     recorded so the perf gate can assert the accuracy-delta and
+///     compression policies (docs/PERFORMANCE.md).
 ///
 /// All timings use steady_clock with auto-calibrated iteration counts; the
-/// report serialises to the committed `BENCH_kernels.json` schema.
+/// report serialises to the committed `BENCH_kernels.json` schema
+/// (`fedwcm.bench_kernels.v2`).
 
 #include <cstddef>
 #include <string>
@@ -26,37 +33,62 @@
 
 namespace fedwcm::bench {
 
-/// One GEMM shape measured under both kernel modes.
+/// One GEMM shape measured under all three kernel modes.
 struct GemmShapeResult {
   std::string op;  ///< "matmul" | "matmul_tn" | "matmul_nt".
   std::size_t m = 0, n = 0, k = 0;
   double blocked_gflops = 0.0;
   double naive_gflops = 0.0;
+  double fp16_gflops = 0.0;
   double speedup() const {
     return naive_gflops > 0.0 ? blocked_gflops / naive_gflops : 0.0;
   }
 };
 
-/// One fused ParamVector kernel measured under both kernel modes.
+/// One fused ParamVector kernel measured under all three kernel modes.
 struct FusedOpResult {
   std::string op;
   std::size_t n = 0;  ///< Elements touched per call (per input vector).
   double blocked_ns_per_elem = 0.0;
   double naive_ns_per_elem = 0.0;
+  double fp16_ns_per_elem = 0.0;
   double speedup() const {
     return blocked_ns_per_elem > 0.0 ? naive_ns_per_elem / blocked_ns_per_elem
                                      : 0.0;
   }
 };
 
-/// End-to-end FedWCM training run (default fedwcm_run config) A/B.
+/// One uplink codec (fp16 or int8) at a model-sized vector: quantize /
+/// dequantize throughput and the framed wire-size shrink vs fp32.
+struct CodecResult {
+  std::string codec;
+  std::size_t n = 0;
+  double encode_ns_per_elem = 0.0;
+  double decode_ns_per_elem = 0.0;
+  /// wire_bytes(fp32, n) / wire_bytes(codec, n) — deterministic, but recorded
+  /// so the committed baseline documents the compression the gate enforces.
+  double shrink = 0.0;
+};
+
+/// End-to-end FedWCM training run (default fedwcm_run config): compute-mode
+/// A/B/C plus the int8+error-feedback uplink run used by the accuracy and
+/// compression gates.
 struct E2eResult {
   std::string config;
   std::size_t rounds = 0;
   double blocked_ms_per_round = 0.0;
   double naive_ms_per_round = 0.0;
+  double fp16_ms_per_round = 0.0;
   double blocked_accuracy = 0.0;
   double naive_accuracy = 0.0;
+  double fp16_accuracy = 0.0;
+  /// int8 uplink (error feedback on, blocked compute kernels).
+  double int8_uplink_accuracy = 0.0;
+  double int8_uplink_ms_per_round = 0.0;
+  /// Total reported uplink volume over the evaluated rounds of the fp32
+  /// (blocked) run and the int8-uplink run — the measured bytes_up shrink.
+  double bytes_up_fp32 = 0.0;
+  double bytes_up_int8 = 0.0;
   double speedup() const {
     return blocked_ms_per_round > 0.0
                ? naive_ms_per_round / blocked_ms_per_round
@@ -65,6 +97,17 @@ struct E2eResult {
   double accuracy_abs_diff() const {
     const double d = blocked_accuracy - naive_accuracy;
     return d < 0.0 ? -d : d;
+  }
+  double fp16_accuracy_abs_diff() const {
+    const double d = blocked_accuracy - fp16_accuracy;
+    return d < 0.0 ? -d : d;
+  }
+  double int8_uplink_accuracy_abs_diff() const {
+    const double d = blocked_accuracy - int8_uplink_accuracy;
+    return d < 0.0 ? -d : d;
+  }
+  double uplink_shrink() const {
+    return bytes_up_int8 > 0.0 ? bytes_up_fp32 / bytes_up_int8 : 0.0;
   }
 };
 
@@ -76,6 +119,7 @@ struct KernelBenchReport {
   double peak_rss_kb = 0.0;
   std::vector<GemmShapeResult> gemm;
   std::vector<FusedOpResult> fused;
+  std::vector<CodecResult> codec;
   E2eResult e2e;
 
   /// The CI-gated headline shape; null if it was not measured.

@@ -24,7 +24,9 @@ namespace fedwcm::core {
 
 inline constexpr std::uint32_t kCheckpointMagic = 0x4657434B;  // "FWCK"
 // v2: RoundRecord gained diagnostics fields + per-round per-class accuracy.
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+// v3: uplink-residual block (fl/uplink.hpp error feedback) before the
+//     algorithm state.
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 class CheckpointWriter {
  public:

@@ -1,0 +1,91 @@
+#include "fedwcm/core/gemm_fp16.hpp"
+
+#include "fedwcm/core/quant.hpp"
+
+// GCC and Clang define __FLT16_MANT_DIG__ when _Float16 is a usable
+// arithmetic type for the target. Note: no f16 literal suffix in C++ — all
+// constants go through explicit casts.
+#if defined(__FLT16_MANT_DIG__)
+#define FEDWCM_HAVE_FLOAT16 1
+#else
+#define FEDWCM_HAVE_FLOAT16 0
+#endif
+
+namespace fedwcm::core::detail {
+
+bool gemm_fp16_is_native() { return FEDWCM_HAVE_FLOAT16 != 0; }
+
+#if FEDWCM_HAVE_FLOAT16
+
+void gemm_fp16(std::size_t m_total, std::size_t n_total, std::size_t k_total,
+               const float* a, std::size_t a_rs, std::size_t a_cs,
+               const float* b, std::size_t b_rs, std::size_t b_cs, float* c,
+               std::size_t ldc) {
+  // 4-wide j unrolling keeps four independent fp16 accumulator chains per
+  // output row — enough ILP to cover the per-op conversion latency on
+  // emulating targets while staying a pure fp16 accumulation per element.
+  constexpr std::size_t kNR = 4;
+  for (std::size_t i = 0; i < m_total; ++i) {
+    const float* arow = a + i * a_rs;
+    float* crow = c + i * ldc;
+    std::size_t j = 0;
+    for (; j + kNR <= n_total; j += kNR) {
+      _Float16 acc0 = (_Float16)0.0f, acc1 = (_Float16)0.0f;
+      _Float16 acc2 = (_Float16)0.0f, acc3 = (_Float16)0.0f;
+      const float* b0 = b + (j + 0) * b_cs;
+      const float* b1 = b + (j + 1) * b_cs;
+      const float* b2 = b + (j + 2) * b_cs;
+      const float* b3 = b + (j + 3) * b_cs;
+      for (std::size_t kk = 0; kk < k_total; ++kk) {
+        const _Float16 av = (_Float16)arow[kk * a_cs];
+        const std::size_t off = kk * b_rs;
+        acc0 += av * (_Float16)b0[off];
+        acc1 += av * (_Float16)b1[off];
+        acc2 += av * (_Float16)b2[off];
+        acc3 += av * (_Float16)b3[off];
+      }
+      crow[j + 0] += (float)acc0;
+      crow[j + 1] += (float)acc1;
+      crow[j + 2] += (float)acc2;
+      crow[j + 3] += (float)acc3;
+    }
+    for (; j < n_total; ++j) {
+      _Float16 acc = (_Float16)0.0f;
+      const float* bcol = b + j * b_cs;
+      for (std::size_t kk = 0; kk < k_total; ++kk) {
+        acc += (_Float16)arow[kk * a_cs] * (_Float16)bcol[kk * b_rs];
+      }
+      crow[j] += (float)acc;
+    }
+  }
+}
+
+#else  // !FEDWCM_HAVE_FLOAT16
+
+// Portable fallback: the same per-op binary16 rounding via explicit
+// round-trips (quant.hpp). Matches the native path for all finite-in-half
+// values; only out-of-range intermediates differ (native casts overflow to
+// ±inf, fp16_round saturates to ±65504).
+void gemm_fp16(std::size_t m_total, std::size_t n_total, std::size_t k_total,
+               const float* a, std::size_t a_rs, std::size_t a_cs,
+               const float* b, std::size_t b_rs, std::size_t b_cs, float* c,
+               std::size_t ldc) {
+  for (std::size_t i = 0; i < m_total; ++i) {
+    const float* arow = a + i * a_rs;
+    float* crow = c + i * ldc;
+    for (std::size_t j = 0; j < n_total; ++j) {
+      const float* bcol = b + j * b_cs;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k_total; ++kk) {
+        const float prod = fp16_round(fp16_round(arow[kk * a_cs]) *
+                                      fp16_round(bcol[kk * b_rs]));
+        acc = fp16_round(acc + prod);
+      }
+      crow[j] += acc;
+    }
+  }
+}
+
+#endif  // FEDWCM_HAVE_FLOAT16
+
+}  // namespace fedwcm::core::detail

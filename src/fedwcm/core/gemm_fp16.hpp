@@ -1,0 +1,33 @@
+#pragma once
+/// \file gemm_fp16.hpp
+/// Internal: the fp16-accumulate GEMM core behind `FEDWCM_KERNELS=fp16`
+/// (see tensor.hpp for the public API and mode switch).
+///
+/// Like gemm_blocked.hpp this lives in its own translation unit so it can be
+/// compiled for the build machine's ISA. Semantics: every A and B element is
+/// rounded to IEEE binary16 on load, every multiply and every accumulation
+/// step rounds to binary16, and the finished fp16 dot product is widened once
+/// and added into the fp32 C element. On hardware with native half arithmetic
+/// (`_Float16`, e.g. AVX-512 FP16 / ARMv8.2 FP16) the compiler lowers this to
+/// half-precision vector ops; elsewhere GCC/Clang emulate each op as
+/// promote-compute-round, which is slower than fp32 but numerically identical
+/// — so the *accuracy* contract of the mode is portable even where the
+/// *throughput* win is not (docs/PERFORMANCE.md "fp16 mode").
+
+#include <cstddef>
+
+namespace fedwcm::core::detail {
+
+/// True when this build performs fp16 arithmetic via the compiler's native
+/// `_Float16` type rather than the portable software round-trip.
+bool gemm_fp16_is_native();
+
+/// Strided GEMM core with fp16 accumulation: C(M,N) += fp32(dot_fp16(A row,
+/// B col)), same strided-operand interface as detail::gemm_blocked so the
+/// three matmul layouts share it.
+void gemm_fp16(std::size_t m_total, std::size_t n_total, std::size_t k_total,
+               const float* a, std::size_t a_rs, std::size_t a_cs,
+               const float* b, std::size_t b_rs, std::size_t b_cs, float* c,
+               std::size_t ldc);
+
+}  // namespace fedwcm::core::detail

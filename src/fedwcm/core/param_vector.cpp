@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "fedwcm/core/quant.hpp"
 #include "fedwcm/core/tensor.hpp"
 
 namespace fedwcm::core::pv {
@@ -49,34 +50,59 @@ void accumulate(ParamVector& acc, float w, const ParamVector& x) {
 
 void scale_add(float alpha, const ParamVector& x, float beta, ParamVector& y) {
   FEDWCM_CHECK(x.size() == y.size(), "pv::scale_add: size mismatch");
-  if (kernel_mode() == KernelMode::kNaive) {
+  const KernelMode mode = kernel_mode();
+  if (mode == KernelMode::kNaive) {
     // Reference composition: two passes. Per element this computes
     // round(alpha*x) + round(beta*y), exactly what the fused loop does.
     scale(beta, y);
     axpy(alpha, x, y);
     return;
   }
+  if (mode == KernelMode::kFp16) {
+    const float a16 = fp16_round(alpha), b16 = fp16_round(beta);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      y[i] = fp16_round(fp16_round(a16 * fp16_round(x[i])) +
+                        fp16_round(b16 * fp16_round(y[i])));
+    }
+    return;
+  }
   for (std::size_t i = 0; i < x.size(); ++i) y[i] = alpha * x[i] + beta * y[i];
 }
 
 void scale_into(float alpha, const ParamVector& x, ParamVector& out) {
-  if (kernel_mode() == KernelMode::kNaive) {
+  const KernelMode mode = kernel_mode();
+  if (mode == KernelMode::kNaive) {
     out = x;  // reference path: copy, then scale in place
     scale(alpha, out);
     return;
   }
   out.resize(x.size());
+  if (mode == KernelMode::kFp16) {
+    const float a16 = fp16_round(alpha);
+    for (std::size_t i = 0; i < x.size(); ++i)
+      out[i] = fp16_round(a16 * fp16_round(x[i]));
+    return;
+  }
   for (std::size_t i = 0; i < x.size(); ++i) out[i] = alpha * x[i];
 }
 
 void blend_into(float alpha, const ParamVector& a, float beta, const ParamVector& b,
                 ParamVector& out) {
   FEDWCM_CHECK(a.size() == b.size(), "pv::blend_into: size mismatch");
-  if (kernel_mode() == KernelMode::kNaive) {
+  const KernelMode mode = kernel_mode();
+  if (mode == KernelMode::kNaive) {
     out = blend(alpha, a, beta, b);  // reference path: fresh allocation + copy
     return;
   }
   out.resize(a.size());
+  if (mode == KernelMode::kFp16) {
+    const float a16 = fp16_round(alpha), b16 = fp16_round(beta);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      out[i] = fp16_round(fp16_round(a16 * fp16_round(a[i])) +
+                          fp16_round(b16 * fp16_round(b[i])));
+    }
+    return;
+  }
   for (std::size_t i = 0; i < a.size(); ++i) out[i] = alpha * a[i] + beta * b[i];
 }
 

@@ -15,6 +15,14 @@
 /// fall back to the original multi-pass / allocating compositions, which are
 /// numerically identical element for element (same FP operations in the same
 /// order), so the two modes are A/B-comparable end to end.
+///
+/// Under `FEDWCM_KERNELS=fp16` the elementwise fused ops (`scale_add`,
+/// `scale_into`, `blend_into`) round every operand, multiply, and add through
+/// IEEE binary16 (RNE, saturating) — the parameter-space half of the
+/// low-precision compute mode. `weighted_sum` and `dot_norms` deliberately
+/// keep their double accumulators in fp16 mode: aggregation is the fp32
+/// "master" side of mixed precision, and an N-way half-precision sum would
+/// destroy exactly the large-cohort accuracy PR 7 fixed.
 
 #include <cstddef>
 #include <span>

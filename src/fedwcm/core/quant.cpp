@@ -1,0 +1,250 @@
+#include "fedwcm/core/quant.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace fedwcm::core {
+namespace {
+
+constexpr std::uint32_t kQuantMagic = 0x30515746;  // "FWQ0" little-endian.
+
+// Header: magic u32 + codec u32 + count u64 + scale f32 + payload-length u64.
+constexpr std::uint64_t kQuantHeaderBytes = 4 + 4 + 8 + 4 + 8;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("quant: " + what);
+}
+
+}  // namespace
+
+const char* to_string(Codec codec) {
+  switch (codec) {
+    case Codec::kFp32: return "fp32";
+    case Codec::kFp16: return "fp16";
+    case Codec::kInt8: return "int8";
+  }
+  return "?";
+}
+
+bool codec_from_string(const std::string& name, Codec& out) {
+  if (name == "fp32") { out = Codec::kFp32; return true; }
+  if (name == "fp16") { out = Codec::kFp16; return true; }
+  if (name == "int8") { out = Codec::kInt8; return true; }
+  return false;
+}
+
+std::size_t codec_width(Codec codec) {
+  switch (codec) {
+    case Codec::kFp32: return 4;
+    case Codec::kFp16: return 2;
+    case Codec::kInt8: return 1;
+  }
+  return 0;
+}
+
+std::uint16_t fp16_bits_from_float(float value) {
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(value);
+  const std::uint16_t sign = std::uint16_t((bits >> 16) & 0x8000u);
+  const std::uint32_t abs = bits & 0x7FFFFFFFu;
+
+  if (abs >= 0x7F800000u) {
+    // Inf stays Inf; NaN becomes a quiet half NaN (payload truncated but
+    // forced non-zero so it cannot collapse to Inf).
+    if (abs == 0x7F800000u) return std::uint16_t(sign | 0x7C00u);
+    std::uint16_t mant = std::uint16_t((abs >> 13) & 0x03FFu);
+    return std::uint16_t(sign | 0x7C00u | (mant == 0 ? 0x0200u : mant));
+  }
+  if (abs >= 0x477FF000u) {
+    // Would round to >= 2^16: saturate to the max finite half (65504)
+    // instead of minting an Inf out of a finite float.
+    return std::uint16_t(sign | 0x7BFFu);
+  }
+  if (abs >= 0x38800000u) {
+    // Normal half. Re-bias the exponent and round the 13 dropped mantissa
+    // bits to nearest-even.
+    std::uint32_t h = (abs - 0x38000000u) >> 13;
+    const std::uint32_t round_bit = abs & 0x1000u;
+    const std::uint32_t sticky = abs & 0x0FFFu;
+    if (round_bit && (sticky || (h & 1u))) ++h;
+    return std::uint16_t(sign | h);
+  }
+  if (abs >= 0x33000000u) {
+    // Subnormal half: shift the implicit-1 mantissa right by the exponent
+    // deficit, rounding to nearest-even.
+    const std::uint32_t exp = abs >> 23;
+    const std::uint32_t mant = (abs & 0x007FFFFFu) | 0x00800000u;
+    const std::uint32_t shift = 126 - exp;  // 14..24
+    std::uint32_t h = mant >> shift;
+    const std::uint32_t round_bit = mant & (1u << (shift - 1));
+    const std::uint32_t sticky = mant & ((1u << (shift - 1)) - 1u);
+    if (round_bit && (sticky || (h & 1u))) ++h;
+    return std::uint16_t(sign | h);
+  }
+  // Below the smallest subnormal half's rounding threshold: signed zero.
+  return sign;
+}
+
+float float_from_fp16_bits(std::uint16_t bits) {
+  const std::uint32_t sign = std::uint32_t(bits & 0x8000u) << 16;
+  const std::uint32_t exp = (bits >> 10) & 0x1Fu;
+  const std::uint32_t mant = bits & 0x03FFu;
+  std::uint32_t out;
+  if (exp == 0x1Fu) {
+    out = sign | 0x7F800000u | (mant << 13);  // Inf / NaN.
+  } else if (exp != 0) {
+    out = sign | ((exp + 112u) << 23) | (mant << 13);  // Normal.
+  } else if (mant != 0) {
+    // Subnormal half: renormalize. value = mant * 2^-24.
+    std::uint32_t m = mant;
+    std::uint32_t e = 113;  // Biased fp32 exponent of 2^-14.
+    while ((m & 0x0400u) == 0) {
+      m <<= 1;
+      --e;
+    }
+    out = sign | (e << 23) | ((m & 0x03FFu) << 13);
+  } else {
+    out = sign;  // Signed zero.
+  }
+  return std::bit_cast<float>(out);
+}
+
+std::uint64_t QuantizedVector::wire_bytes() const {
+  return kQuantHeaderBytes + payload.size();
+}
+
+std::uint64_t wire_bytes(Codec codec, std::uint64_t count) {
+  return kQuantHeaderBytes + count * codec_width(codec);
+}
+
+void quantize(Codec codec, std::span<const float> x, QuantizedVector& out) {
+  out.codec = codec;
+  out.count = x.size();
+  out.scale = 1.0f;
+  out.payload.resize(x.size() * codec_width(codec));
+  switch (codec) {
+    case Codec::kFp32: {
+      if (!x.empty()) std::memcpy(out.payload.data(), x.data(), x.size() * 4);
+      break;
+    }
+    case Codec::kFp16: {
+      auto* p = out.payload.data();
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        const std::uint16_t h = fp16_bits_from_float(x[i]);
+        std::memcpy(p + i * 2, &h, 2);
+      }
+      break;
+    }
+    case Codec::kInt8: {
+      // Per-tensor symmetric: scale = max|x| / 127 over the whole tensor.
+      // A non-finite element poisons the scale to NaN and zeroes the
+      // payload — decoding then yields all-NaN and the aggregation-side
+      // finite check rejects the upload, mirroring what the fp32 path does
+      // with a corrupted delta. This also keeps the float->int conversion
+      // below defined (no NaN/Inf ever reaches lrintf's cast).
+      float max_abs = 0.0f;
+      bool finite = true;
+      for (const float v : x) {
+        if (!std::isfinite(v)) {
+          finite = false;
+          break;
+        }
+        const float a = std::fabs(v);
+        if (a > max_abs) max_abs = a;
+      }
+      if (!finite) {
+        out.scale = std::numeric_limits<float>::quiet_NaN();
+        std::fill(out.payload.begin(), out.payload.end(), std::uint8_t{0});
+        break;
+      }
+      if (max_abs == 0.0f) {
+        out.scale = 0.0f;
+        std::fill(out.payload.begin(), out.payload.end(), std::uint8_t{0});
+        break;
+      }
+      out.scale = max_abs / 127.0f;
+      const float inv = 127.0f / max_abs;
+      auto* p = out.payload.data();
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        // RNE via lrintf (default rounding mode); clamp guards the one
+        // value (|x| == max_abs) that could land exactly on ±127.5's edge
+        // after the multiply.
+        long q = std::lrintf(x[i] * inv);
+        if (q > 127) q = 127;
+        if (q < -127) q = -127;
+        p[i] = std::uint8_t(std::int8_t(q));
+      }
+      break;
+    }
+  }
+}
+
+void dequantize(const QuantizedVector& q, ParamVector& out) {
+  if (q.payload.size() != q.count * codec_width(q.codec)) {
+    fail("payload size does not match count");
+  }
+  out.resize(q.count);
+  switch (q.codec) {
+    case Codec::kFp32: {
+      if (q.count != 0) std::memcpy(out.data(), q.payload.data(), q.count * 4);
+      break;
+    }
+    case Codec::kFp16: {
+      const auto* p = q.payload.data();
+      for (std::size_t i = 0; i < q.count; ++i) {
+        std::uint16_t h;
+        std::memcpy(&h, p + i * 2, 2);
+        out[i] = float_from_fp16_bits(h);
+      }
+      break;
+    }
+    case Codec::kInt8: {
+      const float scale = q.scale;  // NaN scale -> all-NaN output (poison).
+      const auto* p = q.payload.data();
+      for (std::size_t i = 0; i < q.count; ++i) {
+        out[i] = float(std::int8_t(p[i])) * scale;
+      }
+      break;
+    }
+  }
+}
+
+void write_quantized(BinaryWriter& writer, const QuantizedVector& q) {
+  if (q.payload.size() != q.count * codec_width(q.codec)) {
+    fail("payload size does not match count");
+  }
+  writer.write_u32(kQuantMagic);
+  writer.write_u32(std::uint32_t(q.codec));
+  writer.write_u64(q.count);
+  writer.write_f32(q.scale);
+  writer.write_u64(q.payload.size());
+  writer.write_bytes(q.payload.data(), q.payload.size());
+}
+
+QuantizedVector read_quantized(BinaryReader& reader) {
+  if (reader.read_u32() != kQuantMagic) fail("bad magic");
+  const std::uint32_t codec_raw = reader.read_u32();
+  if (codec_raw > std::uint32_t(Codec::kInt8)) {
+    fail("unknown codec " + std::to_string(codec_raw));
+  }
+  QuantizedVector q;
+  q.codec = Codec(codec_raw);
+  q.count = reader.read_u64();
+  q.scale = reader.read_f32();
+  const std::uint64_t payload_bytes = reader.read_u64();
+  if (payload_bytes != q.count * codec_width(q.codec)) {
+    fail("payload length disagrees with element count");
+  }
+  if (payload_bytes > reader.remaining_bytes()) {
+    fail("truncated payload");
+  }
+  q.payload.resize(payload_bytes);
+  reader.read_bytes(q.payload.data(), payload_bytes);
+  return q;
+}
+
+}  // namespace fedwcm::core

@@ -1,0 +1,104 @@
+#pragma once
+/// \file quant.hpp
+/// Low-precision codecs for parameter-vector transport.
+///
+/// Federated uplink traffic is dominated by client deltas — `param_count`
+/// fp32 values per surviving client per round. This codec family encodes a
+/// `ParamVector` into one of three wire precisions:
+///
+///   * `kFp32` — bit-exact passthrough (the framing-only reference path),
+///   * `kFp16` — IEEE 754 binary16 payload, round-to-nearest-even with
+///     saturation to ±65504 (no infinities are minted by overflow; NaN is
+///     preserved so the server-side finite-rejection path still fires),
+///   * `kInt8` — per-tensor symmetric quantization: one fp32 scale
+///     `max|x| / 127` and a payload of signed bytes in [-127, 127].
+///
+/// Quantization is *lossy*; the uplink layer (fl/uplink.hpp) pairs it with a
+/// per-client error-feedback residual so the noise is carried into the next
+/// round instead of silently discarded.
+///
+/// Wire format (little-endian, versioned, length-validated on read — the
+/// same hardening discipline as core/serialize.hpp):
+///
+///     u32 magic 'FWQ0' | u32 codec | u64 count | f32 scale |
+///     u64 payload_bytes | payload
+///
+/// `read_quantized` treats the stream as untrusted and rejects a bad magic,
+/// an unknown codec, a payload length that disagrees with `count * width`,
+/// or a truncated payload. `wire_bytes()` is the exact serialized size and
+/// is what RoundRecord::bytes_up/bytes_down report.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fedwcm/core/param_vector.hpp"
+#include "fedwcm/core/serialize.hpp"
+
+namespace fedwcm::core {
+
+enum class Codec : std::uint32_t { kFp32 = 0, kFp16 = 1, kInt8 = 2 };
+
+/// Codec registry-name round trip ("fp32" | "fp16" | "int8"); parse returns
+/// false on an unknown name.
+const char* to_string(Codec codec);
+bool codec_from_string(const std::string& name, Codec& out);
+
+/// Payload bytes per encoded element.
+std::size_t codec_width(Codec codec);
+
+// ---------------------------------------------------------------------------
+// IEEE binary16 conversion (portable bit manipulation, RNE).
+// ---------------------------------------------------------------------------
+
+/// fp32 -> binary16 bits, round-to-nearest-even. Overflow saturates to the
+/// max finite half (±65504); NaN maps to a quiet half NaN; subnormal halves
+/// are produced (no flush-to-zero) so small deltas keep ~11 bits near zero.
+std::uint16_t fp16_bits_from_float(float value);
+/// binary16 bits -> fp32 (exact; every half is representable in fp32).
+float float_from_fp16_bits(std::uint16_t bits);
+/// Rounds a float through binary16 and back — the per-operation rounding the
+/// `FEDWCM_KERNELS=fp16` compute mode applies when `_Float16` is unavailable.
+inline float fp16_round(float value) {
+  return float_from_fp16_bits(fp16_bits_from_float(value));
+}
+
+// ---------------------------------------------------------------------------
+// Encode / decode.
+// ---------------------------------------------------------------------------
+
+/// One encoded tensor: codec + per-tensor scale + packed payload.
+struct QuantizedVector {
+  Codec codec = Codec::kFp32;
+  std::uint64_t count = 0;
+  /// Per-tensor symmetric scale (int8: max|x|/127; fp16/fp32: 1.0). A
+  /// non-finite input vector poisons the scale to NaN with a zero payload,
+  /// so decoding yields NaN and the aggregation-side finite check rejects
+  /// the upload — corruption cannot hide inside a quantized payload.
+  float scale = 1.0f;
+  std::vector<std::uint8_t> payload;
+
+  /// Exact serialized size (header + scale + payload).
+  std::uint64_t wire_bytes() const;
+};
+
+/// Serialized size of an encoded `count`-element vector under `codec` —
+/// the number RoundRecord::bytes_up/bytes_down report per message.
+std::uint64_t wire_bytes(Codec codec, std::uint64_t count);
+
+/// Encodes `x` under `codec` into `out` (payload storage is reused across
+/// calls; steady-state encoding is allocation-free).
+void quantize(Codec codec, std::span<const float> x, QuantizedVector& out);
+
+/// Decodes `q` into `out` (resized to q.count). Deterministic: decoding the
+/// same QuantizedVector twice is bitwise-identical.
+void dequantize(const QuantizedVector& q, ParamVector& out);
+
+/// Serializes in the versioned wire format above.
+void write_quantized(BinaryWriter& writer, const QuantizedVector& q);
+
+/// Deserializes and validates an encoded vector; throws std::runtime_error
+/// on a bad magic, unknown codec, count/payload disagreement, or truncation.
+QuantizedVector read_quantized(BinaryReader& reader);
+
+}  // namespace fedwcm::core

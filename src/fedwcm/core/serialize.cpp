@@ -40,6 +40,10 @@ void BinaryWriter::write_floats(const std::vector<float>& v) {
               std::streamsize(v.size() * sizeof(float)));
 }
 
+void BinaryWriter::write_bytes(const void* data, std::size_t n) {
+  if (n > 0) os_.write(static_cast<const char*>(data), std::streamsize(n));
+}
+
 void BinaryWriter::write_matrix(const Matrix& m) {
   write_u64(m.rows());
   write_u64(m.cols());
@@ -66,6 +70,10 @@ std::uint64_t BinaryReader::remaining_bytes() {
 }
 
 bool BinaryReader::at_end() { return remaining_bytes() == 0; }
+
+void BinaryReader::read_bytes(void* dst, std::size_t n) {
+  if (n > 0) read_raw(dst, n);
+}
 
 void BinaryReader::check_length(std::uint64_t count, std::size_t elem_size,
                                 const char* what) {

@@ -32,6 +32,9 @@ class BinaryWriter {
   void write_string(const std::string& s);
   void write_floats(const std::vector<float>& v);
   void write_matrix(const Matrix& m);
+  /// Raw bytes, no length prefix — the caller owns the framing (used by the
+  /// quantized-payload wire format, which prefixes its own length).
+  void write_bytes(const void* data, std::size_t n);
 
  private:
   std::ostream& os_;
@@ -48,6 +51,9 @@ class BinaryReader {
   std::string read_string();
   std::vector<float> read_floats();
   Matrix read_matrix();
+  /// Raw bytes, no length prefix; the caller must have validated `n` against
+  /// `remaining_bytes()` (throws on a short read either way).
+  void read_bytes(void* dst, std::size_t n);
 
   /// Bytes left between the read position and end-of-stream.
   std::uint64_t remaining_bytes();

@@ -1,6 +1,7 @@
 #include "fedwcm/core/tensor.hpp"
 
 #include "fedwcm/core/gemm_blocked.hpp"
+#include "fedwcm/core/gemm_fp16.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -27,6 +28,7 @@ KernelMode mode_from_env() {
     std::string v(env);
     for (char& c : v) c = char(std::tolower(static_cast<unsigned char>(c)));
     if (v == "naive") return KernelMode::kNaive;
+    if (v == "fp16") return KernelMode::kFp16;
   }
   return KernelMode::kBlocked;
 }
@@ -132,18 +134,24 @@ void naive_matmul_nt(const Matrix& a, const Matrix& b, Matrix& out, bool accumul
 }
 
 void matmul(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate) {
-  if (kernel_mode() == KernelMode::kNaive) {
+  const KernelMode mode = kernel_mode();
+  if (mode == KernelMode::kNaive) {
     naive_matmul(a, b, out, accumulate);
     return;
   }
   FEDWCM_CHECK(a.cols() == b.rows(), "matmul: inner dims mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   prepare_out(a, b, out, m, n, accumulate, "matmul");
+  if (mode == KernelMode::kFp16) {
+    detail::gemm_fp16(m, n, k, a.data(), k, 1, b.data(), n, 1, out.data(), n);
+    return;
+  }
   detail::gemm_blocked(m, n, k, a.data(), k, 1, b.data(), n, 1, out.data(), n);
 }
 
 void matmul_tn(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate) {
-  if (kernel_mode() == KernelMode::kNaive) {
+  const KernelMode mode = kernel_mode();
+  if (mode == KernelMode::kNaive) {
     naive_matmul_tn(a, b, out, accumulate);
     return;
   }
@@ -151,11 +159,16 @@ void matmul_tn(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate) {
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
   prepare_out(a, b, out, m, n, accumulate, "matmul_tn");
   // Logical A is aᵀ: element (i, kk) lives at a[kk * m + i].
+  if (mode == KernelMode::kFp16) {
+    detail::gemm_fp16(m, n, k, a.data(), 1, m, b.data(), n, 1, out.data(), n);
+    return;
+  }
   detail::gemm_blocked(m, n, k, a.data(), 1, m, b.data(), n, 1, out.data(), n);
 }
 
 void matmul_nt(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate) {
-  if (kernel_mode() == KernelMode::kNaive) {
+  const KernelMode mode = kernel_mode();
+  if (mode == KernelMode::kNaive) {
     naive_matmul_nt(a, b, out, accumulate);
     return;
   }
@@ -163,6 +176,10 @@ void matmul_nt(const Matrix& a, const Matrix& b, Matrix& out, bool accumulate) {
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   prepare_out(a, b, out, m, n, accumulate, "matmul_nt");
   // Logical B is bᵀ: element (kk, j) lives at b[j * k + kk].
+  if (mode == KernelMode::kFp16) {
+    detail::gemm_fp16(m, n, k, a.data(), k, 1, b.data(), 1, k, out.data(), n);
+    return;
+  }
   detail::gemm_blocked(m, n, k, a.data(), k, 1, b.data(), 1, k, out.data(), n);
 }
 

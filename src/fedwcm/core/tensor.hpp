@@ -34,13 +34,16 @@ inline void check(bool cond, const char* msg) {
 
 #define FEDWCM_CHECK(cond, msg) ::fedwcm::core::check((cond), (msg))
 
-/// Compute-kernel selection: the tuned blocked/fused path (default) or the
-/// naive reference loops the repo started with. One process-wide switch so an
-/// entire run is A/B-comparable end to end.
-enum class KernelMode { kBlocked, kNaive };
+/// Compute-kernel selection: the tuned blocked/fused path (default), the
+/// naive reference loops the repo started with, or the low-precision
+/// fp16-accumulate variants (every multiply/add rounded to binary16; see
+/// docs/PERFORMANCE.md "fp16 mode" for the accuracy-delta policy). One
+/// process-wide switch so an entire run is A/B-comparable end to end.
+enum class KernelMode { kBlocked, kNaive, kFp16 };
 
 /// Current mode. First call reads FEDWCM_KERNELS ("naive" selects the
-/// reference path; anything else, including unset, selects blocked).
+/// reference path, "fp16" the low-precision path; anything else, including
+/// unset, selects blocked).
 KernelMode kernel_mode();
 /// Overrides the mode (tests and the kernel benchmark flip this at runtime).
 void set_kernel_mode(KernelMode mode);

@@ -12,7 +12,7 @@ std::string config_fingerprint(const FlConfig& config, std::size_t param_count,
                                const std::string& algorithm) {
   std::ostringstream os;
   os.precision(std::numeric_limits<double>::max_digits10);
-  os << "v3"
+  os << "v4"
      << "|alg=" << algorithm << "|params=" << param_count
      << "|clients=" << config.num_clients << "|part=" << config.participation
      << "|rounds=" << config.rounds << "|epochs=" << config.local_epochs
@@ -26,7 +26,9 @@ std::string config_fingerprint(const FlConfig& config, std::size_t param_count,
      << "|corrupt=" << config.faults.corrupt_prob
      << "|fseed=" << config.faults.seed
      << "|stream=" << (config.stream_aggregation ? 1 : 0)
-     << "|avail=" << config.availability;
+     << "|avail=" << config.availability
+     << "|uplink=" << core::to_string(config.uplink)
+     << "|ef=" << (config.error_feedback ? 1 : 0);
   return os.str();
 }
 
@@ -94,7 +96,7 @@ RoundRecord read_record(core::BinaryReader& r) {
 
 void save_checkpoint(const std::string& path, const FlConfig& config,
                      std::size_t param_count, const Algorithm& algorithm,
-                     const ResumeState& state) {
+                     const ResumeState& state, const Uplink* uplink) {
   core::CheckpointWriter ckpt(
       path, config_fingerprint(config, param_count, algorithm.name()));
   core::BinaryWriter& w = ckpt.body();
@@ -106,12 +108,20 @@ void save_checkpoint(const std::string& path, const FlConfig& config,
   w.write_u64(state.faults_straggled);
   w.write_u64(state.history.size());
   for (const RoundRecord& rec : state.history) write_record(w, rec);
+  if (uplink != nullptr) {
+    uplink->save_state(w);
+  } else {
+    // Legacy call shape: an fp32 uplink keeps no residuals, so a
+    // default-constructed block is exactly what the run would have written.
+    Uplink{}.save_state(w);
+  }
   algorithm.save_state(w);
   ckpt.commit();
 }
 
 ResumeState load_checkpoint(const std::string& path, const FlConfig& config,
-                            std::size_t param_count, Algorithm& algorithm) {
+                            std::size_t param_count, Algorithm& algorithm,
+                            Uplink* uplink) {
   core::CheckpointReader ckpt(
       path, config_fingerprint(config, param_count, algorithm.name()));
   core::BinaryReader& r = ckpt.body();
@@ -135,6 +145,15 @@ ResumeState load_checkpoint(const std::string& path, const FlConfig& config,
   state.history.reserve(n_records);
   for (std::uint64_t i = 0; i < n_records; ++i)
     state.history.push_back(read_record(r));
+  if (uplink != nullptr) {
+    uplink->load_state(r);
+  } else {
+    // Legacy call shape: consume (and validate) the block with a default
+    // fp32 Uplink — checkpoints from lossy-uplink configs are unreachable
+    // here because the fingerprint already encodes the codec.
+    Uplink legacy;
+    legacy.load_state(r);
+  }
   algorithm.load_state(r);
   ckpt.finish();
   return state;

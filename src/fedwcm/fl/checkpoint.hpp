@@ -22,6 +22,7 @@
 #include "fedwcm/core/serialize.hpp"
 #include "fedwcm/fl/algorithm.hpp"
 #include "fedwcm/fl/types.hpp"
+#include "fedwcm/fl/uplink.hpp"
 
 namespace fedwcm::fl {
 
@@ -42,16 +43,21 @@ std::string config_fingerprint(const FlConfig& config, std::size_t param_count,
                                const std::string& algorithm);
 
 /// Atomically writes a checkpoint (tmp-file + rename). `algorithm` must be
-/// the run's algorithm, already initialized.
+/// the run's algorithm, already initialized. `uplink` contributes the
+/// error-feedback residual block; nullptr writes an empty fp32 block (the
+/// legacy call shape, valid only for fp32-uplink configs).
 void save_checkpoint(const std::string& path, const FlConfig& config,
                      std::size_t param_count, const Algorithm& algorithm,
-                     const ResumeState& state);
+                     const ResumeState& state, const Uplink* uplink = nullptr);
 
 /// Loads a checkpoint, refusing on magic/version/fingerprint mismatch,
 /// truncation, or trailing garbage. `algorithm` must already be initialized
-/// (load_state fills its buffers). Throws std::runtime_error on any mismatch.
+/// (load_state fills its buffers); `uplink`, when given, must already be
+/// configured to the run's codec/EF policy (its residuals are restored).
+/// Throws std::runtime_error on any mismatch.
 ResumeState load_checkpoint(const std::string& path, const FlConfig& config,
-                            std::size_t param_count, Algorithm& algorithm);
+                            std::size_t param_count, Algorithm& algorithm,
+                            Uplink* uplink = nullptr);
 
 /// Serialization helpers for algorithms with per-client state tables
 /// (SCAFFOLD control variates, FedDyn/FedSMOO corrections).

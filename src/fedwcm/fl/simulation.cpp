@@ -6,6 +6,7 @@
 #include "fedwcm/core/checkpoint.hpp"
 #include "fedwcm/core/rng.hpp"
 #include "fedwcm/fl/checkpoint.hpp"
+#include "fedwcm/fl/uplink.hpp"
 #include "fedwcm/obs/clock.hpp"
 #include "fedwcm/obs/event.hpp"
 #include "fedwcm/obs/metrics.hpp"
@@ -222,14 +223,21 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
 
   algorithm.initialize(ctx_);
 
-  // Resume: restore the global model, history, accumulators, and algorithm
-  // state from the checkpoint. Because all randomness derives from
-  // (seed, round, client), continuing from `next_round` reproduces the
-  // uninterrupted trajectory bitwise.
+  // Uplink transport: every accepted upload passes through here on the
+  // driver thread, in cohort order. fp32 is a bitwise passthrough; fp16/int8
+  // rewrite each delta to its dequantized form (with per-client error
+  // feedback when enabled) before the algorithm sees it.
+  Uplink uplink;
+  uplink.configure(config_.uplink, config_.error_feedback);
+
+  // Resume: restore the global model, history, accumulators, uplink
+  // residuals, and algorithm state from the checkpoint. Because all
+  // randomness derives from (seed, round, client), continuing from
+  // `next_round` reproduces the uninterrupted trajectory bitwise.
   std::size_t start_round = 0;
   if (checkpoint_.resume && core::checkpoint_exists(checkpoint_.path)) {
-    ResumeState state =
-        load_checkpoint(checkpoint_.path, config_, ctx_.param_count, algorithm);
+    ResumeState state = load_checkpoint(checkpoint_.path, config_,
+                                        ctx_.param_count, algorithm, &uplink);
     start_round = state.next_round;
     global = std::move(state.global);
     result.history = std::move(state.history);
@@ -344,9 +352,16 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
           ++rec.straggled;
           if (pop_on) pop_store.topk_offer("pop.straggled_clients", r.client);
         }
-        // Rejected clients still spent uplink bytes — the garbage was sent.
+        // Uplink transport: encode-and-decode the delta at the acceptance
+        // boundary (fp32 passes through untouched) and cost the exact wire
+        // bytes. Rejected clients still spent them — the garbage was sent;
+        // a non-finite delta survives transport as a poisoned message and is
+        // caught by the finite check below. The aux payload (algorithm
+        // side-channel, e.g. SCAFFOLD variates) stays fp32-framed.
         const std::uint64_t upload_bytes =
-            std::uint64_t(r.delta.size() + r.aux.size()) * sizeof(float);
+            uplink.transport(r.client, r.delta) +
+            (r.aux.empty() ? 0
+                           : Uplink::fp32_message_bytes(r.aux.size()));
         rec.bytes_up += upload_bytes;
         const bool finite =
             core::pv::all_finite(r.delta) && core::pv::all_finite(r.aux);
@@ -449,12 +464,12 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
         }
       }
 
-      // Communication estimate from ParamVector sizes: downlink is the
-      // algorithm's per-client broadcast (2x params for momentum algorithms,
-      // which send (x_r, Delta_r)), uplink each surviving client's delta plus
-      // algorithm payload. Dropped clients never received the broadcast.
-      rec.bytes_down = std::uint64_t(sampled.size() - rec.dropped) *
-                       algorithm.broadcast_floats() * sizeof(float);
+      // Downlink: one fp32-framed broadcast message per client that received
+      // it (2x params for momentum algorithms, which send (x_r, Delta_r)).
+      // Dropped clients never received the broadcast.
+      rec.bytes_down =
+          std::uint64_t(sampled.size() - rec.dropped) *
+          Uplink::fp32_message_bytes(algorithm.broadcast_floats());
       bytes_up_counter.add(rec.bytes_up);
       bytes_down_counter.add(rec.bytes_down);
       rounds_counter.add();
@@ -555,7 +570,7 @@ SimulationResult Simulation::run(Algorithm& algorithm) {
       state.faults_rejected = result.faults_rejected;
       state.faults_straggled = result.faults_straggled;
       save_checkpoint(checkpoint_.path, config_, ctx_.param_count, algorithm,
-                      state);
+                      state, &uplink);
       publish(obs::EventKind::kCheckpoint, std::int64_t(round), -1, 0.0,
               checkpoint_.path);
     };

@@ -8,6 +8,7 @@
 
 #include "fedwcm/core/fraction.hpp"
 #include "fedwcm/core/param_vector.hpp"
+#include "fedwcm/core/quant.hpp"
 #include "fedwcm/fl/fault.hpp"
 
 namespace fedwcm::fl {
@@ -47,6 +48,13 @@ struct FlConfig {
   /// off, so — unlike stream_aggregation — it is NOT part of the checkpoint
   /// config fingerprint.
   bool population_telemetry = false;
+  /// Uplink codec for client deltas (fl/uplink.hpp): fp32 is a bitwise
+  /// passthrough; fp16/int8 quantize each upload at the acceptance boundary.
+  /// Trajectory-shaping, so part of the checkpoint config fingerprint.
+  core::Codec uplink = core::Codec::kFp32;
+  /// Error feedback for lossy uplinks: carry each client's quantization
+  /// residual into its next upload. No effect under the fp32 codec.
+  bool error_feedback = true;
 
   std::size_t sampled_per_round() const {
     // Exact round(num_clients * participation); the old double formula
@@ -70,9 +78,11 @@ struct RoundRecord {
   float train_metric = 0.0f;    ///< Train-probe value (e.g. ||grad f||^2, §6).
   bool evaluated = false;       ///< Whether accuracy/probe fields were filled.
   double round_wall_ms = 0.0;   ///< Wall-clock for the whole round.
-  /// Estimated communication volume this round, from ParamVector sizes:
-  /// uplink counts each client's delta + algorithm payload, downlink the
-  /// global model broadcast to each sampled client.
+  /// Exact communication volume this round at the wire level: every message
+  /// is costed at its encoded size (28-byte frame + scale + payload,
+  /// core::wire_bytes). Uplink counts each surviving client's encoded delta
+  /// plus its fp32 aux payload (if any); downlink one fp32-framed broadcast
+  /// per client that received it.
   std::uint64_t bytes_up = 0;
   std::uint64_t bytes_down = 0;
   /// Fault-tolerance counters for the round: clients that dropped out,

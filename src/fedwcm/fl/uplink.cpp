@@ -1,0 +1,85 @@
+#include "fedwcm/fl/uplink.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace fedwcm::fl {
+
+void Uplink::configure(core::Codec codec, bool error_feedback) {
+  codec_ = codec;
+  error_feedback_ = error_feedback;
+  residuals_.clear();
+}
+
+const ParamVector* Uplink::residual(std::size_t client) const {
+  const auto it = residuals_.find(client);
+  return it == residuals_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t Uplink::transport(std::size_t client, ParamVector& delta) {
+  if (codec_ == core::Codec::kFp32) {
+    // Strict passthrough: the delta's bits are never touched, only costed.
+    return core::wire_bytes(core::Codec::kFp32, delta.size());
+  }
+  // v = delta + residual (the client adds its carried-over error before
+  // encoding). A residual of a different length belongs to a previous model
+  // shape and is discarded rather than applied.
+  if (error_feedback_) {
+    const auto it = residuals_.find(client);
+    if (it != residuals_.end() && it->second.size() == delta.size())
+      core::pv::axpy(1.0f, it->second, delta);
+  }
+  core::quantize(codec_, delta, scratch_q_);
+  core::dequantize(scratch_q_, scratch_v_);
+  if (error_feedback_ && core::pv::all_finite(delta)) {
+    // residual = v - dequantize(q). Skipped for non-finite uploads: the
+    // poisoned message is rejected downstream and must not leak NaN into the
+    // client's next honest round.
+    ParamVector& r = residuals_[client];
+    r.resize(delta.size());
+    for (std::size_t i = 0; i < delta.size(); ++i)
+      r[i] = delta[i] - scratch_v_[i];
+  }
+  delta.swap(scratch_v_);
+  return scratch_q_.wire_bytes();
+}
+
+void Uplink::save_state(core::BinaryWriter& writer) const {
+  writer.write_u32(std::uint32_t(codec_));
+  writer.write_u32(error_feedback_ ? 1 : 0);
+  std::vector<std::size_t> clients;
+  clients.reserve(residuals_.size());
+  for (const auto& [client, r] : residuals_) clients.push_back(client);
+  std::sort(clients.begin(), clients.end());
+  writer.write_u64(clients.size());
+  for (const std::size_t client : clients) {
+    writer.write_u64(client);
+    writer.write_floats(residuals_.at(client));
+  }
+}
+
+void Uplink::load_state(core::BinaryReader& reader) {
+  const std::uint32_t codec_raw = reader.read_u32();
+  const bool ef = reader.read_u32() != 0;
+  if (codec_raw != std::uint32_t(codec_) || ef != error_feedback_)
+    throw std::runtime_error(
+        "Uplink::load_state: checkpoint uplink codec/error-feedback disagree "
+        "with the configured run");
+  const std::uint64_t n = reader.read_u64();
+  // Each entry costs at least its 16 bytes of id + length prefix; refuse a
+  // count the stream cannot hold before reserving.
+  if (n > reader.remaining_bytes() / 16)
+    throw std::runtime_error(
+        "Uplink::load_state: residual count exceeds stream size");
+  residuals_.clear();
+  residuals_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t client = reader.read_u64();
+    if (!residuals_.emplace(std::size_t(client), reader.read_floats()).second)
+      throw std::runtime_error("Uplink::load_state: duplicate client " +
+                               std::to_string(client));
+  }
+}
+
+}  // namespace fedwcm::fl

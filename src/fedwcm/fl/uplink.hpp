@@ -1,0 +1,92 @@
+#pragma once
+/// \file uplink.hpp
+/// Lossy-uplink transport with per-client error feedback.
+///
+/// `Uplink` sits at the server's acceptance boundary: every client delta
+/// passes through `transport()` on the driver thread, in cohort order, in
+/// both the buffered and the streaming round loop — so the state it keeps is
+/// deterministic regardless of thread count, and the dequantized delta feeds
+/// `fl::StreamAccum` / `Algorithm::aggregate` unchanged.
+///
+/// With a lossy codec (fp16/int8, core/quant.hpp) and error feedback on,
+/// the client's residual from its previous participation is added before
+/// quantization and the fresh quantization error is stored back:
+///
+///     v        = delta + residual[client]
+///     q        = quantize(v)
+///     residual[client] = v - dequantize(q)
+///     delta    = dequantize(q)          // what the server aggregates
+///
+/// so quantization noise is carried into the client's next upload instead of
+/// being lost — the standard EF-SGD construction, which keeps the fed-back
+/// residual bounded (||r|| <= the per-round quantization error, which is
+/// proportional to ||v||_inf for int8) rather than accumulating.
+///
+/// The fp32 codec is a strict passthrough: `transport()` never touches the
+/// delta, so `--uplink=fp32` trajectories are bitwise-identical to builds
+/// without this layer. Only the *accounting* changes: all uplink/downlink
+/// messages are now costed at their exact wire size (header + scale +
+/// payload, `core::wire_bytes`) instead of `floats * 4`.
+///
+/// Residuals are part of the resumable trajectory: `save_state`/`load_state`
+/// serialize them (sorted by client id) into the simulation checkpoint, so
+/// a resumed quantized run is bitwise-identical to an uninterrupted one.
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "fedwcm/core/param_vector.hpp"
+#include "fedwcm/core/quant.hpp"
+#include "fedwcm/core/serialize.hpp"
+
+namespace fedwcm::fl {
+
+using core::ParamVector;
+
+class Uplink {
+ public:
+  Uplink() = default;
+
+  /// Sets the codec and error-feedback policy and clears all residuals
+  /// (a new run starts with no carried-over error).
+  void configure(core::Codec codec, bool error_feedback);
+
+  core::Codec codec() const { return codec_; }
+  bool error_feedback() const { return error_feedback_; }
+  /// True when transport() actually rewrites deltas (lossy codec).
+  bool lossy() const { return codec_ != core::Codec::kFp32; }
+
+  /// Applies the uplink codec to one client upload in place and returns the
+  /// exact wire bytes of the encoded delta message. fp32 leaves `delta`
+  /// untouched (bitwise passthrough). A non-finite delta (corrupt fault,
+  /// divergence) is transported as a poisoned message — the caller's finite
+  /// check still rejects it — and leaves the client's residual unchanged, so
+  /// transient corruption cannot contaminate future honest uploads.
+  std::uint64_t transport(std::size_t client, ParamVector& delta);
+
+  /// Exact wire bytes of a plain fp32-framed message of `count` floats —
+  /// used to cost aux payloads and the downlink broadcast, which stay fp32.
+  static std::uint64_t fp32_message_bytes(std::uint64_t count) {
+    return core::wire_bytes(core::Codec::kFp32, count);
+  }
+
+  /// Number of clients currently holding a residual (EF bookkeeping).
+  std::size_t residual_clients() const { return residuals_.size(); }
+  /// The stored residual for `client`, or nullptr (tests/diagnostics).
+  const ParamVector* residual(std::size_t client) const;
+
+  /// Checkpoint round trip: codec, EF flag, and all residuals in ascending
+  /// client order (deterministic bytes). load_state throws on a stream whose
+  /// codec/EF disagree with the configured ones or on duplicate clients.
+  void save_state(core::BinaryWriter& writer) const;
+  void load_state(core::BinaryReader& reader);
+
+ private:
+  core::Codec codec_ = core::Codec::kFp32;
+  bool error_feedback_ = true;
+  std::unordered_map<std::size_t, ParamVector> residuals_;
+  core::QuantizedVector scratch_q_;  ///< Reused encode buffer.
+  ParamVector scratch_v_;            ///< Reused decode buffer.
+};
+
+}  // namespace fedwcm::fl

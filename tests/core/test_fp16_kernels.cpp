@@ -1,0 +1,236 @@
+// FEDWCM_KERNELS=fp16 compute mode: the fp16-accumulate GEMM family must
+// track the blocked reference within a binary16-scale tolerance and be
+// bitwise deterministic; the elementwise fused ParamVector ops must land
+// exactly on the binary16 lattice; aggregation kernels keep their double
+// accumulators (mixed-precision policy in param_vector.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "fedwcm/core/gemm_fp16.hpp"
+#include "fedwcm/core/param_vector.hpp"
+#include "fedwcm/core/quant.hpp"
+#include "fedwcm/core/rng.hpp"
+#include "fedwcm/core/tensor.hpp"
+
+namespace fedwcm::core {
+namespace {
+
+/// Restores the process-wide kernel mode on scope exit.
+struct ModeGuard {
+  KernelMode saved = kernel_mode();
+  ~ModeGuard() { set_kernel_mode(saved); }
+};
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (float& v : m.span()) v = float(rng.normal());
+  return m;
+}
+
+ParamVector random_pv(std::size_t n, Rng& rng) {
+  ParamVector v(n);
+  for (float& x : v) x = float(rng.normal());
+  return v;
+}
+
+void expect_bitwise_equal(const Matrix& a, const Matrix& b, const char* what) {
+  ASSERT_TRUE(a.same_shape(b)) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint32_t ba, bb;
+    std::memcpy(&ba, a.data() + i, 4);
+    std::memcpy(&bb, b.data() + i, 4);
+    ASSERT_EQ(ba, bb) << what << " differs at flat index " << i;
+  }
+}
+
+TEST(Fp16Kernels, ModeRoundTrips) {
+  ModeGuard guard;
+  set_kernel_mode(KernelMode::kFp16);
+  EXPECT_EQ(kernel_mode(), KernelMode::kFp16);
+  set_kernel_mode(KernelMode::kBlocked);
+  EXPECT_EQ(kernel_mode(), KernelMode::kBlocked);
+}
+
+TEST(Fp16Kernels, GemmTracksBlockedWithinHalfPrecisionTolerance) {
+  ModeGuard guard;
+  Rng rng(31);
+  struct Shape {
+    std::size_t m, n, k;
+  };
+  const Shape shapes[] = {{1, 1, 1},  {3, 5, 7},   {4, 16, 8},
+                          {13, 19, 7}, {33, 29, 48}, {0, 4, 4}};
+  using GemmFn = void (*)(const Matrix&, const Matrix&, Matrix&, bool);
+  struct Variant {
+    const char* name;
+    GemmFn fn;
+    bool at, bt;
+  };
+  const Variant variants[] = {{"matmul", matmul, false, false},
+                              {"matmul_tn", matmul_tn, true, false},
+                              {"matmul_nt", matmul_nt, false, true}};
+  for (const Variant& v : variants) {
+    for (const Shape& s : shapes) {
+      const Matrix a =
+          v.at ? random_matrix(s.k, s.m, rng) : random_matrix(s.m, s.k, rng);
+      const Matrix b =
+          v.bt ? random_matrix(s.n, s.k, rng) : random_matrix(s.k, s.n, rng);
+      Matrix ref, low;
+      set_kernel_mode(KernelMode::kBlocked);
+      v.fn(a, b, ref, false);
+      set_kernel_mode(KernelMode::kFp16);
+      v.fn(a, b, low, false);
+      ASSERT_TRUE(ref.same_shape(low)) << v.name;
+      // Each k-term carries a ~2^-11 relative rounding; a k-long half
+      // accumulation of ~N(0,1) products stays well inside this envelope.
+      const float tol = 2e-3f * float(s.k ? s.k : 1);
+      SCOPED_TRACE(::testing::Message()
+                   << v.name << " " << s.m << "x" << s.n << "x" << s.k);
+      for (std::size_t i = 0; i < ref.size(); ++i)
+        ASSERT_NEAR(ref.data()[i], low.data()[i], tol) << "flat index " << i;
+    }
+  }
+}
+
+TEST(Fp16Kernels, GemmIsBitwiseDeterministic) {
+  ModeGuard guard;
+  set_kernel_mode(KernelMode::kFp16);
+  Rng rng(37);
+  const Matrix a = random_matrix(21, 33, rng);
+  const Matrix b = random_matrix(33, 17, rng);
+  Matrix first, second;
+  matmul(a, b, first);
+  matmul(a, b, second);
+  expect_bitwise_equal(first, second, "repeated fp16 matmul");
+}
+
+TEST(Fp16Kernels, GemmExactForSmallIntegerInputs) {
+  // Small integers and their short dot products are exactly representable in
+  // binary16, so the fp16 path must reproduce them without error regardless
+  // of whether the native _Float16 or the emulated fallback is running.
+  ModeGuard guard;
+  Matrix a(2, 3), b(3, 2);
+  const float av[] = {1, 2, 3, 4, 5, 6};
+  const float bv[] = {7, 8, 9, 10, 11, 12};
+  std::memcpy(a.data(), av, sizeof av);
+  std::memcpy(b.data(), bv, sizeof bv);
+  Matrix out;
+  set_kernel_mode(KernelMode::kFp16);
+  matmul(a, b, out);
+  EXPECT_EQ(out(0, 0), 58.0f);
+  EXPECT_EQ(out(0, 1), 64.0f);
+  EXPECT_EQ(out(1, 0), 139.0f);
+  EXPECT_EQ(out(1, 1), 154.0f);
+}
+
+TEST(Fp16Kernels, FusedOpsLandOnTheHalfLattice) {
+  // Every output of the rounded elementwise ops must be a binary16 value
+  // (fp16_round is idempotent on its own range).
+  ModeGuard guard;
+  set_kernel_mode(KernelMode::kFp16);
+  Rng rng(41);
+  const ParamVector x = random_pv(257, rng);
+  const ParamVector b = random_pv(257, rng);
+
+  ParamVector y = b;
+  pv::scale_add(0.3f, x, 0.7f, y);
+  for (float v : y) EXPECT_EQ(fp16_round(v), v);
+
+  ParamVector out;
+  pv::scale_into(1.0f / 3.0f, x, out);
+  for (float v : out) EXPECT_EQ(fp16_round(v), v);
+
+  pv::blend_into(0.9f, x, 0.1f, b, out);
+  for (float v : out) EXPECT_EQ(fp16_round(v), v);
+}
+
+TEST(Fp16Kernels, FusedOpsExactForHalfRepresentableInputs) {
+  // With inputs, scalars, products, and sums all exactly representable in
+  // binary16, fp16 mode must agree bitwise with the blocked-mode result.
+  ModeGuard guard;
+  const ParamVector x = {1.0f, -2.0f, 0.5f, 4.0f};
+  const ParamVector b = {8.0f, 0.25f, -1.0f, 2.0f};
+
+  ParamVector y_ref = b, y_low = b;
+  set_kernel_mode(KernelMode::kBlocked);
+  pv::scale_add(2.0f, x, 0.5f, y_ref);
+  set_kernel_mode(KernelMode::kFp16);
+  pv::scale_add(2.0f, x, 0.5f, y_low);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(y_ref[i], y_low[i]) << i;
+
+  ParamVector o_ref, o_low;
+  set_kernel_mode(KernelMode::kBlocked);
+  pv::blend_into(0.5f, x, 2.0f, b, o_ref);
+  set_kernel_mode(KernelMode::kFp16);
+  pv::blend_into(0.5f, x, 2.0f, b, o_low);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(o_ref[i], o_low[i]) << i;
+}
+
+TEST(Fp16Kernels, FusedOpsTrackReferenceWithinHalfPrecision) {
+  ModeGuard guard;
+  Rng rng(43);
+  const ParamVector x = random_pv(1024, rng);
+  const ParamVector b = random_pv(1024, rng);
+  ParamVector y_ref = b, y_low = b;
+  set_kernel_mode(KernelMode::kBlocked);
+  pv::scale_add(0.8f, x, 0.2f, y_ref);
+  set_kernel_mode(KernelMode::kFp16);
+  pv::scale_add(0.8f, x, 0.2f, y_low);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(y_ref[i], y_low[i], 4e-3f * (1.0f + std::fabs(y_ref[i]))) << i;
+}
+
+TEST(Fp16Kernels, AggregationKeepsDoubleAccumulators) {
+  // weighted_sum is the fp32-master side of mixed precision: its result in
+  // fp16 mode must be bitwise identical to blocked mode (no half rounding).
+  ModeGuard guard;
+  Rng rng(47);
+  const ParamVector a = random_pv(512, rng);
+  const ParamVector b = random_pv(512, rng);
+  const ParamVector c = random_pv(512, rng);
+  const float w[] = {0.2f, 0.3f, 0.5f};
+  const ParamVector* xs[] = {&a, &b, &c};
+  ParamVector ref, low;
+  set_kernel_mode(KernelMode::kBlocked);
+  pv::weighted_sum(w, xs, ref);
+  set_kernel_mode(KernelMode::kFp16);
+  pv::weighted_sum(w, xs, low);
+  ASSERT_EQ(ref.size(), low.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    std::uint32_t br, bl;
+    std::memcpy(&br, &ref[i], 4);
+    std::memcpy(&bl, &low[i], 4);
+    ASSERT_EQ(br, bl) << "weighted_sum index " << i;
+  }
+  set_kernel_mode(KernelMode::kBlocked);
+  const pv::DotNorms dn_ref = pv::dot_norms(a, b);
+  set_kernel_mode(KernelMode::kFp16);
+  const pv::DotNorms dn_low = pv::dot_norms(a, b);
+  EXPECT_EQ(dn_ref.dot, dn_low.dot);
+  EXPECT_EQ(dn_ref.a_norm_sq, dn_low.a_norm_sq);
+  EXPECT_EQ(dn_ref.b_norm_sq, dn_low.b_norm_sq);
+}
+
+TEST(Fp16Kernels, DirectGemmCoreMatchesWideReference) {
+  // Drive detail::gemm_fp16 through its raw strided interface and compare to
+  // a double-precision reference of the same half-rounded products.
+  Rng rng(53);
+  const std::size_t m = 5, n = 7, k = 11;
+  std::vector<float> a(m * k), b(k * n), c(m * n, 0.0f);
+  for (float& v : a) v = float(rng.normal());
+  for (float& v : b) v = float(rng.normal());
+  detail::gemm_fp16(m, n, k, a.data(), k, 1, b.data(), n, 1, c.data(), n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double ref = 0.0;
+      for (std::size_t p = 0; p < k; ++p)
+        ref += double(fp16_round(a[i * k + p])) * double(fp16_round(b[p * n + j]));
+      EXPECT_NEAR(c[i * n + j], float(ref), 2e-2f) << i << "," << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fedwcm::core

@@ -1,0 +1,315 @@
+// Low-precision codec (core/quant.hpp): binary16 conversion correctness,
+// per-tensor int8 error bounds, round-trip bitwise stability, and hostile
+// wire-format rejection mirroring the core serialize tests.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+
+#include "fedwcm/core/quant.hpp"
+#include "fedwcm/core/rng.hpp"
+
+namespace fedwcm::core {
+namespace {
+
+ParamVector random_vector(std::size_t n, std::uint64_t seed, float span = 1.0f) {
+  Rng rng(seed);
+  ParamVector v(n);
+  for (float& x : v) x = (float(rng.uniform()) * 2.0f - 1.0f) * span;
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// binary16 conversion.
+// ---------------------------------------------------------------------------
+
+TEST(Fp16Bits, ExactValuesRoundTrip) {
+  // Every binary16-representable value must survive the float round trip
+  // bit-for-bit (halves embed exactly into fp32).
+  for (std::uint32_t bits = 0; bits <= 0xFFFF; ++bits) {
+    const std::uint16_t h = std::uint16_t(bits);
+    const std::uint16_t exp = (h >> 10) & 0x1F;
+    const std::uint16_t mant = h & 0x3FF;
+    if (exp == 0x1F && mant != 0) continue;  // NaN payloads need not survive.
+    const float f = float_from_fp16_bits(h);
+    EXPECT_EQ(fp16_bits_from_float(f), h) << "half bits 0x" << std::hex << bits;
+  }
+}
+
+#if defined(__FLT16_MANT_DIG__)
+TEST(Fp16Bits, MatchesHardwareConversionForFiniteValues) {
+  // The bit-twiddled conversion must agree with the compiler's _Float16 cast
+  // (RNE) wherever the cast produces a finite half.
+  Rng rng(7);
+  for (int i = 0; i < 200000; ++i) {
+    const float f = (float(rng.uniform()) * 2.0f - 1.0f) * 70000.0f;
+    const _Float16 h = (_Float16)f;
+    const float via_cast = (float)h;
+    if (!std::isfinite(via_cast)) continue;  // Cast overflowed; we saturate.
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(float_from_fp16_bits(
+                  fp16_bits_from_float(f))),
+              std::bit_cast<std::uint32_t>(via_cast))
+        << "f = " << f;
+  }
+  // Subnormal-half territory, where the rounding logic is trickiest.
+  for (int i = 0; i < 200000; ++i) {
+    const float f = (float(rng.uniform()) * 2.0f - 1.0f) * 7e-5f;
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(
+                  float_from_fp16_bits(fp16_bits_from_float(f))),
+              std::bit_cast<std::uint32_t>((float)(_Float16)f))
+        << "f = " << f;
+  }
+}
+#endif
+
+TEST(Fp16Bits, SaturatesInsteadOfOverflowing) {
+  EXPECT_EQ(float_from_fp16_bits(fp16_bits_from_float(1e6f)), 65504.0f);
+  EXPECT_EQ(float_from_fp16_bits(fp16_bits_from_float(-1e6f)), -65504.0f);
+  EXPECT_EQ(float_from_fp16_bits(fp16_bits_from_float(65504.0f)), 65504.0f);
+  // A true float infinity is preserved as a half infinity (it is not a
+  // finite value that overflowed — poisoned uploads must stay non-finite).
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(std::isinf(float_from_fp16_bits(fp16_bits_from_float(inf))));
+  EXPECT_TRUE(std::isnan(float_from_fp16_bits(
+      fp16_bits_from_float(std::numeric_limits<float>::quiet_NaN()))));
+}
+
+TEST(Fp16Bits, RoundsToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1 and the next half (1 + 2^-10):
+  // RNE picks the even mantissa, i.e. 1.0.
+  EXPECT_EQ(fp16_round(1.0f + 0x1p-11f), 1.0f);
+  // 1 + 3*2^-11 is halfway between 1 + 2^-10 and 1 + 2^-9: even is 1 + 2^-9.
+  EXPECT_EQ(fp16_round(1.0f + 3 * 0x1p-11f), 1.0f + 0x1p-9f);
+  // Signed zero survives.
+  EXPECT_EQ(fp16_bits_from_float(-0.0f), 0x8000u);
+  EXPECT_EQ(fp16_bits_from_float(0.0f), 0x0000u);
+}
+
+TEST(Fp16Bits, Fp16RoundErrorBound) {
+  // Relative error of one rounding is at most 2^-11 for normal halves.
+  Rng rng(11);
+  for (int i = 0; i < 100000; ++i) {
+    const float f = (float(rng.uniform()) * 2.0f - 1.0f) * 100.0f;
+    if (std::fabs(f) < 6.2e-5f) continue;  // Subnormal: absolute bound only.
+    EXPECT_LE(std::fabs(fp16_round(f) - f), std::fabs(f) * 0x1p-11f + 1e-12f)
+        << "f = " << f;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Codec encode/decode.
+// ---------------------------------------------------------------------------
+
+TEST(Quant, WireBytesFormula) {
+  // 28-byte frame (magic + codec + count + scale + payload length) + payload.
+  EXPECT_EQ(wire_bytes(Codec::kFp32, 0), 28u);
+  EXPECT_EQ(wire_bytes(Codec::kFp32, 100), 28u + 400u);
+  EXPECT_EQ(wire_bytes(Codec::kFp16, 100), 28u + 200u);
+  EXPECT_EQ(wire_bytes(Codec::kInt8, 100), 28u + 100u);
+}
+
+TEST(Quant, Int8ShrinksAtLeast3point5x) {
+  // The acceptance headline: at realistic delta sizes the framed int8
+  // message is >= 3.5x smaller than the framed fp32 one.
+  for (const std::uint64_t n : {1000u, 10000u, 100000u, 1000000u}) {
+    const double ratio = double(wire_bytes(Codec::kFp32, n)) /
+                         double(wire_bytes(Codec::kInt8, n));
+    EXPECT_GE(ratio, 3.5) << "n = " << n;
+  }
+}
+
+TEST(Quant, Fp32IsBitwiseExact) {
+  const ParamVector x = random_vector(1000, 3, 10.0f);
+  QuantizedVector q;
+  quantize(Codec::kFp32, x, q);
+  ParamVector back;
+  dequantize(q, back);
+  ASSERT_EQ(back.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(back[i]),
+              std::bit_cast<std::uint32_t>(x[i]));
+}
+
+TEST(Quant, Int8ErrorBoundedByHalfScale) {
+  // Per-tensor symmetric RNE: |x - dehat| <= scale/2 = max|x| / 254 per
+  // element (the fundamental quantize->dequantize error bound).
+  const ParamVector x = random_vector(4096, 5, 0.37f);
+  QuantizedVector q;
+  quantize(Codec::kInt8, x, q);
+  ASSERT_EQ(q.codec, Codec::kInt8);
+  float max_abs = 0.0f;
+  for (float v : x) max_abs = std::max(max_abs, std::fabs(v));
+  EXPECT_FLOAT_EQ(q.scale, max_abs / 127.0f);
+  ParamVector back;
+  dequantize(q, back);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_LE(std::fabs(back[i] - x[i]), q.scale * 0.5f + 1e-9f) << i;
+}
+
+TEST(Quant, Fp16ErrorBounded) {
+  const ParamVector x = random_vector(4096, 6, 2.0f);
+  QuantizedVector q;
+  quantize(Codec::kFp16, x, q);
+  ParamVector back;
+  dequantize(q, back);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_LE(std::fabs(back[i] - x[i]), std::fabs(x[i]) * 0x1p-11f + 6.0e-8f)
+        << i;
+}
+
+TEST(Quant, RoundTripIsBitwiseStable) {
+  // Quantizing an already-dequantized vector must reproduce the identical
+  // payload and scale: the codec is idempotent on its own lattice.
+  for (const Codec codec : {Codec::kFp16, Codec::kInt8}) {
+    const ParamVector x = random_vector(2048, 9, 1.3f);
+    QuantizedVector q1;
+    quantize(codec, x, q1);
+    ParamVector d1;
+    dequantize(q1, d1);
+    QuantizedVector q2;
+    quantize(codec, d1, q2);
+    ParamVector d2;
+    dequantize(q2, d2);
+    ASSERT_EQ(d1.size(), d2.size());
+    for (std::size_t i = 0; i < d1.size(); ++i)
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(d1[i]),
+                std::bit_cast<std::uint32_t>(d2[i]))
+          << to_string(codec) << " element " << i;
+  }
+}
+
+TEST(Quant, ZeroVectorEncodesToZeros) {
+  const ParamVector x(128, 0.0f);
+  QuantizedVector q;
+  quantize(Codec::kInt8, x, q);
+  EXPECT_EQ(q.scale, 0.0f);
+  ParamVector back;
+  dequantize(q, back);
+  for (float v : back) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Quant, NonFiniteInputPoisonsInt8Message) {
+  // A NaN element (corrupt upload) must not vanish inside the int8 payload:
+  // the whole message decodes non-finite so the server-side guard fires.
+  ParamVector x = random_vector(64, 12);
+  x[17] = std::numeric_limits<float>::quiet_NaN();
+  QuantizedVector q;
+  quantize(Codec::kInt8, x, q);
+  EXPECT_TRUE(std::isnan(q.scale));
+  ParamVector back;
+  dequantize(q, back);
+  bool any_finite = false;
+  for (float v : back) any_finite |= std::isfinite(v);
+  EXPECT_FALSE(any_finite);
+}
+
+TEST(Quant, NonFiniteInputSurvivesFp16) {
+  ParamVector x = random_vector(64, 13);
+  x[5] = std::numeric_limits<float>::infinity();
+  x[6] = std::numeric_limits<float>::quiet_NaN();
+  QuantizedVector q;
+  quantize(Codec::kFp16, x, q);
+  ParamVector back;
+  dequantize(q, back);
+  EXPECT_TRUE(std::isinf(back[5]));
+  EXPECT_TRUE(std::isnan(back[6]));
+}
+
+// ---------------------------------------------------------------------------
+// Wire format: round trip + hostile-stream rejection.
+// ---------------------------------------------------------------------------
+
+std::string encode_to_string(const QuantizedVector& q) {
+  std::ostringstream os(std::ios::binary);
+  BinaryWriter w(os);
+  write_quantized(w, q);
+  return os.str();
+}
+
+QuantizedVector decode_from_string(const std::string& bytes) {
+  std::istringstream is(bytes, std::ios::binary);
+  BinaryReader r(is);
+  return read_quantized(r);
+}
+
+TEST(QuantWire, RoundTripsEveryCodec) {
+  for (const Codec codec : {Codec::kFp32, Codec::kFp16, Codec::kInt8}) {
+    const ParamVector x = random_vector(333, 21, 0.5f);
+    QuantizedVector q;
+    quantize(codec, x, q);
+    const std::string bytes = encode_to_string(q);
+    EXPECT_EQ(bytes.size(), q.wire_bytes()) << to_string(codec);
+    const QuantizedVector out = decode_from_string(bytes);
+    EXPECT_EQ(out.codec, q.codec);
+    EXPECT_EQ(out.count, q.count);
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(out.scale),
+              std::bit_cast<std::uint32_t>(q.scale));
+    EXPECT_EQ(out.payload, q.payload);
+  }
+}
+
+TEST(QuantWire, RejectsBadMagic) {
+  QuantizedVector q;
+  quantize(Codec::kInt8, random_vector(16, 2), q);
+  std::string bytes = encode_to_string(q);
+  bytes[0] ^= 0x5A;
+  EXPECT_THROW(decode_from_string(bytes), std::runtime_error);
+}
+
+TEST(QuantWire, RejectsUnknownCodec) {
+  QuantizedVector q;
+  quantize(Codec::kInt8, random_vector(16, 2), q);
+  std::string bytes = encode_to_string(q);
+  bytes[4] = 0x7F;  // codec field
+  EXPECT_THROW(decode_from_string(bytes), std::runtime_error);
+}
+
+TEST(QuantWire, RejectsTruncatedPayload) {
+  QuantizedVector q;
+  quantize(Codec::kFp16, random_vector(100, 2), q);
+  const std::string bytes = encode_to_string(q);
+  for (const std::size_t keep : {bytes.size() - 1, bytes.size() / 2,
+                                 std::size_t(27), std::size_t(3)}) {
+    EXPECT_THROW(decode_from_string(bytes.substr(0, keep)), std::runtime_error)
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST(QuantWire, RejectsCountPayloadDisagreement) {
+  QuantizedVector q;
+  quantize(Codec::kInt8, random_vector(32, 2), q);
+  std::string bytes = encode_to_string(q);
+  // Inflate the count field (offset 8, u64) without growing the payload.
+  bytes[8] = char(0xFF);
+  EXPECT_THROW(decode_from_string(bytes), std::runtime_error);
+}
+
+TEST(QuantWire, RejectsHugeLengthPrefixWithoutAllocating) {
+  // A hostile length prefix far beyond the stream must throw before any
+  // attempt to allocate it.
+  std::ostringstream os(std::ios::binary);
+  BinaryWriter w(os);
+  w.write_u32(0x30515746);                // magic
+  w.write_u32(2);                         // int8
+  w.write_u64(std::uint64_t(1) << 60);    // absurd count
+  w.write_f32(1.0f);
+  w.write_u64(std::uint64_t(1) << 60);    // matching absurd payload length
+  EXPECT_THROW(decode_from_string(os.str()), std::runtime_error);
+}
+
+TEST(Quant, CodecNamesRoundTrip) {
+  for (const Codec codec : {Codec::kFp32, Codec::kFp16, Codec::kInt8}) {
+    Codec out;
+    ASSERT_TRUE(codec_from_string(to_string(codec), out));
+    EXPECT_EQ(out, codec);
+  }
+  Codec out;
+  EXPECT_FALSE(codec_from_string("int4", out));
+  EXPECT_FALSE(codec_from_string("", out));
+}
+
+}  // namespace
+}  // namespace fedwcm::core

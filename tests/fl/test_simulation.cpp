@@ -135,11 +135,13 @@ TEST(Simulation, RecordsTimingAndCommVolume) {
     EXPECT_TRUE(rec.evaluated);
     EXPECT_GT(rec.round_wall_ms, 0.0);
     // Downlink: FedAvg broadcasts only the global params to each sampled
-    // client (broadcast_floats == param_count); uplink at least one delta of
-    // the same size per client.
+    // client (broadcast_floats == param_count), one fp32-framed wire message
+    // each; uplink at least one framed delta of the same size per client.
     const std::uint64_t sampled = w.config.sampled_per_round();
-    EXPECT_EQ(rec.bytes_down, sampled * param_count * sizeof(float));
-    EXPECT_GE(rec.bytes_up, sampled * param_count * sizeof(float));
+    const std::uint64_t message =
+        core::wire_bytes(core::Codec::kFp32, param_count);
+    EXPECT_EQ(rec.bytes_down, sampled * message);
+    EXPECT_GE(rec.bytes_up, sampled * message);
   }
 }
 
@@ -157,7 +159,8 @@ TEST(Simulation, MomentumBroadcastDoublesDownlink) {
     EXPECT_EQ(alg->broadcast_floats(), 2 * param_count) << name;
     const std::uint64_t sampled = w.config.sampled_per_round();
     for (const auto& rec : res.history)
-      EXPECT_EQ(rec.bytes_down, sampled * 2 * param_count * sizeof(float))
+      EXPECT_EQ(rec.bytes_down,
+                sampled * core::wire_bytes(core::Codec::kFp32, 2 * param_count))
           << name;
   }
 }

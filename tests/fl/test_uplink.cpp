@@ -1,0 +1,483 @@
+// Lossy-uplink transport (fl/uplink.hpp): fp32 strict passthrough, the
+// EF-SGD residual construction and its boundedness, checkpoint round trips,
+// and the simulation-level acceptance gates — `--uplink=fp32` bitwise
+// identity, error feedback recovering accuracy vs no-feedback int8, int8
+// checkpoint/resume, lazy + streaming compatibility, and the >= 3.5x
+// bytes_up shrink.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "fedwcm/core/rng.hpp"
+#include "fedwcm/fl/checkpoint.hpp"
+#include "fedwcm/fl/registry.hpp"
+#include "fedwcm/fl/uplink.hpp"
+#include "fl_test_util.hpp"
+
+namespace fedwcm::fl {
+namespace {
+
+using testutil::make_world;
+
+ParamVector random_delta(std::size_t n, core::Rng& rng, float span = 0.2f) {
+  ParamVector v(n);
+  for (float& x : v) x = float(rng.normal()) * span;
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Transport unit tests.
+// ---------------------------------------------------------------------------
+
+TEST(Uplink, Fp32IsBitwisePassthrough) {
+  Uplink up;
+  up.configure(core::Codec::kFp32, /*error_feedback=*/true);
+  EXPECT_FALSE(up.lossy());
+  core::Rng rng(3);
+  ParamVector delta = random_delta(100, rng);
+  delta[7] = -0.0f;  // signed zero must survive untouched
+  const ParamVector before = delta;
+  const std::uint64_t bytes = up.transport(5, delta);
+  EXPECT_EQ(bytes, core::wire_bytes(core::Codec::kFp32, 100));
+  ASSERT_EQ(delta.size(), before.size());
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    std::uint32_t a, b;
+    std::memcpy(&a, &delta[i], 4);
+    std::memcpy(&b, &before[i], 4);
+    ASSERT_EQ(a, b) << i;
+  }
+  EXPECT_EQ(up.residual_clients(), 0u);  // fp32 keeps no residual state
+}
+
+TEST(Uplink, Int8TransportReturnsCompressedBytesAndQuantizedDelta) {
+  Uplink up;
+  up.configure(core::Codec::kInt8, true);
+  EXPECT_TRUE(up.lossy());
+  core::Rng rng(5);
+  ParamVector delta = random_delta(1000, rng);
+  const ParamVector original = delta;
+  const std::uint64_t bytes = up.transport(0, delta);
+  EXPECT_EQ(bytes, core::wire_bytes(core::Codec::kInt8, 1000));
+  EXPECT_GE(double(core::wire_bytes(core::Codec::kFp32, 1000)) / double(bytes),
+            3.5);
+  // The server-visible delta is the dequantized message; first transport has
+  // no residual, so |delta - original| <= scale/2.
+  float max_abs = 0.0f;
+  for (float v : original) max_abs = std::max(max_abs, std::fabs(v));
+  const float scale = max_abs / 127.0f;
+  for (std::size_t i = 0; i < delta.size(); ++i)
+    EXPECT_LE(std::fabs(delta[i] - original[i]), scale * 0.5f + 1e-9f) << i;
+}
+
+TEST(Uplink, ErrorFeedbackStoresExactQuantizationResidual) {
+  Uplink up;
+  up.configure(core::Codec::kInt8, true);
+  core::Rng rng(7);
+  ParamVector delta = random_delta(64, rng);
+  const ParamVector v = delta;  // first round: no residual, v == delta
+  up.transport(3, delta);
+  const ParamVector* r = up.residual(3);
+  ASSERT_NE(r, nullptr);
+  ASSERT_EQ(r->size(), v.size());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    EXPECT_FLOAT_EQ((*r)[i], v[i] - delta[i]) << i;
+  EXPECT_EQ(up.residual_clients(), 1u);
+  EXPECT_EQ(up.residual(99), nullptr);
+}
+
+TEST(Uplink, ErrorFeedbackResidualStaysBounded) {
+  // EF-SGD's stability property: the carried residual never exceeds one
+  // round's quantization error (scale/2 per element) no matter how many
+  // rounds accumulate, because each round re-quantizes v = delta + r.
+  Uplink up;
+  up.configure(core::Codec::kInt8, true);
+  core::Rng rng(11);
+  for (int round = 0; round < 200; ++round) {
+    ParamVector delta = random_delta(128, rng, 0.1f);
+    up.transport(0, delta);
+    const ParamVector* r = up.residual(0);
+    ASSERT_NE(r, nullptr);
+    float r_inf = 0.0f;
+    for (float x : *r) r_inf = std::max(r_inf, std::fabs(x));
+    // ||v||_inf <= ||delta||_inf + ||r_prev||_inf; scale = ||v||_inf / 127,
+    // residual <= scale/2 — far below the delta magnitude itself. Use a loose
+    // absolute ceiling: it would blow up within a few rounds if EF leaked.
+    EXPECT_LE(r_inf, 0.05f) << "round " << round;
+  }
+}
+
+TEST(Uplink, ErrorFeedbackCompensatesOverTime) {
+  // A constant true delta uploaded through int8+EF: the running mean of the
+  // server-visible (dequantized) deltas must converge to the true delta —
+  // the whole point of carrying the residual forward.
+  Uplink up;
+  up.configure(core::Codec::kInt8, true);
+  ParamVector truth(32);
+  core::Rng rng(13);
+  for (float& x : truth) x = float(rng.normal()) * 0.1f;
+  ParamVector mean(truth.size(), 0.0f);
+  const int rounds = 400;
+  for (int round = 0; round < rounds; ++round) {
+    ParamVector delta = truth;
+    up.transport(0, delta);
+    for (std::size_t i = 0; i < mean.size(); ++i) mean[i] += delta[i];
+  }
+  float max_abs = 0.0f;
+  for (float v : truth) max_abs = std::max(max_abs, std::fabs(v));
+  const float one_round_err = max_abs / 127.0f;  // scale of a single round
+  for (std::size_t i = 0; i < mean.size(); ++i) {
+    // Time-averaged error shrinks ~1/rounds; require well under one round's
+    // quantization step (a no-EF uplink would plateau at ~scale/2).
+    EXPECT_LE(std::fabs(mean[i] / rounds - truth[i]), one_round_err * 0.1f)
+        << i;
+  }
+}
+
+TEST(Uplink, NoFeedbackModeKeepsNoState) {
+  Uplink up;
+  up.configure(core::Codec::kInt8, /*error_feedback=*/false);
+  core::Rng rng(17);
+  ParamVector delta = random_delta(64, rng);
+  up.transport(0, delta);
+  up.transport(1, delta);
+  EXPECT_EQ(up.residual_clients(), 0u);
+}
+
+TEST(Uplink, PoisonedUploadLeavesResidualUntouched) {
+  Uplink up;
+  up.configure(core::Codec::kInt8, true);
+  core::Rng rng(19);
+  ParamVector good = random_delta(32, rng);
+  up.transport(0, good);
+  const ParamVector saved = *up.residual(0);
+
+  ParamVector bad = random_delta(32, rng);
+  bad[4] = std::numeric_limits<float>::quiet_NaN();
+  up.transport(0, bad);
+  // The transported message is poisoned (all_finite fails, server rejects)...
+  EXPECT_FALSE(core::pv::all_finite(bad));
+  // ...and the honest residual survives for the client's next upload.
+  ASSERT_NE(up.residual(0), nullptr);
+  EXPECT_EQ(*up.residual(0), saved);
+}
+
+TEST(Uplink, ConfigureClearsResiduals) {
+  Uplink up;
+  up.configure(core::Codec::kInt8, true);
+  core::Rng rng(23);
+  ParamVector delta = random_delta(16, rng);
+  up.transport(0, delta);
+  EXPECT_EQ(up.residual_clients(), 1u);
+  up.configure(core::Codec::kInt8, true);
+  EXPECT_EQ(up.residual_clients(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Uplink checkpoint state.
+// ---------------------------------------------------------------------------
+
+TEST(UplinkState, SaveLoadRoundTripsResiduals) {
+  Uplink up;
+  up.configure(core::Codec::kInt8, true);
+  core::Rng rng(29);
+  for (const std::size_t client : {7u, 2u, 19u}) {
+    ParamVector delta = random_delta(24, rng);
+    up.transport(client, delta);
+  }
+  std::stringstream first;
+  {
+    core::BinaryWriter w(first);
+    up.save_state(w);
+  }
+  Uplink restored;
+  restored.configure(core::Codec::kInt8, true);
+  {
+    core::BinaryReader r(first);
+    restored.load_state(r);
+    EXPECT_TRUE(r.at_end());
+  }
+  EXPECT_EQ(restored.residual_clients(), up.residual_clients());
+  for (const std::size_t client : {7u, 2u, 19u}) {
+    ASSERT_NE(restored.residual(client), nullptr) << client;
+    EXPECT_EQ(*restored.residual(client), *up.residual(client)) << client;
+  }
+  // Deterministic bytes: saving the restored state reproduces the stream.
+  std::stringstream second;
+  {
+    core::BinaryWriter w(second);
+    restored.save_state(w);
+  }
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(UplinkState, LoadRejectsCodecMismatch) {
+  Uplink int8_up;
+  int8_up.configure(core::Codec::kInt8, true);
+  std::stringstream bytes;
+  {
+    core::BinaryWriter w(bytes);
+    int8_up.save_state(w);
+  }
+  Uplink fp16_up;
+  fp16_up.configure(core::Codec::kFp16, true);
+  core::BinaryReader r(bytes);
+  EXPECT_THROW(fp16_up.load_state(r), std::runtime_error);
+}
+
+TEST(UplinkState, LoadRejectsErrorFeedbackMismatch) {
+  Uplink with_ef;
+  with_ef.configure(core::Codec::kInt8, true);
+  std::stringstream bytes;
+  {
+    core::BinaryWriter w(bytes);
+    with_ef.save_state(w);
+  }
+  Uplink without_ef;
+  without_ef.configure(core::Codec::kInt8, false);
+  core::BinaryReader r(bytes);
+  EXPECT_THROW(without_ef.load_state(r), std::runtime_error);
+}
+
+TEST(UplinkState, LoadRejectsOversizedResidualCount) {
+  std::stringstream bytes;
+  {
+    core::BinaryWriter w(bytes);
+    w.write_u32(std::uint32_t(core::Codec::kInt8));
+    w.write_u32(1);
+    w.write_u64(std::uint64_t(1) << 50);  // absurd client count
+  }
+  Uplink up;
+  up.configure(core::Codec::kInt8, true);
+  core::BinaryReader r(bytes);
+  EXPECT_THROW(up.load_state(r), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Simulation integration.
+// ---------------------------------------------------------------------------
+
+void expect_same_trajectory(const SimulationResult& a, const SimulationResult& b,
+                            const std::string& tag) {
+  ASSERT_EQ(a.final_params.size(), b.final_params.size()) << tag;
+  for (std::size_t i = 0; i < a.final_params.size(); ++i) {
+    std::uint32_t ba, bb;
+    std::memcpy(&ba, &a.final_params[i], 4);
+    std::memcpy(&bb, &b.final_params[i], 4);
+    ASSERT_EQ(ba, bb) << tag << " param " << i;
+  }
+  EXPECT_EQ(a.final_accuracy, b.final_accuracy) << tag;
+  ASSERT_EQ(a.history.size(), b.history.size()) << tag;
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].test_accuracy, b.history[i].test_accuracy) << tag;
+    EXPECT_EQ(a.history[i].train_loss, b.history[i].train_loss) << tag;
+    EXPECT_EQ(a.history[i].momentum_norm, b.history[i].momentum_norm) << tag;
+  }
+}
+
+// The acceptance gate: an explicit --uplink=fp32 run (either EF setting) is
+// bitwise identical to the defaults — the transport layer cannot perturb an
+// uncompressed trajectory.
+TEST(UplinkSimulation, Fp32UplinkIsBitwiseIdenticalToDefault) {
+  for (const char* name : {"fedavg", "fedwcm"}) {
+    auto base = make_world();
+    Simulation base_sim = base.make_simulation();
+    auto base_alg = make_algorithm(name);
+    const SimulationResult expected = base_sim.run(*base_alg);
+
+    for (const bool ef : {true, false}) {
+      auto w = make_world();
+      w.config.uplink = core::Codec::kFp32;
+      w.config.error_feedback = ef;
+      Simulation sim = w.make_simulation();
+      auto alg = make_algorithm(name);
+      const SimulationResult got = sim.run(*alg);
+      expect_same_trajectory(got, expected,
+                             std::string(name) + (ef ? "+ef" : "-ef"));
+    }
+  }
+}
+
+float trajectory_distance(const SimulationResult& a, const SimulationResult& b) {
+  EXPECT_EQ(a.final_params.size(), b.final_params.size());
+  double sq = 0.0;
+  for (std::size_t i = 0; i < a.final_params.size(); ++i) {
+    const double d = double(a.final_params[i]) - double(b.final_params[i]);
+    sq += d * d;
+  }
+  return float(std::sqrt(sq));
+}
+
+SimulationResult run_uplink(core::Codec codec, bool ef, const char* alg_name,
+                            std::size_t rounds = 8) {
+  auto w = make_world();
+  w.config.rounds = rounds;
+  w.config.uplink = codec;
+  w.config.error_feedback = ef;
+  Simulation sim = w.make_simulation();
+  auto alg = make_algorithm(alg_name);
+  return sim.run(*alg);
+}
+
+// Error feedback demonstrably recovers accuracy: the int8+EF trajectory ends
+// closer to the fp32 reference than the int8 no-feedback one.
+TEST(UplinkSimulation, ErrorFeedbackRecoversInt8Trajectory) {
+  const SimulationResult fp32 = run_uplink(core::Codec::kFp32, true, "fedwcm");
+  const SimulationResult with_ef = run_uplink(core::Codec::kInt8, true, "fedwcm");
+  const SimulationResult no_ef = run_uplink(core::Codec::kInt8, false, "fedwcm");
+  const float d_ef = trajectory_distance(with_ef, fp32);
+  const float d_no = trajectory_distance(no_ef, fp32);
+  EXPECT_LT(d_ef, d_no) << "EF drift " << d_ef << " vs no-EF drift " << d_no;
+  // And the compressed run still trains: accuracy in the fp32 ballpark.
+  EXPECT_GE(with_ef.final_accuracy, fp32.final_accuracy - 0.1f);
+}
+
+TEST(UplinkSimulation, QuantizedRunsAreDeterministic) {
+  for (const core::Codec codec : {core::Codec::kFp16, core::Codec::kInt8}) {
+    const SimulationResult a = run_uplink(codec, true, "fedcm", 4);
+    const SimulationResult b = run_uplink(codec, true, "fedcm", 4);
+    expect_same_trajectory(a, b, core::to_string(codec));
+  }
+}
+
+// bytes_up acceptance: the int8 run's reported uplink volume shrinks by at
+// least 3.5x vs the fp32 run on the identical configuration.
+TEST(UplinkSimulation, Int8ShrinksBytesUpAtLeast3point5x) {
+  const SimulationResult fp32 = run_uplink(core::Codec::kFp32, true, "fedavg", 4);
+  const SimulationResult int8 = run_uplink(core::Codec::kInt8, true, "fedavg", 4);
+  std::uint64_t up_fp32 = 0, up_int8 = 0;
+  for (const auto& rec : fp32.history) up_fp32 += rec.bytes_up;
+  for (const auto& rec : int8.history) up_int8 += rec.bytes_up;
+  ASSERT_GT(up_int8, 0u);
+  EXPECT_GE(double(up_fp32) / double(up_int8), 3.5)
+      << up_fp32 << " vs " << up_int8;
+  // Downlink stays fp32 in both runs.
+  ASSERT_EQ(fp32.history.size(), int8.history.size());
+  for (std::size_t i = 0; i < fp32.history.size(); ++i)
+    EXPECT_EQ(fp32.history[i].bytes_down, int8.history[i].bytes_down);
+}
+
+TEST(UplinkSimulation, StreamAggregationWorksWithInt8) {
+  // The dequantize-and-fold path: streaming aggregation accepts quantized
+  // uploads, stays deterministic, and still trains.
+  auto make = [] {
+    auto w = make_world();
+    w.config.rounds = 4;
+    w.config.stream_aggregation = true;
+    w.config.uplink = core::Codec::kInt8;
+    return w;
+  };
+  auto w1 = make();
+  auto w2 = make();
+  Simulation s1 = w1.make_simulation();
+  Simulation s2 = w2.make_simulation();
+  auto a1 = make_algorithm("fedwcm");
+  auto a2 = make_algorithm("fedwcm");
+  const SimulationResult r1 = s1.run(*a1);
+  const SimulationResult r2 = s2.run(*a2);
+  expect_same_trajectory(r1, r2, "stream+int8");
+  EXPECT_TRUE(core::pv::all_finite(r1.final_params));
+}
+
+TEST(UplinkSimulation, ThreadCountDoesNotChangeQuantizedResult) {
+  // EF state mutates on the driver thread in cohort order, so the quantized
+  // trajectory must be invariant to the worker-pool size.
+  auto w1 = make_world();
+  auto w4 = make_world();
+  w1.config.threads = 1;
+  w4.config.threads = 4;
+  for (auto* w : {&w1, &w4}) {
+    w->config.rounds = 4;
+    w->config.uplink = core::Codec::kInt8;
+  }
+  Simulation s1 = w1.make_simulation();
+  Simulation s4 = w4.make_simulation();
+  auto a1 = make_algorithm("fedcm");
+  auto a4 = make_algorithm("fedcm");
+  expect_same_trajectory(s1.run(*a1), s4.run(*a4), "int8 threads");
+}
+
+struct CrashAtRound final : RoundObserver {
+  std::size_t crash_round;
+  explicit CrashAtRound(std::size_t r) : crash_round(r) {}
+  void on_round_end(const RoundRecord& rec) override {
+    if (rec.round == crash_round) throw std::runtime_error("injected crash");
+  }
+};
+
+// Checkpoint/resume under a lossy uplink: the EF residuals ride in the
+// checkpoint, so a resumed int8 run is bitwise identical to an
+// uninterrupted one.
+TEST(UplinkSimulation, ResumeEqualsUninterruptedUnderInt8) {
+  auto w = make_world();
+  w.config.uplink = core::Codec::kInt8;
+  Simulation base = w.make_simulation();
+  auto base_alg = make_algorithm("fedwcm");
+  const SimulationResult expected = base.run(*base_alg);
+
+  const std::string path = testing::TempDir() + "/fedwcm_uplink_resume.ckpt";
+  std::remove(path.c_str());
+  {
+    Simulation sim = w.make_simulation();
+    sim.set_checkpointing({path, 5, false});
+    sim.add_observer(std::make_shared<CrashAtRound>(6));
+    auto alg = make_algorithm("fedwcm");
+    EXPECT_THROW(sim.run(*alg), std::runtime_error);
+  }
+  Simulation sim = w.make_simulation();
+  sim.set_checkpointing({path, 5, true});
+  auto alg = make_algorithm("fedwcm");
+  const SimulationResult resumed = sim.run(*alg);
+  std::remove(path.c_str());
+  expect_same_trajectory(resumed, expected, "int8 resume");
+  ASSERT_EQ(resumed.history.size(), expected.history.size());
+  for (std::size_t i = 0; i < resumed.history.size(); ++i) {
+    EXPECT_EQ(resumed.history[i].bytes_up, expected.history[i].bytes_up) << i;
+    EXPECT_EQ(resumed.history[i].bytes_down, expected.history[i].bytes_down)
+        << i;
+  }
+}
+
+// A checkpoint written under one uplink config must refuse to resume under
+// another (the codec shapes the trajectory, so it is fingerprinted).
+TEST(UplinkSimulation, ResumeRejectsUplinkMismatch) {
+  auto w = make_world();
+  w.config.uplink = core::Codec::kInt8;
+  const std::string path = testing::TempDir() + "/fedwcm_uplink_mismatch.ckpt";
+  std::remove(path.c_str());
+  {
+    Simulation sim = w.make_simulation();
+    sim.set_checkpointing({path, 3, false});
+    auto alg = make_algorithm("fedavg");
+    sim.run(*alg);
+  }
+  for (const auto& [codec, ef] :
+       {std::pair{core::Codec::kFp32, true}, {core::Codec::kInt8, false}}) {
+    auto other = make_world();
+    other.config.uplink = codec;
+    other.config.error_feedback = ef;
+    Simulation sim = other.make_simulation();
+    sim.set_checkpointing({path, 3, true});
+    auto alg = make_algorithm("fedavg");
+    EXPECT_THROW(sim.run(*alg), std::runtime_error)
+        << core::to_string(codec) << " ef=" << ef;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(UplinkSimulation, FingerprintCoversUplinkFields) {
+  auto w = make_world();
+  const std::string base = config_fingerprint(w.config, 100, "fedwcm");
+  auto w_codec = make_world();
+  w_codec.config.uplink = core::Codec::kInt8;
+  EXPECT_NE(config_fingerprint(w_codec.config, 100, "fedwcm"), base);
+  auto w_ef = make_world();
+  w_ef.config.error_feedback = false;
+  EXPECT_NE(config_fingerprint(w_ef.config, 100, "fedwcm"), base);
+}
+
+}  // namespace
+}  // namespace fedwcm::fl

@@ -122,6 +122,8 @@ struct Args {
   std::size_t samples_per_client = 0;
   bool stream = false;
   double availability = 1.0;
+  core::Codec uplink = core::Codec::kFp32;
+  bool error_feedback = true;
   std::size_t rounds = 60;
   std::size_t epochs = 5;
   std::size_t batch = 10;
@@ -171,6 +173,13 @@ const char kUsage[] =
     "                        instead of O(cohort)               [off]\n"
     "  --availability F      per-round client availability in (0, 1]; each\n"
     "                        (round, client) flips a seeded coin  [1]\n"
+    "  --uplink CODEC        client-delta uplink codec: fp32 (bitwise\n"
+    "                        passthrough) | fp16 | int8 (per-tensor symmetric\n"
+    "                        quantization, ~4x smaller uploads;\n"
+    "                        docs/PERFORMANCE.md)               [fp32]\n"
+    "  --error-feedback M    on|off: carry each client's quantization\n"
+    "                        residual into its next upload (lossy uplinks\n"
+    "                        only)                              [on]\n"
     "  --rounds N            communication rounds               [60]\n"
     "  --epochs N            local epochs                       [5]\n"
     "  --batch N             local batch size                   [10]\n"
@@ -317,6 +326,20 @@ Args parse(int argc, char** argv) {
       args.availability = parse_prob(flag, need_value(i));
       if (args.availability <= 0.0)
         usage_error("--availability must be in (0, 1]");
+    }
+    else if (flag == "--uplink") {
+      const std::string name = need_value(i);
+      if (!core::codec_from_string(name, args.uplink))
+        usage_error("invalid value '" + name +
+                    "' for --uplink (expected fp32|fp16|int8)");
+    }
+    else if (flag == "--error-feedback") {
+      const std::string mode = need_value(i);
+      if (mode == "on") args.error_feedback = true;
+      else if (mode == "off") args.error_feedback = false;
+      else
+        usage_error("invalid value '" + mode +
+                    "' for --error-feedback (expected on|off)");
     }
     else if (flag == "--rounds") args.rounds = parse_size(flag, need_value(i));
     else if (flag == "--epochs") args.epochs = parse_size(flag, need_value(i));
@@ -526,6 +549,8 @@ int main(int argc, char** argv) {
   cfg.faults = args.faults;
   cfg.stream_aggregation = args.stream;
   cfg.availability = args.availability;
+  cfg.uplink = args.uplink;
+  cfg.error_feedback = args.error_feedback;
   cfg.population_telemetry = args.population;
   if (args.population) {
     // The sketch cells live in the metrics registry; the heavy-hitter and

@@ -7,9 +7,16 @@
 ///
 ///   * blocked GEMM must not be slower than the naive reference on the
 ///     256x256x256 headline shape,
-///   * the end-to-end FedWCM run must reach the same final accuracy in both
-///     kernel modes within 1e-4 (test accuracy quantises at 1/600 samples,
-///     so in practice this means exactly equal), and
+///   * the end-to-end FedWCM run must reach the same final accuracy in
+///     blocked and naive kernel modes within 1e-4 (test accuracy quantises at
+///     1/600 samples, so in practice this means exactly equal),
+///   * the fp16 compute mode (`FEDWCM_KERNELS=fp16`) is gated on *accuracy
+///     only* — final accuracy within 0.05 of blocked (the documented policy
+///     in docs/PERFORMANCE.md; on hardware without native fp16 arithmetic the
+///     mode is emulated and slower, so speed is informational),
+///   * the int8+error-feedback uplink run must shrink the reported bytes_up
+///     by at least 3.5x vs the fp32 run and stay within 0.05 accuracy of it,
+///     and
 ///   * with `--baseline PATH`, the headline blocked-vs-naive *speedup* must
 ///     stay above half the baseline's. Speedups are machine-relative, so the
 ///     committed repo-root BENCH_kernels.json works as a baseline on any
@@ -161,6 +168,13 @@ int main(int argc, char** argv) {
     }
   }
 
+  for (const auto& c : report.codec) {
+    std::cout << "perf_gate: codec " << c.codec << " encode "
+              << c.encode_ns_per_elem << " ns/elem, decode "
+              << c.decode_ns_per_elem << " ns/elem, wire shrink " << c.shrink
+              << "x\n";
+  }
+
   if (report.e2e.rounds != 0) {
     const auto& e = report.e2e;
     std::cout << "perf_gate: e2e blocked " << e.blocked_ms_per_round
@@ -171,6 +185,35 @@ int main(int argc, char** argv) {
       std::cerr << "perf_gate: FAIL — kernel modes disagree on final "
                    "accuracy (|diff| = "
                 << e.accuracy_abs_diff() << " > 1e-4)\n";
+      ok = false;
+    }
+    // fp16 compute: accuracy-only gate (docs/PERFORMANCE.md policy). On CPUs
+    // without native half arithmetic the mode is emulated, so ms/round is
+    // reported but never gated.
+    std::cout << "perf_gate: e2e fp16 " << e.fp16_ms_per_round
+              << " ms/round, accuracy " << e.fp16_accuracy << " (|diff| "
+              << e.fp16_accuracy_abs_diff() << ")\n";
+    if (e.fp16_accuracy_abs_diff() > 0.05) {
+      std::cerr << "perf_gate: FAIL — fp16 kernel mode accuracy drifted "
+                   "beyond the 0.05 policy (|diff| = "
+                << e.fp16_accuracy_abs_diff() << ")\n";
+      ok = false;
+    }
+    // int8 uplink: compression and accuracy-recovery gates.
+    std::cout << "perf_gate: e2e int8 uplink accuracy "
+              << e.int8_uplink_accuracy << " (|diff| "
+              << e.int8_uplink_accuracy_abs_diff() << "), bytes_up "
+              << e.bytes_up_int8 << " vs fp32 " << e.bytes_up_fp32
+              << " (shrink " << e.uplink_shrink() << "x)\n";
+    if (e.uplink_shrink() < 3.5) {
+      std::cerr << "perf_gate: FAIL — int8 uplink shrink "
+                << e.uplink_shrink() << "x below the 3.5x floor\n";
+      ok = false;
+    }
+    if (e.int8_uplink_accuracy_abs_diff() > 0.05) {
+      std::cerr << "perf_gate: FAIL — int8 uplink accuracy drifted beyond "
+                   "the 0.05 policy (|diff| = "
+                << e.int8_uplink_accuracy_abs_diff() << ")\n";
       ok = false;
     }
   }
