@@ -84,6 +84,10 @@ bool load_run_summary(const std::string& path, RunSummary& out,
         wall_ms_total += wall;
         ++wall_ms_lines;
       }
+      // Last diagnostics-bearing round wins: final q_r for the run record.
+      if (const obs::json::Value* diag = v.find("diagnostics");
+          diag && diag->is_bool() && diag->as_bool())
+        out.final_qr = number_or(v, "momentum_alignment", out.final_qr);
     }
   }
   if (!saw_summary) {

@@ -32,6 +32,9 @@ struct RunSummary {
   double tail_mean_accuracy = 0.0;
   double min_class_recall = -1.0;  ///< Final round; <0 when not recorded.
   double mean_round_wall_ms = -1.0;  ///< Over history lines; <0 when none.
+  double final_qr = -1.0;  ///< momentum_alignment (q_r) at the last
+                           ///< diagnostics-bearing round; <0 when the run
+                           ///< had diagnostics off.
   std::uint64_t faults_dropped = 0;
   std::uint64_t faults_rejected = 0;
   std::uint64_t faults_straggled = 0;

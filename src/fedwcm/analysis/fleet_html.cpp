@@ -1,0 +1,286 @@
+#include "fedwcm/analysis/fleet_html.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace fedwcm::analysis {
+
+namespace {
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '<') {
+      out += "\\u003c";  // "</script>" inside the blob must not end the block
+    } else if (c == '>') {
+      out += "\\u003e";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      std::ostringstream os;
+      os << "\\u" << std::hex << std::setw(4) << std::setfill('0') << int(c);
+      out += os.str();
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string fmt_num(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+std::string fmt_json(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  os.precision(9);
+  os << v;
+  return os.str();
+}
+
+/// Metrics charted when the caller does not pick: every headline quantity
+/// the gates care about, in display order, filtered to those any record has.
+const char* const kDefaultPanel[] = {
+    "final_accuracy",        "min_class_recall",
+    "final_qr",              "tail_mean_accuracy",
+    "mean_round_wall_ms",    "wall_ms",
+    "cpu_ms",                "peak_rss_kb",
+    "bench.e2e.ms_per_round", "bench.gemm_256.speedup",
+};
+
+std::vector<std::string> default_panel(
+    const std::vector<obs::RunRecord>& records) {
+  std::vector<std::string> panel;
+  for (const char* name : kDefaultPanel) {
+    double unused = 0.0;
+    for (const obs::RunRecord& r : records)
+      if (r.value_of(name, unused)) {
+        panel.emplace_back(name);
+        break;
+      }
+  }
+  return panel;
+}
+
+struct Group {
+  std::string fingerprint;
+  std::vector<const obs::RunRecord*> records;  ///< Store order.
+};
+
+/// Groups by config fingerprint, ordered by first appearance so the page
+/// reads in the order the fleet ran.
+std::vector<Group> group_by_fingerprint(
+    const std::vector<obs::RunRecord>& records) {
+  std::vector<Group> groups;
+  std::map<std::string, std::size_t> index;
+  for (const obs::RunRecord& r : records) {
+    auto [it, inserted] = index.emplace(r.config_fingerprint, groups.size());
+    if (inserted) groups.push_back(Group{r.config_fingerprint, {}});
+    groups[it->second].records.push_back(&r);
+  }
+  return groups;
+}
+
+/// One metric sparkline: shaded MAD band, series polyline, per-point dots
+/// (red when outside the band), dashed change-point marker.
+void render_sparkline(std::ostream& os, const std::string& metric,
+                      const std::vector<double>& series,
+                      const TrendOptions& trend_options) {
+  const int w = 640, h = 110, pad = 10;
+  const TrendSummary t = summarize_trend(series, trend_options);
+  double lo = series.front(), hi = series.front();
+  for (double v : series) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  lo = std::min(lo, t.band_lo);
+  hi = std::max(hi, t.band_hi);
+  if (!(hi > lo)) {
+    const double bump = std::max(0.5, std::abs(hi) * 0.5);
+    lo -= bump;
+    hi += bump;
+  }
+  const auto x_of = [&](std::size_t i) {
+    return series.size() == 1
+               ? double(w) / 2.0
+               : pad + double(i) * (w - 2 * pad) / double(series.size() - 1);
+  };
+  const auto y_of = [&](double v) {
+    return pad + (hi - v) * (h - 2 * pad) / (hi - lo);
+  };
+  os << "<figure class=\"spark\"><figcaption>" << html_escape(metric)
+     << " <span class=\"latest" << (t.latest_above || t.latest_below ? " oob" : "")
+     << "\">" << fmt_num(t.latest) << "</span>"
+     << " <span class=\"band\">band [" << fmt_num(t.band_lo) << ", "
+     << fmt_num(t.band_hi) << "] · slope " << fmt_num(t.slope) << "/run"
+     << (t.change_point >= 0 ? " · change-point" : "") << "</span>"
+     << "</figcaption>\n";
+  os << "<svg viewBox=\"0 0 " << w << " " << h << "\" role=\"img\">";
+  os << "<rect class=\"bandfill\" x=\"0\" width=\"" << w << "\" y=\""
+     << fmt_num(y_of(t.band_hi)) << "\" height=\""
+     << fmt_num(std::max(0.0, y_of(t.band_lo) - y_of(t.band_hi))) << "\"/>";
+  if (t.change_point >= 0) {
+    const std::size_t offset = series.size() - t.count;
+    const double cx = x_of(offset + std::size_t(t.change_point));
+    os << "<line class=\"cp\" x1=\"" << fmt_num(cx) << "\" x2=\"" << fmt_num(cx)
+       << "\" y1=\"0\" y2=\"" << h << "\"/>";
+  }
+  os << "<polyline class=\"series\" points=\"";
+  for (std::size_t i = 0; i < series.size(); ++i)
+    os << fmt_num(x_of(i)) << "," << fmt_num(y_of(series[i])) << " ";
+  os << "\"/>";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const bool oob = series[i] > t.band_hi || series[i] < t.band_lo;
+    os << "<circle class=\"" << (oob ? "dot oob" : "dot") << "\" cx=\""
+       << fmt_num(x_of(i)) << "\" cy=\"" << fmt_num(y_of(series[i]))
+       << "\" r=\"3\"><title>run " << i << ": " << fmt_num(series[i])
+       << "</title></circle>";
+  }
+  os << "</svg></figure>\n";
+}
+
+void render_data_blob(std::ostream& os,
+                      const std::vector<obs::RunRecord>& records,
+                      const std::vector<std::string>& panel) {
+  os << "<script id=\"fleet-data\" type=\"application/json\">\n{";
+  os << "\"record_count\":" << records.size() << ",\"metrics\":[";
+  for (std::size_t i = 0; i < panel.size(); ++i)
+    os << (i ? "," : "") << "\"" << json_escape(panel[i]) << "\"";
+  os << "],\"records\":[";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const obs::RunRecord& r = records[i];
+    os << (i ? ",\n" : "\n") << "{\"kind\":\"" << json_escape(r.kind)
+       << "\",\"created_us\":" << r.created_us << ",\"config_fingerprint\":\""
+       << json_escape(r.config_fingerprint) << "\",\"flags\":\""
+       << json_escape(r.flags) << "\",\"machine\":\""
+       << json_escape(r.machine.id()) << "\",\"metrics\":{";
+    bool first = true;
+    for (const auto& [name, value] : r.metrics) {
+      os << (first ? "" : ",") << "\"" << json_escape(name)
+         << "\":" << fmt_json(value);
+      first = false;
+    }
+    os << "},\"counters\":{";
+    first = true;
+    for (const auto& [name, value] : r.counters) {
+      os << (first ? "" : ",") << "\"" << json_escape(name) << "\":" << value;
+      first = false;
+    }
+    os << "}}";
+  }
+  os << "]}\n</script>\n";
+}
+
+const char* kStyle = R"css(
+:root { color-scheme: light dark;
+  --bg:#ffffff; --fg:#1a1d21; --muted:#6a737d; --line:#2563eb;
+  --band:#2563eb18; --oob:#dc2626; --cp:#b45309; --card:#f5f7fa; }
+@media (prefers-color-scheme: dark) { :root {
+  --bg:#111417; --fg:#e6e8ea; --muted:#9aa4ad; --line:#60a5fa;
+  --band:#60a5fa22; --oob:#f87171; --cp:#fbbf24; --card:#1b2026; } }
+body { margin:2rem auto; max-width:72rem; padding:0 1rem;
+  background:var(--bg); color:var(--fg);
+  font:15px/1.45 system-ui, sans-serif; }
+h1 { font-size:1.4rem; margin-bottom:.2rem; }
+h2 { font-size:1.05rem; margin:1.6rem 0 .4rem; }
+.meta, .band { color:var(--muted); font-size:.85rem; }
+.spark { margin:.6rem 0; background:var(--card); border-radius:8px;
+  padding:.6rem .8rem; }
+.spark figcaption { display:flex; gap:.8rem; align-items:baseline;
+  font-weight:600; }
+.spark .latest { font-variant-numeric:tabular-nums; }
+.spark .latest.oob { color:var(--oob); }
+svg { width:100%; height:auto; display:block; }
+.series { fill:none; stroke:var(--line); stroke-width:1.6; }
+.bandfill { fill:var(--band); }
+.dot { fill:var(--line); }
+.dot.oob { fill:var(--oob); }
+.cp { stroke:var(--cp); stroke-width:1.2; stroke-dasharray:4 3; }
+code { background:var(--card); padding:.1rem .3rem; border-radius:4px; }
+)css";
+
+}  // namespace
+
+std::string render_fleet_html(const std::vector<obs::RunRecord>& records,
+                              const FleetHtmlOptions& options) {
+  const std::vector<std::string> panel =
+      options.metrics.empty() ? default_panel(records) : options.metrics;
+  std::ostringstream os;
+  os << "<!doctype html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n"
+     << "<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n"
+     << "<title>" << html_escape(options.title) << "</title>\n<style>" << kStyle
+     << "</style>\n</head>\n<body>\n";
+  os << "<h1>" << html_escape(options.title) << "</h1>\n";
+  std::set<std::string> machines;
+  for (const obs::RunRecord& r : records) machines.insert(r.machine.id());
+  os << "<p class=\"meta\">" << records.size() << " record"
+     << (records.size() == 1 ? "" : "s") << " · " << machines.size()
+     << " machine" << (machines.size() == 1 ? "" : "s") << " · band = median ± "
+     << fmt_num(options.trend.band_k) << "×MAD of the prior "
+     << options.trend.last << " runs</p>\n";
+  if (records.empty()) {
+    os << "<p>No records — ingest some runs first.</p>\n";
+  }
+  for (const Group& group : group_by_fingerprint(records)) {
+    os << "<h2>config <code>"
+       << html_escape(group.fingerprint.empty() ? "(none)" : group.fingerprint)
+       << "</code></h2>\n<p class=\"meta\">" << group.records.size() << " run"
+       << (group.records.size() == 1 ? "" : "s");
+    if (!group.records.front()->flags.empty())
+      os << " · <code>" << html_escape(group.records.front()->flags)
+         << "</code>";
+    os << "</p>\n";
+    for (const std::string& metric : panel) {
+      std::vector<double> series;
+      for (const obs::RunRecord* r : group.records) {
+        double value = 0.0;
+        if (r->value_of(metric, value)) series.push_back(value);
+      }
+      if (series.empty()) continue;
+      render_sparkline(os, metric, series, options.trend);
+    }
+  }
+  render_data_blob(os, records, panel);
+  os << "</body>\n</html>\n";
+  return os.str();
+}
+
+void write_fleet_html(const std::string& path,
+                      const std::vector<obs::RunRecord>& records,
+                      const FleetHtmlOptions& options) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("fleet_html: cannot open " + path);
+  const std::string html = render_fleet_html(records, options);
+  out.write(html.data(), std::streamsize(html.size()));
+  out.flush();
+  if (!out) throw std::runtime_error("fleet_html: write failed for " + path);
+}
+
+}  // namespace fedwcm::analysis

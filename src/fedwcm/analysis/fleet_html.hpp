@@ -1,0 +1,46 @@
+#pragma once
+/// \file fleet_html.hpp
+/// Self-contained multi-run fleet dashboard over a RunStore history.
+///
+/// Where report_html.hpp renders *one* run round-by-round, this renders a
+/// *history* of runs run-by-run: per-metric sparkline charts across the last
+/// N records with the robust median ± k·MAD band shaded behind them,
+/// out-of-band points marked as regressions, change-points flagged, and the
+/// records grouped by config fingerprint so a fleet mixing `fedwcm` and
+/// `fedavg` configurations does not smear into one meaningless trend.
+///
+/// The output follows the repo's dashboard contract: a single HTML string
+/// with zero external assets (inline CSS, inline SVG, light/dark via
+/// `prefers-color-scheme`), plus the full numeric content embedded in a
+/// `<script id="fleet-data" type="application/json">` block that the
+/// selfcheck ctest parses back with `obs::json` to verify the dashboard
+/// embeds exactly the records it was generated from.
+
+#include <string>
+#include <vector>
+
+#include "fedwcm/analysis/trend.hpp"
+#include "fedwcm/obs/runstore.hpp"
+
+namespace fedwcm::analysis {
+
+struct FleetHtmlOptions {
+  std::string title = "FedWCM fleet";
+  /// Metrics charted, in order. Empty selects a default panel of the
+  /// headline metrics present in the records (accuracy, q_r, wall/CPU/RSS,
+  /// bench e2e ms/round).
+  std::vector<std::string> metrics;
+  TrendOptions trend;  ///< Band/window parameters behind the shaded bands.
+};
+
+/// Renders the dashboard from records in store order (oldest -> newest);
+/// pure function of its inputs.
+std::string render_fleet_html(const std::vector<obs::RunRecord>& records,
+                              const FleetHtmlOptions& options = {});
+
+/// Renders and writes to `path`; throws std::runtime_error on I/O failure.
+void write_fleet_html(const std::string& path,
+                      const std::vector<obs::RunRecord>& records,
+                      const FleetHtmlOptions& options = {});
+
+}  // namespace fedwcm::analysis

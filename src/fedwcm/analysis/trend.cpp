@@ -1,0 +1,178 @@
+#include "fedwcm/analysis/trend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "fedwcm/analysis/compare.hpp"
+
+namespace fedwcm::analysis {
+
+double median_of(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + std::ptrdiff_t(mid),
+                   values.end());
+  const double hi = values[mid];
+  if (values.size() % 2 == 1) return hi;
+  const double lo =
+      *std::max_element(values.begin(), values.begin() + std::ptrdiff_t(mid));
+  return 0.5 * (lo + hi);
+}
+
+double mad_sigma(const std::vector<double>& values, double med) {
+  if (values.size() < 2) return 0.0;
+  std::vector<double> dev;
+  dev.reserve(values.size());
+  for (double v : values) dev.push_back(std::abs(v - med));
+  return 1.4826 * median_of(std::move(dev));
+}
+
+double theil_sen_slope(const std::vector<double>& values) {
+  const std::size_t n = values.size();
+  if (n < 2) return 0.0;
+  std::vector<double> slopes;
+  slopes.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      slopes.push_back((values[j] - values[i]) / double(j - i));
+  return median_of(std::move(slopes));
+}
+
+namespace {
+
+/// L1 cost of fitting one median to values[first, last).
+double l1_cost(const std::vector<double>& values, std::size_t first,
+               std::size_t last) {
+  std::vector<double> seg(values.begin() + std::ptrdiff_t(first),
+                          values.begin() + std::ptrdiff_t(last));
+  const double med = median_of(seg);
+  double cost = 0.0;
+  for (double v : seg) cost += std::abs(v - med);
+  return cost;
+}
+
+}  // namespace
+
+int change_point(const std::vector<double>& values, double min_gap) {
+  const std::size_t n = values.size();
+  if (n < 4) return -1;
+  const double total = l1_cost(values, 0, n);
+  if (total <= 0.0) return -1;  // Constant series: no split to find.
+  int best_split = -1;
+  double best_cost = total;
+  for (std::size_t split = 2; split + 2 <= n; ++split) {
+    const double cost = l1_cost(values, 0, split) + l1_cost(values, split, n);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_split = int(split);
+    }
+  }
+  if (best_split < 0) return -1;
+  if (best_cost > 0.75 * total) return -1;  // Split explains too little.
+  std::vector<double> left(values.begin(), values.begin() + best_split);
+  std::vector<double> right(values.begin() + best_split, values.end());
+  if (std::abs(median_of(std::move(left)) - median_of(std::move(right))) <=
+      min_gap)
+    return -1;
+  return best_split;
+}
+
+TrendSummary summarize_trend(const std::vector<double>& values,
+                             const TrendOptions& options) {
+  TrendSummary s;
+  if (values.empty()) return s;
+  const std::size_t window = std::min(values.size(), std::max<std::size_t>(
+                                                         options.last, 1));
+  const std::vector<double> win(values.end() - std::ptrdiff_t(window),
+                                values.end());
+  s.count = win.size();
+  s.latest = win.back();
+  // The newest value never contributes to the band it is judged against.
+  std::vector<double> baseline(win.begin(), win.end() - (win.size() > 1));
+  s.median = median_of(baseline);
+  s.spread = mad_sigma(baseline, s.median);
+  const double half = std::max(options.band_k * s.spread, options.min_band);
+  s.band_lo = s.median - half;
+  s.band_hi = s.median + half;
+  s.slope = theil_sen_slope(win);
+  s.change_point = change_point(win, half);
+  s.latest_above = s.latest > s.band_hi;
+  s.latest_below = s.latest < s.band_lo;
+  return s;
+}
+
+GateResult evaluate_gate(const std::vector<double>& values,
+                         const TrendOptions& options, GateDirection direction) {
+  GateResult result;
+  result.trend = summarize_trend(values, options);
+  const TrendSummary& t = result.trend;
+  std::ostringstream os;
+  if (values.empty() || t.count < options.min_history + 1) {
+    result.verdict = GateVerdict::kInsufficientHistory;
+    os << "insufficient history: " << (values.empty() ? 0 : t.count - 1)
+       << " prior runs, need " << options.min_history << " — gate abstains";
+    result.detail = os.str();
+    return result;
+  }
+  const bool bad_above =
+      t.latest_above && direction != GateDirection::kBelow;
+  const bool bad_below =
+      t.latest_below && direction != GateDirection::kAbove;
+  result.verdict =
+      (bad_above || bad_below) ? GateVerdict::kFail : GateVerdict::kPass;
+  os << "latest " << t.latest << " vs band [" << t.band_lo << ", " << t.band_hi
+     << "] (median " << t.median << ", spread " << t.spread << ", "
+     << (t.count - 1) << " prior runs)";
+  if (result.verdict == GateVerdict::kFail)
+    os << " — " << (bad_above ? "ABOVE" : "BELOW") << " band";
+  result.detail = os.str();
+  return result;
+}
+
+std::vector<double> metric_series(const std::vector<obs::RunRecord>& records,
+                                  const std::string& metric,
+                                  const std::string& config_fingerprint,
+                                  const std::string& kind) {
+  std::vector<double> series;
+  for (const obs::RunRecord& record : records) {
+    if (!config_fingerprint.empty() &&
+        record.config_fingerprint != config_fingerprint)
+      continue;
+    if (!kind.empty() && record.kind != kind) continue;
+    double value = 0.0;
+    if (record.value_of(metric, value)) series.push_back(value);
+  }
+  return series;
+}
+
+void ingest_run_summary(const RunSummary& summary, obs::RunRecord& record) {
+  record.metrics["final_accuracy"] = summary.final_accuracy;
+  record.metrics["best_accuracy"] = summary.best_accuracy;
+  record.metrics["tail_mean_accuracy"] = summary.tail_mean_accuracy;
+  if (summary.min_class_recall >= 0.0)
+    record.metrics["min_class_recall"] = summary.min_class_recall;
+  if (summary.final_qr > -1.0) record.metrics["final_qr"] = summary.final_qr;
+  if (summary.mean_round_wall_ms >= 0.0)
+    record.metrics["mean_round_wall_ms"] = summary.mean_round_wall_ms;
+  record.counters["faults.dropped"] = summary.faults_dropped;
+  record.counters["faults.rejected"] = summary.faults_rejected;
+  record.counters["faults.straggled"] = summary.faults_straggled;
+  record.counters["rounds"] = summary.rounds;
+  record.counters["watchdog.aborted"] = summary.aborted ? 1 : 0;
+}
+
+bool parse_gate_direction(const std::string& text, GateDirection& out) {
+  if (text == "above") {
+    out = GateDirection::kAbove;
+  } else if (text == "below") {
+    out = GateDirection::kBelow;
+  } else if (text == "both") {
+    out = GateDirection::kBoth;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace fedwcm::analysis

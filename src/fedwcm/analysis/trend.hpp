@@ -1,0 +1,122 @@
+#pragma once
+/// \file trend.hpp
+/// Robust cross-run trend statistics and MAD-band gating over a RunStore.
+///
+/// Single-baseline comparison (compare.hpp, perf_gate) answers "did this run
+/// regress against that run?" — which is noisy exactly when it matters, since
+/// one lucky baseline hides a drift and one unlucky one cries wolf. This
+/// module answers the fleet question instead: *is the newest run consistent
+/// with its own recent history?*
+///
+/// All statistics are deliberately robust (median-of / L1-based), because run
+/// histories contain outliers by construction — a thermally throttled CI job,
+/// a diverged seed — and a single outlier must not widen the alarm band:
+///
+///  * center = median, spread = 1.4826 x MAD (consistent with sigma under
+///    normality, breakdown point 50%);
+///  * slope = Theil–Sen (median of pairwise slopes per run-index);
+///  * change-point = best binary split under L1 segment cost, flagged only
+///    when the split explains >25% of the cost AND the segment medians are
+///    separated by more than the band width (so a flat series never flags).
+///
+/// `evaluate_gate` turns this into a CI verdict: the newest value is checked
+/// against median ± band_k x spread of the *prior* runs (never against
+/// itself). Fewer than `min_history` prior runs is an explicit
+/// kInsufficientHistory pass — a cold store must not fail CI — and
+/// `min_band` puts an absolute floor under the half-width so a bitwise-stable
+/// history (spread 0) does not alarm on the first harmless wobble.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fedwcm/obs/runstore.hpp"
+
+namespace fedwcm::analysis {
+
+struct RunSummary;
+
+/// Median of `values` (mean of middle two for even sizes); 0 when empty.
+double median_of(std::vector<double> values);
+
+/// Robust spread: 1.4826 x median(|x - med|). 0 when fewer than 2 values.
+double mad_sigma(const std::vector<double>& values, double med);
+
+/// Theil–Sen slope per unit index (run-to-run drift); 0 for fewer than 2.
+double theil_sen_slope(const std::vector<double>& values);
+
+/// Best binary change-point under L1 cost. Returns the index of the first
+/// value of the second segment, or -1 when no split both reduces the total
+/// L1 cost by >25% and separates the segment medians by more than
+/// `min_gap`. Segments shorter than 2 are not considered.
+int change_point(const std::vector<double>& values, double min_gap);
+
+struct TrendOptions {
+  std::size_t last = 20;       ///< Window: most recent N values.
+  double band_k = 3.0;         ///< Half-width multiplier on the MAD spread.
+  double min_band = 0.0;       ///< Absolute floor on the band half-width.
+  std::size_t min_history = 4; ///< Prior runs required before gating.
+};
+
+/// Which side of the band is a regression for this metric.
+enum class GateDirection {
+  kAbove,  ///< Bigger is worse (ms/round, peak RSS).
+  kBelow,  ///< Smaller is worse (accuracy, min recall, q_r).
+  kBoth,
+};
+
+enum class GateVerdict {
+  kPass,
+  kFail,
+  kInsufficientHistory,  ///< Cold store: gate abstains (CI treats as pass).
+};
+
+/// Windowed robust summary of a series (oldest -> newest).
+struct TrendSummary {
+  std::size_t count = 0;   ///< Values in the window.
+  double latest = 0.0;
+  double median = 0.0;     ///< Of the window *excluding* the newest value
+                           ///< (the baseline the newest is judged against);
+                           ///< of the whole window when count == 1.
+  double spread = 0.0;     ///< 1.4826 x MAD of the baseline.
+  double band_lo = 0.0;    ///< median - half_width.
+  double band_hi = 0.0;    ///< median + half_width.
+  double slope = 0.0;      ///< Theil–Sen over the whole window.
+  int change_point = -1;   ///< Window-relative index, -1 when none.
+  bool latest_above = false;  ///< latest > band_hi.
+  bool latest_below = false;  ///< latest < band_lo.
+};
+
+/// Summarizes the last `options.last` values of `values` (oldest -> newest).
+TrendSummary summarize_trend(const std::vector<double>& values,
+                             const TrendOptions& options);
+
+struct GateResult {
+  GateVerdict verdict = GateVerdict::kPass;
+  TrendSummary trend;
+  std::string detail;  ///< One human-readable line, stable format.
+};
+
+/// Gates the newest value of `values` against its prior history.
+GateResult evaluate_gate(const std::vector<double>& values,
+                         const TrendOptions& options, GateDirection direction);
+
+/// Extracts the series of `metric` (metrics or counters) from `records` in
+/// order, skipping records that lack it. When `config_fingerprint` is
+/// non-empty only records with that fingerprint contribute; when `kind` is
+/// non-empty only records of that kind do.
+std::vector<double> metric_series(const std::vector<obs::RunRecord>& records,
+                                  const std::string& metric,
+                                  const std::string& config_fingerprint = "",
+                                  const std::string& kind = "");
+
+/// Folds a history-JSONL run summary (compare.hpp) into a run record:
+/// final/best/tail accuracy, min class recall, final q_r, mean round wall
+/// ms, fault counters, rounds, aborted flag. The ingest counterpart of
+/// obs::ingest_ledger, kept here because obs cannot depend on analysis.
+void ingest_run_summary(const RunSummary& summary, obs::RunRecord& record);
+
+/// Parses a GateDirection name ("above" | "below" | "both").
+bool parse_gate_direction(const std::string& text, GateDirection& out);
+
+}  // namespace fedwcm::analysis

@@ -7,6 +7,7 @@
 
 #include "fedwcm/obs/clock.hpp"
 #include "fedwcm/obs/json.hpp"
+#include "fedwcm/obs/metrics.hpp"
 
 namespace fedwcm::obs {
 
@@ -72,7 +73,39 @@ bool FlightRecorder::write_dump(const std::string& reason, bool from_signal) {
   const std::string text = body.str();
   const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
   std::fclose(f);
-  return ok;
+  const bool metrics_ok = write_metrics_dump(from_signal);
+  return ok && metrics_ok;
+}
+
+void FlightRecorder::set_metrics_sink(const Registry& registry,
+                                      std::string metrics_path) {
+  metrics_registry_ = &registry;
+  metrics_path_ = std::move(metrics_path);
+}
+
+bool FlightRecorder::write_metrics_dump(bool from_signal) {
+  if (metrics_registry_ == nullptr || metrics_path_.empty()) return true;
+  std::ostringstream body;
+  if (from_signal) {
+    // try-locks end to end; a held registry lock means no dump, not a hang.
+    if (!metrics_registry_->try_write_jsonl(body)) return true;
+  } else {
+    metrics_registry_->write_jsonl(body);
+  }
+  // tmp+rename: the metrics file visible at `metrics_path_` is always a
+  // complete dump — a crash between fwrite and rename leaves the previous
+  // complete dump (or nothing), never a torn half-file.
+  const std::string tmp = metrics_path_ + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (!f) return false;
+  const std::string text = body.str();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return std::rename(tmp.c_str(), metrics_path_.c_str()) == 0;
 }
 
 void FlightRecorder::signal_handler(int signum) {

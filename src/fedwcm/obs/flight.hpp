@@ -28,6 +28,8 @@
 
 namespace fedwcm::obs {
 
+class Registry;
+
 class FlightRecorder {
  public:
   /// Dumps the newest `last_n` events from `bus` to `path` on request.
@@ -47,15 +49,28 @@ class FlightRecorder {
   /// call wins, and the destructor deregisters itself.
   void install_signal_handlers();
 
+  /// Additionally dump `registry` as metrics JSONL to `metrics_path` on
+  /// every dump (explicit or signal). The dump is written to a temp file
+  /// and renamed into place, so a crash mid-dump never replaces a complete
+  /// metrics file with a torn one — the JSONL on disk always parses
+  /// line-complete. On the signal path the registry is read with try-locks
+  /// (Registry::try_write_jsonl); if the interrupted thread holds the
+  /// registry lock the metrics dump is skipped, never deadlocked on. The
+  /// registry must outlive the recorder.
+  void set_metrics_sink(const Registry& registry, std::string metrics_path);
+
   const std::string& path() const { return path_; }
 
  private:
   bool write_dump(const std::string& reason, bool from_signal);
+  bool write_metrics_dump(bool from_signal);
   static void signal_handler(int signum);
 
   EventBus& bus_;
   std::string path_;
   std::size_t last_n_;
+  const Registry* metrics_registry_ = nullptr;
+  std::string metrics_path_;
 };
 
 }  // namespace fedwcm::obs

@@ -322,44 +322,68 @@ std::string factor_line(const char* what, double base, double cand,
 
 }  // namespace
 
-bool compare_ledgers(const Ledger& baseline, const Ledger& candidate,
-                     const LedgerThresholds& thresholds, std::string& report) {
-  bool pass = true;
+LedgerCompareOutcome compare_ledgers(const Ledger& baseline,
+                                     const Ledger& candidate,
+                                     const LedgerThresholds& thresholds,
+                                     std::string& report) {
+  LedgerCompareOutcome outcome;
   if (thresholds.rss_factor > 0.0) {
     const bool failed =
         baseline.peak_rss_kb > 0.0 &&
         candidate.peak_rss_kb > baseline.peak_rss_kb * thresholds.rss_factor;
-    if (failed) pass = false;
+    if (failed) outcome.pass = false;
     report += factor_line("peak_rss_kb", baseline.peak_rss_kb,
                           candidate.peak_rss_kb, thresholds.rss_factor, failed);
   }
   if (thresholds.cpu_factor > 0.0) {
     const bool failed = baseline.cpu_ms > 0.0 &&
                         candidate.cpu_ms > baseline.cpu_ms * thresholds.cpu_factor;
-    if (failed) pass = false;
+    if (failed) outcome.pass = false;
     report += factor_line("cpu_ms", baseline.cpu_ms, candidate.cpu_ms,
                           thresholds.cpu_factor, failed);
   }
   if (thresholds.quantile_factor > 0.0) {
-    // Gate p50/p95 of every sketch that carries data in both ledgers; a
-    // sketch missing from either side is not a regression (telemetry may be
-    // off in one of the runs).
-    for (const PopulationQuantiles& base : baseline.population) {
-      if (base.count == 0) continue;
-      for (const PopulationQuantiles& cand : candidate.population) {
-        if (cand.name != base.name || cand.count == 0) continue;
-        const auto gate = [&](const char* which, double b, double c) {
-          const bool failed = b > 0.0 && c > b * thresholds.quantile_factor;
-          if (failed) pass = false;
-          report += factor_line((base.name + " " + which).c_str(), b, c,
-                                thresholds.quantile_factor, failed);
-        };
-        gate("p50", base.p50, cand.p50);
-        gate("p95", base.p95, cand.p95);
+    // The population block is optional (absent in pre-population ledgers and
+    // runs without --population). A requested quantile gate that finds no
+    // data must say so — silence here would read as a pass.
+    if (baseline.population.empty() || candidate.population.empty()) {
+      outcome.quantile_skipped = true;
+      report += std::string("skip population: absent in ") +
+                (baseline.population.empty()
+                     ? (candidate.population.empty() ? "baseline and candidate"
+                                                     : "baseline")
+                     : "candidate") +
+                " — quantile gate not run (ledger from a run without "
+                "--population?)\n";
+    } else {
+      // Gate p50/p95 of every sketch that carries data in both ledgers; a
+      // sketch missing from either side is not a regression (telemetry may
+      // be off in one of the runs) — but zero overlap means the gate never
+      // ran, which is a skip, not a pass.
+      bool gated_any = false;
+      for (const PopulationQuantiles& base : baseline.population) {
+        if (base.count == 0) continue;
+        for (const PopulationQuantiles& cand : candidate.population) {
+          if (cand.name != base.name || cand.count == 0) continue;
+          gated_any = true;
+          const auto gate = [&](const char* which, double b, double c) {
+            const bool failed = b > 0.0 && c > b * thresholds.quantile_factor;
+            if (failed) outcome.pass = false;
+            report += factor_line((base.name + " " + which).c_str(), b, c,
+                                  thresholds.quantile_factor, failed);
+          };
+          gate("p50", base.p50, cand.p50);
+          gate("p95", base.p95, cand.p95);
+        }
+      }
+      if (!gated_any) {
+        outcome.quantile_skipped = true;
+        report += "skip population: no sketch with data present in both "
+                  "ledgers — quantile gate not run\n";
       }
     }
   }
-  return pass;
+  return outcome;
 }
 
 std::string format_ledger_report(const Ledger& ledger) {

@@ -125,10 +125,25 @@ struct LedgerThresholds {
   double quantile_factor = 0.0;
 };
 
+/// Outcome of compare_ledgers. `pass` covers every check that actually ran;
+/// `quantile_skipped` is set when `quantile_factor` was requested but the
+/// quantile gate could not run — the `population` block is optional in the
+/// schema (absent in pre-population ledgers and in runs without
+/// `--population`), and a gate that silently passes on absent data is
+/// indistinguishable from one that ran. Callers wanting the gate enforced
+/// must treat pass-with-skip distinctly (fedwcm_compare exits 4).
+struct LedgerCompareOutcome {
+  bool pass = true;
+  bool quantile_skipped = false;
+  bool ok() const { return pass; }
+};
+
 /// Compares candidate against baseline; appends human-readable verdict lines
-/// to `report`. Returns true when the candidate passes.
-bool compare_ledgers(const Ledger& baseline, const Ledger& candidate,
-                     const LedgerThresholds& thresholds, std::string& report);
+/// to `report` (including a "skip" line when the quantile gate abstains).
+LedgerCompareOutcome compare_ledgers(const Ledger& baseline,
+                                     const Ledger& candidate,
+                                     const LedgerThresholds& thresholds,
+                                     std::string& report);
 
 /// Aligned human-readable per-phase table for terminals and reports.
 std::string format_ledger_report(const Ledger& ledger);

@@ -1,0 +1,83 @@
+#include "fedwcm/obs/machine.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#endif
+
+namespace fedwcm::obs {
+
+std::uint64_t fnv1a64(const void* data, std::size_t n, std::uint64_t seed) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= std::uint64_t(bytes[i]);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+namespace {
+
+std::string read_cpu_model() {
+  std::ifstream is("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(is, line)) {
+    // "model name\t: Intel(R) ..." on x86; ARM exposes "Processor" or
+    // "model name" depending on the kernel — take the first match.
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    const std::string key = line.substr(0, line.find('\t'));
+    if (key.rfind("model name", 0) == 0 || key.rfind("Processor", 0) == 0) {
+      std::size_t start = colon + 1;
+      while (start < line.size() && line[start] == ' ') ++start;
+      if (start < line.size()) return line.substr(start);
+    }
+  }
+  return "unknown";
+}
+
+std::string read_kernel() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct utsname u{};
+  if (uname(&u) == 0)
+    return std::string(u.sysname) + " " + std::string(u.release);
+#endif
+  return "unknown";
+}
+
+MachineFingerprint detect() {
+  MachineFingerprint fp;
+  fp.cpu_model = read_cpu_model();
+  fp.cores = std::thread::hardware_concurrency();
+  fp.kernel = read_kernel();
+  return fp;
+}
+
+}  // namespace
+
+std::string MachineFingerprint::id() const {
+  // Hash the fields with separators so ("ab", "c") != ("a", "bc"); fold the
+  // core count in as its decimal rendering for the same reason.
+  std::uint64_t h = fnv1a64(cpu_model.data(), cpu_model.size());
+  h = fnv1a64("|", 1, h);
+  const std::string c = std::to_string(cores);
+  h = fnv1a64(c.data(), c.size(), h);
+  h = fnv1a64("|", 1, h);
+  h = fnv1a64(kernel.data(), kernel.size(), h);
+  std::ostringstream os;
+  os << std::hex;
+  for (int shift = 60; shift >= 0; shift -= 4)
+    os << ((h >> shift) & 0xf);
+  return os.str();
+}
+
+const MachineFingerprint& machine_fingerprint() {
+  static const MachineFingerprint fp = detect();
+  return fp;
+}
+
+}  // namespace fedwcm::obs

@@ -1,0 +1,49 @@
+#pragma once
+/// \file machine.hpp
+/// Machine fingerprinting for the run-history observatory (obs/runstore.hpp).
+///
+/// Every quantity the RunStore gates on is machine-relative: wall time, CPU
+/// time, and peak RSS depend on the CPU model and core count, and even
+/// "stable" numbers like ms/round shift across kernels. Mixing a laptop's
+/// history into a CI runner's (or vice versa) would widen the MAD band until
+/// the gate stops catching anything — so run records carry a fingerprint of
+/// the machine that produced them, and the store partitions its on-disk
+/// history by `MachineFingerprint::id()`. Trend queries and gates read one
+/// partition; the fleet dashboard can render all of them side by side.
+///
+/// The fingerprint deliberately captures only the *performance-shaping*
+/// identity — CPU model string, logical core count, kernel release — and not
+/// the hostname: two identically-imaged CI runners should share a history,
+/// while renaming a box should not orphan one.
+
+#include <cstdint>
+#include <string>
+
+namespace fedwcm::obs {
+
+struct MachineFingerprint {
+  std::string cpu_model;    ///< /proc/cpuinfo "model name" ("unknown" off-Linux).
+  std::uint32_t cores = 0;  ///< Logical cores (hardware_concurrency).
+  std::string kernel;       ///< uname sysname + release, e.g. "Linux 6.8.0".
+
+  /// Stable 16-hex-digit partition key: FNV-1a over the fields above. Equal
+  /// fields always hash equal, so identically-imaged machines share a
+  /// history partition.
+  std::string id() const;
+
+  bool operator==(const MachineFingerprint& other) const {
+    return cpu_model == other.cpu_model && cores == other.cores &&
+           kernel == other.kernel;
+  }
+};
+
+/// Reads the current machine's fingerprint (cached after the first call —
+/// the inputs cannot change within a process lifetime).
+const MachineFingerprint& machine_fingerprint();
+
+/// FNV-1a 64-bit over a byte range; the hash behind MachineFingerprint::id()
+/// and the RunStore's per-record payload checksums.
+std::uint64_t fnv1a64(const void* data, std::size_t n,
+                      std::uint64_t seed = 0xcbf29ce484222325ull);
+
+}  // namespace fedwcm::obs

@@ -175,10 +175,21 @@ std::string jsonl_labels(const Labels& labels) {
 }  // namespace
 
 void Registry::write_jsonl(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_jsonl_locked(os, /*try_cells=*/false);
+}
+
+bool Registry::try_write_jsonl(std::ostream& os) const {
+  std::unique_lock<std::mutex> lock(mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) return false;
+  write_jsonl_locked(os, /*try_cells=*/true);
+  return true;
+}
+
+void Registry::write_jsonl_locked(std::ostream& os, bool try_cells) const {
   // Doubles go through json::number_to_string: a gauge that captured a
   // diverged value (NaN loss, inf norm) must still produce a parseable line.
   const auto num = [](double v) { return json::number_to_string(v); };
-  std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& c : counters_)
     os << "{\"metric\":" << json::escape(c->name)
        << ",\"type\":\"counter\"" << jsonl_labels(c->labels) << ",\"value\":"
@@ -200,7 +211,14 @@ void Registry::write_jsonl(std::ostream& os) const {
        << ",\"p99\":" << num(h->quantile(0.99)) << "}\n";
   }
   for (const auto& s : sketches_) {
-    std::lock_guard<std::mutex> cell_lock(s->mutex);
+    std::unique_lock<std::mutex> cell_lock(s->mutex, std::defer_lock);
+    if (try_cells) {
+      // Signal path: a cell held by the interrupted thread is dropped from
+      // the dump instead of deadlocking the dying process.
+      if (!cell_lock.try_lock()) continue;
+    } else {
+      cell_lock.lock();
+    }
     const QuantileSketch& sk = s->sketch;
     const std::uint64_t n = sk.count();
     os << "{\"metric\":" << json::escape(s->name)

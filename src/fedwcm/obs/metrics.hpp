@@ -242,6 +242,11 @@ class Registry {
   ///   {"metric":"round.wall_ms","type":"histogram","count":60,"sum":...,
   ///    "mean":...,"min":...,"max":...,"p50":...,"p90":...,"p99":...}
   void write_jsonl(std::ostream& os) const;
+  /// `write_jsonl` with try-locks throughout, for fatal-signal flight dumps:
+  /// returns false without writing when the registry lock is held by the
+  /// interrupted thread; a sketch cell whose lock is held is skipped rather
+  /// than deadlocked on. Every line written is still complete and parseable.
+  bool try_write_jsonl(std::ostream& os) const;
   /// Prometheus text exposition format (version 0.0.4), the payload behind
   /// the HTTP exporter's /metrics. Metric names are prefixed with `fedwcm_`
   /// and sanitized (dots become underscores); histograms expose cumulative
@@ -260,6 +265,10 @@ class Registry {
   std::vector<SketchSnapshot> sketch_snapshots() const;
 
  private:
+  /// Body shared by write_jsonl / try_write_jsonl; `mutex_` must be held.
+  /// `try_cells` switches per-sketch-cell locking to try_lock (skip on held).
+  void write_jsonl_locked(std::ostream& os, bool try_cells) const;
+
   std::atomic<bool> enabled_{false};
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<detail::CounterCell>> counters_;

@@ -1,0 +1,498 @@
+#include "fedwcm/obs/runstore.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "fedwcm/core/serialize.hpp"
+#include "fedwcm/obs/json.hpp"
+#include "fedwcm/obs/ledger.hpp"
+
+namespace fedwcm::obs {
+
+namespace fs = std::filesystem;
+
+bool RunRecord::value_of(const std::string& name, double& out) const {
+  if (const auto it = metrics.find(name); it != metrics.end()) {
+    out = it->second;
+    return true;
+  }
+  if (const auto it = counters.find(name); it != counters.end()) {
+    out = double(it->second);
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// A corrupted count prefix must not drive a multi-gigabyte loop: every
+/// entry of a sized sequence occupies at least `min_entry_bytes`, so a count
+/// that could not possibly fit in the remaining payload is hostile.
+void check_count(core::BinaryReader& r, std::uint64_t count,
+                 std::uint64_t min_entry_bytes, const char* what) {
+  if (min_entry_bytes != 0 && count > r.remaining_bytes() / min_entry_bytes)
+    throw std::runtime_error(std::string("runstore: ") + what +
+                             " count overruns the payload");
+}
+
+}  // namespace
+
+std::string record_to_bytes(const RunRecord& record) {
+  std::ostringstream os(std::ios::binary);
+  core::BinaryWriter w(os);
+  w.write_u32(kRunRecordVersion);
+  w.write_string(record.kind);
+  w.write_u64(record.created_us);
+  w.write_string(record.config_fingerprint);
+  w.write_string(record.flags);
+  w.write_string(record.machine.cpu_model);
+  w.write_u32(record.machine.cores);
+  w.write_string(record.machine.kernel);
+  w.write_u64(record.metrics.size());
+  for (const auto& [name, value] : record.metrics) {
+    w.write_string(name);
+    w.write_f64(value);
+  }
+  w.write_u64(record.counters.size());
+  for (const auto& [name, value] : record.counters) {
+    w.write_string(name);
+    w.write_u64(value);
+  }
+  w.write_u64(record.sketches.size());
+  for (const auto& [name, sketch] : record.sketches) {
+    w.write_string(name);
+    sketch.serialize(w);
+  }
+  return os.str();
+}
+
+RunRecord record_from_bytes(const std::string& bytes) {
+  std::istringstream is(bytes, std::ios::binary);
+  core::BinaryReader r(is);
+  const std::uint32_t version = r.read_u32();
+  if (version == 0 || version > kRunRecordVersion)
+    throw std::runtime_error("runstore: unsupported record version " +
+                             std::to_string(version));
+  RunRecord record;
+  record.kind = r.read_string();
+  record.created_us = r.read_u64();
+  record.config_fingerprint = r.read_string();
+  record.flags = r.read_string();
+  record.machine.cpu_model = r.read_string();
+  record.machine.cores = r.read_u32();
+  record.machine.kernel = r.read_string();
+  const std::uint64_t n_metrics = r.read_u64();
+  check_count(r, n_metrics, 4 + 8, "metric");
+  for (std::uint64_t i = 0; i < n_metrics; ++i) {
+    std::string name = r.read_string();
+    record.metrics[std::move(name)] = r.read_f64();
+  }
+  const std::uint64_t n_counters = r.read_u64();
+  check_count(r, n_counters, 4 + 8, "counter");
+  for (std::uint64_t i = 0; i < n_counters; ++i) {
+    std::string name = r.read_string();
+    record.counters[std::move(name)] = r.read_u64();
+  }
+  const std::uint64_t n_sketches = r.read_u64();
+  check_count(r, n_sketches, 4 + 8, "sketch");
+  for (std::uint64_t i = 0; i < n_sketches; ++i) {
+    std::string name = r.read_string();
+    // QuantileSketch::deserialize re-validates its own magic/version and
+    // internal consistency — a bit-flipped sketch payload throws here and
+    // the whole record is rejected by the caller.
+    record.sketches.emplace_back(std::move(name), QuantileSketch::deserialize(r));
+  }
+  if (!r.at_end())
+    throw std::runtime_error("runstore: trailing garbage after record");
+  return record;
+}
+
+namespace {
+
+void write_frame(std::ostream& os, const std::string& payload) {
+  core::BinaryWriter w(os);
+  w.write_u64(payload.size());
+  w.write_u64(fnv1a64(payload.data(), payload.size()));
+  w.write_bytes(payload.data(), payload.size());
+}
+
+void write_header(std::ostream& os) {
+  core::BinaryWriter w(os);
+  w.write_u32(kRunStoreMagic);
+  w.write_u32(kRunStoreFormatVersion);
+}
+
+/// Validates the 8-byte header of an existing store/artifact file.
+/// Returns false with `error` set on a foreign or future-format file.
+bool check_header(core::BinaryReader& r, const std::string& path,
+                  std::string& error) {
+  std::uint32_t magic = 0, version = 0;
+  try {
+    magic = r.read_u32();
+    version = r.read_u32();
+  } catch (const std::exception&) {
+    error = "runstore: " + path + ": truncated header";
+    return false;
+  }
+  if (magic != kRunStoreMagic) {
+    error = "runstore: " + path + ": bad magic (not a run store file)";
+    return false;
+  }
+  if (version != kRunStoreFormatVersion) {
+    error = "runstore: " + path + ": unsupported format version " +
+            std::to_string(version);
+    return false;
+  }
+  return true;
+}
+
+bool read_file(const std::string& path, std::string& out, std::string& error) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    error = "runstore: cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+/// Assembles the full new file content at `<path>.tmp` and renames it onto
+/// `path` — the checkpoint durability recipe (core/checkpoint.hpp).
+bool commit_file(const std::string& path, const std::string& content,
+                 std::string& error) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      error = "runstore: cannot open " + tmp + " for writing";
+      return false;
+    }
+    os.write(content.data(), std::streamsize(content.size()));
+    os.flush();
+    if (!os) {
+      error = "runstore: write failed for " + tmp;
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    error = "runstore: rename " + tmp + " -> " + path + " failed";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool save_record_file(const std::string& path, const RunRecord& record,
+                      std::string& error) {
+  std::ostringstream os(std::ios::binary);
+  write_header(os);
+  write_frame(os, record_to_bytes(record));
+  return commit_file(path, os.str(), error);
+}
+
+bool load_record_file(const std::string& path, RunRecord& out,
+                      std::string& error) {
+  std::string bytes;
+  if (!read_file(path, bytes, error)) return false;
+  std::istringstream is(bytes, std::ios::binary);
+  core::BinaryReader r(is);
+  if (!check_header(r, path, error)) return false;
+  try {
+    const std::uint64_t len = r.read_u64();
+    const std::uint64_t checksum = r.read_u64();
+    if (len > r.remaining_bytes()) {
+      error = "runstore: " + path + ": truncated record frame";
+      return false;
+    }
+    std::string payload(len, '\0');
+    r.read_bytes(payload.data(), payload.size());
+    if (fnv1a64(payload.data(), payload.size()) != checksum) {
+      error = "runstore: " + path + ": record checksum mismatch";
+      return false;
+    }
+    out = record_from_bytes(payload);
+    if (!r.at_end()) {
+      error = "runstore: " + path + ": trailing bytes after the record";
+      return false;
+    }
+  } catch (const std::exception& e) {
+    error = "runstore: " + path + ": " + e.what();
+    return false;
+  }
+  return true;
+}
+
+RunStore::RunStore(std::string dir) : dir_(std::move(dir)) {}
+
+std::string RunStore::partition_path(const std::string& machine_id) const {
+  return dir_ + "/runs-" + machine_id + ".fwrh";
+}
+
+bool RunStore::append(const RunRecord& record, std::string& error) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    error = "runstore: cannot create directory " + dir_ + ": " + ec.message();
+    return false;
+  }
+  const std::string path = partition_path(record.machine.id());
+  std::ostringstream content(std::ios::binary);
+  write_header(content);
+  if (fs::exists(path)) {
+    // Copy existing well-framed frames byte-for-byte: append must never
+    // rewrite history it did not produce (even a checksum-bad frame keeps
+    // its bytes — load skips it, a future tool may forensically recover
+    // it). A torn trailing frame — a crash artifact whose length prefix
+    // overruns the file — is the one thing dropped, because any frame
+    // appended after it would be unreachable forever. A foreign file
+    // (wrong magic/version) is refused rather than clobbered.
+    std::string existing;
+    if (!read_file(path, existing, error)) return false;
+    std::istringstream is(existing, std::ios::binary);
+    core::BinaryReader r(is);
+    if (!check_header(r, path, error)) return false;
+    std::size_t offset = 8;
+    while (existing.size() - offset >= 16) {
+      std::istringstream header(existing.substr(offset, 8), std::ios::binary);
+      core::BinaryReader hr(header);
+      const std::uint64_t len = hr.read_u64();
+      if (len > existing.size() - offset - 16) break;  // Torn tail.
+      content.write(existing.data() + offset, std::streamsize(16 + len));
+      offset += 16 + std::size_t(len);
+    }
+  }
+  write_frame(content, record_to_bytes(record));
+  return commit_file(path, content.str(), error);
+}
+
+bool RunStore::load(const std::string& machine_id, LoadResult& out,
+                    std::string& error) const {
+  out = LoadResult{};
+  const std::string path = partition_path(machine_id);
+  if (!fs::exists(path)) return true;  // Empty history, not an error.
+  std::string bytes;
+  if (!read_file(path, bytes, error)) return false;
+  std::istringstream is(bytes, std::ios::binary);
+  core::BinaryReader r(is);
+  if (!check_header(r, path, error)) return false;
+  bool lost_sync = false;
+  while (r.remaining_bytes() >= 16) {
+    std::uint64_t len = 0, checksum = 0;
+    try {
+      len = r.read_u64();
+      checksum = r.read_u64();
+    } catch (const std::exception&) {
+      ++out.rejected;
+      lost_sync = true;
+      break;
+    }
+    if (len > r.remaining_bytes()) {
+      // Truncated tail — the classic mid-append crash with no tmp+rename.
+      // Nothing after a bad length prefix can be trusted (the stream has
+      // lost frame sync), so count one rejection and stop.
+      ++out.rejected;
+      lost_sync = true;
+      break;
+    }
+    std::string payload(len, '\0');
+    try {
+      r.read_bytes(payload.data(), payload.size());
+    } catch (const std::exception&) {
+      ++out.rejected;
+      lost_sync = true;
+      break;
+    }
+    if (fnv1a64(payload.data(), payload.size()) != checksum) {
+      ++out.rejected;  // Bit flip anywhere in the payload lands here.
+      continue;
+    }
+    try {
+      out.records.push_back(record_from_bytes(payload));
+    } catch (const std::exception&) {
+      ++out.rejected;  // Checksum-consistent but semantically invalid.
+    }
+  }
+  // A sub-header-sized straggler (and nothing already counted by a break
+  // above) is itself one torn frame.
+  if (!lost_sync && r.remaining_bytes() != 0) ++out.rejected;
+  return true;
+}
+
+std::vector<std::string> RunStore::machine_ids() const {
+  std::vector<std::string> ids;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    // runs-<16 hex>.fwrh
+    constexpr const char* kPrefix = "runs-";
+    constexpr const char* kSuffix = ".fwrh";
+    if (name.size() <= 5 + 5 || name.rfind(kPrefix, 0) != 0) continue;
+    if (name.substr(name.size() - 5) != kSuffix) continue;
+    ids.push_back(name.substr(5, name.size() - 10));
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+// --- Ingest ---------------------------------------------------------------
+
+void ingest_ledger(const prof::Ledger& ledger, RunRecord& record) {
+  record.metrics["wall_ms"] = ledger.meta.wall_ms;
+  record.metrics["cpu_ms"] = ledger.cpu_ms;
+  record.metrics["peak_rss_kb"] = ledger.peak_rss_kb;
+  record.metrics["end_rss_kb"] = ledger.end_rss_kb;
+  record.counters["rounds"] = ledger.meta.rounds;
+  record.counters["bytes_up"] = ledger.meta.bytes_up;
+  record.counters["bytes_down"] = ledger.meta.bytes_down;
+  record.counters["allocs"] = ledger.allocs;
+  record.counters["alloc_bytes"] = ledger.alloc_bytes;
+  record.counters["watchdog.aborted"] = ledger.meta.aborted ? 1 : 0;
+  for (std::size_t p = 0; p < prof::kPhaseCount; ++p) {
+    const prof::PhaseTotals& t = ledger.phases[p];
+    if (t.count == 0) continue;
+    const std::string base = std::string("phase.") + prof::to_string(prof::Phase(p));
+    record.counters[base + ".count"] = t.count;
+    record.metrics[base + ".wall_ms"] = t.wall_ms;
+    record.metrics[base + ".cpu_ms"] = t.cpu_ms;
+    record.metrics[base + ".rss_peak_kb"] = t.rss_peak_kb;
+  }
+  // Population names already carry the "pop." prefix (e.g. "pop.update_norm").
+  for (const prof::PopulationQuantiles& q : ledger.population) {
+    if (q.count == 0) continue;
+    record.counters[q.name + ".count"] = q.count;
+    record.metrics[q.name + ".p50"] = q.p50;
+    record.metrics[q.name + ".p95"] = q.p95;
+  }
+}
+
+namespace {
+
+bool set_metric_from(const json::Value& obj, const char* key,
+                     const std::string& metric, RunRecord& record) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) return false;
+  record.metrics[metric] = v->as_number();
+  return true;
+}
+
+}  // namespace
+
+bool ingest_bench_json(const json::Value& doc, RunRecord& record,
+                       std::string& error) {
+  if (!doc.is_object()) {
+    error = "bench: top level is not an object";
+    return false;
+  }
+  const json::Value* gemm = doc.find("gemm");
+  if (gemm == nullptr || !gemm->is_array()) {
+    error = "bench: missing \"gemm\" array (not a BENCH_kernels.json?)";
+    return false;
+  }
+  set_metric_from(doc, "peak_rss_kb", "bench.peak_rss_kb", record);
+  for (const json::Value& entry : gemm->as_array()) {
+    const json::Value* op = entry.find("op");
+    const json::Value* m = entry.find("m");
+    if (op == nullptr || !op->is_string() || m == nullptr || !m->is_number())
+      continue;
+    // Headline shape only: the gate history tracks what perf_gate gates.
+    if (op->as_string() != "matmul" || m->as_number() != 256) continue;
+    set_metric_from(entry, "speedup", "bench.gemm_256.speedup", record);
+    set_metric_from(entry, "blocked_gflops", "bench.gemm_256.blocked_gflops",
+                    record);
+    set_metric_from(entry, "naive_gflops", "bench.gemm_256.naive_gflops",
+                    record);
+  }
+  if (const json::Value* codec = doc.find("codec"); codec && codec->is_array())
+    for (const json::Value& entry : codec->as_array()) {
+      const json::Value* name = entry.find("codec");
+      if (name == nullptr || !name->is_string()) continue;
+      set_metric_from(entry, "shrink", "bench.codec." + name->as_string() + ".shrink",
+                      record);
+      set_metric_from(entry, "encode_ns_per_elem",
+                      "bench.codec." + name->as_string() + ".encode_ns", record);
+    }
+  if (const json::Value* e2e = doc.find("e2e"); e2e && e2e->is_object()) {
+    set_metric_from(*e2e, "blocked_ms_per_round", "bench.e2e.ms_per_round",
+                    record);
+    set_metric_from(*e2e, "naive_ms_per_round", "bench.e2e.naive_ms_per_round",
+                    record);
+    set_metric_from(*e2e, "fp16_ms_per_round", "bench.e2e.fp16_ms_per_round",
+                    record);
+    set_metric_from(*e2e, "blocked_accuracy", "bench.e2e.final_accuracy",
+                    record);
+    set_metric_from(*e2e, "int8_uplink_accuracy",
+                    "bench.e2e.int8_uplink_accuracy", record);
+    const json::Value* fp32 = e2e->find("bytes_up_fp32");
+    const json::Value* int8 = e2e->find("bytes_up_int8");
+    if (fp32 && fp32->is_number() && int8 && int8->is_number() &&
+        int8->as_number() > 0.0)
+      record.metrics["bench.e2e.uplink_shrink"] =
+          fp32->as_number() / int8->as_number();
+    if (const json::Value* rounds = e2e->find("rounds");
+        rounds && rounds->is_number() && rounds->as_number() >= 0.0)
+      record.counters["bench.e2e.rounds"] = std::uint64_t(rounds->as_number());
+  }
+  return true;
+}
+
+bool ingest_metrics_jsonl(const std::string& text, RunRecord& record,
+                          std::string& error) {
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    json::Value v;
+    std::string parse_error;
+    if (!json::parse(line, v, parse_error)) {
+      error = "metrics jsonl:" + std::to_string(line_no) + ": " + parse_error;
+      return false;
+    }
+    const json::Value* metric = v.find("metric");
+    const json::Value* type = v.find("type");
+    if (metric == nullptr || !metric->is_string() || type == nullptr ||
+        !type->is_string()) {
+      error = "metrics jsonl:" + std::to_string(line_no) +
+              ": missing metric/type keys";
+      return false;
+    }
+    const std::string& name = metric->as_string();
+    const std::string& t = type->as_string();
+    if (t == "counter") {
+      const json::Value* value = v.find("value");
+      if (value && value->is_number() && value->as_number() >= 0.0)
+        record.counters[name] = std::uint64_t(value->as_number());
+    } else if (t == "gauge") {
+      const json::Value* value = v.find("value");
+      // A diverged gauge serializes as null (non-finite) — skip, the record
+      // stores only measured values.
+      if (value && value->is_number()) record.metrics[name] = value->as_number();
+    } else if (t == "histogram" || t == "sketch") {
+      if (const json::Value* count = v.find("count");
+          count && count->is_number() && count->as_number() > 0.0) {
+        record.counters[name + ".count"] = std::uint64_t(count->as_number());
+        set_metric_from(v, "mean", name + ".mean", record);
+        set_metric_from(v, "p50", name + ".p50", record);
+        if (!set_metric_from(v, "p95", name + ".p95", record))
+          set_metric_from(v, "p90", name + ".p95", record);
+      }
+    }
+    // Unknown types are ignored: the JSONL schema is append-only, and a
+    // future cell kind must not break ingest of the cells we do know.
+  }
+  return true;
+}
+
+}  // namespace fedwcm::obs

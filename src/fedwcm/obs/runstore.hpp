@@ -1,0 +1,170 @@
+#pragma once
+/// \file runstore.hpp
+/// Persistent run-history store: the durable substrate of the observatory.
+///
+/// Every claim the repo makes is a *comparison across runs* — momentum
+/// variants x imbalance factors x uplink codecs — yet until this layer all
+/// telemetry (metrics JSONL, ledgers, population sketches, BENCH_kernels)
+/// was single-run and regression gating was single-baseline. A `RunStore` is
+/// an append-only, schema-versioned, crash-safe on-disk history of
+/// `RunRecord`s; `tools/fedwcm_obsctl` queries it (list / show / trend /
+/// gate), `analysis/fleet_html` renders it, `fedwcm_run --runstore` and
+/// `perf_gate --runstore` feed it.
+///
+/// One record captures a run's identity and outcome:
+///   * kind ("run" | "bench"), creation wall-clock, config fingerprint
+///     (the RNG-free fl::config_fingerprint string, or a bench suite id),
+///     and the flag string that launched it;
+///   * the machine fingerprint (obs/machine.hpp) — records are partitioned
+///     on disk by `MachineFingerprint::id()` so a laptop's history and a CI
+///     runner's never mix into one trend;
+///   * flat named metrics (doubles) and counters (u64): accuracy, q_r,
+///     wall/CPU/RSS totals and per-phase splits, bench numbers, fault and
+///     watchdog tallies — `obsctl trend <name>` works over any of them;
+///   * optionally the full mergeable population sketches (obs/sketch.hpp),
+///     so fleet-level quantiles can later be *merged*, not re-estimated.
+///
+/// On-disk format (little-endian, hardened like PR 2's checkpoints):
+///
+///   file   := magic 'FWRH' (u32) | format version (u32) | frame*
+///   frame  := payload_len (u64) | fnv1a64(payload) (u64) | payload
+///
+/// Appends are crash-safe tmp+rename rewrites: the new file is assembled at
+/// `<path>.tmp` (existing frames copied byte-for-byte, the new frame
+/// appended) and renamed onto the store, so a crash mid-append leaves the
+/// previous history intact and at worst a stale `.tmp` behind. Loads treat
+/// the file as untrusted: a frame whose length prefix overruns the file, or
+/// whose checksum mismatches, or whose payload fails record/sketch
+/// deserialization is *rejected and counted* — never aborts the load, never
+/// hides behind a short read (the hostile-wire contract of core/test_quant,
+/// extended through the store path).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fedwcm/obs/machine.hpp"
+#include "fedwcm/obs/sketch.hpp"
+
+namespace fedwcm::obs::prof {
+struct Ledger;
+}
+
+namespace fedwcm::obs::json {
+class Value;
+}
+
+namespace fedwcm::obs {
+
+inline constexpr std::uint32_t kRunStoreMagic = 0x46575248;  // "FWRH"
+inline constexpr std::uint32_t kRunStoreFormatVersion = 1;
+inline constexpr std::uint32_t kRunRecordVersion = 1;
+
+/// One run (or bench suite) in the history. All value fields are optional in
+/// spirit — ingest fills whatever the source artifacts carry.
+struct RunRecord {
+  std::string kind = "run";         ///< "run" | "bench".
+  std::uint64_t created_us = 0;     ///< Wall-clock (CLOCK_REALTIME) at ingest.
+  std::string config_fingerprint;   ///< Opaque run-configuration identity.
+  std::string flags;                ///< Command line that produced the run.
+  MachineFingerprint machine;       ///< Producer; partitions the store.
+  std::map<std::string, double> metrics;          ///< e.g. "final_accuracy".
+  std::map<std::string, std::uint64_t> counters;  ///< e.g. "faults.dropped".
+  /// Full mergeable population sketches (name -> sketch), when the producing
+  /// run had `--population` on. Canonical name order.
+  std::vector<std::pair<std::string, QuantileSketch>> sketches;
+
+  /// Metric/counter lookup by name (counters are folded to double). Returns
+  /// false when the record carries neither.
+  bool value_of(const std::string& name, double& out) const;
+};
+
+/// Canonical binary payload of one record (no frame header). Deterministic:
+/// equal records serialize bitwise equal.
+std::string record_to_bytes(const RunRecord& record);
+
+/// Parses a payload produced by `record_to_bytes`. Throws std::runtime_error
+/// on version mismatch, truncation, overrunning length prefixes, or invalid
+/// embedded sketches.
+RunRecord record_from_bytes(const std::string& bytes);
+
+/// Writes one record as a standalone artifact file (same magic/version
+/// header, exactly one frame; tmp+rename). Returns false with `error` set on
+/// I/O failure. This is the unit CI uploads and `obsctl import` re-ingests.
+bool save_record_file(const std::string& path, const RunRecord& record,
+                      std::string& error);
+
+/// Strict single-record read: any framing, checksum, or payload defect is an
+/// error (unlike store loads, which skip bad frames — an artifact file has
+/// no healthy neighbors to fall back on).
+bool load_record_file(const std::string& path, RunRecord& out,
+                      std::string& error);
+
+/// Append-only, machine-partitioned record store rooted at a directory.
+/// Partition files are named `runs-<machine-id>.fwrh`.
+class RunStore {
+ public:
+  explicit RunStore(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+  /// Partition file path for a machine id.
+  std::string partition_path(const std::string& machine_id) const;
+
+  /// Appends `record` to its machine's partition (created on first append;
+  /// the store directory itself is created if missing). Crash-safe: existing
+  /// well-framed frames are copied to `<path>.tmp` byte-for-byte (a torn
+  /// trailing frame from an earlier crash is dropped — anything appended
+  /// after it would be unreachable) and the rename happens only after a
+  /// successful flush. Returns false with `error` on I/O failure or an
+  /// unrecognized existing file (wrong magic/version — the store never
+  /// clobbers a file it does not understand).
+  bool append(const RunRecord& record, std::string& error);
+
+  struct LoadResult {
+    std::vector<RunRecord> records;  ///< Valid records, file order (= age order).
+    std::size_t rejected = 0;        ///< Frames dropped (checksum/payload/truncation).
+  };
+
+  /// Loads one machine partition. A missing file is an empty history, not an
+  /// error. Corrupt frames are skipped and counted in `rejected`; a
+  /// truncated final frame (mid-append crash) is likewise counted, and every
+  /// frame before it is still returned.
+  bool load(const std::string& machine_id, LoadResult& out,
+            std::string& error) const;
+
+  /// Machine ids that have a partition file in the store directory, sorted.
+  std::vector<std::string> machine_ids() const;
+
+ private:
+  std::string dir_;
+};
+
+/// --- Ingest: one writer implementation for every producer. -------------
+///
+/// `fedwcm_run --runstore`, `perf_gate --runstore`, and `obsctl ingest` all
+/// build records through these helpers, so the stored names and units can
+/// never drift between producers (ctest-enforced).
+
+/// Folds a resource ledger (obs/ledger.hpp) into `record`: run meta
+/// (rounds, aborted, bytes), wall/CPU/RSS totals, per-phase wall/cpu/rss
+/// splits under "phase.<name>.*", and population quantile summaries under
+/// "pop.<name>.*".
+void ingest_ledger(const prof::Ledger& ledger, RunRecord& record);
+
+/// Folds a parsed BENCH_kernels.json document into `record` under
+/// "bench.*": headline GEMM speedup/GFLOPs, e2e ms/round + accuracies +
+/// uplink shrink, codec shrink factors, suite peak RSS. Returns false with
+/// `error` when the document lacks the bench schema's arrays.
+bool ingest_bench_json(const json::Value& doc, RunRecord& record,
+                       std::string& error);
+
+/// Folds a metrics JSONL dump (Registry::write_jsonl output) into `record`:
+/// counters -> counters, gauges -> metrics, histogram/sketch lines ->
+/// "<name>.p50"/"<name>.p95"/"<name>.mean" metrics plus a "<name>.count"
+/// counter. Returns false with `error` on a malformed line.
+bool ingest_metrics_jsonl(const std::string& text, RunRecord& record,
+                          std::string& error);
+
+}  // namespace fedwcm::obs

@@ -1,0 +1,158 @@
+// Fleet dashboard renderer (analysis/fleet_html.hpp): the self-containment
+// contract (no external assets, ever — dashboards get opened from mail
+// attachments and airgapped CI artifact tabs), the `fleet-data` JSON blob
+// faithfully embedding the records, hostile strings kept inert inside the
+// blob, and the chart/grouping structure over a small synthetic fleet.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fedwcm/analysis/fleet_html.hpp"
+#include "fedwcm/obs/json.hpp"
+#include "fedwcm/obs/runstore.hpp"
+
+namespace {
+
+using fedwcm::analysis::FleetHtmlOptions;
+using fedwcm::obs::RunRecord;
+
+std::vector<RunRecord> small_fleet(std::size_t n) {
+  std::vector<RunRecord> records;
+  for (std::size_t i = 0; i < n; ++i) {
+    RunRecord r;
+    r.kind = "run";
+    r.created_us = 1'000'000ull * (i + 1);
+    r.config_fingerprint = (i % 2 == 0) ? "cfg-even" : "cfg-odd";
+    r.flags = "--seed " + std::to_string(i);
+    r.machine.cpu_model = "Fleet Test CPU";
+    r.machine.cores = 8;
+    r.machine.kernel = "Linux fleet";
+    r.metrics["final_accuracy"] = 0.84 + 0.001 * double(i % 4);
+    r.metrics["wall_ms"] = 1000.0 + 10.0 * double(i);
+    r.counters["rounds"] = 5;
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+/// Extracts and parses the fleet-data JSON blob; fails the test if absent.
+fedwcm::obs::json::Value data_blob(const std::string& html) {
+  const std::string open =
+      "<script id=\"fleet-data\" type=\"application/json\">";
+  const std::size_t begin = html.find(open);
+  EXPECT_NE(begin, std::string::npos) << "fleet-data blob missing";
+  const std::size_t end = html.find("</script>", begin);
+  fedwcm::obs::json::Value v;
+  std::string error;
+  EXPECT_TRUE(fedwcm::obs::json::parse(
+      html.substr(begin + open.size(), end - begin - open.size()), v, error))
+      << error;
+  return v;
+}
+
+TEST(FleetHtml, SelfContainedWithChartsAndGroups) {
+  const std::string html = fedwcm::analysis::render_fleet_html(small_fleet(8));
+  EXPECT_EQ(html.find("http://"), std::string::npos);
+  EXPECT_EQ(html.find("https://"), std::string::npos);
+  EXPECT_EQ(html.find("src="), std::string::npos);
+  EXPECT_EQ(html.find("@import"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("<style"), std::string::npos);
+  EXPECT_NE(html.find("prefers-color-scheme"), std::string::npos);
+  // Both config groups render, first-appearance order.
+  const std::size_t even = html.find("cfg-even");
+  const std::size_t odd = html.find("cfg-odd");
+  ASSERT_NE(even, std::string::npos);
+  ASSERT_NE(odd, std::string::npos);
+  EXPECT_LT(even, odd);
+}
+
+TEST(FleetHtml, DataBlobEmbedsEveryRecordFaithfully) {
+  const std::vector<RunRecord> fleet = small_fleet(6);
+  const auto v = data_blob(fedwcm::analysis::render_fleet_html(fleet));
+  const auto* count = v.find("record_count");
+  ASSERT_TRUE(count && count->is_number());
+  EXPECT_EQ(std::size_t(count->as_number()), fleet.size());
+  const auto* records = v.find("records");
+  ASSERT_TRUE(records && records->is_array());
+  ASSERT_EQ(records->as_array().size(), fleet.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const auto& entry = records->as_array()[i];
+    const auto* created = entry.find("created_us");
+    ASSERT_TRUE(created && created->is_number());
+    EXPECT_EQ(std::uint64_t(created->as_number()), fleet[i].created_us);
+    const auto* metrics = entry.find("metrics");
+    ASSERT_TRUE(metrics != nullptr);
+    const auto* acc = metrics->find("final_accuracy");
+    ASSERT_TRUE(acc && acc->is_number());
+    EXPECT_DOUBLE_EQ(acc->as_number(), fleet[i].metrics.at("final_accuracy"));
+  }
+}
+
+TEST(FleetHtml, HostileStringsStayInertInsideTheBlob) {
+  std::vector<RunRecord> fleet = small_fleet(2);
+  fleet[0].flags = "--note \"</script><script>alert(1)</script>\"";
+  fleet[0].config_fingerprint = "cfg <&> \"quoted\"";
+  const std::string html = fedwcm::analysis::render_fleet_html(fleet);
+  // The raw close tag must never appear inside the data blob: every `<` is
+  // emitted as the backslash-u003c escape, so the embedded payload cannot terminate
+  // the script block early.
+  const std::string open =
+      "<script id=\"fleet-data\" type=\"application/json\">";
+  const std::size_t begin = html.find(open);
+  ASSERT_NE(begin, std::string::npos);
+  const std::size_t end = html.find("</script>", begin);
+  const std::string blob =
+      html.substr(begin + open.size(), end - begin - open.size());
+  EXPECT_EQ(blob.find("</script>"), std::string::npos);
+  EXPECT_EQ(blob.find('<'), std::string::npos);
+  // And it still parses back to the hostile original.
+  const auto v = data_blob(html);
+  const auto* records = v.find("records");
+  ASSERT_TRUE(records && records->is_array());
+  const auto* flags = records->as_array()[0].find("flags");
+  ASSERT_TRUE(flags && flags->is_string());
+  EXPECT_EQ(flags->as_string(), fleet[0].flags);
+}
+
+TEST(FleetHtml, ExplicitMetricPanelAndEmptyStore) {
+  FleetHtmlOptions options;
+  options.title = "Custom fleet title";
+  options.metrics = {"wall_ms"};
+  const std::string html =
+      fedwcm::analysis::render_fleet_html(small_fleet(4), options);
+  EXPECT_NE(html.find("Custom fleet title"), std::string::npos);
+  EXPECT_NE(html.find("wall_ms"), std::string::npos);
+  const auto v = data_blob(html);
+  const auto* metrics = v.find("metrics");
+  ASSERT_TRUE(metrics && metrics->is_array());
+  ASSERT_EQ(metrics->as_array().size(), 1u);
+  EXPECT_EQ(metrics->as_array()[0].as_string(), "wall_ms");
+
+  // An empty history must render a valid (if boring) page, not crash.
+  const std::string empty = fedwcm::analysis::render_fleet_html({});
+  const auto ev = data_blob(empty);
+  const auto* ecount = ev.find("record_count");
+  ASSERT_TRUE(ecount && ecount->is_number());
+  EXPECT_EQ(ecount->as_number(), 0.0);
+}
+
+TEST(FleetHtml, WriteFleetHtmlWritesAndThrowsOnBadPath) {
+  const std::string path = testing::TempDir() + "/fleet_test.html";
+  fedwcm::analysis::write_fleet_html(path, small_fleet(3));
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  EXPECT_NE(buf.str().find("fleet-data"), std::string::npos);
+  EXPECT_THROW(fedwcm::analysis::write_fleet_html(
+                   testing::TempDir() + "/no_such_dir_xyz/fleet.html",
+                   small_fleet(1)),
+               std::exception);
+}
+
+}  // namespace

@@ -1,0 +1,226 @@
+// Robust trend statistics and the MAD-band gate (analysis/trend.hpp): the
+// math behind `obsctl trend`/`gate` and the fleet dashboard bands. The suite
+// pins the robustness claims the header makes — a single outlier must not
+// widen the band, a flat series must never flag a change-point, a cold store
+// must abstain rather than fail — and the exact windowing rule that the
+// newest value is judged against a band it did not contribute to.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fedwcm/analysis/compare.hpp"
+#include "fedwcm/analysis/trend.hpp"
+#include "fedwcm/obs/runstore.hpp"
+
+namespace {
+
+using fedwcm::analysis::GateDirection;
+using fedwcm::analysis::GateVerdict;
+using fedwcm::analysis::TrendOptions;
+using fedwcm::obs::RunRecord;
+
+// ---------------------------------------------------------------------------
+// Primitives
+
+TEST(TrendMath, MedianOddEvenAndEmpty) {
+  EXPECT_DOUBLE_EQ(fedwcm::analysis::median_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(fedwcm::analysis::median_of({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(fedwcm::analysis::median_of({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(fedwcm::analysis::median_of({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(TrendMath, MadSigmaIsRobustToOneOutlier) {
+  // Nine values at 10 +- 1 and one wild outlier: the MAD ignores it.
+  std::vector<double> values = {9, 10, 11, 9, 10, 11, 9, 10, 1000};
+  const double med = fedwcm::analysis::median_of(values);
+  EXPECT_DOUBLE_EQ(med, 10.0);
+  const double sigma = fedwcm::analysis::mad_sigma(values, med);
+  EXPECT_DOUBLE_EQ(sigma, 1.4826 * 1.0);
+  EXPECT_DOUBLE_EQ(fedwcm::analysis::mad_sigma({5.0}, 5.0), 0.0);
+}
+
+TEST(TrendMath, TheilSenRecoversALinearSlopeThroughOutliers) {
+  // y = 2x with one corrupted point: the median of pairwise slopes holds.
+  std::vector<double> values;
+  for (std::size_t i = 0; i < 9; ++i) values.push_back(2.0 * double(i));
+  values[4] = -100.0;
+  EXPECT_DOUBLE_EQ(fedwcm::analysis::theil_sen_slope(values), 2.0);
+  EXPECT_DOUBLE_EQ(fedwcm::analysis::theil_sen_slope({1.0}), 0.0);
+}
+
+TEST(TrendMath, ChangePointFindsAStepAndIgnoresFlatOrShortSeries) {
+  // Clear level shift at index 4.
+  const std::vector<double> step = {1, 1, 1, 1, 5, 5, 5, 5};
+  EXPECT_EQ(fedwcm::analysis::change_point(step, 1.0), 4);
+  // Flat series: no split to find.
+  EXPECT_EQ(fedwcm::analysis::change_point({2, 2, 2, 2, 2, 2}, 0.0), -1);
+  // Too short for two segments of 2.
+  EXPECT_EQ(fedwcm::analysis::change_point({1, 5, 5}, 0.0), -1);
+  // Separation below min_gap: the shift is real but not significant.
+  EXPECT_EQ(fedwcm::analysis::change_point(step, 10.0), -1);
+}
+
+// ---------------------------------------------------------------------------
+// Windowed summary
+
+TEST(TrendSummary, NewestValueIsExcludedFromItsOwnBand) {
+  // Baseline of eight 1.0s, newest 9.0: were the newest folded into the
+  // band's median/MAD it could mask itself. The band must stay centered on
+  // 1.0 with zero spread, and the newest must sit above it.
+  std::vector<double> values(8, 1.0);
+  values.push_back(9.0);
+  TrendOptions options;
+  const auto t = fedwcm::analysis::summarize_trend(values, options);
+  EXPECT_DOUBLE_EQ(t.median, 1.0);
+  EXPECT_DOUBLE_EQ(t.spread, 0.0);
+  EXPECT_DOUBLE_EQ(t.latest, 9.0);
+  EXPECT_TRUE(t.latest_above);
+  EXPECT_FALSE(t.latest_below);
+}
+
+TEST(TrendSummary, WindowLimitsToLastN) {
+  // 30 old zeros then 10 ones; a 10-wide window must see only ones.
+  std::vector<double> values(30, 0.0);
+  values.insert(values.end(), 10, 1.0);
+  TrendOptions options;
+  options.last = 10;
+  const auto t = fedwcm::analysis::summarize_trend(values, options);
+  EXPECT_EQ(t.count, 10u);
+  EXPECT_DOUBLE_EQ(t.median, 1.0);
+  EXPECT_FALSE(t.latest_above);
+  EXPECT_FALSE(t.latest_below);
+}
+
+TEST(TrendSummary, MinBandPutsAFloorUnderAZeroSpreadHistory) {
+  // Bitwise-stable history (spread 0): without a floor any wobble alarms.
+  std::vector<double> values(10, 0.85);
+  values.push_back(0.8504);
+  TrendOptions options;
+  const auto tight = fedwcm::analysis::summarize_trend(values, options);
+  EXPECT_TRUE(tight.latest_above);
+  options.min_band = 0.001;
+  const auto floored = fedwcm::analysis::summarize_trend(values, options);
+  EXPECT_FALSE(floored.latest_above);
+  EXPECT_DOUBLE_EQ(floored.band_hi, 0.851);
+  EXPECT_DOUBLE_EQ(floored.band_lo, 0.849);
+}
+
+// ---------------------------------------------------------------------------
+// Gate
+
+std::vector<double> wobbly_history(std::size_t n) {
+  // +-0.004 wobble around 0.85, the same in-band shape the selfcheck uses.
+  std::vector<double> values;
+  for (std::size_t i = 0; i < n; ++i)
+    values.push_back(0.85 + 0.004 * double(int(i % 5) - 2) / 2.0);
+  return values;
+}
+
+TEST(Gate, PassesInBandFailsInjectedRegressionByDirection) {
+  TrendOptions options;
+  std::vector<double> values = wobbly_history(20);
+  const auto in_band =
+      fedwcm::analysis::evaluate_gate(values, options, GateDirection::kBelow);
+  EXPECT_EQ(in_band.verdict, GateVerdict::kPass);
+
+  values.push_back(0.70);  // Far outside 3x the MAD band.
+  const auto fail =
+      fedwcm::analysis::evaluate_gate(values, options, GateDirection::kBelow);
+  EXPECT_EQ(fail.verdict, GateVerdict::kFail);
+  EXPECT_NE(fail.detail.find("BELOW"), std::string::npos);
+  // The same drop gated above-only is not a regression.
+  const auto above =
+      fedwcm::analysis::evaluate_gate(values, options, GateDirection::kAbove);
+  EXPECT_EQ(above.verdict, GateVerdict::kPass);
+  // kBoth catches either side.
+  const auto both =
+      fedwcm::analysis::evaluate_gate(values, options, GateDirection::kBoth);
+  EXPECT_EQ(both.verdict, GateVerdict::kFail);
+}
+
+TEST(Gate, AbstainsOnColdStore) {
+  TrendOptions options;  // min_history = 4.
+  const auto empty =
+      fedwcm::analysis::evaluate_gate({}, options, GateDirection::kBoth);
+  EXPECT_EQ(empty.verdict, GateVerdict::kInsufficientHistory);
+  // Four values = three prior runs: still one short of the default.
+  const auto three_prior = fedwcm::analysis::evaluate_gate(
+      {0.85, 0.85, 0.85, 0.1}, options, GateDirection::kBoth);
+  EXPECT_EQ(three_prior.verdict, GateVerdict::kInsufficientHistory);
+  // Five values = four prior runs: gates, and the outlier fails.
+  const auto four_prior = fedwcm::analysis::evaluate_gate(
+      {0.85, 0.85, 0.85, 0.85, 0.1}, options, GateDirection::kBoth);
+  EXPECT_EQ(four_prior.verdict, GateVerdict::kFail);
+}
+
+TEST(Gate, ParseDirectionNames) {
+  GateDirection d;
+  ASSERT_TRUE(fedwcm::analysis::parse_gate_direction("above", d));
+  EXPECT_EQ(d, GateDirection::kAbove);
+  ASSERT_TRUE(fedwcm::analysis::parse_gate_direction("below", d));
+  EXPECT_EQ(d, GateDirection::kBelow);
+  ASSERT_TRUE(fedwcm::analysis::parse_gate_direction("both", d));
+  EXPECT_EQ(d, GateDirection::kBoth);
+  EXPECT_FALSE(fedwcm::analysis::parse_gate_direction("sideways", d));
+}
+
+// ---------------------------------------------------------------------------
+// Series extraction over records
+
+TEST(MetricSeries, FiltersByConfigAndKindAndFoldsCounters) {
+  std::vector<RunRecord> records;
+  for (std::size_t i = 0; i < 6; ++i) {
+    RunRecord r;
+    r.kind = (i % 2 == 0) ? "run" : "bench";
+    r.config_fingerprint = (i < 3) ? "cfg-a" : "cfg-b";
+    r.metrics["final_accuracy"] = 0.1 * double(i);
+    r.counters["rounds"] = i;
+    records.push_back(std::move(r));
+  }
+  EXPECT_EQ(fedwcm::analysis::metric_series(records, "final_accuracy").size(),
+            6u);
+  const auto cfg_a =
+      fedwcm::analysis::metric_series(records, "final_accuracy", "cfg-a");
+  ASSERT_EQ(cfg_a.size(), 3u);
+  EXPECT_DOUBLE_EQ(cfg_a[2], 0.2);
+  const auto bench_only =
+      fedwcm::analysis::metric_series(records, "rounds", "", "bench");
+  ASSERT_EQ(bench_only.size(), 3u);
+  EXPECT_DOUBLE_EQ(bench_only[0], 1.0);
+  EXPECT_TRUE(
+      fedwcm::analysis::metric_series(records, "missing_metric").empty());
+}
+
+TEST(IngestRunSummary, MapsFieldsAndOmitsUnrecordedOnes) {
+  fedwcm::analysis::RunSummary summary;
+  summary.algorithm = "fedwcm";
+  summary.final_accuracy = 0.81;
+  summary.best_accuracy = 0.83;
+  summary.tail_mean_accuracy = 0.80;
+  summary.min_class_recall = 0.4;
+  summary.final_qr = 0.9;
+  summary.mean_round_wall_ms = 120.0;
+  summary.faults_dropped = 2;
+  summary.rounds = 40;
+  summary.aborted = true;
+  RunRecord record;
+  fedwcm::analysis::ingest_run_summary(summary, record);
+  EXPECT_DOUBLE_EQ(record.metrics.at("final_accuracy"), 0.81);
+  EXPECT_DOUBLE_EQ(record.metrics.at("min_class_recall"), 0.4);
+  EXPECT_DOUBLE_EQ(record.metrics.at("final_qr"), 0.9);
+  EXPECT_EQ(record.counters.at("faults.dropped"), 2u);
+  EXPECT_EQ(record.counters.at("rounds"), 40u);
+  EXPECT_EQ(record.counters.at("watchdog.aborted"), 1u);
+
+  // Sentinel fields (<0 recall/wall, -1 q_r) must not invent metrics.
+  fedwcm::analysis::RunSummary bare;
+  RunRecord bare_record;
+  fedwcm::analysis::ingest_run_summary(bare, bare_record);
+  EXPECT_EQ(bare_record.metrics.count("min_class_recall"), 0u);
+  EXPECT_EQ(bare_record.metrics.count("final_qr"), 0u);
+  EXPECT_EQ(bare_record.metrics.count("mean_round_wall_ms"), 0u);
+}
+
+}  // namespace

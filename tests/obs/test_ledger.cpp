@@ -103,7 +103,7 @@ TEST(Ledger, RejectsMalformedDocuments) {
 TEST(Ledger, CompareIdenticalLedgersPasses) {
   const Ledger ledger = sample_ledger();
   std::string report;
-  EXPECT_TRUE(compare_ledgers(ledger, ledger, LedgerThresholds{}, report));
+  EXPECT_TRUE(compare_ledgers(ledger, ledger, LedgerThresholds{}, report).pass);
   EXPECT_NE(report.find("peak_rss_kb"), std::string::npos);
 }
 
@@ -112,13 +112,13 @@ TEST(Ledger, CompareFlagsRssRegression) {
   Ledger fat = baseline;
   fat.peak_rss_kb = baseline.peak_rss_kb * 10.0;
   std::string report;
-  EXPECT_FALSE(compare_ledgers(baseline, fat, LedgerThresholds{}, report));
+  EXPECT_FALSE(compare_ledgers(baseline, fat, LedgerThresholds{}, report).pass);
   EXPECT_NE(report.find("FAIL"), std::string::npos) << report;
   // Within the default 1.5x headroom it passes.
   Ledger slight = baseline;
   slight.peak_rss_kb = baseline.peak_rss_kb * 1.4;
   report.clear();
-  EXPECT_TRUE(compare_ledgers(baseline, slight, LedgerThresholds{}, report));
+  EXPECT_TRUE(compare_ledgers(baseline, slight, LedgerThresholds{}, report).pass);
 }
 
 TEST(Ledger, CpuGateIsOffByDefaultAndOptInWorks) {
@@ -127,11 +127,11 @@ TEST(Ledger, CpuGateIsOffByDefaultAndOptInWorks) {
   slow.cpu_ms = baseline.cpu_ms * 100.0;
   std::string report;
   // cpu_factor <= 0 disables the CPU check entirely.
-  EXPECT_TRUE(compare_ledgers(baseline, slow, LedgerThresholds{}, report));
+  EXPECT_TRUE(compare_ledgers(baseline, slow, LedgerThresholds{}, report).pass);
   LedgerThresholds strict;
   strict.cpu_factor = 2.0;
   report.clear();
-  EXPECT_FALSE(compare_ledgers(baseline, slow, strict, report));
+  EXPECT_FALSE(compare_ledgers(baseline, slow, strict, report).pass);
   EXPECT_NE(report.find("cpu_ms"), std::string::npos) << report;
 }
 
@@ -197,35 +197,74 @@ TEST(Ledger, QuantileGateIsOffByDefaultAndOptInWorks) {
   wide.population[0].p95 = baseline.population[0].p95 * 10.0;
   std::string report;
   // quantile_factor <= 0 disables the gate even with a 10x spread blow-up.
-  EXPECT_TRUE(compare_ledgers(baseline, wide, LedgerThresholds{}, report));
+  EXPECT_TRUE(compare_ledgers(baseline, wide, LedgerThresholds{}, report).pass);
   LedgerThresholds strict;
   strict.quantile_factor = 2.0;
   report.clear();
-  EXPECT_FALSE(compare_ledgers(baseline, wide, strict, report));
+  EXPECT_FALSE(compare_ledgers(baseline, wide, strict, report).pass);
   EXPECT_NE(report.find("pop.update_norm p95"), std::string::npos) << report;
   EXPECT_NE(report.find("FAIL"), std::string::npos) << report;
   // Within the factor it passes (p50 unchanged, p95 below 2x).
   Ledger slight = baseline;
   slight.population[0].p95 = baseline.population[0].p95 * 1.5;
   report.clear();
-  EXPECT_TRUE(compare_ledgers(baseline, slight, strict, report)) << report;
+  EXPECT_TRUE(compare_ledgers(baseline, slight, strict, report).pass) << report;
 }
 
-TEST(Ledger, QuantileGateSkipsSketchesMissingFromEitherSide) {
-  // Telemetry off in one run must not read as a regression.
+TEST(Ledger, QuantileGateSkipsAndSaysSoWhenPopulationIsMissing) {
+  // Telemetry off in one run must not read as a regression — but a requested
+  // gate that could not run must be reported as skipped, not silently passed.
   const Ledger baseline = populated_ledger();
   const Ledger bare = sample_ledger();
   LedgerThresholds strict;
   strict.quantile_factor = 1.1;
   std::string report;
-  EXPECT_TRUE(compare_ledgers(baseline, bare, strict, report)) << report;
-  EXPECT_TRUE(compare_ledgers(bare, baseline, strict, report)) << report;
-  // Empty sketches (count == 0) are skipped too.
+  LedgerCompareOutcome outcome =
+      compare_ledgers(baseline, bare, strict, report);
+  EXPECT_TRUE(outcome.pass) << report;
+  EXPECT_TRUE(outcome.quantile_skipped);
+  EXPECT_NE(report.find("absent in candidate"), std::string::npos) << report;
+  report.clear();
+  outcome = compare_ledgers(bare, baseline, strict, report);
+  EXPECT_TRUE(outcome.pass) << report;
+  EXPECT_TRUE(outcome.quantile_skipped);
+  EXPECT_NE(report.find("absent in baseline"), std::string::npos) << report;
+  // Empty sketches (count == 0) cannot be gated either: with no sketch
+  // carrying data on both sides the gate is skipped, loudly.
   Ledger empty_sketch = baseline;
   empty_sketch.population[0].count = 0;
   empty_sketch.population[0].p95 = 1e9;
-  EXPECT_TRUE(compare_ledgers(baseline, empty_sketch, strict, report))
+  report.clear();
+  outcome = compare_ledgers(baseline, empty_sketch, strict, report);
+  EXPECT_TRUE(outcome.pass) << report;
+  EXPECT_TRUE(outcome.quantile_skipped);
+  EXPECT_NE(report.find("no sketch with data"), std::string::npos) << report;
+  // A gate that did run never reports skipped.
+  report.clear();
+  outcome = compare_ledgers(baseline, populated_ledger(), strict, report);
+  EXPECT_TRUE(outcome.pass) << report;
+  EXPECT_FALSE(outcome.quantile_skipped);
+}
+
+TEST(Ledger, QuantileGateOnPr6EraLedgerArtifactSkips) {
+  // Regression: a serialized pre-population ledger (PR-6-era artifact, no
+  // "population" key at all) run through the --quantile-factor gate used to
+  // fall through the gate loop silently and report an unqualified pass.
+  const std::string pr6_json = to_json(sample_ledger());
+  ASSERT_EQ(pr6_json.find("\"population\""), std::string::npos);
+  Ledger pr6;
+  std::string error;
+  ASSERT_TRUE(ledger_from_json(pr6_json, pr6, error)) << error;
+  LedgerThresholds strict;
+  strict.quantile_factor = 2.0;
+  std::string report;
+  const LedgerCompareOutcome outcome =
+      compare_ledgers(pr6, pr6, strict, report);
+  EXPECT_TRUE(outcome.pass) << report;
+  EXPECT_TRUE(outcome.quantile_skipped);
+  EXPECT_NE(report.find("absent in baseline and candidate"), std::string::npos)
       << report;
+  EXPECT_NE(report.find("quantile gate not run"), std::string::npos) << report;
 }
 
 TEST(Ledger, FormatReportNamesEveryPhase) {

@@ -1,0 +1,384 @@
+// Run-history store (obs/runstore.hpp): deterministic record serialization,
+// strict artifact-file round-trips, machine-partitioned append/load, and the
+// hostile-wire contract *through the store path* — truncated, bit-flipped,
+// and checksum-consistent-but-invalid frames must be rejected and counted,
+// never abort a load, never corrupt neighboring records (the core/test_quant
+// contract extended to the persistence layer).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fedwcm/core/serialize.hpp"
+#include "fedwcm/obs/machine.hpp"
+#include "fedwcm/obs/runstore.hpp"
+#include "fedwcm/obs/sketch.hpp"
+
+namespace {
+
+using fedwcm::core::BinaryReader;
+using fedwcm::core::BinaryWriter;
+using fedwcm::obs::MachineFingerprint;
+using fedwcm::obs::QuantileSketch;
+using fedwcm::obs::RunRecord;
+using fedwcm::obs::RunStore;
+
+MachineFingerprint fake_machine(const std::string& cpu) {
+  MachineFingerprint m;
+  m.cpu_model = cpu;
+  m.cores = 4;
+  m.kernel = "Linux test";
+  return m;
+}
+
+RunRecord sample_record(std::size_t i, const std::string& cpu = "Test CPU A") {
+  RunRecord r;
+  r.kind = (i % 2 == 0) ? "run" : "bench";
+  r.created_us = 1'000'000ull * (i + 1);
+  r.config_fingerprint = "cfg-" + std::to_string(i % 3);
+  r.flags = "--seed " + std::to_string(i);
+  r.machine = fake_machine(cpu);
+  r.metrics["final_accuracy"] = 0.8 + 0.001 * double(i);
+  r.metrics["wall_ms"] = 100.0 * double(i + 1);
+  r.counters["rounds"] = 10 + i;
+  QuantileSketch s(0.01);
+  for (std::size_t k = 0; k <= i; ++k) s.observe(double(k + 1) * 0.25);
+  r.sketches.emplace_back("pop.update_norm", std::move(s));
+  return r;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), std::streamsize(bytes.size()));
+}
+
+/// A store in a fresh subdirectory of the gtest temp dir, with the partition
+/// of `machine_id` wiped so repeated runs start clean.
+RunStore fresh_store(const std::string& name, const std::string& machine_id) {
+  RunStore store(testing::TempDir() + "/runstore_" + name);
+  std::remove(store.partition_path(machine_id).c_str());
+  return store;
+}
+
+/// Replaces frame `index` of a partition file with a frame whose payload was
+/// transformed by `mutate` and whose checksum is *recomputed to match* — so
+/// the corruption penetrates past the checksum into the deserializer.
+template <typename Fn>
+void rewrite_frame(const std::string& path, std::size_t index, Fn mutate) {
+  const std::string bytes = read_file(path);
+  std::size_t offset = 8;
+  for (std::size_t skipped = 0; skipped < index; ++skipped) {
+    std::istringstream is(bytes.substr(offset, 8), std::ios::binary);
+    BinaryReader r(is);
+    offset += 16 + std::size_t(r.read_u64());
+  }
+  std::istringstream is(bytes.substr(offset, 8), std::ios::binary);
+  BinaryReader r(is);
+  const std::uint64_t len = r.read_u64();
+  std::string payload = bytes.substr(offset + 16, len);
+  mutate(payload);
+  std::ostringstream frame(std::ios::binary);
+  BinaryWriter w(frame);
+  w.write_u64(payload.size());
+  w.write_u64(fedwcm::obs::fnv1a64(payload.data(), payload.size()));
+  w.write_bytes(payload.data(), payload.size());
+  write_file(path, bytes.substr(0, offset) + frame.str() +
+                       bytes.substr(offset + 16 + len));
+}
+
+// ---------------------------------------------------------------------------
+// Machine fingerprint
+
+TEST(MachineFingerprint, IdIsDeterministicAnd16Hex) {
+  const MachineFingerprint m = fake_machine("Test CPU A");
+  const std::string id = m.id();
+  EXPECT_EQ(id.size(), 16u);
+  EXPECT_EQ(id.find_first_not_of("0123456789abcdef"), std::string::npos);
+  EXPECT_EQ(id, fake_machine("Test CPU A").id());
+  EXPECT_NE(id, fake_machine("Test CPU B").id());
+  MachineFingerprint more_cores = m;
+  more_cores.cores = 64;
+  EXPECT_NE(id, more_cores.id());
+}
+
+TEST(MachineFingerprint, HostFingerprintIsPopulatedAndStable) {
+  const MachineFingerprint m = fedwcm::obs::machine_fingerprint();
+  EXPECT_GT(m.cores, 0u);
+  EXPECT_FALSE(m.kernel.empty());
+  EXPECT_EQ(m.id(), fedwcm::obs::machine_fingerprint().id());
+}
+
+// ---------------------------------------------------------------------------
+// Record serialization
+
+TEST(RunRecord, BytesRoundTripBitwise) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    const RunRecord r = sample_record(i);
+    const std::string bytes = fedwcm::obs::record_to_bytes(r);
+    const RunRecord back = fedwcm::obs::record_from_bytes(bytes);
+    EXPECT_EQ(fedwcm::obs::record_to_bytes(back), bytes) << "record " << i;
+    EXPECT_EQ(back.kind, r.kind);
+    EXPECT_EQ(back.created_us, r.created_us);
+    EXPECT_EQ(back.config_fingerprint, r.config_fingerprint);
+    EXPECT_EQ(back.flags, r.flags);
+    EXPECT_EQ(back.machine.id(), r.machine.id());
+    EXPECT_EQ(back.metrics, r.metrics);
+    EXPECT_EQ(back.counters, r.counters);
+    ASSERT_EQ(back.sketches.size(), 1u);
+    EXPECT_EQ(back.sketches[0].first, "pop.update_norm");
+    EXPECT_EQ(back.sketches[0].second.count(), r.sketches[0].second.count());
+  }
+}
+
+TEST(RunRecord, ValueOfFoldsMetricsAndCounters) {
+  const RunRecord r = sample_record(2);
+  double value = 0.0;
+  ASSERT_TRUE(r.value_of("final_accuracy", value));
+  EXPECT_DOUBLE_EQ(value, 0.802);
+  ASSERT_TRUE(r.value_of("rounds", value));
+  EXPECT_DOUBLE_EQ(value, 12.0);
+  EXPECT_FALSE(r.value_of("no_such_metric", value));
+}
+
+TEST(RunRecord, FromBytesRejectsTruncationAndBadVersion) {
+  const std::string bytes = fedwcm::obs::record_to_bytes(sample_record(1));
+  for (const std::size_t keep : {std::size_t(3), bytes.size() / 2,
+                                 bytes.size() - 1})
+    EXPECT_THROW(fedwcm::obs::record_from_bytes(bytes.substr(0, keep)),
+                 std::exception)
+        << "kept " << keep << " of " << bytes.size();
+  EXPECT_THROW(fedwcm::obs::record_from_bytes(bytes + "x"), std::exception);
+  std::string wrong_version = bytes;
+  wrong_version[0] = char(0x7f);
+  EXPECT_THROW(fedwcm::obs::record_from_bytes(wrong_version), std::exception);
+}
+
+// ---------------------------------------------------------------------------
+// Standalone artifact files (the CI upload unit)
+
+TEST(RecordFile, RoundTripsAndIsStrict) {
+  const std::string path = testing::TempDir() + "/record_artifact.fwrh";
+  const RunRecord r = sample_record(3);
+  std::string error;
+  ASSERT_TRUE(fedwcm::obs::save_record_file(path, r, error)) << error;
+  RunRecord back;
+  ASSERT_TRUE(fedwcm::obs::load_record_file(path, back, error)) << error;
+  EXPECT_EQ(fedwcm::obs::record_to_bytes(back), fedwcm::obs::record_to_bytes(r));
+
+  // Unlike store loads, an artifact file has no healthy neighbors: any
+  // defect is an error, not a skip.
+  const std::string bytes = read_file(path);
+  write_file(path, bytes.substr(0, bytes.size() - 5));
+  EXPECT_FALSE(fedwcm::obs::load_record_file(path, back, error));
+  std::string flipped = bytes;
+  flipped[bytes.size() / 2] ^= 0x01;
+  write_file(path, flipped);
+  EXPECT_FALSE(fedwcm::obs::load_record_file(path, back, error));
+  write_file(path, bytes + "trailing");
+  EXPECT_FALSE(fedwcm::obs::load_record_file(path, back, error));
+}
+
+// ---------------------------------------------------------------------------
+// Store append/load
+
+TEST(RunStore, AppendsLoadInOrderAndPartitionsByMachine) {
+  const std::string id_a = fake_machine("Test CPU A").id();
+  const std::string id_b = fake_machine("Test CPU B").id();
+  RunStore store = fresh_store("partition", id_a);
+  std::remove(store.partition_path(id_b).c_str());
+  std::string error;
+  for (std::size_t i = 0; i < 5; ++i)
+    ASSERT_TRUE(store.append(sample_record(i), error)) << error;
+  ASSERT_TRUE(store.append(sample_record(7, "Test CPU B"), error)) << error;
+
+  RunStore::LoadResult a, b;
+  ASSERT_TRUE(store.load(id_a, a, error)) << error;
+  ASSERT_TRUE(store.load(id_b, b, error)) << error;
+  EXPECT_EQ(a.rejected, 0u);
+  ASSERT_EQ(a.records.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(a.records[i].created_us, 1'000'000ull * (i + 1));
+  ASSERT_EQ(b.records.size(), 1u);
+  EXPECT_EQ(b.records[0].machine.cpu_model, "Test CPU B");
+
+  const std::vector<std::string> ids = store.machine_ids();
+  EXPECT_NE(std::find(ids.begin(), ids.end(), id_a), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), id_b), ids.end());
+}
+
+TEST(RunStore, MissingPartitionIsEmptyNotError) {
+  RunStore store(testing::TempDir() + "/runstore_missing");
+  RunStore::LoadResult loaded;
+  std::string error;
+  ASSERT_TRUE(store.load("0123456789abcdef", loaded, error)) << error;
+  EXPECT_TRUE(loaded.records.empty());
+  EXPECT_EQ(loaded.rejected, 0u);
+}
+
+TEST(RunStore, RefusesToClobberAForeignFile) {
+  const std::string id = fake_machine("Test CPU A").id();
+  RunStore store = fresh_store("foreign", id);
+  std::string error;
+  ASSERT_TRUE(store.append(sample_record(0), error)) << error;
+  write_file(store.partition_path(id), "this is not a FWRH file");
+  EXPECT_FALSE(store.append(sample_record(1), error));
+  RunStore::LoadResult loaded;
+  EXPECT_FALSE(store.load(id, loaded, error));
+}
+
+// ---------------------------------------------------------------------------
+// Hostile wire through the store path
+
+TEST(RunStore, TornTailIsCountedOnceAndPriorRecordsSurvive) {
+  const std::string id = fake_machine("Test CPU A").id();
+  RunStore store = fresh_store("torn", id);
+  std::string error;
+  for (std::size_t i = 0; i < 3; ++i)
+    ASSERT_TRUE(store.append(sample_record(i), error)) << error;
+  const std::string path = store.partition_path(id);
+  {
+    // Half a frame header: a length prefix promising bytes that aren't there.
+    std::ofstream os(path, std::ios::binary | std::ios::app);
+    BinaryWriter w(os);
+    w.write_u64(1u << 20);
+    w.write_u64(0xdeadbeefull);
+    w.write_bytes("torn", 4);
+  }
+  RunStore::LoadResult loaded;
+  ASSERT_TRUE(store.load(id, loaded, error)) << error;
+  EXPECT_EQ(loaded.records.size(), 3u);
+  EXPECT_EQ(loaded.rejected, 1u);
+
+  // A sub-header-sized straggler (crash even earlier in the append) counts
+  // the same way. Drop the 20-byte torn tail first, then leave 7 bytes.
+  const std::string bytes = read_file(path);
+  write_file(path, bytes.substr(0, bytes.size() - 20) + std::string(7, 'U'));
+  ASSERT_TRUE(store.load(id, loaded, error)) << error;
+  EXPECT_EQ(loaded.records.size(), 3u);
+  EXPECT_EQ(loaded.rejected, 1u);
+}
+
+TEST(RunStore, AppendAfterTornTailDropsOnlyTheTail) {
+  const std::string id = fake_machine("Test CPU A").id();
+  RunStore store = fresh_store("recover", id);
+  std::string error;
+  for (std::size_t i = 0; i < 3; ++i)
+    ASSERT_TRUE(store.append(sample_record(i), error)) << error;
+  const std::string path = store.partition_path(id);
+  write_file(path + ".tmp", "stale tmp from a crashed append");
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::app);
+    BinaryWriter w(os);
+    w.write_u64(1u << 30);
+  }
+  ASSERT_TRUE(store.append(sample_record(3), error)) << error;
+  RunStore::LoadResult loaded;
+  ASSERT_TRUE(store.load(id, loaded, error)) << error;
+  EXPECT_EQ(loaded.records.size(), 4u);
+  EXPECT_EQ(loaded.rejected, 0u);
+}
+
+TEST(RunStore, BitFlippedPayloadIsSkippedAndNeighborsLoad) {
+  const std::string id = fake_machine("Test CPU A").id();
+  RunStore store = fresh_store("bitflip", id);
+  std::string error;
+  for (std::size_t i = 0; i < 3; ++i)
+    ASSERT_TRUE(store.append(sample_record(i), error)) << error;
+  // Plain bit flip, checksum left stale: caught by the checksum, and the
+  // frames after it still load (no lost frame sync).
+  const std::string path = store.partition_path(id);
+  {
+    std::string bytes = read_file(path);
+    std::istringstream is(bytes.substr(8), std::ios::binary);
+    BinaryReader r(is);
+    const std::uint64_t len0 = r.read_u64();
+    bytes[8 + 16 + len0 + 16 + 4] ^= 0x10;  // Inside frame 1's payload.
+    write_file(path, bytes);
+  }
+  RunStore::LoadResult loaded;
+  ASSERT_TRUE(store.load(id, loaded, error)) << error;
+  EXPECT_EQ(loaded.records.size(), 2u);
+  EXPECT_EQ(loaded.rejected, 1u);
+  EXPECT_EQ(loaded.records[0].created_us, 1'000'000ull);
+  EXPECT_EQ(loaded.records[1].created_us, 3'000'000ull);
+}
+
+TEST(RunStore, ChecksumConsistentTruncationReachesTheSketchDeserializer) {
+  const std::string id = fake_machine("Test CPU A").id();
+  RunStore store = fresh_store("sketchcut", id);
+  std::string error;
+  for (std::size_t i = 0; i < 3; ++i)
+    ASSERT_TRUE(store.append(sample_record(i), error)) << error;
+  // The record payload *ends* with the serialized QuantileSketch, so cutting
+  // the last bytes and recomputing a valid checksum makes the corruption
+  // invisible to the framing layer — it must be caught by the sketch
+  // deserializer throwing inside record_from_bytes, and counted.
+  rewrite_frame(store.partition_path(id), 1, [](std::string& payload) {
+    payload.resize(payload.size() - 6);
+  });
+  RunStore::LoadResult loaded;
+  ASSERT_TRUE(store.load(id, loaded, error)) << error;
+  EXPECT_EQ(loaded.records.size(), 2u);
+  EXPECT_EQ(loaded.rejected, 1u);
+}
+
+TEST(RunStore, ChecksumConsistentCountBombIsRejected) {
+  const std::string id = fake_machine("Test CPU A").id();
+  RunStore store = fresh_store("countbomb", id);
+  std::string error;
+  for (std::size_t i = 0; i < 2; ++i)
+    ASSERT_TRUE(store.append(sample_record(i), error)) << error;
+  // Blow up the sketch-count field (the final u64-count in the payload,
+  // located via a sketch-free twin record whose prefix is byte-identical):
+  // a count promising more entries than the remaining payload could hold
+  // must be rejected before any allocation, not trusted.
+  RunRecord twin = sample_record(0);
+  twin.sketches.clear();
+  const std::size_t count_offset =
+      fedwcm::obs::record_to_bytes(twin).size() - 8;
+  rewrite_frame(store.partition_path(id), 0, [&](std::string& payload) {
+    payload[count_offset + 7] ^= 0x40;
+  });
+  RunStore::LoadResult loaded;
+  ASSERT_TRUE(store.load(id, loaded, error)) << error;
+  EXPECT_EQ(loaded.records.size(), 1u);
+  EXPECT_EQ(loaded.rejected, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Ingest: metrics JSONL
+
+TEST(RunStoreIngest, MetricsJsonlMapsKindsAndRejectsTornLines) {
+  RunRecord record;
+  std::string error;
+  const std::string text =
+      "{\"metric\":\"comm.bytes_up\",\"type\":\"counter\",\"value\":123}\n"
+      "{\"metric\":\"round.accuracy\",\"type\":\"gauge\",\"value\":0.5}\n"
+      "{\"metric\":\"pop.norm\",\"type\":\"sketch\",\"count\":4,"
+      "\"mean\":1.5,\"p50\":1.0,\"p95\":3.0}\n";
+  ASSERT_TRUE(fedwcm::obs::ingest_metrics_jsonl(text, record, error)) << error;
+  EXPECT_EQ(record.counters.at("comm.bytes_up"), 123u);
+  EXPECT_DOUBLE_EQ(record.metrics.at("round.accuracy"), 0.5);
+  EXPECT_EQ(record.counters.at("pop.norm.count"), 4u);
+  EXPECT_DOUBLE_EQ(record.metrics.at("pop.norm.p95"), 3.0);
+
+  RunRecord torn_record;
+  EXPECT_FALSE(fedwcm::obs::ingest_metrics_jsonl(
+      "{\"metric\":\"comm.bytes_up\",\"type\":\"counter\",\"va", torn_record,
+      error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace

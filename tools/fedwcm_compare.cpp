@@ -26,6 +26,11 @@
 ///                                p95 of every population sketch present with
 ///                                data in both ledgers (off by default; see
 ///                                the "population" ledger block)
+///
+/// Ledger-mode exit codes: 0 pass, 1 fail, 2 usage/I/O, 4 pass but the
+/// requested quantile gate was skipped (population block absent from a
+/// ledger, or no sketch with data on both sides) — distinct so CI requiring
+/// the gate never mistakes "could not check" for "checked and passed".
 
 #include <cstdlib>
 #include <iostream>
@@ -58,11 +63,23 @@ int run_ledger_compare(const std::string& baseline_path,
     return 2;
   }
   std::string report;
-  const bool pass = prof::compare_ledgers(baseline, candidate, thresholds, report);
+  const prof::LedgerCompareOutcome outcome =
+      prof::compare_ledgers(baseline, candidate, thresholds, report);
   std::cout << "baseline:  " << prof::format_ledger_report(baseline)
-            << "candidate: " << prof::format_ledger_report(candidate) << report
-            << (pass ? "PASS\n" : "FAIL\n");
-  return pass ? 0 : 1;
+            << "candidate: " << prof::format_ledger_report(candidate) << report;
+  if (!outcome.pass) {
+    std::cout << "FAIL\n";
+    return 1;
+  }
+  if (outcome.quantile_skipped) {
+    // Exit 4, not 0: the caller asked for the quantile gate and it did not
+    // run (population block absent / no overlap). CI that requires the gate
+    // must not mistake "could not check" for "checked and passed".
+    std::cout << "PASS (quantile gate SKIPPED)\n";
+    return 4;
+  }
+  std::cout << "PASS\n";
+  return 0;
 }
 
 bool parse_f64(const char* text, double& out) {

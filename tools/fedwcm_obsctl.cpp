@@ -1,0 +1,471 @@
+/// fedwcm_obsctl — the run-history observatory CLI over obs::RunStore.
+///
+///   fedwcm_obsctl ingest --store DIR [--ledger F] [--history F] [--bench F]
+///                 [--metrics F] [--set NAME=VALUE]... [--config-fp S]
+///                 [--flags S] [--kind run|bench] [--out FILE]
+///   fedwcm_obsctl import --store DIR FILE...
+///   fedwcm_obsctl export --store DIR --out FILE [--index N] [--machine ID]
+///   fedwcm_obsctl list   --store DIR [--machine ID|all]
+///   fedwcm_obsctl show   --store DIR [--index N] [--machine ID]
+///   fedwcm_obsctl trend  METRIC --store DIR [--last N] [--band K]
+///                 [--min-band X] [--config-fp S] [--kind S] [--machine ID]
+///   fedwcm_obsctl gate   METRIC --store DIR [--direction above|below|both]
+///                 [--last N] [--band K] [--min-band X] [--min-history N]
+///                 [--config-fp S] [--kind S] [--machine ID]
+///   fedwcm_obsctl html   --store DIR --out FILE [--machine ID|all]
+///                 [--last N] [--title S]
+///
+/// `ingest` builds one RunRecord from any mix of artifacts — a resource
+/// ledger JSON (fedwcm_run --ledger), a history JSONL (--out), a
+/// BENCH_kernels.json, a metrics JSONL — through the same obs::ingest_*
+/// helpers every other producer uses, then appends it to the current
+/// machine's partition (or writes a standalone artifact with --out, the unit
+/// CI uploads). `gate` judges the newest record against the median ± k·MAD
+/// band of its prior history: exit 0 on pass or insufficient history
+/// (cold-store abstain), 1 outside the band, 2 on usage/IO errors.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fedwcm/analysis/compare.hpp"
+#include "fedwcm/analysis/fleet_html.hpp"
+#include "fedwcm/analysis/trend.hpp"
+#include "fedwcm/obs/json.hpp"
+#include "fedwcm/obs/ledger.hpp"
+#include "fedwcm/obs/machine.hpp"
+#include "fedwcm/obs/runstore.hpp"
+
+using namespace fedwcm;
+
+namespace {
+
+int usage(std::ostream& os, int code) {
+  os << "usage: fedwcm_obsctl <command> [options]\n"
+        "  ingest --store DIR [--ledger F] [--history F] [--bench F]\n"
+        "         [--metrics F] [--set NAME=VALUE]... [--config-fp S]\n"
+        "         [--flags S] [--kind run|bench] [--out FILE]\n"
+        "  import --store DIR FILE...\n"
+        "  export --store DIR --out FILE [--index N] [--machine ID]\n"
+        "  list   --store DIR [--machine ID|all]\n"
+        "  show   --store DIR [--index N] [--machine ID]\n"
+        "  trend  METRIC --store DIR [--last N] [--band K] [--min-band X]\n"
+        "         [--config-fp S] [--kind S] [--machine ID]\n"
+        "  gate   METRIC --store DIR [--direction above|below|both]\n"
+        "         [--last N] [--band K] [--min-band X] [--min-history N]\n"
+        "         [--config-fp S] [--kind S] [--machine ID]\n"
+        "  html   --store DIR --out FILE [--machine ID|all] [--last N]\n"
+        "         [--title S]\n"
+        "exit: 0 ok / gate pass / gate abstain (cold store), 1 gate fail,\n"
+        "      2 usage or I/O error\n";
+  return code;
+}
+
+[[noreturn]] void die(const std::string& message) {
+  std::cerr << "fedwcm_obsctl: " << message << "\n";
+  std::exit(2);
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) die("cannot open " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return buf.str();
+}
+
+obs::json::Value parse_json_file(const std::string& path) {
+  obs::json::Value v;
+  std::string error;
+  if (!obs::json::parse(read_text_file(path), v, error))
+    die(path + ": " + error);
+  return v;
+}
+
+std::uint64_t parse_u64(const std::string& text, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    die(std::string("invalid ") + what + ": '" + text + "'");
+  }
+}
+
+double parse_f64(const std::string& text, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    die(std::string("invalid ") + what + ": '" + text + "'");
+  }
+}
+
+/// Flat option bag shared by all subcommands; each consumes what it needs.
+struct Options {
+  std::string store;
+  std::string machine;  ///< Empty = current machine; "all" where supported.
+  std::string out;
+  std::string metric;          ///< trend/gate positional.
+  std::string config_fp;
+  std::string kind;            ///< Record-kind filter / ingest kind.
+  std::string flags;
+  std::string title = "FedWCM fleet";
+  std::string direction = "both";
+  std::string ledger_path, history_path, bench_path, metrics_path;
+  std::vector<std::pair<std::string, double>> sets;
+  std::vector<std::string> positional;  ///< import files.
+  long index = -1;  ///< show/export record index; -1 = newest.
+  analysis::TrendOptions trend;
+};
+
+Options parse_options(int argc, char** argv, int first) {
+  Options o;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) die("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--store") {
+      o.store = value();
+    } else if (arg == "--machine") {
+      o.machine = value();
+    } else if (arg == "--out") {
+      o.out = value();
+    } else if (arg == "--config-fp") {
+      o.config_fp = value();
+    } else if (arg == "--kind") {
+      o.kind = value();
+    } else if (arg == "--flags") {
+      o.flags = value();
+    } else if (arg == "--title") {
+      o.title = value();
+    } else if (arg == "--direction") {
+      o.direction = value();
+    } else if (arg == "--ledger") {
+      o.ledger_path = value();
+    } else if (arg == "--history") {
+      o.history_path = value();
+    } else if (arg == "--bench") {
+      o.bench_path = value();
+    } else if (arg == "--metrics") {
+      o.metrics_path = value();
+    } else if (arg == "--set") {
+      const std::string kv = value();
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0) die("--set expects NAME=VALUE");
+      o.sets.emplace_back(kv.substr(0, eq),
+                          parse_f64(kv.substr(eq + 1), "--set value"));
+    } else if (arg == "--index") {
+      o.index = long(parse_u64(value(), "--index"));
+    } else if (arg == "--last") {
+      o.trend.last = std::size_t(parse_u64(value(), "--last"));
+      if (o.trend.last == 0) die("--last must be >= 1");
+    } else if (arg == "--band") {
+      o.trend.band_k = parse_f64(value(), "--band");
+    } else if (arg == "--min-band") {
+      o.trend.min_band = parse_f64(value(), "--min-band");
+    } else if (arg == "--min-history") {
+      o.trend.min_history = std::size_t(parse_u64(value(), "--min-history"));
+    } else if (arg == "--help" || arg == "-h") {
+      std::exit(usage(std::cout, 0));
+    } else if (!arg.empty() && arg[0] == '-') {
+      die("unknown option " + arg + " (see --help)");
+    } else {
+      o.positional.push_back(arg);
+    }
+  }
+  return o;
+}
+
+std::string resolve_machine(const Options& o) {
+  return o.machine.empty() ? obs::machine_fingerprint().id() : o.machine;
+}
+
+obs::RunStore::LoadResult load_partition(const Options& o,
+                                         const std::string& machine_id) {
+  obs::RunStore store(o.store);
+  obs::RunStore::LoadResult result;
+  std::string error;
+  if (!store.load(machine_id, result, error)) die(error);
+  if (result.rejected > 0)
+    std::cerr << "fedwcm_obsctl: warning: " << result.rejected
+              << " corrupt frame(s) skipped in partition " << machine_id
+              << "\n";
+  return result;
+}
+
+std::uint64_t now_us() {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::system_clock::now().time_since_epoch())
+                           .count());
+}
+
+int cmd_ingest(const Options& o) {
+  if (o.store.empty() && o.out.empty())
+    die("ingest needs --store DIR (or --out FILE)");
+  if (o.ledger_path.empty() && o.history_path.empty() && o.bench_path.empty() &&
+      o.metrics_path.empty() && o.sets.empty())
+    die("ingest needs at least one source "
+        "(--ledger/--history/--bench/--metrics/--set)");
+  obs::RunRecord record;
+  record.created_us = now_us();
+  record.machine = obs::machine_fingerprint();
+  record.config_fingerprint = o.config_fp;
+  record.flags = o.flags;
+  if (!o.ledger_path.empty()) {
+    obs::prof::Ledger ledger;
+    std::string error;
+    if (!obs::prof::ledger_from_json(read_text_file(o.ledger_path), ledger,
+                                     error))
+      die(o.ledger_path + ": " + error);
+    obs::ingest_ledger(ledger, record);
+    if (record.config_fingerprint.empty())
+      record.config_fingerprint = ledger.meta.algorithm;
+  }
+  if (!o.history_path.empty()) {
+    analysis::RunSummary summary;
+    std::string error;
+    if (!analysis::load_run_summary(o.history_path, summary, error)) die(error);
+    analysis::ingest_run_summary(summary, record);
+    if (record.config_fingerprint.empty())
+      record.config_fingerprint = summary.algorithm;
+  }
+  if (!o.bench_path.empty()) {
+    std::string error;
+    if (!obs::ingest_bench_json(parse_json_file(o.bench_path), record, error))
+      die(o.bench_path + ": " + error);
+  }
+  if (!o.metrics_path.empty()) {
+    std::string error;
+    if (!obs::ingest_metrics_jsonl(read_text_file(o.metrics_path), record,
+                                   error))
+      die(o.metrics_path + ": " + error);
+  }
+  for (const auto& [name, value] : o.sets) record.metrics[name] = value;
+  if (!o.kind.empty())
+    record.kind = o.kind;
+  else if (!o.bench_path.empty() && o.ledger_path.empty() &&
+           o.history_path.empty() && o.metrics_path.empty())
+    record.kind = "bench";
+  std::string error;
+  if (!o.out.empty()) {
+    if (!obs::save_record_file(o.out, record, error)) die(error);
+    std::cout << "wrote record artifact " << o.out << " (" << record.metrics.size()
+              << " metrics, " << record.counters.size() << " counters)\n";
+  }
+  if (!o.store.empty()) {
+    obs::RunStore store(o.store);
+    if (!store.append(record, error)) die(error);
+    std::cout << "appended " << record.kind << " record to "
+              << store.partition_path(record.machine.id()) << " ("
+              << record.metrics.size() << " metrics, "
+              << record.counters.size() << " counters)\n";
+  }
+  return 0;
+}
+
+int cmd_import(const Options& o) {
+  if (o.store.empty()) die("import needs --store DIR");
+  if (o.positional.empty()) die("import needs at least one record file");
+  obs::RunStore store(o.store);
+  for (const std::string& path : o.positional) {
+    obs::RunRecord record;
+    std::string error;
+    if (!obs::load_record_file(path, record, error)) die(error);
+    if (!store.append(record, error)) die(error);
+    std::cout << "imported " << path << " -> "
+              << store.partition_path(record.machine.id()) << "\n";
+  }
+  return 0;
+}
+
+const obs::RunRecord& pick_record(const obs::RunStore::LoadResult& loaded,
+                                  long index) {
+  if (loaded.records.empty()) die("partition is empty");
+  if (index < 0) return loaded.records.back();
+  if (std::size_t(index) >= loaded.records.size())
+    die("--index " + std::to_string(index) + " out of range (have " +
+        std::to_string(loaded.records.size()) + ")");
+  return loaded.records[std::size_t(index)];
+}
+
+int cmd_export(const Options& o) {
+  if (o.store.empty() || o.out.empty()) die("export needs --store and --out");
+  const auto loaded = load_partition(o, resolve_machine(o));
+  std::string error;
+  if (!obs::save_record_file(o.out, pick_record(loaded, o.index), error))
+    die(error);
+  std::cout << "wrote " << o.out << "\n";
+  return 0;
+}
+
+void list_partition(const std::string& machine_id,
+                    const obs::RunStore::LoadResult& loaded) {
+  std::cout << "machine " << machine_id << ": " << loaded.records.size()
+            << " record(s)";
+  if (loaded.rejected > 0) std::cout << ", " << loaded.rejected << " rejected";
+  std::cout << "\n";
+  for (std::size_t i = 0; i < loaded.records.size(); ++i) {
+    const obs::RunRecord& r = loaded.records[i];
+    std::cout << "  [" << i << "] " << r.kind << " created_us=" << r.created_us
+              << " config=" << (r.config_fingerprint.empty()
+                                    ? "(none)"
+                                    : r.config_fingerprint)
+              << " metrics=" << r.metrics.size()
+              << " counters=" << r.counters.size();
+    if (!r.flags.empty()) std::cout << " flags=\"" << r.flags << "\"";
+    std::cout << "\n";
+  }
+}
+
+int cmd_list(const Options& o) {
+  if (o.store.empty()) die("list needs --store DIR");
+  obs::RunStore store(o.store);
+  if (o.machine == "all") {
+    const auto ids = store.machine_ids();
+    if (ids.empty()) std::cout << "store " << o.store << " is empty\n";
+    for (const std::string& id : ids) list_partition(id, load_partition(o, id));
+    return 0;
+  }
+  list_partition(resolve_machine(o), load_partition(o, resolve_machine(o)));
+  return 0;
+}
+
+int cmd_show(const Options& o) {
+  if (o.store.empty()) die("show needs --store DIR");
+  const auto loaded = load_partition(o, resolve_machine(o));
+  const obs::RunRecord& r = pick_record(loaded, o.index);
+  std::cout << "kind:        " << r.kind << "\n"
+            << "created_us:  " << r.created_us << "\n"
+            << "config:      "
+            << (r.config_fingerprint.empty() ? "(none)" : r.config_fingerprint)
+            << "\n"
+            << "flags:       " << (r.flags.empty() ? "(none)" : r.flags) << "\n"
+            << "machine:     " << r.machine.id() << " (" << r.machine.cpu_model
+            << ", " << r.machine.cores << " cores, " << r.machine.kernel
+            << ")\n";
+  std::cout << "metrics:\n";
+  for (const auto& [name, value] : r.metrics)
+    std::cout << "  " << name << " = " << value << "\n";
+  std::cout << "counters:\n";
+  for (const auto& [name, value] : r.counters)
+    std::cout << "  " << name << " = " << value << "\n";
+  if (!r.sketches.empty()) {
+    std::cout << "sketches:\n";
+    for (const auto& [name, sketch] : r.sketches)
+      std::cout << "  " << name << " (count " << sketch.count() << ")\n";
+  }
+  return 0;
+}
+
+std::vector<double> load_series(const Options& o) {
+  const auto loaded = load_partition(o, resolve_machine(o));
+  const std::vector<double> series = analysis::metric_series(
+      loaded.records, o.metric, o.config_fp, o.kind);
+  if (series.empty())
+    die("metric '" + o.metric + "' not present in any record of partition " +
+        resolve_machine(o));
+  return series;
+}
+
+int cmd_trend(const Options& o) {
+  if (o.store.empty()) die("trend needs --store DIR");
+  if (o.metric.empty()) die("trend needs a METRIC argument");
+  const std::vector<double> series = load_series(o);
+  const analysis::TrendSummary t = analysis::summarize_trend(series, o.trend);
+  std::cout << "metric " << o.metric << " (" << series.size()
+            << " values, window " << t.count << ")\n"
+            << "  latest: " << t.latest << "\n"
+            << "  median: " << t.median << "  spread(1.4826*MAD): " << t.spread
+            << "\n"
+            << "  band:   [" << t.band_lo << ", " << t.band_hi << "]  ("
+            << (t.latest_above ? "latest ABOVE band"
+                               : t.latest_below ? "latest BELOW band"
+                                                : "latest in band")
+            << ")\n"
+            << "  slope:  " << t.slope << " per run (Theil-Sen)\n"
+            << "  change-point: "
+            << (t.change_point < 0 ? std::string("none")
+                                   : "at window index " +
+                                         std::to_string(t.change_point))
+            << "\n";
+  return 0;
+}
+
+int cmd_gate(const Options& o) {
+  if (o.store.empty()) die("gate needs --store DIR");
+  if (o.metric.empty()) die("gate needs a METRIC argument");
+  analysis::GateDirection direction;
+  if (!analysis::parse_gate_direction(o.direction, direction))
+    die("invalid --direction '" + o.direction + "' (above|below|both)");
+  const std::vector<double> series = load_series(o);
+  const analysis::GateResult result =
+      analysis::evaluate_gate(series, o.trend, direction);
+  const char* verdict =
+      result.verdict == analysis::GateVerdict::kFail
+          ? "FAIL"
+          : result.verdict == analysis::GateVerdict::kPass ? "PASS" : "ABSTAIN";
+  std::cout << "gate " << o.metric << ": " << verdict << " — " << result.detail
+            << "\n";
+  return result.verdict == analysis::GateVerdict::kFail ? 1 : 0;
+}
+
+int cmd_html(const Options& o) {
+  if (o.store.empty() || o.out.empty()) die("html needs --store and --out");
+  obs::RunStore store(o.store);
+  std::vector<obs::RunRecord> records;
+  if (o.machine == "all") {
+    for (const std::string& id : store.machine_ids()) {
+      auto loaded = load_partition(o, id);
+      for (auto& r : loaded.records) records.push_back(std::move(r));
+    }
+  } else {
+    auto loaded = load_partition(o, resolve_machine(o));
+    records = std::move(loaded.records);
+  }
+  analysis::FleetHtmlOptions html_options;
+  html_options.title = o.title;
+  html_options.trend = o.trend;
+  try {
+    analysis::write_fleet_html(o.out, records, html_options);
+  } catch (const std::exception& e) {
+    die(e.what());
+  }
+  std::cout << "wrote " << o.out << " (" << records.size() << " records)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(std::cerr, 2);
+  const std::string command = argv[1];
+  if (command == "--help" || command == "-h") return usage(std::cout, 0);
+  int first = 2;
+  Options o = parse_options(argc, argv, first);
+  if (command == "trend" || command == "gate") {
+    if (o.positional.size() != 1)
+      die(command + " needs exactly one METRIC argument");
+    o.metric = o.positional.front();
+    o.positional.clear();
+  }
+  if (command == "ingest") return cmd_ingest(o);
+  if (command == "import") return cmd_import(o);
+  if (command == "export") return cmd_export(o);
+  if (command == "list") return cmd_list(o);
+  if (command == "show") return cmd_show(o);
+  if (command == "trend") return cmd_trend(o);
+  if (command == "gate") return cmd_gate(o);
+  if (command == "html") return cmd_html(o);
+  std::cerr << "fedwcm_obsctl: unknown command '" << command << "'\n";
+  return usage(std::cerr, 2);
+}

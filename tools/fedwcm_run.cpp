@@ -73,7 +73,9 @@
 /// Exit status: 0 success, 1 runtime error, 2 usage error, 3 run aborted by
 /// the watchdog (artifacts are still written).
 #include <cerrno>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <limits>
@@ -85,6 +87,7 @@
 #include "fedwcm/analysis/concentration.hpp"
 #include "fedwcm/analysis/report.hpp"
 #include "fedwcm/analysis/report_html.hpp"
+#include "fedwcm/fl/checkpoint.hpp"
 #include "fedwcm/fl/diagnostics.hpp"
 #include "fedwcm/data/lazy.hpp"
 #include "fedwcm/data/longtail.hpp"
@@ -98,7 +101,10 @@
 #include "fedwcm/obs/flight.hpp"
 #include "fedwcm/obs/http.hpp"
 #include "fedwcm/obs/ledger.hpp"
+#include "fedwcm/obs/machine.hpp"
+#include "fedwcm/obs/metrics.hpp"
 #include "fedwcm/obs/prof.hpp"
+#include "fedwcm/obs/runstore.hpp"
 #include "fedwcm/obs/runtime.hpp"
 #include "fedwcm/obs/sampler.hpp"
 #include "fedwcm/obs/sketch.hpp"
@@ -153,6 +159,7 @@ struct Args {
   bool watchdog_abort = false;
   obs::WatchdogConfig watchdog_config;
   std::string flight;
+  std::string runstore;  ///< Run-history store directory; empty = off.
 };
 
 const char kUsage[] =
@@ -246,6 +253,12 @@ const char kUsage[] =
     "  --flight PATH         flight-recorder dump (last events as JSON,\n"
     "                        written on a trip or fatal signal)\n"
     "                        [flight.<pid>.json when --watchdog is on]\n"
+    "  --runstore DIR        append this run's record (config fingerprint,\n"
+    "                        accuracy/q_r, ledger resource totals, fault and\n"
+    "                        watchdog counters, population sketches) to the\n"
+    "                        machine-partitioned run-history store in DIR —\n"
+    "                        on clean exit AND on watchdog abort (exit 3).\n"
+    "                        Query with fedwcm_obsctl (trend/gate/html)  [off]\n"
     "  --help, -h            print this message and exit\n";
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -411,6 +424,7 @@ Args parse(int argc, char** argv) {
       args.watchdog_config.spread_window = int(parse_u64_in(
           flag, need_value(i), 1, std::numeric_limits<int>::max()));
     else if (flag == "--flight") args.flight = need_value(i);
+    else if (flag == "--runstore") args.runstore = need_value(i);
     else if (flag == "--help" || flag == "-h") {
       std::cout << kUsage;
       std::exit(0);
@@ -442,6 +456,13 @@ data::SyntheticSpec dataset_by_name(const std::string& name) {
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
+  // The verbatim flag string rides along in the run record so a regression
+  // found in the history is reproducible without archaeology.
+  std::string flags_text;
+  for (int i = 1; i < argc; ++i) {
+    if (i > 1) flags_text += ' ';
+    flags_text += argv[i];
+  }
 
   // Flags win over FEDWCM_TRACE / FEDWCM_METRICS_OUT; either enables the
   // corresponding global instrument before the run starts.
@@ -501,6 +522,23 @@ int main(int argc, char** argv) {
     out << obs::prof::to_json(obs::prof::collect_ledger(make_meta(aborted)))
         << "\n";
     return bool(out);
+  };
+  // Mid-run metrics flush (tmp+rename so the visible file is always a
+  // complete, line-parseable dump). The end-of-main obs::flush overwrites it
+  // on a graceful exit; this exists for the paths that may never get there —
+  // a watchdog trip followed by a hang, or a fatal signal.
+  const std::string metrics_path = obs_options.metrics_path;
+  const auto flush_metrics_file = [metrics_path]() {
+    if (metrics_path.empty()) return;
+    const std::string tmp = metrics_path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) return;
+      obs::metrics().write_jsonl(out);
+      out.flush();
+      if (!out) return;
+    }
+    std::rename(tmp.c_str(), metrics_path.c_str());
   };
 
   // Live telemetry: Prometheus /metrics + /healthz + /events over loopback.
@@ -629,21 +667,29 @@ int main(int argc, char** argv) {
   if (args.watchdog) {
     obs::events().set_enabled(true);
     flight = std::make_unique<obs::FlightRecorder>(obs::events(), flight_path);
+    // A fatal signal dumps the metrics JSONL next to the event post-mortem
+    // (tmp+rename; try-locked on the signal path), so --metrics-out survives
+    // even a SIGSEGV mid-round with every line complete.
+    if (!metrics_path.empty())
+      flight->set_metrics_sink(obs::metrics(), metrics_path);
     flight->install_signal_handlers();
     auto watchdog = std::make_shared<fl::WatchdogObserver>(args.watchdog_config);
     watchdog->set_flight_recorder(flight.get());
     watchdog->set_abort_on_trip(args.watchdog_abort);
     obs::HttpExporter* exporter_ptr = exporter.get();
     const std::string ledger_path = args.ledger;
-    watchdog->set_on_trip([exporter_ptr, ledger_path,
-                           write_ledger_file](const obs::Alarm& alarm) {
+    watchdog->set_on_trip([exporter_ptr, ledger_path, write_ledger_file,
+                           flush_metrics_file](const obs::Alarm& alarm) {
       std::cerr << "watchdog ALARM [" << alarm.rule << "] round " << alarm.round
                 << ": " << alarm.message << "\n";
       if (exporter_ptr)
         exporter_ptr->set_unhealthy(alarm.rule + ": " + alarm.message);
       // A hung/diverged run still leaves a resource post-mortem: the partial
-      // ledger (aborted=true) mirrors the flight recorder's role for events.
+      // ledger (aborted=true) mirrors the flight recorder's role for events,
+      // and the metrics JSONL is flushed line-complete right now in case the
+      // abort path never reaches the end-of-main flush.
       if (!ledger_path.empty()) write_ledger_file(ledger_path, true);
+      flush_metrics_file();
     });
     sim.add_observer(watchdog);
     sim.set_stop_flag(watchdog->stop_flag());
@@ -741,6 +787,55 @@ int main(int argc, char** argv) {
                 << " (open in Perfetto / about://tracing)\n";
     if (!obs_options.metrics_path.empty())
       std::cout << "metrics: " << obs_options.metrics_path << "\n";
+  }
+  // Run-history observatory: one record per run, appended on clean exit AND
+  // on watchdog abort (this code is reached either way — the stop flag ends
+  // the round loop gracefully). A store failure is a warning, never a
+  // changed exit status: history must not be able to fail the run it logs.
+  if (!args.runstore.empty()) {
+    obs::RunRecord record;
+    record.created_us = std::uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    record.machine = obs::machine_fingerprint();
+    record.config_fingerprint =
+        fl::config_fingerprint(cfg, result.final_params.size(), args.alg);
+    record.flags = flags_text;
+    record.metrics["final_accuracy"] = result.final_accuracy;
+    record.metrics["best_accuracy"] = result.best_accuracy;
+    record.metrics["tail_mean_accuracy"] = result.tail_mean_accuracy;
+    if (!result.per_class_accuracy.empty()) {
+      float lo = 1.0f;
+      for (float a : result.per_class_accuracy) lo = std::min(lo, a);
+      record.metrics["min_class_recall"] = double(lo);
+    }
+    for (auto it = result.history.rbegin(); it != result.history.rend(); ++it)
+      if (it->diagnostics) {
+        record.metrics["final_qr"] = double(it->momentum_alignment);
+        break;
+      }
+    record.counters["rounds"] = result.history.size();
+    record.counters["faults.dropped"] = result.faults_dropped;
+    record.counters["faults.rejected"] = result.faults_rejected;
+    record.counters["faults.straggled"] = result.faults_straggled;
+    record.counters["watchdog.aborted"] = result.aborted ? 1 : 0;
+    // Resource totals, phase splits, and population quantile summaries come
+    // through the same ingest path obsctl and perf_gate use.
+    if (profiling)
+      obs::ingest_ledger(obs::prof::collect_ledger(make_meta(result.aborted)),
+                         record);
+    if (args.population)
+      for (auto& snapshot : obs::metrics().sketch_snapshots())
+        record.sketches.emplace_back(snapshot.name, std::move(snapshot.sketch));
+    obs::RunStore store(args.runstore);
+    std::string error;
+    if (store.append(record, error))
+      std::cout << "runstore: appended to "
+                << store.partition_path(record.machine.id()) << "\n";
+    else
+      std::cerr << "fedwcm_run: --runstore: " << error
+                << " (run record not saved)\n";
   }
   // Exit 3 distinguishes a watchdog abort (artifacts were still written)
   // from success (0) and hard errors (1) / usage errors (2).

@@ -30,15 +30,26 @@
 /// CI runs `perf_gate --quick` on every push; the committed repo-root
 /// BENCH_kernels.json is a full (non-quick) run.
 ///
+/// With `--runstore DIR` the suite's numbers are also appended to the
+/// run-history store (obs/runstore.hpp) as a kind="bench" record, through the
+/// same `obs::ingest_bench_json` writer `obsctl ingest --bench` uses — so
+/// `obsctl trend bench.e2e.ms_per_round` sees one consistent series no matter
+/// which producer fed it. A store append failure is a warning, never a gate
+/// failure: history must not be able to fail the run it logs.
+///
 /// Usage: perf_gate [--quick] [--skip-e2e] [--out PATH]
 ///                  [--baseline PATH] [--allow-missing-baseline]
+///                  [--runstore DIR]
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "fedwcm/obs/json.hpp"
+#include "fedwcm/obs/machine.hpp"
+#include "fedwcm/obs/runstore.hpp"
 #include "kernel_bench.hpp"
 
 namespace {
@@ -86,7 +97,13 @@ int main(int argc, char** argv) {
   options.verbose = true;
   std::string out_path = "BENCH_kernels.json";
   std::string baseline_path;
+  std::string runstore_dir;
   bool allow_missing_baseline = false;
+  std::string flags_text;
+  for (int i = 1; i < argc; ++i) {
+    if (i > 1) flags_text += ' ';
+    flags_text += argv[i];
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--quick") {
@@ -97,12 +114,15 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (flag == "--baseline" && i + 1 < argc) {
       baseline_path = argv[++i];
+    } else if (flag == "--runstore" && i + 1 < argc) {
+      runstore_dir = argv[++i];
     } else if (flag == "--allow-missing-baseline") {
       allow_missing_baseline = true;
     } else {
       std::cerr << "usage: perf_gate [--quick] [--skip-e2e] [--out PATH]\n"
                    "                 [--baseline PATH] "
-                   "[--allow-missing-baseline]\n";
+                   "[--allow-missing-baseline]\n"
+                   "                 [--runstore DIR]\n";
       return 2;
     }
   }
@@ -215,6 +235,39 @@ int main(int argc, char** argv) {
                    "the 0.05 policy (|diff| = "
                 << e.int8_uplink_accuracy_abs_diff() << ")\n";
       ok = false;
+    }
+  }
+
+  if (!runstore_dir.empty()) {
+    // Append the suite to the run-history store through the same writer
+    // obsctl uses. Warn-only on failure: history must not fail the gate.
+    std::string error;
+    fedwcm::obs::json::Value doc;
+    if (!fedwcm::obs::json::parse(fedwcm::bench::to_json(report), doc, error)) {
+      std::cerr << "perf_gate: WARNING — --runstore: bench JSON did not parse "
+                   "back: " << error << "\n";
+    } else {
+      fedwcm::obs::RunRecord record;
+      record.kind = "bench";
+      record.created_us = std::uint64_t(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count());
+      record.machine = fedwcm::obs::machine_fingerprint();
+      record.config_fingerprint =
+          options.quick ? "bench.kernels.quick" : "bench.kernels";
+      record.flags = flags_text;
+      if (!fedwcm::obs::ingest_bench_json(doc, record, error)) {
+        std::cerr << "perf_gate: WARNING — --runstore: " << error << "\n";
+      } else {
+        fedwcm::obs::RunStore store(runstore_dir);
+        if (store.append(record, error))
+          std::cout << "perf_gate: appended bench record to "
+                    << store.partition_path(record.machine.id()) << "\n";
+        else
+          std::cerr << "perf_gate: WARNING — --runstore: " << error
+                    << " (bench record not saved)\n";
+      }
     }
   }
 
